@@ -1,0 +1,639 @@
+//! MasterCard Affinity (paper §V): find all merchants frequently visited by
+//! customers of a target merchant X.
+//!
+//! Mapped data: newline-delimited, variable-length purchase transactions
+//! (card number, terminal id, merchant id, amount, date, free-form memo).
+//! Two passes over the data, each a separate kernel launch:
+//!
+//! 1. extract the set of customers (card numbers) that visited merchant X;
+//! 2. count, for transactions by those customers, the merchants visited.
+//!
+//! **Plain variant:** the variable-length records force every byte to be
+//! scanned to find record boundaries — 100% of the mapped data is read
+//! (Table I), so BigKernel cannot reduce the transfer volume and wins only
+//! through overlap and coalescing, exactly the paper's finding.
+//!
+//! **Indexed variant:** an index of record offsets lets the kernel fetch
+//! only the card and merchant fields (~25% of the data, Table I). Address
+//! generation walks the device-resident index, so the emitted addresses are
+//! data-dependent — stride patterns never apply (Table II lists "NA").
+
+use crate::harness::{AppSpec, BenchApp, Instance};
+use crate::util::{fnv1a_step, DevHashTable, FNV_OFFSET};
+use bk_runtime::ctx::AddrGenCtx;
+use bk_runtime::{DevBufId, KernelCtx, Machine, StreamArray, StreamId, ValueExt};
+use bk_simcore::{SplitMix64, Zipf};
+use std::collections::{HashMap, HashSet};
+use std::ops::Range;
+
+/// Field geometry within a transaction record (fixed offsets, variable
+/// total length because of the trailing memo).
+pub const CARD_LEN: u64 = 16; // digits at offset 0..16
+pub const MERCH_OFF: u64 = 26; // 8 chars at 26..34
+pub const MERCH_LEN: u64 = 8;
+/// Worst-case record length (fields + memo + newline).
+pub const MAX_RECORD: u64 = 116;
+/// Halo for scan-past-end record completion: skip of one partial record is
+/// bounded by `MAX_RECORD` and the last owned record extends at most
+/// `MAX_RECORD` past the range end. Halo bytes are fetched twice by
+/// adjacent chunk slices, so keeping this tight matters for the BigKernel
+/// transfer volume.
+pub const HALO: u64 = 128;
+
+#[inline]
+fn key(h: u64) -> u64 {
+    h | 1
+}
+
+/// Hash a field's bytes into a table key.
+pub fn field_key(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h = fnv1a_step(h, b);
+    }
+    key(h)
+}
+
+/// Parse all records of `text` host-side (reference path). Yields
+/// `(record_offset, card_key, merchant_key)` with byte-identical hashing to
+/// the kernels.
+pub fn parse_records(text: &[u8]) -> Vec<(u64, u64, u64)> {
+    let mut out = Vec::new();
+    let mut p = 0usize;
+    while p < text.len() {
+        let rec_start = p;
+        let mut card_h = FNV_OFFSET;
+        let mut merch_h = FNV_OFFSET;
+        while p < text.len() {
+            let c = text[p];
+            if c == b'\n' {
+                p += 1;
+                break;
+            }
+            let rel = (p - rec_start) as u64;
+            if rel < CARD_LEN {
+                card_h = fnv1a_step(card_h, c);
+            } else if (MERCH_OFF..MERCH_OFF + MERCH_LEN).contains(&rel) {
+                merch_h = fnv1a_step(merch_h, c);
+            }
+            p += 1;
+        }
+        out.push((rec_start as u64, key(card_h), key(merch_h)));
+    }
+    out
+}
+
+/// What a pass does with each parsed record.
+enum PassAction {
+    /// Pass 1: collect customers of the target merchant.
+    Collect { customers: DevHashTable, target: u64 },
+    /// Pass 2: count merchants visited by collected customers.
+    Count { customers: DevHashTable, counts: DevHashTable },
+}
+
+impl PassAction {
+    fn handle(&self, ctx: &mut dyn KernelCtx, card: u64, merch: u64) {
+        match self {
+            PassAction::Collect { customers, target } => {
+                ctx.alu(1);
+                if merch == *target {
+                    customers.add(ctx, card, 1);
+                }
+            }
+            PassAction::Count { customers, counts } => {
+                if customers.contains(ctx, card) {
+                    counts.add(ctx, merch, 1);
+                }
+            }
+        }
+    }
+}
+
+/// A full-scan pass kernel (plain variant).
+pub struct ScanPassKernel {
+    action: PassAction,
+    text_len: u64,
+    name: &'static str,
+}
+
+impl bk_runtime::StreamKernel for ScanPassKernel {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn record_size(&self) -> Option<u64> {
+        None
+    }
+
+    fn halo_bytes(&self) -> u64 {
+        HALO
+    }
+
+    fn addresses(&self, ctx: &mut AddrGenCtx<'_>, range: Range<u64>) {
+        if range.is_empty() {
+            return;
+        }
+        let end = (range.end + HALO).min(self.text_len);
+        let mut p = range.start;
+        while p < end {
+            ctx.emit_read(StreamId(0), p, 1);
+            p += 1;
+        }
+    }
+
+    fn process(&self, ctx: &mut dyn KernelCtx, range: Range<u64>) {
+        if range.is_empty() {
+            return;
+        }
+        let len = self.text_len;
+        let mut p = range.start;
+        // Skip the record in progress at `s` (belongs to the previous
+        // thread).
+        if p > 0 {
+            while p < len {
+                let c = ctx.stream_read_u8(StreamId(0), p);
+                ctx.alu(1);
+                p += 1;
+                if c == b'\n' {
+                    break;
+                }
+            }
+        }
+        // Process records starting at positions <= range.end.
+        while p < len && p <= range.end {
+            let rec_start = p;
+            let mut card_h = FNV_OFFSET;
+            let mut merch_h = FNV_OFFSET;
+            while p < len {
+                let c = ctx.stream_read_u8(StreamId(0), p);
+                ctx.alu(2);
+                if c == b'\n' {
+                    p += 1;
+                    break;
+                }
+                let rel = p - rec_start;
+                if rel < CARD_LEN {
+                    card_h = fnv1a_step(card_h, c);
+                } else if (MERCH_OFF..MERCH_OFF + MERCH_LEN).contains(&rel) {
+                    merch_h = fnv1a_step(merch_h, c);
+                }
+                p += 1;
+            }
+            self.action.handle(ctx, key(card_h), key(merch_h));
+        }
+    }
+}
+
+/// An indexed pass kernel: walks the device-resident offset index and
+/// fetches only the card and merchant fields.
+pub struct IndexedPassKernel {
+    action: PassAction,
+    /// Device buffer of u32 record offsets, ascending.
+    index: DevBufId,
+    num_records: u64,
+    name: &'static str,
+}
+
+impl IndexedPassKernel {
+    /// First index entry with offset >= `pos` (binary search over device
+    /// reads issued through `read_entry`).
+    fn lower_bound(&self, read_entry: &mut dyn FnMut(u64) -> u64, pos: u64) -> u64 {
+        let mut lo = 0u64;
+        let mut hi = self.num_records;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if read_entry(mid) < pos {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
+impl bk_runtime::StreamKernel for IndexedPassKernel {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn record_size(&self) -> Option<u64> {
+        None
+    }
+
+    fn halo_bytes(&self) -> u64 {
+        64
+    }
+
+    fn addresses(&self, ctx: &mut AddrGenCtx<'_>, range: Range<u64>) {
+        if range.is_empty() {
+            return;
+        }
+        let index = self.index;
+        let mut read_entry = |i: u64| ctx.dev_read_u32(index, i * 4) as u64;
+        let mut i = self.lower_bound(&mut read_entry, range.start);
+        loop {
+            if i >= self.num_records {
+                break;
+            }
+            let off = ctx.dev_read_u32(index, i * 4) as u64;
+            if off >= range.end {
+                break;
+            }
+            // card as two packed u64 reads, merchant as one
+            ctx.emit_read(StreamId(0), off, 8);
+            ctx.emit_read(StreamId(0), off + 8, 8);
+            ctx.emit_read(StreamId(0), off + MERCH_OFF, 8);
+            ctx.alu(3);
+            i += 1;
+        }
+    }
+
+    fn process(&self, ctx: &mut dyn KernelCtx, range: Range<u64>) {
+        if range.is_empty() {
+            return;
+        }
+        let index = self.index;
+        let mut i = {
+            let mut read_entry = |j: u64| ctx.dev_read(index, j * 4, 4);
+            self.lower_bound(&mut read_entry, range.start)
+        };
+        loop {
+            if i >= self.num_records {
+                break;
+            }
+            let off = ctx.dev_read(index, i * 4, 4);
+            if off >= range.end {
+                break;
+            }
+            let w0 = ctx.stream_read(StreamId(0), off, 8);
+            let w1 = ctx.stream_read(StreamId(0), off + 8, 8);
+            let wm = ctx.stream_read(StreamId(0), off + MERCH_OFF, 8);
+            ctx.alu(6);
+            let mut card_h = FNV_OFFSET;
+            for b in w0.to_le_bytes().into_iter().chain(w1.to_le_bytes()) {
+                card_h = fnv1a_step(card_h, b);
+            }
+            let mut merch_h = FNV_OFFSET;
+            for b in wm.to_le_bytes() {
+                merch_h = fnv1a_step(merch_h, b);
+            }
+            self.action.handle(ctx, key(card_h), key(merch_h));
+            i += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Generated transaction data plus reference results.
+struct Generated {
+    text: Vec<u8>,
+    /// Record offsets (the index file of the indexed variant).
+    index: Vec<u32>,
+    target_merchant: u64,
+    expected_customers: HashSet<u64>,
+    expected_counts: HashMap<u64, u64>,
+}
+
+fn generate(bytes: u64, seed: u64, merchants: usize, cards: usize) -> Generated {
+    let mut rng = SplitMix64::new(seed);
+    let digits = |rng: &mut SplitMix64, n: usize| -> Vec<u8> {
+        (0..n).map(|_| b'0' + rng.next_below(10) as u8).collect()
+    };
+    let merchant_ids: Vec<Vec<u8>> = (0..merchants).map(|_| digits(&mut rng, 8)).collect();
+    let card_ids: Vec<Vec<u8>> = (0..cards).map(|_| digits(&mut rng, 16)).collect();
+    let merchant_zipf = Zipf::new(merchants, 1.0);
+
+    let mut text = Vec::with_capacity(bytes as usize);
+    let mut index = Vec::new();
+    while (text.len() as u64) < bytes {
+        let memo_len = rng.range_inclusive(20, 64) as usize;
+        let rec_len = 51 + memo_len + 1;
+        if text.len() + rec_len > bytes as usize {
+            break;
+        }
+        index.push(text.len() as u32);
+        text.extend_from_slice(&card_ids[rng.next_below(cards as u64) as usize]);
+        text.push(b',');
+        text.extend_from_slice(&digits(&mut rng, 8)); // terminal
+        text.push(b',');
+        text.extend_from_slice(&merchant_ids[merchant_zipf.sample(&mut rng)]);
+        text.push(b',');
+        text.extend_from_slice(&digits(&mut rng, 6)); // amount
+        text.push(b',');
+        text.extend_from_slice(&digits(&mut rng, 8)); // date
+        text.push(b',');
+        for _ in 0..memo_len {
+            text.push(b'a' + rng.next_below(26) as u8);
+        }
+        text.push(b'\n');
+    }
+    // Pad to the exact size with a comment-like spacer record.
+    text.resize(bytes as usize, b' ');
+
+    // Reference: target = a frequently-visited merchant (zipf rank 2).
+    let target_merchant = field_key(&merchant_ids[2]);
+    let records = parse_records(&text);
+    let mut expected_customers = HashSet::new();
+    for &(_, card, merch) in &records {
+        if merch == target_merchant {
+            expected_customers.insert(card);
+        }
+    }
+    let mut expected_counts = HashMap::new();
+    for &(_, card, merch) in &records {
+        if expected_customers.contains(&card) {
+            *expected_counts.entry(merch).or_insert(0u64) += 1;
+        }
+    }
+    Generated { text, index, target_merchant, expected_customers, expected_counts }
+}
+
+/// Reference results for the *indexed* variant (only indexed records
+/// participate; the space-padding pseudo-record is not in the index).
+fn indexed_reference(g: &Generated) -> (HashSet<u64>, HashMap<u64, u64>) {
+    let recs: Vec<(u64, u64)> = g
+        .index
+        .iter()
+        .map(|&off| {
+            let off = off as usize;
+            let card = field_key(&g.text[off..off + CARD_LEN as usize]);
+            let merch = field_key(
+                &g.text[off + MERCH_OFF as usize..off + (MERCH_OFF + MERCH_LEN) as usize],
+            );
+            (card, merch)
+        })
+        .collect();
+    let customers: HashSet<u64> =
+        recs.iter().filter(|&&(_, m)| m == g.target_merchant).map(|&(c, _)| c).collect();
+    let mut counts = HashMap::new();
+    for &(c, m) in &recs {
+        if customers.contains(&c) {
+            *counts.entry(m).or_insert(0u64) += 1;
+        }
+    }
+    (customers, counts)
+}
+
+fn alloc_tables(machine: &mut Machine, n_hint: u64) -> (DevHashTable, DevHashTable) {
+    let slots = (n_hint * 4).next_power_of_two().max(1024);
+    let cbuf = machine.gmem.alloc(DevHashTable::bytes_for(slots));
+    let mbuf = machine.gmem.alloc(DevHashTable::bytes_for(slots));
+    (DevHashTable { buf: cbuf, slots }, DevHashTable { buf: mbuf, slots })
+}
+
+fn verify_tables(
+    m: &Machine,
+    customers: DevHashTable,
+    counts: DevHashTable,
+    expected_customers: &HashSet<u64>,
+    expected_counts: &HashMap<u64, u64>,
+) -> Result<(), String> {
+    if customers.occupied(&m.gmem) != expected_customers.len() as u64 {
+        return Err(format!(
+            "customer set size {} != expected {}",
+            customers.occupied(&m.gmem),
+            expected_customers.len()
+        ));
+    }
+    for &c in expected_customers {
+        if customers.get(&m.gmem, c) == 0 {
+            return Err(format!("missing customer {c:#x}"));
+        }
+    }
+    let total: u64 = expected_counts.values().sum();
+    if counts.total(&m.gmem) != total {
+        return Err(format!("count total {} != {}", counts.total(&m.gmem), total));
+    }
+    for (&merch, &n) in expected_counts {
+        let got = counts.get(&m.gmem, merch);
+        if got != n {
+            return Err(format!("merchant {merch:#x}: {got} != {n}"));
+        }
+    }
+    Ok(())
+}
+
+/// The plain MasterCard Affinity benchmark.
+pub struct Affinity {
+    pub merchants: usize,
+    pub cards: usize,
+}
+
+impl Default for Affinity {
+    fn default() -> Self {
+        Affinity { merchants: 512, cards: 4096 }
+    }
+}
+
+impl BenchApp for Affinity {
+    fn spec(&self) -> AppSpec {
+        AppSpec {
+            name: "MasterCard Affinity",
+            paper_data_size: "6.4GB",
+            record_type: "Variable-length",
+            paper_read_pct: 100,
+            paper_modified_pct: 0,
+            pattern_applicable: true,
+        }
+    }
+
+    fn instantiate(&self, machine: &mut Machine, bytes: u64, seed: u64) -> Instance {
+        let g = generate(bytes, seed, self.merchants, self.cards);
+        let region = machine.hmem.alloc_from(&g.text);
+        let stream = StreamArray::map(machine, StreamId(0), region);
+        let n_hint = (g.index.len() as u64).max(64);
+        let (customers, counts) = alloc_tables(machine, n_hint);
+
+        let pass1 = ScanPassKernel {
+            action: PassAction::Collect { customers, target: g.target_merchant },
+            text_len: bytes,
+            name: "affinity-pass1",
+        };
+        let pass2 = ScanPassKernel {
+            action: PassAction::Count { customers, counts },
+            text_len: bytes,
+            name: "affinity-pass2",
+        };
+
+        let (ec, en) = (g.expected_customers, g.expected_counts);
+        let verify = move |m: &Machine| verify_tables(m, customers, counts, &ec, &en);
+
+        Instance {
+            kernels: vec![Box::new(pass1), Box::new(pass2)],
+            streams: vec![stream],
+            verify: Box::new(verify),
+        }
+    }
+}
+
+/// The indexed MasterCard Affinity benchmark.
+pub struct AffinityIndexed {
+    pub merchants: usize,
+    pub cards: usize,
+}
+
+impl Default for AffinityIndexed {
+    fn default() -> Self {
+        AffinityIndexed { merchants: 512, cards: 4096 }
+    }
+}
+
+impl BenchApp for AffinityIndexed {
+    fn spec(&self) -> AppSpec {
+        AppSpec {
+            name: "MasterCard Affinity (indexed)",
+            paper_data_size: "6.4GB",
+            record_type: "Variable-length (indexed)",
+            paper_read_pct: 25,
+            paper_modified_pct: 0,
+            pattern_applicable: false,
+        }
+    }
+
+    fn instantiate(&self, machine: &mut Machine, bytes: u64, seed: u64) -> Instance {
+        let g = generate(bytes, seed, self.merchants, self.cards);
+        let region = machine.hmem.alloc_from(&g.text);
+        let stream = StreamArray::map(machine, StreamId(0), region);
+        let n_hint = (g.index.len() as u64).max(64);
+        let (customers, counts) = alloc_tables(machine, n_hint);
+
+        // The index lives in device memory (it is small relative to the
+        // data and is uploaded once before the run, like the paper's
+        // "extra index file").
+        let index_buf = machine.gmem.alloc((g.index.len() as u64 * 4).max(4));
+        for (i, &off) in g.index.iter().enumerate() {
+            machine.gmem.write_u32(index_buf, i as u64 * 4, off);
+        }
+        let num_records = g.index.len() as u64;
+
+        let pass1 = IndexedPassKernel {
+            action: PassAction::Collect { customers, target: g.target_merchant },
+            index: index_buf,
+            num_records,
+            name: "affinity-indexed-pass1",
+        };
+        let pass2 = IndexedPassKernel {
+            action: PassAction::Count { customers, counts },
+            index: index_buf,
+            num_records,
+            name: "affinity-indexed-pass2",
+        };
+
+        let (ec, en) = indexed_reference(&g);
+        let verify = move |m: &Machine| verify_tables(m, customers, counts, &ec, &en);
+
+        Instance {
+            kernels: vec![Box::new(pass1), Box::new(pass2)],
+            streams: vec![stream],
+            verify: Box::new(verify),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{run_all, HarnessConfig, Implementation};
+
+    #[test]
+    fn parse_records_fields() {
+        let text = b"1111222233334444,TERMINAL,MERCHANT,000123,20140101,memo\n\
+                     5555666677778888,TERMINAL,OTHERMRC,000456,20140102,x\n";
+        let recs = parse_records(text);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].0, 0);
+        assert_eq!(recs[0].1, field_key(b"1111222233334444"));
+        assert_eq!(recs[0].2, field_key(b"MERCHANT"));
+        assert_eq!(recs[1].1, field_key(b"5555666677778888"));
+        assert_eq!(recs[1].2, field_key(b"OTHERMRC"));
+    }
+
+    #[test]
+    fn generation_reference_is_consistent() {
+        let g = generate(32 * 1024, 9, 64, 256);
+        assert!(!g.expected_customers.is_empty(), "target merchant must have customers");
+        assert!(!g.expected_counts.is_empty());
+        // Counts include the target merchant itself.
+        assert!(g.expected_counts.contains_key(&g.target_merchant));
+        let total: u64 = g.expected_counts.values().sum();
+        assert!(total >= g.expected_counts[&g.target_merchant]);
+    }
+
+    #[test]
+    fn plain_all_implementations_agree() {
+        let app = Affinity { merchants: 64, cards: 256 };
+        let cfg = HarnessConfig::test_small();
+        run_all(&app, 48 * 1024, 42, &cfg, &Implementation::FIG4A);
+    }
+
+    #[test]
+    fn indexed_all_implementations_agree() {
+        let app = AffinityIndexed { merchants: 64, cards: 256 };
+        let cfg = HarnessConfig::test_small();
+        run_all(&app, 48 * 1024, 42, &cfg, &Implementation::FIG4A);
+    }
+
+    #[test]
+    fn plain_reads_everything_indexed_reads_quarter() {
+        let cfg = HarnessConfig::test_small();
+        let bytes = 64 * 1024u64;
+        let plain = run_all(
+            &Affinity { merchants: 64, cards: 256 },
+            bytes,
+            3,
+            &cfg,
+            &[Implementation::BigKernel],
+        );
+        let indexed = run_all(
+            &AffinityIndexed { merchants: 64, cards: 256 },
+            bytes,
+            3,
+            &cfg,
+            &[Implementation::BigKernel],
+        );
+        // Two passes → ~200% of data read for the plain variant.
+        let plain_read = plain[0].1.counters.get("stream.bytes_read") as f64 / bytes as f64;
+        assert!(plain_read > 1.9, "plain read fraction {plain_read}");
+        let idx_read = indexed[0].1.counters.get("stream.bytes_read") as f64 / bytes as f64;
+        // Two passes of ~25% each.
+        assert!((0.3..0.9).contains(&idx_read), "indexed read fraction {idx_read}");
+    }
+
+    #[test]
+    fn indexed_addresses_are_not_pattern_compressible() {
+        let cfg = HarnessConfig::test_small();
+        let r = run_all(
+            &AffinityIndexed { merchants: 64, cards: 256 },
+            48 * 1024,
+            5,
+            &cfg,
+            &[Implementation::BigKernel],
+        );
+        let c = &r[0].1.counters;
+        // A degenerate lane-chunk holding only one or two records can
+        // legitimately match a trivial pattern; the overwhelming majority of
+        // lanes must fall back to raw address streams.
+        let found = c.get("addr.patterns_found");
+        let missed = c.get("addr.patterns_missed");
+        assert!(missed > 0);
+        assert!(
+            found * 10 < found + missed,
+            "too many compressed lanes: {found} found vs {missed} missed"
+        );
+    }
+
+    #[test]
+    fn plain_scan_is_pattern_compressible() {
+        let cfg = HarnessConfig::test_small();
+        let r = run_all(
+            &Affinity { merchants: 64, cards: 256 },
+            48 * 1024,
+            5,
+            &cfg,
+            &[Implementation::BigKernel],
+        );
+        assert!(r[0].1.counters.get("addr.patterns_found") > 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # bk-apps — the six evaluation applications (paper §V)
+//!
+//! Each application module provides a seeded synthetic data generator (the
+//! paper's datasets are proprietary — see DESIGN.md §2), a [`StreamKernel`]
+//! implementation whose mapped-data access proportions match the paper's
+//! Table I, and a verifier comparing every implementation's output against a
+//! pure-Rust reference:
+//!
+//! | module | app | data | record | read | modified |
+//! |---|---|---|---|---|---|
+//! | [`kmeans`] | K-means | fixed 64 B | reads x,y,z,w | 50% | 12.5% |
+//! | [`wordcount`] | Word Count | variable | whole text | 100% | 0% |
+//! | [`netflix`] | Netflix | fixed 80 B | rating-pair fields | 30% | 0% |
+//! | [`opinion`] | Opinion Finder | fixed 256 B | ts + text prefix | 73% | 0% |
+//! | [`dna`] | DNA Assembly | fixed 128 B | id + k-mer window | 36% | 0% |
+//! | [`affinity`] | MasterCard Affinity | variable | whole text | 100% | 0% |
+//! | [`affinity`] | … (indexed) | variable+index | card+merchant fields | ~25% | 0% |
+//!
+//! [`harness`] runs any app under all five implementations (plus the Fig. 5
+//! ablation variants) on identical data and verifies functional equality.
+//!
+//! [`StreamKernel`]: bk_runtime::StreamKernel
+
+pub mod affinity;
+pub mod dna;
+pub mod harness;
+pub mod kmeans;
+pub mod netflix;
+pub mod opinion;
+pub mod util;
+pub mod wordcount;
+
+pub use harness::{run_all, run_implementation, AppSpec, BenchApp, HarnessConfig, Implementation, Instance};

@@ -1,0 +1,215 @@
+//! Shared helpers for the application kernels: hashing and the
+//! open-addressing device hash table used by Word Count, DNA Assembly and
+//! MasterCard Affinity.
+
+use bk_runtime::{DevBufId, KernelCtx};
+
+/// FNV-1a over a byte slice (64-bit).
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Incremental FNV-1a: start value.
+pub const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+
+/// Incremental FNV-1a: fold one byte.
+#[inline]
+pub fn fnv1a_step(h: u64, b: u8) -> u64 {
+    (h ^ b as u64).wrapping_mul(0x100000001b3)
+}
+
+/// An open-addressing (linear probing) hash table in device memory, keyed by
+/// a non-zero 64-bit tag with a 64-bit counter per entry:
+///
+/// ```text
+/// entry i: [ tag: u64 ][ count: u64 ]   (16 bytes)
+/// ```
+///
+/// Insertion claims a slot with `atomicCAS(tag, 0, key)` and bumps the
+/// counter with `atomicAdd` — the idiom GPU word-count kernels use, and the
+/// "centralized hash table … requiring synchronization with attendant
+/// overheads" the paper blames for Word Count's dominant computation stage.
+#[derive(Clone, Copy, Debug)]
+pub struct DevHashTable {
+    pub buf: DevBufId,
+    /// Number of slots; power of two.
+    pub slots: u64,
+}
+
+pub const HASH_ENTRY_BYTES: u64 = 16;
+
+impl DevHashTable {
+    /// Bytes to allocate for `slots` slots.
+    pub fn bytes_for(slots: u64) -> u64 {
+        assert!(slots.is_power_of_two(), "slot count must be a power of two");
+        slots * HASH_ENTRY_BYTES
+    }
+
+    /// Add `delta` to the counter for `key` (key must be non-zero),
+    /// claiming a slot if needed. Runs through the kernel context so every
+    /// probe/atomic is costed. Panics if the table is full.
+    pub fn add(&self, ctx: &mut dyn KernelCtx, key: u64, delta: u64) {
+        debug_assert!(key != 0, "zero keys are reserved for empty slots");
+        let mut i = key & (self.slots - 1);
+        for _probe in 0..self.slots {
+            let off = i * HASH_ENTRY_BYTES;
+            let seen = ctx.dev_atomic_cas_u64(self.buf, off, 0, key);
+            if seen == 0 || seen == key {
+                ctx.dev_atomic_add_u64(self.buf, off + 8, delta);
+                return;
+            }
+            ctx.alu(2);
+            i = (i + 1) & (self.slots - 1);
+        }
+        panic!("device hash table full ({} slots)", self.slots);
+    }
+
+    /// Read the counter for `key` (0 when absent) — host-side verification
+    /// helper, does not charge kernel cost.
+    pub fn get(&self, gmem: &bk_gpu::GpuMemory, key: u64) -> u64 {
+        let mut i = key & (self.slots - 1);
+        for _ in 0..self.slots {
+            let off = i * HASH_ENTRY_BYTES;
+            let tag = gmem.read_u64(self.buf, off);
+            if tag == key {
+                return gmem.read_u64(self.buf, off + 8);
+            }
+            if tag == 0 {
+                return 0;
+            }
+            i = (i + 1) & (self.slots - 1);
+        }
+        0
+    }
+
+    /// Membership test through the kernel context (costed probes, no
+    /// mutation) — used by Affinity pass 2.
+    pub fn contains(&self, ctx: &mut dyn KernelCtx, key: u64) -> bool {
+        let mut i = key & (self.slots - 1);
+        for _ in 0..self.slots {
+            let off = i * HASH_ENTRY_BYTES;
+            let tag = ctx.dev_read(self.buf, off, 8);
+            if tag == key {
+                return true;
+            }
+            if tag == 0 {
+                return false;
+            }
+            ctx.alu(2);
+            i = (i + 1) & (self.slots - 1);
+        }
+        false
+    }
+
+    /// Sum of all counters (verification helper).
+    pub fn total(&self, gmem: &bk_gpu::GpuMemory) -> u64 {
+        (0..self.slots)
+            .map(|i| {
+                let off = i * HASH_ENTRY_BYTES;
+                if gmem.read_u64(self.buf, off) != 0 {
+                    gmem.read_u64(self.buf, off + 8)
+                } else {
+                    0
+                }
+            })
+            .sum()
+    }
+
+    /// Number of occupied slots (verification helper).
+    pub fn occupied(&self, gmem: &bk_gpu::GpuMemory) -> u64 {
+        (0..self.slots)
+            .filter(|&i| gmem.read_u64(self.buf, i * HASH_ENTRY_BYTES) != 0)
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bk_host::CacheSim;
+    use bk_runtime::{Machine, StreamArray, StreamId};
+
+    fn ctx_machine() -> (Machine, Vec<StreamArray>) {
+        let mut m = Machine::test_platform();
+        let r = m.hmem.alloc(64);
+        let s = vec![StreamArray::map(&m, StreamId(0), r)];
+        (m, s)
+    }
+
+    #[test]
+    fn fnv_distinguishes_and_is_stable() {
+        assert_ne!(fnv1a(b"hello"), fnv1a(b"world"));
+        assert_eq!(fnv1a(b"hello"), fnv1a(b"hello"));
+        let mut h = FNV_OFFSET;
+        for &b in b"hello" {
+            h = fnv1a_step(h, b);
+        }
+        assert_eq!(h, fnv1a(b"hello"));
+    }
+
+    #[test]
+    fn hash_table_add_get_total() {
+        let (mut m, streams) = ctx_machine();
+        let buf = m.gmem.alloc(DevHashTable::bytes_for(64));
+        let table = DevHashTable { buf, slots: 64 };
+        let mut cache = CacheSim::xeon_llc();
+        let mut ctx = bk_baselines_test_ctx(&mut m, &streams, &mut cache);
+        table.add(&mut ctx, 42, 3);
+        table.add(&mut ctx, 42, 2);
+        table.add(&mut ctx, 7, 1);
+        assert!(table.contains(&mut ctx, 42));
+        assert!(!table.contains(&mut ctx, 999));
+        drop(ctx);
+        assert_eq!(table.get(&m.gmem, 42), 5);
+        assert_eq!(table.get(&m.gmem, 7), 1);
+        assert_eq!(table.get(&m.gmem, 999), 0);
+        assert_eq!(table.total(&m.gmem), 6);
+        assert_eq!(table.occupied(&m.gmem), 2);
+    }
+
+    #[test]
+    fn hash_table_colliding_keys_probe() {
+        let (mut m, streams) = ctx_machine();
+        let buf = m.gmem.alloc(DevHashTable::bytes_for(8));
+        let table = DevHashTable { buf, slots: 8 };
+        let mut cache = CacheSim::xeon_llc();
+        let mut ctx = bk_baselines_test_ctx(&mut m, &streams, &mut cache);
+        // Keys 8, 16, 24 all map to slot 0.
+        table.add(&mut ctx, 8, 1);
+        table.add(&mut ctx, 16, 1);
+        table.add(&mut ctx, 24, 1);
+        drop(ctx);
+        assert_eq!(table.get(&m.gmem, 8), 1);
+        assert_eq!(table.get(&m.gmem, 16), 1);
+        assert_eq!(table.get(&m.gmem, 24), 1);
+        assert_eq!(table.occupied(&m.gmem), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "hash table full")]
+    fn full_table_panics() {
+        let (mut m, streams) = ctx_machine();
+        let buf = m.gmem.alloc(DevHashTable::bytes_for(2));
+        let table = DevHashTable { buf, slots: 2 };
+        let mut cache = CacheSim::xeon_llc();
+        let mut ctx = bk_baselines_test_ctx(&mut m, &streams, &mut cache);
+        table.add(&mut ctx, 1, 1);
+        table.add(&mut ctx, 2, 1);
+        table.add(&mut ctx, 3, 1);
+    }
+
+    /// Build a CpuCtx for testing the table through the KernelCtx interface.
+    fn bk_baselines_test_ctx<'a>(
+        m: &'a mut Machine,
+        streams: &'a [StreamArray],
+        cache: &'a mut CacheSim,
+    ) -> bk_baselines::CpuCtx<'a> {
+        bk_baselines::CpuCtx::new(&mut m.hmem, &mut m.gmem, streams, cache, 0, 1)
+    }
+}

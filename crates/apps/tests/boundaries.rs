@@ -1,0 +1,250 @@
+//! Property tests for the variable-length work-splitting conventions.
+//!
+//! Word Count and MasterCard Affinity split text by byte ranges and rely on
+//! a skip/continue convention at the boundaries (a thread skips the
+//! word/record in progress at its range start and finishes the one that
+//! begins at its range end). Every word/record must be counted exactly once
+//! for EVERY possible partitioning — this is where off-by-one bugs live, so
+//! it gets adversarial property coverage.
+
+use bk_apps::affinity::Affinity;
+use bk_apps::wordcount::{generate_text, reference_counts, WordCount};
+use bk_apps::{run_implementation, BenchApp, HarnessConfig, Implementation};
+use bk_runtime::{LaunchConfig, Machine};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Word Count under arbitrary thread/block/chunk geometry equals the
+    /// single-pass reference.
+    #[test]
+    fn wordcount_counts_every_word_once(
+        bytes in 512u64..16_384,
+        seed in any::<u64>(),
+        blocks in 1u32..4,
+        warps in 1u32..3,
+        chunk_kib in 1u64..16,
+    ) {
+        let app = WordCount { vocab: 64, skew: 1.0 };
+        let mut cfg = HarnessConfig::test_small();
+        cfg.launch = LaunchConfig::new(blocks, warps * 32);
+        cfg.bigkernel.chunk_input_bytes = chunk_kib * 1024;
+        let mut machine = Machine::test_platform();
+        let instance = app.instantiate(&mut machine, bytes, seed);
+        run_implementation(&mut machine, &instance, Implementation::BigKernel, &cfg);
+        if let Err(e) = (instance.verify)(&machine) {
+            return Err(TestCaseError::fail(format!(
+                "bytes={bytes} blocks={blocks} warps={warps} chunk={chunk_kib}KiB: {e}"
+            )));
+        }
+    }
+
+    /// Same property for the delimiter-separated Affinity records, under the
+    /// GPU baselines too (window boundaries are a different split).
+    #[test]
+    fn affinity_processes_every_record_once(
+        bytes in 2_048u64..16_384,
+        seed in any::<u64>(),
+        window_kib in 1u64..8,
+    ) {
+        let app = Affinity { merchants: 16, cards: 64 };
+        let mut cfg = HarnessConfig::test_small();
+        cfg.baseline.window_bytes = window_kib * 1024;
+        for imp in [Implementation::GpuSingleBuffer, Implementation::BigKernel] {
+            let mut machine = Machine::test_platform();
+            let instance = app.instantiate(&mut machine, bytes, seed);
+            run_implementation(&mut machine, &instance, imp, &cfg);
+            if let Err(e) = (instance.verify)(&machine) {
+                return Err(TestCaseError::fail(format!(
+                    "{} bytes={bytes} window={window_kib}KiB: {e}",
+                    imp.label()
+                )));
+            }
+        }
+    }
+
+    /// The text generator + reference counter agree with a naive splitter.
+    #[test]
+    fn reference_counts_match_naive_split(bytes in 64u64..4096, seed in any::<u64>()) {
+        let text = generate_text(bytes, 32, 1.0, seed);
+        let counts = reference_counts(&text);
+        let naive: usize = text
+            .split(|&b| b == b' ' || b == b'\n')
+            .filter(|w| !w.is_empty())
+            .count();
+        let total: u64 = counts.values().sum();
+        prop_assert_eq!(total, naive as u64);
+    }
+}
+
+/// Degenerate shapes that proptest rarely hits head-on. Texts whose words
+/// fit the halo contract run on the normal BigKernel path; texts with words
+/// longer than the halo break EVERY chunked GPU scheme (the halo bounds the
+/// record length a chunk boundary can straddle), so those cases run the
+/// unchunked CPU implementation — and the GPU path's actionable diagnostic
+/// is asserted separately below.
+#[test]
+fn degenerate_texts() {
+    let cfg = HarnessConfig::test_small();
+    let cases: [(Vec<u8>, bool); 4] = [
+        (vec![b' '; 3000], false),   // all delimiters: normal path
+        (vec![b'x'; 3000], true),    // one giant word: fetch-all fallback
+        (b"a ".repeat(1500), false), // maximal word count: normal path
+        (
+            {
+                let mut v = vec![b'y'; 2999]; // giant word then a tiny one
+                v.push(b' ');
+                v.extend_from_slice(b"z");
+                v
+            },
+            true,
+        ),
+    ];
+    for (text_case, needs_fallback) in cases {
+        let mut machine = Machine::test_platform();
+        let region = machine.hmem.alloc_from(&text_case);
+        let stream = bk_runtime::StreamArray::map(&machine, bk_runtime::StreamId(0), region);
+        let expected = reference_counts(&text_case);
+        let slots = 1024u64;
+        let buf = machine.gmem.alloc(bk_apps::util::DevHashTable::bytes_for(slots));
+        let table = bk_apps::util::DevHashTable { buf, slots };
+        let kernel = bk_apps::wordcount::WordCountKernel {
+            table,
+            text_len: text_case.len() as u64,
+        };
+        if needs_fallback {
+            bk_baselines::run_cpu_serial(&mut machine, &kernel, &[stream]);
+        } else {
+            bk_runtime::run_bigkernel(
+                &mut machine, &kernel, &[stream], cfg.launch, &cfg.bigkernel,
+            );
+        }
+        let total: u64 = expected.values().sum();
+        assert_eq!(table.total(&machine.gmem), total, "case len {}", text_case.len());
+        assert_eq!(table.occupied(&machine.gmem), expected.len() as u64);
+    }
+}
+
+/// A giant word on the normal BigKernel path must fail with the actionable
+/// halo diagnostic, not a cryptic index panic.
+#[test]
+fn giant_word_panics_with_halo_diagnostic() {
+    let text = vec![b'x'; 3000];
+    let result = std::panic::catch_unwind(|| {
+        let cfg = HarnessConfig::test_small();
+        let mut machine = Machine::test_platform();
+        let region = machine.hmem.alloc_from(&text);
+        let stream = bk_runtime::StreamArray::map(&machine, bk_runtime::StreamId(0), region);
+        let buf = machine.gmem.alloc(bk_apps::util::DevHashTable::bytes_for(64));
+        let table = bk_apps::util::DevHashTable { buf, slots: 64 };
+        let kernel =
+            bk_apps::wordcount::WordCountKernel { table, text_len: text.len() as u64 };
+        bk_runtime::run_bigkernel(&mut machine, &kernel, &[stream], cfg.launch, &cfg.bigkernel);
+    });
+    let err = result.expect_err("must panic");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(msg.contains("halo_bytes"), "diagnostic should mention halo_bytes: {msg}");
+}
+
+/// Generators must be byte-deterministic in their seeds across all apps —
+/// every implementation variant depends on processing identical inputs.
+#[test]
+fn all_generators_are_deterministic() {
+    use bk_apps::affinity::AffinityIndexed;
+    use bk_apps::dna::DnaAssembly;
+    use bk_apps::netflix::Netflix;
+    use bk_apps::opinion::OpinionFinder;
+
+    fn digest(bytes: &[u8]) -> u64 {
+        bytes.iter().fold(0xcbf29ce484222325u64, |h, &b| {
+            (h ^ b as u64).wrapping_mul(0x100000001b3)
+        })
+    }
+
+    let apps: Vec<Box<dyn BenchApp + Sync>> = vec![
+        Box::new(bk_apps::kmeans::KMeans { k: 4 }),
+        Box::new(WordCount { vocab: 64, skew: 1.0 }),
+        Box::new(Netflix),
+        Box::new(OpinionFinder { vocab: 64 }),
+        Box::new(DnaAssembly { distinct_fragments: 32 }),
+        Box::new(Affinity { merchants: 16, cards: 64 }),
+        Box::new(AffinityIndexed { merchants: 16, cards: 64 }),
+    ];
+    for app in &apps {
+        let gen = |seed: u64| {
+            let mut m = Machine::test_platform();
+            let inst = app.instantiate(&mut m, 16 * 1024, seed);
+            digest(m.hmem.bytes(inst.streams[0].region))
+        };
+        assert_eq!(gen(7), gen(7), "{} not deterministic", app.spec().name);
+        assert_ne!(gen(7), gen(8), "{} ignores its seed", app.spec().name);
+    }
+}
+
+/// Field-layout invariants: each fixed-record generator must place readable
+/// fields where the kernels expect them and keep Table I's record sizes.
+#[test]
+fn fixed_record_layouts_are_as_documented() {
+    use bk_apps::{dna, kmeans, netflix, opinion};
+
+    // K-means: 64 B records, coordinates in [0, 1000), cid initialized to
+    // the invalid sentinel.
+    {
+        let app = kmeans::KMeans { k: 4 };
+        let mut m = Machine::test_platform();
+        let inst = app.instantiate(&mut m, 64 * kmeans::RECORD, 3);
+        let region = inst.streams[0].region;
+        for r in 0..64u64 {
+            for f in 0..4u64 {
+                let v = m.hmem.read_f64(region, r * kmeans::RECORD + f * 8);
+                assert!((0.0..1000.0).contains(&v), "coord {v}");
+            }
+            assert_eq!(m.hmem.read_u64(region, r * kmeans::RECORD + 32), u64::MAX);
+        }
+    }
+
+    // Netflix: 80 B records, ratings in 1..=5.
+    {
+        let mut m = Machine::test_platform();
+        let inst = netflix::Netflix.instantiate(&mut m, 64 * netflix::RECORD, 3);
+        let region = inst.streams[0].region;
+        for r in 0..64u64 {
+            let ra = f32::from_bits(m.hmem.read_u32(region, r * netflix::RECORD + 8));
+            let rb = f32::from_bits(m.hmem.read_u32(region, r * netflix::RECORD + 16));
+            assert!((1.0..=5.0).contains(&ra) && (1.0..=5.0).contains(&rb));
+        }
+    }
+
+    // Opinion Finder: 256 B records, text area is lowercase + spaces.
+    {
+        let app = opinion::OpinionFinder { vocab: 32 };
+        let mut m = Machine::test_platform();
+        let inst = app.instantiate(&mut m, 32 * opinion::RECORD, 3);
+        let region = inst.streams[0].region;
+        for r in 0..32u64 {
+            for i in 0..opinion::TEXT_LEN {
+                let c = m.hmem.read_u8(region, r * opinion::RECORD + opinion::TEXT_OFF + i);
+                assert!(c == b' ' || c.is_ascii_lowercase(), "text byte {c}");
+            }
+        }
+    }
+
+    // DNA: 128 B records, sequence area is ACGT only.
+    {
+        let app = dna::DnaAssembly { distinct_fragments: 8 };
+        let mut m = Machine::test_platform();
+        let inst = app.instantiate(&mut m, 32 * dna::RECORD, 3);
+        let region = inst.streams[0].region;
+        for r in 0..32u64 {
+            for i in dna::SEQ_OFF..dna::RECORD {
+                let c = m.hmem.read_u8(region, r * dna::RECORD + i);
+                assert!(matches!(c, b'A' | b'C' | b'G' | b'T'), "base {c}");
+            }
+        }
+    }
+}

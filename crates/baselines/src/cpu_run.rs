@@ -1,0 +1,160 @@
+//! CPU-based serial and multi-threaded implementations (paper §VI (i)/(ii)).
+//!
+//! Functional execution is sequential over all logical threads (identical
+//! output for any thread count); the *timing* applies the CPU roofline with
+//! the requested parallelism — memory-bound streaming work stops scaling at
+//! the DRAM bandwidth ceiling, exactly the behaviour that caps the paper's
+//! multi-threaded speedups.
+
+use crate::cpu_ctx::CpuCtx;
+use bk_host::{cpu, CacheSim};
+use bk_runtime::kernel::partition_ranges;
+use bk_runtime::{Machine, RunResult, StageStat, StreamArray, StreamKernel};
+use bk_simcore::Counters;
+
+/// Run the kernel on one CPU thread.
+pub fn run_cpu_serial(
+    machine: &mut Machine,
+    kernel: &dyn StreamKernel,
+    streams: &[StreamArray],
+) -> RunResult {
+    run_cpu(machine, kernel, streams, 1, "cpu-serial")
+}
+
+/// Run the kernel on all hardware threads.
+pub fn run_cpu_multithreaded(
+    machine: &mut Machine,
+    kernel: &dyn StreamKernel,
+    streams: &[StreamArray],
+) -> RunResult {
+    let threads = machine.cpu.hw_threads;
+    run_cpu(machine, kernel, streams, threads, "cpu-multithreaded")
+}
+
+fn run_cpu(
+    machine: &mut Machine,
+    kernel: &dyn StreamKernel,
+    streams: &[StreamArray],
+    threads: u32,
+    name: &'static str,
+) -> RunResult {
+    assert!(!streams.is_empty(), "need at least one mapped stream");
+    let primary = &streams[0];
+    let ranges = partition_ranges(primary.len(), threads, kernel.record_size());
+
+    let mut cache = CacheSim::xeon_llc();
+    let mut counters = Counters::new();
+    let mut total_cost = bk_host::CpuCost::new();
+    let mut bytes_read = 0u64;
+    let mut bytes_written = 0u64;
+    let mut atomic_counts = std::collections::HashMap::new();
+
+    for (t, range) in ranges.iter().enumerate() {
+        if range.is_empty() {
+            continue;
+        }
+        let mut ctx =
+            CpuCtx::new(&mut machine.hmem, &mut machine.gmem, streams, &mut cache, t as u32, threads);
+        kernel.process(&mut ctx, range.clone());
+        total_cost.merge(&ctx.cost);
+        bytes_read += ctx.stream_bytes_read;
+        bytes_written += ctx.stream_bytes_written;
+        // Contention is a whole-run property: merge per-thread counts.
+        for (a, c) in ctx.atomic_counts.drain() {
+            *atomic_counts.entry(a).or_insert(0) += c;
+        }
+    }
+    total_cost.atomic_ops = atomic_counts.values().sum();
+    total_cost.hot_atomic_chain = atomic_counts.values().copied().max().unwrap_or(0);
+
+    counters.add("stream.bytes_read", bytes_read);
+    counters.add("stream.bytes_written", bytes_written);
+    counters.add("cpu.instructions", total_cost.instructions);
+    counters.add("cpu.cache_hits", total_cost.cache_hits);
+    counters.add("cpu.cache_misses", total_cost.cache_misses);
+    counters.add("cpu.threads", threads as u64);
+
+    let total = cpu::cpu_stage_time(&machine.cpu, &total_cost, threads);
+    RunResult {
+        implementation: name,
+        total,
+        stages: vec![StageStat { name: "compute", busy: total, mean: total }],
+        counters,
+        chunks: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bk_runtime::ctx::AddrGenCtx;
+    use bk_runtime::{KernelCtx, StreamId};
+    use std::ops::Range;
+
+    struct SumKernel {
+        acc: bk_gpu::BufferId,
+    }
+
+    impl StreamKernel for SumKernel {
+        fn name(&self) -> &'static str {
+            "sum"
+        }
+        fn record_size(&self) -> Option<u64> {
+            Some(8)
+        }
+        fn addresses(&self, ctx: &mut AddrGenCtx<'_>, range: Range<u64>) {
+            let mut off = range.start;
+            while off < range.end {
+                ctx.emit_read(StreamId(0), off, 8);
+                off += 8;
+            }
+        }
+        fn process(&self, ctx: &mut dyn KernelCtx, range: Range<u64>) {
+            let mut sum = 0u64;
+            let mut off = range.start;
+            while off < range.end {
+                sum = sum.wrapping_add(ctx.stream_read(StreamId(0), off, 8));
+                off += 8;
+            }
+            if !range.is_empty() {
+                ctx.dev_atomic_add_u64(self.acc, 0, sum);
+            }
+        }
+    }
+
+    fn setup(n: u64) -> (Machine, Vec<StreamArray>, u64) {
+        let mut m = Machine::test_platform();
+        let r = m.hmem.alloc(n * 8);
+        let mut expected = 0u64;
+        for i in 0..n {
+            m.hmem.write_u64(r, i * 8, i + 7);
+            expected = expected.wrapping_add(i + 7);
+        }
+        let s = vec![StreamArray::map(&m, StreamId(0), r)];
+        (m, s, expected)
+    }
+
+    #[test]
+    fn serial_is_functional() {
+        let (mut m, streams, expected) = setup(1000);
+        let acc = m.gmem.alloc(8);
+        let r = run_cpu_serial(&mut m, &SumKernel { acc }, &streams);
+        assert_eq!(m.gmem.read_u64(acc, 0), expected);
+        assert!(r.total.secs() > 0.0);
+        assert_eq!(r.counters.get("stream.bytes_read"), 8000);
+    }
+
+    #[test]
+    fn multithreaded_same_output_faster_or_equal() {
+        let (mut m1, s1, expected) = setup(10_000);
+        let acc1 = m1.gmem.alloc(8);
+        let serial = run_cpu_serial(&mut m1, &SumKernel { acc: acc1 }, &s1);
+        let (mut m2, s2, _) = setup(10_000);
+        let acc2 = m2.gmem.alloc(8);
+        let mt = run_cpu_multithreaded(&mut m2, &SumKernel { acc: acc2 }, &s2);
+        assert_eq!(m1.gmem.read_u64(acc1, 0), expected);
+        assert_eq!(m2.gmem.read_u64(acc2, 0), expected);
+        assert!(mt.total <= serial.total);
+        assert!(mt.speedup_over(&serial) >= 1.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # bk-baselines — the paper's comparison implementations
+//!
+//! The evaluation (paper §VI) compares five implementations of every
+//! application; BigKernel itself lives in `bk-runtime`, and this crate
+//! provides the other four plus the Fig. 5 feature-ablation variants:
+//!
+//! * [`cpu_ctx`] — a [`bk_runtime::KernelCtx`] that executes the *same*
+//!   kernel body directly against host memory with CPU cost accounting.
+//! * [`cpu_run`] — the CPU-based serial and multi-threaded implementations.
+//! * [`gpu_buffered`] — the GPU single-buffer (serialized copy/compute) and
+//!   double-buffer (overlapped, two staging buffers) implementations, with
+//!   per-chunk kernel re-launch overhead that BigKernel's single big kernel
+//!   avoids.
+//! * [`variants`] — the three BigKernel ablation points of Fig. 5
+//!   (overlap-only, +volume-reduction, full).
+//!
+//! Every implementation runs the identical `StreamKernel` body, so outputs
+//! are byte-comparable across all five — the test suites rely on that.
+
+pub mod cpu_ctx;
+pub mod cpu_run;
+pub mod gpu_buffered;
+pub mod variants;
+
+pub use cpu_ctx::CpuCtx;
+pub use cpu_run::{run_cpu_multithreaded, run_cpu_serial};
+pub use gpu_buffered::{run_gpu_double_buffer, run_gpu_single_buffer, BaselineConfig};
+pub use variants::{run_variant, BigKernelVariant};

@@ -1,0 +1,89 @@
+//! The Fig. 5 BigKernel feature-ablation variants.
+//!
+//! The paper isolates the contribution of each BigKernel feature by
+//! disabling them cumulatively:
+//!
+//! 1. **OverlapOnly** — transfer all data in its original layout: only the
+//!    pipelined (overlapped) execution remains.
+//! 2. **VolumeReduction** — transfer only the addressed bytes, but keep them
+//!    in original (per-thread) order: adds the PCIe-volume benefit.
+//! 3. **Full** — also lay the data out for coalesced accesses: complete
+//!    BigKernel.
+
+use bk_runtime::{run_bigkernel, BigKernelConfig, LaunchConfig, Machine, RunResult, StreamArray, StreamKernel};
+
+/// One of the three Fig. 5 configurations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BigKernelVariant {
+    OverlapOnly,
+    VolumeReduction,
+    Full,
+}
+
+impl BigKernelVariant {
+    pub const ALL: [BigKernelVariant; 3] =
+        [BigKernelVariant::OverlapOnly, BigKernelVariant::VolumeReduction, BigKernelVariant::Full];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            BigKernelVariant::OverlapOnly => "overlap-only",
+            BigKernelVariant::VolumeReduction => "volume-reduction",
+            BigKernelVariant::Full => "full",
+        }
+    }
+
+    /// Build the matching runtime configuration from a base config (chunk
+    /// size, buffer depth etc. are preserved).
+    pub fn config(self, base: &BigKernelConfig) -> BigKernelConfig {
+        match self {
+            BigKernelVariant::OverlapOnly => BigKernelConfig {
+                transfer_all: true,
+                pattern_recognition: false,
+                ..base.clone()
+            },
+            BigKernelVariant::VolumeReduction => BigKernelConfig {
+                layout: bk_runtime::AssemblyLayout::PerLane,
+                transfer_all: false,
+                ..base.clone()
+            },
+            BigKernelVariant::Full => BigKernelConfig {
+                layout: bk_runtime::AssemblyLayout::Interleaved,
+                transfer_all: false,
+                ..base.clone()
+            },
+        }
+    }
+}
+
+/// Run one Fig. 5 variant.
+pub fn run_variant(
+    machine: &mut Machine,
+    kernel: &dyn StreamKernel,
+    streams: &[StreamArray],
+    launch: LaunchConfig,
+    base: &BigKernelConfig,
+    variant: BigKernelVariant,
+) -> RunResult {
+    run_bigkernel(machine, kernel, streams, launch, &variant.config(base))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_configs_differ_in_the_right_knobs() {
+        let base = BigKernelConfig::default();
+        let o = BigKernelVariant::OverlapOnly.config(&base);
+        assert!(o.transfer_all && !o.pattern_recognition);
+        let v = BigKernelVariant::VolumeReduction.config(&base);
+        assert!(!v.transfer_all);
+        assert_eq!(v.layout, bk_runtime::AssemblyLayout::PerLane);
+        let f = BigKernelVariant::Full.config(&base);
+        assert_eq!(f.layout, bk_runtime::AssemblyLayout::Interleaved);
+        for v in BigKernelVariant::ALL {
+            v.config(&base).validate();
+            assert!(!v.label().is_empty());
+        }
+    }
+}

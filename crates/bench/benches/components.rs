@@ -1,0 +1,94 @@
+//! Microbenchmarks of the simulator's hot components: pattern detection,
+//! warp-trace alignment/coalescing, the pipeline scheduler and the LLC
+//! cache simulator. These dominate the reproduction's own wall-clock, so
+//! they get dedicated regression coverage.
+
+use bk_gpu::trace::AccessClass;
+use bk_gpu::{AccessKind, DeviceSpec, ThreadTrace, WarpAligner};
+use bk_host::CacheSim;
+use bk_runtime::addr::AddrEntry;
+use bk_runtime::pattern;
+use bk_runtime::StreamId;
+use bk_simcore::{pipeline, SimTime, StageDef};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_pattern_detect(c: &mut Criterion) {
+    // A 3-entry-per-record cycle over 1000 records (K-means-like).
+    let entries: Vec<AddrEntry> = (0..1000u64)
+        .flat_map(|r| {
+            (0..3u64).map(move |f| AddrEntry {
+                stream: StreamId(0),
+                offset: r * 64 + f * 8,
+                width: 8,
+            })
+        })
+        .collect();
+    c.bench_function("pattern/detect-periodic-3000", |b| {
+        b.iter(|| std::hint::black_box(pattern::detect(&entries, pattern::MAX_PERIOD)))
+    });
+
+    let irregular: Vec<AddrEntry> = (0..3000u64)
+        .map(|i| AddrEntry {
+            stream: StreamId(0),
+            offset: (i.wrapping_mul(2654435761)) % (1 << 20),
+            width: 8,
+        })
+        .collect();
+    c.bench_function("pattern/detect-irregular-3000", |b| {
+        b.iter(|| std::hint::black_box(pattern::detect(&irregular, pattern::MAX_PERIOD)))
+    });
+}
+
+fn bench_warp_align(c: &mut Criterion) {
+    let spec = DeviceSpec::gtx680();
+    let lanes: Vec<ThreadTrace> = (0..32u64)
+        .map(|l| {
+            let mut t = ThreadTrace::default();
+            for k in 0..512u64 {
+                t.record(l * 4096 + k, 1, AccessKind::Read, AccessClass::StreamRead);
+            }
+            t
+        })
+        .collect();
+    c.bench_function("gpu/warp-align-512-steps", |b| {
+        let mut aligner = WarpAligner::new();
+        b.iter(|| std::hint::black_box(aligner.align(&spec, &lanes)))
+    });
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let spec = pipeline::PipelineSpec::new(vec![
+        StageDef { name: "ag", resource: "gpu-ag" },
+        StageDef { name: "asm", resource: "cpu" },
+        StageDef { name: "xfer", resource: "dma" },
+        StageDef { name: "comp", resource: "gpu" },
+    ])
+    .with_reuse(0, 3, 3);
+    let durations: Vec<Vec<SimTime>> = (0..1000)
+        .map(|i| {
+            (0..4)
+                .map(|s| SimTime::from_micros(((i * 7 + s * 13) % 50 + 1) as f64))
+                .collect()
+        })
+        .collect();
+    c.bench_function("simcore/schedule-1000-chunks", |b| {
+        b.iter(|| std::hint::black_box(pipeline::schedule(&spec, &durations).makespan()))
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("host/llc-sequential-64k", |b| {
+        b.iter(|| {
+            let mut cache = CacheSim::xeon_llc();
+            let mut acc = 0u64;
+            for addr in (0..(64u64 << 10)).step_by(8) {
+                let (h, _) = cache.access_range(addr, 8);
+                acc += h;
+            }
+            std::hint::black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_pattern_detect, bench_warp_align, bench_scheduler, bench_cache);
+criterion_main!(benches);

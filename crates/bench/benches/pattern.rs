@@ -1,0 +1,29 @@
+//! Criterion bench for the Table II axis: BigKernel with §IV.A pattern
+//! recognition on vs off, on the byte-granular Word Count workload where
+//! the paper reports the largest (66%) improvement.
+
+use bk_apps::wordcount::WordCount;
+use bk_apps::{run_all, HarnessConfig, Implementation};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const BYTES: u64 = 1 << 20;
+
+fn bench_pattern(c: &mut Criterion) {
+    let app = WordCount { vocab: 1024, skew: 1.0 };
+    let mut group = c.benchmark_group("table2-pattern-recognition");
+    group.sample_size(10);
+    for (label, on) in [("patterns-on", true), ("patterns-off", false)] {
+        let mut cfg = HarnessConfig::paper_scaled(BYTES);
+        cfg.bigkernel.pattern_recognition = on;
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let r = run_all(&app, BYTES, 42, &cfg, &[Implementation::BigKernel]);
+                std::hint::black_box(r[0].1.total)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pattern);
+criterion_main!(benches);

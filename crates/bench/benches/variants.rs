@@ -1,0 +1,35 @@
+//! Criterion bench over the Fig. 5 ablation variants (overlap-only /
+//! volume-reduction / full BigKernel) on a partial-reader (Netflix) and a
+//! full-scanner (MasterCard Affinity).
+
+use bk_apps::affinity::Affinity;
+use bk_apps::netflix::Netflix;
+use bk_apps::{run_all, BenchApp, HarnessConfig, Implementation};
+use bk_baselines::BigKernelVariant;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const BYTES: u64 = 1 << 20;
+
+fn bench_variants(c: &mut Criterion) {
+    let cfg = HarnessConfig::paper_scaled(BYTES);
+    let netflix = Netflix;
+    let affinity = Affinity { merchants: 256, cards: 1024 };
+    let apps: [(&str, &(dyn BenchApp + Sync)); 2] = [("netflix", &netflix), ("affinity", &affinity)];
+
+    let mut group = c.benchmark_group("fig5-variants");
+    group.sample_size(10);
+    for (name, app) in apps {
+        for v in BigKernelVariant::ALL {
+            group.bench_function(format!("{name}/{}", v.label()), |b| {
+                b.iter(|| {
+                    let r = run_all(app, BYTES, 42, &cfg, &[Implementation::Variant(v)]);
+                    std::hint::black_box(r[0].1.total)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Minimal CLI argument handling shared by the experiment binaries.
+
+/// Common experiment parameters.
+#[derive(Clone, Debug)]
+pub struct ExpArgs {
+    /// Mapped-data bytes per application.
+    pub bytes: u64,
+    /// Generator seed.
+    pub seed: u64,
+    /// Only run apps whose name contains this substring.
+    pub filter: Option<String>,
+}
+
+impl Default for ExpArgs {
+    fn default() -> Self {
+        ExpArgs { bytes: 32 << 20, seed: 42, filter: None }
+    }
+}
+
+impl ExpArgs {
+    /// Parse `--bytes N`, `--mib N`, `--seed S`, `--app SUBSTR` from an
+    /// iterator of arguments (pass `std::env::args().skip(1)`).
+    pub fn parse<I: Iterator<Item = String>>(mut args: I) -> Result<Self, String> {
+        let mut out = ExpArgs::default();
+        while let Some(a) = args.next() {
+            let mut value = |name: &str| {
+                args.next().ok_or_else(|| format!("{name} needs a value"))
+            };
+            match a.as_str() {
+                "--bytes" => {
+                    out.bytes =
+                        value("--bytes")?.parse().map_err(|e| format!("--bytes: {e}"))?
+                }
+                "--mib" => {
+                    let m: u64 = value("--mib")?.parse().map_err(|e| format!("--mib: {e}"))?;
+                    out.bytes = m << 20;
+                }
+                "--seed" => {
+                    out.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+                }
+                "--app" => out.filter = Some(value("--app")?),
+                "--help" | "-h" => {
+                    return Err(
+                        "usage: [--bytes N | --mib N] [--seed S] [--app SUBSTR]".to_string()
+                    )
+                }
+                other => return Err(format!("unknown argument: {other}")),
+            }
+        }
+        if out.bytes == 0 {
+            return Err("--bytes must be positive".into());
+        }
+        Ok(out)
+    }
+
+    /// Parse from the process arguments, exiting with a message on error.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Whether the app should run under the `--app` filter.
+    pub fn selected(&self, app_name: &str) -> bool {
+        match &self.filter {
+            Some(f) => app_name.to_lowercase().contains(&f.to_lowercase()),
+            None => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Result<ExpArgs, String> {
+        ExpArgs::parse(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.bytes, 32 << 20);
+        assert_eq!(a.seed, 42);
+        assert!(a.selected("anything"));
+    }
+
+    #[test]
+    fn mib_and_bytes() {
+        assert_eq!(parse(&["--mib", "4"]).unwrap().bytes, 4 << 20);
+        assert_eq!(parse(&["--bytes", "12345"]).unwrap().bytes, 12345);
+    }
+
+    #[test]
+    fn seed_and_filter() {
+        let a = parse(&["--seed", "7", "--app", "word"]).unwrap();
+        assert_eq!(a.seed, 7);
+        assert!(a.selected("Word Count"));
+        assert!(!a.selected("K-means"));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(&["--bytes"]).is_err());
+        assert!(parse(&["--bytes", "0"]).is_err());
+        assert!(parse(&["--whatever"]).is_err());
+        assert!(parse(&["--help"]).is_err());
+    }
+}

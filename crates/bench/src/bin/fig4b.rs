@@ -1,0 +1,41 @@
+//! Fig. 4(b): computation / communication ratio of the single-buffer
+//! implementation.
+
+use bk_apps::{run_all, HarnessConfig, Implementation};
+use bk_bench::{all_apps, args::ExpArgs, expectations, render, short_name};
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let cfg = HarnessConfig::paper_scaled(args.bytes);
+
+    render::header("Fig. 4(b) — comp/comm ratio in the single-buffer implementation");
+    println!("{:<9} {:>6} {:>6}   computation share", "app", "comp", "comm");
+
+    for app in all_apps() {
+        let name = app.spec().name;
+        if !args.selected(name) {
+            continue;
+        }
+        let results =
+            run_all(app.as_ref(), args.bytes, args.seed, &cfg, &[Implementation::GpuSingleBuffer]);
+        let r = &results[0].1;
+        let comp = r.stage_busy("compute");
+        let comm = r.stage_busy("stage-pin")
+            + r.stage_busy("transfer")
+            + r.stage_busy("wb-xfer")
+            + r.stage_busy("wb-apply");
+        let total = comp + comm;
+        let comp_frac = if total.is_zero() { 0.0 } else { comp.ratio(total) };
+        println!(
+            "{:<9} {:>5.0}% {:>5.0}%   |{}|  ({})",
+            short_name(name),
+            comp_frac * 100.0,
+            (1.0 - comp_frac) * 100.0,
+            render::bar(comp_frac, 30),
+            expectations::discussion_note(name),
+        );
+    }
+    println!();
+    println!("(paper: Word Count and Opinion Finder are computation-dominant;");
+    println!(" the remaining applications are communication-dominant)");
+}

@@ -1,0 +1,45 @@
+//! Table I: application mapped-data characteristics — paper values beside
+//! proportions *measured* from an instrumented BigKernel run on the
+//! synthetic datasets.
+
+use bk_apps::{run_all, HarnessConfig, Implementation};
+use bk_bench::{all_apps, args::ExpArgs, render};
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let cfg = HarnessConfig::paper_scaled(args.bytes);
+
+    render::header("Table I — application mapped data");
+    println!(
+        "{:<30} {:>9} {:>26} | {:>11} {:>11} | {:>11} {:>11}",
+        "application", "data size", "record type", "read(paper)", "read(ours)", "mod(paper)",
+        "mod(ours)"
+    );
+
+    for app in all_apps() {
+        let spec = app.spec();
+        if !args.selected(spec.name) {
+            continue;
+        }
+        let results = run_all(app.as_ref(), args.bytes, args.seed, &cfg, &[Implementation::BigKernel]);
+        let c = &results[0].1.counters;
+        // MasterCard Affinity scans the data once per pass; Table I reports
+        // the per-pass proportion, so normalize by pass count.
+        let passes = if spec.name.starts_with("MasterCard") { 2 } else { 1 };
+        let read_pct =
+            100.0 * c.get("stream.bytes_read") as f64 / (args.bytes * passes) as f64;
+        let mod_pct = 100.0 * c.get("stream.bytes_written") as f64 / args.bytes as f64;
+        println!(
+            "{:<30} {:>9} {:>26} | {:>10}% {:>10.1}% | {:>10}% {:>10.1}%",
+            spec.name,
+            format!("{}MiB", args.bytes >> 20),
+            spec.record_type,
+            spec.paper_read_pct,
+            read_pct,
+            spec.paper_modified_pct,
+            mod_pct,
+        );
+    }
+    println!();
+    println!("(paper data sizes were 4.5-6.4 GB; proportions are scale-invariant)");
+}

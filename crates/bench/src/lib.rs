@@ -1,0 +1,79 @@
+//! # bk-bench — experiment harness regenerating the paper's tables & figures
+//!
+//! One binary per table/figure (see DESIGN.md §5):
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `table1` | Table I — application mapped-data characteristics |
+//! | `fig4a` | Fig. 4(a) — speedup over the serial CPU implementation |
+//! | `fig4b` | Fig. 4(b) — comp/comm ratio of the single-buffer implementation |
+//! | `fig5` | Fig. 5 — incremental benefit of overlap / volume reduction / coalescing |
+//! | `fig6` | Fig. 6 — relative completion time of each BigKernel stage |
+//! | `table2` | Table II — improvement from pattern recognition |
+//! | `ablation` | §IV design-choice ablations (buffer depth, sync mode, locality, chunk size) |
+//!
+//! All binaries accept `--bytes N` (per-app input size, default 16 MiB),
+//! `--seed S` and print both our measured values and the paper's reported
+//! numbers side by side. Absolute values are simulated time; the claim being
+//! reproduced is the *shape* (ordering, ratios, crossovers) — see
+//! EXPERIMENTS.md.
+
+use bk_apps::{
+    affinity::{Affinity, AffinityIndexed},
+    dna::DnaAssembly,
+    kmeans::KMeans,
+    netflix::Netflix,
+    opinion::OpinionFinder,
+    wordcount::WordCount,
+    BenchApp,
+};
+
+pub mod args;
+pub mod expectations;
+pub mod render;
+
+/// The paper's seven application configurations, in Table I order.
+pub fn all_apps() -> Vec<Box<dyn BenchApp + Sync>> {
+    vec![
+        Box::new(KMeans::default()),
+        Box::new(WordCount::default()),
+        Box::new(Netflix),
+        Box::new(OpinionFinder::default()),
+        Box::new(DnaAssembly::default()),
+        Box::new(Affinity::default()),
+        Box::new(AffinityIndexed::default()),
+    ]
+}
+
+/// Short display keys matching the paper's x-axis labels.
+pub fn short_name(name: &str) -> &'static str {
+    match name {
+        "K-means" => "KMeans",
+        "Word Count" => "WordCnt",
+        "Netflix" => "Netflix",
+        "Opinion Finder" => "Opinion",
+        "DNA Assembly" => "DNA",
+        "MasterCard Affinity" => "MCA",
+        "MasterCard Affinity (indexed)" => "MCA-idx",
+        other => {
+            debug_assert!(false, "unknown app {other}");
+            "?"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_apps_in_table1_order() {
+        let apps = all_apps();
+        assert_eq!(apps.len(), 7);
+        assert_eq!(apps[0].spec().name, "K-means");
+        assert_eq!(apps[6].spec().name, "MasterCard Affinity (indexed)");
+        for a in &apps {
+            assert!(!short_name(a.spec().name).is_empty());
+        }
+    }
+}

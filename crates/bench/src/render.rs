@@ -1,0 +1,59 @@
+//! Plain-text rendering helpers for the experiment binaries.
+
+/// A horizontal ASCII bar of `frac` (clamped to [0, 1]) over `width` cells.
+pub fn bar(frac: f64, width: usize) -> String {
+    let frac = frac.clamp(0.0, 1.0);
+    let filled = (frac * width as f64).round() as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < filled { '#' } else { '.' });
+    }
+    s
+}
+
+/// Format a speedup like the paper's log axis labels ("2.4x").
+pub fn speedup(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Geometric mean of positive values; 0 on empty input.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Print a section header.
+pub fn header(title: &str) {
+    println!();
+    println!("== {title} ==");
+    println!("{}", "-".repeat(title.len() + 6));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_fills_proportionally() {
+        assert_eq!(bar(0.0, 4), "....");
+        assert_eq!(bar(0.5, 4), "##..");
+        assert_eq!(bar(1.0, 4), "####");
+        assert_eq!(bar(2.0, 4), "####"); // clamped
+        assert_eq!(bar(-1.0, 4), "....");
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[4.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_format() {
+        assert_eq!(speedup(2.0), "2.00x");
+    }
+}

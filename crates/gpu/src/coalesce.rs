@@ -1,0 +1,156 @@
+//! Warp-level memory coalescing analysis.
+//!
+//! The paper's third motivating problem (§I): GPU memory bandwidth is only
+//! achievable when the 32 threads of a warp access adjacent locations, so
+//! that the hardware can merge them into few memory transactions; scattered
+//! or strided accesses serialize into many transactions.
+//!
+//! We model Kepler-style coalescing: for one lock-step access by a warp, the
+//! addressed bytes are covered by aligned 32-byte segments; each distinct
+//! segment touched costs one transaction that moves the full 32 bytes. A
+//! fully-coalesced 4-byte access by 32 lanes touches 4 segments (128 bytes);
+//! a 48-byte-strided access touches up to 32 segments (1024 bytes moved for
+//! 128 useful).
+
+use crate::spec::DeviceSpec;
+
+/// Cost of one aligned warp step against global memory.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StepCost {
+    /// Number of DRAM memory transactions (distinct new segments touched).
+    pub transactions: u64,
+    /// Bytes actually moved over the DRAM interface
+    /// (`transactions * segment_bytes`).
+    pub bytes_moved: u64,
+    /// Bytes served from L2 (segments re-touched within the reuse window) —
+    /// cheaper than DRAM but not free; the L2 has ~4x DRAM bandwidth.
+    pub bytes_l2: u64,
+    /// Bytes the lanes asked for (useful bytes).
+    pub bytes_useful: u64,
+}
+
+impl StepCost {
+    pub fn merge(&mut self, other: StepCost) {
+        self.transactions += other.transactions;
+        self.bytes_moved += other.bytes_moved;
+        self.bytes_l2 += other.bytes_l2;
+        self.bytes_useful += other.bytes_useful;
+    }
+
+    /// Moved/useful ratio; 1.0 is perfect, 8.0 means 8x inflation.
+    pub fn inflation(&self) -> f64 {
+        if self.bytes_useful == 0 {
+            0.0
+        } else {
+            self.bytes_moved as f64 / self.bytes_useful as f64
+        }
+    }
+}
+
+/// Analyze one warp step: `lanes` holds `(addr, width)` for each active lane
+/// (inactive lanes are simply absent). Addresses are virtual device
+/// addresses from [`crate::mem::GpuMemory::vaddr`].
+pub fn coalesce_step(spec: &DeviceSpec, lanes: &[(u64, u32)]) -> StepCost {
+    let seg = spec.segment_bytes;
+    debug_assert!(seg.is_power_of_two());
+
+    // Collect distinct segment indices. A warp touches at most
+    // 32 * max_width / seg + 32 segments; a tiny sorted vec beats a hash set
+    // at this size.
+    let mut segs: Vec<u64> = Vec::with_capacity(lanes.len() * 2);
+    let mut useful = 0u64;
+    for &(addr, width) in lanes {
+        debug_assert!(width > 0, "zero-width access");
+        useful += width as u64;
+        let first = addr / seg;
+        let last = (addr + width as u64 - 1) / seg;
+        for s in first..=last {
+            segs.push(s);
+        }
+    }
+    segs.sort_unstable();
+    segs.dedup();
+    let transactions = segs.len() as u64;
+    StepCost { transactions, bytes_moved: transactions * seg, bytes_l2: 0, bytes_useful: useful }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DeviceSpec;
+
+    fn spec() -> DeviceSpec {
+        DeviceSpec::test_tiny() // segment_bytes = 32
+    }
+
+    #[test]
+    fn empty_step_costs_nothing() {
+        let c = coalesce_step(&spec(), &[]);
+        assert_eq!(c, StepCost::default());
+        assert_eq!(c.inflation(), 0.0);
+    }
+
+    #[test]
+    fn perfectly_coalesced_4byte_warp() {
+        // 32 lanes x 4B contiguous from an aligned base: 128B = 4 segments.
+        let lanes: Vec<(u64, u32)> = (0..32).map(|i| (4096 + i * 4, 4)).collect();
+        let c = coalesce_step(&spec(), &lanes);
+        assert_eq!(c.transactions, 4);
+        assert_eq!(c.bytes_moved, 128);
+        assert_eq!(c.bytes_useful, 128);
+        assert_eq!(c.inflation(), 1.0);
+    }
+
+    #[test]
+    fn strided_48b_records_inflate() {
+        // 32 lanes reading an 8B field of 48B records: every lane lands in
+        // its own segment (or straddles two).
+        let lanes: Vec<(u64, u32)> = (0..32).map(|i| (4096 + i * 48, 8)).collect();
+        let c = coalesce_step(&spec(), &lanes);
+        assert!(c.transactions >= 32, "{c:?}");
+        assert!(c.inflation() >= 3.9, "{}", c.inflation());
+    }
+
+    #[test]
+    fn single_lane_unaligned_straddles_two_segments() {
+        let c = coalesce_step(&spec(), &[(4096 + 30, 4)]);
+        assert_eq!(c.transactions, 2);
+        assert_eq!(c.bytes_moved, 64);
+        assert_eq!(c.bytes_useful, 4);
+    }
+
+    #[test]
+    fn duplicate_addresses_merge() {
+        // All lanes read the same word: one transaction (broadcast).
+        let lanes: Vec<(u64, u32)> = (0..32).map(|_| (4096, 8)).collect();
+        let c = coalesce_step(&spec(), &lanes);
+        assert_eq!(c.transactions, 1);
+        assert_eq!(c.bytes_useful, 32 * 8);
+    }
+
+    #[test]
+    fn byte_access_coalesced_is_one_segment() {
+        // 32 lanes x 1B contiguous: 32B = exactly one segment.
+        let lanes: Vec<(u64, u32)> = (0..32).map(|i| (8192 + i, 1)).collect();
+        let c = coalesce_step(&spec(), &lanes);
+        assert_eq!(c.transactions, 1);
+        assert_eq!(c.inflation(), 1.0);
+    }
+
+    #[test]
+    fn byte_access_strided_by_2k_is_32_segments() {
+        let lanes: Vec<(u64, u32)> = (0..32).map(|i| (8192 + i * 2048, 1)).collect();
+        let c = coalesce_step(&spec(), &lanes);
+        assert_eq!(c.transactions, 32);
+        assert_eq!(c.inflation(), 32.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = coalesce_step(&spec(), &[(4096, 4)]);
+        let b = coalesce_step(&spec(), &[(8192, 4)]);
+        a.merge(b);
+        assert_eq!(a.transactions, 2);
+        assert_eq!(a.bytes_useful, 8);
+    }
+}

@@ -1,0 +1,174 @@
+//! Occupancy / active-thread-block calculation (paper §IV.D).
+//!
+//! BigKernel allocates address/data buffers only for *active* thread blocks:
+//! `min(numSetBlocks, R_gpu / R_tb)` where `R_tb` is the per-block resource
+//! usage determined at compile time and `R_gpu` the device resources probed
+//! at run time. This module reproduces that computation from the standard
+//! CUDA occupancy limits (threads, registers, shared memory, block slots).
+
+use crate::spec::DeviceSpec;
+
+/// Per-thread-block resource usage ("R_tb" in the paper).
+#[derive(Clone, Copy, Debug)]
+pub struct BlockResources {
+    pub threads_per_block: u32,
+    pub regs_per_thread: u32,
+    pub smem_per_block: u32,
+}
+
+impl BlockResources {
+    /// A typical streaming-kernel configuration: 256 threads, 32 registers,
+    /// 4 KiB shared memory (temporary pattern-recognition buffers, §IV.A).
+    pub fn streaming_default() -> Self {
+        BlockResources { threads_per_block: 256, regs_per_thread: 32, smem_per_block: 4096 }
+    }
+}
+
+/// Result of the occupancy computation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Occupancy {
+    /// Active blocks resident per SM.
+    pub blocks_per_sm: u32,
+    /// Active blocks across the device (what buffers are allocated for).
+    pub active_blocks: u32,
+    /// Which limit bound the result (for diagnostics).
+    pub limiting: OccupancyLimit,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OccupancyLimit {
+    Threads,
+    Registers,
+    SharedMemory,
+    BlockSlots,
+    /// Fewer blocks were launched than the hardware could host.
+    LaunchedBlocks,
+}
+
+impl Occupancy {
+    /// Fraction of the device's thread capacity occupied by active blocks.
+    pub fn thread_occupancy(&self, spec: &DeviceSpec, res: &BlockResources) -> f64 {
+        let resident = self.blocks_per_sm as f64 * res.threads_per_block as f64;
+        (resident / spec.max_threads_per_sm as f64).min(1.0)
+    }
+}
+
+/// Compute active blocks: `min(num_set_blocks, R_gpu / R_tb)` per the paper,
+/// where `R_gpu / R_tb` is the tightest of the four hardware limits.
+pub fn compute(spec: &DeviceSpec, res: &BlockResources, num_set_blocks: u32) -> Occupancy {
+    assert!(res.threads_per_block > 0, "empty thread block");
+    assert!(
+        res.threads_per_block <= spec.max_threads_per_sm,
+        "block larger than an SM's thread capacity"
+    );
+
+    let by_threads = spec.max_threads_per_sm / res.threads_per_block;
+    let regs_per_block = (res.regs_per_thread * res.threads_per_block).max(1);
+    let by_regs = spec.regs_per_sm / regs_per_block;
+    let by_smem =
+        spec.smem_per_sm.checked_div(res.smem_per_block).unwrap_or(u32::MAX);
+    let by_slots = spec.max_blocks_per_sm;
+
+    let (mut blocks_per_sm, mut limiting) = (by_threads, OccupancyLimit::Threads);
+    for (v, l) in [
+        (by_regs, OccupancyLimit::Registers),
+        (by_smem, OccupancyLimit::SharedMemory),
+        (by_slots, OccupancyLimit::BlockSlots),
+    ] {
+        if v < blocks_per_sm {
+            blocks_per_sm = v;
+            limiting = l;
+        }
+    }
+    assert!(blocks_per_sm > 0, "block does not fit on an SM: {res:?}");
+
+    let hardware_max = blocks_per_sm * spec.num_sms;
+    let active_blocks = hardware_max.min(num_set_blocks);
+    let limiting =
+        if num_set_blocks < hardware_max { OccupancyLimit::LaunchedBlocks } else { limiting };
+    Occupancy { blocks_per_sm, active_blocks, limiting }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> DeviceSpec {
+        DeviceSpec::gtx680() // 8 SMs, 2048 thr/SM, 64K regs, 48K smem, 16 slots
+    }
+
+    #[test]
+    fn thread_limited() {
+        let res =
+            BlockResources { threads_per_block: 1024, regs_per_thread: 16, smem_per_block: 0 };
+        let o = compute(&spec(), &res, 1000);
+        assert_eq!(o.blocks_per_sm, 2); // 2048/1024
+        assert_eq!(o.active_blocks, 16);
+        assert_eq!(o.limiting, OccupancyLimit::Threads);
+    }
+
+    #[test]
+    fn register_limited() {
+        let res =
+            BlockResources { threads_per_block: 256, regs_per_thread: 128, smem_per_block: 0 };
+        let o = compute(&spec(), &res, 1000);
+        assert_eq!(o.blocks_per_sm, 2); // 65536 / (128*256) = 2
+        assert_eq!(o.limiting, OccupancyLimit::Registers);
+    }
+
+    #[test]
+    fn smem_limited() {
+        let res = BlockResources {
+            threads_per_block: 128,
+            regs_per_thread: 16,
+            smem_per_block: 16 * 1024,
+        };
+        let o = compute(&spec(), &res, 1000);
+        assert_eq!(o.blocks_per_sm, 3); // 48K / 16K
+        assert_eq!(o.limiting, OccupancyLimit::SharedMemory);
+    }
+
+    #[test]
+    fn slot_limited() {
+        let res = BlockResources { threads_per_block: 64, regs_per_thread: 8, smem_per_block: 0 };
+        let o = compute(&spec(), &res, 1000);
+        assert_eq!(o.blocks_per_sm, 16);
+        assert_eq!(o.limiting, OccupancyLimit::BlockSlots);
+    }
+
+    #[test]
+    fn launched_blocks_cap_applies() {
+        // Paper formula: min(numSetBlocks, R_gpu/R_tb).
+        let res = BlockResources::streaming_default();
+        let o = compute(&spec(), &res, 4);
+        assert_eq!(o.active_blocks, 4);
+        assert_eq!(o.limiting, OccupancyLimit::LaunchedBlocks);
+    }
+
+    #[test]
+    fn thread_occupancy_fraction() {
+        let res = BlockResources::streaming_default(); // 256 thr
+        let o = compute(&spec(), &res, 10_000);
+        let f = o.thread_occupancy(&spec(), &res);
+        assert!(f > 0.0 && f <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn impossible_block_panics() {
+        let res = BlockResources {
+            threads_per_block: 256,
+            regs_per_thread: 16,
+            smem_per_block: 1 << 20, // 1 MiB smem > 48 KiB per SM
+        };
+        compute(&spec(), &res, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread capacity")]
+    fn oversized_block_panics() {
+        let res =
+            BlockResources { threads_per_block: 4096, regs_per_thread: 16, smem_per_block: 0 };
+        compute(&spec(), &res, 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Device specification and the GTX 680 preset used throughout the paper.
+
+use bk_simcore::{Bandwidth, Frequency};
+
+/// Lanes per warp. Fixed at 32 on every NVIDIA architecture the paper
+/// considers; several layout computations rely on it being a power of two.
+pub const WARP_SIZE: usize = 32;
+
+/// Static description of the simulated GPU.
+///
+/// Defaults correspond to the paper's NVIDIA GeForce GTX 680 (Kepler GK104):
+/// 8 SMX units x 192 CUDA cores at 1006 MHz boost ~1020 MHz (paper quotes
+/// 1536 cores at 1020 MHz), 2 GiB GDDR5 at 192 GB/s theoretical.
+#[derive(Clone, Debug)]
+pub struct DeviceSpec {
+    pub name: &'static str,
+    pub num_sms: u32,
+    pub cores_per_sm: u32,
+    pub clock: Frequency,
+    /// Instructions retired per core per cycle for the simple integer/FP mix
+    /// of streaming kernels (well below peak FMA throughput on purpose).
+    pub ipc_per_core: f64,
+    /// Achievable global-memory bandwidth (theoretical x efficiency).
+    pub mem_bandwidth: Bandwidth,
+    /// Size of one memory transaction segment in bytes (GDDR5: 32B).
+    pub segment_bytes: u64,
+    /// Global memory capacity in bytes.
+    pub mem_capacity: u64,
+    /// Registers per SM (32-bit regs).
+    pub regs_per_sm: u32,
+    /// Shared memory per SM in bytes.
+    pub smem_per_sm: u32,
+    pub max_threads_per_sm: u32,
+    pub max_blocks_per_sm: u32,
+    /// Throughput cost of one global atomic RMW, in core-cycles of the
+    /// issuing SM (amortized, non-conflicting case).
+    pub atomic_cycles: f64,
+    /// Additional serialization latency when atomics target the same
+    /// address: consecutive conflicting RMWs complete one per this many
+    /// clock cycles (models L2 atomic unit serialization on a hot line).
+    pub atomic_conflict_cycles: f64,
+    /// Cycles to execute a block-wide barrier (`bar.red`), per barrier.
+    pub barrier_cycles: f64,
+    /// Independent DMA copy engines. GeForce parts (like the paper's
+    /// GTX 680) expose one, serializing host-to-device transfers with
+    /// write-backs; Tesla-class parts expose two, letting the directions
+    /// overlap.
+    pub copy_engines: u32,
+}
+
+impl DeviceSpec {
+    /// The paper's evaluation GPU.
+    pub fn gtx680() -> Self {
+        DeviceSpec {
+            name: "NVIDIA GeForce GTX 680",
+            num_sms: 8,
+            cores_per_sm: 192,
+            clock: Frequency::mhz(1020.0),
+            ipc_per_core: 0.85,
+            // 192 GB/s theoretical; ~75% achievable on streaming loads.
+            mem_bandwidth: Bandwidth::gb_per_sec(192.0 * 0.75),
+            segment_bytes: 32,
+            mem_capacity: 2 * (1u64 << 30),
+            regs_per_sm: 65_536,
+            smem_per_sm: 48 * 1024,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 16,
+            atomic_cycles: 20.0,
+            atomic_conflict_cycles: 40.0,
+            barrier_cycles: 100.0,
+            copy_engines: 1,
+        }
+    }
+
+    /// A Tesla-class variant of the paper's GPU: identical compute/memory
+    /// but two DMA engines (K20-style), for the copy-engine ablation.
+    pub fn tesla_like() -> Self {
+        DeviceSpec { name: "Tesla-class (2 copy engines)", copy_engines: 2, ..Self::gtx680() }
+    }
+
+    /// A deliberately small device for fast unit tests (1 SM, tiny memory).
+    pub fn test_tiny() -> Self {
+        DeviceSpec {
+            name: "test-tiny",
+            num_sms: 1,
+            cores_per_sm: 32,
+            clock: Frequency::mhz(1000.0),
+            ipc_per_core: 1.0,
+            mem_bandwidth: Bandwidth::gb_per_sec(100.0),
+            segment_bytes: 32,
+            mem_capacity: 64 * (1u64 << 20),
+            regs_per_sm: 32_768,
+            smem_per_sm: 48 * 1024,
+            max_threads_per_sm: 1024,
+            max_blocks_per_sm: 8,
+            atomic_cycles: 20.0,
+            atomic_conflict_cycles: 40.0,
+            barrier_cycles: 100.0,
+            copy_engines: 1,
+        }
+    }
+
+    /// Total cores across the device.
+    pub fn total_cores(&self) -> u64 {
+        self.num_sms as u64 * self.cores_per_sm as u64
+    }
+
+    /// Aggregate instruction issue rate (instructions/second).
+    pub fn issue_rate(&self) -> f64 {
+        self.total_cores() as f64 * self.ipc_per_core * self.clock.as_hz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gtx680_matches_paper_headline_numbers() {
+        let d = DeviceSpec::gtx680();
+        assert_eq!(d.total_cores(), 1536);
+        assert_eq!(d.mem_capacity, 2 * (1u64 << 30));
+        assert!(d.mem_bandwidth.as_bytes_per_sec() < 192e9);
+    }
+
+    #[test]
+    fn tesla_variant_only_differs_in_engines() {
+        let g = DeviceSpec::gtx680();
+        let t = DeviceSpec::tesla_like();
+        assert_eq!(g.copy_engines, 1);
+        assert_eq!(t.copy_engines, 2);
+        assert_eq!(g.total_cores(), t.total_cores());
+    }
+
+    #[test]
+    fn issue_rate_scales_with_cores() {
+        let d = DeviceSpec::gtx680();
+        let t = DeviceSpec::test_tiny();
+        assert!(d.issue_rate() > t.issue_rate() * 40.0);
+    }
+}

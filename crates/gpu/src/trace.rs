@@ -1,0 +1,438 @@
+//! Per-thread access traces and warp-level alignment.
+//!
+//! Kernel threads in this simulator run one after another (sequentially) for
+//! functional simplicity, but the *timing* model needs warp-level lock-step
+//! behaviour: the i-th global access of each lane in a warp happens in the
+//! same cycle and coalesces (or not) with its 31 siblings. So each thread
+//! records a compact trace of its memory accesses; once a warp's 32 lanes
+//! have run, [`WarpAligner`] aligns the traces by access index and feeds each
+//! aligned step through the coalescing model.
+//!
+//! This trace-then-align approach is exact for the streaming kernels the
+//! paper targets (no data-dependent reconvergence games) and keeps memory
+//! bounded: traces are reused per warp, never stored for the whole kernel.
+
+use crate::coalesce::StepCost;
+use crate::spec::{DeviceSpec, WARP_SIZE};
+
+/// Classifies one recorded memory access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    Read,
+    Write,
+    /// Atomic read-modify-write (adds atomic-unit cost on top of the
+    /// transaction).
+    Atomic,
+}
+
+/// Which warp-alignment class an access belongs to.
+///
+/// Lanes of a warp are aligned *per class by ordinal*: the k-th
+/// mapped-stream read of each lane coalesces with its siblings' k-th reads
+/// (that is the contract of BigKernel's `dataBuf[counter][tid]` layout and
+/// matches reconvergent SIMT execution of record-structured loops), and
+/// likewise for stream writes and for device-buffer accesses. Aligning one
+/// merged sequence instead would let lanes drift after divergent sections
+/// (e.g. per-word dictionary lookups) and spuriously destroy coalescing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessClass {
+    StreamRead,
+    StreamWrite,
+    Dev,
+}
+
+impl AccessClass {
+    pub const ALL: [AccessClass; 3] =
+        [AccessClass::StreamRead, AccessClass::StreamWrite, AccessClass::Dev];
+}
+
+/// One recorded shared-memory access (cost-only; shared memory holds
+/// transient per-block state that the kernels keep in locals functionally).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SharedAccess {
+    /// Byte address within the block's shared memory.
+    pub addr: u32,
+    pub width: u32,
+}
+
+/// Shared memory banks on Kepler-class parts: 32 banks of 4-byte words.
+pub const SHARED_BANKS: u32 = 32;
+pub const SHARED_BANK_BYTES: u32 = 4;
+
+/// One recorded global-memory access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Virtual device address (see `GpuMemory::vaddr`).
+    pub addr: u64,
+    pub width: u32,
+    pub kind: AccessKind,
+    pub class: AccessClass,
+}
+
+/// Trace of one thread's execution within a chunk.
+#[derive(Clone, Debug, Default)]
+pub struct ThreadTrace {
+    pub accesses: Vec<MemAccess>,
+    /// Addressed shared-memory accesses, aligned per ordinal for the bank
+    /// conflict model.
+    pub shared: Vec<SharedAccess>,
+    /// Dynamic instructions issued by this lane (ALU + control + one issue
+    /// slot per memory/shared access; recorded by the kernel context).
+    pub instructions: u64,
+    /// Unaddressed shared-memory accesses (issue slots only).
+    pub shared_accesses: u64,
+}
+
+impl ThreadTrace {
+    pub fn clear(&mut self) {
+        self.accesses.clear();
+        self.shared.clear();
+        self.instructions = 0;
+        self.shared_accesses = 0;
+    }
+
+    /// Record an addressed shared-memory access (bank-conflict analyzed).
+    #[inline]
+    pub fn record_shared(&mut self, addr: u32, width: u32) {
+        self.shared.push(SharedAccess { addr, width });
+        self.instructions += 1;
+    }
+
+    #[inline]
+    pub fn record(&mut self, addr: u64, width: u32, kind: AccessKind, class: AccessClass) {
+        self.accesses.push(MemAccess { addr, width, kind, class });
+        self.instructions += 1;
+    }
+
+    #[inline]
+    pub fn alu(&mut self, n: u64) {
+        self.instructions += n;
+    }
+
+    #[inline]
+    pub fn shared(&mut self, n: u64) {
+        self.shared_accesses += n;
+        self.instructions += n;
+    }
+}
+
+/// Result of aligning one warp's lanes.
+#[derive(Clone, Debug, Default)]
+pub struct WarpCost {
+    /// Aggregated coalescing cost over all aligned steps.
+    pub mem: StepCost,
+    /// Issue slots consumed by the warp: `max(lane instructions) * 32`
+    /// (lock-step issue; short lanes waste their slots — this is how
+    /// divergence shows up as cost).
+    pub issue_slots: u64,
+    /// Sum of lane instruction counts (useful work), for utilization stats.
+    pub useful_instructions: u64,
+    /// Addresses of atomic operations, for contention tracking by the
+    /// caller.
+    pub atomic_addrs: Vec<u64>,
+    pub shared_accesses: u64,
+    /// Extra warp issue slots from shared-memory bank-conflict replays: a
+    /// step whose lanes hit the same bank at different words re-issues once
+    /// per extra way.
+    pub bank_replay_slots: u64,
+}
+
+/// Aligns up to [`WARP_SIZE`] thread traces and produces a [`WarpCost`].
+pub struct WarpAligner {
+    lane_buf: Vec<(u64, u32)>,
+    prev_segs: Vec<u64>,
+    cur_segs: Vec<u64>,
+}
+
+impl Default for WarpAligner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WarpAligner {
+    pub fn new() -> Self {
+        WarpAligner {
+            lane_buf: Vec::with_capacity(WARP_SIZE),
+            prev_segs: Vec::new(),
+            cur_segs: Vec::new(),
+        }
+    }
+
+    /// Align `lanes` (1..=32 traces) and compute the warp's cost.
+    ///
+    /// A one-step segment-reuse window models the GPU's L2: a memory
+    /// segment touched in the immediately preceding warp step is still
+    /// resident and costs no new transaction. This is what keeps
+    /// *sequential* per-thread scans (each lane walking its own region byte
+    /// by byte) from being charged a full transaction per byte — on real
+    /// hardware the 32-byte sector fetched for step `k` serves steps
+    /// `k+1..k+31` of the same lane. Strided record walks still pay per
+    /// record, and scattered accesses pay per access.
+    pub fn align(&mut self, spec: &DeviceSpec, lanes: &[ThreadTrace]) -> WarpCost {
+        assert!(!lanes.is_empty() && lanes.len() <= WARP_SIZE, "warp must have 1..=32 lanes");
+        let mut cost = WarpCost::default();
+        let seg = spec.segment_bytes;
+
+        // Per-lane cursors, reused across the three class passes.
+        let mut cursors = [0usize; WARP_SIZE];
+
+        for class in AccessClass::ALL {
+            cursors[..lanes.len()].fill(0);
+            self.prev_segs.clear();
+            loop {
+                self.lane_buf.clear();
+                for (li, lane) in lanes.iter().enumerate() {
+                    // Advance to this lane's next access of the class.
+                    while let Some(a) = lane.accesses.get(cursors[li]) {
+                        if a.class == class {
+                            break;
+                        }
+                        cursors[li] += 1;
+                    }
+                    if let Some(a) = lane.accesses.get(cursors[li]) {
+                        cursors[li] += 1;
+                        self.lane_buf.push((a.addr, a.width));
+                        if a.kind == AccessKind::Atomic {
+                            cost.atomic_addrs.push(a.addr);
+                        }
+                    }
+                }
+                if self.lane_buf.is_empty() {
+                    break;
+                }
+                // Distinct segments touched this step, minus the one-step
+                // reuse window.
+                self.cur_segs.clear();
+                let mut useful = 0u64;
+                for &(addr, width) in &self.lane_buf {
+                    useful += width as u64;
+                    let first = addr / seg;
+                    let last = (addr + width as u64 - 1) / seg;
+                    for s in first..=last {
+                        self.cur_segs.push(s);
+                    }
+                }
+                self.cur_segs.sort_unstable();
+                self.cur_segs.dedup();
+                let new_txns = self
+                    .cur_segs
+                    .iter()
+                    .filter(|s| self.prev_segs.binary_search(s).is_err())
+                    .count() as u64;
+                let reused = self.cur_segs.len() as u64 - new_txns;
+                cost.mem.merge(crate::coalesce::StepCost {
+                    transactions: new_txns,
+                    bytes_moved: new_txns * seg,
+                    bytes_l2: reused * seg,
+                    bytes_useful: useful,
+                });
+                std::mem::swap(&mut self.prev_segs, &mut self.cur_segs);
+            }
+        }
+
+        // Shared-memory bank conflicts: align addressed shared accesses by
+        // ordinal; within one step, lanes hitting the same bank at
+        // *different* words serialize (same-word accesses broadcast free).
+        let max_shared = lanes.iter().map(|l| l.shared.len()).max().unwrap_or(0);
+        let mut words: Vec<(u32, u32)> = Vec::with_capacity(WARP_SIZE); // (bank, word)
+        for step in 0..max_shared {
+            words.clear();
+            for lane in lanes {
+                if let Some(a) = lane.shared.get(step) {
+                    let word = a.addr / SHARED_BANK_BYTES;
+                    words.push((word % SHARED_BANKS, word));
+                }
+            }
+            words.sort_unstable();
+            words.dedup(); // same-word lanes broadcast
+            let mut max_ways = 1u64;
+            let mut i = 0;
+            while i < words.len() {
+                let bank = words[i].0;
+                let mut ways = 0u64;
+                while i < words.len() && words[i].0 == bank {
+                    ways += 1;
+                    i += 1;
+                }
+                max_ways = max_ways.max(ways);
+            }
+            cost.bank_replay_slots += (max_ways - 1) * WARP_SIZE as u64;
+        }
+
+        let max_instr = lanes.iter().map(|l| l.instructions).max().unwrap_or(0);
+        cost.issue_slots = max_instr * WARP_SIZE as u64 + cost.bank_replay_slots;
+        cost.useful_instructions = lanes.iter().map(|l| l.instructions).sum();
+        cost.shared_accesses = lanes.iter().map(|l| l.shared_accesses).sum::<u64>()
+            + lanes.iter().map(|l| l.shared.len() as u64).sum::<u64>();
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> DeviceSpec {
+        DeviceSpec::test_tiny()
+    }
+
+    fn lane_with_reads(addrs: &[u64], width: u32) -> ThreadTrace {
+        let mut t = ThreadTrace::default();
+        for &a in addrs {
+            t.record(a, width, AccessKind::Read, AccessClass::StreamRead);
+        }
+        t
+    }
+
+    #[test]
+    fn coalesced_warp_costs_few_transactions() {
+        // 32 lanes, 2 steps each, contiguous 4B per step: step k lane i reads
+        // base + k*128 + i*4 → 4 transactions per step, 8 total.
+        let lanes: Vec<ThreadTrace> = (0..32u64)
+            .map(|i| lane_with_reads(&[4096 + i * 4, 4096 + 128 + i * 4], 4))
+            .collect();
+        let mut al = WarpAligner::new();
+        let c = al.align(&spec(), &lanes);
+        assert_eq!(c.mem.transactions, 8);
+        assert_eq!(c.mem.bytes_useful, 32 * 2 * 4);
+    }
+
+    #[test]
+    fn lockstep_issue_charges_divergence() {
+        let mut short = ThreadTrace::default();
+        short.alu(10);
+        let mut long = ThreadTrace::default();
+        long.alu(100);
+        let mut al = WarpAligner::new();
+        let c = al.align(&spec(), &[short, long]);
+        assert_eq!(c.issue_slots, 100 * 32);
+        assert_eq!(c.useful_instructions, 110);
+    }
+
+    #[test]
+    fn ragged_lanes_align_by_index() {
+        // Lane 0 has 2 accesses, lane 1 has 1. Step 1 only has lane 0.
+        let l0 = lane_with_reads(&[4096, 8192], 4);
+        let l1 = lane_with_reads(&[4100], 4);
+        let mut al = WarpAligner::new();
+        let c = al.align(&spec(), &[l0, l1]);
+        // step 0: 4096 & 4100 share a segment (1 txn); step 1: 8192 (1 txn)
+        assert_eq!(c.mem.transactions, 2);
+    }
+
+    #[test]
+    fn sequential_byte_scan_reuses_segments() {
+        // One lane reading 64 consecutive bytes: without reuse that would
+        // be 64 probes of 2 segments; with the one-step reuse window only
+        // the two segment *entries* cost transactions.
+        let addrs: Vec<u64> = (0..64u64).map(|i| 4096 + i).collect();
+        let lane = lane_with_reads(&addrs, 1);
+        let mut al = WarpAligner::new();
+        let c = al.align(&spec(), &[lane]);
+        assert_eq!(c.mem.transactions, 2, "{:?}", c.mem);
+        assert_eq!(c.mem.bytes_useful, 64);
+    }
+
+    #[test]
+    fn strided_record_walk_still_pays_per_record() {
+        // One lane reading one 8B field per 4 KiB record: every access is a
+        // fresh segment; reuse must not help.
+        let addrs: Vec<u64> = (0..16u64).map(|i| 4096 + i * 4096).collect();
+        let lane = lane_with_reads(&addrs, 8);
+        let mut al = WarpAligner::new();
+        let c = al.align(&spec(), &[lane]);
+        assert_eq!(c.mem.transactions, 16);
+    }
+
+    #[test]
+    fn atomics_are_reported() {
+        let mut t = ThreadTrace::default();
+        t.record(4096, 4, AccessKind::Atomic, AccessClass::Dev);
+        t.record(4096, 4, AccessKind::Atomic, AccessClass::Dev);
+        let mut al = WarpAligner::new();
+        let c = al.align(&spec(), &[t]);
+        assert_eq!(c.atomic_addrs, vec![4096, 4096]);
+    }
+
+    #[test]
+    fn record_counts_instructions() {
+        let mut t = ThreadTrace::default();
+        t.record(0x1000, 8, AccessKind::Read, AccessClass::StreamRead);
+        t.alu(5);
+        t.shared(2);
+        assert_eq!(t.instructions, 8);
+        assert_eq!(t.shared_accesses, 2);
+        t.clear();
+        assert_eq!(t.instructions, 0);
+        assert!(t.accesses.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "warp must have")]
+    fn oversized_warp_rejected() {
+        let lanes = vec![ThreadTrace::default(); 33];
+        WarpAligner::new().align(&spec(), &lanes);
+    }
+}
+
+#[cfg(test)]
+mod bank_tests {
+    use super::*;
+
+    fn spec() -> DeviceSpec {
+        DeviceSpec::test_tiny()
+    }
+
+    fn lanes_with_shared(addr_of_lane: impl Fn(u32) -> u32) -> Vec<ThreadTrace> {
+        (0..32u32)
+            .map(|l| {
+                let mut t = ThreadTrace::default();
+                t.record_shared(addr_of_lane(l), 4);
+                t
+            })
+            .collect()
+    }
+
+    #[test]
+    fn conflict_free_consecutive_words() {
+        // Lane l -> word l: every lane its own bank.
+        let lanes = lanes_with_shared(|l| l * 4);
+        let c = WarpAligner::new().align(&spec(), &lanes);
+        assert_eq!(c.bank_replay_slots, 0);
+        assert_eq!(c.shared_accesses, 32);
+    }
+
+    #[test]
+    fn broadcast_same_word_is_free() {
+        let lanes = lanes_with_shared(|_| 64);
+        let c = WarpAligner::new().align(&spec(), &lanes);
+        assert_eq!(c.bank_replay_slots, 0);
+    }
+
+    #[test]
+    fn stride_32_words_is_32_way_conflict() {
+        // Lane l -> word l*32: all lanes hit bank 0 at distinct words.
+        let lanes = lanes_with_shared(|l| l * 32 * 4);
+        let c = WarpAligner::new().align(&spec(), &lanes);
+        assert_eq!(c.bank_replay_slots, 31 * WARP_SIZE as u64);
+    }
+
+    #[test]
+    fn two_way_conflict() {
+        // Lanes pair up on 16 banks: words l and l+32 share bank l.
+        let lanes = lanes_with_shared(|l| ((l % 16) + (l / 16) * 32 * 16) * 4);
+        let c = WarpAligner::new().align(&spec(), &lanes);
+        assert_eq!(c.bank_replay_slots, WARP_SIZE as u64);
+    }
+
+    #[test]
+    fn replays_add_issue_slots() {
+        let free = lanes_with_shared(|l| l * 4);
+        let conflicted = lanes_with_shared(|l| l * 32 * 4);
+        let spec = spec();
+        let a = WarpAligner::new().align(&spec, &free);
+        let b = WarpAligner::new().align(&spec, &conflicted);
+        assert!(b.issue_slots > a.issue_slots);
+    }
+}

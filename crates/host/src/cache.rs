@@ -1,0 +1,226 @@
+//! Set-associative LRU cache simulator.
+//!
+//! Used to measure the CPU-side data-assembly stage's locality: BigKernel's
+//! gather walks the mapped source array in either GPU-access order (poor
+//! locality when records interleave across threads) or per-GPU-thread order
+//! (paper §IV.B, good locality because each GPU thread reads consecutive
+//! data). The measured hit rate feeds the CPU cost model.
+//!
+//! The model is a single-level "last level cache" (the paper quotes 10 MB
+//! combined L2/L3); inner levels are folded into the hit cost.
+
+/// Outcome of one access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Access {
+    Hit,
+    Miss,
+}
+
+/// Set-associative cache with LRU replacement.
+///
+/// ```
+/// use bk_host::CacheSim;
+///
+/// let mut llc = CacheSim::xeon_llc();
+/// // A sequential scan misses once per 64-byte line.
+/// for addr in 0..4096u64 {
+///     llc.access(addr);
+/// }
+/// assert_eq!(llc.misses(), 4096 / 64);
+/// ```
+pub struct CacheSim {
+    line_bytes: u64,
+    num_sets: u64,
+    ways: usize,
+    /// `sets[set]` is a small LRU list of tags, most-recent first.
+    sets: Vec<Vec<u64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CacheSim {
+    /// Create a cache of `capacity_bytes` with `line_bytes` lines and
+    /// `ways`-way associativity. Capacity must be a multiple of
+    /// `line_bytes * ways` and the resulting set count a power of two.
+    pub fn new(capacity_bytes: u64, line_bytes: u64, ways: usize) -> Self {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(ways > 0, "need at least one way");
+        let num_sets = capacity_bytes / (line_bytes * ways as u64);
+        assert!(num_sets > 0 && num_sets.is_power_of_two(), "set count must be a power of two");
+        CacheSim {
+            line_bytes,
+            num_sets,
+            ways,
+            sets: vec![Vec::new(); num_sets as usize],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The paper's host: 10 MB combined L2/L3. (8 MiB power-of-two sets,
+    /// 64 B lines, 16-way.)
+    pub fn xeon_llc() -> Self {
+        CacheSim::new(8 * (1 << 20), 64, 16)
+    }
+
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Access one byte address; widths that stay within a line count as one
+    /// access (callers split multi-line accesses — see [`CacheSim::access_range`]).
+    pub fn access(&mut self, addr: u64) -> Access {
+        let line = addr / self.line_bytes;
+        let set_idx = (line & (self.num_sets - 1)) as usize;
+        let tag = line / self.num_sets;
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&t| t == tag) {
+            // Move to MRU position.
+            let t = set.remove(pos);
+            set.insert(0, t);
+            self.hits += 1;
+            Access::Hit
+        } else {
+            set.insert(0, tag);
+            if set.len() > self.ways {
+                set.pop();
+            }
+            self.misses += 1;
+            Access::Miss
+        }
+    }
+
+    /// Access `[addr, addr+len)`, one access per touched line. Returns
+    /// `(hits, misses)` for the range.
+    pub fn access_range(&mut self, addr: u64, len: u64) -> (u64, u64) {
+        if len == 0 {
+            return (0, 0);
+        }
+        let first = addr / self.line_bytes;
+        let last = (addr + len - 1) / self.line_bytes;
+        let mut h = 0;
+        let mut m = 0;
+        for line in first..=last {
+            match self.access(line * self.line_bytes) {
+                Access::Hit => h += 1,
+                Access::Miss => m += 1,
+            }
+        }
+        (h, m)
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheSim {
+        // 4 sets x 2 ways x 64B lines = 512B capacity
+        CacheSim::new(512, 64, 2)
+    }
+
+    #[test]
+    fn first_touch_misses_second_hits() {
+        let mut c = tiny();
+        assert_eq!(c.access(0), Access::Miss);
+        assert_eq!(c.access(0), Access::Hit);
+        assert_eq!(c.access(63), Access::Hit); // same line
+        assert_eq!(c.access(64), Access::Miss); // next line
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_within_set() {
+        let mut c = tiny();
+        // Three lines mapping to set 0: line numbers 0, 4, 8 (4 sets).
+        let (a, b, d) = (0u64, 4 * 64, 8 * 64);
+        c.access(a);
+        c.access(b);
+        c.access(d); // evicts a (2-way)
+        assert_eq!(c.access(b), Access::Hit);
+        assert_eq!(c.access(a), Access::Miss);
+    }
+
+    #[test]
+    fn lru_touch_refreshes() {
+        let mut c = tiny();
+        let (a, b, d) = (0u64, 4 * 64, 8 * 64);
+        c.access(a);
+        c.access(b);
+        c.access(a); // refresh a → b becomes LRU
+        c.access(d); // evicts b
+        assert_eq!(c.access(a), Access::Hit);
+        assert_eq!(c.access(b), Access::Miss);
+    }
+
+    #[test]
+    fn sequential_scan_hit_rate_matches_line_size() {
+        let mut c = CacheSim::xeon_llc();
+        for addr in 0..(1u64 << 16) {
+            c.access(addr);
+        }
+        // 1 miss per 64B line → hit rate 63/64.
+        let expected = 63.0 / 64.0;
+        assert!((c.hit_rate() - expected).abs() < 1e-3, "{}", c.hit_rate());
+    }
+
+    #[test]
+    fn scattered_scan_mostly_misses() {
+        let mut c = CacheSim::xeon_llc();
+        // Stride far beyond capacity repeatedly.
+        let mut addr = 0u64;
+        for _ in 0..100_000 {
+            c.access(addr);
+            addr = addr.wrapping_add(1 << 20) & ((1 << 36) - 1);
+        }
+        assert!(c.hit_rate() < 0.05, "{}", c.hit_rate());
+    }
+
+    #[test]
+    fn access_range_counts_lines() {
+        let mut c = tiny();
+        let (h, m) = c.access_range(0, 129); // lines 0,1,2
+        assert_eq!((h, m), (0, 3));
+        let (h, m) = c.access_range(0, 129);
+        assert_eq!((h, m), (3, 0));
+        assert_eq!(c.access_range(0, 0), (0, 0));
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut c = tiny();
+        c.access(0);
+        c.reset_stats();
+        assert_eq!((c.hits(), c.misses()), (0, 0));
+        assert_eq!(c.access(0), Access::Hit); // still cached
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_sets_rejected() {
+        let _ = CacheSim::new(3 * 64 * 2, 64, 2);
+    }
+}

@@ -1,0 +1,266 @@
+//! CPU cost model.
+//!
+//! Times CPU-side work with the same roofline philosophy as the GPU model:
+//! a piece of work is characterized by instruction count, DRAM traffic and
+//! cache-hit traffic; its duration is the max of the issue bound and the
+//! memory-bandwidth bound, scaled by how many cores/threads execute it.
+//!
+//! The preset matches the paper's host: a 3.8 GHz Intel Xeon quad core E5
+//! with 8 hardware threads, 10 MB LLC, quad-channel DDR3-1800.
+
+use bk_simcore::{Bandwidth, Frequency, RooflineTerms, SimTime};
+
+/// Static description of the simulated host CPU.
+#[derive(Clone, Debug)]
+pub struct CpuSpec {
+    pub name: &'static str,
+    pub cores: u32,
+    /// Hardware threads (SMT contexts) available.
+    pub hw_threads: u32,
+    pub clock: Frequency,
+    /// Sustained instructions per cycle per core for scalar streaming code.
+    pub ipc: f64,
+    /// Fraction of a core's throughput gained by running its second SMT
+    /// thread (0.0 = SMT useless, 1.0 = perfect scaling).
+    pub smt_yield: f64,
+    /// Achievable DRAM bandwidth (all cores combined).
+    pub mem_bandwidth: Bandwidth,
+    pub cacheline_bytes: u64,
+    /// Cost of an LLC hit, in core cycles.
+    pub llc_hit_cycles: f64,
+    /// Cost of an LLC miss (DRAM latency), nanoseconds.
+    pub dram_latency_ns: f64,
+}
+
+impl CpuSpec {
+    /// The paper's host machine.
+    pub fn xeon_e5_quad() -> Self {
+        CpuSpec {
+            name: "Intel Xeon E5 quad-core, 3.8 GHz, 8 HT",
+            cores: 4,
+            hw_threads: 8,
+            clock: Frequency::ghz(3.8),
+            ipc: 2.0,
+            smt_yield: 0.25,
+            // Quad-channel DDR3-1800 ≈ 57.6 GB/s theoretical; ~65% achievable.
+            mem_bandwidth: Bandwidth::gb_per_sec(57.6 * 0.65),
+            cacheline_bytes: 64,
+            llc_hit_cycles: 40.0,
+            dram_latency_ns: 80.0,
+        }
+    }
+
+    /// Effective core-equivalents when running `threads` software threads.
+    pub fn effective_cores(&self, threads: u32) -> f64 {
+        assert!(threads > 0, "need at least one thread");
+        let threads = threads.min(self.hw_threads);
+        let physical = threads.min(self.cores) as f64;
+        let smt_extra = threads.saturating_sub(self.cores) as f64;
+        physical + smt_extra * self.smt_yield
+    }
+
+    /// Aggregate instruction issue rate for `threads` software threads.
+    pub fn issue_rate(&self, threads: u32) -> f64 {
+        self.effective_cores(threads) * self.ipc * self.clock.as_hz()
+    }
+}
+
+/// Accumulated cost of a piece of CPU work.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CpuCost {
+    /// Dynamic instructions executed.
+    pub instructions: u64,
+    /// Bytes transferred to/from DRAM (cache misses x line, plus streaming
+    /// stores).
+    pub dram_bytes: u64,
+    /// Number of accesses that hit in cache (charged `llc_hit_cycles`).
+    pub cache_hits: u64,
+    /// Number of accesses that missed (adds latency pressure; mostly the
+    /// bandwidth term dominates, but a pointer-chasing gather with no
+    /// locality becomes latency-bound).
+    pub cache_misses: u64,
+    /// Atomic read-modify-writes performed.
+    pub atomic_ops: u64,
+    /// Largest number of atomics aimed at one address: under multi-threaded
+    /// execution these serialize through cache-line ping-pong.
+    pub hot_atomic_chain: u64,
+}
+
+impl CpuCost {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn merge(&mut self, o: &CpuCost) {
+        self.instructions += o.instructions;
+        self.dram_bytes += o.dram_bytes;
+        self.cache_hits += o.cache_hits;
+        self.cache_misses += o.cache_misses;
+        self.atomic_ops += o.atomic_ops;
+        self.hot_atomic_chain += o.hot_atomic_chain;
+    }
+
+    /// Convenience: cost of a plain sequential copy/scan of `bytes`
+    /// (`rw_factor` = 2 for copy: read + write; 1 for scan).
+    pub fn streaming(bytes: u64, rw_factor: u64, instrs_per_8b: u64) -> CpuCost {
+        CpuCost {
+            instructions: bytes.div_ceil(8) * instrs_per_8b,
+            dram_bytes: bytes * rw_factor,
+            ..CpuCost::default()
+        }
+    }
+}
+
+/// Roofline terms for `cost` executed by `threads` software threads.
+pub fn cpu_stage_terms(spec: &CpuSpec, cost: &CpuCost, threads: u32) -> RooflineTerms {
+    let mut t = RooflineTerms::new();
+    let issue = spec.issue_rate(threads)
+        // cache hits cost extra cycles on the issuing core
+        ;
+    let hit_cycles = cost.cache_hits as f64 * spec.llc_hit_cycles;
+    t.bound(
+        "cpu-issue",
+        SimTime::from_secs((cost.instructions as f64 + hit_cycles / spec.ipc) / issue),
+    );
+    t.bound("cpu-dram-bw", spec.mem_bandwidth.transfer_time(cost.dram_bytes));
+    // Latency bound: misses overlap across threads and across ~10 in-flight
+    // requests per core (MLP), but a pure dependent-gather can't hide all.
+    let mlp = 10.0 * spec.effective_cores(threads);
+    t.bound(
+        "cpu-dram-latency",
+        SimTime::from_nanos(cost.cache_misses as f64 * spec.dram_latency_ns / mlp),
+    );
+    if cost.atomic_ops > 0 {
+        // Uncontended RMWs cost ~20 cycles on the owning core.
+        t.bound(
+            "cpu-atomic-throughput",
+            spec.clock.cycles(cost.atomic_ops as f64 * 20.0 / spec.effective_cores(threads)),
+        );
+        if threads > 1 {
+            // Contended RMWs to one address serialize via cache-line
+            // ping-pong (~80 ns per hop) — the same hot-counter effect the
+            // GPU model charges, minus the GPU's massive thread count.
+            t.bound(
+                "cpu-atomic-contention",
+                SimTime::from_nanos(cost.hot_atomic_chain as f64 * 80.0),
+            );
+        }
+    }
+    t
+}
+
+/// Duration of `cost` on `threads` threads.
+pub fn cpu_stage_time(spec: &CpuSpec, cost: &CpuCost, threads: u32) -> SimTime {
+    cpu_stage_terms(spec, cost, threads).duration()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> CpuSpec {
+        CpuSpec::xeon_e5_quad()
+    }
+
+    #[test]
+    fn effective_cores_saturate() {
+        let s = spec();
+        assert_eq!(s.effective_cores(1), 1.0);
+        assert_eq!(s.effective_cores(4), 4.0);
+        assert!(s.effective_cores(8) > 4.0 && s.effective_cores(8) < 8.0);
+        // More software threads than HW threads: no further gain.
+        assert_eq!(s.effective_cores(64), s.effective_cores(8));
+    }
+
+    #[test]
+    fn multithreading_speeds_up_compute_bound() {
+        let s = spec();
+        let c = CpuCost { instructions: 1 << 32, ..CpuCost::default() };
+        let t1 = cpu_stage_time(&s, &c, 1);
+        let t4 = cpu_stage_time(&s, &c, 4);
+        assert!((t1.secs() / t4.secs() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_bound_does_not_scale_with_threads() {
+        let s = spec();
+        let c = CpuCost { dram_bytes: 10 * (1 << 30), ..CpuCost::default() };
+        let t1 = cpu_stage_time(&s, &c, 1);
+        let t8 = cpu_stage_time(&s, &c, 8);
+        assert_eq!(t1, t8);
+    }
+
+    #[test]
+    fn streaming_cost_shape() {
+        let scan = CpuCost::streaming(1024, 1, 2);
+        assert_eq!(scan.dram_bytes, 1024);
+        assert_eq!(scan.instructions, 256);
+        let copy = CpuCost::streaming(1024, 2, 2);
+        assert_eq!(copy.dram_bytes, 2048);
+    }
+
+    #[test]
+    fn cache_hits_charge_issue_side() {
+        let s = spec();
+        let base = CpuCost { instructions: 1000, ..CpuCost::default() };
+        let hot = CpuCost { instructions: 1000, cache_hits: 1_000_000, ..CpuCost::default() };
+        assert!(cpu_stage_time(&s, &hot, 1) > cpu_stage_time(&s, &base, 1) * 100.0);
+    }
+
+    #[test]
+    fn gather_latency_bound_visible() {
+        let s = spec();
+        // 10M dependent misses, almost no bandwidth (1 byte each... modelled
+        // via cache_misses only).
+        let c = CpuCost { cache_misses: 10_000_000, ..CpuCost::default() };
+        let t = cpu_stage_time(&s, &c, 1);
+        // 10M * 80ns / 10 = 80ms
+        assert!((t.secs() - 0.08).abs() < 0.01, "{t}");
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CpuCost {
+            instructions: 1,
+            dram_bytes: 2,
+            cache_hits: 3,
+            cache_misses: 4,
+            atomic_ops: 5,
+            hot_atomic_chain: 6,
+        };
+        a.merge(&a.clone());
+        assert_eq!(
+            a,
+            CpuCost {
+                instructions: 2,
+                dram_bytes: 4,
+                cache_hits: 6,
+                cache_misses: 8,
+                atomic_ops: 10,
+                hot_atomic_chain: 12,
+            }
+        );
+    }
+
+    #[test]
+    fn atomic_contention_only_hurts_multithreaded() {
+        let s = spec();
+        let c = CpuCost {
+            atomic_ops: 100_000,
+            hot_atomic_chain: 100_000,
+            ..CpuCost::default()
+        };
+        let t1 = cpu_stage_time(&s, &c, 1);
+        let t8 = cpu_stage_time(&s, &c, 8);
+        // Single-threaded: ~20 cycles each. Multi-threaded: ping-pong bound
+        // dominates and is WORSE than single-threaded throughput.
+        assert!(t8 > t1, "contended MT {t8} should exceed serial {t1}");
+        assert!((t8.nanos() - 100_000.0 * 80.0).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        spec().effective_cores(0);
+    }
+}

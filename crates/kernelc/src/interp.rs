@@ -1,0 +1,326 @@
+//! IR interpreter targeting the same kernel contexts as hand-written
+//! kernels, so IR kernels run on the real BigKernel pipeline (and its FIFO
+//! verification checks the slice against the full kernel at every access).
+
+use crate::ir::{BinOp, Expr, KernelIr, Stmt, Var, RANGE_END, RANGE_START};
+use bk_runtime::ctx::AddrGenCtx;
+use bk_runtime::{DevBufId, KernelCtx, StreamId};
+use std::ops::Range;
+
+/// Runtime value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Value {
+    I(u64),
+    F(f64),
+}
+
+impl Value {
+    fn as_int(self) -> u64 {
+        match self {
+            Value::I(v) => v,
+            Value::F(v) => v as u64,
+        }
+    }
+
+    fn as_float(self) -> f64 {
+        match self {
+            Value::I(v) => v as f64,
+            Value::F(v) => v,
+        }
+    }
+
+    fn truthy(self) -> bool {
+        match self {
+            Value::I(v) => v != 0,
+            Value::F(v) => v != 0.0,
+        }
+    }
+}
+
+fn apply(op: BinOp, a: Value, b: Value) -> Value {
+    use BinOp::*;
+    // Float arithmetic when either side is float; comparisons yield ints.
+    let float = matches!(a, Value::F(_)) || matches!(b, Value::F(_));
+    if float {
+        let (x, y) = (a.as_float(), b.as_float());
+        match op {
+            Add => Value::F(x + y),
+            Sub => Value::F(x - y),
+            Mul => Value::F(x * y),
+            Div => Value::F(x / y),
+            Rem => Value::F(x % y),
+            Lt => Value::I((x < y) as u64),
+            Le => Value::I((x <= y) as u64),
+            Eq => Value::I((x == y) as u64),
+            Ne => Value::I((x != y) as u64),
+            And | Or | Xor | Shl | Shr => {
+                panic!("bitwise operator {op:?} on float operands")
+            }
+        }
+    } else {
+        let (x, y) = (a.as_int(), b.as_int());
+        match op {
+            Add => Value::I(x.wrapping_add(y)),
+            Sub => Value::I(x.wrapping_sub(y)),
+            Mul => Value::I(x.wrapping_mul(y)),
+            Div => Value::I(x / y),
+            Rem => Value::I(x % y),
+            Lt => Value::I((x < y) as u64),
+            Le => Value::I((x <= y) as u64),
+            Eq => Value::I((x == y) as u64),
+            Ne => Value::I((x != y) as u64),
+            And => Value::I(x & y),
+            Or => Value::I(x | y),
+            Xor => Value::I(x ^ y),
+            Shl => Value::I(x.wrapping_shl(y as u32)),
+            Shr => Value::I(x.wrapping_shr(y as u32)),
+        }
+    }
+}
+
+/// Largest variable id used by the kernel (for store sizing).
+fn max_var(stmts: &[Stmt]) -> u32 {
+    fn expr_max(e: &Expr) -> u32 {
+        let mut m = 1; // range vars always exist
+        crate::ir::visit_expr(e, &mut |x| {
+            if let Expr::Var(Var(i)) = x {
+                m = m.max(*i);
+            }
+        });
+        m
+    }
+    let mut m = 1;
+    for s in stmts {
+        m = m.max(match s {
+            Stmt::Assign(Var(i), e) => (*i).max(expr_max(e)),
+            Stmt::StreamWrite { offset, value, .. }
+            | Stmt::DevWrite { offset, value, .. }
+            | Stmt::DevAtomicAdd { offset, value, .. } => expr_max(offset).max(expr_max(value)),
+            Stmt::If { cond, then_body, else_body } => {
+                expr_max(cond).max(max_var(then_body)).max(max_var(else_body))
+            }
+            Stmt::While { cond, body } => expr_max(cond).max(max_var(body)),
+            Stmt::EmitRead { offset, .. } | Stmt::EmitWrite { offset, .. } => expr_max(offset),
+            Stmt::Alu(_) => 1,
+        });
+    }
+    m
+}
+
+/// How stream/emit operations are performed.
+enum Target<'a, 'b> {
+    Compute(&'a mut dyn KernelCtx),
+    AddrGen(&'a mut AddrGenCtx<'b>),
+}
+
+struct Interp<'a, 'b> {
+    vars: Vec<Value>,
+    dev_bufs: &'a [DevBufId],
+    target: Target<'a, 'b>,
+}
+
+impl Interp<'_, '_> {
+    fn eval(&mut self, e: &Expr) -> Value {
+        match e {
+            Expr::ConstInt(v) => Value::I(*v),
+            Expr::ConstFloat(v) => Value::F(*v),
+            Expr::Var(Var(i)) => self.vars[*i as usize],
+            Expr::Bin(op, a, b) => {
+                let x = self.eval(a);
+                let y = self.eval(b);
+                self.charge(1);
+                apply(*op, x, y)
+            }
+            Expr::IntToFloat(a) => {
+                let v = self.eval(a);
+                Value::F(v.as_int() as f64)
+            }
+            Expr::BitsToFloat(a) => {
+                let v = self.eval(a);
+                Value::F(f64::from_bits(v.as_int()))
+            }
+            Expr::StreamRead { stream, offset, width } => {
+                let off = self.eval(offset).as_int();
+                match &mut self.target {
+                    Target::Compute(ctx) => {
+                        Value::I(ctx.stream_read(StreamId(*stream), off, *width as u32))
+                    }
+                    Target::AddrGen(_) => {
+                        panic!("stream read reached the address-generation interpreter — \
+                                run the sliced kernel, not the full one")
+                    }
+                }
+            }
+            Expr::DevRead { buf, offset, width } => {
+                let off = self.eval(offset).as_int();
+                let b = self.dev_bufs[*buf as usize];
+                match &mut self.target {
+                    Target::Compute(ctx) => Value::I(ctx.dev_read(b, off, *width as u32)),
+                    Target::AddrGen(actx) => Value::I(actx.dev_read(b, off, *width as u32)),
+                }
+            }
+        }
+    }
+
+    fn charge(&mut self, n: u64) {
+        match &mut self.target {
+            Target::Compute(ctx) => ctx.alu(n),
+            Target::AddrGen(actx) => actx.alu(n),
+        }
+    }
+
+    fn exec(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            match s {
+                Stmt::Assign(Var(i), e) => {
+                    let v = self.eval(e);
+                    self.vars[*i as usize] = v;
+                }
+                Stmt::StreamWrite { stream, offset, width, value } => {
+                    let off = self.eval(offset).as_int();
+                    let val = self.eval(value);
+                    match &mut self.target {
+                        Target::Compute(ctx) => {
+                            ctx.stream_write(StreamId(*stream), off, *width as u32, val.as_int())
+                        }
+                        Target::AddrGen(_) => {
+                            panic!("stream write reached the address-generation interpreter")
+                        }
+                    }
+                }
+                Stmt::DevWrite { buf, offset, width, value } => {
+                    let off = self.eval(offset).as_int();
+                    let val = self.eval(value).as_int();
+                    let b = self.dev_bufs[*buf as usize];
+                    match &mut self.target {
+                        Target::Compute(ctx) => ctx.dev_write(b, off, *width as u32, val),
+                        Target::AddrGen(_) => {
+                            panic!("device write reached the address-generation interpreter")
+                        }
+                    }
+                }
+                Stmt::DevAtomicAdd { buf, offset, value } => {
+                    let off = self.eval(offset).as_int();
+                    let val = self.eval(value).as_int();
+                    let b = self.dev_bufs[*buf as usize];
+                    match &mut self.target {
+                        Target::Compute(ctx) => {
+                            ctx.dev_atomic_add_u64(b, off, val);
+                        }
+                        Target::AddrGen(_) => {
+                            panic!("atomic reached the address-generation interpreter")
+                        }
+                    }
+                }
+                Stmt::If { cond, then_body, else_body } => {
+                    let c = self.eval(cond);
+                    if c.truthy() {
+                        self.exec(then_body);
+                    } else {
+                        self.exec(else_body);
+                    }
+                }
+                Stmt::While { cond, body } => {
+                    while self.eval(cond).truthy() {
+                        self.exec(body);
+                    }
+                }
+                Stmt::Alu(n) => self.charge(*n),
+                Stmt::EmitRead { stream, offset, width } => {
+                    let off = self.eval(offset).as_int();
+                    match &mut self.target {
+                        Target::AddrGen(actx) => {
+                            actx.emit_read(StreamId(*stream), off, *width as u32)
+                        }
+                        Target::Compute(_) => {
+                            panic!("emit statement reached the computation interpreter")
+                        }
+                    }
+                }
+                Stmt::EmitWrite { stream, offset, width } => {
+                    let off = self.eval(offset).as_int();
+                    match &mut self.target {
+                        Target::AddrGen(actx) => {
+                            actx.emit_write(StreamId(*stream), off, *width as u32)
+                        }
+                        Target::Compute(_) => {
+                            panic!("emit statement reached the computation interpreter")
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn init_vars(ir: &KernelIr, range: &Range<u64>) -> Vec<Value> {
+    let n = max_var(&ir.body) as usize + 1;
+    let mut vars = vec![Value::I(0); n];
+    vars[RANGE_START.0 as usize] = Value::I(range.start);
+    vars[RANGE_END.0 as usize] = Value::I(range.end);
+    vars
+}
+
+/// Execute the full kernel against a computation context.
+pub fn run_kernel(
+    ir: &KernelIr,
+    ctx: &mut dyn KernelCtx,
+    dev_bufs: &[DevBufId],
+    range: Range<u64>,
+) {
+    assert!(dev_bufs.len() >= ir.num_dev_bufs as usize, "missing device buffer bindings");
+    let mut interp =
+        Interp { vars: init_vars(ir, &range), dev_bufs, target: Target::Compute(ctx) };
+    interp.exec(&ir.body);
+}
+
+/// Execute the address slice against an address-generation context.
+pub fn run_addr_slice(
+    ir: &KernelIr,
+    ctx: &mut AddrGenCtx<'_>,
+    dev_bufs: &[DevBufId],
+    range: Range<u64>,
+) {
+    assert!(dev_bufs.len() >= ir.num_dev_bufs as usize, "missing device buffer bindings");
+    let mut interp =
+        Interp { vars: init_vars(ir, &range), dev_bufs, target: Target::AddrGen(ctx) };
+    interp.exec(&ir.body);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_int_and_float_ops() {
+        assert_eq!(apply(BinOp::Add, Value::I(2), Value::I(3)), Value::I(5));
+        assert_eq!(apply(BinOp::Lt, Value::I(2), Value::I(3)), Value::I(1));
+        assert_eq!(apply(BinOp::Mul, Value::F(2.0), Value::I(3)), Value::F(6.0));
+        assert_eq!(apply(BinOp::Le, Value::F(3.0), Value::F(3.0)), Value::I(1));
+        assert_eq!(apply(BinOp::Sub, Value::I(1), Value::I(2)), Value::I(u64::MAX));
+        assert_eq!(apply(BinOp::Xor, Value::I(6), Value::I(3)), Value::I(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "bitwise operator")]
+    fn float_bitwise_panics() {
+        apply(BinOp::And, Value::F(1.0), Value::I(1));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::I(7).truthy());
+        assert!(!Value::I(0).truthy());
+        assert!(Value::F(0.5).truthy());
+        assert!(!Value::F(0.0).truthy());
+    }
+
+    #[test]
+    fn max_var_spans_nested_statements() {
+        let body = vec![Stmt::While {
+            cond: Expr::var(Var(9)),
+            body: vec![Stmt::Assign(Var(4), Expr::var(Var(12)))],
+        }];
+        assert_eq!(max_var(&body), 12);
+    }
+}

@@ -1,0 +1,171 @@
+//! The kernel IR: a small typed imperative language, just expressive enough
+//! for streaming kernels (loops over records, field reads, table updates).
+
+/// A variable slot. Variables 0 and 1 are pre-bound to the thread's range
+/// start and end; the rest are kernel-local.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+/// Pre-bound variable: byte offset where the thread's range starts.
+pub const RANGE_START: Var = Var(0);
+/// Pre-bound variable: byte offset where the thread's range ends.
+pub const RANGE_END: Var = Var(1);
+/// First variable id free for kernel locals.
+pub const FIRST_LOCAL: u32 = 2;
+
+/// Value types. Integers are carried as `u64`, floats as `f64`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Ty {
+    Int,
+    Float,
+}
+
+/// Binary operators. Comparisons yield integer 0/1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Lt,
+    Le,
+    Eq,
+    Ne,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    ConstInt(u64),
+    ConstFloat(f64),
+    Var(Var),
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Convert an integer's low bits to float (u64 -> f64 value cast).
+    IntToFloat(Box<Expr>),
+    /// Reinterpret an 8-byte integer load as an f64 (bit cast).
+    BitsToFloat(Box<Expr>),
+    /// Read `width` bytes of mapped stream `stream` at byte `offset`.
+    StreamRead { stream: u32, offset: Box<Expr>, width: u8 },
+    /// Read `width` bytes of device buffer parameter `buf` at `offset`.
+    DevRead { buf: u32, offset: Box<Expr>, width: u8 },
+}
+
+#[allow(clippy::should_implement_trait)] // builder shorthand, not operator impls
+impl Expr {
+    pub fn var(v: Var) -> Expr {
+        Expr::Var(v)
+    }
+
+    pub fn int(v: u64) -> Expr {
+        Expr::ConstInt(v)
+    }
+
+    pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Add, a, b)
+    }
+
+    pub fn lt(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Lt, a, b)
+    }
+
+    pub fn stream_read(stream: u32, offset: Expr, width: u8) -> Expr {
+        Expr::StreamRead { stream, offset: Box::new(offset), width }
+    }
+}
+
+/// Statements.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// Bind/overwrite a variable.
+    Assign(Var, Expr),
+    /// Write `value` (width bytes) to mapped stream at `offset`.
+    StreamWrite { stream: u32, offset: Expr, width: u8, value: Expr },
+    /// Write to a device buffer.
+    DevWrite { buf: u32, offset: Expr, width: u8, value: Expr },
+    /// Atomic fetch-add (u64) on a device buffer cell.
+    DevAtomicAdd { buf: u32, offset: Expr, value: Expr },
+    If { cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt> },
+    While { cond: Expr, body: Vec<Stmt> },
+    /// Account explicit arithmetic work (maps to `KernelCtx::alu`).
+    Alu(u64),
+    /// *(slice output only)* store a read address to the address buffer.
+    EmitRead { stream: u32, offset: Expr, width: u8 },
+    /// *(slice output only)* store a write address to the address buffer.
+    EmitWrite { stream: u32, offset: Expr, width: u8 },
+}
+
+/// A complete kernel: device-buffer parameters are referenced by index
+/// (bound at execution time), streams by id.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelIr {
+    pub name: &'static str,
+    /// Fixed record size (None = variable length).
+    pub record_size: Option<u64>,
+    pub halo_bytes: u64,
+    /// Number of device-buffer parameters the kernel expects.
+    pub num_dev_bufs: u32,
+    pub body: Vec<Stmt>,
+}
+
+/// Visit every sub-expression of `e` (pre-order), `e` included.
+pub fn visit_expr<'a>(e: &'a Expr, f: &mut dyn FnMut(&'a Expr)) {
+    f(e);
+    match e {
+        Expr::Bin(_, a, b) => {
+            visit_expr(a, f);
+            visit_expr(b, f);
+        }
+        Expr::IntToFloat(a) | Expr::BitsToFloat(a) => visit_expr(a, f),
+        Expr::StreamRead { offset, .. } | Expr::DevRead { offset, .. } => visit_expr(offset, f),
+        Expr::ConstInt(_) | Expr::ConstFloat(_) | Expr::Var(_) => {}
+    }
+}
+
+/// Variables read anywhere inside `e`.
+pub fn expr_vars(e: &Expr) -> Vec<Var> {
+    let mut out = Vec::new();
+    visit_expr(e, &mut |x| {
+        if let Expr::Var(v) = x {
+            out.push(*v);
+        }
+    });
+    out
+}
+
+/// Whether `e` contains a mapped-stream read.
+pub fn contains_stream_read(e: &Expr) -> bool {
+    let mut found = false;
+    visit_expr(e, &mut |x| {
+        if matches!(x, Expr::StreamRead { .. }) {
+            found = true;
+        }
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_builders() {
+        let e = Expr::add(Expr::var(RANGE_START), Expr::int(8));
+        match e {
+            Expr::Bin(BinOp::Add, a, b) => {
+                assert_eq!(*a, Expr::Var(RANGE_START));
+                assert_eq!(*b, Expr::ConstInt(8));
+            }
+            _ => panic!(),
+        }
+    }
+}

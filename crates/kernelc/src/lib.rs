@@ -1,0 +1,44 @@
+//! # bk-kernelc — the BigKernel compiler transformations, mechanically
+//!
+//! The paper obtains the two halves of a BigKernel from one source kernel by
+//! "straight-forward compiler transformations" (§III): the **prefetch
+//! address generation** code keeps only control flow, address computation
+//! and the memory accesses themselves (the accesses become address-buffer
+//! stores), and the **kernel computation** code redirects the original
+//! accesses into the prefetched data buffer.
+//!
+//! The six evaluation applications in `bk-apps` hand-write both halves (and
+//! the runtime machine-checks their agreement at every access). This crate
+//! demonstrates the transformation itself on a small typed kernel IR:
+//!
+//! * [`ir`] — expressions, statements, loops, mapped-stream and
+//!   device-buffer accesses;
+//! * [`mod@slice`] — the address-slice extraction pass: a backward slice over
+//!   the variables feeding control flow and access addresses. When an
+//!   access address depends on *loaded stream data* (an indirection), the
+//!   pass refuses — exactly the paper's documented fallback, where the
+//!   transformation "simply defaults to fetching all data" (the
+//!   `transfer_all` / overlap-only configuration);
+//! * [`opt`] — post-slicing cleanup passes (constant folding, algebraic
+//!   simplification);
+//! * [`interp`] — an interpreter targeting the same [`KernelCtx`] the
+//!   hand-written kernels use, so a sliced IR kernel runs on the real
+//!   BigKernel pipeline with the FIFO cross-check enabled;
+//! * [`adapter`] — packages an IR kernel as a [`StreamKernel`].
+//!
+//! [`KernelCtx`]: bk_runtime::KernelCtx
+//! [`StreamKernel`]: bk_runtime::StreamKernel
+
+pub mod adapter;
+pub mod interp;
+pub mod ir;
+pub mod opt;
+pub mod pretty;
+pub mod slice;
+
+pub use adapter::IrKernel;
+pub use interp::{run_addr_slice, run_kernel};
+pub use ir::{BinOp, Expr, KernelIr, Stmt, Ty, Var};
+pub use opt::{count_stmts, fold_constants, prune_useless_loops};
+pub use pretty::kernel_to_string;
+pub use slice::{slice_addresses, SliceError};

@@ -1,0 +1,498 @@
+//! Cleanup passes run after slicing: constant folding and algebraic
+//! simplification. The slice drops the computation statements wholesale;
+//! these passes then tidy the surviving address arithmetic — the same
+//! post-slicing cleanup a production compiler would run, and they make the
+//! generated addr-gen code cheaper to interpret.
+
+use crate::ir::{BinOp, Expr, KernelIr, Stmt};
+
+/// Fold constants and apply algebraic identities throughout the kernel.
+pub fn fold_constants(kernel: &KernelIr) -> KernelIr {
+    KernelIr { body: fold_stmts(&kernel.body), ..kernel.clone() }
+}
+
+fn fold_stmts(stmts: &[Stmt]) -> Vec<Stmt> {
+    stmts
+        .iter()
+        .map(|s| match s {
+            Stmt::Assign(v, e) => Stmt::Assign(*v, fold_expr(e)),
+            Stmt::StreamWrite { stream, offset, width, value } => Stmt::StreamWrite {
+                stream: *stream,
+                offset: fold_expr(offset),
+                width: *width,
+                value: fold_expr(value),
+            },
+            Stmt::DevWrite { buf, offset, width, value } => Stmt::DevWrite {
+                buf: *buf,
+                offset: fold_expr(offset),
+                width: *width,
+                value: fold_expr(value),
+            },
+            Stmt::DevAtomicAdd { buf, offset, value } => Stmt::DevAtomicAdd {
+                buf: *buf,
+                offset: fold_expr(offset),
+                value: fold_expr(value),
+            },
+            Stmt::If { cond, then_body, else_body } => Stmt::If {
+                cond: fold_expr(cond),
+                then_body: fold_stmts(then_body),
+                else_body: fold_stmts(else_body),
+            },
+            Stmt::While { cond, body } => {
+                Stmt::While { cond: fold_expr(cond), body: fold_stmts(body) }
+            }
+            Stmt::EmitRead { stream, offset, width } => Stmt::EmitRead {
+                stream: *stream,
+                offset: fold_expr(offset),
+                width: *width,
+            },
+            Stmt::EmitWrite { stream, offset, width } => Stmt::EmitWrite {
+                stream: *stream,
+                offset: fold_expr(offset),
+                width: *width,
+            },
+            Stmt::Alu(n) => Stmt::Alu(*n),
+        })
+        .collect()
+}
+
+/// Fold one expression bottom-up.
+pub fn fold_expr(e: &Expr) -> Expr {
+    match e {
+        Expr::Bin(op, a, b) => {
+            let a = fold_expr(a);
+            let b = fold_expr(b);
+            // Integer constant folding.
+            if let (Expr::ConstInt(x), Expr::ConstInt(y)) = (&a, &b) {
+                if let Some(v) = fold_int(*op, *x, *y) {
+                    return Expr::ConstInt(v);
+                }
+            }
+            // Algebraic identities (integer domain only — float zeros and
+            // NaNs make these unsound for floats).
+            match (*op, &a, &b) {
+                (BinOp::Add, x, Expr::ConstInt(0)) | (BinOp::Sub, x, Expr::ConstInt(0)) => {
+                    return x.clone()
+                }
+                (BinOp::Add, Expr::ConstInt(0), y) => return y.clone(),
+                (BinOp::Mul, x, Expr::ConstInt(1)) => return x.clone(),
+                (BinOp::Mul, Expr::ConstInt(1), y) => return y.clone(),
+                (BinOp::Mul, _, Expr::ConstInt(0)) if !has_side_effects(&a) => {
+                    return Expr::ConstInt(0)
+                }
+                (BinOp::Mul, Expr::ConstInt(0), _) if !has_side_effects(&b) => {
+                    return Expr::ConstInt(0)
+                }
+                (BinOp::Shl, x, Expr::ConstInt(0)) | (BinOp::Shr, x, Expr::ConstInt(0)) => {
+                    return x.clone()
+                }
+                _ => {}
+            }
+            Expr::Bin(*op, Box::new(a), Box::new(b))
+        }
+        Expr::IntToFloat(a) => {
+            let a = fold_expr(a);
+            if let Expr::ConstInt(v) = a {
+                Expr::ConstFloat(v as f64)
+            } else {
+                Expr::IntToFloat(Box::new(a))
+            }
+        }
+        Expr::BitsToFloat(a) => Expr::BitsToFloat(Box::new(fold_expr(a))),
+        Expr::StreamRead { stream, offset, width } => Expr::StreamRead {
+            stream: *stream,
+            offset: Box::new(fold_expr(offset)),
+            width: *width,
+        },
+        Expr::DevRead { buf, offset, width } => Expr::DevRead {
+            buf: *buf,
+            offset: Box::new(fold_expr(offset)),
+            width: *width,
+        },
+        Expr::ConstInt(_) | Expr::ConstFloat(_) | Expr::Var(_) => e.clone(),
+    }
+}
+
+fn fold_int(op: BinOp, x: u64, y: u64) -> Option<u64> {
+    Some(match op {
+        BinOp::Add => x.wrapping_add(y),
+        BinOp::Sub => x.wrapping_sub(y),
+        BinOp::Mul => x.wrapping_mul(y),
+        BinOp::Div => {
+            if y == 0 {
+                return None; // preserve the runtime panic
+            }
+            x / y
+        }
+        BinOp::Rem => {
+            if y == 0 {
+                return None;
+            }
+            x % y
+        }
+        BinOp::Lt => (x < y) as u64,
+        BinOp::Le => (x <= y) as u64,
+        BinOp::Eq => (x == y) as u64,
+        BinOp::Ne => (x != y) as u64,
+        BinOp::And => x & y,
+        BinOp::Or => x | y,
+        BinOp::Xor => x ^ y,
+        BinOp::Shl => x.wrapping_shl(y as u32),
+        BinOp::Shr => x.wrapping_shr(y as u32),
+    })
+}
+
+/// Memory reads are "side effects" here: they are traced and (for stream
+/// reads) FIFO-consumed, so folding them away would change behaviour.
+fn has_side_effects(e: &Expr) -> bool {
+    let mut found = false;
+    crate::ir::visit_expr(e, &mut |x| {
+        if matches!(x, Expr::StreamRead { .. } | Expr::DevRead { .. }) {
+            found = true;
+        }
+    });
+    found
+}
+
+/// Count the statements in a kernel (nested included) — a crude size metric
+/// used by tests and the paper's "70 LOC becomes 500 LOC" remark.
+pub fn count_stmts(stmts: &[Stmt]) -> usize {
+    stmts
+        .iter()
+        .map(|s| match s {
+            Stmt::If { then_body, else_body, .. } => {
+                1 + count_stmts(then_body) + count_stmts(else_body)
+            }
+            Stmt::While { body, .. } => 1 + count_stmts(body),
+            _ => 1,
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Var, RANGE_START};
+
+    fn int(v: u64) -> Expr {
+        Expr::ConstInt(v)
+    }
+
+    #[test]
+    fn folds_integer_arithmetic() {
+        let e = Expr::bin(BinOp::Mul, Expr::add(int(2), int(3)), int(4));
+        assert_eq!(fold_expr(&e), int(20));
+        assert_eq!(fold_expr(&Expr::bin(BinOp::Lt, int(1), int(2))), int(1));
+        assert_eq!(fold_expr(&Expr::bin(BinOp::Shr, int(256), int(4))), int(16));
+    }
+
+    #[test]
+    fn preserves_division_by_zero() {
+        let e = Expr::bin(BinOp::Div, int(1), int(0));
+        assert_eq!(fold_expr(&e), e); // left to panic at run time
+    }
+
+    #[test]
+    fn algebraic_identities() {
+        let x = Expr::var(Var(5));
+        assert_eq!(fold_expr(&Expr::add(x.clone(), int(0))), x);
+        let x = Expr::var(Var(5));
+        assert_eq!(fold_expr(&Expr::bin(BinOp::Mul, x.clone(), int(1))), x);
+        let x = Expr::var(Var(5));
+        assert_eq!(fold_expr(&Expr::bin(BinOp::Mul, x, int(0))), int(0));
+    }
+
+    #[test]
+    fn zero_multiply_keeps_memory_reads() {
+        let read = Expr::stream_read(0, Expr::var(RANGE_START), 8);
+        let e = Expr::bin(BinOp::Mul, read.clone(), int(0));
+        // Must NOT fold to 0: the read is traced/FIFO-consumed.
+        assert_eq!(fold_expr(&e), Expr::bin(BinOp::Mul, read, int(0)));
+    }
+
+    #[test]
+    fn folds_through_statements() {
+        let k = KernelIr {
+            name: "t",
+            record_size: Some(8),
+            halo_bytes: 0,
+            num_dev_bufs: 0,
+            body: vec![Stmt::While {
+                cond: Expr::bin(BinOp::Lt, Expr::var(Var(2)), Expr::add(int(10), int(20))),
+                body: vec![Stmt::Assign(
+                    Var(2),
+                    Expr::add(Expr::var(Var(2)), Expr::bin(BinOp::Mul, int(2), int(4))),
+                )],
+            }],
+        };
+        let folded = fold_constants(&k);
+        match &folded.body[0] {
+            Stmt::While { cond, body } => {
+                assert_eq!(*cond, Expr::bin(BinOp::Lt, Expr::var(Var(2)), int(30)));
+                assert_eq!(body[0], Stmt::Assign(Var(2), Expr::add(Expr::var(Var(2)), int(8))));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn count_stmts_nested() {
+        let k = KernelIr {
+            name: "t",
+            record_size: None,
+            halo_bytes: 0,
+            num_dev_bufs: 0,
+            body: vec![
+                Stmt::Alu(1),
+                Stmt::While { cond: int(0), body: vec![Stmt::Alu(1), Stmt::Alu(1)] },
+                Stmt::If { cond: int(1), then_body: vec![Stmt::Alu(1)], else_body: vec![] },
+            ],
+        };
+        assert_eq!(count_stmts(&k.body), 6);
+    }
+
+    #[test]
+    fn int_to_float_folds() {
+        assert_eq!(fold_expr(&Expr::IntToFloat(Box::new(int(3)))), Expr::ConstFloat(3.0));
+    }
+}
+
+/// Remove loops whose execution can no longer affect anything: no address
+/// emissions or memory effects inside, and every variable they assign is
+/// read nowhere else. The address slice of a kernel like K-means leaves such
+/// a husk behind (the per-cluster loop whose body was entirely computation),
+/// and a production compiler would delete it.
+pub fn prune_useless_loops(kernel: &KernelIr) -> KernelIr {
+    let mut body = kernel.body.clone();
+    loop {
+        let before = count_stmts(&body);
+        let reads = read_counts(&body);
+        body = prune_stmts(body, &reads);
+        let reads = read_counts(&body);
+        body = drop_dead_assigns(body, &reads);
+        if count_stmts(&body) == before {
+            break;
+        }
+    }
+    KernelIr { body, ..kernel.clone() }
+}
+
+use crate::ir::expr_vars;
+use std::collections::BTreeMap;
+
+fn read_counts(stmts: &[Stmt]) -> BTreeMap<crate::ir::Var, usize> {
+    let mut counts = BTreeMap::new();
+    fn expr(e: &Expr, counts: &mut BTreeMap<crate::ir::Var, usize>) {
+        for v in expr_vars(e) {
+            *counts.entry(v).or_insert(0) += 1;
+        }
+    }
+    fn walk(stmts: &[Stmt], counts: &mut BTreeMap<crate::ir::Var, usize>) {
+        for s in stmts {
+            match s {
+                Stmt::Assign(_, e) => expr(e, counts),
+                Stmt::StreamWrite { offset, value, .. }
+                | Stmt::DevWrite { offset, value, .. }
+                | Stmt::DevAtomicAdd { offset, value, .. } => {
+                    expr(offset, counts);
+                    expr(value, counts);
+                }
+                Stmt::If { cond, then_body, else_body } => {
+                    expr(cond, counts);
+                    walk(then_body, counts);
+                    walk(else_body, counts);
+                }
+                Stmt::While { cond, body } => {
+                    expr(cond, counts);
+                    walk(body, counts);
+                }
+                Stmt::EmitRead { offset, .. } | Stmt::EmitWrite { offset, .. } => {
+                    expr(offset, counts)
+                }
+                Stmt::Alu(_) => {}
+            }
+        }
+    }
+    walk(stmts, &mut counts);
+    counts
+}
+
+/// Whether the statements have any effect beyond local variable updates.
+fn has_effects(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::Assign(_, e) => crate::ir::contains_stream_read(e),
+        Stmt::StreamWrite { .. }
+        | Stmt::DevWrite { .. }
+        | Stmt::DevAtomicAdd { .. }
+        | Stmt::EmitRead { .. }
+        | Stmt::EmitWrite { .. } => true,
+        Stmt::If { then_body, else_body, .. } => {
+            has_effects(then_body) || has_effects(else_body)
+        }
+        Stmt::While { body, .. } => has_effects(body),
+        Stmt::Alu(_) => false,
+    })
+}
+
+fn assigned_vars(stmts: &[Stmt], out: &mut Vec<crate::ir::Var>) {
+    for s in stmts {
+        match s {
+            Stmt::Assign(v, _) => out.push(*v),
+            Stmt::If { then_body, else_body, .. } => {
+                assigned_vars(then_body, out);
+                assigned_vars(else_body, out);
+            }
+            Stmt::While { body, .. } => assigned_vars(body, out),
+            _ => {}
+        }
+    }
+}
+
+fn prune_stmts(
+    stmts: Vec<Stmt>,
+    total_reads: &BTreeMap<crate::ir::Var, usize>,
+) -> Vec<Stmt> {
+    stmts
+        .into_iter()
+        .filter_map(|s| match s {
+            Stmt::While { cond, body } => {
+                if !has_effects(&body) {
+                    // Reads of assigned vars *inside* the loop (cond + body)
+                    // don't count as external uses.
+                    let mut inner = read_counts(&body);
+                    for v in expr_vars(&cond) {
+                        *inner.entry(v).or_insert(0) += 1;
+                    }
+                    let mut assigned = Vec::new();
+                    assigned_vars(&body, &mut assigned);
+                    let externally_read = assigned.iter().any(|v| {
+                        total_reads.get(v).copied().unwrap_or(0)
+                            > inner.get(v).copied().unwrap_or(0)
+                    });
+                    if !externally_read {
+                        return None; // the loop is a husk — delete it
+                    }
+                }
+                Some(Stmt::While { cond, body: prune_stmts(body, total_reads) })
+            }
+            Stmt::If { cond, then_body, else_body } => Some(Stmt::If {
+                cond,
+                then_body: prune_stmts(then_body, total_reads),
+                else_body: prune_stmts(else_body, total_reads),
+            }),
+            other => Some(other),
+        })
+        .collect()
+}
+
+/// Remove pure assignments to variables that are never read.
+fn drop_dead_assigns(
+    stmts: Vec<Stmt>,
+    reads: &BTreeMap<crate::ir::Var, usize>,
+) -> Vec<Stmt> {
+    stmts
+        .into_iter()
+        .filter_map(|s| match s {
+            Stmt::Assign(v, e) => {
+                if reads.get(&v).copied().unwrap_or(0) == 0
+                    && !crate::ir::contains_stream_read(&e)
+                {
+                    None
+                } else {
+                    Some(Stmt::Assign(v, e))
+                }
+            }
+            Stmt::If { cond, then_body, else_body } => Some(Stmt::If {
+                cond,
+                then_body: drop_dead_assigns(then_body, reads),
+                else_body: drop_dead_assigns(else_body, reads),
+            }),
+            Stmt::While { cond, body } => {
+                Some(Stmt::While { cond, body: drop_dead_assigns(body, reads) })
+            }
+            other => Some(other),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod prune_tests {
+    use super::*;
+    use crate::ir::{Var, RANGE_END, RANGE_START};
+
+    #[test]
+    fn husk_loop_and_its_init_are_removed() {
+        // i-loop emits; the inner c-loop lost its body to slicing.
+        let i = Var(2);
+        let c = Var(3);
+        let k = KernelIr {
+            name: "husk",
+            record_size: Some(8),
+            halo_bytes: 0,
+            num_dev_bufs: 0,
+            body: vec![
+                Stmt::Assign(i, Expr::var(RANGE_START)),
+                Stmt::While {
+                    cond: Expr::lt(Expr::var(i), Expr::var(RANGE_END)),
+                    body: vec![
+                        Stmt::EmitRead { stream: 0, offset: Expr::var(i), width: 8 },
+                        Stmt::Assign(c, Expr::int(0)),
+                        Stmt::While {
+                            cond: Expr::lt(Expr::var(c), Expr::int(16)),
+                            body: vec![Stmt::Assign(c, Expr::add(Expr::var(c), Expr::int(1)))],
+                        },
+                        Stmt::Assign(i, Expr::add(Expr::var(i), Expr::int(8))),
+                    ],
+                },
+            ],
+        };
+        let pruned = prune_useless_loops(&k);
+        // inner loop + `c = 0` gone; outer loop + emit + induction remain.
+        assert_eq!(count_stmts(&pruned.body), 4, "{:#?}", pruned.body);
+    }
+
+    #[test]
+    fn loops_with_emits_survive() {
+        let i = Var(2);
+        let k = KernelIr {
+            name: "live",
+            record_size: Some(8),
+            halo_bytes: 0,
+            num_dev_bufs: 0,
+            body: vec![
+                Stmt::Assign(i, Expr::var(RANGE_START)),
+                Stmt::While {
+                    cond: Expr::lt(Expr::var(i), Expr::var(RANGE_END)),
+                    body: vec![
+                        Stmt::EmitRead { stream: 0, offset: Expr::var(i), width: 8 },
+                        Stmt::Assign(i, Expr::add(Expr::var(i), Expr::int(8))),
+                    ],
+                },
+            ],
+        };
+        let pruned = prune_useless_loops(&k);
+        assert_eq!(count_stmts(&pruned.body), count_stmts(&k.body));
+    }
+
+    #[test]
+    fn loop_feeding_a_later_address_survives() {
+        // An effect-free loop computing a var used by a later emit must stay.
+        let i = Var(2);
+        let k = KernelIr {
+            name: "feeds",
+            record_size: Some(8),
+            halo_bytes: 0,
+            num_dev_bufs: 0,
+            body: vec![
+                Stmt::Assign(i, Expr::int(0)),
+                Stmt::While {
+                    cond: Expr::lt(Expr::var(i), Expr::int(64)),
+                    body: vec![Stmt::Assign(i, Expr::add(Expr::var(i), Expr::int(8)))],
+                },
+                Stmt::EmitRead { stream: 0, offset: Expr::var(i), width: 8 },
+            ],
+        };
+        let pruned = prune_useless_loops(&k);
+        assert_eq!(count_stmts(&pruned.body), 4);
+    }
+}

@@ -1,0 +1,202 @@
+//! Pretty-printer for the kernel IR: renders kernels and derived slices as
+//! readable pseudo-CUDA, used by examples and debugging output.
+
+use crate::ir::{BinOp, Expr, KernelIr, Stmt, Var, RANGE_END, RANGE_START};
+use std::fmt::Write;
+
+fn op_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::And => "&",
+        BinOp::Or => "|",
+        BinOp::Xor => "^",
+        BinOp::Shl => "<<",
+        BinOp::Shr => ">>",
+    }
+}
+
+fn var_str(v: Var) -> String {
+    match v {
+        RANGE_START => "range.start".to_string(),
+        RANGE_END => "range.end".to_string(),
+        Var(i) => format!("v{i}"),
+    }
+}
+
+/// Render one expression.
+pub fn expr_to_string(e: &Expr) -> String {
+    match e {
+        Expr::ConstInt(v) => v.to_string(),
+        Expr::ConstFloat(v) => format!("{v:?}"),
+        Expr::Var(v) => var_str(*v),
+        Expr::Bin(op, a, b) => {
+            format!("({} {} {})", expr_to_string(a), op_str(*op), expr_to_string(b))
+        }
+        Expr::IntToFloat(a) => format!("(float){}", expr_to_string(a)),
+        Expr::BitsToFloat(a) => format!("bits_to_f64({})", expr_to_string(a)),
+        Expr::StreamRead { stream, offset, width } => {
+            format!("stream{}[{}; {}B]", stream, expr_to_string(offset), width)
+        }
+        Expr::DevRead { buf, offset, width } => {
+            format!("dev{}[{}; {}B]", buf, expr_to_string(offset), width)
+        }
+    }
+}
+
+fn write_stmts(out: &mut String, stmts: &[Stmt], indent: usize) {
+    let pad = "    ".repeat(indent);
+    for s in stmts {
+        match s {
+            Stmt::Assign(v, e) => {
+                let _ = writeln!(out, "{pad}{} = {};", var_str(*v), expr_to_string(e));
+            }
+            Stmt::StreamWrite { stream, offset, width, value } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}stream{}[{}; {}B] = {};",
+                    stream,
+                    expr_to_string(offset),
+                    width,
+                    expr_to_string(value)
+                );
+            }
+            Stmt::DevWrite { buf, offset, width, value } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}dev{}[{}; {}B] = {};",
+                    buf,
+                    expr_to_string(offset),
+                    width,
+                    expr_to_string(value)
+                );
+            }
+            Stmt::DevAtomicAdd { buf, offset, value } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}atomicAdd(&dev{}[{}], {});",
+                    buf,
+                    expr_to_string(offset),
+                    expr_to_string(value)
+                );
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                let _ = writeln!(out, "{pad}if {} {{", expr_to_string(cond));
+                write_stmts(out, then_body, indent + 1);
+                if !else_body.is_empty() {
+                    let _ = writeln!(out, "{pad}}} else {{");
+                    write_stmts(out, else_body, indent + 1);
+                }
+                let _ = writeln!(out, "{pad}}}");
+            }
+            Stmt::While { cond, body } => {
+                let _ = writeln!(out, "{pad}while {} {{", expr_to_string(cond));
+                write_stmts(out, body, indent + 1);
+                let _ = writeln!(out, "{pad}}}");
+            }
+            Stmt::Alu(n) => {
+                let _ = writeln!(out, "{pad}/* {n} ALU ops */");
+            }
+            Stmt::EmitRead { stream, offset, width } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}addrBuf.push_read(stream{}, {}, {}B);",
+                    stream,
+                    expr_to_string(offset),
+                    width
+                );
+            }
+            Stmt::EmitWrite { stream, offset, width } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}addrBuf.push_write(stream{}, {}, {}B);",
+                    stream,
+                    expr_to_string(offset),
+                    width
+                );
+            }
+        }
+    }
+}
+
+/// Render a whole kernel.
+pub fn kernel_to_string(k: &KernelIr) -> String {
+    let mut out = String::new();
+    let rec = match k.record_size {
+        Some(r) => format!("{r}B records"),
+        None => "variable-length records".to_string(),
+    };
+    let _ = writeln!(out, "kernel {}({rec}, {} device buffers) {{", k.name, k.num_dev_bufs);
+    write_stmts(&mut out, &k.body, 1);
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_expressions() {
+        let e = Expr::add(Expr::var(RANGE_START), Expr::int(8));
+        assert_eq!(expr_to_string(&e), "(range.start + 8)");
+        let r = Expr::stream_read(0, Expr::var(Var(2)), 8);
+        assert_eq!(expr_to_string(&r), "stream0[v2; 8B]");
+    }
+
+    #[test]
+    fn renders_a_loop_kernel() {
+        let k = KernelIr {
+            name: "demo",
+            record_size: Some(8),
+            halo_bytes: 0,
+            num_dev_bufs: 1,
+            body: vec![
+                Stmt::Assign(Var(2), Expr::var(RANGE_START)),
+                Stmt::While {
+                    cond: Expr::lt(Expr::var(Var(2)), Expr::var(RANGE_END)),
+                    body: vec![
+                        Stmt::EmitRead { stream: 0, offset: Expr::var(Var(2)), width: 8 },
+                        Stmt::Assign(Var(2), Expr::add(Expr::var(Var(2)), Expr::int(8))),
+                    ],
+                },
+            ],
+        };
+        let s = kernel_to_string(&k);
+        assert!(s.contains("kernel demo(8B records, 1 device buffers) {"));
+        assert!(s.contains("while (v2 < range.end) {"));
+        assert!(s.contains("addrBuf.push_read(stream0, v2, 8B);"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn renders_if_else_and_atomics() {
+        let k = KernelIr {
+            name: "b",
+            record_size: None,
+            halo_bytes: 0,
+            num_dev_bufs: 1,
+            body: vec![Stmt::If {
+                cond: Expr::int(1),
+                then_body: vec![Stmt::DevAtomicAdd {
+                    buf: 0,
+                    offset: Expr::int(0),
+                    value: Expr::int(1),
+                }],
+                else_body: vec![Stmt::Alu(3)],
+            }],
+        };
+        let s = kernel_to_string(&k);
+        assert!(s.contains("if 1 {"));
+        assert!(s.contains("atomicAdd(&dev0[0], 1);"));
+        assert!(s.contains("} else {"));
+        assert!(s.contains("/* 3 ALU ops */"));
+    }
+}

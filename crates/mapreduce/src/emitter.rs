@@ -1,0 +1,240 @@
+//! GPU-side combiner: an open-addressing device hash table that folds
+//! emitted `(key, value)` pairs with an associative reduction operator.
+
+use bk_runtime::{DevBufId, KernelCtx, Machine};
+
+/// Bytes per table entry: `[tag: u64][accumulator: u64]`.
+pub const ENTRY_BYTES: u64 = 16;
+
+/// The associative combine operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// `acc += value`
+    Sum,
+    /// `acc += 1` (value ignored)
+    Count,
+    /// `acc = min(acc, value)`
+    Min,
+    /// `acc = max(acc, value)`
+    Max,
+}
+
+impl ReduceOp {
+    /// Identity element stored in a freshly-claimed slot.
+    fn identity(self) -> u64 {
+        match self {
+            ReduceOp::Sum | ReduceOp::Count => 0,
+            ReduceOp::Min => u64::MAX,
+            ReduceOp::Max => 0,
+        }
+    }
+
+    /// Host-side fold (verification/reduce phase).
+    pub fn fold(self, acc: u64, value: u64) -> u64 {
+        match self {
+            ReduceOp::Sum => acc.wrapping_add(value),
+            ReduceOp::Count => acc.wrapping_add(1),
+            ReduceOp::Min => acc.min(value),
+            ReduceOp::Max => acc.max(value),
+        }
+    }
+}
+
+/// The device-resident combiner table.
+#[derive(Clone, Copy, Debug)]
+pub struct Emitter {
+    buf: DevBufId,
+    slots: u64,
+    op: ReduceOp,
+}
+
+impl Emitter {
+    /// Allocate a combiner with capacity for roughly `expected_keys`
+    /// distinct keys (4x slack, power-of-two slots).
+    pub fn new(machine: &mut Machine, expected_keys: u64, op: ReduceOp) -> Self {
+        let slots = (expected_keys.max(16) * 4).next_power_of_two();
+        let buf = machine.gmem.alloc(slots * ENTRY_BYTES);
+        Emitter { buf, slots, op }
+    }
+
+    pub fn op(&self) -> ReduceOp {
+        self.op
+    }
+
+    /// Combine `(key, value)` into the table. `key` must be non-zero.
+    /// All probing and atomics run through `ctx` so they are costed like any
+    /// kernel work (this is Word Count's centralized-hash-table shape).
+    pub fn emit(&self, ctx: &mut dyn KernelCtx, key: u64, value: u64) {
+        debug_assert!(key != 0, "key 0 is reserved for empty slots");
+        let mut i = key & (self.slots - 1);
+        for _ in 0..self.slots {
+            let off = i * ENTRY_BYTES;
+            let seen = ctx.dev_atomic_cas_u64(self.buf, off, 0, key);
+            if seen == 0 || seen == key {
+                let acc_off = off + 8;
+                if seen == 0 && self.op.identity() != 0 {
+                    // Freshly claimed: install the identity before folding.
+                    // (Sequential simulation makes this trivially safe; a
+                    // real kernel packs identity install into the claim.)
+                    ctx.dev_write(self.buf, acc_off, 8, self.op.identity());
+                }
+                match self.op {
+                    ReduceOp::Sum => {
+                        ctx.dev_atomic_add_u64(self.buf, acc_off, value);
+                    }
+                    ReduceOp::Count => {
+                        ctx.dev_atomic_add_u64(self.buf, acc_off, 1);
+                    }
+                    ReduceOp::Min | ReduceOp::Max => {
+                        // CAS loop (atomicMin/Max on u64 via CAS, the CUDA
+                        // idiom for 64-bit min/max).
+                        loop {
+                            let cur = ctx.dev_read(self.buf, acc_off, 8);
+                            let folded = self.op.fold(cur, value);
+                            if folded == cur {
+                                break;
+                            }
+                            let prev = ctx.dev_atomic_cas_u64(self.buf, acc_off, cur, folded);
+                            if prev == cur {
+                                break;
+                            }
+                            ctx.alu(1);
+                        }
+                    }
+                }
+                return;
+            }
+            ctx.alu(2);
+            i = (i + 1) & (self.slots - 1);
+        }
+        panic!("combiner table full ({} slots)", self.slots);
+    }
+
+    /// Drain the table host-side: all `(key, accumulator)` pairs, sorted by
+    /// key (the reduce/output phase; not part of the measured kernel).
+    pub fn drain(&self, machine: &Machine) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for i in 0..self.slots {
+            let tag = machine.gmem.read_u64(self.buf, i * ENTRY_BYTES);
+            if tag != 0 {
+                out.push((tag, machine.gmem.read_u64(self.buf, i * ENTRY_BYTES + 8)));
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bk_baselines::CpuCtx;
+    use bk_host::CacheSim;
+    use bk_runtime::{StreamArray, StreamId};
+
+    fn setup(op: ReduceOp) -> (Machine, Emitter) {
+        let mut m = Machine::test_platform();
+        let e = Emitter::new(&mut m, 64, op);
+        (m, e)
+    }
+
+    fn emit_all(m: &mut Machine, e: Emitter, pairs: &[(u64, u64)]) {
+        let r = m.hmem.alloc(64);
+        let streams = vec![StreamArray::map(m, StreamId(0), r)];
+        let mut cache = CacheSim::xeon_llc();
+        let mut ctx = CpuCtx::new(&mut m.hmem, &mut m.gmem, &streams, &mut cache, 0, 1);
+        for &(k, v) in pairs {
+            e.emit(&mut ctx, k, v);
+        }
+    }
+
+    #[test]
+    fn sum_combines() {
+        let (mut m, e) = setup(ReduceOp::Sum);
+        emit_all(&mut m, e, &[(5, 10), (5, 32), (9, 1)]);
+        assert_eq!(e.drain(&m), vec![(5, 42), (9, 1)]);
+    }
+
+    #[test]
+    fn count_ignores_values() {
+        let (mut m, e) = setup(ReduceOp::Count);
+        emit_all(&mut m, e, &[(5, 999), (5, 1), (5, 7), (9, 0)]);
+        assert_eq!(e.drain(&m), vec![(5, 3), (9, 1)]);
+    }
+
+    #[test]
+    fn min_and_max() {
+        let (mut m, e) = setup(ReduceOp::Min);
+        emit_all(&mut m, e, &[(1, 30), (1, 10), (1, 20)]);
+        assert_eq!(e.drain(&m), vec![(1, 10)]);
+
+        let (mut m, e) = setup(ReduceOp::Max);
+        emit_all(&mut m, e, &[(1, 30), (1, 10), (1, 20), (2, 0)]);
+        assert_eq!(e.drain(&m), vec![(1, 30), (2, 0)]);
+    }
+
+    #[test]
+    fn colliding_keys_probe_independently() {
+        let (mut m, e) = setup(ReduceOp::Sum);
+        // slots is a power of two >= 256; keys congruent mod slots collide.
+        let s = 256u64;
+        emit_all(&mut m, e, &[(s, 1), (2 * s, 2), (3 * s, 3)]);
+        let got = e.drain(&m);
+        assert_eq!(got.len(), 3);
+        assert!(got.contains(&(s, 1)) && got.contains(&(2 * s, 2)) && got.contains(&(3 * s, 3)));
+    }
+
+    #[test]
+    fn fold_host_side_matches() {
+        assert_eq!(ReduceOp::Sum.fold(40, 2), 42);
+        assert_eq!(ReduceOp::Count.fold(41, 999), 42);
+        assert_eq!(ReduceOp::Min.fold(7, 42), 7);
+        assert_eq!(ReduceOp::Max.fold(7, 42), 42);
+    }
+
+    #[test]
+    fn empty_drain() {
+        let (m, e) = setup(ReduceOp::Sum);
+        assert!(e.drain(&m).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod capacity_tests {
+    use super::*;
+    use bk_baselines::CpuCtx;
+    use bk_host::CacheSim;
+    use bk_runtime::{Machine, StreamArray, StreamId};
+
+    #[test]
+    #[should_panic(expected = "combiner table full")]
+    fn overfull_combiner_panics_with_context() {
+        let mut m = Machine::test_platform();
+        // 16 expected keys → 64 slots; insert 65 distinct keys.
+        let e = Emitter::new(&mut m, 16, ReduceOp::Sum);
+        let r = m.hmem.alloc(64);
+        let streams = vec![StreamArray::map(&m, StreamId(0), r)];
+        let mut cache = CacheSim::xeon_llc();
+        let mut ctx = CpuCtx::new(&mut m.hmem, &mut m.gmem, &streams, &mut cache, 0, 1);
+        for k in 1..=65u64 {
+            e.emit(&mut ctx, k, 1);
+        }
+    }
+
+    #[test]
+    fn capacity_headroom_is_4x() {
+        let mut m = Machine::test_platform();
+        let e = Emitter::new(&mut m, 100, ReduceOp::Sum);
+        // 100 keys * 4 slack → next pow2 = 512 slots; the table must absorb
+        // well beyond the expected key count without probing failure.
+        let r = m.hmem.alloc(64);
+        let streams = vec![StreamArray::map(&m, StreamId(0), r)];
+        let mut cache = CacheSim::xeon_llc();
+        let mut ctx = CpuCtx::new(&mut m.hmem, &mut m.gmem, &streams, &mut cache, 0, 1);
+        for k in 1..=300u64 {
+            e.emit(&mut ctx, k, k);
+        }
+        drop(ctx);
+        assert_eq!(e.drain(&m).len(), 300);
+    }
+}

@@ -1,0 +1,110 @@
+//! The MapReduce job trait and its adapter onto [`StreamKernel`].
+//!
+//! [`StreamKernel`]: bk_runtime::StreamKernel
+
+use crate::emitter::Emitter;
+use bk_gpu::occupancy::BlockResources;
+use bk_runtime::ctx::AddrGenCtx;
+use bk_runtime::{KernelCtx, StreamKernel};
+use std::ops::Range;
+
+/// A MapReduce job over a mapped stream.
+///
+/// `map` decodes the records starting in `range` (reading mapped data only
+/// through `ctx`) and emits `(key, value)` pairs into `out`; `addresses` is
+/// the compiler-slice analogue describing exactly the reads `map` performs
+/// (verified at run time like any BigKernel kernel).
+pub trait MapJob: Sync {
+    fn name(&self) -> &'static str;
+
+    /// Fixed record size, or `None` for variable-length records.
+    fn record_size(&self) -> Option<u64>;
+
+    /// Bytes past the range end a thread may touch (variable-length data).
+    fn halo_bytes(&self) -> u64 {
+        0
+    }
+
+    /// The address-generation half of `map`.
+    fn addresses(&self, ctx: &mut AddrGenCtx<'_>, range: Range<u64>);
+
+    /// Decode records starting in `range`, emitting pairs into `out`.
+    fn map(&self, ctx: &mut dyn KernelCtx, range: Range<u64>, out: &Emitter);
+}
+
+/// Adapter: a [`MapJob`] plus its combiner run as an ordinary streaming
+/// kernel under any implementation.
+pub struct MapKernel<'a, J: MapJob> {
+    pub job: &'a J,
+    pub emitter: Emitter,
+}
+
+impl<J: MapJob> StreamKernel for MapKernel<'_, J> {
+    fn name(&self) -> &'static str {
+        self.job.name()
+    }
+
+    fn record_size(&self) -> Option<u64> {
+        self.job.record_size()
+    }
+
+    fn halo_bytes(&self) -> u64 {
+        self.job.halo_bytes()
+    }
+
+    fn addresses(&self, ctx: &mut AddrGenCtx<'_>, range: Range<u64>) {
+        self.job.addresses(ctx, range);
+    }
+
+    fn process(&self, ctx: &mut dyn KernelCtx, range: Range<u64>) {
+        self.job.map(ctx, range, &self.emitter);
+    }
+
+    fn resources(&self) -> BlockResources {
+        BlockResources::streaming_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emitter::ReduceOp;
+    use bk_runtime::{Machine, StreamId, ValueExt};
+
+    /// Counts records by their first byte.
+    struct ByteClassJob;
+
+    impl MapJob for ByteClassJob {
+        fn name(&self) -> &'static str {
+            "byte-class"
+        }
+        fn record_size(&self) -> Option<u64> {
+            Some(4)
+        }
+        fn addresses(&self, ctx: &mut AddrGenCtx<'_>, range: Range<u64>) {
+            let mut off = range.start;
+            while off < range.end {
+                ctx.emit_read(StreamId(0), off, 1);
+                off += 4;
+            }
+        }
+        fn map(&self, ctx: &mut dyn KernelCtx, range: Range<u64>, out: &Emitter) {
+            let mut off = range.start;
+            while off < range.end {
+                let b = ctx.stream_read_u8(StreamId(0), off);
+                out.emit(ctx, b as u64 + 1, 1);
+                off += 4;
+            }
+        }
+    }
+
+    #[test]
+    fn adapter_exposes_job_metadata() {
+        let mut m = Machine::test_platform();
+        let emitter = Emitter::new(&mut m, 16, ReduceOp::Sum);
+        let k = MapKernel { job: &ByteClassJob, emitter };
+        assert_eq!(StreamKernel::name(&k), "byte-class");
+        assert_eq!(k.record_size(), Some(4));
+        assert_eq!(k.halo_bytes(), 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # bk-mapreduce — MapReduce over BigKernel-streamed data
+//!
+//! The paper's concluding remarks name this as the next step: *"we plan on
+//! applying BigKernel to MapReduce."* This crate builds that layer on the
+//! reproduction's runtime:
+//!
+//! * a [`MapJob`] decodes records from a mapped stream and emits
+//!   `(key, value)` pairs;
+//! * an [`Emitter`] combines pairs GPU-side into a device hash table with an
+//!   associative [`ReduceOp`] (sum / count / min / max) — the combiner that
+//!   makes the map phase a pure streaming kernel, exactly the computation
+//!   class BigKernel targets;
+//! * [`run_mapreduce`] adapts the job to a [`StreamKernel`] and runs it under
+//!   any of the paper's five implementations, then drains and finalizes the
+//!   table host-side (the reduce phase).
+//!
+//! The adapter means a MapReduce job inherits everything measured in the
+//! evaluation: pipelined transfers, pattern-compressed address streams,
+//! coalesced prefetch layout, and the cross-checked address slice. For flat
+//! record scans, [`schema::FieldJob`] goes one step further and derives
+//! *both* kernel halves from a declarative record schema.
+//!
+//! [`StreamKernel`]: bk_runtime::StreamKernel
+
+pub mod emitter;
+pub mod job;
+pub mod runner;
+pub mod schema;
+
+pub use emitter::{Emitter, ReduceOp};
+pub use job::MapJob;
+pub use runner::{run_mapreduce, Engine, MapReduceOutput};
+pub use schema::{Field, FieldJob};

@@ -1,0 +1,180 @@
+//! Address streams produced by the prefetch address-generation stage.
+//!
+//! Each address-generation thread records, for its chunk slice, the exact
+//! sequence of mapped-stream accesses the corresponding computation thread
+//! will later perform (paper §III, stage 1). A stream is shipped to the CPU
+//! either raw or compressed to a stride pattern (§IV.A, [`crate::pattern`]).
+
+use crate::pattern::Pattern;
+use crate::segmented::SegmentedStream;
+use crate::stream::StreamId;
+
+/// Bytes one raw address entry occupies in the CPU-side address buffer.
+/// The paper uses 4- or 8-byte addresses; we charge 8 (64-bit address with
+/// stream id and width packed into otherwise-unused high bits).
+pub const ADDR_ENTRY_BYTES: u64 = 8;
+
+/// One recorded mapped-stream access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AddrEntry {
+    pub stream: StreamId,
+    pub offset: u64,
+    pub width: u32,
+}
+
+/// A lane's address sequence for one chunk: raw, pattern-compressed, or
+/// piecewise-compressed (patterns changing midstream, the §IV.A extension).
+#[derive(Clone, Debug)]
+pub enum AddrStream {
+    Raw(Vec<AddrEntry>),
+    Pattern(Pattern),
+    Segmented(SegmentedStream),
+}
+
+impl AddrStream {
+    /// Whether the stream is compressed (fully or piecewise) — compressed
+    /// streams can be walked by the assembler without scanning the raw
+    /// address buffer, enabling the §IV.B locality order.
+    pub fn is_compressed(&self) -> bool {
+        !matches!(self, AddrStream::Raw(_))
+    }
+}
+
+impl AddrStream {
+    /// Number of accesses described.
+    pub fn len(&self) -> usize {
+        match self {
+            AddrStream::Raw(v) => v.len(),
+            AddrStream::Pattern(p) => p.count,
+            AddrStream::Segmented(s) => s.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `k`-th access (0-based). Panics when out of range.
+    pub fn entry(&self, k: usize) -> AddrEntry {
+        match self {
+            AddrStream::Raw(v) => v[k],
+            AddrStream::Pattern(p) => p.entry(k),
+            AddrStream::Segmented(s) => s.entry(k),
+        }
+    }
+
+    /// Bytes this stream occupies in the pinned CPU-side address buffer
+    /// (what travels over PCIe in stage 1).
+    pub fn encoded_bytes(&self) -> u64 {
+        match self {
+            AddrStream::Raw(v) => v.len() as u64 * ADDR_ENTRY_BYTES,
+            AddrStream::Pattern(p) => p.encoded_bytes(),
+            AddrStream::Segmented(s) => s.encoded_bytes(),
+        }
+    }
+
+    /// Total useful data bytes addressed.
+    pub fn data_bytes(&self) -> u64 {
+        match self {
+            AddrStream::Raw(v) => v.iter().map(|e| e.width as u64).sum(),
+            AddrStream::Pattern(p) => p.data_bytes(),
+            AddrStream::Segmented(s) => s.data_bytes(),
+        }
+    }
+
+    /// Iterate entries in order.
+    pub fn iter(&self) -> AddrStreamIter<'_> {
+        AddrStreamIter { stream: self, k: 0 }
+    }
+}
+
+/// Iterator over the entries of an [`AddrStream`].
+pub struct AddrStreamIter<'a> {
+    stream: &'a AddrStream,
+    k: usize,
+}
+
+impl Iterator for AddrStreamIter<'_> {
+    type Item = AddrEntry;
+
+    fn next(&mut self) -> Option<AddrEntry> {
+        if self.k >= self.stream.len() {
+            None
+        } else {
+            let e = self.stream.entry(self.k);
+            self.k += 1;
+            Some(e)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.stream.len() - self.k;
+        (rem, Some(rem))
+    }
+}
+
+/// The address streams of one lane for one chunk: reads and writes travel in
+/// separate buffers (writes need the extra GPU-side value buffer, §III
+/// "Writes to mapped data").
+#[derive(Clone, Debug)]
+pub struct LaneAddrs {
+    pub reads: AddrStream,
+    pub writes: AddrStream,
+}
+
+impl LaneAddrs {
+    pub fn empty() -> Self {
+        LaneAddrs { reads: AddrStream::Raw(Vec::new()), writes: AddrStream::Raw(Vec::new()) }
+    }
+
+    pub fn encoded_bytes(&self) -> u64 {
+        self.reads.encoded_bytes() + self.writes.encoded_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(off: u64, w: u32) -> AddrEntry {
+        AddrEntry { stream: StreamId(0), offset: off, width: w }
+    }
+
+    #[test]
+    fn raw_stream_accessors() {
+        let s = AddrStream::Raw(vec![e(0, 8), e(8, 8), e(16, 4)]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.entry(2), e(16, 4));
+        assert_eq!(s.encoded_bytes(), 24);
+        assert_eq!(s.data_bytes(), 20);
+        let collected: Vec<_> = s.iter().collect();
+        assert_eq!(collected, vec![e(0, 8), e(8, 8), e(16, 4)]);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let s = AddrStream::Raw(Vec::new());
+        assert!(s.is_empty());
+        assert_eq!(s.encoded_bytes(), 0);
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn iter_size_hint_exact() {
+        let s = AddrStream::Raw(vec![e(0, 1), e(1, 1)]);
+        let mut it = s.iter();
+        assert_eq!(it.size_hint(), (2, Some(2)));
+        it.next();
+        assert_eq!(it.size_hint(), (1, Some(1)));
+    }
+
+    #[test]
+    fn lane_addrs_encoded_bytes_sums() {
+        let l = LaneAddrs {
+            reads: AddrStream::Raw(vec![e(0, 8)]),
+            writes: AddrStream::Raw(vec![e(8, 4), e(12, 4)]),
+        };
+        assert_eq!(l.encoded_bytes(), 3 * ADDR_ENTRY_BYTES);
+    }
+}

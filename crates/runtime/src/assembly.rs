@@ -1,0 +1,464 @@
+//! Data assembly (pipeline stage 2) with the §IV.B locality optimization.
+//!
+//! A dedicated CPU thread per thread block walks the address buffer and
+//! gathers the addressed bytes from the mapped host array into a pinned
+//! prefetch buffer, laid out per [`crate::layout::ChunkLayout`].
+//!
+//! Cost accounting follows the paper's "two reads and two writes per
+//! element" analysis (§III): the GPU first DMAs the address into CPU memory
+//! (one write), the CPU reads the address (one read), reads the target data
+//! (second read — this one goes through the simulated LLC because locality
+//! matters here), and writes it to the pinned buffer (second write,
+//! streaming). Pattern-compressed streams skip the address write+read
+//! almost entirely.
+//!
+//! §IV.B: when a pattern is available, the gather reads *all of one GPU
+//! thread's data at a time* (each GPU thread reads consecutive data, so the
+//! CPU walk is near-sequential) instead of in GPU access order (which
+//! interleaves distant regions of the source array across lanes). The
+//! destination writes stay in access order either way — the paper found
+//! read cost dominates write cost.
+
+use crate::addr::{AddrStream, LaneAddrs};
+use crate::config::AssemblyLayout;
+use crate::layout::ChunkLayout;
+use crate::stream::StreamArray;
+use bk_gpu::WARP_SIZE;
+use bk_host::{CacheSim, CpuCost, HostMemory};
+
+/// Instructions charged per assembled element (address decode, bounds math,
+/// load, store).
+const INSTRS_PER_ELEMENT: u64 = 4;
+/// Block-copy gather rate for contiguous pattern runs: one instruction per
+/// this many bytes (vectorized copy), plus a fixed per-run cost.
+const RUN_BYTES_PER_INSTR: u64 = 16;
+const INSTRS_PER_RUN: u64 = 3;
+
+/// Charge the cost of one contiguous gather run.
+fn flush_run(
+    cost: &mut CpuCost,
+    cache: &mut CacheSim,
+    hmem: &HostMemory,
+    streams: &[StreamArray],
+    stream: u32,
+    start: u64,
+    len: u64,
+) {
+    let arr = &streams[stream as usize];
+    let (h, m) = cache.access_range(hmem.vaddr(arr.region, start), len);
+    cost.cache_hits += h;
+    cost.cache_misses += m;
+    cost.dram_bytes += m * cache.line_bytes();
+    cost.instructions += INSTRS_PER_RUN + len / RUN_BYTES_PER_INSTR;
+}
+
+/// Output of assembling one block's chunk.
+pub struct AssemblyOutput {
+    /// Read-side layout (what the compute stage consumes).
+    pub layout: ChunkLayout,
+    /// Write-side layout (geometry of the GPU write-value buffer), present
+    /// when any lane emits writes.
+    pub write_layout: Option<ChunkLayout>,
+    /// The pinned prefetch-buffer contents.
+    pub bytes: Vec<u8>,
+    /// CPU cost of the gather.
+    pub cost: CpuCost,
+    /// Useful data bytes gathered.
+    pub gathered_bytes: u64,
+    /// Padding bytes in the buffer (interleaved-layout raggedness).
+    pub padding_bytes: u64,
+    /// Whether the §IV.B per-lane read order was actually used.
+    pub locality_order_used: bool,
+}
+
+/// Assemble one block's chunk.
+///
+/// `lanes[i]` are the address streams of lane `i`; `streams` maps
+/// `StreamId(i)` → `streams[i]`.
+pub fn assemble(
+    hmem: &HostMemory,
+    streams: &[StreamArray],
+    lanes: &[LaneAddrs],
+    layout_kind: AssemblyLayout,
+    locality: bool,
+    cache: &mut CacheSim,
+) -> AssemblyOutput {
+    let reads: Vec<&AddrStream> = lanes.iter().map(|l| &l.reads).collect();
+    let (layout, padding) = match layout_kind {
+        AssemblyLayout::Interleaved => {
+            let l = ChunkLayout::build_interleaved(&reads);
+            let p = match &l {
+                ChunkLayout::Interleaved { padding, .. } => *padding,
+                _ => unreachable!(),
+            };
+            (l, p)
+        }
+        AssemblyLayout::PerLane => (ChunkLayout::build_per_lane(&reads), 0),
+    };
+
+    let mut bytes = vec![0u8; layout.total_len() as usize];
+    let mut cost = CpuCost::new();
+    let mut gathered = 0u64;
+
+    // §IV.B applies when every non-empty lane has a pattern: the per-lane
+    // walk needs the pattern to know the addresses without scanning the raw
+    // buffer in access order.
+    let all_patterned = lanes
+        .iter()
+        .filter(|l| !l.reads.is_empty())
+        .all(|l| l.reads.is_compressed());
+    let use_locality_order = locality && all_patterned;
+
+    let gather_one = |cost: &mut CpuCost,
+                      cache: &mut CacheSim,
+                      bytes: &mut [u8],
+                      gathered: &mut u64,
+                      lane: usize,
+                      k: usize,
+                      dest: u64| {
+        let e = lanes[lane].reads.entry(k);
+        let arr = &streams[e.stream.0 as usize];
+        let src = hmem.read(arr.region, e.offset, e.width as usize);
+        bytes[dest as usize..dest as usize + e.width as usize].copy_from_slice(src);
+        let (h, m) = cache.access_range(hmem.vaddr(arr.region, e.offset), e.width as u64);
+        cost.cache_hits += h;
+        cost.cache_misses += m;
+        cost.dram_bytes += m * cache.line_bytes();
+        *gathered += e.width as u64;
+    };
+
+    match (&layout, use_locality_order) {
+        // Per-lane (locality) order: lane-major walk. Contiguous source
+        // runs (the common case under a stride pattern — byte scans, record
+        // walks) are gathered as block copies: the cache is probed per
+        // line, not per element, and the instruction cost is per run. This
+        // is what makes pattern-driven assembly cheap for byte-granular
+        // data (Table II).
+        (ChunkLayout::Interleaved { warps, .. }, true) => {
+            for (lane, l) in lanes.iter().enumerate() {
+                let region = &warps[lane / WARP_SIZE];
+                let mut run_start = 0u64;
+                let mut run_len = 0u64;
+                let mut run_stream = 0u32;
+                for k in 0..l.reads.len() {
+                    let e = l.reads.entry(k);
+                    // Functional copy (always per element; dest slots are
+                    // interleaved).
+                    let arr = &streams[e.stream.0 as usize];
+                    let (dest, _) = region.slot(lane % WARP_SIZE, k);
+                    let src = hmem.read(arr.region, e.offset, e.width as usize);
+                    bytes[dest as usize..dest as usize + e.width as usize].copy_from_slice(src);
+                    gathered += e.width as u64;
+                    // Cost: extend or flush the contiguous source run.
+                    if run_len > 0 && e.stream.0 == run_stream && e.offset == run_start + run_len
+                    {
+                        run_len += e.width as u64;
+                    } else {
+                        if run_len > 0 {
+                            flush_run(
+                                &mut cost, cache, hmem, streams, run_stream, run_start, run_len,
+                            );
+                        }
+                        run_stream = e.stream.0;
+                        run_start = e.offset;
+                        run_len = e.width as u64;
+                    }
+                }
+                if run_len > 0 {
+                    flush_run(&mut cost, cache, hmem, streams, run_stream, run_start, run_len);
+                }
+            }
+        }
+        // Access order: step-major walk per warp.
+        (ChunkLayout::Interleaved { warps, .. }, false) => {
+            for (w, region) in warps.iter().enumerate() {
+                let lanes_here =
+                    &lanes[w * WARP_SIZE..((w + 1) * WARP_SIZE).min(lanes.len())];
+                for k in 0..region.step_off.len() {
+                    for (li, l) in lanes_here.iter().enumerate() {
+                        if k < l.reads.len() {
+                            let (dest, _) = region.slot(li, k);
+                            gather_one(&mut cost, cache, &mut bytes, &mut gathered, w * WARP_SIZE + li, k, dest);
+                        }
+                    }
+                }
+            }
+            cost.instructions +=
+                lanes.iter().map(|l| l.reads.len() as u64).sum::<u64>() * INSTRS_PER_ELEMENT;
+        }
+        // PerLane destination layout is inherently lane-major; pattern
+        // lanes gather as contiguous runs, raw lanes pay per element
+        // (each raw address must be decoded).
+        (ChunkLayout::PerLane { lane_base, .. }, _) => {
+            for (lane, l) in lanes.iter().enumerate() {
+                let mut dest = lane_base[lane];
+                if l.reads.is_compressed() {
+                    let mut run_start = 0u64;
+                    let mut run_len = 0u64;
+                    let mut run_stream = 0u32;
+                    for k in 0..l.reads.len() {
+                        let e = l.reads.entry(k);
+                        let arr = &streams[e.stream.0 as usize];
+                        let src = hmem.read(arr.region, e.offset, e.width as usize);
+                        bytes[dest as usize..dest as usize + e.width as usize]
+                            .copy_from_slice(src);
+                        dest += e.width as u64;
+                        gathered += e.width as u64;
+                        if run_len > 0
+                            && e.stream.0 == run_stream
+                            && e.offset == run_start + run_len
+                        {
+                            run_len += e.width as u64;
+                        } else {
+                            if run_len > 0 {
+                                flush_run(
+                                    &mut cost, cache, hmem, streams, run_stream, run_start,
+                                    run_len,
+                                );
+                            }
+                            run_stream = e.stream.0;
+                            run_start = e.offset;
+                            run_len = e.width as u64;
+                        }
+                    }
+                    if run_len > 0 {
+                        flush_run(&mut cost, cache, hmem, streams, run_stream, run_start, run_len);
+                    }
+                } else {
+                    for k in 0..l.reads.len() {
+                        let w = l.reads.entry(k).width as u64;
+                        gather_one(&mut cost, cache, &mut bytes, &mut gathered, lane, k, dest);
+                        dest += w;
+                    }
+                    cost.instructions += l.reads.len() as u64 * INSTRS_PER_ELEMENT;
+                }
+            }
+        }
+        (ChunkLayout::Staged { .. }, _) => unreachable!("assemble never builds staged layouts"),
+    }
+
+    // Address-buffer traffic: raw streams are written by the GPU's
+    // zero-copy stores (one DRAM write) and scanned by the assembler (one
+    // DRAM read); patterns are a few dozen bytes.
+    let addr_bytes: u64 = lanes.iter().map(|l| l.reads.encoded_bytes()).sum();
+    cost.dram_bytes += 2 * addr_bytes;
+    // Streaming stores into the pinned prefetch buffer.
+    cost.dram_bytes += layout.total_len();
+
+    // Write-side geometry (no data movement here; values arrive in stage 4).
+    let has_writes = lanes.iter().any(|l| !l.writes.is_empty());
+    let write_layout = has_writes.then(|| {
+        let writes: Vec<&AddrStream> = lanes.iter().map(|l| &l.writes).collect();
+        match layout_kind {
+            AssemblyLayout::Interleaved => ChunkLayout::build_interleaved(&writes),
+            AssemblyLayout::PerLane => ChunkLayout::build_per_lane(&writes),
+        }
+    });
+
+    AssemblyOutput {
+        layout,
+        write_layout,
+        bytes,
+        cost,
+        gathered_bytes: gathered,
+        padding_bytes: padding,
+        locality_order_used: use_locality_order,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::AddrEntry;
+    use crate::machine::Machine;
+    use crate::pattern;
+    use crate::stream::{StreamArray, StreamId};
+
+    fn setup(data: &[u8]) -> (Machine, Vec<StreamArray>) {
+        let mut m = Machine::test_platform();
+        let r = m.hmem.alloc_from(data);
+        let s = StreamArray::map(&m, StreamId(0), r);
+        (m, vec![s])
+    }
+
+    fn raw_lane(entries: Vec<(u64, u32)>) -> LaneAddrs {
+        LaneAddrs {
+            reads: AddrStream::Raw(
+                entries
+                    .into_iter()
+                    .map(|(o, w)| AddrEntry { stream: StreamId(0), offset: o, width: w })
+                    .collect(),
+            ),
+            writes: AddrStream::Raw(Vec::new()),
+        }
+    }
+
+    #[test]
+    fn gather_places_bytes_at_slots() {
+        let data: Vec<u8> = (0..=255).collect();
+        let (m, streams) = setup(&data);
+        let lanes = vec![raw_lane(vec![(10, 4), (200, 2)])];
+        let mut cache = CacheSim::xeon_llc();
+        let out = assemble(
+            &m.hmem,
+            &streams,
+            &lanes,
+            AssemblyLayout::Interleaved,
+            true,
+            &mut cache,
+        );
+        let ChunkLayout::Interleaved { warps, .. } = &out.layout else { panic!() };
+        let (p0, _) = warps[0].slot(0, 0);
+        let (p1, _) = warps[0].slot(0, 1);
+        assert_eq!(&out.bytes[p0 as usize..p0 as usize + 4], &[10, 11, 12, 13]);
+        assert_eq!(&out.bytes[p1 as usize..p1 as usize + 2], &[200, 201]);
+        assert_eq!(out.gathered_bytes, 6);
+        assert!(!out.locality_order_used, "raw streams use access order");
+    }
+
+    #[test]
+    fn locality_order_requires_patterns() {
+        let data = vec![7u8; 1 << 16];
+        let (m, streams) = setup(&data);
+        let entries: Vec<AddrEntry> =
+            (0..64).map(|i| AddrEntry { stream: StreamId(0), offset: i * 8, width: 8 }).collect();
+        let pat = pattern::detect(&entries, pattern::MAX_PERIOD).unwrap();
+        let lanes = vec![LaneAddrs {
+            reads: AddrStream::Pattern(pat),
+            writes: AddrStream::Raw(Vec::new()),
+        }];
+        let mut cache = CacheSim::xeon_llc();
+        let out =
+            assemble(&m.hmem, &streams, &lanes, AssemblyLayout::Interleaved, true, &mut cache);
+        assert!(out.locality_order_used);
+        assert_eq!(out.gathered_bytes, 64 * 8);
+        // locality off → access order even with patterns
+        let mut cache2 = CacheSim::xeon_llc();
+        let out2 =
+            assemble(&m.hmem, &streams, &lanes, AssemblyLayout::Interleaved, false, &mut cache2);
+        assert!(!out2.locality_order_used);
+        assert_eq!(out.bytes, out2.bytes, "order must not change contents");
+    }
+
+    #[test]
+    fn per_lane_layout_packs_in_order() {
+        let data: Vec<u8> = (0..=255).collect();
+        let (m, streams) = setup(&data);
+        let lanes = vec![raw_lane(vec![(0, 2), (100, 2)]), raw_lane(vec![(50, 4)])];
+        let mut cache = CacheSim::xeon_llc();
+        let out =
+            assemble(&m.hmem, &streams, &lanes, AssemblyLayout::PerLane, false, &mut cache);
+        assert_eq!(&out.bytes[0..2], &[0, 1]);
+        assert_eq!(&out.bytes[2..4], &[100, 101]);
+        assert_eq!(&out.bytes[4..8], &[50, 51, 52, 53]);
+        assert_eq!(out.padding_bytes, 0);
+    }
+
+    #[test]
+    fn pattern_streams_cost_less_dram_for_addresses() {
+        let data = vec![1u8; 1 << 16];
+        let (m, streams) = setup(&data);
+        let entries: Vec<AddrEntry> =
+            (0..1000).map(|i| AddrEntry { stream: StreamId(0), offset: i, width: 1 }).collect();
+        let raw = vec![LaneAddrs {
+            reads: AddrStream::Raw(entries.clone()),
+            writes: AddrStream::Raw(Vec::new()),
+        }];
+        let pat = vec![LaneAddrs {
+            reads: AddrStream::Pattern(pattern::detect(&entries, 8).unwrap()),
+            writes: AddrStream::Raw(Vec::new()),
+        }];
+        let mut c1 = CacheSim::xeon_llc();
+        let mut c2 = CacheSim::xeon_llc();
+        let o_raw =
+            assemble(&m.hmem, &streams, &raw, AssemblyLayout::Interleaved, true, &mut c1);
+        let o_pat =
+            assemble(&m.hmem, &streams, &pat, AssemblyLayout::Interleaved, true, &mut c2);
+        assert_eq!(o_raw.bytes, o_pat.bytes, "compression must not change data");
+        // Raw pays 2 * 8000 addr bytes of DRAM traffic that the pattern avoids.
+        assert!(o_raw.cost.dram_bytes >= o_pat.cost.dram_bytes + 15_000);
+    }
+
+    #[test]
+    fn locality_order_improves_hit_rate_for_strided_lanes() {
+        // 64 lanes each scanning a distant 8 KiB region byte by byte. In
+        // access order the cache bounces across 64 regions; in per-lane
+        // order each region is read sequentially.
+        let region = 8192u64;
+        let data = vec![3u8; (64 * region) as usize];
+        let (m, streams) = setup(&data);
+        let mk = |lane: u64| -> Vec<AddrEntry> {
+            (0..region / 8)
+                .map(|i| AddrEntry { stream: StreamId(0), offset: lane * region + i * 8, width: 8 })
+                .collect()
+        };
+        let lanes_pat: Vec<LaneAddrs> = (0..64)
+            .map(|l| LaneAddrs {
+                reads: AddrStream::Pattern(pattern::detect(&mk(l), 8).unwrap()),
+                writes: AddrStream::Raw(Vec::new()),
+            })
+            .collect();
+        // Tiny cache to make the order difference visible.
+        let mut c_seq = CacheSim::new(4096, 64, 4);
+        let mut c_acc = CacheSim::new(4096, 64, 4);
+        let a = assemble(
+            &m.hmem, &streams, &lanes_pat, AssemblyLayout::Interleaved, true, &mut c_seq,
+        );
+        let b = assemble(
+            &m.hmem, &streams, &lanes_pat, AssemblyLayout::Interleaved, false, &mut c_acc,
+        );
+        assert_eq!(a.bytes, b.bytes);
+        // Locality order gathers each lane's region as sequential runs: one
+        // cache probe per line and per-run instructions. Access order pays
+        // a probe and decode per element. Both DRAM traffic and
+        // instructions must drop substantially.
+        assert!(
+            a.cost.dram_bytes * 2 < b.cost.dram_bytes,
+            "locality dram {} vs access-order dram {}",
+            a.cost.dram_bytes,
+            b.cost.dram_bytes
+        );
+        assert!(
+            a.cost.instructions * 4 < b.cost.instructions,
+            "locality instrs {} vs access-order instrs {}",
+            a.cost.instructions,
+            b.cost.instructions
+        );
+    }
+
+    #[test]
+    fn write_layout_built_when_writes_present() {
+        let data = vec![0u8; 4096];
+        let (m, streams) = setup(&data);
+        let mut lane = raw_lane(vec![(0, 8)]);
+        lane.writes = AddrStream::Raw(vec![AddrEntry {
+            stream: StreamId(0),
+            offset: 8,
+            width: 4,
+        }]);
+        let mut cache = CacheSim::xeon_llc();
+        let out = assemble(
+            &m.hmem,
+            &streams,
+            &[lane],
+            AssemblyLayout::Interleaved,
+            true,
+            &mut cache,
+        );
+        assert!(out.write_layout.is_some());
+        assert!(out.write_layout.unwrap().total_len() >= 4);
+    }
+
+    #[test]
+    fn empty_lanes_produce_empty_buffer() {
+        let data = vec![0u8; 64];
+        let (m, streams) = setup(&data);
+        let lanes = vec![LaneAddrs::empty(), LaneAddrs::empty()];
+        let mut cache = CacheSim::xeon_llc();
+        let out =
+            assemble(&m.hmem, &streams, &lanes, AssemblyLayout::Interleaved, true, &mut cache);
+        assert_eq!(out.bytes.len(), 0);
+        assert_eq!(out.gathered_bytes, 0);
+        assert!(out.write_layout.is_none());
+    }
+}

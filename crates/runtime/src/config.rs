@@ -1,0 +1,135 @@
+//! BigKernel runtime configuration.
+
+/// How the assembly stage lays out prefetched data in the chunk buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AssemblyLayout {
+    /// `dataBuf[counter][tid]` — optimized for coalesced GPU accesses
+    /// (full BigKernel).
+    Interleaved,
+    /// Per-lane packed runs — transfer volume reduced but original order
+    /// (the Fig. 5 "volume reduction only" variant).
+    PerLane,
+}
+
+/// Synchronization scheme between pipeline stages (paper §IV.C).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncMode {
+    /// The paper's scheme: one block-wide `bar.red` per stage boundary, one
+    /// flag write over PCIe per direction, and the `addr-gen(n) waits on
+    /// compute(n - depth)` buffer-reuse barrier.
+    IterationBarrier,
+    /// The footnote-3 alternative: full/empty flags per buffer. More PCIe
+    /// flag transfers and more busy waiting per chunk (ablation knob).
+    PerBufferFlags,
+}
+
+/// Configuration of one BigKernel run.
+#[derive(Clone, Debug)]
+pub struct BigKernelConfig {
+    /// Input bytes each thread block consumes per chunk (determines chunk
+    /// count; data/address buffers are sized to match).
+    pub chunk_input_bytes: u64,
+    /// Buffer multiplicity: address generation of chunk `n` waits for
+    /// computation of chunk `n - depth`. The paper uses 3 ("iteration
+    /// n synchronizes with the computation threads in iteration n-3").
+    pub buffer_depth: usize,
+    /// §IV.A stride-pattern recognition.
+    pub pattern_recognition: bool,
+    /// Piecewise (mid-stream-changing) patterns, the §IV.A extension; only
+    /// consulted when whole-stream recognition fails.
+    pub segmented_patterns: bool,
+    /// §IV.B locality-ordered assembly reads (per-GPU-thread order) when a
+    /// pattern is available.
+    pub locality_assembly: bool,
+    /// Chunk-buffer layout (Interleaved = coalescing optimization on).
+    pub layout: AssemblyLayout,
+    /// Transfer *all* input data verbatim instead of only addressed bytes —
+    /// the Fig. 5 "overlap only" variant (address generation and gather are
+    /// skipped; the pipeline overlap is the only remaining benefit).
+    pub transfer_all: bool,
+    pub sync: SyncMode,
+    /// Verify at every compute-stage access that the address stream entry
+    /// matches (the compiler-correctness cross-check). Cheap; on by default.
+    pub verify_reads: bool,
+}
+
+impl Default for BigKernelConfig {
+    fn default() -> Self {
+        BigKernelConfig {
+            chunk_input_bytes: 256 * 1024,
+            buffer_depth: 3,
+            pattern_recognition: true,
+            segmented_patterns: true,
+            locality_assembly: true,
+            layout: AssemblyLayout::Interleaved,
+            transfer_all: false,
+            sync: SyncMode::IterationBarrier,
+            verify_reads: true,
+        }
+    }
+}
+
+impl BigKernelConfig {
+    /// The Fig. 5 "overlap only" variant.
+    pub fn overlap_only() -> Self {
+        BigKernelConfig { transfer_all: true, pattern_recognition: false, ..Self::default() }
+    }
+
+    /// The Fig. 5 "transfer volume reduction" variant (no coalescing
+    /// layout).
+    pub fn volume_reduction() -> Self {
+        BigKernelConfig { layout: AssemblyLayout::PerLane, ..Self::default() }
+    }
+
+    pub fn validate(&self) {
+        assert!(self.chunk_input_bytes > 0, "chunk size must be positive");
+        assert!(self.buffer_depth >= 1, "need at least one buffer");
+        if self.transfer_all {
+            assert!(
+                !self.pattern_recognition,
+                "transfer_all skips address generation; pattern recognition is meaningless"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_full_bigkernel() {
+        let c = BigKernelConfig::default();
+        c.validate();
+        assert_eq!(c.buffer_depth, 3);
+        assert!(c.pattern_recognition);
+        assert_eq!(c.layout, AssemblyLayout::Interleaved);
+        assert!(!c.transfer_all);
+    }
+
+    #[test]
+    fn variants_validate() {
+        BigKernelConfig::overlap_only().validate();
+        BigKernelConfig::volume_reduction().validate();
+        assert_eq!(BigKernelConfig::volume_reduction().layout, AssemblyLayout::PerLane);
+        assert!(BigKernelConfig::overlap_only().transfer_all);
+    }
+
+    #[test]
+    #[should_panic(expected = "meaningless")]
+    fn transfer_all_with_patterns_rejected() {
+        let c = BigKernelConfig {
+            transfer_all: true,
+            pattern_recognition: true,
+            ..BigKernelConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one buffer")]
+    fn zero_depth_rejected() {
+        let c = BigKernelConfig { buffer_depth: 0, ..BigKernelConfig::default() };
+        c.validate();
+    }
+}

@@ -1,0 +1,570 @@
+//! Kernel execution contexts.
+//!
+//! * [`AddrGenCtx`] — what the address-generation half runs against: it
+//!   *emits* the stream access sequence instead of performing it (stage 1).
+//!   Device-resident reads still execute (and are traced) — that is how the
+//!   indexed MasterCard Affinity variant walks its index.
+//! * [`ComputeCtx`] — what the kernel body runs against in GPU modes: mapped
+//!   stream accesses resolve into the chunk's prefetch buffer according to
+//!   the [`ChunkLayout`]; device accesses execute against simulated global
+//!   memory; everything is traced for the warp-level timing model.
+//!
+//! `ComputeCtx` optionally verifies every stream access against the address
+//! stream recorded in stage 1 — the runtime cross-check that the
+//! hand-written (or compiler-sliced) `addresses()` is exactly the access
+//! slice of `process()`. A mismatch panics with a precise diagnostic: in a
+//! real deployment that is a compiler bug, and in this reproduction it is
+//! how the test suite proves the transformation's correctness invariant.
+
+use crate::addr::{AddrEntry, LaneAddrs};
+use crate::kernel::{DevBufId, KernelCtx};
+use crate::layout::ChunkLayout;
+use crate::stream::StreamId;
+use bk_gpu::{AccessKind, GpuMemory, ThreadTrace};
+use bk_gpu::trace::AccessClass;
+
+/// Context for the address-generation half (pipeline stage 1).
+pub struct AddrGenCtx<'a> {
+    gmem: &'a GpuMemory,
+    trace: &'a mut ThreadTrace,
+    reads: Vec<AddrEntry>,
+    writes: Vec<AddrEntry>,
+}
+
+impl<'a> AddrGenCtx<'a> {
+    pub fn new(gmem: &'a GpuMemory, trace: &'a mut ThreadTrace) -> Self {
+        AddrGenCtx { gmem, trace, reads: Vec::new(), writes: Vec::new() }
+    }
+
+    /// Record that the computation will read `width` bytes of stream `s` at
+    /// `offset`. Costs one issue slot (the store into the address buffer)
+    /// plus one address-computation instruction.
+    #[inline]
+    pub fn emit_read(&mut self, s: StreamId, offset: u64, width: u32) {
+        debug_assert!((1..=8).contains(&width));
+        self.trace.alu(2);
+        self.reads.push(AddrEntry { stream: s, offset, width });
+    }
+
+    /// Record that the computation will write `width` bytes of stream `s`.
+    #[inline]
+    pub fn emit_write(&mut self, s: StreamId, offset: u64, width: u32) {
+        debug_assert!((1..=8).contains(&width));
+        self.trace.alu(2);
+        self.writes.push(AddrEntry { stream: s, offset, width });
+    }
+
+    /// Read a device-resident buffer (traced global access; e.g. an index).
+    #[inline]
+    pub fn dev_read(&mut self, b: DevBufId, offset: u64, width: u32) -> u64 {
+        self.trace.record(self.gmem.vaddr(b, offset), width, AccessKind::Read, AccessClass::Dev);
+        le_load(self.gmem.read(b, offset, width as usize))
+    }
+
+    pub fn dev_read_u32(&mut self, b: DevBufId, offset: u64) -> u32 {
+        self.dev_read(b, offset, 4) as u32
+    }
+
+    pub fn dev_read_u64(&mut self, b: DevBufId, offset: u64) -> u64 {
+        self.dev_read(b, offset, 8)
+    }
+
+    /// Account address-calculation arithmetic.
+    #[inline]
+    pub fn alu(&mut self, n: u64) {
+        self.trace.alu(n);
+    }
+
+    /// Finish the lane and take its recorded address streams.
+    pub fn finish(self) -> (Vec<AddrEntry>, Vec<AddrEntry>) {
+        (self.reads, self.writes)
+    }
+}
+
+#[inline]
+fn le_load(bytes: &[u8]) -> u64 {
+    let mut buf = [0u8; 8];
+    buf[..bytes.len()].copy_from_slice(bytes);
+    u64::from_le_bytes(buf)
+}
+
+#[inline]
+fn le_store(value: u64, width: u32) -> [u8; 8] {
+    debug_assert!((1..=8).contains(&width));
+    value.to_le_bytes()
+}
+
+/// Which buffer a GPU-mode stream access resolves into.
+enum StreamMode<'a> {
+    /// Prefetch-buffer consumption with optional FIFO verification.
+    Assembled { lane_addrs: &'a LaneAddrs, verify: bool },
+    /// Verbatim staged window(s) (baselines / overlap-only variant).
+    Staged,
+}
+
+/// Context for the computation half on the GPU (pipeline stage 4, and the
+/// kernel of the single/double-buffer baselines).
+pub struct ComputeCtx<'a> {
+    gmem: &'a mut GpuMemory,
+    data_buf: DevBufId,
+    /// GPU-side write-value buffer (BigKernel write path); `None` when the
+    /// layout is `Staged` (writes land in the staged chunk in place).
+    write_buf: Option<DevBufId>,
+    layout: &'a ChunkLayout,
+    write_layout: Option<&'a ChunkLayout>,
+    mode: StreamMode<'a>,
+    /// Lane index within the block (warp * 32 + lane-in-warp).
+    lane: usize,
+    thread_id: u32,
+    num_threads: u32,
+    trace: &'a mut ThreadTrace,
+    read_k: usize,
+    write_k: usize,
+    perlane_read_cursor: u64,
+    perlane_write_cursor: u64,
+    /// Bytes of mapped data actually written (for counters).
+    pub stream_bytes_written: u64,
+    /// Bytes of mapped data actually read (for counters / Table I).
+    pub stream_bytes_read: u64,
+}
+
+impl<'a> ComputeCtx<'a> {
+    /// Context for BigKernel's compute stage: reads resolve through
+    /// `layout`, writes through `write_layout` into `write_buf`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn assembled(
+        gmem: &'a mut GpuMemory,
+        data_buf: DevBufId,
+        write_buf: Option<DevBufId>,
+        layout: &'a ChunkLayout,
+        write_layout: Option<&'a ChunkLayout>,
+        lane_addrs: &'a LaneAddrs,
+        verify: bool,
+        lane: usize,
+        thread_id: u32,
+        num_threads: u32,
+        trace: &'a mut ThreadTrace,
+    ) -> Self {
+        ComputeCtx {
+            gmem,
+            data_buf,
+            write_buf,
+            layout,
+            write_layout,
+            mode: StreamMode::Assembled { lane_addrs, verify },
+            lane,
+            thread_id,
+            num_threads,
+            trace,
+            read_k: 0,
+            write_k: 0,
+            perlane_read_cursor: 0,
+            perlane_write_cursor: 0,
+            stream_bytes_written: 0,
+            stream_bytes_read: 0,
+        }
+    }
+
+    /// Context for staged-chunk execution (baselines and the overlap-only
+    /// variant): stream accesses resolve by offset inside the staged
+    /// window; writes modify the staged chunk in place.
+    pub fn staged(
+        gmem: &'a mut GpuMemory,
+        data_buf: DevBufId,
+        layout: &'a ChunkLayout,
+        lane: usize,
+        thread_id: u32,
+        num_threads: u32,
+        trace: &'a mut ThreadTrace,
+    ) -> Self {
+        ComputeCtx {
+            gmem,
+            data_buf,
+            write_buf: None,
+            layout,
+            write_layout: None,
+            mode: StreamMode::Staged,
+            lane,
+            thread_id,
+            num_threads,
+            trace,
+            read_k: 0,
+            write_k: 0,
+            perlane_read_cursor: 0,
+            perlane_write_cursor: 0,
+            stream_bytes_written: 0,
+            stream_bytes_read: 0,
+        }
+    }
+
+    /// Number of mapped-stream reads performed so far.
+    pub fn read_count(&self) -> usize {
+        self.read_k
+    }
+
+    /// Number of mapped-stream writes performed so far.
+    pub fn write_count(&self) -> usize {
+        self.write_k
+    }
+
+    /// Resolve the position of the next read in the data buffer.
+    fn resolve_read(&mut self, s: StreamId, offset: u64, width: u32) -> u64 {
+        match (&self.mode, self.layout) {
+            (StreamMode::Staged, layout) => {
+                // Staged chunks hold the primary stream only; a traditional
+                // buffered implementation would need a staging buffer per
+                // mapped array. Multi-stream kernels run under BigKernel
+                // (whose assembly gathers from any stream) or on the CPU.
+                assert_eq!(
+                    s,
+                    StreamId(0),
+                    "staged execution supports only the primary stream;                      run multi-stream kernels under BigKernel or the CPU"
+                );
+                layout.staged_pos(self.lane, offset)
+            }
+            (
+                StreamMode::Assembled { lane_addrs, verify },
+                ChunkLayout::Interleaved { warps, .. },
+            ) => {
+                let k = self.read_k;
+                assert!(
+                    k < lane_addrs.reads.len(),
+                    "lane {} performed stream read #{k} but its address slice emitted only {}                      reads — the kernel scanned past its emitted window (data-dependent scan                      exceeding halo_bytes? run with BigKernelConfig::overlap_only, the paper's                      fetch-all fallback)",
+                    self.lane,
+                    lane_addrs.reads.len()
+                );
+                if *verify {
+                    verify_entry("read", lane_addrs.reads.entry(k), s, offset, width, self.lane, k);
+                }
+                let warp = self.lane / bk_gpu::WARP_SIZE;
+                let (pos, _slot_w) = warps[warp].slot(self.lane % bk_gpu::WARP_SIZE, k);
+                pos
+            }
+            (StreamMode::Assembled { lane_addrs, verify }, ChunkLayout::PerLane { lane_base, .. }) => {
+                let k = self.read_k;
+                assert!(
+                    k < lane_addrs.reads.len(),
+                    "lane {} read past its address slice ({} reads emitted) — see halo_bytes",
+                    self.lane,
+                    lane_addrs.reads.len()
+                );
+                if *verify {
+                    verify_entry("read", lane_addrs.reads.entry(k), s, offset, width, self.lane, k);
+                }
+                let pos = lane_base[self.lane] + self.perlane_read_cursor;
+                self.perlane_read_cursor += width as u64;
+                pos
+            }
+            (StreamMode::Assembled { .. }, ChunkLayout::Staged { .. }) => {
+                unreachable!("assembled mode never pairs with a staged layout")
+            }
+        }
+    }
+}
+
+#[cold]
+#[inline(never)]
+fn verify_failed(
+    kind: &str,
+    expected: AddrEntry,
+    s: StreamId,
+    offset: u64,
+    width: u32,
+    lane: usize,
+    k: usize,
+) -> ! {
+    panic!(
+        "address-stream mismatch: lane {lane} {kind} #{k} expected \
+         (stream {:?}, offset {}, width {}) but kernel performed \
+         (stream {s:?}, offset {offset}, width {width}) — the addresses() \
+         slice does not match process()",
+        expected.stream, expected.offset, expected.width
+    );
+}
+
+#[inline]
+fn verify_entry(
+    kind: &str,
+    expected: AddrEntry,
+    s: StreamId,
+    offset: u64,
+    width: u32,
+    lane: usize,
+    k: usize,
+) {
+    if expected.stream != s || expected.offset != offset || expected.width != width {
+        verify_failed(kind, expected, s, offset, width, lane, k);
+    }
+}
+
+impl KernelCtx for ComputeCtx<'_> {
+    fn stream_read(&mut self, s: StreamId, offset: u64, width: u32) -> u64 {
+        let pos = self.resolve_read(s, offset, width);
+        self.read_k += 1;
+        self.stream_bytes_read += width as u64;
+        self.trace.record(
+            self.gmem.vaddr(self.data_buf, pos),
+            width,
+            AccessKind::Read,
+            AccessClass::StreamRead,
+        );
+        le_load(self.gmem.read(self.data_buf, pos, width as usize))
+    }
+
+    fn stream_write(&mut self, s: StreamId, offset: u64, width: u32, value: u64) {
+        self.stream_bytes_written += width as u64;
+        let bytes = le_store(value, width);
+        match (&self.mode, self.write_layout) {
+            (StreamMode::Staged, _) => {
+                // In-place modification of the staged chunk; the runner
+                // copies the dirty window back to host memory afterwards.
+                assert_eq!(s, StreamId(0), "staged execution supports only the primary stream");
+                let pos = self.layout.staged_pos(self.lane, offset);
+                self.trace.record(
+                    self.gmem.vaddr(self.data_buf, pos),
+                    width,
+                    AccessKind::Write,
+                    AccessClass::StreamWrite,
+                );
+                self.gmem.write(self.data_buf, pos, &bytes[..width as usize]);
+            }
+            (StreamMode::Assembled { lane_addrs, verify }, Some(wl)) => {
+                let k = self.write_k;
+                if *verify {
+                    verify_entry("write", lane_addrs.writes.entry(k), s, offset, width, self.lane, k);
+                }
+                let wb = self.write_buf.expect("write layout implies a write buffer");
+                let pos = match wl {
+                    ChunkLayout::Interleaved { warps, .. } => {
+                        let warp = self.lane / bk_gpu::WARP_SIZE;
+                        warps[warp].slot(self.lane % bk_gpu::WARP_SIZE, k).0
+                    }
+                    ChunkLayout::PerLane { lane_base, .. } => {
+                        let p = lane_base[self.lane] + self.perlane_write_cursor;
+                        self.perlane_write_cursor += width as u64;
+                        p
+                    }
+                    ChunkLayout::Staged { .. } => unreachable!("write layouts are never staged"),
+                };
+                self.write_k += 1;
+                self.trace.record(
+                    self.gmem.vaddr(wb, pos),
+                    width,
+                    AccessKind::Write,
+                    AccessClass::StreamWrite,
+                );
+                self.gmem.write(wb, pos, &bytes[..width as usize]);
+            }
+            (StreamMode::Assembled { .. }, None) => {
+                panic!("kernel wrote to mapped stream {s:?} but no write layout was assembled")
+            }
+        }
+    }
+
+    fn dev_read(&mut self, b: DevBufId, offset: u64, width: u32) -> u64 {
+        self.trace.record(self.gmem.vaddr(b, offset), width, AccessKind::Read, AccessClass::Dev);
+        le_load(self.gmem.read(b, offset, width as usize))
+    }
+
+    fn dev_write(&mut self, b: DevBufId, offset: u64, width: u32, value: u64) {
+        self.trace.record(self.gmem.vaddr(b, offset), width, AccessKind::Write, AccessClass::Dev);
+        let bytes = le_store(value, width);
+        self.gmem.write(b, offset, &bytes[..width as usize]);
+    }
+
+    fn dev_atomic_add_u32(&mut self, b: DevBufId, offset: u64, v: u32) -> u32 {
+        self.trace.record(self.gmem.vaddr(b, offset), 4, AccessKind::Atomic, AccessClass::Dev);
+        self.gmem.atomic_add_u32(b, offset, v)
+    }
+
+    fn dev_atomic_add_u64(&mut self, b: DevBufId, offset: u64, v: u64) -> u64 {
+        self.trace.record(self.gmem.vaddr(b, offset), 8, AccessKind::Atomic, AccessClass::Dev);
+        self.gmem.atomic_add_u64(b, offset, v)
+    }
+
+    fn dev_atomic_cas_u64(&mut self, b: DevBufId, offset: u64, expected: u64, new: u64) -> u64 {
+        self.trace.record(self.gmem.vaddr(b, offset), 8, AccessKind::Atomic, AccessClass::Dev);
+        self.gmem.atomic_cas_u64(b, offset, expected, new)
+    }
+
+    fn alu(&mut self, n: u64) {
+        self.trace.alu(n);
+    }
+
+    fn shared(&mut self, n: u64) {
+        self.trace.shared(n);
+    }
+
+    fn shared_at(&mut self, addr: u32, width: u32) {
+        self.trace.record_shared(addr, width);
+    }
+
+    fn thread_id(&self) -> u32 {
+        self.thread_id
+    }
+
+    fn num_threads(&self) -> u32 {
+        self.num_threads
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::drop_non_drop)] // drop(ctx) ends the &mut GpuMemory borrow
+mod tests {
+    use super::*;
+    use crate::addr::AddrStream;
+    use crate::machine::Machine;
+
+    fn entry(off: u64, w: u32) -> AddrEntry {
+        AddrEntry { stream: StreamId(0), offset: off, width: w }
+    }
+
+    #[test]
+    fn addrgen_records_reads_writes_and_cost() {
+        let m = Machine::test_platform();
+        let mut trace = ThreadTrace::default();
+        let mut ctx = AddrGenCtx::new(&m.gmem, &mut trace);
+        ctx.emit_read(StreamId(0), 0, 8);
+        ctx.emit_read(StreamId(0), 8, 8);
+        ctx.emit_write(StreamId(0), 16, 4);
+        ctx.alu(3);
+        let (reads, writes) = ctx.finish();
+        assert_eq!(reads, vec![entry(0, 8), entry(8, 8)]);
+        assert_eq!(writes, vec![entry(16, 4)]);
+        assert_eq!(trace.instructions, 2 * 3 + 3);
+        assert!(trace.accesses.is_empty()); // emits are not memory accesses
+    }
+
+    #[test]
+    fn addrgen_dev_read_is_functional_and_traced() {
+        let mut m = Machine::test_platform();
+        let b = m.gmem.alloc(16);
+        m.gmem.write_u64(b, 8, 0xABCD);
+        let mut trace = ThreadTrace::default();
+        let mut ctx = AddrGenCtx::new(&m.gmem, &mut trace);
+        assert_eq!(ctx.dev_read_u64(b, 8), 0xABCD);
+        assert_eq!(trace.accesses.len(), 1);
+        assert_eq!(trace.accesses[0].kind, AccessKind::Read);
+    }
+
+    fn interleaved_single_lane_setup(
+        m: &mut Machine,
+        values: &[(u64, u64)], // (stream offset, value) 8-byte reads
+    ) -> (DevBufId, ChunkLayout, LaneAddrs) {
+        let entries: Vec<AddrEntry> = values.iter().map(|&(o, _)| entry(o, 8)).collect();
+        let stream = AddrStream::Raw(entries);
+        let layout = ChunkLayout::build_interleaved(&[&stream]);
+        let buf = m.gmem.alloc(layout.total_len().max(8));
+        // Manually "assemble": lane 0's k-th read sits at slot (0, k).
+        if let ChunkLayout::Interleaved { warps, .. } = &layout {
+            for (k, &(_, v)) in values.iter().enumerate() {
+                let (pos, _) = warps[0].slot(0, k);
+                m.gmem.write_u64(buf, pos, v);
+            }
+        }
+        let lane = LaneAddrs { reads: stream, writes: AddrStream::Raw(Vec::new()) };
+        (buf, layout, lane)
+    }
+
+    #[test]
+    fn compute_reads_assembled_fifo() {
+        let mut m = Machine::test_platform();
+        let (buf, layout, lane) =
+            interleaved_single_lane_setup(&mut m, &[(100, 11), (108, 22), (200, 33)]);
+        let mut trace = ThreadTrace::default();
+        let mut ctx = ComputeCtx::assembled(
+            &mut m.gmem, buf, None, &layout, None, &lane, true, 0, 0, 1, &mut trace,
+        );
+        assert_eq!(ctx.stream_read(StreamId(0), 100, 8), 11);
+        assert_eq!(ctx.stream_read(StreamId(0), 108, 8), 22);
+        assert_eq!(ctx.stream_read(StreamId(0), 200, 8), 33);
+        assert_eq!(ctx.stream_bytes_read, 24);
+        assert_eq!(trace.accesses.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "address-stream mismatch")]
+    fn compute_read_mismatch_panics() {
+        let mut m = Machine::test_platform();
+        let (buf, layout, lane) = interleaved_single_lane_setup(&mut m, &[(100, 11)]);
+        let mut trace = ThreadTrace::default();
+        let mut ctx = ComputeCtx::assembled(
+            &mut m.gmem, buf, None, &layout, None, &lane, true, 0, 0, 1, &mut trace,
+        );
+        let _ = ctx.stream_read(StreamId(0), 999, 8); // wrong offset
+    }
+
+    #[test]
+    fn staged_mode_reads_and_writes_in_place() {
+        let mut m = Machine::test_platform();
+        let layout = ChunkLayout::build_staged_window(1000..1100, 0, 4096, 2);
+        let buf = m.gmem.alloc(layout.total_len());
+        m.gmem.write_u64(buf, 8, 777); // stream offset 1008
+        let mut trace = ThreadTrace::default();
+        let mut ctx = ComputeCtx::staged(&mut m.gmem, buf, &layout, 1, 5, 8, &mut trace);
+        assert_eq!(ctx.stream_read(StreamId(0), 1008, 8), 777);
+        ctx.stream_write(StreamId(0), 1016, 4, 42);
+        assert_eq!(ctx.thread_id(), 5);
+        assert_eq!(ctx.num_threads(), 8);
+        assert_eq!(ctx.stream_bytes_written, 4);
+        drop(ctx);
+        assert_eq!(m.gmem.read_u32(buf, 16), 42);
+    }
+
+    #[test]
+    fn dev_ops_functional_and_atomic_traced() {
+        let mut m = Machine::test_platform();
+        let layout = ChunkLayout::build_staged_window(0..64, 0, 64, 1);
+        let data = m.gmem.alloc(64);
+        let table = m.gmem.alloc(64);
+        let mut trace = ThreadTrace::default();
+        let mut ctx = ComputeCtx::staged(&mut m.gmem, data, &layout, 0, 0, 1, &mut trace);
+        ctx.dev_write(table, 0, 8, 5);
+        assert_eq!(ctx.dev_read(table, 0, 8), 5);
+        assert_eq!(ctx.dev_atomic_add_u32(table, 8, 3), 0);
+        assert_eq!(ctx.dev_atomic_cas_u64(table, 16, 0, 9), 0);
+        ctx.alu(4);
+        ctx.shared(2);
+        drop(ctx);
+        let atomics =
+            trace.accesses.iter().filter(|a| a.kind == AccessKind::Atomic).count();
+        assert_eq!(atomics, 2);
+        assert_eq!(m.gmem.read_u32(table, 8), 3);
+        assert_eq!(m.gmem.read_u64(table, 16), 9);
+    }
+
+    #[test]
+    fn assembled_writes_land_in_write_buffer() {
+        let mut m = Machine::test_platform();
+        let reads = AddrStream::Raw(Vec::new());
+        let writes = AddrStream::Raw(vec![entry(64, 4), entry(128, 4)]);
+        let wl = ChunkLayout::build_interleaved(&[&writes]);
+        let data = m.gmem.alloc(8);
+        let wbuf = m.gmem.alloc(wl.total_len());
+        let rl = ChunkLayout::build_interleaved(&[&reads]);
+        let lane = LaneAddrs { reads, writes };
+        let mut trace = ThreadTrace::default();
+        let mut ctx = ComputeCtx::assembled(
+            &mut m.gmem, data, Some(wbuf), &rl, Some(&wl), &lane, true, 0, 0, 1, &mut trace,
+        );
+        ctx.stream_write(StreamId(0), 64, 4, 0xAA);
+        ctx.stream_write(StreamId(0), 128, 4, 0xBB);
+        drop(ctx);
+        if let ChunkLayout::Interleaved { warps, .. } = &wl {
+            assert_eq!(m.gmem.read_u32(wbuf, warps[0].slot(0, 0).0), 0xAA);
+            assert_eq!(m.gmem.read_u32(wbuf, warps[0].slot(0, 1).0), 0xBB);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no write layout")]
+    fn assembled_write_without_layout_panics() {
+        let mut m = Machine::test_platform();
+        let (buf, layout, lane) = interleaved_single_lane_setup(&mut m, &[(0, 1)]);
+        let mut trace = ThreadTrace::default();
+        let mut ctx = ComputeCtx::assembled(
+            &mut m.gmem, buf, None, &layout, None, &lane, true, 0, 0, 1, &mut trace,
+        );
+        ctx.stream_write(StreamId(0), 0, 4, 1);
+    }
+}

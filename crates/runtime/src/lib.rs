@@ -1,0 +1,53 @@
+//! # bk-runtime — the BigKernel runtime (the paper's primary contribution)
+//!
+//! Implements the scheme of *BigKernel — High Performance CPU-GPU
+//! Communication Pipelining for Big Data-style Applications* (IPDPS 2014) on
+//! top of the simulated substrates in `bk-gpu` and `bk-host`:
+//!
+//! * [`stream`] — `streamingMalloc`/`streamingMap`: pseudo-virtual GPU
+//!   arrays of arbitrary size backed by host memory ([`StreamArray`]).
+//! * [`kernel`] — the [`StreamKernel`] programming model: one kernel body
+//!   plus its compiler-sliced address half (see `bk-kernelc` for the actual
+//!   mechanical slicing of IR kernels), and the [`KernelCtx`] abstraction
+//!   the body is written against.
+//! * [`addr`] — address streams emitted by the prefetch address-generation
+//!   stage.
+//! * [`pattern`] — §IV.A stride-pattern recognition (base + stride cycle,
+//!   verify-and-fallback).
+//! * [`segmented`] — the §IV.A extension the paper sketches: patterns that
+//!   change midstream, compressed piecewise.
+//! * [`assembly`] — §III stage 2 + §IV.B locality-ordered gather, measured
+//!   against the simulated LLC.
+//! * [`layout`] — the interleaved (coalescing-friendly) prefetch-buffer
+//!   layout shared between the CPU assembler and GPU consumer.
+//! * [`ctx`] — the AddrGen / Compute kernel contexts, including the runtime
+//!   FIFO cross-check that the address stream exactly covers the compute
+//!   stage's reads (our machine-checked analogue of compiler-transformation
+//!   correctness).
+//! * [`sync`] — §IV.C synchronization cost model (bar.red barriers, flag
+//!   signalling over PCIe, the `n-3` buffer-reuse rule).
+//! * [`pipeline`] — the 4-stage (plus 2 write-back stage) pipeline runner
+//!   producing a [`RunResult`] with simulated time, per-stage breakdown and
+//!   counters.
+
+pub mod addr;
+pub mod assembly;
+pub mod config;
+pub mod ctx;
+pub mod kernel;
+pub mod layout;
+pub mod machine;
+pub mod pattern;
+pub mod pipeline;
+pub mod result;
+pub mod segmented;
+pub mod stream;
+pub mod sync;
+
+pub use config::{AssemblyLayout, BigKernelConfig, SyncMode};
+pub use ctx::{AddrGenCtx, ComputeCtx};
+pub use kernel::{DevBufId, KernelCtx, LaunchConfig, StreamKernel, ValueExt};
+pub use machine::Machine;
+pub use pipeline::run_bigkernel;
+pub use result::{RunResult, StageStat};
+pub use stream::{StreamArray, StreamId};

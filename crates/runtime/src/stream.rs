@@ -1,0 +1,66 @@
+//! Pseudo-virtual streamed arrays: `streamingMalloc` + `streamingMap`.
+//!
+//! A [`StreamArray`] is the programmer-visible handle to an arbitrarily
+//! large array that "exists" in GPU address space but is physically backed
+//! by a (pageable) host memory region. The BigKernel pipeline moves the
+//! accessed parts on demand; the baselines copy chunks of it wholesale.
+
+use crate::machine::Machine;
+use bk_host::RegionId;
+
+/// Identifies a mapped stream within a launch. Kernels pass this to
+/// `KernelCtx::stream_read`/`stream_write`; multiple arrays can be mapped at
+/// once (the pipeline assembles each separately, §IV.B).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct StreamId(pub u32);
+
+/// A mapped pseudo-virtual array.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamArray {
+    pub id: StreamId,
+    /// Backing host region (the `streamingMap` target).
+    pub region: RegionId,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl StreamArray {
+    /// `streamingMalloc(d_x, size)` + `streamingMap(d_x, x, size)` in one
+    /// step: declare that the kernel's stream `id` is backed by `region`.
+    pub fn map(machine: &Machine, id: StreamId, region: RegionId) -> Self {
+        let len = machine.hmem.len(region);
+        assert!(len > 0, "cannot map an empty region");
+        StreamArray { id, region, len }
+    }
+
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_records_len() {
+        let mut m = Machine::test_platform();
+        let r = m.hmem.alloc(4096);
+        let s = StreamArray::map(&m, StreamId(0), r);
+        assert_eq!(s.len(), 4096);
+        assert!(!s.is_empty());
+        assert_eq!(s.region, r);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty region")]
+    fn empty_map_rejected() {
+        let mut m = Machine::test_platform();
+        let r = m.hmem.alloc(0);
+        let _ = StreamArray::map(&m, StreamId(0), r);
+    }
+}

@@ -1,0 +1,99 @@
+//! Synchronization cost model (paper §IV.C).
+//!
+//! CPU and GPU can only signal each other through memory flags and busy
+//! waiting, so BigKernel minimizes synchronization memory traffic:
+//!
+//! * address-generation threads `bar.red` at the end of their stage, then a
+//!   single thread sets a flag in CPU memory (one small PCIe write);
+//! * assembly → transfer needs no sync (same CPU thread initiates both);
+//! * transfer → computation uses the in-order DMA flag copy; only *one*
+//!   computation thread busy-waits on it while the rest `bar.red`;
+//! * buffer reuse is enforced by one block-wide barrier per chunk plus the
+//!   `addr-gen(n) ↔ compute(n - depth)` rule (modelled as the pipeline's
+//!   reuse edge, not a time cost here).
+//!
+//! The footnote-3 alternative (`SyncMode::PerBufferFlags`) spends extra flag
+//! transfers and busy waiting per buffer per chunk; it exists as an ablation
+//! knob to show why the paper rejected it.
+
+use crate::config::SyncMode;
+use crate::machine::Machine;
+use bk_simcore::SimTime;
+
+/// Fixed per-chunk synchronization overheads, split by where they are paid.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SyncCosts {
+    /// Added to the address-generation stage (stage-end barrier + CPU flag
+    /// write over PCIe).
+    pub addr_gen: SimTime,
+    /// Added to the computation stage (flag busy-wait + barrier + the
+    /// once-per-chunk block-wide reuse barrier).
+    pub compute: SimTime,
+    /// Added to the data-assembly stage (CPU flag poll granularity).
+    pub assembly: SimTime,
+}
+
+impl SyncCosts {
+    pub fn total(&self) -> SimTime {
+        self.addr_gen + self.compute + self.assembly
+    }
+}
+
+/// Busy-wait poll granularity of the CPU thread watching the address-ready
+/// flag: it cannot observe the flag faster than its polling loop iterates
+/// over uncached memory.
+const CPU_POLL: SimTime = SimTime::ZERO; // folded into flag latency below
+
+/// Compute the per-chunk sync costs for one thread block.
+pub fn per_chunk(machine: &Machine, mode: SyncMode) -> SyncCosts {
+    let gpu = &machine.gpu;
+    let link = &machine.link;
+    let barrier = gpu.clock.cycles(gpu.barrier_cycles);
+
+    match mode {
+        SyncMode::IterationBarrier => SyncCosts {
+            // bar.red + one flag write to pinned CPU memory.
+            addr_gen: barrier + link.flag_latency,
+            // one thread busy-waits the DMA flag; others bar.red; plus the
+            // per-chunk block-wide buffer-reuse barrier.
+            compute: barrier + barrier + link.flag_latency,
+            assembly: CPU_POLL + link.flag_latency,
+        },
+        SyncMode::PerBufferFlags => {
+            // Full/empty flag per buffer: two extra flag transfers and two
+            // extra busy-wait rounds per chunk ("increases the number of
+            // data transfers and the amount of busy waiting", footnote 3).
+            let base = per_chunk(machine, SyncMode::IterationBarrier);
+            SyncCosts {
+                addr_gen: base.addr_gen + link.flag_latency * 2.0,
+                compute: base.compute + link.flag_latency * 2.0,
+                assembly: base.assembly + link.flag_latency * 2.0,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_barrier_costs_are_small_but_nonzero() {
+        let m = Machine::paper_platform();
+        let c = per_chunk(&m, SyncMode::IterationBarrier);
+        assert!(c.addr_gen > SimTime::ZERO);
+        assert!(c.compute > c.addr_gen); // pays two barriers + flag
+        // Sync must stay tiny relative to a ~1 ms chunk.
+        assert!(c.total().secs() < 100e-6, "{}", c.total());
+    }
+
+    #[test]
+    fn per_buffer_flags_cost_more() {
+        let m = Machine::paper_platform();
+        let a = per_chunk(&m, SyncMode::IterationBarrier);
+        let b = per_chunk(&m, SyncMode::PerBufferFlags);
+        assert!(b.addr_gen > a.addr_gen);
+        assert!(b.compute > a.compute);
+        assert!(b.assembly > a.assembly);
+    }
+}

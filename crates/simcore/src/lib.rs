@@ -1,0 +1,29 @@
+//! # bk-simcore — simulation core for the BigKernel reproduction
+//!
+//! Shared infrastructure used by the GPU simulator (`bk-gpu`), the host
+//! simulator (`bk-host`) and the BigKernel runtime (`bk-runtime`):
+//!
+//! * [`time`] — the simulated-time type ([`SimTime`]) and rate helpers
+//!   ([`Bandwidth`], [`Frequency`]).
+//! * [`roofline`] — throughput-model primitives: a stage's duration is the
+//!   max over its compute-bound, memory-bound and fixed-latency terms.
+//! * [`pipeline`] — a generic in-order pipeline scheduler with shared
+//!   resources and buffer-reuse dependency edges; this is what turns
+//!   per-chunk stage costs into overlapped (or serialized) schedules for
+//!   BigKernel, double buffering and single buffering.
+//! * [`stats`] — cheap named counters for bytes moved, transactions issued,
+//!   cache hits, etc.
+//! * [`rng`] — deterministic RNG (SplitMix64) and a Zipf sampler used by the
+//!   synthetic data generators.
+
+pub mod pipeline;
+pub mod roofline;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use pipeline::{PipelineSpec, ReuseEdge, Schedule, StageDef};
+pub use roofline::RooflineTerms;
+pub use rng::{SplitMix64, Zipf};
+pub use stats::Counters;
+pub use time::{Bandwidth, Frequency, SimTime};

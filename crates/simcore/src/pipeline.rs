@@ -1,0 +1,562 @@
+//! Generic in-order pipeline scheduler.
+//!
+//! BigKernel's execution is a software pipeline over *chunks* of the streamed
+//! data: address generation (GPU), data assembly (CPU), data transfer (DMA),
+//! computation (GPU), plus two optional write-back stages. The baselines are
+//! shallower pipelines over the same chunks (single buffering is a pipeline
+//! with no overlap at all). This module computes, given per-chunk per-stage
+//! durations, when each stage instance starts and finishes, subject to:
+//!
+//! 1. **Dataflow**: stage `s` of chunk `i` starts after stage `s-1` of chunk
+//!    `i` finishes.
+//! 2. **Resource exclusivity**: stages mapped to the same resource (e.g. the
+//!    one DMA engine, or the CPU assembly thread) serialize; chunks are
+//!    issued in order per resource.
+//! 3. **Buffer reuse**: a [`ReuseEdge`] `(producer, consumer, depth)` says
+//!    stage `producer` of chunk `i` may not *start* before stage `consumer`
+//!    of chunk `i - depth` has finished — this encodes the paper's rule that
+//!    address generation of iteration `n` synchronizes with the computation
+//!    threads of iteration `n - 3` (§IV.C), i.e. triple buffering.
+//!
+//! The schedule is computed by forward list scheduling in (chunk, stage)
+//! order, which is exact for in-order pipelines of this shape.
+
+use crate::time::SimTime;
+use std::collections::HashMap;
+
+/// Identifies a hardware resource that serializes the stages mapped to it.
+pub type ResourceId = &'static str;
+
+/// Static description of one pipeline stage.
+#[derive(Clone, Debug)]
+pub struct StageDef {
+    /// Human-readable stage name (appears in breakdowns and figures).
+    pub name: &'static str,
+    /// Resource this stage occupies for its whole duration.
+    pub resource: ResourceId,
+}
+
+/// Buffer-reuse dependency: `producer` of chunk `i` waits for `consumer` of
+/// chunk `i - depth`.
+#[derive(Clone, Copy, Debug)]
+pub struct ReuseEdge {
+    pub producer: usize,
+    pub consumer: usize,
+    pub depth: usize,
+}
+
+/// Static pipeline description.
+#[derive(Clone, Debug)]
+pub struct PipelineSpec {
+    pub stages: Vec<StageDef>,
+    pub reuse: Vec<ReuseEdge>,
+}
+
+impl PipelineSpec {
+    pub fn new(stages: Vec<StageDef>) -> Self {
+        PipelineSpec { stages, reuse: Vec::new() }
+    }
+
+    /// Add a buffer-reuse edge. Panics if stage indices are out of range or
+    /// the depth is zero (a zero-depth edge would deadlock the chunk on
+    /// itself).
+    pub fn with_reuse(mut self, producer: usize, consumer: usize, depth: usize) -> Self {
+        assert!(producer < self.stages.len(), "producer index out of range");
+        assert!(consumer < self.stages.len(), "consumer index out of range");
+        assert!(depth > 0, "reuse depth must be >= 1");
+        self.reuse.push(ReuseEdge { producer, consumer, depth });
+        self
+    }
+
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+}
+
+/// One scheduled stage instance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Slot {
+    pub start: SimTime,
+    pub finish: SimTime,
+}
+
+impl Slot {
+    pub fn duration(&self) -> SimTime {
+        self.finish.saturating_sub(self.start)
+    }
+}
+
+/// The computed schedule.
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    stage_names: Vec<&'static str>,
+    /// `slots[chunk][stage]`
+    slots: Vec<Vec<Slot>>,
+    makespan: SimTime,
+}
+
+impl Schedule {
+    /// Total time from the first stage start (t=0) to the last finish.
+    pub fn makespan(&self) -> SimTime {
+        self.makespan
+    }
+
+    pub fn num_chunks(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn num_stages(&self) -> usize {
+        self.stage_names.len()
+    }
+
+    pub fn slot(&self, chunk: usize, stage: usize) -> Slot {
+        self.slots[chunk][stage]
+    }
+
+    pub fn stage_name(&self, stage: usize) -> &'static str {
+        self.stage_names[stage]
+    }
+
+    /// Total busy time of a stage across all chunks.
+    pub fn stage_busy(&self, stage: usize) -> SimTime {
+        self.slots.iter().map(|c| c[stage].duration()).sum()
+    }
+
+    /// Mean duration of one instance of the stage.
+    pub fn stage_mean(&self, stage: usize) -> SimTime {
+        if self.slots.is_empty() {
+            return SimTime::ZERO;
+        }
+        self.stage_busy(stage) / self.slots.len() as f64
+    }
+
+    /// Per-stage busy time relative to the busiest stage, in `[0, 1]`.
+    /// This reproduces the shape of the paper's Fig. 6 ("relative completion
+    /// time of each BigKernel stage").
+    pub fn relative_stage_times(&self) -> Vec<(&'static str, f64)> {
+        let busy: Vec<SimTime> = (0..self.num_stages()).map(|s| self.stage_busy(s)).collect();
+        let max = busy.iter().copied().fold(SimTime::ZERO, SimTime::max);
+        self.stage_names
+            .iter()
+            .zip(&busy)
+            .map(|(&n, &b)| {
+                let rel = if max.is_zero() { 0.0 } else { b.ratio(max) };
+                (n, rel)
+            })
+            .collect()
+    }
+
+    /// Fraction of the makespan during which the given stage was executing.
+    pub fn stage_utilization(&self, stage: usize) -> f64 {
+        if self.makespan.is_zero() {
+            return 0.0;
+        }
+        self.stage_busy(stage).ratio(self.makespan)
+    }
+}
+
+/// Compute the schedule for `durations[chunk][stage]`.
+///
+/// ```
+/// use bk_simcore::{pipeline, SimTime, StageDef};
+///
+/// // Two stages on separate resources: transfers overlap computation.
+/// let spec = pipeline::PipelineSpec::new(vec![
+///     StageDef { name: "xfer", resource: "dma" },
+///     StageDef { name: "comp", resource: "gpu" },
+/// ]);
+/// let per_chunk = vec![SimTime::from_micros(10.0), SimTime::from_micros(10.0)];
+/// let s = pipeline::schedule(&spec, &vec![per_chunk; 4]);
+/// // Fill (10us) + 4 overlapped chunks (40us):
+/// assert!((s.makespan().micros() - 50.0).abs() < 1e-9);
+/// ```
+///
+/// Panics if any chunk row has a different number of stages than the spec.
+pub fn schedule(spec: &PipelineSpec, durations: &[Vec<SimTime>]) -> Schedule {
+    let ns = spec.num_stages();
+    for (i, row) in durations.iter().enumerate() {
+        assert_eq!(row.len(), ns, "chunk {i} has wrong number of stage durations");
+    }
+
+    let mut resource_free: HashMap<ResourceId, SimTime> = HashMap::new();
+    let mut slots: Vec<Vec<Slot>> = Vec::with_capacity(durations.len());
+
+    for (chunk, row) in durations.iter().enumerate() {
+        let mut chunk_slots: Vec<Slot> = Vec::with_capacity(ns);
+        for (stage, &dur) in row.iter().enumerate() {
+            let mut start = SimTime::ZERO;
+            // 1. dataflow within the chunk
+            if stage > 0 {
+                start = start.max(chunk_slots[stage - 1].finish);
+            }
+            // 2. resource availability (in-order issue). Zero-duration
+            // stages are no-ops: they neither wait for nor occupy their
+            // resource (an absent write-back must not delay the DMA engine).
+            let res = spec.stages[stage].resource;
+            if !dur.is_zero() {
+                if let Some(&free) = resource_free.get(res) {
+                    start = start.max(free);
+                }
+            }
+            // 3. buffer-reuse edges
+            for e in &spec.reuse {
+                if e.producer == stage && chunk >= e.depth {
+                    let prev: &Vec<Slot> = &slots[chunk - e.depth];
+                    start = start.max(prev[e.consumer].finish);
+                }
+            }
+            let finish = start + dur;
+            if !dur.is_zero() {
+                resource_free.insert(res, finish);
+            }
+            chunk_slots.push(Slot { start, finish });
+        }
+        slots.push(chunk_slots);
+    }
+
+    let makespan = slots
+        .iter()
+        .flat_map(|c| c.iter().map(|s| s.finish))
+        .fold(SimTime::ZERO, SimTime::max);
+
+    Schedule { stage_names: spec.stages.iter().map(|s| s.name).collect(), slots, makespan }
+}
+
+/// Convenience: a fully serialized "pipeline" — every stage of every chunk on
+/// one shared resource in order (this models the single-buffer baseline).
+pub fn serialize_all(names: &[&'static str], durations: &[Vec<SimTime>]) -> Schedule {
+    let spec = PipelineSpec::new(
+        names.iter().map(|&n| StageDef { name: n, resource: "serial" }).collect(),
+    );
+    schedule(&spec, durations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn two_stage_spec() -> PipelineSpec {
+        PipelineSpec::new(vec![
+            StageDef { name: "xfer", resource: "dma" },
+            StageDef { name: "comp", resource: "gpu" },
+        ])
+    }
+
+    #[test]
+    fn single_chunk_is_sum_of_stages() {
+        let s = schedule(&two_stage_spec(), &[vec![t(1.0), t(2.0)]]);
+        assert_eq!(s.makespan().secs(), 3.0);
+        assert_eq!(s.slot(0, 1).start.secs(), 1.0);
+    }
+
+    #[test]
+    fn perfect_overlap_two_stages() {
+        // 4 chunks, xfer=1, comp=1 → makespan = 1 (fill) + 4*1 = 5
+        let d = vec![vec![t(1.0), t(1.0)]; 4];
+        let s = schedule(&two_stage_spec(), &d);
+        assert!((s.makespan().secs() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bottleneck_stage_dominates() {
+        // comp=2 dominates: makespan = xfer_0 + 4*comp = 1 + 8 = 9
+        let d = vec![vec![t(1.0), t(2.0)]; 4];
+        let s = schedule(&two_stage_spec(), &d);
+        assert!((s.makespan().secs() - 9.0).abs() < 1e-12);
+        assert_eq!(s.stage_busy(1).secs(), 8.0);
+    }
+
+    #[test]
+    fn serialized_schedule_is_sum() {
+        let d = vec![vec![t(1.0), t(2.0)]; 4];
+        let s = serialize_all(&["xfer", "comp"], &d);
+        assert!((s.makespan().secs() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reuse_edge_limits_lookahead() {
+        // Stage 0 is instantaneous, stage 1 takes 1s. With depth-1 reuse
+        // (single buffering of the intermediate), stage 0 of chunk i waits
+        // for stage 1 of chunk i-1, so chunk starts are 1s apart.
+        let spec = two_stage_spec().with_reuse(0, 1, 1);
+        let d = vec![vec![t(0.0), t(1.0)]; 3];
+        let s = schedule(&spec, &d);
+        assert!((s.slot(2, 0).start.secs() - 2.0).abs() < 1e-12);
+        assert!((s.makespan().secs() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deeper_reuse_allows_more_inflight() {
+        let d = vec![vec![t(0.1), t(1.0)]; 6];
+        let shallow = schedule(&two_stage_spec().clone().with_reuse(0, 1, 1), &d);
+        let deep = schedule(&two_stage_spec().with_reuse(0, 1, 3), &d);
+        assert!(deep.makespan() <= shallow.makespan());
+    }
+
+    #[test]
+    fn resource_sharing_serializes_stages() {
+        // Both stages on the same resource → no overlap even across chunks.
+        let spec = PipelineSpec::new(vec![
+            StageDef { name: "a", resource: "r" },
+            StageDef { name: "b", resource: "r" },
+        ]);
+        let d = vec![vec![t(1.0), t(1.0)]; 3];
+        let s = schedule(&spec, &d);
+        assert!((s.makespan().secs() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn four_stage_bigkernel_shape() {
+        // addr-gen / assemble / xfer / compute on distinct resources with the
+        // paper's depth-3 reuse: steady state throughput = max stage time.
+        let spec = PipelineSpec::new(vec![
+            StageDef { name: "addrgen", resource: "gpu_ag" },
+            StageDef { name: "assemble", resource: "cpu" },
+            StageDef { name: "xfer", resource: "dma" },
+            StageDef { name: "compute", resource: "gpu_c" },
+        ])
+        .with_reuse(0, 3, 3);
+        let n = 50;
+        let d = vec![vec![t(0.2), t(0.5), t(0.4), t(1.0)]; n];
+        let s = schedule(&spec, &d);
+        // Steady state: one chunk per 1.0s (compute-bound); fill = 0.2+0.5+0.4.
+        let expect = 0.2 + 0.5 + 0.4 + n as f64 * 1.0;
+        assert!((s.makespan().secs() - expect).abs() < 1e-9, "{}", s.makespan());
+        let rel = s.relative_stage_times();
+        assert_eq!(rel[3].1, 1.0);
+        assert!((rel[0].1 - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_times_of_empty_schedule() {
+        let s = schedule(&two_stage_spec(), &[]);
+        assert_eq!(s.makespan(), SimTime::ZERO);
+        for (_, r) in s.relative_stage_times() {
+            assert_eq!(r, 0.0);
+        }
+    }
+
+    #[test]
+    fn utilization_bounded_by_one() {
+        let d = vec![vec![t(1.0), t(2.0)]; 4];
+        let s = schedule(&two_stage_spec(), &d);
+        for st in 0..2 {
+            let u = s.stage_utilization(st);
+            assert!((0.0..=1.0).contains(&u), "{u}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reuse depth")]
+    fn zero_depth_reuse_rejected() {
+        let _ = two_stage_spec().with_reuse(0, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong number of stage durations")]
+    fn mismatched_durations_rejected() {
+        let _ = schedule(&two_stage_spec(), &[vec![t(1.0)]]);
+    }
+
+    #[test]
+    fn zero_duration_stage_does_not_occupy_resource() {
+        // 3 stages; the middle "write-back" stage shares the dma resource
+        // with stage 0 but has zero duration — it must not delay stage 0 of
+        // later chunks.
+        let spec = PipelineSpec::new(vec![
+            StageDef { name: "xfer", resource: "dma" },
+            StageDef { name: "comp", resource: "gpu" },
+            StageDef { name: "wb", resource: "dma" },
+        ]);
+        let d = vec![vec![t(1.0), t(5.0), t(0.0)]; 3];
+        let s = schedule(&spec, &d);
+        // xfer fully overlaps compute: makespan = 1 + 3*5.
+        assert!((s.makespan().secs() - 16.0).abs() < 1e-9, "{}", s.makespan());
+    }
+
+    #[test]
+    fn stage_mean_matches_inputs() {
+        let d = vec![vec![t(1.0), t(3.0)], vec![t(3.0), t(1.0)]];
+        let s = schedule(&two_stage_spec(), &d);
+        assert!((s.stage_mean(0).secs() - 2.0).abs() < 1e-12);
+        assert!((s.stage_mean(1).secs() - 2.0).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::time::SimTime;
+    use proptest::prelude::*;
+
+    fn arb_durations(
+        max_chunks: usize,
+        stages: usize,
+    ) -> impl Strategy<Value = Vec<Vec<SimTime>>> {
+        proptest::collection::vec(
+            proptest::collection::vec(0u32..1000, stages)
+                .prop_map(|row| row.into_iter().map(|d| SimTime::from_micros(d as f64)).collect()),
+            1..max_chunks,
+        )
+    }
+
+    fn bigkernel_spec(depth: usize) -> PipelineSpec {
+        PipelineSpec::new(vec![
+            StageDef { name: "ag", resource: "gpu-ag" },
+            StageDef { name: "asm", resource: "cpu" },
+            StageDef { name: "xfer", resource: "dma" },
+            StageDef { name: "comp", resource: "gpu" },
+        ])
+        .with_reuse(0, 3, depth)
+    }
+
+    proptest! {
+        /// Makespan is bounded below by every stage's busy time and by any
+        /// single chunk's critical path, and above by full serialization.
+        #[test]
+        fn makespan_bounds(d in arb_durations(40, 4), depth in 1usize..5) {
+            let spec = bigkernel_spec(depth);
+            let s = schedule(&spec, &d);
+            for st in 0..4 {
+                prop_assert!(s.makespan() + SimTime::from_nanos(1.0) >= s.stage_busy(st));
+            }
+            let serial: SimTime = d.iter().flatten().copied().sum();
+            prop_assert!(s.makespan() <= serial + SimTime::from_nanos(1.0));
+            for row in &d {
+                let chain: SimTime = row.iter().copied().sum();
+                prop_assert!(s.makespan() + SimTime::from_nanos(1.0) >= chain);
+            }
+        }
+
+        /// Slots never run backwards and respect intra-chunk dataflow.
+        #[test]
+        fn slots_are_causal(d in arb_durations(30, 4), depth in 1usize..4) {
+            let spec = bigkernel_spec(depth);
+            let s = schedule(&spec, &d);
+            for c in 0..s.num_chunks() {
+                for st in 0..4 {
+                    let slot = s.slot(c, st);
+                    prop_assert!(slot.finish >= slot.start);
+                    if st > 0 {
+                        prop_assert!(slot.start >= s.slot(c, st - 1).finish);
+                    }
+                }
+            }
+        }
+
+        /// Deeper buffering never increases the makespan.
+        #[test]
+        fn deeper_buffers_never_hurt(d in arb_durations(30, 4)) {
+            let mut prev = None;
+            for depth in 1..=4 {
+                let s = schedule(&bigkernel_spec(depth), &d);
+                if let Some(p) = prev {
+                    prop_assert!(s.makespan() <= p, "depth {depth} regressed");
+                }
+                prev = Some(s.makespan() + SimTime::from_nanos(1.0));
+            }
+        }
+
+        /// Stages sharing one resource never overlap in time.
+        #[test]
+        fn resource_exclusivity(d in arb_durations(25, 3)) {
+            let spec = PipelineSpec::new(vec![
+                StageDef { name: "a", resource: "shared" },
+                StageDef { name: "b", resource: "other" },
+                StageDef { name: "c", resource: "shared" },
+            ]);
+            let s = schedule(&spec, &d);
+            // Collect non-empty busy intervals on "shared" and check pairwise
+            // disjointness.
+            let mut intervals: Vec<(SimTime, SimTime)> = Vec::new();
+            for c in 0..s.num_chunks() {
+                for st in [0usize, 2] {
+                    let sl = s.slot(c, st);
+                    if sl.finish > sl.start {
+                        intervals.push((sl.start, sl.finish));
+                    }
+                }
+            }
+            intervals.sort();
+            for w in intervals.windows(2) {
+                prop_assert!(w[1].0 >= w[0].1, "overlap: {:?} then {:?}", w[0], w[1]);
+            }
+        }
+    }
+}
+
+impl Schedule {
+    /// Render an ASCII Gantt chart of the schedule: one row per stage, time
+    /// across, a digit marking which chunk (mod 10) occupies each cell —
+    /// the textual form of the paper's Fig. 2 pipeline diagram.
+    pub fn gantt(&self, width: usize) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        if self.makespan.is_zero() || width == 0 {
+            return out;
+        }
+        let cell = self.makespan.secs() / width as f64;
+        let name_w = self.stage_names.iter().map(|n| n.len()).max().unwrap_or(0);
+        for stage in 0..self.num_stages() {
+            let mut row = vec![b'.'; width];
+            for chunk in 0..self.num_chunks() {
+                let slot = self.slot(chunk, stage);
+                if slot.duration().is_zero() {
+                    continue;
+                }
+                let a = (slot.start.secs() / cell).floor() as usize;
+                let b = ((slot.finish.secs() / cell).ceil() as usize).min(width);
+                let digit = b'0' + (chunk % 10) as u8;
+                for c in row.iter_mut().take(b).skip(a.min(width)) {
+                    *c = digit;
+                }
+            }
+            let _ = writeln!(
+                out,
+                "{:>name_w$} |{}|",
+                self.stage_names[stage],
+                String::from_utf8(row).expect("ascii"),
+            );
+        }
+        let _ = writeln!(out, "{:>name_w$}  0{:>w$}", "", format!("{}", self.makespan), w = width);
+        out
+    }
+}
+
+#[cfg(test)]
+mod gantt_tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn gantt_shows_overlap() {
+        let spec = PipelineSpec::new(vec![
+            StageDef { name: "xfer", resource: "dma" },
+            StageDef { name: "comp", resource: "gpu" },
+        ]);
+        let s = schedule(&spec, &vec![vec![t(1.0), t(1.0)]; 3]);
+        let g = s.gantt(40);
+        assert_eq!(g.lines().count(), 3); // two stages + axis
+        assert!(g.contains("xfer |"));
+        assert!(g.contains('0') && g.contains('1') && g.contains('2'));
+        // Steady-state overlap: the comp row starts after the xfer row.
+        let xfer_row = g.lines().next().unwrap();
+        let comp_row = g.lines().nth(1).unwrap();
+        let first_busy = |row: &str| row.find(|c: char| c.is_ascii_digit()).unwrap();
+        assert!(first_busy(comp_row) > first_busy(xfer_row));
+    }
+
+    #[test]
+    fn empty_schedule_renders_empty() {
+        let spec = PipelineSpec::new(vec![StageDef { name: "a", resource: "r" }]);
+        let s = schedule(&spec, &[]);
+        assert!(s.gantt(20).is_empty());
+    }
+}

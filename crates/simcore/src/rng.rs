@@ -1,0 +1,213 @@
+//! Deterministic random number generation for the synthetic data generators.
+//!
+//! The paper's datasets (tweets, credit-card transactions, Netflix ratings,
+//! DNA reads) are proprietary; our generators must be reproducible across
+//! runs and platforms so that every implementation variant processes
+//! byte-identical inputs. SplitMix64 is tiny, fast, and has well-understood
+//! statistical quality for this purpose; the Zipf sampler drives realistic
+//! word/merchant frequency skew.
+
+/// SplitMix64 PRNG (public-domain algorithm by Sebastiano Vigna).
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`. Panics when `bound == 0`.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Lemire's multiply-shift rejection-free approximation is fine here;
+        // bias is < 2^-32 for the bounds we use (all << 2^32).
+        ((self.next_u64() >> 32).wrapping_mul(bound)) >> 32
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in the inclusive integer range `[lo, hi]`.
+    #[inline]
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range");
+        lo + self.next_below(hi - lo + 1)
+    }
+
+    /// Fill a byte slice with pseudo-random bytes.
+    pub fn fill_bytes(&mut self, out: &mut [u8]) {
+        let mut chunks = out.chunks_exact_mut(8);
+        for c in &mut chunks {
+            c.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+/// Zipf-distributed sampler over ranks `0..n` with exponent `s`.
+///
+/// Uses a precomputed CDF and binary search: O(n) memory, O(log n) per
+/// sample, exact for the table sizes we need (vocabulary sizes in the tens of
+/// thousands).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over empty support");
+        assert!(s >= 0.0 && s.is_finite(), "invalid Zipf exponent");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Sample a rank in `0..n` (rank 0 is the most frequent).
+    #[inline]
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u = rng.next_f64();
+        // partition_point: first index whose cdf >= u
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    pub fn support(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn next_below_in_range() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            assert!(r.next_below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = SplitMix64::new(9);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_inclusive_hits_endpoints() {
+        let mut r = SplitMix64::new(3);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..10_000 {
+            match r.range_inclusive(5, 7) {
+                5 => saw_lo = true,
+                7 => saw_hi = true,
+                6 => {}
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut r = SplitMix64::new(11);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        // Extremely unlikely that all 13 bytes stay zero.
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn zipf_rank_zero_most_frequent() {
+        let z = Zipf::new(1000, 1.0);
+        let mut r = SplitMix64::new(5);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[500]);
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let z = Zipf::new(4, 0.0);
+        let mut r = SplitMix64::new(17);
+        let mut counts = vec![0u32; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_samples_in_support() {
+        let z = Zipf::new(3, 1.2);
+        let mut r = SplitMix64::new(23);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut r) < 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        SplitMix64::new(0).next_below(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty support")]
+    fn zipf_empty_support_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

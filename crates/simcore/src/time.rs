@@ -1,0 +1,340 @@
+//! Simulated time, bandwidth and frequency types.
+//!
+//! All simulated durations are carried as `f64` seconds inside a newtype.
+//! `f64` arithmetic is deterministic for a fixed sequence of operations, and
+//! the experiment harness only ever compares times produced by the same
+//! model, so floating point is safe here and much more convenient than fixed
+//! point when dividing bytes by bandwidths.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A span of simulated time (seconds). Always finite and non-negative.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Construct from seconds. Panics on NaN or negative input: a negative
+    /// duration always indicates a modelling bug, never a valid state.
+    #[inline]
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "SimTime must be finite and non-negative, got {secs}"
+        );
+        SimTime(secs)
+    }
+
+    #[inline]
+    pub fn from_micros(us: f64) -> Self {
+        Self::from_secs(us * 1e-6)
+    }
+
+    #[inline]
+    pub fn from_nanos(ns: f64) -> Self {
+        Self::from_secs(ns * 1e-9)
+    }
+
+    #[inline]
+    pub fn secs(self) -> f64 {
+        self.0
+    }
+
+    #[inline]
+    pub fn micros(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    #[inline]
+    pub fn nanos(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Saturating subtraction: returns zero when `other > self`.
+    #[inline]
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime((self.0 - other.0).max(0.0))
+    }
+
+    /// Ratio of two times; panics when `denom` is zero.
+    #[inline]
+    pub fn ratio(self, denom: SimTime) -> f64 {
+        assert!(denom.0 > 0.0, "division by zero SimTime");
+        self.0 / denom.0
+    }
+
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+}
+
+impl Eq for SimTime {}
+
+// SimTime is guaranteed non-NaN by construction, so a total order exists.
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("SimTime is never NaN")
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    /// Panics if the result would be negative (modelling bug); use
+    /// [`SimTime::saturating_sub`] when slack may legitimately be negative.
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime::from_secs(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, rhs: f64) -> SimTime {
+        SimTime::from_secs(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn div(self, rhs: f64) -> SimTime {
+        SimTime::from_secs(self.0 / rhs)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.0;
+        if s >= 1.0 {
+            write!(f, "{s:.3}s")
+        } else if s >= 1e-3 {
+            write!(f, "{:.3}ms", s * 1e3)
+        } else if s >= 1e-6 {
+            write!(f, "{:.3}us", s * 1e6)
+        } else {
+            write!(f, "{:.1}ns", s * 1e9)
+        }
+    }
+}
+
+/// Data rate in bytes per second.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Bandwidth(f64);
+
+impl Bandwidth {
+    #[inline]
+    pub fn bytes_per_sec(bps: f64) -> Self {
+        assert!(bps.is_finite() && bps > 0.0, "bandwidth must be positive");
+        Bandwidth(bps)
+    }
+
+    #[inline]
+    pub fn gib_per_sec(gib: f64) -> Self {
+        Self::bytes_per_sec(gib * (1u64 << 30) as f64)
+    }
+
+    #[inline]
+    pub fn gb_per_sec(gb: f64) -> Self {
+        Self::bytes_per_sec(gb * 1e9)
+    }
+
+    #[inline]
+    pub fn as_bytes_per_sec(self) -> f64 {
+        self.0
+    }
+
+    /// Time to move `bytes` at this rate (no latency term).
+    #[inline]
+    pub fn transfer_time(self, bytes: u64) -> SimTime {
+        SimTime::from_secs(bytes as f64 / self.0)
+    }
+
+    /// Scale the bandwidth, e.g. to model efficiency factors or sharing.
+    #[inline]
+    pub fn scale(self, factor: f64) -> Bandwidth {
+        Bandwidth::bytes_per_sec(self.0 * factor)
+    }
+}
+
+/// Clock frequency in Hz.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Frequency(f64);
+
+impl Frequency {
+    #[inline]
+    pub fn hz(hz: f64) -> Self {
+        assert!(hz.is_finite() && hz > 0.0, "frequency must be positive");
+        Frequency(hz)
+    }
+
+    #[inline]
+    pub fn mhz(mhz: f64) -> Self {
+        Self::hz(mhz * 1e6)
+    }
+
+    #[inline]
+    pub fn ghz(ghz: f64) -> Self {
+        Self::hz(ghz * 1e9)
+    }
+
+    #[inline]
+    pub fn as_hz(self) -> f64 {
+        self.0
+    }
+
+    /// Duration of `cycles` clock cycles.
+    #[inline]
+    pub fn cycles(self, cycles: f64) -> SimTime {
+        assert!(cycles >= 0.0, "negative cycle count");
+        SimTime::from_secs(cycles / self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simtime_construction_and_accessors() {
+        let t = SimTime::from_micros(2.5);
+        assert!((t.secs() - 2.5e-6).abs() < 1e-18);
+        assert!((t.nanos() - 2500.0).abs() < 1e-9);
+        assert!((t.micros() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn simtime_rejects_negative() {
+        let _ = SimTime::from_secs(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn simtime_rejects_nan() {
+        let _ = SimTime::from_secs(f64::NAN);
+    }
+
+    #[test]
+    fn simtime_arithmetic() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(0.25);
+        assert_eq!((a + b).secs(), 1.25);
+        assert_eq!((a - b).secs(), 0.75);
+        assert_eq!((a * 2.0).secs(), 2.0);
+        assert_eq!((a / 4.0).secs(), 0.25);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!(a.ratio(b), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn simtime_sub_panics_on_underflow() {
+        let _ = SimTime::from_secs(1.0) - SimTime::from_secs(2.0);
+    }
+
+    #[test]
+    fn simtime_sum_and_ordering() {
+        let total: SimTime = (1..=4).map(|i| SimTime::from_secs(i as f64)).sum();
+        assert_eq!(total.secs(), 10.0);
+        let mut v = [SimTime::from_secs(3.0), SimTime::ZERO, SimTime::from_secs(1.0)];
+        v.sort();
+        assert_eq!(v[0], SimTime::ZERO);
+        assert_eq!(v[2].secs(), 3.0);
+    }
+
+    #[test]
+    fn simtime_display_units() {
+        assert_eq!(format!("{}", SimTime::from_secs(1.5)), "1.500s");
+        assert_eq!(format!("{}", SimTime::from_secs(1.5e-3)), "1.500ms");
+        assert_eq!(format!("{}", SimTime::from_secs(1.5e-6)), "1.500us");
+        assert_eq!(format!("{}", SimTime::from_secs(1.5e-9)), "1.5ns");
+    }
+
+    #[test]
+    fn bandwidth_transfer_time() {
+        let bw = Bandwidth::gb_per_sec(10.0);
+        let t = bw.transfer_time(10_000_000_000);
+        assert!((t.secs() - 1.0).abs() < 1e-12);
+        let half = bw.scale(0.5);
+        assert!((half.transfer_time(10_000_000_000).secs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_gib_vs_gb() {
+        assert!(
+            Bandwidth::gib_per_sec(1.0).as_bytes_per_sec()
+                > Bandwidth::gb_per_sec(1.0).as_bytes_per_sec()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bandwidth_rejects_zero() {
+        let _ = Bandwidth::bytes_per_sec(0.0);
+    }
+
+    #[test]
+    fn frequency_cycles() {
+        let f = Frequency::ghz(1.0);
+        assert!((f.cycles(1e9).secs() - 1.0).abs() < 1e-12);
+        assert_eq!(Frequency::mhz(1000.0).as_hz(), Frequency::ghz(1.0).as_hz());
+    }
+
+    #[test]
+    #[should_panic(expected = "negative cycle count")]
+    fn frequency_rejects_negative_cycles() {
+        let _ = Frequency::ghz(1.0).cycles(-1.0);
+    }
+}

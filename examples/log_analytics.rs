@@ -1,0 +1,178 @@
+//! Domain scenario: streaming log analytics over a mapped log file.
+//!
+//! A Big-Data-style filter/aggregate in the spirit of the paper's intro: a
+//! large newline-delimited access log is scanned for entries of one severity
+//! and bucketed into a per-hour histogram GPU-side. Variable-length records,
+//! 100% of the data read, byte-granular scanning — the Word-Count-shaped
+//! workload where §IV.A pattern recognition is essential.
+//!
+//! Run with: `cargo run --release --example log_analytics`
+
+use bk_baselines::{run_gpu_double_buffer, BaselineConfig};
+use bk_runtime::ctx::AddrGenCtx;
+use bk_runtime::{
+    run_bigkernel, BigKernelConfig, KernelCtx, LaunchConfig, Machine, StreamArray, StreamId,
+    StreamKernel, ValueExt,
+};
+use bk_simcore::SplitMix64;
+use std::ops::Range;
+
+/// Log line: `HHXLmessage...\n` where `HH` is a two-digit hour, `X` the
+/// severity class (E/W/I), `L` a single-char subsystem tag, followed by a
+/// variable-length message.
+struct LogHistogramKernel {
+    /// 24 u64 buckets, device-resident.
+    histogram: bk_runtime::DevBufId,
+    severity: u8,
+    len: u64,
+}
+
+const HALO: u64 = 96;
+
+impl StreamKernel for LogHistogramKernel {
+    fn name(&self) -> &'static str {
+        "log-histogram"
+    }
+
+    fn record_size(&self) -> Option<u64> {
+        None
+    }
+
+    fn halo_bytes(&self) -> u64 {
+        HALO
+    }
+
+    fn addresses(&self, ctx: &mut AddrGenCtx<'_>, range: Range<u64>) {
+        if range.is_empty() {
+            return;
+        }
+        // Variable-length lines force a full scan (paper Table I, Word
+        // Count / MasterCard Affinity pattern): every byte, period-1 stride.
+        let end = (range.end + HALO).min(self.len);
+        for p in range.start..end {
+            ctx.emit_read(StreamId(0), p, 1);
+        }
+    }
+
+    fn process(&self, ctx: &mut dyn KernelCtx, range: Range<u64>) {
+        if range.is_empty() {
+            return;
+        }
+        let len = self.len;
+        let mut p = range.start;
+        if p > 0 {
+            // Skip the line in progress (the previous thread finishes it).
+            while p < len {
+                let c = ctx.stream_read_u8(StreamId(0), p);
+                p += 1;
+                if c == b'\n' {
+                    break;
+                }
+            }
+        }
+        while p < len && p <= range.end {
+            let line_start = p;
+            let mut hour = 0u64;
+            let mut sev = 0u8;
+            while p < len {
+                let c = ctx.stream_read_u8(StreamId(0), p);
+                ctx.alu(2);
+                let rel = p - line_start;
+                match rel {
+                    0 => hour = (c - b'0') as u64 * 10,
+                    1 => hour += (c - b'0') as u64,
+                    2 => sev = c,
+                    _ => {}
+                }
+                p += 1;
+                if c == b'\n' {
+                    break;
+                }
+            }
+            if sev == self.severity {
+                ctx.dev_atomic_add_u64(self.histogram, (hour % 24) * 8, 1);
+            }
+        }
+    }
+}
+
+fn generate_log(bytes: u64, seed: u64) -> Vec<u8> {
+    let mut rng = SplitMix64::new(seed);
+    let mut log = Vec::with_capacity(bytes as usize);
+    while (log.len() as u64) < bytes {
+        let msg_len = rng.range_inclusive(10, 60) as usize;
+        if log.len() + msg_len + 5 > bytes as usize {
+            break;
+        }
+        let hour = rng.next_below(24);
+        log.push(b'0' + (hour / 10) as u8);
+        log.push(b'0' + (hour % 10) as u8);
+        log.push(b"EWI"[rng.next_below(3) as usize]);
+        log.push(b'a' + rng.next_below(26) as u8);
+        for _ in 0..msg_len {
+            log.push(b'a' + rng.next_below(26) as u8);
+        }
+        log.push(b'\n');
+    }
+    log.resize(bytes as usize, b' ');
+    log
+}
+
+fn reference(log: &[u8], severity: u8) -> [u64; 24] {
+    let mut hist = [0u64; 24];
+    for line in log.split(|&b| b == b'\n') {
+        if line.len() >= 3 && line[2] == severity {
+            let hour = (line[0] - b'0') as usize * 10 + (line[1] - b'0') as usize;
+            hist[hour % 24] += 1;
+        }
+    }
+    hist
+}
+
+fn run(bytes: u64, bigkernel: bool) -> ([u64; 24], bk_simcore::SimTime) {
+    let mut machine = Machine::paper_platform();
+    machine.scale_fixed_costs((bytes as f64 / 6.0e9).clamp(1e-4, 1.0));
+    let log = generate_log(bytes, 7);
+    let region = machine.hmem.alloc_from(&log);
+    let stream = StreamArray::map(&machine, StreamId(0), region);
+    let histogram = machine.gmem.alloc(24 * 8);
+    let kernel = LogHistogramKernel { histogram, severity: b'E', len: bytes };
+    let launch = LaunchConfig::new(16, 128);
+
+    let total = if bigkernel {
+        let cfg = BigKernelConfig {
+            chunk_input_bytes: bytes / (16 * 12),
+            ..BigKernelConfig::default()
+        };
+        run_bigkernel(&mut machine, &kernel, &[stream], launch, &cfg).total
+    } else {
+        let cfg = BaselineConfig { window_bytes: bytes / 12, ..BaselineConfig::default() };
+        run_gpu_double_buffer(&mut machine, &kernel, &[stream], launch, &cfg).total
+    };
+
+    let mut hist = [0u64; 24];
+    for (h, slot) in hist.iter_mut().enumerate() {
+        *slot = machine.gmem.read_u64(histogram, h as u64 * 8);
+    }
+    let expect = reference(&log, b'E');
+    assert_eq!(hist, expect, "histogram mismatch vs reference");
+    (hist, total)
+}
+
+fn main() {
+    let bytes = 16 << 20;
+    println!("scanning a {} MiB access log for severity-E lines...", bytes >> 20);
+    let (hist, t_bk) = run(bytes, true);
+    let (_, t_db) = run(bytes, false);
+    let total: u64 = hist.iter().sum();
+    println!("{total} error lines; busiest hour = {:02}:00", hist
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, c)| c)
+        .map(|(h, _)| h)
+        .unwrap());
+    println!("bigkernel     : {t_bk}");
+    println!("double-buffer : {t_db}  ({:.2}x vs bigkernel)", t_db.ratio(t_bk));
+    println!("\n(both runs produced identical histograms; the BigKernel run was");
+    println!(" verified access-by-access against its address slice)");
+}

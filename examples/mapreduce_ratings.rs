@@ -1,0 +1,108 @@
+//! Domain scenario: MapReduce on BigKernel — the paper's stated future work
+//! ("we plan on applying BigKernel to MapReduce", §VIII).
+//!
+//! Computes the average rating per movie over a large mapped ratings log:
+//! two streaming MapReduce jobs (sum and count per movie key) run on the
+//! BigKernel engine, then the reduce phase divides host-side. The CPU engine
+//! runs the same jobs for verification and comparison.
+//!
+//! Run with: `cargo run --release --example mapreduce_ratings`
+
+use bk_mapreduce::{run_mapreduce, Emitter, Engine, MapJob, ReduceOp};
+use bk_runtime::ctx::AddrGenCtx;
+use bk_runtime::{
+    BigKernelConfig, KernelCtx, LaunchConfig, Machine, StreamArray, StreamId, ValueExt,
+};
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// Record: [movie: u32][user: u32][rating: u32][ts: u32] — 16 bytes.
+const REC: u64 = 16;
+const MOVIES: u64 = 500;
+
+struct RatingJob;
+
+impl MapJob for RatingJob {
+    fn name(&self) -> &'static str {
+        "movie-ratings"
+    }
+
+    fn record_size(&self) -> Option<u64> {
+        Some(REC)
+    }
+
+    fn addresses(&self, ctx: &mut AddrGenCtx<'_>, range: Range<u64>) {
+        let mut off = range.start;
+        while off < range.end {
+            ctx.emit_read(StreamId(0), off, 4); // movie
+            ctx.emit_read(StreamId(0), off + 8, 4); // rating
+            off += REC;
+        }
+    }
+
+    fn map(&self, ctx: &mut dyn KernelCtx, range: Range<u64>, out: &Emitter) {
+        let mut off = range.start;
+        while off < range.end {
+            let movie = ctx.stream_read_u32(StreamId(0), off);
+            let rating = ctx.stream_read_u32(StreamId(0), off + 8);
+            out.emit(ctx, movie as u64 + 1, rating as u64);
+            off += REC;
+        }
+    }
+}
+
+fn generate(machine: &mut Machine, n: u64, seed: u64) -> Vec<StreamArray> {
+    let mut prng = bk_simcore::SplitMix64::new(seed);
+    let zipf = bk_simcore::Zipf::new(MOVIES as usize, 1.1);
+    let region = machine.hmem.alloc(n * REC);
+    for r in 0..n {
+        let movie = zipf.sample(&mut prng) as u32;
+        let user = prng.next_below(1_000_000) as u32;
+        let rating = (1 + prng.next_below(5)) as u32;
+        let ts = prng.next_below(1 << 30) as u32;
+        machine.hmem.write_u32(region, r * REC, movie);
+        machine.hmem.write_u32(region, r * REC + 4, user);
+        machine.hmem.write_u32(region, r * REC + 8, rating);
+        machine.hmem.write_u32(region, r * REC + 12, ts);
+    }
+    vec![StreamArray::map(machine, StreamId(0), region)]
+}
+
+fn averages(engine: &Engine, n: u64) -> (BTreeMap<u64, f64>, f64) {
+    let mut machine = Machine::paper_platform();
+    let streams = generate(&mut machine, n, 2024);
+    let sums = run_mapreduce(&mut machine, &RatingJob, &streams, MOVIES, ReduceOp::Sum, engine);
+    let counts =
+        run_mapreduce(&mut machine, &RatingJob, &streams, MOVIES, ReduceOp::Count, engine);
+    let count_map: BTreeMap<u64, u64> = counts.pairs.iter().copied().collect();
+    let avgs = sums
+        .pairs
+        .iter()
+        .map(|&(k, s)| (k, s as f64 / count_map[&k] as f64))
+        .collect();
+    (avgs, sums.run.total.secs() + counts.run.total.secs())
+}
+
+fn main() {
+    let n = 1 << 20; // 16 MiB of rating records
+    println!("averaging {n} ratings over {MOVIES} movies (two MapReduce passes)...");
+
+    let bk_engine = Engine::BigKernel(
+        BigKernelConfig { chunk_input_bytes: 128 * 1024, ..BigKernelConfig::default() },
+        LaunchConfig::new(16, 128),
+    );
+    let cpu_engine = Engine::CpuMultithreaded;
+
+    let (bk_avgs, bk_time) = averages(&bk_engine, n);
+    let (cpu_avgs, cpu_time) = averages(&cpu_engine, n);
+    assert_eq!(bk_avgs, cpu_avgs, "engines must agree exactly");
+
+    let (&top, &top_avg) = bk_avgs
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap();
+    println!("{} movies rated; best movie id {} with average {:.3}", bk_avgs.len(), top - 1, top_avg);
+    println!("bigkernel engine : {:.3} ms (simulated)", bk_time * 1e3);
+    println!("cpu-mt engine    : {:.3} ms (simulated, identical output)", cpu_time * 1e3);
+    println!("speedup          : {:.2}x", cpu_time / bk_time);
+}

@@ -1,0 +1,117 @@
+//! Quickstart: write one streaming kernel, run it under all five
+//! implementations of the paper's evaluation, and compare.
+//!
+//! The kernel computes a checksum over 8-byte records of a mapped array
+//! that is (pseudo-)larger than GPU memory would allow at full scale —
+//! the `streamingMalloc`/`streamingMap` programming model from the paper's
+//! §III example.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use bigkernel::prelude::*;
+use bk_baselines::{run_cpu_multithreaded, run_cpu_serial, run_gpu_double_buffer, run_gpu_single_buffer, BaselineConfig};
+use bk_runtime::ctx::AddrGenCtx;
+use bk_runtime::{
+    run_bigkernel, BigKernelConfig, KernelCtx, LaunchConfig, Machine, StreamArray, StreamId,
+    StreamKernel,
+};
+use std::ops::Range;
+
+/// Sums every record's value into a device accumulator.
+struct ChecksumKernel {
+    acc: bk_runtime::DevBufId,
+}
+
+impl StreamKernel for ChecksumKernel {
+    fn name(&self) -> &'static str {
+        "checksum"
+    }
+
+    fn record_size(&self) -> Option<u64> {
+        Some(8)
+    }
+
+    /// The address half — what the paper's compiler transformation slices
+    /// out of the kernel body (see `bk-kernelc` for the mechanical version).
+    fn addresses(&self, ctx: &mut AddrGenCtx<'_>, range: Range<u64>) {
+        let mut off = range.start;
+        while off < range.end {
+            ctx.emit_read(StreamId(0), off, 8);
+            off += 8;
+        }
+    }
+
+    /// The kernel body — identical code runs on the CPU baselines, the GPU
+    /// buffered baselines, and BigKernel's compute stage.
+    fn process(&self, ctx: &mut dyn KernelCtx, range: Range<u64>) {
+        let mut sum = 0u64;
+        let mut off = range.start;
+        while off < range.end {
+            sum = sum.wrapping_add(ctx.stream_read(StreamId(0), off, 8));
+            ctx.alu(2);
+            off += 8;
+        }
+        if !range.is_empty() {
+            ctx.dev_atomic_add_u64(self.acc, 0, sum);
+        }
+    }
+}
+
+fn build(n: u64) -> (Machine, Vec<StreamArray>, u64) {
+    // The paper's platform: GTX 680 + Xeon E5 quad + PCIe Gen3 x16, with
+    // fixed per-transfer latencies scaled to the demo's data size the same
+    // way the experiment harness does (DESIGN.md §7).
+    let mut machine = Machine::paper_platform();
+    machine.scale_fixed_costs(((n * 8) as f64 / 6.0e9).clamp(1e-4, 1.0));
+    let region = machine.hmem.alloc(n * 8);
+    let mut expected = 0u64;
+    for i in 0..n {
+        machine.hmem.write_u64(region, i * 8, i * 2654435761 % 1_000_003);
+        expected = expected.wrapping_add(i * 2654435761 % 1_000_003);
+    }
+    // streamingMalloc + streamingMap.
+    let stream = StreamArray::map(&machine, StreamId(0), region);
+    (machine, vec![stream], expected)
+}
+
+fn main() {
+    let n = 1 << 20; // 8 MiB of records
+    let launch = LaunchConfig::new(16, 128);
+    println!("checksum over {n} records ({} MiB mapped)", (n * 8) >> 20);
+
+    let mut results: Vec<(&str, SimTime)> = Vec::new();
+    let run = |name: &'static str,
+               f: &dyn Fn(&mut Machine, &ChecksumKernel, &[StreamArray]) -> SimTime,
+               results: &mut Vec<(&str, SimTime)>| {
+        let (mut machine, streams, expected) = build(n);
+        let acc = machine.gmem.alloc(8);
+        let kernel = ChecksumKernel { acc };
+        let t = f(&mut machine, &kernel, &streams);
+        assert_eq!(machine.gmem.read_u64(acc, 0), expected, "{name}: wrong checksum");
+        results.push((name, t));
+    };
+
+    // ~12 chunk rounds at this size, mirroring HarnessConfig::paper_scaled.
+    let bl = BaselineConfig { window_bytes: (n * 8) / 12, ..BaselineConfig::default() };
+    let bk = BigKernelConfig {
+        chunk_input_bytes: (n * 8) / (16 * 12),
+        ..BigKernelConfig::default()
+    };
+    run("cpu-serial", &|m, k, s| run_cpu_serial(m, k, s).total, &mut results);
+    run("cpu-multithreaded", &|m, k, s| run_cpu_multithreaded(m, k, s).total, &mut results);
+    run("gpu-single-buffer", &|m, k, s| run_gpu_single_buffer(m, k, s, launch, &bl).total, &mut results);
+    run("gpu-double-buffer", &|m, k, s| run_gpu_double_buffer(m, k, s, launch, &bl).total, &mut results);
+    run("bigkernel", &|m, k, s| run_bigkernel(m, k, s, launch, &bk).total, &mut results);
+
+    let serial = results[0].1;
+    println!("{:<20} {:>12} {:>9}", "implementation", "sim time", "speedup");
+    for (name, t) in &results {
+        println!("{name:<20} {:>12} {:>8.2}x", format!("{t}"), serial.ratio(*t));
+    }
+    println!("\nevery implementation produced the identical checksum — the same");
+    println!("kernel body ran under five different execution schemes.");
+    println!("\n(a pure checksum has ~zero compute per byte, so the CPU — which never");
+    println!(" crosses PCIe — wins outright; BigKernel's job is to beat the other GPU");
+    println!(" schemes, and the paper's six real workloads are where the GPU pays off.");
+    println!(" run the bk-bench binaries to see those.)");
+}

@@ -1,0 +1,56 @@
+//! # bigkernel — facade crate for the BigKernel (IPDPS 2014) reproduction
+//!
+//! *BigKernel — High Performance CPU-GPU Communication Pipelining for Big
+//! Data-style Applications*, Mokhtari & Stumm, IPDPS 2014 — reimplemented in
+//! Rust on a functional + timing simulator of the paper's platform.
+//!
+//! This crate re-exports the workspace:
+//!
+//! * [`runtime`] — the BigKernel system itself: `streamingMalloc`/
+//!   `streamingMap` stream arrays, the 4(+2)-stage pipeline, §IV.A pattern
+//!   recognition, §IV.B locality-ordered assembly, §IV.C synchronization,
+//!   §IV.D active-block buffer allocation.
+//! * [`kernelc`] — the compiler transformations on a small kernel IR.
+//! * [`baselines`] — the four comparison implementations and the Fig. 5
+//!   ablation variants.
+//! * [`apps`] — the six evaluation applications with synthetic generators.
+//! * [`mapreduce`] — MapReduce over streamed data (the paper's §VIII future
+//!   work, built on the runtime).
+//! * [`gpu`] / [`host`] / [`simcore`] — the simulated substrates.
+//!
+//! Start with [`prelude`] and the `examples/` directory; `DESIGN.md` maps
+//! every paper section to a module and `EXPERIMENTS.md` records
+//! paper-vs-measured results for every table and figure.
+
+pub use bk_apps as apps;
+pub use bk_baselines as baselines;
+pub use bk_gpu as gpu;
+pub use bk_host as host;
+pub use bk_kernelc as kernelc;
+pub use bk_mapreduce as mapreduce;
+pub use bk_runtime as runtime;
+pub use bk_simcore as simcore;
+
+pub mod prelude {
+    //! One-stop imports for writing and running BigKernel programs.
+    pub use bk_baselines::{
+        run_cpu_multithreaded, run_cpu_serial, run_gpu_double_buffer, run_gpu_single_buffer,
+        BaselineConfig, BigKernelVariant, CpuCtx,
+    };
+    pub use bk_runtime::{
+        run_bigkernel, AddrGenCtx, BigKernelConfig, ComputeCtx, DevBufId, KernelCtx,
+        LaunchConfig, Machine, RunResult, StreamArray, StreamId, StreamKernel, SyncMode,
+        ValueExt,
+    };
+    pub use bk_simcore::{Counters, SimTime};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_are_wired() {
+        let m = crate::runtime::Machine::paper_platform();
+        assert_eq!(m.gpu.total_cores(), 1536);
+        let _ = crate::prelude::BigKernelConfig::default();
+    }
+}
