@@ -121,6 +121,12 @@ impl bk_runtime::StreamKernel for ScanPassKernel {
         self.name
     }
 
+    /// Device effects are hash-table CAS/adds: CAS results are validated at
+    /// replay (conflicts re-execute in order), add returns are ignored.
+    fn device_effects(&self) -> bk_runtime::DeviceEffects {
+        bk_runtime::DeviceEffects::Replayable
+    }
+
     fn record_size(&self) -> Option<u64> {
         None
     }
@@ -215,6 +221,12 @@ impl IndexedPassKernel {
 impl bk_runtime::StreamKernel for IndexedPassKernel {
     fn name(&self) -> &'static str {
         self.name
+    }
+
+    /// The offset index is immutable during the run, so its dev reads
+    /// always validate at replay; table updates are as in the scan pass.
+    fn device_effects(&self) -> bk_runtime::DeviceEffects {
+        bk_runtime::DeviceEffects::Replayable
     }
 
     fn record_size(&self) -> Option<u64> {

@@ -67,6 +67,12 @@ impl bk_runtime::StreamKernel for KMeansKernel {
         "kmeans"
     }
 
+    /// Cluster centroids are read-only during an iteration (dev reads always
+    /// validate); per-point assignments go to the stream, not device memory.
+    fn device_effects(&self) -> bk_runtime::DeviceEffects {
+        bk_runtime::DeviceEffects::Replayable
+    }
+
     fn record_size(&self) -> Option<u64> {
         Some(RECORD)
     }

@@ -1,0 +1,126 @@
+//! Parallel-vs-sequential determinism suite.
+//!
+//! The block-wave simulation may run on multiple host threads
+//! (`parallel_blocks`), but device effects replay in block order against a
+//! read snapshot, so a parallel run must be *bit-identical* to the
+//! sequential schedule: same simulated times, same counters, same verified
+//! outputs. These tests pin that property for every evaluation application
+//! and for the buffered GPU baselines, plus a property test over random
+//! launch geometries.
+
+use bk_apps::affinity::{Affinity, AffinityIndexed};
+use bk_apps::dna::DnaAssembly;
+use bk_apps::kmeans::KMeans;
+use bk_apps::netflix::Netflix;
+use bk_apps::opinion::OpinionFinder;
+use bk_apps::wordcount::WordCount;
+use bk_apps::{run_implementation, BenchApp, HarnessConfig, Implementation};
+use bk_runtime::{LaunchConfig, Machine, RunResult};
+use proptest::prelude::*;
+
+/// The paper's seven application configurations, in Table I order.
+fn all_apps() -> Vec<Box<dyn BenchApp + Sync>> {
+    vec![
+        Box::new(KMeans::default()),
+        Box::new(WordCount::default()),
+        Box::new(Netflix),
+        Box::new(OpinionFinder::default()),
+        Box::new(DnaAssembly::default()),
+        Box::new(Affinity::default()),
+        Box::new(AffinityIndexed::default()),
+    ]
+}
+
+/// One verified run of `app` under `imp` with the given geometry; panics if
+/// the output diverges from the pure-Rust reference.
+fn run_once(
+    app: &dyn BenchApp,
+    imp: Implementation,
+    launch: LaunchConfig,
+    chunk_bytes: u64,
+    bytes: u64,
+    parallel: bool,
+) -> RunResult {
+    let mut cfg = HarnessConfig::test_small();
+    cfg.launch = launch;
+    cfg.bigkernel.chunk_input_bytes = chunk_bytes;
+    cfg.bigkernel.parallel_blocks = parallel;
+    cfg.baseline.window_bytes = chunk_bytes.max(16 * 1024);
+    cfg.baseline.parallel_blocks = parallel;
+    let mut machine = Machine::test_platform();
+    let instance = app.instantiate(&mut machine, bytes, 42);
+    let result = run_implementation(&mut machine, &instance, imp, &cfg);
+    if let Err(e) = (instance.verify)(&machine) {
+        panic!(
+            "{} failed verification under {} (parallel={parallel}): {e}",
+            app.spec().name,
+            imp.label()
+        );
+    }
+    result
+}
+
+#[test]
+fn bigkernel_parallel_is_bit_identical_for_every_app() {
+    let launch = LaunchConfig::new(4, 32);
+    for app in all_apps() {
+        let par = run_once(app.as_ref(), Implementation::BigKernel, launch, 16 * 1024, 192 * 1024, true);
+        let seq =
+            run_once(app.as_ref(), Implementation::BigKernel, launch, 16 * 1024, 192 * 1024, false);
+        assert_eq!(par, seq, "{} parallel vs sequential RunResult diverged", app.spec().name);
+    }
+}
+
+#[test]
+fn baselines_parallel_is_bit_identical_for_every_app() {
+    let launch = LaunchConfig::new(4, 32);
+    for app in all_apps() {
+        for imp in [Implementation::GpuSingleBuffer, Implementation::GpuDoubleBuffer] {
+            let par = run_once(app.as_ref(), imp, launch, 32 * 1024, 128 * 1024, true);
+            let seq = run_once(app.as_ref(), imp, launch, 32 * 1024, 128 * 1024, false);
+            assert_eq!(
+                par,
+                seq,
+                "{} under {} parallel vs sequential diverged",
+                app.spec().name,
+                imp.label()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Bit-identity holds for arbitrary launch geometries, not just the
+    /// defaults: blocks (waves when > active limit), warp counts and chunk
+    /// sizes all vary.
+    #[test]
+    fn bigkernel_parallel_bit_identical_over_random_geometry(
+        blocks in 1u32..=24,
+        warps in 1u32..=4,
+        chunk_kib in 4u64..=64,
+        bytes_kib in 32u64..=128,
+        seed in 0u64..1024,
+    ) {
+        let launch = LaunchConfig::new(blocks, warps * 32);
+        let chunk = chunk_kib * 1024;
+        let bytes = bytes_kib * 1024;
+        let app = KMeans::default();
+        let run = |parallel: bool| {
+            let mut cfg = HarnessConfig::test_small();
+            cfg.launch = launch;
+            cfg.bigkernel.chunk_input_bytes = chunk;
+            cfg.bigkernel.parallel_blocks = parallel;
+            let mut machine = Machine::test_platform();
+            let instance = app.instantiate(&mut machine, bytes, seed);
+            let result =
+                run_implementation(&mut machine, &instance, Implementation::BigKernel, &cfg);
+            prop_assert!((instance.verify)(&machine).is_ok(), "verification failed");
+            Ok(result)
+        };
+        let par = run(true)?;
+        let seq = run(false)?;
+        prop_assert_eq!(par, seq);
+    }
+}

@@ -17,16 +17,30 @@
 //! Chunks are contiguous windows of the stream; data stays in its original
 //! record layout, so strided field accesses stay uncoalesced — the warp
 //! traces measure that directly.
+//!
+//! ## Parallel granule simulation
+//!
+//! Like the BigKernel pipeline, the simulation of one window is split into
+//! per-block granules of `threads_per_block` lanes. For kernels whose device
+//! effects are log-replayable ([`DeviceEffects::Replayable`]) each granule
+//! runs against a write log over a read snapshot of device memory; the logs
+//! replay in granule order, so results are bit-identical whether the
+//! granules were simulated concurrently (`parallel_blocks`) or one by one.
+//! A replay conflict (another granule changed a value this one read)
+//! re-executes that granule live, in order. `DeviceEffects::Sequential`
+//! kernels always run granules live in order.
 
 use bk_gpu::occupancy::{self, BlockResources};
-use bk_gpu::{GpuPool, KernelCost, WarpAligner};
+use bk_gpu::{BlockLog, BlockSim, GpuPool, KernelCost, ReplayOutcome};
 use bk_host::{cpu, CpuCost, DmaDirection};
-use bk_runtime::ctx::ComputeCtx;
-use bk_runtime::kernel::{chunk_slice, partition_ranges, LaunchConfig};
+use bk_runtime::ctx::{ComputeCtx, LoggedMem};
+use bk_runtime::kernel::{chunk_slice, partition_ranges, DeviceEffects, LaunchConfig};
 use bk_runtime::layout::ChunkLayout;
 use bk_runtime::result::{accumulate_stage_stats, finalize_stage_stats};
 use bk_runtime::{Machine, RunResult, StreamArray, StreamKernel};
 use bk_simcore::{Counters, PipelineSpec, SimTime, StageDef};
+use rayon::prelude::*;
+use std::ops::Range;
 
 /// Configuration of the buffered baselines.
 #[derive(Clone, Debug)]
@@ -35,6 +49,10 @@ pub struct BaselineConfig {
     pub window_bytes: u64,
     /// Cost of one kernel invocation (driver + launch + context setup).
     pub kernel_launch_overhead: SimTime,
+    /// Simulate the per-block granules of each window on multiple host
+    /// threads. Bit-identical to the sequential schedule (device effects
+    /// replay in granule order); purely a simulator-throughput knob.
+    pub parallel_blocks: bool,
 }
 
 impl Default for BaselineConfig {
@@ -42,6 +60,7 @@ impl Default for BaselineConfig {
         BaselineConfig {
             window_bytes: 4 << 20,
             kernel_launch_overhead: SimTime::from_micros(8.0),
+            parallel_blocks: true,
         }
     }
 }
@@ -72,6 +91,106 @@ pub fn run_gpu_double_buffer(
     run_buffered(machine, kernel, streams, launch, cfg, 2, "gpu-double-buffer")
 }
 
+/// Result of simulating one granule's compute.
+struct GranuleComputed {
+    cost: KernelCost,
+    bytes_read: u64,
+    bytes_written: u64,
+    any_writes: bool,
+    effects: Option<bk_gpu::BlockEffects>,
+}
+
+/// Per-granule work cell: owns the mutable slot state for one granule of
+/// the current window so rayon can hand each cell to a different thread.
+struct GranuleCell<'s> {
+    granule: usize,
+    sim: &'s mut BlockSim,
+    computed: Option<GranuleComputed>,
+}
+
+/// Shared inputs of one window's compute phase.
+struct WindowCtx<'a> {
+    kernel: &'a dyn StreamKernel,
+    layout: &'a ChunkLayout,
+    ranges: &'a [Range<u64>],
+    window: Range<u64>,
+    data_buf: bk_gpu::BufferId,
+    tpb: u32,
+    total_threads: u32,
+}
+
+/// One granule against a write log over a read snapshot of device memory.
+/// The window's staging buffer is shared between granules, so it is *not*
+/// registered private: lane stores hit the log's overlay (read-your-writes)
+/// and replay as blind writes — granules write disjoint lane slices, so
+/// granule-order replay reproduces the sequential schedule exactly.
+fn granule_logged(machine: &Machine, w: &WindowCtx<'_>, granule: usize, sim: &mut BlockSim) -> GranuleComputed {
+    let mut cost = KernelCost::new();
+    let mut log = BlockLog::new(&machine.gmem);
+    let mut bytes_read = 0u64;
+    let mut bytes_written = 0u64;
+    let mut any_writes = false;
+    {
+        let log = &mut log;
+        let bytes_read = &mut bytes_read;
+        let bytes_written = &mut bytes_written;
+        let any_writes = &mut any_writes;
+        bk_gpu::run_block_lanes(&machine.gpu, sim, w.tpb, &mut cost, |lane, trace| {
+            let g_lane = granule * w.tpb as usize + lane;
+            let r = &w.ranges[g_lane];
+            let range = w.window.start + r.start..w.window.start + r.end;
+            let mut ctx = ComputeCtx::staged_on(
+                LoggedMem(&mut *log),
+                w.data_buf,
+                w.layout,
+                g_lane,
+                g_lane as u32,
+                w.total_threads,
+                trace,
+            );
+            w.kernel.process(&mut ctx, range);
+            *bytes_read += ctx.stream_bytes_read;
+            *bytes_written += ctx.stream_bytes_written;
+            *any_writes |= ctx.stream_bytes_written > 0;
+        });
+    }
+    GranuleComputed { cost, bytes_read, bytes_written, any_writes, effects: Some(log.finish()) }
+}
+
+/// One granule directly against live device memory (sequential-capability
+/// kernels and conflict re-execution).
+fn granule_live(machine: &mut Machine, w: &WindowCtx<'_>, granule: usize, sim: &mut BlockSim) -> GranuleComputed {
+    let mut cost = KernelCost::new();
+    let mut bytes_read = 0u64;
+    let mut bytes_written = 0u64;
+    let mut any_writes = false;
+    {
+        let Machine { ref gpu, ref mut gmem, .. } = *machine;
+        let bytes_read = &mut bytes_read;
+        let bytes_written = &mut bytes_written;
+        let any_writes = &mut any_writes;
+        bk_gpu::run_block_lanes(gpu, sim, w.tpb, &mut cost, |lane, trace| {
+            let g_lane = granule * w.tpb as usize + lane;
+            let r = &w.ranges[g_lane];
+            let range = w.window.start + r.start..w.window.start + r.end;
+            let mut ctx = ComputeCtx::staged(
+                &mut *gmem,
+                w.data_buf,
+                w.layout,
+                g_lane,
+                g_lane as u32,
+                w.total_threads,
+                trace,
+            );
+            w.kernel.process(&mut ctx, range);
+            *bytes_read += ctx.stream_bytes_read;
+            *bytes_written += ctx.stream_bytes_written;
+            *any_writes |= ctx.stream_bytes_written > 0;
+        });
+    }
+    GranuleComputed { cost, bytes_read, bytes_written, any_writes, effects: None }
+}
+
 fn run_buffered(
     machine: &mut Machine,
     kernel: &dyn StreamKernel,
@@ -86,6 +205,9 @@ fn run_buffered(
     let rec = kernel.record_size();
     let halo = kernel.halo_bytes();
     let total_threads = launch.total_threads();
+    let tpb = launch.threads_per_block;
+    let logged = kernel.device_effects() == DeviceEffects::Replayable;
+    let parallel = logged && cfg.parallel_blocks;
 
     let res = kernel.resources();
     let block_res = BlockResources {
@@ -98,10 +220,11 @@ fn run_buffered(
 
     let full = 0..primary.len();
     let num_windows = (primary.len().div_ceil(cfg.window_bytes)).max(1) as usize;
+    let num_granules = launch.num_blocks.max(1) as usize;
 
     let mut counters = Counters::new();
     let mut durations: Vec<Vec<SimTime>> = Vec::with_capacity(num_windows);
-    let mut aligner = WarpAligner::new();
+    let mut sims: Vec<BlockSim> = (0..num_granules).map(|_| BlockSim::new()).collect();
     let mut any_writes_at_all = false;
 
     for w in 0..num_windows {
@@ -126,40 +249,61 @@ fn run_buffered(
         let t_xfer = machine.link.dma_time_with_flag(DmaDirection::HostToDevice, staged_len);
         counters.add("pcie.h2d_bytes", staged_len);
 
-        // Stage 3: kernel over the window (original layout).
+        // Stage 3: kernel over the window (original layout), one granule of
+        // tpb lanes per launched block.
         let ranges = partition_ranges(window.end - window.start, total_threads, rec);
+        let wctx = WindowCtx {
+            kernel,
+            layout: &layout,
+            ranges: &ranges,
+            window: window.clone(),
+            data_buf,
+            tpb,
+            total_threads,
+        };
+        let mut cells: Vec<GranuleCell<'_>> = sims
+            .iter_mut()
+            .enumerate()
+            .map(|(granule, sim)| GranuleCell { granule, sim, computed: None })
+            .collect();
+
+        if logged {
+            // Pure phase: simulate every granule against the snapshot.
+            let shared: &Machine = machine;
+            let run = |cell: &mut GranuleCell<'_>| {
+                cell.computed = Some(granule_logged(shared, &wctx, cell.granule, cell.sim));
+            };
+            if parallel && cells.len() > 1 {
+                cells.par_iter_mut().for_each(run);
+            } else {
+                cells.iter_mut().for_each(run);
+            }
+            // Ordered phase: replay device effects in granule order.
+            for cell in cells.iter_mut() {
+                let conflict = {
+                    let computed = cell.computed.as_mut().expect("granule computed");
+                    let effects = computed.effects.take().expect("logged granule has effects");
+                    effects.replay(&mut machine.gmem) == ReplayOutcome::Conflict
+                };
+                if conflict {
+                    counters.incr("parallel.replay_conflicts");
+                    cell.computed = Some(granule_live(machine, &wctx, cell.granule, cell.sim));
+                }
+            }
+        } else {
+            for cell in cells.iter_mut() {
+                cell.computed = Some(granule_live(machine, &wctx, cell.granule, cell.sim));
+            }
+        }
+
         let mut comp_cost = KernelCost::new();
         let mut any_writes = false;
-        {
-            let gmem = &mut machine.gmem;
-            let counters = &mut counters;
-            let any_writes = &mut any_writes;
-            let layout = &layout;
-            let ranges = &ranges;
-            let window = &window;
-            bk_gpu::run_block_lanes(
-                &machine.gpu,
-                &mut aligner,
-                total_threads,
-                &mut comp_cost,
-                |lane, trace| {
-                    let r = &ranges[lane];
-                    let range = window.start + r.start..window.start + r.end;
-                    let mut ctx = ComputeCtx::staged(
-                        gmem,
-                        data_buf,
-                        layout,
-                        lane,
-                        lane as u32,
-                        total_threads,
-                        trace,
-                    );
-                    kernel.process(&mut ctx, range);
-                    counters.add("stream.bytes_read", ctx.stream_bytes_read);
-                    counters.add("stream.bytes_written", ctx.stream_bytes_written);
-                    *any_writes |= ctx.stream_bytes_written > 0;
-                },
-            );
+        for cell in cells.iter() {
+            let computed = cell.computed.as_ref().expect("granule computed");
+            comp_cost.merge(&computed.cost);
+            counters.add("stream.bytes_read", computed.bytes_read);
+            counters.add("stream.bytes_written", computed.bytes_written);
+            any_writes |= computed.any_writes;
         }
         let t_comp = pool.stage_time(&comp_cost) + cfg.kernel_launch_overhead;
         counters.add("gpu.mem_transactions", comp_cost.mem_transactions);
@@ -362,6 +506,7 @@ mod tests {
         let cheap = BaselineConfig {
             window_bytes: 4096,
             kernel_launch_overhead: SimTime::ZERO,
+            ..BaselineConfig::default()
         };
         let r_cheap = run_gpu_single_buffer(
             &mut m1, &SumKernel { acc: acc1 }, &s1, LaunchConfig::new(1, 32), &cheap,
@@ -371,6 +516,7 @@ mod tests {
         let costly = BaselineConfig {
             window_bytes: 4096,
             kernel_launch_overhead: SimTime::from_micros(100.0),
+            ..BaselineConfig::default()
         };
         let r_costly = run_gpu_single_buffer(
             &mut m2, &SumKernel { acc: acc2 }, &s2, LaunchConfig::new(1, 32), &costly,
@@ -378,5 +524,47 @@ mod tests {
         let windows = r_cheap.counters.get("run.windows") as f64;
         let diff = r_costly.total.secs() - r_cheap.total.secs();
         assert!((diff - windows * 100e-6).abs() < 1e-6, "diff {diff}");
+    }
+
+    #[test]
+    fn parallel_matches_sequential_baselines() {
+        let run = |parallel: bool, buffers: usize| {
+            let (mut m, s, _) = setup(8192);
+            let acc = m.gmem.alloc(8);
+            let cfg = BaselineConfig { parallel_blocks: parallel, ..small_cfg() };
+            let r = if buffers == 1 {
+                run_gpu_single_buffer(&mut m, &SumKernel { acc }, &s, LaunchConfig::new(4, 32), &cfg)
+            } else {
+                run_gpu_double_buffer(&mut m, &SumKernel { acc }, &s, LaunchConfig::new(4, 32), &cfg)
+            };
+            (r, m.gmem.read_u64(acc, 0))
+        };
+        for buffers in [1, 2] {
+            let (r_par, v_par) = run(true, buffers);
+            let (r_seq, v_seq) = run(false, buffers);
+            assert_eq!(v_par, v_seq, "{buffers}-buffer accumulator diverged");
+            assert_eq!(r_par, r_seq, "{buffers}-buffer RunResult diverged");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_writeback_baseline() {
+        let run = |parallel: bool| {
+            let mut m = Machine::test_platform();
+            let r = m.hmem.alloc(2048 * 8);
+            for i in 0..2048u64 {
+                m.hmem.write_u32(r, i * 8, i as u32);
+            }
+            let streams = vec![StreamArray::map(&m, StreamId(0), r)];
+            let cfg = BaselineConfig { parallel_blocks: parallel, ..small_cfg() };
+            let res =
+                run_gpu_double_buffer(&mut m, &ScaleKernel, &streams, LaunchConfig::new(4, 32), &cfg);
+            let host = m.hmem.read(r, 0, 2048 * 8).to_vec();
+            (res, host)
+        };
+        let (r_par, h_par) = run(true);
+        let (r_seq, h_seq) = run(false);
+        assert_eq!(h_par, h_seq);
+        assert_eq!(r_par, r_seq);
     }
 }

@@ -52,8 +52,59 @@ fn bench_warp_align(c: &mut Criterion) {
         .collect();
     c.bench_function("gpu/warp-align-512-steps", |b| {
         let mut aligner = WarpAligner::new();
-        b.iter(|| std::hint::black_box(aligner.align(&spec, &lanes)))
+        b.iter(|| {
+            // `align` returns a borrow of the aligner's reused scratch
+            // cost; copy a field out so the borrow ends inside the closure.
+            let cost = aligner.align(&spec, &lanes);
+            std::hint::black_box(cost.issue_slots)
+        })
     });
+}
+
+/// Blocks/sec of the full BigKernel pipeline simulation at 1 thread vs all
+/// host cores — the wall-clock payoff of `parallel_blocks` (results are
+/// bit-identical either way; see the determinism suite).
+fn bench_sim_throughput(c: &mut Criterion) {
+    use bk_apps::kmeans::KMeans;
+    use bk_apps::{run_implementation, BenchApp, HarnessConfig, Implementation};
+    use bk_runtime::{LaunchConfig, Machine};
+
+    let app = KMeans::default();
+    let bytes = 2u64 << 20;
+    let mut cfg = HarnessConfig::test_small();
+    cfg.launch = LaunchConfig::new(8, 32);
+    cfg.bigkernel.chunk_input_bytes = 32 * 1024;
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut group = c.benchmark_group("sim_throughput");
+    group.sample_size(10);
+    let tiers: &[usize] = if cores > 1 { &[1, cores] } else { &[1] };
+    for &threads in tiers {
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        let cfg = cfg.clone();
+        let app = &app;
+        group.bench_function(format!("bigkernel-2mib-8blocks/threads-{threads}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut machine = Machine::test_platform();
+                    let instance = app.instantiate(&mut machine, bytes, 42);
+                    (machine, instance)
+                },
+                |(mut machine, instance)| {
+                    pool.install(|| {
+                        std::hint::black_box(run_implementation(
+                            &mut machine,
+                            &instance,
+                            Implementation::BigKernel,
+                            &cfg,
+                        ))
+                    })
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
 }
 
 fn bench_scheduler(c: &mut Criterion) {
@@ -90,5 +141,12 @@ fn bench_cache(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_pattern_detect, bench_warp_align, bench_scheduler, bench_cache);
+criterion_group!(
+    benches,
+    bench_pattern_detect,
+    bench_warp_align,
+    bench_scheduler,
+    bench_cache,
+    bench_sim_throughput
+);
 criterion_main!(benches);

@@ -9,17 +9,22 @@ pub struct ExpArgs {
     pub seed: u64,
     /// Only run apps whose name contains this substring.
     pub filter: Option<String>,
+    /// Host threads for the block-wave simulation (`None` = rayon default,
+    /// one per core). `1` forces the sequential path — results are
+    /// bit-identical either way.
+    pub threads: Option<usize>,
 }
 
 impl Default for ExpArgs {
     fn default() -> Self {
-        ExpArgs { bytes: 32 << 20, seed: 42, filter: None }
+        ExpArgs { bytes: 32 << 20, seed: 42, filter: None, threads: None }
     }
 }
 
 impl ExpArgs {
-    /// Parse `--bytes N`, `--mib N`, `--seed S`, `--app SUBSTR` from an
-    /// iterator of arguments (pass `std::env::args().skip(1)`).
+    /// Parse `--bytes N`, `--mib N`, `--seed S`, `--app SUBSTR`,
+    /// `--threads N` from an iterator of arguments (pass
+    /// `std::env::args().skip(1)`).
     pub fn parse<I: Iterator<Item = String>>(mut args: I) -> Result<Self, String> {
         let mut out = ExpArgs::default();
         while let Some(a) = args.next() {
@@ -39,9 +44,18 @@ impl ExpArgs {
                     out.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
                 }
                 "--app" => out.filter = Some(value("--app")?),
+                "--threads" => {
+                    let t: usize =
+                        value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?;
+                    if t == 0 {
+                        return Err("--threads must be positive".into());
+                    }
+                    out.threads = Some(t);
+                }
                 "--help" | "-h" => {
                     return Err(
-                        "usage: [--bytes N | --mib N] [--seed S] [--app SUBSTR]".to_string()
+                        "usage: [--bytes N | --mib N] [--seed S] [--app SUBSTR] [--threads N]"
+                            .to_string(),
                     )
                 }
                 other => return Err(format!("unknown argument: {other}")),
@@ -71,6 +85,22 @@ impl ExpArgs {
             None => true,
         }
     }
+
+    /// Cap the global rayon pool at `--threads` (call once, before the
+    /// first parallel region). `--threads 1` also forces the sequential
+    /// block-simulation path in `cfg` — bit-identical, just single-threaded.
+    pub fn apply_threads(&self, cfg: &mut bk_apps::HarnessConfig) {
+        if let Some(t) = self.threads {
+            // Ignore the error: the pool can only be built once per
+            // process, and a second binary invocation in-process (tests)
+            // may have already built it.
+            let _ = rayon::ThreadPoolBuilder::new().num_threads(t).build_global();
+            if t == 1 {
+                cfg.bigkernel.parallel_blocks = false;
+                cfg.baseline.parallel_blocks = false;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -87,6 +117,7 @@ mod tests {
         assert_eq!(a.bytes, 32 << 20);
         assert_eq!(a.seed, 42);
         assert!(a.selected("anything"));
+        assert_eq!(a.threads, None);
     }
 
     #[test]
@@ -101,6 +132,23 @@ mod tests {
         assert_eq!(a.seed, 7);
         assert!(a.selected("Word Count"));
         assert!(!a.selected("K-means"));
+    }
+
+    #[test]
+    fn threads() {
+        assert_eq!(parse(&["--threads", "4"]).unwrap().threads, Some(4));
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--threads"]).is_err());
+    }
+
+    #[test]
+    fn single_thread_forces_sequential_path() {
+        let a = parse(&["--threads", "1"]).unwrap();
+        let mut cfg = bk_apps::HarnessConfig::test_small();
+        assert!(cfg.bigkernel.parallel_blocks && cfg.baseline.parallel_blocks);
+        a.apply_threads(&mut cfg);
+        assert!(!cfg.bigkernel.parallel_blocks);
+        assert!(!cfg.baseline.parallel_blocks);
     }
 
     #[test]

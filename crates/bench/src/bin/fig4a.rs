@@ -6,7 +6,8 @@ use bk_bench::{all_apps, args::ExpArgs, expectations::headline, render, short_na
 
 fn main() {
     let args = ExpArgs::from_env();
-    let cfg = HarnessConfig::paper_scaled(args.bytes);
+    let mut cfg = HarnessConfig::paper_scaled(args.bytes);
+    args.apply_threads(&mut cfg);
 
     render::header("Fig. 4(a) — speedup over the serial CPU implementation");
     println!(

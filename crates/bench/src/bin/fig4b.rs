@@ -6,7 +6,8 @@ use bk_bench::{all_apps, args::ExpArgs, expectations, render, short_name};
 
 fn main() {
     let args = ExpArgs::from_env();
-    let cfg = HarnessConfig::paper_scaled(args.bytes);
+    let mut cfg = HarnessConfig::paper_scaled(args.bytes);
+    args.apply_threads(&mut cfg);
 
     render::header("Fig. 4(b) — comp/comm ratio in the single-buffer implementation");
     println!("{:<9} {:>6} {:>6}   computation share", "app", "comp", "comm");

@@ -5,7 +5,8 @@ use bk_bench::{all_apps, args::ExpArgs, render, short_name};
 
 fn main() {
     let args = ExpArgs::from_env();
-    let cfg = HarnessConfig::paper_scaled(args.bytes);
+    let mut cfg = HarnessConfig::paper_scaled(args.bytes);
+    args.apply_threads(&mut cfg);
 
     render::header("Fig. 6 — relative completion time of each BigKernel stage");
     println!(

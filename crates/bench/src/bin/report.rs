@@ -6,7 +6,6 @@
 use bk_apps::{run_all, HarnessConfig, Implementation};
 use bk_baselines::BigKernelVariant;
 use bk_bench::{all_apps, args::ExpArgs, expectations, render, short_name};
-use serde::Serialize;
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -14,7 +13,6 @@ use std::path::Path;
 /// serial CPU implementation, plus the Table I proportions measured from
 /// the same runs) — written to `results/report.json` for downstream
 /// analysis/plotting.
-#[derive(Serialize)]
 struct AppRecord {
     app: String,
     cpu_multithreaded: f64,
@@ -26,7 +24,6 @@ struct AppRecord {
     modified_pct: f64,
 }
 
-#[derive(Serialize)]
 struct JsonReport {
     bytes_per_app: u64,
     seed: u64,
@@ -36,9 +33,42 @@ struct JsonReport {
     apps: Vec<AppRecord>,
 }
 
+/// Render the report as JSON by hand — the records are flat and the
+/// workspace builds without a serde dependency.
+fn to_json(r: &JsonReport) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bytes_per_app\": {},", r.bytes_per_app);
+    let _ = writeln!(out, "  \"seed\": {},", r.seed);
+    let _ = writeln!(out, "  \"geomean_bk_vs_double\": {:.6},", r.geomean_bk_vs_double);
+    let _ = writeln!(out, "  \"geomean_bk_vs_single\": {:.6},", r.geomean_bk_vs_single);
+    let _ = writeln!(out, "  \"geomean_bk_vs_cpu_mt\": {:.6},", r.geomean_bk_vs_cpu_mt);
+    let _ = writeln!(out, "  \"apps\": [");
+    for (i, a) in r.apps.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"app\": \"{}\",", esc(&a.app));
+        let _ = writeln!(out, "      \"cpu_multithreaded\": {:.6},", a.cpu_multithreaded);
+        let _ = writeln!(out, "      \"gpu_single_buffer\": {:.6},", a.gpu_single_buffer);
+        let _ = writeln!(out, "      \"gpu_double_buffer\": {:.6},", a.gpu_double_buffer);
+        let _ = writeln!(out, "      \"bigkernel\": {:.6},", a.bigkernel);
+        let _ = writeln!(out, "      \"serial_seconds\": {:.6},", a.serial_seconds);
+        let _ = writeln!(out, "      \"read_pct\": {:.6},", a.read_pct);
+        let _ = writeln!(out, "      \"modified_pct\": {:.6}", a.modified_pct);
+        let _ =
+            writeln!(out, "    }}{}", if i + 1 < r.apps.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ]");
+    out.push('}');
+    out
+}
+
 fn main() {
     let args = ExpArgs::from_env();
-    let cfg = HarnessConfig::paper_scaled(args.bytes);
+    let mut cfg = HarnessConfig::paper_scaled(args.bytes);
+    args.apply_threads(&mut cfg);
     let mut md = String::new();
     let _ = writeln!(md, "# BigKernel reproduction report\n");
     let _ = writeln!(
@@ -225,7 +255,6 @@ fn main() {
         apps: json_apps,
     };
     let jpath = out_dir.join("report.json");
-    std::fs::write(&jpath, serde_json::to_string_pretty(&json).expect("serialize"))
-        .expect("write json");
+    std::fs::write(&jpath, to_json(&json)).expect("write json");
     println!("wrote {}", jpath.display());
 }

@@ -7,7 +7,8 @@ use bk_bench::{all_apps, args::ExpArgs, render, short_name};
 
 fn main() {
     let args = ExpArgs::from_env();
-    let cfg = HarnessConfig::paper_scaled(args.bytes);
+    let mut cfg = HarnessConfig::paper_scaled(args.bytes);
+    args.apply_threads(&mut cfg);
     let imps = [
         Implementation::CpuSerial,
         Implementation::CpuMultithreaded,

@@ -7,7 +7,8 @@ use bk_bench::{all_apps, args::ExpArgs, render};
 
 fn main() {
     let args = ExpArgs::from_env();
-    let cfg = HarnessConfig::paper_scaled(args.bytes);
+    let mut cfg = HarnessConfig::paper_scaled(args.bytes);
+    args.apply_threads(&mut cfg);
 
     render::header("Table I — application mapped data");
     println!(

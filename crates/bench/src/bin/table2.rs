@@ -8,6 +8,7 @@ use bk_bench::{all_apps, args::ExpArgs, expectations, render};
 fn main() {
     let args = ExpArgs::from_env();
     let mut cfg_on = HarnessConfig::paper_scaled(args.bytes);
+    args.apply_threads(&mut cfg_on);
     cfg_on.bigkernel.pattern_recognition = true;
     let mut cfg_off = cfg_on.clone();
     cfg_off.bigkernel.pattern_recognition = false;

@@ -30,7 +30,8 @@ fn means(r: &bk_runtime::RunResult, names: &[&str]) -> Vec<SimTime> {
 
 fn main() {
     let args = ExpArgs::from_env();
-    let cfg = HarnessConfig::paper_scaled(args.bytes);
+    let mut cfg = HarnessConfig::paper_scaled(args.bytes);
+    args.apply_threads(&mut cfg);
     // Default to K-means (it exercises all six stages); `--app` picks the
     // first matching application.
     let apps = all_apps();

@@ -9,25 +9,49 @@ use crate::spec::{DeviceSpec, WARP_SIZE};
 use crate::timing::KernelCost;
 use crate::trace::{ThreadTrace, WarpAligner};
 
+/// Reusable per-block simulation state: the warp aligner plus one trace per
+/// warp lane. Owning one `BlockSim` per concurrently simulated block lets
+/// [`run_block_lanes`] run allocation-free in steady state, and gives the
+/// parallel pipeline an obvious unit of thread-private scratch.
+pub struct BlockSim {
+    pub aligner: WarpAligner,
+    traces: Vec<ThreadTrace>,
+}
+
+impl BlockSim {
+    pub fn new() -> Self {
+        BlockSim {
+            aligner: WarpAligner::new(),
+            traces: vec![ThreadTrace::default(); WARP_SIZE],
+        }
+    }
+}
+
+impl Default for BlockSim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Run `num_lanes` lanes in warps of 32: `lane_body(lane, trace)` executes
 /// one lane's kernel against a fresh trace; after each warp its 32 traces
 /// are aligned (coalescing, bank conflicts, divergence) and folded into
 /// `cost`.
 pub fn run_block_lanes(
     spec: &DeviceSpec,
-    aligner: &mut WarpAligner,
+    sim: &mut BlockSim,
     num_lanes: u32,
     cost: &mut KernelCost,
     mut lane_body: impl FnMut(usize, &mut ThreadTrace),
 ) {
-    let mut traces: Vec<ThreadTrace> = vec![ThreadTrace::default(); WARP_SIZE];
+    let BlockSim { aligner, traces } = sim;
     for warp0 in (0..num_lanes).step_by(WARP_SIZE) {
         let lanes_in_warp = WARP_SIZE.min((num_lanes - warp0) as usize);
         for (li, trace) in traces.iter_mut().enumerate().take(lanes_in_warp) {
             trace.clear();
             lane_body(warp0 as usize + li, trace);
         }
-        cost.add_warp(&aligner.align(spec, &traces[..lanes_in_warp]));
+        cost.add_warp(aligner.align(spec, &traces[..lanes_in_warp]));
     }
 }
 
@@ -39,10 +63,10 @@ mod tests {
     #[test]
     fn visits_every_lane_once_in_order() {
         let spec = DeviceSpec::test_tiny();
-        let mut aligner = WarpAligner::new();
+        let mut sim = BlockSim::new();
         let mut cost = KernelCost::new();
         let mut seen = Vec::new();
-        run_block_lanes(&spec, &mut aligner, 70, &mut cost, |lane, trace| {
+        run_block_lanes(&spec, &mut sim, 70, &mut cost, |lane, trace| {
             seen.push(lane);
             trace.alu(1);
         });
@@ -55,10 +79,10 @@ mod tests {
     #[test]
     fn warp_alignment_is_applied_per_warp() {
         let spec = DeviceSpec::test_tiny();
-        let mut aligner = WarpAligner::new();
+        let mut sim = BlockSim::new();
         let mut cost = KernelCost::new();
         // 64 lanes each read 4 coalesced bytes: 4 segments per warp.
-        run_block_lanes(&spec, &mut aligner, 64, &mut cost, |lane, trace| {
+        run_block_lanes(&spec, &mut sim, 64, &mut cost, |lane, trace| {
             let base = if lane < 32 { 0u64 } else { 1 << 20 };
             trace.record(base + (lane % 32) as u64 * 4, 4, AccessKind::Read, AccessClass::Dev);
         });
@@ -68,9 +92,9 @@ mod tests {
     #[test]
     fn traces_are_fresh_per_lane() {
         let spec = DeviceSpec::test_tiny();
-        let mut aligner = WarpAligner::new();
+        let mut sim = BlockSim::new();
         let mut cost = KernelCost::new();
-        run_block_lanes(&spec, &mut aligner, 40, &mut cost, |_, trace| {
+        run_block_lanes(&spec, &mut sim, 40, &mut cost, |_, trace| {
             assert_eq!(trace.instructions, 0, "trace must arrive cleared");
             assert!(trace.accesses.is_empty());
             trace.alu(5);

@@ -44,6 +44,16 @@ pub enum AccessClass {
 impl AccessClass {
     pub const ALL: [AccessClass; 3] =
         [AccessClass::StreamRead, AccessClass::StreamWrite, AccessClass::Dev];
+
+    /// Dense index of the class, for per-class scratch arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            AccessClass::StreamRead => 0,
+            AccessClass::StreamWrite => 1,
+            AccessClass::Dev => 2,
+        }
+    }
 }
 
 /// One recorded shared-memory access (cost-only; shared memory holds
@@ -117,7 +127,7 @@ impl ThreadTrace {
 }
 
 /// Result of aligning one warp's lanes.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct WarpCost {
     /// Aggregated coalescing cost over all aligned steps.
     pub mem: StepCost,
@@ -138,10 +148,25 @@ pub struct WarpCost {
 }
 
 /// Aligns up to [`WARP_SIZE`] thread traces and produces a [`WarpCost`].
+///
+/// All working storage is owned by the aligner and reused across calls, so
+/// [`WarpAligner::align`] performs no heap allocations in steady state (once
+/// every scratch vector has grown to the warp's working-set size). The
+/// per-class access index is built in a single pass over each lane's trace
+/// instead of re-scanning with per-class cursors.
 pub struct WarpAligner {
+    /// Lane-major per-class access index: `flat[c]` holds every class-`c`
+    /// access of lane 0, then lane 1, … as `(addr, width, is_atomic)`.
+    flat: [Vec<(u64, u32, bool)>; 3],
+    /// `lane_off[c][li]..lane_off[c][li + 1]` is lane `li`'s range in
+    /// `flat[c]`; `lane_off[c][lanes.len()]` is the final sentinel.
+    lane_off: [[usize; WARP_SIZE + 1]; 3],
     lane_buf: Vec<(u64, u32)>,
     prev_segs: Vec<u64>,
     cur_segs: Vec<u64>,
+    /// Bank-conflict scratch: `(bank, word)` pairs of one shared step.
+    words: Vec<(u32, u32)>,
+    cost: WarpCost,
 }
 
 impl Default for WarpAligner {
@@ -153,9 +178,13 @@ impl Default for WarpAligner {
 impl WarpAligner {
     pub fn new() -> Self {
         WarpAligner {
+            flat: [Vec::new(), Vec::new(), Vec::new()],
+            lane_off: [[0; WARP_SIZE + 1]; 3],
             lane_buf: Vec::with_capacity(WARP_SIZE),
             prev_segs: Vec::new(),
             cur_segs: Vec::new(),
+            words: Vec::with_capacity(WARP_SIZE),
+            cost: WarpCost::default(),
         }
     }
 
@@ -169,32 +198,56 @@ impl WarpAligner {
     /// hardware the 32-byte sector fetched for step `k` serves steps
     /// `k+1..k+31` of the same lane. Strided record walks still pay per
     /// record, and scattered accesses pay per access.
-    pub fn align(&mut self, spec: &DeviceSpec, lanes: &[ThreadTrace]) -> WarpCost {
+    ///
+    /// The returned reference borrows the aligner's internal cost buffer; it
+    /// is valid until the next `align` call. Callers that need to keep the
+    /// result must clone it (the pipeline folds it into a `KernelCost`
+    /// immediately, so it never does).
+    pub fn align(&mut self, spec: &DeviceSpec, lanes: &[ThreadTrace]) -> &WarpCost {
         assert!(!lanes.is_empty() && lanes.len() <= WARP_SIZE, "warp must have 1..=32 lanes");
-        let mut cost = WarpCost::default();
         let seg = spec.segment_bytes;
 
-        // Per-lane cursors, reused across the three class passes.
-        let mut cursors = [0usize; WARP_SIZE];
+        self.cost.mem = StepCost::default();
+        self.cost.issue_slots = 0;
+        self.cost.useful_instructions = 0;
+        self.cost.atomic_addrs.clear();
+        self.cost.shared_accesses = 0;
+        self.cost.bank_replay_slots = 0;
 
-        for class in AccessClass::ALL {
-            cursors[..lanes.len()].fill(0);
+        // One pass over each lane's trace builds the per-class flat index;
+        // the step loops below then address "lane li's k-th class-c access"
+        // directly instead of re-walking every trace once per class.
+        for f in &mut self.flat {
+            f.clear();
+        }
+        for (li, lane) in lanes.iter().enumerate() {
+            for c in 0..3 {
+                self.lane_off[c][li] = self.flat[c].len();
+            }
+            for a in &lane.accesses {
+                self.flat[a.class.index()].push((
+                    a.addr,
+                    a.width,
+                    a.kind == AccessKind::Atomic,
+                ));
+            }
+        }
+        for c in 0..3 {
+            self.lane_off[c][lanes.len()] = self.flat[c].len();
+        }
+
+        for ci in 0..3 {
             self.prev_segs.clear();
+            let mut step = 0usize;
             loop {
                 self.lane_buf.clear();
-                for (li, lane) in lanes.iter().enumerate() {
-                    // Advance to this lane's next access of the class.
-                    while let Some(a) = lane.accesses.get(cursors[li]) {
-                        if a.class == class {
-                            break;
-                        }
-                        cursors[li] += 1;
-                    }
-                    if let Some(a) = lane.accesses.get(cursors[li]) {
-                        cursors[li] += 1;
-                        self.lane_buf.push((a.addr, a.width));
-                        if a.kind == AccessKind::Atomic {
-                            cost.atomic_addrs.push(a.addr);
+                for li in 0..lanes.len() {
+                    let idx = self.lane_off[ci][li] + step;
+                    if idx < self.lane_off[ci][li + 1] {
+                        let (addr, width, is_atomic) = self.flat[ci][idx];
+                        self.lane_buf.push((addr, width));
+                        if is_atomic {
+                            self.cost.atomic_addrs.push(addr);
                         }
                     }
                 }
@@ -221,13 +274,14 @@ impl WarpAligner {
                     .filter(|s| self.prev_segs.binary_search(s).is_err())
                     .count() as u64;
                 let reused = self.cur_segs.len() as u64 - new_txns;
-                cost.mem.merge(crate::coalesce::StepCost {
+                self.cost.mem.merge(crate::coalesce::StepCost {
                     transactions: new_txns,
                     bytes_moved: new_txns * seg,
                     bytes_l2: reused * seg,
                     bytes_useful: useful,
                 });
                 std::mem::swap(&mut self.prev_segs, &mut self.cur_segs);
+                step += 1;
             }
         }
 
@@ -235,37 +289,36 @@ impl WarpAligner {
         // ordinal; within one step, lanes hitting the same bank at
         // *different* words serialize (same-word accesses broadcast free).
         let max_shared = lanes.iter().map(|l| l.shared.len()).max().unwrap_or(0);
-        let mut words: Vec<(u32, u32)> = Vec::with_capacity(WARP_SIZE); // (bank, word)
         for step in 0..max_shared {
-            words.clear();
+            self.words.clear();
             for lane in lanes {
                 if let Some(a) = lane.shared.get(step) {
                     let word = a.addr / SHARED_BANK_BYTES;
-                    words.push((word % SHARED_BANKS, word));
+                    self.words.push((word % SHARED_BANKS, word));
                 }
             }
-            words.sort_unstable();
-            words.dedup(); // same-word lanes broadcast
+            self.words.sort_unstable();
+            self.words.dedup(); // same-word lanes broadcast
             let mut max_ways = 1u64;
             let mut i = 0;
-            while i < words.len() {
-                let bank = words[i].0;
+            while i < self.words.len() {
+                let bank = self.words[i].0;
                 let mut ways = 0u64;
-                while i < words.len() && words[i].0 == bank {
+                while i < self.words.len() && self.words[i].0 == bank {
                     ways += 1;
                     i += 1;
                 }
                 max_ways = max_ways.max(ways);
             }
-            cost.bank_replay_slots += (max_ways - 1) * WARP_SIZE as u64;
+            self.cost.bank_replay_slots += (max_ways - 1) * WARP_SIZE as u64;
         }
 
         let max_instr = lanes.iter().map(|l| l.instructions).max().unwrap_or(0);
-        cost.issue_slots = max_instr * WARP_SIZE as u64 + cost.bank_replay_slots;
-        cost.useful_instructions = lanes.iter().map(|l| l.instructions).sum();
-        cost.shared_accesses = lanes.iter().map(|l| l.shared_accesses).sum::<u64>()
+        self.cost.issue_slots = max_instr * WARP_SIZE as u64 + self.cost.bank_replay_slots;
+        self.cost.useful_instructions = lanes.iter().map(|l| l.instructions).sum();
+        self.cost.shared_accesses = lanes.iter().map(|l| l.shared_accesses).sum::<u64>()
             + lanes.iter().map(|l| l.shared.len() as u64).sum::<u64>();
-        cost
+        &self.cost
     }
 }
 
@@ -374,6 +427,32 @@ mod tests {
         let lanes = vec![ThreadTrace::default(); 33];
         WarpAligner::new().align(&spec(), &lanes);
     }
+
+    #[test]
+    fn reused_aligner_matches_fresh_aligner() {
+        // The aligner's scratch must fully reset between calls: aligning a
+        // large atomic-heavy warp first, then a second workload, must give
+        // the same cost a fresh aligner computes for that second workload.
+        let s = spec();
+        let noisy: Vec<ThreadTrace> = (0..32u64)
+            .map(|i| {
+                let mut t = ThreadTrace::default();
+                t.record(i * 4096, 4, AccessKind::Atomic, AccessClass::Dev);
+                t.record(i * 8, 8, AccessKind::Read, AccessClass::StreamRead);
+                t.record(i * 8, 8, AccessKind::Write, AccessClass::StreamWrite);
+                t.record_shared((i as u32 % 8) * 128, 4);
+                t
+            })
+            .collect();
+        let probe: Vec<ThreadTrace> =
+            (0..7u64).map(|i| lane_with_reads(&[1 << 16, (1 << 16) + i * 4], 4)).collect();
+
+        let mut reused = WarpAligner::new();
+        reused.align(&s, &noisy);
+        let got = reused.align(&s, &probe).clone();
+        let mut fresh = WarpAligner::new();
+        assert_eq!(&got, fresh.align(&s, &probe));
+    }
 }
 
 #[cfg(test)]
@@ -398,7 +477,8 @@ mod bank_tests {
     fn conflict_free_consecutive_words() {
         // Lane l -> word l: every lane its own bank.
         let lanes = lanes_with_shared(|l| l * 4);
-        let c = WarpAligner::new().align(&spec(), &lanes);
+        let mut al = WarpAligner::new();
+        let c = al.align(&spec(), &lanes);
         assert_eq!(c.bank_replay_slots, 0);
         assert_eq!(c.shared_accesses, 32);
     }
@@ -406,7 +486,8 @@ mod bank_tests {
     #[test]
     fn broadcast_same_word_is_free() {
         let lanes = lanes_with_shared(|_| 64);
-        let c = WarpAligner::new().align(&spec(), &lanes);
+        let mut al = WarpAligner::new();
+        let c = al.align(&spec(), &lanes);
         assert_eq!(c.bank_replay_slots, 0);
     }
 
@@ -414,7 +495,8 @@ mod bank_tests {
     fn stride_32_words_is_32_way_conflict() {
         // Lane l -> word l*32: all lanes hit bank 0 at distinct words.
         let lanes = lanes_with_shared(|l| l * 32 * 4);
-        let c = WarpAligner::new().align(&spec(), &lanes);
+        let mut al = WarpAligner::new();
+        let c = al.align(&spec(), &lanes);
         assert_eq!(c.bank_replay_slots, 31 * WARP_SIZE as u64);
     }
 
@@ -422,7 +504,8 @@ mod bank_tests {
     fn two_way_conflict() {
         // Lanes pair up on 16 banks: words l and l+32 share bank l.
         let lanes = lanes_with_shared(|l| ((l % 16) + (l / 16) * 32 * 16) * 4);
-        let c = WarpAligner::new().align(&spec(), &lanes);
+        let mut al = WarpAligner::new();
+        let c = al.align(&spec(), &lanes);
         assert_eq!(c.bank_replay_slots, WARP_SIZE as u64);
     }
 
@@ -431,8 +514,9 @@ mod bank_tests {
         let free = lanes_with_shared(|l| l * 4);
         let conflicted = lanes_with_shared(|l| l * 32 * 4);
         let spec = spec();
-        let a = WarpAligner::new().align(&spec, &free);
-        let b = WarpAligner::new().align(&spec, &conflicted);
-        assert!(b.issue_slots > a.issue_slots);
+        let mut al = WarpAligner::new();
+        let a = al.align(&spec, &free).issue_slots;
+        let b = al.align(&spec, &conflicted).issue_slots;
+        assert!(b > a);
     }
 }

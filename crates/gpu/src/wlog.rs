@@ -1,0 +1,433 @@
+//! Per-block device-memory write logs for deterministic parallel replay.
+//!
+//! The parallel pipeline simulates many thread blocks concurrently, but the
+//! sequential schedule it must reproduce bit-for-bit interleaves their
+//! device-memory effects in block order. A [`BlockLog`] gives each block an
+//! isolated view of [`GpuMemory`]: reads come from a shared immutable
+//! snapshot (the memory as of the start of the chunk) merged with the
+//! block's own writes, and every externally visible operation is recorded.
+//! After the concurrent phase, each block's [`BlockEffects`] is replayed
+//! against the live memory *in block order*; recorded read/CAS observations
+//! are validated against the live values, and a mismatch (another block
+//! wrote data this block consumed) rolls the partial replay back and reports
+//! a [`ReplayOutcome::Conflict`] so the caller can re-execute that block
+//! against live memory.
+//!
+//! Two kinds of buffer get different treatment:
+//!
+//! * **Block-private buffers** (a block's own prefetch/write-value staging
+//!   buffers) are registered via [`BlockLog::register_private`]: the log
+//!   keeps a dense byte mirror and reads/writes it directly, without
+//!   recording ops — no other block can touch them, so there is nothing to
+//!   validate. The mirror is committed wholesale on successful replay.
+//! * **Shared buffers** (kernel device state: hash tables, accumulators) use
+//!   a sparse word-masked overlay for the block's own writes plus an op log.
+//!   Plain writes and atomic adds replay blindly (adds commute); reads and
+//!   CAS results are validated against the observations made during logging.
+
+use std::collections::HashMap;
+
+use crate::mem::{BufferId, GpuMemory};
+
+/// One logged externally-visible device-memory operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DevOp {
+    /// A device read whose observed value must still hold at replay time.
+    Read { buf: BufferId, offset: u64, width: u32, observed: u64 },
+    /// A blind store (last-writer-wins in block order).
+    Write { buf: BufferId, offset: u64, width: u32, value: u64 },
+    /// Atomic add; commutes, so it replays blindly.
+    AddU32 { buf: BufferId, offset: u64, delta: u32 },
+    AddU64 { buf: BufferId, offset: u64, delta: u64 },
+    /// Atomic CAS; the observed old value is validated at replay time.
+    CasU64 { buf: BufferId, offset: u64, expected: u64, new: u64, observed: u64 },
+}
+
+/// Result of replaying one block's effects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[must_use]
+pub enum ReplayOutcome {
+    /// All observations held; effects are applied.
+    Committed,
+    /// A validated observation no longer holds; the live memory is unchanged
+    /// (partial replay rolled back) and the block must re-execute live.
+    Conflict,
+}
+
+fn le_load(bytes: &[u8]) -> u64 {
+    let mut b = [0u8; 8];
+    b[..bytes.len()].copy_from_slice(bytes);
+    u64::from_le_bytes(b)
+}
+
+/// A block's isolated, logged view of device memory.
+///
+/// `base` is the shared snapshot every concurrent block reads from; it must
+/// not change while logs against it are live (the pipeline guarantees this
+/// by taking `&GpuMemory` for the whole concurrent phase).
+pub struct BlockLog<'m> {
+    base: &'m GpuMemory,
+    /// Dense mirrors of block-private buffers: `(buf, bytes)`.
+    privs: Vec<(BufferId, Vec<u8>)>,
+    /// Word-masked overlay of this block's shared-buffer writes:
+    /// `(buffer index, byte_addr / 8)` → `(little-endian word, byte mask)`.
+    overlay: HashMap<(usize, u64), (u64, u8)>,
+    ops: Vec<DevOp>,
+}
+
+impl<'m> BlockLog<'m> {
+    pub fn new(base: &'m GpuMemory) -> Self {
+        BlockLog { base, privs: Vec::new(), overlay: HashMap::new(), ops: Vec::new() }
+    }
+
+    /// Declare `buf` block-private: reads and writes bypass the op log and
+    /// go to a dense mirror committed wholesale on successful replay.
+    pub fn register_private(&mut self, buf: BufferId) {
+        debug_assert!(self.privs.iter().all(|(b, _)| *b != buf), "buffer registered twice");
+        let mirror = self.base.read(buf, 0, self.base.len(buf) as usize).to_vec();
+        self.privs.push((buf, mirror));
+    }
+
+    fn priv_index(&self, buf: BufferId) -> Option<usize> {
+        self.privs.iter().position(|(b, _)| *b == buf)
+    }
+
+    #[inline]
+    pub fn vaddr(&self, buf: BufferId, offset: u64) -> u64 {
+        self.base.vaddr(buf, offset)
+    }
+
+    /// Read `width` (1..=8) bytes as a little-endian value, merging this
+    /// block's overlay writes over the snapshot.
+    fn load_merged(&self, buf: BufferId, offset: u64, width: u32) -> u64 {
+        let mut out = [0u8; 8];
+        out[..width as usize].copy_from_slice(self.base.read(buf, offset, width as usize));
+        if !self.overlay.is_empty() {
+            let w0 = offset / 8;
+            let w1 = (offset + width as u64 - 1) / 8;
+            for w in w0..=w1 {
+                if let Some(&(val, mask)) = self.overlay.get(&(buf.0, w)) {
+                    let vb = val.to_le_bytes();
+                    for lane in 0..8u64 {
+                        if mask & (1 << lane) == 0 {
+                            continue;
+                        }
+                        let byte_addr = w * 8 + lane;
+                        if byte_addr >= offset && byte_addr < offset + width as u64 {
+                            out[(byte_addr - offset) as usize] = vb[lane as usize];
+                        }
+                    }
+                }
+            }
+        }
+        u64::from_le_bytes(out)
+    }
+
+    fn store_overlay(&mut self, buf: BufferId, offset: u64, width: u32, value: u64) {
+        let vb = value.to_le_bytes();
+        for i in 0..width as u64 {
+            let byte_addr = offset + i;
+            let w = byte_addr / 8;
+            let lane = (byte_addr % 8) as u32;
+            let e = self.overlay.entry((buf.0, w)).or_insert((0, 0));
+            let shift = lane * 8;
+            e.0 = (e.0 & !(0xFFu64 << shift)) | (((vb[i as usize]) as u64) << shift);
+            e.1 |= 1 << lane;
+        }
+    }
+
+    /// Load from a mapped-stream staging buffer. Never logged: private
+    /// buffers read their mirror, shared buffers read the merged view — the
+    /// pipeline only routes stream loads here for buffers whose contents
+    /// other blocks cannot change before this block's replay.
+    pub fn stream_load(&self, buf: BufferId, offset: u64, width: u32) -> u64 {
+        match self.priv_index(buf) {
+            Some(i) => le_load(&self.privs[i].1[offset as usize..(offset + width as u64) as usize]),
+            None => self.load_merged(buf, offset, width),
+        }
+    }
+
+    /// Store `width` bytes. Private buffers update their mirror; shared
+    /// buffers record a blind `Write` op (last writer in block order wins).
+    pub fn store(&mut self, buf: BufferId, offset: u64, width: u32, value: u64) {
+        match self.priv_index(buf) {
+            Some(i) => {
+                let bytes = value.to_le_bytes();
+                self.privs[i].1[offset as usize..(offset + width as u64) as usize]
+                    .copy_from_slice(&bytes[..width as usize]);
+            }
+            None => {
+                self.store_overlay(buf, offset, width, value);
+                self.ops.push(DevOp::Write { buf, offset, width, value });
+            }
+        }
+    }
+
+    /// Load from a device buffer. Shared-buffer loads log the observed value
+    /// for replay-time validation.
+    pub fn dev_load(&mut self, buf: BufferId, offset: u64, width: u32) -> u64 {
+        match self.priv_index(buf) {
+            Some(i) => le_load(&self.privs[i].1[offset as usize..(offset + width as u64) as usize]),
+            None => {
+                let observed = self.load_merged(buf, offset, width);
+                self.ops.push(DevOp::Read { buf, offset, width, observed });
+                observed
+            }
+        }
+    }
+
+    /// Atomic add on a u32 cell; returns the old value *as seen by this
+    /// block* (snapshot + own effects). Kernels whose results depend on the
+    /// cross-block old value must declare themselves non-replayable.
+    pub fn atomic_add_u32(&mut self, buf: BufferId, offset: u64, delta: u32) -> u32 {
+        match self.priv_index(buf) {
+            Some(i) => {
+                let old = le_load(&self.privs[i].1[offset as usize..offset as usize + 4]) as u32;
+                self.privs[i].1[offset as usize..offset as usize + 4]
+                    .copy_from_slice(&old.wrapping_add(delta).to_le_bytes());
+                old
+            }
+            None => {
+                let old = self.load_merged(buf, offset, 4) as u32;
+                self.store_overlay(buf, offset, 4, old.wrapping_add(delta) as u64);
+                self.ops.push(DevOp::AddU32 { buf, offset, delta });
+                old
+            }
+        }
+    }
+
+    pub fn atomic_add_u64(&mut self, buf: BufferId, offset: u64, delta: u64) -> u64 {
+        match self.priv_index(buf) {
+            Some(i) => {
+                let old = le_load(&self.privs[i].1[offset as usize..offset as usize + 8]);
+                self.privs[i].1[offset as usize..offset as usize + 8]
+                    .copy_from_slice(&old.wrapping_add(delta).to_le_bytes());
+                old
+            }
+            None => {
+                let old = self.load_merged(buf, offset, 8);
+                self.store_overlay(buf, offset, 8, old.wrapping_add(delta));
+                self.ops.push(DevOp::AddU64 { buf, offset, delta });
+                old
+            }
+        }
+    }
+
+    /// Atomic CAS with CUDA semantics (returns the old value). The observed
+    /// old value is validated at replay, so CAS-consuming kernels (hash
+    /// inserts) stay replayable: if another block won the slot first, replay
+    /// detects the stale observation and the block re-executes live.
+    pub fn atomic_cas_u64(&mut self, buf: BufferId, offset: u64, expected: u64, new: u64) -> u64 {
+        match self.priv_index(buf) {
+            Some(i) => {
+                let old = le_load(&self.privs[i].1[offset as usize..offset as usize + 8]);
+                if old == expected {
+                    self.privs[i].1[offset as usize..offset as usize + 8]
+                        .copy_from_slice(&new.to_le_bytes());
+                }
+                old
+            }
+            None => {
+                let observed = self.load_merged(buf, offset, 8);
+                if observed == expected {
+                    self.store_overlay(buf, offset, 8, new);
+                }
+                self.ops.push(DevOp::CasU64 { buf, offset, expected, new, observed });
+                observed
+            }
+        }
+    }
+
+    /// Consume the log into its replayable effects.
+    pub fn finish(self) -> BlockEffects {
+        BlockEffects { privs: self.privs, ops: self.ops }
+    }
+}
+
+/// The externally visible effects of one logged block, ready for in-order
+/// replay.
+pub struct BlockEffects {
+    privs: Vec<(BufferId, Vec<u8>)>,
+    ops: Vec<DevOp>,
+}
+
+impl BlockEffects {
+    pub fn is_empty(&self) -> bool {
+        self.privs.is_empty() && self.ops.is_empty()
+    }
+
+    /// Apply this block's effects to live memory. On a validation failure
+    /// every op applied so far is rolled back (byte-exact) and `Conflict` is
+    /// returned with `gmem` unchanged.
+    pub fn replay(&self, gmem: &mut GpuMemory) -> ReplayOutcome {
+        let mut undo: Vec<(BufferId, u64, u32, [u8; 8])> = Vec::new();
+        let save = |gmem: &GpuMemory, buf: BufferId, offset: u64, width: u32| {
+            let mut bytes = [0u8; 8];
+            bytes[..width as usize].copy_from_slice(gmem.read(buf, offset, width as usize));
+            (buf, offset, width, bytes)
+        };
+        for op in &self.ops {
+            match *op {
+                DevOp::Read { buf, offset, width, observed } => {
+                    let live = le_load(gmem.read(buf, offset, width as usize));
+                    if live != observed {
+                        Self::rollback(gmem, &undo);
+                        return ReplayOutcome::Conflict;
+                    }
+                }
+                DevOp::Write { buf, offset, width, value } => {
+                    undo.push(save(gmem, buf, offset, width));
+                    gmem.write(buf, offset, &value.to_le_bytes()[..width as usize]);
+                }
+                DevOp::AddU32 { buf, offset, delta } => {
+                    undo.push(save(gmem, buf, offset, 4));
+                    let _ = gmem.atomic_add_u32(buf, offset, delta);
+                }
+                DevOp::AddU64 { buf, offset, delta } => {
+                    undo.push(save(gmem, buf, offset, 8));
+                    let _ = gmem.atomic_add_u64(buf, offset, delta);
+                }
+                DevOp::CasU64 { buf, offset, expected, new, observed } => {
+                    let live = gmem.read_u64(buf, offset);
+                    if live != observed {
+                        Self::rollback(gmem, &undo);
+                        return ReplayOutcome::Conflict;
+                    }
+                    undo.push(save(gmem, buf, offset, 8));
+                    let _ = gmem.atomic_cas_u64(buf, offset, expected, new);
+                }
+            }
+        }
+        for (buf, bytes) in &self.privs {
+            gmem.write(*buf, 0, bytes);
+        }
+        ReplayOutcome::Committed
+    }
+
+    fn rollback(gmem: &mut GpuMemory, undo: &[(BufferId, u64, u32, [u8; 8])]) {
+        for &(buf, offset, width, bytes) in undo.iter().rev() {
+            gmem.write(buf, offset, &bytes[..width as usize]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DeviceSpec;
+
+    fn mem() -> GpuMemory {
+        GpuMemory::new(&DeviceSpec::test_tiny())
+    }
+
+    #[test]
+    fn private_buffer_roundtrip_and_commit() {
+        let mut m = mem();
+        let b = m.alloc(64);
+        m.write_u64(b, 0, 11);
+        let mut log = BlockLog::new(&m);
+        log.register_private(b);
+        assert_eq!(log.stream_load(b, 0, 8), 11);
+        log.store(b, 8, 8, 22);
+        assert_eq!(log.stream_load(b, 8, 8), 22);
+        assert_eq!(log.atomic_add_u32(b, 16, 5), 0);
+        assert_eq!(log.atomic_add_u32(b, 16, 5), 5);
+        let fx = log.finish();
+        // Nothing hit gmem yet; replay commits the mirror wholesale.
+        assert_eq!(m.read_u64(b, 8), 0);
+        assert_eq!(fx.replay(&mut m), ReplayOutcome::Committed);
+        assert_eq!(m.read_u64(b, 8), 22);
+        assert_eq!(m.read_u32(b, 16), 10);
+    }
+
+    #[test]
+    fn shared_overlay_merges_own_writes() {
+        let mut m = mem();
+        let b = m.alloc(64);
+        m.write_u64(b, 0, 0x8877665544332211);
+        let mut log = BlockLog::new(&m);
+        // Own 4-byte write at offset 2 straddles nothing; merged load at
+        // offset 0 must mix base and overlay bytes.
+        log.store(b, 2, 4, 0xDDCCBBAA);
+        assert_eq!(log.stream_load(b, 0, 8), 0x8877DDCCBBAA2211);
+        // Base memory untouched until replay.
+        assert_eq!(m.read_u64(b, 0), 0x8877665544332211);
+        let outcome = log.finish().replay(&mut m);
+        assert_eq!(outcome, ReplayOutcome::Committed);
+        assert_eq!(m.read_u64(b, 0), 0x8877DDCCBBAA2211);
+    }
+
+    #[test]
+    fn word_straddling_store_merges_across_words() {
+        let mut m = mem();
+        let b = m.alloc(64);
+        let mut log = BlockLog::new(&m);
+        // 4-byte store at offset 6 straddles the word boundary at 8.
+        log.store(b, 6, 4, 0x44332211);
+        assert_eq!(log.stream_load(b, 6, 4), 0x44332211);
+        assert_eq!(log.stream_load(b, 0, 8), 0x2211_0000_0000_0000);
+        assert_eq!(log.stream_load(b, 8, 8), 0x4433);
+        let outcome = log.finish().replay(&mut m);
+        assert_eq!(outcome, ReplayOutcome::Committed);
+        assert_eq!(m.read_u32(b, 6), 0x44332211);
+    }
+
+    #[test]
+    fn adds_chain_locally_and_replay_applies_on_top_of_live() {
+        let mut m = mem();
+        let b = m.alloc(16);
+        m.write_u64(b, 0, 100);
+        let mut log = BlockLog::new(&m);
+        assert_eq!(log.atomic_add_u64(b, 0, 7), 100);
+        assert_eq!(log.atomic_add_u64(b, 0, 3), 107);
+        let fx = log.finish();
+        // Another (earlier) block bumped the cell before replay: adds
+        // commute, so replay lands on top without conflict.
+        m.atomic_add_u64(b, 0, 1000);
+        assert_eq!(fx.replay(&mut m), ReplayOutcome::Committed);
+        assert_eq!(m.read_u64(b, 0), 1110);
+    }
+
+    #[test]
+    fn stale_read_conflicts_and_rolls_back() {
+        let mut m = mem();
+        let b = m.alloc(32);
+        m.write_u64(b, 0, 5);
+        let mut log = BlockLog::new(&m);
+        log.store(b, 8, 8, 0xFEED); // applied before the read during replay
+        assert_eq!(log.dev_load(b, 0, 8), 5);
+        let fx = log.finish();
+        m.write_u64(b, 0, 6); // earlier block invalidates the observation
+        assert_eq!(fx.replay(&mut m), ReplayOutcome::Conflict);
+        // The already-applied write was rolled back byte-exactly.
+        assert_eq!(m.read_u64(b, 8), 0);
+        assert_eq!(m.read_u64(b, 0), 6);
+    }
+
+    #[test]
+    fn stale_cas_conflicts() {
+        let mut m = mem();
+        let b = m.alloc(16);
+        let mut log = BlockLog::new(&m);
+        // Block claims an empty slot.
+        assert_eq!(log.atomic_cas_u64(b, 0, 0, 42), 0);
+        let fx = log.finish();
+        // An earlier block claimed it first.
+        assert_eq!(m.atomic_cas_u64(b, 0, 0, 7), 0);
+        assert_eq!(fx.replay(&mut m), ReplayOutcome::Conflict);
+        assert_eq!(m.read_u64(b, 0), 7);
+    }
+
+    #[test]
+    fn successful_cas_replays() {
+        let mut m = mem();
+        let b = m.alloc(16);
+        let mut log = BlockLog::new(&m);
+        assert_eq!(log.atomic_cas_u64(b, 0, 0, 42), 0);
+        // A second CAS by the same block sees its own claim.
+        assert_eq!(log.atomic_cas_u64(b, 0, 0, 9), 42);
+        let fx = log.finish();
+        assert_eq!(fx.replay(&mut m), ReplayOutcome::Committed);
+        assert_eq!(m.read_u64(b, 0), 42);
+    }
+}

@@ -1,0 +1,67 @@
+//! Proof that `WarpAligner::align` is allocation-free in steady state.
+//!
+//! This file must contain exactly ONE test: the counting allocator is
+//! process-global, and a concurrently running test would pollute the count.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bk_gpu::trace::{AccessClass, AccessKind, ThreadTrace, WarpAligner};
+use bk_gpu::{DeviceSpec, WARP_SIZE};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn align_performs_no_heap_allocations_in_steady_state() {
+    let spec = DeviceSpec::test_tiny();
+    // A mixed workload touching every scratch path: stream reads/writes,
+    // device atomics, multi-segment accesses, and shared-memory conflicts.
+    let lanes: Vec<ThreadTrace> = (0..WARP_SIZE as u64)
+        .map(|i| {
+            let mut t = ThreadTrace::default();
+            for k in 0..4u64 {
+                t.record(4096 + k * 128 + i * 4, 4, AccessKind::Read, AccessClass::StreamRead);
+                t.record(1 << 20 | (i * 64 + k * 8), 8, AccessKind::Write, AccessClass::StreamWrite);
+                t.record((2 << 20) + (i % 4) * 8, 8, AccessKind::Atomic, AccessClass::Dev);
+            }
+            t.record_shared((i as u32 % 8) * 512, 4);
+            t.alu(10);
+            t
+        })
+        .collect();
+
+    let mut aligner = WarpAligner::new();
+    // Warm-up: let every scratch vector grow to the workload's size.
+    for _ in 0..3 {
+        let _ = aligner.align(&spec, &lanes);
+    }
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for _ in 0..100 {
+        let c = aligner.align(&spec, &lanes);
+        assert!(c.mem.transactions > 0);
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(after - before, 0, "align allocated {} times in steady state", after - before);
+}

@@ -51,6 +51,12 @@ pub struct BigKernelConfig {
     /// Verify at every compute-stage access that the address stream entry
     /// matches (the compiler-correctness cross-check). Cheap; on by default.
     pub verify_reads: bool,
+    /// Simulate the blocks of each wave on multiple host threads. Results
+    /// are bit-identical to the sequential schedule (the pure costing phase
+    /// runs concurrently; device effects replay in block order), so this is
+    /// purely a simulator-throughput knob. Kernels declaring
+    /// `DeviceEffects::Sequential` ignore it.
+    pub parallel_blocks: bool,
 }
 
 impl Default for BigKernelConfig {
@@ -65,6 +71,7 @@ impl Default for BigKernelConfig {
             transfer_all: false,
             sync: SyncMode::IterationBarrier,
             verify_reads: true,
+            parallel_blocks: true,
         }
     }
 }

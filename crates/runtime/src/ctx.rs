@@ -9,6 +9,14 @@
 //!   the [`ChunkLayout`]; device accesses execute against simulated global
 //!   memory; everything is traced for the warp-level timing model.
 //!
+//! `ComputeCtx` is generic over a [`DevMemory`] backend: [`LiveMem`] performs
+//! every access directly against the live [`GpuMemory`] (the sequential
+//! path and conflict re-execution), while [`LoggedMem`] routes them through
+//! a per-block [`BlockLog`] so concurrently simulated blocks stay isolated
+//! and their effects can be replayed in block order (see `bk_gpu::wlog`).
+//! The traced costs are identical either way — only the functional effect
+//! routing changes.
+//!
 //! `ComputeCtx` optionally verifies every stream access against the address
 //! stream recorded in stage 1 — the runtime cross-check that the
 //! hand-written (or compiler-sliced) `addresses()` is exactly the access
@@ -20,8 +28,8 @@ use crate::addr::{AddrEntry, LaneAddrs};
 use crate::kernel::{DevBufId, KernelCtx};
 use crate::layout::ChunkLayout;
 use crate::stream::StreamId;
-use bk_gpu::{AccessKind, GpuMemory, ThreadTrace};
 use bk_gpu::trace::AccessClass;
+use bk_gpu::{AccessKind, BlockLog, GpuMemory, ThreadTrace};
 
 /// Context for the address-generation half (pipeline stage 1).
 pub struct AddrGenCtx<'a> {
@@ -94,6 +102,104 @@ fn le_store(value: u64, width: u32) -> [u8; 8] {
     value.to_le_bytes()
 }
 
+/// Functional backend a [`ComputeCtx`] performs its accesses against.
+///
+/// Stream loads/stores target the chunk's staging buffers; `dev_*` and the
+/// atomics target kernel device state. The split matters to [`LoggedMem`]:
+/// stream accesses hit block-private staging and need no logging, while
+/// device accesses are externally visible and must be logged/validated.
+pub trait DevMemory {
+    fn vaddr(&self, b: DevBufId, offset: u64) -> u64;
+    fn stream_load(&mut self, b: DevBufId, offset: u64, width: u32) -> u64;
+    fn stream_store(&mut self, b: DevBufId, offset: u64, width: u32, value: u64);
+    fn dev_load(&mut self, b: DevBufId, offset: u64, width: u32) -> u64;
+    fn dev_store(&mut self, b: DevBufId, offset: u64, width: u32, value: u64);
+    fn atomic_add_u32(&mut self, b: DevBufId, offset: u64, v: u32) -> u32;
+    fn atomic_add_u64(&mut self, b: DevBufId, offset: u64, v: u64) -> u64;
+    fn atomic_cas_u64(&mut self, b: DevBufId, offset: u64, expected: u64, new: u64) -> u64;
+}
+
+/// Direct execution against live global memory (sequential path, baselines,
+/// and conflict re-execution).
+pub struct LiveMem<'a>(pub &'a mut GpuMemory);
+
+impl DevMemory for LiveMem<'_> {
+    #[inline]
+    fn vaddr(&self, b: DevBufId, offset: u64) -> u64 {
+        self.0.vaddr(b, offset)
+    }
+    #[inline]
+    fn stream_load(&mut self, b: DevBufId, offset: u64, width: u32) -> u64 {
+        le_load(self.0.read(b, offset, width as usize))
+    }
+    #[inline]
+    fn stream_store(&mut self, b: DevBufId, offset: u64, width: u32, value: u64) {
+        let bytes = le_store(value, width);
+        self.0.write(b, offset, &bytes[..width as usize]);
+    }
+    #[inline]
+    fn dev_load(&mut self, b: DevBufId, offset: u64, width: u32) -> u64 {
+        le_load(self.0.read(b, offset, width as usize))
+    }
+    #[inline]
+    fn dev_store(&mut self, b: DevBufId, offset: u64, width: u32, value: u64) {
+        let bytes = le_store(value, width);
+        self.0.write(b, offset, &bytes[..width as usize]);
+    }
+    #[inline]
+    fn atomic_add_u32(&mut self, b: DevBufId, offset: u64, v: u32) -> u32 {
+        self.0.atomic_add_u32(b, offset, v)
+    }
+    #[inline]
+    fn atomic_add_u64(&mut self, b: DevBufId, offset: u64, v: u64) -> u64 {
+        self.0.atomic_add_u64(b, offset, v)
+    }
+    #[inline]
+    fn atomic_cas_u64(&mut self, b: DevBufId, offset: u64, expected: u64, new: u64) -> u64 {
+        self.0.atomic_cas_u64(b, offset, expected, new)
+    }
+}
+
+/// Execution against a per-block write log: reads see the chunk-start
+/// snapshot merged with this block's own effects; externally visible ops are
+/// recorded for in-order replay.
+pub struct LoggedMem<'l, 'm>(pub &'l mut BlockLog<'m>);
+
+impl DevMemory for LoggedMem<'_, '_> {
+    #[inline]
+    fn vaddr(&self, b: DevBufId, offset: u64) -> u64 {
+        self.0.vaddr(b, offset)
+    }
+    #[inline]
+    fn stream_load(&mut self, b: DevBufId, offset: u64, width: u32) -> u64 {
+        self.0.stream_load(b, offset, width)
+    }
+    #[inline]
+    fn stream_store(&mut self, b: DevBufId, offset: u64, width: u32, value: u64) {
+        self.0.store(b, offset, width, value);
+    }
+    #[inline]
+    fn dev_load(&mut self, b: DevBufId, offset: u64, width: u32) -> u64 {
+        self.0.dev_load(b, offset, width)
+    }
+    #[inline]
+    fn dev_store(&mut self, b: DevBufId, offset: u64, width: u32, value: u64) {
+        self.0.store(b, offset, width, value);
+    }
+    #[inline]
+    fn atomic_add_u32(&mut self, b: DevBufId, offset: u64, v: u32) -> u32 {
+        self.0.atomic_add_u32(b, offset, v)
+    }
+    #[inline]
+    fn atomic_add_u64(&mut self, b: DevBufId, offset: u64, v: u64) -> u64 {
+        self.0.atomic_add_u64(b, offset, v)
+    }
+    #[inline]
+    fn atomic_cas_u64(&mut self, b: DevBufId, offset: u64, expected: u64, new: u64) -> u64 {
+        self.0.atomic_cas_u64(b, offset, expected, new)
+    }
+}
+
 /// Which buffer a GPU-mode stream access resolves into.
 enum StreamMode<'a> {
     /// Prefetch-buffer consumption with optional FIFO verification.
@@ -104,8 +210,8 @@ enum StreamMode<'a> {
 
 /// Context for the computation half on the GPU (pipeline stage 4, and the
 /// kernel of the single/double-buffer baselines).
-pub struct ComputeCtx<'a> {
-    gmem: &'a mut GpuMemory,
+pub struct ComputeCtx<'a, M: DevMemory = LiveMem<'a>> {
+    mem: M,
     data_buf: DevBufId,
     /// GPU-side write-value buffer (BigKernel write path); `None` when the
     /// layout is `Staged` (writes land in the staged chunk in place).
@@ -128,9 +234,10 @@ pub struct ComputeCtx<'a> {
     pub stream_bytes_read: u64,
 }
 
-impl<'a> ComputeCtx<'a> {
-    /// Context for BigKernel's compute stage: reads resolve through
-    /// `layout`, writes through `write_layout` into `write_buf`.
+impl<'a> ComputeCtx<'a, LiveMem<'a>> {
+    /// Context for BigKernel's compute stage against live memory: reads
+    /// resolve through `layout`, writes through `write_layout` into
+    /// `write_buf`.
     #[allow(clippy::too_many_arguments)]
     pub fn assembled(
         gmem: &'a mut GpuMemory,
@@ -145,8 +252,55 @@ impl<'a> ComputeCtx<'a> {
         num_threads: u32,
         trace: &'a mut ThreadTrace,
     ) -> Self {
+        Self::assembled_on(
+            LiveMem(gmem),
+            data_buf,
+            write_buf,
+            layout,
+            write_layout,
+            lane_addrs,
+            verify,
+            lane,
+            thread_id,
+            num_threads,
+            trace,
+        )
+    }
+
+    /// Context for staged-chunk execution against live memory (baselines and
+    /// the overlap-only variant).
+    pub fn staged(
+        gmem: &'a mut GpuMemory,
+        data_buf: DevBufId,
+        layout: &'a ChunkLayout,
+        lane: usize,
+        thread_id: u32,
+        num_threads: u32,
+        trace: &'a mut ThreadTrace,
+    ) -> Self {
+        Self::staged_on(LiveMem(gmem), data_buf, layout, lane, thread_id, num_threads, trace)
+    }
+}
+
+impl<'a, M: DevMemory> ComputeCtx<'a, M> {
+    /// Generic form of [`ComputeCtx::assembled`] over any [`DevMemory`]
+    /// backend (the parallel pipeline passes a [`LoggedMem`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn assembled_on(
+        mem: M,
+        data_buf: DevBufId,
+        write_buf: Option<DevBufId>,
+        layout: &'a ChunkLayout,
+        write_layout: Option<&'a ChunkLayout>,
+        lane_addrs: &'a LaneAddrs,
+        verify: bool,
+        lane: usize,
+        thread_id: u32,
+        num_threads: u32,
+        trace: &'a mut ThreadTrace,
+    ) -> Self {
         ComputeCtx {
-            gmem,
+            mem,
             data_buf,
             write_buf,
             layout,
@@ -165,11 +319,11 @@ impl<'a> ComputeCtx<'a> {
         }
     }
 
-    /// Context for staged-chunk execution (baselines and the overlap-only
-    /// variant): stream accesses resolve by offset inside the staged
-    /// window; writes modify the staged chunk in place.
-    pub fn staged(
-        gmem: &'a mut GpuMemory,
+    /// Generic form of [`ComputeCtx::staged`] over any [`DevMemory`]
+    /// backend: stream accesses resolve by offset inside the staged window;
+    /// writes modify the staged chunk in place.
+    pub fn staged_on(
+        mem: M,
         data_buf: DevBufId,
         layout: &'a ChunkLayout,
         lane: usize,
@@ -178,7 +332,7 @@ impl<'a> ComputeCtx<'a> {
         trace: &'a mut ThreadTrace,
     ) -> Self {
         ComputeCtx {
-            gmem,
+            mem,
             data_buf,
             write_buf: None,
             layout,
@@ -297,23 +451,22 @@ fn verify_entry(
     }
 }
 
-impl KernelCtx for ComputeCtx<'_> {
+impl<M: DevMemory> KernelCtx for ComputeCtx<'_, M> {
     fn stream_read(&mut self, s: StreamId, offset: u64, width: u32) -> u64 {
         let pos = self.resolve_read(s, offset, width);
         self.read_k += 1;
         self.stream_bytes_read += width as u64;
         self.trace.record(
-            self.gmem.vaddr(self.data_buf, pos),
+            self.mem.vaddr(self.data_buf, pos),
             width,
             AccessKind::Read,
             AccessClass::StreamRead,
         );
-        le_load(self.gmem.read(self.data_buf, pos, width as usize))
+        self.mem.stream_load(self.data_buf, pos, width)
     }
 
     fn stream_write(&mut self, s: StreamId, offset: u64, width: u32, value: u64) {
         self.stream_bytes_written += width as u64;
-        let bytes = le_store(value, width);
         match (&self.mode, self.write_layout) {
             (StreamMode::Staged, _) => {
                 // In-place modification of the staged chunk; the runner
@@ -321,12 +474,12 @@ impl KernelCtx for ComputeCtx<'_> {
                 assert_eq!(s, StreamId(0), "staged execution supports only the primary stream");
                 let pos = self.layout.staged_pos(self.lane, offset);
                 self.trace.record(
-                    self.gmem.vaddr(self.data_buf, pos),
+                    self.mem.vaddr(self.data_buf, pos),
                     width,
                     AccessKind::Write,
                     AccessClass::StreamWrite,
                 );
-                self.gmem.write(self.data_buf, pos, &bytes[..width as usize]);
+                self.mem.stream_store(self.data_buf, pos, width, value);
             }
             (StreamMode::Assembled { lane_addrs, verify }, Some(wl)) => {
                 let k = self.write_k;
@@ -348,12 +501,12 @@ impl KernelCtx for ComputeCtx<'_> {
                 };
                 self.write_k += 1;
                 self.trace.record(
-                    self.gmem.vaddr(wb, pos),
+                    self.mem.vaddr(wb, pos),
                     width,
                     AccessKind::Write,
                     AccessClass::StreamWrite,
                 );
-                self.gmem.write(wb, pos, &bytes[..width as usize]);
+                self.mem.stream_store(wb, pos, width, value);
             }
             (StreamMode::Assembled { .. }, None) => {
                 panic!("kernel wrote to mapped stream {s:?} but no write layout was assembled")
@@ -362,29 +515,28 @@ impl KernelCtx for ComputeCtx<'_> {
     }
 
     fn dev_read(&mut self, b: DevBufId, offset: u64, width: u32) -> u64 {
-        self.trace.record(self.gmem.vaddr(b, offset), width, AccessKind::Read, AccessClass::Dev);
-        le_load(self.gmem.read(b, offset, width as usize))
+        self.trace.record(self.mem.vaddr(b, offset), width, AccessKind::Read, AccessClass::Dev);
+        self.mem.dev_load(b, offset, width)
     }
 
     fn dev_write(&mut self, b: DevBufId, offset: u64, width: u32, value: u64) {
-        self.trace.record(self.gmem.vaddr(b, offset), width, AccessKind::Write, AccessClass::Dev);
-        let bytes = le_store(value, width);
-        self.gmem.write(b, offset, &bytes[..width as usize]);
+        self.trace.record(self.mem.vaddr(b, offset), width, AccessKind::Write, AccessClass::Dev);
+        self.mem.dev_store(b, offset, width, value);
     }
 
     fn dev_atomic_add_u32(&mut self, b: DevBufId, offset: u64, v: u32) -> u32 {
-        self.trace.record(self.gmem.vaddr(b, offset), 4, AccessKind::Atomic, AccessClass::Dev);
-        self.gmem.atomic_add_u32(b, offset, v)
+        self.trace.record(self.mem.vaddr(b, offset), 4, AccessKind::Atomic, AccessClass::Dev);
+        self.mem.atomic_add_u32(b, offset, v)
     }
 
     fn dev_atomic_add_u64(&mut self, b: DevBufId, offset: u64, v: u64) -> u64 {
-        self.trace.record(self.gmem.vaddr(b, offset), 8, AccessKind::Atomic, AccessClass::Dev);
-        self.gmem.atomic_add_u64(b, offset, v)
+        self.trace.record(self.mem.vaddr(b, offset), 8, AccessKind::Atomic, AccessClass::Dev);
+        self.mem.atomic_add_u64(b, offset, v)
     }
 
     fn dev_atomic_cas_u64(&mut self, b: DevBufId, offset: u64, expected: u64, new: u64) -> u64 {
-        self.trace.record(self.gmem.vaddr(b, offset), 8, AccessKind::Atomic, AccessClass::Dev);
-        self.gmem.atomic_cas_u64(b, offset, expected, new)
+        self.trace.record(self.mem.vaddr(b, offset), 8, AccessKind::Atomic, AccessClass::Dev);
+        self.mem.atomic_cas_u64(b, offset, expected, new)
     }
 
     fn alu(&mut self, n: u64) {
@@ -566,5 +718,47 @@ mod tests {
             &mut m.gmem, buf, None, &layout, None, &lane, true, 0, 0, 1, &mut trace,
         );
         ctx.stream_write(StreamId(0), 0, 4, 1);
+    }
+
+    /// The same kernel body run against a `LoggedMem` must observe identical
+    /// values and leave identical device state after replay as a `LiveMem`
+    /// run — the whole-pipeline determinism tests rest on this.
+    #[test]
+    fn logged_backend_matches_live_backend() {
+        let run = |logged: bool| -> (u64, u64, u64) {
+            let mut m = Machine::test_platform();
+            let layout = ChunkLayout::build_staged_window(0..64, 0, 64, 1);
+            let data = m.gmem.alloc(64);
+            m.gmem.write_u64(data, 0, 123);
+            let table = m.gmem.alloc(64);
+            m.gmem.write_u64(table, 0, 7);
+            let mut trace = ThreadTrace::default();
+            let body = |ctx: &mut dyn KernelCtx| {
+                let v = ctx.stream_read(StreamId(0), 0, 8);
+                let t = ctx.dev_read(table, 0, 8);
+                ctx.dev_write(table, 8, 8, v.wrapping_add(t));
+                let _ = ctx.dev_atomic_add_u64(table, 16, v);
+                let _ = ctx.dev_atomic_cas_u64(table, 24, 0, t);
+            };
+            if logged {
+                let mut log = BlockLog::new(&m.gmem);
+                log.register_private(data);
+                let mut ctx = ComputeCtx::staged_on(
+                    LoggedMem(&mut log), data, &layout, 0, 0, 1, &mut trace,
+                );
+                body(&mut ctx);
+                drop(ctx);
+                assert_eq!(
+                    log.finish().replay(&mut m.gmem),
+                    bk_gpu::ReplayOutcome::Committed
+                );
+            } else {
+                let mut ctx = ComputeCtx::staged(&mut m.gmem, data, &layout, 0, 0, 1, &mut trace);
+                body(&mut ctx);
+            }
+            (m.gmem.read_u64(table, 8), m.gmem.read_u64(table, 16), m.gmem.read_u64(table, 24))
+        };
+        assert_eq!(run(false), run(true));
+        assert_eq!(run(true), (130, 123, 7));
     }
 }

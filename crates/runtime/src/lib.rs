@@ -45,8 +45,8 @@ pub mod stream;
 pub mod sync;
 
 pub use config::{AssemblyLayout, BigKernelConfig, SyncMode};
-pub use ctx::{AddrGenCtx, ComputeCtx};
-pub use kernel::{DevBufId, KernelCtx, LaunchConfig, StreamKernel, ValueExt};
+pub use ctx::{AddrGenCtx, ComputeCtx, DevMemory, LiveMem, LoggedMem};
+pub use kernel::{DevBufId, DeviceEffects, KernelCtx, LaunchConfig, StreamKernel, ValueExt};
 pub use machine::Machine;
 pub use pipeline::run_bigkernel;
 pub use result::{RunResult, StageStat};

@@ -22,19 +22,43 @@
 //!
 //! Per-chunk stage durations feed the generic pipeline scheduler with the
 //! `addr-gen(n) waits for compute(n − depth)` buffer-reuse rule; the
-//! schedule's makespan is the run's simulated time. Functional effects (data
-//! buffers, device tables, host write-back) are applied eagerly in chunk
-//! order, which is equivalent for the deterministic kernels BigKernel
-//! targets.
+//! schedule's makespan is the run's simulated time.
+//!
+//! ## Two-phase block simulation
+//!
+//! Simulating one chunk means simulating every active block's stage work.
+//! For kernels whose device effects are log-replayable (the default, see
+//! [`DeviceEffects`]) each block's work is split into
+//!
+//! * a **pure costing phase** — address-slice execution, §IV.A pattern
+//!   recognition, assembly + LLC simulation, warp-trace alignment and the
+//!   kernel body run against a per-block write log ([`bk_gpu::BlockLog`])
+//!   over a read snapshot of device memory — which touches no shared
+//!   simulator state and therefore may run on multiple host threads, and
+//! * an **ordered effects phase** — device-buffer writes and atomics
+//!   replayed from each block's log *in block order*, followed by host
+//!   write-back — which is serial and makes the result bit-identical to the
+//!   sequential block schedule.
+//!
+//! If a logged observation (a device load or CAS result consumed by the
+//! kernel) no longer holds at replay time, the replay rolls back and the
+//! block re-executes against live memory at its in-order turn — exactly what
+//! the sequential schedule would have computed. `cfg.parallel_blocks` only
+//! toggles whether the pure phases use the rayon pool: both settings run the
+//! identical logged algorithm, so counters, times and outputs match bit for
+//! bit. Kernels whose device ops are *not* log-replayable (e.g. consuming
+//! `atomic_add` return values across blocks) declare
+//! [`DeviceEffects::Sequential`] and run the legacy fused per-block loop.
 //!
 //! Thread blocks beyond the §IV.D active-block count run as successive
-//! waves, reusing the active blocks' buffers.
+//! waves, reusing the active blocks' buffers (and their per-slot simulation
+//! state: warp aligner + LLC model).
 
-use crate::addr::{AddrStream, LaneAddrs};
+use crate::addr::{AddrEntry, AddrStream, LaneAddrs};
 use crate::assembly::{assemble, AssemblyOutput};
 use crate::config::BigKernelConfig;
-use crate::ctx::{AddrGenCtx, ComputeCtx};
-use crate::kernel::{chunk_slice, partition_ranges, LaunchConfig, StreamKernel};
+use crate::ctx::{AddrGenCtx, ComputeCtx, LoggedMem};
+use crate::kernel::{chunk_slice, partition_ranges, DeviceEffects, LaunchConfig, StreamKernel};
 use crate::layout::ChunkLayout;
 use crate::machine::Machine;
 use crate::pattern;
@@ -42,9 +66,10 @@ use crate::result::{accumulate_stage_stats, finalize_stage_stats, RunResult};
 use crate::stream::StreamArray;
 use crate::sync;
 use bk_gpu::occupancy::{self, BlockResources};
-use bk_gpu::{GpuPool, KernelCost, WarpAligner, WARP_SIZE};
+use bk_gpu::{BlockLog, BlockSim, GpuPool, KernelCost, ReplayOutcome, WARP_SIZE};
 use bk_host::{cpu, CacheSim, CpuCost, DmaDirection};
 use bk_simcore::{Counters, PipelineSpec, SimTime, StageDef};
+use rayon::prelude::*;
 use std::ops::Range;
 
 /// Stage names, in pipeline order.
@@ -58,16 +83,140 @@ fn bound_counter(stage: &str, bound: &str) -> &'static str {
     match (stage, bound) {
         ("addr-gen", "gpu-issue") => "bound.addr-gen.gpu-issue",
         ("addr-gen", "gpu-mem") => "bound.addr-gen.gpu-mem",
+        ("addr-gen", "gpu-l2") => "bound.addr-gen.gpu-l2",
+        ("addr-gen", "gpu-atomic-throughput") => "bound.addr-gen.gpu-atomic-throughput",
+        ("addr-gen", "gpu-atomic-conflict") => "bound.addr-gen.gpu-atomic-conflict",
         ("addr-gen", "pcie-zerocopy") => "bound.addr-gen.pcie-zerocopy",
         ("assemble", "cpu-issue") => "bound.assemble.cpu-issue",
         ("assemble", "cpu-dram-bw") => "bound.assemble.cpu-dram-bw",
         ("assemble", "cpu-dram-latency") => "bound.assemble.cpu-dram-latency",
+        ("assemble", "cpu-atomic-throughput") => "bound.assemble.cpu-atomic-throughput",
+        ("assemble", "cpu-atomic-contention") => "bound.assemble.cpu-atomic-contention",
+        ("transfer", "dma-bandwidth") => "bound.transfer.dma-bandwidth",
+        ("transfer", "dma-latency") => "bound.transfer.dma-latency",
         ("compute", "gpu-issue") => "bound.compute.gpu-issue",
         ("compute", "gpu-mem") => "bound.compute.gpu-mem",
         ("compute", "gpu-l2") => "bound.compute.gpu-l2",
         ("compute", "gpu-atomic-throughput") => "bound.compute.gpu-atomic-throughput",
         ("compute", "gpu-atomic-conflict") => "bound.compute.gpu-atomic-conflict",
+        ("wb-xfer", "dma-bandwidth") => "bound.wb-xfer.dma-bandwidth",
+        ("wb-xfer", "dma-latency") => "bound.wb-xfer.dma-latency",
+        ("wb-apply", "cpu-issue") => "bound.wb-apply.cpu-issue",
+        ("wb-apply", "cpu-dram-bw") => "bound.wb-apply.cpu-dram-bw",
+        ("wb-apply", "cpu-dram-latency") => "bound.wb-apply.cpu-dram-latency",
+        ("wb-apply", "cpu-atomic-throughput") => "bound.wb-apply.cpu-atomic-throughput",
+        ("wb-apply", "cpu-atomic-contention") => "bound.wb-apply.cpu-atomic-contention",
         _ => "bound.other",
+    }
+}
+
+/// Per-active-block simulation state, persistent across chunks and waves:
+/// the warp aligner (with its reusable trace arena) and this block slot's
+/// LLC model (one assembly thread per block, so one cache each).
+struct BlockSlot {
+    sim: BlockSim,
+    llc: CacheSim,
+}
+
+impl BlockSlot {
+    fn new() -> Self {
+        BlockSlot { sim: BlockSim::new(), llc: CacheSim::xeon_llc() }
+    }
+}
+
+/// Address-generation counters accumulated per block in the pure phase and
+/// folded into the run counters in block order.
+#[derive(Default)]
+struct AddrCounts {
+    entries: u64,
+    patterns_found: u64,
+    segmented_found: u64,
+    patterns_missed: u64,
+}
+
+/// Pure per-block output of stages 1–2 (no shared-simulator mutation).
+struct BlockPure {
+    lane_addrs: Vec<LaneAddrs>,
+    ag_cost: KernelCost,
+    out: AssemblyOutput,
+    counts: AddrCounts,
+    addr_bytes: u64,
+}
+
+/// Pure per-block output of the overlap-only staging copy.
+struct StagedPure {
+    layout: ChunkLayout,
+    bytes: Vec<u8>,
+}
+
+/// Per-block output of the compute stage.
+struct BlockComputed {
+    comp_cost: KernelCost,
+    bytes_read: u64,
+    bytes_written: u64,
+    /// Per-lane count of stream writes performed (assembled mode).
+    writes_performed: Vec<usize>,
+    /// Any in-place staged-chunk modification (overlap-only mode).
+    any_writes: bool,
+    /// The block's logged device effects, pending ordered replay. `None`
+    /// after replay, or when the block executed live.
+    effects: Option<bk_gpu::BlockEffects>,
+}
+
+/// One active block's work for the current chunk.
+struct WaveCell<'s> {
+    block: u32,
+    slices: Vec<Range<u64>>,
+    slot: &'s mut BlockSlot,
+    pure: Option<BlockPure>,
+    staged: Option<StagedPure>,
+    data_buf: Option<bk_gpu::BufferId>,
+    write_buf: Option<bk_gpu::BufferId>,
+    computed: Option<BlockComputed>,
+}
+
+/// Per-chunk cost accumulators shared by every execution path.
+struct ChunkCosts {
+    ag: KernelCost,
+    asm: CpuCost,
+    xfer: SimTime,
+    /// H2D transfer count (each pays the completion-flag copy).
+    h2d_flags: u64,
+    /// H2D transfers with a nonzero payload (each pays the DMA setup
+    /// latency).
+    h2d_lats: u64,
+    comp: KernelCost,
+    wb_bytes: u64,
+    wb: CpuCost,
+    addr_bytes: u64,
+}
+
+impl ChunkCosts {
+    fn new() -> Self {
+        ChunkCosts {
+            ag: KernelCost::new(),
+            asm: CpuCost::new(),
+            xfer: SimTime::ZERO,
+            h2d_flags: 0,
+            h2d_lats: 0,
+            comp: KernelCost::new(),
+            wb_bytes: 0,
+            wb: CpuCost::new(),
+            addr_bytes: 0,
+        }
+    }
+}
+
+/// Run `f` over every cell — on the rayon pool when `parallel`, serially
+/// otherwise. Both orders produce identical cells: `f` touches only its own
+/// cell plus shared read-only state.
+fn for_each_cell<T: Send>(parallel: bool, cells: &mut [T], f: impl Fn(&mut T) + Sync) {
+    if parallel && cells.len() > 1 {
+        cells.par_iter_mut().for_each(|c| f(c));
+    } else {
+        for c in cells.iter_mut() {
+            f(c);
+        }
     }
 }
 
@@ -143,14 +292,18 @@ pub fn run_bigkernel(
     .with_reuse(0, 3, cfg.buffer_depth)
     .with_reuse(3, 5, cfg.buffer_depth);
 
+    // Capability gate: only log-replayable kernels run the two-phase
+    // algorithm. `parallel_blocks` then merely toggles the thread pool — the
+    // algorithm (and thus every observable result) is the same either way.
+    let logged = kernel.device_effects() == DeviceEffects::Replayable;
+    let parallel = logged && cfg.parallel_blocks;
+
     let waves = launch.num_blocks.div_ceil(active_blocks);
     let mut total = SimTime::ZERO;
     let mut stage_stats = Vec::new();
     let mut total_chunks = 0usize;
-    // One LLC per assembly thread (per block slot) would be ideal; a single
-    // shared cache is the conservative approximation (more conflict misses).
-    let mut llc = CacheSim::xeon_llc();
-    let mut aligner = WarpAligner::new();
+    let mut slots: Vec<BlockSlot> =
+        (0..active_blocks.min(launch.num_blocks).max(1)).map(|_| BlockSlot::new()).collect();
 
     for wave in 0..waves {
         let blocks: Vec<u32> = (wave * active_blocks
@@ -160,16 +313,12 @@ pub fn run_bigkernel(
 
         for chunk in 0..num_chunks {
             let mut row = [SimTime::ZERO; 6];
-            let mut ag_cost = KernelCost::new();
-            let mut asm_cost = CpuCost::new();
-            let mut xfer = SimTime::ZERO;
-            let mut comp_cost = KernelCost::new();
-            let mut wb_bytes = 0u64;
-            let mut wb_cost = CpuCost::new();
-            let mut addr_bytes_total = 0u64;
-            let mut any_work = false;
+            let mut costs = ChunkCosts::new();
 
-            for &b in &blocks {
+            // Pair each working block with its persistent slot.
+            let mut cells: Vec<WaveCell<'_>> = Vec::with_capacity(blocks.len());
+            for (i, slot) in slots.iter_mut().enumerate().take(blocks.len()) {
+                let b = blocks[i];
                 let slices: Vec<Range<u64>> = (0..tpb)
                     .map(|t| {
                         let lane_range = &ranges[(b * tpb + t) as usize];
@@ -179,33 +328,55 @@ pub fn run_bigkernel(
                 if slices.iter().all(|s| s.is_empty()) {
                     continue;
                 }
-                any_work = true;
-
-                if cfg.transfer_all {
-                    run_block_transfer_all(
-                        machine, kernel, streams, &slices, b, tpb, launch,
-                        &mut aligner, &mut comp_cost, &mut asm_cost, &mut xfer,
-                        &mut wb_bytes, &mut wb_cost, &mut counters,
-                    );
-                } else {
-                    run_block_bigkernel(
-                        machine, kernel, streams, &slices, b, tpb, launch, cfg,
-                        &mut aligner, &mut llc, &mut ag_cost, &mut asm_cost,
-                        &mut xfer, &mut comp_cost, &mut wb_bytes, &mut wb_cost,
-                        &mut addr_bytes_total, &mut counters,
-                    );
-                }
+                cells.push(WaveCell {
+                    block: b,
+                    slices,
+                    slot,
+                    pure: None,
+                    staged: None,
+                    data_buf: None,
+                    write_buf: None,
+                    computed: None,
+                });
             }
 
-            if !any_work {
+            if cells.is_empty() {
                 durations.push(row.to_vec());
                 continue;
             }
 
+            if !logged {
+                // Sequential-capability kernels: legacy fused per-block loop
+                // in block order (both parallel_blocks settings).
+                for cell in cells.iter_mut() {
+                    if cfg.transfer_all {
+                        run_block_sequential_staged(
+                            machine, kernel, streams, &cell.slices, cell.block, tpb, launch,
+                            cell.slot, &mut costs, &mut counters,
+                        );
+                    } else {
+                        run_block_sequential(
+                            machine, kernel, streams, &cell.slices, cell.block, tpb, launch,
+                            cfg, cell.slot, &mut costs, &mut counters,
+                        );
+                    }
+                }
+            } else if cfg.transfer_all {
+                run_chunk_staged_logged(
+                    machine, kernel, streams, &mut cells, parallel, tpb, launch, &mut costs,
+                    &mut counters,
+                );
+            } else {
+                run_chunk_assembled_logged(
+                    machine, kernel, streams, &mut cells, parallel, tpb, launch, cfg, &mut costs,
+                    &mut counters,
+                );
+            }
+
             // Stage 1: addr-gen pool roofline + zero-copy address stores.
             if !cfg.transfer_all {
-                let mut terms = ag_pool.stage_terms(&ag_cost);
-                terms.bound("pcie-zerocopy", machine.link.zero_copy_write_time(addr_bytes_total));
+                let mut terms = ag_pool.stage_terms(&costs.ag);
+                terms.bound("pcie-zerocopy", machine.link.zero_copy_write_time(costs.addr_bytes));
                 if let Some(b) = terms.dominant() {
                     counters.incr(bound_counter("addr-gen", b.label));
                 }
@@ -213,30 +384,52 @@ pub fn run_bigkernel(
             }
             // Stage 2: block assembly threads run in parallel on the host.
             let asm_threads = (blocks.len() as u32).min(machine.cpu.hw_threads).max(1);
-            let asm_terms = cpu::cpu_stage_terms(&machine.cpu, &asm_cost, asm_threads);
+            let asm_terms = cpu::cpu_stage_terms(&machine.cpu, &costs.asm, asm_threads);
             if let Some(b) = asm_terms.dominant() {
                 counters.incr(bound_counter("assemble", b.label));
             }
             row[1] = asm_terms.duration() + sync_costs.assembly;
-            // Stage 3: DMA (already summed per block, one engine).
-            row[2] = xfer;
+            // Stage 3: DMA (already summed per block, one engine). Bound
+            // classification: fixed per-transfer setup + flag costs vs the
+            // bandwidth share.
+            row[2] = costs.xfer;
+            if costs.xfer > SimTime::ZERO {
+                let fixed = SimTime::from_secs(
+                    machine.link.flag_latency.secs() * costs.h2d_flags as f64
+                        + machine.link.latency.secs() * costs.h2d_lats as f64,
+                );
+                let bw = costs.xfer.saturating_sub(fixed);
+                let label = if bw >= fixed { "dma-bandwidth" } else { "dma-latency" };
+                counters.incr(bound_counter("transfer", label));
+            }
             // Stage 4: compute pool.
-            let comp_terms = comp_pool.stage_terms(&comp_cost);
+            let comp_terms = comp_pool.stage_terms(&costs.comp);
             if let Some(b) = comp_terms.dominant() {
                 counters.incr(bound_counter("compute", b.label));
             }
             row[3] = comp_terms.duration() + sync_costs.compute;
-            counters.add("gpu.comp_issue_slots", comp_cost.issue_slots);
-            counters.add("gpu.comp_mem_bytes_moved", comp_cost.mem_bytes_moved);
-            counters.add("gpu.comp_mem_bytes_useful", comp_cost.mem_bytes_useful);
-            counters.add("gpu.comp_atomics", comp_cost.atomic_ops);
-            counters.add("gpu.comp_hot_atomic_chain", comp_cost.hot_atomic_max());
-            // Stage 5: write-back DMA.
-            if wb_bytes > 0 {
-                row[4] = machine.link.dma_time_with_flag(DmaDirection::DeviceToHost, wb_bytes);
+            counters.add("gpu.comp_issue_slots", costs.comp.issue_slots);
+            counters.add("gpu.comp_mem_bytes_moved", costs.comp.mem_bytes_moved);
+            counters.add("gpu.comp_mem_bytes_useful", costs.comp.mem_bytes_useful);
+            counters.add("gpu.comp_atomics", costs.comp.atomic_ops);
+            counters.add("gpu.comp_hot_atomic_chain", costs.comp.hot_atomic_max());
+            // Stage 5: write-back DMA (one transfer per chunk).
+            if costs.wb_bytes > 0 {
+                row[4] =
+                    machine.link.dma_time_with_flag(DmaDirection::DeviceToHost, costs.wb_bytes);
+                let fixed = machine.link.latency + machine.link.flag_latency;
+                let bw = row[4].saturating_sub(fixed);
+                let label = if bw >= fixed { "dma-bandwidth" } else { "dma-latency" };
+                counters.incr(bound_counter("wb-xfer", label));
             }
             // Stage 6: write-back apply.
-            row[5] = cpu::cpu_stage_time(&machine.cpu, &wb_cost, asm_threads);
+            let wb_terms = cpu::cpu_stage_terms(&machine.cpu, &costs.wb, asm_threads);
+            if costs.wb_bytes > 0 {
+                if let Some(b) = wb_terms.dominant() {
+                    counters.incr(bound_counter("wb-apply", b.label));
+                }
+            }
+            row[5] = wb_terms.duration();
 
             durations.push(row.to_vec());
         }
@@ -265,9 +458,396 @@ pub fn run_bigkernel(
     }
 }
 
-/// One block, one chunk, full BigKernel path (stages 1–6 cost + function).
+/// §IV.A stream compression (whole-stream pattern, piecewise segments, raw
+/// fallback), tallying into per-block counts.
+fn compress_stream(
+    cfg: &BigKernelConfig,
+    v: Vec<AddrEntry>,
+    counts: &mut AddrCounts,
+) -> AddrStream {
+    if cfg.pattern_recognition {
+        if let Some(p) = pattern::detect(&v, pattern::MAX_PERIOD) {
+            // Long cycles (e.g. a phase super-pattern) can encode worse than
+            // piecewise compression; pick the smaller.
+            if cfg.segmented_patterns && p.period() > 16 {
+                if let Some(seg) = crate::segmented::detect_segmented(&v, pattern::MAX_PERIOD) {
+                    if seg.encoded_bytes() < p.encoded_bytes() {
+                        counts.segmented_found += 1;
+                        return AddrStream::Segmented(seg);
+                    }
+                }
+            }
+            counts.patterns_found += 1;
+            return AddrStream::Pattern(p);
+        }
+        if cfg.segmented_patterns {
+            if let Some(s) = crate::segmented::detect_segmented(&v, pattern::MAX_PERIOD) {
+                counts.segmented_found += 1;
+                return AddrStream::Segmented(s);
+            }
+        }
+        if !v.is_empty() {
+            counts.patterns_missed += 1;
+        }
+    }
+    AddrStream::Raw(v)
+}
+
+/// Pure phase, stages 1–2: address generation + compression + assembly
+/// against this block's own LLC. Reads shared state immutably; safe to run
+/// concurrently across blocks.
+fn block_pure_bigkernel(
+    machine: &Machine,
+    kernel: &dyn StreamKernel,
+    streams: &[StreamArray],
+    slices: &[Range<u64>],
+    tpb: u32,
+    cfg: &BigKernelConfig,
+    slot: &mut BlockSlot,
+) -> BlockPure {
+    let mut ag_cost = KernelCost::new();
+    let mut counts = AddrCounts::default();
+    let mut lane_addrs: Vec<LaneAddrs> = Vec::with_capacity(tpb as usize);
+    {
+        let gmem = &machine.gmem;
+        let counts = &mut counts;
+        let lane_addrs = &mut lane_addrs;
+        bk_gpu::run_block_lanes(&machine.gpu, &mut slot.sim, tpb, &mut ag_cost, |lane, trace| {
+            let mut ctx = AddrGenCtx::new(gmem, trace);
+            kernel.addresses(&mut ctx, slices[lane].clone());
+            let (reads, writes) = ctx.finish();
+            counts.entries += (reads.len() + writes.len()) as u64;
+            lane_addrs.push(LaneAddrs {
+                reads: compress_stream(cfg, reads, counts),
+                writes: compress_stream(cfg, writes, counts),
+            });
+        });
+    }
+    ag_cost.add_barrier(1);
+    let addr_bytes: u64 = lane_addrs.iter().map(|l| l.encoded_bytes()).sum();
+    let out = assemble(
+        &machine.hmem,
+        streams,
+        &lane_addrs,
+        cfg.layout,
+        cfg.locality_assembly,
+        &mut slot.llc,
+    );
+    BlockPure { lane_addrs, ag_cost, out, counts, addr_bytes }
+}
+
+/// Fold one block's pure-phase results into chunk costs and counters (block
+/// order).
+fn fold_pure(pure: &BlockPure, costs: &mut ChunkCosts, counters: &mut Counters) {
+    costs.ag.merge(&pure.ag_cost);
+    counters.add("addr.entries", pure.counts.entries);
+    counters.add("addr.patterns_found", pure.counts.patterns_found);
+    counters.add("addr.segmented_found", pure.counts.segmented_found);
+    counters.add("addr.patterns_missed", pure.counts.patterns_missed);
+    costs.addr_bytes += pure.addr_bytes;
+    counters.add("addr.encoded_bytes", pure.addr_bytes);
+    counters.add("pcie.d2h_bytes", pure.addr_bytes);
+    costs.asm.merge(&pure.out.cost);
+    counters.add("assembly.gathered_bytes", pure.out.gathered_bytes);
+    counters.add("assembly.padding_bytes", pure.out.padding_bytes);
+    counters.add("assembly.cache_hits", pure.out.cost.cache_hits);
+    counters.add("assembly.cache_misses", pure.out.cost.cache_misses);
+    if pure.out.locality_order_used {
+        counters.incr("assembly.locality_order_chunks");
+    }
+    counters.add("stream.bytes_read_unique", pure.out.gathered_bytes);
+}
+
+/// Ordered phase, stage 3: allocate the block's device buffers and DMA the
+/// assembled bytes in.
+fn stage_transfer(
+    machine: &mut Machine,
+    pure: &BlockPure,
+    costs: &mut ChunkCosts,
+    counters: &mut Counters,
+) -> (bk_gpu::BufferId, Option<bk_gpu::BufferId>) {
+    let buf_len = pure.out.layout.total_len().max(1);
+    let data_buf = machine.gmem.alloc(buf_len);
+    machine.gmem.dma_in(data_buf, 0, &pure.out.bytes);
+    costs.xfer +=
+        machine.link.dma_time_with_flag(DmaDirection::HostToDevice, pure.out.bytes.len() as u64);
+    costs.h2d_flags += 1;
+    if !pure.out.bytes.is_empty() {
+        costs.h2d_lats += 1;
+    }
+    counters.add("pcie.h2d_bytes", pure.out.bytes.len() as u64);
+    let write_buf =
+        pure.out.write_layout.as_ref().map(|wl| machine.gmem.alloc(wl.total_len().max(1)));
+    (data_buf, write_buf)
+}
+
+/// Fold one block's compute results into chunk costs and counters (block
+/// order).
+fn fold_computed(computed: &BlockComputed, costs: &mut ChunkCosts, counters: &mut Counters) {
+    costs.comp.merge(&computed.comp_cost);
+    counters.add("stream.bytes_read", computed.bytes_read);
+    counters.add("stream.bytes_written", computed.bytes_written);
+}
+
+/// Ordered phase, stages 5–6 of the assembled path.
 #[allow(clippy::too_many_arguments)]
-fn run_block_bigkernel(
+fn writeback_assembled(
+    machine: &mut Machine,
+    streams: &[StreamArray],
+    pure: &BlockPure,
+    write_buf: Option<bk_gpu::BufferId>,
+    computed: &BlockComputed,
+    llc: &mut CacheSim,
+    costs: &mut ChunkCosts,
+    counters: &mut Counters,
+) {
+    if let (Some(wl), Some(wb)) = (pure.out.write_layout.as_ref(), write_buf) {
+        let bytes = wl.total_len();
+        costs.wb_bytes += bytes;
+        counters.add("pcie.d2h_bytes", bytes);
+        apply_writeback(
+            machine,
+            streams,
+            &pure.lane_addrs,
+            wl,
+            wb,
+            &computed.writes_performed,
+            &mut costs.wb,
+            llc,
+        );
+    }
+}
+
+/// Compute stage against a per-block write log (pure phase; shared state is
+/// only read).
+#[allow(clippy::too_many_arguments)]
+fn compute_assembled_logged(
+    machine: &Machine,
+    kernel: &dyn StreamKernel,
+    slices: &[Range<u64>],
+    pure: &BlockPure,
+    data_buf: bk_gpu::BufferId,
+    write_buf: Option<bk_gpu::BufferId>,
+    block: u32,
+    tpb: u32,
+    launch: LaunchConfig,
+    verify: bool,
+    sim: &mut BlockSim,
+) -> BlockComputed {
+    let mut comp_cost = KernelCost::new();
+    let mut log = BlockLog::new(&machine.gmem);
+    // The write buffer is block-private: mirror it so writes commit
+    // wholesale on replay. The data buffer is also block-private but only
+    // read, so snapshot reads need no mirror.
+    if let Some(wb) = write_buf {
+        log.register_private(wb);
+    }
+    let mut writes_performed: Vec<usize> = vec![0; tpb as usize];
+    let mut bytes_read = 0u64;
+    let mut bytes_written = 0u64;
+    {
+        let log = &mut log;
+        let writes_performed = &mut writes_performed;
+        let bytes_read = &mut bytes_read;
+        let bytes_written = &mut bytes_written;
+        let lane_addrs = &pure.lane_addrs;
+        let layout = &pure.out.layout;
+        let write_layout = pure.out.write_layout.as_ref();
+        bk_gpu::run_block_lanes(&machine.gpu, sim, tpb, &mut comp_cost, |lane, trace| {
+            let tid = block * tpb + lane as u32;
+            let mut ctx = ComputeCtx::assembled_on(
+                LoggedMem(&mut *log),
+                data_buf,
+                write_buf,
+                layout,
+                write_layout,
+                &lane_addrs[lane],
+                verify,
+                lane,
+                tid,
+                launch.total_threads(),
+                trace,
+            );
+            kernel.process(&mut ctx, slices[lane].clone());
+            *bytes_read += ctx.stream_bytes_read;
+            *bytes_written += ctx.stream_bytes_written;
+            writes_performed[lane] = ctx.write_count();
+        });
+    }
+    comp_cost.add_barrier(2);
+    BlockComputed {
+        comp_cost,
+        bytes_read,
+        bytes_written,
+        writes_performed,
+        any_writes: false,
+        effects: Some(log.finish()),
+    }
+}
+
+/// Compute stage against live memory (sequential-capability kernels and
+/// conflict re-execution at the block's in-order turn).
+#[allow(clippy::too_many_arguments)]
+fn compute_assembled_live(
+    machine: &mut Machine,
+    kernel: &dyn StreamKernel,
+    slices: &[Range<u64>],
+    pure: &BlockPure,
+    data_buf: bk_gpu::BufferId,
+    write_buf: Option<bk_gpu::BufferId>,
+    block: u32,
+    tpb: u32,
+    launch: LaunchConfig,
+    verify: bool,
+    sim: &mut BlockSim,
+) -> BlockComputed {
+    let mut comp_cost = KernelCost::new();
+    let mut writes_performed: Vec<usize> = vec![0; tpb as usize];
+    let mut bytes_read = 0u64;
+    let mut bytes_written = 0u64;
+    {
+        let Machine { ref gpu, ref mut gmem, .. } = *machine;
+        let writes_performed = &mut writes_performed;
+        let bytes_read = &mut bytes_read;
+        let bytes_written = &mut bytes_written;
+        let lane_addrs = &pure.lane_addrs;
+        let layout = &pure.out.layout;
+        let write_layout = pure.out.write_layout.as_ref();
+        bk_gpu::run_block_lanes(gpu, sim, tpb, &mut comp_cost, |lane, trace| {
+            let tid = block * tpb + lane as u32;
+            let mut ctx = ComputeCtx::assembled(
+                &mut *gmem,
+                data_buf,
+                write_buf,
+                layout,
+                write_layout,
+                &lane_addrs[lane],
+                verify,
+                lane,
+                tid,
+                launch.total_threads(),
+                trace,
+            );
+            kernel.process(&mut ctx, slices[lane].clone());
+            *bytes_read += ctx.stream_bytes_read;
+            *bytes_written += ctx.stream_bytes_written;
+            writes_performed[lane] = ctx.write_count();
+        });
+    }
+    comp_cost.add_barrier(2);
+    BlockComputed {
+        comp_cost,
+        bytes_read,
+        bytes_written,
+        writes_performed,
+        any_writes: false,
+        effects: None,
+    }
+}
+
+/// One chunk of the full BigKernel path under the two-phase algorithm.
+#[allow(clippy::too_many_arguments)]
+fn run_chunk_assembled_logged(
+    machine: &mut Machine,
+    kernel: &dyn StreamKernel,
+    streams: &[StreamArray],
+    cells: &mut [WaveCell<'_>],
+    parallel: bool,
+    tpb: u32,
+    launch: LaunchConfig,
+    cfg: &BigKernelConfig,
+    costs: &mut ChunkCosts,
+    counters: &mut Counters,
+) {
+    // Phase A (pure, concurrent): stages 1–2 per block.
+    {
+        let shared: &Machine = machine;
+        for_each_cell(parallel, cells, |cell| {
+            let WaveCell { slices, slot, pure, .. } = cell;
+            *pure =
+                Some(block_pure_bigkernel(shared, kernel, streams, slices, tpb, cfg, &mut **slot));
+        });
+    }
+
+    // Phase B (ordered): fold pure results; allocate + DMA in block order so
+    // device addresses are schedule-independent.
+    for cell in cells.iter_mut() {
+        let pure = cell.pure.as_ref().unwrap();
+        fold_pure(pure, costs, counters);
+        let (data_buf, write_buf) = stage_transfer(machine, pure, costs, counters);
+        cell.data_buf = Some(data_buf);
+        cell.write_buf = write_buf;
+    }
+
+    // Phase C (pure, concurrent): kernel body against each block's write
+    // log over the chunk-start snapshot.
+    {
+        let shared: &Machine = machine;
+        let verify = cfg.verify_reads;
+        for_each_cell(parallel, cells, |cell| {
+            let WaveCell { block, slices, slot, pure, data_buf, write_buf, computed, .. } = cell;
+            let pure = pure.as_ref().unwrap();
+            *computed = Some(compute_assembled_logged(
+                shared,
+                kernel,
+                slices,
+                pure,
+                data_buf.unwrap(),
+                *write_buf,
+                *block,
+                tpb,
+                launch,
+                verify,
+                &mut (**slot).sim,
+            ));
+        });
+    }
+
+    // Phase D (ordered): replay effects in block order; a conflicting block
+    // re-executes live at its turn. Then host write-back + frees.
+    for cell in cells.iter_mut() {
+        let WaveCell { block, slices, slot, pure, data_buf, write_buf, computed, .. } = cell;
+        let pure = pure.as_ref().unwrap();
+        let effects = computed.as_mut().unwrap().effects.take().unwrap();
+        if effects.replay(&mut machine.gmem) == ReplayOutcome::Conflict {
+            counters.incr("parallel.replay_conflicts");
+            *computed = Some(compute_assembled_live(
+                machine,
+                kernel,
+                slices,
+                pure,
+                data_buf.unwrap(),
+                *write_buf,
+                *block,
+                tpb,
+                launch,
+                cfg.verify_reads,
+                &mut (**slot).sim,
+            ));
+        }
+        let done = computed.as_ref().unwrap();
+        fold_computed(done, costs, counters);
+        writeback_assembled(
+            machine,
+            streams,
+            pure,
+            *write_buf,
+            done,
+            &mut slot.llc,
+            costs,
+            counters,
+        );
+        machine.gmem.free(data_buf.unwrap());
+        if let Some(wb) = *write_buf {
+            machine.gmem.free(wb);
+        }
+    }
+}
+
+/// Legacy fused per-block path (sequential-capability kernels): stages run
+/// live, eagerly, strictly in block order.
+#[allow(clippy::too_many_arguments)]
+fn run_block_sequential(
     machine: &mut Machine,
     kernel: &dyn StreamKernel,
     streams: &[StreamArray],
@@ -276,136 +856,21 @@ fn run_block_bigkernel(
     tpb: u32,
     launch: LaunchConfig,
     cfg: &BigKernelConfig,
-    aligner: &mut WarpAligner,
-    llc: &mut CacheSim,
-    ag_cost: &mut KernelCost,
-    asm_cost: &mut CpuCost,
-    xfer: &mut SimTime,
-    comp_cost: &mut KernelCost,
-    wb_bytes: &mut u64,
-    wb_cost: &mut CpuCost,
-    addr_bytes_total: &mut u64,
+    slot: &mut BlockSlot,
+    costs: &mut ChunkCosts,
     counters: &mut Counters,
 ) {
-    // ---- Stage 1: address generation -------------------------------------
-    let mut lane_addrs: Vec<LaneAddrs> = Vec::with_capacity(tpb as usize);
-    {
-        let gmem = &machine.gmem;
-        let counters = &mut *counters;
-        let lane_addrs = &mut lane_addrs;
-        bk_gpu::run_block_lanes(&machine.gpu, aligner, tpb, ag_cost, |lane, trace| {
-            let mut ctx = AddrGenCtx::new(gmem, trace);
-            kernel.addresses(&mut ctx, slices[lane].clone());
-            let (reads, writes) = ctx.finish();
-            counters.add("addr.entries", (reads.len() + writes.len()) as u64);
-            let compress = |v: Vec<crate::addr::AddrEntry>, counters: &mut Counters| {
-                if cfg.pattern_recognition {
-                    if let Some(p) = pattern::detect(&v, pattern::MAX_PERIOD) {
-                        // Long cycles (e.g. a phase super-pattern) can encode
-                        // worse than piecewise compression; pick the smaller.
-                        if cfg.segmented_patterns && p.period() > 16 {
-                            if let Some(seg) =
-                                crate::segmented::detect_segmented(&v, pattern::MAX_PERIOD)
-                            {
-                                if seg.encoded_bytes() < p.encoded_bytes() {
-                                    counters.incr("addr.segmented_found");
-                                    return AddrStream::Segmented(seg);
-                                }
-                            }
-                        }
-                        counters.incr("addr.patterns_found");
-                        return AddrStream::Pattern(p);
-                    }
-                    if cfg.segmented_patterns {
-                        if let Some(s) = crate::segmented::detect_segmented(&v, pattern::MAX_PERIOD)
-                        {
-                            counters.incr("addr.segmented_found");
-                            return AddrStream::Segmented(s);
-                        }
-                    }
-                    if !v.is_empty() {
-                        counters.incr("addr.patterns_missed");
-                    }
-                }
-                AddrStream::Raw(v)
-            };
-            lane_addrs.push(LaneAddrs {
-                reads: compress(reads, counters),
-                writes: compress(writes, counters),
-            });
-        });
-    }
-    ag_cost.add_barrier(1);
-    let addr_bytes: u64 = lane_addrs.iter().map(|l| l.encoded_bytes()).sum();
-    *addr_bytes_total += addr_bytes;
-    counters.add("addr.encoded_bytes", addr_bytes);
-    counters.add("pcie.d2h_bytes", addr_bytes);
-
-    // ---- Stage 2: assembly ------------------------------------------------
-    let out: AssemblyOutput =
-        assemble(&machine.hmem, streams, &lane_addrs, cfg.layout, cfg.locality_assembly, llc);
-    asm_cost.merge(&out.cost);
-    counters.add("assembly.gathered_bytes", out.gathered_bytes);
-    counters.add("assembly.padding_bytes", out.padding_bytes);
-    counters.add("assembly.cache_hits", out.cost.cache_hits);
-    counters.add("assembly.cache_misses", out.cost.cache_misses);
-    if out.locality_order_used {
-        counters.incr("assembly.locality_order_chunks");
-    }
-    counters.add("stream.bytes_read_unique", out.gathered_bytes);
-
-    // ---- Stage 3: transfer ------------------------------------------------
-    let buf_len = out.layout.total_len().max(1);
-    let data_buf = machine.gmem.alloc(buf_len);
-    machine.gmem.dma_in(data_buf, 0, &out.bytes);
-    *xfer += machine.link.dma_time_with_flag(DmaDirection::HostToDevice, out.bytes.len() as u64);
-    counters.add("pcie.h2d_bytes", out.bytes.len() as u64);
-
-    let write_buf = out
-        .write_layout
-        .as_ref()
-        .map(|wl| machine.gmem.alloc(wl.total_len().max(1)));
-
-    // ---- Stage 4: compute ---------------------------------------------------
-    let mut writes_performed: Vec<usize> = vec![0; tpb as usize];
-    {
-        let gmem = &mut machine.gmem;
-        let counters = &mut *counters;
-        let writes_performed = &mut writes_performed;
-        let lane_addrs = &lane_addrs;
-        let layout = &out.layout;
-        let write_layout = out.write_layout.as_ref();
-        bk_gpu::run_block_lanes(&machine.gpu, aligner, tpb, comp_cost, |lane, trace| {
-            let tid = block * tpb + lane as u32;
-            let mut ctx = ComputeCtx::assembled(
-                gmem,
-                data_buf,
-                write_buf,
-                layout,
-                write_layout,
-                &lane_addrs[lane],
-                cfg.verify_reads,
-                lane,
-                tid,
-                launch.total_threads(),
-                trace,
-            );
-            kernel.process(&mut ctx, slices[lane].clone());
-            counters.add("stream.bytes_read", ctx.stream_bytes_read);
-            counters.add("stream.bytes_written", ctx.stream_bytes_written);
-            writes_performed[lane] = ctx.write_count();
-        });
-    }
-    comp_cost.add_barrier(2);
-
-    // ---- Stages 5–6: write-back -----------------------------------------
-    if let (Some(wl), Some(wb)) = (out.write_layout.as_ref(), write_buf) {
-        let bytes = wl.total_len();
-        *wb_bytes += bytes;
-        counters.add("pcie.d2h_bytes", bytes);
-        apply_writeback(machine, streams, &lane_addrs, wl, wb, &writes_performed, wb_cost, llc);
-    }
-
+    let pure = block_pure_bigkernel(machine, kernel, streams, slices, tpb, cfg, slot);
+    fold_pure(&pure, costs, counters);
+    let (data_buf, write_buf) = stage_transfer(machine, &pure, costs, counters);
+    let computed = compute_assembled_live(
+        machine, kernel, slices, &pure, data_buf, write_buf, block, tpb, launch,
+        cfg.verify_reads, &mut slot.sim,
+    );
+    fold_computed(&computed, costs, counters);
+    writeback_assembled(
+        machine, streams, &pure, write_buf, &computed, &mut slot.llc, costs, counters,
+    );
     machine.gmem.free(data_buf);
     if let Some(wb) = write_buf {
         machine.gmem.free(wb);
@@ -456,54 +921,79 @@ fn apply_writeback(
     }
 }
 
-/// One block, one chunk, the overlap-only variant: stage whole slices
-/// verbatim, no address generation, no gather.
-#[allow(clippy::too_many_arguments)]
-fn run_block_transfer_all(
-    machine: &mut Machine,
+/// Pure phase of the overlap-only variant: staging-window layout + host-side
+/// gather into a local buffer.
+fn block_pure_staged(
+    machine: &Machine,
     kernel: &dyn StreamKernel,
     streams: &[StreamArray],
     slices: &[Range<u64>],
-    block: u32,
-    tpb: u32,
-    launch: LaunchConfig,
-    aligner: &mut WarpAligner,
-    comp_cost: &mut KernelCost,
-    asm_cost: &mut CpuCost,
-    xfer: &mut SimTime,
-    wb_bytes: &mut u64,
-    wb_cost: &mut CpuCost,
-    counters: &mut Counters,
-) {
+) -> StagedPure {
     let primary = &streams[0];
     let halo = kernel.halo_bytes();
     let layout = ChunkLayout::build_staged_slices(slices, halo, primary.len());
-    let buf_len = layout.total_len().max(1);
-    let data_buf = machine.gmem.alloc(buf_len);
-
-    // "Assembly" = plain staging copy into the pinned buffer (1 read +
-    // 1 write per byte, the classical scheme).
+    let mut bytes = vec![0u8; layout.total_len() as usize];
     if let ChunkLayout::Staged { segs, .. } = &layout {
         for (base, range) in segs {
-            let src = machine.hmem.read(primary.region, range.start, (range.end - range.start) as usize);
-            let src = src.to_vec();
-            machine.gmem.dma_in(data_buf, *base, &src);
+            let src =
+                machine.hmem.read(primary.region, range.start, (range.end - range.start) as usize);
+            bytes[*base as usize..*base as usize + src.len()].copy_from_slice(src);
         }
     }
-    asm_cost.merge(&CpuCost::streaming(layout.total_len(), 2, 1));
-    *xfer += machine.link.dma_time_with_flag(DmaDirection::HostToDevice, layout.total_len());
-    counters.add("pcie.h2d_bytes", layout.total_len());
+    StagedPure { layout, bytes }
+}
 
+/// Ordered phase, stage 3 of the overlap-only variant: "assembly" is the
+/// plain staging copy (1 read + 1 write per byte, the classical scheme),
+/// then the whole window ships over the link.
+fn stage_transfer_staged(
+    machine: &mut Machine,
+    staged: &StagedPure,
+    costs: &mut ChunkCosts,
+    counters: &mut Counters,
+) -> bk_gpu::BufferId {
+    costs.asm.merge(&CpuCost::streaming(staged.layout.total_len(), 2, 1));
+    let data_buf = machine.gmem.alloc(staged.layout.total_len().max(1));
+    machine.gmem.dma_in(data_buf, 0, &staged.bytes);
+    costs.xfer +=
+        machine.link.dma_time_with_flag(DmaDirection::HostToDevice, staged.layout.total_len());
+    costs.h2d_flags += 1;
+    if staged.layout.total_len() > 0 {
+        costs.h2d_lats += 1;
+    }
+    counters.add("pcie.h2d_bytes", staged.layout.total_len());
+    data_buf
+}
+
+/// Staged compute against a write log (the staged chunk itself is a private
+/// mirror: in-place modifications commit wholesale on replay).
+#[allow(clippy::too_many_arguments)]
+fn compute_staged_logged(
+    machine: &Machine,
+    kernel: &dyn StreamKernel,
+    slices: &[Range<u64>],
+    layout: &ChunkLayout,
+    data_buf: bk_gpu::BufferId,
+    block: u32,
+    tpb: u32,
+    launch: LaunchConfig,
+    sim: &mut BlockSim,
+) -> BlockComputed {
+    let mut comp_cost = KernelCost::new();
+    let mut log = BlockLog::new(&machine.gmem);
+    log.register_private(data_buf);
+    let mut bytes_read = 0u64;
+    let mut bytes_written = 0u64;
     let mut any_writes = false;
     {
-        let gmem = &mut machine.gmem;
-        let counters = &mut *counters;
+        let log = &mut log;
+        let bytes_read = &mut bytes_read;
+        let bytes_written = &mut bytes_written;
         let any_writes = &mut any_writes;
-        let layout = &layout;
-        bk_gpu::run_block_lanes(&machine.gpu, aligner, tpb, comp_cost, |lane, trace| {
+        bk_gpu::run_block_lanes(&machine.gpu, sim, tpb, &mut comp_cost, |lane, trace| {
             let tid = block * tpb + lane as u32;
-            let mut ctx = ComputeCtx::staged(
-                gmem,
+            let mut ctx = ComputeCtx::staged_on(
+                LoggedMem(&mut *log),
                 data_buf,
                 layout,
                 lane,
@@ -512,35 +1002,215 @@ fn run_block_transfer_all(
                 trace,
             );
             kernel.process(&mut ctx, slices[lane].clone());
-            counters.add("stream.bytes_read", ctx.stream_bytes_read);
-            counters.add("stream.bytes_written", ctx.stream_bytes_written);
+            *bytes_read += ctx.stream_bytes_read;
+            *bytes_written += ctx.stream_bytes_written;
             *any_writes |= ctx.stream_bytes_written > 0;
         });
     }
     comp_cost.add_barrier(2);
+    BlockComputed {
+        comp_cost,
+        bytes_read,
+        bytes_written,
+        writes_performed: Vec::new(),
+        any_writes,
+        effects: Some(log.finish()),
+    }
+}
 
-    // Write-back: the staged chunk was modified in place; copy each lane's
-    // own slice (not the halo) back to the host array.
-    if any_writes {
-        if let ChunkLayout::Staged { segs, lane_seg, .. } = &layout {
-            let mut copied = 0u64;
-            for (lane, sl) in slices.iter().enumerate() {
-                if sl.is_empty() {
-                    continue;
-                }
-                let (base, range) = &segs[lane_seg[lane]];
-                let off_in_seg = base + (sl.start - range.start);
-                let len = sl.end - sl.start;
-                let bytes = machine.gmem.dma_out(data_buf, off_in_seg, len as usize);
-                machine.hmem.write(primary.region, sl.start, &bytes);
-                copied += len;
+/// Staged compute against live memory (sequential-capability kernels and
+/// conflict re-execution).
+#[allow(clippy::too_many_arguments)]
+fn compute_staged_live(
+    machine: &mut Machine,
+    kernel: &dyn StreamKernel,
+    slices: &[Range<u64>],
+    layout: &ChunkLayout,
+    data_buf: bk_gpu::BufferId,
+    block: u32,
+    tpb: u32,
+    launch: LaunchConfig,
+    sim: &mut BlockSim,
+) -> BlockComputed {
+    let mut comp_cost = KernelCost::new();
+    let mut bytes_read = 0u64;
+    let mut bytes_written = 0u64;
+    let mut any_writes = false;
+    {
+        let Machine { ref gpu, ref mut gmem, .. } = *machine;
+        let bytes_read = &mut bytes_read;
+        let bytes_written = &mut bytes_written;
+        let any_writes = &mut any_writes;
+        bk_gpu::run_block_lanes(gpu, sim, tpb, &mut comp_cost, |lane, trace| {
+            let tid = block * tpb + lane as u32;
+            let mut ctx = ComputeCtx::staged(
+                &mut *gmem,
+                data_buf,
+                layout,
+                lane,
+                tid,
+                launch.total_threads(),
+                trace,
+            );
+            kernel.process(&mut ctx, slices[lane].clone());
+            *bytes_read += ctx.stream_bytes_read;
+            *bytes_written += ctx.stream_bytes_written;
+            *any_writes |= ctx.stream_bytes_written > 0;
+        });
+    }
+    comp_cost.add_barrier(2);
+    BlockComputed {
+        comp_cost,
+        bytes_read,
+        bytes_written,
+        writes_performed: Vec::new(),
+        any_writes,
+        effects: None,
+    }
+}
+
+/// Ordered phase, stages 5–6 of the overlap-only variant: the staged chunk
+/// was modified in place; copy each lane's own slice (not the halo) back.
+#[allow(clippy::too_many_arguments)]
+fn writeback_staged(
+    machine: &mut Machine,
+    streams: &[StreamArray],
+    layout: &ChunkLayout,
+    data_buf: bk_gpu::BufferId,
+    slices: &[Range<u64>],
+    any_writes: bool,
+    costs: &mut ChunkCosts,
+    counters: &mut Counters,
+) {
+    if !any_writes {
+        return;
+    }
+    let primary = &streams[0];
+    if let ChunkLayout::Staged { segs, lane_seg, .. } = layout {
+        let mut copied = 0u64;
+        for (lane, sl) in slices.iter().enumerate() {
+            if sl.is_empty() {
+                continue;
             }
-            *wb_bytes += copied;
-            counters.add("pcie.d2h_bytes", copied);
-            wb_cost.merge(&CpuCost::streaming(copied, 2, 1));
+            let (base, range) = &segs[lane_seg[lane]];
+            let off_in_seg = base + (sl.start - range.start);
+            let len = sl.end - sl.start;
+            let bytes = machine.gmem.dma_out(data_buf, off_in_seg, len as usize);
+            machine.hmem.write(primary.region, sl.start, &bytes);
+            copied += len;
         }
+        costs.wb_bytes += copied;
+        counters.add("pcie.d2h_bytes", copied);
+        costs.wb.merge(&CpuCost::streaming(copied, 2, 1));
+    }
+}
+
+/// One chunk of the overlap-only variant under the two-phase algorithm.
+#[allow(clippy::too_many_arguments)]
+fn run_chunk_staged_logged(
+    machine: &mut Machine,
+    kernel: &dyn StreamKernel,
+    streams: &[StreamArray],
+    cells: &mut [WaveCell<'_>],
+    parallel: bool,
+    tpb: u32,
+    launch: LaunchConfig,
+    costs: &mut ChunkCosts,
+    counters: &mut Counters,
+) {
+    // Phase A (pure, concurrent): staging layout + host-side gather.
+    {
+        let shared: &Machine = machine;
+        for_each_cell(parallel, cells, |cell| {
+            let WaveCell { slices, staged, .. } = cell;
+            *staged = Some(block_pure_staged(shared, kernel, streams, slices));
+        });
     }
 
+    // Phase B (ordered): staging-copy cost + alloc + DMA in block order.
+    for cell in cells.iter_mut() {
+        let staged = cell.staged.as_ref().unwrap();
+        cell.data_buf = Some(stage_transfer_staged(machine, staged, costs, counters));
+    }
+
+    // Phase C (pure, concurrent): kernel body against per-block logs.
+    {
+        let shared: &Machine = machine;
+        for_each_cell(parallel, cells, |cell| {
+            let WaveCell { block, slices, slot, staged, data_buf, computed, .. } = cell;
+            let staged = staged.as_ref().unwrap();
+            *computed = Some(compute_staged_logged(
+                shared,
+                kernel,
+                slices,
+                &staged.layout,
+                data_buf.unwrap(),
+                *block,
+                tpb,
+                launch,
+                &mut (**slot).sim,
+            ));
+        });
+    }
+
+    // Phase D (ordered): replay, conflict re-execution, write-back, frees.
+    for cell in cells.iter_mut() {
+        let WaveCell { block, slices, slot, staged, data_buf, computed, .. } = cell;
+        let staged = staged.as_ref().unwrap();
+        let effects = computed.as_mut().unwrap().effects.take().unwrap();
+        if effects.replay(&mut machine.gmem) == ReplayOutcome::Conflict {
+            counters.incr("parallel.replay_conflicts");
+            *computed = Some(compute_staged_live(
+                machine,
+                kernel,
+                slices,
+                &staged.layout,
+                data_buf.unwrap(),
+                *block,
+                tpb,
+                launch,
+                &mut (**slot).sim,
+            ));
+        }
+        let done = computed.as_ref().unwrap();
+        fold_computed(done, costs, counters);
+        writeback_staged(
+            machine,
+            streams,
+            &staged.layout,
+            data_buf.unwrap(),
+            slices,
+            done.any_writes,
+            costs,
+            counters,
+        );
+        machine.gmem.free(data_buf.unwrap());
+    }
+}
+
+/// Legacy fused per-block path of the overlap-only variant.
+#[allow(clippy::too_many_arguments)]
+fn run_block_sequential_staged(
+    machine: &mut Machine,
+    kernel: &dyn StreamKernel,
+    streams: &[StreamArray],
+    slices: &[Range<u64>],
+    block: u32,
+    tpb: u32,
+    launch: LaunchConfig,
+    slot: &mut BlockSlot,
+    costs: &mut ChunkCosts,
+    counters: &mut Counters,
+) {
+    let staged = block_pure_staged(machine, kernel, streams, slices);
+    let data_buf = stage_transfer_staged(machine, &staged, costs, counters);
+    let computed = compute_staged_live(
+        machine, kernel, slices, &staged.layout, data_buf, block, tpb, launch, &mut slot.sim,
+    );
+    fold_computed(&computed, costs, counters);
+    writeback_staged(
+        machine, streams, &staged.layout, data_buf, slices, computed.any_writes, costs, counters,
+    );
     machine.gmem.free(data_buf);
 }
 
@@ -788,6 +1458,334 @@ mod tests {
         let rel = r.relative_stage_times();
         assert_eq!(rel.len(), 6);
         assert!(rel.iter().any(|&(_, v)| (v - 1.0).abs() < 1e-9));
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use crate::kernel::{KernelCtx, ValueExt};
+    use crate::stream::{StreamArray, StreamId};
+
+    /// Same kernels as the main test module, re-declared locally so each
+    /// module stays self-contained.
+    struct SumKernel {
+        acc: bk_gpu::BufferId,
+    }
+
+    impl StreamKernel for SumKernel {
+        fn name(&self) -> &'static str {
+            "par-sum"
+        }
+        fn record_size(&self) -> Option<u64> {
+            Some(8)
+        }
+        fn addresses(&self, ctx: &mut AddrGenCtx<'_>, range: Range<u64>) {
+            let mut off = range.start;
+            while off < range.end {
+                ctx.emit_read(StreamId(0), off, 8);
+                off += 8;
+            }
+        }
+        fn process(&self, ctx: &mut dyn KernelCtx, range: Range<u64>) {
+            let mut sum = 0u64;
+            let mut off = range.start;
+            while off < range.end {
+                sum = sum.wrapping_add(ctx.stream_read(StreamId(0), off, 8));
+                ctx.alu(2);
+                off += 8;
+            }
+            if range.start < range.end {
+                ctx.dev_atomic_add_u64(self.acc, 0, sum);
+            }
+        }
+    }
+
+    struct ScaleKernel;
+
+    impl StreamKernel for ScaleKernel {
+        fn name(&self) -> &'static str {
+            "par-scale"
+        }
+        fn record_size(&self) -> Option<u64> {
+            Some(8)
+        }
+        fn addresses(&self, ctx: &mut AddrGenCtx<'_>, range: Range<u64>) {
+            let mut off = range.start;
+            while off < range.end {
+                ctx.emit_read(StreamId(0), off, 4);
+                ctx.emit_write(StreamId(0), off + 4, 4);
+                off += 8;
+            }
+        }
+        fn process(&self, ctx: &mut dyn KernelCtx, range: Range<u64>) {
+            let mut off = range.start;
+            while off < range.end {
+                let a = ctx.stream_read_u32(StreamId(0), off);
+                ctx.alu(1);
+                ctx.stream_write_u32(StreamId(0), off + 4, a.wrapping_mul(2));
+                off += 8;
+            }
+        }
+    }
+
+    fn filled_machine(n: u64) -> (Machine, StreamArray) {
+        let mut m = Machine::test_platform();
+        let region = m.hmem.alloc(n * 8);
+        for i in 0..n {
+            m.hmem.write_u64(region, i * 8, i.wrapping_mul(0x9E37_79B9).rotate_left(13));
+        }
+        let s = StreamArray::map(&m, StreamId(0), region);
+        (m, s)
+    }
+
+    fn cfg_with(parallel: bool) -> BigKernelConfig {
+        BigKernelConfig {
+            chunk_input_bytes: 4096,
+            parallel_blocks: parallel,
+            ..BigKernelConfig::default()
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_sum() {
+        let run = |parallel: bool| {
+            let (mut m, s) = filled_machine(8192);
+            let acc = m.gmem.alloc(8);
+            let r = run_bigkernel(
+                &mut m, &SumKernel { acc }, &[s], LaunchConfig::new(8, 32), &cfg_with(parallel),
+            );
+            (r, m.gmem.read_u64(acc, 0))
+        };
+        let (r_par, v_par) = run(true);
+        let (r_seq, v_seq) = run(false);
+        assert_eq!(v_par, v_seq, "device accumulator diverged");
+        assert_eq!(r_par, r_seq, "RunResult diverged between schedules");
+    }
+
+    #[test]
+    fn parallel_matches_sequential_writeback() {
+        let run = |parallel: bool| {
+            let (mut m, s) = filled_machine(4096);
+            let region = s.region;
+            let r =
+                run_bigkernel(&mut m, &ScaleKernel, &[s], LaunchConfig::new(4, 32), &cfg_with(parallel));
+            let host: Vec<u8> = m.hmem.read(region, 0, 4096 * 8).to_vec();
+            (r, host)
+        };
+        let (r_par, h_par) = run(true);
+        let (r_seq, h_seq) = run(false);
+        assert_eq!(h_par, h_seq, "host write-back diverged");
+        assert_eq!(r_par, r_seq);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_overlap_only() {
+        let run = |parallel: bool| {
+            let (mut m, s) = filled_machine(4096);
+            let acc = m.gmem.alloc(8);
+            let cfg = BigKernelConfig {
+                chunk_input_bytes: 4096,
+                parallel_blocks: parallel,
+                ..BigKernelConfig::overlap_only()
+            };
+            let r = run_bigkernel(&mut m, &SumKernel { acc }, &[s], LaunchConfig::new(4, 32), &cfg);
+            (r, m.gmem.read_u64(acc, 0))
+        };
+        let (r_par, v_par) = run(true);
+        let (r_seq, v_seq) = run(false);
+        assert_eq!(v_par, v_seq);
+        assert_eq!(r_par, r_seq);
+    }
+
+    /// Every block's first-observing lane CASes the same slot; losers bump a
+    /// second counter. Concurrently simulated blocks all observe the slot
+    /// free, so replay conflicts and the losers re-execute live — landing on
+    /// exactly the sequential schedule's outcome.
+    struct RaceKernel {
+        table: bk_gpu::BufferId,
+    }
+
+    impl StreamKernel for RaceKernel {
+        fn name(&self) -> &'static str {
+            "race"
+        }
+        fn record_size(&self) -> Option<u64> {
+            Some(8)
+        }
+        fn addresses(&self, _ctx: &mut AddrGenCtx<'_>, _range: Range<u64>) {}
+        fn process(&self, ctx: &mut dyn KernelCtx, range: Range<u64>) {
+            if range.is_empty() {
+                return;
+            }
+            let won = ctx.dev_atomic_cas_u64(self.table, 0, 0, 1) == 0;
+            if !won {
+                ctx.dev_atomic_add_u64(self.table, 8, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn replay_conflicts_fall_back_to_in_order_re_execution() {
+        let run = |parallel: bool| {
+            let mut m = Machine::test_platform();
+            let region = m.hmem.alloc(128 * 8);
+            let s = StreamArray::map(&m, StreamId(0), region);
+            let table = m.gmem.alloc(16);
+            let r = run_bigkernel(
+                &mut m,
+                &RaceKernel { table },
+                &[s],
+                LaunchConfig::new(4, 32),
+                &BigKernelConfig { parallel_blocks: parallel, ..BigKernelConfig::default() },
+            );
+            (r, m.gmem.read_u64(table, 0), m.gmem.read_u64(table, 8))
+        };
+        let (r_par, t0, t8) = run(true);
+        let (r_seq, s0, s8) = run(false);
+        // One global winner; every other lane (127 of 128) bumps the loser
+        // counter — the sequential schedule's exact outcome.
+        assert_eq!((t0, t8), (1, 127));
+        assert_eq!((s0, s8), (1, 127));
+        assert_eq!(r_par, r_seq);
+        // In the first wave every concurrently simulated block except the
+        // first observes stale state and must re-execute in order.
+        let first_wave_blocks = r_par.counters.get("launch.active_blocks").min(4);
+        assert_eq!(r_par.counters.get("parallel.replay_conflicts"), first_wave_blocks - 1);
+    }
+
+    /// Hands out sequence slots by consuming `atomic_add` return values —
+    /// not log-replayable, so the kernel declares `DeviceEffects::Sequential`
+    /// and must run the legacy in-order path under either setting.
+    struct TicketKernel {
+        table: bk_gpu::BufferId,
+    }
+
+    impl StreamKernel for TicketKernel {
+        fn name(&self) -> &'static str {
+            "ticket"
+        }
+        fn record_size(&self) -> Option<u64> {
+            Some(8)
+        }
+        fn device_effects(&self) -> crate::kernel::DeviceEffects {
+            crate::kernel::DeviceEffects::Sequential
+        }
+        fn addresses(&self, _ctx: &mut AddrGenCtx<'_>, _range: Range<u64>) {}
+        fn process(&self, ctx: &mut dyn KernelCtx, range: Range<u64>) {
+            if range.is_empty() {
+                return;
+            }
+            let slot = ctx.dev_atomic_add_u32(self.table, 0, 1);
+            ctx.dev_write(self.table, 8 + 4 * slot as u64, 4, (ctx.thread_id() + 1) as u64);
+        }
+    }
+
+    #[test]
+    fn sequential_capability_kernels_keep_block_order() {
+        let run = |parallel: bool| {
+            let mut m = Machine::test_platform();
+            let region = m.hmem.alloc(64 * 8);
+            let s = StreamArray::map(&m, StreamId(0), region);
+            let table = m.gmem.alloc(8 + 4 * 64);
+            let r = run_bigkernel(
+                &mut m,
+                &TicketKernel { table },
+                &[s],
+                LaunchConfig::new(2, 32),
+                &BigKernelConfig { parallel_blocks: parallel, ..BigKernelConfig::default() },
+            );
+            let slots: Vec<u32> = (0..64).map(|i| m.gmem.read_u32(table, 8 + 4 * i)).collect();
+            (r, m.gmem.read_u32(table, 0), slots)
+        };
+        let (r_par, count, slots) = run(true);
+        let (r_seq, count2, slots2) = run(false);
+        assert_eq!(count, 64);
+        // Tickets issue strictly in block-then-lane order.
+        for (i, v) in slots.iter().enumerate() {
+            assert_eq!(*v, i as u32 + 1, "slot {i}");
+        }
+        assert_eq!((count, &slots), (count2, &slots2));
+        assert_eq!(r_par, r_seq);
+        assert_eq!(r_par.counters.get("parallel.replay_conflicts"), 0);
+    }
+}
+
+#[cfg(test)]
+mod bound_counter_tests {
+    use super::*;
+    use crate::kernel::{KernelCtx, ValueExt};
+    use crate::stream::{StreamArray, StreamId};
+
+    #[test]
+    fn labels_cover_every_stage_and_fall_back_to_other() {
+        assert_eq!(bound_counter("addr-gen", "pcie-zerocopy"), "bound.addr-gen.pcie-zerocopy");
+        assert_eq!(bound_counter("assemble", "cpu-dram-bw"), "bound.assemble.cpu-dram-bw");
+        assert_eq!(bound_counter("transfer", "dma-bandwidth"), "bound.transfer.dma-bandwidth");
+        assert_eq!(bound_counter("transfer", "dma-latency"), "bound.transfer.dma-latency");
+        assert_eq!(bound_counter("compute", "gpu-mem"), "bound.compute.gpu-mem");
+        assert_eq!(bound_counter("wb-xfer", "dma-bandwidth"), "bound.wb-xfer.dma-bandwidth");
+        assert_eq!(bound_counter("wb-xfer", "dma-latency"), "bound.wb-xfer.dma-latency");
+        assert_eq!(bound_counter("wb-apply", "cpu-issue"), "bound.wb-apply.cpu-issue");
+        assert_eq!(bound_counter("wb-apply", "cpu-dram-latency"), "bound.wb-apply.cpu-dram-latency");
+        for stage in STAGE_NAMES {
+            assert_eq!(bound_counter(stage, "no-such-bound"), "bound.other");
+        }
+        assert_eq!(bound_counter("no-such-stage", "gpu-mem"), "bound.other");
+    }
+
+    struct ScaleKernel;
+
+    impl StreamKernel for ScaleKernel {
+        fn name(&self) -> &'static str {
+            "bc-scale"
+        }
+        fn record_size(&self) -> Option<u64> {
+            Some(8)
+        }
+        fn addresses(&self, ctx: &mut AddrGenCtx<'_>, range: Range<u64>) {
+            let mut off = range.start;
+            while off < range.end {
+                ctx.emit_read(StreamId(0), off, 4);
+                ctx.emit_write(StreamId(0), off + 4, 4);
+                off += 8;
+            }
+        }
+        fn process(&self, ctx: &mut dyn KernelCtx, range: Range<u64>) {
+            let mut off = range.start;
+            while off < range.end {
+                let a = ctx.stream_read_u32(StreamId(0), off);
+                ctx.alu(1);
+                ctx.stream_write_u32(StreamId(0), off + 4, a.wrapping_mul(2));
+                off += 8;
+            }
+        }
+    }
+
+    /// A write-back run must classify every active stage — transfer, wb-xfer
+    /// and wb-apply no longer collapse into `bound.other`.
+    #[test]
+    fn every_active_stage_is_classified() {
+        let mut m = Machine::test_platform();
+        let region = m.hmem.alloc(2048 * 8);
+        let s = StreamArray::map(&m, StreamId(0), region);
+        let cfg = BigKernelConfig { chunk_input_bytes: 4096, ..BigKernelConfig::default() };
+        let r = run_bigkernel(&mut m, &ScaleKernel, &[s], LaunchConfig::new(2, 32), &cfg);
+        let c = &r.counters;
+        let chunks = r.chunks as u64;
+        let transfer =
+            c.get("bound.transfer.dma-bandwidth") + c.get("bound.transfer.dma-latency");
+        assert!(transfer > 0, "transfer chunks unclassified: {c}");
+        let wbx = c.get("bound.wb-xfer.dma-bandwidth") + c.get("bound.wb-xfer.dma-latency");
+        assert!(wbx > 0, "wb-xfer chunks unclassified: {c}");
+        let wba = ["cpu-issue", "cpu-dram-bw", "cpu-dram-latency", "cpu-atomic-throughput",
+            "cpu-atomic-contention"]
+            .iter()
+            .map(|b| c.get(bound_counter("wb-apply", b)))
+            .sum::<u64>();
+        assert!(wba > 0, "wb-apply chunks unclassified: {c}");
+        assert!(transfer <= chunks && wbx <= chunks && wba <= chunks);
+        assert_eq!(c.get("bound.other"), 0, "counters: {c}");
     }
 }
 

@@ -3,7 +3,7 @@
 use bk_simcore::{Counters, Schedule, SimTime};
 
 /// Aggregate statistics for one pipeline stage across a whole run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct StageStat {
     pub name: &'static str,
     /// Total busy time of the stage across all chunks (and waves).
@@ -12,8 +12,10 @@ pub struct StageStat {
     pub mean: SimTime,
 }
 
-/// Result of one simulated run (BigKernel or a baseline).
-#[derive(Clone, Debug)]
+/// Result of one simulated run (BigKernel or a baseline). `PartialEq`
+/// supports the determinism suite's bit-identity assertions (parallel vs
+/// sequential block simulation).
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunResult {
     /// Which implementation produced this (e.g. "bigkernel",
     /// "gpu-double-buffer").

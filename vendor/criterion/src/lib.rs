@@ -1,0 +1,238 @@
+//! Vendored minimal subset of the `criterion` API.
+//!
+//! The build environment for this repository is hermetic (no crates.io
+//! access), so the workspace vendors the slice of criterion its benches
+//! use: `Criterion::bench_function`, benchmark groups with `sample_size`,
+//! `Bencher::iter`/`iter_batched`, and the `criterion_group!`/
+//! `criterion_main!` macros. Measurement is a plain warm-up + timed-batch
+//! mean (no outlier analysis, no plotting); results print one line per
+//! benchmark. A `--bench`-style CLI filter argument is honoured: any
+//! non-flag argument substring-filters benchmark names, matching how
+//! `cargo bench <filter>` is normally used. Swap this out for the real
+//! crate by deleting the `vendor/` path entries in the workspace
+//! `Cargo.toml`.
+
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` inputs are grouped; measurement here times each
+/// routine call individually, so the variants only exist for API parity.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Bencher {
+    /// Total measured time across `iters` routine invocations.
+    elapsed: Duration,
+    iters: u64,
+    sample_size: u64,
+}
+
+impl Bencher {
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up + calibration: find an iteration count that runs long
+        // enough to time meaningfully, capped to keep benches quick.
+        let mut calib = 1u64;
+        let mut once;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..calib {
+                black_box(routine());
+            }
+            once = t0.elapsed() / calib.max(1) as u32;
+            if once * calib as u32 >= Duration::from_millis(5) || calib >= 1 << 20 {
+                break;
+            }
+            calib *= 4;
+        }
+        let per_iter = once.max(Duration::from_nanos(1));
+        let target = Duration::from_millis(200);
+        let iters = (target.as_nanos() / per_iter.as_nanos().max(1)) as u64;
+        let iters = iters.clamp(1, 10 * self.sample_size.max(10)).max(self.sample_size);
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed = t0.elapsed();
+        self.iters = iters;
+    }
+
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let iters = self.sample_size.max(1);
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            total += t0.elapsed();
+        }
+        self.elapsed = total;
+        self.iters = iters;
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Any non-flag CLI argument acts as a name filter, mirroring
+        // `cargo bench <filter>`.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench");
+        Criterion { filter, sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let sample_size = self.sample_size;
+        self.run_one(id.into(), sample_size, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.into(), sample_size: None }
+    }
+
+    fn run_one(&mut self, name: String, sample_size: u64, mut f: impl FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0, sample_size };
+        f(&mut b);
+        if b.iters == 0 {
+            println!("{name:<48} (no measurement)");
+            return;
+        }
+        let per_iter = b.elapsed / b.iters as u32;
+        println!("{name:<48} {:>12}/iter ({} iters)", fmt_duration(per_iter), b.iters);
+    }
+}
+
+pub struct BenchmarkGroup<'c> {
+    parent: &'c mut Criterion,
+    name: String,
+    sample_size: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n as u64);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        let sample = self.sample_size.unwrap_or(self.parent.sample_size);
+        self.parent.run_one(full, sample, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion { filter: None, sample_size: 5 };
+        let mut runs = 0u64;
+        c.bench_function("smoke/add", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(2u64 + 2)
+            })
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_apply_filter() {
+        let mut c = Criterion { filter: Some("nomatch".into()), sample_size: 5 };
+        let mut ran = false;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_function("case", |_b| ran = true);
+        g.finish();
+        assert!(!ran, "filtered benchmark must not run");
+    }
+
+    #[test]
+    fn iter_batched_times_every_sample() {
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0, sample_size: 7 };
+        let mut setups = 0;
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![1u8; 64]
+            },
+            |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+            BatchSize::SmallInput,
+        );
+        assert_eq!(setups, 7);
+        assert_eq!(b.iters, 7);
+    }
+}

@@ -1,0 +1,339 @@
+//! Vendored minimal subset of the `rayon` API, implemented on
+//! `std::thread::scope`.
+//!
+//! The build environment for this repository is hermetic (no crates.io
+//! access), so the workspace vendors the small slice of rayon it actually
+//! uses: `par_iter().map().collect()`, `par_iter_mut().for_each()`,
+//! `ThreadPoolBuilder` (global pool size + `install`), and
+//! `current_num_threads`. The implementation spawns scoped OS threads that
+//! pull indices from a shared atomic counter; panics from workers propagate
+//! with their original payload (via `std::thread::scope`'s join-and-resume
+//! behaviour), matching rayon. Swap this out for the real crate by deleting
+//! the `vendor/` path entries in the workspace `Cargo.toml`.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Workspace-global thread count configured by `ThreadPoolBuilder::
+/// build_global` (0 = unset, fall back to `RAYON_NUM_THREADS` or the
+/// machine's parallelism).
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Per-thread override installed by `ThreadPool::install`.
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// The number of threads parallel iterators will use right now.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(|c| c.get());
+    if installed > 0 {
+        return installed;
+    }
+    let global = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if global > 0 {
+        return global;
+    }
+    default_threads()
+}
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        ThreadPoolBuilder { num_threads: 0 }
+    }
+
+    /// 0 means "choose automatically", like rayon.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Set the global pool size. Like rayon, the first call wins; later
+    /// calls return an error (harmless to ignore).
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 { default_threads() } else { self.num_threads };
+        match GLOBAL_THREADS.compare_exchange(0, n, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => Ok(()),
+            Err(_) => Err(ThreadPoolBuildError),
+        }
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 { default_threads() } else { self.num_threads };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A "pool" is just a thread-count scope: `install` makes parallel
+/// iterators inside the closure use this pool's width. Threads are spawned
+/// per operation (scoped), which keeps the implementation tiny; the
+/// simulator's parallel sections are long-running, so spawn cost is noise.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        INSTALLED_THREADS.with(|c| {
+            let prev = c.get();
+            c.set(self.num_threads);
+            let guard = RestoreOnDrop { prev };
+            let out = f();
+            drop(guard);
+            out
+        })
+    }
+}
+
+struct RestoreOnDrop {
+    prev: usize,
+}
+
+impl Drop for RestoreOnDrop {
+    fn drop(&mut self) {
+        INSTALLED_THREADS.with(|c| c.set(self.prev));
+    }
+}
+
+/// Raw-pointer wrapper so disjoint-index writes can cross the scope
+/// boundary. Each index is claimed by exactly one worker (atomic counter),
+/// so no element is aliased.
+struct SyncPtr<T>(*mut T);
+unsafe impl<T: Send> Sync for SyncPtr<T> {}
+
+/// Run `f(i)` for every `i in 0..len`, distributing indices over the
+/// current thread count. Inline (no threads) when the width or the length
+/// makes parallelism pointless.
+fn parallel_indices(len: usize, f: &(impl Fn(usize) + Sync)) {
+    let threads = current_num_threads().min(len);
+    if threads <= 1 {
+        for i in 0..len {
+            f(i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    // `thread::scope` replaces a worker's panic payload with a generic
+    // "a scoped thread panicked"; catch payloads ourselves so the first
+    // one resumes unchanged on the caller (rayon's documented behavior —
+    // and what `#[should_panic(expected = ...)]` tests rely on).
+    let payload: std::sync::Mutex<Option<Box<dyn std::any::Any + Send>>> =
+        std::sync::Mutex::new(None);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= len {
+                        break;
+                    }
+                    f(i);
+                }));
+                if let Err(p) = r {
+                    payload.lock().unwrap().get_or_insert(p);
+                    // Park remaining indices: later workers drain quickly.
+                    next.fetch_add(len, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    if let Some(p) = payload.into_inner().unwrap().take() {
+        std::panic::resume_unwind(p);
+    }
+}
+
+pub mod iter {
+    use super::{parallel_indices, SyncPtr};
+
+    /// Parallel shared-reference iterator over a slice.
+    pub struct ParIter<'data, T> {
+        items: &'data [T],
+    }
+
+    impl<'data, T: Sync> ParIter<'data, T> {
+        pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+        where
+            F: Fn(&'data T) -> R + Sync,
+            R: Send,
+        {
+            ParMap { items: self.items, f }
+        }
+
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&'data T) + Sync,
+        {
+            let items = self.items;
+            parallel_indices(items.len(), &|i| f(&items[i]));
+        }
+    }
+
+    pub struct ParMap<'data, T, F> {
+        items: &'data [T],
+        f: F,
+    }
+
+    impl<'data, T: Sync, F> ParMap<'data, T, F> {
+        /// Evaluate in parallel, preserving input order, then collect.
+        pub fn collect<C, R>(self) -> C
+        where
+            F: Fn(&'data T) -> R + Sync,
+            R: Send,
+            C: FromIterator<R>,
+        {
+            let items = self.items;
+            let f = &self.f;
+            let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+            let optr = SyncPtr(out.as_mut_ptr());
+            let optr = &optr;
+            parallel_indices(items.len(), &|i| {
+                let r = f(&items[i]);
+                // SAFETY: index i is claimed by exactly one worker.
+                unsafe { *optr.0.add(i) = Some(r) };
+            });
+            out.into_iter().map(|o| o.expect("parallel map slot unfilled")).collect()
+        }
+    }
+
+    /// Parallel mutable iterator over a slice.
+    pub struct ParIterMut<'data, T> {
+        items: &'data mut [T],
+    }
+
+    impl<'data, T: Send> ParIterMut<'data, T> {
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&'data mut T) + Sync,
+        {
+            let len = self.items.len();
+            let ptr = SyncPtr(self.items.as_mut_ptr());
+            let ptr = &ptr;
+            parallel_indices(len, &|i| {
+                // SAFETY: index i is claimed by exactly one worker, so the
+                // &mut references are disjoint.
+                let item: &'data mut T = unsafe { &mut *ptr.0.add(i) };
+                f(item);
+            });
+        }
+    }
+
+    pub trait IntoParallelRefIterator<'data> {
+        type Item: 'data;
+        fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = T;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
+        }
+    }
+
+    pub trait IntoParallelRefMutIterator<'data> {
+        type Item: 'data;
+        fn par_iter_mut(&'data mut self) -> ParIterMut<'data, Self::Item>;
+    }
+
+    impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+        type Item = T;
+        fn par_iter_mut(&'data mut self) -> ParIterMut<'data, T> {
+            ParIterMut { items: self }
+        }
+    }
+
+    impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+        type Item = T;
+        fn par_iter_mut(&'data mut self) -> ParIterMut<'data, T> {
+            ParIterMut { items: self }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::{IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_item_once() {
+        let mut v = vec![0u32; 777];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let outside = current_num_threads();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn worker_panics_propagate_with_payload() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let v: Vec<u32> = (0..64).collect();
+        let r = std::panic::catch_unwind(|| {
+            pool.install(|| {
+                v.par_iter().for_each(|&x| {
+                    if x == 13 {
+                        panic!("unlucky number 13");
+                    }
+                })
+            })
+        });
+        let payload = r.expect_err("must panic");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert!(msg.contains("unlucky"), "payload lost: {msg:?}");
+    }
+}
