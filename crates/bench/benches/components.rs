@@ -61,15 +61,15 @@ fn bench_warp_align(c: &mut Criterion) {
     });
 }
 
-/// Blocks/sec of the full BigKernel pipeline simulation at 1 thread vs all
-/// host cores — the wall-clock payoff of `parallel_blocks` (results are
-/// bit-identical either way; see the determinism suite).
+/// Blocks/sec of the full BigKernel pipeline simulation, per app, at
+/// 1 thread (the shape the addr-gen/assembly fast path is tuned against),
+/// plus a KMeans all-cores tier for the `parallel_blocks` payoff (results
+/// are bit-identical either way; see the determinism suite).
 fn bench_sim_throughput(c: &mut Criterion) {
-    use bk_apps::kmeans::KMeans;
-    use bk_apps::{run_implementation, BenchApp, HarnessConfig, Implementation};
+    use bk_apps::{run_implementation, HarnessConfig, Implementation};
+    use bk_bench::{all_apps, short_name};
     use bk_runtime::{LaunchConfig, Machine};
 
-    let app = KMeans::default();
     let bytes = 2u64 << 20;
     let mut cfg = HarnessConfig::test_small();
     cfg.launch = LaunchConfig::new(8, 32);
@@ -78,31 +78,37 @@ fn bench_sim_throughput(c: &mut Criterion) {
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let mut group = c.benchmark_group("sim_throughput");
     group.sample_size(10);
-    let tiers: &[usize] = if cores > 1 { &[1, cores] } else { &[1] };
-    for &threads in tiers {
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
-        let cfg = cfg.clone();
-        let app = &app;
-        group.bench_function(format!("bigkernel-2mib-8blocks/threads-{threads}"), |b| {
-            b.iter_batched(
-                || {
-                    let mut machine = Machine::test_platform();
-                    let instance = app.instantiate(&mut machine, bytes, 42);
-                    (machine, instance)
-                },
-                |(mut machine, instance)| {
-                    pool.install(|| {
-                        std::hint::black_box(run_implementation(
-                            &mut machine,
-                            &instance,
-                            Implementation::BigKernel,
-                            &cfg,
-                        ))
-                    })
-                },
-                criterion::BatchSize::LargeInput,
-            );
-        });
+    for app in all_apps() {
+        let name = short_name(app.spec().name);
+        // The multi-thread tier only on KMeans: per-app scaling curves are
+        // the experiment binaries' job; here one app tracks pool overhead.
+        let tiers: &[usize] =
+            if name == "KMeans" && cores > 1 { &[1, cores] } else { &[1] };
+        for &threads in tiers {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let cfg = cfg.clone();
+            let app = &app;
+            group.bench_function(format!("{name}-2mib-8blocks/threads-{threads}"), |b| {
+                b.iter_batched(
+                    || {
+                        let mut machine = Machine::test_platform();
+                        let instance = app.instantiate(&mut machine, bytes, 42);
+                        (machine, instance)
+                    },
+                    |(mut machine, instance)| {
+                        pool.install(|| {
+                            std::hint::black_box(run_implementation(
+                                &mut machine,
+                                &instance,
+                                Implementation::BigKernel,
+                                &cfg,
+                            ))
+                        })
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            });
+        }
     }
     group.finish();
 }

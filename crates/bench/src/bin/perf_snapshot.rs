@@ -1,0 +1,127 @@
+//! Wall-clock throughput snapshot of the BigKernel pipeline *simulation
+//! itself* (host seconds, not simulated time): how many simulated
+//! block-chunks per second the runner sustains for each app, plus the
+//! simulated per-stage shares for context. Writes `BENCH_pipeline.json`
+//! (committed at the repo root as the tracked baseline) and prints a table.
+//!
+//! Usage mirrors the other experiment binaries:
+//! `perf_snapshot [--mib N] [--seed S] [--app SUBSTR] [--threads N]`.
+//! `--threads 1` measures the sequential block path (the per-block hot loop
+//! with no rayon overhead) — the number the addr-gen/assembly fast path is
+//! tuned against.
+
+use bk_apps::{run_implementation, HarnessConfig, Implementation};
+use bk_bench::{all_apps, args::ExpArgs, short_name};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Wall-clock measurements for one app.
+struct Row {
+    app: &'static str,
+    wall_secs: f64,
+    chunks: usize,
+    num_blocks: u32,
+    blocks_per_sec: f64,
+    /// Simulated relative stage times (share of the busiest stage set).
+    stage_shares: Vec<(&'static str, f64)>,
+}
+
+fn to_json(args: &ExpArgs, iters: usize, rows: &[Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bytes_per_app\": {},", args.bytes);
+    let _ = writeln!(out, "  \"seed\": {},", args.seed);
+    let _ = writeln!(
+        out,
+        "  \"threads\": {},",
+        args.threads.map(|t| t.to_string()).unwrap_or_else(|| "null".into())
+    );
+    let _ = writeln!(out, "  \"iters\": {iters},");
+    let _ = writeln!(out, "  \"apps\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"app\": \"{}\",", r.app);
+        let _ = writeln!(out, "      \"wall_secs\": {:.6},", r.wall_secs);
+        let _ = writeln!(out, "      \"chunks\": {},", r.chunks);
+        let _ = writeln!(out, "      \"num_blocks\": {},", r.num_blocks);
+        let _ = writeln!(out, "      \"blocks_per_sec\": {:.1},", r.blocks_per_sec);
+        let _ = writeln!(out, "      \"stage_shares\": {{");
+        for (j, (name, share)) in r.stage_shares.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "        \"{}\": {:.4}{}",
+                name,
+                share,
+                if j + 1 < r.stage_shares.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "      }}");
+        let _ = writeln!(out, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ]");
+    out.push('}');
+    out
+}
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let mut cfg = HarnessConfig::paper_scaled(args.bytes);
+    args.apply_threads(&mut cfg);
+    const ITERS: usize = 3;
+
+    let mut rows: Vec<Row> = Vec::new();
+    for app in all_apps() {
+        let name = app.spec().name;
+        if !args.selected(name) {
+            continue;
+        }
+        // Best of ITERS runs; a fresh machine + instance per run so every
+        // measurement exercises the same cold-start pipeline (generation
+        // time is excluded from the timed region).
+        let mut best = f64::INFINITY;
+        let mut result = None;
+        for _ in 0..ITERS {
+            let mut machine = (cfg.machine)();
+            machine.scale_fixed_costs(cfg.fixed_cost_scale);
+            let instance = app.instantiate(&mut machine, args.bytes, args.seed);
+            let t0 = Instant::now();
+            let r = run_implementation(&mut machine, &instance, Implementation::BigKernel, &cfg);
+            let dt = t0.elapsed().as_secs_f64();
+            if dt < best {
+                best = dt;
+                result = Some(r);
+            }
+        }
+        let r = result.unwrap();
+        let block_chunks = cfg.launch.num_blocks as f64 * r.chunks as f64;
+        rows.push(Row {
+            app: short_name(name),
+            wall_secs: best,
+            chunks: r.chunks,
+            num_blocks: cfg.launch.num_blocks,
+            blocks_per_sec: block_chunks / best,
+            stage_shares: r.relative_stage_times(),
+        });
+    }
+
+    println!(
+        "{:<9} {:>10} {:>7} {:>7} {:>12}  stage shares",
+        "app", "wall(s)", "chunks", "blocks", "blocks/sec"
+    );
+    for r in &rows {
+        print!(
+            "{:<9} {:>10.3} {:>7} {:>7} {:>12.0} ",
+            r.app, r.wall_secs, r.chunks, r.num_blocks, r.blocks_per_sec
+        );
+        for (name, share) in &r.stage_shares {
+            if *share > 0.005 {
+                print!(" {}={:.0}%", name, share * 100.0);
+            }
+        }
+        println!();
+    }
+
+    let json = to_json(&args, ITERS, &rows);
+    std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
+    println!("wrote BENCH_pipeline.json");
+}

@@ -161,7 +161,6 @@ pub struct WarpAligner {
     /// `lane_off[c][li]..lane_off[c][li + 1]` is lane `li`'s range in
     /// `flat[c]`; `lane_off[c][lanes.len()]` is the final sentinel.
     lane_off: [[usize; WARP_SIZE + 1]; 3],
-    lane_buf: Vec<(u64, u32)>,
     prev_segs: Vec<u64>,
     cur_segs: Vec<u64>,
     /// Bank-conflict scratch: `(bank, word)` pairs of one shared step.
@@ -180,7 +179,6 @@ impl WarpAligner {
         WarpAligner {
             flat: [Vec::new(), Vec::new(), Vec::new()],
             lane_off: [[0; WARP_SIZE + 1]; 3],
-            lane_buf: Vec::with_capacity(WARP_SIZE),
             prev_segs: Vec::new(),
             cur_segs: Vec::new(),
             words: Vec::with_capacity(WARP_SIZE),
@@ -206,6 +204,10 @@ impl WarpAligner {
     pub fn align(&mut self, spec: &DeviceSpec, lanes: &[ThreadTrace]) -> &WarpCost {
         assert!(!lanes.is_empty() && lanes.len() <= WARP_SIZE, "warp must have 1..=32 lanes");
         let seg = spec.segment_bytes;
+        // Segment sizes are powers of two on every real part; requiring it
+        // here keeps the per-access math off the u64-divide unit.
+        assert!(seg.is_power_of_two(), "segment_bytes must be a power of two");
+        let seg_shift = seg.trailing_zeros();
 
         self.cost.mem = StepCost::default();
         self.cost.issue_slots = 0;
@@ -240,34 +242,47 @@ impl WarpAligner {
             self.prev_segs.clear();
             let mut step = 0usize;
             loop {
-                self.lane_buf.clear();
+                // One pass per step: collect the distinct segments touched
+                // (minus the one-step reuse window) and the useful bytes
+                // directly from the flat index. Lanes usually touch segments
+                // in ascending order (coalesced layouts are built that way),
+                // so dedup inline while the sequence stays sorted and only
+                // fall back to a sort when it does not.
+                self.cur_segs.clear();
+                let mut useful = 0u64;
+                let mut active = false;
+                let mut sorted = true;
                 for li in 0..lanes.len() {
                     let idx = self.lane_off[ci][li] + step;
-                    if idx < self.lane_off[ci][li + 1] {
-                        let (addr, width, is_atomic) = self.flat[ci][idx];
-                        self.lane_buf.push((addr, width));
-                        if is_atomic {
-                            self.cost.atomic_addrs.push(addr);
+                    if idx >= self.lane_off[ci][li + 1] {
+                        continue;
+                    }
+                    let (addr, width, is_atomic) = self.flat[ci][idx];
+                    active = true;
+                    if is_atomic {
+                        self.cost.atomic_addrs.push(addr);
+                    }
+                    useful += width as u64;
+                    let first = addr >> seg_shift;
+                    let last = (addr + width as u64 - 1) >> seg_shift;
+                    for s in first..=last {
+                        match self.cur_segs.last() {
+                            Some(&p) if sorted && p == s => {}
+                            Some(&p) if p > s => {
+                                sorted = false;
+                                self.cur_segs.push(s);
+                            }
+                            _ => self.cur_segs.push(s),
                         }
                     }
                 }
-                if self.lane_buf.is_empty() {
+                if !active {
                     break;
                 }
-                // Distinct segments touched this step, minus the one-step
-                // reuse window.
-                self.cur_segs.clear();
-                let mut useful = 0u64;
-                for &(addr, width) in &self.lane_buf {
-                    useful += width as u64;
-                    let first = addr / seg;
-                    let last = (addr + width as u64 - 1) / seg;
-                    for s in first..=last {
-                        self.cur_segs.push(s);
-                    }
+                if !sorted {
+                    self.cur_segs.sort_unstable();
+                    self.cur_segs.dedup();
                 }
-                self.cur_segs.sort_unstable();
-                self.cur_segs.dedup();
                 let new_txns = self
                     .cur_segs
                     .iter()
@@ -291,11 +306,19 @@ impl WarpAligner {
         let max_shared = lanes.iter().map(|l| l.shared.len()).max().unwrap_or(0);
         for step in 0..max_shared {
             self.words.clear();
+            let mut broadcast = true;
             for lane in lanes {
                 if let Some(a) = lane.shared.get(step) {
                     let word = a.addr / SHARED_BANK_BYTES;
-                    self.words.push((word % SHARED_BANKS, word));
+                    let pair = (word % SHARED_BANKS, word);
+                    broadcast &= self.words.last().is_none_or(|&p| p == pair);
+                    self.words.push(pair);
                 }
+            }
+            if broadcast {
+                // Every lane hit the same word (the common shared-memory
+                // idiom: one value read by the whole warp) — conflict-free.
+                continue;
             }
             self.words.sort_unstable();
             self.words.dedup(); // same-word lanes broadcast

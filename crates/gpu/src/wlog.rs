@@ -26,8 +26,49 @@
 //!   CAS results are validated against the observations made during logging.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::mem::{BufferId, GpuMemory};
+
+/// Multiply-fold hasher for the overlay map. The keys are `(buffer index,
+/// word address)` pairs the simulator generates itself, so HashDoS
+/// resistance buys nothing here and SipHash showed up as a top-5 cost in
+/// profiles of hash-table-heavy kernels (word count, affinity). One odd
+/// multiply per word mixes the low bits — where word addresses vary — into
+/// the high bits hashbrown uses for bucket selection.
+#[derive(Default)]
+pub struct OverlayHasher(u64);
+
+impl Hasher for OverlayHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Only reached for non-u64 key parts; fold bytes in 8-byte chunks.
+        for c in bytes.chunks(8) {
+            let mut b = [0u8; 8];
+            b[..c.len()].copy_from_slice(c);
+            self.write_u64(u64::from_le_bytes(b));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // The multiply concentrates entropy in the high bits; rotate some
+        // back down for the bucket index.
+        self.0.rotate_left(26)
+    }
+}
+
+type OverlayMap = HashMap<(usize, u64), (u64, u8), BuildHasherDefault<OverlayHasher>>;
 
 /// One logged externally-visible device-memory operation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -71,13 +112,24 @@ pub struct BlockLog<'m> {
     privs: Vec<(BufferId, Vec<u8>)>,
     /// Word-masked overlay of this block's shared-buffer writes:
     /// `(buffer index, byte_addr / 8)` → `(little-endian word, byte mask)`.
-    overlay: HashMap<(usize, u64), (u64, u8)>,
+    overlay: OverlayMap,
+    /// Buffer indices with at least one overlay entry (almost always 0–2:
+    /// the kernel's device state). Reads of other shared buffers — notably
+    /// the per-byte prefetch-buffer loads of scanning kernels — skip the
+    /// overlay probe entirely.
+    overlay_bufs: Vec<usize>,
     ops: Vec<DevOp>,
 }
 
 impl<'m> BlockLog<'m> {
     pub fn new(base: &'m GpuMemory) -> Self {
-        BlockLog { base, privs: Vec::new(), overlay: HashMap::new(), ops: Vec::new() }
+        BlockLog {
+            base,
+            privs: Vec::new(),
+            overlay: OverlayMap::default(),
+            overlay_bufs: Vec::new(),
+            ops: Vec::new(),
+        }
     }
 
     /// Declare `buf` block-private: reads and writes bypass the op log and
@@ -97,42 +149,76 @@ impl<'m> BlockLog<'m> {
         self.base.vaddr(buf, offset)
     }
 
+    /// Expand an 8-bit byte mask to a 64-bit mask with `0xFF` per set bit
+    /// (bit `i` selects byte lane `i`). Aligned full-word accesses — the
+    /// overwhelmingly common case — short-circuit to all-ones.
+    #[inline]
+    fn byte_mask(mask: u8) -> u64 {
+        if mask == 0xFF {
+            return u64::MAX;
+        }
+        let mut m = 0u64;
+        let mut bits = mask;
+        while bits != 0 {
+            let i = bits.trailing_zeros();
+            m |= 0xFFu64 << (i * 8);
+            bits &= bits - 1;
+        }
+        m
+    }
+
     /// Read `width` (1..=8) bytes as a little-endian value, merging this
-    /// block's overlay writes over the snapshot.
+    /// block's overlay writes over the snapshot. Whole words merge with one
+    /// mask operation; a load straddling a word boundary merges both words.
     fn load_merged(&self, buf: BufferId, offset: u64, width: u32) -> u64 {
         let mut out = [0u8; 8];
         out[..width as usize].copy_from_slice(self.base.read(buf, offset, width as usize));
-        if !self.overlay.is_empty() {
+        let mut v = u64::from_le_bytes(out);
+        if self.overlay_bufs.contains(&buf.0) {
             let w0 = offset / 8;
             let w1 = (offset + width as u64 - 1) / 8;
             for w in w0..=w1 {
                 if let Some(&(val, mask)) = self.overlay.get(&(buf.0, w)) {
-                    let vb = val.to_le_bytes();
-                    for lane in 0..8u64 {
-                        if mask & (1 << lane) == 0 {
-                            continue;
-                        }
-                        let byte_addr = w * 8 + lane;
-                        if byte_addr >= offset && byte_addr < offset + width as u64 {
-                            out[(byte_addr - offset) as usize] = vb[lane as usize];
-                        }
+                    // Byte lanes of word `w` covered by this load: lane `l`
+                    // of the word is byte `w*8 + l - offset` of the value.
+                    let lo = (w * 8).max(offset);
+                    let hi = (w * 8 + 8).min(offset + width as u64);
+                    let lanes = ((1u16 << (hi - w * 8)) - 1) as u8 & !(((1u16 << (lo - w * 8)) - 1) as u8);
+                    let m = Self::byte_mask(mask & lanes);
+                    // Align the word's bytes to the value's byte lanes.
+                    if w * 8 >= offset {
+                        let sh = ((w * 8 - offset) * 8) as u32;
+                        v = (v & !(m << sh)) | ((val & m) << sh);
+                    } else {
+                        let sh = ((offset - w * 8) * 8) as u32;
+                        v = (v & !(m >> sh)) | ((val & m) >> sh);
                     }
                 }
             }
         }
-        u64::from_le_bytes(out)
+        v
     }
 
     fn store_overlay(&mut self, buf: BufferId, offset: u64, width: u32, value: u64) {
-        let vb = value.to_le_bytes();
-        for i in 0..width as u64 {
-            let byte_addr = offset + i;
-            let w = byte_addr / 8;
-            let lane = (byte_addr % 8) as u32;
+        if !self.overlay_bufs.contains(&buf.0) {
+            self.overlay_bufs.push(buf.0);
+        }
+        let w0 = offset / 8;
+        let w1 = (offset + width as u64 - 1) / 8;
+        for w in w0..=w1 {
+            let lo = (w * 8).max(offset);
+            let hi = (w * 8 + 8).min(offset + width as u64);
+            let lanes = ((1u16 << (hi - w * 8)) - 1) as u8 & !(((1u16 << (lo - w * 8)) - 1) as u8);
+            let m = Self::byte_mask(lanes);
+            // Word lane `l` holds value byte `l + (w*8 - offset)`.
+            let word_val = if w * 8 >= offset {
+                value >> ((w * 8 - offset) * 8)
+            } else {
+                value << ((offset - w * 8) * 8)
+            };
             let e = self.overlay.entry((buf.0, w)).or_insert((0, 0));
-            let shift = lane * 8;
-            e.0 = (e.0 & !(0xFFu64 << shift)) | (((vb[i as usize]) as u64) << shift);
-            e.1 |= 1 << lane;
+            e.0 = (e.0 & !m) | (word_val & m);
+            e.1 |= lanes;
         }
     }
 

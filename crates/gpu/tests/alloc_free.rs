@@ -1,10 +1,13 @@
-//! Proof that `WarpAligner::align` is allocation-free in steady state.
+//! Proof that the simulator's per-chunk hot loops are allocation-free in
+//! steady state: `WarpAligner::align`, and the pooled addr-gen → assembly
+//! path (`AddrGenScratch` recording/commit plus `assemble`).
 //!
-//! This file must contain exactly ONE test: the counting allocator is
-//! process-global, and a concurrently running test would pollute the count.
+//! The counting allocator is process-global, so the tests serialize on a
+//! mutex — a concurrently running test would pollute the count.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use bk_gpu::trace::{AccessClass, AccessKind, ThreadTrace, WarpAligner};
 use bk_gpu::{DeviceSpec, WARP_SIZE};
@@ -12,6 +15,7 @@ use bk_gpu::{DeviceSpec, WARP_SIZE};
 struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static SERIAL: Mutex<()> = Mutex::new(());
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
@@ -34,6 +38,7 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 
 #[test]
 fn align_performs_no_heap_allocations_in_steady_state() {
+    let _serial = SERIAL.lock().unwrap();
     let spec = DeviceSpec::test_tiny();
     // A mixed workload touching every scratch path: stream reads/writes,
     // device atomics, multi-segment accesses, and shared-memory conflicts.
@@ -64,4 +69,101 @@ fn align_performs_no_heap_allocations_in_steady_state() {
     }
     let after = ALLOCS.load(Ordering::SeqCst);
     assert_eq!(after - before, 0, "align allocated {} times in steady state", after - before);
+}
+
+mod chunk {
+    use bk_host::CacheSim;
+    use bk_runtime::addr::LaneAddrs;
+    use bk_runtime::assembly::assemble;
+    use bk_runtime::pool::Compression;
+    use bk_runtime::{
+        AddrGenCtx, AddrGenScratch, AssemblyLayout, BigKernelConfig, Machine, StreamArray,
+        StreamId,
+    };
+
+    pub const LANES: u64 = 8;
+    pub const STEPS: u64 = 256;
+    pub const LANE_SPAN: u64 = STEPS * 8;
+
+    /// Record, commit, and assemble one chunk's worth of lane streams
+    /// through the pooled fast path, then recycle everything back into the
+    /// scratch's pool. Returns the gathered byte count.
+    pub fn run_chunk(
+        scratch: &mut AddrGenScratch,
+        machine: &Machine,
+        streams: &[StreamArray],
+        cache: &mut CacheSim,
+        cfg: &BigKernelConfig,
+        trace: &mut bk_gpu::ThreadTrace,
+    ) -> u64 {
+        let mut lanes = scratch.pool.take_lanes();
+        for lane in 0..LANES {
+            scratch.begin_lane(cfg.pattern_recognition);
+            let mut ctx = AddrGenCtx::recording(&machine.gmem, trace, &mut scratch.recorder);
+            for k in 0..STEPS {
+                ctx.emit_read(StreamId(0), lane * LANE_SPAN + k * 8, 8);
+            }
+            drop(ctx);
+            let (reads, c) = scratch.commit_reads(cfg);
+            assert_eq!(c, Compression::Pattern, "strided lane must compress");
+            let (writes, _) = scratch.commit_writes(cfg);
+            lanes.push(LaneAddrs { reads, writes });
+        }
+        let out = assemble(
+            &machine.hmem,
+            streams,
+            &lanes,
+            AssemblyLayout::Interleaved,
+            true,
+            cache,
+            &mut scratch.pool,
+        );
+        assert!(out.locality_order_used);
+        let gathered = out.gathered_bytes;
+        scratch.pool.give_output(out);
+        scratch.pool.give_lanes(lanes);
+        gathered
+    }
+
+    pub fn setup() -> (Machine, Vec<StreamArray>) {
+        let mut m = Machine::test_platform();
+        let data = vec![0xA5u8; (LANES * LANE_SPAN) as usize];
+        let r = m.hmem.alloc_from(&data);
+        let s = StreamArray::map(&m, StreamId(0), r);
+        (m, vec![s])
+    }
+}
+
+/// The tentpole guarantee: from the second chunk on, address generation
+/// (recording + online pattern detection + commit) and assembly (layout
+/// build + gather into the pooled prefetch buffer) touch the heap zero
+/// times — every vector cycles through the `StreamPool` freelists.
+#[test]
+fn addr_gen_and_assembly_second_chunk_allocates_nothing() {
+    use std::sync::atomic::Ordering;
+
+    let _serial = SERIAL.lock().unwrap();
+    let (machine, streams) = chunk::setup();
+    let cfg = bk_runtime::BigKernelConfig::default();
+    let mut scratch = bk_runtime::AddrGenScratch::new();
+    let mut cache = bk_host::CacheSim::xeon_llc();
+    let mut trace = bk_gpu::ThreadTrace::default();
+
+    // First chunk: grows every pooled vector (and the LLC sim) to size.
+    let first = chunk::run_chunk(&mut scratch, &machine, &streams, &mut cache, &cfg, &mut trace);
+    assert_eq!(first, chunk::LANES * chunk::LANE_SPAN);
+
+    // Second chunk onward: bit-for-bit the same work, zero allocations.
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for _ in 0..10 {
+        let g = chunk::run_chunk(&mut scratch, &machine, &streams, &mut cache, &cfg, &mut trace);
+        assert_eq!(g, first);
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "addr-gen + assembly allocated {} times in steady state",
+        after - before
+    );
 }

@@ -5,8 +5,8 @@
 //! will later perform (paper §III, stage 1). A stream is shipped to the CPU
 //! either raw or compressed to a stride pattern (§IV.A, [`crate::pattern`]).
 
-use crate::pattern::Pattern;
-use crate::segmented::SegmentedStream;
+use crate::pattern::{Pattern, PatternIter};
+use crate::segmented::{SegmentedIter, SegmentedStream};
 use crate::stream::StreamId;
 
 /// Bytes one raw address entry occupies in the CPU-side address buffer.
@@ -38,9 +38,7 @@ impl AddrStream {
     pub fn is_compressed(&self) -> bool {
         !matches!(self, AddrStream::Raw(_))
     }
-}
 
-impl AddrStream {
     /// Number of accesses described.
     pub fn len(&self) -> usize {
         match self {
@@ -82,34 +80,97 @@ impl AddrStream {
         }
     }
 
-    /// Iterate entries in order.
+    /// Iterate entries in order. Each variant is walked by a specialized
+    /// cursor — raw streams by the slice iterator, patterns by a rolling
+    /// (cycle position, cycle number) pair — instead of the bounds-checked
+    /// `entry(k)` dispatch per element.
     pub fn iter(&self) -> AddrStreamIter<'_> {
-        AddrStreamIter { stream: self, k: 0 }
+        AddrStreamIter {
+            inner: match self {
+                AddrStream::Raw(v) => IterInner::Raw(v.iter()),
+                AddrStream::Pattern(p) => IterInner::Pattern(p.iter()),
+                AddrStream::Segmented(s) => IterInner::Segmented(s.iter()),
+            },
+        }
+    }
+
+    /// Iterate the stream as maximal contiguous gather runs: consecutive
+    /// entries on the same mapped stream whose offsets tile exactly
+    /// (`next.offset == start + len`) merge into one `(stream, start, len)`
+    /// run. This is what lets the assembler issue one bulk copy and one
+    /// `flush_run` per run instead of touching every entry (§IV.B).
+    pub fn runs(&self) -> RunIter<'_> {
+        RunIter { it: self.iter(), pending: None }
     }
 }
 
 /// Iterator over the entries of an [`AddrStream`].
 pub struct AddrStreamIter<'a> {
-    stream: &'a AddrStream,
-    k: usize,
+    inner: IterInner<'a>,
+}
+
+enum IterInner<'a> {
+    Raw(std::slice::Iter<'a, AddrEntry>),
+    Pattern(PatternIter<'a>),
+    Segmented(SegmentedIter<'a>),
 }
 
 impl Iterator for AddrStreamIter<'_> {
     type Item = AddrEntry;
 
+    #[inline]
     fn next(&mut self) -> Option<AddrEntry> {
-        if self.k >= self.stream.len() {
-            None
-        } else {
-            let e = self.stream.entry(self.k);
-            self.k += 1;
-            Some(e)
+        match &mut self.inner {
+            IterInner::Raw(it) => it.next().copied(),
+            IterInner::Pattern(it) => it.next(),
+            IterInner::Segmented(it) => it.next(),
         }
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let rem = self.stream.len() - self.k;
-        (rem, Some(rem))
+        match &self.inner {
+            IterInner::Raw(it) => it.size_hint(),
+            IterInner::Pattern(it) => it.size_hint(),
+            IterInner::Segmented(it) => it.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for AddrStreamIter<'_> {}
+
+/// One maximal contiguous gather run (byte range `start..start + len` of
+/// one mapped stream).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Run {
+    pub stream: StreamId,
+    pub start: u64,
+    pub len: u64,
+}
+
+/// Iterator merging an address stream's entries into [`Run`]s.
+pub struct RunIter<'a> {
+    it: AddrStreamIter<'a>,
+    pending: Option<Run>,
+}
+
+impl Iterator for RunIter<'_> {
+    type Item = Run;
+
+    fn next(&mut self) -> Option<Run> {
+        for e in self.it.by_ref() {
+            match &mut self.pending {
+                Some(r) if r.stream == e.stream && e.offset == r.start + r.len => {
+                    r.len += e.width as u64;
+                }
+                pending => {
+                    let run = Run { stream: e.stream, start: e.offset, len: e.width as u64 };
+                    if let Some(done) = pending.replace(run) {
+                        return Some(done);
+                    }
+                }
+            }
+        }
+        self.pending.take()
     }
 }
 
@@ -167,6 +228,58 @@ mod tests {
         assert_eq!(it.size_hint(), (2, Some(2)));
         it.next();
         assert_eq!(it.size_hint(), (1, Some(1)));
+    }
+
+    #[test]
+    fn runs_merge_contiguous_entries_across_variants() {
+        // 0..24 contiguous (three 8-byte reads), a gap, then 100..104.
+        let raw = AddrStream::Raw(vec![e(0, 8), e(8, 8), e(16, 8), e(100, 4)]);
+        let runs: Vec<Run> = raw.runs().collect();
+        assert_eq!(
+            runs,
+            vec![
+                Run { stream: StreamId(0), start: 0, len: 24 },
+                Run { stream: StreamId(0), start: 100, len: 4 },
+            ]
+        );
+
+        // A strided pattern never merges: one run per entry.
+        let strided: Vec<AddrEntry> = (0..10).map(|i| e(i * 64, 8)).collect();
+        let p = crate::pattern::detect(&strided, crate::pattern::MAX_PERIOD).unwrap();
+        let ps = AddrStream::Pattern(p);
+        assert_eq!(ps.runs().count(), 10);
+
+        // A sequential pattern collapses to a single run.
+        let seq: Vec<AddrEntry> = (0..100).map(|i| e(1000 + i, 1)).collect();
+        let p = crate::pattern::detect(&seq, crate::pattern::MAX_PERIOD).unwrap();
+        let ps = AddrStream::Pattern(p);
+        let runs: Vec<Run> = ps.runs().collect();
+        assert_eq!(runs, vec![Run { stream: StreamId(0), start: 1000, len: 100 }]);
+    }
+
+    #[test]
+    fn runs_split_on_stream_change() {
+        let s = AddrStream::Raw(vec![
+            e(0, 8),
+            AddrEntry { stream: StreamId(1), offset: 8, width: 8 },
+        ]);
+        assert_eq!(s.runs().count(), 2);
+    }
+
+    #[test]
+    fn empty_stream_has_no_runs() {
+        assert_eq!(AddrStream::Raw(Vec::new()).runs().count(), 0);
+    }
+
+    #[test]
+    fn pattern_iter_equals_entry_dispatch() {
+        let strided: Vec<AddrEntry> = (0..25).map(|i| e(i * 16, 4)).collect();
+        let p = crate::pattern::detect(&strided, crate::pattern::MAX_PERIOD).unwrap();
+        let s = AddrStream::Pattern(p);
+        let via_iter: Vec<AddrEntry> = s.iter().collect();
+        let via_entry: Vec<AddrEntry> = (0..s.len()).map(|k| s.entry(k)).collect();
+        assert_eq!(via_iter, via_entry);
+        assert_eq!(s.iter().size_hint(), (25, Some(25)));
     }
 
     #[test]

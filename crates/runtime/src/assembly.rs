@@ -19,9 +19,10 @@
 //! destination writes stay in access order either way — the paper found
 //! read cost dominates write cost.
 
-use crate::addr::{AddrStream, LaneAddrs};
+use crate::addr::LaneAddrs;
 use crate::config::AssemblyLayout;
 use crate::layout::ChunkLayout;
+use crate::pool::StreamPool;
 use crate::stream::StreamArray;
 use bk_gpu::WARP_SIZE;
 use bk_host::{CacheSim, CpuCost, HostMemory};
@@ -74,7 +75,10 @@ pub struct AssemblyOutput {
 /// Assemble one block's chunk.
 ///
 /// `lanes[i]` are the address streams of lane `i`; `streams` maps
-/// `StreamId(i)` → `streams[i]`.
+/// `StreamId(i)` → `streams[i]`. Layout vectors and the prefetch-byte
+/// buffer are drawn from `pool` (and return to it when the chunk's
+/// [`AssemblyOutput`] is recycled via [`StreamPool::give_output`]), so
+/// steady-state assembly performs no heap allocation.
 pub fn assemble(
     hmem: &HostMemory,
     streams: &[StreamArray],
@@ -82,21 +86,22 @@ pub fn assemble(
     layout_kind: AssemblyLayout,
     locality: bool,
     cache: &mut CacheSim,
+    pool: &mut StreamPool,
 ) -> AssemblyOutput {
-    let reads: Vec<&AddrStream> = lanes.iter().map(|l| &l.reads).collect();
     let (layout, padding) = match layout_kind {
         AssemblyLayout::Interleaved => {
-            let l = ChunkLayout::build_interleaved(&reads);
+            let l = pool.build_interleaved(lanes, |l| &l.reads);
             let p = match &l {
                 ChunkLayout::Interleaved { padding, .. } => *padding,
                 _ => unreachable!(),
             };
             (l, p)
         }
-        AssemblyLayout::PerLane => (ChunkLayout::build_per_lane(&reads), 0),
+        AssemblyLayout::PerLane => (pool.build_per_lane(lanes, |l| &l.reads), 0),
     };
 
-    let mut bytes = vec![0u8; layout.total_len() as usize];
+    let mut bytes = pool.take_bytes();
+    bytes.resize(layout.total_len() as usize, 0);
     let mut cost = CpuCost::new();
     let mut gathered = 0u64;
 
@@ -140,8 +145,7 @@ pub fn assemble(
                 let mut run_start = 0u64;
                 let mut run_len = 0u64;
                 let mut run_stream = 0u32;
-                for k in 0..l.reads.len() {
-                    let e = l.reads.entry(k);
+                for (k, e) in l.reads.iter().enumerate() {
                     // Functional copy (always per element; dest slots are
                     // interleaved).
                     let arr = &streams[e.stream.0 as usize];
@@ -187,42 +191,23 @@ pub fn assemble(
                 lanes.iter().map(|l| l.reads.len() as u64).sum::<u64>() * INSTRS_PER_ELEMENT;
         }
         // PerLane destination layout is inherently lane-major; pattern
-        // lanes gather as contiguous runs, raw lanes pay per element
-        // (each raw address must be decoded).
+        // lanes gather as contiguous runs (source and destination are both
+        // contiguous, so each run is one bulk copy and one cost flush), raw
+        // lanes pay per element (each raw address must be decoded).
         (ChunkLayout::PerLane { lane_base, .. }, _) => {
             for (lane, l) in lanes.iter().enumerate() {
                 let mut dest = lane_base[lane];
                 if l.reads.is_compressed() {
-                    let mut run_start = 0u64;
-                    let mut run_len = 0u64;
-                    let mut run_stream = 0u32;
-                    for k in 0..l.reads.len() {
-                        let e = l.reads.entry(k);
-                        let arr = &streams[e.stream.0 as usize];
-                        let src = hmem.read(arr.region, e.offset, e.width as usize);
-                        bytes[dest as usize..dest as usize + e.width as usize]
+                    for run in l.reads.runs() {
+                        let arr = &streams[run.stream.0 as usize];
+                        let src = hmem.read(arr.region, run.start, run.len as usize);
+                        bytes[dest as usize..dest as usize + run.len as usize]
                             .copy_from_slice(src);
-                        dest += e.width as u64;
-                        gathered += e.width as u64;
-                        if run_len > 0
-                            && e.stream.0 == run_stream
-                            && e.offset == run_start + run_len
-                        {
-                            run_len += e.width as u64;
-                        } else {
-                            if run_len > 0 {
-                                flush_run(
-                                    &mut cost, cache, hmem, streams, run_stream, run_start,
-                                    run_len,
-                                );
-                            }
-                            run_stream = e.stream.0;
-                            run_start = e.offset;
-                            run_len = e.width as u64;
-                        }
-                    }
-                    if run_len > 0 {
-                        flush_run(&mut cost, cache, hmem, streams, run_stream, run_start, run_len);
+                        dest += run.len;
+                        gathered += run.len;
+                        flush_run(
+                            &mut cost, cache, hmem, streams, run.stream.0, run.start, run.len,
+                        );
                     }
                 } else {
                     for k in 0..l.reads.len() {
@@ -247,12 +232,9 @@ pub fn assemble(
 
     // Write-side geometry (no data movement here; values arrive in stage 4).
     let has_writes = lanes.iter().any(|l| !l.writes.is_empty());
-    let write_layout = has_writes.then(|| {
-        let writes: Vec<&AddrStream> = lanes.iter().map(|l| &l.writes).collect();
-        match layout_kind {
-            AssemblyLayout::Interleaved => ChunkLayout::build_interleaved(&writes),
-            AssemblyLayout::PerLane => ChunkLayout::build_per_lane(&writes),
-        }
+    let write_layout = has_writes.then(|| match layout_kind {
+        AssemblyLayout::Interleaved => pool.build_interleaved(lanes, |l| &l.writes),
+        AssemblyLayout::PerLane => pool.build_per_lane(lanes, |l| &l.writes),
     });
 
     AssemblyOutput {
@@ -269,7 +251,7 @@ pub fn assemble(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::addr::AddrEntry;
+    use crate::addr::{AddrEntry, AddrStream};
     use crate::machine::Machine;
     use crate::pattern;
     use crate::stream::{StreamArray, StreamId};
@@ -305,8 +287,7 @@ mod tests {
             &lanes,
             AssemblyLayout::Interleaved,
             true,
-            &mut cache,
-        );
+            &mut cache, &mut StreamPool::new());
         let ChunkLayout::Interleaved { warps, .. } = &out.layout else { panic!() };
         let (p0, _) = warps[0].slot(0, 0);
         let (p1, _) = warps[0].slot(0, 1);
@@ -329,13 +310,13 @@ mod tests {
         }];
         let mut cache = CacheSim::xeon_llc();
         let out =
-            assemble(&m.hmem, &streams, &lanes, AssemblyLayout::Interleaved, true, &mut cache);
+            assemble(&m.hmem, &streams, &lanes, AssemblyLayout::Interleaved, true, &mut cache, &mut StreamPool::new());
         assert!(out.locality_order_used);
         assert_eq!(out.gathered_bytes, 64 * 8);
         // locality off → access order even with patterns
         let mut cache2 = CacheSim::xeon_llc();
         let out2 =
-            assemble(&m.hmem, &streams, &lanes, AssemblyLayout::Interleaved, false, &mut cache2);
+            assemble(&m.hmem, &streams, &lanes, AssemblyLayout::Interleaved, false, &mut cache2, &mut StreamPool::new());
         assert!(!out2.locality_order_used);
         assert_eq!(out.bytes, out2.bytes, "order must not change contents");
     }
@@ -347,7 +328,7 @@ mod tests {
         let lanes = vec![raw_lane(vec![(0, 2), (100, 2)]), raw_lane(vec![(50, 4)])];
         let mut cache = CacheSim::xeon_llc();
         let out =
-            assemble(&m.hmem, &streams, &lanes, AssemblyLayout::PerLane, false, &mut cache);
+            assemble(&m.hmem, &streams, &lanes, AssemblyLayout::PerLane, false, &mut cache, &mut StreamPool::new());
         assert_eq!(&out.bytes[0..2], &[0, 1]);
         assert_eq!(&out.bytes[2..4], &[100, 101]);
         assert_eq!(&out.bytes[4..8], &[50, 51, 52, 53]);
@@ -371,9 +352,9 @@ mod tests {
         let mut c1 = CacheSim::xeon_llc();
         let mut c2 = CacheSim::xeon_llc();
         let o_raw =
-            assemble(&m.hmem, &streams, &raw, AssemblyLayout::Interleaved, true, &mut c1);
+            assemble(&m.hmem, &streams, &raw, AssemblyLayout::Interleaved, true, &mut c1, &mut StreamPool::new());
         let o_pat =
-            assemble(&m.hmem, &streams, &pat, AssemblyLayout::Interleaved, true, &mut c2);
+            assemble(&m.hmem, &streams, &pat, AssemblyLayout::Interleaved, true, &mut c2, &mut StreamPool::new());
         assert_eq!(o_raw.bytes, o_pat.bytes, "compression must not change data");
         // Raw pays 2 * 8000 addr bytes of DRAM traffic that the pattern avoids.
         assert!(o_raw.cost.dram_bytes >= o_pat.cost.dram_bytes + 15_000);
@@ -402,11 +383,9 @@ mod tests {
         let mut c_seq = CacheSim::new(4096, 64, 4);
         let mut c_acc = CacheSim::new(4096, 64, 4);
         let a = assemble(
-            &m.hmem, &streams, &lanes_pat, AssemblyLayout::Interleaved, true, &mut c_seq,
-        );
+            &m.hmem, &streams, &lanes_pat, AssemblyLayout::Interleaved, true, &mut c_seq, &mut StreamPool::new());
         let b = assemble(
-            &m.hmem, &streams, &lanes_pat, AssemblyLayout::Interleaved, false, &mut c_acc,
-        );
+            &m.hmem, &streams, &lanes_pat, AssemblyLayout::Interleaved, false, &mut c_acc, &mut StreamPool::new());
         assert_eq!(a.bytes, b.bytes);
         // Locality order gathers each lane's region as sequential runs: one
         // cache probe per line and per-run instructions. Access order pays
@@ -443,8 +422,7 @@ mod tests {
             &[lane],
             AssemblyLayout::Interleaved,
             true,
-            &mut cache,
-        );
+            &mut cache, &mut StreamPool::new());
         assert!(out.write_layout.is_some());
         assert!(out.write_layout.unwrap().total_len() >= 4);
     }
@@ -456,7 +434,7 @@ mod tests {
         let lanes = vec![LaneAddrs::empty(), LaneAddrs::empty()];
         let mut cache = CacheSim::xeon_llc();
         let out =
-            assemble(&m.hmem, &streams, &lanes, AssemblyLayout::Interleaved, true, &mut cache);
+            assemble(&m.hmem, &streams, &lanes, AssemblyLayout::Interleaved, true, &mut cache, &mut StreamPool::new());
         assert_eq!(out.bytes.len(), 0);
         assert_eq!(out.gathered_bytes, 0);
         assert!(out.write_layout.is_none());

@@ -24,24 +24,108 @@
 //! real deployment that is a compiler bug, and in this reproduction it is
 //! how the test suite proves the transformation's correctness invariant.
 
-use crate::addr::{AddrEntry, LaneAddrs};
+use crate::addr::{AddrEntry, AddrStreamIter, LaneAddrs};
 use crate::kernel::{DevBufId, KernelCtx};
 use crate::layout::ChunkLayout;
+use crate::pattern::{OnlineDetect, MAX_PERIOD};
 use crate::stream::StreamId;
 use bk_gpu::trace::AccessClass;
 use bk_gpu::{AccessKind, BlockLog, GpuMemory, ThreadTrace};
+
+/// Reusable per-worker recording state for one address-generation lane:
+/// the raw entry buffers plus the streaming pattern detectors feeding on
+/// them. Owned by pipeline scratch and recycled across lanes and chunks so
+/// the hot path performs no heap allocation in steady state; with detection
+/// enabled, compressible lanes never materialize their raw stream at all
+/// (the detector tracks a live candidate instead — see
+/// [`crate::pattern::OnlineDetect`]).
+pub struct AddrRecorder {
+    pub(crate) reads: Vec<AddrEntry>,
+    pub(crate) writes: Vec<AddrEntry>,
+    pub(crate) read_det: OnlineDetect,
+    pub(crate) write_det: OnlineDetect,
+}
+
+impl AddrRecorder {
+    pub fn new() -> Self {
+        AddrRecorder {
+            reads: Vec::new(),
+            writes: Vec::new(),
+            read_det: OnlineDetect::new(MAX_PERIOD),
+            write_det: OnlineDetect::new(MAX_PERIOD),
+        }
+    }
+
+    /// Prepare for a new lane; buffer and detector capacity is retained.
+    /// `detect` mirrors `BigKernelConfig::pattern_recognition`.
+    pub fn reset(&mut self, detect: bool) {
+        self.reads.clear();
+        self.writes.clear();
+        self.read_det.reset(detect);
+        self.write_det.reset(detect);
+    }
+
+    /// Reads recorded so far (buffered or tracked by the detector).
+    pub fn reads_len(&self) -> usize {
+        self.read_det.len()
+    }
+
+    /// Writes recorded so far (buffered or tracked by the detector).
+    pub fn writes_len(&self) -> usize {
+        self.write_det.len()
+    }
+
+    /// Materialize and surrender both raw streams (legacy API; the pipeline
+    /// commits through the pooled scratch instead — see `pool.rs`).
+    fn take(&mut self) -> (Vec<AddrEntry>, Vec<AddrEntry>) {
+        self.read_det.materialize(&mut self.reads);
+        self.write_det.materialize(&mut self.writes);
+        (std::mem::take(&mut self.reads), std::mem::take(&mut self.writes))
+    }
+}
+
+impl Default for AddrRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+enum Rec<'a> {
+    /// Context-owned recorder (legacy `new`/`finish` API: kernelc adapter,
+    /// baseline tests). Detection off; everything is buffered.
+    Owned(AddrRecorder),
+    /// Borrowed per-worker recorder (the pipeline's pooled fast path).
+    External(&'a mut AddrRecorder),
+}
 
 /// Context for the address-generation half (pipeline stage 1).
 pub struct AddrGenCtx<'a> {
     gmem: &'a GpuMemory,
     trace: &'a mut ThreadTrace,
-    reads: Vec<AddrEntry>,
-    writes: Vec<AddrEntry>,
+    rec: Rec<'a>,
 }
 
 impl<'a> AddrGenCtx<'a> {
     pub fn new(gmem: &'a GpuMemory, trace: &'a mut ThreadTrace) -> Self {
-        AddrGenCtx { gmem, trace, reads: Vec::new(), writes: Vec::new() }
+        AddrGenCtx { gmem, trace, rec: Rec::Owned(AddrRecorder::new()) }
+    }
+
+    /// Record into an external (pooled) recorder. The caller resets the
+    /// recorder beforehand and commits its streams after the context drops.
+    pub fn recording(
+        gmem: &'a GpuMemory,
+        trace: &'a mut ThreadTrace,
+        rec: &'a mut AddrRecorder,
+    ) -> Self {
+        AddrGenCtx { gmem, trace, rec: Rec::External(rec) }
+    }
+
+    #[inline]
+    fn rec(&mut self) -> &mut AddrRecorder {
+        match &mut self.rec {
+            Rec::Owned(r) => r,
+            Rec::External(r) => r,
+        }
     }
 
     /// Record that the computation will read `width` bytes of stream `s` at
@@ -51,7 +135,8 @@ impl<'a> AddrGenCtx<'a> {
     pub fn emit_read(&mut self, s: StreamId, offset: u64, width: u32) {
         debug_assert!((1..=8).contains(&width));
         self.trace.alu(2);
-        self.reads.push(AddrEntry { stream: s, offset, width });
+        let r = self.rec();
+        r.read_det.push(&mut r.reads, AddrEntry { stream: s, offset, width });
     }
 
     /// Record that the computation will write `width` bytes of stream `s`.
@@ -59,7 +144,8 @@ impl<'a> AddrGenCtx<'a> {
     pub fn emit_write(&mut self, s: StreamId, offset: u64, width: u32) {
         debug_assert!((1..=8).contains(&width));
         self.trace.alu(2);
-        self.writes.push(AddrEntry { stream: s, offset, width });
+        let r = self.rec();
+        r.write_det.push(&mut r.writes, AddrEntry { stream: s, offset, width });
     }
 
     /// Read a device-resident buffer (traced global access; e.g. an index).
@@ -84,8 +170,12 @@ impl<'a> AddrGenCtx<'a> {
     }
 
     /// Finish the lane and take its recorded address streams.
-    pub fn finish(self) -> (Vec<AddrEntry>, Vec<AddrEntry>) {
-        (self.reads, self.writes)
+    ///
+    /// For the pooled fast path the pipeline drops the context and commits
+    /// through the recorder instead — `finish` on an external recorder
+    /// would surrender the pooled buffers.
+    pub fn finish(mut self) -> (Vec<AddrEntry>, Vec<AddrEntry>) {
+        self.rec().take()
     }
 }
 
@@ -202,8 +292,17 @@ impl DevMemory for LoggedMem<'_, '_> {
 
 /// Which buffer a GPU-mode stream access resolves into.
 enum StreamMode<'a> {
-    /// Prefetch-buffer consumption with optional FIFO verification.
-    Assembled { lane_addrs: &'a LaneAddrs, verify: bool },
+    /// Prefetch-buffer consumption with optional FIFO verification. The
+    /// cursors walk the recorded streams in FIFO order (accesses are
+    /// consumed strictly in emission order) and are advanced only inside
+    /// the verify branches — they replace a per-access `entry(k)` dispatch,
+    /// which for compressed streams cost a div/mod per element.
+    Assembled {
+        lane_addrs: &'a LaneAddrs,
+        verify: bool,
+        read_cur: AddrStreamIter<'a>,
+        write_cur: AddrStreamIter<'a>,
+    },
     /// Verbatim staged window(s) (baselines / overlap-only variant).
     Staged,
 }
@@ -305,7 +404,12 @@ impl<'a, M: DevMemory> ComputeCtx<'a, M> {
             write_buf,
             layout,
             write_layout,
-            mode: StreamMode::Assembled { lane_addrs, verify },
+            mode: StreamMode::Assembled {
+                lane_addrs,
+                verify,
+                read_cur: lane_addrs.reads.iter(),
+                write_cur: lane_addrs.writes.iter(),
+            },
             lane,
             thread_id,
             num_threads,
@@ -363,7 +467,7 @@ impl<'a, M: DevMemory> ComputeCtx<'a, M> {
 
     /// Resolve the position of the next read in the data buffer.
     fn resolve_read(&mut self, s: StreamId, offset: u64, width: u32) -> u64 {
-        match (&self.mode, self.layout) {
+        match (&mut self.mode, self.layout) {
             (StreamMode::Staged, layout) => {
                 // Staged chunks hold the primary stream only; a traditional
                 // buffered implementation would need a staging buffer per
@@ -377,7 +481,7 @@ impl<'a, M: DevMemory> ComputeCtx<'a, M> {
                 layout.staged_pos(self.lane, offset)
             }
             (
-                StreamMode::Assembled { lane_addrs, verify },
+                StreamMode::Assembled { lane_addrs, verify, read_cur, .. },
                 ChunkLayout::Interleaved { warps, .. },
             ) => {
                 let k = self.read_k;
@@ -388,13 +492,17 @@ impl<'a, M: DevMemory> ComputeCtx<'a, M> {
                     lane_addrs.reads.len()
                 );
                 if *verify {
-                    verify_entry("read", lane_addrs.reads.entry(k), s, offset, width, self.lane, k);
+                    let expected = read_cur.next().expect("read cursor in step with read_k");
+                    verify_entry("read", expected, s, offset, width, self.lane, k);
                 }
                 let warp = self.lane / bk_gpu::WARP_SIZE;
                 let (pos, _slot_w) = warps[warp].slot(self.lane % bk_gpu::WARP_SIZE, k);
                 pos
             }
-            (StreamMode::Assembled { lane_addrs, verify }, ChunkLayout::PerLane { lane_base, .. }) => {
+            (
+                StreamMode::Assembled { lane_addrs, verify, read_cur, .. },
+                ChunkLayout::PerLane { lane_base, .. },
+            ) => {
                 let k = self.read_k;
                 assert!(
                     k < lane_addrs.reads.len(),
@@ -403,7 +511,8 @@ impl<'a, M: DevMemory> ComputeCtx<'a, M> {
                     lane_addrs.reads.len()
                 );
                 if *verify {
-                    verify_entry("read", lane_addrs.reads.entry(k), s, offset, width, self.lane, k);
+                    let expected = read_cur.next().expect("read cursor in step with read_k");
+                    verify_entry("read", expected, s, offset, width, self.lane, k);
                 }
                 let pos = lane_base[self.lane] + self.perlane_read_cursor;
                 self.perlane_read_cursor += width as u64;
@@ -467,7 +576,7 @@ impl<M: DevMemory> KernelCtx for ComputeCtx<'_, M> {
 
     fn stream_write(&mut self, s: StreamId, offset: u64, width: u32, value: u64) {
         self.stream_bytes_written += width as u64;
-        match (&self.mode, self.write_layout) {
+        match (&mut self.mode, self.write_layout) {
             (StreamMode::Staged, _) => {
                 // In-place modification of the staged chunk; the runner
                 // copies the dirty window back to host memory afterwards.
@@ -481,10 +590,11 @@ impl<M: DevMemory> KernelCtx for ComputeCtx<'_, M> {
                 );
                 self.mem.stream_store(self.data_buf, pos, width, value);
             }
-            (StreamMode::Assembled { lane_addrs, verify }, Some(wl)) => {
+            (StreamMode::Assembled { verify, write_cur, .. }, Some(wl)) => {
                 let k = self.write_k;
                 if *verify {
-                    verify_entry("write", lane_addrs.writes.entry(k), s, offset, width, self.lane, k);
+                    let expected = write_cur.next().expect("write cursor in step with write_k");
+                    verify_entry("write", expected, s, offset, width, self.lane, k);
                 }
                 let wb = self.write_buf.expect("write layout implies a write buffer");
                 let pos = match wl {

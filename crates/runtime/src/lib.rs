@@ -20,6 +20,9 @@
 //!   against the simulated LLC.
 //! * [`layout`] — the interleaved (coalescing-friendly) prefetch-buffer
 //!   layout shared between the CPU assembler and GPU consumer.
+//! * [`pool`] — per-block-slot recycled scratch (address buffers, pattern
+//!   components, layouts, prefetch bytes) keeping the stage 1–2 hot path
+//!   allocation-free in steady state.
 //! * [`ctx`] — the AddrGen / Compute kernel contexts, including the runtime
 //!   FIFO cross-check that the address stream exactly covers the compute
 //!   stage's reads (our machine-checked analogue of compiler-transformation
@@ -39,6 +42,7 @@ pub mod layout;
 pub mod machine;
 pub mod pattern;
 pub mod pipeline;
+pub mod pool;
 pub mod result;
 pub mod segmented;
 pub mod stream;
@@ -49,5 +53,6 @@ pub use ctx::{AddrGenCtx, ComputeCtx, DevMemory, LiveMem, LoggedMem};
 pub use kernel::{DevBufId, DeviceEffects, KernelCtx, LaunchConfig, StreamKernel, ValueExt};
 pub use machine::Machine;
 pub use pipeline::run_bigkernel;
+pub use pool::{AddrGenScratch, StreamPool};
 pub use result::{RunResult, StageStat};
 pub use stream::{StreamArray, StreamId};

@@ -43,7 +43,7 @@ impl Machine {
     /// than the paper's 4.5–6.4 GB; all bandwidth terms shrink
     /// proportionally but fixed per-transfer costs do not, so unscaled they
     /// would dominate and distort every shape. Scaling them by the same
-    /// data ratio preserves the paper-scale balance (see DESIGN.md §7).
+    /// data ratio preserves the paper-scale balance (see DESIGN.md §8).
     pub fn scale_fixed_costs(&mut self, factor: f64) {
         assert!(factor > 0.0 && factor <= 1.0, "scale factor must be in (0, 1]");
         let floor = bk_simcore::SimTime::from_nanos(10.0);

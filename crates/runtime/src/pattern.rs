@@ -53,12 +53,25 @@ impl Pattern {
     }
 
     /// The `k`-th access described by the pattern.
+    ///
+    /// Panics (in every build profile) if the walk lands below zero: a
+    /// legitimately *detected* pattern reproduces the original unsigned
+    /// offsets exactly, so a negative offset here means the descriptor was
+    /// corrupted or hand-built wrong — silently wrapping to a huge u64
+    /// (the old release-mode behavior) must not reach the gather stage.
     pub fn entry(&self, k: usize) -> AddrEntry {
         assert!(k < self.count, "pattern entry out of range");
         let j = k % self.period();
         let offset = self.offset_at(k);
-        debug_assert!(offset >= 0, "pattern walked below zero");
+        assert!(offset >= 0, "pattern walked below zero");
         AddrEntry { stream: self.streams[j], offset: offset as u64, width: self.widths[j] }
+    }
+
+    /// Iterate the described entries without the per-entry div/mod of
+    /// [`Pattern::entry`]: the cursor carries (cycle position, cycle number)
+    /// and advances them incrementally.
+    pub fn iter(&self) -> PatternIter<'_> {
+        PatternIter { p: self, k: 0, j: 0, m: 0 }
     }
 
     /// Non-panicking check that access `k` equals `e`.
@@ -77,19 +90,7 @@ impl Pattern {
     /// into one group — a 183-byte sequential text scan inside a record
     /// cycle costs one group, not 183 elements.
     pub fn encoded_bytes(&self) -> u64 {
-        let p = self.period();
-        let mut groups = 0u64;
-        for j in 0..p {
-            let continues = j > 0
-                && self.streams[j] == self.streams[j - 1]
-                && self.widths[j] == self.widths[j - 1]
-                && self.strides[j] == self.strides[j - 1]
-                && self.bases[j] == self.bases[j - 1] + self.widths[j - 1] as u64;
-            if !continues {
-                groups += 1;
-            }
-        }
-        8 + groups * 20
+        encoded_bytes_for(&self.streams, &self.bases, &self.strides, &self.widths)
     }
 
     /// Total useful data bytes addressed by the pattern.
@@ -106,6 +107,67 @@ impl Pattern {
         self.count == entries.len()
             && entries.iter().enumerate().all(|(k, e)| self.entry_matches(k, e))
     }
+}
+
+/// Incremental cursor over a pattern's entries (same checked semantics as
+/// [`Pattern::entry`], but one multiply and no division per step).
+pub struct PatternIter<'a> {
+    p: &'a Pattern,
+    k: usize,
+    j: usize,
+    m: i64,
+}
+
+impl Iterator for PatternIter<'_> {
+    type Item = AddrEntry;
+
+    #[inline]
+    fn next(&mut self) -> Option<AddrEntry> {
+        if self.k >= self.p.count {
+            return None;
+        }
+        let j = self.j;
+        let offset = self.p.bases[j] as i64 + self.m * self.p.strides[j];
+        assert!(offset >= 0, "pattern walked below zero");
+        let e = AddrEntry {
+            stream: self.p.streams[j],
+            offset: offset as u64,
+            width: self.p.widths[j],
+        };
+        self.k += 1;
+        self.j += 1;
+        if self.j == self.p.period() {
+            self.j = 0;
+            self.m += 1;
+        }
+        Some(e)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.p.count - self.k;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for PatternIter<'_> {}
+
+/// Encoded size of a cycle given as parallel slices (shared between
+/// [`Pattern::encoded_bytes`] and the online detector, which sizes its
+/// candidate before materializing a `Pattern`).
+fn encoded_bytes_for(streams: &[StreamId], bases: &[u64], strides: &[i64], widths: &[u32]) -> u64 {
+    let p = bases.len();
+    let mut groups = 0u64;
+    for j in 0..p {
+        let continues = j > 0
+            && streams[j] == streams[j - 1]
+            && widths[j] == widths[j - 1]
+            && strides[j] == strides[j - 1]
+            && bases[j] == bases[j - 1] + widths[j - 1] as u64;
+        if !continues {
+            groups += 1;
+        }
+    }
+    8 + groups * 20
 }
 
 /// Try to recognize a pattern covering *all* of `entries` (detection window
@@ -127,12 +189,19 @@ impl Pattern {
 /// assert!(p.encoded_bytes() < 32); // vs 8000 raw bytes over PCIe
 /// ```
 pub fn detect(entries: &[AddrEntry], max_period: usize) -> Option<Pattern> {
+    detect_from(entries, 1, max_period)
+}
+
+/// [`detect`] restricted to periods `>= lo` — used by the online detector's
+/// fallback path, which has already disproved every smaller period
+/// incrementally and must not pay to re-disprove them.
+pub(crate) fn detect_from(entries: &[AddrEntry], lo: usize, max_period: usize) -> Option<Pattern> {
     if entries.len() < 2 {
         return None; // nothing worth compressing
     }
     let window = entries.len().min(DETECT_WINDOW);
 
-    'period: for p in 1..=max_period {
+    'period: for p in lo..=max_period {
         // Need at least two full cycles inside the window to call it a
         // candidate (one cycle to establish the strides, one to confirm).
         if 2 * p > window {
@@ -182,6 +251,275 @@ pub fn detect(entries: &[AddrEntry], max_period: usize) -> Option<Pattern> {
         return Some(cand);
     }
     None
+}
+
+/// Online promotion work budget. After a candidate dies the detector
+/// re-builds candidates at successively larger periods, O(p) each — fine
+/// while locking onto a short true cycle (K-means locks at p = 3 within six
+/// entries) but O(max_period²) on a long irregular stream. Once the budget
+/// is spent the detector stops promoting and the finish step re-scans the
+/// (complete, buffered) stream offline from the first untried period — the
+/// result is identical either way, only the work moves.
+const ONLINE_BUDGET: usize = 2048;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum OnlineMode {
+    /// Pattern recognition off: every entry goes straight to the buffer.
+    Disabled,
+    /// Not enough entries to define the current candidate (n < 2p); still
+    /// buffering.
+    Pending,
+    /// A live candidate matches every entry seen; raw entries beyond the
+    /// buffered prefix are NOT materialized (they are reproducible from the
+    /// candidate).
+    Tracking,
+    /// Online promotion gave up (budget or max period); buffering, with the
+    /// offline rescan at finish starting from `from`.
+    Fallback { from: usize },
+}
+
+/// Incremental (streaming) version of [`detect`]: consumes entries as the
+/// address-generation lane emits them and maintains the smallest candidate
+/// period consistent with everything seen, so compressible lanes never
+/// buffer their raw stream whole-chunk nor re-scan it at commit time. The
+/// `online_matches_offline_*` proptests pin the equivalence with the
+/// offline scan.
+///
+/// Invariant: `buf` (owned by the caller, passed to every method) always
+/// holds the exact prefix `entries[0..buf.len()]`; while `Tracking`, the
+/// candidate reproduces all `n` entries seen, so the un-buffered suffix can
+/// be rematerialized from it on demand (candidate death, or a finish
+/// outcome that needs the raw stream).
+pub struct OnlineDetect {
+    max_period: usize,
+    mode: OnlineMode,
+    /// Current candidate period.
+    p: usize,
+    /// Total entries seen.
+    n: usize,
+    budget: usize,
+    // Candidate cycle (valid while Tracking).
+    streams: Vec<StreamId>,
+    bases: Vec<u64>,
+    strides: Vec<i64>,
+    widths: Vec<u32>,
+    // Rolling (cycle position, cycle number) of the next index `n`.
+    next_j: usize,
+    next_m: i64,
+}
+
+/// What [`OnlineDetect::finish`] decided for the stream.
+pub enum OnlineOutcome<'a> {
+    /// Candidate confirmed online; the cycle slices borrow the detector.
+    /// The caller's buffer still holds only a prefix — call
+    /// [`OnlineDetect::materialize`] if the raw entries are needed too.
+    Hit {
+        streams: &'a [StreamId],
+        bases: &'a [u64],
+        strides: &'a [i64],
+        widths: &'a [u32],
+    },
+    /// Online tracking gave up mid-stream; this is the offline rescan of
+    /// the untried periods (the buffer is complete).
+    Offline(Option<Pattern>),
+    /// Definitively no whole-stream pattern (buffer is complete).
+    Miss,
+}
+
+impl OnlineDetect {
+    pub fn new(max_period: usize) -> Self {
+        OnlineDetect {
+            max_period,
+            mode: OnlineMode::Disabled,
+            p: 1,
+            n: 0,
+            budget: ONLINE_BUDGET,
+            streams: Vec::new(),
+            bases: Vec::new(),
+            strides: Vec::new(),
+            widths: Vec::new(),
+            next_j: 0,
+            next_m: 0,
+        }
+    }
+
+    /// Prepare for a new lane's stream; candidate capacity is retained.
+    pub fn reset(&mut self, enabled: bool) {
+        self.mode = if enabled { OnlineMode::Pending } else { OnlineMode::Disabled };
+        self.p = 1;
+        self.n = 0;
+        self.budget = ONLINE_BUDGET;
+    }
+
+    /// Entries seen so far.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Feed the next entry. `buf` is the lane's raw buffer (see the struct
+    /// invariant); the detector appends to it whenever the entry is not
+    /// covered by a live candidate.
+    #[inline]
+    pub fn push(&mut self, buf: &mut Vec<AddrEntry>, e: AddrEntry) {
+        self.n += 1;
+        if self.mode == OnlineMode::Tracking {
+            let j = self.next_j;
+            if self.streams[j] == e.stream
+                && self.widths[j] == e.width
+                && self.bases[j] as i64 + self.next_m * self.strides[j] == e.offset as i64
+            {
+                self.next_j += 1;
+                if self.next_j == self.p {
+                    self.next_j = 0;
+                    self.next_m += 1;
+                }
+            } else {
+                // Candidate died: complete the raw prefix it was standing in
+                // for, then look for a larger cycle.
+                self.rematerialize(buf, self.n - 1);
+                buf.push(e);
+                self.p += 1;
+                self.seek(buf);
+            }
+        } else {
+            buf.push(e);
+            if self.mode == OnlineMode::Pending && self.n == 2 * self.p {
+                self.seek(buf);
+            }
+        }
+    }
+
+    /// Find the smallest period `>= self.p` whose candidate matches all `n`
+    /// buffered entries, leaving the detector Tracking, Pending (not enough
+    /// entries yet) or Fallback (budget / max period exhausted).
+    fn seek(&mut self, buf: &[AddrEntry]) {
+        loop {
+            if self.p > self.max_period || self.budget == 0 {
+                self.mode = OnlineMode::Fallback { from: self.p };
+                return;
+            }
+            if 2 * self.p > self.n {
+                self.mode = OnlineMode::Pending;
+                return;
+            }
+            if self.try_build(buf) {
+                self.mode = OnlineMode::Tracking;
+                return;
+            }
+            self.p += 1;
+        }
+    }
+
+    /// Build the candidate for the current period from the first two cycles
+    /// and verify it against the rest of the buffer; charges the budget.
+    fn try_build(&mut self, buf: &[AddrEntry]) -> bool {
+        let p = self.p;
+        self.budget = self.budget.saturating_sub(p);
+        self.streams.clear();
+        self.bases.clear();
+        self.strides.clear();
+        self.widths.clear();
+        for j in 0..p {
+            let (a, b) = (&buf[j], &buf[j + p]);
+            if a.stream != b.stream || a.width != b.width {
+                return false;
+            }
+            self.streams.push(a.stream);
+            self.bases.push(a.offset);
+            self.widths.push(a.width);
+            self.strides.push(b.offset as i64 - a.offset as i64);
+        }
+        // Verify beyond the two defining cycles (rolling cycle position).
+        let (mut j, mut m) = (0usize, 2i64);
+        for (i, e) in buf[2 * p..self.n].iter().enumerate() {
+            if !(self.streams[j] == e.stream
+                && self.widths[j] == e.width
+                && self.bases[j] as i64 + m * self.strides[j] == e.offset as i64)
+            {
+                self.budget = self.budget.saturating_sub(i + 1);
+                return false;
+            }
+            j += 1;
+            if j == p {
+                j = 0;
+                m += 1;
+            }
+        }
+        self.budget = self.budget.saturating_sub(self.n - 2 * p);
+        self.next_j = j;
+        self.next_m = m;
+        true
+    }
+
+    /// Append candidate-described entries to extend `buf` up to index
+    /// `upto` (exclusive).
+    fn rematerialize(&self, buf: &mut Vec<AddrEntry>, upto: usize) {
+        let p = self.p;
+        let k0 = buf.len();
+        let (mut j, mut m) = (k0 % p, (k0 / p) as i64);
+        for _ in k0..upto {
+            let off = self.bases[j] as i64 + m * self.strides[j];
+            debug_assert!(off >= 0, "live candidate reproduces original unsigned offsets");
+            buf.push(AddrEntry {
+                stream: self.streams[j],
+                offset: off as u64,
+                width: self.widths[j],
+            });
+            j += 1;
+            if j == p {
+                j = 0;
+                m += 1;
+            }
+        }
+    }
+
+    /// Complete the raw buffer (callers that need the raw entries after a
+    /// `Hit` — e.g. the segmented-compression comparison — use this).
+    pub fn materialize(&self, buf: &mut Vec<AddrEntry>) {
+        if self.mode == OnlineMode::Tracking {
+            self.rematerialize(buf, self.n);
+        }
+        debug_assert_eq!(buf.len(), self.n);
+    }
+
+    /// The offline-equivalent detection result over the whole stream. On
+    /// anything but a `Hit`, `buf` is left holding the complete raw stream
+    /// so segmented/raw fallback can proceed.
+    pub fn finish(&self, buf: &mut Vec<AddrEntry>) -> OnlineOutcome<'_> {
+        match self.mode {
+            OnlineMode::Disabled | OnlineMode::Pending => OnlineOutcome::Miss,
+            OnlineMode::Fallback { from } => {
+                OnlineOutcome::Offline(detect_from(buf, from, self.max_period))
+            }
+            OnlineMode::Tracking => {
+                let (p, n) = (self.p, self.n);
+                // Same acceptance gates as the offline scan: three full
+                // cycles, candidate definable inside the detection window,
+                // and a descriptor smaller than the raw stream. Any failure
+                // implies the offline scan returns None too (larger periods
+                // fail the three-cycle rule even harder; smaller ones died).
+                let accepted = n >= 3 * p
+                    && 2 * p <= DETECT_WINDOW
+                    && encoded_bytes_for(&self.streams, &self.bases, &self.strides, &self.widths)
+                        < n as u64 * ADDR_ENTRY_BYTES;
+                if accepted {
+                    OnlineOutcome::Hit {
+                        streams: &self.streams,
+                        bases: &self.bases,
+                        strides: &self.strides,
+                        widths: &self.widths,
+                    }
+                } else {
+                    self.materialize(buf);
+                    OnlineOutcome::Miss
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -346,6 +684,115 @@ mod tests {
         let p = detect(&seq(0, 8, 8, 4), MAX_PERIOD).unwrap();
         let _ = p.entry(4);
     }
+
+    #[test]
+    #[should_panic(expected = "below zero")]
+    fn negative_stride_walk_past_zero_panics_in_release_too() {
+        // Hand-built descriptor that detection would never emit (verification
+        // rejects candidates that fail to reproduce the original unsigned
+        // offsets): base 16, stride -16 — entry 3 lands at offset -32. This
+        // must be a hard panic, not a silent wrap to a huge u64, in every
+        // build profile.
+        let p = Pattern {
+            streams: vec![StreamId(0)],
+            bases: vec![16],
+            strides: vec![-16],
+            widths: vec![8],
+            count: 5,
+        };
+        let _ = p.entry(3);
+    }
+
+    #[test]
+    fn pattern_iter_matches_entry_including_partial_cycle() {
+        let mut entries = Vec::new();
+        for r in 0..7u64 {
+            entries.push(e(r * 32, 8));
+            entries.push(e(r * 32 + 8, 4));
+            entries.push(e(r * 32 + 12, 2));
+        }
+        entries.push(e(7 * 32, 8));
+        entries.push(e(7 * 32 + 8, 4)); // partial final cycle
+        let p = detect(&entries, MAX_PERIOD).expect("detect");
+        let via_iter: Vec<AddrEntry> = p.iter().collect();
+        let via_entry: Vec<AddrEntry> = (0..p.count).map(|k| p.entry(k)).collect();
+        assert_eq!(via_iter, via_entry);
+        assert_eq!(p.iter().len(), entries.len());
+    }
+
+    fn online_run(entries: &[AddrEntry]) -> (Option<Pattern>, Vec<AddrEntry>) {
+        let mut det = OnlineDetect::new(MAX_PERIOD);
+        det.reset(true);
+        let mut buf = Vec::new();
+        for &e in entries {
+            det.push(&mut buf, e);
+        }
+        let found = match det.finish(&mut buf) {
+            OnlineOutcome::Hit { streams, bases, strides, widths } => Some(Pattern {
+                streams: streams.to_vec(),
+                bases: bases.to_vec(),
+                strides: strides.to_vec(),
+                widths: widths.to_vec(),
+                count: entries.len(),
+            }),
+            OnlineOutcome::Offline(r) => r,
+            OnlineOutcome::Miss => None,
+        };
+        (found, buf)
+    }
+
+    #[test]
+    fn online_locks_onto_kmeans_cycle_and_matches_offline() {
+        let mut entries = Vec::new();
+        for r in 0..50u64 {
+            for f in 0..3u64 {
+                entries.push(e(r * 64 + f * 8, 8));
+            }
+        }
+        let (online, _) = online_run(&entries);
+        assert_eq!(online, detect(&entries, MAX_PERIOD));
+        assert_eq!(online.unwrap().period(), 3);
+    }
+
+    #[test]
+    fn online_miss_leaves_buffer_complete() {
+        // Periodic through the window, then a deviant address: the live
+        // candidate dies late, forcing rematerialization of the suffix the
+        // detector had stopped buffering.
+        let mut entries = seq(0, 8, 8, 100);
+        entries[60] = e(999_999, 8);
+        let (online, buf) = online_run(&entries);
+        assert_eq!(online, detect(&entries, MAX_PERIOD));
+        assert!(online.is_none());
+        assert_eq!(buf, entries);
+    }
+
+    #[test]
+    fn online_matches_offline_on_irregular_budget_fallback() {
+        // Long pseudo-random stream: online promotion exhausts its budget
+        // and defers to the offline rescan — results must still agree.
+        let entries: Vec<AddrEntry> =
+            (0..600u64).map(|i| e((i.wrapping_mul(2654435761)) % (1 << 20), 8)).collect();
+        let (online, buf) = online_run(&entries);
+        assert_eq!(online, detect(&entries, MAX_PERIOD));
+        assert_eq!(buf, entries);
+    }
+
+    #[test]
+    fn online_pending_two_cycles_is_none_like_offline() {
+        // Exactly two cycles of a long period: offline rejects (three-cycle
+        // rule); online must agree from its Tracking state.
+        let mut entries = Vec::new();
+        for _ in 0..2 {
+            for j in 0..20u64 {
+                entries.push(e(j * 128, 8));
+            }
+        }
+        let (online, buf) = online_run(&entries);
+        assert_eq!(online, detect(&entries, MAX_PERIOD));
+        assert!(online.is_none());
+        assert_eq!(buf, entries);
+    }
 }
 
 #[cfg(test)]
@@ -441,6 +888,84 @@ mod proptests {
             entries[victim].offset += bump;
             if let Some(p) = detect(&entries, MAX_PERIOD) {
                 prop_assert!(p.matches(&entries), "detected pattern must reproduce exactly");
+            }
+        }
+    }
+
+    /// One segment of a mixed stream: a patterned run, an irregular run, or
+    /// a width-changing strided run.
+    fn arb_segment() -> impl Strategy<Value = Vec<AddrEntry>> {
+        let patterned = (arb_cycle(), 1usize..16).prop_map(|((bases, strides, widths), cycles)| {
+            let p = bases.len();
+            let gen = Pattern {
+                streams: vec![crate::stream::StreamId(0); p],
+                bases,
+                strides,
+                widths,
+                count: cycles * p,
+            };
+            (0..gen.count).map(|k| gen.entry(k)).collect::<Vec<_>>()
+        });
+        let irregular = proptest::collection::vec(
+            (0u32..3, 0u64..(1 << 20), proptest::sample::select(vec![1u32, 2, 4, 8])),
+            1..48,
+        )
+        .prop_map(|v| {
+            v.into_iter()
+                .map(|(s, o, w)| AddrEntry {
+                    stream: crate::stream::StreamId(s),
+                    offset: o,
+                    width: w,
+                })
+                .collect::<Vec<_>>()
+        });
+        let width_flip = (1u64..64, 4usize..40).prop_map(|(stride, n)| {
+            (0..n as u64)
+                .map(|i| AddrEntry {
+                    stream: crate::stream::StreamId(0),
+                    offset: 4096 + i * stride,
+                    width: if i % 2 == 0 { 8 } else { 2 },
+                })
+                .collect::<Vec<_>>()
+        });
+        prop_oneof![patterned, irregular, width_flip]
+    }
+
+    fn arb_mixed() -> impl Strategy<Value = Vec<AddrEntry>> {
+        proptest::collection::vec(arb_segment(), 1..4).prop_map(|segs| segs.concat())
+    }
+
+    proptest! {
+        /// The streaming detector must be bit-equivalent to the offline scan
+        /// on arbitrary mixed streams (patterned + irregular + width
+        /// changes), and must leave the caller's buffer holding the stream
+        /// verbatim whenever no whole-stream pattern is committed.
+        #[test]
+        fn online_matches_offline_on_mixed_streams(entries in arb_mixed()) {
+            let mut det = OnlineDetect::new(MAX_PERIOD);
+            det.reset(true);
+            let mut buf = Vec::new();
+            for &e in &entries {
+                det.push(&mut buf, e);
+            }
+            let offline = detect(&entries, MAX_PERIOD);
+            let online = match det.finish(&mut buf) {
+                OnlineOutcome::Hit { streams, bases, strides, widths } => Some(Pattern {
+                    streams: streams.to_vec(),
+                    bases: bases.to_vec(),
+                    strides: strides.to_vec(),
+                    widths: widths.to_vec(),
+                    count: entries.len(),
+                }),
+                OnlineOutcome::Offline(r) => r,
+                OnlineOutcome::Miss => None,
+            };
+            prop_assert_eq!(&online, &offline);
+            if online.is_none() {
+                prop_assert_eq!(&buf, &entries);
+            } else {
+                det.materialize(&mut buf);
+                prop_assert_eq!(&buf, &entries);
             }
         }
     }

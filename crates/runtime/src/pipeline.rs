@@ -54,14 +54,14 @@
 //! waves, reusing the active blocks' buffers (and their per-slot simulation
 //! state: warp aligner + LLC model).
 
-use crate::addr::{AddrEntry, AddrStream, LaneAddrs};
+use crate::addr::LaneAddrs;
 use crate::assembly::{assemble, AssemblyOutput};
 use crate::config::BigKernelConfig;
 use crate::ctx::{AddrGenCtx, ComputeCtx, LoggedMem};
 use crate::kernel::{chunk_slice, partition_ranges, DeviceEffects, LaunchConfig, StreamKernel};
 use crate::layout::ChunkLayout;
 use crate::machine::Machine;
-use crate::pattern;
+use crate::pool::{AddrGenScratch, Compression};
 use crate::result::{accumulate_stage_stats, finalize_stage_stats, RunResult};
 use crate::stream::StreamArray;
 use crate::sync;
@@ -111,16 +111,25 @@ fn bound_counter(stage: &str, bound: &str) -> &'static str {
 }
 
 /// Per-active-block simulation state, persistent across chunks and waves:
-/// the warp aligner (with its reusable trace arena) and this block slot's
-/// LLC model (one assembly thread per block, so one cache each).
+/// the warp aligner (with its reusable trace arena), this block slot's LLC
+/// model (one assembly thread per block, so one cache each), and the pooled
+/// addr-gen/assembly scratch whose vectors cycle chunk to chunk.
 struct BlockSlot {
     sim: BlockSim,
     llc: CacheSim,
+    scratch: AddrGenScratch,
 }
 
 impl BlockSlot {
     fn new() -> Self {
-        BlockSlot { sim: BlockSim::new(), llc: CacheSim::xeon_llc() }
+        BlockSlot { sim: BlockSim::new(), llc: CacheSim::xeon_llc(), scratch: AddrGenScratch::new() }
+    }
+
+    /// Return a finished chunk's pure-phase vectors to this slot's pool so
+    /// the next chunk allocates nothing.
+    fn recycle(&mut self, pure: BlockPure) {
+        self.scratch.pool.give_lanes(pure.lane_addrs);
+        self.scratch.pool.give_output(pure.out);
     }
 }
 
@@ -458,44 +467,28 @@ pub fn run_bigkernel(
     }
 }
 
-/// §IV.A stream compression (whole-stream pattern, piecewise segments, raw
-/// fallback), tallying into per-block counts.
-fn compress_stream(
-    cfg: &BigKernelConfig,
-    v: Vec<AddrEntry>,
-    counts: &mut AddrCounts,
-) -> AddrStream {
-    if cfg.pattern_recognition {
-        if let Some(p) = pattern::detect(&v, pattern::MAX_PERIOD) {
-            // Long cycles (e.g. a phase super-pattern) can encode worse than
-            // piecewise compression; pick the smaller.
-            if cfg.segmented_patterns && p.period() > 16 {
-                if let Some(seg) = crate::segmented::detect_segmented(&v, pattern::MAX_PERIOD) {
-                    if seg.encoded_bytes() < p.encoded_bytes() {
-                        counts.segmented_found += 1;
-                        return AddrStream::Segmented(seg);
-                    }
-                }
-            }
-            counts.patterns_found += 1;
-            return AddrStream::Pattern(p);
-        }
-        if cfg.segmented_patterns {
-            if let Some(s) = crate::segmented::detect_segmented(&v, pattern::MAX_PERIOD) {
-                counts.segmented_found += 1;
-                return AddrStream::Segmented(s);
-            }
-        }
-        if !v.is_empty() {
-            counts.patterns_missed += 1;
-        }
+/// Tally one committed lane stream into the per-block counts (the former
+/// `compress_stream` bookkeeping; the decision itself lives in
+/// [`crate::pool::AddrGenScratch`]).
+fn tally(counts: &mut AddrCounts, c: Compression) {
+    match c {
+        Compression::Pattern => counts.patterns_found += 1,
+        Compression::Segmented => counts.segmented_found += 1,
+        Compression::Missed => counts.patterns_missed += 1,
+        Compression::Raw => {}
     }
-    AddrStream::Raw(v)
 }
 
 /// Pure phase, stages 1–2: address generation + compression + assembly
 /// against this block's own LLC. Reads shared state immutably; safe to run
 /// concurrently across blocks.
+///
+/// The whole phase runs out of the slot's pooled scratch: lanes record into
+/// the reusable [`crate::ctx::AddrRecorder`] (with §IV.A detection running
+/// online as entries are emitted), committed streams and the assembly
+/// output draw their vectors from the slot's [`crate::pool::StreamPool`],
+/// and everything returns there when the chunk retires — so steady-state
+/// chunks allocate nothing.
 fn block_pure_bigkernel(
     machine: &Machine,
     kernel: &dyn StreamKernel,
@@ -507,20 +500,26 @@ fn block_pure_bigkernel(
 ) -> BlockPure {
     let mut ag_cost = KernelCost::new();
     let mut counts = AddrCounts::default();
-    let mut lane_addrs: Vec<LaneAddrs> = Vec::with_capacity(tpb as usize);
+    let BlockSlot { sim, llc, scratch } = slot;
+    let mut lane_addrs: Vec<LaneAddrs> = scratch.pool.take_lanes();
     {
         let gmem = &machine.gmem;
         let counts = &mut counts;
         let lane_addrs = &mut lane_addrs;
-        bk_gpu::run_block_lanes(&machine.gpu, &mut slot.sim, tpb, &mut ag_cost, |lane, trace| {
-            let mut ctx = AddrGenCtx::new(gmem, trace);
-            kernel.addresses(&mut ctx, slices[lane].clone());
-            let (reads, writes) = ctx.finish();
-            counts.entries += (reads.len() + writes.len()) as u64;
-            lane_addrs.push(LaneAddrs {
-                reads: compress_stream(cfg, reads, counts),
-                writes: compress_stream(cfg, writes, counts),
-            });
+        let scratch = &mut *scratch;
+        bk_gpu::run_block_lanes(&machine.gpu, sim, tpb, &mut ag_cost, |lane, trace| {
+            scratch.begin_lane(cfg.pattern_recognition);
+            {
+                let mut ctx = AddrGenCtx::recording(gmem, trace, &mut scratch.recorder);
+                kernel.addresses(&mut ctx, slices[lane].clone());
+            }
+            counts.entries +=
+                (scratch.recorder.reads_len() + scratch.recorder.writes_len()) as u64;
+            let (reads, rc) = scratch.commit_reads(cfg);
+            let (writes, wc) = scratch.commit_writes(cfg);
+            tally(counts, rc);
+            tally(counts, wc);
+            lane_addrs.push(LaneAddrs { reads, writes });
         });
     }
     ag_cost.add_barrier(1);
@@ -531,7 +530,8 @@ fn block_pure_bigkernel(
         &lane_addrs,
         cfg.layout,
         cfg.locality_assembly,
-        &mut slot.llc,
+        llc,
+        &mut scratch.pool,
     );
     BlockPure { lane_addrs, ag_cost, out, counts, addr_bytes }
 }
@@ -745,6 +745,7 @@ fn compute_assembled_live(
     }
 }
 
+
 /// One chunk of the full BigKernel path under the two-phase algorithm.
 #[allow(clippy::too_many_arguments)]
 fn run_chunk_assembled_logged(
@@ -807,7 +808,7 @@ fn run_chunk_assembled_logged(
     // re-executes live at its turn. Then host write-back + frees.
     for cell in cells.iter_mut() {
         let WaveCell { block, slices, slot, pure, data_buf, write_buf, computed, .. } = cell;
-        let pure = pure.as_ref().unwrap();
+        let p = pure.as_ref().unwrap();
         let effects = computed.as_mut().unwrap().effects.take().unwrap();
         if effects.replay(&mut machine.gmem) == ReplayOutcome::Conflict {
             counters.incr("parallel.replay_conflicts");
@@ -815,7 +816,7 @@ fn run_chunk_assembled_logged(
                 machine,
                 kernel,
                 slices,
-                pure,
+                p,
                 data_buf.unwrap(),
                 *write_buf,
                 *block,
@@ -830,7 +831,7 @@ fn run_chunk_assembled_logged(
         writeback_assembled(
             machine,
             streams,
-            pure,
+            p,
             *write_buf,
             done,
             &mut slot.llc,
@@ -840,6 +841,11 @@ fn run_chunk_assembled_logged(
         machine.gmem.free(data_buf.unwrap());
         if let Some(wb) = *write_buf {
             machine.gmem.free(wb);
+        }
+        // Chunk retired: its address streams, layouts and prefetch bytes go
+        // back to the slot's pool for the next chunk.
+        if let Some(done_pure) = pure.take() {
+            slot.recycle(done_pure);
         }
     }
 }
@@ -875,6 +881,7 @@ fn run_block_sequential(
     if let Some(wb) = write_buf {
         machine.gmem.free(wb);
     }
+    slot.recycle(pure);
 }
 
 /// Scatter the chunk's write-buffer values into the mapped host arrays
@@ -893,8 +900,7 @@ fn apply_writeback(
     for (lane, l) in lane_addrs.iter().enumerate() {
         let n = writes_performed[lane];
         let mut perlane_cursor = 0u64;
-        for k in 0..n {
-            let e = l.writes.entry(k);
+        for (k, e) in l.writes.iter().take(n).enumerate() {
             let pos = match write_layout {
                 ChunkLayout::Interleaved { warps, .. } => {
                     warps[lane / WARP_SIZE].slot(lane % WARP_SIZE, k).0

@@ -1,0 +1,485 @@
+//! Pooled scratch for the addr-gen → assembly hot path.
+//!
+//! The pipeline's inner loop used to pay a heap allocation per lane per
+//! chunk: fresh `Vec<AddrEntry>` buffers in `AddrGenCtx::new`, fresh pattern
+//! component vectors in `detect`, a fresh `Vec<LaneAddrs>`, fresh layout
+//! vectors and a fresh prefetch-byte buffer in `assemble`. None of that
+//! churn models anything — the paper's stage 1–2 must be near-zero-cost for
+//! the overlap to pay (§III) — so every one of those vectors now cycles
+//! through a per-block-slot [`StreamPool`] of typed freelists: taken at the
+//! start of a chunk, handed back when the chunk's buffers are freed. In
+//! steady state (second chunk onward) the hot path performs no heap
+//! allocation at all; `crates/runtime/tests/alloc_free.rs` pins this.
+//!
+//! Pooling never changes results: the recycled vectors are cleared on take,
+//! and the commit logic below reproduces the former
+//! `pipeline::compress_stream` decision tree exactly (same detection calls
+//! on the same entry sequences, same profitability comparisons, same
+//! counter increments).
+
+use crate::addr::{AddrEntry, AddrStream, LaneAddrs};
+use crate::assembly::AssemblyOutput;
+use crate::config::BigKernelConfig;
+use crate::ctx::AddrRecorder;
+use crate::layout::{ChunkLayout, WarpRegion, REGION_ALIGN};
+use crate::pattern::{Pattern, MAX_PERIOD};
+use crate::segmented::detect_segmented;
+use crate::stream::StreamId;
+use bk_gpu::WARP_SIZE;
+
+/// Typed freelists for every vector shape the addr-gen → assembly path
+/// allocates. Each `take_*` returns a cleared vector with its previous
+/// capacity; each `give_*` clears and shelves one for reuse.
+pub struct StreamPool {
+    entries: Vec<Vec<AddrEntry>>,
+    stream_ids: Vec<Vec<StreamId>>,
+    u64s: Vec<Vec<u64>>,
+    i64s: Vec<Vec<i64>>,
+    u32s: Vec<Vec<u32>>,
+    lanes: Vec<Vec<LaneAddrs>>,
+    bytes: Vec<Vec<u8>>,
+    warps: Vec<Vec<WarpRegion>>,
+}
+
+impl StreamPool {
+    pub fn new() -> Self {
+        StreamPool {
+            entries: Vec::new(),
+            stream_ids: Vec::new(),
+            u64s: Vec::new(),
+            i64s: Vec::new(),
+            u32s: Vec::new(),
+            lanes: Vec::new(),
+            bytes: Vec::new(),
+            warps: Vec::new(),
+        }
+    }
+
+    pub fn take_entries(&mut self) -> Vec<AddrEntry> {
+        self.entries.pop().unwrap_or_default()
+    }
+
+    pub fn give_entries(&mut self, mut v: Vec<AddrEntry>) {
+        v.clear();
+        self.entries.push(v);
+    }
+
+    fn take_u64(&mut self) -> Vec<u64> {
+        self.u64s.pop().unwrap_or_default()
+    }
+
+    fn give_u64(&mut self, mut v: Vec<u64>) {
+        v.clear();
+        self.u64s.push(v);
+    }
+
+    fn take_u32(&mut self) -> Vec<u32> {
+        self.u32s.pop().unwrap_or_default()
+    }
+
+    fn give_u32(&mut self, mut v: Vec<u32>) {
+        v.clear();
+        self.u32s.push(v);
+    }
+
+    pub fn take_lanes(&mut self) -> Vec<LaneAddrs> {
+        self.lanes.pop().unwrap_or_default()
+    }
+
+    pub fn take_bytes(&mut self) -> Vec<u8> {
+        self.bytes.pop().unwrap_or_default()
+    }
+
+    /// Build an owned [`Pattern`] from the online detector's borrowed cycle
+    /// slices using pooled component vectors.
+    pub fn pattern_from(
+        &mut self,
+        streams: &[StreamId],
+        bases: &[u64],
+        strides: &[i64],
+        widths: &[u32],
+        count: usize,
+    ) -> Pattern {
+        let mut s = self.stream_ids.pop().unwrap_or_default();
+        let mut b = self.take_u64();
+        let mut t = self.i64s.pop().unwrap_or_default();
+        let mut w = self.take_u32();
+        s.extend_from_slice(streams);
+        b.extend_from_slice(bases);
+        t.extend_from_slice(strides);
+        w.extend_from_slice(widths);
+        Pattern { streams: s, bases: b, strides: t, widths: w, count }
+    }
+
+    pub fn give_pattern(&mut self, p: Pattern) {
+        let Pattern { mut streams, bases, strides, mut widths, .. } = p;
+        streams.clear();
+        self.stream_ids.push(streams);
+        self.give_u64(bases);
+        let mut strides = strides;
+        strides.clear();
+        self.i64s.push(strides);
+        widths.clear();
+        self.u32s.push(widths);
+    }
+
+    /// Recycle one address stream. Raw buffers and pattern components return
+    /// to their freelists; segmented streams are dropped (they are rare —
+    /// phase-changing lanes — and their piece vectors are built by the
+    /// offline segmented scan, not the pooled path).
+    pub fn give_stream(&mut self, s: AddrStream) {
+        match s {
+            AddrStream::Raw(v) => self.give_entries(v),
+            AddrStream::Pattern(p) => self.give_pattern(p),
+            AddrStream::Segmented(_) => {}
+        }
+    }
+
+    /// Recycle a whole block's lane streams.
+    pub fn give_lanes(&mut self, mut lanes: Vec<LaneAddrs>) {
+        for l in lanes.drain(..) {
+            self.give_stream(l.reads);
+            self.give_stream(l.writes);
+        }
+        self.lanes.push(lanes);
+    }
+
+    /// Recycle a chunk layout's vectors.
+    pub fn give_layout(&mut self, l: ChunkLayout) {
+        match l {
+            ChunkLayout::Interleaved { mut warps, .. } => {
+                for w in warps.drain(..) {
+                    self.give_u64(w.step_off);
+                    self.give_u32(w.step_width);
+                }
+                self.warps.push(warps);
+            }
+            ChunkLayout::PerLane { lane_base, lane_len, .. } => {
+                self.give_u64(lane_base);
+                self.give_u64(lane_len);
+            }
+            ChunkLayout::Staged { .. } => {}
+        }
+    }
+
+    /// Recycle everything an [`AssemblyOutput`] owns.
+    pub fn give_output(&mut self, out: AssemblyOutput) {
+        let AssemblyOutput { layout, write_layout, mut bytes, .. } = out;
+        bytes.clear();
+        self.bytes.push(bytes);
+        self.give_layout(layout);
+        if let Some(wl) = write_layout {
+            self.give_layout(wl);
+        }
+    }
+
+    /// Pooled equivalent of [`ChunkLayout::build_interleaved`]: identical
+    /// output, but component vectors come from the freelists and lane
+    /// streams are walked once each with their sequential cursors
+    /// (lane-major) instead of the per-`(step, lane)` `entry(k)` dispatch.
+    pub fn build_interleaved(
+        &mut self,
+        lanes: &[LaneAddrs],
+        side: fn(&LaneAddrs) -> &AddrStream,
+    ) -> ChunkLayout {
+        let mut warps = self.warps.pop().unwrap_or_default();
+        let mut cursor = 0u64;
+        let mut padding = 0u64;
+        for warp_lanes in lanes.chunks(WARP_SIZE) {
+            let region_off = cursor;
+            let max_steps = warp_lanes.iter().map(|l| side(l).len()).max().unwrap_or(0);
+            let mut step_width = self.take_u32();
+            step_width.resize(max_steps, 0);
+            let mut active = self.take_u64();
+            active.resize(max_steps, 0);
+            for l in warp_lanes {
+                for (k, e) in side(l).iter().enumerate() {
+                    if e.width > step_width[k] {
+                        step_width[k] = e.width;
+                    }
+                    active[k] += e.width as u64;
+                }
+            }
+            let mut step_off = self.take_u64();
+            let mut off = 0u64;
+            for (k, &w) in step_width.iter().enumerate() {
+                debug_assert!(w > 0);
+                step_off.push(off);
+                let group = WARP_SIZE as u64 * w as u64;
+                padding += group - active[k];
+                off += group;
+            }
+            self.give_u64(active);
+            cursor += off.div_ceil(REGION_ALIGN) * REGION_ALIGN;
+            warps.push(WarpRegion { region_off, step_off, step_width });
+        }
+        ChunkLayout::Interleaved { warps, total_len: cursor, padding }
+    }
+
+    /// Pooled equivalent of [`ChunkLayout::build_per_lane`].
+    pub fn build_per_lane(
+        &mut self,
+        lanes: &[LaneAddrs],
+        side: fn(&LaneAddrs) -> &AddrStream,
+    ) -> ChunkLayout {
+        let mut lane_base = self.take_u64();
+        let mut lane_len = self.take_u64();
+        let mut cursor = 0u64;
+        for l in lanes {
+            lane_base.push(cursor);
+            let len = side(l).data_bytes();
+            lane_len.push(len);
+            cursor += len;
+        }
+        ChunkLayout::PerLane { lane_base, lane_len, total_len: cursor }
+    }
+}
+
+impl Default for StreamPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// How one lane stream was committed (the tallying decision of the former
+/// `compress_stream`, surfaced so the pipeline can bump its counters).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Compression {
+    Pattern,
+    Segmented,
+    /// Pattern recognition was on and found nothing for a non-empty stream.
+    Missed,
+    /// Raw with no tally (empty stream, or recognition off).
+    Raw,
+}
+
+/// Per-worker scratch for the pooled address-generation fast path: the
+/// reusable recorder the [`crate::ctx::AddrGenCtx`] streams into, plus the
+/// pool its committed streams draw from and return to.
+pub struct AddrGenScratch {
+    pub recorder: AddrRecorder,
+    pub pool: StreamPool,
+}
+
+impl AddrGenScratch {
+    pub fn new() -> Self {
+        AddrGenScratch { recorder: AddrRecorder::new(), pool: StreamPool::new() }
+    }
+
+    /// Reset the recorder for the next lane. `detect` mirrors
+    /// `BigKernelConfig::pattern_recognition` (the online detectors idle
+    /// when it is off).
+    pub fn begin_lane(&mut self, detect: bool) {
+        self.recorder.reset(detect);
+    }
+
+    /// Commit the recorded read stream (§IV.A decision tree).
+    pub fn commit_reads(&mut self, cfg: &BigKernelConfig) -> (AddrStream, Compression) {
+        let AddrGenScratch { recorder, pool } = self;
+        commit_side(cfg, &recorder.read_det, &mut recorder.reads, pool)
+    }
+
+    /// Commit the recorded write stream.
+    pub fn commit_writes(&mut self, cfg: &BigKernelConfig) -> (AddrStream, Compression) {
+        let AddrGenScratch { recorder, pool } = self;
+        commit_side(cfg, &recorder.write_det, &mut recorder.writes, pool)
+    }
+}
+
+impl Default for AddrGenScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The §IV.A whole-stream / segmented / raw decision, decision-for-decision
+/// identical to the offline `compress_stream` it replaces:
+///
+/// * whole-stream pattern (now confirmed online, or by the detector's
+///   offline fallback rescan — same result, see `pattern::OnlineDetect`);
+/// * for long cycles (period > 16), piecewise compression if it encodes
+///   smaller;
+/// * piecewise compression alone when no whole-stream pattern exists;
+/// * raw fallback, with the buffer swapped against a pooled vector.
+fn commit_side(
+    cfg: &BigKernelConfig,
+    det: &crate::pattern::OnlineDetect,
+    buf: &mut Vec<AddrEntry>,
+    pool: &mut StreamPool,
+) -> (AddrStream, Compression) {
+    use crate::pattern::OnlineOutcome;
+    if cfg.pattern_recognition {
+        let found = match det.finish(buf) {
+            OnlineOutcome::Hit { streams, bases, strides, widths } => {
+                Some(pool.pattern_from(streams, bases, strides, widths, det.len()))
+            }
+            OnlineOutcome::Offline(r) => r,
+            OnlineOutcome::Miss => None,
+        };
+        if let Some(p) = found {
+            // Long cycles (e.g. a phase super-pattern) can encode worse than
+            // piecewise compression; pick the smaller.
+            if cfg.segmented_patterns && p.period() > 16 {
+                det.materialize(buf);
+                if let Some(seg) = detect_segmented(buf, MAX_PERIOD) {
+                    if seg.encoded_bytes() < p.encoded_bytes() {
+                        pool.give_pattern(p);
+                        return (AddrStream::Segmented(seg), Compression::Segmented);
+                    }
+                }
+            }
+            return (AddrStream::Pattern(p), Compression::Pattern);
+        }
+        // No whole-stream pattern: the buffer holds the complete raw stream.
+        if cfg.segmented_patterns {
+            if let Some(s) = detect_segmented(buf, MAX_PERIOD) {
+                return (AddrStream::Segmented(s), Compression::Segmented);
+            }
+        }
+        if !buf.is_empty() {
+            let mut v = pool.take_entries();
+            std::mem::swap(&mut v, buf);
+            return (AddrStream::Raw(v), Compression::Missed);
+        }
+    }
+    let mut v = pool.take_entries();
+    std::mem::swap(&mut v, buf);
+    (AddrStream::Raw(v), Compression::Raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BigKernelConfig;
+    use crate::layout::ChunkLayout;
+
+    fn e(off: u64, w: u32) -> AddrEntry {
+        AddrEntry { stream: StreamId(0), offset: off, width: w }
+    }
+
+    fn record_lane(scratch: &mut AddrGenScratch, detect: bool, entries: &[AddrEntry]) {
+        scratch.begin_lane(detect);
+        let rec = &mut scratch.recorder;
+        for &x in entries {
+            rec.read_det.push(&mut rec.reads, x);
+        }
+    }
+
+    #[test]
+    fn commit_matches_offline_compress_decisions() {
+        let cfg = BigKernelConfig::default();
+        let mut scratch = AddrGenScratch::new();
+
+        // Periodic stream → pattern, same as offline detect.
+        let seq: Vec<AddrEntry> = (0..200u64).map(|i| e(i * 8, 8)).collect();
+        record_lane(&mut scratch, cfg.pattern_recognition, &seq);
+        let (s, c) = scratch.commit_reads(&cfg);
+        assert_eq!(c, Compression::Pattern);
+        let offline = crate::pattern::detect(&seq, MAX_PERIOD).unwrap();
+        match &s {
+            AddrStream::Pattern(p) => assert_eq!(*p, offline),
+            other => panic!("expected pattern, got {other:?}"),
+        }
+
+        // Irregular short stream → raw miss, buffer contents preserved.
+        let irr: Vec<AddrEntry> =
+            [3u64, 11, 5, 40, 2, 93, 7, 1].iter().map(|&o| e(o * 64, 8)).collect();
+        record_lane(&mut scratch, cfg.pattern_recognition, &irr);
+        let (s, c) = scratch.commit_reads(&cfg);
+        assert_eq!(c, Compression::Missed);
+        match &s {
+            AddrStream::Raw(v) => assert_eq!(v, &irr),
+            other => panic!("expected raw, got {other:?}"),
+        }
+
+        // Empty stream → raw, no tally.
+        record_lane(&mut scratch, cfg.pattern_recognition, &[]);
+        let (s, c) = scratch.commit_reads(&cfg);
+        assert_eq!(c, Compression::Raw);
+        assert!(s.is_empty());
+
+        // Recognition off → raw even for periodic streams.
+        record_lane(&mut scratch, false, &seq);
+        let (s, c) = scratch.commit_reads(&cfg_no_pr());
+        assert_eq!(c, Compression::Raw);
+        match &s {
+            AddrStream::Raw(v) => assert_eq!(v, &seq),
+            other => panic!("expected raw, got {other:?}"),
+        }
+    }
+
+    fn cfg_no_pr() -> BigKernelConfig {
+        BigKernelConfig { pattern_recognition: false, ..BigKernelConfig::default() }
+    }
+
+    #[test]
+    fn two_phase_stream_commits_segmented() {
+        let cfg = BigKernelConfig::default();
+        let mut scratch = AddrGenScratch::new();
+        let mut entries: Vec<AddrEntry> = (0..200u64).map(|i| e(i * 8, 8)).collect();
+        entries.extend((0..200u64).map(|i| e((1 << 20) + i * 16, 4)));
+        record_lane(&mut scratch, cfg.pattern_recognition, &entries);
+        let (s, c) = scratch.commit_reads(&cfg);
+        assert_eq!(c, Compression::Segmented);
+        assert_eq!(s.len(), 400);
+        for (k, &want) in entries.iter().enumerate() {
+            assert_eq!(s.entry(k), want, "k={k}");
+        }
+    }
+
+    #[test]
+    fn pooled_layout_builders_match_reference() {
+        // 40 mixed lanes across two warps: raw, patterned, and empty.
+        let lanes: Vec<LaneAddrs> = (0..40usize)
+            .map(|i| {
+                let reads = match i % 3 {
+                    0 => AddrStream::Raw(
+                        (0..(i % 7) as u64).map(|k| e(i as u64 * 512 + k * 8, 8)).collect(),
+                    ),
+                    1 => {
+                        let v: Vec<AddrEntry> =
+                            (0..64u64).map(|k| e(i as u64 * 4096 + k * 4, 4)).collect();
+                        AddrStream::Pattern(crate::pattern::detect(&v, MAX_PERIOD).unwrap())
+                    }
+                    _ => AddrStream::Raw(Vec::new()),
+                };
+                LaneAddrs { reads, writes: AddrStream::Raw(Vec::new()) }
+            })
+            .collect();
+        let refs: Vec<&AddrStream> = lanes.iter().map(|l| &l.reads).collect();
+        let mut pool = StreamPool::new();
+
+        fn interleaved_parts(l: &ChunkLayout) -> (&Vec<WarpRegion>, u64, u64) {
+            match l {
+                ChunkLayout::Interleaved { warps, total_len, padding } => {
+                    (warps, *total_len, *padding)
+                }
+                other => panic!("expected interleaved, got {other:?}"),
+            }
+        }
+        fn per_lane_parts(l: &ChunkLayout) -> (&Vec<u64>, &Vec<u64>, u64) {
+            match l {
+                ChunkLayout::PerLane { lane_base, lane_len, total_len } => {
+                    (lane_base, lane_len, *total_len)
+                }
+                other => panic!("expected per-lane, got {other:?}"),
+            }
+        }
+
+        let reference = ChunkLayout::build_interleaved(&refs);
+        let pooled = pool.build_interleaved(&lanes, |l| &l.reads);
+        assert_eq!(interleaved_parts(&reference), interleaved_parts(&pooled));
+
+        let reference_pl = ChunkLayout::build_per_lane(&refs);
+        let pooled_pl = pool.build_per_lane(&lanes, |l| &l.reads);
+        assert_eq!(per_lane_parts(&reference_pl), per_lane_parts(&pooled_pl));
+
+        // Recycle and rebuild: identical again, now from the freelists.
+        pool.give_layout(pooled);
+        pool.give_layout(pooled_pl);
+        let again = pool.build_interleaved(&lanes, |l| &l.reads);
+        assert_eq!(interleaved_parts(&reference), interleaved_parts(&again));
+        let again_pl = pool.build_per_lane(&lanes, |l| &l.reads);
+        assert_eq!(per_lane_parts(&reference_pl), per_lane_parts(&again_pl));
+    }
+}

@@ -13,7 +13,7 @@
 //! streams.
 
 use crate::addr::{AddrEntry, ADDR_ENTRY_BYTES};
-use crate::pattern::{detect, Pattern, DETECT_WINDOW};
+use crate::pattern::{detect, Pattern, PatternIter, DETECT_WINDOW};
 
 /// Minimum accesses a pattern piece must cover to be worth describing.
 pub const MIN_SEGMENT: usize = 48;
@@ -107,6 +107,12 @@ impl SegmentedStream {
         self.pieces.iter().map(|(_, p)| p.data_bytes()).sum()
     }
 
+    /// Iterate all entries in order, piece by piece, without the per-entry
+    /// binary search of [`SegmentedStream::entry`].
+    pub fn iter(&self) -> SegmentedIter<'_> {
+        SegmentedIter { outer: self.pieces.iter(), cur: None, remaining: self.total }
+    }
+
     /// Fraction of accesses covered by pattern pieces.
     pub fn pattern_coverage(&self) -> f64 {
         if self.total == 0 {
@@ -120,6 +126,49 @@ impl SegmentedStream {
         patterned as f64 / self.total as f64
     }
 }
+
+/// Iterator over a segmented stream's entries (piece-chaining cursor).
+pub struct SegmentedIter<'a> {
+    outer: std::slice::Iter<'a, (usize, Piece)>,
+    cur: Option<PieceIter<'a>>,
+    remaining: usize,
+}
+
+enum PieceIter<'a> {
+    Pattern(PatternIter<'a>),
+    Raw(std::slice::Iter<'a, AddrEntry>),
+}
+
+impl Iterator for SegmentedIter<'_> {
+    type Item = AddrEntry;
+
+    #[inline]
+    fn next(&mut self) -> Option<AddrEntry> {
+        loop {
+            if let Some(cur) = &mut self.cur {
+                let e = match cur {
+                    PieceIter::Pattern(it) => it.next(),
+                    PieceIter::Raw(it) => it.next().copied(),
+                };
+                if let Some(e) = e {
+                    self.remaining -= 1;
+                    return Some(e);
+                }
+            }
+            match self.outer.next() {
+                Some((_, Piece::Pattern(p))) => self.cur = Some(PieceIter::Pattern(p.iter())),
+                Some((_, Piece::Raw(v))) => self.cur = Some(PieceIter::Raw(v.iter())),
+                None => return None,
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for SegmentedIter<'_> {}
 
 /// Greedy piecewise detection. Returns `None` when the stream is too short
 /// or ends up as a single raw piece (callers keep the plain raw vector in
@@ -274,6 +323,18 @@ mod tests {
     fn entry_out_of_range_panics() {
         let s = detect_segmented(&seq(0, 8, 8, 100), 8).unwrap();
         let _ = s.entry(100);
+    }
+
+    #[test]
+    fn iter_equals_entry_dispatch_across_pieces() {
+        let mut entries = seq(0, 8, 8, 100);
+        entries.extend((0..60u64).map(|i| e((i.wrapping_mul(2654435761)) % 4096 * 8, 8)));
+        entries.extend(seq(1 << 20, 8, 8, 100));
+        let s = detect_segmented(&entries, 8).expect("segmented");
+        let via_iter: Vec<AddrEntry> = s.iter().collect();
+        let via_entry: Vec<AddrEntry> = (0..s.len()).map(|k| s.entry(k)).collect();
+        assert_eq!(via_iter, via_entry);
+        assert_eq!(s.iter().len(), entries.len());
     }
 }
 

@@ -60,7 +60,7 @@ impl StreamKernel for ChecksumKernel {
 fn build(n: u64) -> (Machine, Vec<StreamArray>, u64) {
     // The paper's platform: GTX 680 + Xeon E5 quad + PCIe Gen3 x16, with
     // fixed per-transfer latencies scaled to the demo's data size the same
-    // way the experiment harness does (DESIGN.md §7).
+    // way the experiment harness does (DESIGN.md §8).
     let mut machine = Machine::paper_platform();
     machine.scale_fixed_costs(((n * 8) as f64 / 6.0e9).clamp(1e-4, 1.0));
     let region = machine.hmem.alloc(n * 8);

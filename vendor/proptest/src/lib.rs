@@ -163,6 +163,26 @@ pub mod strategy {
         }
     }
 
+    /// Uniform choice among alternative strategies of one value type
+    /// (backs `prop_oneof!`; unlike the real crate the alternatives are
+    /// equally weighted).
+    pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+            Union(options)
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.0.len() as u64) as usize;
+            self.0[i].generate(rng)
+        }
+    }
+
     /// Always yields a clone of the given value.
     #[derive(Clone, Debug)]
     pub struct Just<T: Clone>(pub T);
@@ -327,10 +347,19 @@ pub mod sample {
 
 pub mod prelude {
     pub use crate::arbitrary::{any, Arbitrary};
-    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
     pub use crate::test_runner::Config as ProptestConfig;
     pub use crate::test_runner::TestCaseError;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
 }
 
 #[macro_export]
@@ -444,6 +473,11 @@ mod tests {
         #[test]
         fn select_picks_from_options(w in crate::sample::select(vec![1u32, 2, 4, 8])) {
             prop_assert!([1, 2, 4, 8].contains(&w));
+        }
+
+        #[test]
+        fn oneof_draws_from_each_alternative(v in crate::prop_oneof![0u64..10, 100u64..110]) {
+            prop_assert!((0..10).contains(&v) || (100..110).contains(&v));
         }
     }
 
