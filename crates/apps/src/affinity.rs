@@ -606,9 +606,9 @@ mod tests {
             &[Implementation::BigKernel],
         );
         // Two passes → ~200% of data read for the plain variant.
-        let plain_read = plain[0].1.counters.get("stream.bytes_read") as f64 / bytes as f64;
+        let plain_read = plain[0].1.metrics.get("stream.bytes_read") as f64 / bytes as f64;
         assert!(plain_read > 1.9, "plain read fraction {plain_read}");
-        let idx_read = indexed[0].1.counters.get("stream.bytes_read") as f64 / bytes as f64;
+        let idx_read = indexed[0].1.metrics.get("stream.bytes_read") as f64 / bytes as f64;
         // Two passes of ~25% each.
         assert!((0.3..0.9).contains(&idx_read), "indexed read fraction {idx_read}");
     }
@@ -623,7 +623,7 @@ mod tests {
             &cfg,
             &[Implementation::BigKernel],
         );
-        let c = &r[0].1.counters;
+        let c = &r[0].1.metrics;
         // A degenerate lane-chunk holding only one or two records can
         // legitimately match a trivial pattern; the overwhelming majority of
         // lanes must fall back to raw address streams.
@@ -646,6 +646,6 @@ mod tests {
             &cfg,
             &[Implementation::BigKernel],
         );
-        assert!(r[0].1.counters.get("addr.patterns_found") > 0);
+        assert!(r[0].1.metrics.get("addr.patterns_found") > 0);
     }
 }

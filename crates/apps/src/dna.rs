@@ -193,7 +193,7 @@ mod tests {
         let app = DnaAssembly { distinct_fragments: 64 };
         let cfg = HarnessConfig::test_small();
         let results = run_all(&app, 128 * 1024, 3, &cfg, &[Implementation::BigKernel]);
-        let c = &results[0].1.counters;
+        let c = &results[0].1.metrics;
         let read_pct = 100.0 * c.get("stream.bytes_read") as f64 / (128.0 * 1024.0);
         assert!((read_pct - 36.0).abs() < 2.0, "read {read_pct}%");
         assert_eq!(c.get("stream.bytes_written"), 0);

@@ -164,11 +164,11 @@ impl HarnessConfig {
 pub fn merge_pass_results(name: &'static str, results: Vec<RunResult>) -> RunResult {
     let mut total = SimTime::ZERO;
     let mut stages: Vec<StageStat> = Vec::new();
-    let mut counters = bk_simcore::Counters::new();
+    let mut metrics = bk_runtime::MetricsRegistry::new();
     let mut chunks = 0;
     for r in results {
         total += r.total;
-        counters.merge(&r.counters);
+        metrics.merge(&r.metrics);
         chunks += r.chunks;
         for s in r.stages {
             match stages.iter_mut().find(|x| x.name == s.name) {
@@ -180,7 +180,7 @@ pub fn merge_pass_results(name: &'static str, results: Vec<RunResult>) -> RunRes
             }
         }
     }
-    RunResult { implementation: name, total, stages, counters, chunks }
+    RunResult { implementation: name, total, stages, metrics, chunks }
 }
 
 /// Run every pass of `instance` under one implementation; outputs land in
@@ -260,17 +260,17 @@ pub fn run_all(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bk_simcore::Counters;
+    use bk_runtime::MetricsRegistry;
 
     fn res(name: &'static str, secs: f64, stage: &'static str) -> RunResult {
         let t = SimTime::from_secs(secs);
-        let mut c = Counters::new();
+        let mut c = MetricsRegistry::new();
         c.add("x", 1);
         RunResult {
             implementation: name,
             total: t,
             stages: vec![StageStat { name: stage, busy: t, mean: t }],
-            counters: c,
+            metrics: c,
             chunks: 2,
         }
     }
@@ -282,7 +282,7 @@ mod tests {
         assert_eq!(merged.total.secs(), 3.0);
         assert_eq!(merged.stages.len(), 1);
         assert_eq!(merged.stages[0].busy.secs(), 3.0);
-        assert_eq!(merged.counters.get("x"), 2);
+        assert_eq!(merged.metrics.get("x"), 2);
         assert_eq!(merged.chunks, 4);
     }
 

@@ -245,7 +245,7 @@ mod tests {
         let app = KMeans::default();
         let cfg = HarnessConfig::test_small();
         let results = run_all(&app, 64 * 1024, 3, &cfg, &[Implementation::BigKernel]);
-        let c = &results[0].1.counters;
+        let c = &results[0].1.metrics;
         let data = 64 * 1024u64;
         let read_pct = 100.0 * c.get("stream.bytes_read") as f64 / data as f64;
         let mod_pct = 100.0 * c.get("stream.bytes_written") as f64 / data as f64;

@@ -160,7 +160,7 @@ mod tests {
     fn read_proportion_matches_table1() {
         let cfg = HarnessConfig::test_small();
         let results = run_all(&Netflix, 80 * 1024, 3, &cfg, &[Implementation::BigKernel]);
-        let c = &results[0].1.counters;
+        let c = &results[0].1.metrics;
         let read_pct = 100.0 * c.get("stream.bytes_read") as f64 / (80.0 * 1024.0);
         assert!((read_pct - 30.0).abs() < 2.0, "read {read_pct}%");
         assert_eq!(c.get("stream.bytes_written"), 0);
@@ -170,7 +170,7 @@ mod tests {
     fn field_reads_are_pattern_compressed() {
         let cfg = HarnessConfig::test_small();
         let results = run_all(&Netflix, 40 * 1024, 5, &cfg, &[Implementation::BigKernel]);
-        let c = &results[0].1.counters;
+        let c = &results[0].1.metrics;
         assert!(c.get("addr.patterns_found") > 0);
         assert_eq!(c.get("addr.patterns_missed"), 0);
     }

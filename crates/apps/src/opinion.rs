@@ -324,7 +324,7 @@ mod tests {
         let app = OpinionFinder { vocab: 128 };
         let cfg = HarnessConfig::test_small();
         let results = run_all(&app, 64 * 1024, 3, &cfg, &[Implementation::BigKernel]);
-        let c = &results[0].1.counters;
+        let c = &results[0].1.metrics;
         let read_pct = 100.0 * c.get("stream.bytes_read") as f64 / (64.0 * 1024.0);
         assert!((read_pct - 73.0).abs() < 2.0, "read {read_pct}%");
     }

@@ -282,10 +282,10 @@ mod tests {
         let app = WordCount { vocab: 256, skew: 1.0 };
         let cfg = HarnessConfig::test_small();
         let results = run_all(&app, 32 * 1024, 1, &cfg, &[Implementation::BigKernel]);
-        let read = results[0].1.counters.get("stream.bytes_read");
+        let read = results[0].1.metrics.get("stream.bytes_read");
         // >= 100% of the data (plus halo overlap re-reads).
         assert!(read >= 32 * 1024, "read {read}");
-        assert_eq!(results[0].1.counters.get("stream.bytes_written"), 0);
+        assert_eq!(results[0].1.metrics.get("stream.bytes_written"), 0);
     }
 
     #[test]
@@ -293,7 +293,7 @@ mod tests {
         let app = WordCount { vocab: 256, skew: 1.0 };
         let cfg = HarnessConfig::test_small();
         let results = run_all(&app, 32 * 1024, 2, &cfg, &[Implementation::BigKernel]);
-        let c = &results[0].1.counters;
+        let c = &results[0].1.metrics;
         assert!(c.get("addr.patterns_found") > 0);
         assert_eq!(c.get("addr.patterns_missed"), 0, "byte scans must always compress");
     }

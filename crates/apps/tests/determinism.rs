@@ -89,6 +89,38 @@ fn baselines_parallel_is_bit_identical_for_every_app() {
     }
 }
 
+/// Tracing must be observation-only: running with a live span-collection
+/// guard yields a bit-identical [`RunResult`] (times, stages, metrics) to an
+/// untraced run, for every app, under both the pipeline and the buffered
+/// baseline. The dev-dependency compiles `bk-obs/trace` in, so this really
+/// exercises the recording path — the guard collects spans while the
+/// simulated result stays untouched.
+#[test]
+fn tracing_on_or_off_is_bit_identical_for_every_app() {
+    let launch = LaunchConfig::new(4, 32);
+    for app in all_apps() {
+        for imp in [Implementation::BigKernel, Implementation::GpuDoubleBuffer] {
+            let plain = run_once(app.as_ref(), imp, launch, 16 * 1024, 128 * 1024, true);
+            let guard = bk_obs::trace::start();
+            let traced = run_once(app.as_ref(), imp, launch, 16 * 1024, 128 * 1024, true);
+            let spans = guard.finish();
+            assert!(
+                !spans.is_empty(),
+                "{} under {} recorded no spans with tracing enabled",
+                app.spec().name,
+                imp.label()
+            );
+            assert_eq!(
+                traced,
+                plain,
+                "{} under {} diverged with tracing enabled",
+                app.spec().name,
+                imp.label()
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
 

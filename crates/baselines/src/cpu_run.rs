@@ -10,7 +10,7 @@ use crate::cpu_ctx::CpuCtx;
 use bk_host::{cpu, CacheSim};
 use bk_runtime::kernel::partition_ranges;
 use bk_runtime::{Machine, RunResult, StageStat, StreamArray, StreamKernel};
-use bk_simcore::Counters;
+use bk_runtime::MetricsRegistry;
 
 /// Run the kernel on one CPU thread.
 pub fn run_cpu_serial(
@@ -43,7 +43,7 @@ fn run_cpu(
     let ranges = partition_ranges(primary.len(), threads, kernel.record_size());
 
     let mut cache = CacheSim::xeon_llc();
-    let mut counters = Counters::new();
+    let mut metrics = MetricsRegistry::new();
     let mut total_cost = bk_host::CpuCost::new();
     let mut bytes_read = 0u64;
     let mut bytes_written = 0u64;
@@ -67,19 +67,19 @@ fn run_cpu(
     total_cost.atomic_ops = atomic_counts.values().sum();
     total_cost.hot_atomic_chain = atomic_counts.values().copied().max().unwrap_or(0);
 
-    counters.add("stream.bytes_read", bytes_read);
-    counters.add("stream.bytes_written", bytes_written);
-    counters.add("cpu.instructions", total_cost.instructions);
-    counters.add("cpu.cache_hits", total_cost.cache_hits);
-    counters.add("cpu.cache_misses", total_cost.cache_misses);
-    counters.add("cpu.threads", threads as u64);
+    metrics.add("stream.bytes_read", bytes_read);
+    metrics.add("stream.bytes_written", bytes_written);
+    metrics.add("cpu.instructions", total_cost.instructions);
+    metrics.add("cpu.cache_hits", total_cost.cache_hits);
+    metrics.add("cpu.cache_misses", total_cost.cache_misses);
+    metrics.add("cpu.threads", threads as u64);
 
     let total = cpu::cpu_stage_time(&machine.cpu, &total_cost, threads);
     RunResult {
         implementation: name,
         total,
         stages: vec![StageStat { name: "compute", busy: total, mean: total }],
-        counters,
+        metrics,
         chunks: 1,
     }
 }
@@ -141,7 +141,7 @@ mod tests {
         let r = run_cpu_serial(&mut m, &SumKernel { acc }, &streams);
         assert_eq!(m.gmem.read_u64(acc, 0), expected);
         assert!(r.total.secs() > 0.0);
-        assert_eq!(r.counters.get("stream.bytes_read"), 8000);
+        assert_eq!(r.metrics.get("stream.bytes_read"), 8000);
     }
 
     #[test]

@@ -38,7 +38,8 @@ use bk_runtime::kernel::{chunk_slice, partition_ranges, DeviceEffects, LaunchCon
 use bk_runtime::layout::ChunkLayout;
 use bk_runtime::result::{accumulate_stage_stats, finalize_stage_stats};
 use bk_runtime::{Machine, RunResult, StreamArray, StreamKernel};
-use bk_simcore::{Counters, PipelineSpec, SimTime, StageDef};
+use bk_runtime::MetricsRegistry;
+use bk_simcore::{PipelineSpec, SimTime, StageDef};
 use rayon::prelude::*;
 use std::ops::Range;
 
@@ -222,7 +223,7 @@ fn run_buffered(
     let num_windows = (primary.len().div_ceil(cfg.window_bytes)).max(1) as usize;
     let num_granules = launch.num_blocks.max(1) as usize;
 
-    let mut counters = Counters::new();
+    let mut metrics = MetricsRegistry::new();
     let mut durations: Vec<Vec<SimTime>> = Vec::with_capacity(num_windows);
     let mut sims: Vec<BlockSim> = (0..num_granules).map(|_| BlockSim::new()).collect();
     let mut any_writes_at_all = false;
@@ -247,7 +248,7 @@ fn run_buffered(
         let t_stage = cpu::cpu_stage_time(&machine.cpu, &stage_cost, 1);
         // Stage 2: DMA.
         let t_xfer = machine.link.dma_time_with_flag(DmaDirection::HostToDevice, staged_len);
-        counters.add("pcie.h2d_bytes", staged_len);
+        metrics.add("pcie.h2d_bytes", staged_len);
 
         // Stage 3: kernel over the window (original layout), one granule of
         // tpb lanes per launched block.
@@ -286,7 +287,7 @@ fn run_buffered(
                     effects.replay(&mut machine.gmem) == ReplayOutcome::Conflict
                 };
                 if conflict {
-                    counters.incr("parallel.replay_conflicts");
+                    metrics.incr("parallel.replay_conflicts");
                     cell.computed = Some(granule_live(machine, &wctx, cell.granule, cell.sim));
                 }
             }
@@ -301,17 +302,17 @@ fn run_buffered(
         for cell in cells.iter() {
             let computed = cell.computed.as_ref().expect("granule computed");
             comp_cost.merge(&computed.cost);
-            counters.add("stream.bytes_read", computed.bytes_read);
-            counters.add("stream.bytes_written", computed.bytes_written);
+            metrics.add("stream.bytes_read", computed.bytes_read);
+            metrics.add("stream.bytes_written", computed.bytes_written);
             any_writes |= computed.any_writes;
         }
         let t_comp = pool.stage_time(&comp_cost) + cfg.kernel_launch_overhead;
-        counters.add("gpu.mem_transactions", comp_cost.mem_transactions);
-        counters.add("gpu.comp_mem_bytes_moved", comp_cost.mem_bytes_moved);
-        counters.add("gpu.comp_mem_bytes_useful", comp_cost.mem_bytes_useful);
-        counters.add("gpu.comp_issue_slots", comp_cost.issue_slots);
-        counters.add("gpu.comp_atomics", comp_cost.atomic_ops);
-        counters.add("gpu.comp_hot_atomic_chain", comp_cost.hot_atomic_max());
+        metrics.add("gpu.mem_transactions", comp_cost.mem_transactions);
+        metrics.add("gpu.comp_mem_bytes_moved", comp_cost.mem_bytes_moved);
+        metrics.add("gpu.comp_mem_bytes_useful", comp_cost.mem_bytes_useful);
+        metrics.add("gpu.comp_issue_slots", comp_cost.issue_slots);
+        metrics.add("gpu.comp_atomics", comp_cost.atomic_ops);
+        metrics.add("gpu.comp_hot_atomic_chain", comp_cost.hot_atomic_max());
 
         // Stages 4–5: copy the (possibly modified) window back.
         let (mut t_wbx, mut t_wba) = (SimTime::ZERO, SimTime::ZERO);
@@ -322,7 +323,7 @@ fn run_buffered(
             machine.hmem.write(primary.region, window.start, &bytes);
             t_wbx = machine.link.dma_time_with_flag(DmaDirection::DeviceToHost, wlen);
             t_wba = cpu::cpu_stage_time(&machine.cpu, &CpuCost::streaming(wlen, 2, 1), 1);
-            counters.add("pcie.d2h_bytes", wlen);
+            metrics.add("pcie.d2h_bytes", wlen);
         }
 
         machine.gmem.free(data_buf);
@@ -349,9 +350,15 @@ fn run_buffered(
         bk_simcore::pipeline::schedule(&spec, &durations)
     };
 
-    counters.add("run.windows", num_windows as u64);
+    // Observability: spans on the baseline's resource tracks (collected only
+    // while a trace guard is live), span-duration histograms, and
+    // stall.<stage>.<cause> totals. One schedule covers the whole run, so
+    // chunk/time bases are zero.
+    bk_obs::record_schedule(&schedule, 0, SimTime::ZERO, &mut metrics);
+
+    metrics.add("run.windows", num_windows as u64);
     if any_writes_at_all {
-        counters.incr("run.modified_mapped_data");
+        metrics.incr("run.modified_mapped_data");
     }
     let mut stages = Vec::new();
     accumulate_stage_stats(&mut stages, &schedule);
@@ -361,7 +368,7 @@ fn run_buffered(
         implementation: name,
         total: schedule.makespan(),
         stages,
-        counters,
+        metrics,
         chunks: num_windows,
     }
 }
@@ -456,7 +463,7 @@ mod tests {
         );
         assert_eq!(m.gmem.read_u64(acc, 0), expected);
         assert!(r.chunks > 1);
-        assert!(r.counters.get("pcie.h2d_bytes") >= 4096 * 8);
+        assert!(r.metrics.get("pcie.h2d_bytes") >= 4096 * 8);
     }
 
     #[test]
@@ -495,7 +502,7 @@ mod tests {
         for i in 0..2048u64 {
             assert_eq!(m.hmem.read_u32(r, i * 8 + 4), (i as u32).wrapping_mul(2));
         }
-        assert!(res.counters.get("pcie.d2h_bytes") >= 2048 * 8);
+        assert!(res.metrics.get("pcie.d2h_bytes") >= 2048 * 8);
         assert!(res.stage_busy("wb-xfer") > SimTime::ZERO);
     }
 
@@ -521,7 +528,7 @@ mod tests {
         let r_costly = run_gpu_single_buffer(
             &mut m2, &SumKernel { acc: acc2 }, &s2, LaunchConfig::new(1, 32), &costly,
         );
-        let windows = r_cheap.counters.get("run.windows") as f64;
+        let windows = r_cheap.metrics.get("run.windows") as f64;
         let diff = r_costly.total.secs() - r_cheap.total.secs();
         assert!((diff - windows * 100e-6).abs() < 1e-6, "diff {diff}");
     }

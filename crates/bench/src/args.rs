@@ -78,10 +78,19 @@ impl ExpArgs {
         }
     }
 
-    /// Whether the app should run under the `--app` filter.
+    /// Whether the app should run under the `--app` filter. Matching is
+    /// case-insensitive and ignores spaces and dashes on both sides, so
+    /// `--app wordcount` selects "Word Count" and `--app k-means` selects
+    /// "Kmeans".
     pub fn selected(&self, app_name: &str) -> bool {
+        fn squash(s: &str) -> String {
+            s.chars()
+                .filter(|c| *c != ' ' && *c != '-')
+                .flat_map(|c| c.to_lowercase())
+                .collect()
+        }
         match &self.filter {
-            Some(f) => app_name.to_lowercase().contains(&f.to_lowercase()),
+            Some(f) => squash(app_name).contains(&squash(f)),
             None => true,
         }
     }
@@ -132,6 +141,15 @@ mod tests {
         assert_eq!(a.seed, 7);
         assert!(a.selected("Word Count"));
         assert!(!a.selected("K-means"));
+    }
+
+    #[test]
+    fn filter_ignores_spaces_and_dashes() {
+        let a = parse(&["--app", "wordcount"]).unwrap();
+        assert!(a.selected("Word Count"));
+        assert!(parse(&["--app", "k-means"]).unwrap().selected("Kmeans"));
+        assert!(parse(&["--app", "DNA"]).unwrap().selected("dna-assembly"));
+        assert!(!a.selected("Netflix"));
     }
 
     #[test]

@@ -24,6 +24,22 @@ struct Row {
     blocks_per_sec: f64,
     /// Simulated relative stage times (share of the busiest stage set).
     stage_shares: Vec<(&'static str, f64)>,
+    /// Simulated per-stage utilization (stage busy time / total run time).
+    stage_utilization: Vec<(&'static str, f64)>,
+    /// Top `stall.<stage>.<cause>` counters, simulated nanoseconds stalled.
+    top_stalls: Vec<(&'static str, u64)>,
+}
+
+/// Largest `stall.*` counters (stalled simulated ns), descending.
+fn top_stalls(r: &bk_runtime::RunResult) -> Vec<(&'static str, u64)> {
+    let mut v: Vec<(&'static str, u64)> = r
+        .metrics
+        .iter()
+        .filter(|(name, ns)| name.starts_with("stall.") && *ns > 0)
+        .collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+    v.truncate(5);
+    v
 }
 
 fn to_json(args: &ExpArgs, iters: usize, rows: &[Row]) -> String {
@@ -53,6 +69,28 @@ fn to_json(args: &ExpArgs, iters: usize, rows: &[Row]) -> String {
                 name,
                 share,
                 if j + 1 < r.stage_shares.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "      }},");
+        let _ = writeln!(out, "      \"stage_utilization\": {{");
+        for (j, (name, util)) in r.stage_utilization.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "        \"{}\": {:.4}{}",
+                name,
+                util,
+                if j + 1 < r.stage_utilization.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "      }},");
+        let _ = writeln!(out, "      \"top_stalls\": {{");
+        for (j, (name, ns)) in r.top_stalls.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "        \"{}\": {}{}",
+                name,
+                ns,
+                if j + 1 < r.top_stalls.len() { "," } else { "" }
             );
         }
         let _ = writeln!(out, "      }}");
@@ -101,6 +139,14 @@ fn main() {
             num_blocks: cfg.launch.num_blocks,
             blocks_per_sec: block_chunks / best,
             stage_shares: r.relative_stage_times(),
+            stage_utilization: r
+                .stages
+                .iter()
+                .map(|s| {
+                    (s.name, if r.total.is_zero() { 0.0 } else { s.busy.ratio(r.total) })
+                })
+                .collect(),
+            top_stalls: top_stalls(&r),
         });
     }
 
@@ -119,6 +165,16 @@ fn main() {
             }
         }
         println!();
+        print!("{:<49} util", "");
+        for (name, util) in &r.stage_utilization {
+            if *util > 0.005 {
+                print!(" {}={:.0}%", name, util * 100.0);
+            }
+        }
+        match r.top_stalls.first() {
+            Some((name, ns)) => println!("  top-stall {}={:.2}ms", name, *ns as f64 / 1e6),
+            None => println!("  no stalls"),
+        }
     }
 
     let json = to_json(&args, ITERS, &rows);

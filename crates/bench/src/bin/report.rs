@@ -143,9 +143,9 @@ fn main() {
         );
         let passes = if name.starts_with("MasterCard") { 2 } else { 1 };
         let read_pct =
-            100.0 * bk.counters.get("stream.bytes_read") as f64 / (args.bytes * passes) as f64;
+            100.0 * bk.metrics.get("stream.bytes_read") as f64 / (args.bytes * passes) as f64;
         let mod_pct =
-            100.0 * bk.counters.get("stream.bytes_written") as f64 / args.bytes as f64;
+            100.0 * bk.metrics.get("stream.bytes_written") as f64 / args.bytes as f64;
         json_apps.push(AppRecord {
             app: name.to_string(),
             cpu_multithreaded: s(1),

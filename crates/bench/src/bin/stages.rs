@@ -36,7 +36,7 @@ fn main() {
             println!();
         }
         for (imp, r) in &results {
-            let c = &r.counters;
+            let c = &r.metrics;
             if c.get("gpu.comp_issue_slots") > 0 {
                 println!(
                     "{:<22} gpu: slots={} mem={}/{} atomics={} hotchain={}",
@@ -52,7 +52,7 @@ fn main() {
         // Dominant roofline bounds per stage (chunks counted).
         let bk0 = &results.last().unwrap().1;
         let bounds: Vec<(&str, u64)> =
-            bk0.counters.iter().filter(|(k, _)| k.starts_with("bound.")).collect();
+            bk0.metrics.iter().filter(|(k, _)| k.starts_with("bound.")).collect();
         if !bounds.is_empty() {
             print!("bigkernel dominant bounds:");
             for (k, v) in bounds {
@@ -64,12 +64,12 @@ fn main() {
         let bk = &results.last().unwrap().1;
         println!(
             "bigkernel counters: h2d={} d2h={} gathered={} padding={} patterns={}/{}",
-            bk.counters.get("pcie.h2d_bytes"),
-            bk.counters.get("pcie.d2h_bytes"),
-            bk.counters.get("assembly.gathered_bytes"),
-            bk.counters.get("assembly.padding_bytes"),
-            bk.counters.get("addr.patterns_found"),
-            bk.counters.get("addr.patterns_found") + bk.counters.get("addr.patterns_missed"),
+            bk.metrics.get("pcie.h2d_bytes"),
+            bk.metrics.get("pcie.d2h_bytes"),
+            bk.metrics.get("assembly.gathered_bytes"),
+            bk.metrics.get("assembly.padding_bytes"),
+            bk.metrics.get("addr.patterns_found"),
+            bk.metrics.get("addr.patterns_found") + bk.metrics.get("addr.patterns_missed"),
         );
     }
 }

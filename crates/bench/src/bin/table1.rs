@@ -23,7 +23,7 @@ fn main() {
             continue;
         }
         let results = run_all(app.as_ref(), args.bytes, args.seed, &cfg, &[Implementation::BigKernel]);
-        let c = &results[0].1.counters;
+        let c = &results[0].1.metrics;
         // MasterCard Affinity scans the data once per pass; Table I reports
         // the per-pass proportion, so normalize by pass count.
         let passes = if spec.name.starts_with("MasterCard") { 2 } else { 1 };

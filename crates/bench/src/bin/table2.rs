@@ -45,8 +45,8 @@ fn main() {
             spec.name,
             paper,
             ours,
-            off[0].1.counters.get("addr.encoded_bytes"),
-            on[0].1.counters.get("addr.encoded_bytes"),
+            off[0].1.metrics.get("addr.encoded_bytes"),
+            on[0].1.metrics.get("addr.encoded_bytes"),
         );
         // Sanity: both configurations verified functionally in run_all.
         let _ = Implementation::Variant(BigKernelVariant::Full);

@@ -167,3 +167,40 @@ fn addr_gen_and_assembly_second_chunk_allocates_nothing() {
         after - before
     );
 }
+
+/// Observability zero-overhead guarantee: with span recording compiled in
+/// (`bk-obs/trace`) but no live [`bk_obs::trace::start`] guard, walking a
+/// schedule into a warmed [`bk_obs::MetricsRegistry`] touches the heap zero
+/// times — counter and histogram slots are interned on first use, span
+/// records are dropped at the thread-local check, and nothing grows.
+#[test]
+fn record_schedule_without_tracing_allocates_nothing() {
+    use bk_simcore::{pipeline, SimTime, StageDef};
+
+    let _serial = SERIAL.lock().unwrap();
+    let spec = pipeline::PipelineSpec::new(vec![
+        StageDef { name: "transfer", resource: "dma" },
+        StageDef { name: "compute", resource: "gpu-comp" },
+    ])
+    .with_reuse(0, 1, 1);
+    let t = SimTime::from_micros(1.0);
+    let sched = pipeline::schedule(&spec, &vec![vec![t, t + t]; 8]);
+
+    let mut metrics = bk_obs::MetricsRegistry::new();
+    // Warm-up: interns every counter/histogram slot this schedule touches
+    // and initializes the thread-local sink (lazily created on first use).
+    bk_obs::record_schedule(&sched, 0, SimTime::ZERO, &mut metrics);
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for wave in 1..=100 {
+        bk_obs::record_schedule(&sched, wave * 8, SimTime::ZERO, &mut metrics);
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "untraced record_schedule allocated {} times in steady state",
+        after - before
+    );
+    assert_eq!(metrics.hist("hist.span.transfer").unwrap().count(), 8 * 101);
+}

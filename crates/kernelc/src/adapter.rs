@@ -123,7 +123,7 @@ mod tests {
         assert!(cfg.verify_reads, "the FIFO cross-check must be on for this test");
         let r = run_bigkernel(&mut m, &kernel, &[stream], LaunchConfig::new(1, 32), &cfg);
         assert_eq!(m.gmem.read_u64(acc, 0), expected, "IR kernel result");
-        assert!(r.counters.get("addr.patterns_found") > 0, "sequential reads compress");
+        assert!(r.metrics.get("addr.patterns_found") > 0, "sequential reads compress");
     }
 
     #[test]

@@ -182,7 +182,7 @@ mod tests {
         let bk = BigKernelConfig { chunk_input_bytes: 16 * 1024, ..BigKernelConfig::default() };
         let engine = Engine::BigKernel(bk, LaunchConfig::new(2, 32));
         let out = run_mapreduce(&mut m, &GroupSumJob, &streams, 64, ReduceOp::Sum, &engine);
-        assert!(out.run.counters.get("addr.patterns_found") > 0);
-        assert_eq!(out.run.counters.get("addr.patterns_missed"), 0);
+        assert!(out.run.metrics.get("addr.patterns_found") > 0);
+        assert_eq!(out.run.metrics.get("addr.patterns_missed"), 0);
     }
 }

@@ -131,7 +131,7 @@ mod tests {
         let got: BTreeMap<u64, u64> = out.pairs.into_iter().collect();
         assert_eq!(got, expected);
         // The derived address slice is periodic — patterns must engage.
-        assert!(out.run.counters.get("addr.patterns_found") > 0);
+        assert!(out.run.metrics.get("addr.patterns_found") > 0);
     }
 
     #[test]

@@ -1,0 +1,265 @@
+//! Exporters: Chrome/Perfetto `trace.json` and a text utilization report.
+//!
+//! The Chrome trace-event format is the least common denominator both
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev) load directly:
+//! an object `{"traceEvents": [...]}` of `"ph":"X"` complete events with
+//! microsecond `ts`/`dur`, one thread (track) per hardware resource, plus
+//! `"ph":"M"` metadata events naming the tracks. Everything here is written
+//! with the workspace's hand-rolled JSON (no serde in the dependency set),
+//! with deterministic ordering: tracks in first-seen (pipeline) order, spans
+//! in recorded order.
+
+use crate::trace::SpanRecord;
+use bk_simcore::SimTime;
+use std::fmt::Write as _;
+
+/// Escape a string for a JSON literal. Span/track names are static
+/// identifiers today, but the exporter should not silently corrupt output if
+/// that ever changes.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Tracks in first-seen order (spans are recorded chunk-major in stage
+/// order, so this is pipeline order, which reads naturally in Perfetto).
+fn tracks(spans: &[SpanRecord]) -> Vec<&'static str> {
+    let mut out: Vec<&'static str> = Vec::new();
+    for s in spans {
+        if !out.contains(&s.track) {
+            out.push(s.track);
+        }
+    }
+    out
+}
+
+/// Render spans as a Chrome trace-event JSON document (Perfetto-loadable).
+pub fn to_chrome_json(spans: &[SpanRecord]) -> String {
+    let tracks = tracks(spans);
+    let tid = |t: &str| tracks.iter().position(|&x| x == t).unwrap() + 1;
+
+    let mut out = String::new();
+    out.push_str("{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n");
+    let mut first = true;
+    let mut push = |ev: String, out: &mut String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str("    ");
+        out.push_str(&ev);
+    };
+
+    push(
+        "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, \
+         \"args\": {\"name\": \"bigkernel-sim\"}}"
+            .to_string(),
+        &mut out,
+    );
+    for t in &tracks {
+        push(
+            format!(
+                "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {}, \
+                 \"args\": {{\"name\": \"{}\"}}}}",
+                tid(t),
+                esc(t)
+            ),
+            &mut out,
+        );
+    }
+    for s in spans {
+        let mut args = format!("\"chunk\": {}, \"stage\": \"{}\"", s.chunk, esc(s.stage));
+        if let Some((cause, gap)) = s.stall {
+            let _ = write!(
+                args,
+                ", \"stall_cause\": \"{}\", \"stall_us\": {:.3}",
+                esc(cause),
+                gap.micros()
+            );
+        }
+        push(
+            format!(
+                "{{\"name\": \"{} c{}\", \"cat\": \"stage\", \"ph\": \"X\", \"pid\": 1, \
+                 \"tid\": {}, \"ts\": {:.3}, \"dur\": {:.3}, \"args\": {{{}}}}}",
+                esc(s.stage),
+                s.chunk,
+                tid(s.track),
+                s.start.micros(),
+                s.dur.micros(),
+                args
+            ),
+            &mut out,
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Fraction of `total_busy` covered by the recorded spans (the acceptance
+/// gauge: the trace must account for ≥ 99% of simulated busy time).
+pub fn busy_coverage(spans: &[SpanRecord], total_busy: SimTime) -> f64 {
+    if total_busy.is_zero() {
+        return if spans.is_empty() { 1.0 } else { 0.0 };
+    }
+    let covered: SimTime = spans.iter().map(|s| s.dur).sum();
+    covered.ratio(total_busy)
+}
+
+/// Plain-text utilization / bubble report: per-track busy time and
+/// utilization over the traced window, plus the top stall causes by total
+/// stalled simulated time.
+pub fn text_report(spans: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    if spans.is_empty() {
+        out.push_str("no spans recorded\n");
+        return out;
+    }
+    let t0 = spans.iter().map(|s| s.start).fold(spans[0].start, SimTime::min);
+    let t1 = spans
+        .iter()
+        .map(|s| s.start + s.dur)
+        .fold(SimTime::ZERO, SimTime::max);
+    let window = t1.saturating_sub(t0);
+
+    let _ = writeln!(
+        out,
+        "trace window: {window}  ({} spans on {} tracks)",
+        spans.len(),
+        tracks(spans).len()
+    );
+    let _ = writeln!(out, "{:<10} {:>7} {:>12} {:>7} {:>12}", "track", "spans", "busy", "util", "bubble");
+    for t in tracks(spans) {
+        let busy: SimTime = spans.iter().filter(|s| s.track == t).map(|s| s.dur).sum();
+        let n = spans.iter().filter(|s| s.track == t).count();
+        let util = if window.is_zero() { 0.0 } else { busy.ratio(window) };
+        let _ = writeln!(
+            out,
+            "{:<10} {:>7} {:>12} {:>6.1}% {:>12}",
+            t,
+            n,
+            format!("{busy}"),
+            util * 100.0,
+            format!("{}", window.saturating_sub(busy)),
+        );
+    }
+
+    // Top stall causes: aggregate by (stage, cause), sort by stalled time.
+    let mut totals: Vec<(String, SimTime)> = Vec::new();
+    for s in spans {
+        if let Some((cause, gap)) = s.stall {
+            let key = format!("{}.{}", s.stage, cause);
+            match totals.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, t)) => *t += gap,
+                None => totals.push((key, gap)),
+            }
+        }
+    }
+    totals.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    if totals.is_empty() {
+        let _ = writeln!(out, "no stalls: the pipeline never went hungry");
+    } else {
+        let _ = writeln!(out, "top stall causes (stage.cause, total stalled time):");
+        for (k, t) in totals.iter().take(8) {
+            let share = if window.is_zero() { 0.0 } else { t.ratio(window) };
+            let _ = writeln!(out, "  {:<28} {:>12}  ({:.1}% of window)", k, format!("{t}"), share * 100.0);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spans() -> Vec<SpanRecord> {
+        vec![
+            SpanRecord {
+                track: "dma",
+                stage: "transfer",
+                chunk: 0,
+                start: SimTime::ZERO,
+                dur: SimTime::from_micros(10.0),
+                stall: None,
+            },
+            SpanRecord {
+                track: "gpu-comp",
+                stage: "compute",
+                chunk: 0,
+                start: SimTime::from_micros(10.0),
+                dur: SimTime::from_micros(30.0),
+                stall: None,
+            },
+            SpanRecord {
+                track: "dma",
+                stage: "transfer",
+                chunk: 1,
+                start: SimTime::from_micros(40.0),
+                dur: SimTime::from_micros(10.0),
+                stall: Some(("buffer-reuse", SimTime::from_micros(30.0))),
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_json_has_tracks_events_and_stalls() {
+        let j = to_chrome_json(&spans());
+        assert!(j.contains("\"traceEvents\""));
+        assert!(j.contains("\"thread_name\""));
+        assert!(j.contains("\"name\": \"dma\""));
+        assert!(j.contains("\"name\": \"gpu-comp\""));
+        assert!(j.contains("\"ph\": \"X\""));
+        assert!(j.contains("\"transfer c1\""));
+        assert!(j.contains("\"stall_cause\": \"buffer-reuse\""));
+        assert!(j.contains("\"ts\": 40.000"));
+        // Two metadata-named tracks → tids 1 and 2, consistent between
+        // metadata and spans.
+        assert!(j.contains("\"tid\": 1"));
+        assert!(j.contains("\"tid\": 2"));
+    }
+
+    #[test]
+    fn chrome_json_is_structurally_balanced() {
+        let j = to_chrome_json(&spans());
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        let empty = to_chrome_json(&[]);
+        assert!(empty.contains("\"traceEvents\""));
+        assert_eq!(empty.matches('{').count(), empty.matches('}').count());
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(esc("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(esc("x\ny"), "x\\u000ay");
+        assert_eq!(esc("plain"), "plain");
+    }
+
+    #[test]
+    fn coverage_counts_span_time() {
+        let s = spans();
+        let busy = SimTime::from_micros(50.0);
+        assert!((busy_coverage(&s, busy) - 1.0).abs() < 1e-12);
+        assert!((busy_coverage(&s[..2], busy) - 0.8).abs() < 1e-12);
+        assert_eq!(busy_coverage(&[], SimTime::ZERO), 1.0);
+    }
+
+    #[test]
+    fn text_report_lists_tracks_and_top_stalls() {
+        let r = text_report(&spans());
+        assert!(r.contains("dma"));
+        assert!(r.contains("gpu-comp"));
+        assert!(r.contains("transfer.buffer-reuse"));
+        assert!(r.contains("% of window"));
+        assert!(text_report(&[]).contains("no spans"));
+    }
+}

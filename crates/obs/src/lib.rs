@@ -1,0 +1,36 @@
+//! # bk-obs — observability for the BigKernel reproduction
+//!
+//! The pipeline's whole value proposition (§III, Fig. 2) is *staying full*;
+//! this crate makes emptiness visible. Four pieces:
+//!
+//! * [`metrics`] — the [`MetricsRegistry`]: the workspace's single metrics
+//!   sink, wrapping the event counters ([`bk_simcore::Counters`]) and adding
+//!   fixed-footprint log₂ [`Histogram`]s (span durations, per-chunk bytes).
+//! * [`trace`] — a span recorder for simulated-time spans
+//!   `(chunk, stage, resource)`. Collection is compile-time gated behind the
+//!   `trace` cargo feature *and* runtime-gated behind a thread-local
+//!   [`trace::start`] guard, so an untraced run does no work and allocates
+//!   nothing.
+//! * [`stall`] — stall attribution: converts the scheduler's per-slot
+//!   [`bk_simcore::StallKind`] into typed [`StallCause`]s and
+//!   `stall.<stage>.<cause>` counters, and [`stall::record_schedule`] walks a
+//!   computed [`bk_simcore::Schedule`] emitting spans + stall counters +
+//!   duration histograms in one pass.
+//! * [`export`] — exporters: Chrome/Perfetto `trace.json` (one track per
+//!   hardware resource) and a plain-text utilization / bubble report.
+//!
+//! Determinism contract: everything recorded into the [`MetricsRegistry`]
+//! (counters, histograms, stall totals) is derived purely from the
+//! deterministic [`bk_simcore::Schedule`] and is recorded *unconditionally*,
+//! whether or not tracing is enabled — so enabling tracing can never change
+//! a simulated result. Only span collection and export are gated.
+
+pub mod export;
+pub mod metrics;
+pub mod stall;
+pub mod trace;
+
+pub use export::{text_report, to_chrome_json};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use stall::{record_schedule, stall_counter, StallCause};
+pub use trace::SpanRecord;

@@ -1,0 +1,280 @@
+//! Stall attribution: typed causes, `stall.<stage>.<cause>` counters, and
+//! the schedule walker that feeds spans + metrics in one pass.
+//!
+//! The scheduler ([`bk_simcore::pipeline::schedule`]) records *why* each
+//! slot started later than its dataflow predecessor finished — a
+//! [`StallKind`]: either a buffer-reuse edge (§IV.C's `addr-gen(n)` waits
+//! for `compute(n−3)` rule, implemented by flag signalling over PCIe) or
+//! in-order contention on the slot's resource. This module maps those raw
+//! kinds onto the pipeline's hardware vocabulary ([`StallCause`]): the DMA
+//! in-order queue, CPU assembly-thread availability, GPU queue pressure, the
+//! fully-serialized single-buffer resource, or the buffer-reuse/flag wait.
+
+use crate::metrics::MetricsRegistry;
+use crate::trace::{self, SpanRecord};
+use bk_simcore::{Schedule, SimTime, StallKind};
+
+/// Why a pipeline stage instance could not start when its input was ready.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StallCause {
+    /// Buffer-reuse rule: the producer waited for the consumer of chunk
+    /// `n − depth` to release the buffer (the paper's flag/barrier wait).
+    BufferReuse,
+    /// The in-order DMA queue was still transferring earlier chunks.
+    DmaQueue,
+    /// No CPU thread (assembly, staging, write-back apply) was available.
+    CpuThread,
+    /// The GPU half (addr-gen or compute queue) was still busy.
+    GpuQueue,
+    /// The single shared resource of a fully serialized baseline.
+    Serial,
+    /// A resource outside the known vocabulary (kept visible, never silent).
+    Other,
+}
+
+impl StallCause {
+    /// Stable label used in counter names, span records and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            StallCause::BufferReuse => "buffer-reuse",
+            StallCause::DmaQueue => "dma-queue",
+            StallCause::CpuThread => "cpu-thread",
+            StallCause::GpuQueue => "gpu-queue",
+            StallCause::Serial => "serial",
+            StallCause::Other => "other",
+        }
+    }
+
+    /// Classify a scheduler-level stall by the resource vocabulary used by
+    /// the runtime (`gpu-ag`, `cpu-asm`, `dma`, `dma-d2h`, `gpu-comp`,
+    /// `cpu-wb`) and the baselines (`cpu-stage`, `dma`, `gpu`, `wb_dma`,
+    /// `cpu-wb`, `serial`).
+    pub fn from_kind(kind: StallKind) -> StallCause {
+        match kind {
+            StallKind::Reuse { .. } => StallCause::BufferReuse,
+            StallKind::Resource(r) => {
+                if r == "serial" {
+                    StallCause::Serial
+                } else if r.contains("dma") {
+                    StallCause::DmaQueue
+                } else if r.starts_with("cpu") {
+                    StallCause::CpuThread
+                } else if r.starts_with("gpu") {
+                    StallCause::GpuQueue
+                } else {
+                    StallCause::Other
+                }
+            }
+        }
+    }
+}
+
+/// Expand the causes for one stage literal (the stage × cause cross product
+/// needs the stage bound once per arm, hence the two-level macro).
+macro_rules! stall_arms {
+    ($stage:literal, $cause:expr) => {
+        match $cause {
+            "buffer-reuse" => Some(concat!("stall.", $stage, ".buffer-reuse")),
+            "dma-queue" => Some(concat!("stall.", $stage, ".dma-queue")),
+            "cpu-thread" => Some(concat!("stall.", $stage, ".cpu-thread")),
+            "gpu-queue" => Some(concat!("stall.", $stage, ".gpu-queue")),
+            "serial" => Some(concat!("stall.", $stage, ".serial")),
+            "other" => Some(concat!("stall.", $stage, ".other")),
+            _ => None,
+        }
+    };
+}
+
+/// Interned `stall.<stage>.<cause>` counter name for every known
+/// stage/cause pair, `None` for a pair outside the table. Counter names must
+/// be `&'static str`, so the cross product is expanded at compile time.
+pub fn stall_counter(stage: &str, cause: &str) -> Option<&'static str> {
+    match stage {
+        "addr-gen" => stall_arms!("addr-gen", cause),
+        "assemble" => stall_arms!("assemble", cause),
+        "transfer" => stall_arms!("transfer", cause),
+        "compute" => stall_arms!("compute", cause),
+        "wb-xfer" => stall_arms!("wb-xfer", cause),
+        "wb-apply" => stall_arms!("wb-apply", cause),
+        "stage-pin" => stall_arms!("stage-pin", cause),
+        _ => None,
+    }
+}
+
+/// Interned `hist.span.<stage>` histogram name (span durations in
+/// simulated nanoseconds).
+fn span_hist(stage: &str) -> Option<&'static str> {
+    macro_rules! table {
+        ($( $stage:literal ),* $(,)?) => {
+            match stage {
+                $( $stage => Some(concat!("hist.span.", $stage)), )*
+                _ => None,
+            }
+        };
+    }
+    table!("addr-gen", "assemble", "transfer", "compute", "wb-xfer", "wb-apply", "stage-pin")
+}
+
+/// Walk one computed wave [`Schedule`] and record, for every non-empty slot:
+///
+/// * a [`SpanRecord`] on the slot's resource track (only collected while a
+///   [`trace::start`] guard is live — see the crate docs),
+/// * the span-duration histogram `hist.span.<stage>`,
+/// * if the slot stalled, the `stall.<stage>.<cause>` counter (simulated
+///   nanoseconds).
+///
+/// `chunk_base` and `time_base` place the wave in the whole run: the
+/// runtime schedules waves back to back, so wave-local chunk indices and
+/// times are offset into run-global ones. Metrics are recorded
+/// unconditionally and derive purely from the deterministic schedule, so
+/// tracing on/off cannot change any simulated result.
+pub fn record_schedule(
+    sched: &Schedule,
+    chunk_base: usize,
+    time_base: SimTime,
+    metrics: &mut MetricsRegistry,
+) {
+    for chunk in 0..sched.num_chunks() {
+        for stage in 0..sched.num_stages() {
+            let slot = sched.slot(chunk, stage);
+            let dur = slot.duration();
+            if dur.is_zero() {
+                continue;
+            }
+            let name = sched.stage_name(stage);
+            if let Some(h) = span_hist(name) {
+                metrics.observe(h, dur.nanos() as u64);
+            }
+            let meta = sched.slot_meta(chunk, stage);
+            let stall = meta.kind.map(|k| {
+                let cause = StallCause::from_kind(k);
+                match stall_counter(name, cause.label()) {
+                    Some(c) => metrics.add(c, meta.stall.nanos() as u64),
+                    None => {
+                        debug_assert!(
+                            false,
+                            "no stall counter for stage `{name}` cause `{}`",
+                            cause.label()
+                        );
+                        metrics.add("stall.other", meta.stall.nanos() as u64);
+                    }
+                }
+                (cause.label(), meta.stall)
+            });
+            trace::record(&SpanRecord {
+                track: sched.stage_resource(stage),
+                stage: name,
+                chunk: chunk_base + chunk,
+                start: time_base + slot.start,
+                dur,
+                stall,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bk_simcore::{pipeline, SimTime, StageDef};
+
+    fn t(us: f64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    fn sched() -> Schedule {
+        // Two stages sharing one DMA-like resource plus a reuse edge, so
+        // both stall flavours appear.
+        let spec = pipeline::PipelineSpec::new(vec![
+            StageDef { name: "transfer", resource: "dma" },
+            StageDef { name: "compute", resource: "gpu-comp" },
+        ])
+        .with_reuse(0, 1, 1);
+        pipeline::schedule(&spec, &vec![vec![t(1.0), t(3.0)]; 4])
+    }
+
+    #[test]
+    fn cause_classification_covers_the_resource_vocabulary() {
+        use StallCause::*;
+        for (res, want) in [
+            ("dma", DmaQueue),
+            ("dma-d2h", DmaQueue),
+            ("wb_dma", DmaQueue),
+            ("cpu-asm", CpuThread),
+            ("cpu-stage", CpuThread),
+            ("cpu-wb", CpuThread),
+            ("gpu-ag", GpuQueue),
+            ("gpu-comp", GpuQueue),
+            ("gpu", GpuQueue),
+            ("serial", Serial),
+            ("fpga", Other),
+        ] {
+            assert_eq!(StallCause::from_kind(StallKind::Resource(res)), want, "{res}");
+        }
+        assert_eq!(StallCause::from_kind(StallKind::Reuse { consumer: 3 }), BufferReuse);
+    }
+
+    #[test]
+    fn stall_counter_names_are_interned() {
+        assert_eq!(
+            stall_counter("addr-gen", "buffer-reuse"),
+            Some("stall.addr-gen.buffer-reuse")
+        );
+        assert_eq!(stall_counter("stage-pin", "serial"), Some("stall.stage-pin.serial"));
+        assert_eq!(stall_counter("unknown-stage", "serial"), None);
+        assert_eq!(stall_counter("compute", "unknown-cause"), None);
+    }
+
+    #[test]
+    fn record_schedule_rolls_stalls_into_counters_and_histograms() {
+        let s = sched();
+        let mut m = MetricsRegistry::new();
+        record_schedule(&s, 0, SimTime::ZERO, &mut m);
+        // 4 chunks × 2 stages, all non-empty.
+        assert_eq!(m.hist("hist.span.transfer").unwrap().count(), 4);
+        assert_eq!(m.hist("hist.span.compute").unwrap().count(), 4);
+        // Chunks 1.. stall on the reuse edge before transferring.
+        assert!(m.get("stall.transfer.buffer-reuse") > 0);
+        // The stall totals must equal the scheduler's per-slot gaps.
+        let want: u64 = (0..s.num_chunks())
+            .map(|c| s.slot_meta(c, 0).stall.nanos() as u64)
+            .sum();
+        assert_eq!(m.get("stall.transfer.buffer-reuse"), want);
+    }
+
+    #[test]
+    fn record_schedule_offsets_chunks_and_time() {
+        let s = sched();
+        let g = crate::trace::start();
+        record_schedule(&s, 100, SimTime::from_micros(50.0), &mut MetricsRegistry::new());
+        let spans = g.finish();
+        if cfg!(feature = "trace") {
+            assert_eq!(spans.len(), 8);
+            assert_eq!(spans[0].chunk, 100);
+            assert_eq!(spans[0].track, "dma");
+            assert!((spans[0].start.micros() - 50.0).abs() < 1e-9);
+            // Every positive inter-stage gap carries a cause.
+            for sp in &spans {
+                if let Some((cause, gap)) = sp.stall {
+                    assert!(!gap.is_zero());
+                    assert!(!cause.is_empty());
+                }
+            }
+            assert!(spans.iter().any(|sp| sp.stall.is_some()));
+        } else {
+            assert!(spans.is_empty());
+        }
+    }
+
+    #[test]
+    fn metrics_identical_with_and_without_tracing() {
+        let s = sched();
+        let mut with = MetricsRegistry::new();
+        let g = crate::trace::start();
+        record_schedule(&s, 0, SimTime::ZERO, &mut with);
+        drop(g.finish());
+        let mut without = MetricsRegistry::new();
+        record_schedule(&s, 0, SimTime::ZERO, &mut without);
+        assert_eq!(with, without);
+    }
+}

@@ -54,5 +54,6 @@ pub use kernel::{DevBufId, DeviceEffects, KernelCtx, LaunchConfig, StreamKernel,
 pub use machine::Machine;
 pub use pipeline::run_bigkernel;
 pub use pool::{AddrGenScratch, StreamPool};
+pub use bk_obs::{Histogram, MetricsRegistry};
 pub use result::{RunResult, StageStat};
 pub use stream::{StreamArray, StreamId};

@@ -45,7 +45,7 @@
 //! block re-executes against live memory at its in-order turn — exactly what
 //! the sequential schedule would have computed. `cfg.parallel_blocks` only
 //! toggles whether the pure phases use the rayon pool: both settings run the
-//! identical logged algorithm, so counters, times and outputs match bit for
+//! identical logged algorithm, so metrics, times and outputs match bit for
 //! bit. Kernels whose device ops are *not* log-replayable (e.g. consuming
 //! `atomic_add` return values across blocks) declare
 //! [`DeviceEffects::Sequential`] and run the legacy fused per-block loop.
@@ -68,7 +68,8 @@ use crate::sync;
 use bk_gpu::occupancy::{self, BlockResources};
 use bk_gpu::{BlockLog, BlockSim, GpuPool, KernelCost, ReplayOutcome, WARP_SIZE};
 use bk_host::{cpu, CacheSim, CpuCost, DmaDirection};
-use bk_simcore::{Counters, PipelineSpec, SimTime, StageDef};
+use bk_obs::MetricsRegistry;
+use bk_simcore::{PipelineSpec, SimTime, StageDef};
 use rayon::prelude::*;
 use std::ops::Range;
 
@@ -106,7 +107,22 @@ fn bound_counter(stage: &str, bound: &str) -> &'static str {
         ("wb-apply", "cpu-dram-latency") => "bound.wb-apply.cpu-dram-latency",
         ("wb-apply", "cpu-atomic-throughput") => "bound.wb-apply.cpu-atomic-throughput",
         ("wb-apply", "cpu-atomic-contention") => "bound.wb-apply.cpu-atomic-contention",
-        _ => "bound.other",
+        _ => {
+            // An unknown pair means a stage or roofline label was added
+            // without extending this table — surface it instead of silently
+            // merging everything into one bucket: assert in debug builds,
+            // log once (not per chunk) in release builds.
+            debug_assert!(false, "unknown stage/bound pair ({stage}, {bound}) has no counter");
+            static LOGGED: std::sync::atomic::AtomicBool =
+                std::sync::atomic::AtomicBool::new(false);
+            if !LOGGED.swap(true, std::sync::atomic::Ordering::Relaxed) {
+                eprintln!(
+                    "bk-runtime: unknown stage/bound pair ({stage}, {bound}); \
+                     counting as bound.other"
+                );
+            }
+            "bound.other"
+        }
     }
 }
 
@@ -133,8 +149,8 @@ impl BlockSlot {
     }
 }
 
-/// Address-generation counters accumulated per block in the pure phase and
-/// folded into the run counters in block order.
+/// Address-generation metrics accumulated per block in the pure phase and
+/// folded into the run metrics in block order.
 #[derive(Default)]
 struct AddrCounts {
     entries: u64,
@@ -280,11 +296,11 @@ pub fn run_bigkernel(
     let num_chunks = (max_range.div_ceil(per_lane_slice)).max(1) as usize;
 
     let sync_costs = sync::per_chunk(machine, cfg.sync);
-    let mut counters = Counters::new();
-    counters.add("launch.blocks", launch.num_blocks as u64);
-    counters.add("launch.active_blocks", active_blocks as u64);
-    counters.add("launch.threads", launch.total_threads() as u64);
-    counters.add("run.chunks_per_block", num_chunks as u64);
+    let mut metrics = MetricsRegistry::new();
+    metrics.add("launch.blocks", launch.num_blocks as u64);
+    metrics.add("launch.active_blocks", active_blocks as u64);
+    metrics.add("launch.threads", launch.total_threads() as u64);
+    metrics.add("run.chunks_per_block", num_chunks as u64);
 
     // With a single copy engine (GeForce), write-back transfers share the
     // engine with host-to-device transfers; Tesla-class parts run them on a
@@ -323,6 +339,8 @@ pub fn run_bigkernel(
         for chunk in 0..num_chunks {
             let mut row = [SimTime::ZERO; 6];
             let mut costs = ChunkCosts::new();
+            let h2d_before = metrics.get("pcie.h2d_bytes");
+            let d2h_before = metrics.get("pcie.d2h_bytes");
 
             // Pair each working block with its persistent slot.
             let mut cells: Vec<WaveCell<'_>> = Vec::with_capacity(blocks.len());
@@ -361,24 +379,24 @@ pub fn run_bigkernel(
                     if cfg.transfer_all {
                         run_block_sequential_staged(
                             machine, kernel, streams, &cell.slices, cell.block, tpb, launch,
-                            cell.slot, &mut costs, &mut counters,
+                            cell.slot, &mut costs, &mut metrics,
                         );
                     } else {
                         run_block_sequential(
                             machine, kernel, streams, &cell.slices, cell.block, tpb, launch,
-                            cfg, cell.slot, &mut costs, &mut counters,
+                            cfg, cell.slot, &mut costs, &mut metrics,
                         );
                     }
                 }
             } else if cfg.transfer_all {
                 run_chunk_staged_logged(
                     machine, kernel, streams, &mut cells, parallel, tpb, launch, &mut costs,
-                    &mut counters,
+                    &mut metrics,
                 );
             } else {
                 run_chunk_assembled_logged(
                     machine, kernel, streams, &mut cells, parallel, tpb, launch, cfg, &mut costs,
-                    &mut counters,
+                    &mut metrics,
                 );
             }
 
@@ -387,7 +405,7 @@ pub fn run_bigkernel(
                 let mut terms = ag_pool.stage_terms(&costs.ag);
                 terms.bound("pcie-zerocopy", machine.link.zero_copy_write_time(costs.addr_bytes));
                 if let Some(b) = terms.dominant() {
-                    counters.incr(bound_counter("addr-gen", b.label));
+                    metrics.incr(bound_counter("addr-gen", b.label));
                 }
                 row[0] = terms.duration() + sync_costs.addr_gen;
             }
@@ -395,7 +413,7 @@ pub fn run_bigkernel(
             let asm_threads = (blocks.len() as u32).min(machine.cpu.hw_threads).max(1);
             let asm_terms = cpu::cpu_stage_terms(&machine.cpu, &costs.asm, asm_threads);
             if let Some(b) = asm_terms.dominant() {
-                counters.incr(bound_counter("assemble", b.label));
+                metrics.incr(bound_counter("assemble", b.label));
             }
             row[1] = asm_terms.duration() + sync_costs.assembly;
             // Stage 3: DMA (already summed per block, one engine). Bound
@@ -409,19 +427,19 @@ pub fn run_bigkernel(
                 );
                 let bw = costs.xfer.saturating_sub(fixed);
                 let label = if bw >= fixed { "dma-bandwidth" } else { "dma-latency" };
-                counters.incr(bound_counter("transfer", label));
+                metrics.incr(bound_counter("transfer", label));
             }
             // Stage 4: compute pool.
             let comp_terms = comp_pool.stage_terms(&costs.comp);
             if let Some(b) = comp_terms.dominant() {
-                counters.incr(bound_counter("compute", b.label));
+                metrics.incr(bound_counter("compute", b.label));
             }
             row[3] = comp_terms.duration() + sync_costs.compute;
-            counters.add("gpu.comp_issue_slots", costs.comp.issue_slots);
-            counters.add("gpu.comp_mem_bytes_moved", costs.comp.mem_bytes_moved);
-            counters.add("gpu.comp_mem_bytes_useful", costs.comp.mem_bytes_useful);
-            counters.add("gpu.comp_atomics", costs.comp.atomic_ops);
-            counters.add("gpu.comp_hot_atomic_chain", costs.comp.hot_atomic_max());
+            metrics.add("gpu.comp_issue_slots", costs.comp.issue_slots);
+            metrics.add("gpu.comp_mem_bytes_moved", costs.comp.mem_bytes_moved);
+            metrics.add("gpu.comp_mem_bytes_useful", costs.comp.mem_bytes_useful);
+            metrics.add("gpu.comp_atomics", costs.comp.atomic_ops);
+            metrics.add("gpu.comp_hot_atomic_chain", costs.comp.hot_atomic_max());
             // Stage 5: write-back DMA (one transfer per chunk).
             if costs.wb_bytes > 0 {
                 row[4] =
@@ -429,28 +447,40 @@ pub fn run_bigkernel(
                 let fixed = machine.link.latency + machine.link.flag_latency;
                 let bw = row[4].saturating_sub(fixed);
                 let label = if bw >= fixed { "dma-bandwidth" } else { "dma-latency" };
-                counters.incr(bound_counter("wb-xfer", label));
+                metrics.incr(bound_counter("wb-xfer", label));
             }
             // Stage 6: write-back apply.
             let wb_terms = cpu::cpu_stage_terms(&machine.cpu, &costs.wb, asm_threads);
             if costs.wb_bytes > 0 {
                 if let Some(b) = wb_terms.dominant() {
-                    counters.incr(bound_counter("wb-apply", b.label));
+                    metrics.incr(bound_counter("wb-apply", b.label));
                 }
             }
             row[5] = wb_terms.duration();
+
+            // Per-chunk transfer-volume histograms (delta of the byte
+            // counters the block stages just folded in).
+            let h2d = metrics.get("pcie.h2d_bytes") - h2d_before;
+            let d2h = metrics.get("pcie.d2h_bytes") - d2h_before;
+            metrics.observe("hist.chunk.h2d_bytes", h2d);
+            metrics.observe("hist.chunk.d2h_bytes", d2h);
 
             durations.push(row.to_vec());
         }
 
         let schedule = bk_simcore::pipeline::schedule(&spec, &durations);
+        // Observability: spans (when a trace guard is live), per-stage span
+        // histograms and stall.<stage>.<cause> totals, offset into run-global
+        // chunk indices / simulated time. Waves run back to back, so the
+        // running `total` is this wave's time base.
+        bk_obs::record_schedule(&schedule, total_chunks, total, &mut metrics);
         total += schedule.makespan();
         accumulate_stage_stats(&mut stage_stats, &schedule);
         total_chunks += durations.len();
     }
 
     finalize_stage_stats(&mut stage_stats, total_chunks);
-    counters.add("run.waves", waves as u64);
+    metrics.add("run.waves", waves as u64);
 
     RunResult {
         implementation: if cfg.transfer_all {
@@ -462,7 +492,7 @@ pub fn run_bigkernel(
         },
         total,
         stages: stage_stats,
-        counters,
+        metrics,
         chunks: total_chunks,
     }
 }
@@ -536,26 +566,26 @@ fn block_pure_bigkernel(
     BlockPure { lane_addrs, ag_cost, out, counts, addr_bytes }
 }
 
-/// Fold one block's pure-phase results into chunk costs and counters (block
+/// Fold one block's pure-phase results into chunk costs and metrics (block
 /// order).
-fn fold_pure(pure: &BlockPure, costs: &mut ChunkCosts, counters: &mut Counters) {
+fn fold_pure(pure: &BlockPure, costs: &mut ChunkCosts, metrics: &mut MetricsRegistry) {
     costs.ag.merge(&pure.ag_cost);
-    counters.add("addr.entries", pure.counts.entries);
-    counters.add("addr.patterns_found", pure.counts.patterns_found);
-    counters.add("addr.segmented_found", pure.counts.segmented_found);
-    counters.add("addr.patterns_missed", pure.counts.patterns_missed);
+    metrics.add("addr.entries", pure.counts.entries);
+    metrics.add("addr.patterns_found", pure.counts.patterns_found);
+    metrics.add("addr.segmented_found", pure.counts.segmented_found);
+    metrics.add("addr.patterns_missed", pure.counts.patterns_missed);
     costs.addr_bytes += pure.addr_bytes;
-    counters.add("addr.encoded_bytes", pure.addr_bytes);
-    counters.add("pcie.d2h_bytes", pure.addr_bytes);
+    metrics.add("addr.encoded_bytes", pure.addr_bytes);
+    metrics.add("pcie.d2h_bytes", pure.addr_bytes);
     costs.asm.merge(&pure.out.cost);
-    counters.add("assembly.gathered_bytes", pure.out.gathered_bytes);
-    counters.add("assembly.padding_bytes", pure.out.padding_bytes);
-    counters.add("assembly.cache_hits", pure.out.cost.cache_hits);
-    counters.add("assembly.cache_misses", pure.out.cost.cache_misses);
+    metrics.add("assembly.gathered_bytes", pure.out.gathered_bytes);
+    metrics.add("assembly.padding_bytes", pure.out.padding_bytes);
+    metrics.add("assembly.cache_hits", pure.out.cost.cache_hits);
+    metrics.add("assembly.cache_misses", pure.out.cost.cache_misses);
     if pure.out.locality_order_used {
-        counters.incr("assembly.locality_order_chunks");
+        metrics.incr("assembly.locality_order_chunks");
     }
-    counters.add("stream.bytes_read_unique", pure.out.gathered_bytes);
+    metrics.add("stream.bytes_read_unique", pure.out.gathered_bytes);
 }
 
 /// Ordered phase, stage 3: allocate the block's device buffers and DMA the
@@ -564,7 +594,7 @@ fn stage_transfer(
     machine: &mut Machine,
     pure: &BlockPure,
     costs: &mut ChunkCosts,
-    counters: &mut Counters,
+    metrics: &mut MetricsRegistry,
 ) -> (bk_gpu::BufferId, Option<bk_gpu::BufferId>) {
     let buf_len = pure.out.layout.total_len().max(1);
     let data_buf = machine.gmem.alloc(buf_len);
@@ -575,18 +605,18 @@ fn stage_transfer(
     if !pure.out.bytes.is_empty() {
         costs.h2d_lats += 1;
     }
-    counters.add("pcie.h2d_bytes", pure.out.bytes.len() as u64);
+    metrics.add("pcie.h2d_bytes", pure.out.bytes.len() as u64);
     let write_buf =
         pure.out.write_layout.as_ref().map(|wl| machine.gmem.alloc(wl.total_len().max(1)));
     (data_buf, write_buf)
 }
 
-/// Fold one block's compute results into chunk costs and counters (block
+/// Fold one block's compute results into chunk costs and metrics (block
 /// order).
-fn fold_computed(computed: &BlockComputed, costs: &mut ChunkCosts, counters: &mut Counters) {
+fn fold_computed(computed: &BlockComputed, costs: &mut ChunkCosts, metrics: &mut MetricsRegistry) {
     costs.comp.merge(&computed.comp_cost);
-    counters.add("stream.bytes_read", computed.bytes_read);
-    counters.add("stream.bytes_written", computed.bytes_written);
+    metrics.add("stream.bytes_read", computed.bytes_read);
+    metrics.add("stream.bytes_written", computed.bytes_written);
 }
 
 /// Ordered phase, stages 5–6 of the assembled path.
@@ -599,12 +629,12 @@ fn writeback_assembled(
     computed: &BlockComputed,
     llc: &mut CacheSim,
     costs: &mut ChunkCosts,
-    counters: &mut Counters,
+    metrics: &mut MetricsRegistry,
 ) {
     if let (Some(wl), Some(wb)) = (pure.out.write_layout.as_ref(), write_buf) {
         let bytes = wl.total_len();
         costs.wb_bytes += bytes;
-        counters.add("pcie.d2h_bytes", bytes);
+        metrics.add("pcie.d2h_bytes", bytes);
         apply_writeback(
             machine,
             streams,
@@ -758,7 +788,7 @@ fn run_chunk_assembled_logged(
     launch: LaunchConfig,
     cfg: &BigKernelConfig,
     costs: &mut ChunkCosts,
-    counters: &mut Counters,
+    metrics: &mut MetricsRegistry,
 ) {
     // Phase A (pure, concurrent): stages 1–2 per block.
     {
@@ -774,8 +804,8 @@ fn run_chunk_assembled_logged(
     // device addresses are schedule-independent.
     for cell in cells.iter_mut() {
         let pure = cell.pure.as_ref().unwrap();
-        fold_pure(pure, costs, counters);
-        let (data_buf, write_buf) = stage_transfer(machine, pure, costs, counters);
+        fold_pure(pure, costs, metrics);
+        let (data_buf, write_buf) = stage_transfer(machine, pure, costs, metrics);
         cell.data_buf = Some(data_buf);
         cell.write_buf = write_buf;
     }
@@ -811,7 +841,7 @@ fn run_chunk_assembled_logged(
         let p = pure.as_ref().unwrap();
         let effects = computed.as_mut().unwrap().effects.take().unwrap();
         if effects.replay(&mut machine.gmem) == ReplayOutcome::Conflict {
-            counters.incr("parallel.replay_conflicts");
+            metrics.incr("parallel.replay_conflicts");
             *computed = Some(compute_assembled_live(
                 machine,
                 kernel,
@@ -827,7 +857,7 @@ fn run_chunk_assembled_logged(
             ));
         }
         let done = computed.as_ref().unwrap();
-        fold_computed(done, costs, counters);
+        fold_computed(done, costs, metrics);
         writeback_assembled(
             machine,
             streams,
@@ -836,7 +866,7 @@ fn run_chunk_assembled_logged(
             done,
             &mut slot.llc,
             costs,
-            counters,
+            metrics,
         );
         machine.gmem.free(data_buf.unwrap());
         if let Some(wb) = *write_buf {
@@ -864,18 +894,18 @@ fn run_block_sequential(
     cfg: &BigKernelConfig,
     slot: &mut BlockSlot,
     costs: &mut ChunkCosts,
-    counters: &mut Counters,
+    metrics: &mut MetricsRegistry,
 ) {
     let pure = block_pure_bigkernel(machine, kernel, streams, slices, tpb, cfg, slot);
-    fold_pure(&pure, costs, counters);
-    let (data_buf, write_buf) = stage_transfer(machine, &pure, costs, counters);
+    fold_pure(&pure, costs, metrics);
+    let (data_buf, write_buf) = stage_transfer(machine, &pure, costs, metrics);
     let computed = compute_assembled_live(
         machine, kernel, slices, &pure, data_buf, write_buf, block, tpb, launch,
         cfg.verify_reads, &mut slot.sim,
     );
-    fold_computed(&computed, costs, counters);
+    fold_computed(&computed, costs, metrics);
     writeback_assembled(
-        machine, streams, &pure, write_buf, &computed, &mut slot.llc, costs, counters,
+        machine, streams, &pure, write_buf, &computed, &mut slot.llc, costs, metrics,
     );
     machine.gmem.free(data_buf);
     if let Some(wb) = write_buf {
@@ -956,7 +986,7 @@ fn stage_transfer_staged(
     machine: &mut Machine,
     staged: &StagedPure,
     costs: &mut ChunkCosts,
-    counters: &mut Counters,
+    metrics: &mut MetricsRegistry,
 ) -> bk_gpu::BufferId {
     costs.asm.merge(&CpuCost::streaming(staged.layout.total_len(), 2, 1));
     let data_buf = machine.gmem.alloc(staged.layout.total_len().max(1));
@@ -967,7 +997,7 @@ fn stage_transfer_staged(
     if staged.layout.total_len() > 0 {
         costs.h2d_lats += 1;
     }
-    counters.add("pcie.h2d_bytes", staged.layout.total_len());
+    metrics.add("pcie.h2d_bytes", staged.layout.total_len());
     data_buf
 }
 
@@ -1086,7 +1116,7 @@ fn writeback_staged(
     slices: &[Range<u64>],
     any_writes: bool,
     costs: &mut ChunkCosts,
-    counters: &mut Counters,
+    metrics: &mut MetricsRegistry,
 ) {
     if !any_writes {
         return;
@@ -1106,7 +1136,7 @@ fn writeback_staged(
             copied += len;
         }
         costs.wb_bytes += copied;
-        counters.add("pcie.d2h_bytes", copied);
+        metrics.add("pcie.d2h_bytes", copied);
         costs.wb.merge(&CpuCost::streaming(copied, 2, 1));
     }
 }
@@ -1122,7 +1152,7 @@ fn run_chunk_staged_logged(
     tpb: u32,
     launch: LaunchConfig,
     costs: &mut ChunkCosts,
-    counters: &mut Counters,
+    metrics: &mut MetricsRegistry,
 ) {
     // Phase A (pure, concurrent): staging layout + host-side gather.
     {
@@ -1136,7 +1166,7 @@ fn run_chunk_staged_logged(
     // Phase B (ordered): staging-copy cost + alloc + DMA in block order.
     for cell in cells.iter_mut() {
         let staged = cell.staged.as_ref().unwrap();
-        cell.data_buf = Some(stage_transfer_staged(machine, staged, costs, counters));
+        cell.data_buf = Some(stage_transfer_staged(machine, staged, costs, metrics));
     }
 
     // Phase C (pure, concurrent): kernel body against per-block logs.
@@ -1165,7 +1195,7 @@ fn run_chunk_staged_logged(
         let staged = staged.as_ref().unwrap();
         let effects = computed.as_mut().unwrap().effects.take().unwrap();
         if effects.replay(&mut machine.gmem) == ReplayOutcome::Conflict {
-            counters.incr("parallel.replay_conflicts");
+            metrics.incr("parallel.replay_conflicts");
             *computed = Some(compute_staged_live(
                 machine,
                 kernel,
@@ -1179,7 +1209,7 @@ fn run_chunk_staged_logged(
             ));
         }
         let done = computed.as_ref().unwrap();
-        fold_computed(done, costs, counters);
+        fold_computed(done, costs, metrics);
         writeback_staged(
             machine,
             streams,
@@ -1188,7 +1218,7 @@ fn run_chunk_staged_logged(
             slices,
             done.any_writes,
             costs,
-            counters,
+            metrics,
         );
         machine.gmem.free(data_buf.unwrap());
     }
@@ -1206,16 +1236,16 @@ fn run_block_sequential_staged(
     launch: LaunchConfig,
     slot: &mut BlockSlot,
     costs: &mut ChunkCosts,
-    counters: &mut Counters,
+    metrics: &mut MetricsRegistry,
 ) {
     let staged = block_pure_staged(machine, kernel, streams, slices);
-    let data_buf = stage_transfer_staged(machine, &staged, costs, counters);
+    let data_buf = stage_transfer_staged(machine, &staged, costs, metrics);
     let computed = compute_staged_live(
         machine, kernel, slices, &staged.layout, data_buf, block, tpb, launch, &mut slot.sim,
     );
-    fold_computed(&computed, costs, counters);
+    fold_computed(&computed, costs, metrics);
     writeback_staged(
-        machine, streams, &staged.layout, data_buf, slices, computed.any_writes, costs, counters,
+        machine, streams, &staged.layout, data_buf, slices, computed.any_writes, costs, metrics,
     );
     machine.gmem.free(data_buf);
 }
@@ -1316,10 +1346,10 @@ mod tests {
         assert!(r.total > SimTime::ZERO);
         assert!(r.chunks > 1, "expected multiple chunks, got {}", r.chunks);
         // Sequential 8B reads → every lane pattern-compresses.
-        assert!(r.counters.get("addr.patterns_found") > 0);
-        assert_eq!(r.counters.get("addr.patterns_missed"), 0);
+        assert!(r.metrics.get("addr.patterns_found") > 0);
+        assert_eq!(r.metrics.get("addr.patterns_missed"), 0);
         // h2d carried only the accessed bytes (plus interleave padding).
-        assert!(r.counters.get("pcie.h2d_bytes") >= 4096 * 8);
+        assert!(r.metrics.get("pcie.h2d_bytes") >= 4096 * 8);
     }
 
     #[test]
@@ -1337,7 +1367,7 @@ mod tests {
         }
         assert!(r.stage_busy("wb-xfer") > SimTime::ZERO);
         assert!(r.stage_busy("wb-apply") > SimTime::ZERO);
-        assert!(r.counters.get("stream.bytes_written") == 1024 * 4);
+        assert!(r.metrics.get("stream.bytes_written") == 1024 * 4);
     }
 
     #[test]
@@ -1354,7 +1384,7 @@ mod tests {
         assert_eq!(m.gmem.read_u64(acc, 0), expected);
         assert_eq!(r.implementation, "bigkernel-overlap-only");
         // It must ship the whole stream.
-        assert!(r.counters.get("pcie.h2d_bytes") >= 2048 * 8);
+        assert!(r.metrics.get("pcie.h2d_bytes") >= 2048 * 8);
         assert_eq!(r.stage_busy("addr-gen"), SimTime::ZERO);
     }
 
@@ -1390,8 +1420,8 @@ mod tests {
         let s2 = mk(&mut m2);
         let cfg2 = BigKernelConfig { chunk_input_bytes: 4096, ..BigKernelConfig::overlap_only() };
         let r_all = run_bigkernel(&mut m2, &ScaleKernel, &[s2], LaunchConfig::new(1, 32), &cfg2);
-        let big = r_big.counters.get("pcie.h2d_bytes");
-        let all = r_all.counters.get("pcie.h2d_bytes");
+        let big = r_big.metrics.get("pcie.h2d_bytes");
+        let all = r_all.metrics.get("pcie.h2d_bytes");
         assert!(big < all, "bigkernel {big} vs overlap-only {all}");
     }
 
@@ -1431,11 +1461,11 @@ mod tests {
         // With 16 records per lane-chunk the raw stream is 128 B vs a 28 B
         // pattern; larger chunks compress far better (see bench runs).
         assert!(
-            r_on.counters.get("addr.encoded_bytes") * 3
-                < r_off.counters.get("addr.encoded_bytes"),
+            r_on.metrics.get("addr.encoded_bytes") * 3
+                < r_off.metrics.get("addr.encoded_bytes"),
             "patterns {} vs raw {}",
-            r_on.counters.get("addr.encoded_bytes"),
-            r_off.counters.get("addr.encoded_bytes"),
+            r_on.metrics.get("addr.encoded_bytes"),
+            r_off.metrics.get("addr.encoded_bytes"),
         );
         assert!(r_on.total <= r_off.total);
     }
@@ -1450,7 +1480,7 @@ mod tests {
         let kernel = SumKernel { acc };
         let r = run_bigkernel(&mut m, &kernel, &[stream], LaunchConfig::new(64, 32), &small_cfg());
         assert_eq!(m.gmem.read_u64(acc, 0), expected);
-        assert!(r.counters.get("run.waves") >= 2, "waves {}", r.counters.get("run.waves"));
+        assert!(r.metrics.get("run.waves") >= 2, "waves {}", r.metrics.get("run.waves"));
     }
 
     #[test]
@@ -1656,8 +1686,8 @@ mod parallel_tests {
         assert_eq!(r_par, r_seq);
         // In the first wave every concurrently simulated block except the
         // first observes stale state and must re-execute in order.
-        let first_wave_blocks = r_par.counters.get("launch.active_blocks").min(4);
-        assert_eq!(r_par.counters.get("parallel.replay_conflicts"), first_wave_blocks - 1);
+        let first_wave_blocks = r_par.metrics.get("launch.active_blocks").min(4);
+        assert_eq!(r_par.metrics.get("parallel.replay_conflicts"), first_wave_blocks - 1);
     }
 
     /// Hands out sequence slots by consuming `atomic_add` return values —
@@ -1713,7 +1743,7 @@ mod parallel_tests {
         }
         assert_eq!((count, &slots), (count2, &slots2));
         assert_eq!(r_par, r_seq);
-        assert_eq!(r_par.counters.get("parallel.replay_conflicts"), 0);
+        assert_eq!(r_par.metrics.get("parallel.replay_conflicts"), 0);
     }
 }
 
@@ -1724,7 +1754,7 @@ mod bound_counter_tests {
     use crate::stream::{StreamArray, StreamId};
 
     #[test]
-    fn labels_cover_every_stage_and_fall_back_to_other() {
+    fn labels_cover_every_stage() {
         assert_eq!(bound_counter("addr-gen", "pcie-zerocopy"), "bound.addr-gen.pcie-zerocopy");
         assert_eq!(bound_counter("assemble", "cpu-dram-bw"), "bound.assemble.cpu-dram-bw");
         assert_eq!(bound_counter("transfer", "dma-bandwidth"), "bound.transfer.dma-bandwidth");
@@ -1734,10 +1764,19 @@ mod bound_counter_tests {
         assert_eq!(bound_counter("wb-xfer", "dma-latency"), "bound.wb-xfer.dma-latency");
         assert_eq!(bound_counter("wb-apply", "cpu-issue"), "bound.wb-apply.cpu-issue");
         assert_eq!(bound_counter("wb-apply", "cpu-dram-latency"), "bound.wb-apply.cpu-dram-latency");
+    }
+
+    /// Unknown pairs no longer vanish silently: debug builds assert (a
+    /// missing table entry is a bug to fix, not a bucket to hide in);
+    /// release builds log once and still count under `bound.other` so the
+    /// chunk tally stays complete.
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "unknown stage/bound pair"))]
+    fn unknown_pairs_assert_in_debug_and_fall_back_in_release() {
+        assert_eq!(bound_counter("no-such-stage", "gpu-mem"), "bound.other");
         for stage in STAGE_NAMES {
             assert_eq!(bound_counter(stage, "no-such-bound"), "bound.other");
         }
-        assert_eq!(bound_counter("no-such-stage", "gpu-mem"), "bound.other");
     }
 
     struct ScaleKernel;
@@ -1777,7 +1816,7 @@ mod bound_counter_tests {
         let s = StreamArray::map(&m, StreamId(0), region);
         let cfg = BigKernelConfig { chunk_input_bytes: 4096, ..BigKernelConfig::default() };
         let r = run_bigkernel(&mut m, &ScaleKernel, &[s], LaunchConfig::new(2, 32), &cfg);
-        let c = &r.counters;
+        let c = &r.metrics;
         let chunks = r.chunks as u64;
         let transfer =
             c.get("bound.transfer.dma-bandwidth") + c.get("bound.transfer.dma-latency");
@@ -1791,7 +1830,7 @@ mod bound_counter_tests {
             .sum::<u64>();
         assert!(wba > 0, "wb-apply chunks unclassified: {c}");
         assert!(transfer <= chunks && wbx <= chunks && wba <= chunks);
-        assert_eq!(c.get("bound.other"), 0, "counters: {c}");
+        assert_eq!(c.get("bound.other"), 0, "metrics: {c}");
     }
 }
 
@@ -1890,9 +1929,9 @@ mod segmented_pipeline_tests {
         let r = run_bigkernel(&mut m, &PhasedKernel { acc }, &[stream], launch(), &cfg);
         assert_eq!(m.gmem.read_u64(acc, 0), expected, "functional result");
         assert!(
-            r.counters.get("addr.segmented_found") > 0,
-            "expected segmented pieces, counters: {}",
-            r.counters
+            r.metrics.get("addr.segmented_found") > 0,
+            "expected segmented pieces, metrics: {}",
+            r.metrics
         );
     }
 
@@ -1912,8 +1951,8 @@ mod segmented_pipeline_tests {
         let off = run_bigkernel(&mut m2, &PhasedKernel { acc: acc2 }, &[s2], launch(), &cfg_off);
         assert_eq!(m2.gmem.read_u64(acc2, 0), e2);
 
-        let b_on = on.counters.get("addr.encoded_bytes");
-        let b_off = off.counters.get("addr.encoded_bytes");
+        let b_on = on.metrics.get("addr.encoded_bytes");
+        let b_off = off.metrics.get("addr.encoded_bytes");
         assert!(b_on * 5 < b_off, "segmented {b_on} vs raw {b_off}");
         assert!(on.total <= off.total, "on {} off {}", on.total, off.total);
     }
@@ -1979,8 +2018,8 @@ mod validation_tests {
             LaunchConfig::new(1, 32),
             &BigKernelConfig::default(),
         );
-        assert_eq!(res.counters.get("assembly.gathered_bytes"), 0);
-        assert_eq!(res.counters.get("stream.bytes_read"), 0);
+        assert_eq!(res.metrics.get("assembly.gathered_bytes"), 0);
+        assert_eq!(res.metrics.get("stream.bytes_read"), 0);
         // Sync/barrier overheads still tick, so time is not exactly zero.
         assert!(res.chunks >= 1);
     }

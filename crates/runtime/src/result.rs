@@ -1,6 +1,7 @@
 //! Run results: simulated time, per-stage breakdown, counters.
 
-use bk_simcore::{Counters, Schedule, SimTime};
+use bk_obs::MetricsRegistry;
+use bk_simcore::{Schedule, SimTime};
 
 /// Aggregate statistics for one pipeline stage across a whole run.
 #[derive(Clone, Debug, PartialEq)]
@@ -24,8 +25,10 @@ pub struct RunResult {
     pub total: SimTime,
     /// Per-stage aggregate statistics, in pipeline order.
     pub stages: Vec<StageStat>,
-    /// Event counters (bytes over PCIe, transactions, cache hits, ...).
-    pub counters: Counters,
+    /// Unified metrics: event counters (bytes over PCIe, transactions,
+    /// cache hits, stall totals, ...) plus histograms (span durations,
+    /// per-chunk bytes).
+    pub metrics: MetricsRegistry,
     /// Number of chunks processed (across all waves).
     pub chunks: usize,
 }
@@ -117,7 +120,7 @@ mod tests {
                 StageStat { name: "a", busy: t(2.0), mean: t(1.0) },
                 StageStat { name: "b", busy: t(8.0), mean: t(4.0) },
             ],
-            counters: Counters::new(),
+            metrics: MetricsRegistry::new(),
             chunks: 2,
         };
         let rel = r.relative_stage_times();
@@ -133,7 +136,7 @@ mod tests {
             implementation: "x",
             total: t(secs),
             stages: vec![],
-            counters: Counters::new(),
+            metrics: MetricsRegistry::new(),
             chunks: 0,
         };
         assert_eq!(mk(2.0).speedup_over(&mk(6.0)), 3.0);

@@ -22,7 +22,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use pipeline::{PipelineSpec, ReuseEdge, Schedule, StageDef};
+pub use pipeline::{PipelineSpec, ReuseEdge, Schedule, SlotMeta, StageDef, StallKind};
 pub use roofline::RooflineTerms;
 pub use rng::{SplitMix64, Zipf};
 pub use stats::Counters;

@@ -86,12 +86,48 @@ impl Slot {
     }
 }
 
+/// The scheduling constraint that delayed a slot past its dataflow-ready
+/// time (the finish of the previous stage of the same chunk).
+///
+/// A slot's start is `max(dataflow, resource, reuse)`; when the winner is
+/// not the dataflow edge, the slot *stalled* — the pipeline itself (not the
+/// chunk's own critical path) held it back. That gap is what the paper's
+/// §IV.C synchronization machinery (flags over PCIe, `bar.red` barriers)
+/// spends its time waiting on, so attributing it is the core of the
+/// observability layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StallKind {
+    /// Waiting for the stage's resource (DMA engine, CPU assembly thread,
+    /// GPU queue...) to drain earlier chunks — in-order issue contention.
+    Resource(ResourceId),
+    /// Waiting on a buffer-reuse edge: the named consumer stage of chunk
+    /// `i - depth` had not released the buffer (the `addr-gen(n)` waits for
+    /// `compute(n-3)` rule, implemented by flag signalling in the paper).
+    Reuse {
+        /// Consumer stage index of the winning [`ReuseEdge`].
+        consumer: usize,
+    },
+}
+
+/// Stall attribution for one slot: why it started late and by how much.
+/// `kind` is `None` exactly when the slot started the moment its dataflow
+/// predecessor finished (no inter-stage gap).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SlotMeta {
+    pub kind: Option<StallKind>,
+    /// Gap between the dataflow-ready time and the actual start.
+    pub stall: SimTime,
+}
+
 /// The computed schedule.
 #[derive(Clone, Debug)]
 pub struct Schedule {
     stage_names: Vec<&'static str>,
+    resources: Vec<ResourceId>,
     /// `slots[chunk][stage]`
     slots: Vec<Vec<Slot>>,
+    /// `meta[chunk][stage]`, parallel to `slots`.
+    meta: Vec<Vec<SlotMeta>>,
     makespan: SimTime,
 }
 
@@ -115,6 +151,16 @@ impl Schedule {
 
     pub fn stage_name(&self, stage: usize) -> &'static str {
         self.stage_names[stage]
+    }
+
+    /// Resource the stage was mapped to (one trace track per resource).
+    pub fn stage_resource(&self, stage: usize) -> ResourceId {
+        self.resources[stage]
+    }
+
+    /// Stall attribution for one slot (see [`SlotMeta`]).
+    pub fn slot_meta(&self, chunk: usize, stage: usize) -> SlotMeta {
+        self.meta[chunk][stage]
     }
 
     /// Total busy time of a stage across all chunks.
@@ -180,38 +226,63 @@ pub fn schedule(spec: &PipelineSpec, durations: &[Vec<SimTime>]) -> Schedule {
 
     let mut resource_free: HashMap<ResourceId, SimTime> = HashMap::new();
     let mut slots: Vec<Vec<Slot>> = Vec::with_capacity(durations.len());
+    let mut meta: Vec<Vec<SlotMeta>> = Vec::with_capacity(durations.len());
 
     for (chunk, row) in durations.iter().enumerate() {
         let mut chunk_slots: Vec<Slot> = Vec::with_capacity(ns);
+        let mut chunk_meta: Vec<SlotMeta> = Vec::with_capacity(ns);
         for (stage, &dur) in row.iter().enumerate() {
             let mut start = SimTime::ZERO;
             // 1. dataflow within the chunk
-            if stage > 0 {
-                start = start.max(chunk_slots[stage - 1].finish);
-            }
+            let dataflow = if stage > 0 { chunk_slots[stage - 1].finish } else { SimTime::ZERO };
+            start = start.max(dataflow);
             // 2. resource availability (in-order issue). Zero-duration
             // stages are no-ops: they neither wait for nor occupy their
             // resource (an absent write-back must not delay the DMA engine).
             let res = spec.stages[stage].resource;
+            let mut res_ready = SimTime::ZERO;
             if !dur.is_zero() {
                 if let Some(&free) = resource_free.get(res) {
+                    res_ready = free;
                     start = start.max(free);
                 }
             }
             // 3. buffer-reuse edges
+            let mut reuse_ready = SimTime::ZERO;
+            let mut reuse_consumer = 0usize;
             for e in &spec.reuse {
                 if e.producer == stage && chunk >= e.depth {
                     let prev: &Vec<Slot> = &slots[chunk - e.depth];
-                    start = start.max(prev[e.consumer].finish);
+                    let ready = prev[e.consumer].finish;
+                    if ready >= reuse_ready {
+                        reuse_ready = ready;
+                        reuse_consumer = e.consumer;
+                    }
+                    start = start.max(ready);
                 }
             }
+            // Attribute the inter-stage gap (start − dataflow) to whichever
+            // constraint won. On a tie the reuse edge takes precedence over
+            // plain resource contention: the reuse wait is the one the
+            // runtime pays synchronization costs for, so it is the more
+            // actionable label.
+            let stalled = start.saturating_sub(dataflow);
+            let kind = if stalled.is_zero() {
+                None
+            } else if reuse_ready >= res_ready {
+                Some(StallKind::Reuse { consumer: reuse_consumer })
+            } else {
+                Some(StallKind::Resource(res))
+            };
             let finish = start + dur;
             if !dur.is_zero() {
                 resource_free.insert(res, finish);
             }
             chunk_slots.push(Slot { start, finish });
+            chunk_meta.push(SlotMeta { kind, stall: stalled });
         }
         slots.push(chunk_slots);
+        meta.push(chunk_meta);
     }
 
     let makespan = slots
@@ -219,7 +290,13 @@ pub fn schedule(spec: &PipelineSpec, durations: &[Vec<SimTime>]) -> Schedule {
         .flat_map(|c| c.iter().map(|s| s.finish))
         .fold(SimTime::ZERO, SimTime::max);
 
-    Schedule { stage_names: spec.stages.iter().map(|s| s.name).collect(), slots, makespan }
+    Schedule {
+        stage_names: spec.stages.iter().map(|s| s.name).collect(),
+        resources: spec.stages.iter().map(|s| s.resource).collect(),
+        slots,
+        meta,
+        makespan,
+    }
 }
 
 /// Convenience: a fully serialized "pipeline" — every stage of every chunk on
@@ -376,6 +453,54 @@ mod tests {
         let s = schedule(&spec, &d);
         // xfer fully overlaps compute: makespan = 1 + 3*5.
         assert!((s.makespan().secs() - 16.0).abs() < 1e-9, "{}", s.makespan());
+    }
+
+    #[test]
+    fn stall_attribution_blames_the_resource_queue() {
+        // Both stages on one resource: stage "b" of chunk 0 waits for "a" of
+        // chunk 0 via dataflow (no stall), but "a" of chunk 1 waits for the
+        // shared resource to drain "b" of chunk 0.
+        let spec = PipelineSpec::new(vec![
+            StageDef { name: "a", resource: "r" },
+            StageDef { name: "b", resource: "r" },
+        ]);
+        let s = schedule(&spec, &vec![vec![t(1.0), t(1.0)]; 2]);
+        assert_eq!(s.slot_meta(0, 0).kind, None);
+        assert_eq!(s.slot_meta(0, 1).kind, None, "dataflow waits are not stalls");
+        let m = s.slot_meta(1, 0);
+        assert_eq!(m.kind, Some(StallKind::Resource("r")));
+        assert!((m.stall.secs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stall_attribution_blames_the_reuse_edge() {
+        // Stage 0 is instantaneous and unconstrained except for the depth-1
+        // reuse edge on stage 1: every chunk past the first stalls on reuse.
+        let spec = two_stage_spec().with_reuse(0, 1, 1);
+        let s = schedule(&spec, &vec![vec![t(0.1), t(1.0)]; 3]);
+        assert_eq!(s.slot_meta(0, 0).kind, None);
+        let m = s.slot_meta(1, 0);
+        assert_eq!(m.kind, Some(StallKind::Reuse { consumer: 1 }));
+        assert!(m.stall > SimTime::ZERO);
+        assert_eq!(s.stage_resource(0), "dma");
+        assert_eq!(s.stage_resource(1), "gpu");
+    }
+
+    #[test]
+    fn stall_gap_equals_start_minus_dataflow_ready() {
+        // Every positive inter-stage gap must carry a cause, and the gap
+        // must equal start − previous-stage finish exactly.
+        let spec = two_stage_spec().with_reuse(0, 1, 2);
+        let s = schedule(&spec, &vec![vec![t(0.3), t(1.0)]; 8]);
+        for c in 0..s.num_chunks() {
+            for st in 0..s.num_stages() {
+                let m = s.slot_meta(c, st);
+                let df = if st > 0 { s.slot(c, st - 1).finish } else { SimTime::ZERO };
+                let gap = s.slot(c, st).start.saturating_sub(df);
+                assert_eq!(m.stall, gap);
+                assert_eq!(m.kind.is_some(), !gap.is_zero(), "chunk {c} stage {st}");
+            }
+        }
     }
 
     #[test]

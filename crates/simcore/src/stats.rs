@@ -23,9 +23,20 @@ impl Counters {
     }
 
     /// Add `delta` to the named counter (creating it at zero first).
+    ///
+    /// Overflow is a modelling bug (counters track bytes/events of bounded
+    /// simulations): debug builds assert, release builds saturate at
+    /// `u64::MAX` instead of wrapping silently.
     #[inline]
     pub fn add(&mut self, name: &'static str, delta: u64) {
-        *self.values.entry(name).or_insert(0) += delta;
+        let slot = self.values.entry(name).or_insert(0);
+        match slot.checked_add(delta) {
+            Some(v) => *slot = v,
+            None => {
+                debug_assert!(false, "counter `{name}` overflowed u64 adding {delta}");
+                *slot = u64::MAX;
+            }
+        }
     }
 
     /// Increment the named counter by one.
@@ -101,6 +112,29 @@ mod tests {
         assert_eq!(a.get("bytes"), 42);
         assert_eq!(a.get("only_a"), 1);
         assert_eq!(a.get("only_b"), 2);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "overflowed"))]
+    fn add_overflow_asserts_in_debug_and_saturates_in_release() {
+        let mut c = Counters::new();
+        c.add("x", u64::MAX - 1);
+        c.add("x", 5);
+        // Only reached in release builds, where the add saturates.
+        assert_eq!(c.get("x"), u64::MAX);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "overflowed"))]
+    fn merge_saturates_shared_counters() {
+        let mut a = Counters::new();
+        a.add("bytes", u64::MAX - 1);
+        let mut b = Counters::new();
+        b.add("bytes", 10);
+        b.add("other", 1);
+        a.merge(&b);
+        assert_eq!(a.get("bytes"), u64::MAX);
+        assert_eq!(a.get("other"), 1);
     }
 
     #[test]

@@ -112,7 +112,7 @@ fn main() {
     println!("class counts: low={} mid={} high={}", got[0], got[1], got[2]);
     println!("simulated time: {} over {} chunks", result.total, result.chunks);
     println!("patterns found: {} (the sliced loop is perfectly periodic)",
-        result.counters.get("addr.patterns_found"));
+        result.metrics.get("addr.patterns_found"));
     println!("\nevery compute-stage access was verified against the compiler-derived");
     println!("address stream — the transformation is machine-checked end to end.");
 }

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Validate a JSON document against a checked-in schema, stdlib only.
+
+Usage: validate_json.py SCHEMA.json DOCUMENT.json
+
+Implements the subset of JSON Schema the schemas in `schemas/` use:
+`type` (string or list, including "null"), `required`, `properties`,
+`additionalProperties` (as a schema applied to properties not listed),
+`items`, `enum`, and `minItems`. Unknown keywords are ignored, matching
+JSON Schema's open-world semantics. Exits 0 on success; on the first
+violation prints the JSON-pointer-ish path and exits 1.
+"""
+
+import json
+import sys
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "number": (int, float),
+    "integer": int,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def type_ok(value, name):
+    if name not in TYPES:
+        raise SystemExit(f"schema error: unknown type {name!r}")
+    # bool is a subclass of int in Python; JSON treats them as distinct.
+    if isinstance(value, bool):
+        return name == "boolean"
+    return isinstance(value, TYPES[name])
+
+
+def check(value, schema, path):
+    def fail(msg):
+        raise SystemExit(f"{doc_path}: {path or '$'}: {msg}")
+
+    t = schema.get("type")
+    if t is not None:
+        names = t if isinstance(t, list) else [t]
+        if not any(type_ok(value, n) for n in names):
+            fail(f"expected {' or '.join(names)}, got {type(value).__name__}")
+
+    if "enum" in schema and value not in schema["enum"]:
+        fail(f"{value!r} not in {schema['enum']}")
+
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                fail(f"missing required property {key!r}")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties")
+        for key, sub in value.items():
+            if key in props:
+                check(sub, props[key], f"{path}.{key}")
+            elif isinstance(extra, dict):
+                check(sub, extra, f"{path}.{key}")
+
+    if isinstance(value, list):
+        if len(value) < schema.get("minItems", 0):
+            fail(f"expected at least {schema['minItems']} items, got {len(value)}")
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for i, sub in enumerate(value):
+                check(sub, items, f"{path}[{i}]")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 3:
+        raise SystemExit(__doc__.strip().splitlines()[2])
+    schema_path, doc_path = sys.argv[1], sys.argv[2]
+    with open(schema_path) as f:
+        schema = json.load(f)
+    with open(doc_path) as f:
+        doc = json.load(f)
+    check(doc, schema, "$")
+    print(f"{doc_path}: valid against {schema_path}")

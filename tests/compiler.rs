@@ -171,8 +171,8 @@ fn compiled_kmeans_matches_the_handwritten_reference() {
         assert_eq!(got, want, "record {r}");
     }
     // The xyzw/record walk plus the cid write must both pattern-compress.
-    assert!(result.counters.get("addr.patterns_found") > 0);
-    assert_eq!(result.counters.get("addr.patterns_missed"), 0);
+    assert!(result.metrics.get("addr.patterns_found") > 0);
+    assert_eq!(result.metrics.get("addr.patterns_missed"), 0);
 }
 
 #[test]

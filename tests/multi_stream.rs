@@ -85,11 +85,11 @@ fn three_stream_saxpy_under_bigkernel() {
     verify(&m, &streams, n);
     // The (s0, s1) read cycle is a period-2 multi-stream pattern; the s2
     // write cycle is period-1 — both must compress.
-    assert!(r.counters.get("addr.patterns_found") > 0);
-    assert_eq!(r.counters.get("addr.patterns_missed"), 0);
+    assert!(r.metrics.get("addr.patterns_found") > 0);
+    assert_eq!(r.metrics.get("addr.patterns_missed"), 0);
     // Transfer carried both input arrays.
-    assert!(r.counters.get("pcie.h2d_bytes") >= 2 * n * 8);
-    assert!(r.counters.get("pcie.d2h_bytes") >= n * 8);
+    assert!(r.metrics.get("pcie.h2d_bytes") >= 2 * n * 8);
+    assert!(r.metrics.get("pcie.d2h_bytes") >= n * 8);
 }
 
 #[test]

@@ -159,8 +159,8 @@ fn mastercard_plain_transfers_everything_indexed_does_not() {
         &cfg(),
         &[Implementation::BigKernel],
     );
-    let h2d_plain = plain[0].1.counters.get("pcie.h2d_bytes");
-    let h2d_indexed = indexed[0].1.counters.get("pcie.h2d_bytes");
+    let h2d_plain = plain[0].1.metrics.get("pcie.h2d_bytes");
+    let h2d_indexed = indexed[0].1.metrics.get("pcie.h2d_bytes");
     assert!(
         h2d_indexed * 2 < h2d_plain,
         "indexed h2d {h2d_indexed} should be far below plain {h2d_plain}"
