@@ -86,9 +86,15 @@ pub fn parse_records(text: &[u8]) -> Vec<(u64, u64, u64)> {
 /// What a pass does with each parsed record.
 enum PassAction {
     /// Pass 1: collect customers of the target merchant.
-    Collect { customers: DevHashTable, target: u64 },
+    Collect {
+        customers: DevHashTable,
+        target: u64,
+    },
     /// Pass 2: count merchants visited by collected customers.
-    Count { customers: DevHashTable, counts: DevHashTable },
+    Count {
+        customers: DevHashTable,
+        counts: DevHashTable,
+    },
 }
 
 impl PassAction {
@@ -359,7 +365,13 @@ fn generate(bytes: u64, seed: u64, merchants: usize, cards: usize) -> Generated 
             *expected_counts.entry(merch).or_insert(0u64) += 1;
         }
     }
-    Generated { text, index, target_merchant, expected_customers, expected_counts }
+    Generated {
+        text,
+        index,
+        target_merchant,
+        expected_customers,
+        expected_counts,
+    }
 }
 
 /// Reference results for the *indexed* variant (only indexed records
@@ -377,8 +389,11 @@ fn indexed_reference(g: &Generated) -> (HashSet<u64>, HashMap<u64, u64>) {
             (card, merch)
         })
         .collect();
-    let customers: HashSet<u64> =
-        recs.iter().filter(|&&(_, m)| m == g.target_merchant).map(|&(c, _)| c).collect();
+    let customers: HashSet<u64> = recs
+        .iter()
+        .filter(|&&(_, m)| m == g.target_merchant)
+        .map(|&(c, _)| c)
+        .collect();
     let mut counts = HashMap::new();
     for &(c, m) in &recs {
         if customers.contains(&c) {
@@ -392,7 +407,10 @@ fn alloc_tables(machine: &mut Machine, n_hint: u64) -> (DevHashTable, DevHashTab
     let slots = (n_hint * 4).next_power_of_two().max(1024);
     let cbuf = machine.gmem.alloc(DevHashTable::bytes_for(slots));
     let mbuf = machine.gmem.alloc(DevHashTable::bytes_for(slots));
-    (DevHashTable { buf: cbuf, slots }, DevHashTable { buf: mbuf, slots })
+    (
+        DevHashTable { buf: cbuf, slots },
+        DevHashTable { buf: mbuf, slots },
+    )
 }
 
 fn verify_tables(
@@ -416,7 +434,11 @@ fn verify_tables(
     }
     let total: u64 = expected_counts.values().sum();
     if counts.total(&m.gmem) != total {
-        return Err(format!("count total {} != {}", counts.total(&m.gmem), total));
+        return Err(format!(
+            "count total {} != {}",
+            counts.total(&m.gmem),
+            total
+        ));
     }
     for (&merch, &n) in expected_counts {
         let got = counts.get(&m.gmem, merch);
@@ -435,7 +457,10 @@ pub struct Affinity {
 
 impl Default for Affinity {
     fn default() -> Self {
-        Affinity { merchants: 512, cards: 4096 }
+        Affinity {
+            merchants: 512,
+            cards: 4096,
+        }
     }
 }
 
@@ -459,7 +484,10 @@ impl BenchApp for Affinity {
         let (customers, counts) = alloc_tables(machine, n_hint);
 
         let pass1 = ScanPassKernel {
-            action: PassAction::Collect { customers, target: g.target_merchant },
+            action: PassAction::Collect {
+                customers,
+                target: g.target_merchant,
+            },
             text_len: bytes,
             name: "affinity-pass1",
         };
@@ -488,7 +516,10 @@ pub struct AffinityIndexed {
 
 impl Default for AffinityIndexed {
     fn default() -> Self {
-        AffinityIndexed { merchants: 512, cards: 4096 }
+        AffinityIndexed {
+            merchants: 512,
+            cards: 4096,
+        }
     }
 }
 
@@ -521,7 +552,10 @@ impl BenchApp for AffinityIndexed {
         let num_records = g.index.len() as u64;
 
         let pass1 = IndexedPassKernel {
-            action: PassAction::Collect { customers, target: g.target_merchant },
+            action: PassAction::Collect {
+                customers,
+                target: g.target_merchant,
+            },
             index: index_buf,
             num_records,
             name: "affinity-indexed-pass1",
@@ -565,7 +599,10 @@ mod tests {
     #[test]
     fn generation_reference_is_consistent() {
         let g = generate(32 * 1024, 9, 64, 256);
-        assert!(!g.expected_customers.is_empty(), "target merchant must have customers");
+        assert!(
+            !g.expected_customers.is_empty(),
+            "target merchant must have customers"
+        );
         assert!(!g.expected_counts.is_empty());
         // Counts include the target merchant itself.
         assert!(g.expected_counts.contains_key(&g.target_merchant));
@@ -575,14 +612,20 @@ mod tests {
 
     #[test]
     fn plain_all_implementations_agree() {
-        let app = Affinity { merchants: 64, cards: 256 };
+        let app = Affinity {
+            merchants: 64,
+            cards: 256,
+        };
         let cfg = HarnessConfig::test_small();
         run_all(&app, 48 * 1024, 42, &cfg, &Implementation::FIG4A);
     }
 
     #[test]
     fn indexed_all_implementations_agree() {
-        let app = AffinityIndexed { merchants: 64, cards: 256 };
+        let app = AffinityIndexed {
+            merchants: 64,
+            cards: 256,
+        };
         let cfg = HarnessConfig::test_small();
         run_all(&app, 48 * 1024, 42, &cfg, &Implementation::FIG4A);
     }
@@ -592,14 +635,20 @@ mod tests {
         let cfg = HarnessConfig::test_small();
         let bytes = 64 * 1024u64;
         let plain = run_all(
-            &Affinity { merchants: 64, cards: 256 },
+            &Affinity {
+                merchants: 64,
+                cards: 256,
+            },
             bytes,
             3,
             &cfg,
             &[Implementation::BigKernel],
         );
         let indexed = run_all(
-            &AffinityIndexed { merchants: 64, cards: 256 },
+            &AffinityIndexed {
+                merchants: 64,
+                cards: 256,
+            },
             bytes,
             3,
             &cfg,
@@ -610,14 +659,20 @@ mod tests {
         assert!(plain_read > 1.9, "plain read fraction {plain_read}");
         let idx_read = indexed[0].1.metrics.get("stream.bytes_read") as f64 / bytes as f64;
         // Two passes of ~25% each.
-        assert!((0.3..0.9).contains(&idx_read), "indexed read fraction {idx_read}");
+        assert!(
+            (0.3..0.9).contains(&idx_read),
+            "indexed read fraction {idx_read}"
+        );
     }
 
     #[test]
     fn indexed_addresses_are_not_pattern_compressible() {
         let cfg = HarnessConfig::test_small();
         let r = run_all(
-            &AffinityIndexed { merchants: 64, cards: 256 },
+            &AffinityIndexed {
+                merchants: 64,
+                cards: 256,
+            },
             48 * 1024,
             5,
             &cfg,
@@ -640,7 +695,10 @@ mod tests {
     fn plain_scan_is_pattern_compressible() {
         let cfg = HarnessConfig::test_small();
         let r = run_all(
-            &Affinity { merchants: 64, cards: 256 },
+            &Affinity {
+                merchants: 64,
+                cards: 256,
+            },
             48 * 1024,
             5,
             &cfg,

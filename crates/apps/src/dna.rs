@@ -97,7 +97,9 @@ pub struct DnaAssembly {
 
 impl Default for DnaAssembly {
     fn default() -> Self {
-        DnaAssembly { distinct_fragments: 4096 }
+        DnaAssembly {
+            distinct_fragments: 4096,
+        }
     }
 }
 
@@ -120,7 +122,11 @@ impl BenchApp for DnaAssembly {
         // Distinct source fragments; reads sample them with skew so some
         // fragments repeat many times (the duplicates assembly removes).
         let sources: Vec<Vec<u8>> = (0..self.distinct_fragments)
-            .map(|_| (0..RECORD - SEQ_OFF).map(|_| BASES[rng.next_below(4) as usize]).collect())
+            .map(|_| {
+                (0..RECORD - SEQ_OFF)
+                    .map(|_| BASES[rng.next_below(4) as usize])
+                    .collect()
+            })
             .collect();
         let zipf = Zipf::new(self.distinct_fragments, 0.8);
 
@@ -183,14 +189,18 @@ mod tests {
 
     #[test]
     fn all_implementations_agree() {
-        let app = DnaAssembly { distinct_fragments: 64 };
+        let app = DnaAssembly {
+            distinct_fragments: 64,
+        };
         let cfg = HarnessConfig::test_small();
         run_all(&app, 64 * 1024, 42, &cfg, &Implementation::FIG4A);
     }
 
     #[test]
     fn read_proportion_matches_table1() {
-        let app = DnaAssembly { distinct_fragments: 64 };
+        let app = DnaAssembly {
+            distinct_fragments: 64,
+        };
         let cfg = HarnessConfig::test_small();
         let results = run_all(&app, 128 * 1024, 3, &cfg, &[Implementation::BigKernel]);
         let c = &results[0].1.metrics;
@@ -201,17 +211,14 @@ mod tests {
 
     #[test]
     fn duplicates_are_counted() {
-        let app = DnaAssembly { distinct_fragments: 4 };
+        let app = DnaAssembly {
+            distinct_fragments: 4,
+        };
         let mut m = Machine::test_platform();
         let inst = app.instantiate(&mut m, 64 * RECORD, 5);
         // 64 records over 4 distinct fragments → counts must exceed 1.
         let cfg = HarnessConfig::test_small();
-        let r = crate::harness::run_implementation(
-            &mut m,
-            &inst,
-            Implementation::CpuSerial,
-            &cfg,
-        );
+        let r = crate::harness::run_implementation(&mut m, &inst, Implementation::CpuSerial, &cfg);
         (inst.verify)(&m).unwrap();
         assert!(r.total.secs() > 0.0);
     }

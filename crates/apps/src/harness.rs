@@ -98,6 +98,9 @@ pub struct HarnessConfig {
     /// Replace the platform's CPU-GPU interconnect (sensitivity studies);
     /// `None` keeps the machine's default link.
     pub link: Option<bk_host::PcieLink>,
+    /// Number of simulated GPUs; chunks are sharded across them by the
+    /// stage-graph executor. Functional outputs are identical at any count.
+    pub gpus: usize,
 }
 
 impl HarnessConfig {
@@ -113,6 +116,7 @@ impl HarnessConfig {
             baseline: BaselineConfig::default(),
             fixed_cost_scale: 1.0,
             link: None,
+            gpus: 1,
         }
     }
 
@@ -132,8 +136,7 @@ impl HarnessConfig {
         // (a 2048-lane launch over a few MiB leaves ~2 records per slice).
         let blocks = (bytes / (2 << 20)).clamp(2, 16) as u32;
         cfg.launch = LaunchConfig::new(blocks, cfg.launch.threads_per_block);
-        cfg.bigkernel.chunk_input_bytes =
-            (bytes / (blocks as u64 * ROUNDS)).max(16 * 1024);
+        cfg.bigkernel.chunk_input_bytes = (bytes / (blocks as u64 * ROUNDS)).max(16 * 1024);
         cfg.baseline.window_bytes = (bytes / ROUNDS).max(64 * 1024);
         cfg.fixed_cost_scale = (bytes as f64 / PAPER_BYTES).clamp(1e-4, 1.0);
         cfg.baseline.kernel_launch_overhead =
@@ -156,6 +159,7 @@ impl HarnessConfig {
             },
             fixed_cost_scale: 1.0,
             link: None,
+            gpus: 1,
         }
     }
 }
@@ -180,7 +184,13 @@ pub fn merge_pass_results(name: &'static str, results: Vec<RunResult>) -> RunRes
             }
         }
     }
-    RunResult { implementation: name, total, stages, metrics, chunks }
+    RunResult {
+        implementation: name,
+        total,
+        stages,
+        metrics,
+        chunks,
+    }
 }
 
 /// Run every pass of `instance` under one implementation; outputs land in
@@ -243,6 +253,7 @@ pub fn run_all(
     imps.par_iter()
         .map(|&imp| {
             let mut machine = (cfg.machine)();
+            machine.replicate_gpus(cfg.gpus);
             if let Some(link) = &cfg.link {
                 machine.link = link.clone();
             }
@@ -250,7 +261,11 @@ pub fn run_all(
             let instance = app.instantiate(&mut machine, bytes, seed);
             let result = run_implementation(&mut machine, &instance, imp, cfg);
             if let Err(e) = (instance.verify)(&machine) {
-                panic!("{} failed verification under {}: {e}", app.spec().name, imp.label());
+                panic!(
+                    "{} failed verification under {}: {e}",
+                    app.spec().name,
+                    imp.label()
+                );
             }
             (imp, result)
         })
@@ -269,7 +284,11 @@ mod tests {
         RunResult {
             implementation: name,
             total: t,
-            stages: vec![StageStat { name: stage, busy: t, mean: t }],
+            stages: vec![StageStat {
+                name: stage,
+                busy: t,
+                mean: t,
+            }],
             metrics: c,
             chunks: 2,
         }
@@ -277,8 +296,10 @@ mod tests {
 
     #[test]
     fn merge_pass_results_sums() {
-        let merged =
-            merge_pass_results("mca", vec![res("p1", 1.0, "compute"), res("p2", 2.0, "compute")]);
+        let merged = merge_pass_results(
+            "mca",
+            vec![res("p1", 1.0, "compute"), res("p2", 2.0, "compute")],
+        );
         assert_eq!(merged.total.secs(), 3.0);
         assert_eq!(merged.stages.len(), 1);
         assert_eq!(merged.stages[0].busy.secs(), 3.0);
@@ -288,8 +309,10 @@ mod tests {
 
     #[test]
     fn merge_keeps_distinct_stage_names() {
-        let merged =
-            merge_pass_results("x", vec![res("p1", 1.0, "compute"), res("p2", 2.0, "transfer")]);
+        let merged = merge_pass_results(
+            "x",
+            vec![res("p1", 1.0, "compute"), res("p2", 2.0, "transfer")],
+        );
         assert_eq!(merged.stages.len(), 2);
     }
 
@@ -319,7 +342,10 @@ mod scaled_config_tests {
             assert!((8..=16).contains(&rounds), "{mib} MiB -> {rounds} rounds");
             // Baseline windows ≈ 12 as well.
             let windows = bytes / cfg.baseline.window_bytes;
-            assert!((8..=16).contains(&windows), "{mib} MiB -> {windows} windows");
+            assert!(
+                (8..=16).contains(&windows),
+                "{mib} MiB -> {windows} windows"
+            );
         }
     }
 
@@ -334,7 +360,10 @@ mod scaled_config_tests {
     #[test]
     fn paper_scaled_fixed_costs_track_data_ratio() {
         let cfg = HarnessConfig::paper_scaled(6_000_000_000);
-        assert!((cfg.fixed_cost_scale - 1.0).abs() < 1e-9, "paper scale is unscaled");
+        assert!(
+            (cfg.fixed_cost_scale - 1.0).abs() < 1e-9,
+            "paper scale is unscaled"
+        );
         let cfg = HarnessConfig::paper_scaled(6_000_000);
         assert!((cfg.fixed_cost_scale - 1e-3).abs() < 1e-6);
     }

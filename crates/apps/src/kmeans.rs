@@ -155,7 +155,9 @@ impl BenchApp for KMeans {
         let clusters_buf = machine.gmem.alloc(self.k as u64 * 32);
         for (i, c) in clusters.iter().enumerate() {
             for (d, &v) in c.iter().enumerate() {
-                machine.gmem.write_f64(clusters_buf, i as u64 * 32 + d as u64 * 8, v);
+                machine
+                    .gmem
+                    .write_f64(clusters_buf, i as u64 * 32 + d as u64 * 8, v);
             }
         }
 
@@ -195,7 +197,10 @@ impl BenchApp for KMeans {
         };
 
         Instance {
-            kernels: vec![Box::new(KMeansKernel { clusters_buf, k: self.k })],
+            kernels: vec![Box::new(KMeansKernel {
+                clusters_buf,
+                k: self.k,
+            })],
             streams: vec![stream],
             verify: Box::new(verify),
         }

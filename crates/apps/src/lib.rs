@@ -30,4 +30,6 @@ pub mod opinion;
 pub mod util;
 pub mod wordcount;
 
-pub use harness::{run_all, run_implementation, AppSpec, BenchApp, HarnessConfig, Implementation, Instance};
+pub use harness::{
+    run_all, run_implementation, AppSpec, BenchApp, HarnessConfig, Implementation, Instance,
+};

@@ -40,10 +40,7 @@ pub struct Dictionaries {
 /// kernel (device dictionaries) and the reference (host sets).
 ///
 /// `classify(word_hash) -> (is_subject, is_positive, is_negative, is_adverb)`
-pub fn score_text<F: FnMut(u64) -> (bool, bool, bool, bool)>(
-    text: &[u8],
-    mut classify: F,
-) -> i64 {
+pub fn score_text<F: FnMut(u64) -> (bool, bool, bool, bool)>(text: &[u8], mut classify: F) -> i64 {
     let mut score = 0i64;
     let mut mentioned = false;
     let mut adverb_boost = 1i64;
@@ -207,10 +204,11 @@ impl BenchApp for OpinionFinder {
             // contain duplicate words; the device dictionaries then hold the
             // *union* of the duplicates' classes, so the reference must OR
             // them too.
-            let mut class_map =
-                std::collections::HashMap::<u64, (bool, bool, bool, bool)>::new();
+            let mut class_map = std::collections::HashMap::<u64, (bool, bool, bool, bool)>::new();
             for (i, w) in words.iter().enumerate() {
-                let e = class_map.entry(key(fnv1a(w))).or_insert((false, false, false, false));
+                let e = class_map
+                    .entry(key(fnv1a(w)))
+                    .or_insert((false, false, false, false));
                 let c = class_of(i);
                 e.0 |= c.0;
                 e.1 |= c.1;
@@ -243,7 +241,10 @@ impl BenchApp for OpinionFinder {
                 let text_copy: Vec<u8> =
                     data[base + TEXT_OFF as usize..base + (TEXT_OFF + TEXT_LEN) as usize].to_vec();
                 expected += score_text(&text_copy, |k| {
-                    class_map.get(&k).copied().unwrap_or((false, false, false, false))
+                    class_map
+                        .get(&k)
+                        .copied()
+                        .unwrap_or((false, false, false, false))
                 });
             }
         }

@@ -143,7 +143,10 @@ pub struct WordCount {
 
 impl Default for WordCount {
     fn default() -> Self {
-        WordCount { vocab: 8192, skew: 1.0 }
+        WordCount {
+            vocab: 8192,
+            skew: 1.0,
+        }
     }
 }
 
@@ -223,7 +226,10 @@ impl BenchApp for WordCount {
         };
 
         Instance {
-            kernels: vec![Box::new(WordCountKernel { table, text_len: bytes })],
+            kernels: vec![Box::new(WordCountKernel {
+                table,
+                text_len: bytes,
+            })],
             streams: vec![stream],
             verify: Box::new(verify),
         }
@@ -256,14 +262,20 @@ mod tests {
 
     #[test]
     fn all_implementations_agree() {
-        let app = WordCount { vocab: 256, skew: 1.0 };
+        let app = WordCount {
+            vocab: 256,
+            skew: 1.0,
+        };
         let cfg = HarnessConfig::test_small();
         run_all(&app, 48 * 1024, 42, &cfg, &Implementation::FIG4A);
     }
 
     #[test]
     fn variants_agree() {
-        let app = WordCount { vocab: 256, skew: 1.0 };
+        let app = WordCount {
+            vocab: 256,
+            skew: 1.0,
+        };
         let cfg = HarnessConfig::test_small();
         run_all(
             &app,
@@ -279,7 +291,10 @@ mod tests {
 
     #[test]
     fn whole_text_is_read() {
-        let app = WordCount { vocab: 256, skew: 1.0 };
+        let app = WordCount {
+            vocab: 256,
+            skew: 1.0,
+        };
         let cfg = HarnessConfig::test_small();
         let results = run_all(&app, 32 * 1024, 1, &cfg, &[Implementation::BigKernel]);
         let read = results[0].1.metrics.get("stream.bytes_read");
@@ -290,11 +305,18 @@ mod tests {
 
     #[test]
     fn byte_scan_is_pattern_compressed() {
-        let app = WordCount { vocab: 256, skew: 1.0 };
+        let app = WordCount {
+            vocab: 256,
+            skew: 1.0,
+        };
         let cfg = HarnessConfig::test_small();
         let results = run_all(&app, 32 * 1024, 2, &cfg, &[Implementation::BigKernel]);
         let c = &results[0].1.metrics;
         assert!(c.get("addr.patterns_found") > 0);
-        assert_eq!(c.get("addr.patterns_missed"), 0, "byte scans must always compress");
+        assert_eq!(
+            c.get("addr.patterns_missed"),
+            0,
+            "byte scans must always compress"
+        );
     }
 }

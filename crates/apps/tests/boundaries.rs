@@ -107,7 +107,9 @@ fn degenerate_texts() {
         let stream = bk_runtime::StreamArray::map(&machine, bk_runtime::StreamId(0), region);
         let expected = reference_counts(&text_case);
         let slots = 1024u64;
-        let buf = machine.gmem.alloc(bk_apps::util::DevHashTable::bytes_for(slots));
+        let buf = machine
+            .gmem
+            .alloc(bk_apps::util::DevHashTable::bytes_for(slots));
         let table = bk_apps::util::DevHashTable { buf, slots };
         let kernel = bk_apps::wordcount::WordCountKernel {
             table,
@@ -116,12 +118,15 @@ fn degenerate_texts() {
         if needs_fallback {
             bk_baselines::run_cpu_serial(&mut machine, &kernel, &[stream]);
         } else {
-            bk_runtime::run_bigkernel(
-                &mut machine, &kernel, &[stream], cfg.launch, &cfg.bigkernel,
-            );
+            bk_runtime::run_bigkernel(&mut machine, &kernel, &[stream], cfg.launch, &cfg.bigkernel);
         }
         let total: u64 = expected.values().sum();
-        assert_eq!(table.total(&machine.gmem), total, "case len {}", text_case.len());
+        assert_eq!(
+            table.total(&machine.gmem),
+            total,
+            "case len {}",
+            text_case.len()
+        );
         assert_eq!(table.occupied(&machine.gmem), expected.len() as u64);
     }
 }
@@ -136,10 +141,14 @@ fn giant_word_panics_with_halo_diagnostic() {
         let mut machine = Machine::test_platform();
         let region = machine.hmem.alloc_from(&text);
         let stream = bk_runtime::StreamArray::map(&machine, bk_runtime::StreamId(0), region);
-        let buf = machine.gmem.alloc(bk_apps::util::DevHashTable::bytes_for(64));
+        let buf = machine
+            .gmem
+            .alloc(bk_apps::util::DevHashTable::bytes_for(64));
         let table = bk_apps::util::DevHashTable { buf, slots: 64 };
-        let kernel =
-            bk_apps::wordcount::WordCountKernel { table, text_len: text.len() as u64 };
+        let kernel = bk_apps::wordcount::WordCountKernel {
+            table,
+            text_len: text.len() as u64,
+        };
         bk_runtime::run_bigkernel(&mut machine, &kernel, &[stream], cfg.launch, &cfg.bigkernel);
     });
     let err = result.expect_err("must panic");
@@ -148,7 +157,10 @@ fn giant_word_panics_with_halo_diagnostic() {
         .cloned()
         .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
         .unwrap_or_default();
-    assert!(msg.contains("halo_bytes"), "diagnostic should mention halo_bytes: {msg}");
+    assert!(
+        msg.contains("halo_bytes"),
+        "diagnostic should mention halo_bytes: {msg}"
+    );
 }
 
 /// Generators must be byte-deterministic in their seeds across all apps —
@@ -168,12 +180,23 @@ fn all_generators_are_deterministic() {
 
     let apps: Vec<Box<dyn BenchApp + Sync>> = vec![
         Box::new(bk_apps::kmeans::KMeans { k: 4 }),
-        Box::new(WordCount { vocab: 64, skew: 1.0 }),
+        Box::new(WordCount {
+            vocab: 64,
+            skew: 1.0,
+        }),
         Box::new(Netflix),
         Box::new(OpinionFinder { vocab: 64 }),
-        Box::new(DnaAssembly { distinct_fragments: 32 }),
-        Box::new(Affinity { merchants: 16, cards: 64 }),
-        Box::new(AffinityIndexed { merchants: 16, cards: 64 }),
+        Box::new(DnaAssembly {
+            distinct_fragments: 32,
+        }),
+        Box::new(Affinity {
+            merchants: 16,
+            cards: 64,
+        }),
+        Box::new(AffinityIndexed {
+            merchants: 16,
+            cards: 64,
+        }),
     ];
     for app in &apps {
         let gen = |seed: u64| {
@@ -228,7 +251,9 @@ fn fixed_record_layouts_are_as_documented() {
         let region = inst.streams[0].region;
         for r in 0..32u64 {
             for i in 0..opinion::TEXT_LEN {
-                let c = m.hmem.read_u8(region, r * opinion::RECORD + opinion::TEXT_OFF + i);
+                let c = m
+                    .hmem
+                    .read_u8(region, r * opinion::RECORD + opinion::TEXT_OFF + i);
                 assert!(c == b' ' || c.is_ascii_lowercase(), "text byte {c}");
             }
         }
@@ -236,7 +261,9 @@ fn fixed_record_layouts_are_as_documented() {
 
     // DNA: 128 B records, sequence area is ACGT only.
     {
-        let app = dna::DnaAssembly { distinct_fragments: 8 };
+        let app = dna::DnaAssembly {
+            distinct_fragments: 8,
+        };
         let mut m = Machine::test_platform();
         let inst = app.instantiate(&mut m, 32 * dna::RECORD, 3);
         let region = inst.streams[0].region;

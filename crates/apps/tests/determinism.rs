@@ -41,13 +41,29 @@ fn run_once(
     bytes: u64,
     parallel: bool,
 ) -> RunResult {
+    run_on_gpus(app, imp, launch, chunk_bytes, bytes, parallel, 1)
+}
+
+/// [`run_once`] on a machine with `gpus` replicated devices.
+#[allow(clippy::too_many_arguments)]
+fn run_on_gpus(
+    app: &dyn BenchApp,
+    imp: Implementation,
+    launch: LaunchConfig,
+    chunk_bytes: u64,
+    bytes: u64,
+    parallel: bool,
+    gpus: usize,
+) -> RunResult {
     let mut cfg = HarnessConfig::test_small();
     cfg.launch = launch;
     cfg.bigkernel.chunk_input_bytes = chunk_bytes;
     cfg.bigkernel.parallel_blocks = parallel;
     cfg.baseline.window_bytes = chunk_bytes.max(16 * 1024);
     cfg.baseline.parallel_blocks = parallel;
+    cfg.gpus = gpus;
     let mut machine = Machine::test_platform();
+    machine.replicate_gpus(gpus);
     let instance = app.instantiate(&mut machine, bytes, 42);
     let result = run_implementation(&mut machine, &instance, imp, &cfg);
     if let Err(e) = (instance.verify)(&machine) {
@@ -64,10 +80,28 @@ fn run_once(
 fn bigkernel_parallel_is_bit_identical_for_every_app() {
     let launch = LaunchConfig::new(4, 32);
     for app in all_apps() {
-        let par = run_once(app.as_ref(), Implementation::BigKernel, launch, 16 * 1024, 192 * 1024, true);
-        let seq =
-            run_once(app.as_ref(), Implementation::BigKernel, launch, 16 * 1024, 192 * 1024, false);
-        assert_eq!(par, seq, "{} parallel vs sequential RunResult diverged", app.spec().name);
+        let par = run_once(
+            app.as_ref(),
+            Implementation::BigKernel,
+            launch,
+            16 * 1024,
+            192 * 1024,
+            true,
+        );
+        let seq = run_once(
+            app.as_ref(),
+            Implementation::BigKernel,
+            launch,
+            16 * 1024,
+            192 * 1024,
+            false,
+        );
+        assert_eq!(
+            par,
+            seq,
+            "{} parallel vs sequential RunResult diverged",
+            app.spec().name
+        );
     }
 }
 
@@ -75,7 +109,10 @@ fn bigkernel_parallel_is_bit_identical_for_every_app() {
 fn baselines_parallel_is_bit_identical_for_every_app() {
     let launch = LaunchConfig::new(4, 32);
     for app in all_apps() {
-        for imp in [Implementation::GpuSingleBuffer, Implementation::GpuDoubleBuffer] {
+        for imp in [
+            Implementation::GpuSingleBuffer,
+            Implementation::GpuDoubleBuffer,
+        ] {
             let par = run_once(app.as_ref(), imp, launch, 32 * 1024, 128 * 1024, true);
             let seq = run_once(app.as_ref(), imp, launch, 32 * 1024, 128 * 1024, false);
             assert_eq!(
@@ -86,6 +123,87 @@ fn baselines_parallel_is_bit_identical_for_every_app() {
                 imp.label()
             );
         }
+    }
+}
+
+/// Chunk sharding is a timing-level decision: with the machine replicated
+/// to 2 or 4 devices, every application still verifies against the
+/// pure-Rust reference, produces the same chunk count and transfer
+/// volumes, and finishes no later than the single-device schedule.
+#[test]
+fn multi_gpu_runs_verify_and_match_single_gpu_for_every_app() {
+    let launch = LaunchConfig::new(4, 32);
+    for app in all_apps() {
+        let one = run_on_gpus(
+            app.as_ref(),
+            Implementation::BigKernel,
+            launch,
+            16 * 1024,
+            192 * 1024,
+            true,
+            1,
+        );
+        for gpus in [2usize, 4] {
+            let many = run_on_gpus(
+                app.as_ref(),
+                Implementation::BigKernel,
+                launch,
+                16 * 1024,
+                192 * 1024,
+                true,
+                gpus,
+            );
+            let name = app.spec().name;
+            assert_eq!(
+                one.chunks, many.chunks,
+                "{name} chunk count changed at {gpus} GPUs"
+            );
+            for key in ["pcie.h2d_bytes", "pcie.d2h_bytes", "addr.encoded_bytes"] {
+                assert_eq!(
+                    one.metrics.get(key),
+                    many.metrics.get(key),
+                    "{name}: {key} changed at {gpus} GPUs"
+                );
+            }
+            assert!(
+                many.total <= one.total,
+                "{name} got slower on {gpus} GPUs: {:?} vs {:?}",
+                many.total,
+                one.total
+            );
+            assert!(
+                many.metrics.get("device.1.chunks") > 0,
+                "{name}: device 1 received no chunks at {gpus} GPUs"
+            );
+        }
+    }
+}
+
+/// Parallel-vs-sequential bit-identity must survive sharding: the two-phase
+/// block simulation and the multi-device executor compose.
+#[test]
+fn bigkernel_parallel_bit_identical_at_two_gpus() {
+    let launch = LaunchConfig::new(4, 32);
+    for app in all_apps() {
+        let par = run_on_gpus(
+            app.as_ref(),
+            Implementation::BigKernel,
+            launch,
+            16 * 1024,
+            192 * 1024,
+            true,
+            2,
+        );
+        let seq = run_on_gpus(
+            app.as_ref(),
+            Implementation::BigKernel,
+            launch,
+            16 * 1024,
+            192 * 1024,
+            false,
+            2,
+        );
+        assert_eq!(par, seq, "{} diverged at 2 GPUs", app.spec().name);
     }
 }
 

@@ -175,7 +175,10 @@ mod tests {
         let streams = setup(&mut m, &[1, 2, 3, 4, 5, 6, 7, 8]);
         let mut cache = CacheSim::xeon_llc();
         let mut ctx = CpuCtx::new(&mut m.hmem, &mut m.gmem, &streams, &mut cache, 0, 1);
-        assert_eq!(ctx.stream_read(StreamId(0), 0, 4), u32::from_le_bytes([1, 2, 3, 4]) as u64);
+        assert_eq!(
+            ctx.stream_read(StreamId(0), 0, 4),
+            u32::from_le_bytes([1, 2, 3, 4]) as u64
+        );
         ctx.stream_write_u32(StreamId(0), 4, 0xDEAD);
         assert_eq!(ctx.stream_read_u32(StreamId(0), 4), 0xDEAD);
         assert!(ctx.cost.instructions >= 3 * INSTRS_PER_ACCESS);

@@ -9,8 +9,8 @@
 use crate::cpu_ctx::CpuCtx;
 use bk_host::{cpu, CacheSim};
 use bk_runtime::kernel::partition_ranges;
-use bk_runtime::{Machine, RunResult, StageStat, StreamArray, StreamKernel};
 use bk_runtime::MetricsRegistry;
+use bk_runtime::{Machine, RunResult, StageStat, StreamArray, StreamKernel};
 
 /// Run the kernel on one CPU thread.
 pub fn run_cpu_serial(
@@ -53,8 +53,14 @@ fn run_cpu(
         if range.is_empty() {
             continue;
         }
-        let mut ctx =
-            CpuCtx::new(&mut machine.hmem, &mut machine.gmem, streams, &mut cache, t as u32, threads);
+        let mut ctx = CpuCtx::new(
+            &mut machine.hmem,
+            &mut machine.gmem,
+            streams,
+            &mut cache,
+            t as u32,
+            threads,
+        );
         kernel.process(&mut ctx, range.clone());
         total_cost.merge(&ctx.cost);
         bytes_read += ctx.stream_bytes_read;
@@ -78,7 +84,11 @@ fn run_cpu(
     RunResult {
         implementation: name,
         total,
-        stages: vec![StageStat { name: "compute", busy: total, mean: total }],
+        stages: vec![StageStat {
+            name: "compute",
+            busy: total,
+            mean: total,
+        }],
         metrics,
         chunks: 1,
     }

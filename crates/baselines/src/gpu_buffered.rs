@@ -34,12 +34,13 @@ use bk_gpu::occupancy::{self, BlockResources};
 use bk_gpu::{BlockLog, BlockSim, GpuPool, KernelCost, ReplayOutcome};
 use bk_host::{cpu, CpuCost, DmaDirection};
 use bk_runtime::ctx::{ComputeCtx, LoggedMem};
+use bk_runtime::graph::{buffered_graph, serial_graph, Executor, ShardPolicy};
 use bk_runtime::kernel::{chunk_slice, partition_ranges, DeviceEffects, LaunchConfig};
 use bk_runtime::layout::ChunkLayout;
-use bk_runtime::result::{accumulate_stage_stats, finalize_stage_stats};
-use bk_runtime::{Machine, RunResult, StreamArray, StreamKernel};
+use bk_runtime::result::finalize_stage_stats;
 use bk_runtime::MetricsRegistry;
-use bk_simcore::{PipelineSpec, SimTime, StageDef};
+use bk_runtime::{Machine, RunResult, StreamArray, StreamKernel};
+use bk_simcore::SimTime;
 use rayon::prelude::*;
 use std::ops::Range;
 
@@ -77,7 +78,15 @@ pub fn run_gpu_single_buffer(
     launch: LaunchConfig,
     cfg: &BaselineConfig,
 ) -> RunResult {
-    run_buffered(machine, kernel, streams, launch, cfg, 1, "gpu-single-buffer")
+    run_buffered(
+        machine,
+        kernel,
+        streams,
+        launch,
+        cfg,
+        1,
+        "gpu-single-buffer",
+    )
 }
 
 /// Double-buffer implementation: staging/transfer of chunk n+1 overlaps
@@ -89,7 +98,15 @@ pub fn run_gpu_double_buffer(
     launch: LaunchConfig,
     cfg: &BaselineConfig,
 ) -> RunResult {
-    run_buffered(machine, kernel, streams, launch, cfg, 2, "gpu-double-buffer")
+    run_buffered(
+        machine,
+        kernel,
+        streams,
+        launch,
+        cfg,
+        2,
+        "gpu-double-buffer",
+    )
 }
 
 /// Result of simulating one granule's compute.
@@ -125,7 +142,12 @@ struct WindowCtx<'a> {
 /// registered private: lane stores hit the log's overlay (read-your-writes)
 /// and replay as blind writes — granules write disjoint lane slices, so
 /// granule-order replay reproduces the sequential schedule exactly.
-fn granule_logged(machine: &Machine, w: &WindowCtx<'_>, granule: usize, sim: &mut BlockSim) -> GranuleComputed {
+fn granule_logged(
+    machine: &Machine,
+    w: &WindowCtx<'_>,
+    granule: usize,
+    sim: &mut BlockSim,
+) -> GranuleComputed {
     let mut cost = KernelCost::new();
     let mut log = BlockLog::new(&machine.gmem);
     let mut bytes_read = 0u64;
@@ -136,7 +158,7 @@ fn granule_logged(machine: &Machine, w: &WindowCtx<'_>, granule: usize, sim: &mu
         let bytes_read = &mut bytes_read;
         let bytes_written = &mut bytes_written;
         let any_writes = &mut any_writes;
-        bk_gpu::run_block_lanes(&machine.gpu, sim, w.tpb, &mut cost, |lane, trace| {
+        bk_gpu::run_block_lanes(machine.gpu(), sim, w.tpb, &mut cost, |lane, trace| {
             let g_lane = granule * w.tpb as usize + lane;
             let r = &w.ranges[g_lane];
             let range = w.window.start + r.start..w.window.start + r.end;
@@ -155,18 +177,34 @@ fn granule_logged(machine: &Machine, w: &WindowCtx<'_>, granule: usize, sim: &mu
             *any_writes |= ctx.stream_bytes_written > 0;
         });
     }
-    GranuleComputed { cost, bytes_read, bytes_written, any_writes, effects: Some(log.finish()) }
+    GranuleComputed {
+        cost,
+        bytes_read,
+        bytes_written,
+        any_writes,
+        effects: Some(log.finish()),
+    }
 }
 
 /// One granule directly against live device memory (sequential-capability
 /// kernels and conflict re-execution).
-fn granule_live(machine: &mut Machine, w: &WindowCtx<'_>, granule: usize, sim: &mut BlockSim) -> GranuleComputed {
+fn granule_live(
+    machine: &mut Machine,
+    w: &WindowCtx<'_>,
+    granule: usize,
+    sim: &mut BlockSim,
+) -> GranuleComputed {
     let mut cost = KernelCost::new();
     let mut bytes_read = 0u64;
     let mut bytes_written = 0u64;
     let mut any_writes = false;
     {
-        let Machine { ref gpu, ref mut gmem, .. } = *machine;
+        let Machine {
+            ref devices,
+            ref mut gmem,
+            ..
+        } = *machine;
+        let gpu = &devices[0];
         let bytes_read = &mut bytes_read;
         let bytes_written = &mut bytes_written;
         let any_writes = &mut any_writes;
@@ -189,7 +227,13 @@ fn granule_live(machine: &mut Machine, w: &WindowCtx<'_>, granule: usize, sim: &
             *any_writes |= ctx.stream_bytes_written > 0;
         });
     }
-    GranuleComputed { cost, bytes_read, bytes_written, any_writes, effects: None }
+    GranuleComputed {
+        cost,
+        bytes_read,
+        bytes_written,
+        any_writes,
+        effects: None,
+    }
 }
 
 fn run_buffered(
@@ -215,9 +259,9 @@ fn run_buffered(
         threads_per_block: res.threads_per_block.max(launch.threads_per_block),
         ..res
     };
-    let occ = occupancy::compute(&machine.gpu, &block_res, launch.num_blocks);
-    let occ_factor = occ.thread_occupancy(&machine.gpu, &block_res).max(0.125);
-    let pool = GpuPool::new(machine.gpu.clone(), 1.0, occ_factor);
+    let occ = occupancy::compute(machine.gpu(), &block_res, launch.num_blocks);
+    let occ_factor = occ.thread_occupancy(machine.gpu(), &block_res).max(0.125);
+    let pool = GpuPool::new(machine.gpu().clone(), 1.0, occ_factor);
 
     let full = 0..primary.len();
     let num_windows = (primary.len().div_ceil(cfg.window_bytes)).max(1) as usize;
@@ -234,12 +278,19 @@ fn run_buffered(
             durations.push(vec![SimTime::ZERO; 5]);
             continue;
         }
-        let layout =
-            ChunkLayout::build_staged_window(window.clone(), halo, primary.len(), total_threads as usize);
+        let layout = ChunkLayout::build_staged_window(
+            window.clone(),
+            halo,
+            primary.len(),
+            total_threads as usize,
+        );
         let staged_len = layout.total_len();
         let data_buf = machine.gmem.alloc(staged_len.max(1));
         {
-            let src = machine.hmem.read(primary.region, window.start, staged_len as usize).to_vec();
+            let src = machine
+                .hmem
+                .read(primary.region, window.start, staged_len as usize)
+                .to_vec();
             machine.gmem.dma_in(data_buf, 0, &src);
         }
 
@@ -247,7 +298,9 @@ fn run_buffered(
         let stage_cost = CpuCost::streaming(staged_len, 2, 1);
         let t_stage = cpu::cpu_stage_time(&machine.cpu, &stage_cost, 1);
         // Stage 2: DMA.
-        let t_xfer = machine.link.dma_time_with_flag(DmaDirection::HostToDevice, staged_len);
+        let t_xfer = machine
+            .link
+            .dma_time_with_flag(DmaDirection::HostToDevice, staged_len);
         metrics.add("pcie.h2d_bytes", staged_len);
 
         // Stage 3: kernel over the window (original layout), one granule of
@@ -265,7 +318,11 @@ fn run_buffered(
         let mut cells: Vec<GranuleCell<'_>> = sims
             .iter_mut()
             .enumerate()
-            .map(|(granule, sim)| GranuleCell { granule, sim, computed: None })
+            .map(|(granule, sim)| GranuleCell {
+                granule,
+                sim,
+                computed: None,
+            })
             .collect();
 
         if logged {
@@ -321,7 +378,9 @@ fn run_buffered(
             let wlen = window.end - window.start;
             let bytes = machine.gmem.dma_out(data_buf, 0, wlen as usize);
             machine.hmem.write(primary.region, window.start, &bytes);
-            t_wbx = machine.link.dma_time_with_flag(DmaDirection::DeviceToHost, wlen);
+            t_wbx = machine
+                .link
+                .dma_time_with_flag(DmaDirection::DeviceToHost, wlen);
             t_wba = cpu::cpu_stage_time(&machine.cpu, &CpuCost::streaming(wlen, 2, 1), 1);
             metrics.add("pcie.d2h_bytes", wlen);
         }
@@ -330,43 +389,39 @@ fn run_buffered(
         durations.push(vec![t_stage, t_xfer, t_comp, t_wbx, t_wba]);
     }
 
-    let schedule = if buffers <= 1 {
-        bk_simcore::pipeline::serialize_all(&BASELINE_STAGES, &durations)
+    // The schedule is a stage-graph configuration: a fully serialized chain
+    // for the single buffer, and for the double buffer the software-pipelined
+    // graph with `buffers`-deep reuse edges (device-buffer reuse: transfer n
+    // waits for compute n-buffers; pinned staging-buffer reuse: stage n
+    // waits for transfer n-buffers). Write-back apply runs on its own host
+    // thread; only the DMA engine is a genuinely shared single resource. The
+    // executor deals windows across the machine's simulated GPUs.
+    let spec = if buffers <= 1 {
+        serial_graph(&BASELINE_STAGES)
     } else {
-        let wb_dma = if machine.gpu.copy_engines >= 2 { "dma-d2h" } else { "dma" };
-        let spec = PipelineSpec::new(vec![
-            StageDef { name: BASELINE_STAGES[0], resource: "cpu-stage" },
-            StageDef { name: BASELINE_STAGES[1], resource: "dma" },
-            StageDef { name: BASELINE_STAGES[2], resource: "gpu" },
-            StageDef { name: BASELINE_STAGES[3], resource: wb_dma },
-            // Write-back apply runs on its own host thread; only the DMA
-            // engine is a genuinely shared single resource.
-            StageDef { name: BASELINE_STAGES[4], resource: "cpu-wb" },
-        ])
-        // Device-buffer reuse: transfer n waits for compute n-2; pinned
-        // staging-buffer reuse: stage n waits for transfer n-2.
-        .with_reuse(1, 2, buffers)
-        .with_reuse(0, 1, buffers);
-        bk_simcore::pipeline::schedule(&spec, &durations)
+        buffered_graph(machine.gpu().copy_engines as usize, buffers)
     };
+    let executor = Executor::new(spec, machine.num_gpus(), ShardPolicy::RoundRobin);
+    let sharded = executor.run(&durations);
 
     // Observability: spans on the baseline's resource tracks (collected only
-    // while a trace guard is live), span-duration histograms, and
-    // stall.<stage>.<cause> totals. One schedule covers the whole run, so
-    // chunk/time bases are zero.
-    bk_obs::record_schedule(&schedule, 0, SimTime::ZERO, &mut metrics);
+    // while a trace guard is live), span-duration histograms,
+    // stall.<stage>.<cause> totals and device.<d>.* counters. One schedule
+    // covers the whole run, so chunk/time bases are zero.
+    sharded.record(0, SimTime::ZERO, &mut metrics);
 
     metrics.add("run.windows", num_windows as u64);
+    metrics.add("run.devices", machine.num_gpus() as u64);
     if any_writes_at_all {
         metrics.incr("run.modified_mapped_data");
     }
     let mut stages = Vec::new();
-    accumulate_stage_stats(&mut stages, &schedule);
+    sharded.accumulate(&mut stages);
     finalize_stage_stats(&mut stages, num_windows);
 
     RunResult {
         implementation: name,
-        total: schedule.makespan(),
+        total: sharded.makespan(),
         stages,
         metrics,
         chunks: num_windows,
@@ -451,7 +506,10 @@ mod tests {
     }
 
     fn small_cfg() -> BaselineConfig {
-        BaselineConfig { window_bytes: 4096, ..BaselineConfig::default() }
+        BaselineConfig {
+            window_bytes: 4096,
+            ..BaselineConfig::default()
+        }
     }
 
     #[test]
@@ -459,7 +517,11 @@ mod tests {
         let (mut m, streams, expected) = setup(4096);
         let acc = m.gmem.alloc(8);
         let r = run_gpu_single_buffer(
-            &mut m, &SumKernel { acc }, &streams, LaunchConfig::new(2, 32), &small_cfg(),
+            &mut m,
+            &SumKernel { acc },
+            &streams,
+            LaunchConfig::new(2, 32),
+            &small_cfg(),
         );
         assert_eq!(m.gmem.read_u64(acc, 0), expected);
         assert!(r.chunks > 1);
@@ -471,13 +533,21 @@ mod tests {
         let (mut m1, s1, expected) = setup(8192);
         let acc1 = m1.gmem.alloc(8);
         let single = run_gpu_single_buffer(
-            &mut m1, &SumKernel { acc: acc1 }, &s1, LaunchConfig::new(2, 32), &small_cfg(),
+            &mut m1,
+            &SumKernel { acc: acc1 },
+            &s1,
+            LaunchConfig::new(2, 32),
+            &small_cfg(),
         );
         assert_eq!(m1.gmem.read_u64(acc1, 0), expected);
         let (mut m2, s2, _) = setup(8192);
         let acc2 = m2.gmem.alloc(8);
         let double = run_gpu_double_buffer(
-            &mut m2, &SumKernel { acc: acc2 }, &s2, LaunchConfig::new(2, 32), &small_cfg(),
+            &mut m2,
+            &SumKernel { acc: acc2 },
+            &s2,
+            LaunchConfig::new(2, 32),
+            &small_cfg(),
         );
         assert_eq!(m2.gmem.read_u64(acc2, 0), expected);
         assert!(
@@ -497,7 +567,11 @@ mod tests {
         }
         let streams = vec![StreamArray::map(&m, StreamId(0), r)];
         let res = run_gpu_double_buffer(
-            &mut m, &ScaleKernel, &streams, LaunchConfig::new(1, 32), &small_cfg(),
+            &mut m,
+            &ScaleKernel,
+            &streams,
+            LaunchConfig::new(1, 32),
+            &small_cfg(),
         );
         for i in 0..2048u64 {
             assert_eq!(m.hmem.read_u32(r, i * 8 + 4), (i as u32).wrapping_mul(2));
@@ -516,7 +590,11 @@ mod tests {
             ..BaselineConfig::default()
         };
         let r_cheap = run_gpu_single_buffer(
-            &mut m1, &SumKernel { acc: acc1 }, &s1, LaunchConfig::new(1, 32), &cheap,
+            &mut m1,
+            &SumKernel { acc: acc1 },
+            &s1,
+            LaunchConfig::new(1, 32),
+            &cheap,
         );
         let (mut m2, s2, _) = setup(8192);
         let acc2 = m2.gmem.alloc(8);
@@ -526,7 +604,11 @@ mod tests {
             ..BaselineConfig::default()
         };
         let r_costly = run_gpu_single_buffer(
-            &mut m2, &SumKernel { acc: acc2 }, &s2, LaunchConfig::new(1, 32), &costly,
+            &mut m2,
+            &SumKernel { acc: acc2 },
+            &s2,
+            LaunchConfig::new(1, 32),
+            &costly,
         );
         let windows = r_cheap.metrics.get("run.windows") as f64;
         let diff = r_costly.total.secs() - r_cheap.total.secs();
@@ -538,11 +620,26 @@ mod tests {
         let run = |parallel: bool, buffers: usize| {
             let (mut m, s, _) = setup(8192);
             let acc = m.gmem.alloc(8);
-            let cfg = BaselineConfig { parallel_blocks: parallel, ..small_cfg() };
+            let cfg = BaselineConfig {
+                parallel_blocks: parallel,
+                ..small_cfg()
+            };
             let r = if buffers == 1 {
-                run_gpu_single_buffer(&mut m, &SumKernel { acc }, &s, LaunchConfig::new(4, 32), &cfg)
+                run_gpu_single_buffer(
+                    &mut m,
+                    &SumKernel { acc },
+                    &s,
+                    LaunchConfig::new(4, 32),
+                    &cfg,
+                )
             } else {
-                run_gpu_double_buffer(&mut m, &SumKernel { acc }, &s, LaunchConfig::new(4, 32), &cfg)
+                run_gpu_double_buffer(
+                    &mut m,
+                    &SumKernel { acc },
+                    &s,
+                    LaunchConfig::new(4, 32),
+                    &cfg,
+                )
             };
             (r, m.gmem.read_u64(acc, 0))
         };
@@ -563,9 +660,17 @@ mod tests {
                 m.hmem.write_u32(r, i * 8, i as u32);
             }
             let streams = vec![StreamArray::map(&m, StreamId(0), r)];
-            let cfg = BaselineConfig { parallel_blocks: parallel, ..small_cfg() };
-            let res =
-                run_gpu_double_buffer(&mut m, &ScaleKernel, &streams, LaunchConfig::new(4, 32), &cfg);
+            let cfg = BaselineConfig {
+                parallel_blocks: parallel,
+                ..small_cfg()
+            };
+            let res = run_gpu_double_buffer(
+                &mut m,
+                &ScaleKernel,
+                &streams,
+                LaunchConfig::new(4, 32),
+                &cfg,
+            );
             let host = m.hmem.read(r, 0, 2048 * 8).to_vec();
             (res, host)
         };

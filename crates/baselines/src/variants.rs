@@ -10,7 +10,9 @@
 //! 3. **Full** — also lay the data out for coalesced accesses: complete
 //!    BigKernel.
 
-use bk_runtime::{run_bigkernel, BigKernelConfig, LaunchConfig, Machine, RunResult, StreamArray, StreamKernel};
+use bk_runtime::{
+    run_bigkernel, BigKernelConfig, LaunchConfig, Machine, RunResult, StreamArray, StreamKernel,
+};
 
 /// One of the three Fig. 5 configurations.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -21,8 +23,11 @@ pub enum BigKernelVariant {
 }
 
 impl BigKernelVariant {
-    pub const ALL: [BigKernelVariant; 3] =
-        [BigKernelVariant::OverlapOnly, BigKernelVariant::VolumeReduction, BigKernelVariant::Full];
+    pub const ALL: [BigKernelVariant; 3] = [
+        BigKernelVariant::OverlapOnly,
+        BigKernelVariant::VolumeReduction,
+        BigKernelVariant::Full,
+    ];
 
     pub fn label(self) -> &'static str {
         match self {

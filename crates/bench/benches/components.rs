@@ -75,17 +75,25 @@ fn bench_sim_throughput(c: &mut Criterion) {
     cfg.launch = LaunchConfig::new(8, 32);
     cfg.bigkernel.chunk_input_bytes = 32 * 1024;
 
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut group = c.benchmark_group("sim_throughput");
     group.sample_size(10);
     for app in all_apps() {
         let name = short_name(app.spec().name);
         // The multi-thread tier only on KMeans: per-app scaling curves are
         // the experiment binaries' job; here one app tracks pool overhead.
-        let tiers: &[usize] =
-            if name == "KMeans" && cores > 1 { &[1, cores] } else { &[1] };
+        let tiers: &[usize] = if name == "KMeans" && cores > 1 {
+            &[1, cores]
+        } else {
+            &[1]
+        };
         for &threads in tiers {
-            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
             let cfg = cfg.clone();
             let app = &app;
             group.bench_function(format!("{name}-2mib-8blocks/threads-{threads}"), |b| {
@@ -115,10 +123,22 @@ fn bench_sim_throughput(c: &mut Criterion) {
 
 fn bench_scheduler(c: &mut Criterion) {
     let spec = pipeline::PipelineSpec::new(vec![
-        StageDef { name: "ag", resource: "gpu-ag" },
-        StageDef { name: "asm", resource: "cpu" },
-        StageDef { name: "xfer", resource: "dma" },
-        StageDef { name: "comp", resource: "gpu" },
+        StageDef {
+            name: "ag",
+            resource: "gpu-ag",
+        },
+        StageDef {
+            name: "asm",
+            resource: "cpu",
+        },
+        StageDef {
+            name: "xfer",
+            resource: "dma",
+        },
+        StageDef {
+            name: "comp",
+            resource: "gpu",
+        },
     ])
     .with_reuse(0, 3, 3);
     let durations: Vec<Vec<SimTime>> = (0..1000)

@@ -14,8 +14,12 @@ const BYTES: u64 = 1 << 20;
 fn bench_impls(c: &mut Criterion) {
     let cfg = HarnessConfig::paper_scaled(BYTES);
     let kmeans = KMeans { k: 16 };
-    let wordcount = WordCount { vocab: 1024, skew: 1.0 };
-    let apps: [(&str, &(dyn BenchApp + Sync)); 2] = [("kmeans", &kmeans), ("wordcount", &wordcount)];
+    let wordcount = WordCount {
+        vocab: 1024,
+        skew: 1.0,
+    };
+    let apps: [(&str, &(dyn BenchApp + Sync)); 2] =
+        [("kmeans", &kmeans), ("wordcount", &wordcount)];
 
     let mut group = c.benchmark_group("fig4a-implementations");
     group.sample_size(10);

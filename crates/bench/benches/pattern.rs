@@ -9,7 +9,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 const BYTES: u64 = 1 << 20;
 
 fn bench_pattern(c: &mut Criterion) {
-    let app = WordCount { vocab: 1024, skew: 1.0 };
+    let app = WordCount {
+        vocab: 1024,
+        skew: 1.0,
+    };
     let mut group = c.benchmark_group("table2-pattern-recognition");
     group.sample_size(10);
     for (label, on) in [("patterns-on", true), ("patterns-off", false)] {

@@ -13,8 +13,12 @@ const BYTES: u64 = 1 << 20;
 fn bench_variants(c: &mut Criterion) {
     let cfg = HarnessConfig::paper_scaled(BYTES);
     let netflix = Netflix;
-    let affinity = Affinity { merchants: 256, cards: 1024 };
-    let apps: [(&str, &(dyn BenchApp + Sync)); 2] = [("netflix", &netflix), ("affinity", &affinity)];
+    let affinity = Affinity {
+        merchants: 256,
+        cards: 1024,
+    };
+    let apps: [(&str, &(dyn BenchApp + Sync)); 2] =
+        [("netflix", &netflix), ("affinity", &affinity)];
 
     let mut group = c.benchmark_group("fig5-variants");
     group.sample_size(10);

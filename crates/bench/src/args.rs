@@ -13,48 +13,82 @@ pub struct ExpArgs {
     /// one per core). `1` forces the sequential path — results are
     /// bit-identical either way.
     pub threads: Option<usize>,
+    /// Platform preset name (`--machine`); `None` keeps each binary's
+    /// default (normally the paper's GTX 680 platform).
+    pub machine: Option<String>,
+    /// Simulated GPU count (`--gpus`); `None` keeps the config default (1).
+    pub gpus: Option<usize>,
 }
 
 impl Default for ExpArgs {
     fn default() -> Self {
-        ExpArgs { bytes: 32 << 20, seed: 42, filter: None, threads: None }
+        ExpArgs {
+            bytes: 32 << 20,
+            seed: 42,
+            filter: None,
+            threads: None,
+            machine: None,
+            gpus: None,
+        }
     }
 }
 
 impl ExpArgs {
     /// Parse `--bytes N`, `--mib N`, `--seed S`, `--app SUBSTR`,
-    /// `--threads N` from an iterator of arguments (pass
-    /// `std::env::args().skip(1)`).
+    /// `--threads N`, `--machine NAME`, `--gpus N` from an iterator of
+    /// arguments (pass `std::env::args().skip(1)`).
     pub fn parse<I: Iterator<Item = String>>(mut args: I) -> Result<Self, String> {
         let mut out = ExpArgs::default();
         while let Some(a) = args.next() {
-            let mut value = |name: &str| {
-                args.next().ok_or_else(|| format!("{name} needs a value"))
-            };
+            let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
             match a.as_str() {
                 "--bytes" => {
-                    out.bytes =
-                        value("--bytes")?.parse().map_err(|e| format!("--bytes: {e}"))?
+                    out.bytes = value("--bytes")?
+                        .parse()
+                        .map_err(|e| format!("--bytes: {e}"))?
                 }
                 "--mib" => {
                     let m: u64 = value("--mib")?.parse().map_err(|e| format!("--mib: {e}"))?;
                     out.bytes = m << 20;
                 }
                 "--seed" => {
-                    out.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+                    out.seed = value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?
                 }
                 "--app" => out.filter = Some(value("--app")?),
                 "--threads" => {
-                    let t: usize =
-                        value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?;
+                    let t: usize = value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?;
                     if t == 0 {
                         return Err("--threads must be positive".into());
                     }
                     out.threads = Some(t);
                 }
+                "--machine" => {
+                    let name = value("--machine")?;
+                    if bk_runtime::Machine::preset(&name).is_none() {
+                        return Err(format!(
+                            "--machine: unknown preset {name:?} (expected one of: {})",
+                            bk_runtime::Machine::PRESET_NAMES.join(", ")
+                        ));
+                    }
+                    out.machine = Some(name);
+                }
+                "--gpus" => {
+                    let g: usize = value("--gpus")?
+                        .parse()
+                        .map_err(|e| format!("--gpus: {e}"))?;
+                    if g == 0 {
+                        return Err("--gpus must be positive".into());
+                    }
+                    out.gpus = Some(g);
+                }
                 "--help" | "-h" => {
                     return Err(
-                        "usage: [--bytes N | --mib N] [--seed S] [--app SUBSTR] [--threads N]"
+                        "usage: [--bytes N | --mib N] [--seed S] [--app SUBSTR] [--threads N] \
+                         [--machine gtx680|tesla-like|test-tiny] [--gpus N]"
                             .to_string(),
                     )
                 }
@@ -103,12 +137,33 @@ impl ExpArgs {
             // Ignore the error: the pool can only be built once per
             // process, and a second binary invocation in-process (tests)
             // may have already built it.
-            let _ = rayon::ThreadPoolBuilder::new().num_threads(t).build_global();
+            let _ = rayon::ThreadPoolBuilder::new()
+                .num_threads(t)
+                .build_global();
             if t == 1 {
                 cfg.bigkernel.parallel_blocks = false;
                 cfg.baseline.parallel_blocks = false;
             }
         }
+    }
+
+    /// Apply `--machine` / `--gpus` to the harness config. Validity of the
+    /// preset name was already checked at parse time.
+    pub fn apply_platform(&self, cfg: &mut bk_apps::HarnessConfig) {
+        if let Some(name) = &self.machine {
+            cfg.machine = bk_runtime::Machine::preset(name)
+                .unwrap_or_else(|| panic!("--machine preset {name:?} vanished after parsing"));
+        }
+        if let Some(g) = self.gpus {
+            cfg.gpus = g;
+        }
+    }
+
+    /// `apply_threads` + `apply_platform` in one call — what every
+    /// experiment binary wants right after building its config.
+    pub fn apply(&self, cfg: &mut bk_apps::HarnessConfig) {
+        self.apply_threads(cfg);
+        self.apply_platform(cfg);
     }
 }
 
@@ -167,6 +222,29 @@ mod tests {
         a.apply_threads(&mut cfg);
         assert!(!cfg.bigkernel.parallel_blocks);
         assert!(!cfg.baseline.parallel_blocks);
+    }
+
+    #[test]
+    fn machine_preset() {
+        let a = parse(&["--machine", "tesla-like"]).unwrap();
+        assert_eq!(a.machine.as_deref(), Some("tesla-like"));
+        let mut cfg = bk_apps::HarnessConfig::test_small();
+        a.apply_platform(&mut cfg);
+        assert_eq!((cfg.machine)().gpu().copy_engines, 2);
+        let err = parse(&["--machine", "voodoo2"]).unwrap_err();
+        assert!(err.contains("gtx680"), "error lists valid presets: {err}");
+    }
+
+    #[test]
+    fn gpus_flag() {
+        let a = parse(&["--gpus", "4"]).unwrap();
+        assert_eq!(a.gpus, Some(4));
+        let mut cfg = bk_apps::HarnessConfig::test_small();
+        assert_eq!(cfg.gpus, 1);
+        a.apply(&mut cfg);
+        assert_eq!(cfg.gpus, 4);
+        assert!(parse(&["--gpus", "0"]).is_err());
+        assert!(parse(&["--gpus"]).is_err());
     }
 
     #[test]

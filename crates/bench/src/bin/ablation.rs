@@ -12,7 +12,7 @@ use bk_runtime::SyncMode;
 
 fn scaled(args: &ExpArgs) -> HarnessConfig {
     let mut cfg = HarnessConfig::paper_scaled(args.bytes);
-    args.apply_threads(&mut cfg);
+    args.apply(&mut cfg);
     cfg
 }
 
@@ -25,23 +25,33 @@ fn main() {
     let args = ExpArgs::from_env();
     let kmeans = KMeans::default();
     let wordcount = WordCount::default();
-    let apps: [(&str, &(dyn BenchApp + Sync)); 2] = [("K-means", &kmeans), ("Word Count", &wordcount)];
+    let apps: [(&str, &(dyn BenchApp + Sync)); 2] =
+        [("K-means", &kmeans), ("Word Count", &wordcount)];
 
     render::header("Ablation: buffer depth (addr-gen(n) waits compute(n-depth))");
-    println!("{:<12} {:>10} {:>10} {:>10} {:>10}", "app", "depth=1", "depth=2", "depth=3", "depth=4");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10}",
+        "app", "depth=1", "depth=2", "depth=3", "depth=4"
+    );
     for (name, app) in &apps {
         print!("{name:<12}");
         for depth in 1..=4usize {
             let mut cfg = scaled(&args);
             cfg.bigkernel.buffer_depth = depth;
-            print!(" {:>9.2}ms", run_one(*app, args.bytes, args.seed, &cfg) * 1e3);
+            print!(
+                " {:>9.2}ms",
+                run_one(*app, args.bytes, args.seed, &cfg) * 1e3
+            );
         }
         println!();
     }
     println!("(paper §IV.C uses depth 3; depth 1 forfeits the pipeline)");
 
     render::header("Ablation: synchronization scheme (§IV.C footnote 3)");
-    println!("{:<12} {:>16} {:>16}   (unscaled flag latencies)", "app", "iter-barrier", "per-buffer-flags");
+    println!(
+        "{:<12} {:>16} {:>16}   (unscaled flag latencies)",
+        "app", "iter-barrier", "per-buffer-flags"
+    );
     for (name, app) in &apps {
         let mut a = scaled(&args);
         // Flag/busy-wait costs are fixed latencies; run this ablation with
@@ -72,14 +82,20 @@ fn main() {
     }
 
     render::header("Ablation: chunk size (buffer size vs sync amortization, §IV.D)");
-    println!("{:<12} {:>10} {:>10} {:>10} {:>10}", "app", "x1/4", "x1/2", "x1", "x2");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10}",
+        "app", "x1/4", "x1/2", "x1", "x2"
+    );
     for (name, app) in &apps {
         print!("{name:<12}");
         for mult in [0.25, 0.5, 1.0, 2.0] {
             let mut cfg = scaled(&args);
             cfg.bigkernel.chunk_input_bytes =
                 ((cfg.bigkernel.chunk_input_bytes as f64 * mult) as u64).max(4096);
-            print!(" {:>9.2}ms", run_one(*app, args.bytes, args.seed, &cfg) * 1e3);
+            print!(
+                " {:>9.2}ms",
+                run_one(*app, args.bytes, args.seed, &cfg) * 1e3
+            );
         }
         println!();
     }
@@ -87,7 +103,10 @@ fn main() {
     println!(" per-chunk buffer footprint — the paper tuned these per app)");
 
     render::header("Ablation: DMA copy engines (GeForce x1 vs Tesla-class x2)");
-    println!("{:<12} {:>12} {:>12}   (K-means writes mapped data back)", "app", "1 engine", "2 engines");
+    println!(
+        "{:<12} {:>12} {:>12}   (K-means writes mapped data back)",
+        "app", "1 engine", "2 engines"
+    );
     for (name, app) in &apps {
         let mut one = scaled(&args);
         one.machine = bk_runtime::Machine::paper_platform;
@@ -103,15 +122,20 @@ fn main() {
     println!(" K-means-shaped and absent for read-only kernels)");
 
     render::header("Ablation: active thread blocks (§IV.D occupancy limits)");
-    println!("{:<12} {:>10} {:>10} {:>10}   (blocks launched; active capped by resources)", "app", "4", "16", "64");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10}   (blocks launched; active capped by resources)",
+        "app", "4", "16", "64"
+    );
     for (name, app) in &apps {
         print!("{name:<12}");
         for blocks in [4u32, 16, 64] {
             let mut cfg = scaled(&args);
             cfg.launch = bk_runtime::LaunchConfig::new(blocks, 128);
-            cfg.bigkernel.chunk_input_bytes =
-                (args.bytes / (blocks as u64 * 12)).max(16 * 1024);
-            print!(" {:>9.2}ms", run_one(*app, args.bytes, args.seed, &cfg) * 1e3);
+            cfg.bigkernel.chunk_input_bytes = (args.bytes / (blocks as u64 * 12)).max(16 * 1024);
+            print!(
+                " {:>9.2}ms",
+                run_one(*app, args.bytes, args.seed, &cfg) * 1e3
+            );
         }
         println!();
     }

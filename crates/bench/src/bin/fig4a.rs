@@ -7,7 +7,7 @@ use bk_bench::{all_apps, args::ExpArgs, expectations::headline, render, short_na
 fn main() {
     let args = ExpArgs::from_env();
     let mut cfg = HarnessConfig::paper_scaled(args.bytes);
-    args.apply_threads(&mut cfg);
+    args.apply(&mut cfg);
 
     render::header("Fig. 4(a) — speedup over the serial CPU implementation");
     println!(
@@ -24,7 +24,13 @@ fn main() {
         if !args.selected(name) {
             continue;
         }
-        let results = run_all(app.as_ref(), args.bytes, args.seed, &cfg, &Implementation::FIG4A);
+        let results = run_all(
+            app.as_ref(),
+            args.bytes,
+            args.seed,
+            &cfg,
+            &Implementation::FIG4A,
+        );
         let serial = results[0].1.total;
         let s = |i: usize| serial.ratio(results[i].1.total);
         println!(

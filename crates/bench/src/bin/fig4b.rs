@@ -7,18 +7,26 @@ use bk_bench::{all_apps, args::ExpArgs, expectations, render, short_name};
 fn main() {
     let args = ExpArgs::from_env();
     let mut cfg = HarnessConfig::paper_scaled(args.bytes);
-    args.apply_threads(&mut cfg);
+    args.apply(&mut cfg);
 
     render::header("Fig. 4(b) — comp/comm ratio in the single-buffer implementation");
-    println!("{:<9} {:>6} {:>6}   computation share", "app", "comp", "comm");
+    println!(
+        "{:<9} {:>6} {:>6}   computation share",
+        "app", "comp", "comm"
+    );
 
     for app in all_apps() {
         let name = app.spec().name;
         if !args.selected(name) {
             continue;
         }
-        let results =
-            run_all(app.as_ref(), args.bytes, args.seed, &cfg, &[Implementation::GpuSingleBuffer]);
+        let results = run_all(
+            app.as_ref(),
+            args.bytes,
+            args.seed,
+            &cfg,
+            &[Implementation::GpuSingleBuffer],
+        );
         let r = &results[0].1;
         let comp = r.stage_busy("compute");
         let comm = r.stage_busy("stage-pin")
@@ -26,7 +34,11 @@ fn main() {
             + r.stage_busy("wb-xfer")
             + r.stage_busy("wb-apply");
         let total = comp + comm;
-        let comp_frac = if total.is_zero() { 0.0 } else { comp.ratio(total) };
+        let comp_frac = if total.is_zero() {
+            0.0
+        } else {
+            comp.ratio(total)
+        };
         println!(
             "{:<9} {:>5.0}% {:>5.0}%   |{}|  ({})",
             short_name(name),

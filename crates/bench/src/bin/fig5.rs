@@ -9,7 +9,7 @@ use bk_bench::{all_apps, args::ExpArgs, render, short_name};
 fn main() {
     let args = ExpArgs::from_env();
     let mut cfg = HarnessConfig::paper_scaled(args.bytes);
-    args.apply_threads(&mut cfg);
+    args.apply(&mut cfg);
 
     render::header("Fig. 5 — incremental benefit of each BigKernel feature");
     println!(

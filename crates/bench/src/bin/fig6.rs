@@ -6,7 +6,7 @@ use bk_bench::{all_apps, args::ExpArgs, render, short_name};
 fn main() {
     let args = ExpArgs::from_env();
     let mut cfg = HarnessConfig::paper_scaled(args.bytes);
-    args.apply_threads(&mut cfg);
+    args.apply(&mut cfg);
 
     render::header("Fig. 6 — relative completion time of each BigKernel stage");
     println!(
@@ -19,7 +19,13 @@ fn main() {
         if !args.selected(name) {
             continue;
         }
-        let results = run_all(app.as_ref(), args.bytes, args.seed, &cfg, &[Implementation::BigKernel]);
+        let results = run_all(
+            app.as_ref(),
+            args.bytes,
+            args.seed,
+            &cfg,
+            &[Implementation::BigKernel],
+        );
         let r = &results[0].1;
         let rel = r.relative_stage_times();
         print!("{:<9}", short_name(name));

@@ -5,13 +5,19 @@
 //! (committed at the repo root as the tracked baseline) and prints a table.
 //!
 //! Usage mirrors the other experiment binaries:
-//! `perf_snapshot [--mib N] [--seed S] [--app SUBSTR] [--threads N]`.
+//! `perf_snapshot [--mib N] [--seed S] [--app SUBSTR] [--threads N]
+//! [--machine NAME] [--gpus N]`.
 //! `--threads 1` measures the sequential block path (the per-block hot loop
 //! with no rayon overhead) — the number the addr-gen/assembly fast path is
 //! tuned against.
+//!
+//! Besides the per-app wall-clock rows, the snapshot records a simulated
+//! multi-GPU scaling section: the three streaming apps on 1/2/4 replicated
+//! devices (chunk sharding; see the `scaling` binary for the live table).
 
 use bk_apps::{run_implementation, HarnessConfig, Implementation};
 use bk_bench::{all_apps, args::ExpArgs, short_name};
+use bk_simcore::SimTime;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -28,6 +34,39 @@ struct Row {
     stage_utilization: Vec<(&'static str, f64)>,
     /// Top `stall.<stage>.<cause>` counters, simulated nanoseconds stalled.
     top_stalls: Vec<(&'static str, u64)>,
+    /// Simulated devices the run was sharded across.
+    gpus: usize,
+    /// Per-device `device.<i>.*` counters, one entry per device.
+    devices: Vec<DeviceRow>,
+}
+
+/// One simulated device's share of a run.
+struct DeviceRow {
+    device: usize,
+    chunks: u64,
+    busy_ns: u64,
+    makespan_ns: u64,
+    stall_ns: u64,
+}
+
+fn device_rows(r: &bk_runtime::RunResult, gpus: usize) -> Vec<DeviceRow> {
+    (0..gpus)
+        .map(|d| DeviceRow {
+            device: d,
+            chunks: r.metrics.get(&format!("device.{d}.chunks")),
+            busy_ns: r.metrics.get(&format!("device.{d}.busy_ns")),
+            makespan_ns: r.metrics.get(&format!("device.{d}.makespan_ns")),
+            stall_ns: r.metrics.get(&format!("device.{d}.stall_ns")),
+        })
+        .collect()
+}
+
+/// One point of the simulated multi-GPU scaling sweep.
+struct ScalingRow {
+    app: &'static str,
+    gpus: usize,
+    sim_secs: f64,
+    speedup: f64,
 }
 
 /// Largest `stall.*` counters (stalled simulated ns), descending.
@@ -42,7 +81,7 @@ fn top_stalls(r: &bk_runtime::RunResult) -> Vec<(&'static str, u64)> {
     v
 }
 
-fn to_json(args: &ExpArgs, iters: usize, rows: &[Row]) -> String {
+fn to_json(args: &ExpArgs, iters: usize, rows: &[Row], scaling: &[ScalingRow]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"bytes_per_app\": {},", args.bytes);
@@ -50,7 +89,9 @@ fn to_json(args: &ExpArgs, iters: usize, rows: &[Row]) -> String {
     let _ = writeln!(
         out,
         "  \"threads\": {},",
-        args.threads.map(|t| t.to_string()).unwrap_or_else(|| "null".into())
+        args.threads
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| "null".into())
     );
     let _ = writeln!(out, "  \"iters\": {iters},");
     let _ = writeln!(out, "  \"apps\": [");
@@ -61,6 +102,22 @@ fn to_json(args: &ExpArgs, iters: usize, rows: &[Row]) -> String {
         let _ = writeln!(out, "      \"chunks\": {},", r.chunks);
         let _ = writeln!(out, "      \"num_blocks\": {},", r.num_blocks);
         let _ = writeln!(out, "      \"blocks_per_sec\": {:.1},", r.blocks_per_sec);
+        let _ = writeln!(out, "      \"gpus\": {},", r.gpus);
+        let _ = writeln!(out, "      \"devices\": [");
+        for (j, d) in r.devices.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "        {{ \"device\": {}, \"chunks\": {}, \"busy_ns\": {}, \
+                 \"makespan_ns\": {}, \"stall_ns\": {} }}{}",
+                d.device,
+                d.chunks,
+                d.busy_ns,
+                d.makespan_ns,
+                d.stall_ns,
+                if j + 1 < r.devices.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "      ],");
         let _ = writeln!(out, "      \"stage_shares\": {{");
         for (j, (name, share)) in r.stage_shares.iter().enumerate() {
             let _ = writeln!(
@@ -68,7 +125,11 @@ fn to_json(args: &ExpArgs, iters: usize, rows: &[Row]) -> String {
                 "        \"{}\": {:.4}{}",
                 name,
                 share,
-                if j + 1 < r.stage_shares.len() { "," } else { "" }
+                if j + 1 < r.stage_shares.len() {
+                    ","
+                } else {
+                    ""
+                }
             );
         }
         let _ = writeln!(out, "      }},");
@@ -79,7 +140,11 @@ fn to_json(args: &ExpArgs, iters: usize, rows: &[Row]) -> String {
                 "        \"{}\": {:.4}{}",
                 name,
                 util,
-                if j + 1 < r.stage_utilization.len() { "," } else { "" }
+                if j + 1 < r.stage_utilization.len() {
+                    ","
+                } else {
+                    ""
+                }
             );
         }
         let _ = writeln!(out, "      }},");
@@ -96,15 +161,58 @@ fn to_json(args: &ExpArgs, iters: usize, rows: &[Row]) -> String {
         let _ = writeln!(out, "      }}");
         let _ = writeln!(out, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
     }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"scaling\": [");
+    for (i, s) in scaling.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{ \"app\": \"{}\", \"gpus\": {}, \"sim_secs\": {:.9}, \
+             \"speedup\": {:.3} }}{}",
+            s.app,
+            s.gpus,
+            s.sim_secs,
+            s.speedup,
+            if i + 1 < scaling.len() { "," } else { "" }
+        );
+    }
     let _ = writeln!(out, "  ]");
     out.push('}');
+    out
+}
+
+/// Simulated 1/2/4-GPU sweep over the streaming apps (EXPERIMENTS.md "GPU
+/// scaling"). Simulated time only — wall clock is irrelevant here.
+fn scaling_sweep(args: &ExpArgs, cfg: &HarnessConfig) -> Vec<ScalingRow> {
+    const SCALING_APPS: [&str; 3] = ["Word Count", "DNA Assembly", "Netflix"];
+    let mut out = Vec::new();
+    for app in all_apps() {
+        let name = app.spec().name;
+        if !SCALING_APPS.contains(&name) {
+            continue;
+        }
+        let mut base: Option<SimTime> = None;
+        for gpus in [1usize, 2, 4] {
+            let mut machine = (cfg.machine)();
+            machine.replicate_gpus(gpus);
+            machine.scale_fixed_costs(cfg.fixed_cost_scale);
+            let instance = app.instantiate(&mut machine, args.bytes, args.seed);
+            let r = run_implementation(&mut machine, &instance, Implementation::BigKernel, cfg);
+            let b = *base.get_or_insert(r.total);
+            out.push(ScalingRow {
+                app: short_name(name),
+                gpus,
+                sim_secs: r.total.secs(),
+                speedup: b.ratio(r.total),
+            });
+        }
+    }
     out
 }
 
 fn main() {
     let args = ExpArgs::from_env();
     let mut cfg = HarnessConfig::paper_scaled(args.bytes);
-    args.apply_threads(&mut cfg);
+    args.apply(&mut cfg);
     const ITERS: usize = 3;
 
     let mut rows: Vec<Row> = Vec::new();
@@ -120,6 +228,7 @@ fn main() {
         let mut result = None;
         for _ in 0..ITERS {
             let mut machine = (cfg.machine)();
+            machine.replicate_gpus(cfg.gpus);
             machine.scale_fixed_costs(cfg.fixed_cost_scale);
             let instance = app.instantiate(&mut machine, args.bytes, args.seed);
             let t0 = Instant::now();
@@ -143,10 +252,19 @@ fn main() {
                 .stages
                 .iter()
                 .map(|s| {
-                    (s.name, if r.total.is_zero() { 0.0 } else { s.busy.ratio(r.total) })
+                    (
+                        s.name,
+                        if r.total.is_zero() {
+                            0.0
+                        } else {
+                            s.busy.ratio(r.total)
+                        },
+                    )
                 })
                 .collect(),
             top_stalls: top_stalls(&r),
+            gpus: cfg.gpus,
+            devices: device_rows(&r, cfg.gpus),
         });
     }
 
@@ -177,7 +295,20 @@ fn main() {
         }
     }
 
-    let json = to_json(&args, ITERS, &rows);
+    let scaling = scaling_sweep(&args, &cfg);
+    println!();
+    println!(
+        "{:<9} {:>5} {:>14} {:>9}",
+        "scaling", "gpus", "sim(s)", "speedup"
+    );
+    for s in &scaling {
+        println!(
+            "{:<9} {:>5} {:>14.6} {:>8.2}x",
+            s.app, s.gpus, s.sim_secs, s.speedup
+        );
+    }
+
+    let json = to_json(&args, ITERS, &rows, &scaling);
     std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
     println!("wrote BENCH_pipeline.json");
 }

@@ -43,22 +43,45 @@ fn to_json(r: &JsonReport) -> String {
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"bytes_per_app\": {},", r.bytes_per_app);
     let _ = writeln!(out, "  \"seed\": {},", r.seed);
-    let _ = writeln!(out, "  \"geomean_bk_vs_double\": {:.6},", r.geomean_bk_vs_double);
-    let _ = writeln!(out, "  \"geomean_bk_vs_single\": {:.6},", r.geomean_bk_vs_single);
-    let _ = writeln!(out, "  \"geomean_bk_vs_cpu_mt\": {:.6},", r.geomean_bk_vs_cpu_mt);
+    let _ = writeln!(
+        out,
+        "  \"geomean_bk_vs_double\": {:.6},",
+        r.geomean_bk_vs_double
+    );
+    let _ = writeln!(
+        out,
+        "  \"geomean_bk_vs_single\": {:.6},",
+        r.geomean_bk_vs_single
+    );
+    let _ = writeln!(
+        out,
+        "  \"geomean_bk_vs_cpu_mt\": {:.6},",
+        r.geomean_bk_vs_cpu_mt
+    );
     let _ = writeln!(out, "  \"apps\": [");
     for (i, a) in r.apps.iter().enumerate() {
         let _ = writeln!(out, "    {{");
         let _ = writeln!(out, "      \"app\": \"{}\",", esc(&a.app));
-        let _ = writeln!(out, "      \"cpu_multithreaded\": {:.6},", a.cpu_multithreaded);
-        let _ = writeln!(out, "      \"gpu_single_buffer\": {:.6},", a.gpu_single_buffer);
-        let _ = writeln!(out, "      \"gpu_double_buffer\": {:.6},", a.gpu_double_buffer);
+        let _ = writeln!(
+            out,
+            "      \"cpu_multithreaded\": {:.6},",
+            a.cpu_multithreaded
+        );
+        let _ = writeln!(
+            out,
+            "      \"gpu_single_buffer\": {:.6},",
+            a.gpu_single_buffer
+        );
+        let _ = writeln!(
+            out,
+            "      \"gpu_double_buffer\": {:.6},",
+            a.gpu_double_buffer
+        );
         let _ = writeln!(out, "      \"bigkernel\": {:.6},", a.bigkernel);
         let _ = writeln!(out, "      \"serial_seconds\": {:.6},", a.serial_seconds);
         let _ = writeln!(out, "      \"read_pct\": {:.6},", a.read_pct);
         let _ = writeln!(out, "      \"modified_pct\": {:.6}", a.modified_pct);
-        let _ =
-            writeln!(out, "    }}{}", if i + 1 < r.apps.len() { "," } else { "" });
+        let _ = writeln!(out, "    }}{}", if i + 1 < r.apps.len() { "," } else { "" });
     }
     let _ = writeln!(out, "  ]");
     out.push('}');
@@ -68,7 +91,7 @@ fn to_json(r: &JsonReport) -> String {
 fn main() {
     let args = ExpArgs::from_env();
     let mut cfg = HarnessConfig::paper_scaled(args.bytes);
-    args.apply_threads(&mut cfg);
+    args.apply(&mut cfg);
     let mut md = String::new();
     let _ = writeln!(md, "# BigKernel reproduction report\n");
     let _ = writeln!(
@@ -93,7 +116,13 @@ fn main() {
         if !args.selected(name) {
             continue;
         }
-        let results = run_all(app.as_ref(), args.bytes, args.seed, &cfg, &Implementation::FIG4A);
+        let results = run_all(
+            app.as_ref(),
+            args.bytes,
+            args.seed,
+            &cfg,
+            &Implementation::FIG4A,
+        );
         let serial = results[0].1.total;
         let s = |i: usize| serial.ratio(results[i].1.total);
         let _ = writeln!(
@@ -117,7 +146,11 @@ fn main() {
             + sb.stage_busy("wb-xfer")
             + sb.stage_busy("wb-apply");
         let total = comp + comm;
-        let frac = if total.is_zero() { 0.0 } else { comp.ratio(total) };
+        let frac = if total.is_zero() {
+            0.0
+        } else {
+            comp.ratio(total)
+        };
         let _ = writeln!(
             fig4b_rows,
             "| {} | {:.0}% | {:.0}% |",
@@ -130,7 +163,10 @@ fn main() {
         let bk = &results[4].1;
         let rel = bk.relative_stage_times();
         let pct = |stage: &str| {
-            rel.iter().find(|(n, _)| *n == stage).map(|(_, f)| f * 100.0).unwrap_or(0.0)
+            rel.iter()
+                .find(|(n, _)| *n == stage)
+                .map(|(_, f)| f * 100.0)
+                .unwrap_or(0.0)
         };
         let _ = writeln!(
             fig6_rows,
@@ -144,8 +180,7 @@ fn main() {
         let passes = if name.starts_with("MasterCard") { 2 } else { 1 };
         let read_pct =
             100.0 * bk.metrics.get("stream.bytes_read") as f64 / (args.bytes * passes) as f64;
-        let mod_pct =
-            100.0 * bk.metrics.get("stream.bytes_written") as f64 / args.bytes as f64;
+        let mod_pct = 100.0 * bk.metrics.get("stream.bytes_written") as f64 / args.bytes as f64;
         json_apps.push(AppRecord {
             app: name.to_string(),
             cpu_multithreaded: s(1),
@@ -160,8 +195,7 @@ fn main() {
         let _ = writeln!(
             table1_rows,
             "| {} | {} | {}% / {:.1}% | {}% / {:.1}% |",
-            name, spec.record_type, spec.paper_read_pct, read_pct, spec.paper_modified_pct,
-            mod_pct,
+            name, spec.record_type, spec.paper_read_pct, read_pct, spec.paper_modified_pct, mod_pct,
         );
     }
     let _ = writeln!(
@@ -189,7 +223,10 @@ fn main() {
     md.push_str(&fig6_rows);
 
     // ---- Fig. 5 -----------------------------------------------------------
-    let _ = writeln!(md, "\n## Fig. 5 — incremental feature benefit (vs single buffer)\n");
+    let _ = writeln!(
+        md,
+        "\n## Fig. 5 — incremental feature benefit (vs single buffer)\n"
+    );
     let _ = writeln!(md, "| app | +overlap | +volume | +coalesce |");
     let _ = writeln!(md, "|---|---|---|---|");
     let imps = [
@@ -226,14 +263,28 @@ fn main() {
         if !args.selected(spec.name) {
             continue;
         }
-        let on = run_all(app.as_ref(), args.bytes, args.seed, &cfg, &[Implementation::BigKernel]);
-        let off =
-            run_all(app.as_ref(), args.bytes, args.seed, &cfg_off, &[Implementation::BigKernel]);
+        let on = run_all(
+            app.as_ref(),
+            args.bytes,
+            args.seed,
+            &cfg,
+            &[Implementation::BigKernel],
+        );
+        let off = run_all(
+            app.as_ref(),
+            args.bytes,
+            args.seed,
+            &cfg_off,
+            &[Implementation::BigKernel],
+        );
         let paper = expectations::table2_pct(spec.name)
             .map(|p| format!("{p}%"))
             .unwrap_or_else(|| "NA".into());
         let ours = if spec.pattern_applicable {
-            format!("{:.0}%", (off[0].1.total.ratio(on[0].1.total) - 1.0) * 100.0)
+            format!(
+                "{:.0}%",
+                (off[0].1.total.ratio(on[0].1.total) - 1.0) * 100.0
+            )
         } else {
             "NA".into()
         };

@@ -38,7 +38,7 @@ fn main() {
         print!("{:<9}", short_name(name));
         for (_, link) in &links {
             let mut cfg = HarnessConfig::paper_scaled(args.bytes);
-            args.apply_threads(&mut cfg);
+            args.apply(&mut cfg);
             cfg.link = Some(link.clone());
             let r = run_all(app.as_ref(), args.bytes, args.seed, &cfg, &imps);
             let adv = r[0].1.total.ratio(r[1].1.total);

@@ -8,7 +8,7 @@ use bk_bench::{all_apps, args::ExpArgs, render, short_name};
 fn main() {
     let args = ExpArgs::from_env();
     let mut cfg = HarnessConfig::paper_scaled(args.bytes);
-    args.apply_threads(&mut cfg);
+    args.apply(&mut cfg);
     let imps = [
         Implementation::CpuSerial,
         Implementation::CpuMultithreaded,
@@ -27,7 +27,11 @@ fn main() {
         render::header(&format!("{} — stage busy times", short_name(name)));
         let results = run_all(app.as_ref(), args.bytes, args.seed, &cfg, &imps);
         for (imp, r) in &results {
-            print!("{:<22} total {:>10}  |", imp.label(), format!("{}", r.total));
+            print!(
+                "{:<22} total {:>10}  |",
+                imp.label(),
+                format!("{}", r.total)
+            );
             for s in &r.stages {
                 if !s.busy.is_zero() {
                     print!(" {}={}", s.name, s.busy);
@@ -51,8 +55,11 @@ fn main() {
         }
         // Dominant roofline bounds per stage (chunks counted).
         let bk0 = &results.last().unwrap().1;
-        let bounds: Vec<(&str, u64)> =
-            bk0.metrics.iter().filter(|(k, _)| k.starts_with("bound.")).collect();
+        let bounds: Vec<(&str, u64)> = bk0
+            .metrics
+            .iter()
+            .filter(|(k, _)| k.starts_with("bound."))
+            .collect();
         if !bounds.is_empty() {
             print!("bigkernel dominant bounds:");
             for (k, v) in bounds {

@@ -8,12 +8,17 @@ use bk_bench::{all_apps, args::ExpArgs, render};
 fn main() {
     let args = ExpArgs::from_env();
     let mut cfg = HarnessConfig::paper_scaled(args.bytes);
-    args.apply_threads(&mut cfg);
+    args.apply(&mut cfg);
 
     render::header("Table I — application mapped data");
     println!(
         "{:<30} {:>9} {:>26} | {:>11} {:>11} | {:>11} {:>11}",
-        "application", "data size", "record type", "read(paper)", "read(ours)", "mod(paper)",
+        "application",
+        "data size",
+        "record type",
+        "read(paper)",
+        "read(ours)",
+        "mod(paper)",
         "mod(ours)"
     );
 
@@ -22,13 +27,22 @@ fn main() {
         if !args.selected(spec.name) {
             continue;
         }
-        let results = run_all(app.as_ref(), args.bytes, args.seed, &cfg, &[Implementation::BigKernel]);
+        let results = run_all(
+            app.as_ref(),
+            args.bytes,
+            args.seed,
+            &cfg,
+            &[Implementation::BigKernel],
+        );
         let c = &results[0].1.metrics;
         // MasterCard Affinity scans the data once per pass; Table I reports
         // the per-pass proportion, so normalize by pass count.
-        let passes = if spec.name.starts_with("MasterCard") { 2 } else { 1 };
-        let read_pct =
-            100.0 * c.get("stream.bytes_read") as f64 / (args.bytes * passes) as f64;
+        let passes = if spec.name.starts_with("MasterCard") {
+            2
+        } else {
+            1
+        };
+        let read_pct = 100.0 * c.get("stream.bytes_read") as f64 / (args.bytes * passes) as f64;
         let mod_pct = 100.0 * c.get("stream.bytes_written") as f64 / args.bytes as f64;
         println!(
             "{:<30} {:>9} {:>26} | {:>10}% {:>10.1}% | {:>10}% {:>10.1}%",

@@ -8,7 +8,7 @@ use bk_bench::{all_apps, args::ExpArgs, expectations, render};
 fn main() {
     let args = ExpArgs::from_env();
     let mut cfg_on = HarnessConfig::paper_scaled(args.bytes);
-    args.apply_threads(&mut cfg_on);
+    args.apply(&mut cfg_on);
     cfg_on.bigkernel.pattern_recognition = true;
     let mut cfg_off = cfg_on.clone();
     cfg_off.bigkernel.pattern_recognition = false;
@@ -24,9 +24,20 @@ fn main() {
         if !args.selected(spec.name) {
             continue;
         }
-        let on = run_all(app.as_ref(), args.bytes, args.seed, &cfg_on, &[Implementation::BigKernel]);
-        let off =
-            run_all(app.as_ref(), args.bytes, args.seed, &cfg_off, &[Implementation::BigKernel]);
+        let on = run_all(
+            app.as_ref(),
+            args.bytes,
+            args.seed,
+            &cfg_on,
+            &[Implementation::BigKernel],
+        );
+        let off = run_all(
+            app.as_ref(),
+            args.bytes,
+            args.seed,
+            &cfg_off,
+            &[Implementation::BigKernel],
+        );
         let t_on = on[0].1.total;
         let t_off = off[0].1.total;
         let improvement = (t_off.ratio(t_on) - 1.0) * 100.0;

@@ -31,15 +31,17 @@ fn means(r: &bk_runtime::RunResult, names: &[&str]) -> Vec<SimTime> {
 fn main() {
     let args = ExpArgs::from_env();
     let mut cfg = HarnessConfig::paper_scaled(args.bytes);
-    args.apply_threads(&mut cfg);
+    args.apply(&mut cfg);
     // Default to K-means (it exercises all six stages); `--app` picks the
     // first matching application.
     let apps = all_apps();
     let app = args.filter.as_ref().map(|_| {
-        apps.iter().find(|a| args.selected(a.spec().name)).unwrap_or_else(|| {
-            eprintln!("no app matches the filter");
-            std::process::exit(2);
-        })
+        apps.iter()
+            .find(|a| args.selected(a.spec().name))
+            .unwrap_or_else(|| {
+                eprintln!("no app matches the filter");
+                std::process::exit(2);
+            })
     });
     let kmeans = KMeans::default();
     let app: &(dyn BenchApp + Sync) = match &app {
@@ -51,11 +53,19 @@ fn main() {
 
 fn run_for(app: &(dyn BenchApp + Sync), args: &ExpArgs, cfg: &HarnessConfig) {
     let name = app.spec().name;
-    println!("pipeline timelines for {name} ({} MiB, representative {CHUNKS}-chunk window)",
-        args.bytes >> 20);
+    println!(
+        "pipeline timelines for {name} ({} MiB, representative {CHUNKS}-chunk window)",
+        args.bytes >> 20
+    );
 
     // --- single buffer --------------------------------------------------
-    let r = run_all(app, args.bytes, args.seed, cfg, &[Implementation::GpuSingleBuffer]);
+    let r = run_all(
+        app,
+        args.bytes,
+        args.seed,
+        cfg,
+        &[Implementation::GpuSingleBuffer],
+    );
     let names = ["stage-pin", "transfer", "compute", "wb-xfer", "wb-apply"];
     let m = means(&r[0].1, &names);
     let rows = vec![m.clone(); CHUNKS];
@@ -64,14 +74,35 @@ fn run_for(app: &(dyn BenchApp + Sync), args: &ExpArgs, cfg: &HarnessConfig) {
     print!("{}", sched.gantt(WIDTH));
 
     // --- double buffer ---------------------------------------------------
-    let r = run_all(app, args.bytes, args.seed, cfg, &[Implementation::GpuDoubleBuffer]);
+    let r = run_all(
+        app,
+        args.bytes,
+        args.seed,
+        cfg,
+        &[Implementation::GpuDoubleBuffer],
+    );
     let m = means(&r[0].1, &names);
     let spec = pipeline::PipelineSpec::new(vec![
-        StageDef { name: "stage-pin", resource: "cpu-stage" },
-        StageDef { name: "transfer", resource: "dma" },
-        StageDef { name: "compute", resource: "gpu" },
-        StageDef { name: "wb-xfer", resource: "dma" },
-        StageDef { name: "wb-apply", resource: "cpu-wb" },
+        StageDef {
+            name: "stage-pin",
+            resource: "cpu-stage",
+        },
+        StageDef {
+            name: "transfer",
+            resource: "dma",
+        },
+        StageDef {
+            name: "compute",
+            resource: "gpu",
+        },
+        StageDef {
+            name: "wb-xfer",
+            resource: "dma",
+        },
+        StageDef {
+            name: "wb-apply",
+            resource: "cpu-wb",
+        },
     ])
     .with_reuse(1, 2, 2)
     .with_reuse(0, 1, 2);
@@ -80,16 +111,42 @@ fn run_for(app: &(dyn BenchApp + Sync), args: &ExpArgs, cfg: &HarnessConfig) {
     print!("{}", sched.gantt(WIDTH));
 
     // --- BigKernel --------------------------------------------------------
-    let r = run_all(app, args.bytes, args.seed, cfg, &[Implementation::BigKernel]);
-    let names = ["addr-gen", "assemble", "transfer", "compute", "wb-xfer", "wb-apply"];
+    let r = run_all(
+        app,
+        args.bytes,
+        args.seed,
+        cfg,
+        &[Implementation::BigKernel],
+    );
+    let names = [
+        "addr-gen", "assemble", "transfer", "compute", "wb-xfer", "wb-apply",
+    ];
     let m = means(&r[0].1, &names);
     let spec = pipeline::PipelineSpec::new(vec![
-        StageDef { name: "addr-gen", resource: "gpu-ag" },
-        StageDef { name: "assemble", resource: "cpu-asm" },
-        StageDef { name: "transfer", resource: "dma" },
-        StageDef { name: "compute", resource: "gpu-comp" },
-        StageDef { name: "wb-xfer", resource: "dma" },
-        StageDef { name: "wb-apply", resource: "cpu-wb" },
+        StageDef {
+            name: "addr-gen",
+            resource: "gpu-ag",
+        },
+        StageDef {
+            name: "assemble",
+            resource: "cpu-asm",
+        },
+        StageDef {
+            name: "transfer",
+            resource: "dma",
+        },
+        StageDef {
+            name: "compute",
+            resource: "gpu-comp",
+        },
+        StageDef {
+            name: "wb-xfer",
+            resource: "dma",
+        },
+        StageDef {
+            name: "wb-apply",
+            resource: "cpu-wb",
+        },
     ])
     .with_reuse(0, 3, cfg.bigkernel.buffer_depth)
     .with_reuse(3, 5, cfg.bigkernel.buffer_depth);

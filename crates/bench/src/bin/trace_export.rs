@@ -6,12 +6,12 @@
 //! BigKernel pipeline with span tracing enabled, then writes the recorded
 //! spans as a trace-event JSON file loadable in <https://ui.perfetto.dev>
 //! or `chrome://tracing`: one track per hardware resource (gpu-ag, cpu-asm,
-//! dma, gpu-comp, dma-d2h, cpu-wb), one complete event per
-//! (chunk, stage) slot, stalled slots annotated with their attributed
-//! [`bk_obs::StallCause`].
+//! dma, gpu-comp, dma-d2h, cpu-wb — prefixed `dev<i>.` per replica when
+//! `--gpus N` shards the run), one complete event per (chunk, stage) slot,
+//! stalled slots annotated with their attributed [`bk_obs::StallCause`].
 //!
 //! Usage: `trace_export [--app SUBSTR] [--mib N] [--seed S] [--threads N]
-//! [--out PATH]` (default `trace.json`).
+//! [--machine NAME] [--gpus N] [--out PATH]` (default `trace.json`).
 
 use bk_apps::{run_implementation, HarnessConfig, Implementation};
 use bk_bench::{all_apps, args::ExpArgs};
@@ -37,7 +37,7 @@ fn main() {
         }
     };
     let mut cfg = HarnessConfig::paper_scaled(args.bytes);
-    args.apply_threads(&mut cfg);
+    args.apply(&mut cfg);
 
     // A trace is one timeline: run exactly one app (the first match).
     let apps = all_apps();
@@ -48,6 +48,7 @@ fn main() {
     let name = app.spec().name;
 
     let mut machine = (cfg.machine)();
+    machine.replicate_gpus(cfg.gpus);
     machine.scale_fixed_costs(cfg.fixed_cost_scale);
     let instance = app.instantiate(&mut machine, args.bytes, args.seed);
 
@@ -68,7 +69,10 @@ fn main() {
         coverage * 100.0,
         busy
     );
-    println!("wrote {out_path} ({} spans) — open in https://ui.perfetto.dev", spans.len());
+    println!(
+        "wrote {out_path} ({} spans) — open in https://ui.perfetto.dev",
+        spans.len()
+    );
     if coverage < 0.99 {
         eprintln!("warning: trace covers < 99% of simulated busy time");
         std::process::exit(1);

@@ -10,7 +10,13 @@ pub fn table1_rows() -> Vec<(&'static str, &'static str, &'static str, u32, u32)
         ("Opinion Finder", "6.2GB", "Fixed-length", 73, 0),
         ("DNA Assembly", "4.5GB", "Fixed-length", 36, 0),
         ("MasterCard Affinity", "6.4GB", "Variable-length", 100, 0),
-        ("MasterCard Affinity (indexed)", "6.4GB", "Variable-length (indexed)", 25, 0),
+        (
+            "MasterCard Affinity (indexed)",
+            "6.4GB",
+            "Variable-length (indexed)",
+            25,
+            0,
+        ),
     ]
 }
 
@@ -56,12 +62,8 @@ pub fn discussion_note(app: &str) -> &'static str {
         }
         "Netflix" => "communication-heavy; large gain from transfer-volume reduction",
         "Opinion Finder" => "computation-dominant (heavy lexical analysis); modest gains",
-        "DNA Assembly" => {
-            "records too large to coalesce in original form; big coalescing benefit"
-        }
-        "MasterCard Affinity" => {
-            "whole input must be transferred; only overlap + coalescing help"
-        }
+        "DNA Assembly" => "records too large to coalesce in original form; big coalescing benefit",
+        "MasterCard Affinity" => "whole input must be transferred; only overlap + coalescing help",
         "MasterCard Affinity (indexed)" => {
             "index shrinks transfers; significant speedup vs the plain variant"
         }

@@ -11,10 +11,12 @@
 //! | `fig6` | Fig. 6 — relative completion time of each BigKernel stage |
 //! | `table2` | Table II — improvement from pattern recognition |
 //! | `ablation` | §IV design-choice ablations (buffer depth, sync mode, locality, chunk size) |
+//! | `scaling` | GPU scaling — chunks sharded across 1/2/4 replicated devices |
 //!
 //! All binaries accept `--bytes N` (per-app input size, default 16 MiB),
-//! `--seed S` and print both our measured values and the paper's reported
-//! numbers side by side. Absolute values are simulated time; the claim being
+//! `--seed S`, `--machine NAME` (platform preset) and `--gpus N`
+//! (replicated simulated devices), and print both our measured values and
+//! the paper's reported numbers side by side. Absolute values are simulated time; the claim being
 //! reproduced is the *shape* (ordering, ratios, crossovers) — see
 //! EXPERIMENTS.md.
 

@@ -71,7 +71,12 @@ pub fn coalesce_step(spec: &DeviceSpec, lanes: &[(u64, u32)]) -> StepCost {
     segs.sort_unstable();
     segs.dedup();
     let transactions = segs.len() as u64;
-    StepCost { transactions, bytes_moved: transactions * seg, bytes_l2: 0, bytes_useful: useful }
+    StepCost {
+        transactions,
+        bytes_moved: transactions * seg,
+        bytes_l2: 0,
+        bytes_useful: useful,
+    }
 }
 
 #[cfg(test)]

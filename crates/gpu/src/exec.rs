@@ -84,7 +84,12 @@ mod tests {
         // 64 lanes each read 4 coalesced bytes: 4 segments per warp.
         run_block_lanes(&spec, &mut sim, 64, &mut cost, |lane, trace| {
             let base = if lane < 32 { 0u64 } else { 1 << 20 };
-            trace.record(base + (lane % 32) as u64 * 4, 4, AccessKind::Read, AccessClass::Dev);
+            trace.record(
+                base + (lane % 32) as u64 * 4,
+                4,
+                AccessKind::Read,
+                AccessClass::Dev,
+            );
         });
         assert_eq!(cost.mem_transactions, 8);
     }

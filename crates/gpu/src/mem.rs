@@ -58,7 +58,10 @@ impl GpuMemory {
         let padded = len.div_ceil(BASE_ALIGN) * BASE_ALIGN;
         self.next_base = base + padded;
         self.used += len;
-        self.buffers.push(Buffer { base, data: vec![0u8; len as usize] });
+        self.buffers.push(Buffer {
+            base,
+            data: vec![0u8; len as usize],
+        });
         id
     }
 

@@ -20,7 +20,11 @@ impl BlockResources {
     /// A typical streaming-kernel configuration: 256 threads, 32 registers,
     /// 4 KiB shared memory (temporary pattern-recognition buffers, §IV.A).
     pub fn streaming_default() -> Self {
-        BlockResources { threads_per_block: 256, regs_per_thread: 32, smem_per_block: 4096 }
+        BlockResources {
+            threads_per_block: 256,
+            regs_per_thread: 32,
+            smem_per_block: 4096,
+        }
     }
 }
 
@@ -65,8 +69,10 @@ pub fn compute(spec: &DeviceSpec, res: &BlockResources, num_set_blocks: u32) -> 
     let by_threads = spec.max_threads_per_sm / res.threads_per_block;
     let regs_per_block = (res.regs_per_thread * res.threads_per_block).max(1);
     let by_regs = spec.regs_per_sm / regs_per_block;
-    let by_smem =
-        spec.smem_per_sm.checked_div(res.smem_per_block).unwrap_or(u32::MAX);
+    let by_smem = spec
+        .smem_per_sm
+        .checked_div(res.smem_per_block)
+        .unwrap_or(u32::MAX);
     let by_slots = spec.max_blocks_per_sm;
 
     let (mut blocks_per_sm, mut limiting) = (by_threads, OccupancyLimit::Threads);
@@ -84,9 +90,16 @@ pub fn compute(spec: &DeviceSpec, res: &BlockResources, num_set_blocks: u32) -> 
 
     let hardware_max = blocks_per_sm * spec.num_sms;
     let active_blocks = hardware_max.min(num_set_blocks);
-    let limiting =
-        if num_set_blocks < hardware_max { OccupancyLimit::LaunchedBlocks } else { limiting };
-    Occupancy { blocks_per_sm, active_blocks, limiting }
+    let limiting = if num_set_blocks < hardware_max {
+        OccupancyLimit::LaunchedBlocks
+    } else {
+        limiting
+    };
+    Occupancy {
+        blocks_per_sm,
+        active_blocks,
+        limiting,
+    }
 }
 
 #[cfg(test)]
@@ -99,8 +112,11 @@ mod tests {
 
     #[test]
     fn thread_limited() {
-        let res =
-            BlockResources { threads_per_block: 1024, regs_per_thread: 16, smem_per_block: 0 };
+        let res = BlockResources {
+            threads_per_block: 1024,
+            regs_per_thread: 16,
+            smem_per_block: 0,
+        };
         let o = compute(&spec(), &res, 1000);
         assert_eq!(o.blocks_per_sm, 2); // 2048/1024
         assert_eq!(o.active_blocks, 16);
@@ -109,8 +125,11 @@ mod tests {
 
     #[test]
     fn register_limited() {
-        let res =
-            BlockResources { threads_per_block: 256, regs_per_thread: 128, smem_per_block: 0 };
+        let res = BlockResources {
+            threads_per_block: 256,
+            regs_per_thread: 128,
+            smem_per_block: 0,
+        };
         let o = compute(&spec(), &res, 1000);
         assert_eq!(o.blocks_per_sm, 2); // 65536 / (128*256) = 2
         assert_eq!(o.limiting, OccupancyLimit::Registers);
@@ -130,7 +149,11 @@ mod tests {
 
     #[test]
     fn slot_limited() {
-        let res = BlockResources { threads_per_block: 64, regs_per_thread: 8, smem_per_block: 0 };
+        let res = BlockResources {
+            threads_per_block: 64,
+            regs_per_thread: 8,
+            smem_per_block: 0,
+        };
         let o = compute(&spec(), &res, 1000);
         assert_eq!(o.blocks_per_sm, 16);
         assert_eq!(o.limiting, OccupancyLimit::BlockSlots);
@@ -167,8 +190,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "thread capacity")]
     fn oversized_block_panics() {
-        let res =
-            BlockResources { threads_per_block: 4096, regs_per_thread: 16, smem_per_block: 0 };
+        let res = BlockResources {
+            threads_per_block: 4096,
+            regs_per_thread: 16,
+            smem_per_block: 0,
+        };
         compute(&spec(), &res, 1);
     }
 }

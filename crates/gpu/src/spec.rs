@@ -75,7 +75,11 @@ impl DeviceSpec {
     /// A Tesla-class variant of the paper's GPU: identical compute/memory
     /// but two DMA engines (K20-style), for the copy-engine ablation.
     pub fn tesla_like() -> Self {
-        DeviceSpec { name: "Tesla-class (2 copy engines)", copy_engines: 2, ..Self::gtx680() }
+        DeviceSpec {
+            name: "Tesla-class (2 copy engines)",
+            copy_engines: 2,
+            ..Self::gtx680()
+        }
     }
 
     /// A deliberately small device for fast unit tests (1 SM, tiny memory).

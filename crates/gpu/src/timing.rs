@@ -127,7 +127,11 @@ impl GpuPool {
             occupancy_factor > 0.0 && occupancy_factor <= 1.0,
             "invalid occupancy factor"
         );
-        GpuPool { spec, fraction, occupancy_factor }
+        GpuPool {
+            spec,
+            fraction,
+            occupancy_factor,
+        }
     }
 
     /// The whole device at full occupancy.
@@ -145,15 +149,23 @@ impl GpuPool {
         let mut t = RooflineTerms::new();
 
         let issue_rate = s.issue_rate() * self.fraction * self.occupancy_factor;
-        t.bound("gpu-issue", SimTime::from_secs(cost.issue_slots as f64 / issue_rate));
+        t.bound(
+            "gpu-issue",
+            SimTime::from_secs(cost.issue_slots as f64 / issue_rate),
+        );
 
-        t.bound("gpu-mem", s.mem_bandwidth.transfer_time(cost.mem_bytes_moved));
+        t.bound(
+            "gpu-mem",
+            s.mem_bandwidth.transfer_time(cost.mem_bytes_moved),
+        );
 
         if cost.mem_bytes_l2 > 0 {
             // L2 sector hits: ~4x DRAM bandwidth on Kepler-class parts.
             t.bound(
                 "gpu-l2",
-                s.mem_bandwidth.scale(L2_BANDWIDTH_FACTOR).transfer_time(cost.mem_bytes_l2),
+                s.mem_bandwidth
+                    .scale(L2_BANDWIDTH_FACTOR)
+                    .transfer_time(cost.mem_bytes_l2),
             );
         }
 
@@ -167,7 +179,10 @@ impl GpuPool {
             // Hot-address serial chain: conflicting RMWs to one cell cannot
             // be parallelized across SMs at all.
             let hot = cost.hot_atomic_max();
-            t.bound("gpu-atomic-conflict", s.clock.cycles(hot as f64 * s.atomic_conflict_cycles));
+            t.bound(
+                "gpu-atomic-conflict",
+                s.clock.cycles(hot as f64 * s.atomic_conflict_cycles),
+            );
         }
 
         t.fixed(s.clock.cycles(cost.barriers as f64 * s.barrier_cycles));

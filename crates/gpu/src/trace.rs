@@ -42,8 +42,11 @@ pub enum AccessClass {
 }
 
 impl AccessClass {
-    pub const ALL: [AccessClass; 3] =
-        [AccessClass::StreamRead, AccessClass::StreamWrite, AccessClass::Dev];
+    pub const ALL: [AccessClass; 3] = [
+        AccessClass::StreamRead,
+        AccessClass::StreamWrite,
+        AccessClass::Dev,
+    ];
 
     /// Dense index of the class, for per-class scratch arrays.
     #[inline]
@@ -110,7 +113,12 @@ impl ThreadTrace {
 
     #[inline]
     pub fn record(&mut self, addr: u64, width: u32, kind: AccessKind, class: AccessClass) {
-        self.accesses.push(MemAccess { addr, width, kind, class });
+        self.accesses.push(MemAccess {
+            addr,
+            width,
+            kind,
+            class,
+        });
         self.instructions += 1;
     }
 
@@ -202,11 +210,17 @@ impl WarpAligner {
     /// result must clone it (the pipeline folds it into a `KernelCost`
     /// immediately, so it never does).
     pub fn align(&mut self, spec: &DeviceSpec, lanes: &[ThreadTrace]) -> &WarpCost {
-        assert!(!lanes.is_empty() && lanes.len() <= WARP_SIZE, "warp must have 1..=32 lanes");
+        assert!(
+            !lanes.is_empty() && lanes.len() <= WARP_SIZE,
+            "warp must have 1..=32 lanes"
+        );
         let seg = spec.segment_bytes;
         // Segment sizes are powers of two on every real part; requiring it
         // here keeps the per-access math off the u64-divide unit.
-        assert!(seg.is_power_of_two(), "segment_bytes must be a power of two");
+        assert!(
+            seg.is_power_of_two(),
+            "segment_bytes must be a power of two"
+        );
         let seg_shift = seg.trailing_zeros();
 
         self.cost.mem = StepCost::default();
@@ -227,11 +241,7 @@ impl WarpAligner {
                 self.lane_off[c][li] = self.flat[c].len();
             }
             for a in &lane.accesses {
-                self.flat[a.class.index()].push((
-                    a.addr,
-                    a.width,
-                    a.kind == AccessKind::Atomic,
-                ));
+                self.flat[a.class.index()].push((a.addr, a.width, a.kind == AccessKind::Atomic));
             }
         }
         for c in 0..3 {
@@ -467,8 +477,9 @@ mod tests {
                 t
             })
             .collect();
-        let probe: Vec<ThreadTrace> =
-            (0..7u64).map(|i| lane_with_reads(&[1 << 16, (1 << 16) + i * 4], 4)).collect();
+        let probe: Vec<ThreadTrace> = (0..7u64)
+            .map(|i| lane_with_reads(&[1 << 16, (1 << 16) + i * 4], 4))
+            .collect();
 
         let mut reused = WarpAligner::new();
         reused.align(&s, &noisy);

@@ -74,14 +74,38 @@ type OverlayMap = HashMap<(usize, u64), (u64, u8), BuildHasherDefault<OverlayHas
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DevOp {
     /// A device read whose observed value must still hold at replay time.
-    Read { buf: BufferId, offset: u64, width: u32, observed: u64 },
+    Read {
+        buf: BufferId,
+        offset: u64,
+        width: u32,
+        observed: u64,
+    },
     /// A blind store (last-writer-wins in block order).
-    Write { buf: BufferId, offset: u64, width: u32, value: u64 },
+    Write {
+        buf: BufferId,
+        offset: u64,
+        width: u32,
+        value: u64,
+    },
     /// Atomic add; commutes, so it replays blindly.
-    AddU32 { buf: BufferId, offset: u64, delta: u32 },
-    AddU64 { buf: BufferId, offset: u64, delta: u64 },
+    AddU32 {
+        buf: BufferId,
+        offset: u64,
+        delta: u32,
+    },
+    AddU64 {
+        buf: BufferId,
+        offset: u64,
+        delta: u64,
+    },
     /// Atomic CAS; the observed old value is validated at replay time.
-    CasU64 { buf: BufferId, offset: u64, expected: u64, new: u64, observed: u64 },
+    CasU64 {
+        buf: BufferId,
+        offset: u64,
+        expected: u64,
+        new: u64,
+        observed: u64,
+    },
 }
 
 /// Result of replaying one block's effects.
@@ -135,7 +159,10 @@ impl<'m> BlockLog<'m> {
     /// Declare `buf` block-private: reads and writes bypass the op log and
     /// go to a dense mirror committed wholesale on successful replay.
     pub fn register_private(&mut self, buf: BufferId) {
-        debug_assert!(self.privs.iter().all(|(b, _)| *b != buf), "buffer registered twice");
+        debug_assert!(
+            self.privs.iter().all(|(b, _)| *b != buf),
+            "buffer registered twice"
+        );
         let mirror = self.base.read(buf, 0, self.base.len(buf) as usize).to_vec();
         self.privs.push((buf, mirror));
     }
@@ -183,7 +210,8 @@ impl<'m> BlockLog<'m> {
                     // of the word is byte `w*8 + l - offset` of the value.
                     let lo = (w * 8).max(offset);
                     let hi = (w * 8 + 8).min(offset + width as u64);
-                    let lanes = ((1u16 << (hi - w * 8)) - 1) as u8 & !(((1u16 << (lo - w * 8)) - 1) as u8);
+                    let lanes =
+                        ((1u16 << (hi - w * 8)) - 1) as u8 & !(((1u16 << (lo - w * 8)) - 1) as u8);
                     let m = Self::byte_mask(mask & lanes);
                     // Align the word's bytes to the value's byte lanes.
                     if w * 8 >= offset {
@@ -244,7 +272,12 @@ impl<'m> BlockLog<'m> {
             }
             None => {
                 self.store_overlay(buf, offset, width, value);
-                self.ops.push(DevOp::Write { buf, offset, width, value });
+                self.ops.push(DevOp::Write {
+                    buf,
+                    offset,
+                    width,
+                    value,
+                });
             }
         }
     }
@@ -256,7 +289,12 @@ impl<'m> BlockLog<'m> {
             Some(i) => le_load(&self.privs[i].1[offset as usize..(offset + width as u64) as usize]),
             None => {
                 let observed = self.load_merged(buf, offset, width);
-                self.ops.push(DevOp::Read { buf, offset, width, observed });
+                self.ops.push(DevOp::Read {
+                    buf,
+                    offset,
+                    width,
+                    observed,
+                });
                 observed
             }
         }
@@ -318,7 +356,13 @@ impl<'m> BlockLog<'m> {
                 if observed == expected {
                     self.store_overlay(buf, offset, 8, new);
                 }
-                self.ops.push(DevOp::CasU64 { buf, offset, expected, new, observed });
+                self.ops.push(DevOp::CasU64 {
+                    buf,
+                    offset,
+                    expected,
+                    new,
+                    observed,
+                });
                 observed
             }
         }
@@ -326,7 +370,10 @@ impl<'m> BlockLog<'m> {
 
     /// Consume the log into its replayable effects.
     pub fn finish(self) -> BlockEffects {
-        BlockEffects { privs: self.privs, ops: self.ops }
+        BlockEffects {
+            privs: self.privs,
+            ops: self.ops,
+        }
     }
 }
 
@@ -354,14 +401,24 @@ impl BlockEffects {
         };
         for op in &self.ops {
             match *op {
-                DevOp::Read { buf, offset, width, observed } => {
+                DevOp::Read {
+                    buf,
+                    offset,
+                    width,
+                    observed,
+                } => {
                     let live = le_load(gmem.read(buf, offset, width as usize));
                     if live != observed {
                         Self::rollback(gmem, &undo);
                         return ReplayOutcome::Conflict;
                     }
                 }
-                DevOp::Write { buf, offset, width, value } => {
+                DevOp::Write {
+                    buf,
+                    offset,
+                    width,
+                    value,
+                } => {
                     undo.push(save(gmem, buf, offset, width));
                     gmem.write(buf, offset, &value.to_le_bytes()[..width as usize]);
                 }
@@ -373,7 +430,13 @@ impl BlockEffects {
                     undo.push(save(gmem, buf, offset, 8));
                     let _ = gmem.atomic_add_u64(buf, offset, delta);
                 }
-                DevOp::CasU64 { buf, offset, expected, new, observed } => {
+                DevOp::CasU64 {
+                    buf,
+                    offset,
+                    expected,
+                    new,
+                    observed,
+                } => {
                     let live = gmem.read_u64(buf, offset);
                     if live != observed {
                         Self::rollback(gmem, &undo);

@@ -46,9 +46,24 @@ fn align_performs_no_heap_allocations_in_steady_state() {
         .map(|i| {
             let mut t = ThreadTrace::default();
             for k in 0..4u64 {
-                t.record(4096 + k * 128 + i * 4, 4, AccessKind::Read, AccessClass::StreamRead);
-                t.record(1 << 20 | (i * 64 + k * 8), 8, AccessKind::Write, AccessClass::StreamWrite);
-                t.record((2 << 20) + (i % 4) * 8, 8, AccessKind::Atomic, AccessClass::Dev);
+                t.record(
+                    4096 + k * 128 + i * 4,
+                    4,
+                    AccessKind::Read,
+                    AccessClass::StreamRead,
+                );
+                t.record(
+                    1 << 20 | (i * 64 + k * 8),
+                    8,
+                    AccessKind::Write,
+                    AccessClass::StreamWrite,
+                );
+                t.record(
+                    (2 << 20) + (i % 4) * 8,
+                    8,
+                    AccessKind::Atomic,
+                    AccessClass::Dev,
+                );
             }
             t.record_shared((i as u32 % 8) * 512, 4);
             t.alu(10);
@@ -68,7 +83,12 @@ fn align_performs_no_heap_allocations_in_steady_state() {
         assert!(c.mem.transactions > 0);
     }
     let after = ALLOCS.load(Ordering::SeqCst);
-    assert_eq!(after - before, 0, "align allocated {} times in steady state", after - before);
+    assert_eq!(
+        after - before,
+        0,
+        "align allocated {} times in steady state",
+        after - before
+    );
 }
 
 mod chunk {
@@ -77,8 +97,7 @@ mod chunk {
     use bk_runtime::assembly::assemble;
     use bk_runtime::pool::Compression;
     use bk_runtime::{
-        AddrGenCtx, AddrGenScratch, AssemblyLayout, BigKernelConfig, Machine, StreamArray,
-        StreamId,
+        AddrGenCtx, AddrGenScratch, AssemblyLayout, BigKernelConfig, Machine, StreamArray, StreamId,
     };
 
     pub const LANES: u64 = 8;
@@ -150,13 +169,27 @@ fn addr_gen_and_assembly_second_chunk_allocates_nothing() {
     let mut trace = bk_gpu::ThreadTrace::default();
 
     // First chunk: grows every pooled vector (and the LLC sim) to size.
-    let first = chunk::run_chunk(&mut scratch, &machine, &streams, &mut cache, &cfg, &mut trace);
+    let first = chunk::run_chunk(
+        &mut scratch,
+        &machine,
+        &streams,
+        &mut cache,
+        &cfg,
+        &mut trace,
+    );
     assert_eq!(first, chunk::LANES * chunk::LANE_SPAN);
 
     // Second chunk onward: bit-for-bit the same work, zero allocations.
     let before = ALLOCS.load(Ordering::SeqCst);
     for _ in 0..10 {
-        let g = chunk::run_chunk(&mut scratch, &machine, &streams, &mut cache, &cfg, &mut trace);
+        let g = chunk::run_chunk(
+            &mut scratch,
+            &machine,
+            &streams,
+            &mut cache,
+            &cfg,
+            &mut trace,
+        );
         assert_eq!(g, first);
     }
     let after = ALLOCS.load(Ordering::SeqCst);
@@ -179,8 +212,14 @@ fn record_schedule_without_tracing_allocates_nothing() {
 
     let _serial = SERIAL.lock().unwrap();
     let spec = pipeline::PipelineSpec::new(vec![
-        StageDef { name: "transfer", resource: "dma" },
-        StageDef { name: "compute", resource: "gpu-comp" },
+        StageDef {
+            name: "transfer",
+            resource: "dma",
+        },
+        StageDef {
+            name: "compute",
+            resource: "gpu-comp",
+        },
     ])
     .with_reuse(0, 1, 1);
     let t = SimTime::from_micros(1.0);

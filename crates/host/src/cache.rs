@@ -43,10 +43,16 @@ impl CacheSim {
     /// `ways`-way associativity. Capacity must be a multiple of
     /// `line_bytes * ways` and the resulting set count a power of two.
     pub fn new(capacity_bytes: u64, line_bytes: u64, ways: usize) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(ways > 0, "need at least one way");
         let num_sets = capacity_bytes / (line_bytes * ways as u64);
-        assert!(num_sets > 0 && num_sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            num_sets > 0 && num_sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
         CacheSim {
             line_bytes,
             num_sets,

@@ -122,7 +122,10 @@ pub fn cpu_stage_terms(spec: &CpuSpec, cost: &CpuCost, threads: u32) -> Roofline
         "cpu-issue",
         SimTime::from_secs((cost.instructions as f64 + hit_cycles / spec.ipc) / issue),
     );
-    t.bound("cpu-dram-bw", spec.mem_bandwidth.transfer_time(cost.dram_bytes));
+    t.bound(
+        "cpu-dram-bw",
+        spec.mem_bandwidth.transfer_time(cost.dram_bytes),
+    );
     // Latency bound: misses overlap across threads and across ~10 in-flight
     // requests per core (MLP), but a pure dependent-gather can't hide all.
     let mlp = 10.0 * spec.effective_cores(threads);
@@ -134,7 +137,8 @@ pub fn cpu_stage_terms(spec: &CpuSpec, cost: &CpuCost, threads: u32) -> Roofline
         // Uncontended RMWs cost ~20 cycles on the owning core.
         t.bound(
             "cpu-atomic-throughput",
-            spec.clock.cycles(cost.atomic_ops as f64 * 20.0 / spec.effective_cores(threads)),
+            spec.clock
+                .cycles(cost.atomic_ops as f64 * 20.0 / spec.effective_cores(threads)),
         );
         if threads > 1 {
             // Contended RMWs to one address serialize via cache-line
@@ -175,7 +179,10 @@ mod tests {
     #[test]
     fn multithreading_speeds_up_compute_bound() {
         let s = spec();
-        let c = CpuCost { instructions: 1 << 32, ..CpuCost::default() };
+        let c = CpuCost {
+            instructions: 1 << 32,
+            ..CpuCost::default()
+        };
         let t1 = cpu_stage_time(&s, &c, 1);
         let t4 = cpu_stage_time(&s, &c, 4);
         assert!((t1.secs() / t4.secs() - 4.0).abs() < 1e-9);
@@ -184,7 +191,10 @@ mod tests {
     #[test]
     fn memory_bound_does_not_scale_with_threads() {
         let s = spec();
-        let c = CpuCost { dram_bytes: 10 * (1 << 30), ..CpuCost::default() };
+        let c = CpuCost {
+            dram_bytes: 10 * (1 << 30),
+            ..CpuCost::default()
+        };
         let t1 = cpu_stage_time(&s, &c, 1);
         let t8 = cpu_stage_time(&s, &c, 8);
         assert_eq!(t1, t8);
@@ -202,8 +212,15 @@ mod tests {
     #[test]
     fn cache_hits_charge_issue_side() {
         let s = spec();
-        let base = CpuCost { instructions: 1000, ..CpuCost::default() };
-        let hot = CpuCost { instructions: 1000, cache_hits: 1_000_000, ..CpuCost::default() };
+        let base = CpuCost {
+            instructions: 1000,
+            ..CpuCost::default()
+        };
+        let hot = CpuCost {
+            instructions: 1000,
+            cache_hits: 1_000_000,
+            ..CpuCost::default()
+        };
         assert!(cpu_stage_time(&s, &hot, 1) > cpu_stage_time(&s, &base, 1) * 100.0);
     }
 
@@ -212,7 +229,10 @@ mod tests {
         let s = spec();
         // 10M dependent misses, almost no bandwidth (1 byte each... modelled
         // via cache_misses only).
-        let c = CpuCost { cache_misses: 10_000_000, ..CpuCost::default() };
+        let c = CpuCost {
+            cache_misses: 10_000_000,
+            ..CpuCost::default()
+        };
         let t = cpu_stage_time(&s, &c, 1);
         // 10M * 80ns / 10 = 80ms
         assert!((t.secs() - 0.08).abs() < 0.01, "{t}");

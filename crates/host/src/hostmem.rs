@@ -34,7 +34,11 @@ impl Default for HostMemory {
 
 impl HostMemory {
     pub fn new() -> Self {
-        HostMemory { next_base: PAGE, pinned_bytes: 0, regions: Vec::new() }
+        HostMemory {
+            next_base: PAGE,
+            pinned_bytes: 0,
+            regions: Vec::new(),
+        }
     }
 
     fn alloc_inner(&mut self, len: u64, pinned: bool) -> RegionId {
@@ -44,7 +48,11 @@ impl HostMemory {
         if pinned {
             self.pinned_bytes += len;
         }
-        self.regions.push(Region { base, pinned, data: vec![0u8; len as usize] });
+        self.regions.push(Region {
+            base,
+            pinned,
+            data: vec![0u8; len as usize],
+        });
         id
     }
 

@@ -174,8 +174,12 @@ mod tests {
         let l = PcieLink::gen3_x16();
         let half = l.scaled_bandwidth(0.5);
         let bytes = 1u64 << 30;
-        let t_full = l.dma_time(DmaDirection::HostToDevice, bytes).saturating_sub(l.latency);
-        let t_half = half.dma_time(DmaDirection::HostToDevice, bytes).saturating_sub(l.latency);
+        let t_full = l
+            .dma_time(DmaDirection::HostToDevice, bytes)
+            .saturating_sub(l.latency);
+        let t_half = half
+            .dma_time(DmaDirection::HostToDevice, bytes)
+            .saturating_sub(l.latency);
         assert!((t_half.secs() / t_full.secs() - 2.0).abs() < 1e-9);
     }
 
@@ -185,7 +189,8 @@ mod tests {
         let bytes = 100 << 20;
         assert!(
             l.zero_copy_write_time(bytes)
-                > l.dma_time(DmaDirection::DeviceToHost, bytes).saturating_sub(l.latency)
+                > l.dma_time(DmaDirection::DeviceToHost, bytes)
+                    .saturating_sub(l.latency)
         );
     }
 }

@@ -27,10 +27,13 @@ impl IrKernel {
             full.num_dev_bufs,
             dev_bufs.len()
         );
-        let slice = crate::opt::prune_useless_loops(&crate::opt::fold_constants(
-            &slice_addresses(&full)?,
-        ));
-        Ok(IrKernel { full, slice, dev_bufs })
+        let slice =
+            crate::opt::prune_useless_loops(&crate::opt::fold_constants(&slice_addresses(&full)?));
+        Ok(IrKernel {
+            full,
+            slice,
+            dev_bufs,
+        })
     }
 
     /// The derived address slice (for inspection/tests).
@@ -119,11 +122,20 @@ mod tests {
         let acc = m.gmem.alloc(8);
         let kernel = IrKernel::compile(sum_ir(), vec![acc]).expect("sliceable");
 
-        let cfg = BigKernelConfig { chunk_input_bytes: 4096, ..BigKernelConfig::default() };
-        assert!(cfg.verify_reads, "the FIFO cross-check must be on for this test");
+        let cfg = BigKernelConfig {
+            chunk_input_bytes: 4096,
+            ..BigKernelConfig::default()
+        };
+        assert!(
+            cfg.verify_reads,
+            "the FIFO cross-check must be on for this test"
+        );
         let r = run_bigkernel(&mut m, &kernel, &[stream], LaunchConfig::new(1, 32), &cfg);
         assert_eq!(m.gmem.read_u64(acc, 0), expected, "IR kernel result");
-        assert!(r.metrics.get("addr.patterns_found") > 0, "sequential reads compress");
+        assert!(
+            r.metrics.get("addr.patterns_found") > 0,
+            "sequential reads compress"
+        );
     }
 
     #[test]

@@ -96,9 +96,13 @@ fn max_var(stmts: &[Stmt]) -> u32 {
             Stmt::StreamWrite { offset, value, .. }
             | Stmt::DevWrite { offset, value, .. }
             | Stmt::DevAtomicAdd { offset, value, .. } => expr_max(offset).max(expr_max(value)),
-            Stmt::If { cond, then_body, else_body } => {
-                expr_max(cond).max(max_var(then_body)).max(max_var(else_body))
-            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => expr_max(cond)
+                .max(max_var(then_body))
+                .max(max_var(else_body)),
             Stmt::While { cond, body } => expr_max(cond).max(max_var(body)),
             Stmt::EmitRead { offset, .. } | Stmt::EmitWrite { offset, .. } => expr_max(offset),
             Stmt::Alu(_) => 1,
@@ -139,15 +143,21 @@ impl Interp<'_, '_> {
                 let v = self.eval(a);
                 Value::F(f64::from_bits(v.as_int()))
             }
-            Expr::StreamRead { stream, offset, width } => {
+            Expr::StreamRead {
+                stream,
+                offset,
+                width,
+            } => {
                 let off = self.eval(offset).as_int();
                 match &mut self.target {
                     Target::Compute(ctx) => {
                         Value::I(ctx.stream_read(StreamId(*stream), off, *width as u32))
                     }
                     Target::AddrGen(_) => {
-                        panic!("stream read reached the address-generation interpreter — \
-                                run the sliced kernel, not the full one")
+                        panic!(
+                            "stream read reached the address-generation interpreter — \
+                                run the sliced kernel, not the full one"
+                        )
                     }
                 }
             }
@@ -176,7 +186,12 @@ impl Interp<'_, '_> {
                     let v = self.eval(e);
                     self.vars[*i as usize] = v;
                 }
-                Stmt::StreamWrite { stream, offset, width, value } => {
+                Stmt::StreamWrite {
+                    stream,
+                    offset,
+                    width,
+                    value,
+                } => {
                     let off = self.eval(offset).as_int();
                     let val = self.eval(value);
                     match &mut self.target {
@@ -188,7 +203,12 @@ impl Interp<'_, '_> {
                         }
                     }
                 }
-                Stmt::DevWrite { buf, offset, width, value } => {
+                Stmt::DevWrite {
+                    buf,
+                    offset,
+                    width,
+                    value,
+                } => {
                     let off = self.eval(offset).as_int();
                     let val = self.eval(value).as_int();
                     let b = self.dev_bufs[*buf as usize];
@@ -212,7 +232,11 @@ impl Interp<'_, '_> {
                         }
                     }
                 }
-                Stmt::If { cond, then_body, else_body } => {
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
                     let c = self.eval(cond);
                     if c.truthy() {
                         self.exec(then_body);
@@ -226,7 +250,11 @@ impl Interp<'_, '_> {
                     }
                 }
                 Stmt::Alu(n) => self.charge(*n),
-                Stmt::EmitRead { stream, offset, width } => {
+                Stmt::EmitRead {
+                    stream,
+                    offset,
+                    width,
+                } => {
                     let off = self.eval(offset).as_int();
                     match &mut self.target {
                         Target::AddrGen(actx) => {
@@ -237,7 +265,11 @@ impl Interp<'_, '_> {
                         }
                     }
                 }
-                Stmt::EmitWrite { stream, offset, width } => {
+                Stmt::EmitWrite {
+                    stream,
+                    offset,
+                    width,
+                } => {
                     let off = self.eval(offset).as_int();
                     match &mut self.target {
                         Target::AddrGen(actx) => {
@@ -268,9 +300,15 @@ pub fn run_kernel(
     dev_bufs: &[DevBufId],
     range: Range<u64>,
 ) {
-    assert!(dev_bufs.len() >= ir.num_dev_bufs as usize, "missing device buffer bindings");
-    let mut interp =
-        Interp { vars: init_vars(ir, &range), dev_bufs, target: Target::Compute(ctx) };
+    assert!(
+        dev_bufs.len() >= ir.num_dev_bufs as usize,
+        "missing device buffer bindings"
+    );
+    let mut interp = Interp {
+        vars: init_vars(ir, &range),
+        dev_bufs,
+        target: Target::Compute(ctx),
+    };
     interp.exec(&ir.body);
 }
 
@@ -281,9 +319,15 @@ pub fn run_addr_slice(
     dev_bufs: &[DevBufId],
     range: Range<u64>,
 ) {
-    assert!(dev_bufs.len() >= ir.num_dev_bufs as usize, "missing device buffer bindings");
-    let mut interp =
-        Interp { vars: init_vars(ir, &range), dev_bufs, target: Target::AddrGen(ctx) };
+    assert!(
+        dev_bufs.len() >= ir.num_dev_bufs as usize,
+        "missing device buffer bindings"
+    );
+    let mut interp = Interp {
+        vars: init_vars(ir, &range),
+        dev_bufs,
+        target: Target::AddrGen(ctx),
+    };
     interp.exec(&ir.body);
 }
 
@@ -297,7 +341,10 @@ mod tests {
         assert_eq!(apply(BinOp::Lt, Value::I(2), Value::I(3)), Value::I(1));
         assert_eq!(apply(BinOp::Mul, Value::F(2.0), Value::I(3)), Value::F(6.0));
         assert_eq!(apply(BinOp::Le, Value::F(3.0), Value::F(3.0)), Value::I(1));
-        assert_eq!(apply(BinOp::Sub, Value::I(1), Value::I(2)), Value::I(u64::MAX));
+        assert_eq!(
+            apply(BinOp::Sub, Value::I(1), Value::I(2)),
+            Value::I(u64::MAX)
+        );
         assert_eq!(apply(BinOp::Xor, Value::I(6), Value::I(3)), Value::I(5));
     }
 

@@ -51,9 +51,17 @@ pub enum Expr {
     /// Reinterpret an 8-byte integer load as an f64 (bit cast).
     BitsToFloat(Box<Expr>),
     /// Read `width` bytes of mapped stream `stream` at byte `offset`.
-    StreamRead { stream: u32, offset: Box<Expr>, width: u8 },
+    StreamRead {
+        stream: u32,
+        offset: Box<Expr>,
+        width: u8,
+    },
     /// Read `width` bytes of device buffer parameter `buf` at `offset`.
-    DevRead { buf: u32, offset: Box<Expr>, width: u8 },
+    DevRead {
+        buf: u32,
+        offset: Box<Expr>,
+        width: u8,
+    },
 }
 
 #[allow(clippy::should_implement_trait)] // builder shorthand, not operator impls
@@ -79,7 +87,11 @@ impl Expr {
     }
 
     pub fn stream_read(stream: u32, offset: Expr, width: u8) -> Expr {
-        Expr::StreamRead { stream, offset: Box::new(offset), width }
+        Expr::StreamRead {
+            stream,
+            offset: Box::new(offset),
+            width,
+        }
     }
 }
 
@@ -89,19 +101,48 @@ pub enum Stmt {
     /// Bind/overwrite a variable.
     Assign(Var, Expr),
     /// Write `value` (width bytes) to mapped stream at `offset`.
-    StreamWrite { stream: u32, offset: Expr, width: u8, value: Expr },
+    StreamWrite {
+        stream: u32,
+        offset: Expr,
+        width: u8,
+        value: Expr,
+    },
     /// Write to a device buffer.
-    DevWrite { buf: u32, offset: Expr, width: u8, value: Expr },
+    DevWrite {
+        buf: u32,
+        offset: Expr,
+        width: u8,
+        value: Expr,
+    },
     /// Atomic fetch-add (u64) on a device buffer cell.
-    DevAtomicAdd { buf: u32, offset: Expr, value: Expr },
-    If { cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt> },
-    While { cond: Expr, body: Vec<Stmt> },
+    DevAtomicAdd {
+        buf: u32,
+        offset: Expr,
+        value: Expr,
+    },
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+    },
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+    },
     /// Account explicit arithmetic work (maps to `KernelCtx::alu`).
     Alu(u64),
     /// *(slice output only)* store a read address to the address buffer.
-    EmitRead { stream: u32, offset: Expr, width: u8 },
+    EmitRead {
+        stream: u32,
+        offset: Expr,
+        width: u8,
+    },
     /// *(slice output only)* store a write address to the address buffer.
-    EmitWrite { stream: u32, offset: Expr, width: u8 },
+    EmitWrite {
+        stream: u32,
+        offset: Expr,
+        width: u8,
+    },
 }
 
 /// A complete kernel: device-buffer parameters are referenced by index

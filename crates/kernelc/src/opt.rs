@@ -8,7 +8,10 @@ use crate::ir::{BinOp, Expr, KernelIr, Stmt};
 
 /// Fold constants and apply algebraic identities throughout the kernel.
 pub fn fold_constants(kernel: &KernelIr) -> KernelIr {
-    KernelIr { body: fold_stmts(&kernel.body), ..kernel.clone() }
+    KernelIr {
+        body: fold_stmts(&kernel.body),
+        ..kernel.clone()
+    }
 }
 
 fn fold_stmts(stmts: &[Stmt]) -> Vec<Stmt> {
@@ -16,13 +19,23 @@ fn fold_stmts(stmts: &[Stmt]) -> Vec<Stmt> {
         .iter()
         .map(|s| match s {
             Stmt::Assign(v, e) => Stmt::Assign(*v, fold_expr(e)),
-            Stmt::StreamWrite { stream, offset, width, value } => Stmt::StreamWrite {
+            Stmt::StreamWrite {
+                stream,
+                offset,
+                width,
+                value,
+            } => Stmt::StreamWrite {
                 stream: *stream,
                 offset: fold_expr(offset),
                 width: *width,
                 value: fold_expr(value),
             },
-            Stmt::DevWrite { buf, offset, width, value } => Stmt::DevWrite {
+            Stmt::DevWrite {
+                buf,
+                offset,
+                width,
+                value,
+            } => Stmt::DevWrite {
                 buf: *buf,
                 offset: fold_expr(offset),
                 width: *width,
@@ -33,20 +46,33 @@ fn fold_stmts(stmts: &[Stmt]) -> Vec<Stmt> {
                 offset: fold_expr(offset),
                 value: fold_expr(value),
             },
-            Stmt::If { cond, then_body, else_body } => Stmt::If {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => Stmt::If {
                 cond: fold_expr(cond),
                 then_body: fold_stmts(then_body),
                 else_body: fold_stmts(else_body),
             },
-            Stmt::While { cond, body } => {
-                Stmt::While { cond: fold_expr(cond), body: fold_stmts(body) }
-            }
-            Stmt::EmitRead { stream, offset, width } => Stmt::EmitRead {
+            Stmt::While { cond, body } => Stmt::While {
+                cond: fold_expr(cond),
+                body: fold_stmts(body),
+            },
+            Stmt::EmitRead {
+                stream,
+                offset,
+                width,
+            } => Stmt::EmitRead {
                 stream: *stream,
                 offset: fold_expr(offset),
                 width: *width,
             },
-            Stmt::EmitWrite { stream, offset, width } => Stmt::EmitWrite {
+            Stmt::EmitWrite {
+                stream,
+                offset,
+                width,
+            } => Stmt::EmitWrite {
                 stream: *stream,
                 offset: fold_expr(offset),
                 width: *width,
@@ -99,7 +125,11 @@ pub fn fold_expr(e: &Expr) -> Expr {
             }
         }
         Expr::BitsToFloat(a) => Expr::BitsToFloat(Box::new(fold_expr(a))),
-        Expr::StreamRead { stream, offset, width } => Expr::StreamRead {
+        Expr::StreamRead {
+            stream,
+            offset,
+            width,
+        } => Expr::StreamRead {
             stream: *stream,
             offset: Box::new(fold_expr(offset)),
             width: *width,
@@ -160,9 +190,11 @@ pub fn count_stmts(stmts: &[Stmt]) -> usize {
     stmts
         .iter()
         .map(|s| match s {
-            Stmt::If { then_body, else_body, .. } => {
-                1 + count_stmts(then_body) + count_stmts(else_body)
-            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => 1 + count_stmts(then_body) + count_stmts(else_body),
             Stmt::While { body, .. } => 1 + count_stmts(body),
             _ => 1,
         })
@@ -229,7 +261,10 @@ mod tests {
         match &folded.body[0] {
             Stmt::While { cond, body } => {
                 assert_eq!(*cond, Expr::bin(BinOp::Lt, Expr::var(Var(2)), int(30)));
-                assert_eq!(body[0], Stmt::Assign(Var(2), Expr::add(Expr::var(Var(2)), int(8))));
+                assert_eq!(
+                    body[0],
+                    Stmt::Assign(Var(2), Expr::add(Expr::var(Var(2)), int(8)))
+                );
             }
             other => panic!("{other:?}"),
         }
@@ -244,8 +279,15 @@ mod tests {
             num_dev_bufs: 0,
             body: vec![
                 Stmt::Alu(1),
-                Stmt::While { cond: int(0), body: vec![Stmt::Alu(1), Stmt::Alu(1)] },
-                Stmt::If { cond: int(1), then_body: vec![Stmt::Alu(1)], else_body: vec![] },
+                Stmt::While {
+                    cond: int(0),
+                    body: vec![Stmt::Alu(1), Stmt::Alu(1)],
+                },
+                Stmt::If {
+                    cond: int(1),
+                    then_body: vec![Stmt::Alu(1)],
+                    else_body: vec![],
+                },
             ],
         };
         assert_eq!(count_stmts(&k.body), 6);
@@ -253,7 +295,10 @@ mod tests {
 
     #[test]
     fn int_to_float_folds() {
-        assert_eq!(fold_expr(&Expr::IntToFloat(Box::new(int(3)))), Expr::ConstFloat(3.0));
+        assert_eq!(
+            fold_expr(&Expr::IntToFloat(Box::new(int(3)))),
+            Expr::ConstFloat(3.0)
+        );
     }
 }
 
@@ -274,7 +319,10 @@ pub fn prune_useless_loops(kernel: &KernelIr) -> KernelIr {
             break;
         }
     }
-    KernelIr { body, ..kernel.clone() }
+    KernelIr {
+        body,
+        ..kernel.clone()
+    }
 }
 
 use crate::ir::expr_vars;
@@ -297,7 +345,11 @@ fn read_counts(stmts: &[Stmt]) -> BTreeMap<crate::ir::Var, usize> {
                     expr(offset, counts);
                     expr(value, counts);
                 }
-                Stmt::If { cond, then_body, else_body } => {
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
                     expr(cond, counts);
                     walk(then_body, counts);
                     walk(else_body, counts);
@@ -326,9 +378,11 @@ fn has_effects(stmts: &[Stmt]) -> bool {
         | Stmt::DevAtomicAdd { .. }
         | Stmt::EmitRead { .. }
         | Stmt::EmitWrite { .. } => true,
-        Stmt::If { then_body, else_body, .. } => {
-            has_effects(then_body) || has_effects(else_body)
-        }
+        Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } => has_effects(then_body) || has_effects(else_body),
         Stmt::While { body, .. } => has_effects(body),
         Stmt::Alu(_) => false,
     })
@@ -338,7 +392,11 @@ fn assigned_vars(stmts: &[Stmt], out: &mut Vec<crate::ir::Var>) {
     for s in stmts {
         match s {
             Stmt::Assign(v, _) => out.push(*v),
-            Stmt::If { then_body, else_body, .. } => {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 assigned_vars(then_body, out);
                 assigned_vars(else_body, out);
             }
@@ -348,10 +406,7 @@ fn assigned_vars(stmts: &[Stmt], out: &mut Vec<crate::ir::Var>) {
     }
 }
 
-fn prune_stmts(
-    stmts: Vec<Stmt>,
-    total_reads: &BTreeMap<crate::ir::Var, usize>,
-) -> Vec<Stmt> {
+fn prune_stmts(stmts: Vec<Stmt>, total_reads: &BTreeMap<crate::ir::Var, usize>) -> Vec<Stmt> {
     stmts
         .into_iter()
         .filter_map(|s| match s {
@@ -373,9 +428,16 @@ fn prune_stmts(
                         return None; // the loop is a husk — delete it
                     }
                 }
-                Some(Stmt::While { cond, body: prune_stmts(body, total_reads) })
+                Some(Stmt::While {
+                    cond,
+                    body: prune_stmts(body, total_reads),
+                })
             }
-            Stmt::If { cond, then_body, else_body } => Some(Stmt::If {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => Some(Stmt::If {
                 cond,
                 then_body: prune_stmts(then_body, total_reads),
                 else_body: prune_stmts(else_body, total_reads),
@@ -386,30 +448,31 @@ fn prune_stmts(
 }
 
 /// Remove pure assignments to variables that are never read.
-fn drop_dead_assigns(
-    stmts: Vec<Stmt>,
-    reads: &BTreeMap<crate::ir::Var, usize>,
-) -> Vec<Stmt> {
+fn drop_dead_assigns(stmts: Vec<Stmt>, reads: &BTreeMap<crate::ir::Var, usize>) -> Vec<Stmt> {
     stmts
         .into_iter()
         .filter_map(|s| match s {
             Stmt::Assign(v, e) => {
-                if reads.get(&v).copied().unwrap_or(0) == 0
-                    && !crate::ir::contains_stream_read(&e)
+                if reads.get(&v).copied().unwrap_or(0) == 0 && !crate::ir::contains_stream_read(&e)
                 {
                     None
                 } else {
                     Some(Stmt::Assign(v, e))
                 }
             }
-            Stmt::If { cond, then_body, else_body } => Some(Stmt::If {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => Some(Stmt::If {
                 cond,
                 then_body: drop_dead_assigns(then_body, reads),
                 else_body: drop_dead_assigns(else_body, reads),
             }),
-            Stmt::While { cond, body } => {
-                Some(Stmt::While { cond, body: drop_dead_assigns(body, reads) })
-            }
+            Stmt::While { cond, body } => Some(Stmt::While {
+                cond,
+                body: drop_dead_assigns(body, reads),
+            }),
             other => Some(other),
         })
         .collect()
@@ -435,7 +498,11 @@ mod prune_tests {
                 Stmt::While {
                     cond: Expr::lt(Expr::var(i), Expr::var(RANGE_END)),
                     body: vec![
-                        Stmt::EmitRead { stream: 0, offset: Expr::var(i), width: 8 },
+                        Stmt::EmitRead {
+                            stream: 0,
+                            offset: Expr::var(i),
+                            width: 8,
+                        },
                         Stmt::Assign(c, Expr::int(0)),
                         Stmt::While {
                             cond: Expr::lt(Expr::var(c), Expr::int(16)),
@@ -464,7 +531,11 @@ mod prune_tests {
                 Stmt::While {
                     cond: Expr::lt(Expr::var(i), Expr::var(RANGE_END)),
                     body: vec![
-                        Stmt::EmitRead { stream: 0, offset: Expr::var(i), width: 8 },
+                        Stmt::EmitRead {
+                            stream: 0,
+                            offset: Expr::var(i),
+                            width: 8,
+                        },
                         Stmt::Assign(i, Expr::add(Expr::var(i), Expr::int(8))),
                     ],
                 },
@@ -489,7 +560,11 @@ mod prune_tests {
                     cond: Expr::lt(Expr::var(i), Expr::int(64)),
                     body: vec![Stmt::Assign(i, Expr::add(Expr::var(i), Expr::int(8)))],
                 },
-                Stmt::EmitRead { stream: 0, offset: Expr::var(i), width: 8 },
+                Stmt::EmitRead {
+                    stream: 0,
+                    offset: Expr::var(i),
+                    width: 8,
+                },
             ],
         };
         let pruned = prune_useless_loops(&k);

@@ -38,11 +38,20 @@ pub fn expr_to_string(e: &Expr) -> String {
         Expr::ConstFloat(v) => format!("{v:?}"),
         Expr::Var(v) => var_str(*v),
         Expr::Bin(op, a, b) => {
-            format!("({} {} {})", expr_to_string(a), op_str(*op), expr_to_string(b))
+            format!(
+                "({} {} {})",
+                expr_to_string(a),
+                op_str(*op),
+                expr_to_string(b)
+            )
         }
         Expr::IntToFloat(a) => format!("(float){}", expr_to_string(a)),
         Expr::BitsToFloat(a) => format!("bits_to_f64({})", expr_to_string(a)),
-        Expr::StreamRead { stream, offset, width } => {
+        Expr::StreamRead {
+            stream,
+            offset,
+            width,
+        } => {
             format!("stream{}[{}; {}B]", stream, expr_to_string(offset), width)
         }
         Expr::DevRead { buf, offset, width } => {
@@ -58,7 +67,12 @@ fn write_stmts(out: &mut String, stmts: &[Stmt], indent: usize) {
             Stmt::Assign(v, e) => {
                 let _ = writeln!(out, "{pad}{} = {};", var_str(*v), expr_to_string(e));
             }
-            Stmt::StreamWrite { stream, offset, width, value } => {
+            Stmt::StreamWrite {
+                stream,
+                offset,
+                width,
+                value,
+            } => {
                 let _ = writeln!(
                     out,
                     "{pad}stream{}[{}; {}B] = {};",
@@ -68,7 +82,12 @@ fn write_stmts(out: &mut String, stmts: &[Stmt], indent: usize) {
                     expr_to_string(value)
                 );
             }
-            Stmt::DevWrite { buf, offset, width, value } => {
+            Stmt::DevWrite {
+                buf,
+                offset,
+                width,
+                value,
+            } => {
                 let _ = writeln!(
                     out,
                     "{pad}dev{}[{}; {}B] = {};",
@@ -87,7 +106,11 @@ fn write_stmts(out: &mut String, stmts: &[Stmt], indent: usize) {
                     expr_to_string(value)
                 );
             }
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 let _ = writeln!(out, "{pad}if {} {{", expr_to_string(cond));
                 write_stmts(out, then_body, indent + 1);
                 if !else_body.is_empty() {
@@ -104,7 +127,11 @@ fn write_stmts(out: &mut String, stmts: &[Stmt], indent: usize) {
             Stmt::Alu(n) => {
                 let _ = writeln!(out, "{pad}/* {n} ALU ops */");
             }
-            Stmt::EmitRead { stream, offset, width } => {
+            Stmt::EmitRead {
+                stream,
+                offset,
+                width,
+            } => {
                 let _ = writeln!(
                     out,
                     "{pad}addrBuf.push_read(stream{}, {}, {}B);",
@@ -113,7 +140,11 @@ fn write_stmts(out: &mut String, stmts: &[Stmt], indent: usize) {
                     width
                 );
             }
-            Stmt::EmitWrite { stream, offset, width } => {
+            Stmt::EmitWrite {
+                stream,
+                offset,
+                width,
+            } => {
                 let _ = writeln!(
                     out,
                     "{pad}addrBuf.push_write(stream{}, {}, {}B);",
@@ -133,7 +164,11 @@ pub fn kernel_to_string(k: &KernelIr) -> String {
         Some(r) => format!("{r}B records"),
         None => "variable-length records".to_string(),
     };
-    let _ = writeln!(out, "kernel {}({rec}, {} device buffers) {{", k.name, k.num_dev_bufs);
+    let _ = writeln!(
+        out,
+        "kernel {}({rec}, {} device buffers) {{",
+        k.name, k.num_dev_bufs
+    );
     write_stmts(&mut out, &k.body, 1);
     let _ = writeln!(out, "}}");
     out
@@ -163,7 +198,11 @@ mod tests {
                 Stmt::While {
                     cond: Expr::lt(Expr::var(Var(2)), Expr::var(RANGE_END)),
                     body: vec![
-                        Stmt::EmitRead { stream: 0, offset: Expr::var(Var(2)), width: 8 },
+                        Stmt::EmitRead {
+                            stream: 0,
+                            offset: Expr::var(Var(2)),
+                            width: 8,
+                        },
                         Stmt::Assign(Var(2), Expr::add(Expr::var(Var(2)), Expr::int(8))),
                     ],
                 },

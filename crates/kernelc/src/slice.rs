@@ -91,8 +91,13 @@ fn droppable(stmts: &[Stmt], relevant: &BTreeSet<Var>) -> bool {
         Stmt::DevWrite { offset, value, .. } | Stmt::DevAtomicAdd { offset, value, .. } => {
             !contains_stream_read(offset) && !contains_stream_read(value)
         }
-        Stmt::If { cond, then_body, else_body } => {
-            !contains_stream_read(cond) && droppable(then_body, relevant)
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            !contains_stream_read(cond)
+                && droppable(then_body, relevant)
                 && droppable(else_body, relevant)
         }
         Stmt::While { cond, body } => !contains_stream_read(cond) && droppable(body, relevant),
@@ -113,7 +118,11 @@ fn taint_stmts(stmts: &[Stmt], tainted: &mut BTreeSet<Var>) -> Result<(), SliceE
                     tainted.insert(*v);
                 }
             }
-            Stmt::If { then_body, else_body, .. } => {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 taint_stmts(then_body, tainted)?;
                 taint_stmts(else_body, tainted)?;
             }
@@ -121,7 +130,9 @@ fn taint_stmts(stmts: &[Stmt], tainted: &mut BTreeSet<Var>) -> Result<(), SliceE
             Stmt::EmitRead { .. } | Stmt::EmitWrite { .. } => {
                 return Err(SliceError::AlreadySliced)
             }
-            Stmt::StreamWrite { .. } | Stmt::DevWrite { .. } | Stmt::DevAtomicAdd { .. }
+            Stmt::StreamWrite { .. }
+            | Stmt::DevWrite { .. }
+            | Stmt::DevAtomicAdd { .. }
             | Stmt::Alu(_) => {}
         }
     }
@@ -160,7 +171,11 @@ fn check_clean(
                 check_expr_addresses(offset, tainted)?;
                 check_expr_addresses(value, tainted)?;
             }
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 if expr_tainted(cond, tainted) {
                     // A data-dependent branch is fine *iff* it is pure
                     // computation — the slice drops it wholesale. Branches
@@ -213,7 +228,11 @@ fn seed_relevant(stmts: &[Stmt], tainted: &BTreeSet<Var>, relevant: &mut BTreeSe
                 seed_expr_addresses(offset, relevant);
                 seed_expr_addresses(value, relevant);
             }
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 if !expr_tainted(cond, tainted) {
                     relevant.extend(expr_vars(cond));
                 }
@@ -238,11 +257,14 @@ fn seed_relevant(stmts: &[Stmt], tainted: &BTreeSet<Var>, relevant: &mut BTreeSe
 fn propagate_relevant(stmts: &[Stmt], relevant: &mut BTreeSet<Var>) {
     for s in stmts {
         match s {
-            Stmt::Assign(v, e)
-                if relevant.contains(v) => {
-                    relevant.extend(expr_vars(e));
-                }
-            Stmt::If { then_body, else_body, .. } => {
+            Stmt::Assign(v, e) if relevant.contains(v) => {
+                relevant.extend(expr_vars(e));
+            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 propagate_relevant(then_body, relevant);
                 propagate_relevant(else_body, relevant);
             }
@@ -261,9 +283,17 @@ fn extract_reads(e: &Expr, out: &mut Vec<Stmt>) {
             extract_reads(b, out);
         }
         Expr::IntToFloat(a) | Expr::BitsToFloat(a) => extract_reads(a, out),
-        Expr::StreamRead { stream, offset, width } => {
+        Expr::StreamRead {
+            stream,
+            offset,
+            width,
+        } => {
             extract_reads(offset, out);
-            out.push(Stmt::EmitRead { stream: *stream, offset: (**offset).clone(), width: *width });
+            out.push(Stmt::EmitRead {
+                stream: *stream,
+                offset: (**offset).clone(),
+                width: *width,
+            });
         }
         Expr::DevRead { offset, .. } => extract_reads(offset, out),
         Expr::ConstInt(_) | Expr::ConstFloat(_) | Expr::Var(_) => {}
@@ -282,7 +312,12 @@ fn slice_stmts(stmts: &[Stmt], tainted: &BTreeSet<Var>, relevant: &BTreeSet<Var>
                     extract_reads(e, &mut out);
                 }
             }
-            Stmt::StreamWrite { stream, offset, width, value } => {
+            Stmt::StreamWrite {
+                stream,
+                offset,
+                width,
+                value,
+            } => {
                 extract_reads(value, &mut out);
                 out.push(Stmt::EmitWrite {
                     stream: *stream,
@@ -294,7 +329,11 @@ fn slice_stmts(stmts: &[Stmt], tainted: &BTreeSet<Var>, relevant: &BTreeSet<Var>
                 extract_reads(offset, &mut out);
                 extract_reads(value, &mut out);
             }
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 if expr_tainted(cond, tainted) {
                     // Validated droppable in check_clean: pure computation.
                     continue;
@@ -302,7 +341,11 @@ fn slice_stmts(stmts: &[Stmt], tainted: &BTreeSet<Var>, relevant: &BTreeSet<Var>
                 let t = slice_stmts(then_body, tainted, relevant);
                 let e = slice_stmts(else_body, tainted, relevant);
                 if !t.is_empty() || !e.is_empty() {
-                    out.push(Stmt::If { cond: cond.clone(), then_body: t, else_body: e });
+                    out.push(Stmt::If {
+                        cond: cond.clone(),
+                        then_body: t,
+                        else_body: e,
+                    });
                 }
             }
             Stmt::While { cond, body } => {
@@ -356,7 +399,11 @@ mod tests {
                         Stmt::Assign(i, Expr::add(Expr::var(i), Expr::int(16))),
                     ],
                 },
-                Stmt::DevAtomicAdd { buf: 0, offset: Expr::int(0), value: Expr::var(sum) },
+                Stmt::DevAtomicAdd {
+                    buf: 0,
+                    offset: Expr::int(0),
+                    value: Expr::var(sum),
+                },
             ],
         }
     }
@@ -369,7 +416,14 @@ mod tests {
         match &s.body[1] {
             Stmt::While { body, .. } => {
                 assert_eq!(body.len(), 2);
-                assert!(matches!(body[0], Stmt::EmitRead { stream: 0, width: 8, .. }));
+                assert!(matches!(
+                    body[0],
+                    Stmt::EmitRead {
+                        stream: 0,
+                        width: 8,
+                        ..
+                    }
+                ));
                 assert!(matches!(body[1], Stmt::Assign(_, _)));
             }
             other => panic!("expected while, got {other:?}"),
@@ -383,9 +437,11 @@ mod tests {
             stmts.iter().all(|s| match s {
                 Stmt::Alu(_) | Stmt::DevAtomicAdd { .. } | Stmt::DevWrite { .. } => false,
                 Stmt::While { body, .. } => no_compute(body),
-                Stmt::If { then_body, else_body, .. } => {
-                    no_compute(then_body) && no_compute(else_body)
-                }
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => no_compute(then_body) && no_compute(else_body),
                 _ => true,
             })
         }
@@ -460,7 +516,10 @@ mod tests {
                 },
             ],
         };
-        assert_eq!(slice_addresses(&k), Err(SliceError::DataDependentControlFlow));
+        assert_eq!(
+            slice_addresses(&k),
+            Err(SliceError::DataDependentControlFlow)
+        );
     }
 
     #[test]
@@ -490,7 +549,11 @@ mod tests {
                         Stmt::Assign(i, Expr::add(Expr::var(i), Expr::int(8))),
                     ],
                 },
-                Stmt::DevAtomicAdd { buf: 0, offset: Expr::int(0), value: Expr::var(best) },
+                Stmt::DevAtomicAdd {
+                    buf: 0,
+                    offset: Expr::int(0),
+                    value: Expr::var(best),
+                },
             ],
         };
         let s = slice_addresses(&k).expect("droppable branch must not block slicing");
@@ -509,9 +572,11 @@ mod tests {
                 .map(|s| match s {
                     Stmt::EmitRead { .. } => 1,
                     Stmt::While { body, .. } => count_emits(body),
-                    Stmt::If { then_body, else_body, .. } => {
-                        count_emits(then_body) + count_emits(else_body)
-                    }
+                    Stmt::If {
+                        then_body,
+                        else_body,
+                        ..
+                    } => count_emits(then_body) + count_emits(else_body),
                     _ => 0,
                 })
                 .sum()
@@ -534,14 +599,21 @@ mod tests {
                 Stmt::Assign(i, Expr::var(RANGE_START)),
                 Stmt::Assign(
                     off,
-                    Expr::DevRead { buf: 0, offset: Box::new(Expr::var(i)), width: 4 },
+                    Expr::DevRead {
+                        buf: 0,
+                        offset: Box::new(Expr::var(i)),
+                        width: 4,
+                    },
                 ),
                 Stmt::Assign(v(4), Expr::stream_read(0, Expr::var(off), 8)),
             ],
         };
         let s = slice_addresses(&k).expect("dev-read addressing is sliceable");
         // The off = DevRead assignment must be kept (it feeds an address).
-        assert!(s.body.iter().any(|st| matches!(st, Stmt::Assign(Var(3), _))));
+        assert!(s
+            .body
+            .iter()
+            .any(|st| matches!(st, Stmt::Assign(Var(3), _))));
         assert!(s.body.iter().any(|st| matches!(st, Stmt::EmitRead { .. })));
     }
 
@@ -569,7 +641,11 @@ mod tests {
             record_size: Some(8),
             halo_bytes: 0,
             num_dev_bufs: 0,
-            body: vec![Stmt::EmitRead { stream: 0, offset: Expr::int(0), width: 8 }],
+            body: vec![Stmt::EmitRead {
+                stream: 0,
+                offset: Expr::int(0),
+                width: 8,
+            }],
         };
         assert_eq!(slice_addresses(&k), Err(SliceError::AlreadySliced));
     }

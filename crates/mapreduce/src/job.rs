@@ -102,7 +102,10 @@ mod tests {
     fn adapter_exposes_job_metadata() {
         let mut m = Machine::test_platform();
         let emitter = Emitter::new(&mut m, 16, ReduceOp::Sum);
-        let k = MapKernel { job: &ByteClassJob, emitter };
+        let k = MapKernel {
+            job: &ByteClassJob,
+            emitter,
+        };
         assert_eq!(StreamKernel::name(&k), "byte-class");
         assert_eq!(k.record_size(), Some(4));
         assert_eq!(k.halo_bytes(), 0);

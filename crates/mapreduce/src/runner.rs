@@ -6,9 +6,7 @@ use bk_baselines::{
     run_cpu_multithreaded, run_cpu_serial, run_gpu_double_buffer, run_gpu_single_buffer,
     BaselineConfig,
 };
-use bk_runtime::{
-    run_bigkernel, BigKernelConfig, LaunchConfig, Machine, RunResult, StreamArray,
-};
+use bk_runtime::{run_bigkernel, BigKernelConfig, LaunchConfig, Machine, RunResult, StreamArray};
 
 /// Which execution scheme drives the map phase.
 #[derive(Clone, Debug)]
@@ -117,8 +115,14 @@ mod tests {
     }
 
     fn engines() -> Vec<Engine> {
-        let bl = BaselineConfig { window_bytes: 8 * 1024, ..BaselineConfig::default() };
-        let bk = BigKernelConfig { chunk_input_bytes: 8 * 1024, ..BigKernelConfig::default() };
+        let bl = BaselineConfig {
+            window_bytes: 8 * 1024,
+            ..BaselineConfig::default()
+        };
+        let bk = BigKernelConfig {
+            chunk_input_bytes: 8 * 1024,
+            ..BigKernelConfig::default()
+        };
         let launch = LaunchConfig::new(2, 32);
         vec![
             Engine::CpuSerial,
@@ -170,8 +174,14 @@ mod tests {
                 *e = (*e).max(a);
             }
         }
-        let out =
-            run_mapreduce(&mut m, &GroupSumJob, &streams, 64, ReduceOp::Max, &Engine::default());
+        let out = run_mapreduce(
+            &mut m,
+            &GroupSumJob,
+            &streams,
+            64,
+            ReduceOp::Max,
+            &Engine::default(),
+        );
         let got: BTreeMap<u64, u64> = out.pairs.into_iter().collect();
         assert_eq!(got, expected);
     }
@@ -179,7 +189,10 @@ mod tests {
     #[test]
     fn bigkernel_engine_pattern_compresses_the_map_scan() {
         let (mut m, streams, _) = setup(20_000, 3);
-        let bk = BigKernelConfig { chunk_input_bytes: 16 * 1024, ..BigKernelConfig::default() };
+        let bk = BigKernelConfig {
+            chunk_input_bytes: 16 * 1024,
+            ..BigKernelConfig::default()
+        };
         let engine = Engine::BigKernel(bk, LaunchConfig::new(2, 32));
         let out = run_mapreduce(&mut m, &GroupSumJob, &streams, 64, ReduceOp::Sum, &engine);
         assert!(out.run.metrics.get("addr.patterns_found") > 0);

@@ -43,10 +43,22 @@ pub struct FieldJob {
 impl FieldJob {
     pub fn new(name: &'static str, record: u64, key: Field, value: Field) -> Self {
         assert!(record > 0, "empty record");
-        assert!(key.offset + key.width as u64 <= record, "key field outside record");
-        assert!(value.offset + value.width as u64 <= record, "value field outside record");
+        assert!(
+            key.offset + key.width as u64 <= record,
+            "key field outside record"
+        );
+        assert!(
+            value.offset + value.width as u64 <= record,
+            "value field outside record"
+        );
         // Keys must be non-zero for the combiner; default remap adds 1.
-        FieldJob { name, record, key, value, remap: |k, v| (k + 1, v) }
+        FieldJob {
+            name,
+            record,
+            key,
+            value,
+            remap: |k, v| (k + 1, v),
+        }
     }
 
     /// Replace the key/value remapping (must yield non-zero keys).
@@ -109,7 +121,8 @@ mod tests {
             let amount = rng.next_below(500) as u32;
             m.hmem.write(region, r * REC, &g.to_le_bytes());
             m.hmem.write_u32(region, r * REC + 4, amount);
-            m.hmem.write_u32(region, r * REC + 8, rng.next_below(1 << 30) as u32);
+            m.hmem
+                .write_u32(region, r * REC + 8, rng.next_below(1 << 30) as u32);
             *expected.entry(g as u64 + 1).or_insert(0u64) += amount as u64;
         }
         let s = vec![StreamArray::map(&m, StreamId(0), region)];
@@ -124,7 +137,10 @@ mod tests {
     fn schema_job_sums_per_group_under_bigkernel() {
         let (mut m, streams, expected) = setup(4000, 11);
         let engine = Engine::BigKernel(
-            BigKernelConfig { chunk_input_bytes: 8 * 1024, ..BigKernelConfig::default() },
+            BigKernelConfig {
+                chunk_input_bytes: 8 * 1024,
+                ..BigKernelConfig::default()
+            },
             LaunchConfig::new(2, 32),
         );
         let out = run_mapreduce(&mut m, &job(), &streams, 64, ReduceOp::Sum, &engine);
@@ -137,8 +153,14 @@ mod tests {
     #[test]
     fn schema_job_agrees_with_cpu() {
         let (mut m, streams, expected) = setup(2000, 5);
-        let out =
-            run_mapreduce(&mut m, &job(), &streams, 64, ReduceOp::Sum, &Engine::CpuSerial);
+        let out = run_mapreduce(
+            &mut m,
+            &job(),
+            &streams,
+            64,
+            ReduceOp::Sum,
+            &Engine::CpuSerial,
+        );
         let got: BTreeMap<u64, u64> = out.pairs.into_iter().collect();
         assert_eq!(got, expected);
     }

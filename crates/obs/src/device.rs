@@ -1,0 +1,55 @@
+//! Per-device metric names for multi-GPU runs.
+//!
+//! The sharding scheduler records, per simulated device, how many chunks it
+//! owned, its total busy time, its schedule makespan and its stalled time —
+//! the numbers behind the `scaling` bench's per-device utilization columns.
+//! Counter names must be `&'static str` (the [`crate::MetricsRegistry`]
+//! interns nothing at runtime), so the device × quantity cross product is
+//! expanded at compile time, which also caps the supported device count.
+
+/// Maximum number of simulated devices with interned metric/track names.
+pub const MAX_DEVICES: usize = 8;
+
+/// Expand the quantity arms for one device literal.
+macro_rules! device_arms {
+    ($dev:literal, $what:expr) => {
+        match $what {
+            "chunks" => Some(concat!("device.", $dev, ".chunks")),
+            "busy_ns" => Some(concat!("device.", $dev, ".busy_ns")),
+            "makespan_ns" => Some(concat!("device.", $dev, ".makespan_ns")),
+            "stall_ns" => Some(concat!("device.", $dev, ".stall_ns")),
+            _ => None,
+        }
+    };
+}
+
+/// Interned `device.<i>.<what>` counter name for `what` in
+/// `{chunks, busy_ns, makespan_ns, stall_ns}` and `device < MAX_DEVICES`;
+/// `None` outside the table.
+pub fn device_counter(device: usize, what: &str) -> Option<&'static str> {
+    match device {
+        0 => device_arms!("0", what),
+        1 => device_arms!("1", what),
+        2 => device_arms!("2", what),
+        3 => device_arms!("3", what),
+        4 => device_arms!("4", what),
+        5 => device_arms!("5", what),
+        6 => device_arms!("6", what),
+        7 => device_arms!("7", what),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_cover_the_device_range() {
+        assert_eq!(device_counter(0, "chunks"), Some("device.0.chunks"));
+        assert_eq!(device_counter(7, "stall_ns"), Some("device.7.stall_ns"));
+        assert_eq!(device_counter(3, "busy_ns"), Some("device.3.busy_ns"));
+        assert_eq!(device_counter(MAX_DEVICES, "chunks"), None);
+        assert_eq!(device_counter(0, "unknown"), None);
+    }
+}

@@ -124,7 +124,10 @@ pub fn text_report(spans: &[SpanRecord]) -> String {
         out.push_str("no spans recorded\n");
         return out;
     }
-    let t0 = spans.iter().map(|s| s.start).fold(spans[0].start, SimTime::min);
+    let t0 = spans
+        .iter()
+        .map(|s| s.start)
+        .fold(spans[0].start, SimTime::min);
     let t1 = spans
         .iter()
         .map(|s| s.start + s.dur)
@@ -137,11 +140,19 @@ pub fn text_report(spans: &[SpanRecord]) -> String {
         spans.len(),
         tracks(spans).len()
     );
-    let _ = writeln!(out, "{:<10} {:>7} {:>12} {:>7} {:>12}", "track", "spans", "busy", "util", "bubble");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>7} {:>12} {:>7} {:>12}",
+        "track", "spans", "busy", "util", "bubble"
+    );
     for t in tracks(spans) {
         let busy: SimTime = spans.iter().filter(|s| s.track == t).map(|s| s.dur).sum();
         let n = spans.iter().filter(|s| s.track == t).count();
-        let util = if window.is_zero() { 0.0 } else { busy.ratio(window) };
+        let util = if window.is_zero() {
+            0.0
+        } else {
+            busy.ratio(window)
+        };
         let _ = writeln!(
             out,
             "{:<10} {:>7} {:>12} {:>6.1}% {:>12}",
@@ -170,8 +181,18 @@ pub fn text_report(spans: &[SpanRecord]) -> String {
     } else {
         let _ = writeln!(out, "top stall causes (stage.cause, total stalled time):");
         for (k, t) in totals.iter().take(8) {
-            let share = if window.is_zero() { 0.0 } else { t.ratio(window) };
-            let _ = writeln!(out, "  {:<28} {:>12}  ({:.1}% of window)", k, format!("{t}"), share * 100.0);
+            let share = if window.is_zero() {
+                0.0
+            } else {
+                t.ratio(window)
+            };
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>12}  ({:.1}% of window)",
+                k,
+                format!("{t}"),
+                share * 100.0
+            );
         }
     }
     out

@@ -25,12 +25,14 @@
 //! whether or not tracing is enabled — so enabling tracing can never change
 //! a simulated result. Only span collection and export are gated.
 
+pub mod device;
 pub mod export;
 pub mod metrics;
 pub mod stall;
 pub mod trace;
 
+pub use device::{device_counter, MAX_DEVICES};
 pub use export::{text_report, to_chrome_json};
 pub use metrics::{Histogram, MetricsRegistry};
-pub use stall::{record_schedule, stall_counter, StallCause};
+pub use stall::{record_schedule, record_schedule_mapped, stall_counter, StallCause};
 pub use trace::SpanRecord;

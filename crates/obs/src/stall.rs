@@ -12,7 +12,7 @@
 
 use crate::metrics::MetricsRegistry;
 use crate::trace::{self, SpanRecord};
-use bk_simcore::{Schedule, SimTime, StallKind};
+use bk_simcore::{ScheduleView, SimTime, StallKind};
 
 /// Why a pipeline stage instance could not start when its input was ready.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -48,11 +48,17 @@ impl StallCause {
     /// Classify a scheduler-level stall by the resource vocabulary used by
     /// the runtime (`gpu-ag`, `cpu-asm`, `dma`, `dma-d2h`, `gpu-comp`,
     /// `cpu-wb`) and the baselines (`cpu-stage`, `dma`, `gpu`, `wb_dma`,
-    /// `cpu-wb`, `serial`).
+    /// `cpu-wb`, `serial`). Multi-device runs qualify resources as
+    /// `dev<i>.<name>`; the device prefix is stripped before
+    /// classification, so all devices feed the same cause buckets.
     pub fn from_kind(kind: StallKind) -> StallCause {
         match kind {
             StallKind::Reuse { .. } => StallCause::BufferReuse,
             StallKind::Resource(r) => {
+                let r = match r.strip_prefix("dev") {
+                    Some(rest) => rest.split_once('.').map_or(r, |(_, tail)| tail),
+                    None => r,
+                };
                 if r == "serial" {
                     StallCause::Serial
                 } else if r.contains("dma") {
@@ -112,7 +118,15 @@ fn span_hist(stage: &str) -> Option<&'static str> {
             }
         };
     }
-    table!("addr-gen", "assemble", "transfer", "compute", "wb-xfer", "wb-apply", "stage-pin")
+    table!(
+        "addr-gen",
+        "assemble",
+        "transfer",
+        "compute",
+        "wb-xfer",
+        "wb-apply",
+        "stage-pin"
+    )
 }
 
 /// Walk one computed wave [`Schedule`] and record, for every non-empty slot:
@@ -128,9 +142,38 @@ fn span_hist(stage: &str) -> Option<&'static str> {
 /// times are offset into run-global ones. Metrics are recorded
 /// unconditionally and derive purely from the deterministic schedule, so
 /// tracing on/off cannot change any simulated result.
-pub fn record_schedule(
-    sched: &Schedule,
+pub fn record_schedule<S: ScheduleView>(
+    sched: &S,
     chunk_base: usize,
+    time_base: SimTime,
+    metrics: &mut MetricsRegistry,
+) {
+    record_schedule_with(sched, |local| chunk_base + local, time_base, metrics)
+}
+
+/// [`record_schedule`] with an arbitrary local→global chunk-index map.
+///
+/// A sharded multi-device schedule covers a non-contiguous subsequence of
+/// the run's chunks (device `d` owns chunks `d, d + N, d + 2N, ...` under
+/// round-robin); `chunk_ids[local]` names the run-global chunk each local
+/// row corresponds to, so spans land on the right chunk labels.
+pub fn record_schedule_mapped<S: ScheduleView>(
+    sched: &S,
+    chunk_ids: &[usize],
+    time_base: SimTime,
+    metrics: &mut MetricsRegistry,
+) {
+    assert_eq!(
+        chunk_ids.len(),
+        sched.num_chunks(),
+        "one global id per scheduled chunk"
+    );
+    record_schedule_with(sched, |local| chunk_ids[local], time_base, metrics)
+}
+
+fn record_schedule_with<S: ScheduleView>(
+    sched: &S,
+    chunk_id: impl Fn(usize) -> usize,
     time_base: SimTime,
     metrics: &mut MetricsRegistry,
 ) {
@@ -164,7 +207,7 @@ pub fn record_schedule(
             trace::record(&SpanRecord {
                 track: sched.stage_resource(stage),
                 stage: name,
-                chunk: chunk_base + chunk,
+                chunk: chunk_id(chunk),
                 start: time_base + slot.start,
                 dur,
                 stall,
@@ -182,12 +225,18 @@ mod tests {
         SimTime::from_micros(us)
     }
 
-    fn sched() -> Schedule {
+    fn sched() -> pipeline::Schedule {
         // Two stages sharing one DMA-like resource plus a reuse edge, so
         // both stall flavours appear.
         let spec = pipeline::PipelineSpec::new(vec![
-            StageDef { name: "transfer", resource: "dma" },
-            StageDef { name: "compute", resource: "gpu-comp" },
+            StageDef {
+                name: "transfer",
+                resource: "dma",
+            },
+            StageDef {
+                name: "compute",
+                resource: "gpu-comp",
+            },
         ])
         .with_reuse(0, 1, 1);
         pipeline::schedule(&spec, &vec![vec![t(1.0), t(3.0)]; 4])
@@ -209,9 +258,16 @@ mod tests {
             ("serial", Serial),
             ("fpga", Other),
         ] {
-            assert_eq!(StallCause::from_kind(StallKind::Resource(res)), want, "{res}");
+            assert_eq!(
+                StallCause::from_kind(StallKind::Resource(res)),
+                want,
+                "{res}"
+            );
         }
-        assert_eq!(StallCause::from_kind(StallKind::Reuse { consumer: 3 }), BufferReuse);
+        assert_eq!(
+            StallCause::from_kind(StallKind::Reuse { consumer: 3 }),
+            BufferReuse
+        );
     }
 
     #[test]
@@ -220,7 +276,10 @@ mod tests {
             stall_counter("addr-gen", "buffer-reuse"),
             Some("stall.addr-gen.buffer-reuse")
         );
-        assert_eq!(stall_counter("stage-pin", "serial"), Some("stall.stage-pin.serial"));
+        assert_eq!(
+            stall_counter("stage-pin", "serial"),
+            Some("stall.stage-pin.serial")
+        );
         assert_eq!(stall_counter("unknown-stage", "serial"), None);
         assert_eq!(stall_counter("compute", "unknown-cause"), None);
     }
@@ -246,7 +305,12 @@ mod tests {
     fn record_schedule_offsets_chunks_and_time() {
         let s = sched();
         let g = crate::trace::start();
-        record_schedule(&s, 100, SimTime::from_micros(50.0), &mut MetricsRegistry::new());
+        record_schedule(
+            &s,
+            100,
+            SimTime::from_micros(50.0),
+            &mut MetricsRegistry::new(),
+        );
         let spans = g.finish();
         if cfg!(feature = "trace") {
             assert_eq!(spans.len(), 8);

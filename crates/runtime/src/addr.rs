@@ -100,7 +100,10 @@ impl AddrStream {
     /// run. This is what lets the assembler issue one bulk copy and one
     /// `flush_run` per run instead of touching every entry (§IV.B).
     pub fn runs(&self) -> RunIter<'_> {
-        RunIter { it: self.iter(), pending: None }
+        RunIter {
+            it: self.iter(),
+            pending: None,
+        }
     }
 }
 
@@ -163,7 +166,11 @@ impl Iterator for RunIter<'_> {
                     r.len += e.width as u64;
                 }
                 pending => {
-                    let run = Run { stream: e.stream, start: e.offset, len: e.width as u64 };
+                    let run = Run {
+                        stream: e.stream,
+                        start: e.offset,
+                        len: e.width as u64,
+                    };
                     if let Some(done) = pending.replace(run) {
                         return Some(done);
                     }
@@ -185,7 +192,10 @@ pub struct LaneAddrs {
 
 impl LaneAddrs {
     pub fn empty() -> Self {
-        LaneAddrs { reads: AddrStream::Raw(Vec::new()), writes: AddrStream::Raw(Vec::new()) }
+        LaneAddrs {
+            reads: AddrStream::Raw(Vec::new()),
+            writes: AddrStream::Raw(Vec::new()),
+        }
     }
 
     pub fn encoded_bytes(&self) -> u64 {
@@ -198,7 +208,11 @@ mod tests {
     use super::*;
 
     fn e(off: u64, w: u32) -> AddrEntry {
-        AddrEntry { stream: StreamId(0), offset: off, width: w }
+        AddrEntry {
+            stream: StreamId(0),
+            offset: off,
+            width: w,
+        }
     }
 
     #[test]
@@ -238,8 +252,16 @@ mod tests {
         assert_eq!(
             runs,
             vec![
-                Run { stream: StreamId(0), start: 0, len: 24 },
-                Run { stream: StreamId(0), start: 100, len: 4 },
+                Run {
+                    stream: StreamId(0),
+                    start: 0,
+                    len: 24
+                },
+                Run {
+                    stream: StreamId(0),
+                    start: 100,
+                    len: 4
+                },
             ]
         );
 
@@ -254,14 +276,25 @@ mod tests {
         let p = crate::pattern::detect(&seq, crate::pattern::MAX_PERIOD).unwrap();
         let ps = AddrStream::Pattern(p);
         let runs: Vec<Run> = ps.runs().collect();
-        assert_eq!(runs, vec![Run { stream: StreamId(0), start: 1000, len: 100 }]);
+        assert_eq!(
+            runs,
+            vec![Run {
+                stream: StreamId(0),
+                start: 1000,
+                len: 100
+            }]
+        );
     }
 
     #[test]
     fn runs_split_on_stream_change() {
         let s = AddrStream::Raw(vec![
             e(0, 8),
-            AddrEntry { stream: StreamId(1), offset: 8, width: 8 },
+            AddrEntry {
+                stream: StreamId(1),
+                offset: 8,
+                width: 8,
+            },
         ]);
         assert_eq!(s.runs().count(), 2);
     }

@@ -154,8 +154,7 @@ pub fn assemble(
                     bytes[dest as usize..dest as usize + e.width as usize].copy_from_slice(src);
                     gathered += e.width as u64;
                     // Cost: extend or flush the contiguous source run.
-                    if run_len > 0 && e.stream.0 == run_stream && e.offset == run_start + run_len
-                    {
+                    if run_len > 0 && e.stream.0 == run_stream && e.offset == run_start + run_len {
                         run_len += e.width as u64;
                     } else {
                         if run_len > 0 {
@@ -169,20 +168,29 @@ pub fn assemble(
                     }
                 }
                 if run_len > 0 {
-                    flush_run(&mut cost, cache, hmem, streams, run_stream, run_start, run_len);
+                    flush_run(
+                        &mut cost, cache, hmem, streams, run_stream, run_start, run_len,
+                    );
                 }
             }
         }
         // Access order: step-major walk per warp.
         (ChunkLayout::Interleaved { warps, .. }, false) => {
             for (w, region) in warps.iter().enumerate() {
-                let lanes_here =
-                    &lanes[w * WARP_SIZE..((w + 1) * WARP_SIZE).min(lanes.len())];
+                let lanes_here = &lanes[w * WARP_SIZE..((w + 1) * WARP_SIZE).min(lanes.len())];
                 for k in 0..region.step_off.len() {
                     for (li, l) in lanes_here.iter().enumerate() {
                         if k < l.reads.len() {
                             let (dest, _) = region.slot(li, k);
-                            gather_one(&mut cost, cache, &mut bytes, &mut gathered, w * WARP_SIZE + li, k, dest);
+                            gather_one(
+                                &mut cost,
+                                cache,
+                                &mut bytes,
+                                &mut gathered,
+                                w * WARP_SIZE + li,
+                                k,
+                                dest,
+                            );
                         }
                     }
                 }
@@ -201,12 +209,17 @@ pub fn assemble(
                     for run in l.reads.runs() {
                         let arr = &streams[run.stream.0 as usize];
                         let src = hmem.read(arr.region, run.start, run.len as usize);
-                        bytes[dest as usize..dest as usize + run.len as usize]
-                            .copy_from_slice(src);
+                        bytes[dest as usize..dest as usize + run.len as usize].copy_from_slice(src);
                         dest += run.len;
                         gathered += run.len;
                         flush_run(
-                            &mut cost, cache, hmem, streams, run.stream.0, run.start, run.len,
+                            &mut cost,
+                            cache,
+                            hmem,
+                            streams,
+                            run.stream.0,
+                            run.start,
+                            run.len,
                         );
                     }
                 } else {
@@ -268,7 +281,11 @@ mod tests {
             reads: AddrStream::Raw(
                 entries
                     .into_iter()
-                    .map(|(o, w)| AddrEntry { stream: StreamId(0), offset: o, width: w })
+                    .map(|(o, w)| AddrEntry {
+                        stream: StreamId(0),
+                        offset: o,
+                        width: w,
+                    })
                     .collect(),
             ),
             writes: AddrStream::Raw(Vec::new()),
@@ -287,8 +304,12 @@ mod tests {
             &lanes,
             AssemblyLayout::Interleaved,
             true,
-            &mut cache, &mut StreamPool::new());
-        let ChunkLayout::Interleaved { warps, .. } = &out.layout else { panic!() };
+            &mut cache,
+            &mut StreamPool::new(),
+        );
+        let ChunkLayout::Interleaved { warps, .. } = &out.layout else {
+            panic!()
+        };
         let (p0, _) = warps[0].slot(0, 0);
         let (p1, _) = warps[0].slot(0, 1);
         assert_eq!(&out.bytes[p0 as usize..p0 as usize + 4], &[10, 11, 12, 13]);
@@ -301,22 +322,41 @@ mod tests {
     fn locality_order_requires_patterns() {
         let data = vec![7u8; 1 << 16];
         let (m, streams) = setup(&data);
-        let entries: Vec<AddrEntry> =
-            (0..64).map(|i| AddrEntry { stream: StreamId(0), offset: i * 8, width: 8 }).collect();
+        let entries: Vec<AddrEntry> = (0..64)
+            .map(|i| AddrEntry {
+                stream: StreamId(0),
+                offset: i * 8,
+                width: 8,
+            })
+            .collect();
         let pat = pattern::detect(&entries, pattern::MAX_PERIOD).unwrap();
         let lanes = vec![LaneAddrs {
             reads: AddrStream::Pattern(pat),
             writes: AddrStream::Raw(Vec::new()),
         }];
         let mut cache = CacheSim::xeon_llc();
-        let out =
-            assemble(&m.hmem, &streams, &lanes, AssemblyLayout::Interleaved, true, &mut cache, &mut StreamPool::new());
+        let out = assemble(
+            &m.hmem,
+            &streams,
+            &lanes,
+            AssemblyLayout::Interleaved,
+            true,
+            &mut cache,
+            &mut StreamPool::new(),
+        );
         assert!(out.locality_order_used);
         assert_eq!(out.gathered_bytes, 64 * 8);
         // locality off → access order even with patterns
         let mut cache2 = CacheSim::xeon_llc();
-        let out2 =
-            assemble(&m.hmem, &streams, &lanes, AssemblyLayout::Interleaved, false, &mut cache2, &mut StreamPool::new());
+        let out2 = assemble(
+            &m.hmem,
+            &streams,
+            &lanes,
+            AssemblyLayout::Interleaved,
+            false,
+            &mut cache2,
+            &mut StreamPool::new(),
+        );
         assert!(!out2.locality_order_used);
         assert_eq!(out.bytes, out2.bytes, "order must not change contents");
     }
@@ -327,8 +367,15 @@ mod tests {
         let (m, streams) = setup(&data);
         let lanes = vec![raw_lane(vec![(0, 2), (100, 2)]), raw_lane(vec![(50, 4)])];
         let mut cache = CacheSim::xeon_llc();
-        let out =
-            assemble(&m.hmem, &streams, &lanes, AssemblyLayout::PerLane, false, &mut cache, &mut StreamPool::new());
+        let out = assemble(
+            &m.hmem,
+            &streams,
+            &lanes,
+            AssemblyLayout::PerLane,
+            false,
+            &mut cache,
+            &mut StreamPool::new(),
+        );
         assert_eq!(&out.bytes[0..2], &[0, 1]);
         assert_eq!(&out.bytes[2..4], &[100, 101]);
         assert_eq!(&out.bytes[4..8], &[50, 51, 52, 53]);
@@ -339,8 +386,13 @@ mod tests {
     fn pattern_streams_cost_less_dram_for_addresses() {
         let data = vec![1u8; 1 << 16];
         let (m, streams) = setup(&data);
-        let entries: Vec<AddrEntry> =
-            (0..1000).map(|i| AddrEntry { stream: StreamId(0), offset: i, width: 1 }).collect();
+        let entries: Vec<AddrEntry> = (0..1000)
+            .map(|i| AddrEntry {
+                stream: StreamId(0),
+                offset: i,
+                width: 1,
+            })
+            .collect();
         let raw = vec![LaneAddrs {
             reads: AddrStream::Raw(entries.clone()),
             writes: AddrStream::Raw(Vec::new()),
@@ -351,10 +403,24 @@ mod tests {
         }];
         let mut c1 = CacheSim::xeon_llc();
         let mut c2 = CacheSim::xeon_llc();
-        let o_raw =
-            assemble(&m.hmem, &streams, &raw, AssemblyLayout::Interleaved, true, &mut c1, &mut StreamPool::new());
-        let o_pat =
-            assemble(&m.hmem, &streams, &pat, AssemblyLayout::Interleaved, true, &mut c2, &mut StreamPool::new());
+        let o_raw = assemble(
+            &m.hmem,
+            &streams,
+            &raw,
+            AssemblyLayout::Interleaved,
+            true,
+            &mut c1,
+            &mut StreamPool::new(),
+        );
+        let o_pat = assemble(
+            &m.hmem,
+            &streams,
+            &pat,
+            AssemblyLayout::Interleaved,
+            true,
+            &mut c2,
+            &mut StreamPool::new(),
+        );
         assert_eq!(o_raw.bytes, o_pat.bytes, "compression must not change data");
         // Raw pays 2 * 8000 addr bytes of DRAM traffic that the pattern avoids.
         assert!(o_raw.cost.dram_bytes >= o_pat.cost.dram_bytes + 15_000);
@@ -370,7 +436,11 @@ mod tests {
         let (m, streams) = setup(&data);
         let mk = |lane: u64| -> Vec<AddrEntry> {
             (0..region / 8)
-                .map(|i| AddrEntry { stream: StreamId(0), offset: lane * region + i * 8, width: 8 })
+                .map(|i| AddrEntry {
+                    stream: StreamId(0),
+                    offset: lane * region + i * 8,
+                    width: 8,
+                })
                 .collect()
         };
         let lanes_pat: Vec<LaneAddrs> = (0..64)
@@ -383,9 +453,23 @@ mod tests {
         let mut c_seq = CacheSim::new(4096, 64, 4);
         let mut c_acc = CacheSim::new(4096, 64, 4);
         let a = assemble(
-            &m.hmem, &streams, &lanes_pat, AssemblyLayout::Interleaved, true, &mut c_seq, &mut StreamPool::new());
+            &m.hmem,
+            &streams,
+            &lanes_pat,
+            AssemblyLayout::Interleaved,
+            true,
+            &mut c_seq,
+            &mut StreamPool::new(),
+        );
         let b = assemble(
-            &m.hmem, &streams, &lanes_pat, AssemblyLayout::Interleaved, false, &mut c_acc, &mut StreamPool::new());
+            &m.hmem,
+            &streams,
+            &lanes_pat,
+            AssemblyLayout::Interleaved,
+            false,
+            &mut c_acc,
+            &mut StreamPool::new(),
+        );
         assert_eq!(a.bytes, b.bytes);
         // Locality order gathers each lane's region as sequential runs: one
         // cache probe per line and per-run instructions. Access order pays
@@ -422,7 +506,9 @@ mod tests {
             &[lane],
             AssemblyLayout::Interleaved,
             true,
-            &mut cache, &mut StreamPool::new());
+            &mut cache,
+            &mut StreamPool::new(),
+        );
         assert!(out.write_layout.is_some());
         assert!(out.write_layout.unwrap().total_len() >= 4);
     }
@@ -433,8 +519,15 @@ mod tests {
         let (m, streams) = setup(&data);
         let lanes = vec![LaneAddrs::empty(), LaneAddrs::empty()];
         let mut cache = CacheSim::xeon_llc();
-        let out =
-            assemble(&m.hmem, &streams, &lanes, AssemblyLayout::Interleaved, true, &mut cache, &mut StreamPool::new());
+        let out = assemble(
+            &m.hmem,
+            &streams,
+            &lanes,
+            AssemblyLayout::Interleaved,
+            true,
+            &mut cache,
+            &mut StreamPool::new(),
+        );
         assert_eq!(out.bytes.len(), 0);
         assert_eq!(out.gathered_bytes, 0);
         assert!(out.write_layout.is_none());

@@ -1,5 +1,7 @@
 //! BigKernel runtime configuration.
 
+use crate::graph::ShardPolicy;
+
 /// How the assembly stage lays out prefetched data in the chunk buffer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AssemblyLayout {
@@ -57,6 +59,11 @@ pub struct BigKernelConfig {
     /// purely a simulator-throughput knob. Kernels declaring
     /// `DeviceEffects::Sequential` ignore it.
     pub parallel_blocks: bool,
+    /// How chunks are dealt out across the machine's simulated GPUs (only
+    /// meaningful when `Machine::num_gpus() > 1`). A timing-level decision:
+    /// functional execution stays in global chunk order, so outputs are
+    /// identical under every policy and device count.
+    pub shard_policy: ShardPolicy,
 }
 
 impl Default for BigKernelConfig {
@@ -72,6 +79,7 @@ impl Default for BigKernelConfig {
             sync: SyncMode::IterationBarrier,
             verify_reads: true,
             parallel_blocks: true,
+            shard_policy: ShardPolicy::RoundRobin,
         }
     }
 }
@@ -79,13 +87,20 @@ impl Default for BigKernelConfig {
 impl BigKernelConfig {
     /// The Fig. 5 "overlap only" variant.
     pub fn overlap_only() -> Self {
-        BigKernelConfig { transfer_all: true, pattern_recognition: false, ..Self::default() }
+        BigKernelConfig {
+            transfer_all: true,
+            pattern_recognition: false,
+            ..Self::default()
+        }
     }
 
     /// The Fig. 5 "transfer volume reduction" variant (no coalescing
     /// layout).
     pub fn volume_reduction() -> Self {
-        BigKernelConfig { layout: AssemblyLayout::PerLane, ..Self::default() }
+        BigKernelConfig {
+            layout: AssemblyLayout::PerLane,
+            ..Self::default()
+        }
     }
 
     pub fn validate(&self) {
@@ -118,7 +133,10 @@ mod tests {
     fn variants_validate() {
         BigKernelConfig::overlap_only().validate();
         BigKernelConfig::volume_reduction().validate();
-        assert_eq!(BigKernelConfig::volume_reduction().layout, AssemblyLayout::PerLane);
+        assert_eq!(
+            BigKernelConfig::volume_reduction().layout,
+            AssemblyLayout::PerLane
+        );
         assert!(BigKernelConfig::overlap_only().transfer_all);
     }
 
@@ -136,7 +154,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one buffer")]
     fn zero_depth_rejected() {
-        let c = BigKernelConfig { buffer_depth: 0, ..BigKernelConfig::default() };
+        let c = BigKernelConfig {
+            buffer_depth: 0,
+            ..BigKernelConfig::default()
+        };
         c.validate();
     }
 }

@@ -80,7 +80,10 @@ impl AddrRecorder {
     fn take(&mut self) -> (Vec<AddrEntry>, Vec<AddrEntry>) {
         self.read_det.materialize(&mut self.reads);
         self.write_det.materialize(&mut self.writes);
-        (std::mem::take(&mut self.reads), std::mem::take(&mut self.writes))
+        (
+            std::mem::take(&mut self.reads),
+            std::mem::take(&mut self.writes),
+        )
     }
 }
 
@@ -90,6 +93,10 @@ impl Default for AddrRecorder {
     }
 }
 
+// The owned recorder is inline on purpose: boxing it would put a heap
+// allocation and a pointer chase on the addr-gen fast path, and only a
+// handful of these contexts exist at a time.
+#[allow(clippy::large_enum_variant)]
 enum Rec<'a> {
     /// Context-owned recorder (legacy `new`/`finish` API: kernelc adapter,
     /// baseline tests). Detection off; everything is buffered.
@@ -107,7 +114,11 @@ pub struct AddrGenCtx<'a> {
 
 impl<'a> AddrGenCtx<'a> {
     pub fn new(gmem: &'a GpuMemory, trace: &'a mut ThreadTrace) -> Self {
-        AddrGenCtx { gmem, trace, rec: Rec::Owned(AddrRecorder::new()) }
+        AddrGenCtx {
+            gmem,
+            trace,
+            rec: Rec::Owned(AddrRecorder::new()),
+        }
     }
 
     /// Record into an external (pooled) recorder. The caller resets the
@@ -117,7 +128,11 @@ impl<'a> AddrGenCtx<'a> {
         trace: &'a mut ThreadTrace,
         rec: &'a mut AddrRecorder,
     ) -> Self {
-        AddrGenCtx { gmem, trace, rec: Rec::External(rec) }
+        AddrGenCtx {
+            gmem,
+            trace,
+            rec: Rec::External(rec),
+        }
     }
 
     #[inline]
@@ -136,7 +151,14 @@ impl<'a> AddrGenCtx<'a> {
         debug_assert!((1..=8).contains(&width));
         self.trace.alu(2);
         let r = self.rec();
-        r.read_det.push(&mut r.reads, AddrEntry { stream: s, offset, width });
+        r.read_det.push(
+            &mut r.reads,
+            AddrEntry {
+                stream: s,
+                offset,
+                width,
+            },
+        );
     }
 
     /// Record that the computation will write `width` bytes of stream `s`.
@@ -145,13 +167,25 @@ impl<'a> AddrGenCtx<'a> {
         debug_assert!((1..=8).contains(&width));
         self.trace.alu(2);
         let r = self.rec();
-        r.write_det.push(&mut r.writes, AddrEntry { stream: s, offset, width });
+        r.write_det.push(
+            &mut r.writes,
+            AddrEntry {
+                stream: s,
+                offset,
+                width,
+            },
+        );
     }
 
     /// Read a device-resident buffer (traced global access; e.g. an index).
     #[inline]
     pub fn dev_read(&mut self, b: DevBufId, offset: u64, width: u32) -> u64 {
-        self.trace.record(self.gmem.vaddr(b, offset), width, AccessKind::Read, AccessClass::Dev);
+        self.trace.record(
+            self.gmem.vaddr(b, offset),
+            width,
+            AccessKind::Read,
+            AccessClass::Dev,
+        );
         le_load(self.gmem.read(b, offset, width as usize))
     }
 
@@ -377,7 +411,15 @@ impl<'a> ComputeCtx<'a, LiveMem<'a>> {
         num_threads: u32,
         trace: &'a mut ThreadTrace,
     ) -> Self {
-        Self::staged_on(LiveMem(gmem), data_buf, layout, lane, thread_id, num_threads, trace)
+        Self::staged_on(
+            LiveMem(gmem),
+            data_buf,
+            layout,
+            lane,
+            thread_id,
+            num_threads,
+            trace,
+        )
     }
 }
 
@@ -481,7 +523,12 @@ impl<'a, M: DevMemory> ComputeCtx<'a, M> {
                 layout.staged_pos(self.lane, offset)
             }
             (
-                StreamMode::Assembled { lane_addrs, verify, read_cur, .. },
+                StreamMode::Assembled {
+                    lane_addrs,
+                    verify,
+                    read_cur,
+                    ..
+                },
                 ChunkLayout::Interleaved { warps, .. },
             ) => {
                 let k = self.read_k;
@@ -500,7 +547,12 @@ impl<'a, M: DevMemory> ComputeCtx<'a, M> {
                 pos
             }
             (
-                StreamMode::Assembled { lane_addrs, verify, read_cur, .. },
+                StreamMode::Assembled {
+                    lane_addrs,
+                    verify,
+                    read_cur,
+                    ..
+                },
                 ChunkLayout::PerLane { lane_base, .. },
             ) => {
                 let k = self.read_k;
@@ -580,7 +632,11 @@ impl<M: DevMemory> KernelCtx for ComputeCtx<'_, M> {
             (StreamMode::Staged, _) => {
                 // In-place modification of the staged chunk; the runner
                 // copies the dirty window back to host memory afterwards.
-                assert_eq!(s, StreamId(0), "staged execution supports only the primary stream");
+                assert_eq!(
+                    s,
+                    StreamId(0),
+                    "staged execution supports only the primary stream"
+                );
                 let pos = self.layout.staged_pos(self.lane, offset);
                 self.trace.record(
                     self.mem.vaddr(self.data_buf, pos),
@@ -590,7 +646,12 @@ impl<M: DevMemory> KernelCtx for ComputeCtx<'_, M> {
                 );
                 self.mem.stream_store(self.data_buf, pos, width, value);
             }
-            (StreamMode::Assembled { verify, write_cur, .. }, Some(wl)) => {
+            (
+                StreamMode::Assembled {
+                    verify, write_cur, ..
+                },
+                Some(wl),
+            ) => {
                 let k = self.write_k;
                 if *verify {
                     let expected = write_cur.next().expect("write cursor in step with write_k");
@@ -625,27 +686,52 @@ impl<M: DevMemory> KernelCtx for ComputeCtx<'_, M> {
     }
 
     fn dev_read(&mut self, b: DevBufId, offset: u64, width: u32) -> u64 {
-        self.trace.record(self.mem.vaddr(b, offset), width, AccessKind::Read, AccessClass::Dev);
+        self.trace.record(
+            self.mem.vaddr(b, offset),
+            width,
+            AccessKind::Read,
+            AccessClass::Dev,
+        );
         self.mem.dev_load(b, offset, width)
     }
 
     fn dev_write(&mut self, b: DevBufId, offset: u64, width: u32, value: u64) {
-        self.trace.record(self.mem.vaddr(b, offset), width, AccessKind::Write, AccessClass::Dev);
+        self.trace.record(
+            self.mem.vaddr(b, offset),
+            width,
+            AccessKind::Write,
+            AccessClass::Dev,
+        );
         self.mem.dev_store(b, offset, width, value);
     }
 
     fn dev_atomic_add_u32(&mut self, b: DevBufId, offset: u64, v: u32) -> u32 {
-        self.trace.record(self.mem.vaddr(b, offset), 4, AccessKind::Atomic, AccessClass::Dev);
+        self.trace.record(
+            self.mem.vaddr(b, offset),
+            4,
+            AccessKind::Atomic,
+            AccessClass::Dev,
+        );
         self.mem.atomic_add_u32(b, offset, v)
     }
 
     fn dev_atomic_add_u64(&mut self, b: DevBufId, offset: u64, v: u64) -> u64 {
-        self.trace.record(self.mem.vaddr(b, offset), 8, AccessKind::Atomic, AccessClass::Dev);
+        self.trace.record(
+            self.mem.vaddr(b, offset),
+            8,
+            AccessKind::Atomic,
+            AccessClass::Dev,
+        );
         self.mem.atomic_add_u64(b, offset, v)
     }
 
     fn dev_atomic_cas_u64(&mut self, b: DevBufId, offset: u64, expected: u64, new: u64) -> u64 {
-        self.trace.record(self.mem.vaddr(b, offset), 8, AccessKind::Atomic, AccessClass::Dev);
+        self.trace.record(
+            self.mem.vaddr(b, offset),
+            8,
+            AccessKind::Atomic,
+            AccessClass::Dev,
+        );
         self.mem.atomic_cas_u64(b, offset, expected, new)
     }
 
@@ -678,7 +764,11 @@ mod tests {
     use crate::machine::Machine;
 
     fn entry(off: u64, w: u32) -> AddrEntry {
-        AddrEntry { stream: StreamId(0), offset: off, width: w }
+        AddrEntry {
+            stream: StreamId(0),
+            offset: off,
+            width: w,
+        }
     }
 
     #[test]
@@ -724,7 +814,10 @@ mod tests {
                 m.gmem.write_u64(buf, pos, v);
             }
         }
-        let lane = LaneAddrs { reads: stream, writes: AddrStream::Raw(Vec::new()) };
+        let lane = LaneAddrs {
+            reads: stream,
+            writes: AddrStream::Raw(Vec::new()),
+        };
         (buf, layout, lane)
     }
 
@@ -735,7 +828,17 @@ mod tests {
             interleaved_single_lane_setup(&mut m, &[(100, 11), (108, 22), (200, 33)]);
         let mut trace = ThreadTrace::default();
         let mut ctx = ComputeCtx::assembled(
-            &mut m.gmem, buf, None, &layout, None, &lane, true, 0, 0, 1, &mut trace,
+            &mut m.gmem,
+            buf,
+            None,
+            &layout,
+            None,
+            &lane,
+            true,
+            0,
+            0,
+            1,
+            &mut trace,
         );
         assert_eq!(ctx.stream_read(StreamId(0), 100, 8), 11);
         assert_eq!(ctx.stream_read(StreamId(0), 108, 8), 22);
@@ -751,7 +854,17 @@ mod tests {
         let (buf, layout, lane) = interleaved_single_lane_setup(&mut m, &[(100, 11)]);
         let mut trace = ThreadTrace::default();
         let mut ctx = ComputeCtx::assembled(
-            &mut m.gmem, buf, None, &layout, None, &lane, true, 0, 0, 1, &mut trace,
+            &mut m.gmem,
+            buf,
+            None,
+            &layout,
+            None,
+            &lane,
+            true,
+            0,
+            0,
+            1,
+            &mut trace,
         );
         let _ = ctx.stream_read(StreamId(0), 999, 8); // wrong offset
     }
@@ -788,8 +901,11 @@ mod tests {
         ctx.alu(4);
         ctx.shared(2);
         drop(ctx);
-        let atomics =
-            trace.accesses.iter().filter(|a| a.kind == AccessKind::Atomic).count();
+        let atomics = trace
+            .accesses
+            .iter()
+            .filter(|a| a.kind == AccessKind::Atomic)
+            .count();
         assert_eq!(atomics, 2);
         assert_eq!(m.gmem.read_u32(table, 8), 3);
         assert_eq!(m.gmem.read_u64(table, 16), 9);
@@ -807,7 +923,17 @@ mod tests {
         let lane = LaneAddrs { reads, writes };
         let mut trace = ThreadTrace::default();
         let mut ctx = ComputeCtx::assembled(
-            &mut m.gmem, data, Some(wbuf), &rl, Some(&wl), &lane, true, 0, 0, 1, &mut trace,
+            &mut m.gmem,
+            data,
+            Some(wbuf),
+            &rl,
+            Some(&wl),
+            &lane,
+            true,
+            0,
+            0,
+            1,
+            &mut trace,
         );
         ctx.stream_write(StreamId(0), 64, 4, 0xAA);
         ctx.stream_write(StreamId(0), 128, 4, 0xBB);
@@ -825,7 +951,17 @@ mod tests {
         let (buf, layout, lane) = interleaved_single_lane_setup(&mut m, &[(0, 1)]);
         let mut trace = ThreadTrace::default();
         let mut ctx = ComputeCtx::assembled(
-            &mut m.gmem, buf, None, &layout, None, &lane, true, 0, 0, 1, &mut trace,
+            &mut m.gmem,
+            buf,
+            None,
+            &layout,
+            None,
+            &lane,
+            true,
+            0,
+            0,
+            1,
+            &mut trace,
         );
         ctx.stream_write(StreamId(0), 0, 4, 1);
     }
@@ -853,9 +989,8 @@ mod tests {
             if logged {
                 let mut log = BlockLog::new(&m.gmem);
                 log.register_private(data);
-                let mut ctx = ComputeCtx::staged_on(
-                    LoggedMem(&mut log), data, &layout, 0, 0, 1, &mut trace,
-                );
+                let mut ctx =
+                    ComputeCtx::staged_on(LoggedMem(&mut log), data, &layout, 0, 0, 1, &mut trace);
                 body(&mut ctx);
                 drop(ctx);
                 assert_eq!(
@@ -866,7 +1001,11 @@ mod tests {
                 let mut ctx = ComputeCtx::staged(&mut m.gmem, data, &layout, 0, 0, 1, &mut trace);
                 body(&mut ctx);
             }
-            (m.gmem.read_u64(table, 8), m.gmem.read_u64(table, 16), m.gmem.read_u64(table, 24))
+            (
+                m.gmem.read_u64(table, 8),
+                m.gmem.read_u64(table, 16),
+                m.gmem.read_u64(table, 24),
+            )
         };
         assert_eq!(run(false), run(true));
         assert_eq!(run(true), (130, 123, 7));

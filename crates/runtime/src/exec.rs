@@ -1,0 +1,998 @@
+//! Per-block execution of the pipeline stages (functional simulation +
+//! cost accounting), split out of the pipeline runner so `pipeline.rs` is a
+//! thin configuration layer over the stage-graph executor.
+//!
+//! Everything here implements the *work* of a chunk — address generation,
+//! assembly, DMA, the kernel body, write-back — under the two-phase block
+//! algorithm described in [`crate::pipeline`]'s module docs (pure costing
+//! phases that may run on the rayon pool, ordered effect phases that keep
+//! results bit-identical to the sequential block schedule). Scheduling the
+//! resulting stage durations is the stage graph's job ([`crate::graph`]).
+//!
+//! Functional execution always uses the primary device's memory image
+//! (`machine.gmem` is one unified image shared by all simulated devices)
+//! and runs in global chunk order — multi-GPU sharding is a timing-level
+//! decision, so outputs are identical for any device count.
+
+use crate::addr::LaneAddrs;
+use crate::assembly::{assemble, AssemblyOutput};
+use crate::config::BigKernelConfig;
+use crate::ctx::{AddrGenCtx, ComputeCtx, LoggedMem};
+use crate::kernel::{LaunchConfig, StreamKernel};
+use crate::layout::ChunkLayout;
+use crate::machine::Machine;
+use crate::pool::{AddrGenScratch, Compression};
+use crate::stream::StreamArray;
+use bk_gpu::{BlockLog, BlockSim, KernelCost, ReplayOutcome, WARP_SIZE};
+use bk_host::{CacheSim, CpuCost, DmaDirection};
+use bk_obs::MetricsRegistry;
+use bk_simcore::SimTime;
+use rayon::prelude::*;
+use std::ops::Range;
+
+/// Per-active-block simulation state, persistent across chunks and waves:
+/// the warp aligner (with its reusable trace arena), this block slot's LLC
+/// model (one assembly thread per block, so one cache each), and the pooled
+/// addr-gen/assembly scratch whose vectors cycle chunk to chunk.
+pub(crate) struct BlockSlot {
+    pub(crate) sim: BlockSim,
+    pub(crate) llc: CacheSim,
+    pub(crate) scratch: AddrGenScratch,
+}
+
+impl BlockSlot {
+    pub(crate) fn new() -> Self {
+        BlockSlot {
+            sim: BlockSim::new(),
+            llc: CacheSim::xeon_llc(),
+            scratch: AddrGenScratch::new(),
+        }
+    }
+
+    /// Return a finished chunk's pure-phase vectors to this slot's pool so
+    /// the next chunk allocates nothing.
+    fn recycle(&mut self, pure: BlockPure) {
+        self.scratch.pool.give_lanes(pure.lane_addrs);
+        self.scratch.pool.give_output(pure.out);
+    }
+}
+
+/// Address-generation metrics accumulated per block in the pure phase and
+/// folded into the run metrics in block order.
+#[derive(Default)]
+struct AddrCounts {
+    entries: u64,
+    patterns_found: u64,
+    segmented_found: u64,
+    patterns_missed: u64,
+}
+
+/// Pure per-block output of stages 1–2 (no shared-simulator mutation).
+pub(crate) struct BlockPure {
+    lane_addrs: Vec<LaneAddrs>,
+    ag_cost: KernelCost,
+    out: AssemblyOutput,
+    counts: AddrCounts,
+    addr_bytes: u64,
+}
+
+/// Pure per-block output of the overlap-only staging copy.
+pub(crate) struct StagedPure {
+    layout: ChunkLayout,
+    bytes: Vec<u8>,
+}
+
+/// Per-block output of the compute stage.
+pub(crate) struct BlockComputed {
+    comp_cost: KernelCost,
+    bytes_read: u64,
+    bytes_written: u64,
+    /// Per-lane count of stream writes performed (assembled mode).
+    writes_performed: Vec<usize>,
+    /// Any in-place staged-chunk modification (overlap-only mode).
+    any_writes: bool,
+    /// The block's logged device effects, pending ordered replay. `None`
+    /// after replay, or when the block executed live.
+    effects: Option<bk_gpu::BlockEffects>,
+}
+
+/// One active block's work for the current chunk.
+pub(crate) struct WaveCell<'s> {
+    pub(crate) block: u32,
+    pub(crate) slices: Vec<Range<u64>>,
+    pub(crate) slot: &'s mut BlockSlot,
+    pub(crate) pure: Option<BlockPure>,
+    pub(crate) staged: Option<StagedPure>,
+    pub(crate) data_buf: Option<bk_gpu::BufferId>,
+    pub(crate) write_buf: Option<bk_gpu::BufferId>,
+    pub(crate) computed: Option<BlockComputed>,
+}
+
+/// Per-chunk cost accumulators shared by every execution path.
+pub(crate) struct ChunkCosts {
+    pub(crate) ag: KernelCost,
+    pub(crate) asm: CpuCost,
+    pub(crate) xfer: SimTime,
+    /// H2D transfer count (each pays the completion-flag copy).
+    pub(crate) h2d_flags: u64,
+    /// H2D transfers with a nonzero payload (each pays the DMA setup
+    /// latency).
+    pub(crate) h2d_lats: u64,
+    pub(crate) comp: KernelCost,
+    pub(crate) wb_bytes: u64,
+    pub(crate) wb: CpuCost,
+    pub(crate) addr_bytes: u64,
+}
+
+impl ChunkCosts {
+    pub(crate) fn new() -> Self {
+        ChunkCosts {
+            ag: KernelCost::new(),
+            asm: CpuCost::new(),
+            xfer: SimTime::ZERO,
+            h2d_flags: 0,
+            h2d_lats: 0,
+            comp: KernelCost::new(),
+            wb_bytes: 0,
+            wb: CpuCost::new(),
+            addr_bytes: 0,
+        }
+    }
+}
+
+/// Run `f` over every cell — on the rayon pool when `parallel`, serially
+/// otherwise. Both orders produce identical cells: `f` touches only its own
+/// cell plus shared read-only state.
+fn for_each_cell<T: Send>(parallel: bool, cells: &mut [T], f: impl Fn(&mut T) + Sync) {
+    if parallel && cells.len() > 1 {
+        cells.par_iter_mut().for_each(&f);
+    } else {
+        for c in cells.iter_mut() {
+            f(c);
+        }
+    }
+}
+
+/// Tally one committed lane stream into the per-block counts (the former
+/// `compress_stream` bookkeeping; the decision itself lives in
+/// [`crate::pool::AddrGenScratch`]).
+fn tally(counts: &mut AddrCounts, c: Compression) {
+    match c {
+        Compression::Pattern => counts.patterns_found += 1,
+        Compression::Segmented => counts.segmented_found += 1,
+        Compression::Missed => counts.patterns_missed += 1,
+        Compression::Raw => {}
+    }
+}
+
+/// Pure phase, stages 1–2: address generation + compression + assembly
+/// against this block's own LLC. Reads shared state immutably; safe to run
+/// concurrently across blocks.
+///
+/// The whole phase runs out of the slot's pooled scratch: lanes record into
+/// the reusable [`crate::ctx::AddrRecorder`] (with §IV.A detection running
+/// online as entries are emitted), committed streams and the assembly
+/// output draw their vectors from the slot's [`crate::pool::StreamPool`],
+/// and everything returns there when the chunk retires — so steady-state
+/// chunks allocate nothing.
+fn block_pure_bigkernel(
+    machine: &Machine,
+    kernel: &dyn StreamKernel,
+    streams: &[StreamArray],
+    slices: &[Range<u64>],
+    tpb: u32,
+    cfg: &BigKernelConfig,
+    slot: &mut BlockSlot,
+) -> BlockPure {
+    let mut ag_cost = KernelCost::new();
+    let mut counts = AddrCounts::default();
+    let BlockSlot { sim, llc, scratch } = slot;
+    let mut lane_addrs: Vec<LaneAddrs> = scratch.pool.take_lanes();
+    {
+        let gmem = &machine.gmem;
+        let counts = &mut counts;
+        let lane_addrs = &mut lane_addrs;
+        let scratch = &mut *scratch;
+        bk_gpu::run_block_lanes(machine.gpu(), sim, tpb, &mut ag_cost, |lane, trace| {
+            scratch.begin_lane(cfg.pattern_recognition);
+            {
+                let mut ctx = AddrGenCtx::recording(gmem, trace, &mut scratch.recorder);
+                kernel.addresses(&mut ctx, slices[lane].clone());
+            }
+            counts.entries += (scratch.recorder.reads_len() + scratch.recorder.writes_len()) as u64;
+            let (reads, rc) = scratch.commit_reads(cfg);
+            let (writes, wc) = scratch.commit_writes(cfg);
+            tally(counts, rc);
+            tally(counts, wc);
+            lane_addrs.push(LaneAddrs { reads, writes });
+        });
+    }
+    ag_cost.add_barrier(1);
+    let addr_bytes: u64 = lane_addrs.iter().map(|l| l.encoded_bytes()).sum();
+    let out = assemble(
+        &machine.hmem,
+        streams,
+        &lane_addrs,
+        cfg.layout,
+        cfg.locality_assembly,
+        llc,
+        &mut scratch.pool,
+    );
+    BlockPure {
+        lane_addrs,
+        ag_cost,
+        out,
+        counts,
+        addr_bytes,
+    }
+}
+
+/// Fold one block's pure-phase results into chunk costs and metrics (block
+/// order).
+fn fold_pure(pure: &BlockPure, costs: &mut ChunkCosts, metrics: &mut MetricsRegistry) {
+    costs.ag.merge(&pure.ag_cost);
+    metrics.add("addr.entries", pure.counts.entries);
+    metrics.add("addr.patterns_found", pure.counts.patterns_found);
+    metrics.add("addr.segmented_found", pure.counts.segmented_found);
+    metrics.add("addr.patterns_missed", pure.counts.patterns_missed);
+    costs.addr_bytes += pure.addr_bytes;
+    metrics.add("addr.encoded_bytes", pure.addr_bytes);
+    metrics.add("pcie.d2h_bytes", pure.addr_bytes);
+    costs.asm.merge(&pure.out.cost);
+    metrics.add("assembly.gathered_bytes", pure.out.gathered_bytes);
+    metrics.add("assembly.padding_bytes", pure.out.padding_bytes);
+    metrics.add("assembly.cache_hits", pure.out.cost.cache_hits);
+    metrics.add("assembly.cache_misses", pure.out.cost.cache_misses);
+    if pure.out.locality_order_used {
+        metrics.incr("assembly.locality_order_chunks");
+    }
+    metrics.add("stream.bytes_read_unique", pure.out.gathered_bytes);
+}
+
+/// Ordered phase, stage 3: allocate the block's device buffers and DMA the
+/// assembled bytes in.
+fn stage_transfer(
+    machine: &mut Machine,
+    pure: &BlockPure,
+    costs: &mut ChunkCosts,
+    metrics: &mut MetricsRegistry,
+) -> (bk_gpu::BufferId, Option<bk_gpu::BufferId>) {
+    let buf_len = pure.out.layout.total_len().max(1);
+    let data_buf = machine.gmem.alloc(buf_len);
+    machine.gmem.dma_in(data_buf, 0, &pure.out.bytes);
+    costs.xfer += machine
+        .link
+        .dma_time_with_flag(DmaDirection::HostToDevice, pure.out.bytes.len() as u64);
+    costs.h2d_flags += 1;
+    if !pure.out.bytes.is_empty() {
+        costs.h2d_lats += 1;
+    }
+    metrics.add("pcie.h2d_bytes", pure.out.bytes.len() as u64);
+    let write_buf = pure
+        .out
+        .write_layout
+        .as_ref()
+        .map(|wl| machine.gmem.alloc(wl.total_len().max(1)));
+    (data_buf, write_buf)
+}
+
+/// Fold one block's compute results into chunk costs and metrics (block
+/// order).
+fn fold_computed(computed: &BlockComputed, costs: &mut ChunkCosts, metrics: &mut MetricsRegistry) {
+    costs.comp.merge(&computed.comp_cost);
+    metrics.add("stream.bytes_read", computed.bytes_read);
+    metrics.add("stream.bytes_written", computed.bytes_written);
+}
+
+/// Ordered phase, stages 5–6 of the assembled path.
+#[allow(clippy::too_many_arguments)]
+fn writeback_assembled(
+    machine: &mut Machine,
+    streams: &[StreamArray],
+    pure: &BlockPure,
+    write_buf: Option<bk_gpu::BufferId>,
+    computed: &BlockComputed,
+    llc: &mut CacheSim,
+    costs: &mut ChunkCosts,
+    metrics: &mut MetricsRegistry,
+) {
+    if let (Some(wl), Some(wb)) = (pure.out.write_layout.as_ref(), write_buf) {
+        let bytes = wl.total_len();
+        costs.wb_bytes += bytes;
+        metrics.add("pcie.d2h_bytes", bytes);
+        apply_writeback(
+            machine,
+            streams,
+            &pure.lane_addrs,
+            wl,
+            wb,
+            &computed.writes_performed,
+            &mut costs.wb,
+            llc,
+        );
+    }
+}
+
+/// Compute stage against a per-block write log (pure phase; shared state is
+/// only read).
+#[allow(clippy::too_many_arguments)]
+fn compute_assembled_logged(
+    machine: &Machine,
+    kernel: &dyn StreamKernel,
+    slices: &[Range<u64>],
+    pure: &BlockPure,
+    data_buf: bk_gpu::BufferId,
+    write_buf: Option<bk_gpu::BufferId>,
+    block: u32,
+    tpb: u32,
+    launch: LaunchConfig,
+    verify: bool,
+    sim: &mut BlockSim,
+) -> BlockComputed {
+    let mut comp_cost = KernelCost::new();
+    let mut log = BlockLog::new(&machine.gmem);
+    // The write buffer is block-private: mirror it so writes commit
+    // wholesale on replay. The data buffer is also block-private but only
+    // read, so snapshot reads need no mirror.
+    if let Some(wb) = write_buf {
+        log.register_private(wb);
+    }
+    let mut writes_performed: Vec<usize> = vec![0; tpb as usize];
+    let mut bytes_read = 0u64;
+    let mut bytes_written = 0u64;
+    {
+        let log = &mut log;
+        let writes_performed = &mut writes_performed;
+        let bytes_read = &mut bytes_read;
+        let bytes_written = &mut bytes_written;
+        let lane_addrs = &pure.lane_addrs;
+        let layout = &pure.out.layout;
+        let write_layout = pure.out.write_layout.as_ref();
+        bk_gpu::run_block_lanes(machine.gpu(), sim, tpb, &mut comp_cost, |lane, trace| {
+            let tid = block * tpb + lane as u32;
+            let mut ctx = ComputeCtx::assembled_on(
+                LoggedMem(&mut *log),
+                data_buf,
+                write_buf,
+                layout,
+                write_layout,
+                &lane_addrs[lane],
+                verify,
+                lane,
+                tid,
+                launch.total_threads(),
+                trace,
+            );
+            kernel.process(&mut ctx, slices[lane].clone());
+            *bytes_read += ctx.stream_bytes_read;
+            *bytes_written += ctx.stream_bytes_written;
+            writes_performed[lane] = ctx.write_count();
+        });
+    }
+    comp_cost.add_barrier(2);
+    BlockComputed {
+        comp_cost,
+        bytes_read,
+        bytes_written,
+        writes_performed,
+        any_writes: false,
+        effects: Some(log.finish()),
+    }
+}
+
+/// Compute stage against live memory (sequential-capability kernels and
+/// conflict re-execution at the block's in-order turn).
+#[allow(clippy::too_many_arguments)]
+fn compute_assembled_live(
+    machine: &mut Machine,
+    kernel: &dyn StreamKernel,
+    slices: &[Range<u64>],
+    pure: &BlockPure,
+    data_buf: bk_gpu::BufferId,
+    write_buf: Option<bk_gpu::BufferId>,
+    block: u32,
+    tpb: u32,
+    launch: LaunchConfig,
+    verify: bool,
+    sim: &mut BlockSim,
+) -> BlockComputed {
+    let mut comp_cost = KernelCost::new();
+    let mut writes_performed: Vec<usize> = vec![0; tpb as usize];
+    let mut bytes_read = 0u64;
+    let mut bytes_written = 0u64;
+    {
+        let Machine {
+            ref devices,
+            ref mut gmem,
+            ..
+        } = *machine;
+        let gpu = &devices[0];
+        let writes_performed = &mut writes_performed;
+        let bytes_read = &mut bytes_read;
+        let bytes_written = &mut bytes_written;
+        let lane_addrs = &pure.lane_addrs;
+        let layout = &pure.out.layout;
+        let write_layout = pure.out.write_layout.as_ref();
+        bk_gpu::run_block_lanes(gpu, sim, tpb, &mut comp_cost, |lane, trace| {
+            let tid = block * tpb + lane as u32;
+            let mut ctx = ComputeCtx::assembled(
+                &mut *gmem,
+                data_buf,
+                write_buf,
+                layout,
+                write_layout,
+                &lane_addrs[lane],
+                verify,
+                lane,
+                tid,
+                launch.total_threads(),
+                trace,
+            );
+            kernel.process(&mut ctx, slices[lane].clone());
+            *bytes_read += ctx.stream_bytes_read;
+            *bytes_written += ctx.stream_bytes_written;
+            writes_performed[lane] = ctx.write_count();
+        });
+    }
+    comp_cost.add_barrier(2);
+    BlockComputed {
+        comp_cost,
+        bytes_read,
+        bytes_written,
+        writes_performed,
+        any_writes: false,
+        effects: None,
+    }
+}
+
+/// One chunk of the full BigKernel path under the two-phase algorithm.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_chunk_assembled_logged(
+    machine: &mut Machine,
+    kernel: &dyn StreamKernel,
+    streams: &[StreamArray],
+    cells: &mut [WaveCell<'_>],
+    parallel: bool,
+    tpb: u32,
+    launch: LaunchConfig,
+    cfg: &BigKernelConfig,
+    costs: &mut ChunkCosts,
+    metrics: &mut MetricsRegistry,
+) {
+    // Phase A (pure, concurrent): stages 1–2 per block.
+    {
+        let shared: &Machine = machine;
+        for_each_cell(parallel, cells, |cell| {
+            let WaveCell {
+                slices, slot, pure, ..
+            } = cell;
+            *pure = Some(block_pure_bigkernel(
+                shared, kernel, streams, slices, tpb, cfg, slot,
+            ));
+        });
+    }
+
+    // Phase B (ordered): fold pure results; allocate + DMA in block order so
+    // device addresses are schedule-independent.
+    for cell in cells.iter_mut() {
+        let pure = cell.pure.as_ref().unwrap();
+        fold_pure(pure, costs, metrics);
+        let (data_buf, write_buf) = stage_transfer(machine, pure, costs, metrics);
+        cell.data_buf = Some(data_buf);
+        cell.write_buf = write_buf;
+    }
+
+    // Phase C (pure, concurrent): kernel body against each block's write
+    // log over the chunk-start snapshot.
+    {
+        let shared: &Machine = machine;
+        let verify = cfg.verify_reads;
+        for_each_cell(parallel, cells, |cell| {
+            let WaveCell {
+                block,
+                slices,
+                slot,
+                pure,
+                data_buf,
+                write_buf,
+                computed,
+                ..
+            } = cell;
+            let pure = pure.as_ref().unwrap();
+            *computed = Some(compute_assembled_logged(
+                shared,
+                kernel,
+                slices,
+                pure,
+                data_buf.unwrap(),
+                *write_buf,
+                *block,
+                tpb,
+                launch,
+                verify,
+                &mut slot.sim,
+            ));
+        });
+    }
+
+    // Phase D (ordered): replay effects in block order; a conflicting block
+    // re-executes live at its turn. Then host write-back + frees.
+    for cell in cells.iter_mut() {
+        let WaveCell {
+            block,
+            slices,
+            slot,
+            pure,
+            data_buf,
+            write_buf,
+            computed,
+            ..
+        } = cell;
+        let p = pure.as_ref().unwrap();
+        let effects = computed.as_mut().unwrap().effects.take().unwrap();
+        if effects.replay(&mut machine.gmem) == ReplayOutcome::Conflict {
+            metrics.incr("parallel.replay_conflicts");
+            *computed = Some(compute_assembled_live(
+                machine,
+                kernel,
+                slices,
+                p,
+                data_buf.unwrap(),
+                *write_buf,
+                *block,
+                tpb,
+                launch,
+                cfg.verify_reads,
+                &mut slot.sim,
+            ));
+        }
+        let done = computed.as_ref().unwrap();
+        fold_computed(done, costs, metrics);
+        writeback_assembled(
+            machine,
+            streams,
+            p,
+            *write_buf,
+            done,
+            &mut slot.llc,
+            costs,
+            metrics,
+        );
+        machine.gmem.free(data_buf.unwrap());
+        if let Some(wb) = *write_buf {
+            machine.gmem.free(wb);
+        }
+        // Chunk retired: its address streams, layouts and prefetch bytes go
+        // back to the slot's pool for the next chunk.
+        if let Some(done_pure) = pure.take() {
+            slot.recycle(done_pure);
+        }
+    }
+}
+
+/// Legacy fused per-block path (sequential-capability kernels): stages run
+/// live, eagerly, strictly in block order.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_block_sequential(
+    machine: &mut Machine,
+    kernel: &dyn StreamKernel,
+    streams: &[StreamArray],
+    slices: &[Range<u64>],
+    block: u32,
+    tpb: u32,
+    launch: LaunchConfig,
+    cfg: &BigKernelConfig,
+    slot: &mut BlockSlot,
+    costs: &mut ChunkCosts,
+    metrics: &mut MetricsRegistry,
+) {
+    let pure = block_pure_bigkernel(machine, kernel, streams, slices, tpb, cfg, slot);
+    fold_pure(&pure, costs, metrics);
+    let (data_buf, write_buf) = stage_transfer(machine, &pure, costs, metrics);
+    let computed = compute_assembled_live(
+        machine,
+        kernel,
+        slices,
+        &pure,
+        data_buf,
+        write_buf,
+        block,
+        tpb,
+        launch,
+        cfg.verify_reads,
+        &mut slot.sim,
+    );
+    fold_computed(&computed, costs, metrics);
+    writeback_assembled(
+        machine,
+        streams,
+        &pure,
+        write_buf,
+        &computed,
+        &mut slot.llc,
+        costs,
+        metrics,
+    );
+    machine.gmem.free(data_buf);
+    if let Some(wb) = write_buf {
+        machine.gmem.free(wb);
+    }
+    slot.recycle(pure);
+}
+
+/// Scatter the chunk's write-buffer values into the mapped host arrays
+/// (pipeline stage 6, functional + cost).
+#[allow(clippy::too_many_arguments)]
+fn apply_writeback(
+    machine: &mut Machine,
+    streams: &[StreamArray],
+    lane_addrs: &[LaneAddrs],
+    write_layout: &ChunkLayout,
+    write_buf: bk_gpu::BufferId,
+    writes_performed: &[usize],
+    wb_cost: &mut CpuCost,
+    llc: &mut CacheSim,
+) {
+    for (lane, l) in lane_addrs.iter().enumerate() {
+        let n = writes_performed[lane];
+        let mut perlane_cursor = 0u64;
+        for (k, e) in l.writes.iter().take(n).enumerate() {
+            let pos = match write_layout {
+                ChunkLayout::Interleaved { warps, .. } => {
+                    warps[lane / WARP_SIZE].slot(lane % WARP_SIZE, k).0
+                }
+                ChunkLayout::PerLane { lane_base, .. } => {
+                    let p = lane_base[lane] + perlane_cursor;
+                    perlane_cursor += e.width as u64;
+                    p
+                }
+                ChunkLayout::Staged { .. } => unreachable!(),
+            };
+            let val = machine.gmem.dma_out(write_buf, pos, e.width as usize);
+            let arr = &streams[e.stream.0 as usize];
+            machine.hmem.write(arr.region, e.offset, &val);
+            // Cost: sequential read of the landed write buffer + scattered
+            // store into the mapped array.
+            let (h, m) = llc.access_range(machine.hmem.vaddr(arr.region, e.offset), e.width as u64);
+            wb_cost.cache_hits += h;
+            wb_cost.cache_misses += m;
+            wb_cost.dram_bytes += m * llc.line_bytes() + e.width as u64;
+            wb_cost.instructions += 4;
+        }
+    }
+}
+
+/// Pure phase of the overlap-only variant: staging-window layout + host-side
+/// gather into a local buffer.
+fn block_pure_staged(
+    machine: &Machine,
+    kernel: &dyn StreamKernel,
+    streams: &[StreamArray],
+    slices: &[Range<u64>],
+) -> StagedPure {
+    let primary = &streams[0];
+    let halo = kernel.halo_bytes();
+    let layout = ChunkLayout::build_staged_slices(slices, halo, primary.len());
+    let mut bytes = vec![0u8; layout.total_len() as usize];
+    if let ChunkLayout::Staged { segs, .. } = &layout {
+        for (base, range) in segs {
+            let src = machine.hmem.read(
+                primary.region,
+                range.start,
+                (range.end - range.start) as usize,
+            );
+            bytes[*base as usize..*base as usize + src.len()].copy_from_slice(src);
+        }
+    }
+    StagedPure { layout, bytes }
+}
+
+/// Ordered phase, stage 3 of the overlap-only variant: "assembly" is the
+/// plain staging copy (1 read + 1 write per byte, the classical scheme),
+/// then the whole window ships over the link.
+fn stage_transfer_staged(
+    machine: &mut Machine,
+    staged: &StagedPure,
+    costs: &mut ChunkCosts,
+    metrics: &mut MetricsRegistry,
+) -> bk_gpu::BufferId {
+    costs
+        .asm
+        .merge(&CpuCost::streaming(staged.layout.total_len(), 2, 1));
+    let data_buf = machine.gmem.alloc(staged.layout.total_len().max(1));
+    machine.gmem.dma_in(data_buf, 0, &staged.bytes);
+    costs.xfer += machine
+        .link
+        .dma_time_with_flag(DmaDirection::HostToDevice, staged.layout.total_len());
+    costs.h2d_flags += 1;
+    if staged.layout.total_len() > 0 {
+        costs.h2d_lats += 1;
+    }
+    metrics.add("pcie.h2d_bytes", staged.layout.total_len());
+    data_buf
+}
+
+/// Staged compute against a write log (the staged chunk itself is a private
+/// mirror: in-place modifications commit wholesale on replay).
+#[allow(clippy::too_many_arguments)]
+fn compute_staged_logged(
+    machine: &Machine,
+    kernel: &dyn StreamKernel,
+    slices: &[Range<u64>],
+    layout: &ChunkLayout,
+    data_buf: bk_gpu::BufferId,
+    block: u32,
+    tpb: u32,
+    launch: LaunchConfig,
+    sim: &mut BlockSim,
+) -> BlockComputed {
+    let mut comp_cost = KernelCost::new();
+    let mut log = BlockLog::new(&machine.gmem);
+    log.register_private(data_buf);
+    let mut bytes_read = 0u64;
+    let mut bytes_written = 0u64;
+    let mut any_writes = false;
+    {
+        let log = &mut log;
+        let bytes_read = &mut bytes_read;
+        let bytes_written = &mut bytes_written;
+        let any_writes = &mut any_writes;
+        bk_gpu::run_block_lanes(machine.gpu(), sim, tpb, &mut comp_cost, |lane, trace| {
+            let tid = block * tpb + lane as u32;
+            let mut ctx = ComputeCtx::staged_on(
+                LoggedMem(&mut *log),
+                data_buf,
+                layout,
+                lane,
+                tid,
+                launch.total_threads(),
+                trace,
+            );
+            kernel.process(&mut ctx, slices[lane].clone());
+            *bytes_read += ctx.stream_bytes_read;
+            *bytes_written += ctx.stream_bytes_written;
+            *any_writes |= ctx.stream_bytes_written > 0;
+        });
+    }
+    comp_cost.add_barrier(2);
+    BlockComputed {
+        comp_cost,
+        bytes_read,
+        bytes_written,
+        writes_performed: Vec::new(),
+        any_writes,
+        effects: Some(log.finish()),
+    }
+}
+
+/// Staged compute against live memory (sequential-capability kernels and
+/// conflict re-execution).
+#[allow(clippy::too_many_arguments)]
+fn compute_staged_live(
+    machine: &mut Machine,
+    kernel: &dyn StreamKernel,
+    slices: &[Range<u64>],
+    layout: &ChunkLayout,
+    data_buf: bk_gpu::BufferId,
+    block: u32,
+    tpb: u32,
+    launch: LaunchConfig,
+    sim: &mut BlockSim,
+) -> BlockComputed {
+    let mut comp_cost = KernelCost::new();
+    let mut bytes_read = 0u64;
+    let mut bytes_written = 0u64;
+    let mut any_writes = false;
+    {
+        let Machine {
+            ref devices,
+            ref mut gmem,
+            ..
+        } = *machine;
+        let gpu = &devices[0];
+        let bytes_read = &mut bytes_read;
+        let bytes_written = &mut bytes_written;
+        let any_writes = &mut any_writes;
+        bk_gpu::run_block_lanes(gpu, sim, tpb, &mut comp_cost, |lane, trace| {
+            let tid = block * tpb + lane as u32;
+            let mut ctx = ComputeCtx::staged(
+                &mut *gmem,
+                data_buf,
+                layout,
+                lane,
+                tid,
+                launch.total_threads(),
+                trace,
+            );
+            kernel.process(&mut ctx, slices[lane].clone());
+            *bytes_read += ctx.stream_bytes_read;
+            *bytes_written += ctx.stream_bytes_written;
+            *any_writes |= ctx.stream_bytes_written > 0;
+        });
+    }
+    comp_cost.add_barrier(2);
+    BlockComputed {
+        comp_cost,
+        bytes_read,
+        bytes_written,
+        writes_performed: Vec::new(),
+        any_writes,
+        effects: None,
+    }
+}
+
+/// Ordered phase, stages 5–6 of the overlap-only variant: the staged chunk
+/// was modified in place; copy each lane's own slice (not the halo) back.
+#[allow(clippy::too_many_arguments)]
+fn writeback_staged(
+    machine: &mut Machine,
+    streams: &[StreamArray],
+    layout: &ChunkLayout,
+    data_buf: bk_gpu::BufferId,
+    slices: &[Range<u64>],
+    any_writes: bool,
+    costs: &mut ChunkCosts,
+    metrics: &mut MetricsRegistry,
+) {
+    if !any_writes {
+        return;
+    }
+    let primary = &streams[0];
+    if let ChunkLayout::Staged { segs, lane_seg, .. } = layout {
+        let mut copied = 0u64;
+        for (lane, sl) in slices.iter().enumerate() {
+            if sl.is_empty() {
+                continue;
+            }
+            let (base, range) = &segs[lane_seg[lane]];
+            let off_in_seg = base + (sl.start - range.start);
+            let len = sl.end - sl.start;
+            let bytes = machine.gmem.dma_out(data_buf, off_in_seg, len as usize);
+            machine.hmem.write(primary.region, sl.start, &bytes);
+            copied += len;
+        }
+        costs.wb_bytes += copied;
+        metrics.add("pcie.d2h_bytes", copied);
+        costs.wb.merge(&CpuCost::streaming(copied, 2, 1));
+    }
+}
+
+/// One chunk of the overlap-only variant under the two-phase algorithm.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_chunk_staged_logged(
+    machine: &mut Machine,
+    kernel: &dyn StreamKernel,
+    streams: &[StreamArray],
+    cells: &mut [WaveCell<'_>],
+    parallel: bool,
+    tpb: u32,
+    launch: LaunchConfig,
+    costs: &mut ChunkCosts,
+    metrics: &mut MetricsRegistry,
+) {
+    // Phase A (pure, concurrent): staging layout + host-side gather.
+    {
+        let shared: &Machine = machine;
+        for_each_cell(parallel, cells, |cell| {
+            let WaveCell { slices, staged, .. } = cell;
+            *staged = Some(block_pure_staged(shared, kernel, streams, slices));
+        });
+    }
+
+    // Phase B (ordered): staging-copy cost + alloc + DMA in block order.
+    for cell in cells.iter_mut() {
+        let staged = cell.staged.as_ref().unwrap();
+        cell.data_buf = Some(stage_transfer_staged(machine, staged, costs, metrics));
+    }
+
+    // Phase C (pure, concurrent): kernel body against per-block logs.
+    {
+        let shared: &Machine = machine;
+        for_each_cell(parallel, cells, |cell| {
+            let WaveCell {
+                block,
+                slices,
+                slot,
+                staged,
+                data_buf,
+                computed,
+                ..
+            } = cell;
+            let staged = staged.as_ref().unwrap();
+            *computed = Some(compute_staged_logged(
+                shared,
+                kernel,
+                slices,
+                &staged.layout,
+                data_buf.unwrap(),
+                *block,
+                tpb,
+                launch,
+                &mut slot.sim,
+            ));
+        });
+    }
+
+    // Phase D (ordered): replay, conflict re-execution, write-back, frees.
+    for cell in cells.iter_mut() {
+        let WaveCell {
+            block,
+            slices,
+            slot,
+            staged,
+            data_buf,
+            computed,
+            ..
+        } = cell;
+        let staged = staged.as_ref().unwrap();
+        let effects = computed.as_mut().unwrap().effects.take().unwrap();
+        if effects.replay(&mut machine.gmem) == ReplayOutcome::Conflict {
+            metrics.incr("parallel.replay_conflicts");
+            *computed = Some(compute_staged_live(
+                machine,
+                kernel,
+                slices,
+                &staged.layout,
+                data_buf.unwrap(),
+                *block,
+                tpb,
+                launch,
+                &mut slot.sim,
+            ));
+        }
+        let done = computed.as_ref().unwrap();
+        fold_computed(done, costs, metrics);
+        writeback_staged(
+            machine,
+            streams,
+            &staged.layout,
+            data_buf.unwrap(),
+            slices,
+            done.any_writes,
+            costs,
+            metrics,
+        );
+        machine.gmem.free(data_buf.unwrap());
+    }
+}
+
+/// Legacy fused per-block path of the overlap-only variant.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_block_sequential_staged(
+    machine: &mut Machine,
+    kernel: &dyn StreamKernel,
+    streams: &[StreamArray],
+    slices: &[Range<u64>],
+    block: u32,
+    tpb: u32,
+    launch: LaunchConfig,
+    slot: &mut BlockSlot,
+    costs: &mut ChunkCosts,
+    metrics: &mut MetricsRegistry,
+) {
+    let staged = block_pure_staged(machine, kernel, streams, slices);
+    let data_buf = stage_transfer_staged(machine, &staged, costs, metrics);
+    let computed = compute_staged_live(
+        machine,
+        kernel,
+        slices,
+        &staged.layout,
+        data_buf,
+        block,
+        tpb,
+        launch,
+        &mut slot.sim,
+    );
+    fold_computed(&computed, costs, metrics);
+    writeback_staged(
+        machine,
+        streams,
+        &staged.layout,
+        data_buf,
+        slices,
+        computed.any_writes,
+        costs,
+        metrics,
+    );
+    machine.gmem.free(data_buf);
+}

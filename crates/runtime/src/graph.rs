@@ -1,0 +1,1049 @@
+//! Declarative stage-graph executor.
+//!
+//! Historically `run_bigkernel` and the buffered baselines each wove their
+//! stage structure into control flow: hand-built [`bk_simcore::PipelineSpec`]s
+//! with stringly resource names, an inline `copy_engines >= 2` branch choosing
+//! the write-back DMA resource, and their own schedule/record/accumulate
+//! loops. This module turns that structure into *data*:
+//!
+//! * [`ResourceId`] — a typed hardware resource (kind × device index) that
+//!   interns to the legacy resource strings, so trace tracks, stall counters
+//!   and BENCH output are unchanged on device 0.
+//! * [`GraphSpec`] — stages, dependency edges (a DAG, not just a chain),
+//!   buffer-reuse edges (§IV.C's `addr-gen(n)` ↔ `compute(n−3)` rule) and
+//!   per-resource capacities.
+//! * [`schedule_graph`] — forward list scheduling generalized to DAG deps and
+//!   multi-unit resources. For a linear chain on unit-capacity resources it
+//!   performs the *identical* sequence of exact f64 max/add operations as
+//!   [`bk_simcore::pipeline::schedule`], so single-GPU schedules are
+//!   bit-identical to the pre-refactor ones (the golden tests in
+//!   `crates/apps/tests` hold simcore to be the oracle).
+//! * [`Executor`] / [`ShardedSchedule`] — chunk sharding across `N` simulated
+//!   GPUs: each device runs an independent copy of the stage graph (its own
+//!   DMA engine, GPU queues and host-side worker threads — resources are
+//!   qualified `dev<i>.<name>`), chunks are dealt out round-robin or
+//!   least-loaded, and reuse depth applies within a device's local chunk
+//!   sequence (per-device buffer pools). The wave makespan is the max over
+//!   device schedules. Devices are homogeneous ([`crate::Machine`] replicates
+//!   device 0's spec), so per-chunk durations are device-independent and
+//!   sharding is purely a timing-level decision — functional execution stays
+//!   in global chunk order and outputs are bit-identical for any device
+//!   count. See DESIGN.md §10.
+
+use crate::result::{accumulate_stage_stats, StageStat};
+use bk_obs::{device_counter, MetricsRegistry, MAX_DEVICES};
+use bk_simcore::pipeline::Slot;
+use bk_simcore::{ReuseEdge, ScheduleView, SimTime, SlotMeta, StallKind};
+use std::collections::HashMap;
+
+/// The kinds of hardware resources the pipelines schedule onto. One kind ×
+/// one device index = one serializing unit (or `capacity` identical units).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ResourceKind {
+    /// GPU queue running the address-generation mini-kernel.
+    GpuAddrGen,
+    /// CPU assembly threads gathering scattered data into a chunk.
+    CpuAssembly,
+    /// Host-to-device DMA engine (also D2H on single-copy-engine GPUs).
+    DmaH2D,
+    /// Device-to-host DMA engine (only present with `copy_engines >= 2`).
+    DmaD2H,
+    /// GPU queue running the main computation kernel.
+    GpuCompute,
+    /// CPU threads applying write-backs to host memory.
+    CpuWriteback,
+    /// CPU staging/pinning thread (double-buffered baseline).
+    CpuStage,
+    /// The whole GPU as one queue (baseline granularity).
+    Gpu,
+    /// The single shared resource of a fully serialized baseline.
+    Serial,
+}
+
+/// A typed resource identity: which kind of unit, on which simulated device.
+///
+/// `as_str()` interns to the exact legacy resource vocabulary on device 0
+/// (`"gpu-ag"`, `"cpu-asm"`, `"dma"`, `"dma-d2h"`, `"gpu-comp"`, `"cpu-wb"`,
+/// `"cpu-stage"`, `"gpu"`, `"serial"`) and to `"dev<i>.<name>"` on devices
+/// `1..MAX_DEVICES` — so single-GPU trace/BENCH output is unchanged, and
+/// multi-GPU runs get one Perfetto lane per device resource for free.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ResourceId {
+    pub kind: ResourceKind,
+    pub device: usize,
+}
+
+impl ResourceId {
+    pub const fn new(kind: ResourceKind, device: usize) -> Self {
+        ResourceId { kind, device }
+    }
+
+    /// Same kind of unit on another device.
+    pub fn on_device(self, device: usize) -> Self {
+        ResourceId { device, ..self }
+    }
+
+    /// Interned resource string (see the type docs). Panics past
+    /// [`MAX_DEVICES`]; [`crate::Machine::replicate_gpus`] enforces the cap
+    /// before any schedule is built.
+    pub fn as_str(self) -> &'static str {
+        macro_rules! dev_arms {
+            ($name:literal, $dev:expr) => {
+                match $dev {
+                    0 => $name,
+                    1 => concat!("dev1.", $name),
+                    2 => concat!("dev2.", $name),
+                    3 => concat!("dev3.", $name),
+                    4 => concat!("dev4.", $name),
+                    5 => concat!("dev5.", $name),
+                    6 => concat!("dev6.", $name),
+                    7 => concat!("dev7.", $name),
+                    d => panic!("device index {d} exceeds MAX_DEVICES"),
+                }
+            };
+        }
+        match self.kind {
+            ResourceKind::GpuAddrGen => dev_arms!("gpu-ag", self.device),
+            ResourceKind::CpuAssembly => dev_arms!("cpu-asm", self.device),
+            ResourceKind::DmaH2D => dev_arms!("dma", self.device),
+            ResourceKind::DmaD2H => dev_arms!("dma-d2h", self.device),
+            ResourceKind::GpuCompute => dev_arms!("gpu-comp", self.device),
+            ResourceKind::CpuWriteback => dev_arms!("cpu-wb", self.device),
+            ResourceKind::CpuStage => dev_arms!("cpu-stage", self.device),
+            ResourceKind::Gpu => dev_arms!("gpu", self.device),
+            ResourceKind::Serial => dev_arms!("serial", self.device),
+        }
+    }
+}
+
+impl std::fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One stage of the graph: a name, the resource it occupies, and the stage
+/// indices it depends on (all must be smaller — stages are listed in
+/// topological order, which forward list scheduling requires).
+#[derive(Clone, Debug)]
+pub struct GraphStage {
+    pub name: &'static str,
+    pub resource: ResourceId,
+    pub deps: Vec<usize>,
+}
+
+/// Declarative pipeline description: stages + DAG edges + reuse edges +
+/// resource capacities. Built once per configuration; the per-wave work is
+/// only [`schedule_graph`] over that wave's durations.
+#[derive(Clone, Debug)]
+pub struct GraphSpec {
+    pub stages: Vec<GraphStage>,
+    pub reuse: Vec<ReuseEdge>,
+    /// Resources with more than one identical unit; absent means capacity 1.
+    capacities: Vec<(ResourceId, usize)>,
+}
+
+impl GraphSpec {
+    /// Build from explicit stages. Panics if any dependency is not an
+    /// earlier stage (the list must be a topological order).
+    pub fn new(stages: Vec<GraphStage>) -> Self {
+        for (i, st) in stages.iter().enumerate() {
+            for &d in &st.deps {
+                assert!(
+                    d < i,
+                    "stage {i} ({}) depends on non-earlier stage {d}",
+                    st.name
+                );
+            }
+        }
+        GraphSpec {
+            stages,
+            reuse: Vec::new(),
+            capacities: Vec::new(),
+        }
+    }
+
+    /// The common case: a linear chain, each stage depending on the previous.
+    pub fn chain(stages: Vec<(&'static str, ResourceId)>) -> Self {
+        let stages = stages
+            .into_iter()
+            .enumerate()
+            .map(|(i, (name, resource))| GraphStage {
+                name,
+                resource,
+                deps: if i > 0 { vec![i - 1] } else { Vec::new() },
+            })
+            .collect();
+        GraphSpec {
+            stages,
+            reuse: Vec::new(),
+            capacities: Vec::new(),
+        }
+    }
+
+    /// Add a buffer-reuse edge: `producer` of chunk `i` waits for `consumer`
+    /// of chunk `i − depth` (per-device local chunk sequence when sharded).
+    pub fn with_reuse(mut self, producer: usize, consumer: usize, depth: usize) -> Self {
+        assert!(producer < self.stages.len(), "producer index out of range");
+        assert!(consumer < self.stages.len(), "consumer index out of range");
+        assert!(depth > 0, "reuse depth must be >= 1");
+        self.reuse.push(ReuseEdge {
+            producer,
+            consumer,
+            depth,
+        });
+        self
+    }
+
+    /// Give a resource `n` identical units (e.g. a thread pool). Production
+    /// configs all use the default capacity 1 — that is what keeps
+    /// [`schedule_graph`] bit-identical to the legacy scheduler; capacities
+    /// exist for the property tests and future heterogeneous setups.
+    pub fn with_capacity(mut self, resource: ResourceId, n: usize) -> Self {
+        assert!(n >= 1, "capacity must be >= 1");
+        self.capacities.retain(|(r, _)| *r != resource);
+        self.capacities.push((resource, n));
+        self
+    }
+
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    fn capacity_of(&self, resource: ResourceId) -> usize {
+        self.capacities
+            .iter()
+            .find(|(r, _)| *r == resource)
+            .map_or(1, |&(_, n)| n)
+    }
+
+    /// The same graph with every resource (and capacity entry) moved to
+    /// `device` — one independent sub-pipeline per simulated GPU.
+    pub fn for_device(&self, device: usize) -> GraphSpec {
+        GraphSpec {
+            stages: self
+                .stages
+                .iter()
+                .map(|s| GraphStage {
+                    name: s.name,
+                    resource: s.resource.on_device(device),
+                    deps: s.deps.clone(),
+                })
+                .collect(),
+            reuse: self.reuse.clone(),
+            capacities: self
+                .capacities
+                .iter()
+                .map(|&(r, n)| (r.on_device(device), n))
+                .collect(),
+        }
+    }
+}
+
+/// The BigKernel 6-stage graph (§IV): addr-gen → assemble → transfer →
+/// compute → wb-xfer → wb-apply, with the paper's depth-`depth` buffer-reuse
+/// edges `addr-gen(n) ↔ compute(n−depth)` and `compute(n) ↔ wb-apply(n−depth)`.
+/// On GPUs with a second copy engine the write-back transfer gets its own
+/// D2H DMA resource; otherwise it queues on the one engine.
+pub fn bigkernel_graph(copy_engines: usize, depth: usize) -> GraphSpec {
+    use ResourceKind::*;
+    let wb_dma = if copy_engines >= 2 { DmaD2H } else { DmaH2D };
+    GraphSpec::chain(vec![
+        ("addr-gen", ResourceId::new(GpuAddrGen, 0)),
+        ("assemble", ResourceId::new(CpuAssembly, 0)),
+        ("transfer", ResourceId::new(DmaH2D, 0)),
+        ("compute", ResourceId::new(GpuCompute, 0)),
+        ("wb-xfer", ResourceId::new(wb_dma, 0)),
+        ("wb-apply", ResourceId::new(CpuWriteback, 0)),
+    ])
+    .with_reuse(0, 3, depth)
+    .with_reuse(3, 5, depth)
+}
+
+/// The double-buffered baseline graph: stage-pin → transfer → compute →
+/// wb-xfer → wb-apply with `buffers`-deep reuse on the staging and transfer
+/// buffers.
+pub fn buffered_graph(copy_engines: usize, buffers: usize) -> GraphSpec {
+    use ResourceKind::*;
+    let wb_dma = if copy_engines >= 2 { DmaD2H } else { DmaH2D };
+    GraphSpec::chain(vec![
+        ("stage-pin", ResourceId::new(CpuStage, 0)),
+        ("transfer", ResourceId::new(DmaH2D, 0)),
+        ("compute", ResourceId::new(Gpu, 0)),
+        ("wb-xfer", ResourceId::new(wb_dma, 0)),
+        ("wb-apply", ResourceId::new(CpuWriteback, 0)),
+    ])
+    .with_reuse(1, 2, buffers)
+    .with_reuse(0, 1, buffers)
+}
+
+/// A fully serialized graph: every stage on the one `serial` resource (the
+/// single-buffer baseline — no overlap at all).
+pub fn serial_graph(names: &[&'static str]) -> GraphSpec {
+    GraphSpec::chain(
+        names
+            .iter()
+            .map(|&n| (n, ResourceId::new(ResourceKind::Serial, 0)))
+            .collect(),
+    )
+}
+
+/// A computed graph schedule; same slot/meta surface as
+/// [`bk_simcore::Schedule`] via [`ScheduleView`].
+#[derive(Clone, Debug)]
+pub struct GraphSchedule {
+    stage_names: Vec<&'static str>,
+    resources: Vec<&'static str>,
+    /// `slots[chunk][stage]`
+    slots: Vec<Vec<Slot>>,
+    meta: Vec<Vec<SlotMeta>>,
+    makespan: SimTime,
+}
+
+impl ScheduleView for GraphSchedule {
+    fn num_chunks(&self) -> usize {
+        self.slots.len()
+    }
+    fn num_stages(&self) -> usize {
+        self.stage_names.len()
+    }
+    fn slot(&self, chunk: usize, stage: usize) -> Slot {
+        self.slots[chunk][stage]
+    }
+    fn stage_name(&self, stage: usize) -> &'static str {
+        self.stage_names[stage]
+    }
+    fn stage_resource(&self, stage: usize) -> &'static str {
+        self.resources[stage]
+    }
+    fn slot_meta(&self, chunk: usize, stage: usize) -> SlotMeta {
+        self.meta[chunk][stage]
+    }
+    fn makespan(&self) -> SimTime {
+        self.makespan
+    }
+}
+
+impl GraphSchedule {
+    /// Total stalled time across every slot (feeds `device.<i>.stall_ns`).
+    pub fn total_stall(&self) -> SimTime {
+        self.meta.iter().flatten().map(|m| m.stall).sum()
+    }
+
+    /// Total busy time across every stage.
+    pub fn total_busy(&self) -> SimTime {
+        (0..self.num_stages()).map(|s| self.stage_busy(s)).sum()
+    }
+}
+
+/// Compute the schedule for `durations[chunk][stage]` under the graph's
+/// dataflow edges, resource capacities and reuse edges.
+///
+/// Forward list scheduling in (chunk, stage) order, generalized from
+/// [`bk_simcore::pipeline::schedule`]:
+///
+/// * dataflow-ready = max over the stage's dependency finishes (a chain's
+///   single dependency reduces to "previous stage of the same chunk");
+/// * resource-ready = the earliest-free of the resource's `capacity`
+///   identical units (capacity 1 reduces to the legacy single free time —
+///   an untouched unit is free at t=0, exactly like an absent entry in the
+///   legacy scheduler's map, and `max(x, 0) = x` exactly in f64);
+/// * reuse edges and the stall-attribution tie rule (reuse wins ties over
+///   resource contention) are verbatim from the legacy scheduler.
+///
+/// Zero-duration stages neither wait for nor occupy their resource.
+pub fn schedule_graph(spec: &GraphSpec, durations: &[Vec<SimTime>]) -> GraphSchedule {
+    let ns = spec.num_stages();
+    for (i, row) in durations.iter().enumerate() {
+        assert_eq!(
+            row.len(),
+            ns,
+            "chunk {i} has wrong number of stage durations"
+        );
+    }
+
+    let mut resource_free: HashMap<ResourceId, Vec<SimTime>> = HashMap::new();
+    let mut slots: Vec<Vec<Slot>> = Vec::with_capacity(durations.len());
+    let mut meta: Vec<Vec<SlotMeta>> = Vec::with_capacity(durations.len());
+
+    for (chunk, row) in durations.iter().enumerate() {
+        let mut chunk_slots: Vec<Slot> = Vec::with_capacity(ns);
+        let mut chunk_meta: Vec<SlotMeta> = Vec::with_capacity(ns);
+        for (stage, &dur) in row.iter().enumerate() {
+            let mut start = SimTime::ZERO;
+            // 1. dataflow: all dependency stages of this chunk must finish.
+            let dataflow = spec.stages[stage]
+                .deps
+                .iter()
+                .map(|&d| chunk_slots[d].finish)
+                .fold(SimTime::ZERO, SimTime::max);
+            start = start.max(dataflow);
+            // 2. resource availability: earliest-free unit, in-order issue.
+            let res = spec.stages[stage].resource;
+            let mut res_ready = SimTime::ZERO;
+            let mut unit = 0usize;
+            if !dur.is_zero() {
+                let free = resource_free
+                    .entry(res)
+                    .or_insert_with(|| vec![SimTime::ZERO; spec.capacity_of(res)]);
+                for (i, &t) in free.iter().enumerate() {
+                    if t < free[unit] {
+                        unit = i;
+                    }
+                }
+                res_ready = free[unit];
+                start = start.max(res_ready);
+            }
+            // 3. buffer-reuse edges.
+            let mut reuse_ready = SimTime::ZERO;
+            let mut reuse_consumer = 0usize;
+            for e in &spec.reuse {
+                if e.producer == stage && chunk >= e.depth {
+                    let ready = slots[chunk - e.depth][e.consumer].finish;
+                    if ready >= reuse_ready {
+                        reuse_ready = ready;
+                        reuse_consumer = e.consumer;
+                    }
+                    start = start.max(ready);
+                }
+            }
+            // Attribute the inter-stage gap to whichever constraint won;
+            // reuse takes precedence on ties (see the legacy scheduler).
+            let stalled = start.saturating_sub(dataflow);
+            let kind = if stalled.is_zero() {
+                None
+            } else if reuse_ready >= res_ready {
+                Some(StallKind::Reuse {
+                    consumer: reuse_consumer,
+                })
+            } else {
+                Some(StallKind::Resource(res.as_str()))
+            };
+            let finish = start + dur;
+            if !dur.is_zero() {
+                resource_free.get_mut(&res).expect("initialized above")[unit] = finish;
+            }
+            chunk_slots.push(Slot { start, finish });
+            chunk_meta.push(SlotMeta {
+                kind,
+                stall: stalled,
+            });
+        }
+        slots.push(chunk_slots);
+        meta.push(chunk_meta);
+    }
+
+    let makespan = slots
+        .iter()
+        .flat_map(|c| c.iter().map(|s| s.finish))
+        .fold(SimTime::ZERO, SimTime::max);
+
+    GraphSchedule {
+        stage_names: spec.stages.iter().map(|s| s.name).collect(),
+        resources: spec.stages.iter().map(|s| s.resource.as_str()).collect(),
+        slots,
+        meta,
+        makespan,
+    }
+}
+
+/// How chunks are dealt out across devices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardPolicy {
+    /// Chunk `c` goes to device `c % N`. With homogeneous devices and
+    /// roughly uniform chunk costs this is optimal and keeps per-device
+    /// chunk sequences maximally regular (good for the reuse pipeline).
+    RoundRobin,
+    /// Greedy work-stealing flavour: each chunk (in order) goes to the
+    /// device with the least accumulated stage-duration sum; ties go to the
+    /// lowest device index. Helps when chunk costs are skewed.
+    LeastLoaded,
+}
+
+/// Executes a [`GraphSpec`] over `N` simulated devices.
+pub struct Executor {
+    spec: GraphSpec,
+    num_devices: usize,
+    policy: ShardPolicy,
+}
+
+/// One device's share of a wave: which wave-local chunks it owns (in order)
+/// and their schedule on that device's resources.
+pub struct Shard {
+    pub device: usize,
+    pub chunk_ids: Vec<usize>,
+    pub sched: GraphSchedule,
+}
+
+/// A wave scheduled across all devices. The devices run concurrently, so
+/// the wave's makespan is the max over shard makespans.
+pub struct ShardedSchedule {
+    shards: Vec<Shard>,
+    makespan: SimTime,
+}
+
+impl Executor {
+    pub fn new(spec: GraphSpec, num_devices: usize, policy: ShardPolicy) -> Self {
+        assert!(num_devices >= 1, "need at least one device");
+        assert!(
+            num_devices <= MAX_DEVICES,
+            "at most {MAX_DEVICES} simulated devices"
+        );
+        Executor {
+            spec,
+            num_devices,
+            policy,
+        }
+    }
+
+    pub fn num_devices(&self) -> usize {
+        self.num_devices
+    }
+
+    /// Shard the wave's chunks and schedule each device's share. With one
+    /// device this is exactly [`schedule_graph`] over all chunks in order.
+    pub fn run(&self, durations: &[Vec<SimTime>]) -> ShardedSchedule {
+        let mut owned: Vec<Vec<usize>> = vec![Vec::new(); self.num_devices];
+        match self.policy {
+            ShardPolicy::RoundRobin => {
+                for c in 0..durations.len() {
+                    owned[c % self.num_devices].push(c);
+                }
+            }
+            ShardPolicy::LeastLoaded => {
+                let mut load = vec![SimTime::ZERO; self.num_devices];
+                for (c, row) in durations.iter().enumerate() {
+                    let weight: SimTime = row.iter().copied().sum();
+                    let mut dev = 0usize;
+                    for (d, &l) in load.iter().enumerate() {
+                        if l < load[dev] {
+                            dev = d;
+                        }
+                    }
+                    owned[dev].push(c);
+                    load[dev] += weight;
+                }
+            }
+        }
+        let shards: Vec<Shard> = owned
+            .into_iter()
+            .enumerate()
+            .map(|(device, chunk_ids)| {
+                let spec_d = self.spec.for_device(device);
+                let rows: Vec<Vec<SimTime>> =
+                    chunk_ids.iter().map(|&c| durations[c].clone()).collect();
+                let sched = schedule_graph(&spec_d, &rows);
+                Shard {
+                    device,
+                    chunk_ids,
+                    sched,
+                }
+            })
+            .collect();
+        let makespan = shards
+            .iter()
+            .map(|s| s.sched.makespan)
+            .fold(SimTime::ZERO, SimTime::max);
+        ShardedSchedule { shards, makespan }
+    }
+}
+
+impl ShardedSchedule {
+    pub fn makespan(&self) -> SimTime {
+        self.makespan
+    }
+
+    pub fn num_chunks(&self) -> usize {
+        self.shards.iter().map(|s| s.chunk_ids.len()).sum()
+    }
+
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Record every shard's spans, stall counters and histograms into the
+    /// registry ([`bk_obs::record_schedule_mapped`] maps each shard's local
+    /// chunk rows back to run-global chunk ids), plus the per-device
+    /// `device.<i>.{chunks, busy_ns, makespan_ns, stall_ns}` counters.
+    pub fn record(&self, chunk_base: usize, time_base: SimTime, metrics: &mut MetricsRegistry) {
+        for shard in &self.shards {
+            let ids: Vec<usize> = shard.chunk_ids.iter().map(|&c| chunk_base + c).collect();
+            bk_obs::record_schedule_mapped(&shard.sched, &ids, time_base, metrics);
+            let add = |metrics: &mut MetricsRegistry, what: &str, v: u64| {
+                if let Some(c) = device_counter(shard.device, what) {
+                    metrics.add(c, v);
+                }
+            };
+            add(metrics, "chunks", shard.chunk_ids.len() as u64);
+            add(metrics, "busy_ns", shard.sched.total_busy().nanos() as u64);
+            add(metrics, "makespan_ns", shard.sched.makespan.nanos() as u64);
+            add(
+                metrics,
+                "stall_ns",
+                shard.sched.total_stall().nanos() as u64,
+            );
+        }
+    }
+
+    /// Fold every shard's per-stage busy times into the run's stage stats
+    /// (all shards share the graph's stage shape, so the accumulator's
+    /// shape check holds across devices and waves).
+    pub fn accumulate(&self, stats: &mut Vec<StageStat>) {
+        for shard in &self.shards {
+            accumulate_stage_stats(stats, &shard.sched);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bk_simcore::{pipeline, StageDef};
+
+    fn t(us: f64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn resource_ids_intern_to_the_legacy_vocabulary() {
+        use ResourceKind::*;
+        for (kind, want) in [
+            (GpuAddrGen, "gpu-ag"),
+            (CpuAssembly, "cpu-asm"),
+            (DmaH2D, "dma"),
+            (DmaD2H, "dma-d2h"),
+            (GpuCompute, "gpu-comp"),
+            (CpuWriteback, "cpu-wb"),
+            (CpuStage, "cpu-stage"),
+            (Gpu, "gpu"),
+            (Serial, "serial"),
+        ] {
+            assert_eq!(ResourceId::new(kind, 0).as_str(), want);
+            assert_eq!(ResourceId::new(kind, 0).to_string(), want);
+        }
+        assert_eq!(ResourceId::new(GpuCompute, 3).as_str(), "dev3.gpu-comp");
+        assert_eq!(ResourceId::new(DmaH2D, 7).to_string(), "dev7.dma");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_DEVICES")]
+    fn resource_id_past_cap_panics() {
+        let _ = ResourceId::new(ResourceKind::Gpu, MAX_DEVICES).as_str();
+    }
+
+    /// The golden equivalence: a linear unit-capacity graph schedules
+    /// bit-identically to the legacy simcore scheduler (slots *and* stall
+    /// attribution), for the exact BigKernel shape.
+    #[test]
+    fn chain_schedule_is_bit_identical_to_simcore() {
+        let depth = 3;
+        let graph = bigkernel_graph(1, depth);
+        let legacy = pipeline::PipelineSpec::new(vec![
+            StageDef {
+                name: "addr-gen",
+                resource: "gpu-ag",
+            },
+            StageDef {
+                name: "assemble",
+                resource: "cpu-asm",
+            },
+            StageDef {
+                name: "transfer",
+                resource: "dma",
+            },
+            StageDef {
+                name: "compute",
+                resource: "gpu-comp",
+            },
+            StageDef {
+                name: "wb-xfer",
+                resource: "dma",
+            },
+            StageDef {
+                name: "wb-apply",
+                resource: "cpu-wb",
+            },
+        ])
+        .with_reuse(0, 3, depth)
+        .with_reuse(3, 5, depth);
+        // Irregular durations, including zero-duration write-back rows.
+        let durations: Vec<Vec<SimTime>> = (0..20)
+            .map(|c| {
+                let f = 1.0 + (c as f64 * 0.37).sin().abs();
+                let wb = if c % 3 == 0 { 0.0 } else { 0.4 * f };
+                vec![
+                    t(0.2 * f),
+                    t(0.9 * f),
+                    t(0.7 * f),
+                    t(1.3 * f),
+                    t(wb),
+                    t(wb * 0.5),
+                ]
+            })
+            .collect();
+        let g = schedule_graph(&graph, &durations);
+        let s = pipeline::schedule(&legacy, &durations);
+        assert_eq!(g.makespan(), ScheduleView::makespan(&s));
+        for c in 0..durations.len() {
+            for st in 0..6 {
+                assert_eq!(
+                    g.slot(c, st),
+                    pipeline::Schedule::slot(&s, c, st),
+                    "c{c} s{st}"
+                );
+                assert_eq!(
+                    g.slot_meta(c, st),
+                    pipeline::Schedule::slot_meta(&s, c, st),
+                    "c{c} s{st}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dag_deps_wait_for_all_parents() {
+        use ResourceKind::*;
+        // Diamond: a → {b, c} → d. b and c run on different resources and
+        // overlap; d waits for the slower of the two.
+        let spec = GraphSpec::new(vec![
+            GraphStage {
+                name: "a",
+                resource: ResourceId::new(CpuStage, 0),
+                deps: vec![],
+            },
+            GraphStage {
+                name: "b",
+                resource: ResourceId::new(DmaH2D, 0),
+                deps: vec![0],
+            },
+            GraphStage {
+                name: "c",
+                resource: ResourceId::new(Gpu, 0),
+                deps: vec![0],
+            },
+            GraphStage {
+                name: "d",
+                resource: ResourceId::new(CpuWriteback, 0),
+                deps: vec![1, 2],
+            },
+        ]);
+        let s = schedule_graph(&spec, &[vec![t(1.0), t(2.0), t(5.0), t(1.0)]]);
+        assert_eq!(s.slot(0, 1).start, t(1.0));
+        assert_eq!(s.slot(0, 2).start, t(1.0));
+        // Compare against the same float op sequence the scheduler performs
+        // (t(1.0) + t(5.0) differs from t(6.0) in the last ulp).
+        assert_eq!(
+            s.slot(0, 3).start,
+            t(1.0) + t(5.0),
+            "d waits for the slower parent"
+        );
+        assert_eq!(s.makespan(), t(1.0) + t(5.0) + t(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-earlier stage")]
+    fn forward_deps_rejected() {
+        let _ = GraphSpec::new(vec![GraphStage {
+            name: "a",
+            resource: ResourceId::new(ResourceKind::Gpu, 0),
+            deps: vec![0],
+        }]);
+    }
+
+    #[test]
+    fn capacity_two_overlaps_two_chunks() {
+        use ResourceKind::*;
+        let res = ResourceId::new(Gpu, 0);
+        let spec = GraphSpec::chain(vec![("comp", res)]).with_capacity(res, 2);
+        let s = schedule_graph(&spec, &vec![vec![t(4.0)]; 4]);
+        // Two units: chunks 0/1 start at 0, chunks 2/3 at 4.
+        assert_eq!(s.slot(1, 0).start, SimTime::ZERO);
+        assert_eq!(s.slot(2, 0).start, t(4.0));
+        assert_eq!(s.makespan(), t(8.0));
+    }
+
+    #[test]
+    fn round_robin_shards_halve_streaming_makespan() {
+        let spec = bigkernel_graph(1, 3);
+        let rows = vec![vec![t(0.2), t(0.9), t(0.7), t(1.3), t(0.3), t(0.2)]; 24];
+        let one = Executor::new(spec.clone(), 1, ShardPolicy::RoundRobin).run(&rows);
+        let two = Executor::new(spec, 2, ShardPolicy::RoundRobin).run(&rows);
+        let speedup = one.makespan().secs() / two.makespan().secs();
+        assert!(speedup > 1.8, "expected near-2x, got {speedup:.2}x");
+        assert_eq!(two.shards().len(), 2);
+        assert_eq!(
+            two.shards()[0].chunk_ids,
+            (0..24).step_by(2).collect::<Vec<_>>()
+        );
+        assert_eq!(two.num_chunks(), 24);
+    }
+
+    #[test]
+    fn single_device_executor_matches_schedule_graph_exactly() {
+        let spec = bigkernel_graph(2, 3);
+        let rows: Vec<Vec<SimTime>> = (0..10)
+            .map(|c| {
+                (0..6)
+                    .map(|s| t(((c * 7 + s * 3) % 11) as f64 * 0.1))
+                    .collect()
+            })
+            .collect();
+        let sharded = Executor::new(spec.clone(), 1, ShardPolicy::RoundRobin).run(&rows);
+        let direct = schedule_graph(&spec, &rows);
+        assert_eq!(sharded.makespan(), direct.makespan());
+        let shard = &sharded.shards()[0];
+        for c in 0..rows.len() {
+            for s in 0..6 {
+                assert_eq!(shard.sched.slot(c, s), direct.slot(c, s));
+            }
+        }
+    }
+
+    #[test]
+    fn least_loaded_balances_skewed_chunks() {
+        // One huge chunk then many small ones: round-robin pins half the
+        // small chunks behind the huge one's device; least-loaded doesn't.
+        let spec = GraphSpec::chain(vec![("comp", ResourceId::new(ResourceKind::Gpu, 0))]);
+        let mut rows = vec![vec![t(100.0)]];
+        rows.extend(std::iter::repeat_with(|| vec![t(1.0)]).take(20));
+        let rr = Executor::new(spec.clone(), 2, ShardPolicy::RoundRobin).run(&rows);
+        let ll = Executor::new(spec, 2, ShardPolicy::LeastLoaded).run(&rows);
+        assert!(ll.makespan() < rr.makespan());
+        // Ties go to the lowest device: the first chunk lands on device 0.
+        assert_eq!(ll.shards()[0].chunk_ids[0], 0);
+        // All small chunks avoid the loaded device.
+        assert_eq!(ll.shards()[1].chunk_ids.len(), 20);
+    }
+
+    #[test]
+    fn sharded_record_emits_per_device_counters_and_same_stage_totals() {
+        let spec = bigkernel_graph(1, 3);
+        let rows = vec![vec![t(0.2), t(0.9), t(0.7), t(1.3), t(0.3), t(0.2)]; 8];
+        let mut m1 = MetricsRegistry::new();
+        Executor::new(spec.clone(), 1, ShardPolicy::RoundRobin)
+            .run(&rows)
+            .record(0, SimTime::ZERO, &mut m1);
+        assert_eq!(m1.get("device.0.chunks"), 8);
+        assert!(m1.get("device.0.busy_ns") > 0);
+        let mut m2 = MetricsRegistry::new();
+        Executor::new(spec, 2, ShardPolicy::RoundRobin)
+            .run(&rows)
+            .record(0, SimTime::ZERO, &mut m2);
+        assert_eq!(m2.get("device.0.chunks") + m2.get("device.1.chunks"), 8);
+        // Span histograms aggregate across devices: same population either way.
+        assert_eq!(
+            m1.hist("hist.span.compute").unwrap().count(),
+            m2.hist("hist.span.compute").unwrap().count(),
+        );
+    }
+
+    #[test]
+    fn sharded_accumulate_preserves_stage_shape_and_totals() {
+        let spec = bigkernel_graph(1, 3);
+        let rows = vec![vec![t(0.2), t(0.9), t(0.7), t(1.3), t(0.3), t(0.2)]; 12];
+        let mut one = Vec::new();
+        Executor::new(spec.clone(), 1, ShardPolicy::RoundRobin)
+            .run(&rows)
+            .accumulate(&mut one);
+        let mut two = Vec::new();
+        Executor::new(spec, 3, ShardPolicy::RoundRobin)
+            .run(&rows)
+            .accumulate(&mut two);
+        assert_eq!(one.len(), 6);
+        assert_eq!(two.len(), 6);
+        for (a, b) in one.iter().zip(&two) {
+            assert_eq!(a.name, b.name);
+            // Durations partition across shards, so busy totals match.
+            assert!((a.busy.secs() - b.busy.secs()).abs() < 1e-9);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use bk_simcore::pipeline;
+    use bk_simcore::StageDef;
+    use proptest::prelude::*;
+
+    fn t_us(us: u32) -> SimTime {
+        SimTime::from_micros(us as f64)
+    }
+
+    /// Random durations for `stages` stages.
+    fn arb_durations(max_chunks: usize, stages: usize) -> impl Strategy<Value = Vec<Vec<SimTime>>> {
+        proptest::collection::vec(
+            proptest::collection::vec(0u32..1000, stages)
+                .prop_map(|row| row.into_iter().map(t_us).collect()),
+            1..max_chunks,
+        )
+    }
+
+    /// A random DAG over `n` stages: each stage depends on a random subset
+    /// of earlier stages and occupies one of four resources, each with a
+    /// random capacity in 1..=3.
+    fn arb_dag(n: usize) -> impl Strategy<Value = GraphSpec> {
+        use ResourceKind::*;
+        let kinds = [DmaH2D, Gpu, CpuStage, CpuWriteback];
+        (
+            proptest::collection::vec(
+                (
+                    0u8..4,
+                    proptest::collection::vec(proptest::arbitrary::any::<bool>(), n),
+                ),
+                n,
+            ),
+            proptest::collection::vec(1usize..=3, 4),
+        )
+            .prop_map(move |(stage_rows, caps)| {
+                let stages = stage_rows
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (k, dep_bits))| GraphStage {
+                        name: "s",
+                        resource: ResourceId::new(kinds[k as usize % 4], 0),
+                        deps: dep_bits
+                            .into_iter()
+                            .take(i)
+                            .enumerate()
+                            .filter_map(|(d, b)| b.then_some(d))
+                            .collect(),
+                    })
+                    .collect();
+                let mut spec = GraphSpec::new(stages);
+                for (kind, cap) in kinds.iter().zip(caps) {
+                    spec = spec.with_capacity(ResourceId::new(*kind, 0), cap);
+                }
+                spec
+            })
+    }
+
+    proptest! {
+        /// Equivalence with the legacy scheduler on random linear chains
+        /// with random reuse depth — the property behind the 1-GPU golden
+        /// guarantee.
+        #[test]
+        fn chain_matches_simcore(d in arb_durations(30, 4), depth in 1usize..5) {
+            use ResourceKind::*;
+            let graph = GraphSpec::chain(vec![
+                ("ag", ResourceId::new(GpuAddrGen, 0)),
+                ("asm", ResourceId::new(CpuAssembly, 0)),
+                ("xfer", ResourceId::new(DmaH2D, 0)),
+                ("comp", ResourceId::new(GpuCompute, 0)),
+            ])
+            .with_reuse(0, 3, depth);
+            let legacy = pipeline::PipelineSpec::new(vec![
+                StageDef { name: "ag", resource: "gpu-ag" },
+                StageDef { name: "asm", resource: "cpu-asm" },
+                StageDef { name: "xfer", resource: "dma" },
+                StageDef { name: "comp", resource: "gpu-comp" },
+            ])
+            .with_reuse(0, 3, depth);
+            let g = schedule_graph(&graph, &d);
+            let s = pipeline::schedule(&legacy, &d);
+            prop_assert_eq!(g.makespan(), ScheduleView::makespan(&s));
+            for c in 0..d.len() {
+                for st in 0..4 {
+                    prop_assert_eq!(g.slot(c, st), pipeline::Schedule::slot(&s, c, st));
+                    prop_assert_eq!(
+                        g.slot_meta(c, st),
+                        pipeline::Schedule::slot_meta(&s, c, st)
+                    );
+                }
+            }
+        }
+
+        /// Random DAGs with random capacities: a resource with capacity `k`
+        /// never has more than `k` spans in flight at once — in particular,
+        /// two spans never overlap on a unit-capacity resource.
+        #[test]
+        fn dag_capacity_is_never_exceeded(
+            spec in arb_dag(5),
+            d in arb_durations(20, 5),
+        ) {
+            let s = schedule_graph(&spec, &d);
+            // Group busy intervals by resource.
+            let mut by_res: std::collections::HashMap<ResourceId, Vec<(SimTime, SimTime)>> =
+                std::collections::HashMap::new();
+            for c in 0..s.num_chunks() {
+                for st in 0..s.num_stages() {
+                    let slot = s.slot(c, st);
+                    if !slot.duration().is_zero() {
+                        by_res
+                            .entry(spec.stages[st].resource)
+                            .or_default()
+                            .push((slot.start, slot.finish));
+                    }
+                }
+            }
+            for (res, mut iv) in by_res {
+                let cap = spec.capacity_of(res);
+                // Sweep: +1 at start, -1 at finish; finishes drain before
+                // coincident starts (back-to-back slots don't overlap).
+                let mut events: Vec<(SimTime, i32)> = Vec::new();
+                for (a, b) in iv.drain(..) {
+                    events.push((a, 1));
+                    events.push((b, -1));
+                }
+                events.sort_by(|x, y| {
+                    x.0.partial_cmp(&y.0).unwrap().then(x.1.cmp(&y.1))
+                });
+                let mut in_flight = 0i32;
+                for (_, delta) in events {
+                    in_flight += delta;
+                    prop_assert!(
+                        in_flight <= cap as i32,
+                        "{} spans in flight on {} (capacity {cap})",
+                        in_flight,
+                        res.as_str(),
+                    );
+                }
+            }
+        }
+
+        /// DAG slots are causal: every slot starts at or after each of its
+        /// dependencies' finishes.
+        #[test]
+        fn dag_slots_are_causal(spec in arb_dag(5), d in arb_durations(20, 5)) {
+            let s = schedule_graph(&spec, &d);
+            for c in 0..s.num_chunks() {
+                for st in 0..s.num_stages() {
+                    for &dep in &spec.stages[st].deps {
+                        prop_assert!(s.slot(c, st).start >= s.slot(c, dep).finish);
+                    }
+                }
+            }
+        }
+
+        /// Sharding partitions chunks: every chunk appears exactly once
+        /// across shards, for both policies and any device count.
+        #[test]
+        fn sharding_partitions_chunks(
+            d in arb_durations(40, 2),
+            n in 1usize..=4,
+            least_loaded in proptest::arbitrary::any::<bool>(),
+        ) {
+            use ResourceKind::*;
+            let spec = GraphSpec::chain(vec![
+                ("xfer", ResourceId::new(DmaH2D, 0)),
+                ("comp", ResourceId::new(Gpu, 0)),
+            ]);
+            let policy =
+                if least_loaded { ShardPolicy::LeastLoaded } else { ShardPolicy::RoundRobin };
+            let sharded = Executor::new(spec, n, policy).run(&d);
+            let mut seen = vec![false; d.len()];
+            for shard in sharded.shards() {
+                prop_assert!(shard.device < n);
+                for &c in &shard.chunk_ids {
+                    prop_assert!(!seen[c], "chunk {c} scheduled twice");
+                    seen[c] = true;
+                }
+                // Within a shard, chunks stay in global order.
+                for w in shard.chunk_ids.windows(2) {
+                    prop_assert!(w[0] < w[1]);
+                }
+            }
+            prop_assert!(seen.into_iter().all(|b| b));
+        }
+    }
+}

@@ -168,7 +168,10 @@ impl LaunchConfig {
             threads_per_block.is_multiple_of(bk_gpu::WARP_SIZE as u32),
             "threads per block must be a multiple of the warp size"
         );
-        LaunchConfig { num_blocks, threads_per_block }
+        LaunchConfig {
+            num_blocks,
+            threads_per_block,
+        }
     }
 
     pub fn total_threads(&self) -> u32 {
@@ -287,8 +290,10 @@ mod tests {
         let range = 0..101u64;
         let s3 = chunk_slice(&range, 3, 4, None);
         assert_eq!(s3.end, 101);
-        let total: u64 =
-            (0..4).map(|c| chunk_slice(&range, c, 4, None)).map(|r| r.end - r.start).sum();
+        let total: u64 = (0..4)
+            .map(|c| chunk_slice(&range, c, 4, None))
+            .map(|r| r.end - r.start)
+            .sum();
         assert_eq!(total, 101);
     }
 

@@ -41,7 +41,10 @@ impl WarpRegion {
     #[inline]
     pub fn slot(&self, lane: usize, step: usize) -> (u64, u32) {
         let w = self.step_width[step];
-        (self.region_off + self.step_off[step] + lane as u64 * w as u64, w)
+        (
+            self.region_off + self.step_off[step] + lane as u64 * w as u64,
+            w,
+        )
     }
 
     pub fn len(&self) -> u64 {
@@ -124,9 +127,17 @@ impl ChunkLayout {
                 off += group;
             }
             cursor += off.div_ceil(REGION_ALIGN) * REGION_ALIGN;
-            warps.push(WarpRegion { region_off, step_off, step_width });
+            warps.push(WarpRegion {
+                region_off,
+                step_off,
+                step_width,
+            });
         }
-        ChunkLayout::Interleaved { warps, total_len: cursor, padding }
+        ChunkLayout::Interleaved {
+            warps,
+            total_len: cursor,
+            padding,
+        }
     }
 
     /// Build the per-lane (volume-reduction-only) layout.
@@ -140,7 +151,11 @@ impl ChunkLayout {
             lane_len.push(len);
             cursor += len;
         }
-        ChunkLayout::PerLane { lane_base, lane_len, total_len: cursor }
+        ChunkLayout::PerLane {
+            lane_base,
+            lane_len,
+            total_len: cursor,
+        }
     }
 
     /// Build the staged layout for per-lane input slices (+halo each) — the
@@ -154,7 +169,11 @@ impl ChunkLayout {
             cursor += end - sl.start;
         }
         let lane_seg = (0..slices.len()).collect();
-        ChunkLayout::Staged { segs, lane_seg, total_len: cursor }
+        ChunkLayout::Staged {
+            segs,
+            lane_seg,
+            total_len: cursor,
+        }
     }
 
     /// Build the staged layout for one contiguous chunk window shared by all
@@ -201,7 +220,11 @@ mod tests {
         AddrStream::Raw(
             entries
                 .into_iter()
-                .map(|(o, w)| AddrEntry { stream: StreamId(0), offset: o, width: w })
+                .map(|(o, w)| AddrEntry {
+                    stream: StreamId(0),
+                    offset: o,
+                    width: w,
+                })
                 .collect(),
         )
     }
@@ -209,14 +232,25 @@ mod tests {
     #[test]
     fn interleaved_uniform_width() {
         // 32 lanes x 3 steps of 8B.
-        let lanes: Vec<AddrStream> =
-            (0..32).map(|_| raw(vec![(0, 8), (8, 8), (16, 8)])).collect();
+        let lanes: Vec<AddrStream> = (0..32)
+            .map(|_| raw(vec![(0, 8), (8, 8), (16, 8)]))
+            .collect();
         let refs: Vec<&AddrStream> = lanes.iter().collect();
         let l = ChunkLayout::build_interleaved(&refs);
-        let ChunkLayout::Interleaved { warps, total_len, padding } = &l else { panic!() };
+        let ChunkLayout::Interleaved {
+            warps,
+            total_len,
+            padding,
+        } = &l
+        else {
+            panic!()
+        };
         assert_eq!(warps.len(), 1);
         assert_eq!(*padding, 0);
-        assert_eq!(*total_len, (3 * 32 * 8u64).div_ceil(REGION_ALIGN) * REGION_ALIGN);
+        assert_eq!(
+            *total_len,
+            (3 * 32 * 8u64).div_ceil(REGION_ALIGN) * REGION_ALIGN
+        );
         // Slot addresses: step k group at k*256, lane slot stride 8.
         let (off, w) = warps[0].slot(5, 2);
         assert_eq!(w, 8);
@@ -229,8 +263,7 @@ mod tests {
         // lanes (only 2 lanes exist; the group is still 32 slots wide).
         let lanes = [raw(vec![(0, 4), (4, 4)]), raw(vec![(100, 4)])];
         let refs: Vec<&AddrStream> = lanes.iter().collect();
-        let ChunkLayout::Interleaved { warps, padding, .. } =
-            ChunkLayout::build_interleaved(&refs)
+        let ChunkLayout::Interleaved { warps, padding, .. } = ChunkLayout::build_interleaved(&refs)
         else {
             panic!()
         };
@@ -243,8 +276,7 @@ mod tests {
     fn interleaved_mixed_width_uses_max() {
         let lanes = [raw(vec![(0, 8)]), raw(vec![(0, 4)])];
         let refs: Vec<&AddrStream> = lanes.iter().collect();
-        let ChunkLayout::Interleaved { warps, .. } = ChunkLayout::build_interleaved(&refs)
-        else {
+        let ChunkLayout::Interleaved { warps, .. } = ChunkLayout::build_interleaved(&refs) else {
             panic!()
         };
         assert_eq!(warps[0].step_width, vec![8]);
@@ -256,8 +288,9 @@ mod tests {
     fn interleaved_multiple_warps_disjoint_regions() {
         let lanes: Vec<AddrStream> = (0..64).map(|_| raw(vec![(0, 8), (8, 8)])).collect();
         let refs: Vec<&AddrStream> = lanes.iter().collect();
-        let ChunkLayout::Interleaved { warps, total_len, .. } =
-            ChunkLayout::build_interleaved(&refs)
+        let ChunkLayout::Interleaved {
+            warps, total_len, ..
+        } = ChunkLayout::build_interleaved(&refs)
         else {
             panic!()
         };
@@ -271,8 +304,11 @@ mod tests {
     fn per_lane_layout_packs_contiguously() {
         let lanes = [raw(vec![(0, 8), (8, 8)]), raw(vec![(100, 4)]), raw(vec![])];
         let refs: Vec<&AddrStream> = lanes.iter().collect();
-        let ChunkLayout::PerLane { lane_base, lane_len, total_len } =
-            ChunkLayout::build_per_lane(&refs)
+        let ChunkLayout::PerLane {
+            lane_base,
+            lane_len,
+            total_len,
+        } = ChunkLayout::build_per_lane(&refs)
         else {
             panic!()
         };
@@ -285,7 +321,14 @@ mod tests {
     fn staged_slices_with_halo_clamped() {
         let slices = vec![0..100u64, 100..200u64];
         let l = ChunkLayout::build_staged_slices(&slices, 16, 210);
-        let ChunkLayout::Staged { segs, lane_seg, total_len } = &l else { panic!() };
+        let ChunkLayout::Staged {
+            segs,
+            lane_seg,
+            total_len,
+        } = &l
+        else {
+            panic!()
+        };
         assert_eq!(segs[0], (0, 0..116));
         assert_eq!(segs[1], (116, 100..210)); // halo clamped to stream end
         assert_eq!(lane_seg, &vec![0, 1]);
@@ -314,7 +357,11 @@ mod tests {
 
     #[test]
     fn empty_region_len_zero() {
-        let r = WarpRegion { region_off: 0, step_off: vec![], step_width: vec![] };
+        let r = WarpRegion {
+            region_off: 0,
+            step_off: vec![],
+            step_width: vec![],
+        };
         assert_eq!(r.len(), 0);
         assert!(r.is_empty());
     }
@@ -332,13 +379,20 @@ mod proptests {
         // width 1/2/4/8 at arbitrary small offsets.
         proptest::collection::vec(
             proptest::collection::vec(
-                (0u64..(1 << 16), proptest::sample::select(vec![1u32, 2, 4, 8])),
+                (
+                    0u64..(1 << 16),
+                    proptest::sample::select(vec![1u32, 2, 4, 8]),
+                ),
                 0..20,
             )
             .prop_map(|v| {
                 AddrStream::Raw(
                     v.into_iter()
-                        .map(|(o, w)| AddrEntry { stream: StreamId(0), offset: o, width: w })
+                        .map(|(o, w)| AddrEntry {
+                            stream: StreamId(0),
+                            offset: o,
+                            width: w,
+                        })
                         .collect(),
                 )
             }),

@@ -29,14 +29,20 @@
 //!   correctness).
 //! * [`sync`] — §IV.C synchronization cost model (bar.red barriers, flag
 //!   signalling over PCIe, the `n-3` buffer-reuse rule).
+//! * [`graph`] — the declarative stage-graph executor: stages, hardware
+//!   resources and dependency edges as data ([`GraphSpec`]), a generalized
+//!   list scheduler, and chunk sharding across `N` simulated GPUs
+//!   ([`Executor`] / [`ShardPolicy`]).
 //! * [`pipeline`] — the 4-stage (plus 2 write-back stage) pipeline runner
 //!   producing a [`RunResult`] with simulated time, per-stage breakdown and
-//!   counters.
+//!   counters; a thin configuration layer over [`graph`].
 
 pub mod addr;
 pub mod assembly;
 pub mod config;
 pub mod ctx;
+mod exec;
+pub mod graph;
 pub mod kernel;
 pub mod layout;
 pub mod machine;
@@ -48,12 +54,13 @@ pub mod segmented;
 pub mod stream;
 pub mod sync;
 
+pub use bk_obs::{Histogram, MetricsRegistry};
 pub use config::{AssemblyLayout, BigKernelConfig, SyncMode};
 pub use ctx::{AddrGenCtx, ComputeCtx, DevMemory, LiveMem, LoggedMem};
+pub use graph::{Executor, GraphSpec, ResourceId, ResourceKind, ShardPolicy};
 pub use kernel::{DevBufId, DeviceEffects, KernelCtx, LaunchConfig, StreamKernel, ValueExt};
 pub use machine::Machine;
 pub use pipeline::run_bigkernel;
 pub use pool::{AddrGenScratch, StreamPool};
-pub use bk_obs::{Histogram, MetricsRegistry};
 pub use result::{RunResult, StageStat};
 pub use stream::{StreamArray, StreamId};

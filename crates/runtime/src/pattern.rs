@@ -64,14 +64,23 @@ impl Pattern {
         let j = k % self.period();
         let offset = self.offset_at(k);
         assert!(offset >= 0, "pattern walked below zero");
-        AddrEntry { stream: self.streams[j], offset: offset as u64, width: self.widths[j] }
+        AddrEntry {
+            stream: self.streams[j],
+            offset: offset as u64,
+            width: self.widths[j],
+        }
     }
 
     /// Iterate the described entries without the per-entry div/mod of
     /// [`Pattern::entry`]: the cursor carries (cycle position, cycle number)
     /// and advances them incrementally.
     pub fn iter(&self) -> PatternIter<'_> {
-        PatternIter { p: self, k: 0, j: 0, m: 0 }
+        PatternIter {
+            p: self,
+            k: 0,
+            j: 0,
+            m: 0,
+        }
     }
 
     /// Non-panicking check that access `k` equals `e`.
@@ -98,14 +107,20 @@ impl Pattern {
         let p = self.period();
         let full = (self.count / p) as u64;
         let cycle: u64 = self.widths.iter().map(|&w| w as u64).sum();
-        let rem: u64 = self.widths[..self.count % p].iter().map(|&w| w as u64).sum();
+        let rem: u64 = self.widths[..self.count % p]
+            .iter()
+            .map(|&w| w as u64)
+            .sum();
         full * cycle + rem
     }
 
     /// Whether the pattern reproduces `entries` exactly.
     pub fn matches(&self, entries: &[AddrEntry]) -> bool {
         self.count == entries.len()
-            && entries.iter().enumerate().all(|(k, e)| self.entry_matches(k, e))
+            && entries
+                .iter()
+                .enumerate()
+                .all(|(k, e)| self.entry_matches(k, e))
     }
 }
 
@@ -238,7 +253,13 @@ pub(crate) fn detect_from(entries: &[AddrEntry], lo: usize, max_period: usize) -
             widths.push(entries[j].width);
             strides.push(entries[j + p].offset as i64 - entries[j].offset as i64);
         }
-        let cand = Pattern { streams, bases, strides, widths, count: entries.len() };
+        let cand = Pattern {
+            streams,
+            bases,
+            strides,
+            widths,
+            count: entries.len(),
+        };
         // Verify every entry (window and beyond).
         if !cand.matches(entries) {
             continue 'period;
@@ -345,7 +366,11 @@ impl OnlineDetect {
 
     /// Prepare for a new lane's stream; candidate capacity is retained.
     pub fn reset(&mut self, enabled: bool) {
-        self.mode = if enabled { OnlineMode::Pending } else { OnlineMode::Disabled };
+        self.mode = if enabled {
+            OnlineMode::Pending
+        } else {
+            OnlineMode::Disabled
+        };
         self.p = 1;
         self.n = 0;
         self.budget = ONLINE_BUDGET;
@@ -463,7 +488,10 @@ impl OnlineDetect {
         let (mut j, mut m) = (k0 % p, (k0 / p) as i64);
         for _ in k0..upto {
             let off = self.bases[j] as i64 + m * self.strides[j];
-            debug_assert!(off >= 0, "live candidate reproduces original unsigned offsets");
+            debug_assert!(
+                off >= 0,
+                "live candidate reproduces original unsigned offsets"
+            );
             buf.push(AddrEntry {
                 stream: self.streams[j],
                 offset: off as u64,
@@ -527,7 +555,11 @@ mod tests {
     use super::*;
 
     fn e(off: u64, w: u32) -> AddrEntry {
-        AddrEntry { stream: StreamId(0), offset: off, width: w }
+        AddrEntry {
+            stream: StreamId(0),
+            offset: off,
+            width: w,
+        }
     }
 
     fn seq(start: u64, stride: u64, w: u32, n: usize) -> Vec<AddrEntry> {
@@ -582,11 +614,12 @@ mod tests {
     #[test]
     fn irregular_stream_is_rejected() {
         // Hash-directed lookups: no period.
-        let entries: Vec<AddrEntry> =
-            [3u64, 11, 5, 40, 2, 93, 7, 1, 55, 23, 9, 77, 31, 4, 62, 18, 90, 6]
-                .iter()
-                .map(|&o| e(o * 64, 8))
-                .collect();
+        let entries: Vec<AddrEntry> = [
+            3u64, 11, 5, 40, 2, 93, 7, 1, 55, 23, 9, 77, 31, 4, 62, 18, 90, 6,
+        ]
+        .iter()
+        .map(|&o| e(o * 64, 8))
+        .collect();
         assert!(detect(&entries, MAX_PERIOD).is_none());
     }
 
@@ -611,8 +644,16 @@ mod tests {
         // Alternating reads from two mapped arrays with different strides.
         let mut entries = Vec::new();
         for i in 0..40u64 {
-            entries.push(AddrEntry { stream: StreamId(0), offset: i * 8, width: 8 });
-            entries.push(AddrEntry { stream: StreamId(1), offset: i * 4, width: 4 });
+            entries.push(AddrEntry {
+                stream: StreamId(0),
+                offset: i * 8,
+                width: 8,
+            });
+            entries.push(AddrEntry {
+                stream: StreamId(1),
+                offset: i * 4,
+                width: 4,
+            });
         }
         let p = detect(&entries, MAX_PERIOD).expect("detect");
         assert_eq!(p.period(), 2);
@@ -660,14 +701,7 @@ mod tests {
         // Six entries from two variable-length records (3 fields each):
         // every cycle position would have exactly two samples at p = 3,
         // fitting any AP — the 3-cycle rule must reject it.
-        let entries = vec![
-            e(0, 8),
-            e(8, 8),
-            e(26, 8),
-            e(72, 8),
-            e(80, 8),
-            e(98, 8),
-        ];
+        let entries = vec![e(0, 8), e(8, 8), e(26, 8), e(72, 8), e(80, 8), e(98, 8)];
         assert!(detect(&entries, MAX_PERIOD).is_none());
     }
 
@@ -728,7 +762,12 @@ mod tests {
             det.push(&mut buf, e);
         }
         let found = match det.finish(&mut buf) {
-            OnlineOutcome::Hit { streams, bases, strides, widths } => Some(Pattern {
+            OnlineOutcome::Hit {
+                streams,
+                bases,
+                strides,
+                widths,
+            } => Some(Pattern {
                 streams: streams.to_vec(),
                 bases: bases.to_vec(),
                 strides: strides.to_vec(),
@@ -771,8 +810,9 @@ mod tests {
     fn online_matches_offline_on_irregular_budget_fallback() {
         // Long pseudo-random stream: online promotion exhausts its budget
         // and defers to the offline rescan — results must still agree.
-        let entries: Vec<AddrEntry> =
-            (0..600u64).map(|i| e((i.wrapping_mul(2654435761)) % (1 << 20), 8)).collect();
+        let entries: Vec<AddrEntry> = (0..600u64)
+            .map(|i| e((i.wrapping_mul(2654435761)) % (1 << 20), 8))
+            .collect();
         let (online, buf) = online_run(&entries);
         assert_eq!(online, detect(&entries, MAX_PERIOD));
         assert_eq!(buf, entries);
@@ -907,7 +947,11 @@ mod proptests {
             (0..gen.count).map(|k| gen.entry(k)).collect::<Vec<_>>()
         });
         let irregular = proptest::collection::vec(
-            (0u32..3, 0u64..(1 << 20), proptest::sample::select(vec![1u32, 2, 4, 8])),
+            (
+                0u32..3,
+                0u64..(1 << 20),
+                proptest::sample::select(vec![1u32, 2, 4, 8]),
+            ),
             1..48,
         )
         .prop_map(|v| {

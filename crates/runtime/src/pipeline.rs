@@ -20,8 +20,13 @@
 //! 5. **wb-xfer** (DMA): GPU write-value buffer → CPU.
 //! 6. **wb-apply** (CPU): scatter the values into the mapped host array.
 //!
-//! Per-chunk stage durations feed the generic pipeline scheduler with the
-//! `addr-gen(n) waits for compute(n − depth)` buffer-reuse rule; the
+//! This module is a thin *configuration* layer: the per-block functional
+//! simulation and cost accounting live in [`crate::exec`], and scheduling is
+//! delegated to the declarative stage graph in [`crate::graph`] — the stages
+//! above, their hardware resources, the dependency edges and the §IV.C
+//! `addr-gen(n) waits for compute(n − depth)` buffer-reuse rule are expressed
+//! as data ([`crate::graph::bigkernel_graph`]), and the graph executor shards
+//! chunks across however many simulated GPUs the [`Machine`] carries. The
 //! schedule's makespan is the run's simulated time.
 //!
 //! ## Two-phase block simulation
@@ -54,28 +59,28 @@
 //! waves, reusing the active blocks' buffers (and their per-slot simulation
 //! state: warp aligner + LLC model).
 
-use crate::addr::LaneAddrs;
-use crate::assembly::{assemble, AssemblyOutput};
 use crate::config::BigKernelConfig;
-use crate::ctx::{AddrGenCtx, ComputeCtx, LoggedMem};
+use crate::exec::{
+    run_block_sequential, run_block_sequential_staged, run_chunk_assembled_logged,
+    run_chunk_staged_logged, BlockSlot, ChunkCosts, WaveCell,
+};
+use crate::graph::{bigkernel_graph, Executor};
 use crate::kernel::{chunk_slice, partition_ranges, DeviceEffects, LaunchConfig, StreamKernel};
-use crate::layout::ChunkLayout;
 use crate::machine::Machine;
-use crate::pool::{AddrGenScratch, Compression};
-use crate::result::{accumulate_stage_stats, finalize_stage_stats, RunResult};
+use crate::result::{finalize_stage_stats, RunResult};
 use crate::stream::StreamArray;
 use crate::sync;
 use bk_gpu::occupancy::{self, BlockResources};
-use bk_gpu::{BlockLog, BlockSim, GpuPool, KernelCost, ReplayOutcome, WARP_SIZE};
-use bk_host::{cpu, CacheSim, CpuCost, DmaDirection};
+use bk_gpu::GpuPool;
+use bk_host::{cpu, DmaDirection};
 use bk_obs::MetricsRegistry;
-use bk_simcore::{PipelineSpec, SimTime, StageDef};
-use rayon::prelude::*;
+use bk_simcore::SimTime;
 use std::ops::Range;
 
 /// Stage names, in pipeline order.
-pub const STAGE_NAMES: [&str; 6] =
-    ["addr-gen", "assemble", "transfer", "compute", "wb-xfer", "wb-apply"];
+pub const STAGE_NAMES: [&str; 6] = [
+    "addr-gen", "assemble", "transfer", "compute", "wb-xfer", "wb-apply",
+];
 
 /// Counter name for "stage S was bound by B this chunk". Labels come from a
 /// small fixed set, so interning to 'static is a lookup, not a leak risk.
@@ -112,7 +117,10 @@ fn bound_counter(stage: &str, bound: &str) -> &'static str {
             // without extending this table — surface it instead of silently
             // merging everything into one bucket: assert in debug builds,
             // log once (not per chunk) in release builds.
-            debug_assert!(false, "unknown stage/bound pair ({stage}, {bound}) has no counter");
+            debug_assert!(
+                false,
+                "unknown stage/bound pair ({stage}, {bound}) has no counter"
+            );
             static LOGGED: std::sync::atomic::AtomicBool =
                 std::sync::atomic::AtomicBool::new(false);
             if !LOGGED.swap(true, std::sync::atomic::Ordering::Relaxed) {
@@ -122,125 +130,6 @@ fn bound_counter(stage: &str, bound: &str) -> &'static str {
                 );
             }
             "bound.other"
-        }
-    }
-}
-
-/// Per-active-block simulation state, persistent across chunks and waves:
-/// the warp aligner (with its reusable trace arena), this block slot's LLC
-/// model (one assembly thread per block, so one cache each), and the pooled
-/// addr-gen/assembly scratch whose vectors cycle chunk to chunk.
-struct BlockSlot {
-    sim: BlockSim,
-    llc: CacheSim,
-    scratch: AddrGenScratch,
-}
-
-impl BlockSlot {
-    fn new() -> Self {
-        BlockSlot { sim: BlockSim::new(), llc: CacheSim::xeon_llc(), scratch: AddrGenScratch::new() }
-    }
-
-    /// Return a finished chunk's pure-phase vectors to this slot's pool so
-    /// the next chunk allocates nothing.
-    fn recycle(&mut self, pure: BlockPure) {
-        self.scratch.pool.give_lanes(pure.lane_addrs);
-        self.scratch.pool.give_output(pure.out);
-    }
-}
-
-/// Address-generation metrics accumulated per block in the pure phase and
-/// folded into the run metrics in block order.
-#[derive(Default)]
-struct AddrCounts {
-    entries: u64,
-    patterns_found: u64,
-    segmented_found: u64,
-    patterns_missed: u64,
-}
-
-/// Pure per-block output of stages 1–2 (no shared-simulator mutation).
-struct BlockPure {
-    lane_addrs: Vec<LaneAddrs>,
-    ag_cost: KernelCost,
-    out: AssemblyOutput,
-    counts: AddrCounts,
-    addr_bytes: u64,
-}
-
-/// Pure per-block output of the overlap-only staging copy.
-struct StagedPure {
-    layout: ChunkLayout,
-    bytes: Vec<u8>,
-}
-
-/// Per-block output of the compute stage.
-struct BlockComputed {
-    comp_cost: KernelCost,
-    bytes_read: u64,
-    bytes_written: u64,
-    /// Per-lane count of stream writes performed (assembled mode).
-    writes_performed: Vec<usize>,
-    /// Any in-place staged-chunk modification (overlap-only mode).
-    any_writes: bool,
-    /// The block's logged device effects, pending ordered replay. `None`
-    /// after replay, or when the block executed live.
-    effects: Option<bk_gpu::BlockEffects>,
-}
-
-/// One active block's work for the current chunk.
-struct WaveCell<'s> {
-    block: u32,
-    slices: Vec<Range<u64>>,
-    slot: &'s mut BlockSlot,
-    pure: Option<BlockPure>,
-    staged: Option<StagedPure>,
-    data_buf: Option<bk_gpu::BufferId>,
-    write_buf: Option<bk_gpu::BufferId>,
-    computed: Option<BlockComputed>,
-}
-
-/// Per-chunk cost accumulators shared by every execution path.
-struct ChunkCosts {
-    ag: KernelCost,
-    asm: CpuCost,
-    xfer: SimTime,
-    /// H2D transfer count (each pays the completion-flag copy).
-    h2d_flags: u64,
-    /// H2D transfers with a nonzero payload (each pays the DMA setup
-    /// latency).
-    h2d_lats: u64,
-    comp: KernelCost,
-    wb_bytes: u64,
-    wb: CpuCost,
-    addr_bytes: u64,
-}
-
-impl ChunkCosts {
-    fn new() -> Self {
-        ChunkCosts {
-            ag: KernelCost::new(),
-            asm: CpuCost::new(),
-            xfer: SimTime::ZERO,
-            h2d_flags: 0,
-            h2d_lats: 0,
-            comp: KernelCost::new(),
-            wb_bytes: 0,
-            wb: CpuCost::new(),
-            addr_bytes: 0,
-        }
-    }
-}
-
-/// Run `f` over every cell — on the rayon pool when `parallel`, serially
-/// otherwise. Both orders produce identical cells: `f` touches only its own
-/// cell plus shared read-only state.
-fn for_each_cell<T: Send>(parallel: bool, cells: &mut [T], f: impl Fn(&mut T) + Sync) {
-    if parallel && cells.len() > 1 {
-        cells.par_iter_mut().for_each(|c| f(c));
-    } else {
-        for c in cells.iter_mut() {
-            f(c);
         }
     }
 }
@@ -276,15 +165,17 @@ pub fn run_bigkernel(
         },
         ..base_res
     };
-    let occ = occupancy::compute(&machine.gpu, &doubled, launch.num_blocks);
-    let occ_factor = occ.thread_occupancy(&machine.gpu, &doubled).max(0.125);
+    let occ = occupancy::compute(machine.gpu(), &doubled, launch.num_blocks);
+    let occ_factor = occ.thread_occupancy(machine.gpu(), &doubled).max(0.125);
     let active_blocks = occ.active_blocks.max(1);
 
     // GPU pools: addr-gen and compute each get half the issue throughput
-    // (the overlap-only variant launches no addr-gen warps).
+    // (the overlap-only variant launches no addr-gen warps). Devices are
+    // homogeneous (see `Machine::replicate_gpus`), so one pool pair models
+    // any of them.
     let pool_fraction = if cfg.transfer_all { 1.0 } else { 0.5 };
-    let ag_pool = GpuPool::new(machine.gpu.clone(), pool_fraction, occ_factor);
-    let comp_pool = GpuPool::new(machine.gpu.clone(), pool_fraction, occ_factor);
+    let ag_pool = GpuPool::new(machine.gpu().clone(), pool_fraction, occ_factor);
+    let comp_pool = GpuPool::new(machine.gpu().clone(), pool_fraction, occ_factor);
 
     // Work partition over the whole stream.
     let ranges = partition_ranges(primary.len(), launch.total_threads(), rec);
@@ -301,21 +192,15 @@ pub fn run_bigkernel(
     metrics.add("launch.active_blocks", active_blocks as u64);
     metrics.add("launch.threads", launch.total_threads() as u64);
     metrics.add("run.chunks_per_block", num_chunks as u64);
+    metrics.add("run.devices", machine.num_gpus() as u64);
 
-    // With a single copy engine (GeForce), write-back transfers share the
-    // engine with host-to-device transfers; Tesla-class parts run them on a
-    // second engine.
-    let wb_dma_resource = if machine.gpu.copy_engines >= 2 { "dma-d2h" } else { "dma" };
-    let spec = PipelineSpec::new(vec![
-        StageDef { name: STAGE_NAMES[0], resource: "gpu-ag" },
-        StageDef { name: STAGE_NAMES[1], resource: "cpu-asm" },
-        StageDef { name: STAGE_NAMES[2], resource: "dma" },
-        StageDef { name: STAGE_NAMES[3], resource: "gpu-comp" },
-        StageDef { name: STAGE_NAMES[4], resource: wb_dma_resource },
-        StageDef { name: STAGE_NAMES[5], resource: "cpu-wb" },
-    ])
-    .with_reuse(0, 3, cfg.buffer_depth)
-    .with_reuse(3, 5, cfg.buffer_depth);
+    // The schedule is a stage-graph configuration: stages, resources, edges
+    // and the §IV.C reuse rule are data (see [`bigkernel_graph`]), and the
+    // executor deals chunks across the machine's simulated GPUs. Each
+    // device owns its buffer pool, so the reuse depth applies within a
+    // device's local chunk sequence.
+    let spec = bigkernel_graph(machine.gpu().copy_engines as usize, cfg.buffer_depth);
+    let executor = Executor::new(spec, machine.num_gpus(), cfg.shard_policy);
 
     // Capability gate: only log-replayable kernels run the two-phase
     // algorithm. `parallel_blocks` then merely toggles the thread pool — the
@@ -327,13 +212,13 @@ pub fn run_bigkernel(
     let mut total = SimTime::ZERO;
     let mut stage_stats = Vec::new();
     let mut total_chunks = 0usize;
-    let mut slots: Vec<BlockSlot> =
-        (0..active_blocks.min(launch.num_blocks).max(1)).map(|_| BlockSlot::new()).collect();
+    let mut slots: Vec<BlockSlot> = (0..active_blocks.min(launch.num_blocks).max(1))
+        .map(|_| BlockSlot::new())
+        .collect();
 
     for wave in 0..waves {
-        let blocks: Vec<u32> = (wave * active_blocks
-            ..((wave + 1) * active_blocks).min(launch.num_blocks))
-            .collect();
+        let blocks: Vec<u32> =
+            (wave * active_blocks..((wave + 1) * active_blocks).min(launch.num_blocks)).collect();
         let mut durations: Vec<Vec<SimTime>> = Vec::with_capacity(num_chunks);
 
         for chunk in 0..num_chunks {
@@ -378,24 +263,56 @@ pub fn run_bigkernel(
                 for cell in cells.iter_mut() {
                     if cfg.transfer_all {
                         run_block_sequential_staged(
-                            machine, kernel, streams, &cell.slices, cell.block, tpb, launch,
-                            cell.slot, &mut costs, &mut metrics,
+                            machine,
+                            kernel,
+                            streams,
+                            &cell.slices,
+                            cell.block,
+                            tpb,
+                            launch,
+                            cell.slot,
+                            &mut costs,
+                            &mut metrics,
                         );
                     } else {
                         run_block_sequential(
-                            machine, kernel, streams, &cell.slices, cell.block, tpb, launch,
-                            cfg, cell.slot, &mut costs, &mut metrics,
+                            machine,
+                            kernel,
+                            streams,
+                            &cell.slices,
+                            cell.block,
+                            tpb,
+                            launch,
+                            cfg,
+                            cell.slot,
+                            &mut costs,
+                            &mut metrics,
                         );
                     }
                 }
             } else if cfg.transfer_all {
                 run_chunk_staged_logged(
-                    machine, kernel, streams, &mut cells, parallel, tpb, launch, &mut costs,
+                    machine,
+                    kernel,
+                    streams,
+                    &mut cells,
+                    parallel,
+                    tpb,
+                    launch,
+                    &mut costs,
                     &mut metrics,
                 );
             } else {
                 run_chunk_assembled_logged(
-                    machine, kernel, streams, &mut cells, parallel, tpb, launch, cfg, &mut costs,
+                    machine,
+                    kernel,
+                    streams,
+                    &mut cells,
+                    parallel,
+                    tpb,
+                    launch,
+                    cfg,
+                    &mut costs,
                     &mut metrics,
                 );
             }
@@ -403,7 +320,10 @@ pub fn run_bigkernel(
             // Stage 1: addr-gen pool roofline + zero-copy address stores.
             if !cfg.transfer_all {
                 let mut terms = ag_pool.stage_terms(&costs.ag);
-                terms.bound("pcie-zerocopy", machine.link.zero_copy_write_time(costs.addr_bytes));
+                terms.bound(
+                    "pcie-zerocopy",
+                    machine.link.zero_copy_write_time(costs.addr_bytes),
+                );
                 if let Some(b) = terms.dominant() {
                     metrics.incr(bound_counter("addr-gen", b.label));
                 }
@@ -426,7 +346,11 @@ pub fn run_bigkernel(
                         + machine.link.latency.secs() * costs.h2d_lats as f64,
                 );
                 let bw = costs.xfer.saturating_sub(fixed);
-                let label = if bw >= fixed { "dma-bandwidth" } else { "dma-latency" };
+                let label = if bw >= fixed {
+                    "dma-bandwidth"
+                } else {
+                    "dma-latency"
+                };
                 metrics.incr(bound_counter("transfer", label));
             }
             // Stage 4: compute pool.
@@ -442,11 +366,16 @@ pub fn run_bigkernel(
             metrics.add("gpu.comp_hot_atomic_chain", costs.comp.hot_atomic_max());
             // Stage 5: write-back DMA (one transfer per chunk).
             if costs.wb_bytes > 0 {
-                row[4] =
-                    machine.link.dma_time_with_flag(DmaDirection::DeviceToHost, costs.wb_bytes);
+                row[4] = machine
+                    .link
+                    .dma_time_with_flag(DmaDirection::DeviceToHost, costs.wb_bytes);
                 let fixed = machine.link.latency + machine.link.flag_latency;
                 let bw = row[4].saturating_sub(fixed);
-                let label = if bw >= fixed { "dma-bandwidth" } else { "dma-latency" };
+                let label = if bw >= fixed {
+                    "dma-bandwidth"
+                } else {
+                    "dma-latency"
+                };
                 metrics.incr(bound_counter("wb-xfer", label));
             }
             // Stage 6: write-back apply.
@@ -468,14 +397,14 @@ pub fn run_bigkernel(
             durations.push(row.to_vec());
         }
 
-        let schedule = bk_simcore::pipeline::schedule(&spec, &durations);
+        let sharded = executor.run(&durations);
         // Observability: spans (when a trace guard is live), per-stage span
-        // histograms and stall.<stage>.<cause> totals, offset into run-global
-        // chunk indices / simulated time. Waves run back to back, so the
-        // running `total` is this wave's time base.
-        bk_obs::record_schedule(&schedule, total_chunks, total, &mut metrics);
-        total += schedule.makespan();
-        accumulate_stage_stats(&mut stage_stats, &schedule);
+        // histograms, stall.<stage>.<cause> totals and device.<d>.* counters,
+        // offset into run-global chunk indices / simulated time. Waves run
+        // back to back, so the running `total` is this wave's time base.
+        sharded.record(total_chunks, total, &mut metrics);
+        total += sharded.makespan();
+        sharded.accumulate(&mut stage_stats);
         total_chunks += durations.len();
     }
 
@@ -497,762 +426,10 @@ pub fn run_bigkernel(
     }
 }
 
-/// Tally one committed lane stream into the per-block counts (the former
-/// `compress_stream` bookkeeping; the decision itself lives in
-/// [`crate::pool::AddrGenScratch`]).
-fn tally(counts: &mut AddrCounts, c: Compression) {
-    match c {
-        Compression::Pattern => counts.patterns_found += 1,
-        Compression::Segmented => counts.segmented_found += 1,
-        Compression::Missed => counts.patterns_missed += 1,
-        Compression::Raw => {}
-    }
-}
-
-/// Pure phase, stages 1–2: address generation + compression + assembly
-/// against this block's own LLC. Reads shared state immutably; safe to run
-/// concurrently across blocks.
-///
-/// The whole phase runs out of the slot's pooled scratch: lanes record into
-/// the reusable [`crate::ctx::AddrRecorder`] (with §IV.A detection running
-/// online as entries are emitted), committed streams and the assembly
-/// output draw their vectors from the slot's [`crate::pool::StreamPool`],
-/// and everything returns there when the chunk retires — so steady-state
-/// chunks allocate nothing.
-fn block_pure_bigkernel(
-    machine: &Machine,
-    kernel: &dyn StreamKernel,
-    streams: &[StreamArray],
-    slices: &[Range<u64>],
-    tpb: u32,
-    cfg: &BigKernelConfig,
-    slot: &mut BlockSlot,
-) -> BlockPure {
-    let mut ag_cost = KernelCost::new();
-    let mut counts = AddrCounts::default();
-    let BlockSlot { sim, llc, scratch } = slot;
-    let mut lane_addrs: Vec<LaneAddrs> = scratch.pool.take_lanes();
-    {
-        let gmem = &machine.gmem;
-        let counts = &mut counts;
-        let lane_addrs = &mut lane_addrs;
-        let scratch = &mut *scratch;
-        bk_gpu::run_block_lanes(&machine.gpu, sim, tpb, &mut ag_cost, |lane, trace| {
-            scratch.begin_lane(cfg.pattern_recognition);
-            {
-                let mut ctx = AddrGenCtx::recording(gmem, trace, &mut scratch.recorder);
-                kernel.addresses(&mut ctx, slices[lane].clone());
-            }
-            counts.entries +=
-                (scratch.recorder.reads_len() + scratch.recorder.writes_len()) as u64;
-            let (reads, rc) = scratch.commit_reads(cfg);
-            let (writes, wc) = scratch.commit_writes(cfg);
-            tally(counts, rc);
-            tally(counts, wc);
-            lane_addrs.push(LaneAddrs { reads, writes });
-        });
-    }
-    ag_cost.add_barrier(1);
-    let addr_bytes: u64 = lane_addrs.iter().map(|l| l.encoded_bytes()).sum();
-    let out = assemble(
-        &machine.hmem,
-        streams,
-        &lane_addrs,
-        cfg.layout,
-        cfg.locality_assembly,
-        llc,
-        &mut scratch.pool,
-    );
-    BlockPure { lane_addrs, ag_cost, out, counts, addr_bytes }
-}
-
-/// Fold one block's pure-phase results into chunk costs and metrics (block
-/// order).
-fn fold_pure(pure: &BlockPure, costs: &mut ChunkCosts, metrics: &mut MetricsRegistry) {
-    costs.ag.merge(&pure.ag_cost);
-    metrics.add("addr.entries", pure.counts.entries);
-    metrics.add("addr.patterns_found", pure.counts.patterns_found);
-    metrics.add("addr.segmented_found", pure.counts.segmented_found);
-    metrics.add("addr.patterns_missed", pure.counts.patterns_missed);
-    costs.addr_bytes += pure.addr_bytes;
-    metrics.add("addr.encoded_bytes", pure.addr_bytes);
-    metrics.add("pcie.d2h_bytes", pure.addr_bytes);
-    costs.asm.merge(&pure.out.cost);
-    metrics.add("assembly.gathered_bytes", pure.out.gathered_bytes);
-    metrics.add("assembly.padding_bytes", pure.out.padding_bytes);
-    metrics.add("assembly.cache_hits", pure.out.cost.cache_hits);
-    metrics.add("assembly.cache_misses", pure.out.cost.cache_misses);
-    if pure.out.locality_order_used {
-        metrics.incr("assembly.locality_order_chunks");
-    }
-    metrics.add("stream.bytes_read_unique", pure.out.gathered_bytes);
-}
-
-/// Ordered phase, stage 3: allocate the block's device buffers and DMA the
-/// assembled bytes in.
-fn stage_transfer(
-    machine: &mut Machine,
-    pure: &BlockPure,
-    costs: &mut ChunkCosts,
-    metrics: &mut MetricsRegistry,
-) -> (bk_gpu::BufferId, Option<bk_gpu::BufferId>) {
-    let buf_len = pure.out.layout.total_len().max(1);
-    let data_buf = machine.gmem.alloc(buf_len);
-    machine.gmem.dma_in(data_buf, 0, &pure.out.bytes);
-    costs.xfer +=
-        machine.link.dma_time_with_flag(DmaDirection::HostToDevice, pure.out.bytes.len() as u64);
-    costs.h2d_flags += 1;
-    if !pure.out.bytes.is_empty() {
-        costs.h2d_lats += 1;
-    }
-    metrics.add("pcie.h2d_bytes", pure.out.bytes.len() as u64);
-    let write_buf =
-        pure.out.write_layout.as_ref().map(|wl| machine.gmem.alloc(wl.total_len().max(1)));
-    (data_buf, write_buf)
-}
-
-/// Fold one block's compute results into chunk costs and metrics (block
-/// order).
-fn fold_computed(computed: &BlockComputed, costs: &mut ChunkCosts, metrics: &mut MetricsRegistry) {
-    costs.comp.merge(&computed.comp_cost);
-    metrics.add("stream.bytes_read", computed.bytes_read);
-    metrics.add("stream.bytes_written", computed.bytes_written);
-}
-
-/// Ordered phase, stages 5–6 of the assembled path.
-#[allow(clippy::too_many_arguments)]
-fn writeback_assembled(
-    machine: &mut Machine,
-    streams: &[StreamArray],
-    pure: &BlockPure,
-    write_buf: Option<bk_gpu::BufferId>,
-    computed: &BlockComputed,
-    llc: &mut CacheSim,
-    costs: &mut ChunkCosts,
-    metrics: &mut MetricsRegistry,
-) {
-    if let (Some(wl), Some(wb)) = (pure.out.write_layout.as_ref(), write_buf) {
-        let bytes = wl.total_len();
-        costs.wb_bytes += bytes;
-        metrics.add("pcie.d2h_bytes", bytes);
-        apply_writeback(
-            machine,
-            streams,
-            &pure.lane_addrs,
-            wl,
-            wb,
-            &computed.writes_performed,
-            &mut costs.wb,
-            llc,
-        );
-    }
-}
-
-/// Compute stage against a per-block write log (pure phase; shared state is
-/// only read).
-#[allow(clippy::too_many_arguments)]
-fn compute_assembled_logged(
-    machine: &Machine,
-    kernel: &dyn StreamKernel,
-    slices: &[Range<u64>],
-    pure: &BlockPure,
-    data_buf: bk_gpu::BufferId,
-    write_buf: Option<bk_gpu::BufferId>,
-    block: u32,
-    tpb: u32,
-    launch: LaunchConfig,
-    verify: bool,
-    sim: &mut BlockSim,
-) -> BlockComputed {
-    let mut comp_cost = KernelCost::new();
-    let mut log = BlockLog::new(&machine.gmem);
-    // The write buffer is block-private: mirror it so writes commit
-    // wholesale on replay. The data buffer is also block-private but only
-    // read, so snapshot reads need no mirror.
-    if let Some(wb) = write_buf {
-        log.register_private(wb);
-    }
-    let mut writes_performed: Vec<usize> = vec![0; tpb as usize];
-    let mut bytes_read = 0u64;
-    let mut bytes_written = 0u64;
-    {
-        let log = &mut log;
-        let writes_performed = &mut writes_performed;
-        let bytes_read = &mut bytes_read;
-        let bytes_written = &mut bytes_written;
-        let lane_addrs = &pure.lane_addrs;
-        let layout = &pure.out.layout;
-        let write_layout = pure.out.write_layout.as_ref();
-        bk_gpu::run_block_lanes(&machine.gpu, sim, tpb, &mut comp_cost, |lane, trace| {
-            let tid = block * tpb + lane as u32;
-            let mut ctx = ComputeCtx::assembled_on(
-                LoggedMem(&mut *log),
-                data_buf,
-                write_buf,
-                layout,
-                write_layout,
-                &lane_addrs[lane],
-                verify,
-                lane,
-                tid,
-                launch.total_threads(),
-                trace,
-            );
-            kernel.process(&mut ctx, slices[lane].clone());
-            *bytes_read += ctx.stream_bytes_read;
-            *bytes_written += ctx.stream_bytes_written;
-            writes_performed[lane] = ctx.write_count();
-        });
-    }
-    comp_cost.add_barrier(2);
-    BlockComputed {
-        comp_cost,
-        bytes_read,
-        bytes_written,
-        writes_performed,
-        any_writes: false,
-        effects: Some(log.finish()),
-    }
-}
-
-/// Compute stage against live memory (sequential-capability kernels and
-/// conflict re-execution at the block's in-order turn).
-#[allow(clippy::too_many_arguments)]
-fn compute_assembled_live(
-    machine: &mut Machine,
-    kernel: &dyn StreamKernel,
-    slices: &[Range<u64>],
-    pure: &BlockPure,
-    data_buf: bk_gpu::BufferId,
-    write_buf: Option<bk_gpu::BufferId>,
-    block: u32,
-    tpb: u32,
-    launch: LaunchConfig,
-    verify: bool,
-    sim: &mut BlockSim,
-) -> BlockComputed {
-    let mut comp_cost = KernelCost::new();
-    let mut writes_performed: Vec<usize> = vec![0; tpb as usize];
-    let mut bytes_read = 0u64;
-    let mut bytes_written = 0u64;
-    {
-        let Machine { ref gpu, ref mut gmem, .. } = *machine;
-        let writes_performed = &mut writes_performed;
-        let bytes_read = &mut bytes_read;
-        let bytes_written = &mut bytes_written;
-        let lane_addrs = &pure.lane_addrs;
-        let layout = &pure.out.layout;
-        let write_layout = pure.out.write_layout.as_ref();
-        bk_gpu::run_block_lanes(gpu, sim, tpb, &mut comp_cost, |lane, trace| {
-            let tid = block * tpb + lane as u32;
-            let mut ctx = ComputeCtx::assembled(
-                &mut *gmem,
-                data_buf,
-                write_buf,
-                layout,
-                write_layout,
-                &lane_addrs[lane],
-                verify,
-                lane,
-                tid,
-                launch.total_threads(),
-                trace,
-            );
-            kernel.process(&mut ctx, slices[lane].clone());
-            *bytes_read += ctx.stream_bytes_read;
-            *bytes_written += ctx.stream_bytes_written;
-            writes_performed[lane] = ctx.write_count();
-        });
-    }
-    comp_cost.add_barrier(2);
-    BlockComputed {
-        comp_cost,
-        bytes_read,
-        bytes_written,
-        writes_performed,
-        any_writes: false,
-        effects: None,
-    }
-}
-
-
-/// One chunk of the full BigKernel path under the two-phase algorithm.
-#[allow(clippy::too_many_arguments)]
-fn run_chunk_assembled_logged(
-    machine: &mut Machine,
-    kernel: &dyn StreamKernel,
-    streams: &[StreamArray],
-    cells: &mut [WaveCell<'_>],
-    parallel: bool,
-    tpb: u32,
-    launch: LaunchConfig,
-    cfg: &BigKernelConfig,
-    costs: &mut ChunkCosts,
-    metrics: &mut MetricsRegistry,
-) {
-    // Phase A (pure, concurrent): stages 1–2 per block.
-    {
-        let shared: &Machine = machine;
-        for_each_cell(parallel, cells, |cell| {
-            let WaveCell { slices, slot, pure, .. } = cell;
-            *pure =
-                Some(block_pure_bigkernel(shared, kernel, streams, slices, tpb, cfg, &mut **slot));
-        });
-    }
-
-    // Phase B (ordered): fold pure results; allocate + DMA in block order so
-    // device addresses are schedule-independent.
-    for cell in cells.iter_mut() {
-        let pure = cell.pure.as_ref().unwrap();
-        fold_pure(pure, costs, metrics);
-        let (data_buf, write_buf) = stage_transfer(machine, pure, costs, metrics);
-        cell.data_buf = Some(data_buf);
-        cell.write_buf = write_buf;
-    }
-
-    // Phase C (pure, concurrent): kernel body against each block's write
-    // log over the chunk-start snapshot.
-    {
-        let shared: &Machine = machine;
-        let verify = cfg.verify_reads;
-        for_each_cell(parallel, cells, |cell| {
-            let WaveCell { block, slices, slot, pure, data_buf, write_buf, computed, .. } = cell;
-            let pure = pure.as_ref().unwrap();
-            *computed = Some(compute_assembled_logged(
-                shared,
-                kernel,
-                slices,
-                pure,
-                data_buf.unwrap(),
-                *write_buf,
-                *block,
-                tpb,
-                launch,
-                verify,
-                &mut (**slot).sim,
-            ));
-        });
-    }
-
-    // Phase D (ordered): replay effects in block order; a conflicting block
-    // re-executes live at its turn. Then host write-back + frees.
-    for cell in cells.iter_mut() {
-        let WaveCell { block, slices, slot, pure, data_buf, write_buf, computed, .. } = cell;
-        let p = pure.as_ref().unwrap();
-        let effects = computed.as_mut().unwrap().effects.take().unwrap();
-        if effects.replay(&mut machine.gmem) == ReplayOutcome::Conflict {
-            metrics.incr("parallel.replay_conflicts");
-            *computed = Some(compute_assembled_live(
-                machine,
-                kernel,
-                slices,
-                p,
-                data_buf.unwrap(),
-                *write_buf,
-                *block,
-                tpb,
-                launch,
-                cfg.verify_reads,
-                &mut (**slot).sim,
-            ));
-        }
-        let done = computed.as_ref().unwrap();
-        fold_computed(done, costs, metrics);
-        writeback_assembled(
-            machine,
-            streams,
-            p,
-            *write_buf,
-            done,
-            &mut slot.llc,
-            costs,
-            metrics,
-        );
-        machine.gmem.free(data_buf.unwrap());
-        if let Some(wb) = *write_buf {
-            machine.gmem.free(wb);
-        }
-        // Chunk retired: its address streams, layouts and prefetch bytes go
-        // back to the slot's pool for the next chunk.
-        if let Some(done_pure) = pure.take() {
-            slot.recycle(done_pure);
-        }
-    }
-}
-
-/// Legacy fused per-block path (sequential-capability kernels): stages run
-/// live, eagerly, strictly in block order.
-#[allow(clippy::too_many_arguments)]
-fn run_block_sequential(
-    machine: &mut Machine,
-    kernel: &dyn StreamKernel,
-    streams: &[StreamArray],
-    slices: &[Range<u64>],
-    block: u32,
-    tpb: u32,
-    launch: LaunchConfig,
-    cfg: &BigKernelConfig,
-    slot: &mut BlockSlot,
-    costs: &mut ChunkCosts,
-    metrics: &mut MetricsRegistry,
-) {
-    let pure = block_pure_bigkernel(machine, kernel, streams, slices, tpb, cfg, slot);
-    fold_pure(&pure, costs, metrics);
-    let (data_buf, write_buf) = stage_transfer(machine, &pure, costs, metrics);
-    let computed = compute_assembled_live(
-        machine, kernel, slices, &pure, data_buf, write_buf, block, tpb, launch,
-        cfg.verify_reads, &mut slot.sim,
-    );
-    fold_computed(&computed, costs, metrics);
-    writeback_assembled(
-        machine, streams, &pure, write_buf, &computed, &mut slot.llc, costs, metrics,
-    );
-    machine.gmem.free(data_buf);
-    if let Some(wb) = write_buf {
-        machine.gmem.free(wb);
-    }
-    slot.recycle(pure);
-}
-
-/// Scatter the chunk's write-buffer values into the mapped host arrays
-/// (pipeline stage 6, functional + cost).
-#[allow(clippy::too_many_arguments)]
-fn apply_writeback(
-    machine: &mut Machine,
-    streams: &[StreamArray],
-    lane_addrs: &[LaneAddrs],
-    write_layout: &ChunkLayout,
-    write_buf: bk_gpu::BufferId,
-    writes_performed: &[usize],
-    wb_cost: &mut CpuCost,
-    llc: &mut CacheSim,
-) {
-    for (lane, l) in lane_addrs.iter().enumerate() {
-        let n = writes_performed[lane];
-        let mut perlane_cursor = 0u64;
-        for (k, e) in l.writes.iter().take(n).enumerate() {
-            let pos = match write_layout {
-                ChunkLayout::Interleaved { warps, .. } => {
-                    warps[lane / WARP_SIZE].slot(lane % WARP_SIZE, k).0
-                }
-                ChunkLayout::PerLane { lane_base, .. } => {
-                    let p = lane_base[lane] + perlane_cursor;
-                    perlane_cursor += e.width as u64;
-                    p
-                }
-                ChunkLayout::Staged { .. } => unreachable!(),
-            };
-            let val = machine.gmem.dma_out(write_buf, pos, e.width as usize);
-            let arr = &streams[e.stream.0 as usize];
-            machine.hmem.write(arr.region, e.offset, &val);
-            // Cost: sequential read of the landed write buffer + scattered
-            // store into the mapped array.
-            let (h, m) =
-                llc.access_range(machine.hmem.vaddr(arr.region, e.offset), e.width as u64);
-            wb_cost.cache_hits += h;
-            wb_cost.cache_misses += m;
-            wb_cost.dram_bytes += m * llc.line_bytes() + e.width as u64;
-            wb_cost.instructions += 4;
-        }
-    }
-}
-
-/// Pure phase of the overlap-only variant: staging-window layout + host-side
-/// gather into a local buffer.
-fn block_pure_staged(
-    machine: &Machine,
-    kernel: &dyn StreamKernel,
-    streams: &[StreamArray],
-    slices: &[Range<u64>],
-) -> StagedPure {
-    let primary = &streams[0];
-    let halo = kernel.halo_bytes();
-    let layout = ChunkLayout::build_staged_slices(slices, halo, primary.len());
-    let mut bytes = vec![0u8; layout.total_len() as usize];
-    if let ChunkLayout::Staged { segs, .. } = &layout {
-        for (base, range) in segs {
-            let src =
-                machine.hmem.read(primary.region, range.start, (range.end - range.start) as usize);
-            bytes[*base as usize..*base as usize + src.len()].copy_from_slice(src);
-        }
-    }
-    StagedPure { layout, bytes }
-}
-
-/// Ordered phase, stage 3 of the overlap-only variant: "assembly" is the
-/// plain staging copy (1 read + 1 write per byte, the classical scheme),
-/// then the whole window ships over the link.
-fn stage_transfer_staged(
-    machine: &mut Machine,
-    staged: &StagedPure,
-    costs: &mut ChunkCosts,
-    metrics: &mut MetricsRegistry,
-) -> bk_gpu::BufferId {
-    costs.asm.merge(&CpuCost::streaming(staged.layout.total_len(), 2, 1));
-    let data_buf = machine.gmem.alloc(staged.layout.total_len().max(1));
-    machine.gmem.dma_in(data_buf, 0, &staged.bytes);
-    costs.xfer +=
-        machine.link.dma_time_with_flag(DmaDirection::HostToDevice, staged.layout.total_len());
-    costs.h2d_flags += 1;
-    if staged.layout.total_len() > 0 {
-        costs.h2d_lats += 1;
-    }
-    metrics.add("pcie.h2d_bytes", staged.layout.total_len());
-    data_buf
-}
-
-/// Staged compute against a write log (the staged chunk itself is a private
-/// mirror: in-place modifications commit wholesale on replay).
-#[allow(clippy::too_many_arguments)]
-fn compute_staged_logged(
-    machine: &Machine,
-    kernel: &dyn StreamKernel,
-    slices: &[Range<u64>],
-    layout: &ChunkLayout,
-    data_buf: bk_gpu::BufferId,
-    block: u32,
-    tpb: u32,
-    launch: LaunchConfig,
-    sim: &mut BlockSim,
-) -> BlockComputed {
-    let mut comp_cost = KernelCost::new();
-    let mut log = BlockLog::new(&machine.gmem);
-    log.register_private(data_buf);
-    let mut bytes_read = 0u64;
-    let mut bytes_written = 0u64;
-    let mut any_writes = false;
-    {
-        let log = &mut log;
-        let bytes_read = &mut bytes_read;
-        let bytes_written = &mut bytes_written;
-        let any_writes = &mut any_writes;
-        bk_gpu::run_block_lanes(&machine.gpu, sim, tpb, &mut comp_cost, |lane, trace| {
-            let tid = block * tpb + lane as u32;
-            let mut ctx = ComputeCtx::staged_on(
-                LoggedMem(&mut *log),
-                data_buf,
-                layout,
-                lane,
-                tid,
-                launch.total_threads(),
-                trace,
-            );
-            kernel.process(&mut ctx, slices[lane].clone());
-            *bytes_read += ctx.stream_bytes_read;
-            *bytes_written += ctx.stream_bytes_written;
-            *any_writes |= ctx.stream_bytes_written > 0;
-        });
-    }
-    comp_cost.add_barrier(2);
-    BlockComputed {
-        comp_cost,
-        bytes_read,
-        bytes_written,
-        writes_performed: Vec::new(),
-        any_writes,
-        effects: Some(log.finish()),
-    }
-}
-
-/// Staged compute against live memory (sequential-capability kernels and
-/// conflict re-execution).
-#[allow(clippy::too_many_arguments)]
-fn compute_staged_live(
-    machine: &mut Machine,
-    kernel: &dyn StreamKernel,
-    slices: &[Range<u64>],
-    layout: &ChunkLayout,
-    data_buf: bk_gpu::BufferId,
-    block: u32,
-    tpb: u32,
-    launch: LaunchConfig,
-    sim: &mut BlockSim,
-) -> BlockComputed {
-    let mut comp_cost = KernelCost::new();
-    let mut bytes_read = 0u64;
-    let mut bytes_written = 0u64;
-    let mut any_writes = false;
-    {
-        let Machine { ref gpu, ref mut gmem, .. } = *machine;
-        let bytes_read = &mut bytes_read;
-        let bytes_written = &mut bytes_written;
-        let any_writes = &mut any_writes;
-        bk_gpu::run_block_lanes(gpu, sim, tpb, &mut comp_cost, |lane, trace| {
-            let tid = block * tpb + lane as u32;
-            let mut ctx = ComputeCtx::staged(
-                &mut *gmem,
-                data_buf,
-                layout,
-                lane,
-                tid,
-                launch.total_threads(),
-                trace,
-            );
-            kernel.process(&mut ctx, slices[lane].clone());
-            *bytes_read += ctx.stream_bytes_read;
-            *bytes_written += ctx.stream_bytes_written;
-            *any_writes |= ctx.stream_bytes_written > 0;
-        });
-    }
-    comp_cost.add_barrier(2);
-    BlockComputed {
-        comp_cost,
-        bytes_read,
-        bytes_written,
-        writes_performed: Vec::new(),
-        any_writes,
-        effects: None,
-    }
-}
-
-/// Ordered phase, stages 5–6 of the overlap-only variant: the staged chunk
-/// was modified in place; copy each lane's own slice (not the halo) back.
-#[allow(clippy::too_many_arguments)]
-fn writeback_staged(
-    machine: &mut Machine,
-    streams: &[StreamArray],
-    layout: &ChunkLayout,
-    data_buf: bk_gpu::BufferId,
-    slices: &[Range<u64>],
-    any_writes: bool,
-    costs: &mut ChunkCosts,
-    metrics: &mut MetricsRegistry,
-) {
-    if !any_writes {
-        return;
-    }
-    let primary = &streams[0];
-    if let ChunkLayout::Staged { segs, lane_seg, .. } = layout {
-        let mut copied = 0u64;
-        for (lane, sl) in slices.iter().enumerate() {
-            if sl.is_empty() {
-                continue;
-            }
-            let (base, range) = &segs[lane_seg[lane]];
-            let off_in_seg = base + (sl.start - range.start);
-            let len = sl.end - sl.start;
-            let bytes = machine.gmem.dma_out(data_buf, off_in_seg, len as usize);
-            machine.hmem.write(primary.region, sl.start, &bytes);
-            copied += len;
-        }
-        costs.wb_bytes += copied;
-        metrics.add("pcie.d2h_bytes", copied);
-        costs.wb.merge(&CpuCost::streaming(copied, 2, 1));
-    }
-}
-
-/// One chunk of the overlap-only variant under the two-phase algorithm.
-#[allow(clippy::too_many_arguments)]
-fn run_chunk_staged_logged(
-    machine: &mut Machine,
-    kernel: &dyn StreamKernel,
-    streams: &[StreamArray],
-    cells: &mut [WaveCell<'_>],
-    parallel: bool,
-    tpb: u32,
-    launch: LaunchConfig,
-    costs: &mut ChunkCosts,
-    metrics: &mut MetricsRegistry,
-) {
-    // Phase A (pure, concurrent): staging layout + host-side gather.
-    {
-        let shared: &Machine = machine;
-        for_each_cell(parallel, cells, |cell| {
-            let WaveCell { slices, staged, .. } = cell;
-            *staged = Some(block_pure_staged(shared, kernel, streams, slices));
-        });
-    }
-
-    // Phase B (ordered): staging-copy cost + alloc + DMA in block order.
-    for cell in cells.iter_mut() {
-        let staged = cell.staged.as_ref().unwrap();
-        cell.data_buf = Some(stage_transfer_staged(machine, staged, costs, metrics));
-    }
-
-    // Phase C (pure, concurrent): kernel body against per-block logs.
-    {
-        let shared: &Machine = machine;
-        for_each_cell(parallel, cells, |cell| {
-            let WaveCell { block, slices, slot, staged, data_buf, computed, .. } = cell;
-            let staged = staged.as_ref().unwrap();
-            *computed = Some(compute_staged_logged(
-                shared,
-                kernel,
-                slices,
-                &staged.layout,
-                data_buf.unwrap(),
-                *block,
-                tpb,
-                launch,
-                &mut (**slot).sim,
-            ));
-        });
-    }
-
-    // Phase D (ordered): replay, conflict re-execution, write-back, frees.
-    for cell in cells.iter_mut() {
-        let WaveCell { block, slices, slot, staged, data_buf, computed, .. } = cell;
-        let staged = staged.as_ref().unwrap();
-        let effects = computed.as_mut().unwrap().effects.take().unwrap();
-        if effects.replay(&mut machine.gmem) == ReplayOutcome::Conflict {
-            metrics.incr("parallel.replay_conflicts");
-            *computed = Some(compute_staged_live(
-                machine,
-                kernel,
-                slices,
-                &staged.layout,
-                data_buf.unwrap(),
-                *block,
-                tpb,
-                launch,
-                &mut (**slot).sim,
-            ));
-        }
-        let done = computed.as_ref().unwrap();
-        fold_computed(done, costs, metrics);
-        writeback_staged(
-            machine,
-            streams,
-            &staged.layout,
-            data_buf.unwrap(),
-            slices,
-            done.any_writes,
-            costs,
-            metrics,
-        );
-        machine.gmem.free(data_buf.unwrap());
-    }
-}
-
-/// Legacy fused per-block path of the overlap-only variant.
-#[allow(clippy::too_many_arguments)]
-fn run_block_sequential_staged(
-    machine: &mut Machine,
-    kernel: &dyn StreamKernel,
-    streams: &[StreamArray],
-    slices: &[Range<u64>],
-    block: u32,
-    tpb: u32,
-    launch: LaunchConfig,
-    slot: &mut BlockSlot,
-    costs: &mut ChunkCosts,
-    metrics: &mut MetricsRegistry,
-) {
-    let staged = block_pure_staged(machine, kernel, streams, slices);
-    let data_buf = stage_transfer_staged(machine, &staged, costs, metrics);
-    let computed = compute_staged_live(
-        machine, kernel, slices, &staged.layout, data_buf, block, tpb, launch, &mut slot.sim,
-    );
-    fold_computed(&computed, costs, metrics);
-    writeback_staged(
-        machine, streams, &staged.layout, data_buf, slices, computed.any_writes, costs, metrics,
-    );
-    machine.gmem.free(data_buf);
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ctx::AddrGenCtx;
     use crate::kernel::{KernelCtx, ValueExt};
     use crate::stream::{StreamArray, StreamId};
 
@@ -1331,7 +508,10 @@ mod tests {
     }
 
     fn small_cfg() -> BigKernelConfig {
-        BigKernelConfig { chunk_input_bytes: 4096, ..BigKernelConfig::default() }
+        BigKernelConfig {
+            chunk_input_bytes: 4096,
+            ..BigKernelConfig::default()
+        }
     }
 
     #[test]
@@ -1361,9 +541,19 @@ mod tests {
         }
         let stream = StreamArray::map(&m, StreamId(0), region);
         let kernel = ScaleKernel;
-        let r = run_bigkernel(&mut m, &kernel, &[stream], LaunchConfig::new(1, 32), &small_cfg());
+        let r = run_bigkernel(
+            &mut m,
+            &kernel,
+            &[stream],
+            LaunchConfig::new(1, 32),
+            &small_cfg(),
+        );
         for i in 0..1024u64 {
-            assert_eq!(m.hmem.read_u32(region, i * 8 + 4), (i as u32).wrapping_mul(2), "i={i}");
+            assert_eq!(
+                m.hmem.read_u32(region, i * 8 + 4),
+                (i as u32).wrapping_mul(2),
+                "i={i}"
+            );
         }
         assert!(r.stage_busy("wb-xfer") > SimTime::ZERO);
         assert!(r.stage_busy("wb-apply") > SimTime::ZERO);
@@ -1414,12 +604,26 @@ mod tests {
         };
         let mut m1 = Machine::test_platform();
         let s1 = mk(&mut m1);
-        let r_big =
-            run_bigkernel(&mut m1, &ScaleKernel, &[s1], LaunchConfig::new(1, 32), &small_cfg());
+        let r_big = run_bigkernel(
+            &mut m1,
+            &ScaleKernel,
+            &[s1],
+            LaunchConfig::new(1, 32),
+            &small_cfg(),
+        );
         let mut m2 = Machine::test_platform();
         let s2 = mk(&mut m2);
-        let cfg2 = BigKernelConfig { chunk_input_bytes: 4096, ..BigKernelConfig::overlap_only() };
-        let r_all = run_bigkernel(&mut m2, &ScaleKernel, &[s2], LaunchConfig::new(1, 32), &cfg2);
+        let cfg2 = BigKernelConfig {
+            chunk_input_bytes: 4096,
+            ..BigKernelConfig::overlap_only()
+        };
+        let r_all = run_bigkernel(
+            &mut m2,
+            &ScaleKernel,
+            &[s2],
+            LaunchConfig::new(1, 32),
+            &cfg2,
+        );
         let big = r_big.metrics.get("pcie.h2d_bytes");
         let all = r_all.metrics.get("pcie.h2d_bytes");
         assert!(big < all, "bigkernel {big} vs overlap-only {all}");
@@ -1430,17 +634,33 @@ mod tests {
         let mut m1 = Machine::test_platform();
         let (s1, _) = fill_u64s(&mut m1, 8192);
         let acc1 = m1.gmem.alloc(8);
-        let shallow = BigKernelConfig { buffer_depth: 1, ..small_cfg() };
+        let shallow = BigKernelConfig {
+            buffer_depth: 1,
+            ..small_cfg()
+        };
         let r1 = run_bigkernel(
-            &mut m1, &SumKernel { acc: acc1 }, &[s1], LaunchConfig::new(1, 32), &shallow,
+            &mut m1,
+            &SumKernel { acc: acc1 },
+            &[s1],
+            LaunchConfig::new(1, 32),
+            &shallow,
         );
         let mut m2 = Machine::test_platform();
         let (s2, _) = fill_u64s(&mut m2, 8192);
         let acc2 = m2.gmem.alloc(8);
         let r2 = run_bigkernel(
-            &mut m2, &SumKernel { acc: acc2 }, &[s2], LaunchConfig::new(1, 32), &small_cfg(),
+            &mut m2,
+            &SumKernel { acc: acc2 },
+            &[s2],
+            LaunchConfig::new(1, 32),
+            &small_cfg(),
         );
-        assert!(r2.total <= r1.total, "depth 3 {} vs depth 1 {}", r2.total, r1.total);
+        assert!(
+            r2.total <= r1.total,
+            "depth 3 {} vs depth 1 {}",
+            r2.total,
+            r1.total
+        );
     }
 
     #[test]
@@ -1449,20 +669,30 @@ mod tests {
         let (s1, _) = fill_u64s(&mut m1, 4096);
         let acc1 = m1.gmem.alloc(8);
         let r_on = run_bigkernel(
-            &mut m1, &SumKernel { acc: acc1 }, &[s1], LaunchConfig::new(1, 32), &small_cfg(),
+            &mut m1,
+            &SumKernel { acc: acc1 },
+            &[s1],
+            LaunchConfig::new(1, 32),
+            &small_cfg(),
         );
         let mut m2 = Machine::test_platform();
         let (s2, _) = fill_u64s(&mut m2, 4096);
         let acc2 = m2.gmem.alloc(8);
-        let cfg_off = BigKernelConfig { pattern_recognition: false, ..small_cfg() };
+        let cfg_off = BigKernelConfig {
+            pattern_recognition: false,
+            ..small_cfg()
+        };
         let r_off = run_bigkernel(
-            &mut m2, &SumKernel { acc: acc2 }, &[s2], LaunchConfig::new(1, 32), &cfg_off,
+            &mut m2,
+            &SumKernel { acc: acc2 },
+            &[s2],
+            LaunchConfig::new(1, 32),
+            &cfg_off,
         );
         // With 16 records per lane-chunk the raw stream is 128 B vs a 28 B
         // pattern; larger chunks compress far better (see bench runs).
         assert!(
-            r_on.metrics.get("addr.encoded_bytes") * 3
-                < r_off.metrics.get("addr.encoded_bytes"),
+            r_on.metrics.get("addr.encoded_bytes") * 3 < r_off.metrics.get("addr.encoded_bytes"),
             "patterns {} vs raw {}",
             r_on.metrics.get("addr.encoded_bytes"),
             r_off.metrics.get("addr.encoded_bytes"),
@@ -1478,9 +708,19 @@ mod tests {
         let (stream, expected) = fill_u64s(&mut m, 8192);
         let acc = m.gmem.alloc(8);
         let kernel = SumKernel { acc };
-        let r = run_bigkernel(&mut m, &kernel, &[stream], LaunchConfig::new(64, 32), &small_cfg());
+        let r = run_bigkernel(
+            &mut m,
+            &kernel,
+            &[stream],
+            LaunchConfig::new(64, 32),
+            &small_cfg(),
+        );
         assert_eq!(m.gmem.read_u64(acc, 0), expected);
-        assert!(r.metrics.get("run.waves") >= 2, "waves {}", r.metrics.get("run.waves"));
+        assert!(
+            r.metrics.get("run.waves") >= 2,
+            "waves {}",
+            r.metrics.get("run.waves")
+        );
     }
 
     #[test]
@@ -1489,17 +729,59 @@ mod tests {
         let (stream, _) = fill_u64s(&mut m, 8192);
         let acc = m.gmem.alloc(8);
         let r = run_bigkernel(
-            &mut m, &SumKernel { acc }, &[stream], LaunchConfig::new(1, 32), &small_cfg(),
+            &mut m,
+            &SumKernel { acc },
+            &[stream],
+            LaunchConfig::new(1, 32),
+            &small_cfg(),
         );
         let rel = r.relative_stage_times();
         assert_eq!(rel.len(), 6);
         assert!(rel.iter().any(|&(_, v)| (v - 1.0).abs() < 1e-9));
+    }
+
+    /// Sharding across simulated GPUs is timing-level only: every output,
+    /// metric that tracks functional behaviour, and chunk count matches the
+    /// single-GPU run; only the schedule (and thus `total`) may differ.
+    #[test]
+    fn multi_gpu_outputs_match_single_gpu() {
+        let run = |gpus: usize| {
+            let mut m = Machine::test_platform();
+            m.replicate_gpus(gpus);
+            let (stream, _) = fill_u64s(&mut m, 8192);
+            let acc = m.gmem.alloc(8);
+            let r = run_bigkernel(
+                &mut m,
+                &SumKernel { acc },
+                &[stream],
+                LaunchConfig::new(2, 32),
+                &small_cfg(),
+            );
+            (r, m.gmem.read_u64(acc, 0))
+        };
+        let (r1, v1) = run(1);
+        let (r2, v2) = run(2);
+        assert_eq!(v1, v2, "functional result diverged across device counts");
+        assert_eq!(r1.chunks, r2.chunks);
+        assert_eq!(
+            r1.metrics.get("pcie.h2d_bytes"),
+            r2.metrics.get("pcie.h2d_bytes"),
+            "transfer volume is device-count independent"
+        );
+        assert!(
+            r2.total <= r1.total,
+            "2 GPUs {} vs 1 GPU {}",
+            r2.total,
+            r1.total
+        );
+        assert!(r2.metrics.get("device.1.chunks") > 0, "device 1 got work");
     }
 }
 
 #[cfg(test)]
 mod parallel_tests {
     use super::*;
+    use crate::ctx::AddrGenCtx;
     use crate::kernel::{KernelCtx, ValueExt};
     use crate::stream::{StreamArray, StreamId};
 
@@ -1569,7 +851,8 @@ mod parallel_tests {
         let mut m = Machine::test_platform();
         let region = m.hmem.alloc(n * 8);
         for i in 0..n {
-            m.hmem.write_u64(region, i * 8, i.wrapping_mul(0x9E37_79B9).rotate_left(13));
+            m.hmem
+                .write_u64(region, i * 8, i.wrapping_mul(0x9E37_79B9).rotate_left(13));
         }
         let s = StreamArray::map(&m, StreamId(0), region);
         (m, s)
@@ -1589,7 +872,11 @@ mod parallel_tests {
             let (mut m, s) = filled_machine(8192);
             let acc = m.gmem.alloc(8);
             let r = run_bigkernel(
-                &mut m, &SumKernel { acc }, &[s], LaunchConfig::new(8, 32), &cfg_with(parallel),
+                &mut m,
+                &SumKernel { acc },
+                &[s],
+                LaunchConfig::new(8, 32),
+                &cfg_with(parallel),
             );
             (r, m.gmem.read_u64(acc, 0))
         };
@@ -1604,8 +891,13 @@ mod parallel_tests {
         let run = |parallel: bool| {
             let (mut m, s) = filled_machine(4096);
             let region = s.region;
-            let r =
-                run_bigkernel(&mut m, &ScaleKernel, &[s], LaunchConfig::new(4, 32), &cfg_with(parallel));
+            let r = run_bigkernel(
+                &mut m,
+                &ScaleKernel,
+                &[s],
+                LaunchConfig::new(4, 32),
+                &cfg_with(parallel),
+            );
             let host: Vec<u8> = m.hmem.read(region, 0, 4096 * 8).to_vec();
             (r, host)
         };
@@ -1625,7 +917,13 @@ mod parallel_tests {
                 parallel_blocks: parallel,
                 ..BigKernelConfig::overlap_only()
             };
-            let r = run_bigkernel(&mut m, &SumKernel { acc }, &[s], LaunchConfig::new(4, 32), &cfg);
+            let r = run_bigkernel(
+                &mut m,
+                &SumKernel { acc },
+                &[s],
+                LaunchConfig::new(4, 32),
+                &cfg,
+            );
             (r, m.gmem.read_u64(acc, 0))
         };
         let (r_par, v_par) = run(true);
@@ -1673,7 +971,10 @@ mod parallel_tests {
                 &RaceKernel { table },
                 &[s],
                 LaunchConfig::new(4, 32),
-                &BigKernelConfig { parallel_blocks: parallel, ..BigKernelConfig::default() },
+                &BigKernelConfig {
+                    parallel_blocks: parallel,
+                    ..BigKernelConfig::default()
+                },
             );
             (r, m.gmem.read_u64(table, 0), m.gmem.read_u64(table, 8))
         };
@@ -1687,7 +988,10 @@ mod parallel_tests {
         // In the first wave every concurrently simulated block except the
         // first observes stale state and must re-execute in order.
         let first_wave_blocks = r_par.metrics.get("launch.active_blocks").min(4);
-        assert_eq!(r_par.metrics.get("parallel.replay_conflicts"), first_wave_blocks - 1);
+        assert_eq!(
+            r_par.metrics.get("parallel.replay_conflicts"),
+            first_wave_blocks - 1
+        );
     }
 
     /// Hands out sequence slots by consuming `atomic_add` return values —
@@ -1713,7 +1017,12 @@ mod parallel_tests {
                 return;
             }
             let slot = ctx.dev_atomic_add_u32(self.table, 0, 1);
-            ctx.dev_write(self.table, 8 + 4 * slot as u64, 4, (ctx.thread_id() + 1) as u64);
+            ctx.dev_write(
+                self.table,
+                8 + 4 * slot as u64,
+                4,
+                (ctx.thread_id() + 1) as u64,
+            );
         }
     }
 
@@ -1729,7 +1038,10 @@ mod parallel_tests {
                 &TicketKernel { table },
                 &[s],
                 LaunchConfig::new(2, 32),
-                &BigKernelConfig { parallel_blocks: parallel, ..BigKernelConfig::default() },
+                &BigKernelConfig {
+                    parallel_blocks: parallel,
+                    ..BigKernelConfig::default()
+                },
             );
             let slots: Vec<u32> = (0..64).map(|i| m.gmem.read_u32(table, 8 + 4 * i)).collect();
             (r, m.gmem.read_u32(table, 0), slots)
@@ -1750,20 +1062,45 @@ mod parallel_tests {
 #[cfg(test)]
 mod bound_counter_tests {
     use super::*;
+    use crate::ctx::AddrGenCtx;
     use crate::kernel::{KernelCtx, ValueExt};
     use crate::stream::{StreamArray, StreamId};
 
     #[test]
     fn labels_cover_every_stage() {
-        assert_eq!(bound_counter("addr-gen", "pcie-zerocopy"), "bound.addr-gen.pcie-zerocopy");
-        assert_eq!(bound_counter("assemble", "cpu-dram-bw"), "bound.assemble.cpu-dram-bw");
-        assert_eq!(bound_counter("transfer", "dma-bandwidth"), "bound.transfer.dma-bandwidth");
-        assert_eq!(bound_counter("transfer", "dma-latency"), "bound.transfer.dma-latency");
+        assert_eq!(
+            bound_counter("addr-gen", "pcie-zerocopy"),
+            "bound.addr-gen.pcie-zerocopy"
+        );
+        assert_eq!(
+            bound_counter("assemble", "cpu-dram-bw"),
+            "bound.assemble.cpu-dram-bw"
+        );
+        assert_eq!(
+            bound_counter("transfer", "dma-bandwidth"),
+            "bound.transfer.dma-bandwidth"
+        );
+        assert_eq!(
+            bound_counter("transfer", "dma-latency"),
+            "bound.transfer.dma-latency"
+        );
         assert_eq!(bound_counter("compute", "gpu-mem"), "bound.compute.gpu-mem");
-        assert_eq!(bound_counter("wb-xfer", "dma-bandwidth"), "bound.wb-xfer.dma-bandwidth");
-        assert_eq!(bound_counter("wb-xfer", "dma-latency"), "bound.wb-xfer.dma-latency");
-        assert_eq!(bound_counter("wb-apply", "cpu-issue"), "bound.wb-apply.cpu-issue");
-        assert_eq!(bound_counter("wb-apply", "cpu-dram-latency"), "bound.wb-apply.cpu-dram-latency");
+        assert_eq!(
+            bound_counter("wb-xfer", "dma-bandwidth"),
+            "bound.wb-xfer.dma-bandwidth"
+        );
+        assert_eq!(
+            bound_counter("wb-xfer", "dma-latency"),
+            "bound.wb-xfer.dma-latency"
+        );
+        assert_eq!(
+            bound_counter("wb-apply", "cpu-issue"),
+            "bound.wb-apply.cpu-issue"
+        );
+        assert_eq!(
+            bound_counter("wb-apply", "cpu-dram-latency"),
+            "bound.wb-apply.cpu-dram-latency"
+        );
     }
 
     /// Unknown pairs no longer vanish silently: debug builds assert (a
@@ -1814,20 +1151,27 @@ mod bound_counter_tests {
         let mut m = Machine::test_platform();
         let region = m.hmem.alloc(2048 * 8);
         let s = StreamArray::map(&m, StreamId(0), region);
-        let cfg = BigKernelConfig { chunk_input_bytes: 4096, ..BigKernelConfig::default() };
+        let cfg = BigKernelConfig {
+            chunk_input_bytes: 4096,
+            ..BigKernelConfig::default()
+        };
         let r = run_bigkernel(&mut m, &ScaleKernel, &[s], LaunchConfig::new(2, 32), &cfg);
         let c = &r.metrics;
         let chunks = r.chunks as u64;
-        let transfer =
-            c.get("bound.transfer.dma-bandwidth") + c.get("bound.transfer.dma-latency");
+        let transfer = c.get("bound.transfer.dma-bandwidth") + c.get("bound.transfer.dma-latency");
         assert!(transfer > 0, "transfer chunks unclassified: {c}");
         let wbx = c.get("bound.wb-xfer.dma-bandwidth") + c.get("bound.wb-xfer.dma-latency");
         assert!(wbx > 0, "wb-xfer chunks unclassified: {c}");
-        let wba = ["cpu-issue", "cpu-dram-bw", "cpu-dram-latency", "cpu-atomic-throughput",
-            "cpu-atomic-contention"]
-            .iter()
-            .map(|b| c.get(bound_counter("wb-apply", b)))
-            .sum::<u64>();
+        let wba = [
+            "cpu-issue",
+            "cpu-dram-bw",
+            "cpu-dram-latency",
+            "cpu-atomic-throughput",
+            "cpu-atomic-contention",
+        ]
+        .iter()
+        .map(|b| c.get(bound_counter("wb-apply", b)))
+        .sum::<u64>();
         assert!(wba > 0, "wb-apply chunks unclassified: {c}");
         assert!(transfer <= chunks && wbx <= chunks && wba <= chunks);
         assert_eq!(c.get("bound.other"), 0, "metrics: {c}");
@@ -1838,6 +1182,7 @@ mod bound_counter_tests {
 mod segmented_pipeline_tests {
     use super::*;
     use crate::config::BigKernelConfig;
+    use crate::ctx::AddrGenCtx;
     use crate::kernel::KernelCtx;
     use crate::stream::{StreamArray, StreamId};
 
@@ -1925,7 +1270,10 @@ mod segmented_pipeline_tests {
         let n = 16 * 1024u64; // 512 KiB, 8 phase flips per lane slice
         let (mut m, stream, expected) = setup(n);
         let acc = m.gmem.alloc(8);
-        let cfg = BigKernelConfig { chunk_input_bytes: 512 * 1024, ..Default::default() };
+        let cfg = BigKernelConfig {
+            chunk_input_bytes: 512 * 1024,
+            ..Default::default()
+        };
         let r = run_bigkernel(&mut m, &PhasedKernel { acc }, &[stream], launch(), &cfg);
         assert_eq!(m.gmem.read_u64(acc, 0), expected, "functional result");
         assert!(
@@ -1938,17 +1286,35 @@ mod segmented_pipeline_tests {
     #[test]
     fn segmented_compression_reduces_addr_traffic_and_never_slows() {
         let n = 16 * 1024u64;
-        let cfg_on = BigKernelConfig { chunk_input_bytes: 512 * 1024, ..Default::default() };
-        let cfg_off = BigKernelConfig { segmented_patterns: false, ..cfg_on.clone() };
+        let cfg_on = BigKernelConfig {
+            chunk_input_bytes: 512 * 1024,
+            ..Default::default()
+        };
+        let cfg_off = BigKernelConfig {
+            segmented_patterns: false,
+            ..cfg_on.clone()
+        };
 
         let (mut m1, s1, e1) = setup(n);
         let acc1 = m1.gmem.alloc(8);
-        let on = run_bigkernel(&mut m1, &PhasedKernel { acc: acc1 }, &[s1], launch(), &cfg_on);
+        let on = run_bigkernel(
+            &mut m1,
+            &PhasedKernel { acc: acc1 },
+            &[s1],
+            launch(),
+            &cfg_on,
+        );
         assert_eq!(m1.gmem.read_u64(acc1, 0), e1);
 
         let (mut m2, s2, e2) = setup(n);
         let acc2 = m2.gmem.alloc(8);
-        let off = run_bigkernel(&mut m2, &PhasedKernel { acc: acc2 }, &[s2], launch(), &cfg_off);
+        let off = run_bigkernel(
+            &mut m2,
+            &PhasedKernel { acc: acc2 },
+            &[s2],
+            launch(),
+            &cfg_off,
+        );
         assert_eq!(m2.gmem.read_u64(acc2, 0), e2);
 
         let b_on = on.metrics.get("addr.encoded_bytes");
@@ -1962,6 +1328,7 @@ mod segmented_pipeline_tests {
 mod validation_tests {
     use super::*;
     use crate::config::BigKernelConfig;
+    use crate::ctx::AddrGenCtx;
     use crate::kernel::KernelCtx;
     use crate::stream::{StreamArray, StreamId};
 

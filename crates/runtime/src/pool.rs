@@ -108,11 +108,23 @@ impl StreamPool {
         b.extend_from_slice(bases);
         t.extend_from_slice(strides);
         w.extend_from_slice(widths);
-        Pattern { streams: s, bases: b, strides: t, widths: w, count }
+        Pattern {
+            streams: s,
+            bases: b,
+            strides: t,
+            widths: w,
+            count,
+        }
     }
 
     pub fn give_pattern(&mut self, p: Pattern) {
-        let Pattern { mut streams, bases, strides, mut widths, .. } = p;
+        let Pattern {
+            mut streams,
+            bases,
+            strides,
+            mut widths,
+            ..
+        } = p;
         streams.clear();
         self.stream_ids.push(streams);
         self.give_u64(bases);
@@ -154,7 +166,11 @@ impl StreamPool {
                 }
                 self.warps.push(warps);
             }
-            ChunkLayout::PerLane { lane_base, lane_len, .. } => {
+            ChunkLayout::PerLane {
+                lane_base,
+                lane_len,
+                ..
+            } => {
                 self.give_u64(lane_base);
                 self.give_u64(lane_len);
             }
@@ -164,7 +180,12 @@ impl StreamPool {
 
     /// Recycle everything an [`AssemblyOutput`] owns.
     pub fn give_output(&mut self, out: AssemblyOutput) {
-        let AssemblyOutput { layout, write_layout, mut bytes, .. } = out;
+        let AssemblyOutput {
+            layout,
+            write_layout,
+            mut bytes,
+            ..
+        } = out;
         bytes.clear();
         self.bytes.push(bytes);
         self.give_layout(layout);
@@ -211,9 +232,17 @@ impl StreamPool {
             }
             self.give_u64(active);
             cursor += off.div_ceil(REGION_ALIGN) * REGION_ALIGN;
-            warps.push(WarpRegion { region_off, step_off, step_width });
+            warps.push(WarpRegion {
+                region_off,
+                step_off,
+                step_width,
+            });
         }
-        ChunkLayout::Interleaved { warps, total_len: cursor, padding }
+        ChunkLayout::Interleaved {
+            warps,
+            total_len: cursor,
+            padding,
+        }
     }
 
     /// Pooled equivalent of [`ChunkLayout::build_per_lane`].
@@ -231,7 +260,11 @@ impl StreamPool {
             lane_len.push(len);
             cursor += len;
         }
-        ChunkLayout::PerLane { lane_base, lane_len, total_len: cursor }
+        ChunkLayout::PerLane {
+            lane_base,
+            lane_len,
+            total_len: cursor,
+        }
     }
 }
 
@@ -263,7 +296,10 @@ pub struct AddrGenScratch {
 
 impl AddrGenScratch {
     pub fn new() -> Self {
-        AddrGenScratch { recorder: AddrRecorder::new(), pool: StreamPool::new() }
+        AddrGenScratch {
+            recorder: AddrRecorder::new(),
+            pool: StreamPool::new(),
+        }
     }
 
     /// Reset the recorder for the next lane. `detect` mirrors
@@ -310,9 +346,12 @@ fn commit_side(
     use crate::pattern::OnlineOutcome;
     if cfg.pattern_recognition {
         let found = match det.finish(buf) {
-            OnlineOutcome::Hit { streams, bases, strides, widths } => {
-                Some(pool.pattern_from(streams, bases, strides, widths, det.len()))
-            }
+            OnlineOutcome::Hit {
+                streams,
+                bases,
+                strides,
+                widths,
+            } => Some(pool.pattern_from(streams, bases, strides, widths, det.len())),
             OnlineOutcome::Offline(r) => r,
             OnlineOutcome::Miss => None,
         };
@@ -354,7 +393,11 @@ mod tests {
     use crate::layout::ChunkLayout;
 
     fn e(off: u64, w: u32) -> AddrEntry {
-        AddrEntry { stream: StreamId(0), offset: off, width: w }
+        AddrEntry {
+            stream: StreamId(0),
+            offset: off,
+            width: w,
+        }
     }
 
     fn record_lane(scratch: &mut AddrGenScratch, detect: bool, entries: &[AddrEntry]) {
@@ -382,8 +425,10 @@ mod tests {
         }
 
         // Irregular short stream → raw miss, buffer contents preserved.
-        let irr: Vec<AddrEntry> =
-            [3u64, 11, 5, 40, 2, 93, 7, 1].iter().map(|&o| e(o * 64, 8)).collect();
+        let irr: Vec<AddrEntry> = [3u64, 11, 5, 40, 2, 93, 7, 1]
+            .iter()
+            .map(|&o| e(o * 64, 8))
+            .collect();
         record_lane(&mut scratch, cfg.pattern_recognition, &irr);
         let (s, c) = scratch.commit_reads(&cfg);
         assert_eq!(c, Compression::Missed);
@@ -409,7 +454,10 @@ mod tests {
     }
 
     fn cfg_no_pr() -> BigKernelConfig {
-        BigKernelConfig { pattern_recognition: false, ..BigKernelConfig::default() }
+        BigKernelConfig {
+            pattern_recognition: false,
+            ..BigKernelConfig::default()
+        }
     }
 
     #[test]
@@ -434,7 +482,9 @@ mod tests {
             .map(|i| {
                 let reads = match i % 3 {
                     0 => AddrStream::Raw(
-                        (0..(i % 7) as u64).map(|k| e(i as u64 * 512 + k * 8, 8)).collect(),
+                        (0..(i % 7) as u64)
+                            .map(|k| e(i as u64 * 512 + k * 8, 8))
+                            .collect(),
                     ),
                     1 => {
                         let v: Vec<AddrEntry> =
@@ -443,7 +493,10 @@ mod tests {
                     }
                     _ => AddrStream::Raw(Vec::new()),
                 };
-                LaneAddrs { reads, writes: AddrStream::Raw(Vec::new()) }
+                LaneAddrs {
+                    reads,
+                    writes: AddrStream::Raw(Vec::new()),
+                }
             })
             .collect();
         let refs: Vec<&AddrStream> = lanes.iter().map(|l| &l.reads).collect();
@@ -451,17 +504,21 @@ mod tests {
 
         fn interleaved_parts(l: &ChunkLayout) -> (&Vec<WarpRegion>, u64, u64) {
             match l {
-                ChunkLayout::Interleaved { warps, total_len, padding } => {
-                    (warps, *total_len, *padding)
-                }
+                ChunkLayout::Interleaved {
+                    warps,
+                    total_len,
+                    padding,
+                } => (warps, *total_len, *padding),
                 other => panic!("expected interleaved, got {other:?}"),
             }
         }
         fn per_lane_parts(l: &ChunkLayout) -> (&Vec<u64>, &Vec<u64>, u64) {
             match l {
-                ChunkLayout::PerLane { lane_base, lane_len, total_len } => {
-                    (lane_base, lane_len, *total_len)
-                }
+                ChunkLayout::PerLane {
+                    lane_base,
+                    lane_len,
+                    total_len,
+                } => (lane_base, lane_len, *total_len),
                 other => panic!("expected per-lane, got {other:?}"),
             }
         }

@@ -1,7 +1,7 @@
 //! Run results: simulated time, per-stage breakdown, counters.
 
 use bk_obs::MetricsRegistry;
-use bk_simcore::{Schedule, SimTime};
+use bk_simcore::{ScheduleView, SimTime};
 
 /// Aggregate statistics for one pipeline stage across a whole run.
 #[derive(Clone, Debug, PartialEq)]
@@ -36,17 +36,33 @@ pub struct RunResult {
 impl RunResult {
     /// Per-stage busy time relative to the busiest stage (paper Fig. 6).
     pub fn relative_stage_times(&self) -> Vec<(&'static str, f64)> {
-        let max =
-            self.stages.iter().map(|s| s.busy).fold(SimTime::ZERO, SimTime::max);
+        let max = self
+            .stages
+            .iter()
+            .map(|s| s.busy)
+            .fold(SimTime::ZERO, SimTime::max);
         self.stages
             .iter()
-            .map(|s| (s.name, if max.is_zero() { 0.0 } else { s.busy.ratio(max) }))
+            .map(|s| {
+                (
+                    s.name,
+                    if max.is_zero() {
+                        0.0
+                    } else {
+                        s.busy.ratio(max)
+                    },
+                )
+            })
             .collect()
     }
 
     /// Busy time of a named stage (zero if absent).
     pub fn stage_busy(&self, name: &str) -> SimTime {
-        self.stages.iter().find(|s| s.name == name).map(|s| s.busy).unwrap_or(SimTime::ZERO)
+        self.stages
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.busy)
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// speedup of this run relative to `other` (>1 means self is faster).
@@ -55,8 +71,9 @@ impl RunResult {
     }
 }
 
-/// Fold a wave's schedule into per-stage totals.
-pub fn accumulate_stage_stats(stats: &mut Vec<StageStat>, schedule: &Schedule) {
+/// Fold a wave's schedule (any [`ScheduleView`] — legacy or graph-based,
+/// whole wave or one device's shard) into per-stage totals.
+pub fn accumulate_stage_stats<S: ScheduleView>(stats: &mut Vec<StageStat>, schedule: &S) {
     if stats.is_empty() {
         for s in 0..schedule.num_stages() {
             stats.push(StageStat {
@@ -66,7 +83,11 @@ pub fn accumulate_stage_stats(stats: &mut Vec<StageStat>, schedule: &Schedule) {
             });
         }
     }
-    assert_eq!(stats.len(), schedule.num_stages(), "stage shape changed between waves");
+    assert_eq!(
+        stats.len(),
+        schedule.num_stages(),
+        "stage shape changed between waves"
+    );
     for (s, st) in stats.iter_mut().enumerate() {
         st.busy += schedule.stage_busy(s);
     }
@@ -91,10 +112,16 @@ mod tests {
         SimTime::from_secs(s)
     }
 
-    fn sample_schedule() -> Schedule {
+    fn sample_schedule() -> pipeline::Schedule {
         let spec = pipeline::PipelineSpec::new(vec![
-            StageDef { name: "a", resource: "ra" },
-            StageDef { name: "b", resource: "rb" },
+            StageDef {
+                name: "a",
+                resource: "ra",
+            },
+            StageDef {
+                name: "b",
+                resource: "rb",
+            },
         ]);
         pipeline::schedule(&spec, &[vec![t(1.0), t(3.0)], vec![t(1.0), t(3.0)]])
     }
@@ -117,8 +144,16 @@ mod tests {
             implementation: "x",
             total: t(10.0),
             stages: vec![
-                StageStat { name: "a", busy: t(2.0), mean: t(1.0) },
-                StageStat { name: "b", busy: t(8.0), mean: t(4.0) },
+                StageStat {
+                    name: "a",
+                    busy: t(2.0),
+                    mean: t(1.0),
+                },
+                StageStat {
+                    name: "b",
+                    busy: t(8.0),
+                    mean: t(4.0),
+                },
             ],
             metrics: MetricsRegistry::new(),
             chunks: 2,

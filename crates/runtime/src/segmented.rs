@@ -110,7 +110,11 @@ impl SegmentedStream {
     /// Iterate all entries in order, piece by piece, without the per-entry
     /// binary search of [`SegmentedStream::entry`].
     pub fn iter(&self) -> SegmentedIter<'_> {
-        SegmentedIter { outer: self.pieces.iter(), cur: None, remaining: self.total }
+        SegmentedIter {
+            outer: self.pieces.iter(),
+            cur: None,
+            remaining: self.total,
+        }
     }
 
     /// Fraction of accesses covered by pattern pieces.
@@ -121,7 +125,13 @@ impl SegmentedStream {
         let patterned: usize = self
             .pieces
             .iter()
-            .map(|(_, p)| if matches!(p, Piece::Pattern(_)) { p.len() } else { 0 })
+            .map(|(_, p)| {
+                if matches!(p, Piece::Pattern(_)) {
+                    p.len()
+                } else {
+                    0
+                }
+            })
             .sum();
         patterned as f64 / self.total as f64
     }
@@ -226,7 +236,10 @@ pub fn detect_segmented(entries: &[AddrEntry], max_period: usize) -> Option<Segm
     if pieces.len() == 1 && matches!(pieces[0].1, Piece::Raw(_)) {
         return None;
     }
-    Some(SegmentedStream { pieces, total: entries.len() })
+    Some(SegmentedStream {
+        pieces,
+        total: entries.len(),
+    })
 }
 
 fn pattern_matches_at(p: &Pattern, k: usize, e: &AddrEntry) -> bool {
@@ -241,7 +254,11 @@ mod tests {
     use crate::stream::StreamId;
 
     fn e(off: u64, w: u32) -> AddrEntry {
-        AddrEntry { stream: StreamId(0), offset: off, width: w }
+        AddrEntry {
+            stream: StreamId(0),
+            offset: off,
+            width: w,
+        }
     }
 
     fn seq(start: u64, stride: u64, w: u32, n: usize) -> Vec<AddrEntry> {
@@ -285,8 +302,9 @@ mod tests {
 
     #[test]
     fn fully_irregular_stream_returns_none() {
-        let entries: Vec<AddrEntry> =
-            (0..200u64).map(|i| e((i.wrapping_mul(0x9E3779B9)) % (1 << 20), 8)).collect();
+        let entries: Vec<AddrEntry> = (0..200u64)
+            .map(|i| e((i.wrapping_mul(0x9E3779B9)) % (1 << 20), 8))
+            .collect();
         assert!(detect_segmented(&entries, 8).is_none());
     }
 
@@ -311,9 +329,9 @@ mod tests {
         let mut entries = Vec::new();
         for phase in 0..8u64 {
             entries.extend(seq(phase << 22, 8, 8, 20));
-            entries.extend((0..20u64).map(|i| {
-                e(((i + phase).wrapping_mul(2654435761)) % (1 << 20), 8)
-            }));
+            entries.extend(
+                (0..20u64).map(|i| e(((i + phase).wrapping_mul(2654435761)) % (1 << 20), 8)),
+            );
         }
         assert!(detect_segmented(&entries, 8).is_none());
     }
@@ -349,10 +367,10 @@ mod proptests {
     fn arb_phased() -> impl Strategy<Value = Vec<AddrEntry>> {
         proptest::collection::vec(
             (
-                0u64..(1 << 20),                                         // phase base
-                1u64..64,                                                // stride
-                proptest::sample::select(vec![1u32, 2, 4, 8]),           // width
-                (MIN_SEGMENT as u64)..200,                               // length
+                0u64..(1 << 20),                               // phase base
+                1u64..64,                                      // stride
+                proptest::sample::select(vec![1u32, 2, 4, 8]), // width
+                (MIN_SEGMENT as u64)..200,                     // length
             ),
             1..4,
         )

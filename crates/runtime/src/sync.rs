@@ -46,7 +46,7 @@ const CPU_POLL: SimTime = SimTime::ZERO; // folded into flag latency below
 
 /// Compute the per-chunk sync costs for one thread block.
 pub fn per_chunk(machine: &Machine, mode: SyncMode) -> SyncCosts {
-    let gpu = &machine.gpu;
+    let gpu = machine.gpu();
     let link = &machine.link;
     let barrier = gpu.clock.cycles(gpu.barrier_cycles);
 
@@ -83,7 +83,7 @@ mod tests {
         let c = per_chunk(&m, SyncMode::IterationBarrier);
         assert!(c.addr_gen > SimTime::ZERO);
         assert!(c.compute > c.addr_gen); // pays two barriers + flag
-        // Sync must stay tiny relative to a ~1 ms chunk.
+                                         // Sync must stay tiny relative to a ~1 ms chunk.
         assert!(c.total().secs() < 100e-6, "{}", c.total());
     }
 

@@ -17,13 +17,15 @@
 //!   synthetic data generators.
 
 pub mod pipeline;
-pub mod roofline;
 pub mod rng;
+pub mod roofline;
 pub mod stats;
 pub mod time;
 
-pub use pipeline::{PipelineSpec, ReuseEdge, Schedule, SlotMeta, StageDef, StallKind};
-pub use roofline::RooflineTerms;
+pub use pipeline::{
+    PipelineSpec, ReuseEdge, Schedule, ScheduleView, SlotMeta, StageDef, StallKind,
+};
 pub use rng::{SplitMix64, Zipf};
+pub use roofline::RooflineTerms;
 pub use stats::Counters;
 pub use time::{Bandwidth, Frequency, SimTime};

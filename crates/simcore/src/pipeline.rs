@@ -54,7 +54,10 @@ pub struct PipelineSpec {
 
 impl PipelineSpec {
     pub fn new(stages: Vec<StageDef>) -> Self {
-        PipelineSpec { stages, reuse: Vec::new() }
+        PipelineSpec {
+            stages,
+            reuse: Vec::new(),
+        }
     }
 
     /// Add a buffer-reuse edge. Panics if stage indices are out of range or
@@ -64,7 +67,11 @@ impl PipelineSpec {
         assert!(producer < self.stages.len(), "producer index out of range");
         assert!(consumer < self.stages.len(), "consumer index out of range");
         assert!(depth > 0, "reuse depth must be >= 1");
-        self.reuse.push(ReuseEdge { producer, consumer, depth });
+        self.reuse.push(ReuseEdge {
+            producer,
+            consumer,
+            depth,
+        });
         self
     }
 
@@ -201,6 +208,57 @@ impl Schedule {
     }
 }
 
+/// Read-only view of a computed schedule: the accessor surface shared by
+/// [`Schedule`] and any other scheduler producing the same slot/meta shape
+/// (e.g. the stage-graph executor in `bk-runtime`). Observability and
+/// stage-stat accumulation are written against this trait, so every
+/// scheduler feeds the same spans, stall counters and reports.
+pub trait ScheduleView {
+    fn num_chunks(&self) -> usize;
+    fn num_stages(&self) -> usize;
+    fn slot(&self, chunk: usize, stage: usize) -> Slot;
+    fn stage_name(&self, stage: usize) -> &'static str;
+    /// Resource the stage was mapped to (one trace track per resource).
+    fn stage_resource(&self, stage: usize) -> ResourceId;
+    fn slot_meta(&self, chunk: usize, stage: usize) -> SlotMeta;
+    /// Total time from the first stage start (t=0) to the last finish.
+    fn makespan(&self) -> SimTime;
+
+    /// Total busy time of a stage across all chunks.
+    fn stage_busy(&self, stage: usize) -> SimTime {
+        (0..self.num_chunks())
+            .map(|c| self.slot(c, stage).duration())
+            .sum()
+    }
+}
+
+impl ScheduleView for Schedule {
+    fn num_chunks(&self) -> usize {
+        Schedule::num_chunks(self)
+    }
+    fn num_stages(&self) -> usize {
+        Schedule::num_stages(self)
+    }
+    fn slot(&self, chunk: usize, stage: usize) -> Slot {
+        Schedule::slot(self, chunk, stage)
+    }
+    fn stage_name(&self, stage: usize) -> &'static str {
+        Schedule::stage_name(self, stage)
+    }
+    fn stage_resource(&self, stage: usize) -> ResourceId {
+        Schedule::stage_resource(self, stage)
+    }
+    fn slot_meta(&self, chunk: usize, stage: usize) -> SlotMeta {
+        Schedule::slot_meta(self, chunk, stage)
+    }
+    fn makespan(&self) -> SimTime {
+        Schedule::makespan(self)
+    }
+    fn stage_busy(&self, stage: usize) -> SimTime {
+        Schedule::stage_busy(self, stage)
+    }
+}
+
 /// Compute the schedule for `durations[chunk][stage]`.
 ///
 /// ```
@@ -221,7 +279,11 @@ impl Schedule {
 pub fn schedule(spec: &PipelineSpec, durations: &[Vec<SimTime>]) -> Schedule {
     let ns = spec.num_stages();
     for (i, row) in durations.iter().enumerate() {
-        assert_eq!(row.len(), ns, "chunk {i} has wrong number of stage durations");
+        assert_eq!(
+            row.len(),
+            ns,
+            "chunk {i} has wrong number of stage durations"
+        );
     }
 
     let mut resource_free: HashMap<ResourceId, SimTime> = HashMap::new();
@@ -234,7 +296,11 @@ pub fn schedule(spec: &PipelineSpec, durations: &[Vec<SimTime>]) -> Schedule {
         for (stage, &dur) in row.iter().enumerate() {
             let mut start = SimTime::ZERO;
             // 1. dataflow within the chunk
-            let dataflow = if stage > 0 { chunk_slots[stage - 1].finish } else { SimTime::ZERO };
+            let dataflow = if stage > 0 {
+                chunk_slots[stage - 1].finish
+            } else {
+                SimTime::ZERO
+            };
             start = start.max(dataflow);
             // 2. resource availability (in-order issue). Zero-duration
             // stages are no-ops: they neither wait for nor occupy their
@@ -270,7 +336,9 @@ pub fn schedule(spec: &PipelineSpec, durations: &[Vec<SimTime>]) -> Schedule {
             let kind = if stalled.is_zero() {
                 None
             } else if reuse_ready >= res_ready {
-                Some(StallKind::Reuse { consumer: reuse_consumer })
+                Some(StallKind::Reuse {
+                    consumer: reuse_consumer,
+                })
             } else {
                 Some(StallKind::Resource(res))
             };
@@ -279,7 +347,10 @@ pub fn schedule(spec: &PipelineSpec, durations: &[Vec<SimTime>]) -> Schedule {
                 resource_free.insert(res, finish);
             }
             chunk_slots.push(Slot { start, finish });
-            chunk_meta.push(SlotMeta { kind, stall: stalled });
+            chunk_meta.push(SlotMeta {
+                kind,
+                stall: stalled,
+            });
         }
         slots.push(chunk_slots);
         meta.push(chunk_meta);
@@ -303,7 +374,13 @@ pub fn schedule(spec: &PipelineSpec, durations: &[Vec<SimTime>]) -> Schedule {
 /// one shared resource in order (this models the single-buffer baseline).
 pub fn serialize_all(names: &[&'static str], durations: &[Vec<SimTime>]) -> Schedule {
     let spec = PipelineSpec::new(
-        names.iter().map(|&n| StageDef { name: n, resource: "serial" }).collect(),
+        names
+            .iter()
+            .map(|&n| StageDef {
+                name: n,
+                resource: "serial",
+            })
+            .collect(),
     );
     schedule(&spec, durations)
 }
@@ -318,8 +395,14 @@ mod tests {
 
     fn two_stage_spec() -> PipelineSpec {
         PipelineSpec::new(vec![
-            StageDef { name: "xfer", resource: "dma" },
-            StageDef { name: "comp", resource: "gpu" },
+            StageDef {
+                name: "xfer",
+                resource: "dma",
+            },
+            StageDef {
+                name: "comp",
+                resource: "gpu",
+            },
         ])
     }
 
@@ -378,8 +461,14 @@ mod tests {
     fn resource_sharing_serializes_stages() {
         // Both stages on the same resource → no overlap even across chunks.
         let spec = PipelineSpec::new(vec![
-            StageDef { name: "a", resource: "r" },
-            StageDef { name: "b", resource: "r" },
+            StageDef {
+                name: "a",
+                resource: "r",
+            },
+            StageDef {
+                name: "b",
+                resource: "r",
+            },
         ]);
         let d = vec![vec![t(1.0), t(1.0)]; 3];
         let s = schedule(&spec, &d);
@@ -391,10 +480,22 @@ mod tests {
         // addr-gen / assemble / xfer / compute on distinct resources with the
         // paper's depth-3 reuse: steady state throughput = max stage time.
         let spec = PipelineSpec::new(vec![
-            StageDef { name: "addrgen", resource: "gpu_ag" },
-            StageDef { name: "assemble", resource: "cpu" },
-            StageDef { name: "xfer", resource: "dma" },
-            StageDef { name: "compute", resource: "gpu_c" },
+            StageDef {
+                name: "addrgen",
+                resource: "gpu_ag",
+            },
+            StageDef {
+                name: "assemble",
+                resource: "cpu",
+            },
+            StageDef {
+                name: "xfer",
+                resource: "dma",
+            },
+            StageDef {
+                name: "compute",
+                resource: "gpu_c",
+            },
         ])
         .with_reuse(0, 3, 3);
         let n = 50;
@@ -402,7 +503,11 @@ mod tests {
         let s = schedule(&spec, &d);
         // Steady state: one chunk per 1.0s (compute-bound); fill = 0.2+0.5+0.4.
         let expect = 0.2 + 0.5 + 0.4 + n as f64 * 1.0;
-        assert!((s.makespan().secs() - expect).abs() < 1e-9, "{}", s.makespan());
+        assert!(
+            (s.makespan().secs() - expect).abs() < 1e-9,
+            "{}",
+            s.makespan()
+        );
         let rel = s.relative_stage_times();
         assert_eq!(rel[3].1, 1.0);
         assert!((rel[0].1 - 0.2).abs() < 1e-12);
@@ -445,14 +550,27 @@ mod tests {
         // with stage 0 but has zero duration — it must not delay stage 0 of
         // later chunks.
         let spec = PipelineSpec::new(vec![
-            StageDef { name: "xfer", resource: "dma" },
-            StageDef { name: "comp", resource: "gpu" },
-            StageDef { name: "wb", resource: "dma" },
+            StageDef {
+                name: "xfer",
+                resource: "dma",
+            },
+            StageDef {
+                name: "comp",
+                resource: "gpu",
+            },
+            StageDef {
+                name: "wb",
+                resource: "dma",
+            },
         ]);
         let d = vec![vec![t(1.0), t(5.0), t(0.0)]; 3];
         let s = schedule(&spec, &d);
         // xfer fully overlaps compute: makespan = 1 + 3*5.
-        assert!((s.makespan().secs() - 16.0).abs() < 1e-9, "{}", s.makespan());
+        assert!(
+            (s.makespan().secs() - 16.0).abs() < 1e-9,
+            "{}",
+            s.makespan()
+        );
     }
 
     #[test]
@@ -461,12 +579,22 @@ mod tests {
         // chunk 0 via dataflow (no stall), but "a" of chunk 1 waits for the
         // shared resource to drain "b" of chunk 0.
         let spec = PipelineSpec::new(vec![
-            StageDef { name: "a", resource: "r" },
-            StageDef { name: "b", resource: "r" },
+            StageDef {
+                name: "a",
+                resource: "r",
+            },
+            StageDef {
+                name: "b",
+                resource: "r",
+            },
         ]);
         let s = schedule(&spec, &vec![vec![t(1.0), t(1.0)]; 2]);
         assert_eq!(s.slot_meta(0, 0).kind, None);
-        assert_eq!(s.slot_meta(0, 1).kind, None, "dataflow waits are not stalls");
+        assert_eq!(
+            s.slot_meta(0, 1).kind,
+            None,
+            "dataflow waits are not stalls"
+        );
         let m = s.slot_meta(1, 0);
         assert_eq!(m.kind, Some(StallKind::Resource("r")));
         assert!((m.stall.secs() - 2.0).abs() < 1e-12);
@@ -495,7 +623,11 @@ mod tests {
         for c in 0..s.num_chunks() {
             for st in 0..s.num_stages() {
                 let m = s.slot_meta(c, st);
-                let df = if st > 0 { s.slot(c, st - 1).finish } else { SimTime::ZERO };
+                let df = if st > 0 {
+                    s.slot(c, st - 1).finish
+                } else {
+                    SimTime::ZERO
+                };
                 let gap = s.slot(c, st).start.saturating_sub(df);
                 assert_eq!(m.stall, gap);
                 assert_eq!(m.kind.is_some(), !gap.is_zero(), "chunk {c} stage {st}");
@@ -518,23 +650,35 @@ mod proptests {
     use crate::time::SimTime;
     use proptest::prelude::*;
 
-    fn arb_durations(
-        max_chunks: usize,
-        stages: usize,
-    ) -> impl Strategy<Value = Vec<Vec<SimTime>>> {
+    fn arb_durations(max_chunks: usize, stages: usize) -> impl Strategy<Value = Vec<Vec<SimTime>>> {
         proptest::collection::vec(
-            proptest::collection::vec(0u32..1000, stages)
-                .prop_map(|row| row.into_iter().map(|d| SimTime::from_micros(d as f64)).collect()),
+            proptest::collection::vec(0u32..1000, stages).prop_map(|row| {
+                row.into_iter()
+                    .map(|d| SimTime::from_micros(d as f64))
+                    .collect()
+            }),
             1..max_chunks,
         )
     }
 
     fn bigkernel_spec(depth: usize) -> PipelineSpec {
         PipelineSpec::new(vec![
-            StageDef { name: "ag", resource: "gpu-ag" },
-            StageDef { name: "asm", resource: "cpu" },
-            StageDef { name: "xfer", resource: "dma" },
-            StageDef { name: "comp", resource: "gpu" },
+            StageDef {
+                name: "ag",
+                resource: "gpu-ag",
+            },
+            StageDef {
+                name: "asm",
+                resource: "cpu",
+            },
+            StageDef {
+                name: "xfer",
+                resource: "dma",
+            },
+            StageDef {
+                name: "comp",
+                resource: "gpu",
+            },
         ])
         .with_reuse(0, 3, depth)
     }
@@ -647,7 +791,13 @@ impl Schedule {
                 String::from_utf8(row).expect("ascii"),
             );
         }
-        let _ = writeln!(out, "{:>name_w$}  0{:>w$}", "", format!("{}", self.makespan), w = width);
+        let _ = writeln!(
+            out,
+            "{:>name_w$}  0{:>w$}",
+            "",
+            format!("{}", self.makespan),
+            w = width
+        );
         out
     }
 }
@@ -663,8 +813,14 @@ mod gantt_tests {
     #[test]
     fn gantt_shows_overlap() {
         let spec = PipelineSpec::new(vec![
-            StageDef { name: "xfer", resource: "dma" },
-            StageDef { name: "comp", resource: "gpu" },
+            StageDef {
+                name: "xfer",
+                resource: "dma",
+            },
+            StageDef {
+                name: "comp",
+                resource: "gpu",
+            },
         ]);
         let s = schedule(&spec, &vec![vec![t(1.0), t(1.0)]; 3]);
         let g = s.gantt(40);
@@ -680,7 +836,10 @@ mod gantt_tests {
 
     #[test]
     fn empty_schedule_renders_empty() {
-        let spec = PipelineSpec::new(vec![StageDef { name: "a", resource: "r" }]);
+        let spec = PipelineSpec::new(vec![StageDef {
+            name: "a",
+            resource: "r",
+        }]);
         let s = schedule(&spec, &[]);
         assert!(s.gantt(20).is_empty());
     }

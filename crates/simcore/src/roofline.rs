@@ -88,7 +88,8 @@ mod tests {
     #[test]
     fn fixed_overheads_accumulate() {
         let mut r = RooflineTerms::new();
-        r.fixed(SimTime::from_secs(0.1)).fixed(SimTime::from_secs(0.2));
+        r.fixed(SimTime::from_secs(0.1))
+            .fixed(SimTime::from_secs(0.2));
         assert!((r.duration().secs() - 0.3).abs() < 1e-12);
         assert!((r.fixed_total().secs() - 0.3).abs() < 1e-12);
     }
@@ -96,7 +97,8 @@ mod tests {
     #[test]
     fn dominant_prefers_later_on_tie_is_still_a_max() {
         let mut r = RooflineTerms::new();
-        r.bound("a", SimTime::from_secs(1.0)).bound("b", SimTime::from_secs(1.0));
+        r.bound("a", SimTime::from_secs(1.0))
+            .bound("b", SimTime::from_secs(1.0));
         // max_by_key returns the last max — either label is acceptable; the
         // duration must be exactly the tied value.
         assert_eq!(r.duration().secs(), 1.0);

@@ -288,7 +288,11 @@ mod tests {
     fn simtime_sum_and_ordering() {
         let total: SimTime = (1..=4).map(|i| SimTime::from_secs(i as f64)).sum();
         assert_eq!(total.secs(), 10.0);
-        let mut v = [SimTime::from_secs(3.0), SimTime::ZERO, SimTime::from_secs(1.0)];
+        let mut v = [
+            SimTime::from_secs(3.0),
+            SimTime::ZERO,
+            SimTime::from_secs(1.0),
+        ];
         v.sort();
         assert_eq!(v[0], SimTime::ZERO);
         assert_eq!(v[2].secs(), 3.0);

@@ -86,16 +86,29 @@ fn main() {
     // The "compiler": derive the address slice mechanically.
     let kernel = IrKernel::compile(classify_ir(cut0, cut1), vec![counts])
         .expect("classify kernel has no indirections — sliceable");
-    println!("address slice derived: {} statements (from {} in the full kernel)",
+    println!(
+        "address slice derived: {} statements (from {} in the full kernel)",
         kernel.address_slice().body.len(),
-        classify_ir(cut0, cut1).body.len());
-    println!("\n--- full kernel ---\n{}", bk_kernelc::kernel_to_string(&classify_ir(cut0, cut1)));
-    println!("--- derived address slice ---\n{}", bk_kernelc::kernel_to_string(kernel.address_slice()));
+        classify_ir(cut0, cut1).body.len()
+    );
+    println!(
+        "\n--- full kernel ---\n{}",
+        bk_kernelc::kernel_to_string(&classify_ir(cut0, cut1))
+    );
+    println!(
+        "--- derived address slice ---\n{}",
+        bk_kernelc::kernel_to_string(kernel.address_slice())
+    );
 
     let cfg = BigKernelConfig::default();
     assert!(cfg.verify_reads, "FIFO cross-check stays on");
-    let result =
-        run_bigkernel(&mut machine, &kernel, &[stream], LaunchConfig::new(16, 128), &cfg);
+    let result = run_bigkernel(
+        &mut machine,
+        &kernel,
+        &[stream],
+        LaunchConfig::new(16, 128),
+        &cfg,
+    );
 
     let mut got = [0u64; 3];
     for (c, slot) in got.iter_mut().enumerate() {
@@ -109,10 +122,18 @@ fn main() {
         assert_eq!(machine.hmem.read_u64(region, r * 32 + 8), cls);
     }
 
-    println!("class counts: low={} mid={} high={}", got[0], got[1], got[2]);
-    println!("simulated time: {} over {} chunks", result.total, result.chunks);
-    println!("patterns found: {} (the sliced loop is perfectly periodic)",
-        result.metrics.get("addr.patterns_found"));
+    println!(
+        "class counts: low={} mid={} high={}",
+        got[0], got[1], got[2]
+    );
+    println!(
+        "simulated time: {} over {} chunks",
+        result.total, result.chunks
+    );
+    println!(
+        "patterns found: {} (the sliced loop is perfectly periodic)",
+        result.metrics.get("addr.patterns_found")
+    );
     println!("\nevery compute-stage access was verified against the compiler-derived");
     println!("address stream — the transformation is machine-checked end to end.");
 }

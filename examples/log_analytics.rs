@@ -136,7 +136,11 @@ fn run(bytes: u64, bigkernel: bool) -> ([u64; 24], bk_simcore::SimTime) {
     let region = machine.hmem.alloc_from(&log);
     let stream = StreamArray::map(&machine, StreamId(0), region);
     let histogram = machine.gmem.alloc(24 * 8);
-    let kernel = LogHistogramKernel { histogram, severity: b'E', len: bytes };
+    let kernel = LogHistogramKernel {
+        histogram,
+        severity: b'E',
+        len: bytes,
+    };
     let launch = LaunchConfig::new(16, 128);
 
     let total = if bigkernel {
@@ -146,7 +150,10 @@ fn run(bytes: u64, bigkernel: bool) -> ([u64; 24], bk_simcore::SimTime) {
         };
         run_bigkernel(&mut machine, &kernel, &[stream], launch, &cfg).total
     } else {
-        let cfg = BaselineConfig { window_bytes: bytes / 12, ..BaselineConfig::default() };
+        let cfg = BaselineConfig {
+            window_bytes: bytes / 12,
+            ..BaselineConfig::default()
+        };
         run_gpu_double_buffer(&mut machine, &kernel, &[stream], launch, &cfg).total
     };
 
@@ -161,18 +168,26 @@ fn run(bytes: u64, bigkernel: bool) -> ([u64; 24], bk_simcore::SimTime) {
 
 fn main() {
     let bytes = 16 << 20;
-    println!("scanning a {} MiB access log for severity-E lines...", bytes >> 20);
+    println!(
+        "scanning a {} MiB access log for severity-E lines...",
+        bytes >> 20
+    );
     let (hist, t_bk) = run(bytes, true);
     let (_, t_db) = run(bytes, false);
     let total: u64 = hist.iter().sum();
-    println!("{total} error lines; busiest hour = {:02}:00", hist
-        .iter()
-        .enumerate()
-        .max_by_key(|&(_, c)| c)
-        .map(|(h, _)| h)
-        .unwrap());
+    println!(
+        "{total} error lines; busiest hour = {:02}:00",
+        hist.iter()
+            .enumerate()
+            .max_by_key(|&(_, c)| c)
+            .map(|(h, _)| h)
+            .unwrap()
+    );
     println!("bigkernel     : {t_bk}");
-    println!("double-buffer : {t_db}  ({:.2}x vs bigkernel)", t_db.ratio(t_bk));
+    println!(
+        "double-buffer : {t_db}  ({:.2}x vs bigkernel)",
+        t_db.ratio(t_bk)
+    );
     println!("\n(both runs produced identical histograms; the BigKernel run was");
     println!(" verified access-by-access against its address slice)");
 }

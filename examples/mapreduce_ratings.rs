@@ -71,9 +71,22 @@ fn generate(machine: &mut Machine, n: u64, seed: u64) -> Vec<StreamArray> {
 fn averages(engine: &Engine, n: u64) -> (BTreeMap<u64, f64>, f64) {
     let mut machine = Machine::paper_platform();
     let streams = generate(&mut machine, n, 2024);
-    let sums = run_mapreduce(&mut machine, &RatingJob, &streams, MOVIES, ReduceOp::Sum, engine);
-    let counts =
-        run_mapreduce(&mut machine, &RatingJob, &streams, MOVIES, ReduceOp::Count, engine);
+    let sums = run_mapreduce(
+        &mut machine,
+        &RatingJob,
+        &streams,
+        MOVIES,
+        ReduceOp::Sum,
+        engine,
+    );
+    let counts = run_mapreduce(
+        &mut machine,
+        &RatingJob,
+        &streams,
+        MOVIES,
+        ReduceOp::Count,
+        engine,
+    );
     let count_map: BTreeMap<u64, u64> = counts.pairs.iter().copied().collect();
     let avgs = sums
         .pairs
@@ -88,7 +101,10 @@ fn main() {
     println!("averaging {n} ratings over {MOVIES} movies (two MapReduce passes)...");
 
     let bk_engine = Engine::BigKernel(
-        BigKernelConfig { chunk_input_bytes: 128 * 1024, ..BigKernelConfig::default() },
+        BigKernelConfig {
+            chunk_input_bytes: 128 * 1024,
+            ..BigKernelConfig::default()
+        },
         LaunchConfig::new(16, 128),
     );
     let cpu_engine = Engine::CpuMultithreaded;
@@ -101,8 +117,16 @@ fn main() {
         .iter()
         .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
         .unwrap();
-    println!("{} movies rated; best movie id {} with average {:.3}", bk_avgs.len(), top - 1, top_avg);
+    println!(
+        "{} movies rated; best movie id {} with average {:.3}",
+        bk_avgs.len(),
+        top - 1,
+        top_avg
+    );
     println!("bigkernel engine : {:.3} ms (simulated)", bk_time * 1e3);
-    println!("cpu-mt engine    : {:.3} ms (simulated, identical output)", cpu_time * 1e3);
+    println!(
+        "cpu-mt engine    : {:.3} ms (simulated, identical output)",
+        cpu_time * 1e3
+    );
     println!("speedup          : {:.2}x", cpu_time / bk_time);
 }

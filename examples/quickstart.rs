@@ -9,7 +9,10 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use bigkernel::prelude::*;
-use bk_baselines::{run_cpu_multithreaded, run_cpu_serial, run_gpu_double_buffer, run_gpu_single_buffer, BaselineConfig};
+use bk_baselines::{
+    run_cpu_multithreaded, run_cpu_serial, run_gpu_double_buffer, run_gpu_single_buffer,
+    BaselineConfig,
+};
 use bk_runtime::ctx::AddrGenCtx;
 use bk_runtime::{
     run_bigkernel, BigKernelConfig, KernelCtx, LaunchConfig, Machine, StreamArray, StreamId,
@@ -66,7 +69,9 @@ fn build(n: u64) -> (Machine, Vec<StreamArray>, u64) {
     let region = machine.hmem.alloc(n * 8);
     let mut expected = 0u64;
     for i in 0..n {
-        machine.hmem.write_u64(region, i * 8, i * 2654435761 % 1_000_003);
+        machine
+            .hmem
+            .write_u64(region, i * 8, i * 2654435761 % 1_000_003);
         expected = expected.wrapping_add(i * 2654435761 % 1_000_003);
     }
     // streamingMalloc + streamingMap.
@@ -87,26 +92,60 @@ fn main() {
         let acc = machine.gmem.alloc(8);
         let kernel = ChecksumKernel { acc };
         let t = f(&mut machine, &kernel, &streams);
-        assert_eq!(machine.gmem.read_u64(acc, 0), expected, "{name}: wrong checksum");
+        assert_eq!(
+            machine.gmem.read_u64(acc, 0),
+            expected,
+            "{name}: wrong checksum"
+        );
         results.push((name, t));
     };
 
     // ~12 chunk rounds at this size, mirroring HarnessConfig::paper_scaled.
-    let bl = BaselineConfig { window_bytes: (n * 8) / 12, ..BaselineConfig::default() };
+    let bl = BaselineConfig {
+        window_bytes: (n * 8) / 12,
+        ..BaselineConfig::default()
+    };
     let bk = BigKernelConfig {
         chunk_input_bytes: (n * 8) / (16 * 12),
         ..BigKernelConfig::default()
     };
-    run("cpu-serial", &|m, k, s| run_cpu_serial(m, k, s).total, &mut results);
-    run("cpu-multithreaded", &|m, k, s| run_cpu_multithreaded(m, k, s).total, &mut results);
-    run("gpu-single-buffer", &|m, k, s| run_gpu_single_buffer(m, k, s, launch, &bl).total, &mut results);
-    run("gpu-double-buffer", &|m, k, s| run_gpu_double_buffer(m, k, s, launch, &bl).total, &mut results);
-    run("bigkernel", &|m, k, s| run_bigkernel(m, k, s, launch, &bk).total, &mut results);
+    run(
+        "cpu-serial",
+        &|m, k, s| run_cpu_serial(m, k, s).total,
+        &mut results,
+    );
+    run(
+        "cpu-multithreaded",
+        &|m, k, s| run_cpu_multithreaded(m, k, s).total,
+        &mut results,
+    );
+    run(
+        "gpu-single-buffer",
+        &|m, k, s| run_gpu_single_buffer(m, k, s, launch, &bl).total,
+        &mut results,
+    );
+    run(
+        "gpu-double-buffer",
+        &|m, k, s| run_gpu_double_buffer(m, k, s, launch, &bl).total,
+        &mut results,
+    );
+    run(
+        "bigkernel",
+        &|m, k, s| run_bigkernel(m, k, s, launch, &bk).total,
+        &mut results,
+    );
 
     let serial = results[0].1;
-    println!("{:<20} {:>12} {:>9}", "implementation", "sim time", "speedup");
+    println!(
+        "{:<20} {:>12} {:>9}",
+        "implementation", "sim time", "speedup"
+    );
     for (name, t) in &results {
-        println!("{name:<20} {:>12} {:>8.2}x", format!("{t}"), serial.ratio(*t));
+        println!(
+            "{name:<20} {:>12} {:>8.2}x",
+            format!("{t}"),
+            serial.ratio(*t)
+        );
     }
     println!("\nevery implementation produced the identical checksum — the same");
     println!("kernel body ran under five different execution schemes.");

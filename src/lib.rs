@@ -38,9 +38,8 @@ pub mod prelude {
         BaselineConfig, BigKernelVariant, CpuCtx,
     };
     pub use bk_runtime::{
-        run_bigkernel, AddrGenCtx, BigKernelConfig, ComputeCtx, DevBufId, KernelCtx,
-        LaunchConfig, Machine, RunResult, StreamArray, StreamId, StreamKernel, SyncMode,
-        ValueExt,
+        run_bigkernel, AddrGenCtx, BigKernelConfig, ComputeCtx, DevBufId, KernelCtx, LaunchConfig,
+        Machine, RunResult, StreamArray, StreamId, StreamKernel, SyncMode, ValueExt,
     };
     pub use bk_simcore::{Counters, SimTime};
 }
@@ -50,7 +49,7 @@ mod tests {
     #[test]
     fn facade_reexports_are_wired() {
         let m = crate::runtime::Machine::paper_platform();
-        assert_eq!(m.gpu.total_cores(), 1536);
+        assert_eq!(m.gpu().total_cores(), 1536);
         let _ = crate::prelude::BigKernelConfig::default();
     }
 }

@@ -25,11 +25,14 @@ fn kmeans_ir(k: u64) -> KernelIr {
     let (x, y, z, w) = (Var(7), Var(8), Var(9), Var(10));
     let t = Var(11);
 
-    let read_f64 = |off: Expr| -> Expr {
-        Expr::BitsToFloat(Box::new(Expr::stream_read(0, off, 8)))
-    };
+    let read_f64 =
+        |off: Expr| -> Expr { Expr::BitsToFloat(Box::new(Expr::stream_read(0, off, 8))) };
     let dev_f64 = |off: Expr| -> Expr {
-        Expr::BitsToFloat(Box::new(Expr::DevRead { buf: 0, offset: Box::new(off), width: 8 }))
+        Expr::BitsToFloat(Box::new(Expr::DevRead {
+            buf: 0,
+            offset: Box::new(off),
+            width: 8,
+        }))
     };
     let coord_off = |base: Var, f: u64| Expr::add(Expr::var(base), Expr::int(f * 8));
     let centre_off = |f: u64| {
@@ -41,10 +44,16 @@ fn kmeans_ir(k: u64) -> KernelIr {
     // d += (p - centre)^2 for one dimension, accumulated via `t`.
     let dim_term = |p: Var, f: u64| -> Vec<Stmt> {
         vec![
-            Stmt::Assign(t, Expr::bin(BinOp::Sub, Expr::var(p), dev_f64(centre_off(f)))),
+            Stmt::Assign(
+                t,
+                Expr::bin(BinOp::Sub, Expr::var(p), dev_f64(centre_off(f))),
+            ),
             Stmt::Assign(
                 d,
-                Expr::add(Expr::var(d), Expr::bin(BinOp::Mul, Expr::var(t), Expr::var(t))),
+                Expr::add(
+                    Expr::var(d),
+                    Expr::bin(BinOp::Mul, Expr::var(t), Expr::var(t)),
+                ),
             ),
         ]
     };
@@ -125,7 +134,12 @@ fn setup(n: u64, k: u64, seed: u64) -> Setup {
         machine.hmem.write_u64(region, r * RECORD + 32, u64::MAX);
     }
     let stream = StreamArray::map(&machine, StreamId(0), region);
-    Setup { machine, stream, clusters, n }
+    Setup {
+        machine,
+        stream,
+        clusters,
+        n,
+    }
 }
 
 fn upload_clusters(machine: &mut Machine, clusters: &[[f64; 4]]) -> bigkernel::runtime::DevBufId {
@@ -155,16 +169,27 @@ fn compiled_kmeans_matches_the_handwritten_reference() {
         "slice {slice_size} vs full {full_size} statements"
     );
 
-    let cfg = BigKernelConfig { chunk_input_bytes: 32 * 1024, ..BigKernelConfig::default() };
+    let cfg = BigKernelConfig {
+        chunk_input_bytes: 32 * 1024,
+        ..BigKernelConfig::default()
+    };
     assert!(cfg.verify_reads, "FIFO cross-check must stay on");
-    let result =
-        run_bigkernel(&mut s.machine, &kernel, &[s.stream], LaunchConfig::new(2, 32), &cfg);
+    let result = run_bigkernel(
+        &mut s.machine,
+        &kernel,
+        &[s.stream],
+        LaunchConfig::new(2, 32),
+        &cfg,
+    );
 
     // Every record's cid must equal the hand-written app's shared reference.
     for r in 0..s.n {
         let mut p = [0.0f64; 4];
         for (f, v) in p.iter_mut().enumerate() {
-            *v = s.machine.hmem.read_f64(s.stream.region, r * RECORD + f as u64 * 8);
+            *v = s
+                .machine
+                .hmem
+                .read_f64(s.stream.region, r * RECORD + f as u64 * 8);
         }
         let want = closest_cluster(&p, &s.clusters);
         let got = s.machine.hmem.read_u64(s.stream.region, r * RECORD + 32);
@@ -182,12 +207,24 @@ fn compiled_kmeans_runs_on_baselines_too() {
     let mut s = setup(n, k, 13);
     let dev = upload_clusters(&mut s.machine, &s.clusters);
     let kernel = IrKernel::compile(kmeans_ir(k), vec![dev]).unwrap();
-    let cfg = BaselineConfig { window_bytes: 16 * 1024, ..BaselineConfig::default() };
-    run_gpu_double_buffer(&mut s.machine, &kernel, &[s.stream], LaunchConfig::new(1, 32), &cfg);
+    let cfg = BaselineConfig {
+        window_bytes: 16 * 1024,
+        ..BaselineConfig::default()
+    };
+    run_gpu_double_buffer(
+        &mut s.machine,
+        &kernel,
+        &[s.stream],
+        LaunchConfig::new(1, 32),
+        &cfg,
+    );
     for r in 0..s.n {
         let mut p = [0.0f64; 4];
         for (f, v) in p.iter_mut().enumerate() {
-            *v = s.machine.hmem.read_f64(s.stream.region, r * RECORD + f as u64 * 8);
+            *v = s
+                .machine
+                .hmem
+                .read_f64(s.stream.region, r * RECORD + f as u64 * 8);
         }
         assert_eq!(
             s.machine.hmem.read_u64(s.stream.region, r * RECORD + 32),

@@ -99,7 +99,10 @@ fn build_instance(machine: &mut Machine, data: &[u8]) -> (Instance, bigkernel::r
     };
     (
         Instance {
-            kernels: vec![Box::new(MixKernel { table, slots: SLOTS })],
+            kernels: vec![Box::new(MixKernel {
+                table,
+                slots: SLOTS,
+            })],
             streams: vec![stream],
             verify: Box::new(verify),
         },
@@ -200,6 +203,9 @@ fn trailing_partial_record_is_ignored_consistently() {
         (instance.verify)(&machine).unwrap();
         // Reference only covers whole records; stray bytes must be untouched.
         let region = instance.streams[0].region;
-        assert_eq!(machine.hmem.read(region, 10 * REC, 7), &[1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(
+            machine.hmem.read(region, 10 * REC, 7),
+            &[1, 2, 3, 4, 5, 6, 7]
+        );
     }
 }

@@ -80,8 +80,17 @@ fn verify(m: &Machine, streams: &[StreamArray], n: u64) {
 fn three_stream_saxpy_under_bigkernel() {
     let n = 8192u64;
     let (mut m, streams) = setup(n, 5);
-    let cfg = BigKernelConfig { chunk_input_bytes: 16 * 1024, ..BigKernelConfig::default() };
-    let r = run_bigkernel(&mut m, &SaxpyKernel, &streams, LaunchConfig::new(2, 32), &cfg);
+    let cfg = BigKernelConfig {
+        chunk_input_bytes: 16 * 1024,
+        ..BigKernelConfig::default()
+    };
+    let r = run_bigkernel(
+        &mut m,
+        &SaxpyKernel,
+        &streams,
+        LaunchConfig::new(2, 32),
+        &cfg,
+    );
     verify(&m, &streams, n);
     // The (s0, s1) read cycle is a period-2 multi-stream pattern; the s2
     // write cycle is period-1 — both must compress.
@@ -108,7 +117,13 @@ fn volume_reduction_variant_handles_multi_stream() {
         chunk_input_bytes: 16 * 1024,
         ..BigKernelConfig::volume_reduction()
     };
-    run_bigkernel(&mut m, &SaxpyKernel, &streams, LaunchConfig::new(1, 32), &cfg);
+    run_bigkernel(
+        &mut m,
+        &SaxpyKernel,
+        &streams,
+        LaunchConfig::new(1, 32),
+        &cfg,
+    );
     verify(&m, &streams, n);
 }
 
@@ -116,9 +131,18 @@ fn volume_reduction_variant_handles_multi_stream() {
 fn staged_baselines_reject_multi_stream_kernels() {
     use bigkernel::baselines::{run_gpu_double_buffer, BaselineConfig};
     let (mut m, streams) = setup(512, 1);
-    let cfg = BaselineConfig { window_bytes: 2048, ..BaselineConfig::default() };
+    let cfg = BaselineConfig {
+        window_bytes: 2048,
+        ..BaselineConfig::default()
+    };
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        run_gpu_double_buffer(&mut m, &SaxpyKernel, &streams, LaunchConfig::new(1, 32), &cfg);
+        run_gpu_double_buffer(
+            &mut m,
+            &SaxpyKernel,
+            &streams,
+            LaunchConfig::new(1, 32),
+            &cfg,
+        );
     }));
     let err = result.expect_err("staged mode must refuse stream 1 accesses");
     let msg = err

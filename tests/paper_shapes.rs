@@ -45,9 +45,18 @@ fn fig4a_bigkernel_beats_both_buffering_schemes_on_kmeans() {
 
 #[test]
 fn fig4a_bigkernel_wins_on_transfer_bound_apps() {
-    for app in [&Netflix as &(dyn BenchApp + Sync), &DnaAssembly { distinct_fragments: 512 }] {
+    for app in [
+        &Netflix as &(dyn BenchApp + Sync),
+        &DnaAssembly {
+            distinct_fragments: 512,
+        },
+    ] {
         let s = speedups(app);
-        assert!(s[4] >= s[3] * 1.2, "{}: bigkernel {s:?} should clearly beat double", app.spec().name);
+        assert!(
+            s[4] >= s[3] * 1.2,
+            "{}: bigkernel {s:?} should clearly beat double",
+            app.spec().name
+        );
     }
 }
 
@@ -55,14 +64,23 @@ fn fig4a_bigkernel_wins_on_transfer_bound_apps() {
 fn fig4a_compute_dominant_apps_gain_little() {
     // Word Count: computation-dominant (centralized hash table) — BigKernel
     // within +-25% of double buffering, far from the transfer-bound gains.
-    let s = speedups(&WordCount { vocab: 2048, skew: 1.0 });
+    let s = speedups(&WordCount {
+        vocab: 2048,
+        skew: 1.0,
+    });
     let ratio = s[4] / s[3];
-    assert!((0.75..1.6).contains(&ratio), "WC bigkernel/double = {ratio}");
+    assert!(
+        (0.75..1.6).contains(&ratio),
+        "WC bigkernel/double = {ratio}"
+    );
 }
 
 #[test]
 fn fig4a_indexed_affinity_beats_all_gpu_variants_with_bigkernel() {
-    let s = speedups(&AffinityIndexed { merchants: 256, cards: 1024 });
+    let s = speedups(&AffinityIndexed {
+        merchants: 256,
+        cards: 1024,
+    });
     assert!(s[4] > s[3], "indexed: bigkernel {s:?} must beat double");
 }
 
@@ -80,16 +98,31 @@ fn fig5_volume_reduction_helps_partial_readers_not_full_scanners() {
     let volume = r[0].1.total.ratio(r[2].1.total);
     assert!(volume > overlap * 1.3, "netflix: {overlap} -> {volume}");
     // Word Count reads 100%: volume reduction is a no-op.
-    let r = run_all(&WordCount { vocab: 2048, skew: 1.0 }, BYTES, SEED, &cfg(), &imps);
+    let r = run_all(
+        &WordCount {
+            vocab: 2048,
+            skew: 1.0,
+        },
+        BYTES,
+        SEED,
+        &cfg(),
+        &imps,
+    );
     let overlap = r[0].1.total.ratio(r[1].1.total);
     let volume = r[0].1.total.ratio(r[2].1.total);
-    assert!((volume / overlap - 1.0).abs() < 0.15, "wordcount: {overlap} -> {volume}");
+    assert!(
+        (volume / overlap - 1.0).abs() < 0.15,
+        "wordcount: {overlap} -> {volume}"
+    );
 }
 
 #[test]
 fn fig4b_wordcount_is_computation_dominant_in_single_buffer() {
     let r = run_all(
-        &WordCount { vocab: 2048, skew: 1.0 },
+        &WordCount {
+            vocab: 2048,
+            skew: 1.0,
+        },
         BYTES,
         SEED,
         &cfg(),
@@ -99,12 +132,21 @@ fn fig4b_wordcount_is_computation_dominant_in_single_buffer() {
     let comm = r[0].1.stage_busy("stage-pin") + r[0].1.stage_busy("transfer");
     assert!(comp > comm, "WC comp {comp} should dominate comm {comm}");
     // ... and K-means is the opposite (communication-dominant).
-    let r = run_all(&KMeans { k: 16 }, BYTES, SEED, &cfg(), &[Implementation::GpuSingleBuffer]);
+    let r = run_all(
+        &KMeans { k: 16 },
+        BYTES,
+        SEED,
+        &cfg(),
+        &[Implementation::GpuSingleBuffer],
+    );
     let comp = r[0].1.stage_busy("compute");
     let comm = r[0].1.stage_busy("stage-pin")
         + r[0].1.stage_busy("transfer")
         + r[0].1.stage_busy("wb-xfer");
-    assert!(comm > comp, "K-means comm {comm} should dominate comp {comp}");
+    assert!(
+        comm > comp,
+        "K-means comm {comm} should dominate comp {comp}"
+    );
 }
 
 #[test]
@@ -112,12 +154,16 @@ fn table2_pattern_gains_are_largest_for_byte_granular_apps() {
     let run_bk = |app: &(dyn BenchApp + Sync), patterns: bool| {
         let mut c = cfg();
         c.bigkernel.pattern_recognition = patterns;
-        run_all(app, BYTES, SEED, &c, &[Implementation::BigKernel])[0].1.total
+        run_all(app, BYTES, SEED, &c, &[Implementation::BigKernel])[0]
+            .1
+            .total
     };
-    let improvement = |app: &(dyn BenchApp + Sync)| {
-        run_bk(app, false).ratio(run_bk(app, true)) - 1.0
-    };
-    let wc = improvement(&WordCount { vocab: 2048, skew: 1.0 });
+    let improvement =
+        |app: &(dyn BenchApp + Sync)| run_bk(app, false).ratio(run_bk(app, true)) - 1.0;
+    let wc = improvement(&WordCount {
+        vocab: 2048,
+        skew: 1.0,
+    });
     let netflix = improvement(&Netflix);
     // Word Count sends one address per character — the paper's Table II has
     // it far above Netflix (66% vs 3%).
@@ -134,26 +180,38 @@ fn fig6_addr_gen_is_never_the_bottleneck_for_patterned_apps() {
         &KMeans { k: 16 } as &(dyn BenchApp + Sync),
         &Netflix,
         &OpinionFinder { vocab: 512 },
-        &DnaAssembly { distinct_fragments: 512 },
+        &DnaAssembly {
+            distinct_fragments: 512,
+        },
     ] {
         let r = run_all(app, BYTES, SEED, &cfg(), &[Implementation::BigKernel]);
         let rel = r[0].1.relative_stage_times();
         let ag = rel.iter().find(|(n, _)| *n == "addr-gen").unwrap().1;
-        assert!(ag < 1.0, "{}: addr-gen must not be the slowest stage", app.spec().name);
+        assert!(
+            ag < 1.0,
+            "{}: addr-gen must not be the slowest stage",
+            app.spec().name
+        );
     }
 }
 
 #[test]
 fn mastercard_plain_transfers_everything_indexed_does_not() {
     let plain = run_all(
-        &Affinity { merchants: 256, cards: 1024 },
+        &Affinity {
+            merchants: 256,
+            cards: 1024,
+        },
         BYTES,
         SEED,
         &cfg(),
         &[Implementation::BigKernel],
     );
     let indexed = run_all(
-        &AffinityIndexed { merchants: 256, cards: 1024 },
+        &AffinityIndexed {
+            merchants: 256,
+            cards: 1024,
+        },
         BYTES,
         SEED,
         &cfg(),

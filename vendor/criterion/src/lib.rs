@@ -54,7 +54,9 @@ impl Bencher {
         let per_iter = once.max(Duration::from_nanos(1));
         let target = Duration::from_millis(200);
         let iters = (target.as_nanos() / per_iter.as_nanos().max(1)) as u64;
-        let iters = iters.clamp(1, 10 * self.sample_size.max(10)).max(self.sample_size);
+        let iters = iters
+            .clamp(1, 10 * self.sample_size.max(10))
+            .max(self.sample_size);
         let t0 = Instant::now();
         for _ in 0..iters {
             black_box(routine());
@@ -107,7 +109,10 @@ impl Default for Criterion {
         let filter = std::env::args()
             .skip(1)
             .find(|a| !a.starts_with('-') && a != "bench");
-        Criterion { filter, sample_size: 20 }
+        Criterion {
+            filter,
+            sample_size: 20,
+        }
     }
 }
 
@@ -127,7 +132,11 @@ impl Criterion {
     }
 
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { parent: self, name: name.into(), sample_size: None }
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: None,
+        }
     }
 
     fn run_one(&mut self, name: String, sample_size: u64, mut f: impl FnMut(&mut Bencher)) {
@@ -136,14 +145,22 @@ impl Criterion {
                 return;
             }
         }
-        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0, sample_size };
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            sample_size,
+        };
         f(&mut b);
         if b.iters == 0 {
             println!("{name:<48} (no measurement)");
             return;
         }
         let per_iter = b.elapsed / b.iters as u32;
-        println!("{name:<48} {:>12}/iter ({} iters)", fmt_duration(per_iter), b.iters);
+        println!(
+            "{name:<48} {:>12}/iter ({} iters)",
+            fmt_duration(per_iter),
+            b.iters
+        );
     }
 }
 
@@ -198,7 +215,10 @@ mod tests {
 
     #[test]
     fn bench_function_runs_and_reports() {
-        let mut c = Criterion { filter: None, sample_size: 5 };
+        let mut c = Criterion {
+            filter: None,
+            sample_size: 5,
+        };
         let mut runs = 0u64;
         c.bench_function("smoke/add", |b| {
             b.iter(|| {
@@ -211,7 +231,10 @@ mod tests {
 
     #[test]
     fn groups_apply_filter() {
-        let mut c = Criterion { filter: Some("nomatch".into()), sample_size: 5 };
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+            sample_size: 5,
+        };
         let mut ran = false;
         let mut g = c.benchmark_group("g");
         g.sample_size(10);
@@ -222,7 +245,11 @@ mod tests {
 
     #[test]
     fn iter_batched_times_every_sample() {
-        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0, sample_size: 7 };
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            sample_size: 7,
+        };
         let mut setups = 0;
         b.iter_batched(
             || {

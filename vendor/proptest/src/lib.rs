@@ -24,7 +24,9 @@ pub mod test_runner {
     impl TestRng {
         pub fn for_case(case: u32) -> Self {
             // Distinct, well-mixed stream per case index.
-            TestRng { state: 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case as u64 + 1) }
+            TestRng {
+                state: 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case as u64 + 1),
+            }
         }
 
         pub fn next_u64(&mut self) -> u64 {
@@ -51,7 +53,10 @@ pub mod test_runner {
 
     impl Default for Config {
         fn default() -> Self {
-            Config { cases: 64, max_shrink_iters: 0 }
+            Config {
+                cases: 64,
+                max_shrink_iters: 0,
+            }
         }
     }
 
@@ -170,7 +175,10 @@ pub mod strategy {
 
     impl<T> Union<T> {
         pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
-            assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+            assert!(
+                !options.is_empty(),
+                "prop_oneof! needs at least one alternative"
+            );
             Union(options)
         }
     }
@@ -449,9 +457,7 @@ mod tests {
     use crate::prelude::*;
 
     fn composite() -> impl Strategy<Value = (usize, Vec<u64>)> {
-        (1usize..=4).prop_flat_map(|n| {
-            (Just(n), crate::collection::vec(10u64..20, n))
-        })
+        (1usize..=4).prop_flat_map(|n| (Just(n), crate::collection::vec(10u64..20, n)))
     }
 
     proptest! {

@@ -32,7 +32,9 @@ fn default_threads() -> usize {
             }
         }
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// The number of threads parallel iterators will use right now.
@@ -78,7 +80,11 @@ impl ThreadPoolBuilder {
     /// Set the global pool size. Like rayon, the first call wins; later
     /// calls return an error (harmless to ignore).
     pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
-        let n = if self.num_threads == 0 { default_threads() } else { self.num_threads };
+        let n = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        };
         match GLOBAL_THREADS.compare_exchange(0, n, Ordering::Relaxed, Ordering::Relaxed) {
             Ok(_) => Ok(()),
             Err(_) => Err(ThreadPoolBuildError),
@@ -86,7 +92,11 @@ impl ThreadPoolBuilder {
     }
 
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        let n = if self.num_threads == 0 { default_threads() } else { self.num_threads };
+        let n = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        };
         Ok(ThreadPool { num_threads: n })
     }
 }
@@ -168,7 +178,7 @@ fn parallel_indices(len: usize, f: &(impl Fn(usize) + Sync)) {
             });
         }
     });
-    if let Some(p) = payload.into_inner().unwrap().take() {
+    if let Some(p) = payload.into_inner().unwrap() {
         std::panic::resume_unwind(p);
     }
 }
@@ -187,7 +197,10 @@ pub mod iter {
             F: Fn(&'data T) -> R + Sync,
             R: Send,
         {
-            ParMap { items: self.items, f }
+            ParMap {
+                items: self.items,
+                f,
+            }
         }
 
         pub fn for_each<F>(self, f: F)
@@ -222,7 +235,9 @@ pub mod iter {
                 // SAFETY: index i is claimed by exactly one worker.
                 unsafe { *optr.0.add(i) = Some(r) };
             });
-            out.into_iter().map(|o| o.expect("parallel map slot unfilled")).collect()
+            out.into_iter()
+                .map(|o| o.expect("parallel map slot unfilled"))
+                .collect()
         }
     }
 
