@@ -15,7 +15,9 @@ use bk_apps::netflix::Netflix;
 use bk_apps::opinion::OpinionFinder;
 use bk_apps::wordcount::WordCount;
 use bk_apps::{run_implementation, BenchApp, HarnessConfig, Implementation};
-use bk_runtime::{LaunchConfig, Machine, RunResult};
+use bk_runtime::{
+    DeviceFailure, FaultPlan, FaultSite, FaultStage, LaunchConfig, Machine, RunResult,
+};
 use proptest::prelude::*;
 
 /// The paper's seven application configurations, in Table I order.
@@ -55,10 +57,26 @@ fn run_on_gpus(
     parallel: bool,
     gpus: usize,
 ) -> RunResult {
+    run_faulted(app, imp, launch, chunk_bytes, bytes, parallel, gpus, None)
+}
+
+/// [`run_on_gpus`] with an optional fault-injection plan.
+#[allow(clippy::too_many_arguments)]
+fn run_faulted(
+    app: &dyn BenchApp,
+    imp: Implementation,
+    launch: LaunchConfig,
+    chunk_bytes: u64,
+    bytes: u64,
+    parallel: bool,
+    gpus: usize,
+    faults: Option<FaultPlan>,
+) -> RunResult {
     let mut cfg = HarnessConfig::test_small();
     cfg.launch = launch;
     cfg.bigkernel.chunk_input_bytes = chunk_bytes;
     cfg.bigkernel.parallel_blocks = parallel;
+    cfg.bigkernel.faults = faults;
     cfg.baseline.window_bytes = chunk_bytes.max(16 * 1024);
     cfg.baseline.parallel_blocks = parallel;
     cfg.gpus = gpus;
@@ -204,6 +222,123 @@ fn bigkernel_parallel_bit_identical_at_two_gpus() {
             2,
         );
         assert_eq!(par, seq, "{} diverged at 2 GPUs", app.spec().name);
+    }
+}
+
+/// A fault plan that exercises every recovery policy at once: random
+/// transient faults at a rate that forces retries, a deterministic site
+/// hammering one compute instance into the backoff path, and the death of
+/// device 1 at wave 0 (so most chunks requeue onto device 0).
+fn busy_plan() -> FaultPlan {
+    FaultPlan {
+        seed: 7,
+        rate: 0.05,
+        sites: vec![FaultSite {
+            stage: FaultStage::Compute,
+            chunk: 1,
+            times: 2,
+        }],
+        device_failure: Some(DeviceFailure { device: 1, wave: 0 }),
+        ..FaultPlan::default()
+    }
+}
+
+/// The ISSUE's headline property: for every application, a seeded fault
+/// plan that injects retries *and* kills a device mid-run still verifies
+/// against the pure-Rust reference ([`run_faulted`] panics otherwise) and
+/// leaves every functional metric bit-identical to the fault-free run.
+/// Faults perturb durations and chunk placement only — never what executes.
+#[test]
+fn fault_injected_runs_produce_identical_outputs_for_every_app() {
+    let launch = LaunchConfig::new(4, 32);
+    for app in all_apps() {
+        let name = app.spec().name;
+        let clean = run_on_gpus(
+            app.as_ref(),
+            Implementation::BigKernel,
+            launch,
+            16 * 1024,
+            192 * 1024,
+            true,
+            2,
+        );
+        let faulted = run_faulted(
+            app.as_ref(),
+            Implementation::BigKernel,
+            launch,
+            16 * 1024,
+            192 * 1024,
+            true,
+            2,
+            Some(busy_plan()),
+        );
+        assert_eq!(
+            clean.chunks, faulted.chunks,
+            "{name}: chunk count changed under faults"
+        );
+        for key in ["pcie.h2d_bytes", "pcie.d2h_bytes", "addr.encoded_bytes"] {
+            assert_eq!(
+                clean.metrics.get(key),
+                faulted.metrics.get(key),
+                "{name}: {key} changed under faults"
+            );
+        }
+        // The plan really fired: the site guarantees injections and the
+        // wave-0 device death guarantees requeued chunks.
+        assert!(
+            faulted.metrics.get("fault.injected") > 0,
+            "{name}: no faults injected"
+        );
+        assert!(
+            faulted.metrics.get("fault.retried") > 0,
+            "{name}: no retries recorded"
+        );
+        assert!(
+            faulted.metrics.get("fault.failed_over") > 0,
+            "{name}: no chunks failed over"
+        );
+        assert!(
+            faulted.total >= clean.total,
+            "{name}: faults made the run faster ({:?} vs {:?})",
+            faulted.total,
+            clean.total
+        );
+    }
+}
+
+/// Same seed + same plan ⇒ same schedule, same output, same metrics — and
+/// the host-parallel block simulation doesn't perturb any of it.
+#[test]
+fn same_fault_plan_is_bitwise_reproducible_for_every_app() {
+    let launch = LaunchConfig::new(4, 32);
+    for app in all_apps() {
+        let runs: Vec<RunResult> = [true, true, false]
+            .iter()
+            .map(|&parallel| {
+                run_faulted(
+                    app.as_ref(),
+                    Implementation::BigKernel,
+                    launch,
+                    16 * 1024,
+                    192 * 1024,
+                    parallel,
+                    2,
+                    Some(busy_plan()),
+                )
+            })
+            .collect();
+        assert_eq!(
+            runs[0],
+            runs[1],
+            "{}: identical fault plans diverged",
+            app.spec().name
+        );
+        assert_eq!(
+            runs[0],
+            runs[2],
+            "{}: fault plan diverged parallel vs sequential",
+            app.spec().name
+        );
     }
 }
 

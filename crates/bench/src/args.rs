@@ -18,6 +18,9 @@ pub struct ExpArgs {
     pub machine: Option<String>,
     /// Simulated GPU count (`--gpus`); `None` keeps the config default (1).
     pub gpus: Option<usize>,
+    /// Fault-injection plan (`--faults SPEC`, see
+    /// [`bk_runtime::FaultPlan::parse`]); `None` runs fault-free.
+    pub faults: Option<bk_runtime::FaultPlan>,
 }
 
 impl Default for ExpArgs {
@@ -29,14 +32,15 @@ impl Default for ExpArgs {
             threads: None,
             machine: None,
             gpus: None,
+            faults: None,
         }
     }
 }
 
 impl ExpArgs {
     /// Parse `--bytes N`, `--mib N`, `--seed S`, `--app SUBSTR`,
-    /// `--threads N`, `--machine NAME`, `--gpus N` from an iterator of
-    /// arguments (pass `std::env::args().skip(1)`).
+    /// `--threads N`, `--machine NAME`, `--gpus N`, `--faults SPEC` from an
+    /// iterator of arguments (pass `std::env::args().skip(1)`).
     pub fn parse<I: Iterator<Item = String>>(mut args: I) -> Result<Self, String> {
         let mut out = ExpArgs::default();
         while let Some(a) = args.next() {
@@ -85,10 +89,18 @@ impl ExpArgs {
                     }
                     out.gpus = Some(g);
                 }
+                "--faults" => {
+                    let spec = value("--faults")?;
+                    let plan = bk_runtime::FaultPlan::parse(&spec)
+                        .map_err(|e| format!("--faults: {e}"))?;
+                    out.faults = Some(plan);
+                }
                 "--help" | "-h" => {
                     return Err(
                         "usage: [--bytes N | --mib N] [--seed S] [--app SUBSTR] [--threads N] \
-                         [--machine gtx680|tesla-like|test-tiny] [--gpus N]"
+                         [--machine gtx680|tesla-like|test-tiny] [--gpus N] [--faults SPEC]\n\
+                         fault SPEC: comma-separated seed=N,rate=F,retries=N,backoff_us=F,\
+                         fail=STAGE@CHUNK[xN],kill=DEV@WAVE"
                             .to_string(),
                     )
                 }
@@ -156,6 +168,12 @@ impl ExpArgs {
         }
         if let Some(g) = self.gpus {
             cfg.gpus = g;
+        }
+        // Faults apply to the bigkernel pipeline only: the baselines have no
+        // recovery ladder, and the comparison of interest is bigkernel with
+        // vs without faults.
+        if let Some(plan) = &self.faults {
+            cfg.bigkernel.faults = Some(plan.clone());
         }
     }
 
@@ -245,6 +263,22 @@ mod tests {
         assert_eq!(cfg.gpus, 4);
         assert!(parse(&["--gpus", "0"]).is_err());
         assert!(parse(&["--gpus"]).is_err());
+    }
+
+    #[test]
+    fn faults_flag_parses_and_applies() {
+        let a = parse(&["--faults", "seed=7,rate=0.01,retries=2,kill=1@0"]).unwrap();
+        let plan = a.faults.clone().unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.max_retries, 2);
+        assert_eq!(plan.device_failure.unwrap().device, 1);
+        let mut cfg = bk_apps::HarnessConfig::test_small();
+        assert!(cfg.bigkernel.faults.is_none());
+        a.apply_platform(&mut cfg);
+        assert_eq!(cfg.bigkernel.faults, Some(plan));
+        assert!(parse(&["--faults", "rate=2.0"]).is_err());
+        assert!(parse(&["--faults", "bogus"]).is_err());
+        assert!(parse(&["--faults"]).is_err());
     }
 
     #[test]

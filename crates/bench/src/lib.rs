@@ -12,10 +12,13 @@
 //! | `table2` | Table II — improvement from pattern recognition |
 //! | `ablation` | §IV design-choice ablations (buffer depth, sync mode, locality, chunk size) |
 //! | `scaling` | GPU scaling — chunks sharded across 1/2/4 replicated devices |
+//! | `chaos` | fault-rate sweep + device-kill failover → `BENCH_chaos.json` |
 //!
-//! All binaries accept `--bytes N` (per-app input size, default 16 MiB),
-//! `--seed S`, `--machine NAME` (platform preset) and `--gpus N`
-//! (replicated simulated devices), and print both our measured values and
+//! All binaries accept `--bytes N` / `--mib N` (per-app input size, default
+//! 32 MiB), `--seed S`, `--app SUBSTR`, `--threads N`, `--machine NAME`
+//! (platform preset), `--gpus N` (replicated simulated devices) and
+//! `--faults SPEC` (deterministic fault injection, DESIGN.md §11), and
+//! print both our measured values and
 //! the paper's reported numbers side by side. Absolute values are simulated time; the claim being
 //! reproduced is the *shape* (ordering, ratios, crossovers) — see
 //! EXPERIMENTS.md.

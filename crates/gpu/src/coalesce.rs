@@ -30,6 +30,7 @@ pub struct StepCost {
 }
 
 impl StepCost {
+    /// Accumulate another step's cost into this one.
     pub fn merge(&mut self, other: StepCost) {
         self.transactions += other.transactions;
         self.bytes_moved += other.bytes_moved;

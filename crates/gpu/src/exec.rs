@@ -14,11 +14,13 @@ use crate::trace::{ThreadTrace, WarpAligner};
 /// [`run_block_lanes`] run allocation-free in steady state, and gives the
 /// parallel pipeline an obvious unit of thread-private scratch.
 pub struct BlockSim {
+    /// The block's warp aligner (scratch reused across warps).
     pub aligner: WarpAligner,
     traces: Vec<ThreadTrace>,
 }
 
 impl BlockSim {
+    /// Fresh scratch for one concurrently simulated block.
     pub fn new() -> Self {
         BlockSim {
             aligner: WarpAligner::new(),

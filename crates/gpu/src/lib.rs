@@ -20,6 +20,8 @@
 //!   with typed and atomic accessors, so every implementation variant
 //!   produces real, checkable output.
 
+#![deny(missing_docs)]
+
 pub mod coalesce;
 pub mod exec;
 pub mod mem;

@@ -33,6 +33,7 @@ pub struct GpuMemory {
 }
 
 impl GpuMemory {
+    /// Fresh, empty memory of the device's configured capacity.
     pub fn new(spec: &DeviceSpec) -> Self {
         GpuMemory {
             capacity: spec.mem_capacity,
@@ -73,18 +74,22 @@ impl GpuMemory {
         b.data = Vec::new();
     }
 
+    /// Length of the buffer in bytes (zero once freed).
     pub fn len(&self, id: BufferId) -> u64 {
         self.buffers[id.0].data.len() as u64
     }
 
+    /// Whether the buffer holds no bytes (zero-length or freed).
     pub fn is_empty(&self, id: BufferId) -> bool {
         self.buffers[id.0].data.is_empty()
     }
 
+    /// Bytes currently allocated across live buffers.
     pub fn used(&self) -> u64 {
         self.used
     }
 
+    /// Total device memory capacity in bytes.
     pub fn capacity(&self) -> u64 {
         self.capacity
     }
@@ -96,63 +101,75 @@ impl GpuMemory {
         self.buffers[id.0].base + offset
     }
 
+    /// Borrow `len` bytes starting at `offset`.
     #[inline]
     pub fn read(&self, id: BufferId, offset: u64, len: usize) -> &[u8] {
         let b = &self.buffers[id.0];
         &b.data[offset as usize..offset as usize + len]
     }
 
+    /// Overwrite bytes starting at `offset`.
     #[inline]
     pub fn write(&mut self, id: BufferId, offset: u64, bytes: &[u8]) {
         let b = &mut self.buffers[id.0];
         b.data[offset as usize..offset as usize + bytes.len()].copy_from_slice(bytes);
     }
 
+    /// Read one byte.
     #[inline]
     pub fn read_u8(&self, id: BufferId, offset: u64) -> u8 {
         self.buffers[id.0].data[offset as usize]
     }
 
+    /// Read a little-endian `u32`.
     #[inline]
     pub fn read_u32(&self, id: BufferId, offset: u64) -> u32 {
         u32::from_le_bytes(self.read(id, offset, 4).try_into().unwrap())
     }
 
+    /// Read a little-endian `u64`.
     #[inline]
     pub fn read_u64(&self, id: BufferId, offset: u64) -> u64 {
         u64::from_le_bytes(self.read(id, offset, 8).try_into().unwrap())
     }
 
+    /// Read a little-endian `f64`.
     #[inline]
     pub fn read_f64(&self, id: BufferId, offset: u64) -> f64 {
         f64::from_le_bytes(self.read(id, offset, 8).try_into().unwrap())
     }
 
+    /// Read a little-endian `f32`.
     #[inline]
     pub fn read_f32(&self, id: BufferId, offset: u64) -> f32 {
         f32::from_le_bytes(self.read(id, offset, 4).try_into().unwrap())
     }
 
+    /// Write one byte.
     #[inline]
     pub fn write_u8(&mut self, id: BufferId, offset: u64, v: u8) {
         self.buffers[id.0].data[offset as usize] = v;
     }
 
+    /// Write a little-endian `u32`.
     #[inline]
     pub fn write_u32(&mut self, id: BufferId, offset: u64, v: u32) {
         self.write(id, offset, &v.to_le_bytes());
     }
 
+    /// Write a little-endian `u64`.
     #[inline]
     pub fn write_u64(&mut self, id: BufferId, offset: u64, v: u64) {
         self.write(id, offset, &v.to_le_bytes());
     }
 
+    /// Write a little-endian `f64`.
     #[inline]
     pub fn write_f64(&mut self, id: BufferId, offset: u64, v: f64) {
         self.write(id, offset, &v.to_le_bytes());
     }
 
+    /// Write a little-endian `f32`.
     #[inline]
     pub fn write_f32(&mut self, id: BufferId, offset: u64, v: f32) {
         self.write(id, offset, &v.to_le_bytes());
@@ -168,6 +185,7 @@ impl GpuMemory {
         old
     }
 
+    /// Functional atomic add on a u64 cell; see [`Self::atomic_add_u32`].
     pub fn atomic_add_u64(&mut self, id: BufferId, offset: u64, v: u64) -> u64 {
         let old = self.read_u64(id, offset);
         self.write_u64(id, offset, old.wrapping_add(v));

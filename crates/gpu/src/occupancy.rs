@@ -11,8 +11,11 @@ use crate::spec::DeviceSpec;
 /// Per-thread-block resource usage ("R_tb" in the paper).
 #[derive(Clone, Copy, Debug)]
 pub struct BlockResources {
+    /// Threads launched per block.
     pub threads_per_block: u32,
+    /// Registers consumed by each thread.
     pub regs_per_thread: u32,
+    /// Shared-memory bytes consumed by the block.
     pub smem_per_block: u32,
 }
 
@@ -39,11 +42,16 @@ pub struct Occupancy {
     pub limiting: OccupancyLimit,
 }
 
+/// Which hardware limit bound the occupancy computation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum OccupancyLimit {
+    /// Max resident threads per SM.
     Threads,
+    /// Register file capacity per SM.
     Registers,
+    /// Shared-memory capacity per SM.
     SharedMemory,
+    /// Max resident block slots per SM.
     BlockSlots,
     /// Fewer blocks were launched than the hardware could host.
     LaunchedBlocks,

@@ -13,9 +13,13 @@ pub const WARP_SIZE: usize = 32;
 /// 1536 cores at 1020 MHz), 2 GiB GDDR5 at 192 GB/s theoretical.
 #[derive(Clone, Debug)]
 pub struct DeviceSpec {
+    /// Human-readable device name.
     pub name: &'static str,
+    /// Streaming multiprocessors on the device.
     pub num_sms: u32,
+    /// CUDA cores per SM.
     pub cores_per_sm: u32,
+    /// Core clock frequency.
     pub clock: Frequency,
     /// Instructions retired per core per cycle for the simple integer/FP mix
     /// of streaming kernels (well below peak FMA throughput on purpose).
@@ -30,7 +34,9 @@ pub struct DeviceSpec {
     pub regs_per_sm: u32,
     /// Shared memory per SM in bytes.
     pub smem_per_sm: u32,
+    /// Max resident threads per SM.
     pub max_threads_per_sm: u32,
+    /// Max resident thread blocks per SM.
     pub max_blocks_per_sm: u32,
     /// Throughput cost of one global atomic RMW, in core-cycles of the
     /// issuing SM (amortized, non-conflicting case).

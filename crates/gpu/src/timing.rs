@@ -33,20 +33,30 @@ pub const L2_BANDWIDTH_FACTOR: f64 = 2.0;
 /// Accumulated cost of one kernel stage execution over a chunk.
 #[derive(Clone, Debug, Default)]
 pub struct KernelCost {
+    /// Warp issue slots consumed (lock-step; includes divergence waste).
     pub issue_slots: u64,
+    /// Sum of per-lane instruction counts (useful work).
     pub useful_instructions: u64,
+    /// Global-memory transactions after coalescing.
     pub mem_transactions: u64,
+    /// Bytes moved over DRAM (segment-granular).
     pub mem_bytes_moved: u64,
+    /// Bytes served from the L2 reuse window instead of DRAM.
     pub mem_bytes_l2: u64,
+    /// Bytes the lanes actually asked for.
     pub mem_bytes_useful: u64,
+    /// Global atomic operations issued.
     pub atomic_ops: u64,
+    /// Shared-memory accesses issued.
     pub shared_accesses: u64,
+    /// Block-wide barriers executed.
     pub barriers: u64,
     /// Per-address atomic counts; tracks contention on hot cells.
     atomic_counts: HashMap<u64, u64>,
 }
 
 impl KernelCost {
+    /// An empty cost (identical to `Default`).
     pub fn new() -> Self {
         Self::default()
     }
@@ -66,6 +76,7 @@ impl KernelCost {
         }
     }
 
+    /// Account `n` block-wide barriers.
     pub fn add_barrier(&mut self, n: u64) {
         self.barriers += n;
     }
@@ -100,6 +111,7 @@ impl KernelCost {
         }
     }
 
+    /// Whether the stage did no accountable work at all.
     pub fn is_empty(&self) -> bool {
         self.issue_slots == 0 && self.mem_transactions == 0 && self.atomic_ops == 0
     }
@@ -121,6 +133,8 @@ pub struct GpuPool {
 }
 
 impl GpuPool {
+    /// A pool giving `fraction` of the device's issue throughput, derated
+    /// by `occupancy_factor` (both in `(0, 1]`).
     pub fn new(spec: DeviceSpec, fraction: f64, occupancy_factor: f64) -> Self {
         assert!(fraction > 0.0 && fraction <= 1.0, "invalid pool fraction");
         assert!(
@@ -139,6 +153,7 @@ impl GpuPool {
         Self::new(spec, 1.0, 1.0)
     }
 
+    /// The underlying device description.
     pub fn spec(&self) -> &DeviceSpec {
         &self.spec
     }
@@ -189,6 +204,7 @@ impl GpuPool {
         t
     }
 
+    /// [`Self::stage_terms`] collapsed to the roofline duration.
     pub fn stage_time(&self, cost: &KernelCost) -> SimTime {
         self.stage_terms(cost).duration()
     }

@@ -18,7 +18,9 @@ use crate::spec::{DeviceSpec, WARP_SIZE};
 /// Classifies one recorded memory access.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AccessKind {
+    /// Plain load.
     Read,
+    /// Plain store.
     Write,
     /// Atomic read-modify-write (adds atomic-unit cost on top of the
     /// transaction).
@@ -36,12 +38,16 @@ pub enum AccessKind {
 /// (e.g. per-word dictionary lookups) and spuriously destroy coalescing.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AccessClass {
+    /// Read of a mapped-stream (prefetch) buffer.
     StreamRead,
+    /// Write of a mapped-stream (write-back staging) buffer.
     StreamWrite,
+    /// Access to persistent device state (hash tables, accumulators).
     Dev,
 }
 
 impl AccessClass {
+    /// Every class, in [`AccessClass::index`] order.
     pub const ALL: [AccessClass; 3] = [
         AccessClass::StreamRead,
         AccessClass::StreamWrite,
@@ -65,11 +71,13 @@ impl AccessClass {
 pub struct SharedAccess {
     /// Byte address within the block's shared memory.
     pub addr: u32,
+    /// Access width in bytes.
     pub width: u32,
 }
 
 /// Shared memory banks on Kepler-class parts: 32 banks of 4-byte words.
 pub const SHARED_BANKS: u32 = 32;
+/// Width of one shared-memory bank word in bytes.
 pub const SHARED_BANK_BYTES: u32 = 4;
 
 /// One recorded global-memory access.
@@ -77,14 +85,18 @@ pub const SHARED_BANK_BYTES: u32 = 4;
 pub struct MemAccess {
     /// Virtual device address (see `GpuMemory::vaddr`).
     pub addr: u64,
+    /// Access width in bytes.
     pub width: u32,
+    /// Read, write or atomic.
     pub kind: AccessKind,
+    /// Warp-alignment class (see [`AccessClass`]).
     pub class: AccessClass,
 }
 
 /// Trace of one thread's execution within a chunk.
 #[derive(Clone, Debug, Default)]
 pub struct ThreadTrace {
+    /// Global-memory accesses in program order.
     pub accesses: Vec<MemAccess>,
     /// Addressed shared-memory accesses, aligned per ordinal for the bank
     /// conflict model.
@@ -97,6 +109,7 @@ pub struct ThreadTrace {
 }
 
 impl ThreadTrace {
+    /// Reset the trace for reuse by the next thread.
     pub fn clear(&mut self) {
         self.accesses.clear();
         self.shared.clear();
@@ -111,6 +124,7 @@ impl ThreadTrace {
         self.instructions += 1;
     }
 
+    /// Record one global-memory access (one issue slot).
     #[inline]
     pub fn record(&mut self, addr: u64, width: u32, kind: AccessKind, class: AccessClass) {
         self.accesses.push(MemAccess {
@@ -122,11 +136,14 @@ impl ThreadTrace {
         self.instructions += 1;
     }
 
+    /// Account `n` ALU/control instructions.
     #[inline]
     pub fn alu(&mut self, n: u64) {
         self.instructions += n;
     }
 
+    /// Account `n` unaddressed shared-memory accesses (issue slots only,
+    /// no bank-conflict analysis).
     #[inline]
     pub fn shared(&mut self, n: u64) {
         self.shared_accesses += n;
@@ -148,6 +165,7 @@ pub struct WarpCost {
     /// Addresses of atomic operations, for contention tracking by the
     /// caller.
     pub atomic_addrs: Vec<u64>,
+    /// Total shared-memory accesses issued by the warp.
     pub shared_accesses: u64,
     /// Extra warp issue slots from shared-memory bank-conflict replays: a
     /// step whose lanes hit the same bank at different words re-issues once
@@ -183,6 +201,7 @@ impl Default for WarpAligner {
 }
 
 impl WarpAligner {
+    /// A fresh aligner with empty scratch storage.
     pub fn new() -> Self {
         WarpAligner {
             flat: [Vec::new(), Vec::new(), Vec::new()],

@@ -75,35 +75,55 @@ type OverlayMap = HashMap<(usize, u64), (u64, u8), BuildHasherDefault<OverlayHas
 pub enum DevOp {
     /// A device read whose observed value must still hold at replay time.
     Read {
+        /// Buffer read from.
         buf: BufferId,
+        /// Byte offset of the access.
         offset: u64,
+        /// Access width in bytes (1..=8).
         width: u32,
+        /// Little-endian value observed at logging time.
         observed: u64,
     },
     /// A blind store (last-writer-wins in block order).
     Write {
+        /// Buffer written to.
         buf: BufferId,
+        /// Byte offset of the access.
         offset: u64,
+        /// Access width in bytes (1..=8).
         width: u32,
+        /// Little-endian value stored.
         value: u64,
     },
-    /// Atomic add; commutes, so it replays blindly.
+    /// Atomic 32-bit add; commutes, so it replays blindly.
     AddU32 {
+        /// Buffer holding the cell.
         buf: BufferId,
+        /// Byte offset of the cell.
         offset: u64,
+        /// Amount added (wrapping).
         delta: u32,
     },
+    /// Atomic 64-bit add; commutes, so it replays blindly.
     AddU64 {
+        /// Buffer holding the cell.
         buf: BufferId,
+        /// Byte offset of the cell.
         offset: u64,
+        /// Amount added (wrapping).
         delta: u64,
     },
     /// Atomic CAS; the observed old value is validated at replay time.
     CasU64 {
+        /// Buffer holding the cell.
         buf: BufferId,
+        /// Byte offset of the cell.
         offset: u64,
+        /// Value the CAS compared against.
         expected: u64,
+        /// Value stored when the comparison succeeded.
         new: u64,
+        /// Old value observed at logging time.
         observed: u64,
     },
 }
@@ -146,6 +166,7 @@ pub struct BlockLog<'m> {
 }
 
 impl<'m> BlockLog<'m> {
+    /// Start an empty log over the shared snapshot `base`.
     pub fn new(base: &'m GpuMemory) -> Self {
         BlockLog {
             base,
@@ -171,6 +192,8 @@ impl<'m> BlockLog<'m> {
         self.privs.iter().position(|(b, _)| *b == buf)
     }
 
+    /// Pseudo-virtual address of `offset` within `buf` (see
+    /// [`GpuMemory::vaddr`]).
     #[inline]
     pub fn vaddr(&self, buf: BufferId, offset: u64) -> u64 {
         self.base.vaddr(buf, offset)
@@ -320,6 +343,7 @@ impl<'m> BlockLog<'m> {
         }
     }
 
+    /// Atomic add on a u64 cell; same semantics as [`Self::atomic_add_u32`].
     pub fn atomic_add_u64(&mut self, buf: BufferId, offset: u64, delta: u64) -> u64 {
         match self.priv_index(buf) {
             Some(i) => {
@@ -385,6 +409,7 @@ pub struct BlockEffects {
 }
 
 impl BlockEffects {
+    /// Whether the block produced no externally visible effects at all.
     pub fn is_empty(&self) -> bool {
         self.privs.is_empty() && self.ops.is_empty()
     }

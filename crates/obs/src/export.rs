@@ -78,6 +78,25 @@ pub fn to_chrome_json(spans: &[SpanRecord]) -> String {
         );
     }
     for s in spans {
+        if s.stage == crate::trace::FAULT_MARKER_STAGE {
+            // Fault-recovery markers render as thread-scoped instant events
+            // pinned to the moment the faulted stage was rescheduled.
+            let lost = s.stall.map_or(0.0, |(_, gap)| gap.micros());
+            push(
+                format!(
+                    "{{\"name\": \"fault c{}\", \"cat\": \"fault\", \"ph\": \"i\", \
+                     \"s\": \"t\", \"pid\": 1, \"tid\": {}, \"ts\": {:.3}, \
+                     \"args\": {{\"chunk\": {}, \"lost_us\": {:.3}}}}}",
+                    s.chunk,
+                    tid(s.track),
+                    s.start.micros(),
+                    s.chunk,
+                    lost
+                ),
+                &mut out,
+            );
+            continue;
+        }
         let mut args = format!("\"chunk\": {}, \"stage\": \"{}\"", s.chunk, esc(s.stage));
         if let Some((cause, gap)) = s.stall {
             let _ = write!(
@@ -256,6 +275,26 @@ mod tests {
         let empty = to_chrome_json(&[]);
         assert!(empty.contains("\"traceEvents\""));
         assert_eq!(empty.matches('{').count(), empty.matches('}').count());
+    }
+
+    #[test]
+    fn fault_markers_become_instant_events() {
+        let mut s = spans();
+        s.push(SpanRecord {
+            track: "gpu-comp",
+            stage: crate::trace::FAULT_MARKER_STAGE,
+            chunk: 1,
+            start: SimTime::from_micros(12.0),
+            dur: SimTime::ZERO,
+            stall: Some(("fault", SimTime::from_micros(7.0))),
+        });
+        let j = to_chrome_json(&s);
+        assert!(j.contains("\"ph\": \"i\""));
+        assert!(j.contains("\"fault c1\""));
+        assert!(j.contains("\"cat\": \"fault\""));
+        assert!(j.contains("\"lost_us\": 7.000"));
+        assert!(j.contains("\"s\": \"t\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 
     #[test]

@@ -25,6 +25,8 @@
 //! whether or not tracing is enabled — so enabling tracing can never change
 //! a simulated result. Only span collection and export are gated.
 
+#![deny(missing_docs)]
+
 pub mod device;
 pub mod export;
 pub mod metrics;
@@ -35,4 +37,4 @@ pub use device::{device_counter, MAX_DEVICES};
 pub use export::{text_report, to_chrome_json};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use stall::{record_schedule, record_schedule_mapped, stall_counter, StallCause};
-pub use trace::SpanRecord;
+pub use trace::{SpanRecord, FAULT_MARKER_STAGE};

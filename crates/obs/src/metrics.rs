@@ -44,6 +44,7 @@ impl Default for Histogram {
 }
 
 impl Histogram {
+    /// An empty histogram (identical to `Default`).
     pub fn new() -> Self {
         Self::default()
     }
@@ -58,10 +59,12 @@ impl Histogram {
         self.buckets[(64 - value.leading_zeros()) as usize] += 1;
     }
 
+    /// Number of samples observed.
     pub fn count(&self) -> u64 {
         self.count
     }
 
+    /// Sum of all observed samples (saturating).
     pub fn sum(&self) -> u64 {
         self.sum
     }
@@ -75,6 +78,7 @@ impl Histogram {
         }
     }
 
+    /// Largest observed sample; zero for an empty histogram.
     pub fn max(&self) -> u64 {
         self.max
     }
@@ -110,6 +114,17 @@ impl Histogram {
 /// The counter half mirrors the [`Counters`] API (`add` / `incr` / `get` /
 /// `ratio` / `merge` / `iter`) so migrated call sites read the same; the
 /// histogram half adds `observe` / `hist`.
+///
+/// ```
+/// use bk_obs::MetricsRegistry;
+///
+/// let mut m = MetricsRegistry::new();
+/// m.add("pcie.h2d_bytes", 4096);
+/// m.incr("chunks");
+/// m.observe("hist.span.compute", 1250);
+/// assert_eq!(m.get("pcie.h2d_bytes"), 4096);
+/// assert_eq!(m.hist("hist.span.compute").unwrap().count(), 1);
+/// ```
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct MetricsRegistry {
     counters: Counters,
@@ -117,6 +132,7 @@ pub struct MetricsRegistry {
 }
 
 impl MetricsRegistry {
+    /// An empty registry (identical to `Default`).
     pub fn new() -> Self {
         Self::default()
     }
@@ -180,6 +196,7 @@ impl MetricsRegistry {
         &self.counters
     }
 
+    /// Whether neither a counter nor a histogram was ever touched.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.hists.is_empty()
     }

@@ -28,6 +28,12 @@ pub enum StallCause {
     GpuQueue,
     /// The single shared resource of a fully serialized baseline.
     Serial,
+    /// Injected fault recovery: wasted attempts plus retry backoff added by
+    /// a fault plan (`bk_runtime::fault`). Never produced by
+    /// [`StallCause::from_kind`] — fault delays are injected into stage
+    /// durations before scheduling, not attributed by the scheduler; the
+    /// fault context records them directly.
+    Fault,
     /// A resource outside the known vocabulary (kept visible, never silent).
     Other,
 }
@@ -41,6 +47,7 @@ impl StallCause {
             StallCause::CpuThread => "cpu-thread",
             StallCause::GpuQueue => "gpu-queue",
             StallCause::Serial => "serial",
+            StallCause::Fault => "fault",
             StallCause::Other => "other",
         }
     }
@@ -85,6 +92,7 @@ macro_rules! stall_arms {
             "cpu-thread" => Some(concat!("stall.", $stage, ".cpu-thread")),
             "gpu-queue" => Some(concat!("stall.", $stage, ".gpu-queue")),
             "serial" => Some(concat!("stall.", $stage, ".serial")),
+            "fault" => Some(concat!("stall.", $stage, ".fault")),
             "other" => Some(concat!("stall.", $stage, ".other")),
             _ => None,
         }
@@ -279,6 +287,10 @@ mod tests {
         assert_eq!(
             stall_counter("stage-pin", "serial"),
             Some("stall.stage-pin.serial")
+        );
+        assert_eq!(
+            stall_counter("compute", StallCause::Fault.label()),
+            Some("stall.compute.fault")
         );
         assert_eq!(stall_counter("unknown-stage", "serial"), None);
         assert_eq!(stall_counter("compute", "unknown-cause"), None);

@@ -22,6 +22,13 @@
 use bk_simcore::pipeline::ResourceId;
 use bk_simcore::SimTime;
 
+/// Stage label marking a span as a fault-recovery marker rather than a
+/// pipeline stage instance: `dur` is zero, `start` is where the faulted
+/// stage was rescheduled, and `stall` carries `("fault", lost time)`. The
+/// exporter renders these as Perfetto instant events on the faulted
+/// resource's track.
+pub const FAULT_MARKER_STAGE: &str = "fault";
+
 /// One recorded stage instance.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SpanRecord {

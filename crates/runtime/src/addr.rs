@@ -17,8 +17,11 @@ pub const ADDR_ENTRY_BYTES: u64 = 8;
 /// One recorded mapped-stream access.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct AddrEntry {
+    /// Which mapped stream the access targets.
     pub stream: StreamId,
+    /// Byte offset within the stream.
     pub offset: u64,
+    /// Access width in bytes.
     pub width: u32,
 }
 
@@ -26,8 +29,11 @@ pub struct AddrEntry {
 /// piecewise-compressed (patterns changing midstream, the §IV.A extension).
 #[derive(Clone, Debug)]
 pub enum AddrStream {
+    /// Uncompressed entry list, shipped verbatim.
     Raw(Vec<AddrEntry>),
+    /// One whole-stream stride pattern (§IV.A).
     Pattern(Pattern),
+    /// Piecewise patterns with raw gaps (the §IV.A extension).
     Segmented(SegmentedStream),
 }
 
@@ -48,6 +54,7 @@ impl AddrStream {
         }
     }
 
+    /// Whether the stream describes no accesses.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -145,8 +152,11 @@ impl ExactSizeIterator for AddrStreamIter<'_> {}
 /// one mapped stream).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Run {
+    /// Which mapped stream the run gathers from.
     pub stream: StreamId,
+    /// Byte offset of the run's first byte.
     pub start: u64,
+    /// Run length in bytes.
     pub len: u64,
 }
 
@@ -186,11 +196,14 @@ impl Iterator for RunIter<'_> {
 /// "Writes to mapped data").
 #[derive(Clone, Debug)]
 pub struct LaneAddrs {
+    /// Addresses the compute stage will read.
     pub reads: AddrStream,
+    /// Addresses the compute stage will write.
     pub writes: AddrStream,
 }
 
 impl LaneAddrs {
+    /// A lane that touches no mapped data.
     pub fn empty() -> Self {
         LaneAddrs {
             reads: AddrStream::Raw(Vec::new()),
@@ -198,6 +211,7 @@ impl LaneAddrs {
         }
     }
 
+    /// Bytes both streams occupy in the address buffer once encoded.
     pub fn encoded_bytes(&self) -> u64 {
         self.reads.encoded_bytes() + self.writes.encoded_bytes()
     }

@@ -1,5 +1,6 @@
 //! BigKernel runtime configuration.
 
+use crate::fault::FaultPlan;
 use crate::graph::ShardPolicy;
 
 /// How the assembly stage lays out prefetched data in the chunk buffer.
@@ -49,6 +50,7 @@ pub struct BigKernelConfig {
     /// the Fig. 5 "overlap only" variant (address generation and gather are
     /// skipped; the pipeline overlap is the only remaining benefit).
     pub transfer_all: bool,
+    /// Stage synchronization scheme (§IV.C).
     pub sync: SyncMode,
     /// Verify at every compute-stage access that the address stream entry
     /// matches (the compiler-correctness cross-check). Cheap; on by default.
@@ -64,6 +66,11 @@ pub struct BigKernelConfig {
     /// functional execution stays in global chunk order, so outputs are
     /// identical under every policy and device count.
     pub shard_policy: ShardPolicy,
+    /// Deterministic fault injection (see [`crate::fault`]). `None` (the
+    /// default) takes the exact fault-free code path. Like `shard_policy`,
+    /// faults perturb only durations and chunk placement — outputs stay
+    /// bit-identical to the fault-free run for any plan that completes.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for BigKernelConfig {
@@ -80,6 +87,7 @@ impl Default for BigKernelConfig {
             verify_reads: true,
             parallel_blocks: true,
             shard_policy: ShardPolicy::RoundRobin,
+            faults: None,
         }
     }
 }
@@ -103,6 +111,8 @@ impl BigKernelConfig {
         }
     }
 
+    /// Panic on configurations that cannot be run (zero chunk size, zero
+    /// buffer depth, contradictory variants, invalid fault plan).
     pub fn validate(&self) {
         assert!(self.chunk_input_bytes > 0, "chunk size must be positive");
         assert!(self.buffer_depth >= 1, "need at least one buffer");
@@ -111,6 +121,11 @@ impl BigKernelConfig {
                 !self.pattern_recognition,
                 "transfer_all skips address generation; pattern recognition is meaningless"
             );
+        }
+        if let Some(plan) = &self.faults {
+            if let Err(e) = plan.check() {
+                panic!("invalid fault plan: {e}");
+            }
         }
     }
 }

@@ -47,6 +47,7 @@ pub struct AddrRecorder {
 }
 
 impl AddrRecorder {
+    /// Fresh recorder with empty buffers and live pattern detectors.
     pub fn new() -> Self {
         AddrRecorder {
             reads: Vec::new(),
@@ -113,6 +114,7 @@ pub struct AddrGenCtx<'a> {
 }
 
 impl<'a> AddrGenCtx<'a> {
+    /// Context owning its own recorder (tests and standalone use).
     pub fn new(gmem: &'a GpuMemory, trace: &'a mut ThreadTrace) -> Self {
         AddrGenCtx {
             gmem,
@@ -189,10 +191,12 @@ impl<'a> AddrGenCtx<'a> {
         le_load(self.gmem.read(b, offset, width as usize))
     }
 
+    /// [`Self::dev_read`] of a little-endian `u32`.
     pub fn dev_read_u32(&mut self, b: DevBufId, offset: u64) -> u32 {
         self.dev_read(b, offset, 4) as u32
     }
 
+    /// [`Self::dev_read`] of a little-endian `u64`.
     pub fn dev_read_u64(&mut self, b: DevBufId, offset: u64) -> u64 {
         self.dev_read(b, offset, 8)
     }
@@ -233,13 +237,21 @@ fn le_store(value: u64, width: u32) -> [u8; 8] {
 /// stream accesses hit block-private staging and need no logging, while
 /// device accesses are externally visible and must be logged/validated.
 pub trait DevMemory {
+    /// Virtual device address of `offset` within buffer `b`.
     fn vaddr(&self, b: DevBufId, offset: u64) -> u64;
+    /// Load from a staging (stream) buffer.
     fn stream_load(&mut self, b: DevBufId, offset: u64, width: u32) -> u64;
+    /// Store to a staging (stream) buffer.
     fn stream_store(&mut self, b: DevBufId, offset: u64, width: u32, value: u64);
+    /// Load from persistent device state.
     fn dev_load(&mut self, b: DevBufId, offset: u64, width: u32) -> u64;
+    /// Store to persistent device state.
     fn dev_store(&mut self, b: DevBufId, offset: u64, width: u32, value: u64);
+    /// Atomic 32-bit add on device state; returns the old value.
     fn atomic_add_u32(&mut self, b: DevBufId, offset: u64, v: u32) -> u32;
+    /// Atomic 64-bit add on device state; returns the old value.
     fn atomic_add_u64(&mut self, b: DevBufId, offset: u64, v: u64) -> u64;
+    /// Atomic CAS on device state; returns the old value (CUDA semantics).
     fn atomic_cas_u64(&mut self, b: DevBufId, offset: u64, expected: u64, new: u64) -> u64;
 }
 

@@ -69,11 +69,14 @@ pub enum ResourceKind {
 /// multi-GPU runs get one Perfetto lane per device resource for free.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct ResourceId {
+    /// Which kind of execution unit.
     pub kind: ResourceKind,
+    /// Which simulated device the unit belongs to.
     pub device: usize,
 }
 
 impl ResourceId {
+    /// A resource of `kind` on `device`.
     pub const fn new(kind: ResourceKind, device: usize) -> Self {
         ResourceId { kind, device }
     }
@@ -127,17 +130,38 @@ impl std::fmt::Display for ResourceId {
 /// topological order, which forward list scheduling requires).
 #[derive(Clone, Debug)]
 pub struct GraphStage {
+    /// Stage name as it appears in spans and BENCH output.
     pub name: &'static str,
+    /// The execution unit the stage occupies while running.
     pub resource: ResourceId,
+    /// Indices of same-chunk stages that must finish first.
     pub deps: Vec<usize>,
 }
 
 /// Declarative pipeline description: stages + DAG edges + reuse edges +
 /// resource capacities. Built once per configuration; the per-wave work is
 /// only [`schedule_graph`] over that wave's durations.
+///
+/// ```
+/// use bk_runtime::graph::{bigkernel_graph, schedule_graph};
+/// use bk_simcore::{ScheduleView, SimTime};
+///
+/// // The paper's 6-stage pipeline, double-buffered, one copy engine.
+/// let spec = bigkernel_graph(1, 2);
+/// assert_eq!(spec.num_stages(), 6);
+///
+/// // Schedule three chunks whose stages each take 10 µs: with every
+/// // stage on its own resource the pipeline overlaps, so the makespan
+/// // is well under the serial 3 × 6 × 10 µs.
+/// let per_chunk = vec![SimTime::from_micros(10.0); 6];
+/// let sched = schedule_graph(&spec, &[per_chunk.clone(), per_chunk.clone(), per_chunk]);
+/// assert!(sched.makespan() < SimTime::from_micros(180.0));
+/// ```
 #[derive(Clone, Debug)]
 pub struct GraphSpec {
+    /// The stages in topological order.
     pub stages: Vec<GraphStage>,
+    /// Cross-chunk buffer-reuse edges (double/multi-buffering).
     pub reuse: Vec<ReuseEdge>,
     /// Resources with more than one identical unit; absent means capacity 1.
     capacities: Vec<(ResourceId, usize)>,
@@ -206,6 +230,7 @@ impl GraphSpec {
         self
     }
 
+    /// Number of stages per chunk.
     pub fn num_stages(&self) -> usize {
         self.stages.len()
     }
@@ -461,6 +486,22 @@ pub enum ShardPolicy {
 }
 
 /// Executes a [`GraphSpec`] over `N` simulated devices.
+///
+/// ```
+/// use bk_runtime::graph::{bigkernel_graph, Executor, ShardPolicy};
+/// use bk_simcore::SimTime;
+///
+/// // Shard four equal-cost chunks over two devices, round-robin.
+/// let exec = Executor::new(bigkernel_graph(1, 2), 2, ShardPolicy::RoundRobin);
+/// let per_chunk = vec![SimTime::from_micros(10.0); 6];
+/// let wave = exec.run(&vec![per_chunk; 4]);
+///
+/// assert_eq!(wave.num_chunks(), 4);
+/// assert_eq!(wave.shards().len(), 2);
+/// // Each device got every other chunk.
+/// assert_eq!(wave.shards()[0].chunk_ids, vec![0, 2]);
+/// assert_eq!(wave.shards()[1].chunk_ids, vec![1, 3]);
+/// ```
 pub struct Executor {
     spec: GraphSpec,
     num_devices: usize,
@@ -470,8 +511,11 @@ pub struct Executor {
 /// One device's share of a wave: which wave-local chunks it owns (in order)
 /// and their schedule on that device's resources.
 pub struct Shard {
+    /// The device that ran this share.
     pub device: usize,
+    /// Wave-local chunk ids owned by the device, in issue order.
     pub chunk_ids: Vec<usize>,
+    /// The device-local schedule over those chunks.
     pub sched: GraphSchedule,
 }
 
@@ -483,6 +527,8 @@ pub struct ShardedSchedule {
 }
 
 impl Executor {
+    /// An executor that shards each wave over `num_devices` copies of
+    /// `spec`'s resources according to `policy`.
     pub fn new(spec: GraphSpec, num_devices: usize, policy: ShardPolicy) -> Self {
         assert!(num_devices >= 1, "need at least one device");
         assert!(
@@ -496,6 +542,7 @@ impl Executor {
         }
     }
 
+    /// How many simulated devices the executor shards over.
     pub fn num_devices(&self) -> usize {
         self.num_devices
     }
@@ -503,28 +550,7 @@ impl Executor {
     /// Shard the wave's chunks and schedule each device's share. With one
     /// device this is exactly [`schedule_graph`] over all chunks in order.
     pub fn run(&self, durations: &[Vec<SimTime>]) -> ShardedSchedule {
-        let mut owned: Vec<Vec<usize>> = vec![Vec::new(); self.num_devices];
-        match self.policy {
-            ShardPolicy::RoundRobin => {
-                for c in 0..durations.len() {
-                    owned[c % self.num_devices].push(c);
-                }
-            }
-            ShardPolicy::LeastLoaded => {
-                let mut load = vec![SimTime::ZERO; self.num_devices];
-                for (c, row) in durations.iter().enumerate() {
-                    let weight: SimTime = row.iter().copied().sum();
-                    let mut dev = 0usize;
-                    for (d, &l) in load.iter().enumerate() {
-                        if l < load[dev] {
-                            dev = d;
-                        }
-                    }
-                    owned[dev].push(c);
-                    load[dev] += weight;
-                }
-            }
-        }
+        let owned = deal_chunks(self.policy, self.num_devices, durations);
         let shards: Vec<Shard> = owned
             .into_iter()
             .enumerate()
@@ -540,23 +566,65 @@ impl Executor {
                 }
             })
             .collect();
+        ShardedSchedule::from_shards(shards)
+    }
+}
+
+/// Deal wave-local chunks (rows of `durations`) across `n` schedule targets
+/// following `policy`. Returns, per target, the owned chunk indices in
+/// ascending order. This is the dealing half of [`Executor::run`], split out
+/// so the fault-recovery path ([`crate::fault`]) can re-deal a dead device's
+/// chunks across the survivors with the same policy.
+pub fn deal_chunks(policy: ShardPolicy, n: usize, durations: &[Vec<SimTime>]) -> Vec<Vec<usize>> {
+    assert!(n >= 1, "need at least one schedule target");
+    let mut owned: Vec<Vec<usize>> = vec![Vec::new(); n];
+    match policy {
+        ShardPolicy::RoundRobin => {
+            for c in 0..durations.len() {
+                owned[c % n].push(c);
+            }
+        }
+        ShardPolicy::LeastLoaded => {
+            let mut load = vec![SimTime::ZERO; n];
+            for (c, row) in durations.iter().enumerate() {
+                let weight: SimTime = row.iter().copied().sum();
+                let mut dev = 0usize;
+                for (d, &l) in load.iter().enumerate() {
+                    if l < load[dev] {
+                        dev = d;
+                    }
+                }
+                owned[dev].push(c);
+                load[dev] += weight;
+            }
+        }
+    }
+    owned
+}
+
+impl ShardedSchedule {
+    /// Assemble a wave from already-scheduled shards (the executor's normal
+    /// path and the fault-recovery path both end here). The wave makespan is
+    /// the max over shard makespans — devices run concurrently.
+    pub fn from_shards(shards: Vec<Shard>) -> ShardedSchedule {
         let makespan = shards
             .iter()
             .map(|s| s.sched.makespan)
             .fold(SimTime::ZERO, SimTime::max);
         ShardedSchedule { shards, makespan }
     }
-}
 
-impl ShardedSchedule {
+    /// Wave makespan: the max over the concurrent shard makespans.
     pub fn makespan(&self) -> SimTime {
         self.makespan
     }
 
+    /// Total chunks scheduled across all shards.
     pub fn num_chunks(&self) -> usize {
         self.shards.iter().map(|s| s.chunk_ids.len()).sum()
     }
 
+    /// The per-device shards, ordered by device id.
     pub fn shards(&self) -> &[Shard] {
         &self.shards
     }
@@ -813,6 +881,42 @@ mod tests {
         assert_eq!(ll.shards()[0].chunk_ids[0], 0);
         // All small chunks avoid the loaded device.
         assert_eq!(ll.shards()[1].chunk_ids.len(), 20);
+    }
+
+    #[test]
+    fn deal_chunks_least_loaded_tracks_running_load_not_chunk_count() {
+        // Alternating heavy/light chunks on 3 targets: the greedy argmin
+        // must follow accumulated duration, not deal evenly by count.
+        // Weights 9,1,9,1,9,1,9,1 — target 0 takes the first heavy chunk
+        // and then stays loaded while 1 and 2 soak up the rest.
+        let rows: Vec<Vec<SimTime>> = (0..8)
+            .map(|c| vec![t(if c % 2 == 0 { 9.0 } else { 1.0 })])
+            .collect();
+        let owned = deal_chunks(ShardPolicy::LeastLoaded, 3, &rows);
+        // c0(9)->0, c1(1)->1, c2(9)->2, c3(1)->1 (load 2), c4(9)->1 (still
+        // the min at 2), c5(1)->0 (9-tie with target 2; lowest index wins),
+        // c6(9)->2 (min 9), c7(1)->0 (min 10). Loads end at 11/11/18.
+        assert_eq!(owned[0], vec![0, 5, 7]);
+        assert_eq!(owned[1], vec![1, 3, 4]);
+        assert_eq!(owned[2], vec![2, 6]);
+        // Every chunk dealt exactly once, each shard in ascending order.
+        let mut all: Vec<usize> = owned.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..8).collect::<Vec<_>>());
+        // Resulting loads are near-balanced: 18 / 14 / 10 vs 27 max naive.
+        let load = |ids: &Vec<usize>| -> f64 { ids.iter().map(|&c| rows[c][0].secs()).sum() };
+        assert!(owned.iter().map(load).fold(0.0, f64::max) <= 18.0);
+    }
+
+    #[test]
+    fn deal_chunks_least_loaded_with_equal_weights_matches_round_robin() {
+        // Uniform chunk costs: ties always go to the lowest-loaded, lowest-
+        // index target, which degenerates to the round-robin deal — so the
+        // policies only diverge when costs are actually skewed.
+        let rows = vec![vec![t(1.0), t(2.0)]; 12];
+        let ll = deal_chunks(ShardPolicy::LeastLoaded, 4, &rows);
+        let rr = deal_chunks(ShardPolicy::RoundRobin, 4, &rows);
+        assert_eq!(ll, rr);
     }
 
     #[test]

@@ -59,36 +59,47 @@ pub trait KernelCtx {
 
 /// Typed helpers over the packed-`u64` accessors.
 pub trait ValueExt: KernelCtx {
+    /// Read a mapped-stream `f64`.
     fn stream_read_f64(&mut self, s: StreamId, offset: u64) -> f64 {
         f64::from_bits(self.stream_read(s, offset, 8))
     }
+    /// Read a mapped-stream `f32`.
     fn stream_read_f32(&mut self, s: StreamId, offset: u64) -> f32 {
         f32::from_bits(self.stream_read(s, offset, 4) as u32)
     }
+    /// Read a mapped-stream byte.
     fn stream_read_u8(&mut self, s: StreamId, offset: u64) -> u8 {
         self.stream_read(s, offset, 1) as u8
     }
+    /// Read a mapped-stream `u32`.
     fn stream_read_u32(&mut self, s: StreamId, offset: u64) -> u32 {
         self.stream_read(s, offset, 4) as u32
     }
+    /// Write a mapped-stream `u32`.
     fn stream_write_u32(&mut self, s: StreamId, offset: u64, v: u32) {
         self.stream_write(s, offset, 4, v as u64);
     }
+    /// Write a mapped-stream `u64`.
     fn stream_write_u64(&mut self, s: StreamId, offset: u64, v: u64) {
         self.stream_write(s, offset, 8, v);
     }
+    /// Read an `f64` from device state.
     fn dev_read_f64(&mut self, b: DevBufId, offset: u64) -> f64 {
         f64::from_bits(self.dev_read(b, offset, 8))
     }
+    /// Read a `u32` from device state.
     fn dev_read_u32(&mut self, b: DevBufId, offset: u64) -> u32 {
         self.dev_read(b, offset, 4) as u32
     }
+    /// Read a `u64` from device state.
     fn dev_read_u64(&mut self, b: DevBufId, offset: u64) -> u64 {
         self.dev_read(b, offset, 8)
     }
+    /// Write an `f64` to device state.
     fn dev_write_f64(&mut self, b: DevBufId, offset: u64, v: f64) {
         self.dev_write(b, offset, 8, v.to_bits());
     }
+    /// Write a `u32` to device state.
     fn dev_write_u32(&mut self, b: DevBufId, offset: u64, v: u32) {
         self.dev_write(b, offset, 4, v as u64);
     }
@@ -116,6 +127,7 @@ pub enum DeviceEffects {
 
 /// A streaming kernel: the paper's programming model.
 pub trait StreamKernel: Sync {
+    /// Kernel name, used in reports and traces.
     fn name(&self) -> &'static str;
 
     /// Fixed record size in bytes, or `None` for variable-length
@@ -157,11 +169,14 @@ pub trait StreamKernel: Sync {
 /// count for the address-generation warps, §III).
 #[derive(Clone, Copy, Debug)]
 pub struct LaunchConfig {
+    /// Thread blocks launched.
     pub num_blocks: u32,
+    /// Compute threads per block (multiple of the warp size).
     pub threads_per_block: u32,
 }
 
 impl LaunchConfig {
+    /// A launch of `num_blocks` x `threads_per_block` compute threads.
     pub fn new(num_blocks: u32, threads_per_block: u32) -> Self {
         assert!(num_blocks > 0 && threads_per_block > 0, "empty launch");
         assert!(
@@ -174,6 +189,7 @@ impl LaunchConfig {
         }
     }
 
+    /// Compute threads across the whole launch.
     pub fn total_threads(&self) -> u32 {
         self.num_blocks * self.threads_per_block
     }

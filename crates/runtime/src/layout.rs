@@ -47,6 +47,7 @@ impl WarpRegion {
         )
     }
 
+    /// Total bytes the warp's region occupies.
     pub fn len(&self) -> u64 {
         match self.step_off.last() {
             Some(&off) => off + WARP_SIZE as u64 * *self.step_width.last().unwrap() as u64,
@@ -54,6 +55,7 @@ impl WarpRegion {
         }
     }
 
+    /// Whether the warp stages no data at all.
     pub fn is_empty(&self) -> bool {
         self.step_off.is_empty()
     }
@@ -64,7 +66,9 @@ impl WarpRegion {
 pub enum ChunkLayout {
     /// Coalescing-optimized: `dataBuf[counter][tid]` per warp.
     Interleaved {
+        /// One staged region per warp of the block.
         warps: Vec<WarpRegion>,
+        /// Total staged bytes including padding.
         total_len: u64,
         /// Bytes written as padding (inactive lanes / width raggedness).
         padding: u64,
@@ -73,7 +77,9 @@ pub enum ChunkLayout {
     PerLane {
         /// Base offset of each lane's packed run (index: lane within block).
         lane_base: Vec<u64>,
+        /// Packed length of each lane's run.
         lane_len: Vec<u64>,
+        /// Total staged bytes.
         total_len: u64,
     },
     /// Verbatim staged input; reads resolve by stream offset inside the
@@ -83,11 +89,13 @@ pub enum ChunkLayout {
         segs: Vec<(u64, Range<u64>)>,
         /// Lane → segment index.
         lane_seg: Vec<usize>,
+        /// Total staged bytes.
         total_len: u64,
     },
 }
 
 impl ChunkLayout {
+    /// Total bytes the chunk buffer occupies under this layout.
     pub fn total_len(&self) -> u64 {
         match self {
             ChunkLayout::Interleaved { total_len, .. }

@@ -33,15 +33,22 @@
 //!   resources and dependency edges as data ([`GraphSpec`]), a generalized
 //!   list scheduler, and chunk sharding across `N` simulated GPUs
 //!   ([`Executor`] / [`ShardPolicy`]).
+//! * [`fault`] — deterministic fault injection & recovery: a seeded
+//!   [`FaultPlan`] failing stage instances or whole devices, with bounded
+//!   retry + backoff, chunk requeue onto survivors and graceful degradation
+//!   to the double-buffered / serial graphs.
 //! * [`pipeline`] — the 4-stage (plus 2 write-back stage) pipeline runner
 //!   producing a [`RunResult`] with simulated time, per-stage breakdown and
 //!   counters; a thin configuration layer over [`graph`].
+
+#![deny(missing_docs)]
 
 pub mod addr;
 pub mod assembly;
 pub mod config;
 pub mod ctx;
 mod exec;
+pub mod fault;
 pub mod graph;
 pub mod kernel;
 pub mod layout;
@@ -57,6 +64,7 @@ pub mod sync;
 pub use bk_obs::{Histogram, MetricsRegistry};
 pub use config::{AssemblyLayout, BigKernelConfig, SyncMode};
 pub use ctx::{AddrGenCtx, ComputeCtx, DevMemory, LiveMem, LoggedMem};
+pub use fault::{DeviceFailure, FaultPlan, FaultSite, FaultStage};
 pub use graph::{Executor, GraphSpec, ResourceId, ResourceKind, ShardPolicy};
 pub use kernel::{DevBufId, DeviceEffects, KernelCtx, LaunchConfig, StreamKernel, ValueExt};
 pub use machine::Machine;

@@ -17,14 +17,20 @@ pub const MAX_DEVICES: usize = bk_obs::MAX_DEVICES;
 /// simplification: functional state is common; *timing* is what the
 /// chunk-sharding scheduler splits per device — see DESIGN.md §10).
 pub struct Machine {
+    /// One spec per simulated GPU (homogeneous).
     pub devices: Vec<DeviceSpec>,
+    /// The host CPU's cost model.
     pub cpu: CpuSpec,
+    /// The CPU-GPU interconnect.
     pub link: PcieLink,
+    /// Unified functional device memory shared by all devices.
     pub gmem: GpuMemory,
+    /// Host memory (mapped regions live here).
     pub hmem: HostMemory,
 }
 
 impl Machine {
+    /// A single-GPU machine from its three component specs.
     pub fn new(gpu: DeviceSpec, cpu: CpuSpec, link: PcieLink) -> Self {
         let gmem = GpuMemory::new(&gpu);
         Machine {

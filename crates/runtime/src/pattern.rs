@@ -31,14 +31,20 @@ pub const MAX_PERIOD: usize = 256;
 /// A recognized address pattern (see module docs for the address formula).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Pattern {
+    /// Stream touched at each position within one cycle.
     pub streams: Vec<StreamId>,
+    /// First-cycle offset at each position within one cycle.
     pub bases: Vec<u64>,
+    /// Per-cycle advance at each position within one cycle.
     pub strides: Vec<i64>,
+    /// Access width at each position within one cycle.
     pub widths: Vec<u32>,
+    /// Total number of accesses the pattern reproduces.
     pub count: usize,
 }
 
 impl Pattern {
+    /// Cycle length (number of positions per cycle).
     pub fn period(&self) -> usize {
         self.bases.len()
     }
@@ -335,9 +341,13 @@ pub enum OnlineOutcome<'a> {
     /// The caller's buffer still holds only a prefix — call
     /// [`OnlineDetect::materialize`] if the raw entries are needed too.
     Hit {
+        /// Stream touched at each cycle position.
         streams: &'a [StreamId],
+        /// First-cycle offset at each cycle position.
         bases: &'a [u64],
+        /// Per-cycle advance at each cycle position.
         strides: &'a [i64],
+        /// Access width at each cycle position.
         widths: &'a [u32],
     },
     /// Online tracking gave up mid-stream; this is the offline rescan of
@@ -348,6 +358,7 @@ pub enum OnlineOutcome<'a> {
 }
 
 impl OnlineDetect {
+    /// A fresh detector trying cycle lengths up to `max_period`.
     pub fn new(max_period: usize) -> Self {
         OnlineDetect {
             max_period,
@@ -377,10 +388,12 @@ impl OnlineDetect {
     }
 
     /// Entries seen so far.
+    /// Entries fed so far.
     pub fn len(&self) -> usize {
         self.n
     }
 
+    /// Whether no entry was fed yet.
     pub fn is_empty(&self) -> bool {
         self.n == 0
     }
@@ -609,6 +622,40 @@ mod tests {
             assert_eq!(p.entry(k), want, "k={k}");
         }
         assert_eq!(p.data_bytes(), 5 * 12 + 8);
+    }
+
+    #[test]
+    fn entry_at_exact_cycle_boundaries() {
+        // count an exact multiple of the period — the shape a chunk edge
+        // produces when the chunk size divides evenly into records. The
+        // cycle-start entries (where a chunk slice begins) and the final
+        // entry (where the previous slice ended) must reconstruct exactly.
+        let mut entries = Vec::new();
+        for r in 0..6u64 {
+            entries.push(e(r * 32, 8));
+            entries.push(e(r * 32 + 8, 4));
+        }
+        let p = detect(&entries, MAX_PERIOD).expect("detect");
+        assert_eq!(p.period(), 2);
+        assert_eq!(p.count, 12);
+        for m in 0..6u64 {
+            assert_eq!(p.entry(2 * m as usize), e(m * 32, 8), "cycle {m} start");
+        }
+        assert_eq!(p.entry(11), e(5 * 32 + 8, 4), "final entry of last cycle");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn entry_one_past_exact_cycle_count_panics() {
+        // With count a multiple of the period, index `count` sits exactly on
+        // the next cycle boundary — still out of range, not cycle 7 entry 0.
+        let mut entries = Vec::new();
+        for r in 0..6u64 {
+            entries.push(e(r * 32, 8));
+            entries.push(e(r * 32 + 8, 4));
+        }
+        let p = detect(&entries, MAX_PERIOD).expect("detect");
+        let _ = p.entry(p.count);
     }
 
     #[test]

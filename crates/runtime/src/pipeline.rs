@@ -64,6 +64,7 @@ use crate::exec::{
     run_block_sequential, run_block_sequential_staged, run_chunk_assembled_logged,
     run_chunk_staged_logged, BlockSlot, ChunkCosts, WaveCell,
 };
+use crate::fault::FaultContext;
 use crate::graph::{bigkernel_graph, Executor};
 use crate::kernel::{chunk_slice, partition_ranges, DeviceEffects, LaunchConfig, StreamKernel};
 use crate::machine::Machine;
@@ -201,6 +202,22 @@ pub fn run_bigkernel(
     // device's local chunk sequence.
     let spec = bigkernel_graph(machine.gpu().copy_engines as usize, cfg.buffer_depth);
     let executor = Executor::new(spec, machine.num_gpus(), cfg.shard_policy);
+
+    // Fault injection (see [`crate::fault`]): when a plan is configured the
+    // fault context replaces `executor.run` per wave — inflating durations
+    // with retries, requeuing chunks off a dead device and degrading the
+    // graph when a stage exhausts its budget. `None` takes the executor
+    // path untouched. Either way the functional simulation below is
+    // identical: faults perturb timing and placement only.
+    let mut fault_ctx = cfg.faults.clone().map(|plan| {
+        FaultContext::new(
+            plan,
+            machine.num_gpus(),
+            cfg.shard_policy,
+            machine.gpu().copy_engines as usize,
+            cfg.buffer_depth,
+        )
+    });
 
     // Capability gate: only log-replayable kernels run the two-phase
     // algorithm. `parallel_blocks` then merely toggles the thread pool — the
@@ -397,7 +414,10 @@ pub fn run_bigkernel(
             durations.push(row.to_vec());
         }
 
-        let sharded = executor.run(&durations);
+        let sharded = match fault_ctx.as_mut() {
+            Some(fc) => fc.run_wave(wave as usize, total_chunks, total, &durations, &mut metrics),
+            None => executor.run(&durations),
+        };
         // Observability: spans (when a trace guard is live), per-stage span
         // histograms, stall.<stage>.<cause> totals and device.<d>.* counters,
         // offset into run-global chunk indices / simulated time. Waves run

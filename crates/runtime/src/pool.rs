@@ -42,6 +42,7 @@ pub struct StreamPool {
 }
 
 impl StreamPool {
+    /// An empty pool; vectors are pooled on first give-back.
     pub fn new() -> Self {
         StreamPool {
             entries: Vec::new(),
@@ -55,10 +56,12 @@ impl StreamPool {
         }
     }
 
+    /// Take a cleared address-entry vector from the pool.
     pub fn take_entries(&mut self) -> Vec<AddrEntry> {
         self.entries.pop().unwrap_or_default()
     }
 
+    /// Return an address-entry vector to the pool (cleared here).
     pub fn give_entries(&mut self, mut v: Vec<AddrEntry>) {
         v.clear();
         self.entries.push(v);
@@ -82,10 +85,12 @@ impl StreamPool {
         self.u32s.push(v);
     }
 
+    /// Take a cleared per-lane stream vector from the pool.
     pub fn take_lanes(&mut self) -> Vec<LaneAddrs> {
         self.lanes.pop().unwrap_or_default()
     }
 
+    /// Take a cleared byte buffer from the pool.
     pub fn take_bytes(&mut self) -> Vec<u8> {
         self.bytes.pop().unwrap_or_default()
     }
@@ -117,6 +122,7 @@ impl StreamPool {
         }
     }
 
+    /// Return a pattern's component vectors to the pool.
     pub fn give_pattern(&mut self, p: Pattern) {
         let Pattern {
             mut streams,
@@ -278,7 +284,9 @@ impl Default for StreamPool {
 /// `compress_stream`, surfaced so the pipeline can bump its counters).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Compression {
+    /// Whole-stream pattern (§IV.A).
     Pattern,
+    /// Piecewise pattern (the §IV.A extension).
     Segmented,
     /// Pattern recognition was on and found nothing for a non-empty stream.
     Missed,
@@ -290,11 +298,14 @@ pub enum Compression {
 /// reusable recorder the [`crate::ctx::AddrGenCtx`] streams into, plus the
 /// pool its committed streams draw from and return to.
 pub struct AddrGenScratch {
+    /// The per-lane recorder streamed into during address generation.
     pub recorder: AddrRecorder,
+    /// Pool the committed streams draw from and return to.
     pub pool: StreamPool,
 }
 
 impl AddrGenScratch {
+    /// Fresh scratch with an empty pool.
     pub fn new() -> Self {
         AddrGenScratch {
             recorder: AddrRecorder::new(),

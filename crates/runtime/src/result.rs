@@ -6,6 +6,7 @@ use bk_simcore::{ScheduleView, SimTime};
 /// Aggregate statistics for one pipeline stage across a whole run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct StageStat {
+    /// Stage name (one of `pipeline::STAGE_NAMES`).
     pub name: &'static str,
     /// Total busy time of the stage across all chunks (and waves).
     pub busy: SimTime,

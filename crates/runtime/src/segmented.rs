@@ -24,11 +24,14 @@ pub const PIECE_HEADER_BYTES: u64 = 4;
 /// One piece of a segmented stream.
 #[derive(Clone, Debug)]
 pub enum Piece {
+    /// A compressed run described by a [`Pattern`].
     Pattern(Pattern),
+    /// Literal entries kept uncompressed.
     Raw(Vec<AddrEntry>),
 }
 
 impl Piece {
+    /// Number of accesses the piece covers.
     pub fn len(&self) -> usize {
         match self {
             Piece::Pattern(p) => p.count,
@@ -36,6 +39,7 @@ impl Piece {
         }
     }
 
+    /// Whether the piece covers no accesses.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -72,18 +76,22 @@ pub struct SegmentedStream {
 }
 
 impl SegmentedStream {
+    /// Total number of accesses across all pieces.
     pub fn len(&self) -> usize {
         self.total
     }
 
+    /// Whether the stream has no accesses.
     pub fn is_empty(&self) -> bool {
         self.total == 0
     }
 
+    /// Number of pieces the stream was split into.
     pub fn num_pieces(&self) -> usize {
         self.pieces.len()
     }
 
+    /// Iterate the pieces in stream order.
     pub fn pieces(&self) -> impl Iterator<Item = &Piece> {
         self.pieces.iter().map(|(_, p)| p)
     }
@@ -99,10 +107,12 @@ impl SegmentedStream {
         piece.entry(k - start)
     }
 
+    /// Encoded size of the stream on the wire, headers included.
     pub fn encoded_bytes(&self) -> u64 {
         self.pieces.iter().map(|(_, p)| p.encoded_bytes()).sum()
     }
 
+    /// Total payload bytes the stream's accesses touch.
     pub fn data_bytes(&self) -> u64 {
         self.pieces.iter().map(|(_, p)| p.data_bytes()).sum()
     }

@@ -17,6 +17,7 @@ pub struct StreamId(pub u32);
 /// A mapped pseudo-virtual array.
 #[derive(Clone, Copy, Debug)]
 pub struct StreamArray {
+    /// The kernel-visible stream identity.
     pub id: StreamId,
     /// Backing host region (the `streamingMap` target).
     pub region: RegionId,
@@ -33,10 +34,12 @@ impl StreamArray {
         StreamArray { id, region, len }
     }
 
+    /// Mapped length in bytes.
     pub fn len(&self) -> u64 {
         self.len
     }
 
+    /// Whether the mapped region is empty (never true; `map` rejects it).
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }

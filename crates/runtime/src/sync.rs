@@ -34,6 +34,7 @@ pub struct SyncCosts {
 }
 
 impl SyncCosts {
+    /// Sum of all three per-chunk synchronization charges.
     pub fn total(&self) -> SimTime {
         self.addr_gen + self.compute + self.assembly
     }

@@ -5,10 +5,11 @@ Usage: validate_json.py SCHEMA.json DOCUMENT.json
 
 Implements the subset of JSON Schema the schemas in `schemas/` use:
 `type` (string or list, including "null"), `required`, `properties`,
-`additionalProperties` (as a schema applied to properties not listed),
-`items`, `enum`, and `minItems`. Unknown keywords are ignored, matching
-JSON Schema's open-world semantics. Exits 0 on success; on the first
-violation prints the JSON-pointer-ish path and exits 1.
+`additionalProperties` (`false` rejects properties not listed; a schema
+applies to them), `items`, `enum`, `minimum`, `maximum`, and `minItems`.
+Unknown keywords are ignored, matching JSON Schema's open-world
+semantics. Exits 0 on success; on the first violation prints the
+JSON-pointer-ish path and exits 1.
 """
 
 import json
@@ -47,6 +48,12 @@ def check(value, schema, path):
     if "enum" in schema and value not in schema["enum"]:
         fail(f"{value!r} not in {schema['enum']}")
 
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if "minimum" in schema and value < schema["minimum"]:
+            fail(f"{value!r} below minimum {schema['minimum']}")
+        if "maximum" in schema and value > schema["maximum"]:
+            fail(f"{value!r} above maximum {schema['maximum']}")
+
     if isinstance(value, dict):
         for key in schema.get("required", []):
             if key not in value:
@@ -56,6 +63,8 @@ def check(value, schema, path):
         for key, sub in value.items():
             if key in props:
                 check(sub, props[key], f"{path}.{key}")
+            elif extra is False:
+                fail(f"unknown property {key!r} (additionalProperties: false)")
             elif isinstance(extra, dict):
                 check(sub, extra, f"{path}.{key}")
 
