@@ -16,7 +16,8 @@ use bk_apps::opinion::OpinionFinder;
 use bk_apps::wordcount::WordCount;
 use bk_apps::{run_implementation, BenchApp, HarnessConfig, Implementation};
 use bk_runtime::{
-    DeviceFailure, FaultPlan, FaultSite, FaultStage, LaunchConfig, Machine, RunResult,
+    AutotuneConfig, DeviceFailure, FaultPlan, FaultSite, FaultStage, LaunchConfig, Machine,
+    RunResult,
 };
 use proptest::prelude::*;
 
@@ -372,6 +373,190 @@ fn tracing_on_or_off_is_bit_identical_for_every_app() {
             );
         }
     }
+}
+
+/// [`run_faulted`] with the adaptive occupancy autotuner enabled at the
+/// given starting reuse depth; panics if the tuned run fails verification.
+#[allow(clippy::too_many_arguments)]
+fn run_tuned(
+    app: &dyn BenchApp,
+    launch: LaunchConfig,
+    chunk_bytes: u64,
+    bytes: u64,
+    parallel: bool,
+    depth: usize,
+    tune: AutotuneConfig,
+    faults: Option<FaultPlan>,
+) -> RunResult {
+    let mut cfg = HarnessConfig::test_small();
+    cfg.launch = launch;
+    cfg.bigkernel.chunk_input_bytes = chunk_bytes;
+    cfg.bigkernel.parallel_blocks = parallel;
+    cfg.bigkernel.buffer_depth = depth;
+    cfg.bigkernel.autotune = Some(tune);
+    cfg.bigkernel.faults = faults;
+    let mut machine = Machine::test_platform();
+    let instance = app.instantiate(&mut machine, bytes, 42);
+    let result = run_implementation(&mut machine, &instance, Implementation::BigKernel, &cfg);
+    if let Err(e) = (instance.verify)(&machine) {
+        panic!(
+            "{} failed verification with autotune (parallel={parallel}): {e}",
+            app.spec().name
+        );
+    }
+    result
+}
+
+/// The autotuner's determinism contract, half one: tuning re-plans the
+/// schedule, never the computation. For every application an autotuned run
+/// verifies against the pure-Rust reference (bit-identical outputs — the
+/// verify closure compares machine state) and its functional stream byte
+/// counters match the untuned run exactly.
+#[test]
+fn autotuned_outputs_identical_to_untuned_for_every_app() {
+    let launch = LaunchConfig::new(4, 32);
+    // Freeze the chunk knob (min == max == the configured chunk size): a
+    // wave-boundary re-chunk moves chunk *boundaries*, which legitimately
+    // shifts per-chunk edge-read accounting while leaving the outputs
+    // untouched (verification still passes either way — `run_tuned` panics
+    // otherwise). Pinning it lets this test demand exact counter equality
+    // for the depth/buffer re-plans, which never touch execution at all.
+    let tune = AutotuneConfig {
+        min_chunk_bytes: 16 * 1024,
+        max_chunk_bytes: 16 * 1024,
+        ..AutotuneConfig::default()
+    };
+    for app in all_apps() {
+        let name = app.spec().name;
+        let plain = run_once(
+            app.as_ref(),
+            Implementation::BigKernel,
+            launch,
+            16 * 1024,
+            192 * 1024,
+            true,
+        );
+        let tuned = run_tuned(
+            app.as_ref(),
+            launch,
+            16 * 1024,
+            192 * 1024,
+            true,
+            3,
+            tune.clone(),
+            None,
+        );
+        for key in ["stream.bytes_read", "stream.bytes_written"] {
+            assert_eq!(
+                plain.metrics.get(key),
+                tuned.metrics.get(key),
+                "{name}: {key} changed with autotune enabled"
+            );
+        }
+        assert!(
+            tuned.metrics.get("autotune.windows") > 0,
+            "{name}: tuner never observed a window"
+        );
+    }
+}
+
+/// Determinism contract, half two: re-plan decisions are pure functions of
+/// the recorded schedule, so the same seed reproduces the same re-plan
+/// sequence regardless of host threading. The full [`RunResult`] — including
+/// `autotune.retune` and the `hist.autotune.depth` decision trace — is
+/// bit-identical between parallel and sequential block simulation.
+#[test]
+fn autotune_replan_sequence_identical_across_thread_counts() {
+    let launch = LaunchConfig::new(4, 32);
+    // Start shallow with a hair-trigger threshold so the controller really
+    // acts (stall fractions at test scale are small but nonzero).
+    let tune = AutotuneConfig {
+        interval: 2,
+        stall_threshold: 0.01,
+        ..AutotuneConfig::default()
+    };
+    let mut total_retunes = 0u64;
+    for app in all_apps() {
+        let par = run_tuned(
+            app.as_ref(),
+            launch,
+            16 * 1024,
+            192 * 1024,
+            true,
+            1,
+            tune.clone(),
+            None,
+        );
+        let seq = run_tuned(
+            app.as_ref(),
+            launch,
+            16 * 1024,
+            192 * 1024,
+            false,
+            1,
+            tune.clone(),
+            None,
+        );
+        assert_eq!(
+            par,
+            seq,
+            "{}: autotuned run diverged parallel vs sequential",
+            app.spec().name
+        );
+        total_retunes += par.metrics.get("autotune.retune");
+    }
+    assert!(
+        total_retunes > 0,
+        "no app ever re-planned; the sequence being pinned is empty"
+    );
+}
+
+/// Fault interplay: when the recovery ladder degrades the stage graph
+/// mid-run, the controller adopts the degraded depths and keeps tuning from
+/// there ("retuned, not reset") — the run verifies, records both the
+/// degradation and the adoption re-plan, and stays bit-reproducible.
+#[test]
+fn degraded_graph_is_retuned_not_reset() {
+    let launch = LaunchConfig::new(4, 32);
+    // times > max_retries (3) forces a degradation at chunk 1.
+    let plan = FaultPlan {
+        seed: 7,
+        rate: 0.0,
+        sites: vec![FaultSite {
+            stage: FaultStage::Compute,
+            chunk: 1,
+            times: 5,
+        }],
+        device_failure: None,
+        ..FaultPlan::default()
+    };
+    let app = KMeans::default();
+    let run = |parallel| {
+        run_tuned(
+            &app,
+            launch,
+            16 * 1024,
+            192 * 1024,
+            parallel,
+            3,
+            AutotuneConfig::default(),
+            Some(plan.clone()),
+        )
+    };
+    let r = run(true);
+    assert!(
+        r.metrics.get("fault.degraded") > 0,
+        "the fault site never degraded the graph"
+    );
+    assert!(
+        r.metrics.get("autotune.retune") >= 1,
+        "tuner did not adopt the degraded graph as a re-plan"
+    );
+    assert_eq!(
+        r,
+        run(false),
+        "degraded+tuned run diverged across threading"
+    );
 }
 
 proptest! {

@@ -21,6 +21,15 @@ pub struct ExpArgs {
     /// Fault-injection plan (`--faults SPEC`, see
     /// [`bk_runtime::FaultPlan::parse`]); `None` runs fault-free.
     pub faults: Option<bk_runtime::FaultPlan>,
+    /// Prefetch-data reuse depth (`--reuse-depth N`); `None` keeps the
+    /// config default (the paper's depth 3).
+    pub reuse_depth: Option<usize>,
+    /// Write-back buffer count (`--buffers N`); `None` follows the
+    /// prefetch-data depth, as in the paper.
+    pub buffers: Option<usize>,
+    /// Adaptive occupancy autotuning (`--autotune on|off`); `None` keeps
+    /// the config default (off).
+    pub autotune: Option<bool>,
 }
 
 impl Default for ExpArgs {
@@ -33,13 +42,17 @@ impl Default for ExpArgs {
             machine: None,
             gpus: None,
             faults: None,
+            reuse_depth: None,
+            buffers: None,
+            autotune: None,
         }
     }
 }
 
 impl ExpArgs {
     /// Parse `--bytes N`, `--mib N`, `--seed S`, `--app SUBSTR`,
-    /// `--threads N`, `--machine NAME`, `--gpus N`, `--faults SPEC` from an
+    /// `--threads N`, `--machine NAME`, `--gpus N`, `--faults SPEC`,
+    /// `--reuse-depth N`, `--buffers N`, `--autotune on|off` from an
     /// iterator of arguments (pass `std::env::args().skip(1)`).
     pub fn parse<I: Iterator<Item = String>>(mut args: I) -> Result<Self, String> {
         let mut out = ExpArgs::default();
@@ -95,10 +108,36 @@ impl ExpArgs {
                         .map_err(|e| format!("--faults: {e}"))?;
                     out.faults = Some(plan);
                 }
+                "--reuse-depth" => {
+                    let d: usize = value("--reuse-depth")?
+                        .parse()
+                        .map_err(|e| format!("--reuse-depth: {e}"))?;
+                    if d == 0 {
+                        return Err("--reuse-depth must be positive".into());
+                    }
+                    out.reuse_depth = Some(d);
+                }
+                "--buffers" => {
+                    let b: usize = value("--buffers")?
+                        .parse()
+                        .map_err(|e| format!("--buffers: {e}"))?;
+                    if b == 0 {
+                        return Err("--buffers must be positive".into());
+                    }
+                    out.buffers = Some(b);
+                }
+                "--autotune" => {
+                    out.autotune = match value("--autotune")?.as_str() {
+                        "on" => Some(true),
+                        "off" => Some(false),
+                        other => return Err(format!("--autotune: expected on|off, got {other:?}")),
+                    };
+                }
                 "--help" | "-h" => {
                     return Err(
                         "usage: [--bytes N | --mib N] [--seed S] [--app SUBSTR] [--threads N] \
-                         [--machine gtx680|tesla-like|test-tiny] [--gpus N] [--faults SPEC]\n\
+                         [--machine gtx680|tesla-like|test-tiny] [--gpus N] [--faults SPEC] \
+                         [--reuse-depth N] [--buffers N] [--autotune on|off]\n\
                          fault SPEC: comma-separated seed=N,rate=F,retries=N,backoff_us=F,\
                          fail=STAGE@CHUNK[xN],kill=DEV@WAVE"
                             .to_string(),
@@ -174,6 +213,17 @@ impl ExpArgs {
         // vs without faults.
         if let Some(plan) = &self.faults {
             cfg.bigkernel.faults = Some(plan.clone());
+        }
+        // Buffer knobs and the autotuner also target the bigkernel pipeline
+        // only (the baselines keep their own double-buffer semantics).
+        if let Some(d) = self.reuse_depth {
+            cfg.bigkernel.buffer_depth = d;
+        }
+        if let Some(b) = self.buffers {
+            cfg.bigkernel.wb_buffer_depth = Some(b);
+        }
+        if let Some(on) = self.autotune {
+            cfg.bigkernel.autotune = on.then(bk_runtime::AutotuneConfig::default);
         }
     }
 
@@ -279,6 +329,42 @@ mod tests {
         assert!(parse(&["--faults", "rate=2.0"]).is_err());
         assert!(parse(&["--faults", "bogus"]).is_err());
         assert!(parse(&["--faults"]).is_err());
+    }
+
+    #[test]
+    fn reuse_depth_and_buffers_flags() {
+        let a = parse(&["--reuse-depth", "8", "--buffers", "2"]).unwrap();
+        assert_eq!(a.reuse_depth, Some(8));
+        assert_eq!(a.buffers, Some(2));
+        let mut cfg = bk_apps::HarnessConfig::test_small();
+        a.apply_platform(&mut cfg);
+        assert_eq!(cfg.bigkernel.buffer_depth, 8);
+        assert_eq!(cfg.bigkernel.wb_buffer_depth, Some(2));
+        assert_eq!(cfg.bigkernel.wb_depth(), 2);
+        assert!(parse(&["--reuse-depth", "0"]).is_err());
+        assert!(parse(&["--buffers", "0"]).is_err());
+        assert!(parse(&["--reuse-depth"]).is_err());
+    }
+
+    #[test]
+    fn autotune_flag() {
+        let a = parse(&["--autotune", "on"]).unwrap();
+        assert_eq!(a.autotune, Some(true));
+        let mut cfg = bk_apps::HarnessConfig::test_small();
+        assert!(cfg.bigkernel.autotune.is_none());
+        a.apply_platform(&mut cfg);
+        assert_eq!(
+            cfg.bigkernel.autotune,
+            Some(bk_runtime::AutotuneConfig::default())
+        );
+        // `off` explicitly clears a config that defaulted to on.
+        cfg.bigkernel.autotune = Some(bk_runtime::AutotuneConfig::default());
+        parse(&["--autotune", "off"])
+            .unwrap()
+            .apply_platform(&mut cfg);
+        assert!(cfg.bigkernel.autotune.is_none());
+        assert!(parse(&["--autotune", "maybe"]).is_err());
+        assert!(parse(&["--autotune"]).is_err());
     }
 
     #[test]

@@ -34,6 +34,9 @@ struct Row {
     stage_utilization: Vec<(&'static str, f64)>,
     /// Top `stall.<stage>.<cause>` counters, simulated nanoseconds stalled.
     top_stalls: Vec<(&'static str, u64)>,
+    /// Per-stage buffer-reuse wait-time distribution summaries, from the
+    /// `hist.reuse-wait.<stage>` log₂ histograms (simulated ns per wait).
+    reuse_waits: Vec<ReuseWaitRow>,
     /// Simulated devices the run was sharded across.
     gpus: usize,
     /// Per-device `device.<i>.*` counters, one entry per device.
@@ -67,6 +70,35 @@ struct ScalingRow {
     gpus: usize,
     sim_secs: f64,
     speedup: f64,
+}
+
+/// Summary of one stage's `hist.reuse-wait.<stage>` histogram.
+struct ReuseWaitRow {
+    stage: String,
+    count: u64,
+    sum_ns: u64,
+    mean_ns: f64,
+    max_ns: u64,
+}
+
+/// Per-stage buffer-reuse wait distributions, sorted by total wait time
+/// descending (stages that never waited on reuse are omitted).
+fn reuse_waits(r: &bk_runtime::RunResult) -> Vec<ReuseWaitRow> {
+    const PREFIX: &str = "hist.reuse-wait.";
+    let mut v: Vec<ReuseWaitRow> = r
+        .metrics
+        .hists()
+        .filter(|(name, h)| name.starts_with(PREFIX) && h.count() > 0)
+        .map(|(name, h)| ReuseWaitRow {
+            stage: name[PREFIX.len()..].to_string(),
+            count: h.count(),
+            sum_ns: h.sum(),
+            mean_ns: h.mean(),
+            max_ns: h.max(),
+        })
+        .collect();
+    v.sort_by(|a, b| b.sum_ns.cmp(&a.sum_ns).then_with(|| a.stage.cmp(&b.stage)));
+    v
 }
 
 /// Largest `stall.*` counters (stalled simulated ns), descending.
@@ -158,7 +190,22 @@ fn to_json(args: &ExpArgs, iters: usize, rows: &[Row], scaling: &[ScalingRow]) -
                 if j + 1 < r.top_stalls.len() { "," } else { "" }
             );
         }
-        let _ = writeln!(out, "      }}");
+        let _ = writeln!(out, "      }},");
+        let _ = writeln!(out, "      \"reuse_waits\": [");
+        for (j, w) in r.reuse_waits.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "        {{ \"stage\": \"{}\", \"count\": {}, \"sum_ns\": {}, \
+                 \"mean_ns\": {:.1}, \"max_ns\": {} }}{}",
+                w.stage,
+                w.count,
+                w.sum_ns,
+                w.mean_ns,
+                w.max_ns,
+                if j + 1 < r.reuse_waits.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "      ]");
         let _ = writeln!(out, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
     }
     let _ = writeln!(out, "  ],");
@@ -263,6 +310,7 @@ fn main() {
                 })
                 .collect(),
             top_stalls: top_stalls(&r),
+            reuse_waits: reuse_waits(&r),
             gpus: cfg.gpus,
             devices: device_rows(&r, cfg.gpus),
         });
@@ -292,6 +340,16 @@ fn main() {
         match r.top_stalls.first() {
             Some((name, ns)) => println!("  top-stall {}={:.2}ms", name, *ns as f64 / 1e6),
             None => println!("  no stalls"),
+        }
+        for w in &r.reuse_waits {
+            println!(
+                "{:<49} reuse-wait {}: {} waits, mean {:.1}us, max {:.1}us",
+                "",
+                w.stage,
+                w.count,
+                w.mean_ns / 1e3,
+                w.max_ns as f64 / 1e3
+            );
         }
     }
 

@@ -149,7 +149,7 @@ fn run_for(app: &(dyn BenchApp + Sync), args: &ExpArgs, cfg: &HarnessConfig) {
         },
     ])
     .with_reuse(0, 3, cfg.bigkernel.buffer_depth)
-    .with_reuse(3, 5, cfg.bigkernel.buffer_depth);
+    .with_reuse(3, 5, cfg.bigkernel.wb_depth());
     let sched = pipeline::schedule(&spec, &vec![m; CHUNKS]);
     render::header("BigKernel (4+2 stages, paper Fig. 2)");
     print!("{}", sched.gantt(WIDTH));

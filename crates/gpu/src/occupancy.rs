@@ -110,12 +110,55 @@ pub fn compute(spec: &DeviceSpec, res: &BlockResources, num_set_blocks: u32) -> 
     }
 }
 
+/// How many buffer sets per active block the device can hold: the §IV.D
+/// feasibility constraint for the autotuner. A "set" is the per-block
+/// per-in-flight-chunk allocation (address buffer + prefetch data buffer +
+/// write-back buffer, `set_bytes` in total), and the runtime budgets at most
+/// half of device memory for streaming buffers — the other half stays free
+/// for the application's resident arrays. The result scales with
+/// `occ.active_blocks`, which [`compute`] already capped at what the device
+/// permits, so the tuner can never plan a reuse depth the occupancy model
+/// would reject. Always at least 1 (the pipeline cannot run with zero sets).
+pub fn max_buffer_sets(spec: &DeviceSpec, occ: &Occupancy, set_bytes: u64) -> usize {
+    let budget = spec.mem_capacity / 2;
+    let per_depth = u64::from(occ.active_blocks.max(1)).saturating_mul(set_bytes.max(1));
+    (budget / per_depth).max(1) as usize
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn spec() -> DeviceSpec {
         DeviceSpec::gtx680() // 8 SMs, 2048 thr/SM, 64K regs, 48K smem, 16 slots
+    }
+
+    #[test]
+    fn buffer_sets_budget_half_of_device_memory() {
+        // GTX 680: 2 GiB. 16 active blocks at 256 KiB sets → 1 GiB / 4 MiB.
+        let res = BlockResources::streaming_default();
+        let o = compute(&spec(), &res, 16);
+        assert_eq!(o.active_blocks, 16);
+        assert_eq!(max_buffer_sets(&spec(), &o, 256 * 1024), 256);
+    }
+
+    #[test]
+    fn buffer_sets_never_zero_even_when_oversubscribed() {
+        let res = BlockResources::streaming_default();
+        let o = compute(&spec(), &res, 10_000);
+        // Absurdly large sets still leave one set per block: depth-1 serial
+        // reuse is always feasible.
+        assert_eq!(max_buffer_sets(&spec(), &o, u64::MAX / 2), 1);
+    }
+
+    #[test]
+    fn buffer_sets_shrink_with_more_active_blocks_and_bigger_sets() {
+        let res = BlockResources::streaming_default();
+        let few = compute(&spec(), &res, 4);
+        let many = compute(&spec(), &res, 1000);
+        let sets = |o: &Occupancy, b| max_buffer_sets(&spec(), o, b);
+        assert!(sets(&few, 256 * 1024) >= sets(&many, 256 * 1024));
+        assert!(sets(&many, 64 * 1024) >= sets(&many, 1024 * 1024));
     }
 
     #[test]
@@ -204,5 +247,76 @@ mod tests {
             smem_per_block: 0,
         };
         compute(&spec(), &res, 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Monotonicity: increasing `BlockResources` demands never increases
+        /// reported occupancy. Ranges are chosen so both configurations fit
+        /// on a GTX 680 SM (the paper's device) — the heavier block maxes at
+        /// 1536 threads × 42 regs = 64512 ≤ 64 Ki registers and 40 KiB smem.
+        /// This is what makes the autotuner's feasibility check safe: a plan
+        /// validated against the lighter demand can only over-estimate, never
+        /// under-estimate, what a heavier kernel would be allowed.
+        #[test]
+        fn occupancy_is_monotone_in_block_demands(
+            threads in 32u32..=1024,
+            regs in 1u32..=32,
+            smem in 0u32..=32 * 1024,
+            dthreads in 0u32..=512,
+            dregs in 0u32..=10,
+            dsmem in 0u32..=8 * 1024,
+            launched in 1u32..=4096,
+        ) {
+            let spec = DeviceSpec::gtx680();
+            let lo = BlockResources {
+                threads_per_block: threads,
+                regs_per_thread: regs,
+                smem_per_block: smem,
+            };
+            let hi = BlockResources {
+                threads_per_block: threads + dthreads,
+                regs_per_thread: regs + dregs,
+                smem_per_block: smem + dsmem,
+            };
+            let o_lo = compute(&spec, &lo, launched);
+            let o_hi = compute(&spec, &hi, launched);
+            prop_assert!(o_hi.blocks_per_sm <= o_lo.blocks_per_sm);
+            prop_assert!(o_hi.active_blocks <= o_lo.active_blocks);
+            // Feasibility moves the other way: fewer active blocks leave
+            // room for more buffer sets per block, never fewer.
+            for set_bytes in [64 * 1024u64, 256 * 1024, 1024 * 1024] {
+                prop_assert!(
+                    max_buffer_sets(&spec, &o_hi, set_bytes)
+                        >= max_buffer_sets(&spec, &o_lo, set_bytes)
+                );
+            }
+        }
+
+        /// The launched-block cap from the paper formula always applies:
+        /// active blocks never exceed either the launch size or the
+        /// hardware's resident capacity.
+        #[test]
+        fn active_blocks_never_exceed_launch_or_hardware(
+            threads in 32u32..=1024,
+            regs in 1u32..=32,
+            smem in 0u32..=32 * 1024,
+            launched in 1u32..=4096,
+        ) {
+            let spec = DeviceSpec::gtx680();
+            let res = BlockResources {
+                threads_per_block: threads,
+                regs_per_thread: regs,
+                smem_per_block: smem,
+            };
+            let o = compute(&spec, &res, launched);
+            prop_assert!(o.active_blocks <= launched);
+            prop_assert!(o.active_blocks <= o.blocks_per_sm * spec.num_sms);
+        }
     }
 }

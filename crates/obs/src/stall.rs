@@ -137,13 +137,38 @@ fn span_hist(stage: &str) -> Option<&'static str> {
     )
 }
 
+/// Interned `hist.reuse-wait.<stage>` histogram name: how long each
+/// buffer-reuse wait lasted, in simulated nanoseconds, log₂-bucketed by the
+/// registry's [`crate::Histogram`]. The autotuner's main input, and the
+/// wait-depth distribution `perf_snapshot` summarizes.
+pub fn reuse_wait_hist(stage: &str) -> Option<&'static str> {
+    macro_rules! table {
+        ($( $stage:literal ),* $(,)?) => {
+            match stage {
+                $( $stage => Some(concat!("hist.reuse-wait.", $stage)), )*
+                _ => None,
+            }
+        };
+    }
+    table!(
+        "addr-gen",
+        "assemble",
+        "transfer",
+        "compute",
+        "wb-xfer",
+        "wb-apply",
+        "stage-pin"
+    )
+}
+
 /// Walk one computed wave [`Schedule`] and record, for every non-empty slot:
 ///
 /// * a [`SpanRecord`] on the slot's resource track (only collected while a
 ///   [`trace::start`] guard is live — see the crate docs),
 /// * the span-duration histogram `hist.span.<stage>`,
 /// * if the slot stalled, the `stall.<stage>.<cause>` counter (simulated
-///   nanoseconds).
+///   nanoseconds), plus the per-wait `hist.reuse-wait.<stage>` histogram
+///   when the cause is the buffer-reuse rule.
 ///
 /// `chunk_base` and `time_base` place the wave in the whole run: the
 /// runtime schedules waves back to back, so wave-local chunk indices and
@@ -199,6 +224,11 @@ fn record_schedule_with<S: ScheduleView>(
             let meta = sched.slot_meta(chunk, stage);
             let stall = meta.kind.map(|k| {
                 let cause = StallCause::from_kind(k);
+                if cause == StallCause::BufferReuse {
+                    if let Some(h) = reuse_wait_hist(name) {
+                        metrics.observe(h, meta.stall.nanos() as u64);
+                    }
+                }
                 match stall_counter(name, cause.label()) {
                     Some(c) => metrics.add(c, meta.stall.nanos() as u64),
                     None => {
@@ -311,6 +341,33 @@ mod tests {
             .map(|c| s.slot_meta(c, 0).stall.nanos() as u64)
             .sum();
         assert_eq!(m.get("stall.transfer.buffer-reuse"), want);
+    }
+
+    #[test]
+    fn reuse_wait_histogram_counts_each_stalled_wait() {
+        let s = sched();
+        let mut m = MetricsRegistry::new();
+        record_schedule(&s, 0, SimTime::ZERO, &mut m);
+        // One wait per reuse-stalled slot, summing to the stall counter.
+        let stalled = (0..s.num_chunks())
+            .filter(|&c| matches!(s.slot_meta(c, 0).kind, Some(StallKind::Reuse { .. })))
+            .count() as u64;
+        let h = m.hist("hist.reuse-wait.transfer").expect("histogram");
+        assert!(stalled > 0);
+        assert_eq!(h.count(), stalled);
+        assert_eq!(h.sum(), m.get("stall.transfer.buffer-reuse"));
+        // The non-reuse stage recorded no reuse waits.
+        assert!(m.hist("hist.reuse-wait.compute").is_none());
+    }
+
+    #[test]
+    fn reuse_wait_hist_names_are_interned() {
+        assert_eq!(
+            reuse_wait_hist("addr-gen"),
+            Some("hist.reuse-wait.addr-gen")
+        );
+        assert_eq!(reuse_wait_hist("compute"), Some("hist.reuse-wait.compute"));
+        assert_eq!(reuse_wait_hist("unknown"), None);
     }
 
     #[test]

@@ -29,6 +29,14 @@ use bk_simcore::SimTime;
 /// resource's track.
 pub const FAULT_MARKER_STAGE: &str = "fault";
 
+/// Stage label marking a span as an autotuner re-plan point: `dur` is zero,
+/// `start` is the simulated time the new plan took effect (a window
+/// boundary), `chunk` is the first chunk scheduled under the new plan, and
+/// `stall` carries `("buffer-reuse", reuse stall of the window that
+/// triggered the decision)`. Rendered as Perfetto instant events on the
+/// `"autotune"` track.
+pub const RETUNE_MARKER_STAGE: &str = "retune";
+
 /// One recorded stage instance.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SpanRecord {

@@ -1,5 +1,6 @@
 //! BigKernel runtime configuration.
 
+use crate::autotune::AutotuneConfig;
 use crate::fault::FaultPlan;
 use crate::graph::ShardPolicy;
 
@@ -36,6 +37,12 @@ pub struct BigKernelConfig {
     /// computation of chunk `n - depth`. The paper uses 3 ("iteration
     /// n synchronizes with the computation threads in iteration n-3").
     pub buffer_depth: usize,
+    /// Write-back buffer multiplicity: compute of chunk `n` waits for
+    /// write-back apply of chunk `n - depth`. `None` (the default) follows
+    /// [`buffer_depth`](Self::buffer_depth), which is the paper's single
+    /// shared depth; the autotuner (and `--buffers N`) sets the two edges
+    /// independently.
+    pub wb_buffer_depth: Option<usize>,
     /// §IV.A stride-pattern recognition.
     pub pattern_recognition: bool,
     /// Piecewise (mid-stream-changing) patterns, the §IV.A extension; only
@@ -71,6 +78,12 @@ pub struct BigKernelConfig {
     /// faults perturb only durations and chunk placement — outputs stay
     /// bit-identical to the fault-free run for any plan that completes.
     pub faults: Option<FaultPlan>,
+    /// Adaptive occupancy autotuning (see [`crate::autotune`]). `None` (the
+    /// default) takes the exact static code path. Tuning re-plans buffer
+    /// depths and chunk size from recorded schedule state only, so outputs
+    /// stay bit-identical to the untuned run and decisions replay
+    /// deterministically for a given seed.
+    pub autotune: Option<AutotuneConfig>,
 }
 
 impl Default for BigKernelConfig {
@@ -78,6 +91,7 @@ impl Default for BigKernelConfig {
         BigKernelConfig {
             chunk_input_bytes: 256 * 1024,
             buffer_depth: 3,
+            wb_buffer_depth: None,
             pattern_recognition: true,
             segmented_patterns: true,
             locality_assembly: true,
@@ -88,6 +102,7 @@ impl Default for BigKernelConfig {
             parallel_blocks: true,
             shard_policy: ShardPolicy::RoundRobin,
             faults: None,
+            autotune: None,
         }
     }
 }
@@ -111,11 +126,22 @@ impl BigKernelConfig {
         }
     }
 
+    /// The effective write-back reuse depth: the explicit override if set,
+    /// otherwise the shared [`buffer_depth`](Self::buffer_depth).
+    pub fn wb_depth(&self) -> usize {
+        self.wb_buffer_depth.unwrap_or(self.buffer_depth)
+    }
+
     /// Panic on configurations that cannot be run (zero chunk size, zero
-    /// buffer depth, contradictory variants, invalid fault plan).
+    /// buffer depth, contradictory variants, invalid fault plan or tuner
+    /// knobs).
     pub fn validate(&self) {
         assert!(self.chunk_input_bytes > 0, "chunk size must be positive");
         assert!(self.buffer_depth >= 1, "need at least one buffer");
+        assert!(self.wb_depth() >= 1, "need at least one write-back buffer");
+        if let Some(tune) = &self.autotune {
+            tune.validate();
+        }
         if self.transfer_all {
             assert!(
                 !self.pattern_recognition,
@@ -171,6 +197,40 @@ mod tests {
     fn zero_depth_rejected() {
         let c = BigKernelConfig {
             buffer_depth: 0,
+            ..BigKernelConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    fn wb_depth_follows_buffer_depth_unless_overridden() {
+        let mut c = BigKernelConfig::default();
+        assert_eq!(c.wb_depth(), 3);
+        c.buffer_depth = 7;
+        assert_eq!(c.wb_depth(), 7);
+        c.wb_buffer_depth = Some(2);
+        assert_eq!(c.wb_depth(), 2);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "write-back buffer")]
+    fn zero_wb_depth_rejected() {
+        let c = BigKernelConfig {
+            wb_buffer_depth: Some(0),
+            ..BigKernelConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be >= 1")]
+    fn invalid_autotune_knobs_rejected() {
+        let c = BigKernelConfig {
+            autotune: Some(crate::autotune::AutotuneConfig {
+                interval: 0,
+                ..Default::default()
+            }),
             ..BigKernelConfig::default()
         };
         c.validate();

@@ -33,8 +33,8 @@
 //! fault-free run for any plan that completes. See DESIGN.md §11.
 
 use crate::graph::{
-    bigkernel_graph, deal_chunks, schedule_graph, serial_graph, GraphSpec, Shard, ShardPolicy,
-    ShardedSchedule,
+    bigkernel_graph, bigkernel_graph_depths, deal_chunks, schedule_graph, serial_graph, GraphSpec,
+    Shard, ShardPolicy, ShardedSchedule,
 };
 use crate::pipeline::STAGE_NAMES;
 use bk_obs::{stall_counter, MetricsRegistry, SpanRecord, FAULT_MARKER_STAGE};
@@ -348,6 +348,7 @@ impl FaultContext {
         policy: ShardPolicy,
         copy_engines: usize,
         depth: usize,
+        wb_depth: usize,
     ) -> FaultContext {
         if let Some(df) = plan.device_failure {
             assert!(
@@ -366,17 +367,31 @@ impl FaultContext {
             alive: vec![true; num_devices],
             level: 0,
             specs: [
-                bigkernel_graph(copy_engines, depth),
+                bigkernel_graph_depths(copy_engines, depth, wb_depth),
                 bigkernel_graph(copy_engines, 1),
                 serial_graph(&STAGE_NAMES),
             ],
         }
     }
 
-    /// Degradation level reached so far (0 = full pipeline).
-    #[cfg(test)]
+    /// Degradation level reached so far (0 = full pipeline). The autotuner
+    /// reads this after every window to adopt degraded depths.
     pub(crate) fn level(&self) -> usize {
         self.level
+    }
+
+    /// Replace the graph at the *current* degradation level with a retuned
+    /// spec — the autotuner deepening (or shallowing) reuse edges between
+    /// windows. The serial fallback (level 2) has no reuse edges to tune and
+    /// is never replaced; returns whether the retune was applied. Degrading
+    /// still swaps to the untouched next-level spec, and a degraded level is
+    /// itself retunable — "retuned, not reset".
+    pub(crate) fn retune_current(&mut self, spec: GraphSpec) -> bool {
+        if self.level >= 2 {
+            return false;
+        }
+        self.specs[self.level] = spec;
+        true
     }
 
     /// Inflate the wave's clean durations with injected faults at the
@@ -655,7 +670,7 @@ mod tests {
         // One site failing compute of chunk 2 twice: the inflated row pays
         // two wasted attempts plus backoff 1µs + 2µs.
         let plan = FaultPlan::parse("fail=compute@2x2,backoff_us=1").unwrap();
-        let ctx = FaultContext::new(plan, 1, ShardPolicy::RoundRobin, 1, 3);
+        let ctx = FaultContext::new(plan, 1, ShardPolicy::RoundRobin, 1, 3, 3);
         let clean = rows(4);
         let (inflated, events) = ctx.inflate(0, &clean).unwrap();
         assert_eq!(events.len(), 1);
@@ -679,7 +694,7 @@ mod tests {
             max_retries: 0,
             ..FaultPlan::default()
         };
-        let ctx = FaultContext::new(plan, 1, ShardPolicy::RoundRobin, 1, 3);
+        let ctx = FaultContext::new(plan, 1, ShardPolicy::RoundRobin, 1, 3, 3);
         // All-zero rows: rate 1.0 with no retries would exhaust instantly if
         // zero-duration stages drew faults.
         let clean = vec![vec![SimTime::ZERO; 6]; 3];
@@ -693,7 +708,7 @@ mod tests {
         // The site fails 10 times but the budget is 1 retry: level 0 cannot
         // complete. Sites clear at level 1, so the wave runs double-buffered.
         let plan = FaultPlan::parse("fail=compute@0x10,retries=1").unwrap();
-        let mut ctx = FaultContext::new(plan, 1, ShardPolicy::RoundRobin, 1, 3);
+        let mut ctx = FaultContext::new(plan, 1, ShardPolicy::RoundRobin, 1, 3, 3);
         let mut metrics = MetricsRegistry::new();
         let sharded = ctx.run_wave(0, 0, SimTime::ZERO, &rows(6), &mut metrics);
         assert_eq!(ctx.level(), 1);
@@ -709,7 +724,7 @@ mod tests {
     #[test]
     fn degraded_wave_is_slower_than_clean_pipeline() {
         let plan = FaultPlan::parse("fail=compute@0x10,retries=1").unwrap();
-        let mut ctx = FaultContext::new(plan.clone(), 1, ShardPolicy::RoundRobin, 1, 3);
+        let mut ctx = FaultContext::new(plan.clone(), 1, ShardPolicy::RoundRobin, 1, 3, 3);
         let mut metrics = MetricsRegistry::new();
         let degraded = ctx.run_wave(0, 0, SimTime::ZERO, &rows(8), &mut metrics);
         let clean = crate::graph::Executor::new(bigkernel_graph(1, 3), 1, ShardPolicy::RoundRobin)
@@ -725,7 +740,7 @@ mod tests {
             max_retries: 2,
             ..FaultPlan::default()
         };
-        let mut ctx = FaultContext::new(plan, 1, ShardPolicy::RoundRobin, 1, 3);
+        let mut ctx = FaultContext::new(plan, 1, ShardPolicy::RoundRobin, 1, 3, 3);
         let mut metrics = MetricsRegistry::new();
         let _ = ctx.run_wave(0, 0, SimTime::ZERO, &rows(2), &mut metrics);
     }
@@ -733,7 +748,7 @@ mod tests {
     #[test]
     fn device_death_requeues_onto_survivors_in_order() {
         let plan = FaultPlan::parse("kill=0@1").unwrap();
-        let mut ctx = FaultContext::new(plan, 2, ShardPolicy::RoundRobin, 1, 3);
+        let mut ctx = FaultContext::new(plan, 2, ShardPolicy::RoundRobin, 1, 3, 3);
         let mut metrics = MetricsRegistry::new();
         // Wave 0: both devices.
         let w0 = ctx.run_wave(0, 0, SimTime::ZERO, &rows(8), &mut metrics);
@@ -755,7 +770,7 @@ mod tests {
     #[test]
     fn least_loaded_requeue_balances_survivors() {
         let plan = FaultPlan::parse("kill=1@0").unwrap();
-        let mut ctx = FaultContext::new(plan, 3, ShardPolicy::LeastLoaded, 1, 3);
+        let mut ctx = FaultContext::new(plan, 3, ShardPolicy::LeastLoaded, 1, 3, 3);
         let mut metrics = MetricsRegistry::new();
         let w0 = ctx.run_wave(0, 0, SimTime::ZERO, &rows(9), &mut metrics);
         assert_eq!(w0.shards().len(), 2);
@@ -776,13 +791,13 @@ mod tests {
     #[should_panic(expected = "only device")]
     fn killing_the_only_device_is_rejected_up_front() {
         let plan = FaultPlan::parse("kill=0@0").unwrap();
-        let _ = FaultContext::new(plan, 1, ShardPolicy::RoundRobin, 1, 3);
+        let _ = FaultContext::new(plan, 1, ShardPolicy::RoundRobin, 1, 3, 3);
     }
 
     #[test]
     fn fault_counters_and_stall_time_are_emitted() {
         let plan = FaultPlan::parse("fail=transfer@1x2,fail=compute@3,backoff_us=1").unwrap();
-        let mut ctx = FaultContext::new(plan, 1, ShardPolicy::RoundRobin, 1, 3);
+        let mut ctx = FaultContext::new(plan, 1, ShardPolicy::RoundRobin, 1, 3, 3);
         let mut metrics = MetricsRegistry::new();
         let _ = ctx.run_wave(0, 0, SimTime::ZERO, &rows(6), &mut metrics);
         assert_eq!(metrics.get("fault.injected"), 2);
@@ -797,7 +812,7 @@ mod tests {
     fn same_plan_same_wave_is_bitwise_reproducible() {
         let plan = FaultPlan::parse("seed=3,rate=0.2,retries=4,kill=1@0").unwrap();
         let run = || {
-            let mut ctx = FaultContext::new(plan.clone(), 2, ShardPolicy::RoundRobin, 1, 3);
+            let mut ctx = FaultContext::new(plan.clone(), 2, ShardPolicy::RoundRobin, 1, 3, 3);
             let mut metrics = MetricsRegistry::new();
             let s = ctx.run_wave(0, 0, SimTime::ZERO, &rows(12), &mut metrics);
             (s.makespan(), format!("{metrics}"))
@@ -808,7 +823,7 @@ mod tests {
     #[test]
     fn fault_markers_appear_in_the_trace() {
         let plan = FaultPlan::parse("fail=compute@2,backoff_us=1").unwrap();
-        let mut ctx = FaultContext::new(plan, 1, ShardPolicy::RoundRobin, 1, 3);
+        let mut ctx = FaultContext::new(plan, 1, ShardPolicy::RoundRobin, 1, 3, 3);
         let mut metrics = MetricsRegistry::new();
         let guard = bk_obs::trace::start();
         let _ = ctx.run_wave(0, 0, SimTime::ZERO, &rows(4), &mut metrics);

@@ -219,6 +219,16 @@ impl GraphSpec {
         self
     }
 
+    /// Depth of the reuse edge from `producer` to `consumer`, if one exists.
+    /// The autotuner's re-planning hook: it reads the current depth of the
+    /// §IV.C edges here before deciding whether (and how far) to deepen them.
+    pub fn reuse_depth(&self, producer: usize, consumer: usize) -> Option<usize> {
+        self.reuse
+            .iter()
+            .find(|e| e.producer == producer && e.consumer == consumer)
+            .map(|e| e.depth)
+    }
+
     /// Give a resource `n` identical units (e.g. a thread pool). Production
     /// configs all use the default capacity 1 — that is what keeps
     /// [`schedule_graph`] bit-identical to the legacy scheduler; capacities
@@ -271,6 +281,15 @@ impl GraphSpec {
 /// On GPUs with a second copy engine the write-back transfer gets its own
 /// D2H DMA resource; otherwise it queues on the one engine.
 pub fn bigkernel_graph(copy_engines: usize, depth: usize) -> GraphSpec {
+    bigkernel_graph_depths(copy_engines, depth, depth)
+}
+
+/// [`bigkernel_graph`] with the two reuse edges split: `depth` buffer sets on
+/// the prefetch-data edge `addr-gen(n) ↔ compute(n−depth)` and `wb_depth`
+/// sets on the write-back edge `compute(n) ↔ wb-apply(n−wb_depth)`. The
+/// autotuner deepens the two edges independently, because the prefetch and
+/// write-back buffer pools are sized (and stall) independently.
+pub fn bigkernel_graph_depths(copy_engines: usize, depth: usize, wb_depth: usize) -> GraphSpec {
     use ResourceKind::*;
     let wb_dma = if copy_engines >= 2 { DmaD2H } else { DmaH2D };
     GraphSpec::chain(vec![
@@ -282,7 +301,7 @@ pub fn bigkernel_graph(copy_engines: usize, depth: usize) -> GraphSpec {
         ("wb-apply", ResourceId::new(CpuWriteback, 0)),
     ])
     .with_reuse(0, 3, depth)
-    .with_reuse(3, 5, depth)
+    .with_reuse(3, 5, wb_depth)
 }
 
 /// The double-buffered baseline graph: stage-pin → transfer → compute →
@@ -942,6 +961,49 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "reuse depth must be >= 1")]
+    fn with_reuse_depth_zero_panics() {
+        let _ = bigkernel_graph(1, 3).with_reuse(0, 3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "producer index out of range")]
+    fn with_reuse_producer_out_of_range_panics() {
+        let _ = bigkernel_graph(1, 3).with_reuse(6, 3, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "consumer index out of range")]
+    fn with_reuse_consumer_out_of_range_panics() {
+        let _ = bigkernel_graph(1, 3).with_reuse(0, 6, 1);
+    }
+
+    #[test]
+    fn reuse_depth_reports_both_bigkernel_edges() {
+        let spec = bigkernel_graph_depths(1, 4, 7);
+        assert_eq!(spec.reuse_depth(0, 3), Some(4));
+        assert_eq!(spec.reuse_depth(3, 5), Some(7));
+        assert_eq!(spec.reuse_depth(1, 2), None);
+        // The single-depth factory keeps both edges in lockstep.
+        let legacy = bigkernel_graph(1, 3);
+        assert_eq!(legacy.reuse_depth(0, 3), legacy.reuse_depth(3, 5));
+    }
+
+    #[test]
+    fn bigkernel_graph_depths_matches_single_depth_factory_when_equal() {
+        let rows = vec![vec![t(0.2), t(0.9), t(0.7), t(1.3), t(0.3), t(0.2)]; 10];
+        let a = schedule_graph(&bigkernel_graph(2, 3), &rows);
+        let b = schedule_graph(&bigkernel_graph_depths(2, 3, 3), &rows);
+        assert_eq!(a.makespan(), b.makespan());
+        for c in 0..rows.len() {
+            for s in 0..6 {
+                assert_eq!(a.slot(c, s), b.slot(c, s));
+                assert_eq!(a.slot_meta(c, s), b.slot_meta(c, s));
+            }
+        }
+    }
+
+    #[test]
     fn sharded_accumulate_preserves_stage_shape_and_totals() {
         let spec = bigkernel_graph(1, 3);
         let rows = vec![vec![t(0.2), t(0.9), t(0.7), t(1.3), t(0.3), t(0.2)]; 12];
@@ -1115,6 +1177,31 @@ mod proptests {
                     for &dep in &spec.stages[st].deps {
                         prop_assert!(s.slot(c, st).start >= s.slot(c, dep).finish);
                     }
+                }
+            }
+        }
+
+        /// Reuse edges are never violated: for any depths >= 1 on the two
+        /// BigKernel edges and any durations (zero-duration slots included),
+        /// `producer(c)` never starts before `consumer(c − depth)` finishes.
+        /// Generalizes the random-DAG capacity proptest to the §IV.C rule
+        /// the autotuner re-plans.
+        #[test]
+        fn schedule_never_violates_reuse_edges(
+            d in arb_durations(30, 6),
+            depth in 1usize..8,
+            wb_depth in 1usize..8,
+            copy_engines in 1usize..=2,
+        ) {
+            let spec = bigkernel_graph_depths(copy_engines, depth, wb_depth);
+            let s = schedule_graph(&spec, &d);
+            for e in &spec.reuse {
+                for c in e.depth..s.num_chunks() {
+                    prop_assert!(
+                        s.slot(c, e.producer).start >= s.slot(c - e.depth, e.consumer).finish,
+                        "reuse edge {}→{} depth {} violated at chunk {c}",
+                        e.producer, e.consumer, e.depth,
+                    );
                 }
             }
         }

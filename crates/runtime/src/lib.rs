@@ -37,6 +37,10 @@
 //!   [`FaultPlan`] failing stage instances or whole devices, with bounded
 //!   retry + backoff, chunk requeue onto survivors and graceful degradation
 //!   to the double-buffered / serial graphs.
+//! * [`autotune`] — the adaptive occupancy autotuner: a deterministic
+//!   feedback controller that consumes per-slot stall attribution and
+//!   re-plans reuse depths and chunk size between scheduling windows,
+//!   bounded by the §IV.D occupancy model ([`Autotuner`]).
 //! * [`pipeline`] — the 4-stage (plus 2 write-back stage) pipeline runner
 //!   producing a [`RunResult`] with simulated time, per-stage breakdown and
 //!   counters; a thin configuration layer over [`graph`].
@@ -45,6 +49,7 @@
 
 pub mod addr;
 pub mod assembly;
+pub mod autotune;
 pub mod config;
 pub mod ctx;
 mod exec;
@@ -61,6 +66,7 @@ pub mod segmented;
 pub mod stream;
 pub mod sync;
 
+pub use autotune::{AutotuneConfig, Autotuner, TunePlan, TunerState, WindowFeedback};
 pub use bk_obs::{Histogram, MetricsRegistry};
 pub use config::{AssemblyLayout, BigKernelConfig, SyncMode};
 pub use ctx::{AddrGenCtx, ComputeCtx, DevMemory, LiveMem, LoggedMem};

@@ -59,13 +59,14 @@
 //! waves, reusing the active blocks' buffers (and their per-slot simulation
 //! state: warp aligner + LLC model).
 
+use crate::autotune::{Autotuner, TunePlan, WindowFeedback};
 use crate::config::BigKernelConfig;
 use crate::exec::{
     run_block_sequential, run_block_sequential_staged, run_chunk_assembled_logged,
     run_chunk_staged_logged, BlockSlot, ChunkCosts, WaveCell,
 };
 use crate::fault::FaultContext;
-use crate::graph::{bigkernel_graph, Executor};
+use crate::graph::{bigkernel_graph_depths, Executor};
 use crate::kernel::{chunk_slice, partition_ranges, DeviceEffects, LaunchConfig, StreamKernel};
 use crate::machine::Machine;
 use crate::result::{finalize_stage_stats, RunResult};
@@ -74,7 +75,7 @@ use crate::sync;
 use bk_gpu::occupancy::{self, BlockResources};
 use bk_gpu::GpuPool;
 use bk_host::{cpu, DmaDirection};
-use bk_obs::MetricsRegistry;
+use bk_obs::{MetricsRegistry, SpanRecord, RETUNE_MARKER_STAGE};
 use bk_simcore::SimTime;
 use std::ops::Range;
 
@@ -135,6 +136,31 @@ fn bound_counter(stage: &str, bound: &str) -> &'static str {
     }
 }
 
+/// Log one autotuner re-plan: the decision counters that pin the re-plan
+/// sequence in the determinism suite, plus a Perfetto instant marker on the
+/// `"autotune"` track placed at the simulated time the new plan takes
+/// effect. `reuse_stall` is the triggering window's reuse stall (zero for
+/// wave-boundary chunk re-plans, which act on chunk counts, not stall).
+fn note_retune(
+    metrics: &mut MetricsRegistry,
+    plan: TunePlan,
+    next_chunk: usize,
+    now: SimTime,
+    reuse_stall: SimTime,
+) {
+    metrics.incr("autotune.retune");
+    metrics.observe("hist.autotune.depth", plan.data_depth as u64);
+    metrics.observe("hist.autotune.buffers", plan.wb_depth as u64);
+    bk_obs::trace::record(&SpanRecord {
+        track: "autotune",
+        stage: RETUNE_MARKER_STAGE,
+        chunk: next_chunk,
+        start: now,
+        dur: SimTime::ZERO,
+        stall: Some(("buffer-reuse", reuse_stall)),
+    });
+}
+
 /// Run `kernel` over `streams` with the BigKernel pipeline.
 ///
 /// `streams[i]` must have id `StreamId(i)`; `streams[0]` is the primary
@@ -182,10 +208,15 @@ pub fn run_bigkernel(
     let ranges = partition_ranges(primary.len(), launch.total_threads(), rec);
 
     // Chunking: each block consumes ~chunk_input_bytes of input per chunk.
+    // Mutable because the autotuner may re-plan the chunk size at a wave
+    // boundary (never mid-wave — a wave boundary is the only point with no
+    // chunk in flight).
     let unit = rec.unwrap_or(1);
-    let per_lane_slice = ((cfg.chunk_input_bytes / tpb as u64) / unit).max(1) * unit;
     let max_range = ranges.iter().map(|r| r.end - r.start).max().unwrap_or(0);
-    let num_chunks = (max_range.div_ceil(per_lane_slice)).max(1) as usize;
+    let lane_slice = |chunk_bytes: u64| ((chunk_bytes / tpb as u64) / unit).max(1) * unit;
+    let chunks_for = |slice: u64| (max_range.div_ceil(slice)).max(1) as usize;
+    let mut per_lane_slice = lane_slice(cfg.chunk_input_bytes);
+    let mut num_chunks = chunks_for(per_lane_slice);
 
     let sync_costs = sync::per_chunk(machine, cfg.sync);
     let mut metrics = MetricsRegistry::new();
@@ -196,12 +227,14 @@ pub fn run_bigkernel(
     metrics.add("run.devices", machine.num_gpus() as u64);
 
     // The schedule is a stage-graph configuration: stages, resources, edges
-    // and the §IV.C reuse rule are data (see [`bigkernel_graph`]), and the
-    // executor deals chunks across the machine's simulated GPUs. Each
-    // device owns its buffer pool, so the reuse depth applies within a
-    // device's local chunk sequence.
-    let spec = bigkernel_graph(machine.gpu().copy_engines as usize, cfg.buffer_depth);
-    let executor = Executor::new(spec, machine.num_gpus(), cfg.shard_policy);
+    // and the §IV.C reuse rule are data (see [`bigkernel_graph_depths`]),
+    // and the executor deals chunks across the machine's simulated GPUs.
+    // Each device owns its buffer pool, so the reuse depth applies within a
+    // device's local chunk sequence. The executor is rebuilt whenever the
+    // autotuner re-plans the reuse depths between scheduling windows.
+    let copy_engines = machine.gpu().copy_engines as usize;
+    let spec = bigkernel_graph_depths(copy_engines, cfg.buffer_depth, cfg.wb_depth());
+    let mut executor = Executor::new(spec, machine.num_gpus(), cfg.shard_policy);
 
     // Fault injection (see [`crate::fault`]): when a plan is configured the
     // fault context replaces `executor.run` per wave — inflating durations
@@ -214,8 +247,28 @@ pub fn run_bigkernel(
             plan,
             machine.num_gpus(),
             cfg.shard_policy,
-            machine.gpu().copy_engines as usize,
+            copy_engines,
             cfg.buffer_depth,
+            cfg.wb_depth(),
+        )
+    });
+
+    // Adaptive occupancy autotuning (see [`crate::autotune`]): the §IV.D
+    // occupancy model bounds how many buffer sets per active block the
+    // device can hold, and the controller re-plans reuse depths / chunk
+    // size within that cap from recorded schedule state only. `None` takes
+    // the exact static scheduling path below.
+    let mut tuner = cfg.autotune.clone().map(|tcfg| {
+        let feasible =
+            occupancy::max_buffer_sets(machine.gpu(), &occ, cfg.chunk_input_bytes.max(1));
+        Autotuner::new(
+            tcfg,
+            TunePlan {
+                data_depth: cfg.buffer_depth,
+                wb_depth: cfg.wb_depth(),
+                chunk_bytes: cfg.chunk_input_bytes,
+            },
+            feasible,
         )
     });
 
@@ -233,7 +286,21 @@ pub fn run_bigkernel(
         .map(|_| BlockSlot::new())
         .collect();
 
+    let mut seen_fault_level = 0usize;
     for wave in 0..waves {
+        // Wave-boundary chunk-size re-plan: buffers swap between windows,
+        // but the chunk granularity only changes where nothing is in
+        // flight. Purely a re-chunking of each block's lane ranges — every
+        // record is still processed exactly once, so outputs are unchanged.
+        if wave > 0 {
+            if let Some(tuner) = tuner.as_mut() {
+                if let Some(plan) = tuner.plan_wave(num_chunks) {
+                    per_lane_slice = lane_slice(plan.chunk_bytes);
+                    num_chunks = chunks_for(per_lane_slice);
+                    note_retune(&mut metrics, plan, total_chunks, total, SimTime::ZERO);
+                }
+            }
+        }
         let blocks: Vec<u32> =
             (wave * active_blocks..((wave + 1) * active_blocks).min(launch.num_blocks)).collect();
         let mut durations: Vec<Vec<SimTime>> = Vec::with_capacity(num_chunks);
@@ -414,22 +481,89 @@ pub fn run_bigkernel(
             durations.push(row.to_vec());
         }
 
-        let sharded = match fault_ctx.as_mut() {
-            Some(fc) => fc.run_wave(wave as usize, total_chunks, total, &durations, &mut metrics),
-            None => executor.run(&durations),
-        };
-        // Observability: spans (when a trace guard is live), per-stage span
-        // histograms, stall.<stage>.<cause> totals and device.<d>.* counters,
-        // offset into run-global chunk indices / simulated time. Waves run
-        // back to back, so the running `total` is this wave's time base.
-        sharded.record(total_chunks, total, &mut metrics);
-        total += sharded.makespan();
-        sharded.accumulate(&mut stage_stats);
-        total_chunks += durations.len();
+        match tuner.as_mut() {
+            // Static path: schedule the whole wave in one piece — the exact
+            // legacy code path, bit-identical to pre-autotuner runs.
+            None => {
+                let sharded = match fault_ctx.as_mut() {
+                    Some(fc) => {
+                        fc.run_wave(wave as usize, total_chunks, total, &durations, &mut metrics)
+                    }
+                    None => executor.run(&durations),
+                };
+                // Observability: spans (when a trace guard is live),
+                // per-stage span histograms, stall.<stage>.<cause> totals
+                // and device.<d>.* counters, offset into run-global chunk
+                // indices / simulated time. Waves run back to back, so the
+                // running `total` is this wave's time base.
+                sharded.record(total_chunks, total, &mut metrics);
+                total += sharded.makespan();
+                sharded.accumulate(&mut stage_stats);
+                total_chunks += durations.len();
+            }
+            // Tuned path: the wave is scheduled in windows. Each window
+            // drains the pipeline (re-planning swaps buffer allocations, so
+            // it needs a quiesce point — the honest cost of adapting), gets
+            // measured, and may trigger a re-plan that takes effect from the
+            // next window. Once the controller converges the window widens
+            // to the rest of the wave and the drain overhead stops.
+            Some(tuner) => {
+                let mut idx = 0usize;
+                while idx < durations.len() {
+                    let win = tuner.window_len().min(durations.len() - idx);
+                    let rows = &durations[idx..idx + win];
+                    let sharded = match fault_ctx.as_mut() {
+                        Some(fc) => {
+                            fc.run_wave(wave as usize, total_chunks, total, rows, &mut metrics)
+                        }
+                        None => executor.run(rows),
+                    };
+                    sharded.record(total_chunks, total, &mut metrics);
+                    let fb = WindowFeedback::from_sharded(&sharded);
+                    total += sharded.makespan();
+                    sharded.accumulate(&mut stage_stats);
+                    total_chunks += win;
+                    idx += win;
+                    metrics.incr("autotune.windows");
+                    let window_stall = fb.data_reuse_stall + fb.wb_reuse_stall;
+                    // Degradation first: if the fault ladder swapped the
+                    // graph during this window, the controller adopts the
+                    // degraded depths and keeps tuning *that* graph.
+                    if let Some(fc) = fault_ctx.as_mut() {
+                        if fc.level() > seen_fault_level {
+                            seen_fault_level = fc.level();
+                            if let Some(plan) = tuner.on_degraded(seen_fault_level) {
+                                note_retune(&mut metrics, plan, total_chunks, total, window_stall);
+                            }
+                        }
+                    }
+                    if let Some(plan) = tuner.observe(&fb) {
+                        note_retune(&mut metrics, plan, total_chunks, total, window_stall);
+                        let spec =
+                            bigkernel_graph_depths(copy_engines, plan.data_depth, plan.wb_depth);
+                        match fault_ctx.as_mut() {
+                            Some(fc) => {
+                                fc.retune_current(spec);
+                            }
+                            None => {
+                                executor =
+                                    Executor::new(spec, machine.num_gpus(), cfg.shard_policy);
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 
     finalize_stage_stats(&mut stage_stats, total_chunks);
     metrics.add("run.waves", waves as u64);
+    if let Some(tuner) = tuner.as_ref() {
+        let plan = tuner.plan();
+        metrics.add("autotune.depth", plan.data_depth as u64);
+        metrics.add("autotune.buffers", plan.wb_depth as u64);
+        metrics.add("autotune.chunk_bytes", plan.chunk_bytes);
+    }
 
     RunResult {
         implementation: if cfg.transfer_all {
