@@ -105,9 +105,7 @@ impl bk_runtime::StreamKernel for KMeansKernel {
             // compare against the same centroid in lock-step, so the reads
             // broadcast (no bank conflicts) — the realistic kernel shape.
             ctx.alu(2 * DIMS as u64 * self.k as u64);
-            for c in 0..self.k as u64 {
-                ctx.shared_at((c * 32) as u32, 8);
-            }
+            ctx.shared_at_strided(0, 32, self.k, 8);
             let cid = closest_cluster(&p, &clusters);
             ctx.stream_write_u64(StreamId(0), off + CID_OFF, cid);
             off += RECORD;

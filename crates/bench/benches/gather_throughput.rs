@@ -1,0 +1,78 @@
+//! Gather (assembly-stage) throughput microbenchmarks: the SIMD run fast
+//! path vs the scalar per-element walk, and the cache-blocked vs natural
+//! ordering. These guard the PR's wall-clock wins — the assembly stage is
+//! the pipeline's hot loop, so a regression here shows up directly in
+//! `perf_snapshot` blocks/sec.
+
+use bk_host::CacheSim;
+use bk_runtime::addr::{AddrEntry, AddrStream, LaneAddrs};
+use bk_runtime::assembly::assemble;
+use bk_runtime::pattern;
+use bk_runtime::{
+    AssemblyLayout, AssemblyOrder, GatherConfig, Machine, StreamArray, StreamId, StreamPool,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// One warp of 32 lanes, each reading `span` consecutive bytes as 8-byte
+/// entries — the Netflix/K-means contiguous-record shape that the SIMD run
+/// path targets.
+fn warp_lanes(span: u64) -> Vec<LaneAddrs> {
+    (0..32u64)
+        .map(|lane| {
+            let entries: Vec<AddrEntry> = (0..span / 8)
+                .map(|i| AddrEntry {
+                    stream: StreamId(0),
+                    offset: lane * span + i * 8,
+                    width: 8,
+                })
+                .collect();
+            LaneAddrs {
+                reads: AddrStream::Pattern(pattern::detect(&entries, 8).unwrap()),
+                writes: AddrStream::Raw(Vec::new()),
+            }
+        })
+        .collect()
+}
+
+fn bench_gather(c: &mut Criterion) {
+    let span = 16 * 1024u64; // 512 KiB per warp: well past the SIMD threshold
+    let data = vec![0xA5u8; (32 * span) as usize];
+    let mut m = Machine::test_platform();
+    let r = m.hmem.alloc_from(&data);
+    let streams = vec![StreamArray::map(&m, StreamId(0), r)];
+    let lanes = warp_lanes(span);
+
+    let mut group = c.benchmark_group("gather");
+    for (name, simd, order) in [
+        ("simd-natural", true, AssemblyOrder::Natural),
+        ("scalar-natural", false, AssemblyOrder::Natural),
+        ("simd-cache-blocked", true, AssemblyOrder::CacheBlocked),
+    ] {
+        group.bench_function(name, |b| {
+            let mut cache = CacheSim::xeon_llc();
+            let mut pool = StreamPool::new();
+            b.iter(|| {
+                let out = assemble(
+                    &m.hmem,
+                    &streams,
+                    &lanes,
+                    GatherConfig {
+                        order,
+                        simd,
+                        ..GatherConfig::new(AssemblyLayout::Interleaved, true)
+                    },
+                    &mut cache,
+                    &mut pool,
+                );
+                let gathered = out.gathered_bytes;
+                pool.give_output(out);
+                pool.arena.reset();
+                std::hint::black_box(gathered)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gather);
+criterion_main!(benches);

@@ -30,6 +30,12 @@ pub struct ExpArgs {
     /// Adaptive occupancy autotuning (`--autotune on|off`); `None` keeps
     /// the config default (off).
     pub autotune: Option<bool>,
+    /// Assembly gather ordering (`--assembly-order natural|cache-blocked|auto`);
+    /// `None` keeps the config default (auto).
+    pub assembly_order: Option<bk_runtime::AssemblyOrder>,
+    /// Vectorized gather fast path (`--simd on|off`); `None` keeps the
+    /// config default (on).
+    pub simd: Option<bool>,
 }
 
 impl Default for ExpArgs {
@@ -45,6 +51,8 @@ impl Default for ExpArgs {
             reuse_depth: None,
             buffers: None,
             autotune: None,
+            assembly_order: None,
+            simd: None,
         }
     }
 }
@@ -52,8 +60,9 @@ impl Default for ExpArgs {
 impl ExpArgs {
     /// Parse `--bytes N`, `--mib N`, `--seed S`, `--app SUBSTR`,
     /// `--threads N`, `--machine NAME`, `--gpus N`, `--faults SPEC`,
-    /// `--reuse-depth N`, `--buffers N`, `--autotune on|off` from an
-    /// iterator of arguments (pass `std::env::args().skip(1)`).
+    /// `--reuse-depth N`, `--buffers N`, `--autotune on|off`,
+    /// `--assembly-order natural|cache-blocked|auto`, `--simd on|off` from
+    /// an iterator of arguments (pass `std::env::args().skip(1)`).
     pub fn parse<I: Iterator<Item = String>>(mut args: I) -> Result<Self, String> {
         let mut out = ExpArgs::default();
         while let Some(a) = args.next() {
@@ -133,11 +142,31 @@ impl ExpArgs {
                         other => return Err(format!("--autotune: expected on|off, got {other:?}")),
                     };
                 }
+                "--assembly-order" => {
+                    out.assembly_order = match value("--assembly-order")?.as_str() {
+                        "natural" => Some(bk_runtime::AssemblyOrder::Natural),
+                        "cache-blocked" => Some(bk_runtime::AssemblyOrder::CacheBlocked),
+                        "auto" => Some(bk_runtime::AssemblyOrder::Auto),
+                        other => {
+                            return Err(format!(
+                            "--assembly-order: expected natural|cache-blocked|auto, got {other:?}"
+                        ))
+                        }
+                    };
+                }
+                "--simd" => {
+                    out.simd = match value("--simd")?.as_str() {
+                        "on" => Some(true),
+                        "off" => Some(false),
+                        other => return Err(format!("--simd: expected on|off, got {other:?}")),
+                    };
+                }
                 "--help" | "-h" => {
                     return Err(
                         "usage: [--bytes N | --mib N] [--seed S] [--app SUBSTR] [--threads N] \
                          [--machine gtx680|tesla-like|test-tiny] [--gpus N] [--faults SPEC] \
-                         [--reuse-depth N] [--buffers N] [--autotune on|off]\n\
+                         [--reuse-depth N] [--buffers N] [--autotune on|off] \
+                         [--assembly-order natural|cache-blocked|auto] [--simd on|off]\n\
                          fault SPEC: comma-separated seed=N,rate=F,retries=N,backoff_us=F,\
                          fail=STAGE@CHUNK[xN],kill=DEV@WAVE"
                             .to_string(),
@@ -224,6 +253,15 @@ impl ExpArgs {
         }
         if let Some(on) = self.autotune {
             cfg.bigkernel.autotune = on.then(bk_runtime::AutotuneConfig::default);
+        }
+        // Assembly knobs change wall-clock behaviour only — simulated
+        // results stay bit-identical — so they too apply to the bigkernel
+        // pipeline alone (the baselines have no gather stage).
+        if let Some(order) = self.assembly_order {
+            cfg.bigkernel.assembly_order = order;
+        }
+        if let Some(on) = self.simd {
+            cfg.bigkernel.simd_gather = on;
         }
     }
 
@@ -365,6 +403,39 @@ mod tests {
         assert!(cfg.bigkernel.autotune.is_none());
         assert!(parse(&["--autotune", "maybe"]).is_err());
         assert!(parse(&["--autotune"]).is_err());
+    }
+
+    #[test]
+    fn assembly_order_flag() {
+        use bk_runtime::AssemblyOrder;
+        let a = parse(&["--assembly-order", "natural"]).unwrap();
+        assert_eq!(a.assembly_order, Some(AssemblyOrder::Natural));
+        let mut cfg = bk_apps::HarnessConfig::test_small();
+        assert_eq!(cfg.bigkernel.assembly_order, AssemblyOrder::Auto);
+        a.apply_platform(&mut cfg);
+        assert_eq!(cfg.bigkernel.assembly_order, AssemblyOrder::Natural);
+        let b = parse(&["--assembly-order", "cache-blocked"]).unwrap();
+        assert_eq!(b.assembly_order, Some(AssemblyOrder::CacheBlocked));
+        assert_eq!(
+            parse(&["--assembly-order", "auto"]).unwrap().assembly_order,
+            Some(AssemblyOrder::Auto)
+        );
+        assert!(parse(&["--assembly-order", "random"]).is_err());
+        assert!(parse(&["--assembly-order"]).is_err());
+    }
+
+    #[test]
+    fn simd_flag() {
+        let a = parse(&["--simd", "off"]).unwrap();
+        assert_eq!(a.simd, Some(false));
+        let mut cfg = bk_apps::HarnessConfig::test_small();
+        assert!(cfg.bigkernel.simd_gather);
+        a.apply_platform(&mut cfg);
+        assert!(!cfg.bigkernel.simd_gather);
+        parse(&["--simd", "on"]).unwrap().apply_platform(&mut cfg);
+        assert!(cfg.bigkernel.simd_gather);
+        assert!(parse(&["--simd", "maybe"]).is_err());
+        assert!(parse(&["--simd"]).is_err());
     }
 
     #[test]

@@ -113,7 +113,23 @@ fn top_stalls(r: &bk_runtime::RunResult) -> Vec<(&'static str, u64)> {
     v
 }
 
-fn to_json(args: &ExpArgs, iters: usize, rows: &[Row], scaling: &[ScalingRow]) -> String {
+/// JSON spelling of the assembly order — matches the `--assembly-order`
+/// flag values.
+fn order_name(order: bk_runtime::AssemblyOrder) -> &'static str {
+    match order {
+        bk_runtime::AssemblyOrder::Auto => "auto",
+        bk_runtime::AssemblyOrder::Natural => "natural",
+        bk_runtime::AssemblyOrder::CacheBlocked => "cache-blocked",
+    }
+}
+
+fn to_json(
+    args: &ExpArgs,
+    cfg: &HarnessConfig,
+    iters: usize,
+    rows: &[Row],
+    scaling: &[ScalingRow],
+) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"bytes_per_app\": {},", args.bytes);
@@ -126,6 +142,12 @@ fn to_json(args: &ExpArgs, iters: usize, rows: &[Row], scaling: &[ScalingRow]) -
             .unwrap_or_else(|| "null".into())
     );
     let _ = writeln!(out, "  \"iters\": {iters},");
+    let _ = writeln!(
+        out,
+        "  \"assembly_order\": \"{}\",",
+        order_name(cfg.bigkernel.assembly_order)
+    );
+    let _ = writeln!(out, "  \"simd\": {},", cfg.bigkernel.simd_gather);
     let _ = writeln!(out, "  \"apps\": [");
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(out, "    {{");
@@ -366,7 +388,7 @@ fn main() {
         );
     }
 
-    let json = to_json(&args, ITERS, &rows, &scaling);
+    let json = to_json(&args, &cfg, ITERS, &rows, &scaling);
     std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
     println!("wrote BENCH_pipeline.json");
 }

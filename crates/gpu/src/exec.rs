@@ -103,7 +103,7 @@ mod tests {
         let mut cost = KernelCost::new();
         run_block_lanes(&spec, &mut sim, 40, &mut cost, |_, trace| {
             assert_eq!(trace.instructions, 0, "trace must arrive cleared");
-            assert!(trace.accesses.is_empty());
+            assert_eq!(trace.access_count(), 0);
             trace.alu(5);
         });
     }

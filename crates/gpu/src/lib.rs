@@ -37,5 +37,5 @@ pub use mem::{BufferId, GpuMemory};
 pub use occupancy::{BlockResources, Occupancy};
 pub use spec::{DeviceSpec, WARP_SIZE};
 pub use timing::{GpuPool, KernelCost};
-pub use trace::{AccessKind, MemAccess, ThreadTrace, WarpAligner};
-pub use wlog::{BlockEffects, BlockLog, DevOp, ReplayOutcome};
+pub use trace::{AccessKind, ThreadTrace, WarpAligner};
+pub use wlog::{BlockEffects, BlockLog, DevOp, LogScratch, ReplayOutcome};

@@ -30,6 +30,10 @@ pub struct GpuMemory {
     next_base: u64,
     used: u64,
     buffers: Vec<Buffer>,
+    /// Storage reclaimed by [`Self::free`], reused by the next [`Self::alloc`]
+    /// so the steady-state chunk loop stops churning the host heap. Held
+    /// largest-last so `pop` hands back the biggest spare first.
+    spares: Vec<Vec<u8>>,
 }
 
 impl GpuMemory {
@@ -40,6 +44,7 @@ impl GpuMemory {
             next_base: BASE_ALIGN, // keep address 0 unmapped to catch bugs
             used: 0,
             buffers: Vec::new(),
+            spares: Vec::new(),
         }
     }
 
@@ -59,19 +64,31 @@ impl GpuMemory {
         let padded = len.div_ceil(BASE_ALIGN) * BASE_ALIGN;
         self.next_base = base + padded;
         self.used += len;
-        self.buffers.push(Buffer {
-            base,
-            data: vec![0u8; len as usize],
-        });
+        let data = match self.spares.pop() {
+            Some(mut v) => {
+                v.clear();
+                v.resize(len as usize, 0);
+                v
+            }
+            None => vec![0u8; len as usize],
+        };
+        self.buffers.push(Buffer { base, data });
         id
     }
 
     /// Free a buffer's storage (the id remains valid but empty; device
-    /// address space is not recycled — ids are cheap and runs are finite).
+    /// address space is not recycled — ids are cheap and runs are finite —
+    /// but the backing bytes are kept as spares for later `alloc`s).
     pub fn free(&mut self, id: BufferId) {
         let b = &mut self.buffers[id.0];
         self.used -= b.data.len() as u64;
-        b.data = Vec::new();
+        let spare = std::mem::take(&mut b.data);
+        if spare.capacity() > 0 {
+            let at = self
+                .spares
+                .partition_point(|s| s.capacity() <= spare.capacity());
+            self.spares.insert(at, spare);
+        }
     }
 
     /// Length of the buffer in bytes (zero once freed).
@@ -260,6 +277,22 @@ mod tests {
         m.free(b);
         assert_eq!(m.used(), 0);
         let _ = m.alloc(cap); // fits again
+    }
+
+    #[test]
+    fn recycled_storage_comes_back_zeroed() {
+        let mut m = mem();
+        let a = m.alloc(64);
+        m.write_u64(a, 0, 0xFFFF_FFFF_FFFF_FFFF);
+        m.write_u64(a, 56, 0xAAAA_AAAA_AAAA_AAAA);
+        m.free(a);
+        // The next alloc reuses the freed storage; the dirty bytes must not
+        // leak through the zero-initialization contract — including past the
+        // smaller new length after a later grow.
+        let b = m.alloc(32);
+        assert_eq!(m.read(b, 0, 32), &[0u8; 32]);
+        let c = m.alloc(128);
+        assert_eq!(m.read(c, 0, 128), &[0u8; 128]);
     }
 
     #[test]

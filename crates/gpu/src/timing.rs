@@ -21,7 +21,6 @@
 use crate::spec::DeviceSpec;
 use crate::trace::WarpCost;
 use bk_simcore::{RooflineTerms, SimTime};
-use std::collections::HashMap;
 
 /// L2 bandwidth relative to DRAM bandwidth. Kepler GK104's L2 sustains
 /// roughly 2-3x its DRAM bandwidth on sector-hit streams, and its 512 KiB
@@ -51,8 +50,11 @@ pub struct KernelCost {
     pub shared_accesses: u64,
     /// Block-wide barriers executed.
     pub barriers: u64,
-    /// Per-address atomic counts; tracks contention on hot cells.
-    atomic_counts: HashMap<u64, u64>,
+    /// Address of every atomic issued, appended raw — the stage hot path
+    /// pays one `extend` per warp; contention (the serial chain on the
+    /// hottest cell) is derived by sorting once in
+    /// [`Self::hot_atomic_max`].
+    atomic_addrs: Vec<u64>,
 }
 
 impl KernelCost {
@@ -71,9 +73,7 @@ impl KernelCost {
         self.mem_bytes_useful += w.mem.bytes_useful;
         self.shared_accesses += w.shared_accesses;
         self.atomic_ops += w.atomic_addrs.len() as u64;
-        for &a in &w.atomic_addrs {
-            *self.atomic_counts.entry(a).or_insert(0) += 1;
-        }
+        self.atomic_addrs.extend_from_slice(&w.atomic_addrs);
     }
 
     /// Account `n` block-wide barriers.
@@ -92,14 +92,23 @@ impl KernelCost {
         self.atomic_ops += other.atomic_ops;
         self.shared_accesses += other.shared_accesses;
         self.barriers += other.barriers;
-        for (&a, &c) in &other.atomic_counts {
-            *self.atomic_counts.entry(a).or_insert(0) += c;
-        }
+        self.atomic_addrs.extend_from_slice(&other.atomic_addrs);
     }
 
     /// Largest number of atomics aimed at a single address.
     pub fn hot_atomic_max(&self) -> u64 {
-        self.atomic_counts.values().copied().max().unwrap_or(0)
+        if self.atomic_addrs.is_empty() {
+            return 0;
+        }
+        let mut addrs = self.atomic_addrs.clone();
+        addrs.sort_unstable();
+        let mut best = 1u64;
+        let mut run = 1u64;
+        for w in addrs.windows(2) {
+            run = if w[1] == w[0] { run + 1 } else { 1 };
+            best = best.max(run);
+        }
+        best
     }
 
     /// Moved/useful byte ratio (1.0 = perfectly coalesced).

@@ -80,24 +80,14 @@ pub const SHARED_BANKS: u32 = 32;
 /// Width of one shared-memory bank word in bytes.
 pub const SHARED_BANK_BYTES: u32 = 4;
 
-/// One recorded global-memory access.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct MemAccess {
-    /// Virtual device address (see `GpuMemory::vaddr`).
-    pub addr: u64,
-    /// Access width in bytes.
-    pub width: u32,
-    /// Read, write or atomic.
-    pub kind: AccessKind,
-    /// Warp-alignment class (see [`AccessClass`]).
-    pub class: AccessClass,
-}
-
 /// Trace of one thread's execution within a chunk.
 #[derive(Clone, Debug, Default)]
 pub struct ThreadTrace {
-    /// Global-memory accesses in program order.
-    pub accesses: Vec<MemAccess>,
+    /// Global-memory accesses grouped by alignment class (program order
+    /// within each class) as `(addr, width, is_atomic)`. Grouping at record
+    /// time lets [`WarpAligner::align`] address "lane's k-th class-c access"
+    /// directly instead of rebuilding a per-class view for every warp.
+    pub classed: [Vec<(u64, u32, bool)>; 3],
     /// Addressed shared-memory accesses, aligned per ordinal for the bank
     /// conflict model.
     pub shared: Vec<SharedAccess>,
@@ -111,7 +101,9 @@ pub struct ThreadTrace {
 impl ThreadTrace {
     /// Reset the trace for reuse by the next thread.
     pub fn clear(&mut self) {
-        self.accesses.clear();
+        for c in &mut self.classed {
+            c.clear();
+        }
         self.shared.clear();
         self.instructions = 0;
         self.shared_accesses = 0;
@@ -124,15 +116,26 @@ impl ThreadTrace {
         self.instructions += 1;
     }
 
+    /// Record `n` addressed shared accesses at `base`, `base + stride`, ... —
+    /// the trace is identical to `n` [`ThreadTrace::record_shared`] calls.
+    #[inline]
+    pub fn record_shared_strided(&mut self, base: u32, stride: u32, n: u32, width: u32) {
+        self.shared.extend((0..n).map(|i| SharedAccess {
+            addr: base + i * stride,
+            width,
+        }));
+        self.instructions += n as u64;
+    }
+
+    /// Total global-memory accesses recorded across all classes.
+    pub fn access_count(&self) -> usize {
+        self.classed.iter().map(Vec::len).sum()
+    }
+
     /// Record one global-memory access (one issue slot).
     #[inline]
     pub fn record(&mut self, addr: u64, width: u32, kind: AccessKind, class: AccessClass) {
-        self.accesses.push(MemAccess {
-            addr,
-            width,
-            kind,
-            class,
-        });
+        self.classed[class.index()].push((addr, width, kind == AccessKind::Atomic));
         self.instructions += 1;
     }
 
@@ -178,15 +181,9 @@ pub struct WarpCost {
 /// All working storage is owned by the aligner and reused across calls, so
 /// [`WarpAligner::align`] performs no heap allocations in steady state (once
 /// every scratch vector has grown to the warp's working-set size). The
-/// per-class access index is built in a single pass over each lane's trace
-/// instead of re-scanning with per-class cursors.
+/// per-class access index comes straight from each trace's
+/// [`ThreadTrace::classed`] storage — no per-warp rebuild.
 pub struct WarpAligner {
-    /// Lane-major per-class access index: `flat[c]` holds every class-`c`
-    /// access of lane 0, then lane 1, … as `(addr, width, is_atomic)`.
-    flat: [Vec<(u64, u32, bool)>; 3],
-    /// `lane_off[c][li]..lane_off[c][li + 1]` is lane `li`'s range in
-    /// `flat[c]`; `lane_off[c][lanes.len()]` is the final sentinel.
-    lane_off: [[usize; WARP_SIZE + 1]; 3],
     prev_segs: Vec<u64>,
     cur_segs: Vec<u64>,
     /// Bank-conflict scratch: `(bank, word)` pairs of one shared step.
@@ -204,8 +201,6 @@ impl WarpAligner {
     /// A fresh aligner with empty scratch storage.
     pub fn new() -> Self {
         WarpAligner {
-            flat: [Vec::new(), Vec::new(), Vec::new()],
-            lane_off: [[0; WARP_SIZE + 1]; 3],
             prev_segs: Vec::new(),
             cur_segs: Vec::new(),
             words: Vec::with_capacity(WARP_SIZE),
@@ -249,24 +244,6 @@ impl WarpAligner {
         self.cost.shared_accesses = 0;
         self.cost.bank_replay_slots = 0;
 
-        // One pass over each lane's trace builds the per-class flat index;
-        // the step loops below then address "lane li's k-th class-c access"
-        // directly instead of re-walking every trace once per class.
-        for f in &mut self.flat {
-            f.clear();
-        }
-        for (li, lane) in lanes.iter().enumerate() {
-            for c in 0..3 {
-                self.lane_off[c][li] = self.flat[c].len();
-            }
-            for a in &lane.accesses {
-                self.flat[a.class.index()].push((a.addr, a.width, a.kind == AccessKind::Atomic));
-            }
-        }
-        for c in 0..3 {
-            self.lane_off[c][lanes.len()] = self.flat[c].len();
-        }
-
         for ci in 0..3 {
             self.prev_segs.clear();
             let mut step = 0usize;
@@ -281,12 +258,10 @@ impl WarpAligner {
                 let mut useful = 0u64;
                 let mut active = false;
                 let mut sorted = true;
-                for li in 0..lanes.len() {
-                    let idx = self.lane_off[ci][li] + step;
-                    if idx >= self.lane_off[ci][li + 1] {
+                for lane in lanes {
+                    let Some(&(addr, width, is_atomic)) = lane.classed[ci].get(step) else {
                         continue;
-                    }
-                    let (addr, width, is_atomic) = self.flat[ci][idx];
+                    };
                     active = true;
                     if is_atomic {
                         self.cost.atomic_addrs.push(addr);
@@ -332,7 +307,16 @@ impl WarpAligner {
         // Shared-memory bank conflicts: align addressed shared accesses by
         // ordinal; within one step, lanes hitting the same bank at
         // *different* words serialize (same-word accesses broadcast free).
-        let max_shared = lanes.iter().map(|l| l.shared.len()).max().unwrap_or(0);
+        // Lock-step kernels (every lane issuing the identical shared
+        // sequence — the staged-centroid idiom) make every step a same-word
+        // broadcast by construction, so one sequence compare per lane
+        // replaces the whole per-step scan.
+        let uniform = lanes[1..].iter().all(|l| l.shared == lanes[0].shared);
+        let max_shared = if uniform {
+            0
+        } else {
+            lanes.iter().map(|l| l.shared.len()).max().unwrap_or(0)
+        };
         for step in 0..max_shared {
             self.words.clear();
             let mut broadcast = true;
@@ -470,7 +454,7 @@ mod tests {
         assert_eq!(t.shared_accesses, 2);
         t.clear();
         assert_eq!(t.instructions, 0);
-        assert!(t.accesses.is_empty());
+        assert_eq!(t.access_count(), 0);
     }
 
     #[test]

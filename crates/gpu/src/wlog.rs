@@ -69,6 +69,28 @@ impl Hasher for OverlayHasher {
 }
 
 type OverlayMap = HashMap<(usize, u64), (u64, u8), BuildHasherDefault<OverlayHasher>>;
+type AddCache = HashMap<(usize, u64), usize, BuildHasherDefault<OverlayHasher>>;
+type ReadCache = HashMap<(usize, u64, u32), u64, BuildHasherDefault<OverlayHasher>>;
+
+/// Reusable backing storage for [`BlockLog`]s, owned by an execution slot.
+///
+/// A fresh log per block regrows its overlay map and op vector from empty —
+/// rehash churn that showed up as a top-10 cost in atomic-heavy kernels.
+/// Building logs over a slot's scratch ([`BlockLog::with_scratch`]) and
+/// returning the buffers after replay ([`BlockEffects::reclaim`]) keeps the
+/// grown capacity from block to block. All fields are held empty between
+/// blocks; only their capacity persists.
+#[derive(Default)]
+pub struct LogScratch {
+    overlay: OverlayMap,
+    add_cache: AddCache,
+    read_cache: ReadCache,
+    overlay_bufs: Vec<usize>,
+    ops: Vec<DevOp>,
+    privs: Vec<(BufferId, Vec<u8>)>,
+    /// Retired private-mirror byte storage, reused by later mirrors.
+    mirrors: Vec<Vec<u8>>,
+}
 
 /// One logged externally-visible device-memory operation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -139,10 +161,17 @@ pub enum ReplayOutcome {
     Conflict,
 }
 
+#[inline]
 fn le_load(bytes: &[u8]) -> u64 {
-    let mut b = [0u8; 8];
-    b[..bytes.len()].copy_from_slice(bytes);
-    u64::from_le_bytes(b)
+    match bytes.len() {
+        8 => u64::from_le_bytes(bytes.try_into().unwrap()),
+        4 => u32::from_le_bytes(bytes.try_into().unwrap()) as u64,
+        n => {
+            let mut b = [0u8; 8];
+            b[..n].copy_from_slice(bytes);
+            u64::from_le_bytes(b)
+        }
+    }
 }
 
 /// A block's isolated, logged view of device memory.
@@ -163,6 +192,19 @@ pub struct BlockLog<'m> {
     /// overlay probe entirely.
     overlay_bufs: Vec<usize>,
     ops: Vec<DevOp>,
+    /// Per-cell index into `ops` of a mergeable atomic add. Adds commute, so
+    /// repeat adds to the same cell fold their deltas into one logged op —
+    /// but only within an uninterrupted run of adds: the cache is cleared
+    /// whenever a `Read`/`Write`/`CasU64` op lands, since adds must not be
+    /// reordered across a validation or a blind store to the same cell.
+    add_cache: AddCache,
+    /// Memoized `Read` observations: a repeat load of the same cell returns
+    /// the cached value without logging a duplicate validation op (the first
+    /// `Read` already validates it at replay). Cleared on every overlay
+    /// store, since any own write may change the observed value.
+    read_cache: ReadCache,
+    /// Spare mirror storage handed out by `register_private*`.
+    mirror_pool: Vec<Vec<u8>>,
 }
 
 impl<'m> BlockLog<'m> {
@@ -174,7 +216,32 @@ impl<'m> BlockLog<'m> {
             overlay: OverlayMap::default(),
             overlay_bufs: Vec::new(),
             ops: Vec::new(),
+            add_cache: AddCache::default(),
+            read_cache: ReadCache::default(),
+            mirror_pool: Vec::new(),
         }
+    }
+
+    /// Start an empty log backed by a slot's reusable scratch storage. Pair
+    /// with [`Self::finish_into`] (and [`BlockEffects::reclaim`]) to hand
+    /// the grown buffers back for the next block.
+    pub fn with_scratch(base: &'m GpuMemory, scratch: &mut LogScratch) -> Self {
+        BlockLog {
+            base,
+            privs: std::mem::take(&mut scratch.privs),
+            overlay: std::mem::take(&mut scratch.overlay),
+            overlay_bufs: std::mem::take(&mut scratch.overlay_bufs),
+            ops: std::mem::take(&mut scratch.ops),
+            add_cache: std::mem::take(&mut scratch.add_cache),
+            read_cache: std::mem::take(&mut scratch.read_cache),
+            mirror_pool: std::mem::take(&mut scratch.mirrors),
+        }
+    }
+
+    fn fresh_mirror(&mut self) -> Vec<u8> {
+        let mut m = self.mirror_pool.pop().unwrap_or_default();
+        m.clear();
+        m
     }
 
     /// Declare `buf` block-private: reads and writes bypass the op log and
@@ -184,7 +251,29 @@ impl<'m> BlockLog<'m> {
             self.privs.iter().all(|(b, _)| *b != buf),
             "buffer registered twice"
         );
-        let mirror = self.base.read(buf, 0, self.base.len(buf) as usize).to_vec();
+        let mut mirror = self.fresh_mirror();
+        mirror.extend_from_slice(self.base.read(buf, 0, self.base.len(buf) as usize));
+        self.privs.push((buf, mirror));
+    }
+
+    /// Declare `buf` block-private like [`Self::register_private`], for a
+    /// buffer the caller guarantees still holds its freshly-allocated
+    /// all-zero contents: the mirror is materialized as zeros without
+    /// reading the snapshot, keeping per-block setup off the memcpy path.
+    pub fn register_private_zeroed(&mut self, buf: BufferId) {
+        debug_assert!(
+            self.privs.iter().all(|(b, _)| *b != buf),
+            "buffer registered twice"
+        );
+        debug_assert!(
+            self.base
+                .read(buf, 0, self.base.len(buf) as usize)
+                .iter()
+                .all(|&b| b == 0),
+            "register_private_zeroed on a buffer with non-zero contents"
+        );
+        let mut mirror = self.fresh_mirror();
+        mirror.resize(self.base.len(buf) as usize, 0);
         self.privs.push((buf, mirror));
     }
 
@@ -221,9 +310,7 @@ impl<'m> BlockLog<'m> {
     /// block's overlay writes over the snapshot. Whole words merge with one
     /// mask operation; a load straddling a word boundary merges both words.
     fn load_merged(&self, buf: BufferId, offset: u64, width: u32) -> u64 {
-        let mut out = [0u8; 8];
-        out[..width as usize].copy_from_slice(self.base.read(buf, offset, width as usize));
-        let mut v = u64::from_le_bytes(out);
+        let mut v = le_load(self.base.read(buf, offset, width as usize));
         if self.overlay_bufs.contains(&buf.0) {
             let w0 = offset / 8;
             let w1 = (offset + width as u64 - 1) / 8;
@@ -251,6 +338,9 @@ impl<'m> BlockLog<'m> {
     }
 
     fn store_overlay(&mut self, buf: BufferId, offset: u64, width: u32, value: u64) {
+        if !self.read_cache.is_empty() {
+            self.read_cache.clear();
+        }
         if !self.overlay_bufs.contains(&buf.0) {
             self.overlay_bufs.push(buf.0);
         }
@@ -295,6 +385,7 @@ impl<'m> BlockLog<'m> {
             }
             None => {
                 self.store_overlay(buf, offset, width, value);
+                self.add_cache.clear();
                 self.ops.push(DevOp::Write {
                     buf,
                     offset,
@@ -311,13 +402,19 @@ impl<'m> BlockLog<'m> {
         match self.priv_index(buf) {
             Some(i) => le_load(&self.privs[i].1[offset as usize..(offset + width as u64) as usize]),
             None => {
+                let key = (buf.0, offset, width);
+                if let Some(&v) = self.read_cache.get(&key) {
+                    return v;
+                }
                 let observed = self.load_merged(buf, offset, width);
+                self.add_cache.clear();
                 self.ops.push(DevOp::Read {
                     buf,
                     offset,
                     width,
                     observed,
                 });
+                self.read_cache.insert(key, observed);
                 observed
             }
         }
@@ -337,6 +434,14 @@ impl<'m> BlockLog<'m> {
             None => {
                 let old = self.load_merged(buf, offset, 4) as u32;
                 self.store_overlay(buf, offset, 4, old.wrapping_add(delta) as u64);
+                let key = (buf.0, offset);
+                if let Some(&idx) = self.add_cache.get(&key) {
+                    if let DevOp::AddU32 { delta: d, .. } = &mut self.ops[idx] {
+                        *d = d.wrapping_add(delta);
+                        return old;
+                    }
+                }
+                self.add_cache.insert(key, self.ops.len());
                 self.ops.push(DevOp::AddU32 { buf, offset, delta });
                 old
             }
@@ -353,8 +458,37 @@ impl<'m> BlockLog<'m> {
                 old
             }
             None => {
-                let old = self.load_merged(buf, offset, 8);
-                self.store_overlay(buf, offset, 8, old.wrapping_add(delta));
+                let old = if offset & 7 == 0 {
+                    // Aligned full-word cell — the common atomic-table shape.
+                    // One overlay entry lookup serves both the merged load
+                    // and the store; the bookkeeping (read-cache
+                    // invalidation, overlay-buffer registration) matches
+                    // `load_merged` + `store_overlay` exactly.
+                    if !self.read_cache.is_empty() {
+                        self.read_cache.clear();
+                    }
+                    if !self.overlay_bufs.contains(&buf.0) {
+                        self.overlay_bufs.push(buf.0);
+                    }
+                    let base_v = le_load(self.base.read(buf, offset, 8));
+                    let e = self.overlay.entry((buf.0, offset / 8)).or_insert((0, 0));
+                    let m = Self::byte_mask(e.1);
+                    let old = (base_v & !m) | (e.0 & m);
+                    *e = (old.wrapping_add(delta), 0xFF);
+                    old
+                } else {
+                    let old = self.load_merged(buf, offset, 8);
+                    self.store_overlay(buf, offset, 8, old.wrapping_add(delta));
+                    old
+                };
+                let key = (buf.0, offset);
+                if let Some(&idx) = self.add_cache.get(&key) {
+                    if let DevOp::AddU64 { delta: d, .. } = &mut self.ops[idx] {
+                        *d = d.wrapping_add(delta);
+                        return old;
+                    }
+                }
+                self.add_cache.insert(key, self.ops.len());
                 self.ops.push(DevOp::AddU64 { buf, offset, delta });
                 old
             }
@@ -380,6 +514,7 @@ impl<'m> BlockLog<'m> {
                 if observed == expected {
                     self.store_overlay(buf, offset, 8, new);
                 }
+                self.add_cache.clear();
                 self.ops.push(DevOp::CasU64 {
                     buf,
                     offset,
@@ -399,6 +534,25 @@ impl<'m> BlockLog<'m> {
             ops: self.ops,
         }
     }
+
+    /// Consume the log into its replayable effects, returning the cache
+    /// storage to `scratch` immediately (the op and mirror buffers follow
+    /// via [`BlockEffects::reclaim`] once replayed).
+    pub fn finish_into(mut self, scratch: &mut LogScratch) -> BlockEffects {
+        self.overlay.clear();
+        self.add_cache.clear();
+        self.read_cache.clear();
+        self.overlay_bufs.clear();
+        scratch.overlay = self.overlay;
+        scratch.add_cache = self.add_cache;
+        scratch.read_cache = self.read_cache;
+        scratch.overlay_bufs = self.overlay_bufs;
+        scratch.mirrors = self.mirror_pool;
+        BlockEffects {
+            privs: self.privs,
+            ops: self.ops,
+        }
+    }
 }
 
 /// The externally visible effects of one logged block, ready for in-order
@@ -412,6 +566,15 @@ impl BlockEffects {
     /// Whether the block produced no externally visible effects at all.
     pub fn is_empty(&self) -> bool {
         self.privs.is_empty() && self.ops.is_empty()
+    }
+
+    /// Return the effect buffers to `scratch` after replay, keeping their
+    /// capacity for the next block's log.
+    pub fn reclaim(mut self, scratch: &mut LogScratch) {
+        self.ops.clear();
+        scratch.ops = self.ops;
+        scratch.mirrors.extend(self.privs.drain(..).map(|(_, m)| m));
+        scratch.privs = self.privs;
     }
 
     /// Apply this block's effects to live memory. On a validation failure
@@ -590,6 +753,68 @@ mod tests {
         assert_eq!(m.atomic_cas_u64(b, 0, 0, 7), 0);
         assert_eq!(fx.replay(&mut m), ReplayOutcome::Conflict);
         assert_eq!(m.read_u64(b, 0), 7);
+    }
+
+    #[test]
+    fn adds_do_not_merge_across_a_validated_read() {
+        let mut m = mem();
+        let b = m.alloc(16);
+        m.write_u64(b, 0, 10);
+        let mut log = BlockLog::new(&m);
+        // If the second add folded into the first, replay would apply +3
+        // before the read validation and spuriously conflict.
+        assert_eq!(log.atomic_add_u64(b, 0, 1), 10);
+        assert_eq!(log.dev_load(b, 0, 8), 11);
+        assert_eq!(log.atomic_add_u64(b, 0, 2), 11);
+        let fx = log.finish();
+        assert_eq!(fx.replay(&mut m), ReplayOutcome::Committed);
+        assert_eq!(m.read_u64(b, 0), 13);
+    }
+
+    #[test]
+    fn adds_do_not_merge_across_a_blind_write() {
+        let mut m = mem();
+        let b = m.alloc(16);
+        let mut log = BlockLog::new(&m);
+        log.atomic_add_u64(b, 0, 1);
+        log.store(b, 0, 8, 100);
+        log.atomic_add_u64(b, 0, 2);
+        let fx = log.finish();
+        assert_eq!(fx.replay(&mut m), ReplayOutcome::Committed);
+        // Replay order must stay add, write, add: 1 → 100 → 102.
+        assert_eq!(m.read_u64(b, 0), 102);
+    }
+
+    #[test]
+    fn coalesced_adds_replay_with_the_summed_delta() {
+        let mut m = mem();
+        let b = m.alloc(32);
+        let mut log = BlockLog::new(&m);
+        for i in 0..100u64 {
+            assert_eq!(log.atomic_add_u64(b, 0, 1), i);
+            log.atomic_add_u32(b, 8, 2);
+        }
+        let fx = log.finish();
+        // An earlier block's adds land first; commuting adds stack on top.
+        m.atomic_add_u64(b, 0, 1000);
+        assert_eq!(fx.replay(&mut m), ReplayOutcome::Committed);
+        assert_eq!(m.read_u64(b, 0), 1100);
+        assert_eq!(m.read_u32(b, 8), 200);
+    }
+
+    #[test]
+    fn repeat_reads_see_own_writes_between_them() {
+        let mut m = mem();
+        let b = m.alloc(16);
+        m.write_u64(b, 0, 7);
+        let mut log = BlockLog::new(&m);
+        assert_eq!(log.dev_load(b, 0, 8), 7);
+        assert_eq!(log.dev_load(b, 0, 8), 7, "memoized repeat read");
+        log.store(b, 0, 8, 99);
+        assert_eq!(log.dev_load(b, 0, 8), 99, "own write invalidates memo");
+        let fx = log.finish();
+        assert_eq!(fx.replay(&mut m), ReplayOutcome::Committed);
+        assert_eq!(m.read_u64(b, 0), 99);
     }
 
     #[test]

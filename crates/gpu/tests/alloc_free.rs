@@ -94,7 +94,7 @@ fn align_performs_no_heap_allocations_in_steady_state() {
 mod chunk {
     use bk_host::CacheSim;
     use bk_runtime::addr::LaneAddrs;
-    use bk_runtime::assembly::assemble;
+    use bk_runtime::assembly::{assemble, GatherConfig};
     use bk_runtime::pool::Compression;
     use bk_runtime::{
         AddrGenCtx, AddrGenScratch, AssemblyLayout, BigKernelConfig, Machine, StreamArray, StreamId,
@@ -132,8 +132,7 @@ mod chunk {
             &machine.hmem,
             streams,
             &lanes,
-            AssemblyLayout::Interleaved,
-            true,
+            GatherConfig::new(AssemblyLayout::Interleaved, true),
             cache,
             &mut scratch.pool,
         );
@@ -141,6 +140,8 @@ mod chunk {
         let gathered = out.gathered_bytes;
         scratch.pool.give_output(out);
         scratch.pool.give_lanes(lanes);
+        // Retire the chunk's arena window exactly like `BlockSlot::recycle`.
+        scratch.pool.arena.reset();
         gathered
     }
 

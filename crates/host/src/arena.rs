@@ -1,0 +1,225 @@
+//! Region-style bump allocator for pinned assembly buffers.
+//!
+//! The real BigKernel runtime gathers each chunk into *pinned* (page-locked)
+//! host buffers so the DMA engine can read them directly; pinning is
+//! expensive, so the buffers must be allocated once and reused for the
+//! lifetime of the pipeline. [`PinnedArena`] models that discipline: one
+//! slab, bump-allocated within a chunk, wholesale-reset between chunks.
+//!
+//! Each reset advances a *generation* counter, and every [`ArenaRef`] handed
+//! out is stamped with the generation it was allocated under. Dereferencing
+//! a ref after a reset panics — a stale read of a recycled buffer is a
+//! correctness bug in the pipeline, not something to paper over.
+//!
+//! The slab grows only while the cursor outruns it, i.e. during the first
+//! chunk or two; after warm-up every allocation is a cursor bump plus a
+//! `memset` of the window, so steady-state assembly performs zero heap
+//! allocations (pinned by the counting-allocator test in `bk-gpu`).
+
+/// Alignment of every arena allocation, matching a cache line so gathers
+/// into distinct buffers never share one.
+const ARENA_ALIGN: usize = 64;
+
+/// A generation-tagged window into a [`PinnedArena`].
+///
+/// Plain `Copy` data — it holds no borrow, so it can live inside the
+/// pipeline's per-block state across stage boundaries. The arena re-checks
+/// the generation on every dereference.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArenaRef {
+    offset: usize,
+    len: usize,
+    generation: u64,
+}
+
+impl ArenaRef {
+    /// Length in bytes of the referenced window.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the window is zero-length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The arena generation this ref was allocated under.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
+/// Bump allocator over one long-lived slab; see the module docs.
+pub struct PinnedArena {
+    slab: Vec<u8>,
+    cursor: usize,
+    generation: u64,
+    high_water: usize,
+}
+
+impl PinnedArena {
+    /// Fresh, empty arena (generation 0, no slab yet).
+    pub fn new() -> Self {
+        PinnedArena {
+            slab: Vec::new(),
+            cursor: 0,
+            generation: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Fresh arena with `bytes` of slab pre-reserved, for callers that know
+    /// their chunk footprint up front.
+    pub fn with_capacity(bytes: usize) -> Self {
+        let mut a = PinnedArena::new();
+        a.slab.resize(bytes, 0);
+        a
+    }
+
+    /// Allocate a zeroed, cache-line-aligned window of `len` bytes from the
+    /// current generation. Grows the slab only if the cursor outruns it;
+    /// once the arena has seen its peak chunk footprint this never
+    /// allocates again.
+    pub fn alloc_zeroed(&mut self, len: usize) -> ArenaRef {
+        let offset = self.cursor;
+        let end = offset + len;
+        if end > self.slab.len() {
+            self.slab.resize(end, 0);
+        }
+        self.slab[offset..end].fill(0);
+        // Keep the next allocation line-aligned.
+        self.cursor = end + (ARENA_ALIGN - end % ARENA_ALIGN) % ARENA_ALIGN;
+        self.high_water = self.high_water.max(end);
+        ArenaRef {
+            offset,
+            len,
+            generation: self.generation,
+        }
+    }
+
+    /// Borrow the bytes behind `r`.
+    ///
+    /// # Panics
+    /// If `r` was allocated under an earlier generation (the window has
+    /// been recycled by [`PinnedArena::reset`]). Zero-length refs (e.g. the
+    /// `Default` ref) are always valid and borrow the empty slice.
+    pub fn bytes(&self, r: &ArenaRef) -> &[u8] {
+        if r.len == 0 {
+            return &[];
+        }
+        self.check_generation(r);
+        &self.slab[r.offset..r.offset + r.len]
+    }
+
+    /// Mutably borrow the bytes behind `r`; same panics as
+    /// [`PinnedArena::bytes`].
+    pub fn bytes_mut(&mut self, r: &ArenaRef) -> &mut [u8] {
+        if r.len == 0 {
+            return &mut [];
+        }
+        self.check_generation(r);
+        &mut self.slab[r.offset..r.offset + r.len]
+    }
+
+    #[inline]
+    fn check_generation(&self, r: &ArenaRef) {
+        assert_eq!(
+            r.generation, self.generation,
+            "stale ArenaRef: allocated under generation {} but the arena \
+             has been reset to generation {}",
+            r.generation, self.generation
+        );
+    }
+
+    /// Recycle the whole arena: the cursor returns to zero and the
+    /// generation advances, invalidating every outstanding [`ArenaRef`].
+    /// The slab itself is retained, so the next chunk reuses its pages.
+    pub fn reset(&mut self) {
+        self.cursor = 0;
+        self.generation += 1;
+    }
+
+    /// The current generation number.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Peak bytes ever live at once — the pipeline's steady-state pinned
+    /// footprint.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Current slab size in bytes.
+    pub fn capacity(&self) -> usize {
+        self.slab.len()
+    }
+}
+
+impl Default for PinnedArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_alloc_places_distinct_aligned_windows() {
+        let mut a = PinnedArena::new();
+        let x = a.alloc_zeroed(10);
+        let y = a.alloc_zeroed(100);
+        a.bytes_mut(&x).fill(0xaa);
+        a.bytes_mut(&y).fill(0xbb);
+        assert!(a.bytes(&x).iter().all(|&b| b == 0xaa));
+        assert!(a.bytes(&y).iter().all(|&b| b == 0xbb));
+        assert_eq!(a.high_water(), 64 + 100); // x padded to one line
+    }
+
+    #[test]
+    fn reset_recycles_without_stale_reads() {
+        let mut a = PinnedArena::new();
+        let old = a.alloc_zeroed(256);
+        a.bytes_mut(&old).fill(0xff);
+        a.reset();
+        // Same window, next generation: must come back zeroed even though
+        // the slab still physically holds the old 0xff bytes.
+        let fresh = a.alloc_zeroed(256);
+        assert_eq!(fresh.generation(), old.generation() + 1);
+        assert!(a.bytes(&fresh).iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "stale ArenaRef")]
+    fn stale_ref_panics_after_reset() {
+        let mut a = PinnedArena::new();
+        let old = a.alloc_zeroed(8);
+        a.reset();
+        let _ = a.bytes(&old);
+    }
+
+    #[test]
+    fn steady_state_does_not_grow_the_slab() {
+        let mut a = PinnedArena::new();
+        a.alloc_zeroed(1000);
+        a.alloc_zeroed(500);
+        let cap = a.capacity();
+        for _ in 0..10 {
+            a.reset();
+            a.alloc_zeroed(1000);
+            a.alloc_zeroed(500);
+            assert_eq!(a.capacity(), cap);
+        }
+    }
+
+    #[test]
+    fn zero_length_refs_are_always_valid() {
+        let mut a = PinnedArena::new();
+        let z = a.alloc_zeroed(0);
+        a.reset();
+        assert!(a.bytes(&z).is_empty()); // no generation panic for empties
+        assert!(a.bytes(&ArenaRef::default()).is_empty());
+    }
+}

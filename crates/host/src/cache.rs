@@ -8,6 +8,11 @@
 //!
 //! The model is a single-level "last level cache" (the paper quotes 10 MB
 //! combined L2/L3); inner levels are folded into the hit cost.
+//!
+//! The simulator sits on the assembly hot path (one probe per gathered
+//! line), so the lookup is branch-light: line/set/tag come from shifts and
+//! masks, and each set's LRU order lives in a flat `ways`-wide row moved
+//! with `copy_within` rather than a per-set `Vec`.
 
 /// Outcome of one access.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -30,10 +35,18 @@ pub enum Access {
 /// ```
 pub struct CacheSim {
     line_bytes: u64,
+    /// `log2(line_bytes)`: byte address → line number by shift.
+    line_shift: u32,
     num_sets: u64,
+    /// `num_sets - 1`: line number → set index by mask.
+    set_mask: u64,
+    /// `log2(num_sets)`: line number → tag by shift.
+    set_shift: u32,
     ways: usize,
-    /// `sets[set]` is a small LRU list of tags, most-recent first.
-    sets: Vec<Vec<u64>>,
+    /// Flat `num_sets x ways` tag rows, each most-recent first. Entries
+    /// store `tag + 1` so `0` means "empty way" (tags are bounded well
+    /// below `u64::MAX` because they are `addr >> line_shift / num_sets`).
+    tags: Vec<u64>,
     hits: u64,
     misses: u64,
 }
@@ -55,9 +68,12 @@ impl CacheSim {
         );
         CacheSim {
             line_bytes,
+            line_shift: line_bytes.trailing_zeros(),
             num_sets,
+            set_mask: num_sets - 1,
+            set_shift: num_sets.trailing_zeros(),
             ways,
-            sets: vec![Vec::new(); num_sets as usize],
+            tags: vec![0; (num_sets as usize) * ways],
             hits: 0,
             misses: 0,
         }
@@ -73,41 +89,61 @@ impl CacheSim {
         self.line_bytes
     }
 
-    /// Access one byte address; widths that stay within a line count as one
-    /// access (callers split multi-line accesses — see [`CacheSim::access_range`]).
-    pub fn access(&mut self, addr: u64) -> Access {
-        let line = addr / self.line_bytes;
-        let set_idx = (line & (self.num_sets - 1)) as usize;
-        let tag = line / self.num_sets;
-        let set = &mut self.sets[set_idx];
-        if let Some(pos) = set.iter().position(|&t| t == tag) {
+    /// Total capacity in bytes (`sets * ways * line_bytes`) — the working
+    /// set that fits fully resident, used to size cache-blocked gather
+    /// tiles.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.num_sets * self.ways as u64 * self.line_bytes
+    }
+
+    /// Probe one line number (not a byte address).
+    #[inline]
+    fn access_line(&mut self, line: u64) -> Access {
+        let set_idx = (line & self.set_mask) as usize;
+        let tag = (line >> self.set_shift) + 1;
+        let row = &mut self.tags[set_idx * self.ways..(set_idx + 1) * self.ways];
+        if row[0] == tag {
+            // Already MRU — the streaming common case (consecutive gathers
+            // landing in the same line) needs no reordering.
+            self.hits += 1;
+            return Access::Hit;
+        }
+        if let Some(pos) = row.iter().position(|&t| t == tag) {
             // Move to MRU position.
-            let t = set.remove(pos);
-            set.insert(0, t);
+            row.copy_within(0..pos, 1);
+            row[0] = tag;
             self.hits += 1;
             Access::Hit
         } else {
-            set.insert(0, tag);
-            if set.len() > self.ways {
-                set.pop();
-            }
+            // Shift everything down one way (the LRU falls off) and
+            // install at MRU.
+            row.copy_within(0..self.ways - 1, 1);
+            row[0] = tag;
             self.misses += 1;
             Access::Miss
         }
     }
 
-    /// Access `[addr, addr+len)`, one access per touched line. Returns
-    /// `(hits, misses)` for the range.
+    /// Access one byte address; widths that stay within a line count as one
+    /// access (callers split multi-line accesses — see [`CacheSim::access_range`]).
+    pub fn access(&mut self, addr: u64) -> Access {
+        self.access_line(addr >> self.line_shift)
+    }
+
+    /// Access `[addr, addr+len)`, one access per touched line — partial
+    /// leading and trailing lines each count as a full probe, and a
+    /// zero-length range touches nothing. Returns `(hits, misses)` for the
+    /// range.
     pub fn access_range(&mut self, addr: u64, len: u64) -> (u64, u64) {
         if len == 0 {
             return (0, 0);
         }
-        let first = addr / self.line_bytes;
-        let last = (addr + len - 1) / self.line_bytes;
+        let first = addr >> self.line_shift;
+        let last = (addr + len - 1) >> self.line_shift;
         let mut h = 0;
         let mut m = 0;
         for line in first..=last {
-            match self.access(line * self.line_bytes) {
+            match self.access_line(line) {
                 Access::Hit => h += 1,
                 Access::Miss => m += 1,
             }
@@ -216,12 +252,44 @@ mod tests {
     }
 
     #[test]
+    fn access_range_partial_edge_lines() {
+        let mut c = tiny();
+        // [60, 70): straddles the 0/1 line boundary — both partial lines
+        // count as one probe each.
+        assert_eq!(c.access_range(60, 10), (0, 2));
+        // [65, 66): entirely inside line 1, already resident.
+        assert_eq!(c.access_range(65, 1), (1, 0));
+        // Trailing byte exactly on a boundary stays in the leading line.
+        assert_eq!(c.access_range(128, 64), (0, 1));
+        assert_eq!(c.access_range(128, 65), (1, 1));
+    }
+
+    #[test]
+    fn reset_stats_after_access_range_keeps_contents() {
+        let mut c = tiny();
+        // Warm lines 0..=2 through the range API, then reset the stats.
+        assert_eq!(c.access_range(0, 129), (0, 3));
+        c.reset_stats();
+        assert_eq!((c.hits(), c.misses()), (0, 0));
+        // The tags must survive the reset: the same range now fully hits,
+        // and the counters restart from zero.
+        assert_eq!(c.access_range(0, 129), (3, 0));
+        assert_eq!((c.hits(), c.misses()), (3, 0));
+    }
+
+    #[test]
     fn reset_stats_keeps_contents() {
         let mut c = tiny();
         c.access(0);
         c.reset_stats();
         assert_eq!((c.hits(), c.misses()), (0, 0));
         assert_eq!(c.access(0), Access::Hit); // still cached
+    }
+
+    #[test]
+    fn capacity_matches_geometry() {
+        assert_eq!(tiny().capacity_bytes(), 512);
+        assert_eq!(CacheSim::xeon_llc().capacity_bytes(), 8 << 20);
     }
 
     #[test]

@@ -12,14 +12,20 @@
 //! * [`hostmem`] — functional host memory regions and the pinned-buffer
 //!   allocator (DMA may only touch pinned pages; pinned bytes are tracked
 //!   because the paper calls out their cost).
+//! * [`arena`] — region-style bump allocator with generation-tagged reset,
+//!   modelling the long-lived pinned assembly buffers: allocate once, bump
+//!   per chunk, wholesale-reset between chunks, zero steady-state heap
+//!   traffic.
 //! * [`pcie`] — the PCIe Gen3 x16 link and DMA-engine cost model, including
 //!   the in-order flag-copy completion signal BigKernel relies on (§IV.C).
 
+pub mod arena;
 pub mod cache;
 pub mod cpu;
 pub mod hostmem;
 pub mod pcie;
 
+pub use arena::{ArenaRef, PinnedArena};
 pub use cache::CacheSim;
 pub use cpu::{CpuCost, CpuSpec};
 pub use hostmem::{HostMemory, RegionId};

@@ -172,6 +172,13 @@ impl MetricsRegistry {
         self.hists.get(name)
     }
 
+    /// Merge a standalone histogram into the named one (created empty
+    /// first) — for stages that accumulate a local [`Histogram`] off to the
+    /// side and fold it in wholesale.
+    pub fn merge_hist(&mut self, name: &'static str, h: &Histogram) {
+        self.hists.entry(name).or_default().merge(h);
+    }
+
     /// Merge another registry into this one (summing counters, merging
     /// histograms by name).
     pub fn merge(&mut self, other: &MetricsRegistry) {
@@ -297,6 +304,20 @@ mod tests {
         assert_eq!(a.hist("h").unwrap().count(), 2);
         assert_eq!(a.hist("h").unwrap().sum(), 6);
         assert_eq!(a.hist("only_b").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn merge_hist_folds_a_local_histogram_in() {
+        let mut m = MetricsRegistry::new();
+        m.observe("h", 1);
+        let mut local = Histogram::new();
+        local.observe(9);
+        local.observe(3);
+        m.merge_hist("h", &local);
+        m.merge_hist("fresh", &local);
+        assert_eq!(m.hist("h").unwrap().count(), 3);
+        assert_eq!(m.hist("h").unwrap().sum(), 13);
+        assert_eq!(m.hist("fresh").unwrap().count(), 2);
     }
 
     #[test]

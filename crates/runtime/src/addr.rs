@@ -109,6 +109,7 @@ impl AddrStream {
     pub fn runs(&self) -> RunIter<'_> {
         RunIter {
             it: self.iter(),
+            next_k: 0,
             pending: None,
         }
     }
@@ -158,11 +159,35 @@ pub struct Run {
     pub start: u64,
     /// Run length in bytes.
     pub len: u64,
+    /// Index (into the entry sequence) of the run's first entry.
+    pub first: usize,
+    /// Number of entries merged into the run.
+    pub count: usize,
+    /// The entries' common access width, or 0 when widths are mixed — the
+    /// vectorized gather needs a uniform element size to scatter a bulk
+    /// source read back into per-element destination slots.
+    pub width: u32,
+}
+
+impl Run {
+    /// A single-entry run for entry `e` at sequence index `k` (the unit the
+    /// merge loops grow from).
+    pub(crate) fn seed(e: AddrEntry, k: usize) -> Run {
+        Run {
+            stream: e.stream,
+            start: e.offset,
+            len: e.width as u64,
+            first: k,
+            count: 1,
+            width: e.width,
+        }
+    }
 }
 
 /// Iterator merging an address stream's entries into [`Run`]s.
 pub struct RunIter<'a> {
     it: AddrStreamIter<'a>,
+    next_k: usize,
     pending: Option<Run>,
 }
 
@@ -171,16 +196,18 @@ impl Iterator for RunIter<'_> {
 
     fn next(&mut self) -> Option<Run> {
         for e in self.it.by_ref() {
+            let k = self.next_k;
+            self.next_k += 1;
             match &mut self.pending {
                 Some(r) if r.stream == e.stream && e.offset == r.start + r.len => {
                     r.len += e.width as u64;
+                    r.count += 1;
+                    if e.width != r.width {
+                        r.width = 0;
+                    }
                 }
                 pending => {
-                    let run = Run {
-                        stream: e.stream,
-                        start: e.offset,
-                        len: e.width as u64,
-                    };
+                    let run = Run::seed(e, k);
                     if let Some(done) = pending.replace(run) {
                         return Some(done);
                     }
@@ -269,12 +296,18 @@ mod tests {
                 Run {
                     stream: StreamId(0),
                     start: 0,
-                    len: 24
+                    len: 24,
+                    first: 0,
+                    count: 3,
+                    width: 8
                 },
                 Run {
                     stream: StreamId(0),
                     start: 100,
-                    len: 4
+                    len: 4,
+                    first: 3,
+                    count: 1,
+                    width: 4
                 },
             ]
         );
@@ -295,9 +328,22 @@ mod tests {
             vec![Run {
                 stream: StreamId(0),
                 start: 1000,
-                len: 100
+                len: 100,
+                first: 0,
+                count: 100,
+                width: 1
             }]
         );
+    }
+
+    #[test]
+    fn runs_track_entry_indices_and_mixed_widths() {
+        // 8B + 4B contiguous (mixed width), a gap, then two 2B entries.
+        let s = AddrStream::Raw(vec![e(0, 8), e(8, 4), e(100, 2), e(102, 2)]);
+        let runs: Vec<Run> = s.runs().collect();
+        assert_eq!(runs.len(), 2);
+        assert_eq!((runs[0].first, runs[0].count, runs[0].width), (0, 2, 0));
+        assert_eq!((runs[1].first, runs[1].count, runs[1].width), (2, 2, 2));
     }
 
     #[test]

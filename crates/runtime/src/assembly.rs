@@ -18,14 +18,32 @@
 //! interleaves distant regions of the source array across lanes). The
 //! destination writes stay in access order either way — the paper found
 //! read cost dominates write cost.
+//!
+//! Two raw-speed refinements ride on that order (both bit-identical to the
+//! plain walk, property-tested below):
+//!
+//! * **Vectorized runs** — a contiguous uniform-width run at or above
+//!   [`SIMD_MIN_RUN_BYTES`] is gathered as one bulk source read scattered
+//!   into its destination slots with width-monomorphized copies; shorter or
+//!   mixed-width runs keep the per-element scalar path.
+//! * **Cache blocking** ([`AssemblyOrder::CacheBlocked`]) — when a warp's
+//!   gather footprint overflows the simulated LLC, the per-lane walk is
+//!   tiled over step ranges so each tile's source range stays resident
+//!   before the walk advances.
+//!
+//! The prefetch buffer itself lives in the pool's [`bk_host::PinnedArena`]:
+//! assembly bumps a window per chunk and the pipeline wholesale-resets the
+//! arena when the chunk's buffers are recycled, so steady-state assembly
+//! performs zero heap allocations.
 
-use crate::addr::LaneAddrs;
-use crate::config::AssemblyLayout;
-use crate::layout::ChunkLayout;
+use crate::addr::{AddrStream, LaneAddrs, Run};
+use crate::config::{AssemblyLayout, AssemblyOrder};
+use crate::layout::{ChunkLayout, WarpRegion};
 use crate::pool::StreamPool;
 use crate::stream::StreamArray;
 use bk_gpu::WARP_SIZE;
-use bk_host::{CacheSim, CpuCost, HostMemory};
+use bk_host::{ArenaRef, CacheSim, CpuCost, HostMemory};
+use bk_obs::Histogram;
 
 /// Instructions charged per assembled element (address decode, bounds math,
 /// load, store).
@@ -34,6 +52,49 @@ const INSTRS_PER_ELEMENT: u64 = 4;
 /// this many bytes (vectorized copy), plus a fixed per-run cost.
 const RUN_BYTES_PER_INSTR: u64 = 16;
 const INSTRS_PER_RUN: u64 = 3;
+
+/// Minimum contiguous run length (bytes) for the vectorized gather fast
+/// path. Below this the fixed cost of the bulk source read and the width
+/// dispatch outweighs the copy savings, so short runs keep the scalar
+/// per-element path.
+pub const SIMD_MIN_RUN_BYTES: u64 = 32;
+
+/// How [`assemble`] should gather: destination layout plus the source-walk
+/// knobs (§IV.B order and the vectorized-run fast path).
+#[derive(Clone, Copy, Debug)]
+pub struct GatherConfig {
+    /// Destination chunk-buffer layout.
+    pub layout: AssemblyLayout,
+    /// §IV.B per-GPU-thread read order when every lane is compressed.
+    pub locality: bool,
+    /// Gather element order (only meaningful under the locality order).
+    pub order: AssemblyOrder,
+    /// Vectorized-run fast path (bit-identical; simulator throughput only).
+    pub simd: bool,
+}
+
+impl GatherConfig {
+    /// The default raw-speed configuration for a layout/locality pair:
+    /// automatic order selection with the vectorized path enabled.
+    pub fn new(layout: AssemblyLayout, locality: bool) -> Self {
+        GatherConfig {
+            layout,
+            locality,
+            order: AssemblyOrder::Auto,
+            simd: true,
+        }
+    }
+
+    /// Extract the gather knobs from a full runtime configuration.
+    pub fn from_config(cfg: &crate::config::BigKernelConfig) -> Self {
+        GatherConfig {
+            layout: cfg.layout,
+            locality: cfg.locality_assembly,
+            order: cfg.assembly_order,
+            simd: cfg.simd_gather,
+        }
+    }
+}
 
 /// Charge the cost of one contiguous gather run.
 fn flush_run(
@@ -53,6 +114,138 @@ fn flush_run(
     cost.instructions += INSTRS_PER_RUN + len / RUN_BYTES_PER_INSTR;
 }
 
+/// Scatter a bulk-read run back into interleaved destination slots, one
+/// `W`-byte fixed-size copy per element (monomorphized so each width
+/// compiles to a single move).
+fn scatter_run<const W: usize>(
+    buf: &mut [u8],
+    region: &WarpRegion,
+    lane: usize,
+    first: usize,
+    count: usize,
+    src: &[u8],
+) {
+    for i in 0..count {
+        let (dest, _) = region.slot(lane, first + i);
+        let d = dest as usize;
+        buf[d..d + W].copy_from_slice(&src[i * W..(i + 1) * W]);
+    }
+}
+
+/// Per-chunk gather statistics surfaced on [`AssemblyOutput`].
+#[derive(Default)]
+struct RunStats {
+    simd_runs: u64,
+    scalar_runs: u64,
+    gathered: u64,
+    run_bytes: Histogram,
+}
+
+/// Shared context for the run-granular gather paths.
+struct RunGather<'a> {
+    hmem: &'a HostMemory,
+    streams: &'a [StreamArray],
+    cost: &'a mut CpuCost,
+    cache: &'a mut CacheSim,
+    stats: &'a mut RunStats,
+    simd: bool,
+}
+
+impl RunGather<'_> {
+    /// Gather one contiguous run into a lane's interleaved slots:
+    /// vectorized when the run is long and uniform-width, per-element
+    /// otherwise. Cost is charged per run either way, so the dispatch is
+    /// invisible to the simulated timeline.
+    fn gather_run(
+        &mut self,
+        buf: &mut [u8],
+        region: &WarpRegion,
+        lane: usize,
+        stream: &AddrStream,
+        run: &Run,
+    ) {
+        self.stats.run_bytes.observe(run.len);
+        let arr = &self.streams[run.stream.0 as usize];
+        if self.simd && run.len >= SIMD_MIN_RUN_BYTES && matches!(run.width, 1 | 2 | 4 | 8) {
+            let src = self.hmem.read(arr.region, run.start, run.len as usize);
+            match run.width {
+                1 => scatter_run::<1>(buf, region, lane, run.first, run.count, src),
+                2 => scatter_run::<2>(buf, region, lane, run.first, run.count, src),
+                4 => scatter_run::<4>(buf, region, lane, run.first, run.count, src),
+                _ => scatter_run::<8>(buf, region, lane, run.first, run.count, src),
+            }
+            self.stats.simd_runs += 1;
+        } else if run.width != 0 {
+            // Uniform-width run below the SIMD threshold: the element
+            // offsets are `start + i*width` by construction, so skip the
+            // per-element stream decode and read the source once.
+            let src = self.hmem.read(arr.region, run.start, run.len as usize);
+            let w = run.width as usize;
+            for i in 0..run.count {
+                let (dest, _) = region.slot(lane, run.first + i);
+                buf[dest as usize..dest as usize + w].copy_from_slice(&src[i * w..(i + 1) * w]);
+            }
+            self.stats.scalar_runs += 1;
+        } else {
+            // Mixed widths: per-element decode is unavoidable.
+            for k in run.first..run.first + run.count {
+                let e = stream.entry(k);
+                let (dest, _) = region.slot(lane, k);
+                let src = self.hmem.read(arr.region, e.offset, e.width as usize);
+                buf[dest as usize..dest as usize + e.width as usize].copy_from_slice(src);
+            }
+            self.stats.scalar_runs += 1;
+        }
+        self.stats.gathered += run.len;
+        flush_run(
+            self.cost,
+            self.cache,
+            self.hmem,
+            self.streams,
+            run.stream.0,
+            run.start,
+            run.len,
+        );
+    }
+
+    /// Gather one lane's entries in step range `k0..k1`, merging contiguous
+    /// entries into runs exactly like [`AddrStream::runs`] does over the
+    /// whole stream. This is the cache-blocked walk: runs are clipped at
+    /// tile boundaries, which changes the cost sequence (that is the point)
+    /// but never the gathered bytes.
+    fn gather_steps(
+        &mut self,
+        buf: &mut [u8],
+        region: &WarpRegion,
+        lane: usize,
+        stream: &AddrStream,
+        k0: usize,
+        k1: usize,
+    ) {
+        let mut pending: Option<Run> = None;
+        for k in k0..k1 {
+            let e = stream.entry(k);
+            match &mut pending {
+                Some(r) if r.stream == e.stream && e.offset == r.start + r.len => {
+                    r.len += e.width as u64;
+                    r.count += 1;
+                    if e.width != r.width {
+                        r.width = 0;
+                    }
+                }
+                p => {
+                    if let Some(done) = p.replace(Run::seed(e, k)) {
+                        self.gather_run(buf, region, lane, stream, &done);
+                    }
+                }
+            }
+        }
+        if let Some(done) = pending.take() {
+            self.gather_run(buf, region, lane, stream, &done);
+        }
+    }
+}
+
 /// Output of assembling one block's chunk.
 pub struct AssemblyOutput {
     /// Read-side layout (what the compute stage consumes).
@@ -60,8 +253,9 @@ pub struct AssemblyOutput {
     /// Write-side layout (geometry of the GPU write-value buffer), present
     /// when any lane emits writes.
     pub write_layout: Option<ChunkLayout>,
-    /// The pinned prefetch-buffer contents.
-    pub bytes: Vec<u8>,
+    /// The pinned prefetch-buffer contents: a generation-tagged window into
+    /// the pool's arena, valid until the chunk's buffers are recycled.
+    pub bytes: ArenaRef,
     /// CPU cost of the gather.
     pub cost: CpuCost,
     /// Useful data bytes gathered.
@@ -70,25 +264,33 @@ pub struct AssemblyOutput {
     pub padding_bytes: u64,
     /// Whether the §IV.B per-lane read order was actually used.
     pub locality_order_used: bool,
+    /// Warps gathered with the cache-blocked (tiled) walk.
+    pub cache_blocked_warps: u64,
+    /// Contiguous runs gathered via the vectorized fast path.
+    pub simd_runs: u64,
+    /// Contiguous runs gathered per element (short or mixed-width).
+    pub scalar_runs: u64,
+    /// Distribution of contiguous gather-run lengths (bytes).
+    pub run_bytes: Histogram,
 }
 
 /// Assemble one block's chunk.
 ///
 /// `lanes[i]` are the address streams of lane `i`; `streams` maps
-/// `StreamId(i)` → `streams[i]`. Layout vectors and the prefetch-byte
-/// buffer are drawn from `pool` (and return to it when the chunk's
-/// [`AssemblyOutput`] is recycled via [`StreamPool::give_output`]), so
-/// steady-state assembly performs no heap allocation.
+/// `StreamId(i)` → `streams[i]`. Layout vectors are drawn from `pool` (and
+/// return to it when the chunk's [`AssemblyOutput`] is recycled via
+/// [`StreamPool::give_output`]); the prefetch bytes are bump-allocated from
+/// the pool's arena and recycled by the arena reset when the block slot is
+/// recycled. Steady-state assembly therefore performs no heap allocation.
 pub fn assemble(
     hmem: &HostMemory,
     streams: &[StreamArray],
     lanes: &[LaneAddrs],
-    layout_kind: AssemblyLayout,
-    locality: bool,
+    gcfg: GatherConfig,
     cache: &mut CacheSim,
     pool: &mut StreamPool,
 ) -> AssemblyOutput {
-    let (layout, padding) = match layout_kind {
+    let (layout, padding) = match gcfg.layout {
         AssemblyLayout::Interleaved => {
             let l = pool.build_interleaved(lanes, |l| &l.reads);
             let p = match &l {
@@ -100,10 +302,10 @@ pub fn assemble(
         AssemblyLayout::PerLane => (pool.build_per_lane(lanes, |l| &l.reads), 0),
     };
 
-    let mut bytes = pool.take_bytes();
-    bytes.resize(layout.total_len() as usize, 0);
+    let bytes_ref = pool.arena.alloc_zeroed(layout.total_len() as usize);
     let mut cost = CpuCost::new();
-    let mut gathered = 0u64;
+    let mut stats = RunStats::default();
+    let mut cache_blocked_warps = 0u64;
 
     // §IV.B applies when every non-empty lane has a pattern: the per-lane
     // walk needs the pattern to know the addresses without scanning the raw
@@ -112,127 +314,146 @@ pub fn assemble(
         .iter()
         .filter(|l| !l.reads.is_empty())
         .all(|l| l.reads.is_compressed());
-    let use_locality_order = locality && all_patterned;
+    let use_locality_order = gcfg.locality && all_patterned;
 
-    let gather_one = |cost: &mut CpuCost,
-                      cache: &mut CacheSim,
-                      bytes: &mut [u8],
-                      gathered: &mut u64,
-                      lane: usize,
-                      k: usize,
-                      dest: u64| {
-        let e = lanes[lane].reads.entry(k);
-        let arr = &streams[e.stream.0 as usize];
-        let src = hmem.read(arr.region, e.offset, e.width as usize);
-        bytes[dest as usize..dest as usize + e.width as usize].copy_from_slice(src);
-        let (h, m) = cache.access_range(hmem.vaddr(arr.region, e.offset), e.width as u64);
-        cost.cache_hits += h;
-        cost.cache_misses += m;
-        cost.dram_bytes += m * cache.line_bytes();
-        *gathered += e.width as u64;
-    };
+    {
+        let bytes = pool.arena.bytes_mut(&bytes_ref);
 
-    match (&layout, use_locality_order) {
-        // Per-lane (locality) order: lane-major walk. Contiguous source
-        // runs (the common case under a stride pattern — byte scans, record
-        // walks) are gathered as block copies: the cache is probed per
-        // line, not per element, and the instruction cost is per run. This
-        // is what makes pattern-driven assembly cheap for byte-granular
-        // data (Table II).
-        (ChunkLayout::Interleaved { warps, .. }, true) => {
-            for (lane, l) in lanes.iter().enumerate() {
-                let region = &warps[lane / WARP_SIZE];
-                let mut run_start = 0u64;
-                let mut run_len = 0u64;
-                let mut run_stream = 0u32;
-                for (k, e) in l.reads.iter().enumerate() {
-                    // Functional copy (always per element; dest slots are
-                    // interleaved).
-                    let arr = &streams[e.stream.0 as usize];
-                    let (dest, _) = region.slot(lane % WARP_SIZE, k);
-                    let src = hmem.read(arr.region, e.offset, e.width as usize);
-                    bytes[dest as usize..dest as usize + e.width as usize].copy_from_slice(src);
-                    gathered += e.width as u64;
-                    // Cost: extend or flush the contiguous source run.
-                    if run_len > 0 && e.stream.0 == run_stream && e.offset == run_start + run_len {
-                        run_len += e.width as u64;
-                    } else {
-                        if run_len > 0 {
-                            flush_run(
-                                &mut cost, cache, hmem, streams, run_stream, run_start, run_len,
-                            );
+        let gather_one = |cost: &mut CpuCost,
+                          cache: &mut CacheSim,
+                          bytes: &mut [u8],
+                          gathered: &mut u64,
+                          lane: usize,
+                          k: usize,
+                          dest: u64| {
+            let e = lanes[lane].reads.entry(k);
+            let arr = &streams[e.stream.0 as usize];
+            let src = hmem.read(arr.region, e.offset, e.width as usize);
+            bytes[dest as usize..dest as usize + e.width as usize].copy_from_slice(src);
+            let (h, m) = cache.access_range(hmem.vaddr(arr.region, e.offset), e.width as u64);
+            cost.cache_hits += h;
+            cost.cache_misses += m;
+            cost.dram_bytes += m * cache.line_bytes();
+            *gathered += e.width as u64;
+        };
+
+        match (&layout, use_locality_order) {
+            // Per-lane (locality) order: lane-major walk within each warp.
+            // Contiguous source runs (the common case under a stride
+            // pattern — byte scans, record walks) are gathered as block
+            // copies: the cache is probed per line, not per element, and
+            // the instruction cost is per run. This is what makes
+            // pattern-driven assembly cheap for byte-granular data
+            // (Table II). Warps whose gather footprint overflows the LLC
+            // are optionally tiled over step ranges (§IV.B blocking).
+            (ChunkLayout::Interleaved { warps, .. }, true) => {
+                let mut rg = RunGather {
+                    hmem,
+                    streams,
+                    cost: &mut cost,
+                    cache,
+                    stats: &mut stats,
+                    simd: gcfg.simd,
+                };
+                for (region, warp_lanes) in warps.iter().zip(lanes.chunks(WARP_SIZE)) {
+                    let footprint: u64 = warp_lanes.iter().map(|l| l.reads.data_bytes()).sum();
+                    let blocked = match gcfg.order {
+                        AssemblyOrder::Natural => false,
+                        AssemblyOrder::CacheBlocked => true,
+                        AssemblyOrder::Auto => footprint > rg.cache.capacity_bytes(),
+                    };
+                    let steps = region.step_off.len();
+                    if blocked && footprint > 0 && steps > 0 {
+                        cache_blocked_warps += 1;
+                        // Tile so one tile's source bytes stay within half
+                        // the LLC (the other half absorbs destination and
+                        // address traffic).
+                        let per_step = footprint.div_ceil(steps as u64);
+                        let tile = ((rg.cache.capacity_bytes() / 2) / per_step).max(1) as usize;
+                        let mut k0 = 0;
+                        while k0 < steps {
+                            let k1 = (k0 + tile).min(steps);
+                            for (li, l) in warp_lanes.iter().enumerate() {
+                                let n = l.reads.len();
+                                let (a, b) = (k0.min(n), k1.min(n));
+                                if a < b {
+                                    rg.gather_steps(bytes, region, li, &l.reads, a, b);
+                                }
+                            }
+                            k0 = k1;
                         }
-                        run_stream = e.stream.0;
-                        run_start = e.offset;
-                        run_len = e.width as u64;
+                    } else {
+                        for (li, l) in warp_lanes.iter().enumerate() {
+                            for run in l.reads.runs() {
+                                rg.gather_run(bytes, region, li, &l.reads, &run);
+                            }
+                        }
                     }
                 }
-                if run_len > 0 {
-                    flush_run(
-                        &mut cost, cache, hmem, streams, run_stream, run_start, run_len,
-                    );
-                }
             }
-        }
-        // Access order: step-major walk per warp.
-        (ChunkLayout::Interleaved { warps, .. }, false) => {
-            for (w, region) in warps.iter().enumerate() {
-                let lanes_here = &lanes[w * WARP_SIZE..((w + 1) * WARP_SIZE).min(lanes.len())];
-                for k in 0..region.step_off.len() {
-                    for (li, l) in lanes_here.iter().enumerate() {
-                        if k < l.reads.len() {
-                            let (dest, _) = region.slot(li, k);
-                            gather_one(
+            // Access order: step-major walk per warp.
+            (ChunkLayout::Interleaved { warps, .. }, false) => {
+                for (w, region) in warps.iter().enumerate() {
+                    let lanes_here = &lanes[w * WARP_SIZE..((w + 1) * WARP_SIZE).min(lanes.len())];
+                    for k in 0..region.step_off.len() {
+                        for (li, l) in lanes_here.iter().enumerate() {
+                            if k < l.reads.len() {
+                                let (dest, _) = region.slot(li, k);
+                                gather_one(
+                                    &mut cost,
+                                    cache,
+                                    bytes,
+                                    &mut stats.gathered,
+                                    w * WARP_SIZE + li,
+                                    k,
+                                    dest,
+                                );
+                            }
+                        }
+                    }
+                }
+                cost.instructions +=
+                    lanes.iter().map(|l| l.reads.len() as u64).sum::<u64>() * INSTRS_PER_ELEMENT;
+            }
+            // PerLane destination layout is inherently lane-major; pattern
+            // lanes gather as contiguous runs (source and destination are
+            // both contiguous, so each run is one bulk copy and one cost
+            // flush), raw lanes pay per element (each raw address must be
+            // decoded).
+            (ChunkLayout::PerLane { lane_base, .. }, _) => {
+                for (lane, l) in lanes.iter().enumerate() {
+                    let mut dest = lane_base[lane];
+                    if l.reads.is_compressed() {
+                        for run in l.reads.runs() {
+                            let arr = &streams[run.stream.0 as usize];
+                            let src = hmem.read(arr.region, run.start, run.len as usize);
+                            bytes[dest as usize..dest as usize + run.len as usize]
+                                .copy_from_slice(src);
+                            dest += run.len;
+                            stats.gathered += run.len;
+                            stats.run_bytes.observe(run.len);
+                            flush_run(
                                 &mut cost,
                                 cache,
-                                &mut bytes,
-                                &mut gathered,
-                                w * WARP_SIZE + li,
-                                k,
-                                dest,
+                                hmem,
+                                streams,
+                                run.stream.0,
+                                run.start,
+                                run.len,
                             );
                         }
+                    } else {
+                        for k in 0..l.reads.len() {
+                            let w = l.reads.entry(k).width as u64;
+                            gather_one(&mut cost, cache, bytes, &mut stats.gathered, lane, k, dest);
+                            dest += w;
+                        }
+                        cost.instructions += l.reads.len() as u64 * INSTRS_PER_ELEMENT;
                     }
                 }
             }
-            cost.instructions +=
-                lanes.iter().map(|l| l.reads.len() as u64).sum::<u64>() * INSTRS_PER_ELEMENT;
+            (ChunkLayout::Staged { .. }, _) => unreachable!("assemble never builds staged layouts"),
         }
-        // PerLane destination layout is inherently lane-major; pattern
-        // lanes gather as contiguous runs (source and destination are both
-        // contiguous, so each run is one bulk copy and one cost flush), raw
-        // lanes pay per element (each raw address must be decoded).
-        (ChunkLayout::PerLane { lane_base, .. }, _) => {
-            for (lane, l) in lanes.iter().enumerate() {
-                let mut dest = lane_base[lane];
-                if l.reads.is_compressed() {
-                    for run in l.reads.runs() {
-                        let arr = &streams[run.stream.0 as usize];
-                        let src = hmem.read(arr.region, run.start, run.len as usize);
-                        bytes[dest as usize..dest as usize + run.len as usize].copy_from_slice(src);
-                        dest += run.len;
-                        gathered += run.len;
-                        flush_run(
-                            &mut cost,
-                            cache,
-                            hmem,
-                            streams,
-                            run.stream.0,
-                            run.start,
-                            run.len,
-                        );
-                    }
-                } else {
-                    for k in 0..l.reads.len() {
-                        let w = l.reads.entry(k).width as u64;
-                        gather_one(&mut cost, cache, &mut bytes, &mut gathered, lane, k, dest);
-                        dest += w;
-                    }
-                    cost.instructions += l.reads.len() as u64 * INSTRS_PER_ELEMENT;
-                }
-            }
-        }
-        (ChunkLayout::Staged { .. }, _) => unreachable!("assemble never builds staged layouts"),
     }
 
     // Address-buffer traffic: raw streams are written by the GPU's
@@ -245,7 +466,7 @@ pub fn assemble(
 
     // Write-side geometry (no data movement here; values arrive in stage 4).
     let has_writes = lanes.iter().any(|l| !l.writes.is_empty());
-    let write_layout = has_writes.then(|| match layout_kind {
+    let write_layout = has_writes.then(|| match gcfg.layout {
         AssemblyLayout::Interleaved => pool.build_interleaved(lanes, |l| &l.writes),
         AssemblyLayout::PerLane => pool.build_per_lane(lanes, |l| &l.writes),
     });
@@ -253,11 +474,15 @@ pub fn assemble(
     AssemblyOutput {
         layout,
         write_layout,
-        bytes,
+        bytes: bytes_ref,
         cost,
-        gathered_bytes: gathered,
+        gathered_bytes: stats.gathered,
         padding_bytes: padding,
         locality_order_used: use_locality_order,
+        cache_blocked_warps,
+        simd_runs: stats.simd_runs,
+        scalar_runs: stats.scalar_runs,
+        run_bytes: stats.run_bytes,
     }
 }
 
@@ -268,6 +493,7 @@ mod tests {
     use crate::machine::Machine;
     use crate::pattern;
     use crate::stream::{StreamArray, StreamId};
+    use proptest::prelude::*;
 
     fn setup(data: &[u8]) -> (Machine, Vec<StreamArray>) {
         let mut m = Machine::test_platform();
@@ -292,28 +518,33 @@ mod tests {
         }
     }
 
+    fn cfg(layout: AssemblyLayout, locality: bool) -> GatherConfig {
+        GatherConfig::new(layout, locality)
+    }
+
     #[test]
     fn gather_places_bytes_at_slots() {
         let data: Vec<u8> = (0..=255).collect();
         let (m, streams) = setup(&data);
         let lanes = vec![raw_lane(vec![(10, 4), (200, 2)])];
         let mut cache = CacheSim::xeon_llc();
+        let mut pool = StreamPool::new();
         let out = assemble(
             &m.hmem,
             &streams,
             &lanes,
-            AssemblyLayout::Interleaved,
-            true,
+            cfg(AssemblyLayout::Interleaved, true),
             &mut cache,
-            &mut StreamPool::new(),
+            &mut pool,
         );
         let ChunkLayout::Interleaved { warps, .. } = &out.layout else {
             panic!()
         };
         let (p0, _) = warps[0].slot(0, 0);
         let (p1, _) = warps[0].slot(0, 1);
-        assert_eq!(&out.bytes[p0 as usize..p0 as usize + 4], &[10, 11, 12, 13]);
-        assert_eq!(&out.bytes[p1 as usize..p1 as usize + 2], &[200, 201]);
+        let bytes = pool.arena.bytes(&out.bytes);
+        assert_eq!(&bytes[p0 as usize..p0 as usize + 4], &[10, 11, 12, 13]);
+        assert_eq!(&bytes[p1 as usize..p1 as usize + 2], &[200, 201]);
         assert_eq!(out.gathered_bytes, 6);
         assert!(!out.locality_order_used, "raw streams use access order");
     }
@@ -335,30 +566,38 @@ mod tests {
             writes: AddrStream::Raw(Vec::new()),
         }];
         let mut cache = CacheSim::xeon_llc();
+        let mut pool = StreamPool::new();
         let out = assemble(
             &m.hmem,
             &streams,
             &lanes,
-            AssemblyLayout::Interleaved,
-            true,
+            cfg(AssemblyLayout::Interleaved, true),
             &mut cache,
-            &mut StreamPool::new(),
+            &mut pool,
         );
         assert!(out.locality_order_used);
         assert_eq!(out.gathered_bytes, 64 * 8);
+        // The 64 contiguous 8-byte reads merge into one 512-byte run,
+        // gathered via the vectorized path.
+        assert_eq!(out.simd_runs, 1);
+        assert_eq!(out.run_bytes.count(), 1);
         // locality off → access order even with patterns
         let mut cache2 = CacheSim::xeon_llc();
+        let mut pool2 = StreamPool::new();
         let out2 = assemble(
             &m.hmem,
             &streams,
             &lanes,
-            AssemblyLayout::Interleaved,
-            false,
+            cfg(AssemblyLayout::Interleaved, false),
             &mut cache2,
-            &mut StreamPool::new(),
+            &mut pool2,
         );
         assert!(!out2.locality_order_used);
-        assert_eq!(out.bytes, out2.bytes, "order must not change contents");
+        assert_eq!(
+            pool.arena.bytes(&out.bytes),
+            pool2.arena.bytes(&out2.bytes),
+            "order must not change contents"
+        );
     }
 
     #[test]
@@ -367,18 +606,19 @@ mod tests {
         let (m, streams) = setup(&data);
         let lanes = vec![raw_lane(vec![(0, 2), (100, 2)]), raw_lane(vec![(50, 4)])];
         let mut cache = CacheSim::xeon_llc();
+        let mut pool = StreamPool::new();
         let out = assemble(
             &m.hmem,
             &streams,
             &lanes,
-            AssemblyLayout::PerLane,
-            false,
+            cfg(AssemblyLayout::PerLane, false),
             &mut cache,
-            &mut StreamPool::new(),
+            &mut pool,
         );
-        assert_eq!(&out.bytes[0..2], &[0, 1]);
-        assert_eq!(&out.bytes[2..4], &[100, 101]);
-        assert_eq!(&out.bytes[4..8], &[50, 51, 52, 53]);
+        let bytes = pool.arena.bytes(&out.bytes);
+        assert_eq!(&bytes[0..2], &[0, 1]);
+        assert_eq!(&bytes[2..4], &[100, 101]);
+        assert_eq!(&bytes[4..8], &[50, 51, 52, 53]);
         assert_eq!(out.padding_bytes, 0);
     }
 
@@ -403,25 +643,29 @@ mod tests {
         }];
         let mut c1 = CacheSim::xeon_llc();
         let mut c2 = CacheSim::xeon_llc();
+        let mut p1 = StreamPool::new();
+        let mut p2 = StreamPool::new();
         let o_raw = assemble(
             &m.hmem,
             &streams,
             &raw,
-            AssemblyLayout::Interleaved,
-            true,
+            cfg(AssemblyLayout::Interleaved, true),
             &mut c1,
-            &mut StreamPool::new(),
+            &mut p1,
         );
         let o_pat = assemble(
             &m.hmem,
             &streams,
             &pat,
-            AssemblyLayout::Interleaved,
-            true,
+            cfg(AssemblyLayout::Interleaved, true),
             &mut c2,
-            &mut StreamPool::new(),
+            &mut p2,
         );
-        assert_eq!(o_raw.bytes, o_pat.bytes, "compression must not change data");
+        assert_eq!(
+            p1.arena.bytes(&o_raw.bytes),
+            p2.arena.bytes(&o_pat.bytes),
+            "compression must not change data"
+        );
         // Raw pays 2 * 8000 addr bytes of DRAM traffic that the pattern avoids.
         assert!(o_raw.cost.dram_bytes >= o_pat.cost.dram_bytes + 15_000);
     }
@@ -452,25 +696,25 @@ mod tests {
         // Tiny cache to make the order difference visible.
         let mut c_seq = CacheSim::new(4096, 64, 4);
         let mut c_acc = CacheSim::new(4096, 64, 4);
+        let mut p_seq = StreamPool::new();
+        let mut p_acc = StreamPool::new();
         let a = assemble(
             &m.hmem,
             &streams,
             &lanes_pat,
-            AssemblyLayout::Interleaved,
-            true,
+            cfg(AssemblyLayout::Interleaved, true),
             &mut c_seq,
-            &mut StreamPool::new(),
+            &mut p_seq,
         );
         let b = assemble(
             &m.hmem,
             &streams,
             &lanes_pat,
-            AssemblyLayout::Interleaved,
-            false,
+            cfg(AssemblyLayout::Interleaved, false),
             &mut c_acc,
-            &mut StreamPool::new(),
+            &mut p_acc,
         );
-        assert_eq!(a.bytes, b.bytes);
+        assert_eq!(p_seq.arena.bytes(&a.bytes), p_acc.arena.bytes(&b.bytes));
         // Locality order gathers each lane's region as sequential runs: one
         // cache probe per line and per-run instructions. Access order pays
         // a probe and decode per element. Both DRAM traffic and
@@ -500,14 +744,14 @@ mod tests {
             width: 4,
         }]);
         let mut cache = CacheSim::xeon_llc();
+        let mut pool = StreamPool::new();
         let out = assemble(
             &m.hmem,
             &streams,
             &[lane],
-            AssemblyLayout::Interleaved,
-            true,
+            cfg(AssemblyLayout::Interleaved, true),
             &mut cache,
-            &mut StreamPool::new(),
+            &mut pool,
         );
         assert!(out.write_layout.is_some());
         assert!(out.write_layout.unwrap().total_len() >= 4);
@@ -519,17 +763,176 @@ mod tests {
         let (m, streams) = setup(&data);
         let lanes = vec![LaneAddrs::empty(), LaneAddrs::empty()];
         let mut cache = CacheSim::xeon_llc();
+        let mut pool = StreamPool::new();
         let out = assemble(
             &m.hmem,
             &streams,
             &lanes,
-            AssemblyLayout::Interleaved,
-            true,
+            cfg(AssemblyLayout::Interleaved, true),
             &mut cache,
-            &mut StreamPool::new(),
+            &mut pool,
         );
         assert_eq!(out.bytes.len(), 0);
         assert_eq!(out.gathered_bytes, 0);
         assert!(out.write_layout.is_none());
+    }
+
+    #[test]
+    fn cache_blocked_order_is_bit_identical_and_recorded() {
+        // One warp of 32 lanes scanning 4 KiB each: footprint 128 KiB
+        // overflows a 4 KiB test cache, so Auto picks the blocked walk.
+        let span = 4096u64;
+        let data = vec![9u8; (32 * span) as usize];
+        let (m, streams) = setup(&data);
+        let mk = |lane: u64| -> Vec<AddrEntry> {
+            (0..span / 8)
+                .map(|i| AddrEntry {
+                    stream: StreamId(0),
+                    offset: lane * span + i * 8,
+                    width: 8,
+                })
+                .collect()
+        };
+        let lanes: Vec<LaneAddrs> = (0..32)
+            .map(|l| LaneAddrs {
+                reads: AddrStream::Pattern(pattern::detect(&mk(l), 8).unwrap()),
+                writes: AddrStream::Raw(Vec::new()),
+            })
+            .collect();
+        let run = |order: AssemblyOrder| {
+            let mut cache = CacheSim::new(4096, 64, 4);
+            let mut pool = StreamPool::new();
+            let out = assemble(
+                &m.hmem,
+                &streams,
+                &lanes,
+                GatherConfig {
+                    order,
+                    ..cfg(AssemblyLayout::Interleaved, true)
+                },
+                &mut cache,
+                &mut pool,
+            );
+            (
+                pool.arena.bytes(&out.bytes).to_vec(),
+                out.cache_blocked_warps,
+            )
+        };
+        let (nat, nat_blocked) = run(AssemblyOrder::Natural);
+        let (blk, blk_blocked) = run(AssemblyOrder::CacheBlocked);
+        let (auto, auto_blocked) = run(AssemblyOrder::Auto);
+        assert_eq!(nat, blk, "order must not change contents");
+        assert_eq!(nat, auto);
+        assert_eq!(nat_blocked, 0);
+        assert_eq!(blk_blocked, 1);
+        assert_eq!(auto_blocked, 1, "footprint overflows the LLC → blocked");
+    }
+
+    #[test]
+    fn simd_dispatch_honours_threshold_and_width() {
+        let data = vec![5u8; 1 << 16];
+        let (m, streams) = setup(&data);
+        // Lane 0: one long sequential run (SIMD); lane 1: strided 8-byte
+        // reads — each entry its own 8-byte run, below the threshold.
+        let long: Vec<AddrEntry> = (0..128)
+            .map(|i| AddrEntry {
+                stream: StreamId(0),
+                offset: i * 8,
+                width: 8,
+            })
+            .collect();
+        let strided: Vec<AddrEntry> = (0..128)
+            .map(|i| AddrEntry {
+                stream: StreamId(0),
+                offset: 32768 + i * 64,
+                width: 8,
+            })
+            .collect();
+        let lanes = vec![
+            LaneAddrs {
+                reads: AddrStream::Pattern(pattern::detect(&long, 8).unwrap()),
+                writes: AddrStream::Raw(Vec::new()),
+            },
+            LaneAddrs {
+                reads: AddrStream::Pattern(pattern::detect(&strided, 8).unwrap()),
+                writes: AddrStream::Raw(Vec::new()),
+            },
+        ];
+        let mut cache = CacheSim::xeon_llc();
+        let mut pool = StreamPool::new();
+        let out = assemble(
+            &m.hmem,
+            &streams,
+            &lanes,
+            cfg(AssemblyLayout::Interleaved, true),
+            &mut cache,
+            &mut pool,
+        );
+        assert_eq!(out.simd_runs, 1, "one merged 1 KiB run");
+        assert_eq!(out.scalar_runs, 128, "short strided runs stay scalar");
+        assert_eq!(out.run_bytes.count(), 129);
+    }
+
+    proptest! {
+        /// SIMD gather ≡ scalar gather, and Natural ≡ CacheBlocked, for
+        /// arbitrary run geometries: unaligned starts, mixed widths across
+        /// lanes, zero-length streams, and source windows that overlap
+        /// between lanes. Costs must also agree across the SIMD dispatch
+        /// (it is invisible to the cost model); orders may differ in cost
+        /// but never in bytes.
+        #[test]
+        fn simd_and_blocked_gathers_match_scalar_natural(
+            geom in proptest::collection::vec(
+                (0u64..4096, prop_oneof![Just(1u32), Just(2u32), Just(4u32), Just(8u32)],
+                 0u64..12, 0usize..70),
+                0..40,
+            )
+        ) {
+            // Each lane: `count` entries of `width` bytes starting at
+            // `base`, spaced `width + gap` apart (gap 0 → one mergeable
+            // run; gap > 0 → per-entry runs).
+            let data: Vec<u8> = (0..16384u32).map(|i| (i * 7 + 13) as u8).collect();
+            let (m, streams) = setup(&data);
+            let lanes: Vec<LaneAddrs> = geom
+                .iter()
+                .map(|&(base, width, gap, count)| {
+                    let entries: Vec<AddrEntry> = (0..count as u64)
+                        .map(|j| AddrEntry {
+                            stream: StreamId(0),
+                            offset: base + j * (width as u64 + gap),
+                            width,
+                        })
+                        .collect();
+                    let reads = match pattern::detect(&entries, pattern::MAX_PERIOD) {
+                        Some(p) => AddrStream::Pattern(p),
+                        None => AddrStream::Raw(entries),
+                    };
+                    LaneAddrs { reads, writes: AddrStream::Raw(Vec::new()) }
+                })
+                .collect();
+            let run = |simd: bool, order: AssemblyOrder| {
+                let mut cache = CacheSim::new(4096, 64, 4);
+                let mut pool = StreamPool::new();
+                let out = assemble(
+                    &m.hmem,
+                    &streams,
+                    &lanes,
+                    GatherConfig { layout: AssemblyLayout::Interleaved, locality: true, order, simd },
+                    &mut cache,
+                    &mut pool,
+                );
+                let gathered = out.gathered_bytes;
+                let cost = (out.cost.instructions, out.cost.dram_bytes,
+                            out.cost.cache_hits, out.cost.cache_misses);
+                (pool.arena.bytes(&out.bytes).to_vec(), gathered, cost)
+            };
+            let (scalar, g0, c0) = run(false, AssemblyOrder::Natural);
+            let (simd, g1, c1) = run(true, AssemblyOrder::Natural);
+            let (blocked, g2, _) = run(true, AssemblyOrder::CacheBlocked);
+            prop_assert_eq!(&scalar, &simd, "SIMD dispatch changed bytes");
+            prop_assert_eq!(&scalar, &blocked, "blocked order changed bytes");
+            prop_assert_eq!((g0, c0), (g1, c1), "SIMD dispatch changed cost");
+            prop_assert_eq!(g0, g2);
+        }
     }
 }

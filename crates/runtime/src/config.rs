@@ -15,6 +15,25 @@ pub enum AssemblyLayout {
     PerLane,
 }
 
+/// Order the assembly stage visits gather elements in (paper §IV.B).
+///
+/// Destination slots are fixed by the [`AssemblyLayout`], so every order
+/// produces bit-identical prefetch buffers; what changes is the *source*
+/// access sequence seen by the simulated LLC and therefore the assembly
+/// stage's cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AssemblyOrder {
+    /// Pick per chunk: cache-block a warp's gather only when its source
+    /// footprint overflows the simulated LLC, otherwise walk naturally.
+    Auto,
+    /// Per-GPU-thread order exactly as the locality optimization emits it.
+    Natural,
+    /// Tile the per-warp gather so each tile's source range fits the LLC
+    /// before moving on (the §IV.B blocking the paper sketches for inputs
+    /// whose per-warp working set exceeds the cache).
+    CacheBlocked,
+}
+
 /// Synchronization scheme between pipeline stages (paper §IV.C).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SyncMode {
@@ -53,6 +72,14 @@ pub struct BigKernelConfig {
     pub locality_assembly: bool,
     /// Chunk-buffer layout (Interleaved = coalescing optimization on).
     pub layout: AssemblyLayout,
+    /// Gather element order for the assembly stage (see [`AssemblyOrder`]).
+    /// Purely a cost/throughput knob: buffers are bit-identical across
+    /// orders.
+    pub assembly_order: AssemblyOrder,
+    /// Vectorized gather fast path: copy long contiguous runs with unrolled
+    /// word-wide moves instead of per-element loads. Bit-identical to the
+    /// scalar path (property-tested); purely a simulator-throughput knob.
+    pub simd_gather: bool,
     /// Transfer *all* input data verbatim instead of only addressed bytes —
     /// the Fig. 5 "overlap only" variant (address generation and gather are
     /// skipped; the pipeline overlap is the only remaining benefit).
@@ -96,6 +123,8 @@ impl Default for BigKernelConfig {
             segmented_patterns: true,
             locality_assembly: true,
             layout: AssemblyLayout::Interleaved,
+            assembly_order: AssemblyOrder::Auto,
+            simd_gather: true,
             transfer_all: false,
             sync: SyncMode::IterationBarrier,
             verify_reads: true,
@@ -167,6 +196,8 @@ mod tests {
         assert_eq!(c.buffer_depth, 3);
         assert!(c.pattern_recognition);
         assert_eq!(c.layout, AssemblyLayout::Interleaved);
+        assert_eq!(c.assembly_order, AssemblyOrder::Auto);
+        assert!(c.simd_gather);
         assert!(!c.transfer_all);
     }
 

@@ -219,9 +219,17 @@ impl<'a> AddrGenCtx<'a> {
 
 #[inline]
 fn le_load(bytes: &[u8]) -> u64 {
-    let mut buf = [0u8; 8];
-    buf[..bytes.len()].copy_from_slice(bytes);
-    u64::from_le_bytes(buf)
+    // Full-word and u32 loads dominate compute-phase traffic; give them
+    // branch-predictable direct conversions instead of the zero-fill copy.
+    match bytes.len() {
+        8 => u64::from_le_bytes(bytes.try_into().unwrap()),
+        4 => u32::from_le_bytes(bytes.try_into().unwrap()) as u64,
+        n => {
+            let mut buf = [0u8; 8];
+            buf[..n].copy_from_slice(bytes);
+            u64::from_le_bytes(buf)
+        }
+    }
 }
 
 #[inline]
@@ -759,6 +767,10 @@ impl<M: DevMemory> KernelCtx for ComputeCtx<'_, M> {
         self.trace.record_shared(addr, width);
     }
 
+    fn shared_at_strided(&mut self, base: u32, stride: u32, n: u32, width: u32) {
+        self.trace.record_shared_strided(base, stride, n, width);
+    }
+
     fn thread_id(&self) -> u32 {
         self.thread_id
     }
@@ -796,7 +808,7 @@ mod tests {
         assert_eq!(reads, vec![entry(0, 8), entry(8, 8)]);
         assert_eq!(writes, vec![entry(16, 4)]);
         assert_eq!(trace.instructions, 2 * 3 + 3);
-        assert!(trace.accesses.is_empty()); // emits are not memory accesses
+        assert_eq!(trace.access_count(), 0); // emits are not memory accesses
     }
 
     #[test]
@@ -807,8 +819,8 @@ mod tests {
         let mut trace = ThreadTrace::default();
         let mut ctx = AddrGenCtx::new(&m.gmem, &mut trace);
         assert_eq!(ctx.dev_read_u64(b, 8), 0xABCD);
-        assert_eq!(trace.accesses.len(), 1);
-        assert_eq!(trace.accesses[0].kind, AccessKind::Read);
+        assert_eq!(trace.access_count(), 1);
+        assert!(!trace.classed[AccessClass::Dev.index()][0].2); // plain read
     }
 
     fn interleaved_single_lane_setup(
@@ -856,7 +868,7 @@ mod tests {
         assert_eq!(ctx.stream_read(StreamId(0), 108, 8), 22);
         assert_eq!(ctx.stream_read(StreamId(0), 200, 8), 33);
         assert_eq!(ctx.stream_bytes_read, 24);
-        assert_eq!(trace.accesses.len(), 3);
+        assert_eq!(trace.access_count(), 3);
     }
 
     #[test]
@@ -913,11 +925,11 @@ mod tests {
         ctx.alu(4);
         ctx.shared(2);
         drop(ctx);
-        let atomics = trace
-            .accesses
+        let atomics: usize = trace
+            .classed
             .iter()
-            .filter(|a| a.kind == AccessKind::Atomic)
-            .count();
+            .map(|c| c.iter().filter(|a| a.2).count())
+            .sum();
         assert_eq!(atomics, 2);
         assert_eq!(m.gmem.read_u32(table, 8), 3);
         assert_eq!(m.gmem.read_u64(table, 16), 9);

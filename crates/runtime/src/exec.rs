@@ -15,7 +15,7 @@
 //! decision, so outputs are identical for any device count.
 
 use crate::addr::LaneAddrs;
-use crate::assembly::{assemble, AssemblyOutput};
+use crate::assembly::{assemble, AssemblyOutput, GatherConfig};
 use crate::config::BigKernelConfig;
 use crate::ctx::{AddrGenCtx, ComputeCtx, LoggedMem};
 use crate::kernel::{LaunchConfig, StreamKernel};
@@ -24,7 +24,7 @@ use crate::machine::Machine;
 use crate::pool::{AddrGenScratch, Compression};
 use crate::stream::StreamArray;
 use bk_gpu::{BlockLog, BlockSim, KernelCost, ReplayOutcome, WARP_SIZE};
-use bk_host::{CacheSim, CpuCost, DmaDirection};
+use bk_host::{ArenaRef, CacheSim, CpuCost, DmaDirection, PinnedArena};
 use bk_obs::MetricsRegistry;
 use bk_simcore::SimTime;
 use rayon::prelude::*;
@@ -38,6 +38,8 @@ pub(crate) struct BlockSlot {
     pub(crate) sim: BlockSim,
     pub(crate) llc: CacheSim,
     pub(crate) scratch: AddrGenScratch,
+    /// Reusable write-log backing storage (maps, op and mirror buffers).
+    pub(crate) log: bk_gpu::LogScratch,
 }
 
 impl BlockSlot {
@@ -46,14 +48,18 @@ impl BlockSlot {
             sim: BlockSim::new(),
             llc: CacheSim::xeon_llc(),
             scratch: AddrGenScratch::new(),
+            log: bk_gpu::LogScratch::default(),
         }
     }
 
     /// Return a finished chunk's pure-phase vectors to this slot's pool so
-    /// the next chunk allocates nothing.
+    /// the next chunk allocates nothing. Resetting the arena recycles the
+    /// chunk's pinned prefetch window (and invalidates its `ArenaRef`s, so
+    /// any stale read past this point panics instead of aliasing).
     fn recycle(&mut self, pure: BlockPure) {
         self.scratch.pool.give_lanes(pure.lane_addrs);
         self.scratch.pool.give_output(pure.out);
+        self.scratch.pool.arena.reset();
     }
 }
 
@@ -79,7 +85,7 @@ pub(crate) struct BlockPure {
 /// Pure per-block output of the overlap-only staging copy.
 pub(crate) struct StagedPure {
     layout: ChunkLayout,
-    bytes: Vec<u8>,
+    bytes: ArenaRef,
 }
 
 /// Per-block output of the compute stage.
@@ -186,7 +192,12 @@ fn block_pure_bigkernel(
 ) -> BlockPure {
     let mut ag_cost = KernelCost::new();
     let mut counts = AddrCounts::default();
-    let BlockSlot { sim, llc, scratch } = slot;
+    let BlockSlot {
+        sim,
+        llc,
+        scratch,
+        log: _,
+    } = slot;
     let mut lane_addrs: Vec<LaneAddrs> = scratch.pool.take_lanes();
     {
         let gmem = &machine.gmem;
@@ -213,8 +224,7 @@ fn block_pure_bigkernel(
         &machine.hmem,
         streams,
         &lane_addrs,
-        cfg.layout,
-        cfg.locality_assembly,
+        GatherConfig::from_config(cfg),
         llc,
         &mut scratch.pool,
     );
@@ -246,6 +256,10 @@ fn fold_pure(pure: &BlockPure, costs: &mut ChunkCosts, metrics: &mut MetricsRegi
     if pure.out.locality_order_used {
         metrics.incr("assembly.locality_order_chunks");
     }
+    metrics.add("assembly.simd_runs", pure.out.simd_runs);
+    metrics.add("assembly.scalar_runs", pure.out.scalar_runs);
+    metrics.add("assembly.cache_blocked_warps", pure.out.cache_blocked_warps);
+    metrics.merge_hist("hist.assembly.run_bytes", &pure.out.run_bytes);
     metrics.add("stream.bytes_read_unique", pure.out.gathered_bytes);
 }
 
@@ -254,20 +268,22 @@ fn fold_pure(pure: &BlockPure, costs: &mut ChunkCosts, metrics: &mut MetricsRegi
 fn stage_transfer(
     machine: &mut Machine,
     pure: &BlockPure,
+    arena: &PinnedArena,
     costs: &mut ChunkCosts,
     metrics: &mut MetricsRegistry,
 ) -> (bk_gpu::BufferId, Option<bk_gpu::BufferId>) {
+    let bytes = arena.bytes(&pure.out.bytes);
     let buf_len = pure.out.layout.total_len().max(1);
     let data_buf = machine.gmem.alloc(buf_len);
-    machine.gmem.dma_in(data_buf, 0, &pure.out.bytes);
+    machine.gmem.dma_in(data_buf, 0, bytes);
     costs.xfer += machine
         .link
-        .dma_time_with_flag(DmaDirection::HostToDevice, pure.out.bytes.len() as u64);
+        .dma_time_with_flag(DmaDirection::HostToDevice, bytes.len() as u64);
     costs.h2d_flags += 1;
-    if !pure.out.bytes.is_empty() {
+    if !bytes.is_empty() {
         costs.h2d_lats += 1;
     }
-    metrics.add("pcie.h2d_bytes", pure.out.bytes.len() as u64);
+    metrics.add("pcie.h2d_bytes", bytes.len() as u64);
     let write_buf = pure
         .out
         .write_layout
@@ -328,14 +344,17 @@ fn compute_assembled_logged(
     launch: LaunchConfig,
     verify: bool,
     sim: &mut BlockSim,
+    log_scratch: &mut bk_gpu::LogScratch,
 ) -> BlockComputed {
     let mut comp_cost = KernelCost::new();
-    let mut log = BlockLog::new(&machine.gmem);
+    let mut log = BlockLog::with_scratch(&machine.gmem, log_scratch);
     // The write buffer is block-private: mirror it so writes commit
     // wholesale on replay. The data buffer is also block-private but only
     // read, so snapshot reads need no mirror.
     if let Some(wb) = write_buf {
-        log.register_private(wb);
+        // Freshly allocated by the transfer stage and untouched since, so
+        // the mirror can skip the snapshot read.
+        log.register_private_zeroed(wb);
     }
     let mut writes_performed: Vec<usize> = vec![0; tpb as usize];
     let mut bytes_read = 0u64;
@@ -376,7 +395,7 @@ fn compute_assembled_logged(
         bytes_written,
         writes_performed,
         any_writes: false,
-        effects: Some(log.finish()),
+        effects: Some(log.finish_into(log_scratch)),
     }
 }
 
@@ -475,11 +494,19 @@ pub(crate) fn run_chunk_assembled_logged(
     // Phase B (ordered): fold pure results; allocate + DMA in block order so
     // device addresses are schedule-independent.
     for cell in cells.iter_mut() {
-        let pure = cell.pure.as_ref().unwrap();
+        let WaveCell {
+            slot,
+            pure,
+            data_buf,
+            write_buf,
+            ..
+        } = cell;
+        let pure = pure.as_ref().unwrap();
         fold_pure(pure, costs, metrics);
-        let (data_buf, write_buf) = stage_transfer(machine, pure, costs, metrics);
-        cell.data_buf = Some(data_buf);
-        cell.write_buf = write_buf;
+        let arena = &slot.scratch.pool.arena;
+        let (db, wb) = stage_transfer(machine, pure, arena, costs, metrics);
+        *data_buf = Some(db);
+        *write_buf = wb;
     }
 
     // Phase C (pure, concurrent): kernel body against each block's write
@@ -511,6 +538,7 @@ pub(crate) fn run_chunk_assembled_logged(
                 launch,
                 verify,
                 &mut slot.sim,
+                &mut slot.log,
             ));
         });
     }
@@ -530,7 +558,9 @@ pub(crate) fn run_chunk_assembled_logged(
         } = cell;
         let p = pure.as_ref().unwrap();
         let effects = computed.as_mut().unwrap().effects.take().unwrap();
-        if effects.replay(&mut machine.gmem) == ReplayOutcome::Conflict {
+        let outcome = effects.replay(&mut machine.gmem);
+        effects.reclaim(&mut slot.log);
+        if outcome == ReplayOutcome::Conflict {
             metrics.incr("parallel.replay_conflicts");
             *computed = Some(compute_assembled_live(
                 machine,
@@ -588,7 +618,8 @@ pub(crate) fn run_block_sequential(
 ) {
     let pure = block_pure_bigkernel(machine, kernel, streams, slices, tpb, cfg, slot);
     fold_pure(&pure, costs, metrics);
-    let (data_buf, write_buf) = stage_transfer(machine, &pure, costs, metrics);
+    let (data_buf, write_buf) =
+        stage_transfer(machine, &pure, &slot.scratch.pool.arena, costs, metrics);
     let computed = compute_assembled_live(
         machine,
         kernel,
@@ -648,12 +679,17 @@ fn apply_writeback(
                 }
                 ChunkLayout::Staged { .. } => unreachable!(),
             };
-            let val = machine.gmem.dma_out(write_buf, pos, e.width as usize);
+            let Machine {
+                ref gmem,
+                ref mut hmem,
+                ..
+            } = *machine;
+            let val = gmem.read(write_buf, pos, e.width as usize);
             let arr = &streams[e.stream.0 as usize];
-            machine.hmem.write(arr.region, e.offset, &val);
+            hmem.write(arr.region, e.offset, val);
             // Cost: sequential read of the landed write buffer + scattered
             // store into the mapped array.
-            let (h, m) = llc.access_range(machine.hmem.vaddr(arr.region, e.offset), e.width as u64);
+            let (h, m) = llc.access_range(hmem.vaddr(arr.region, e.offset), e.width as u64);
             wb_cost.cache_hits += h;
             wb_cost.cache_misses += m;
             wb_cost.dram_bytes += m * llc.line_bytes() + e.width as u64;
@@ -669,12 +705,14 @@ fn block_pure_staged(
     kernel: &dyn StreamKernel,
     streams: &[StreamArray],
     slices: &[Range<u64>],
+    arena: &mut PinnedArena,
 ) -> StagedPure {
     let primary = &streams[0];
     let halo = kernel.halo_bytes();
     let layout = ChunkLayout::build_staged_slices(slices, halo, primary.len());
-    let mut bytes = vec![0u8; layout.total_len() as usize];
+    let bytes_ref = arena.alloc_zeroed(layout.total_len() as usize);
     if let ChunkLayout::Staged { segs, .. } = &layout {
+        let bytes = arena.bytes_mut(&bytes_ref);
         for (base, range) in segs {
             let src = machine.hmem.read(
                 primary.region,
@@ -684,7 +722,10 @@ fn block_pure_staged(
             bytes[*base as usize..*base as usize + src.len()].copy_from_slice(src);
         }
     }
-    StagedPure { layout, bytes }
+    StagedPure {
+        layout,
+        bytes: bytes_ref,
+    }
 }
 
 /// Ordered phase, stage 3 of the overlap-only variant: "assembly" is the
@@ -693,6 +734,7 @@ fn block_pure_staged(
 fn stage_transfer_staged(
     machine: &mut Machine,
     staged: &StagedPure,
+    arena: &PinnedArena,
     costs: &mut ChunkCosts,
     metrics: &mut MetricsRegistry,
 ) -> bk_gpu::BufferId {
@@ -700,7 +742,7 @@ fn stage_transfer_staged(
         .asm
         .merge(&CpuCost::streaming(staged.layout.total_len(), 2, 1));
     let data_buf = machine.gmem.alloc(staged.layout.total_len().max(1));
-    machine.gmem.dma_in(data_buf, 0, &staged.bytes);
+    machine.gmem.dma_in(data_buf, 0, arena.bytes(&staged.bytes));
     costs.xfer += machine
         .link
         .dma_time_with_flag(DmaDirection::HostToDevice, staged.layout.total_len());
@@ -725,9 +767,10 @@ fn compute_staged_logged(
     tpb: u32,
     launch: LaunchConfig,
     sim: &mut BlockSim,
+    log_scratch: &mut bk_gpu::LogScratch,
 ) -> BlockComputed {
     let mut comp_cost = KernelCost::new();
-    let mut log = BlockLog::new(&machine.gmem);
+    let mut log = BlockLog::with_scratch(&machine.gmem, log_scratch);
     log.register_private(data_buf);
     let mut bytes_read = 0u64;
     let mut bytes_written = 0u64;
@@ -761,7 +804,7 @@ fn compute_staged_logged(
         bytes_written,
         writes_performed: Vec::new(),
         any_writes,
-        effects: Some(log.finish()),
+        effects: Some(log.finish_into(log_scratch)),
     }
 }
 
@@ -870,19 +913,43 @@ pub(crate) fn run_chunk_staged_logged(
     costs: &mut ChunkCosts,
     metrics: &mut MetricsRegistry,
 ) {
-    // Phase A (pure, concurrent): staging layout + host-side gather.
+    // Phase A (pure, concurrent): staging layout + host-side gather into the
+    // slot's pinned arena.
     {
         let shared: &Machine = machine;
         for_each_cell(parallel, cells, |cell| {
-            let WaveCell { slices, staged, .. } = cell;
-            *staged = Some(block_pure_staged(shared, kernel, streams, slices));
+            let WaveCell {
+                slices,
+                slot,
+                staged,
+                ..
+            } = cell;
+            *staged = Some(block_pure_staged(
+                shared,
+                kernel,
+                streams,
+                slices,
+                &mut slot.scratch.pool.arena,
+            ));
         });
     }
 
     // Phase B (ordered): staging-copy cost + alloc + DMA in block order.
     for cell in cells.iter_mut() {
-        let staged = cell.staged.as_ref().unwrap();
-        cell.data_buf = Some(stage_transfer_staged(machine, staged, costs, metrics));
+        let WaveCell {
+            slot,
+            staged,
+            data_buf,
+            ..
+        } = cell;
+        let staged = staged.as_ref().unwrap();
+        *data_buf = Some(stage_transfer_staged(
+            machine,
+            staged,
+            &slot.scratch.pool.arena,
+            costs,
+            metrics,
+        ));
     }
 
     // Phase C (pure, concurrent): kernel body against per-block logs.
@@ -909,6 +976,7 @@ pub(crate) fn run_chunk_staged_logged(
                 tpb,
                 launch,
                 &mut slot.sim,
+                &mut slot.log,
             ));
         });
     }
@@ -924,15 +992,17 @@ pub(crate) fn run_chunk_staged_logged(
             computed,
             ..
         } = cell;
-        let staged = staged.as_ref().unwrap();
+        let st = staged.as_ref().unwrap();
         let effects = computed.as_mut().unwrap().effects.take().unwrap();
-        if effects.replay(&mut machine.gmem) == ReplayOutcome::Conflict {
+        let outcome = effects.replay(&mut machine.gmem);
+        effects.reclaim(&mut slot.log);
+        if outcome == ReplayOutcome::Conflict {
             metrics.incr("parallel.replay_conflicts");
             *computed = Some(compute_staged_live(
                 machine,
                 kernel,
                 slices,
-                &staged.layout,
+                &st.layout,
                 data_buf.unwrap(),
                 *block,
                 tpb,
@@ -945,7 +1015,7 @@ pub(crate) fn run_chunk_staged_logged(
         writeback_staged(
             machine,
             streams,
-            &staged.layout,
+            &st.layout,
             data_buf.unwrap(),
             slices,
             done.any_writes,
@@ -953,6 +1023,9 @@ pub(crate) fn run_chunk_staged_logged(
             metrics,
         );
         machine.gmem.free(data_buf.unwrap());
+        // Chunk retired: drop the staged window and recycle the arena.
+        *staged = None;
+        slot.scratch.pool.arena.reset();
     }
 }
 
@@ -970,8 +1043,15 @@ pub(crate) fn run_block_sequential_staged(
     costs: &mut ChunkCosts,
     metrics: &mut MetricsRegistry,
 ) {
-    let staged = block_pure_staged(machine, kernel, streams, slices);
-    let data_buf = stage_transfer_staged(machine, &staged, costs, metrics);
+    let staged = block_pure_staged(
+        machine,
+        kernel,
+        streams,
+        slices,
+        &mut slot.scratch.pool.arena,
+    );
+    let data_buf =
+        stage_transfer_staged(machine, &staged, &slot.scratch.pool.arena, costs, metrics);
     let computed = compute_staged_live(
         machine,
         kernel,
@@ -995,4 +1075,5 @@ pub(crate) fn run_block_sequential_staged(
         metrics,
     );
     machine.gmem.free(data_buf);
+    slot.scratch.pool.arena.reset();
 }

@@ -51,6 +51,15 @@ pub trait KernelCtx {
     fn shared_at(&mut self, _addr: u32, _width: u32) {
         self.shared(1);
     }
+    /// Account `n` addressed shared-memory accesses at `base`,
+    /// `base + stride`, ... — exactly equivalent to `n`
+    /// [`KernelCtx::shared_at`] calls, but one dynamic dispatch for the
+    /// common staged-table scan loop.
+    fn shared_at_strided(&mut self, base: u32, stride: u32, n: u32, width: u32) {
+        for i in 0..n {
+            self.shared_at(base + i * stride, width);
+        }
+    }
     /// Global id of this (compute) thread.
     fn thread_id(&self) -> u32;
     /// Total number of (compute) threads in the launch.

@@ -66,9 +66,10 @@ pub mod segmented;
 pub mod stream;
 pub mod sync;
 
+pub use assembly::GatherConfig;
 pub use autotune::{AutotuneConfig, Autotuner, TunePlan, TunerState, WindowFeedback};
 pub use bk_obs::{Histogram, MetricsRegistry};
-pub use config::{AssemblyLayout, BigKernelConfig, SyncMode};
+pub use config::{AssemblyLayout, AssemblyOrder, BigKernelConfig, SyncMode};
 pub use ctx::{AddrGenCtx, ComputeCtx, DevMemory, LiveMem, LoggedMem};
 pub use fault::{DeviceFailure, FaultPlan, FaultSite, FaultStage};
 pub use graph::{Executor, GraphSpec, ResourceId, ResourceKind, ShardPolicy};

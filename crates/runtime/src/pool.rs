@@ -26,10 +26,13 @@ use crate::pattern::{Pattern, MAX_PERIOD};
 use crate::segmented::detect_segmented;
 use crate::stream::StreamId;
 use bk_gpu::WARP_SIZE;
+use bk_host::PinnedArena;
 
 /// Typed freelists for every vector shape the addr-gen → assembly path
-/// allocates. Each `take_*` returns a cleared vector with its previous
-/// capacity; each `give_*` clears and shelves one for reuse.
+/// allocates, plus the pinned arena the prefetch and staged byte buffers
+/// are bump-allocated from. Each `take_*` returns a cleared vector with its
+/// previous capacity; each `give_*` clears and shelves one for reuse; the
+/// arena is wholesale-reset when the block slot recycles its chunk.
 pub struct StreamPool {
     entries: Vec<Vec<AddrEntry>>,
     stream_ids: Vec<Vec<StreamId>>,
@@ -37,8 +40,10 @@ pub struct StreamPool {
     i64s: Vec<Vec<i64>>,
     u32s: Vec<Vec<u32>>,
     lanes: Vec<Vec<LaneAddrs>>,
-    bytes: Vec<Vec<u8>>,
     warps: Vec<Vec<WarpRegion>>,
+    /// Pinned-buffer arena backing `AssemblyOutput::bytes` (and the staged
+    /// path's chunk image). Reset per chunk by the block slot.
+    pub arena: PinnedArena,
 }
 
 impl StreamPool {
@@ -51,8 +56,8 @@ impl StreamPool {
             i64s: Vec::new(),
             u32s: Vec::new(),
             lanes: Vec::new(),
-            bytes: Vec::new(),
             warps: Vec::new(),
+            arena: PinnedArena::new(),
         }
     }
 
@@ -88,11 +93,6 @@ impl StreamPool {
     /// Take a cleared per-lane stream vector from the pool.
     pub fn take_lanes(&mut self) -> Vec<LaneAddrs> {
         self.lanes.pop().unwrap_or_default()
-    }
-
-    /// Take a cleared byte buffer from the pool.
-    pub fn take_bytes(&mut self) -> Vec<u8> {
-        self.bytes.pop().unwrap_or_default()
     }
 
     /// Build an owned [`Pattern`] from the online detector's borrowed cycle
@@ -184,16 +184,15 @@ impl StreamPool {
         }
     }
 
-    /// Recycle everything an [`AssemblyOutput`] owns.
+    /// Recycle everything an [`AssemblyOutput`] owns. The prefetch bytes
+    /// themselves are an arena window, reclaimed by the arena reset when
+    /// the block slot recycles — only the layout vectors return here.
     pub fn give_output(&mut self, out: AssemblyOutput) {
         let AssemblyOutput {
             layout,
             write_layout,
-            mut bytes,
             ..
         } = out;
-        bytes.clear();
-        self.bytes.push(bytes);
         self.give_layout(layout);
         if let Some(wl) = write_layout {
             self.give_layout(wl);
