@@ -30,6 +30,10 @@ pub struct ExpArgs {
     /// Adaptive occupancy autotuning (`--autotune on|off`); `None` keeps
     /// the config default (off).
     pub autotune: Option<bool>,
+    /// Autotuner reuse-edge ranking signal (`--autotune-rank
+    /// stall|critpath`); `None` keeps the controller default (raw stall
+    /// fractions). Only meaningful when the autotuner is enabled.
+    pub autotune_rank: Option<bk_runtime::RankBy>,
     /// Assembly gather ordering (`--assembly-order natural|cache-blocked|auto`);
     /// `None` keeps the config default (auto).
     pub assembly_order: Option<bk_runtime::AssemblyOrder>,
@@ -51,6 +55,7 @@ impl Default for ExpArgs {
             reuse_depth: None,
             buffers: None,
             autotune: None,
+            autotune_rank: None,
             assembly_order: None,
             simd: None,
         }
@@ -61,6 +66,7 @@ impl ExpArgs {
     /// Parse `--bytes N`, `--mib N`, `--seed S`, `--app SUBSTR`,
     /// `--threads N`, `--machine NAME`, `--gpus N`, `--faults SPEC`,
     /// `--reuse-depth N`, `--buffers N`, `--autotune on|off`,
+    /// `--autotune-rank stall|critpath`,
     /// `--assembly-order natural|cache-blocked|auto`, `--simd on|off` from
     /// an iterator of arguments (pass `std::env::args().skip(1)`).
     pub fn parse<I: Iterator<Item = String>>(mut args: I) -> Result<Self, String> {
@@ -142,6 +148,17 @@ impl ExpArgs {
                         other => return Err(format!("--autotune: expected on|off, got {other:?}")),
                     };
                 }
+                "--autotune-rank" => {
+                    out.autotune_rank = match value("--autotune-rank")?.as_str() {
+                        "stall" => Some(bk_runtime::RankBy::StallFraction),
+                        "critpath" => Some(bk_runtime::RankBy::CritBlame),
+                        other => {
+                            return Err(format!(
+                                "--autotune-rank: expected stall|critpath, got {other:?}"
+                            ))
+                        }
+                    };
+                }
                 "--assembly-order" => {
                     out.assembly_order = match value("--assembly-order")?.as_str() {
                         "natural" => Some(bk_runtime::AssemblyOrder::Natural),
@@ -166,6 +183,7 @@ impl ExpArgs {
                         "usage: [--bytes N | --mib N] [--seed S] [--app SUBSTR] [--threads N] \
                          [--machine gtx680|tesla-like|test-tiny] [--gpus N] [--faults SPEC] \
                          [--reuse-depth N] [--buffers N] [--autotune on|off] \
+                         [--autotune-rank stall|critpath] \
                          [--assembly-order natural|cache-blocked|auto] [--simd on|off]\n\
                          fault SPEC: comma-separated seed=N,rate=F,retries=N,backoff_us=F,\
                          fail=STAGE@CHUNK[xN],kill=DEV@WAVE"
@@ -254,6 +272,13 @@ impl ExpArgs {
         if let Some(on) = self.autotune {
             cfg.bigkernel.autotune = on.then(bk_runtime::AutotuneConfig::default);
         }
+        // The ranking signal rides on an enabled tuner (from `--autotune on`
+        // or a config that defaults it on); on its own it is a no-op.
+        if let Some(rank) = self.autotune_rank {
+            if let Some(tune) = &mut cfg.bigkernel.autotune {
+                tune.rank_by = rank;
+            }
+        }
         // Assembly knobs change wall-clock behaviour only — simulated
         // results stay bit-identical — so they too apply to the bigkernel
         // pipeline alone (the baselines have no gather stage).
@@ -270,6 +295,88 @@ impl ExpArgs {
     pub fn apply(&self, cfg: &mut bk_apps::HarnessConfig) {
         self.apply_threads(cfg);
         self.apply_platform(cfg);
+    }
+
+    /// Every non-default flag in command-line spelling, space-separated
+    /// (empty when the run used all defaults). This is the `flags` field of
+    /// the provenance block every BENCH_*.json carries, so a committed
+    /// baseline records how it was produced. A `--faults` spec is noted by
+    /// presence only (plans have no canonical flag spelling).
+    pub fn flags_string(&self) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        let defaults = ExpArgs::default();
+        if self.bytes != defaults.bytes {
+            parts.push(format!("--bytes {}", self.bytes));
+        }
+        if self.seed != defaults.seed {
+            parts.push(format!("--seed {}", self.seed));
+        }
+        if let Some(f) = &self.filter {
+            parts.push(format!("--app {f}"));
+        }
+        if let Some(t) = self.threads {
+            parts.push(format!("--threads {t}"));
+        }
+        if let Some(m) = &self.machine {
+            parts.push(format!("--machine {m}"));
+        }
+        if let Some(g) = self.gpus {
+            parts.push(format!("--gpus {g}"));
+        }
+        if self.faults.is_some() {
+            parts.push("--faults <spec>".to_string());
+        }
+        if let Some(d) = self.reuse_depth {
+            parts.push(format!("--reuse-depth {d}"));
+        }
+        if let Some(b) = self.buffers {
+            parts.push(format!("--buffers {b}"));
+        }
+        if let Some(on) = self.autotune {
+            parts.push(format!("--autotune {}", if on { "on" } else { "off" }));
+        }
+        if let Some(rank) = self.autotune_rank {
+            parts.push(format!(
+                "--autotune-rank {}",
+                match rank {
+                    bk_runtime::RankBy::StallFraction => "stall",
+                    bk_runtime::RankBy::CritBlame => "critpath",
+                }
+            ));
+        }
+        if let Some(order) = self.assembly_order {
+            parts.push(format!(
+                "--assembly-order {}",
+                match order {
+                    bk_runtime::AssemblyOrder::Natural => "natural",
+                    bk_runtime::AssemblyOrder::CacheBlocked => "cache-blocked",
+                    bk_runtime::AssemblyOrder::Auto => "auto",
+                }
+            ));
+        }
+        if let Some(on) = self.simd {
+            parts.push(format!("--simd {}", if on { "on" } else { "off" }));
+        }
+        parts.join(" ")
+    }
+
+    /// The shared `provenance` JSON object (one line, no trailing comma):
+    /// which binary produced the file, from which crate version, with which
+    /// seed, flags and app set. Emitters embed it verbatim under a
+    /// `"provenance":` key.
+    pub fn provenance_json(&self, bench: &str, apps: &[&str]) -> String {
+        let list = apps
+            .iter()
+            .map(|a| format!("\"{a}\""))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{ \"bench\": \"{bench}\", \"crate_version\": \"{}\", \"seed\": {}, \
+             \"flags\": \"{}\", \"apps\": [{list}] }}",
+            env!("CARGO_PKG_VERSION"),
+            self.seed,
+            self.flags_string()
+        )
     }
 }
 
@@ -403,6 +510,64 @@ mod tests {
         assert!(cfg.bigkernel.autotune.is_none());
         assert!(parse(&["--autotune", "maybe"]).is_err());
         assert!(parse(&["--autotune"]).is_err());
+    }
+
+    #[test]
+    fn autotune_rank_flag() {
+        use bk_runtime::RankBy;
+        let a = parse(&["--autotune", "on", "--autotune-rank", "critpath"]).unwrap();
+        assert_eq!(a.autotune_rank, Some(RankBy::CritBlame));
+        let mut cfg = bk_apps::HarnessConfig::test_small();
+        a.apply_platform(&mut cfg);
+        assert_eq!(
+            cfg.bigkernel.autotune.as_ref().unwrap().rank_by,
+            RankBy::CritBlame
+        );
+        // Without an enabled tuner the ranking flag is a no-op.
+        let b = parse(&["--autotune-rank", "stall"]).unwrap();
+        assert_eq!(b.autotune_rank, Some(RankBy::StallFraction));
+        let mut cfg2 = bk_apps::HarnessConfig::test_small();
+        b.apply_platform(&mut cfg2);
+        assert!(cfg2.bigkernel.autotune.is_none());
+        assert!(parse(&["--autotune-rank", "vibes"]).is_err());
+        assert!(parse(&["--autotune-rank"]).is_err());
+    }
+
+    #[test]
+    fn flags_string_reconstructs_non_defaults() {
+        assert_eq!(parse(&[]).unwrap().flags_string(), "");
+        let a = parse(&[
+            "--mib",
+            "4",
+            "--seed",
+            "7",
+            "--gpus",
+            "2",
+            "--autotune",
+            "on",
+            "--autotune-rank",
+            "critpath",
+            "--simd",
+            "off",
+        ])
+        .unwrap();
+        assert_eq!(
+            a.flags_string(),
+            "--bytes 4194304 --seed 7 --gpus 2 --autotune on \
+             --autotune-rank critpath --simd off"
+        );
+    }
+
+    #[test]
+    fn provenance_json_is_one_balanced_object() {
+        let a = parse(&["--seed", "9"]).unwrap();
+        let p = a.provenance_json("perf_snapshot", &["word", "grep"]);
+        assert!(p.starts_with("{ \"bench\": \"perf_snapshot\""));
+        assert!(p.contains("\"crate_version\": \""));
+        assert!(p.contains("\"seed\": 9"));
+        assert!(p.contains("\"flags\": \"--seed 9\""));
+        assert!(p.contains("\"apps\": [\"word\", \"grep\"]"));
+        assert_eq!(p.matches('{').count(), p.matches('}').count());
     }
 
     #[test]

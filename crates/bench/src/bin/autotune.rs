@@ -156,6 +156,13 @@ fn to_json(args: &ExpArgs, rows: &[Row], summary: &[Summary]) -> String {
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"bytes_per_app\": {},", args.bytes);
     let _ = writeln!(out, "  \"seed\": {},", args.seed);
+    let mut apps: Vec<&str> = rows.iter().map(|r| r.app).collect();
+    apps.dedup();
+    let _ = writeln!(
+        out,
+        "  \"provenance\": {},",
+        args.provenance_json("autotune", &apps)
+    );
     let _ = writeln!(out, "  \"iters\": {ITERS},");
     let _ = write!(out, "  \"static_depths\": [");
     for (i, d) in STATIC_DEPTHS.iter().enumerate() {

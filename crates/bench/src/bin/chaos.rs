@@ -157,6 +157,13 @@ fn to_json(args: &ExpArgs, template: &FaultPlan, rows: &[SweepRow], fo: &[Failov
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"bytes_per_app\": {},", args.bytes);
     let _ = writeln!(out, "  \"seed\": {},", args.seed);
+    let mut apps: Vec<&str> = rows.iter().map(|r| r.app).collect();
+    apps.dedup();
+    let _ = writeln!(
+        out,
+        "  \"provenance\": {},",
+        args.provenance_json("chaos", &apps)
+    );
     let _ = writeln!(out, "  \"fault_seed\": {},", template.seed);
     let _ = writeln!(out, "  \"max_retries\": {},", template.max_retries);
     let _ = writeln!(out, "  \"backoff_us\": {:.3},", template.backoff.micros());

@@ -12,8 +12,11 @@
 //! tuned against.
 //!
 //! Besides the per-app wall-clock rows, the snapshot records a simulated
-//! multi-GPU scaling section: the three streaming apps on 1/2/4 replicated
-//! devices (chunk sharding; see the `scaling` binary for the live table).
+//! multi-GPU scaling section (the three streaming apps on 1/2/4 replicated
+//! devices; see the `scaling` binary for the live table), a per-app
+//! `critical_path` blame block plus ranked `what_if` predictions from an
+//! untimed capture run, and a `provenance` block recording how the file
+//! was produced.
 
 use bk_apps::{run_implementation, HarnessConfig, Implementation};
 use bk_bench::{all_apps, args::ExpArgs, short_name};
@@ -41,7 +44,15 @@ struct Row {
     gpus: usize,
     /// Per-device `device.<i>.*` counters, one entry per device.
     devices: Vec<DeviceRow>,
+    /// Critical-path blame report from an untimed capture run (simulated
+    /// results are deterministic, so it matches every timed iteration).
+    crit: bk_obs::CritReport,
+    /// Top what-if predictions for the captured schedule, best first.
+    what_if: Vec<bk_runtime::Prediction>,
 }
+
+/// How many ranked what-if scenarios the snapshot records per app.
+const WHAT_IF_TOP: usize = 5;
 
 /// One simulated device's share of a run.
 struct DeviceRow {
@@ -148,6 +159,12 @@ fn to_json(
         order_name(cfg.bigkernel.assembly_order)
     );
     let _ = writeln!(out, "  \"simd\": {},", cfg.bigkernel.simd_gather);
+    let app_names: Vec<&str> = rows.iter().map(|r| r.app).collect();
+    let _ = writeln!(
+        out,
+        "  \"provenance\": {},",
+        args.provenance_json("perf_snapshot", &app_names)
+    );
     let _ = writeln!(out, "  \"apps\": [");
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(out, "    {{");
@@ -225,6 +242,69 @@ fn to_json(
                 w.mean_ns,
                 w.max_ns,
                 if j + 1 < r.reuse_waits.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "      ],");
+        let _ = writeln!(out, "      \"critical_path\": {{");
+        let _ = writeln!(out, "        \"makespan_ns\": {},", r.crit.makespan_ns);
+        let _ = writeln!(out, "        \"segments\": {},", r.crit.segments.len());
+        let blame_obj = |out: &mut String, key: &str, items: &[(&'static str, u64)], comma| {
+            let _ = write!(out, "        \"{key}\": {{ ");
+            for (j, (name, ns)) in items.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "\"{}\": {}{}",
+                    name,
+                    ns,
+                    if j + 1 < items.len() { ", " } else { "" }
+                );
+            }
+            let _ = writeln!(out, " }}{}", if comma { "," } else { "" });
+        };
+        blame_obj(&mut out, "stage_blame", &r.crit.stage_blame, true);
+        blame_obj(&mut out, "resource_blame", &r.crit.resource_blame, true);
+        let _ = write!(out, "        \"device_blame\": [ ");
+        for (j, (dev, ns)) in r.crit.device_blame.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{{ \"device\": {}, \"ns\": {} }}{}",
+                dev,
+                ns,
+                if j + 1 < r.crit.device_blame.len() {
+                    ", "
+                } else {
+                    ""
+                }
+            );
+        }
+        let _ = writeln!(out, " ],");
+        let _ = write!(out, "        \"reuse_blame\": [ ");
+        for (j, (consumer, ns)) in r.crit.reuse_blame.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{{ \"consumer\": {}, \"ns\": {} }}{}",
+                consumer,
+                ns,
+                if j + 1 < r.crit.reuse_blame.len() {
+                    ", "
+                } else {
+                    ""
+                }
+            );
+        }
+        let _ = writeln!(out, " ]");
+        let _ = writeln!(out, "      }},");
+        let _ = writeln!(out, "      \"what_if\": [");
+        for (j, p) in r.what_if.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "        {{ \"scenario\": \"{}\", \"predicted_sim_secs\": {:.9}, \
+                 \"speedup\": {:.4}, \"modeled\": {} }}{}",
+                p.scenario.label,
+                p.makespan.secs(),
+                p.speedup,
+                p.scenario.modeled,
+                if j + 1 < r.what_if.len() { "," } else { "" }
             );
         }
         let _ = writeln!(out, "      ]");
@@ -309,6 +389,21 @@ fn main() {
             }
         }
         let r = result.unwrap();
+        // One extra untimed run with schedule capture live for the
+        // critical-path / what-if sections — outside the timed region so
+        // the capture allocations never skew the wall numbers.
+        let (crit, what_if) = {
+            let mut machine = (cfg.machine)();
+            machine.replicate_gpus(cfg.gpus);
+            machine.scale_fixed_costs(cfg.fixed_cost_scale);
+            let instance = app.instantiate(&mut machine, args.bytes, args.seed);
+            let guard = bk_obs::critpath::capture();
+            let _ = run_implementation(&mut machine, &instance, Implementation::BigKernel, &cfg);
+            let waves = guard.finish();
+            let mut ranked = bk_runtime::whatif::rank(&waves, cfg.gpus, cfg.bigkernel.shard_policy);
+            ranked.truncate(WHAT_IF_TOP);
+            (bk_obs::analyze(&waves), ranked)
+        };
         let block_chunks = cfg.launch.num_blocks as f64 * r.chunks as f64;
         rows.push(Row {
             app: short_name(name),
@@ -335,6 +430,8 @@ fn main() {
             reuse_waits: reuse_waits(&r),
             gpus: cfg.gpus,
             devices: device_rows(&r, cfg.gpus),
+            crit,
+            what_if,
         });
     }
 
@@ -372,6 +469,18 @@ fn main() {
                 w.mean_ns / 1e3,
                 w.max_ns as f64 / 1e3
             );
+        }
+        if let Some((stage, ns)) = r.crit.stage_blame.first() {
+            print!(
+                "{:<49} critpath: {}={:.0}% of makespan",
+                "",
+                stage,
+                r.crit.share(*ns) * 100.0
+            );
+            if let Some(p) = r.what_if.first() {
+                print!("; best what-if {} ({:.2}x)", p.scenario.label, p.speedup);
+            }
+            println!();
         }
     }
 

@@ -7,8 +7,10 @@
 //! spans as a trace-event JSON file loadable in <https://ui.perfetto.dev>
 //! or `chrome://tracing`: one track per hardware resource (gpu-ag, cpu-asm,
 //! dma, gpu-comp, dma-d2h, cpu-wb — prefixed `dev<i>.` per replica when
-//! `--gpus N` shards the run), one complete event per (chunk, stage) slot,
-//! stalled slots annotated with their attributed [`bk_obs::StallCause`].
+//! `--gpus N` shards the run, each device as its own Perfetto process), one
+//! complete event per (chunk, stage) slot, stalled slots annotated with
+//! their attributed [`bk_obs::StallCause`], plus a `critpath` marker lane
+//! re-plotting the slots on the reconstructed critical path.
 //!
 //! Usage: `trace_export [--app SUBSTR] [--mib N] [--seed S] [--threads N]
 //! [--machine NAME] [--gpus N] [--out PATH]` (default `trace.json`).
@@ -53,16 +55,32 @@ fn main() {
     let instance = app.instantiate(&mut machine, args.bytes, args.seed);
 
     let guard = bk_obs::trace::start();
+    let cap = bk_obs::critpath::capture();
     let r = run_implementation(&mut machine, &instance, Implementation::BigKernel, &cfg);
-    let spans = guard.finish();
+    let waves = cap.finish();
+    let mut spans = guard.finish();
 
+    // Coverage is judged on the stage spans alone — the critical-path
+    // markers appended below re-plot slots that are already on their
+    // resource tracks.
     let busy: bk_simcore::SimTime = r.stages.iter().map(|s| s.busy).sum();
     let coverage = bk_obs::export::busy_coverage(&spans, busy);
+
+    let report = bk_obs::analyze(&waves);
+    spans.extend(bk_obs::critpath::marker_spans(&report));
 
     std::fs::write(&out_path, bk_obs::to_chrome_json(&spans))
         .unwrap_or_else(|e| panic!("write {out_path}: {e}"));
 
     println!("{name}: {} chunks, simulated total {}", r.chunks, r.total);
+    if let Some((stage, ns)) = report.stage_blame.first() {
+        println!(
+            "critical path: {} segments on the `critpath` track; top blame {} ({:.1}%)",
+            report.segments.len(),
+            stage,
+            report.share(*ns) * 100.0
+        );
+    }
     print!("{}", bk_obs::text_report(&spans));
     println!(
         "span coverage: {:.2}% of {} simulated busy time",

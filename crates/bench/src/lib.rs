@@ -14,6 +14,7 @@
 //! | `scaling` | GPU scaling — chunks sharded across 1/2/4 replicated devices |
 //! | `chaos` | fault-rate sweep + device-kill failover → `BENCH_chaos.json` |
 //! | `autotune` | static reuse-depth sweep vs the adaptive occupancy autotuner → `BENCH_autotune.json` |
+//! | `bottleneck` | critical-path blame report + what-if predictions validated against re-runs |
 //!
 //! All binaries accept `--bytes N` / `--mib N` (per-app input size, default
 //! 32 MiB), `--seed S`, `--app SUBSTR`, `--threads N`, `--machine NAME`

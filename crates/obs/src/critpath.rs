@@ -1,0 +1,889 @@
+//! Critical-path reconstruction over recorded schedules.
+//!
+//! Stall attribution ([`crate::stall`]) answers *where time waits*; this
+//! module answers the sharper question — *which waits actually bound the
+//! makespan*. The forward list scheduler records, for every slot, the
+//! constraint that set its start time ([`bk_simcore::SlotMeta`]): a
+//! dataflow dependency, in-order contention on the slot's resource, or a
+//! buffer-reuse edge (§IV.C back-pressure). Because each start is computed
+//! as an exact f64 `max` over candidate ready times, every slot's start
+//! *equals* the finish of exactly the predecessor that bound it. Walking
+//! backwards from the slot that finishes at the makespan therefore yields a
+//! chain of abutting segments that tiles `[0, makespan]` with **no gaps**:
+//! the critical path.
+//!
+//! Blame — the share of the critical path a stage / resource / device
+//! occupies — is accounted in integer nanoseconds derived by rounding the
+//! segment *boundaries* (not the durations). Consecutive segments share the
+//! exact same boundary value, so the per-segment nanosecond durations
+//! telescope and their sum equals the rounded makespan **exactly**; the
+//! `bottleneck` bench binary and CI gate on that identity.
+//!
+//! Capture follows the [`crate::trace`] pattern: the runtime snapshots every
+//! scheduled wave (per-device shards, including dependency edges, reuse
+//! edges and capacities, so the schedule is self-describing) into a
+//! thread-local sink, but only while a [`capture`] guard is live — an
+//! unobserved run allocates nothing and does no work beyond one
+//! thread-local check per wave.
+
+use crate::trace::SpanRecord;
+use bk_simcore::pipeline::Slot;
+use bk_simcore::{ReuseEdge, ScheduleView, SimTime, SlotMeta, StallKind};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+
+/// Track name the exporter uses for critical-path marker spans (one
+/// Perfetto lane showing the bottleneck chain; see [`marker_spans`]).
+pub const CRITPATH_TRACK: &str = "critpath";
+
+/// A schedule that also describes the graph it was scheduled under —
+/// everything [`critical_path`] needs to re-derive each slot's binding
+/// predecessor. Implemented by the runtime's `GraphSchedule` and by the
+/// captured [`ShardDag`] snapshots.
+pub trait ScheduleDag: ScheduleView {
+    /// Same-chunk stage indices `stage` depends on (all smaller — stages
+    /// are listed in topological order).
+    fn stage_deps(&self, stage: usize) -> &[usize];
+    /// The spec's cross-chunk buffer-reuse edges.
+    fn reuse_edges(&self) -> &[ReuseEdge];
+    /// Number of identical units of `resource` (default 1, the production
+    /// configuration).
+    fn resource_capacity(&self, resource: &str) -> usize {
+        let _ = resource;
+        1
+    }
+}
+
+/// The constraint through which the critical path *entered* a slot — i.e.
+/// what the slot was waiting for when it started.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// The slot started at t = 0 unconstrained (the path's origin).
+    Start,
+    /// A same-chunk dataflow dependency finished exactly at the start.
+    Dataflow,
+    /// The slot waited for its resource's in-order queue to drain.
+    Resource,
+    /// The slot waited on a buffer-reuse edge: `consumer` of chunk
+    /// `n − depth` had to release the buffer set first.
+    Reuse {
+        /// Consumer stage index of the binding reuse edge.
+        consumer: usize,
+    },
+}
+
+impl EdgeKind {
+    /// Stable label for reports and trace span annotations.
+    pub fn label(self) -> &'static str {
+        match self {
+            EdgeKind::Start => "start",
+            EdgeKind::Dataflow => "dataflow",
+            EdgeKind::Resource => "resource",
+            EdgeKind::Reuse { .. } => "reuse",
+        }
+    }
+}
+
+/// One slot on the critical path of a single schedule. Segments abut
+/// exactly: each segment's `start` equals the previous segment's `finish`.
+#[derive(Clone, Copy, Debug)]
+pub struct CritSegment {
+    /// Schedule-local chunk row of the slot.
+    pub chunk: usize,
+    /// Stage index of the slot.
+    pub stage: usize,
+    /// Slot start (schedule-local time).
+    pub start: SimTime,
+    /// Slot finish (schedule-local time).
+    pub finish: SimTime,
+    /// Constraint that set the slot's start.
+    pub entered: EdgeKind,
+    /// The slot's recorded stall (start − dataflow-ready).
+    pub wait: SimTime,
+}
+
+/// Round a simulated time to integer nanoseconds. All blame accounting
+/// rounds *boundaries* with this one function so that equal `f64` times map
+/// to equal integers and segment sums telescope exactly.
+pub fn boundary_ns(t: SimTime) -> u64 {
+    t.nanos().round() as u64
+}
+
+fn segment_ns(start: SimTime, finish: SimTime) -> u64 {
+    boundary_ns(finish).saturating_sub(boundary_ns(start))
+}
+
+/// Reconstruct the critical path of one schedule: the chain of slots, in
+/// time order, whose segments tile `[0, makespan]` exactly.
+///
+/// Walks backwards from the first slot that finishes at the makespan,
+/// choosing each slot's binding predecessor from its recorded
+/// [`StallKind`]:
+///
+/// * `None` — the slot started the moment its dataflow input was ready; the
+///   predecessor is the dependency whose finish equals the start (or the
+///   path origin when the start is 0).
+/// * `Resource` — the predecessor is the previous occupant of the unit the
+///   slot ran on, re-derived by replaying the scheduler's earliest-free
+///   unit selection over the recorded finish times (exact, because unit
+///   choice is a pure function of those times).
+/// * `Reuse { consumer }` — the predecessor is `consumer` of chunk
+///   `n − depth` for the binding reuse edge.
+///
+/// Every predecessor's finish equals the slot's start *bit-exactly* (each
+/// start is a `max` over exactly those finishes), so the returned segments
+/// abut with no gaps. Zero-duration slots can appear on the path; they
+/// contribute zero-length segments and no blame.
+pub fn critical_path<S: ScheduleDag + ?Sized>(sched: &S) -> Vec<CritSegment> {
+    let nc = sched.num_chunks();
+    let ns = sched.num_stages();
+    if nc == 0 || ns == 0 {
+        return Vec::new();
+    }
+
+    // Forward replay of the scheduler's unit selection: which slot last
+    // occupied the unit each slot ran on. `free` mirrors the scheduler's
+    // per-resource free times; occupants ride along.
+    type Occupant = Option<(usize, usize)>;
+    let mut free: HashMap<&'static str, (Vec<SimTime>, Vec<Occupant>)> = HashMap::new();
+    let mut res_pred: Vec<Vec<Occupant>> = vec![vec![None; ns]; nc];
+    for (chunk, preds) in res_pred.iter_mut().enumerate() {
+        for (stage, pred) in preds.iter_mut().enumerate() {
+            let slot = sched.slot(chunk, stage);
+            if slot.duration().is_zero() {
+                continue; // zero-duration stages never occupy their resource
+            }
+            let res = sched.stage_resource(stage);
+            let cap = sched.resource_capacity(res).max(1);
+            let (times, occupants) = free
+                .entry(res)
+                .or_insert_with(|| (vec![SimTime::ZERO; cap], vec![None; cap]));
+            let mut unit = 0usize;
+            for (i, &t) in times.iter().enumerate() {
+                if t < times[unit] {
+                    unit = i;
+                }
+            }
+            *pred = occupants[unit];
+            times[unit] = slot.finish;
+            occupants[unit] = Some((chunk, stage));
+        }
+    }
+
+    // The terminal slot: first (chunk, stage) whose finish is the makespan.
+    let makespan = sched.makespan();
+    let mut cur = (0usize, 0usize);
+    'find: for chunk in 0..nc {
+        for stage in 0..ns {
+            if sched.slot(chunk, stage).finish == makespan {
+                cur = (chunk, stage);
+                break 'find;
+            }
+        }
+    }
+
+    let mut segs: Vec<CritSegment> = Vec::new();
+    loop {
+        let (chunk, stage) = cur;
+        let slot = sched.slot(chunk, stage);
+        let meta: SlotMeta = sched.slot_meta(chunk, stage);
+        let (entered, pred) = match meta.kind {
+            Some(StallKind::Reuse { consumer }) => {
+                // Later edges win scheduler ties, so scan in reverse.
+                let p = sched.reuse_edges().iter().rev().find_map(|e| {
+                    (e.producer == stage
+                        && e.consumer == consumer
+                        && chunk >= e.depth
+                        && sched.slot(chunk - e.depth, e.consumer).finish == slot.start)
+                        .then(|| (chunk - e.depth, e.consumer))
+                });
+                debug_assert!(p.is_some(), "reuse stall without a matching edge");
+                (EdgeKind::Reuse { consumer }, p)
+            }
+            Some(StallKind::Resource(_)) => {
+                let p = res_pred[chunk][stage];
+                debug_assert!(p.is_some(), "resource stall without a prior occupant");
+                (EdgeKind::Resource, p)
+            }
+            None if slot.start.is_zero() => (EdgeKind::Start, None),
+            None => {
+                let p = sched
+                    .stage_deps(stage)
+                    .iter()
+                    .find(|&&d| sched.slot(chunk, d).finish == slot.start)
+                    .map(|&d| (chunk, d));
+                debug_assert!(p.is_some(), "seamless handover without a matching dep");
+                (EdgeKind::Dataflow, p)
+            }
+        };
+        segs.push(CritSegment {
+            chunk,
+            stage,
+            start: slot.start,
+            finish: slot.finish,
+            entered,
+            wait: meta.stall,
+        });
+        match pred {
+            Some(p) => cur = p,
+            None => break,
+        }
+    }
+    segs.reverse();
+    segs
+}
+
+/// Sum of a path's segment durations in integer nanoseconds. Equals
+/// `boundary_ns(makespan)` exactly for any path produced by
+/// [`critical_path`] (the boundaries telescope).
+pub fn path_sum_ns(segs: &[CritSegment]) -> u64 {
+    segs.iter().map(|s| segment_ns(s.start, s.finish)).sum()
+}
+
+// ---------------------------------------------------------------------------
+// Captured snapshots: self-describing per-shard schedules.
+// ---------------------------------------------------------------------------
+
+/// An owned snapshot of one device's scheduled shard, including the graph
+/// shape (deps, reuse edges, capacities) so it satisfies [`ScheduleDag`]
+/// without a reference back into the runtime.
+#[derive(Clone, Debug)]
+pub struct ShardDag {
+    /// The device that ran the shard.
+    pub device: usize,
+    /// Run-global chunk id of each local chunk row.
+    pub chunk_ids: Vec<usize>,
+    stage_names: Vec<&'static str>,
+    resources: Vec<&'static str>,
+    deps: Vec<Vec<usize>>,
+    reuse: Vec<ReuseEdge>,
+    capacities: Vec<(&'static str, usize)>,
+    slots: Vec<Vec<Slot>>,
+    meta: Vec<Vec<SlotMeta>>,
+    makespan: SimTime,
+}
+
+impl ShardDag {
+    /// Snapshot a scheduled shard. `chunk_ids[local]` is the run-global id
+    /// of local chunk row `local` (sharding deals non-contiguous chunk
+    /// subsequences to each device).
+    pub fn from_dag<S: ScheduleDag>(sched: &S, device: usize, chunk_ids: Vec<usize>) -> ShardDag {
+        let nc = sched.num_chunks();
+        let ns = sched.num_stages();
+        assert_eq!(chunk_ids.len(), nc, "one global id per chunk row");
+        let resources: Vec<&'static str> = (0..ns).map(|s| sched.stage_resource(s)).collect();
+        let mut capacities: Vec<(&'static str, usize)> = Vec::new();
+        for &r in &resources {
+            if !capacities.iter().any(|&(seen, _)| seen == r) {
+                capacities.push((r, sched.resource_capacity(r)));
+            }
+        }
+        ShardDag {
+            device,
+            chunk_ids,
+            stage_names: (0..ns).map(|s| sched.stage_name(s)).collect(),
+            resources,
+            deps: (0..ns).map(|s| sched.stage_deps(s).to_vec()).collect(),
+            reuse: sched.reuse_edges().to_vec(),
+            capacities,
+            slots: (0..nc)
+                .map(|c| (0..ns).map(|s| sched.slot(c, s)).collect())
+                .collect(),
+            meta: (0..nc)
+                .map(|c| (0..ns).map(|s| sched.slot_meta(c, s)).collect())
+                .collect(),
+            makespan: sched.makespan(),
+        }
+    }
+
+    /// The distinct resources the shard's stages run on, with their unit
+    /// counts (the what-if replayer rebuilds a spec from these).
+    pub fn capacities(&self) -> &[(&'static str, usize)] {
+        &self.capacities
+    }
+}
+
+impl ScheduleView for ShardDag {
+    fn num_chunks(&self) -> usize {
+        self.slots.len()
+    }
+    fn num_stages(&self) -> usize {
+        self.stage_names.len()
+    }
+    fn slot(&self, chunk: usize, stage: usize) -> Slot {
+        self.slots[chunk][stage]
+    }
+    fn stage_name(&self, stage: usize) -> &'static str {
+        self.stage_names[stage]
+    }
+    fn stage_resource(&self, stage: usize) -> &'static str {
+        self.resources[stage]
+    }
+    fn slot_meta(&self, chunk: usize, stage: usize) -> SlotMeta {
+        self.meta[chunk][stage]
+    }
+    fn makespan(&self) -> SimTime {
+        self.makespan
+    }
+}
+
+impl ScheduleDag for ShardDag {
+    fn stage_deps(&self, stage: usize) -> &[usize] {
+        &self.deps[stage]
+    }
+    fn reuse_edges(&self) -> &[ReuseEdge] {
+        &self.reuse
+    }
+    fn resource_capacity(&self, resource: &str) -> usize {
+        self.capacities
+            .iter()
+            .find(|&&(r, _)| r == resource)
+            .map_or(1, |&(_, n)| n)
+    }
+}
+
+/// One scheduled wave: every device's shard plus the absolute simulated
+/// time the wave started (waves run back to back, so `time_base` of wave
+/// `w + 1` equals `time_base + max shard makespan` of wave `w`).
+#[derive(Clone, Debug)]
+pub struct WaveDag {
+    /// Absolute simulated start time of the wave.
+    pub time_base: SimTime,
+    /// Per-device shard snapshots.
+    pub shards: Vec<ShardDag>,
+}
+
+// ---------------------------------------------------------------------------
+// Capture guard (mirrors `trace`, but runtime-gated only: snapshots are
+// built per wave, never per span, so there is no hot-path cost to gate at
+// compile time).
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static CAPTURE: RefCell<Option<Vec<WaveDag>>> = const { RefCell::new(None) };
+}
+
+/// RAII guard for schedule capture on the current thread. Obtain with
+/// [`capture`], harvest with [`CaptureGuard::finish`]; dropping it without
+/// finishing discards the buffer. Guards do not nest: a second [`capture`]
+/// on the same thread resets the buffer.
+#[must_use = "dropping the guard discards captured waves"]
+pub struct CaptureGuard {
+    _priv: (),
+}
+
+/// Begin capturing scheduled waves on this thread.
+pub fn capture() -> CaptureGuard {
+    CAPTURE.with(|c| *c.borrow_mut() = Some(Vec::new()));
+    CaptureGuard { _priv: () }
+}
+
+impl CaptureGuard {
+    /// Stop capturing and return the waves recorded since [`capture`].
+    pub fn finish(self) -> Vec<WaveDag> {
+        std::mem::forget(self);
+        CAPTURE.with(|c| c.borrow_mut().take()).unwrap_or_default()
+    }
+}
+
+impl Drop for CaptureGuard {
+    fn drop(&mut self) {
+        CAPTURE.with(|c| drop(c.borrow_mut().take()));
+    }
+}
+
+/// Is schedule capture active on this thread? The runtime checks this
+/// before building any [`WaveDag`] snapshot, so an unobserved run performs
+/// no allocation.
+#[inline]
+pub fn capture_enabled() -> bool {
+    CAPTURE.with(|c| c.borrow().is_some())
+}
+
+/// Record one wave snapshot if capture is active on this thread.
+pub fn record_wave(wave: WaveDag) {
+    CAPTURE.with(|c| {
+        if let Some(v) = c.borrow_mut().as_mut() {
+            v.push(wave);
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Run-level analysis.
+// ---------------------------------------------------------------------------
+
+/// One slot on the whole-run critical path, in absolute simulated time and
+/// run-global chunk ids.
+#[derive(Clone, Copy, Debug)]
+pub struct RunSegment {
+    /// Device the slot ran on.
+    pub device: usize,
+    /// Run-global chunk id.
+    pub chunk: usize,
+    /// Stage name.
+    pub stage: &'static str,
+    /// Full resource string (possibly `dev<i>.`-qualified).
+    pub resource: &'static str,
+    /// Absolute start time.
+    pub start: SimTime,
+    /// Absolute finish time.
+    pub finish: SimTime,
+    /// Constraint that set the slot's start.
+    pub entered: EdgeKind,
+    /// The slot's recorded stall (start − dataflow-ready).
+    pub wait: SimTime,
+}
+
+/// Critical path of a whole run plus blame aggregations. Produced by
+/// [`analyze`]; rendered by the `bottleneck` binary and `perf_snapshot`.
+#[derive(Clone, Debug, Default)]
+pub struct CritReport {
+    /// End of the run: sum over waves of the bottleneck shard's makespan —
+    /// the same f64 additions the pipeline performs for its total, so this
+    /// equals the reported simulated time bit-exactly.
+    pub makespan: SimTime,
+    /// `makespan` rounded with [`boundary_ns`]; the blame tables sum to
+    /// this exactly.
+    pub makespan_ns: u64,
+    /// The path segments in time order, tiling `[0, makespan]`.
+    pub segments: Vec<RunSegment>,
+    /// Critical-path nanoseconds per stage name, descending.
+    pub stage_blame: Vec<(&'static str, u64)>,
+    /// Critical-path nanoseconds per base resource (device prefix
+    /// stripped), descending.
+    pub resource_blame: Vec<(&'static str, u64)>,
+    /// Critical-path nanoseconds per device, descending.
+    pub device_blame: Vec<(usize, u64)>,
+    /// Time the path spent waiting on each reuse edge, keyed by the edge's
+    /// consumer stage index, descending. This is the autotuner's
+    /// blame-ranked feedback signal — distinct from (and usually much
+    /// smaller than) the raw reuse-stall totals, because only waits that
+    /// bound the makespan count.
+    pub reuse_blame: Vec<(usize, u64)>,
+    /// Number of waves analyzed.
+    pub waves: usize,
+}
+
+impl CritReport {
+    /// Total blamed nanoseconds (sum over path segments).
+    pub fn blame_sum_ns(&self) -> u64 {
+        self.segments
+            .iter()
+            .map(|s| segment_ns(s.start, s.finish))
+            .sum()
+    }
+
+    /// Do the path segments sum to the makespan exactly? True by
+    /// construction; the `bottleneck` binary and CI gate on it anyway.
+    pub fn tiles_exactly(&self) -> bool {
+        self.blame_sum_ns() == self.makespan_ns
+    }
+
+    /// A blame entry's share of the makespan in `[0, 1]`.
+    pub fn share(&self, ns: u64) -> f64 {
+        if self.makespan_ns == 0 {
+            0.0
+        } else {
+            ns as f64 / self.makespan_ns as f64
+        }
+    }
+}
+
+/// Split a resource/track string into `(device, base name)`:
+/// `"dev3.gpu-comp"` → `(3, "gpu-comp")`, `"dma"` → `(0, "dma")`.
+pub fn split_device(resource: &'static str) -> (usize, &'static str) {
+    if let Some(rest) = resource.strip_prefix("dev") {
+        if let Some((d, tail)) = rest.split_once('.') {
+            if let Ok(n) = d.parse::<usize>() {
+                return (n, tail);
+            }
+        }
+    }
+    (0, resource)
+}
+
+/// Compute the whole-run critical path and blame tables from captured
+/// waves. Per wave, the path runs through the *bottleneck shard* (the
+/// device whose schedule finishes last — ties go to the lowest device);
+/// the other devices finish earlier and are not on the run's critical
+/// chain. Segments are offset into absolute time by each wave's
+/// `time_base`, so the whole-run path tiles `[0, makespan]` across wave
+/// boundaries exactly.
+///
+/// A capture may span *several* pipeline invocations — multi-pass apps
+/// (e.g. MasterCard Affinity) launch one pipeline per kernel pass, and
+/// each pass restarts its clock at zero. A wave whose `time_base` runs
+/// backwards marks such a restart; the new pass is stacked directly after
+/// the previous pass's end, mirroring how the harness sums pass totals,
+/// so `makespan` still equals the reported simulated total bit-exactly.
+pub fn analyze(waves: &[WaveDag]) -> CritReport {
+    let mut segments: Vec<RunSegment> = Vec::new();
+    let mut end = SimTime::ZERO;
+    // Absolute start of the current pipeline invocation, and the relative
+    // time_base the next wave of that invocation would carry. Boundaries
+    // are always computed as `offset + rel` with `rel` formed first, so
+    // abutting segments share bit-identical f64 boundaries and the
+    // integer-ns blame telescopes to `makespan_ns` exactly.
+    let mut offset = SimTime::ZERO;
+    let mut expected = SimTime::ZERO;
+    for wave in waves {
+        let Some(shard) = wave
+            .shards
+            .iter()
+            .fold(None::<&ShardDag>, |best, s| match best {
+                Some(b) if b.makespan() >= s.makespan() => Some(b),
+                _ => Some(s),
+            })
+        else {
+            continue;
+        };
+        if wave.time_base < expected {
+            offset = end;
+        }
+        for seg in critical_path(shard) {
+            segments.push(RunSegment {
+                device: shard.device,
+                chunk: shard.chunk_ids[seg.chunk],
+                stage: shard.stage_name(seg.stage),
+                resource: shard.stage_resource(seg.stage),
+                start: offset + (wave.time_base + seg.start),
+                finish: offset + (wave.time_base + seg.finish),
+                entered: seg.entered,
+                wait: seg.wait,
+            });
+        }
+        expected = wave.time_base + shard.makespan();
+        end = offset + expected;
+    }
+
+    let mut by_stage: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut by_resource: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut by_device: BTreeMap<usize, u64> = BTreeMap::new();
+    let mut by_edge: BTreeMap<usize, u64> = BTreeMap::new();
+    for seg in &segments {
+        let ns = segment_ns(seg.start, seg.finish);
+        *by_stage.entry(seg.stage).or_default() += ns;
+        let (dev, base) = split_device(seg.resource);
+        *by_resource.entry(base).or_default() += ns;
+        *by_device.entry(dev).or_default() += ns;
+        if let EdgeKind::Reuse { consumer } = seg.entered {
+            *by_edge.entry(consumer).or_default() += boundary_ns(seg.wait);
+        }
+    }
+    fn sorted<K: Copy + Ord>(m: BTreeMap<K, u64>) -> Vec<(K, u64)> {
+        let mut v: Vec<(K, u64)> = m.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+    CritReport {
+        makespan: end,
+        makespan_ns: boundary_ns(end),
+        segments,
+        stage_blame: sorted(by_stage),
+        resource_blame: sorted(by_resource),
+        device_blame: sorted(by_device),
+        reuse_blame: sorted(by_edge),
+        waves: waves.len(),
+    }
+}
+
+/// Render a report's path as marker spans on the [`CRITPATH_TRACK`] lane,
+/// so the bottleneck chain is visible alongside the per-resource tracks in
+/// the Perfetto UI. Zero-length segments are skipped; segments that
+/// entered through a wait carry it as the span's stall annotation.
+pub fn marker_spans(report: &CritReport) -> Vec<SpanRecord> {
+    report
+        .segments
+        .iter()
+        .filter(|s| !s.finish.saturating_sub(s.start).is_zero())
+        .map(|s| SpanRecord {
+            track: CRITPATH_TRACK,
+            stage: s.stage,
+            chunk: s.chunk,
+            start: s.start,
+            dur: s.finish.saturating_sub(s.start),
+            stall: match s.entered {
+                EdgeKind::Reuse { .. } | EdgeKind::Resource if !s.wait.is_zero() => {
+                    Some((s.entered.label(), s.wait))
+                }
+                _ => None,
+            },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: f64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    /// Hand-built DAG schedule for tests: a 2-stage chain on one shared
+    /// resource with a reuse edge, scheduled by the same rules as the
+    /// production scheduler (computed by hand).
+    struct TestDag {
+        slots: Vec<Vec<Slot>>,
+        meta: Vec<Vec<SlotMeta>>,
+        deps: Vec<Vec<usize>>,
+        reuse: Vec<ReuseEdge>,
+        names: Vec<&'static str>,
+        resources: Vec<&'static str>,
+        makespan: SimTime,
+    }
+
+    impl ScheduleView for TestDag {
+        fn num_chunks(&self) -> usize {
+            self.slots.len()
+        }
+        fn num_stages(&self) -> usize {
+            self.names.len()
+        }
+        fn slot(&self, chunk: usize, stage: usize) -> Slot {
+            self.slots[chunk][stage]
+        }
+        fn stage_name(&self, stage: usize) -> &'static str {
+            self.names[stage]
+        }
+        fn stage_resource(&self, stage: usize) -> &'static str {
+            self.resources[stage]
+        }
+        fn slot_meta(&self, chunk: usize, stage: usize) -> SlotMeta {
+            self.meta[chunk][stage]
+        }
+        fn makespan(&self) -> SimTime {
+            self.makespan
+        }
+    }
+
+    impl ScheduleDag for TestDag {
+        fn stage_deps(&self, stage: usize) -> &[usize] {
+            &self.deps[stage]
+        }
+        fn reuse_edges(&self) -> &[ReuseEdge] {
+            &self.reuse
+        }
+    }
+
+    /// One chunk, two chained stages of 1 µs and 3 µs on distinct
+    /// resources: the path is both slots back to back.
+    fn single_chunk_chain() -> TestDag {
+        TestDag {
+            slots: vec![vec![
+                Slot {
+                    start: t(0.0),
+                    finish: t(1.0),
+                },
+                Slot {
+                    start: t(1.0),
+                    finish: t(4.0),
+                },
+            ]],
+            meta: vec![vec![SlotMeta::default(), SlotMeta::default()]],
+            deps: vec![vec![], vec![0]],
+            reuse: vec![],
+            names: vec!["transfer", "compute"],
+            resources: vec!["dma", "gpu-comp"],
+            makespan: t(4.0),
+        }
+    }
+
+    #[test]
+    fn chain_path_visits_every_stage_and_sums_to_makespan() {
+        let d = single_chunk_chain();
+        let path = critical_path(&d);
+        assert_eq!(path.len(), 2);
+        assert_eq!(path[0].entered, EdgeKind::Start);
+        assert_eq!(path[1].entered, EdgeKind::Dataflow);
+        assert_eq!((path[0].stage, path[1].stage), (0, 1));
+        assert_eq!(path_sum_ns(&path), boundary_ns(d.makespan));
+    }
+
+    #[test]
+    fn resource_contention_walks_through_the_prior_occupant() {
+        // Two chunks on one serial resource: chunk 1 waits for chunk 0.
+        let d = TestDag {
+            slots: vec![
+                vec![Slot {
+                    start: t(0.0),
+                    finish: t(2.0),
+                }],
+                vec![Slot {
+                    start: t(2.0),
+                    finish: t(4.0),
+                }],
+            ],
+            meta: vec![
+                vec![SlotMeta::default()],
+                vec![SlotMeta {
+                    kind: Some(StallKind::Resource("serial")),
+                    stall: t(2.0),
+                }],
+            ],
+            deps: vec![vec![]],
+            reuse: vec![],
+            names: vec!["compute"],
+            resources: vec!["serial"],
+            makespan: t(4.0),
+        };
+        let path = critical_path(&d);
+        assert_eq!(path.len(), 2);
+        assert_eq!(path[0].chunk, 0);
+        assert_eq!(path[1].chunk, 1);
+        assert_eq!(path[1].entered, EdgeKind::Resource);
+        assert_eq!(path_sum_ns(&path), boundary_ns(d.makespan));
+    }
+
+    #[test]
+    fn reuse_stall_walks_across_chunks_via_the_edge() {
+        // Stage 0 of chunk 1 waits on stage 1 of chunk 0 (depth 1).
+        let d = TestDag {
+            slots: vec![
+                vec![
+                    Slot {
+                        start: t(0.0),
+                        finish: t(1.0),
+                    },
+                    Slot {
+                        start: t(1.0),
+                        finish: t(5.0),
+                    },
+                ],
+                vec![
+                    Slot {
+                        start: t(5.0),
+                        finish: t(6.0),
+                    },
+                    Slot {
+                        start: t(6.0),
+                        finish: t(10.0),
+                    },
+                ],
+            ],
+            meta: vec![
+                vec![SlotMeta::default(), SlotMeta::default()],
+                vec![
+                    SlotMeta {
+                        kind: Some(StallKind::Reuse { consumer: 1 }),
+                        stall: t(4.0),
+                    },
+                    SlotMeta::default(),
+                ],
+            ],
+            deps: vec![vec![], vec![0]],
+            reuse: vec![ReuseEdge {
+                producer: 0,
+                consumer: 1,
+                depth: 1,
+            }],
+            names: vec!["transfer", "compute"],
+            // Distinct resources so only the reuse edge can couple chunks.
+            resources: vec!["dma", "gpu-comp"],
+            makespan: t(10.0),
+        };
+        let path = critical_path(&d);
+        assert_eq!(path.len(), 4);
+        assert_eq!(path[2].entered, EdgeKind::Reuse { consumer: 1 });
+        assert_eq!((path[2].chunk, path[2].stage), (1, 0));
+        assert_eq!((path[1].chunk, path[1].stage), (0, 1));
+        assert_eq!(path_sum_ns(&path), boundary_ns(d.makespan));
+    }
+
+    #[test]
+    fn capture_guard_gates_recording() {
+        assert!(!capture_enabled());
+        record_wave(WaveDag {
+            time_base: SimTime::ZERO,
+            shards: vec![],
+        });
+        let g = capture();
+        assert!(capture_enabled());
+        record_wave(WaveDag {
+            time_base: SimTime::ZERO,
+            shards: vec![ShardDag::from_dag(&single_chunk_chain(), 0, vec![7])],
+        });
+        let waves = g.finish();
+        assert!(!capture_enabled());
+        assert_eq!(waves.len(), 1);
+        assert_eq!(waves[0].shards[0].chunk_ids, vec![7]);
+    }
+
+    #[test]
+    fn dropping_the_guard_discards_waves() {
+        let g = capture();
+        record_wave(WaveDag {
+            time_base: SimTime::ZERO,
+            shards: vec![],
+        });
+        drop(g);
+        assert!(!capture_enabled());
+        assert!(capture().finish().is_empty());
+    }
+
+    #[test]
+    fn analyze_offsets_waves_and_blames_exactly() {
+        let shard = ShardDag::from_dag(&single_chunk_chain(), 0, vec![0]);
+        let mut shard2 = shard.clone();
+        shard2.chunk_ids = vec![1];
+        let waves = vec![
+            WaveDag {
+                time_base: SimTime::ZERO,
+                shards: vec![shard.clone()],
+            },
+            WaveDag {
+                time_base: shard.makespan(),
+                shards: vec![shard2],
+            },
+        ];
+        let report = analyze(&waves);
+        assert_eq!(report.waves, 2);
+        assert_eq!(report.segments.len(), 4);
+        assert_eq!(report.segments[2].chunk, 1);
+        assert!(report.tiles_exactly());
+        assert_eq!(report.makespan_ns, boundary_ns(t(8.0)));
+        // 1 µs transfer + 3 µs compute per wave.
+        assert_eq!(report.stage_blame[0], ("compute", 6_000));
+        assert_eq!(report.stage_blame[1], ("transfer", 2_000));
+        assert_eq!(report.resource_blame[0], ("gpu-comp", 6_000));
+        assert_eq!(report.device_blame, vec![(0, 8_000)]);
+    }
+
+    #[test]
+    fn bottleneck_shard_wins_per_wave() {
+        let fast = ShardDag::from_dag(&single_chunk_chain(), 0, vec![0]);
+        let mut slow_src = single_chunk_chain();
+        slow_src.slots[0][1].finish = t(9.0);
+        slow_src.makespan = t(9.0);
+        slow_src.resources = vec!["dev1.dma", "dev1.gpu-comp"];
+        let slow = ShardDag::from_dag(&slow_src, 1, vec![1]);
+        let report = analyze(&[WaveDag {
+            time_base: SimTime::ZERO,
+            shards: vec![fast, slow],
+        }]);
+        assert_eq!(report.device_blame, vec![(1, 9_000)]);
+        assert_eq!(report.resource_blame[0].0, "gpu-comp"); // prefix stripped
+        assert!(report.tiles_exactly());
+    }
+
+    #[test]
+    fn split_device_parses_prefixes() {
+        assert_eq!(split_device("dma"), (0, "dma"));
+        assert_eq!(split_device("dev3.gpu-comp"), (3, "gpu-comp"));
+        assert_eq!(split_device("critpath"), (0, "critpath"));
+    }
+
+    #[test]
+    fn marker_spans_land_on_the_critpath_track() {
+        let shard = ShardDag::from_dag(&single_chunk_chain(), 0, vec![0]);
+        let report = analyze(&[WaveDag {
+            time_base: SimTime::ZERO,
+            shards: vec![shard],
+        }]);
+        let spans = marker_spans(&report);
+        assert_eq!(spans.len(), 2);
+        assert!(spans.iter().all(|s| s.track == CRITPATH_TRACK));
+        assert_eq!(spans[1].stage, "compute");
+    }
+}

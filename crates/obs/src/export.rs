@@ -6,8 +6,12 @@
 //! microsecond `ts`/`dur`, one thread (track) per hardware resource, plus
 //! `"ph":"M"` metadata events naming the tracks. Everything here is written
 //! with the workspace's hand-rolled JSON (no serde in the dependency set),
-//! with deterministic ordering: tracks in first-seen (pipeline) order, spans
-//! in recorded order.
+//! with deterministic ordering: one process per simulated device (pid =
+//! device + 1, named `bigkernel-sim` / `bigkernel-sim dev<i>`), tracks in
+//! canonical pipeline order within each device, spans in recorded order.
+//! Canonical — not first-seen — track order matters on multi-GPU traces:
+//! shards interleave recording, so first-seen order would shuffle lanes
+//! from run to run.
 
 use crate::trace::SpanRecord;
 use bk_simcore::SimTime;
@@ -31,8 +35,46 @@ fn esc(s: &str) -> String {
     out
 }
 
-/// Tracks in first-seen order (spans are recorded chunk-major in stage
-/// order, so this is pipeline order, which reads naturally in Perfetto).
+/// Canonical lane order within one device's process: the six pipeline
+/// resources in stage order, then the degraded-mode and marker tracks.
+/// Track names missing from this list sort after it, alphabetically.
+const TRACK_RANK: [&str; 11] = [
+    "gpu-ag",
+    "cpu-asm",
+    "dma",
+    "gpu-comp",
+    "dma-d2h",
+    "cpu-wb",
+    "cpu-stage",
+    "gpu",
+    "serial",
+    "autotune",
+    "critpath",
+];
+
+/// Split an optional `dev<i>.` shard prefix off a track name; unprefixed
+/// tracks belong to device 0.
+fn track_device(track: &str) -> (usize, &str) {
+    if let Some(rest) = track.strip_prefix("dev") {
+        if let Some(dot) = rest.find('.') {
+            if let Ok(d) = rest[..dot].parse::<usize>() {
+                return (d, &rest[dot + 1..]);
+            }
+        }
+    }
+    (0, track)
+}
+
+fn rank(base: &str) -> usize {
+    TRACK_RANK
+        .iter()
+        .position(|&r| r == base)
+        .unwrap_or(TRACK_RANK.len())
+}
+
+/// Distinct tracks in canonical order: device ascending, then pipeline
+/// rank within the device — stable no matter what order the spans were
+/// recorded in, so multi-GPU traces never shuffle lanes between runs.
 fn tracks(spans: &[SpanRecord]) -> Vec<&'static str> {
     let mut out: Vec<&'static str> = Vec::new();
     for s in spans {
@@ -40,13 +82,25 @@ fn tracks(spans: &[SpanRecord]) -> Vec<&'static str> {
             out.push(s.track);
         }
     }
+    out.sort_by(|a, b| {
+        let (da, ba) = track_device(a);
+        let (db, bb) = track_device(b);
+        da.cmp(&db).then(rank(ba).cmp(&rank(bb))).then(ba.cmp(bb))
+    });
     out
 }
 
 /// Render spans as a Chrome trace-event JSON document (Perfetto-loadable).
+/// Each simulated device is its own process (pid = device + 1) so replica
+/// lanes group under their device instead of interleaving in one flat list.
 pub fn to_chrome_json(spans: &[SpanRecord]) -> String {
     let tracks = tracks(spans);
-    let tid = |t: &str| tracks.iter().position(|&x| x == t).unwrap() + 1;
+    // tids are globally unique (position in the canonical order + 1); pids
+    // come from the `dev<i>.` track prefix.
+    let ids = |t: &str| {
+        let pos = tracks.iter().position(|&x| x == t).unwrap();
+        (track_device(t).0 + 1, pos + 1)
+    };
 
     let mut out = String::new();
     out.push_str("{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n");
@@ -60,24 +114,54 @@ pub fn to_chrome_json(spans: &[SpanRecord]) -> String {
         out.push_str(&ev);
     };
 
-    push(
-        "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, \
-         \"args\": {\"name\": \"bigkernel-sim\"}}"
-            .to_string(),
-        &mut out,
-    );
+    let mut named_devices: Vec<usize> = Vec::new();
     for t in &tracks {
+        let dev = track_device(t).0;
+        if !named_devices.contains(&dev) {
+            named_devices.push(dev);
+            let name = if dev == 0 {
+                "bigkernel-sim".to_string()
+            } else {
+                format!("bigkernel-sim dev{dev}")
+            };
+            push(
+                format!(
+                    "{{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": {}, \"tid\": 0, \
+                     \"args\": {{\"name\": \"{name}\"}}}}",
+                    dev + 1
+                ),
+                &mut out,
+            );
+            push(
+                format!(
+                    "{{\"name\": \"process_sort_index\", \"ph\": \"M\", \"pid\": {}, \
+                     \"tid\": 0, \"args\": {{\"sort_index\": {dev}}}}}",
+                    dev + 1
+                ),
+                &mut out,
+            );
+        }
+    }
+    for t in &tracks {
+        let (pid, tid) = ids(t);
         push(
             format!(
-                "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {}, \
+                "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": {tid}, \
                  \"args\": {{\"name\": \"{}\"}}}}",
-                tid(t),
                 esc(t)
+            ),
+            &mut out,
+        );
+        push(
+            format!(
+                "{{\"name\": \"thread_sort_index\", \"ph\": \"M\", \"pid\": {pid}, \
+                 \"tid\": {tid}, \"args\": {{\"sort_index\": {tid}}}}}"
             ),
             &mut out,
         );
     }
     for s in spans {
+        let (pid, tid) = ids(s.track);
         if s.stage == crate::trace::FAULT_MARKER_STAGE {
             // Fault-recovery markers render as thread-scoped instant events
             // pinned to the moment the faulted stage was rescheduled.
@@ -85,10 +169,9 @@ pub fn to_chrome_json(spans: &[SpanRecord]) -> String {
             push(
                 format!(
                     "{{\"name\": \"fault c{}\", \"cat\": \"fault\", \"ph\": \"i\", \
-                     \"s\": \"t\", \"pid\": 1, \"tid\": {}, \"ts\": {:.3}, \
+                     \"s\": \"t\", \"pid\": {pid}, \"tid\": {tid}, \"ts\": {:.3}, \
                      \"args\": {{\"chunk\": {}, \"lost_us\": {:.3}}}}}",
                     s.chunk,
-                    tid(s.track),
                     s.start.micros(),
                     s.chunk,
                     lost
@@ -108,11 +191,10 @@ pub fn to_chrome_json(spans: &[SpanRecord]) -> String {
         }
         push(
             format!(
-                "{{\"name\": \"{} c{}\", \"cat\": \"stage\", \"ph\": \"X\", \"pid\": 1, \
-                 \"tid\": {}, \"ts\": {:.3}, \"dur\": {:.3}, \"args\": {{{}}}}}",
+                "{{\"name\": \"{} c{}\", \"cat\": \"stage\", \"ph\": \"X\", \"pid\": {pid}, \
+                 \"tid\": {tid}, \"ts\": {:.3}, \"dur\": {:.3}, \"args\": {{{}}}}}",
                 esc(s.stage),
                 s.chunk,
-                tid(s.track),
                 s.start.micros(),
                 s.dur.micros(),
                 args
@@ -295,6 +377,64 @@ mod tests {
         assert!(j.contains("\"lost_us\": 7.000"));
         assert!(j.contains("\"s\": \"t\""));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn device_prefixed_tracks_get_their_own_process() {
+        let mut s = spans();
+        s.push(SpanRecord {
+            track: "dev1.gpu-comp",
+            stage: "compute",
+            chunk: 2,
+            start: SimTime::from_micros(5.0),
+            dur: SimTime::from_micros(10.0),
+            stall: None,
+        });
+        let j = to_chrome_json(&s);
+        // Device 0 keeps the bare process name; device 1 is a second
+        // process with pid 2 and an explicit sort index.
+        assert!(j.contains("\"pid\": 1, \"tid\": 0, \"args\": {\"name\": \"bigkernel-sim\"}"));
+        assert!(j.contains("\"args\": {\"name\": \"bigkernel-sim dev1\"}"));
+        assert!(j.contains("\"process_sort_index\""));
+        // The dev1 span carries the dev1 pid.
+        assert!(j.contains("\"cat\": \"stage\", \"ph\": \"X\", \"pid\": 2"));
+    }
+
+    #[test]
+    fn track_order_is_canonical_not_first_seen() {
+        // Record compute before transfer, on two devices, deliberately
+        // interleaved: the exported lane order must still be
+        // device-major pipeline order.
+        let mk = |track: &'static str, start: f64| SpanRecord {
+            track,
+            stage: "x",
+            chunk: 0,
+            start: SimTime::from_micros(start),
+            dur: SimTime::from_micros(1.0),
+            stall: None,
+        };
+        let s = vec![
+            mk("dev1.gpu-comp", 0.0),
+            mk("gpu-comp", 1.0),
+            mk("dev1.dma", 2.0),
+            mk("dma", 3.0),
+        ];
+        assert_eq!(
+            tracks(&s),
+            vec!["dma", "gpu-comp", "dev1.dma", "dev1.gpu-comp"]
+        );
+        // Shuffled recording order yields the same lane order.
+        let mut rev = s.clone();
+        rev.reverse();
+        assert_eq!(tracks(&rev), tracks(&s));
+    }
+
+    #[test]
+    fn track_device_splits_prefixes() {
+        assert_eq!(track_device("dma"), (0, "dma"));
+        assert_eq!(track_device("dev3.gpu-comp"), (3, "gpu-comp"));
+        assert_eq!(track_device("devoid"), (0, "devoid"));
+        assert_eq!(track_device("dev9.custom"), (9, "custom"));
     }
 
     #[test]

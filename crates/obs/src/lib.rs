@@ -18,6 +18,9 @@
 //!   duration histograms in one pass.
 //! * [`export`] — exporters: Chrome/Perfetto `trace.json` (one track per
 //!   hardware resource) and a plain-text utilization / bubble report.
+//! * [`critpath`] — critical-path reconstruction: which chain of slots
+//!   actually bound the makespan, with per-stage/resource/device blame and
+//!   a capture sink for the runtime's scheduled-wave snapshots.
 //!
 //! Determinism contract: everything recorded into the [`MetricsRegistry`]
 //! (counters, histograms, stall totals) is derived purely from the
@@ -27,12 +30,14 @@
 
 #![deny(missing_docs)]
 
+pub mod critpath;
 pub mod device;
 pub mod export;
 pub mod metrics;
 pub mod stall;
 pub mod trace;
 
+pub use critpath::{analyze, critical_path, CritReport, ScheduleDag};
 pub use device::{device_counter, MAX_DEVICES};
 pub use export::{text_report, to_chrome_json};
 pub use metrics::{Histogram, MetricsRegistry};

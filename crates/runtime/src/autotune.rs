@@ -40,6 +40,21 @@ pub const DATA_REUSE_CONSUMER: usize = 3;
 /// Consumer stage index of the write-back reuse edge (`compute ↔ wb-apply`).
 pub const WB_REUSE_CONSUMER: usize = 5;
 
+/// How the controller picks *which* reuse edge to deepen when a window
+/// stalls above threshold.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RankBy {
+    /// Rank edges by their raw reuse-stall totals (every stalled slot
+    /// counts, whether or not the wait bound the makespan).
+    #[default]
+    StallFraction,
+    /// Rank edges by critical-path blame ([`bk_obs::critpath`]): only
+    /// waits that sat on the window's bottleneck chain count. Sharper on
+    /// windows where one edge stalls often but off the critical path;
+    /// falls back to stall totals when no reuse wait is on the path.
+    CritBlame,
+}
+
 /// Tuner knobs. All thresholds are compared against deterministic simulated
 /// quantities, never wall-clock measurements.
 #[derive(Clone, Debug, PartialEq)]
@@ -56,6 +71,8 @@ pub struct AutotuneConfig {
     pub min_chunk_bytes: u64,
     /// Upper clamp for chunk-size re-planning.
     pub max_chunk_bytes: u64,
+    /// Which signal ranks the two reuse edges when deepening.
+    pub rank_by: RankBy,
 }
 
 impl Default for AutotuneConfig {
@@ -66,6 +83,7 @@ impl Default for AutotuneConfig {
             max_depth: 32,
             min_chunk_bytes: 64 * 1024,
             max_chunk_bytes: 4 * 1024 * 1024,
+            rank_by: RankBy::StallFraction,
         }
     }
 }
@@ -120,6 +138,11 @@ pub struct WindowFeedback {
     pub data_reuse_stall: SimTime,
     /// Stall attributed to the write-back reuse edge.
     pub wb_reuse_stall: SimTime,
+    /// Prefetch-data reuse waits that sat on the window's critical path
+    /// (zero unless produced by [`WindowFeedback::from_sharded_with_blame`]).
+    pub data_reuse_crit: SimTime,
+    /// Write-back reuse waits that sat on the window's critical path.
+    pub wb_reuse_crit: SimTime,
 }
 
 impl WindowFeedback {
@@ -152,7 +175,38 @@ impl WindowFeedback {
             makespan: sharded.makespan(),
             data_reuse_stall: data,
             wb_reuse_stall: wb,
+            ..WindowFeedback::default()
         }
+    }
+
+    /// [`Self::from_sharded`], additionally charging each reuse edge for
+    /// the waits that sat on the window's *critical path* (the bottleneck
+    /// shard's chain of binding constraints — see [`bk_obs::critpath`]).
+    /// Feeds [`RankBy::CritBlame`]: a frequently-stalling edge whose waits
+    /// are hidden behind a slower resource gets no credit.
+    pub fn from_sharded_with_blame(sharded: &ShardedSchedule) -> Self {
+        let mut fb = Self::from_sharded(sharded);
+        let Some(bottleneck) =
+            sharded
+                .shards()
+                .iter()
+                .fold(None::<&crate::graph::Shard>, |best, s| match best {
+                    Some(b) if b.sched.makespan() >= s.sched.makespan() => Some(b),
+                    _ => Some(s),
+                })
+        else {
+            return fb;
+        };
+        for seg in bk_obs::critpath::critical_path(&bottleneck.sched) {
+            if let bk_obs::critpath::EdgeKind::Reuse { consumer } = seg.entered {
+                if consumer == WB_REUSE_CONSUMER {
+                    fb.wb_reuse_crit += seg.wait;
+                } else {
+                    fb.data_reuse_crit += seg.wait;
+                }
+            }
+        }
+        fb
     }
 
     /// Fraction of the window makespan lost to reuse stall (0 when empty).
@@ -243,7 +297,17 @@ impl Autotuner {
                     return None;
                 }
                 let cap = self.depth_cap();
-                let deepen_data = fb.data_reuse_stall >= fb.wb_reuse_stall;
+                let deepen_data = match self.cfg.rank_by {
+                    RankBy::StallFraction => fb.data_reuse_stall >= fb.wb_reuse_stall,
+                    // No reuse wait on the critical path (pure resource /
+                    // dataflow window): fall back to the raw totals.
+                    RankBy::CritBlame
+                        if fb.data_reuse_crit.is_zero() && fb.wb_reuse_crit.is_zero() =>
+                    {
+                        fb.data_reuse_stall >= fb.wb_reuse_stall
+                    }
+                    RankBy::CritBlame => fb.data_reuse_crit >= fb.wb_reuse_crit,
+                };
                 if deepen_data && self.plan.data_depth < cap {
                     self.plan.data_depth = (self.plan.data_depth * 2).min(cap);
                 } else if self.plan.wb_depth < cap {
@@ -348,7 +412,36 @@ mod tests {
             makespan: t(1.0),
             data_reuse_stall: t(data),
             wb_reuse_stall: t(wb),
+            ..WindowFeedback::default()
         }
+    }
+
+    #[test]
+    fn crit_blame_ranking_overrides_raw_stall_totals() {
+        let mut cfg = AutotuneConfig::default();
+        cfg.rank_by = RankBy::CritBlame;
+        let mut a = Autotuner::new(
+            cfg,
+            TunePlan {
+                data_depth: 3,
+                wb_depth: 3,
+                chunk_bytes: 256 * 1024,
+            },
+            32,
+        );
+        a.observe(&stalled(0.9, 0.0)); // warmup
+                                       // Raw totals say the data edge is worse, but only the wb edge's
+                                       // waits sat on the critical path: blame mode deepens wb.
+        let fb = WindowFeedback {
+            data_reuse_crit: t(0.0),
+            wb_reuse_crit: t(0.3),
+            ..stalled(0.5, 0.1)
+        };
+        let p = a.observe(&fb).expect("should retune");
+        assert_eq!((p.data_depth, p.wb_depth), (3, 6));
+        // With no blame recorded it falls back to the raw comparison.
+        let p = a.observe(&stalled(0.5, 0.1)).expect("should retune");
+        assert_eq!((p.data_depth, p.wb_depth), (6, 6));
     }
 
     #[test]

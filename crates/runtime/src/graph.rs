@@ -117,6 +117,32 @@ impl ResourceId {
             ResourceKind::Serial => dev_arms!("serial", self.device),
         }
     }
+
+    /// Parse an interned resource string (as produced by [`Self::as_str`],
+    /// bare or `dev<i>.`-qualified) back into a typed id. The inverse of
+    /// `as_str` for every kind × device pair; `None` for anything outside
+    /// the vocabulary. The what-if replayer uses this to rebuild a
+    /// [`GraphSpec`] from a captured schedule snapshot.
+    pub fn parse(s: &str) -> Option<ResourceId> {
+        let (device, base) = match s.strip_prefix("dev").and_then(|rest| rest.split_once('.')) {
+            Some((d, tail)) => (d.parse::<usize>().ok().filter(|&d| d < MAX_DEVICES)?, tail),
+            None => (0, s),
+        };
+        use ResourceKind::*;
+        let kind = match base {
+            "gpu-ag" => GpuAddrGen,
+            "cpu-asm" => CpuAssembly,
+            "dma" => DmaH2D,
+            "dma-d2h" => DmaD2H,
+            "gpu-comp" => GpuCompute,
+            "cpu-wb" => CpuWriteback,
+            "cpu-stage" => CpuStage,
+            "gpu" => Gpu,
+            "serial" => Serial,
+            _ => return None,
+        };
+        Some(ResourceId::new(kind, device))
+    }
 }
 
 impl std::fmt::Display for ResourceId {
@@ -333,11 +359,17 @@ pub fn serial_graph(names: &[&'static str]) -> GraphSpec {
 }
 
 /// A computed graph schedule; same slot/meta surface as
-/// [`bk_simcore::Schedule`] via [`ScheduleView`].
+/// [`bk_simcore::Schedule`] via [`ScheduleView`], plus the graph shape it
+/// was scheduled under (deps, reuse edges, capacities) so it satisfies
+/// [`bk_obs::critpath::ScheduleDag`] — the critical-path analyzer re-derives
+/// each slot's binding predecessor from these.
 #[derive(Clone, Debug)]
 pub struct GraphSchedule {
     stage_names: Vec<&'static str>,
     resources: Vec<&'static str>,
+    deps: Vec<Vec<usize>>,
+    reuse: Vec<ReuseEdge>,
+    capacities: Vec<(&'static str, usize)>,
     /// `slots[chunk][stage]`
     slots: Vec<Vec<Slot>>,
     meta: Vec<Vec<SlotMeta>>,
@@ -365,6 +397,21 @@ impl ScheduleView for GraphSchedule {
     }
     fn makespan(&self) -> SimTime {
         self.makespan
+    }
+}
+
+impl bk_obs::critpath::ScheduleDag for GraphSchedule {
+    fn stage_deps(&self, stage: usize) -> &[usize] {
+        &self.deps[stage]
+    }
+    fn reuse_edges(&self) -> &[ReuseEdge] {
+        &self.reuse
+    }
+    fn resource_capacity(&self, resource: &str) -> usize {
+        self.capacities
+            .iter()
+            .find(|&&(r, _)| r == resource)
+            .map_or(1, |&(_, n)| n)
     }
 }
 
@@ -485,6 +532,13 @@ pub fn schedule_graph(spec: &GraphSpec, durations: &[Vec<SimTime>]) -> GraphSche
     GraphSchedule {
         stage_names: spec.stages.iter().map(|s| s.name).collect(),
         resources: spec.stages.iter().map(|s| s.resource.as_str()).collect(),
+        deps: spec.stages.iter().map(|s| s.deps.clone()).collect(),
+        reuse: spec.reuse.clone(),
+        capacities: spec
+            .capacities
+            .iter()
+            .map(|&(r, n)| (r.as_str(), n))
+            .collect(),
         slots,
         meta,
         makespan,
@@ -652,7 +706,24 @@ impl ShardedSchedule {
     /// registry ([`bk_obs::record_schedule_mapped`] maps each shard's local
     /// chunk rows back to run-global chunk ids), plus the per-device
     /// `device.<i>.{chunks, busy_ns, makespan_ns, stall_ns}` counters.
+    ///
+    /// While a [`bk_obs::critpath::capture`] guard is live, the wave is
+    /// additionally snapshot as a [`bk_obs::critpath::WaveDag`] (per-shard
+    /// schedules with their graph shape, global chunk ids and this wave's
+    /// `time_base`) for post-run critical-path analysis and what-if replay.
+    /// Without a guard the check is one thread-local read — no allocation.
     pub fn record(&self, chunk_base: usize, time_base: SimTime, metrics: &mut MetricsRegistry) {
+        if bk_obs::critpath::capture_enabled() {
+            let shards = self
+                .shards
+                .iter()
+                .map(|shard| {
+                    let ids: Vec<usize> = shard.chunk_ids.iter().map(|&c| chunk_base + c).collect();
+                    bk_obs::critpath::ShardDag::from_dag(&shard.sched, shard.device, ids)
+                })
+                .collect();
+            bk_obs::critpath::record_wave(bk_obs::critpath::WaveDag { time_base, shards });
+        }
         for shard in &self.shards {
             let ids: Vec<usize> = shard.chunk_ids.iter().map(|&c| chunk_base + c).collect();
             bk_obs::record_schedule_mapped(&shard.sched, &ids, time_base, metrics);
@@ -1004,6 +1075,35 @@ mod tests {
     }
 
     #[test]
+    fn chain_critical_path_is_sum_of_stage_costs() {
+        // Golden: a single-chunk linear chain has exactly one possible
+        // critical path — every stage, back to back, no waits — so the
+        // reconstructed path must equal the sum of stage costs.
+        use bk_obs::critpath::{boundary_ns, critical_path, path_sum_ns, EdgeKind};
+        let spec = GraphSpec::chain(vec![
+            ("ag", ResourceId::new(ResourceKind::GpuAddrGen, 0)),
+            ("asm", ResourceId::new(ResourceKind::CpuAssembly, 0)),
+            ("xfer", ResourceId::new(ResourceKind::DmaH2D, 0)),
+        ]);
+        let rows = vec![vec![t(0.5), t(1.25), t(0.25)]];
+        let s = schedule_graph(&spec, &rows);
+        assert_eq!(s.makespan(), t(2.0));
+        let segs = critical_path(&s);
+        assert_eq!(segs.len(), 3);
+        assert_eq!(path_sum_ns(&segs), boundary_ns(s.makespan()));
+        for (i, seg) in segs.iter().enumerate() {
+            assert_eq!(seg.stage, i);
+            assert_eq!(seg.chunk, 0);
+            assert!(seg.wait.is_zero());
+            if i == 0 {
+                assert_eq!(seg.entered, EdgeKind::Start);
+            } else {
+                assert_eq!(seg.entered, EdgeKind::Dataflow);
+            }
+        }
+    }
+
+    #[test]
     fn sharded_accumulate_preserves_stage_shape_and_totals() {
         let spec = bigkernel_graph(1, 3);
         let rows = vec![vec![t(0.2), t(0.9), t(0.7), t(1.3), t(0.3), t(0.2)]; 12];
@@ -1203,6 +1303,49 @@ mod proptests {
                         e.producer, e.consumer, e.depth,
                     );
                 }
+            }
+        }
+
+        /// Critical-path reconstruction over random DAGs: the path tiles
+        /// the makespan exactly in integer nanoseconds, segments abut, and
+        /// the makespan dominates every resource's busy time divided by its
+        /// capacity — for unit-capacity resources that's the classic
+        /// single-resource lower bound on any schedule.
+        #[test]
+        fn critical_path_tiles_random_dags(
+            spec in arb_dag(5),
+            d in arb_durations(20, 5),
+        ) {
+            use bk_obs::critpath::{boundary_ns, critical_path, path_sum_ns};
+            let s = schedule_graph(&spec, &d);
+            let segs = critical_path(&s);
+            prop_assert!(!segs.is_empty());
+            prop_assert_eq!(path_sum_ns(&segs), boundary_ns(s.makespan()));
+            prop_assert!(segs[0].start.is_zero());
+            prop_assert_eq!(segs.last().unwrap().finish, s.makespan());
+            for w in segs.windows(2) {
+                prop_assert_eq!(w[1].start, w[0].finish);
+            }
+            // Path length never exceeds the makespan (it tiles it), and the
+            // makespan itself is bounded below by busy/capacity per resource.
+            let path_secs: f64 =
+                segs.iter().map(|g| g.finish.secs() - g.start.secs()).sum();
+            prop_assert!(path_secs <= s.makespan().secs() + 1e-9);
+            let mut busy: std::collections::HashMap<ResourceId, f64> =
+                std::collections::HashMap::new();
+            for c in 0..s.num_chunks() {
+                for st in 0..s.num_stages() {
+                    *busy.entry(spec.stages[st].resource).or_default() +=
+                        s.slot(c, st).duration().secs();
+                }
+            }
+            for (res, total) in busy {
+                let cap = spec.capacity_of(res) as f64;
+                prop_assert!(
+                    s.makespan().secs() + 1e-9 >= total / cap,
+                    "makespan below busy/capacity bound for {}",
+                    res.as_str(),
+                );
             }
         }
 

@@ -44,6 +44,10 @@
 //! * [`pipeline`] — the 4-stage (plus 2 write-back stage) pipeline runner
 //!   producing a [`RunResult`] with simulated time, per-stage breakdown and
 //!   counters; a thin configuration layer over [`graph`].
+//! * [`whatif`] — what-if replay over captured schedule snapshots: predict
+//!   the makespan of a perturbed pipeline (deeper reuse edge, extra
+//!   device, faster stage) by re-running the pure scheduler, without
+//!   re-simulating the application.
 
 #![deny(missing_docs)]
 
@@ -65,9 +69,10 @@ pub mod result;
 pub mod segmented;
 pub mod stream;
 pub mod sync;
+pub mod whatif;
 
 pub use assembly::GatherConfig;
-pub use autotune::{AutotuneConfig, Autotuner, TunePlan, TunerState, WindowFeedback};
+pub use autotune::{AutotuneConfig, Autotuner, RankBy, TunePlan, TunerState, WindowFeedback};
 pub use bk_obs::{Histogram, MetricsRegistry};
 pub use config::{AssemblyLayout, AssemblyOrder, BigKernelConfig, SyncMode};
 pub use ctx::{AddrGenCtx, ComputeCtx, DevMemory, LiveMem, LoggedMem};
@@ -79,3 +84,4 @@ pub use pipeline::run_bigkernel;
 pub use pool::{AddrGenScratch, StreamPool};
 pub use result::{RunResult, StageStat};
 pub use stream::{StreamArray, StreamId};
+pub use whatif::{Perturbation, Prediction, Scenario};

@@ -59,7 +59,7 @@
 //! waves, reusing the active blocks' buffers (and their per-slot simulation
 //! state: warp aligner + LLC model).
 
-use crate::autotune::{Autotuner, TunePlan, WindowFeedback};
+use crate::autotune::{Autotuner, RankBy, TunePlan, WindowFeedback};
 use crate::config::BigKernelConfig;
 use crate::exec::{
     run_block_sequential, run_block_sequential_staged, run_chunk_assembled_logged,
@@ -258,6 +258,12 @@ pub fn run_bigkernel(
     // device can hold, and the controller re-plans reuse depths / chunk
     // size within that cap from recorded schedule state only. `None` takes
     // the exact static scheduling path below.
+    // Blame-ranked feedback walks the window's critical path; raw-stall
+    // feedback (the default) only sums per-slot stall counters.
+    let blame_rank = cfg
+        .autotune
+        .as_ref()
+        .is_some_and(|t| t.rank_by == RankBy::CritBlame);
     let mut tuner = cfg.autotune.clone().map(|tcfg| {
         let feasible =
             occupancy::max_buffer_sets(machine.gpu(), &occ, cfg.chunk_input_bytes.max(1));
@@ -519,7 +525,11 @@ pub fn run_bigkernel(
                         None => executor.run(rows),
                     };
                     sharded.record(total_chunks, total, &mut metrics);
-                    let fb = WindowFeedback::from_sharded(&sharded);
+                    let fb = if blame_rank {
+                        WindowFeedback::from_sharded_with_blame(&sharded)
+                    } else {
+                        WindowFeedback::from_sharded(&sharded)
+                    };
                     total += sharded.makespan();
                     sharded.accumulate(&mut stage_stats);
                     total_chunks += win;

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Noise-aware comparison of two BENCH_pipeline.json snapshots, stdlib only.
+
+Usage: bench_diff.py BASELINE.json CURRENT.json [--wall-tol F] [--sim-tol F]
+
+Fields are judged by how they were produced:
+
+* **wall-clock fields** (`wall_secs`, `blocks_per_sec`) move with host load,
+  so they get a loose relative threshold (`--wall-tol`, default 0.25) and
+  only a *worsening* beyond it counts — faster is never a regression.
+* **simulated-time fields** (`critical_path.makespan_ns`, scaling
+  `sim_secs`) are deterministic given the code, so any change is signal: a
+  worsening beyond `--sim-tol` (default 0.01) is a regression, and any
+  drift at all is reported.
+* **structural fields** (`chunks`, `num_blocks`, `gpus`) must match
+  exactly.
+
+Only apps present in both files are compared (the intersection); apps
+appearing on one side only are reported informationally, as are
+`provenance` differences. Exits 0 when everything is within thresholds,
+1 on any regression, 2 on usage errors — CI wires this as a soft gate
+against the committed baseline.
+"""
+
+import json
+import sys
+
+
+def rel(cur, base):
+    return (cur - base) / abs(base) if base else (0.0 if cur == base else float("inf"))
+
+
+def fmt_delta(cur, base):
+    return f"{base:g} -> {cur:g} ({rel(cur, base):+.1%})"
+
+
+def main(argv):
+    wall_tol, sim_tol = 0.25, 0.01
+    args = []
+    i = 0
+    while i < len(argv):
+        a = argv[i]
+        if a in ("--wall-tol", "--sim-tol"):
+            if i + 1 >= len(argv):
+                raise SystemExit(f"{a} needs a value")
+            try:
+                v = float(argv[i + 1])
+            except ValueError:
+                raise SystemExit(f"{a} needs a number, got {argv[i + 1]!r}")
+            if a == "--wall-tol":
+                wall_tol = v
+            else:
+                sim_tol = v
+            i += 2
+        elif a.startswith("--"):
+            raise SystemExit(f"unknown option {a!r}\n\n{__doc__.strip()}")
+        else:
+            args.append(a)
+            i += 1
+    if len(args) != 2:
+        raise SystemExit(__doc__.strip().splitlines()[2])
+
+    with open(args[0]) as f:
+        base = json.load(f)
+    with open(args[1]) as f:
+        cur = json.load(f)
+
+    regressions = []
+    notes = []
+
+    bp, cp = base.get("provenance", {}), cur.get("provenance", {})
+    for key in sorted(set(bp) | set(cp)):
+        if bp.get(key) != cp.get(key):
+            notes.append(f"provenance.{key}: {bp.get(key)!r} -> {cp.get(key)!r}")
+
+    base_apps = {a["app"]: a for a in base.get("apps", [])}
+    cur_apps = {a["app"]: a for a in cur.get("apps", [])}
+    for name in sorted(set(base_apps) ^ set(cur_apps)):
+        side = "baseline" if name in base_apps else "current"
+        notes.append(f"app {name!r} only in {side}; skipped")
+
+    for name in sorted(set(base_apps) & set(cur_apps)):
+        b, c = base_apps[name], cur_apps[name]
+
+        for key in ("chunks", "num_blocks", "gpus"):
+            if b.get(key) != c.get(key):
+                regressions.append(
+                    f"{name}.{key}: structural mismatch {b.get(key)} -> {c.get(key)}"
+                )
+
+        d = rel(c["blocks_per_sec"], b["blocks_per_sec"])
+        line = f"{name}.blocks_per_sec: {fmt_delta(c['blocks_per_sec'], b['blocks_per_sec'])}"
+        if d < -wall_tol:
+            regressions.append(f"{line}  [wall, tol {wall_tol:.0%}]")
+        else:
+            notes.append(line)
+
+        bc, cc = b.get("critical_path"), c.get("critical_path")
+        if bc and cc:
+            d = rel(cc["makespan_ns"], bc["makespan_ns"])
+            line = f"{name}.critical_path.makespan_ns: {fmt_delta(cc['makespan_ns'], bc['makespan_ns'])}"
+            if d > sim_tol:
+                regressions.append(f"{line}  [simulated, tol {sim_tol:.0%}]")
+            elif d != 0:
+                notes.append(line)
+
+    base_scaling = {(s["app"], s["gpus"]): s for s in base.get("scaling", [])}
+    cur_scaling = {(s["app"], s["gpus"]): s for s in cur.get("scaling", [])}
+    for key in sorted(set(base_scaling) & set(cur_scaling)):
+        bs, cs = base_scaling[key], cur_scaling[key]
+        d = rel(cs["sim_secs"], bs["sim_secs"])
+        line = f"scaling[{key[0]},{key[1]}gpu].sim_secs: {fmt_delta(cs['sim_secs'], bs['sim_secs'])}"
+        if d > sim_tol:
+            regressions.append(f"{line}  [simulated, tol {sim_tol:.0%}]")
+        elif d != 0:
+            notes.append(line)
+
+    for line in notes:
+        print(f"  note: {line}")
+    if regressions:
+        for line in regressions:
+            print(f"REGRESSION: {line}")
+        return 1
+    print(f"bench_diff: no regressions ({args[0]} vs {args[1]})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
