@@ -170,6 +170,8 @@ impl BenchApp for DnaAssembly {
         Instance {
             kernels: vec![Box::new(DnaKernel { table })],
             streams: vec![stream],
+            scratch_streams: vec![],
+            fused: None,
             verify: Box::new(verify),
         }
     }

@@ -5,9 +5,10 @@ use bk_baselines::{
     run_cpu_multithreaded, run_cpu_serial, run_gpu_double_buffer, run_gpu_single_buffer,
     run_variant, BaselineConfig, BigKernelVariant,
 };
+use bk_runtime::fusion::FusePlan;
 use bk_runtime::{
-    run_bigkernel, BigKernelConfig, LaunchConfig, Machine, RunResult, StageStat, StreamArray,
-    StreamKernel,
+    run_bigkernel, run_bigkernel_fused, BigKernelConfig, LaunchConfig, Machine, RunResult,
+    StageStat, StreamArray, StreamId, StreamKernel,
 };
 use bk_simcore::SimTime;
 
@@ -39,6 +40,16 @@ pub struct Instance {
     /// Kernel passes, run in order (MasterCard Affinity has two).
     pub kernels: Vec<Box<dyn StreamKernel + Send + Sync>>,
     pub streams: Vec<StreamArray>,
+    /// Streams produced and consumed entirely *inside* the multi-pass
+    /// program (intermediates). Under fusion their write-back transfer is
+    /// elided ([`bk_runtime::fusion::PassIo::skip_writeback`]); unfused
+    /// runs still materialize them in host memory between passes.
+    pub scratch_streams: Vec<StreamId>,
+    /// A pre-fused single-kernel program equivalent to running `kernels`
+    /// in order (IR-level fusion, see `bk_kernelc::fuse`). When present
+    /// and fusion is requested, the harness runs this one kernel instead
+    /// of analyzing the pass pair at the schedule level.
+    pub fused: Option<Box<dyn StreamKernel + Send + Sync>>,
     /// Verifies the machine state after all passes against the reference.
     pub verify: VerifyFn,
 }
@@ -101,6 +112,10 @@ pub struct HarnessConfig {
     /// Number of simulated GPUs; chunks are sharded across them by the
     /// stage-graph executor. Functional outputs are identical at any count.
     pub gpus: usize,
+    /// Mega-kernel fusion: compile multi-pass programs into one multi-stage
+    /// pipeline when the dependence analysis proves it safe (BigKernel
+    /// implementation only; refused pairs fall back to the per-pass loop).
+    pub fuse: bool,
 }
 
 impl HarnessConfig {
@@ -117,6 +132,7 @@ impl HarnessConfig {
             fixed_cost_scale: 1.0,
             link: None,
             gpus: 1,
+            fuse: false,
         }
     }
 
@@ -160,6 +176,7 @@ impl HarnessConfig {
             fixed_cost_scale: 1.0,
             link: None,
             gpus: 1,
+            fuse: false,
         }
     }
 }
@@ -201,12 +218,82 @@ pub fn run_implementation(
     imp: Implementation,
     cfg: &HarnessConfig,
 ) -> RunResult {
+    let fuse_requested = cfg.fuse && imp == Implementation::BigKernel;
+    if fuse_requested {
+        if let Some(result) = run_fused(machine, instance, cfg) {
+            return result;
+        }
+    }
     let results: Vec<RunResult> = instance
         .kernels
         .iter()
-        .map(|k| run_one(machine, k.as_ref(), &instance.streams, imp, cfg))
+        .enumerate()
+        .map(|(pass, k)| {
+            bk_obs::critpath::set_pass(pass);
+            run_one(machine, k.as_ref(), &instance.streams, imp, cfg)
+        })
         .collect();
-    merge_pass_results(imp.label(), results)
+    bk_obs::critpath::set_pass(0);
+    let mut merged = merge_pass_results(imp.label(), results);
+    if fuse_requested {
+        // Dependence analysis could not prove the pass pair safe; record
+        // the conservative fallback so sweeps can tell "fused" from
+        // "refused, ran unfused" without comparing byte counts.
+        merged.metrics.add("fusion.refused", 1);
+    }
+    merged
+}
+
+/// Attempt the fused execution of a multi-pass program: the IR-fused
+/// single kernel when the app provides one, otherwise schedule-level
+/// fusion via [`FusePlan::analyze`] over the passes' access summaries.
+/// Returns `None` when fusion is refused — the caller falls back to the
+/// ordinary per-pass loop, which is always functionally correct.
+fn run_fused(machine: &mut Machine, instance: &Instance, cfg: &HarnessConfig) -> Option<RunResult> {
+    let label = Implementation::BigKernel.label();
+    if let Some(fused) = &instance.fused {
+        let mut r = run_bigkernel(
+            machine,
+            fused.as_ref(),
+            &instance.streams,
+            cfg.launch,
+            &cfg.bigkernel,
+        );
+        r.implementation = label;
+        r.metrics.add("fusion.fused", 1);
+        return Some(r);
+    }
+    if instance.kernels.len() < 2 {
+        return None;
+    }
+    let summaries: Vec<_> = instance
+        .kernels
+        .iter()
+        .map(|k| k.access_summary())
+        .collect();
+    let plan = FusePlan::analyze(
+        &summaries,
+        instance.streams.len(),
+        &instance.scratch_streams,
+    )
+    .ok()?;
+    let kernels: Vec<&dyn StreamKernel> = instance
+        .kernels
+        .iter()
+        .map(|k| k.as_ref() as &dyn StreamKernel)
+        .collect();
+    let mut r = run_bigkernel_fused(
+        machine,
+        &kernels,
+        &instance.streams,
+        cfg.launch,
+        &cfg.bigkernel,
+        &plan,
+    )
+    .ok()?;
+    r.implementation = label;
+    r.metrics.add("fusion.fused", 1);
+    Some(r)
 }
 
 fn run_one(

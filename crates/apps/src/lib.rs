@@ -23,6 +23,7 @@
 
 pub mod affinity;
 pub mod dna;
+pub mod filtercount;
 pub mod harness;
 pub mod kmeans;
 pub mod netflix;

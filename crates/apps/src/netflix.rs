@@ -134,6 +134,8 @@ impl BenchApp for Netflix {
         Instance {
             kernels: vec![Box::new(NetflixKernel { table })],
             streams: vec![stream],
+            scratch_streams: vec![],
+            fused: None,
             verify: Box::new(verify),
         }
     }

@@ -262,6 +262,8 @@ impl BenchApp for OpinionFinder {
         Instance {
             kernels: vec![Box::new(OpinionKernel { dicts, acc })],
             streams: vec![stream],
+            scratch_streams: vec![],
+            fused: None,
             verify: Box::new(verify),
         }
     }

@@ -231,6 +231,8 @@ impl BenchApp for WordCount {
                 text_len: bytes,
             })],
             streams: vec![stream],
+            scratch_streams: vec![],
+            fused: None,
             verify: Box::new(verify),
         }
     }

@@ -10,6 +10,7 @@
 
 use bk_apps::affinity::{Affinity, AffinityIndexed};
 use bk_apps::dna::DnaAssembly;
+use bk_apps::filtercount::FilterCount;
 use bk_apps::kmeans::KMeans;
 use bk_apps::netflix::Netflix;
 use bk_apps::opinion::OpinionFinder;
@@ -608,6 +609,67 @@ fn assembly_knobs_preserve_outputs_and_simd_preserves_timing() {
                 off.stages,
                 "{} per-stage times changed with SIMD under {order:?}",
                 app.spec().name
+            );
+        }
+    }
+}
+
+/// Mega-kernel fusion (DESIGN.md §15) is a transfer-schedule decision, not
+/// a functional one: with `--fuse`, every application's BigKernel run must
+/// still verify bit-identical against the pure-Rust reference — fused where
+/// the dependence analysis proves the pass pair safe, conservatively
+/// refused (and therefore running the ordinary per-pass loop) otherwise.
+/// Also pins which side of that line each app falls on, and that a refusal
+/// really is a fallback: same simulated schedule as the unfused run.
+#[test]
+fn fused_runs_verify_identically_for_every_app() {
+    let mut apps = all_apps();
+    apps.push(Box::new(FilterCount));
+    for app in apps {
+        let name = app.spec().name;
+        let run = |fuse: bool| {
+            let mut cfg = HarnessConfig::test_small();
+            cfg.fuse = fuse;
+            let mut machine = Machine::test_platform();
+            let instance = app.instantiate(&mut machine, 96 * 1024, 42);
+            let result =
+                run_implementation(&mut machine, &instance, Implementation::BigKernel, &cfg);
+            if let Err(e) = (instance.verify)(&machine) {
+                panic!("{name} failed verification (fuse={fuse}): {e}");
+            }
+            result
+        };
+        let off = run(false);
+        let on = run(true);
+        let fused = on.metrics.get("fusion.fused");
+        let refused = on.metrics.get("fusion.refused");
+        assert_eq!(
+            fused + refused,
+            1,
+            "{name}: fusion must be taken or refused"
+        );
+        let expect_fused = matches!(name, "K-means" | "MasterCard Affinity" | "FilterCount");
+        assert_eq!(
+            fused == 1,
+            expect_fused,
+            "{name}: fused={fused} refused={refused}"
+        );
+        if refused == 1 {
+            // The fallback is the unfused loop itself: identical schedule
+            // and transfers, the refusal marker being the only trace.
+            assert_eq!(on.total, off.total, "{name}: refused run changed timing");
+            assert_eq!(on.chunks, off.chunks);
+            for key in ["pcie.h2d_bytes", "pcie.d2h_bytes"] {
+                assert_eq!(on.metrics.get(key), off.metrics.get(key), "{name}: {key}");
+            }
+        } else {
+            let moved =
+                |r: &RunResult| r.metrics.get("pcie.h2d_bytes") + r.metrics.get("pcie.d2h_bytes");
+            assert!(
+                moved(&on) < moved(&off),
+                "{name}: fusion did not cut PCIe traffic ({} vs {})",
+                moved(&on),
+                moved(&off)
             );
         }
     }

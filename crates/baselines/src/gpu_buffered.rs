@@ -115,6 +115,7 @@ struct GranuleComputed {
     bytes_read: u64,
     bytes_written: u64,
     any_writes: bool,
+    aux_dirty: u64,
     effects: Option<bk_gpu::BlockEffects>,
 }
 
@@ -133,6 +134,7 @@ struct WindowCtx<'a> {
     ranges: &'a [Range<u64>],
     window: Range<u64>,
     data_buf: bk_gpu::BufferId,
+    aux: &'a [(bk_runtime::StreamId, bk_gpu::BufferId)],
     tpb: u32,
     total_threads: u32,
 }
@@ -153,11 +155,13 @@ fn granule_logged(
     let mut bytes_read = 0u64;
     let mut bytes_written = 0u64;
     let mut any_writes = false;
+    let mut aux_dirty = 0u64;
     {
         let log = &mut log;
         let bytes_read = &mut bytes_read;
         let bytes_written = &mut bytes_written;
         let any_writes = &mut any_writes;
+        let aux_dirty = &mut aux_dirty;
         bk_gpu::run_block_lanes(machine.gpu(), sim, w.tpb, &mut cost, |lane, trace| {
             let g_lane = granule * w.tpb as usize + lane;
             let r = &w.ranges[g_lane];
@@ -170,11 +174,13 @@ fn granule_logged(
                 g_lane as u32,
                 w.total_threads,
                 trace,
-            );
+            )
+            .set_aux(w.aux);
             w.kernel.process(&mut ctx, range);
             *bytes_read += ctx.stream_bytes_read;
             *bytes_written += ctx.stream_bytes_written;
-            *any_writes |= ctx.stream_bytes_written > 0;
+            *any_writes |= ctx.primary_bytes_written > 0;
+            *aux_dirty |= ctx.aux_written_mask;
         });
     }
     GranuleComputed {
@@ -182,6 +188,7 @@ fn granule_logged(
         bytes_read,
         bytes_written,
         any_writes,
+        aux_dirty,
         effects: Some(log.finish()),
     }
 }
@@ -198,6 +205,7 @@ fn granule_live(
     let mut bytes_read = 0u64;
     let mut bytes_written = 0u64;
     let mut any_writes = false;
+    let mut aux_dirty = 0u64;
     {
         let Machine {
             ref devices,
@@ -208,6 +216,7 @@ fn granule_live(
         let bytes_read = &mut bytes_read;
         let bytes_written = &mut bytes_written;
         let any_writes = &mut any_writes;
+        let aux_dirty = &mut aux_dirty;
         bk_gpu::run_block_lanes(gpu, sim, w.tpb, &mut cost, |lane, trace| {
             let g_lane = granule * w.tpb as usize + lane;
             let r = &w.ranges[g_lane];
@@ -220,11 +229,13 @@ fn granule_live(
                 g_lane as u32,
                 w.total_threads,
                 trace,
-            );
+            )
+            .set_aux(w.aux);
             w.kernel.process(&mut ctx, range);
             *bytes_read += ctx.stream_bytes_read;
             *bytes_written += ctx.stream_bytes_written;
-            *any_writes |= ctx.stream_bytes_written > 0;
+            *any_writes |= ctx.primary_bytes_written > 0;
+            *aux_dirty |= ctx.aux_written_mask;
         });
     }
     GranuleComputed {
@@ -232,6 +243,7 @@ fn granule_live(
         bytes_read,
         bytes_written,
         any_writes,
+        aux_dirty,
         effects: None,
     }
 }
@@ -272,6 +284,27 @@ fn run_buffered(
     let mut sims: Vec<BlockSim> = (0..num_granules).map(|_| BlockSim::new()).collect();
     let mut any_writes_at_all = false;
 
+    // A traditional buffered implementation needs a whole resident copy of
+    // every secondary mapped array (the staging window holds the primary
+    // stream only). Stage them up front; the transfer cost lands on the
+    // first window, and dirty aux streams copy back after the last.
+    let aux: Vec<(bk_runtime::StreamId, bk_gpu::BufferId)> = streams[1..]
+        .iter()
+        .map(|s| {
+            let buf = machine.gmem.alloc(s.len().max(1));
+            let src = machine.hmem.read(s.region, 0, s.len() as usize).to_vec();
+            machine.gmem.dma_in(buf, 0, &src);
+            metrics.add("pcie.h2d_bytes", s.len());
+            (s.id, buf)
+        })
+        .collect();
+    let mut pending_aux_xfer = streams[1..].iter().fold(SimTime::ZERO, |t, s| {
+        t + machine
+            .link
+            .dma_time_with_flag(DmaDirection::HostToDevice, s.len())
+    });
+    let mut aux_dirty_mask = 0u64;
+
     for w in 0..num_windows {
         let window = chunk_slice(&full, w, num_windows, rec);
         if window.is_empty() {
@@ -297,10 +330,11 @@ fn run_buffered(
         // Stage 1: pin-copy on the CPU (read + write per byte).
         let stage_cost = CpuCost::streaming(staged_len, 2, 1);
         let t_stage = cpu::cpu_stage_time(&machine.cpu, &stage_cost, 1);
-        // Stage 2: DMA.
+        // Stage 2: DMA (plus the one-time aux staging on the first window).
         let t_xfer = machine
             .link
-            .dma_time_with_flag(DmaDirection::HostToDevice, staged_len);
+            .dma_time_with_flag(DmaDirection::HostToDevice, staged_len)
+            + std::mem::replace(&mut pending_aux_xfer, SimTime::ZERO);
         metrics.add("pcie.h2d_bytes", staged_len);
 
         // Stage 3: kernel over the window (original layout), one granule of
@@ -312,6 +346,7 @@ fn run_buffered(
             ranges: &ranges,
             window: window.clone(),
             data_buf,
+            aux: &aux,
             tpb,
             total_threads,
         };
@@ -362,6 +397,7 @@ fn run_buffered(
             metrics.add("stream.bytes_read", computed.bytes_read);
             metrics.add("stream.bytes_written", computed.bytes_written);
             any_writes |= computed.any_writes;
+            aux_dirty_mask |= computed.aux_dirty;
         }
         let t_comp = pool.stage_time(&comp_cost) + cfg.kernel_launch_overhead;
         metrics.add("gpu.mem_transactions", comp_cost.mem_transactions);
@@ -387,6 +423,29 @@ fn run_buffered(
 
         machine.gmem.free(data_buf);
         durations.push(vec![t_stage, t_xfer, t_comp, t_wbx, t_wba]);
+    }
+
+    // Copy dirty aux streams back once, after the last window.
+    let (mut t_aux_wbx, mut t_aux_wba) = (SimTime::ZERO, SimTime::ZERO);
+    for (i, (_, buf)) in aux.iter().enumerate() {
+        if aux_dirty_mask & (1u64 << i.min(63)) != 0 {
+            let arr = &streams[1 + i];
+            let bytes = machine.gmem.dma_out(*buf, 0, arr.len() as usize);
+            machine.hmem.write(arr.region, 0, &bytes);
+            t_aux_wbx += machine
+                .link
+                .dma_time_with_flag(DmaDirection::DeviceToHost, arr.len());
+            t_aux_wba += cpu::cpu_stage_time(&machine.cpu, &CpuCost::streaming(arr.len(), 2, 1), 1);
+            metrics.add("pcie.d2h_bytes", arr.len());
+            any_writes_at_all = true;
+        }
+        machine.gmem.free(*buf);
+    }
+    if t_aux_wbx > SimTime::ZERO {
+        if let Some(last) = durations.last_mut() {
+            last[3] += t_aux_wbx;
+            last[4] += t_aux_wba;
+        }
     }
 
     // The schedule is a stage-graph configuration: a fully serialized chain
@@ -493,6 +552,37 @@ mod tests {
         }
     }
 
+    /// Reads both streams per record, writes the sum back to stream 1 —
+    /// exercises aux staging of a whole secondary stream.
+    struct TwoStreamKernel;
+
+    impl StreamKernel for TwoStreamKernel {
+        fn name(&self) -> &'static str {
+            "two-stream"
+        }
+        fn record_size(&self) -> Option<u64> {
+            Some(8)
+        }
+        fn addresses(&self, ctx: &mut AddrGenCtx<'_>, range: Range<u64>) {
+            let mut off = range.start;
+            while off < range.end {
+                ctx.emit_read(StreamId(0), off, 8);
+                ctx.emit_read(StreamId(1), off, 8);
+                ctx.emit_write(StreamId(1), off, 8);
+                off += 8;
+            }
+        }
+        fn process(&self, ctx: &mut dyn KernelCtx, range: Range<u64>) {
+            let mut off = range.start;
+            while off < range.end {
+                let a = ctx.stream_read(StreamId(0), off, 8);
+                let b = ctx.stream_read(StreamId(1), off, 8);
+                ctx.stream_write(StreamId(1), off, 8, a.wrapping_add(b));
+                off += 8;
+            }
+        }
+    }
+
     fn setup(n: u64) -> (Machine, Vec<StreamArray>, u64) {
         let mut m = Machine::test_platform();
         let r = m.hmem.alloc(n * 8);
@@ -578,6 +668,36 @@ mod tests {
         }
         assert!(res.metrics.get("pcie.d2h_bytes") >= 2048 * 8);
         assert!(res.stage_busy("wb-xfer") > SimTime::ZERO);
+    }
+
+    #[test]
+    fn secondary_streams_are_aux_staged() {
+        let mut m = Machine::test_platform();
+        let n = 2048u64;
+        let r0 = m.hmem.alloc(n * 8);
+        let r1 = m.hmem.alloc(n * 8);
+        for i in 0..n {
+            m.hmem.write_u64(r0, i * 8, i * 3);
+            m.hmem.write_u64(r1, i * 8, 1000 + i);
+        }
+        let streams = vec![
+            StreamArray::map(&m, StreamId(0), r0),
+            StreamArray::map(&m, StreamId(1), r1),
+        ];
+        let res = run_gpu_double_buffer(
+            &mut m,
+            &TwoStreamKernel,
+            &streams,
+            LaunchConfig::new(2, 32),
+            &small_cfg(),
+        );
+        for i in 0..n {
+            assert_eq!(m.hmem.read_u64(r1, i * 8), i * 3 + 1000 + i);
+        }
+        // Aux stream rides PCIe once each way; the primary stream was never
+        // written, so no window copies back.
+        assert!(res.metrics.get("pcie.h2d_bytes") >= 2 * n * 8);
+        assert_eq!(res.metrics.get("pcie.d2h_bytes"), n * 8);
     }
 
     #[test]

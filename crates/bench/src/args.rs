@@ -40,6 +40,10 @@ pub struct ExpArgs {
     /// Vectorized gather fast path (`--simd on|off`); `None` keeps the
     /// config default (on).
     pub simd: Option<bool>,
+    /// Mega-kernel fusion (`--fuse` / `--fuse=off`, DESIGN.md §15); `None`
+    /// keeps the config default (off). Refused pairs fall back to the
+    /// unfused per-pass loop, so `--fuse` is always safe to pass.
+    pub fuse: Option<bool>,
 }
 
 impl Default for ExpArgs {
@@ -58,6 +62,7 @@ impl Default for ExpArgs {
             autotune_rank: None,
             assembly_order: None,
             simd: None,
+            fuse: None,
         }
     }
 }
@@ -67,9 +72,22 @@ impl ExpArgs {
     /// `--threads N`, `--machine NAME`, `--gpus N`, `--faults SPEC`,
     /// `--reuse-depth N`, `--buffers N`, `--autotune on|off`,
     /// `--autotune-rank stall|critpath`,
-    /// `--assembly-order natural|cache-blocked|auto`, `--simd on|off` from
-    /// an iterator of arguments (pass `std::env::args().skip(1)`).
-    pub fn parse<I: Iterator<Item = String>>(mut args: I) -> Result<Self, String> {
+    /// `--assembly-order natural|cache-blocked|auto`, `--simd on|off`,
+    /// `--fuse[=on|off]` from an iterator of arguments (pass
+    /// `std::env::args().skip(1)`). Error messages attribute unknown flags
+    /// to the generic name "bench"; binaries parsing real process arguments
+    /// should use [`ExpArgs::from_env`], which names the binary.
+    pub fn parse<I: Iterator<Item = String>>(args: I) -> Result<Self, String> {
+        Self::parse_named("bench", args)
+    }
+
+    /// [`ExpArgs::parse`] with the binary name used in error messages, so
+    /// `fig4a --fsue` fails with "fig4a: unknown argument" rather than an
+    /// anonymous complaint.
+    pub fn parse_named<I: Iterator<Item = String>>(
+        binary: &str,
+        mut args: I,
+    ) -> Result<Self, String> {
         let mut out = ExpArgs::default();
         while let Some(a) = args.next() {
             let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
@@ -178,19 +196,30 @@ impl ExpArgs {
                         other => return Err(format!("--simd: expected on|off, got {other:?}")),
                     };
                 }
+                // `--fuse` takes its value with `=` (no separate word) so a
+                // bare `--fuse` reads naturally in sweep scripts.
+                "--fuse" | "--fuse=on" => out.fuse = Some(true),
+                "--fuse=off" => out.fuse = Some(false),
+                other if other.starts_with("--fuse=") => {
+                    return Err(format!(
+                        "--fuse: expected on|off, got {:?}",
+                        &other["--fuse=".len()..]
+                    ))
+                }
                 "--help" | "-h" => {
                     return Err(
                         "usage: [--bytes N | --mib N] [--seed S] [--app SUBSTR] [--threads N] \
                          [--machine gtx680|tesla-like|test-tiny] [--gpus N] [--faults SPEC] \
                          [--reuse-depth N] [--buffers N] [--autotune on|off] \
                          [--autotune-rank stall|critpath] \
-                         [--assembly-order natural|cache-blocked|auto] [--simd on|off]\n\
+                         [--assembly-order natural|cache-blocked|auto] [--simd on|off] \
+                         [--fuse[=on|off]]\n\
                          fault SPEC: comma-separated seed=N,rate=F,retries=N,backoff_us=F,\
                          fail=STAGE@CHUNK[xN],kill=DEV@WAVE"
                             .to_string(),
                     )
                 }
-                other => return Err(format!("unknown argument: {other}")),
+                other => return Err(format!("{binary}: unknown argument: {other}")),
             }
         }
         if out.bytes == 0 {
@@ -200,8 +229,19 @@ impl ExpArgs {
     }
 
     /// Parse from the process arguments, exiting with a message on error.
+    /// Errors name the running binary (from `argv[0]`), so a typo'd flag in
+    /// a sweep over several binaries points at the invocation that failed.
     pub fn from_env() -> Self {
-        match Self::parse(std::env::args().skip(1)) {
+        let mut argv = std::env::args();
+        let binary = argv
+            .next()
+            .and_then(|p| {
+                std::path::Path::new(&p)
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+            })
+            .unwrap_or_else(|| "bench".to_string());
+        match Self::parse_named(&binary, argv) {
             Ok(a) => a,
             Err(e) => {
                 eprintln!("{e}");
@@ -288,6 +328,11 @@ impl ExpArgs {
         if let Some(on) = self.simd {
             cfg.bigkernel.simd_gather = on;
         }
+        // Fusion is a harness-level decision (it changes which runner the
+        // BigKernel implementation uses); baselines always run unfused.
+        if let Some(on) = self.fuse {
+            cfg.fuse = on;
+        }
     }
 
     /// `apply_threads` + `apply_platform` in one call — what every
@@ -356,6 +401,9 @@ impl ExpArgs {
         }
         if let Some(on) = self.simd {
             parts.push(format!("--simd {}", if on { "on" } else { "off" }));
+        }
+        if let Some(on) = self.fuse {
+            parts.push(if on { "--fuse" } else { "--fuse=off" }.to_string());
         }
         parts.join(" ")
     }
@@ -601,6 +649,31 @@ mod tests {
         assert!(cfg.bigkernel.simd_gather);
         assert!(parse(&["--simd", "maybe"]).is_err());
         assert!(parse(&["--simd"]).is_err());
+    }
+
+    #[test]
+    fn fuse_flag() {
+        let a = parse(&["--fuse"]).unwrap();
+        assert_eq!(a.fuse, Some(true));
+        let mut cfg = bk_apps::HarnessConfig::test_small();
+        assert!(!cfg.fuse);
+        a.apply_platform(&mut cfg);
+        assert!(cfg.fuse);
+        parse(&["--fuse=off"]).unwrap().apply_platform(&mut cfg);
+        assert!(!cfg.fuse);
+        assert_eq!(parse(&["--fuse=on"]).unwrap().fuse, Some(true));
+        assert!(parse(&["--fuse=maybe"]).is_err());
+        assert_eq!(parse(&["--fuse"]).unwrap().flags_string(), "--fuse");
+        assert_eq!(parse(&["--fuse=off"]).unwrap().flags_string(), "--fuse=off");
+    }
+
+    #[test]
+    fn unknown_flag_errors_name_the_binary() {
+        let err = ExpArgs::parse_named("fig4a", ["--fsue".to_string()].into_iter()).unwrap_err();
+        assert!(err.starts_with("fig4a: unknown argument"), "{err}");
+        // The generic entry point attributes to "bench".
+        let err = parse(&["--whatever"]).unwrap_err();
+        assert!(err.starts_with("bench: unknown argument"), "{err}");
     }
 
     #[test]

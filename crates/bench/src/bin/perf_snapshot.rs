@@ -13,10 +13,12 @@
 //!
 //! Besides the per-app wall-clock rows, the snapshot records a simulated
 //! multi-GPU scaling section (the three streaming apps on 1/2/4 replicated
-//! devices; see the `scaling` binary for the live table), a per-app
-//! `critical_path` blame block plus ranked `what_if` predictions from an
-//! untimed capture run, and a `provenance` block recording how the file
-//! was produced.
+//! devices; see the `scaling` binary for the live table), a simulated
+//! `fusion` sweep (the multi-pass apps unfused vs fused, DESIGN.md §15 —
+//! the binary exits non-zero unless every fused run verifies and moves
+//! strictly fewer PCIe bytes), a per-app `critical_path` blame block plus
+//! ranked `what_if` predictions from an untimed capture run, and a
+//! `provenance` block recording how the file was produced.
 
 use bk_apps::{run_implementation, HarnessConfig, Implementation};
 use bk_bench::{all_apps, args::ExpArgs, short_name};
@@ -83,6 +85,38 @@ struct ScalingRow {
     speedup: f64,
 }
 
+/// One row of the mega-kernel fusion sweep (EXPERIMENTS.md "Fusion
+/// sweep"): the same app run unfused and with fusion requested, simulated
+/// PCIe traffic side by side. All fields are functional/simulated, so the
+/// committed values are deterministic and `bench_diff.py` compares them
+/// exactly.
+struct FusionRow {
+    app: &'static str,
+    /// Whether fusion was actually taken (`false` = conservatively
+    /// refused, the run fell back to the unfused per-pass loop).
+    fused: bool,
+    unfused_h2d: u64,
+    unfused_d2h: u64,
+    fused_h2d: u64,
+    fused_d2h: u64,
+    unfused_sim_secs: f64,
+    fused_sim_secs: f64,
+}
+
+impl FusionRow {
+    fn saved_bytes(&self) -> i64 {
+        (self.unfused_h2d + self.unfused_d2h) as i64 - (self.fused_h2d + self.fused_d2h) as i64
+    }
+
+    fn speedup(&self) -> f64 {
+        if self.fused_sim_secs > 0.0 {
+            self.unfused_sim_secs / self.fused_sim_secs
+        } else {
+            1.0
+        }
+    }
+}
+
 /// Summary of one stage's `hist.reuse-wait.<stage>` histogram.
 struct ReuseWaitRow {
     stage: String,
@@ -140,6 +174,7 @@ fn to_json(
     iters: usize,
     rows: &[Row],
     scaling: &[ScalingRow],
+    fusion: &[FusionRow],
 ) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
@@ -324,8 +359,75 @@ fn to_json(
             if i + 1 < scaling.len() { "," } else { "" }
         );
     }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"fusion\": [");
+    for (i, f) in fusion.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{ \"app\": \"{}\", \"fused\": {}, \
+             \"unfused_h2d_bytes\": {}, \"unfused_d2h_bytes\": {}, \
+             \"fused_h2d_bytes\": {}, \"fused_d2h_bytes\": {}, \
+             \"saved_bytes\": {}, \"unfused_sim_secs\": {:.9}, \
+             \"fused_sim_secs\": {:.9}, \"speedup\": {:.4} }}{}",
+            f.app,
+            f.fused,
+            f.unfused_h2d,
+            f.unfused_d2h,
+            f.fused_h2d,
+            f.fused_d2h,
+            f.saved_bytes(),
+            f.unfused_sim_secs,
+            f.fused_sim_secs,
+            f.speedup(),
+            if i + 1 < fusion.len() { "," } else { "" }
+        );
+    }
     let _ = writeln!(out, "  ]");
     out.push('}');
+    out
+}
+
+/// Simulated fusion sweep over the multi-pass apps (EXPERIMENTS.md
+/// "Fusion sweep"). Like the scaling sweep it ignores `--app`, so every
+/// snapshot gates the fusion transfer reduction. Both runs of each app are
+/// verified against the pure-Rust reference; a verification failure exits
+/// non-zero immediately.
+fn fusion_sweep(args: &ExpArgs, cfg: &HarnessConfig) -> Vec<FusionRow> {
+    let fusion_apps: Vec<Box<dyn bk_apps::BenchApp + Sync>> = vec![
+        Box::new(bk_apps::kmeans::KMeans::default()),
+        Box::new(bk_apps::affinity::Affinity::default()),
+        Box::new(bk_apps::filtercount::FilterCount),
+    ];
+    let mut out = Vec::new();
+    for app in fusion_apps {
+        let name = app.spec().name;
+        let run = |fuse: bool| {
+            let mut cfg = cfg.clone();
+            cfg.fuse = fuse;
+            let mut machine = (cfg.machine)();
+            machine.replicate_gpus(cfg.gpus);
+            machine.scale_fixed_costs(cfg.fixed_cost_scale);
+            let instance = app.instantiate(&mut machine, args.bytes, args.seed);
+            let r = run_implementation(&mut machine, &instance, Implementation::BigKernel, &cfg);
+            if let Err(e) = (instance.verify)(&machine) {
+                eprintln!("fusion sweep: {name} failed verification (fuse={fuse}): {e}");
+                std::process::exit(1);
+            }
+            r
+        };
+        let un = run(false);
+        let fu = run(true);
+        out.push(FusionRow {
+            app: short_name(name),
+            fused: fu.metrics.get("fusion.fused") == 1,
+            unfused_h2d: un.metrics.get("pcie.h2d_bytes"),
+            unfused_d2h: un.metrics.get("pcie.d2h_bytes"),
+            fused_h2d: fu.metrics.get("pcie.h2d_bytes"),
+            fused_d2h: fu.metrics.get("pcie.d2h_bytes"),
+            unfused_sim_secs: un.total.secs(),
+            fused_sim_secs: fu.total.secs(),
+        });
+    }
     out
 }
 
@@ -497,7 +599,45 @@ fn main() {
         );
     }
 
-    let json = to_json(&args, &cfg, ITERS, &rows, &scaling);
+    let fusion = fusion_sweep(&args, &cfg);
+    println!();
+    println!(
+        "{:<9} {:>6} {:>14} {:>14} {:>12} {:>8}",
+        "fusion", "fused", "unfused(B)", "fused(B)", "saved(B)", "speedup"
+    );
+    let mut fusion_ok = true;
+    for f in &fusion {
+        println!(
+            "{:<9} {:>6} {:>14} {:>14} {:>12} {:>7.2}x",
+            f.app,
+            f.fused,
+            f.unfused_h2d + f.unfused_d2h,
+            f.fused_h2d + f.fused_d2h,
+            f.saved_bytes(),
+            f.speedup()
+        );
+        // The sweep apps are fusable by construction; a refusal or a fused
+        // run that fails to *strictly* reduce PCIe traffic means the
+        // dependence analysis or the transfer elision regressed.
+        if !f.fused {
+            eprintln!("FUSION: {} was refused — sweep apps must fuse", f.app);
+            fusion_ok = false;
+        } else if f.saved_bytes() <= 0 {
+            eprintln!(
+                "FUSION: {} moved {} bytes fused vs {} unfused — fusion must \
+                 strictly reduce transfers",
+                f.app,
+                f.fused_h2d + f.fused_d2h,
+                f.unfused_h2d + f.unfused_d2h
+            );
+            fusion_ok = false;
+        }
+    }
+
+    let json = to_json(&args, &cfg, ITERS, &rows, &scaling, &fusion);
     std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
     println!("wrote BENCH_pipeline.json");
+    if !fusion_ok {
+        std::process::exit(1);
+    }
 }

@@ -62,6 +62,9 @@ pub fn short_name(name: &str) -> &'static str {
         "DNA Assembly" => "DNA",
         "MasterCard Affinity" => "MCA",
         "MasterCard Affinity (indexed)" => "MCA-idx",
+        // Not a Table I app: the IR-fusion showcase scenario (DESIGN.md
+        // §15), used by the perf snapshot's fusion sweep.
+        "FilterCount" => "FiltCnt",
         other => {
             debug_assert!(false, "unknown app {other}");
             "?"

@@ -125,6 +125,25 @@ pub fn max_buffer_sets(spec: &DeviceSpec, occ: &Occupancy, set_bytes: u64) -> us
     (budget / per_depth).max(1) as usize
 }
 
+/// [`max_buffer_sets`] for a *fused* multi-pass pipeline: every in-flight
+/// chunk set additionally pins `resident_bytes` of device-resident
+/// intermediate (covered cross-pass reads that never round-trip over PCIe),
+/// so the §IV.D streaming budget is shared between the buffer set proper and
+/// the resident footprint. Returns 0 — fusion infeasible — when even one
+/// set with its resident intermediate exceeds the budget; callers treat
+/// that as a fusion refusal, not a clamp.
+pub fn max_buffer_sets_resident(
+    spec: &DeviceSpec,
+    occ: &Occupancy,
+    set_bytes: u64,
+    resident_bytes: u64,
+) -> usize {
+    let budget = spec.mem_capacity / 2;
+    let per_depth = u64::from(occ.active_blocks.max(1))
+        .saturating_mul(set_bytes.max(1).saturating_add(resident_bytes));
+    (budget / per_depth) as usize
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

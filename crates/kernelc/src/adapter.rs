@@ -3,7 +3,7 @@
 
 use crate::interp::{run_addr_slice, run_kernel};
 use crate::ir::KernelIr;
-use crate::slice::{slice_addresses, SliceError};
+use crate::slice::SliceError;
 use bk_runtime::ctx::AddrGenCtx;
 use bk_runtime::{DevBufId, KernelCtx, StreamKernel};
 use std::ops::Range;
@@ -15,11 +15,12 @@ pub struct IrKernel {
     full: KernelIr,
     slice: KernelIr,
     dev_bufs: Vec<DevBufId>,
+    pass_log: crate::pass::PassLog,
 }
 
 impl IrKernel {
-    /// Compile `full` (derive the address slice) and bind its device-buffer
-    /// parameters.
+    /// Compile `full` (derive the address slice via the chained-pass
+    /// pipeline, see [`crate::pass`]) and bind its device-buffer parameters.
     pub fn compile(full: KernelIr, dev_bufs: Vec<DevBufId>) -> Result<Self, SliceError> {
         assert!(
             dev_bufs.len() >= full.num_dev_bufs as usize,
@@ -27,18 +28,24 @@ impl IrKernel {
             full.num_dev_bufs,
             dev_bufs.len()
         );
-        let slice =
-            crate::opt::prune_useless_loops(&crate::opt::fold_constants(&slice_addresses(&full)?));
+        let (slice, pass_log) =
+            crate::pass::run_passes(&full, crate::pass::ADDRESS_SLICE_PIPELINE)?;
         Ok(IrKernel {
             full,
             slice,
             dev_bufs,
+            pass_log,
         })
     }
 
     /// The derived address slice (for inspection/tests).
     pub fn address_slice(&self) -> &KernelIr {
         &self.slice
+    }
+
+    /// The names of the compile passes that produced the address slice.
+    pub fn pass_log(&self) -> &crate::pass::PassLog {
+        &self.pass_log
     }
 }
 
@@ -61,6 +68,10 @@ impl StreamKernel for IrKernel {
 
     fn process(&self, ctx: &mut dyn KernelCtx, range: Range<u64>) {
         run_kernel(&self.full, ctx, &self.dev_bufs, range);
+    }
+
+    fn access_summary(&self) -> Option<bk_runtime::fusion::AccessSummary> {
+        crate::fuse::derive_summary(&self.full)
     }
 }
 

@@ -79,7 +79,7 @@ fn apply(op: BinOp, a: Value, b: Value) -> Value {
 }
 
 /// Largest variable id used by the kernel (for store sizing).
-fn max_var(stmts: &[Stmt]) -> u32 {
+pub(crate) fn max_var(stmts: &[Stmt]) -> u32 {
     fn expr_max(e: &Expr) -> u32 {
         let mut m = 1; // range vars always exist
         crate::ir::visit_expr(e, &mut |x| {

@@ -21,6 +21,13 @@
 //!   `transfer_all` / overlap-only configuration);
 //! * [`opt`] — post-slicing cleanup passes (constant folding, algebraic
 //!   simplification);
+//! * [`pass`] — the chained-pass driver: compilation is an explicit,
+//!   logged sequence of named IR→IR passes;
+//! * [`fuse`] — mega-kernel fusion: proves (record-periodic dependence
+//!   analysis) that one pass's stream reads are covered by the previous
+//!   pass's writes, then stitches both into a single kernel whose
+//!   intermediate lives in a device buffer and never crosses PCIe —
+//!   refusing conservatively whenever coverage cannot be established;
 //! * [`interp`] — an interpreter targeting the same [`KernelCtx`] the
 //!   hand-written kernels use, so a sliced IR kernel runs on the real
 //!   BigKernel pipeline with the FIFO cross-check enabled;
@@ -30,15 +37,19 @@
 //! [`StreamKernel`]: bk_runtime::StreamKernel
 
 pub mod adapter;
+pub mod fuse;
 pub mod interp;
 pub mod ir;
 pub mod opt;
+pub mod pass;
 pub mod pretty;
 pub mod slice;
 
 pub use adapter::IrKernel;
+pub use fuse::{derive_summary, fuse, intermediate_extent, FuseError};
 pub use interp::{run_addr_slice, run_kernel};
 pub use ir::{BinOp, Expr, KernelIr, Stmt, Ty, Var};
 pub use opt::{count_stmts, fold_constants, prune_useless_loops};
+pub use pass::{run_passes, IrPass, PassLog, ADDRESS_SLICE_PIPELINE};
 pub use pretty::kernel_to_string;
 pub use slice::{slice_addresses, SliceError};

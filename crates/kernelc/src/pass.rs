@@ -1,0 +1,131 @@
+//! The IR pass driver: compilation as a chain of named IR→IR passes.
+//!
+//! Every compiler entry point in this crate (address-slice extraction,
+//! mega-kernel fusion) is expressed as a sequence of [`IrPass`]es run by
+//! [`run_passes`], which records the name of each applied pass in a
+//! [`PassLog`]. The log is what tests and tools introspect — a pass that
+//! silently didn't run is indistinguishable from a pass that ran and changed
+//! nothing, so the driver makes the sequence explicit.
+
+use crate::ir::KernelIr;
+use crate::slice::{slice_addresses, SliceError};
+
+/// One named IR→IR pass. Passes either rewrite the kernel or refuse with a
+/// [`SliceError`]; purely-cleanup passes never refuse.
+#[derive(Clone, Copy)]
+pub struct IrPass {
+    /// Pass name as recorded in the [`PassLog`].
+    pub name: &'static str,
+    run: fn(&KernelIr) -> Result<KernelIr, SliceError>,
+}
+
+impl std::fmt::Debug for IrPass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IrPass").field("name", &self.name).finish()
+    }
+}
+
+/// The ordered record of passes a compilation ran.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PassLog {
+    applied: Vec<&'static str>,
+}
+
+impl PassLog {
+    /// Pass names in application order.
+    pub fn applied(&self) -> &[&'static str] {
+        &self.applied
+    }
+}
+
+/// The address-slice extraction pass (fallible: refuses on indirection).
+pub const SLICE_ADDRESSES: IrPass = IrPass {
+    name: "slice-addresses",
+    run: slice_addresses,
+};
+
+/// Constant folding + algebraic simplification (infallible cleanup).
+pub const FOLD_CONSTANTS: IrPass = IrPass {
+    name: "fold-constants",
+    run: |k| Ok(crate::opt::fold_constants(k)),
+};
+
+/// Removal of loops left empty by slicing/folding (infallible cleanup).
+pub const PRUNE_USELESS_LOOPS: IrPass = IrPass {
+    name: "prune-useless-loops",
+    run: |k| Ok(crate::opt::prune_useless_loops(k)),
+};
+
+/// The standard pipeline deriving the address-generation program from a
+/// full kernel (the paper's compile-time half).
+pub const ADDRESS_SLICE_PIPELINE: &[IrPass] =
+    &[SLICE_ADDRESSES, FOLD_CONSTANTS, PRUNE_USELESS_LOOPS];
+
+/// Run `passes` over `kernel` in order, stopping at the first refusal.
+/// Returns the final kernel and the log of passes that completed.
+pub fn run_passes(kernel: &KernelIr, passes: &[IrPass]) -> Result<(KernelIr, PassLog), SliceError> {
+    let mut k = kernel.clone();
+    let mut log = PassLog::default();
+    for pass in passes {
+        k = (pass.run)(&k)?;
+        log.applied.push(pass.name);
+    }
+    Ok((k, log))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Expr, Stmt, Var, RANGE_END, RANGE_START};
+
+    fn loop_kernel() -> KernelIr {
+        let i = Var(2);
+        KernelIr {
+            name: "t",
+            record_size: Some(8),
+            halo_bytes: 0,
+            num_dev_bufs: 0,
+            body: vec![
+                Stmt::Assign(i, Expr::var(RANGE_START)),
+                Stmt::While {
+                    cond: Expr::lt(Expr::var(i), Expr::var(RANGE_END)),
+                    body: vec![
+                        Stmt::Assign(
+                            Var(3),
+                            Expr::add(Expr::var(Var(3)), Expr::stream_read(0, Expr::var(i), 8)),
+                        ),
+                        Stmt::Assign(i, Expr::add(Expr::var(i), Expr::int(8))),
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn pipeline_logs_every_pass() {
+        let (sliced, log) = run_passes(&loop_kernel(), ADDRESS_SLICE_PIPELINE).unwrap();
+        assert_eq!(
+            log.applied(),
+            &["slice-addresses", "fold-constants", "prune-useless-loops"]
+        );
+        assert!(sliced
+            .body
+            .iter()
+            .any(|s| matches!(s, Stmt::While { .. } | Stmt::EmitRead { .. })));
+    }
+
+    #[test]
+    fn refusal_stops_the_chain() {
+        let k = KernelIr {
+            name: "indirect",
+            record_size: Some(8),
+            halo_bytes: 0,
+            num_dev_bufs: 0,
+            body: vec![
+                Stmt::Assign(Var(2), Expr::stream_read(0, Expr::var(RANGE_START), 8)),
+                Stmt::Assign(Var(3), Expr::stream_read(0, Expr::var(Var(2)), 8)),
+            ],
+        };
+        assert!(run_passes(&k, ADDRESS_SLICE_PIPELINE).is_err());
+    }
+}

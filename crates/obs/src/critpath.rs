@@ -347,7 +347,14 @@ impl ScheduleDag for ShardDag {
 /// `w + 1` equals `time_base + max shard makespan` of wave `w`).
 #[derive(Clone, Debug)]
 pub struct WaveDag {
-    /// Absolute simulated start time of the wave.
+    /// Explicit pass index of the pipeline invocation that scheduled this
+    /// wave. Multi-pass apps run one pipeline per kernel pass with its own
+    /// clock; the recording side stamps the current [`set_pass`] value so
+    /// [`analyze`] stacks passes on explicit boundaries instead of
+    /// guessing them from clock restarts.
+    pub pass: usize,
+    /// Absolute simulated start time of the wave (relative to its pass's
+    /// pipeline invocation).
     pub time_base: SimTime,
     /// Per-device shard snapshots.
     pub shards: Vec<ShardDag>,
@@ -361,6 +368,19 @@ pub struct WaveDag {
 
 thread_local! {
     static CAPTURE: RefCell<Option<Vec<WaveDag>>> = const { RefCell::new(None) };
+    static PASS: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Set the pass index stamped into subsequently recorded waves. Multi-pass
+/// harnesses call this before each pipeline invocation so the capture
+/// carries explicit pass boundaries; [`capture`] resets it to 0.
+pub fn set_pass(pass: usize) {
+    PASS.with(|p| p.set(pass));
+}
+
+/// The pass index the next recorded wave will carry (see [`set_pass`]).
+pub fn current_pass() -> usize {
+    PASS.with(|p| p.get())
 }
 
 /// RAII guard for schedule capture on the current thread. Obtain with
@@ -372,9 +392,11 @@ pub struct CaptureGuard {
     _priv: (),
 }
 
-/// Begin capturing scheduled waves on this thread.
+/// Begin capturing scheduled waves on this thread. Resets the current
+/// pass index (see [`set_pass`]) to 0.
 pub fn capture() -> CaptureGuard {
     CAPTURE.with(|c| *c.borrow_mut() = Some(Vec::new()));
+    set_pass(0);
     CaptureGuard { _priv: () }
 }
 
@@ -513,10 +535,13 @@ pub fn split_device(resource: &'static str) -> (usize, &'static str) {
 ///
 /// A capture may span *several* pipeline invocations — multi-pass apps
 /// (e.g. MasterCard Affinity) launch one pipeline per kernel pass, and
-/// each pass restarts its clock at zero. A wave whose `time_base` runs
-/// backwards marks such a restart; the new pass is stacked directly after
-/// the previous pass's end, mirroring how the harness sums pass totals,
-/// so `makespan` still equals the reported simulated total bit-exactly.
+/// each pass restarts its clock at zero. Each wave carries its explicit
+/// pass index (stamped from [`set_pass`] at record time); a pass change
+/// stacks the new pass directly after the previous pass's end, mirroring
+/// how the harness sums pass totals, so `makespan` still equals the
+/// reported simulated total bit-exactly. The old clock-restart inference
+/// (`time_base` running backwards) survives only as a debug assertion: a
+/// restart without a pass boundary means a recorder forgot [`set_pass`].
 pub fn analyze(waves: &[WaveDag]) -> CritReport {
     let mut segments: Vec<RunSegment> = Vec::new();
     let mut end = SimTime::ZERO;
@@ -527,6 +552,7 @@ pub fn analyze(waves: &[WaveDag]) -> CritReport {
     // integer-ns blame telescopes to `makespan_ns` exactly.
     let mut offset = SimTime::ZERO;
     let mut expected = SimTime::ZERO;
+    let mut prev_pass: Option<usize> = None;
     for wave in waves {
         let Some(shard) = wave
             .shards
@@ -538,9 +564,18 @@ pub fn analyze(waves: &[WaveDag]) -> CritReport {
         else {
             continue;
         };
-        if wave.time_base < expected {
-            offset = end;
+        match prev_pass {
+            Some(p) if p != wave.pass => offset = end,
+            Some(_) => debug_assert!(
+                wave.time_base >= expected,
+                "wave clock restarted ({:?} < {:?}) without an explicit pass \
+                 boundary — the recorder must call critpath::set_pass per pass",
+                wave.time_base,
+                expected,
+            ),
+            None => {}
         }
+        prev_pass = Some(wave.pass);
         for seg in critical_path(shard) {
             segments.push(RunSegment {
                 device: shard.device,
@@ -795,12 +830,14 @@ mod tests {
     fn capture_guard_gates_recording() {
         assert!(!capture_enabled());
         record_wave(WaveDag {
+            pass: 0,
             time_base: SimTime::ZERO,
             shards: vec![],
         });
         let g = capture();
         assert!(capture_enabled());
         record_wave(WaveDag {
+            pass: 0,
             time_base: SimTime::ZERO,
             shards: vec![ShardDag::from_dag(&single_chunk_chain(), 0, vec![7])],
         });
@@ -814,6 +851,7 @@ mod tests {
     fn dropping_the_guard_discards_waves() {
         let g = capture();
         record_wave(WaveDag {
+            pass: 0,
             time_base: SimTime::ZERO,
             shards: vec![],
         });
@@ -829,10 +867,12 @@ mod tests {
         shard2.chunk_ids = vec![1];
         let waves = vec![
             WaveDag {
+                pass: 0,
                 time_base: SimTime::ZERO,
                 shards: vec![shard.clone()],
             },
             WaveDag {
+                pass: 0,
                 time_base: shard.makespan(),
                 shards: vec![shard2],
             },
@@ -851,6 +891,75 @@ mod tests {
     }
 
     #[test]
+    fn explicit_pass_boundaries_stack_passes() {
+        // Two pipeline invocations, each restarting its clock at zero. The
+        // explicit pass indices stack pass 1 after pass 0's end.
+        let shard = ShardDag::from_dag(&single_chunk_chain(), 0, vec![0]);
+        let mut shard2 = shard.clone();
+        shard2.chunk_ids = vec![1];
+        let waves = vec![
+            WaveDag {
+                pass: 0,
+                time_base: SimTime::ZERO,
+                shards: vec![shard.clone()],
+            },
+            WaveDag {
+                pass: 1,
+                time_base: SimTime::ZERO,
+                shards: vec![shard2],
+            },
+        ];
+        let report = analyze(&waves);
+        assert_eq!(report.waves, 2);
+        assert!(report.tiles_exactly());
+        // 4 µs per pass, stacked back to back.
+        assert_eq!(report.makespan_ns, boundary_ns(t(8.0)));
+        assert_eq!(report.segments[2].chunk, 1);
+        assert!(report.segments[2].start >= t(4.0));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "without an explicit pass boundary")]
+    fn clock_restart_without_pass_boundary_asserts() {
+        let shard = ShardDag::from_dag(&single_chunk_chain(), 0, vec![0]);
+        let waves = vec![
+            WaveDag {
+                pass: 0,
+                time_base: SimTime::ZERO,
+                shards: vec![shard.clone()],
+            },
+            // Same pass index but a restarted clock: the recorder forgot
+            // set_pass — the debug assertion must catch it.
+            WaveDag {
+                pass: 0,
+                time_base: SimTime::ZERO,
+                shards: vec![shard],
+            },
+        ];
+        let _ = analyze(&waves);
+    }
+
+    #[test]
+    fn set_pass_stamps_recorded_waves() {
+        let g = capture();
+        assert_eq!(current_pass(), 0);
+        set_pass(3);
+        assert_eq!(current_pass(), 3);
+        record_wave(WaveDag {
+            pass: current_pass(),
+            time_base: SimTime::ZERO,
+            shards: vec![],
+        });
+        let waves = g.finish();
+        assert_eq!(waves[0].pass, 3);
+        // A fresh capture resets the pass index.
+        let g2 = capture();
+        assert_eq!(current_pass(), 0);
+        drop(g2);
+    }
+
+    #[test]
     fn bottleneck_shard_wins_per_wave() {
         let fast = ShardDag::from_dag(&single_chunk_chain(), 0, vec![0]);
         let mut slow_src = single_chunk_chain();
@@ -859,6 +968,7 @@ mod tests {
         slow_src.resources = vec!["dev1.dma", "dev1.gpu-comp"];
         let slow = ShardDag::from_dag(&slow_src, 1, vec![1]);
         let report = analyze(&[WaveDag {
+            pass: 0,
             time_base: SimTime::ZERO,
             shards: vec![fast, slow],
         }]);
@@ -878,6 +988,7 @@ mod tests {
     fn marker_spans_land_on_the_critpath_track() {
         let shard = ShardDag::from_dag(&single_chunk_chain(), 0, vec![0]);
         let report = analyze(&[WaveDag {
+            pass: 0,
             time_base: SimTime::ZERO,
             shards: vec![shard],
         }]);

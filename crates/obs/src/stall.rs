@@ -204,6 +204,22 @@ pub fn record_schedule_mapped<S: ScheduleView>(
     record_schedule_with(sched, |local| chunk_ids[local], time_base, metrics)
 }
 
+/// Strip a fused-pass `p<i>.` qualifier from a stage name. Fused multi-pass
+/// graphs name their stages `p0.addr-gen` … `p3.wb-apply`; every pass's copy
+/// of a role feeds the same span histogram and stall buckets, exactly like
+/// the `dev<i>.` resource qualifier. Names without the qualifier pass
+/// through unchanged.
+fn stage_role(name: &str) -> &str {
+    if let Some(rest) = name.strip_prefix('p') {
+        if let Some((idx, role)) = rest.split_once('.') {
+            if !idx.is_empty() && idx.bytes().all(|b| b.is_ascii_digit()) {
+                return role;
+            }
+        }
+    }
+    name
+}
+
 fn record_schedule_with<S: ScheduleView>(
     sched: &S,
     chunk_id: impl Fn(usize) -> usize,
@@ -217,7 +233,8 @@ fn record_schedule_with<S: ScheduleView>(
             if dur.is_zero() {
                 continue;
             }
-            let name = sched.stage_name(stage);
+            let full_name = sched.stage_name(stage);
+            let name = stage_role(full_name);
             if let Some(h) = span_hist(name) {
                 metrics.observe(h, dur.nanos() as u64);
             }
@@ -244,7 +261,7 @@ fn record_schedule_with<S: ScheduleView>(
             });
             trace::record(&SpanRecord {
                 track: sched.stage_resource(stage),
-                stage: name,
+                stage: full_name,
                 chunk: chunk_id(chunk),
                 start: time_base + slot.start,
                 dur,
@@ -358,6 +375,16 @@ mod tests {
         assert_eq!(h.sum(), m.get("stall.transfer.buffer-reuse"));
         // The non-reuse stage recorded no reuse waits.
         assert!(m.hist("hist.reuse-wait.compute").is_none());
+    }
+
+    #[test]
+    fn fused_stage_names_fold_onto_roles() {
+        assert_eq!(stage_role("p0.addr-gen"), "addr-gen");
+        assert_eq!(stage_role("p3.wb-apply"), "wb-apply");
+        assert_eq!(stage_role("addr-gen"), "addr-gen");
+        // Not a fused qualifier: no digits / no dot.
+        assert_eq!(stage_role("prefetch"), "prefetch");
+        assert_eq!(stage_role("px.compute"), "px.compute");
     }
 
     #[test]

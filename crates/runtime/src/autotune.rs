@@ -161,7 +161,10 @@ impl WindowFeedback {
                 for s in 0..sched.num_stages() {
                     let meta = sched.slot_meta(c, s);
                     if let Some(StallKind::Reuse { consumer }) = meta.kind {
-                        if consumer == WB_REUSE_CONSUMER {
+                        // `% 6` folds fused multi-pass graphs (pass p's
+                        // write-back consumer sits at p*6 + 5) onto the
+                        // 6-stage role; a no-op for every ≤6-stage graph.
+                        if consumer % 6 == WB_REUSE_CONSUMER {
                             wb += meta.stall;
                         } else {
                             data += meta.stall;
@@ -199,7 +202,7 @@ impl WindowFeedback {
         };
         for seg in bk_obs::critpath::critical_path(&bottleneck.sched) {
             if let bk_obs::critpath::EdgeKind::Reuse { consumer } = seg.entered {
-                if consumer == WB_REUSE_CONSUMER {
+                if consumer % 6 == WB_REUSE_CONSUMER {
                     fb.wb_reuse_crit += seg.wait;
                 } else {
                     fb.data_reuse_crit += seg.wait;

@@ -381,10 +381,21 @@ pub struct ComputeCtx<'a, M: DevMemory = LiveMem<'a>> {
     write_k: usize,
     perlane_read_cursor: u64,
     perlane_write_cursor: u64,
+    /// Whole secondary streams staged to device buffers (staged mode only):
+    /// accesses to these streams resolve at their *direct* stream offset
+    /// inside the paired buffer. See [`ComputeCtx::set_aux`].
+    aux: &'a [(StreamId, DevBufId)],
     /// Bytes of mapped data actually written (for counters).
     pub stream_bytes_written: u64,
     /// Bytes of mapped data actually read (for counters / Table I).
     pub stream_bytes_read: u64,
+    /// Bytes written to the *primary* stream only — the per-window
+    /// write-back decision keys on this, so aux-only writes don't force a
+    /// primary-window copy-back.
+    pub primary_bytes_written: u64,
+    /// Bit `i` set when aux stream `i` (by table index) was written; the
+    /// runner copies dirty aux buffers back to the host once at the end.
+    pub aux_written_mask: u64,
 }
 
 impl<'a> ComputeCtx<'a, LiveMem<'a>> {
@@ -480,8 +491,11 @@ impl<'a, M: DevMemory> ComputeCtx<'a, M> {
             write_k: 0,
             perlane_read_cursor: 0,
             perlane_write_cursor: 0,
+            aux: &[],
             stream_bytes_written: 0,
             stream_bytes_read: 0,
+            primary_bytes_written: 0,
+            aux_written_mask: 0,
         }
     }
 
@@ -512,8 +526,33 @@ impl<'a, M: DevMemory> ComputeCtx<'a, M> {
             write_k: 0,
             perlane_read_cursor: 0,
             perlane_write_cursor: 0,
+            aux: &[],
             stream_bytes_written: 0,
             stream_bytes_read: 0,
+            primary_bytes_written: 0,
+            aux_written_mask: 0,
+        }
+    }
+
+    /// Stage whole secondary streams: each `(stream, buffer)` pair declares
+    /// that the buffer holds the stream's full contents, so staged-mode
+    /// accesses to that stream resolve at their direct stream offset. This
+    /// is how the buffered baselines and the overlap-only variant run
+    /// multi-stream kernels (BigKernel's assembly gathers from any stream
+    /// and needs no aux table).
+    pub fn set_aux(mut self, aux: &'a [(StreamId, DevBufId)]) -> Self {
+        self.aux = aux;
+        self
+    }
+
+    /// The staged buffer for secondary stream `s`, with its aux-table index.
+    fn aux_buf(&self, s: StreamId) -> (usize, DevBufId) {
+        match self.aux.iter().position(|(id, _)| *id == s) {
+            Some(i) => (i, self.aux[i].1),
+            None => panic!(
+                "staged execution has no staged buffer for stream {s:?}; stage secondary \
+                 streams with ComputeCtx::set_aux or run the kernel under BigKernel / the CPU"
+            ),
         }
     }
 
@@ -634,6 +673,20 @@ fn verify_entry(
 
 impl<M: DevMemory> KernelCtx for ComputeCtx<'_, M> {
     fn stream_read(&mut self, s: StreamId, offset: u64, width: u32) -> u64 {
+        // Aux-staged secondary stream: the whole stream sits in a device
+        // buffer, so the stream offset IS the buffer offset.
+        if s != StreamId(0) && matches!(self.mode, StreamMode::Staged) {
+            let (_, buf) = self.aux_buf(s);
+            self.read_k += 1;
+            self.stream_bytes_read += width as u64;
+            self.trace.record(
+                self.mem.vaddr(buf, offset),
+                width,
+                AccessKind::Read,
+                AccessClass::StreamRead,
+            );
+            return self.mem.stream_load(buf, offset, width);
+        }
         let pos = self.resolve_read(s, offset, width);
         self.read_k += 1;
         self.stream_bytes_read += width as u64;
@@ -648,6 +701,20 @@ impl<M: DevMemory> KernelCtx for ComputeCtx<'_, M> {
 
     fn stream_write(&mut self, s: StreamId, offset: u64, width: u32, value: u64) {
         self.stream_bytes_written += width as u64;
+        if s != StreamId(0) && matches!(self.mode, StreamMode::Staged) {
+            let (i, buf) = self.aux_buf(s);
+            self.aux_written_mask |= 1u64 << i.min(63);
+            self.trace.record(
+                self.mem.vaddr(buf, offset),
+                width,
+                AccessKind::Write,
+                AccessClass::StreamWrite,
+            );
+            return self.mem.stream_store(buf, offset, width, value);
+        }
+        if s == StreamId(0) {
+            self.primary_bytes_written += width as u64;
+        }
         match (&mut self.mode, self.write_layout) {
             (StreamMode::Staged, _) => {
                 // In-place modification of the staged chunk; the runner
@@ -908,6 +975,38 @@ mod tests {
         assert_eq!(ctx.stream_bytes_written, 4);
         drop(ctx);
         assert_eq!(m.gmem.read_u32(buf, 16), 42);
+    }
+
+    #[test]
+    fn staged_aux_streams_resolve_at_direct_offsets() {
+        let mut m = Machine::test_platform();
+        let layout = ChunkLayout::build_staged_window(0..64, 0, 64, 1);
+        let data = m.gmem.alloc(64);
+        let aux_buf = m.gmem.alloc(128);
+        m.gmem.write_u64(aux_buf, 40, 99);
+        let aux = [(StreamId(1), aux_buf)];
+        let mut trace = ThreadTrace::default();
+        let mut ctx =
+            ComputeCtx::staged(&mut m.gmem, data, &layout, 0, 0, 1, &mut trace).set_aux(&aux);
+        assert_eq!(ctx.stream_read(StreamId(1), 40, 8), 99);
+        ctx.stream_write(StreamId(1), 48, 8, 7);
+        ctx.stream_write(StreamId(0), 8, 4, 1);
+        assert_eq!(ctx.aux_written_mask, 1, "aux stream 1 is table entry 0");
+        assert_eq!(ctx.primary_bytes_written, 4, "aux writes are not primary");
+        assert_eq!(ctx.stream_bytes_written, 12);
+        drop(ctx);
+        assert_eq!(m.gmem.read_u64(aux_buf, 48), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "no staged buffer")]
+    fn staged_unknown_secondary_stream_panics() {
+        let mut m = Machine::test_platform();
+        let layout = ChunkLayout::build_staged_window(0..64, 0, 64, 1);
+        let data = m.gmem.alloc(64);
+        let mut trace = ThreadTrace::default();
+        let mut ctx = ComputeCtx::staged(&mut m.gmem, data, &layout, 0, 0, 1, &mut trace);
+        let _ = ctx.stream_read(StreamId(3), 0, 8);
     }
 
     #[test]

@@ -18,11 +18,12 @@ use crate::addr::LaneAddrs;
 use crate::assembly::{assemble, AssemblyOutput, GatherConfig};
 use crate::config::BigKernelConfig;
 use crate::ctx::{AddrGenCtx, ComputeCtx, LoggedMem};
+use crate::fusion::PassIo;
 use crate::kernel::{LaunchConfig, StreamKernel};
 use crate::layout::ChunkLayout;
 use crate::machine::Machine;
 use crate::pool::{AddrGenScratch, Compression};
-use crate::stream::StreamArray;
+use crate::stream::{StreamArray, StreamId};
 use bk_gpu::{BlockLog, BlockSim, KernelCost, ReplayOutcome, WARP_SIZE};
 use bk_host::{ArenaRef, CacheSim, CpuCost, DmaDirection, PinnedArena};
 use bk_obs::MetricsRegistry;
@@ -95,8 +96,12 @@ pub(crate) struct BlockComputed {
     bytes_written: u64,
     /// Per-lane count of stream writes performed (assembled mode).
     writes_performed: Vec<usize>,
-    /// Any in-place staged-chunk modification (overlap-only mode).
+    /// Any in-place staged-chunk modification of the *primary* stream
+    /// (overlap-only mode).
     any_writes: bool,
+    /// Bitmask of aux-staged secondary streams written (overlap-only mode;
+    /// bit = table index, see [`ComputeCtx::set_aux`]).
+    aux_dirty: u64,
     /// The block's logged device effects, pending ordered replay. `None`
     /// after replay, or when the block executed live.
     effects: Option<bk_gpu::BlockEffects>,
@@ -128,6 +133,8 @@ pub(crate) struct ChunkCosts {
     pub(crate) wb_bytes: u64,
     pub(crate) wb: CpuCost,
     pub(crate) addr_bytes: u64,
+    /// Union of per-block aux-stream dirty masks (overlap-only mode).
+    pub(crate) aux_dirty: u64,
 }
 
 impl ChunkCosts {
@@ -142,6 +149,7 @@ impl ChunkCosts {
             wb_bytes: 0,
             wb: CpuCost::new(),
             addr_bytes: 0,
+            aux_dirty: 0,
         }
     }
 }
@@ -265,10 +273,18 @@ fn fold_pure(pure: &BlockPure, costs: &mut ChunkCosts, metrics: &mut MetricsRegi
 
 /// Ordered phase, stage 3: allocate the block's device buffers and DMA the
 /// assembled bytes in.
+///
+/// Under a fusion plan (`io`), reads of device-resident streams — proven
+/// covered by an earlier fused pass's writes — never cross PCIe in the
+/// modeled system, so their bytes are elided from the transfer *cost* and
+/// counted under `fusion.h2d_saved_bytes` instead. The functional `dma_in`
+/// still carries the full assembled buffer (the simulator's unified memory
+/// image), which is exactly what keeps fused outputs bit-identical.
 fn stage_transfer(
     machine: &mut Machine,
     pure: &BlockPure,
     arena: &PinnedArena,
+    io: Option<&PassIo>,
     costs: &mut ChunkCosts,
     metrics: &mut MetricsRegistry,
 ) -> (bk_gpu::BufferId, Option<bk_gpu::BufferId>) {
@@ -276,14 +292,33 @@ fn stage_transfer(
     let buf_len = pure.out.layout.total_len().max(1);
     let data_buf = machine.gmem.alloc(buf_len);
     machine.gmem.dma_in(data_buf, 0, bytes);
+    let mut resident = 0u64;
+    if let Some(io) = io.filter(|io| io.any_resident()) {
+        for l in &pure.lane_addrs {
+            for e in l.reads.iter() {
+                if io
+                    .resident_reads
+                    .get(e.stream.0 as usize)
+                    .copied()
+                    .unwrap_or(false)
+                {
+                    resident += e.width as u64;
+                }
+            }
+        }
+    }
+    let charged = (bytes.len() as u64).saturating_sub(resident);
     costs.xfer += machine
         .link
-        .dma_time_with_flag(DmaDirection::HostToDevice, bytes.len() as u64);
+        .dma_time_with_flag(DmaDirection::HostToDevice, charged);
     costs.h2d_flags += 1;
-    if !bytes.is_empty() {
+    if charged > 0 {
         costs.h2d_lats += 1;
     }
-    metrics.add("pcie.h2d_bytes", bytes.len() as u64);
+    metrics.add("pcie.h2d_bytes", charged);
+    if (bytes.len() as u64) > charged {
+        metrics.add("fusion.h2d_saved_bytes", bytes.len() as u64 - charged);
+    }
     let write_buf = pure
         .out
         .write_layout
@@ -296,11 +331,19 @@ fn stage_transfer(
 /// order).
 fn fold_computed(computed: &BlockComputed, costs: &mut ChunkCosts, metrics: &mut MetricsRegistry) {
     costs.comp.merge(&computed.comp_cost);
+    costs.aux_dirty |= computed.aux_dirty;
     metrics.add("stream.bytes_read", computed.bytes_read);
     metrics.add("stream.bytes_written", computed.bytes_written);
 }
 
 /// Ordered phase, stages 5–6 of the assembled path.
+///
+/// Under a fusion plan (`io`), writes to scratch streams consumed entirely
+/// by later fused passes stay device-resident: their bytes are elided from
+/// the write-back transfer/apply *cost* (counted under
+/// `fusion.d2h_saved_bytes`), while the functional scatter into host memory
+/// still runs — see [`stage_transfer`] for why that keeps outputs
+/// bit-identical.
 #[allow(clippy::too_many_arguments)]
 fn writeback_assembled(
     machine: &mut Machine,
@@ -308,14 +351,45 @@ fn writeback_assembled(
     pure: &BlockPure,
     write_buf: Option<bk_gpu::BufferId>,
     computed: &BlockComputed,
+    io: Option<&PassIo>,
     llc: &mut CacheSim,
     costs: &mut ChunkCosts,
     metrics: &mut MetricsRegistry,
 ) {
     if let (Some(wl), Some(wb)) = (pure.out.write_layout.as_ref(), write_buf) {
-        let bytes = wl.total_len();
-        costs.wb_bytes += bytes;
-        metrics.add("pcie.d2h_bytes", bytes);
+        let total = wl.total_len();
+        let mut charged = total;
+        if let Some(io) = io.filter(|io| io.any_skipped_writeback()) {
+            let mut entry_total = 0u64;
+            let mut scratch = 0u64;
+            for (lane, l) in pure.lane_addrs.iter().enumerate() {
+                let n = computed.writes_performed.get(lane).copied().unwrap_or(0);
+                for e in l.writes.iter().take(n) {
+                    entry_total += e.width as u64;
+                    if io
+                        .skip_writeback
+                        .get(e.stream.0 as usize)
+                        .copied()
+                        .unwrap_or(false)
+                    {
+                        scratch += e.width as u64;
+                    }
+                }
+            }
+            // All performed writes scratch → the whole buffer (padding
+            // included) stays on the device; a mix elides the scratch
+            // entries' bytes only.
+            charged = if scratch == entry_total {
+                0
+            } else {
+                total.saturating_sub(scratch)
+            };
+        }
+        costs.wb_bytes += charged;
+        metrics.add("pcie.d2h_bytes", charged);
+        if total > charged {
+            metrics.add("fusion.d2h_saved_bytes", total - charged);
+        }
         apply_writeback(
             machine,
             streams,
@@ -323,6 +397,7 @@ fn writeback_assembled(
             wl,
             wb,
             &computed.writes_performed,
+            io,
             &mut costs.wb,
             llc,
         );
@@ -395,6 +470,7 @@ fn compute_assembled_logged(
         bytes_written,
         writes_performed,
         any_writes: false,
+        aux_dirty: 0,
         effects: Some(log.finish_into(log_scratch)),
     }
 }
@@ -460,6 +536,7 @@ fn compute_assembled_live(
         bytes_written,
         writes_performed,
         any_writes: false,
+        aux_dirty: 0,
         effects: None,
     }
 }
@@ -475,6 +552,7 @@ pub(crate) fn run_chunk_assembled_logged(
     tpb: u32,
     launch: LaunchConfig,
     cfg: &BigKernelConfig,
+    io: Option<&PassIo>,
     costs: &mut ChunkCosts,
     metrics: &mut MetricsRegistry,
 ) {
@@ -504,7 +582,7 @@ pub(crate) fn run_chunk_assembled_logged(
         let pure = pure.as_ref().unwrap();
         fold_pure(pure, costs, metrics);
         let arena = &slot.scratch.pool.arena;
-        let (db, wb) = stage_transfer(machine, pure, arena, costs, metrics);
+        let (db, wb) = stage_transfer(machine, pure, arena, io, costs, metrics);
         *data_buf = Some(db);
         *write_buf = wb;
     }
@@ -584,6 +662,7 @@ pub(crate) fn run_chunk_assembled_logged(
             p,
             *write_buf,
             done,
+            io,
             &mut slot.llc,
             costs,
             metrics,
@@ -612,6 +691,7 @@ pub(crate) fn run_block_sequential(
     tpb: u32,
     launch: LaunchConfig,
     cfg: &BigKernelConfig,
+    io: Option<&PassIo>,
     slot: &mut BlockSlot,
     costs: &mut ChunkCosts,
     metrics: &mut MetricsRegistry,
@@ -619,7 +699,7 @@ pub(crate) fn run_block_sequential(
     let pure = block_pure_bigkernel(machine, kernel, streams, slices, tpb, cfg, slot);
     fold_pure(&pure, costs, metrics);
     let (data_buf, write_buf) =
-        stage_transfer(machine, &pure, &slot.scratch.pool.arena, costs, metrics);
+        stage_transfer(machine, &pure, &slot.scratch.pool.arena, io, costs, metrics);
     let computed = compute_assembled_live(
         machine,
         kernel,
@@ -640,6 +720,7 @@ pub(crate) fn run_block_sequential(
         &pure,
         write_buf,
         &computed,
+        io,
         &mut slot.llc,
         costs,
         metrics,
@@ -661,6 +742,7 @@ fn apply_writeback(
     write_layout: &ChunkLayout,
     write_buf: bk_gpu::BufferId,
     writes_performed: &[usize],
+    io: Option<&PassIo>,
     wb_cost: &mut CpuCost,
     llc: &mut CacheSim,
 ) {
@@ -687,6 +769,17 @@ fn apply_writeback(
             let val = gmem.read(write_buf, pos, e.width as usize);
             let arr = &streams[e.stream.0 as usize];
             hmem.write(arr.region, e.offset, val);
+            // A fused scratch stream stays device-resident: the host-side
+            // scatter above is simulator bookkeeping only, so it carries no
+            // apply cost in the modeled system.
+            if io.is_some_and(|io| {
+                io.skip_writeback
+                    .get(e.stream.0 as usize)
+                    .copied()
+                    .unwrap_or(false)
+            }) {
+                continue;
+            }
             // Cost: sequential read of the landed write buffer + scattered
             // store into the mapped array.
             let (h, m) = llc.access_range(hmem.vaddr(arr.region, e.offset), e.width as u64);
@@ -763,6 +856,7 @@ fn compute_staged_logged(
     slices: &[Range<u64>],
     layout: &ChunkLayout,
     data_buf: bk_gpu::BufferId,
+    aux: &[(StreamId, bk_gpu::BufferId)],
     block: u32,
     tpb: u32,
     launch: LaunchConfig,
@@ -775,11 +869,13 @@ fn compute_staged_logged(
     let mut bytes_read = 0u64;
     let mut bytes_written = 0u64;
     let mut any_writes = false;
+    let mut aux_dirty = 0u64;
     {
         let log = &mut log;
         let bytes_read = &mut bytes_read;
         let bytes_written = &mut bytes_written;
         let any_writes = &mut any_writes;
+        let aux_dirty = &mut aux_dirty;
         bk_gpu::run_block_lanes(machine.gpu(), sim, tpb, &mut comp_cost, |lane, trace| {
             let tid = block * tpb + lane as u32;
             let mut ctx = ComputeCtx::staged_on(
@@ -790,11 +886,13 @@ fn compute_staged_logged(
                 tid,
                 launch.total_threads(),
                 trace,
-            );
+            )
+            .set_aux(aux);
             kernel.process(&mut ctx, slices[lane].clone());
             *bytes_read += ctx.stream_bytes_read;
             *bytes_written += ctx.stream_bytes_written;
-            *any_writes |= ctx.stream_bytes_written > 0;
+            *any_writes |= ctx.primary_bytes_written > 0;
+            *aux_dirty |= ctx.aux_written_mask;
         });
     }
     comp_cost.add_barrier(2);
@@ -804,6 +902,7 @@ fn compute_staged_logged(
         bytes_written,
         writes_performed: Vec::new(),
         any_writes,
+        aux_dirty,
         effects: Some(log.finish_into(log_scratch)),
     }
 }
@@ -817,6 +916,7 @@ fn compute_staged_live(
     slices: &[Range<u64>],
     layout: &ChunkLayout,
     data_buf: bk_gpu::BufferId,
+    aux: &[(StreamId, bk_gpu::BufferId)],
     block: u32,
     tpb: u32,
     launch: LaunchConfig,
@@ -826,6 +926,7 @@ fn compute_staged_live(
     let mut bytes_read = 0u64;
     let mut bytes_written = 0u64;
     let mut any_writes = false;
+    let mut aux_dirty = 0u64;
     {
         let Machine {
             ref devices,
@@ -836,6 +937,7 @@ fn compute_staged_live(
         let bytes_read = &mut bytes_read;
         let bytes_written = &mut bytes_written;
         let any_writes = &mut any_writes;
+        let aux_dirty = &mut aux_dirty;
         bk_gpu::run_block_lanes(gpu, sim, tpb, &mut comp_cost, |lane, trace| {
             let tid = block * tpb + lane as u32;
             let mut ctx = ComputeCtx::staged(
@@ -846,11 +948,13 @@ fn compute_staged_live(
                 tid,
                 launch.total_threads(),
                 trace,
-            );
+            )
+            .set_aux(aux);
             kernel.process(&mut ctx, slices[lane].clone());
             *bytes_read += ctx.stream_bytes_read;
             *bytes_written += ctx.stream_bytes_written;
-            *any_writes |= ctx.stream_bytes_written > 0;
+            *any_writes |= ctx.primary_bytes_written > 0;
+            *aux_dirty |= ctx.aux_written_mask;
         });
     }
     comp_cost.add_barrier(2);
@@ -860,6 +964,7 @@ fn compute_staged_live(
         bytes_written,
         writes_performed: Vec::new(),
         any_writes,
+        aux_dirty,
         effects: None,
     }
 }
@@ -906,6 +1011,7 @@ pub(crate) fn run_chunk_staged_logged(
     machine: &mut Machine,
     kernel: &dyn StreamKernel,
     streams: &[StreamArray],
+    aux: &[(StreamId, bk_gpu::BufferId)],
     cells: &mut [WaveCell<'_>],
     parallel: bool,
     tpb: u32,
@@ -972,6 +1078,7 @@ pub(crate) fn run_chunk_staged_logged(
                 slices,
                 &staged.layout,
                 data_buf.unwrap(),
+                aux,
                 *block,
                 tpb,
                 launch,
@@ -1004,6 +1111,7 @@ pub(crate) fn run_chunk_staged_logged(
                 slices,
                 &st.layout,
                 data_buf.unwrap(),
+                aux,
                 *block,
                 tpb,
                 launch,
@@ -1035,6 +1143,7 @@ pub(crate) fn run_block_sequential_staged(
     machine: &mut Machine,
     kernel: &dyn StreamKernel,
     streams: &[StreamArray],
+    aux: &[(StreamId, bk_gpu::BufferId)],
     slices: &[Range<u64>],
     block: u32,
     tpb: u32,
@@ -1058,6 +1167,7 @@ pub(crate) fn run_block_sequential_staged(
         slices,
         &staged.layout,
         data_buf,
+        aux,
         block,
         tpb,
         launch,

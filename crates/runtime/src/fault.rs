@@ -33,8 +33,8 @@
 //! fault-free run for any plan that completes. See DESIGN.md §11.
 
 use crate::graph::{
-    bigkernel_graph, bigkernel_graph_depths, deal_chunks, schedule_graph, serial_graph, GraphSpec,
-    Shard, ShardPolicy, ShardedSchedule,
+    bigkernel_graph, bigkernel_graph_depths, deal_chunks, fused_graph_depths, fused_serial_graph,
+    schedule_graph, serial_graph, GraphSpec, Shard, ShardPolicy, ShardedSchedule,
 };
 use crate::pipeline::STAGE_NAMES;
 use bk_obs::{stall_counter, MetricsRegistry, SpanRecord, FAULT_MARKER_STAGE};
@@ -374,6 +374,29 @@ impl FaultContext {
         }
     }
 
+    /// A fault context over the fused multi-pass graph. The degradation
+    /// ladder keeps the `6 × passes` stage shape at every rung (full-depth
+    /// fused → depth-1 fused → serial), so stage indices in the inflated
+    /// rows stay stable; fault sites address stages by their 6-stage *role*
+    /// (`stage % 6`), hitting the same role in every pass.
+    pub(crate) fn new_fused(
+        plan: FaultPlan,
+        num_devices: usize,
+        policy: ShardPolicy,
+        copy_engines: usize,
+        passes: usize,
+        depth: usize,
+        wb_depth: usize,
+    ) -> FaultContext {
+        let mut ctx = FaultContext::new(plan, num_devices, policy, copy_engines, depth, wb_depth);
+        ctx.specs = [
+            fused_graph_depths(copy_engines, passes, depth, wb_depth),
+            fused_graph_depths(copy_engines, passes, 1, 1),
+            fused_serial_graph(passes),
+        ];
+        ctx
+    }
+
     /// Degradation level reached so far (0 = full pipeline). The autotuner
     /// reads this after every window to adopt degraded depths.
     pub(crate) fn level(&self) -> usize {
@@ -414,7 +437,10 @@ impl FaultContext {
                 let clean = *dur;
                 let mut attempts = 0u32;
                 let mut extra = SimTime::ZERO;
-                while self.plan.fails(global, stage, attempts, self.level) {
+                // Fault sites and rate hashing address the 6-stage *role*:
+                // in a fused `6 × passes`-wide row, pass p's copy of a role
+                // sits at `p*6 + role`. `% 6` is a no-op for 6-stage graphs.
+                while self.plan.fails(global, stage % 6, attempts, self.level) {
                     if attempts >= self.plan.max_retries {
                         return Err((global, stage));
                     }
@@ -466,7 +492,7 @@ impl FaultContext {
                         self.level + 1 < self.specs.len(),
                         "fault plan cannot make progress: {} of chunk {chunk} still \
                          exhausts {} retries in the serial fallback graph",
-                        STAGE_NAMES[stage],
+                        STAGE_NAMES[stage % 6],
                         self.plan.max_retries,
                     );
                     self.level += 1;
@@ -550,7 +576,7 @@ impl FaultContext {
         for ev in &events {
             metrics.incr("fault.injected");
             metrics.add("fault.retried", ev.attempts as u64);
-            if let Some(c) = stall_counter(STAGE_NAMES[ev.stage], "fault") {
+            if let Some(c) = stall_counter(STAGE_NAMES[ev.stage % 6], "fault") {
                 metrics.add(c, ev.extra.nanos() as u64);
             }
             for shard in sharded.shards() {

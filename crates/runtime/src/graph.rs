@@ -358,6 +358,117 @@ pub fn serial_graph(names: &[&'static str]) -> GraphSpec {
     )
 }
 
+/// Stage names of the fused multi-pass graph: pass `p`'s six pipeline
+/// stages, prefixed `p<p>.` so observability can both distinguish passes
+/// and strip back to the role name for aggregation.
+pub const FUSED_STAGE_NAMES: [[&str; 6]; 4] = [
+    [
+        "p0.addr-gen",
+        "p0.assemble",
+        "p0.transfer",
+        "p0.compute",
+        "p0.wb-xfer",
+        "p0.wb-apply",
+    ],
+    [
+        "p1.addr-gen",
+        "p1.assemble",
+        "p1.transfer",
+        "p1.compute",
+        "p1.wb-xfer",
+        "p1.wb-apply",
+    ],
+    [
+        "p2.addr-gen",
+        "p2.assemble",
+        "p2.transfer",
+        "p2.compute",
+        "p2.wb-xfer",
+        "p2.wb-apply",
+    ],
+    [
+        "p3.addr-gen",
+        "p3.assemble",
+        "p3.transfer",
+        "p3.compute",
+        "p3.wb-xfer",
+        "p3.wb-apply",
+    ],
+];
+
+/// Flat stage-name list of the `passes`-pass fused graph, for the serial
+/// degradation rung of the fault ladder.
+pub fn fused_stage_names(passes: usize) -> Vec<&'static str> {
+    assert!(
+        (1..=FUSED_STAGE_NAMES.len()).contains(&passes),
+        "fused graph supports 1..=4 passes"
+    );
+    FUSED_STAGE_NAMES[..passes]
+        .iter()
+        .flatten()
+        .copied()
+        .collect()
+}
+
+/// [`serial_graph`] over the fused stage names: the fully-serialized
+/// degradation rung for fused multi-pass runs, keeping the `6 × passes`
+/// stage shape.
+pub fn fused_serial_graph(passes: usize) -> GraphSpec {
+    GraphSpec::chain(
+        fused_stage_names(passes)
+            .into_iter()
+            .map(|n| (n, ResourceId::new(ResourceKind::Serial, 0)))
+            .collect(),
+    )
+}
+
+/// The fused multi-pass BigKernel graph: `passes` copies of the 6-stage
+/// pipeline chained end-to-end per chunk (pass `p`'s addr-gen depends on
+/// pass `p−1`'s wb-apply of the *same* chunk — the device-resident
+/// intermediate), sharing the one set of hardware resources, with each
+/// pass's own §IV.C buffer-reuse edges. One graph, one DAG run: the
+/// per-pass restart loop disappears and a later pass's stages overlap an
+/// earlier pass's tail chunks wherever the resources allow.
+pub fn fused_graph_depths(
+    copy_engines: usize,
+    passes: usize,
+    depth: usize,
+    wb_depth: usize,
+) -> GraphSpec {
+    use ResourceKind::*;
+    assert!(
+        (1..=FUSED_STAGE_NAMES.len()).contains(&passes),
+        "fused graph supports 1..=4 passes"
+    );
+    let wb_dma = if copy_engines >= 2 { DmaD2H } else { DmaH2D };
+    let resources = [
+        ResourceId::new(GpuAddrGen, 0),
+        ResourceId::new(CpuAssembly, 0),
+        ResourceId::new(DmaH2D, 0),
+        ResourceId::new(GpuCompute, 0),
+        ResourceId::new(wb_dma, 0),
+        ResourceId::new(CpuWriteback, 0),
+    ];
+    let mut stages = Vec::with_capacity(passes * 6);
+    for (p, names) in FUSED_STAGE_NAMES.iter().enumerate().take(passes) {
+        for (j, &resource) in resources.iter().enumerate() {
+            let idx = p * 6 + j;
+            stages.push(GraphStage {
+                name: names[j],
+                resource,
+                deps: if idx > 0 { vec![idx - 1] } else { Vec::new() },
+            });
+        }
+    }
+    let mut spec = GraphSpec::new(stages);
+    for p in 0..passes {
+        spec = spec
+            .with_reuse(p * 6, p * 6 + 3, depth)
+            .with_reuse(p * 6 + 3, p * 6 + 5, wb_depth);
+    }
+    spec
+}
+
 /// A computed graph schedule; same slot/meta surface as
 /// [`bk_simcore::Schedule`] via [`ScheduleView`], plus the graph shape it
 /// was scheduled under (deps, reuse edges, capacities) so it satisfies
@@ -722,7 +833,11 @@ impl ShardedSchedule {
                     bk_obs::critpath::ShardDag::from_dag(&shard.sched, shard.device, ids)
                 })
                 .collect();
-            bk_obs::critpath::record_wave(bk_obs::critpath::WaveDag { time_base, shards });
+            bk_obs::critpath::record_wave(bk_obs::critpath::WaveDag {
+                pass: bk_obs::critpath::current_pass(),
+                time_base,
+                shards,
+            });
         }
         for shard in &self.shards {
             let ids: Vec<usize> = shard.chunk_ids.iter().map(|&c| chunk_base + c).collect();

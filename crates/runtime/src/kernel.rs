@@ -172,6 +172,27 @@ pub trait StreamKernel: Sync {
     fn device_effects(&self) -> DeviceEffects {
         DeviceEffects::Replayable
     }
+
+    /// Declarative record-periodic access summary for mega-kernel fusion
+    /// dependence analysis (see [`crate::fusion`]). `None` (the default)
+    /// means the kernel's accesses cannot be summarized — e.g. indirect,
+    /// data-dependent addressing — and any fusion involving it refuses.
+    fn access_summary(&self) -> Option<crate::fusion::AccessSummary> {
+        None
+    }
+
+    /// Whether this pass reads device-memory state (hash tables,
+    /// accumulators) that an *earlier pass* of the same multi-pass program
+    /// accumulates — a dependence the stream-level analysis cannot see, so
+    /// passes must declare it. Fused execution then needs a global pass
+    /// barrier, which the pass-major schedule provides only when the whole
+    /// launch is one co-resident wave (persistent blocks, the mega-kernel
+    /// precondition); [`crate::run_bigkernel_fused`] refuses multi-wave
+    /// launches for such programs and the caller falls back to the unfused
+    /// per-pass loop.
+    fn barrier_dependence(&self) -> bool {
+        false
+    }
 }
 
 /// Launch geometry (compute threads; BigKernel internally doubles the thread

@@ -37,6 +37,11 @@
 //!   [`FaultPlan`] failing stage instances or whole devices, with bounded
 //!   retry + backoff, chunk requeue onto survivors and graceful degradation
 //!   to the double-buffered / serial graphs.
+//! * [`fusion`] — MPK-style mega-kernel fusion: dependence analysis over
+//!   per-kernel access summaries proving when a later pass's stream reads
+//!   are covered by an earlier pass's device-buffer writes, producing a
+//!   [`FusePlan`] that runs all passes through one multi-stage graph with
+//!   device-resident intermediates (conservative refusal otherwise).
 //! * [`autotune`] — the adaptive occupancy autotuner: a deterministic
 //!   feedback controller that consumes per-slot stall attribution and
 //!   re-plans reuse depths and chunk size between scheduling windows,
@@ -58,6 +63,7 @@ pub mod config;
 pub mod ctx;
 mod exec;
 pub mod fault;
+pub mod fusion;
 pub mod graph;
 pub mod kernel;
 pub mod layout;
@@ -77,10 +83,11 @@ pub use bk_obs::{Histogram, MetricsRegistry};
 pub use config::{AssemblyLayout, AssemblyOrder, BigKernelConfig, SyncMode};
 pub use ctx::{AddrGenCtx, ComputeCtx, DevMemory, LiveMem, LoggedMem};
 pub use fault::{DeviceFailure, FaultPlan, FaultSite, FaultStage};
+pub use fusion::{AccessSummary, FieldSpan, FusePlan, FuseRefusal, PassIo, StreamAccess};
 pub use graph::{Executor, GraphSpec, ResourceId, ResourceKind, ShardPolicy};
 pub use kernel::{DevBufId, DeviceEffects, KernelCtx, LaunchConfig, StreamKernel, ValueExt};
 pub use machine::Machine;
-pub use pipeline::run_bigkernel;
+pub use pipeline::{run_bigkernel, run_bigkernel_fused};
 pub use pool::{AddrGenScratch, StreamPool};
 pub use result::{RunResult, StageStat};
 pub use stream::{StreamArray, StreamId};

@@ -66,15 +66,16 @@ use crate::exec::{
     run_chunk_staged_logged, BlockSlot, ChunkCosts, WaveCell,
 };
 use crate::fault::FaultContext;
-use crate::graph::{bigkernel_graph_depths, Executor};
+use crate::fusion::{FusePlan, FuseRefusal, PassIo};
+use crate::graph::{bigkernel_graph_depths, fused_graph_depths, Executor};
 use crate::kernel::{chunk_slice, partition_ranges, DeviceEffects, LaunchConfig, StreamKernel};
 use crate::machine::Machine;
 use crate::result::{finalize_stage_stats, RunResult};
-use crate::stream::StreamArray;
+use crate::stream::{StreamArray, StreamId};
 use crate::sync;
 use bk_gpu::occupancy::{self, BlockResources};
 use bk_gpu::GpuPool;
-use bk_host::{cpu, DmaDirection};
+use bk_host::{cpu, CpuCost, DmaDirection};
 use bk_obs::{MetricsRegistry, SpanRecord, RETUNE_MARKER_STAGE};
 use bk_simcore::SimTime;
 use std::ops::Range;
@@ -159,6 +160,229 @@ fn note_retune(
         dur: SimTime::ZERO,
         stall: Some(("buffer-reuse", reuse_stall)),
     });
+}
+
+/// Aux-staged secondary streams for the overlap-only path (`transfer_all`):
+/// the staged execution modes resolve `StreamId(0)` through the chunk window
+/// but have no per-chunk window for secondary streams, so those are staged
+/// *whole* to device buffers up front — the paper's "simply defaults to
+/// fetching all data" fallback extended to every mapped stream. The up-front
+/// h2d DMA time is charged to the first non-empty chunk's transfer stage;
+/// dirty streams flush back to host memory after the last chunk (unfused
+/// multi-pass apps re-map the same regions in their next pass, so secondary
+/// writes must land in `hmem`).
+struct StagedAux {
+    /// `(stream, whole-stream device buffer)`, in `streams[1..]` order.
+    table: Vec<(StreamId, bk_gpu::BufferId)>,
+    /// Up-front h2d DMA time not yet charged to a chunk's transfer stage.
+    pending_xfer: SimTime,
+    /// Union of the per-block written masks (bit = table index).
+    dirty: u64,
+}
+
+impl StagedAux {
+    fn empty() -> Self {
+        StagedAux {
+            table: Vec::new(),
+            pending_xfer: SimTime::ZERO,
+            dirty: 0,
+        }
+    }
+}
+
+/// Simulate one chunk of one pass: run every active block's functional
+/// simulation, fold the per-block costs into the six per-stage durations and
+/// emit the bound counters and transfer histograms. Shared between the
+/// single-pass pipeline ([`run_bigkernel`]) and the fused multi-pass runner
+/// ([`run_bigkernel_fused`]), which places the returned stage times at its
+/// pass's offset in a `6 × passes`-wide duration row. `io` carries the
+/// fusion byte-cost elision for this pass (`None` outside fused runs); it
+/// changes cost accounting only — the functional simulation is identical.
+#[allow(clippy::too_many_arguments)]
+fn simulate_chunk(
+    machine: &mut Machine,
+    kernel: &dyn StreamKernel,
+    streams: &[StreamArray],
+    ranges: &[Range<u64>],
+    blocks: &[u32],
+    slots: &mut [BlockSlot],
+    chunk: usize,
+    num_chunks: usize,
+    launch: LaunchConfig,
+    cfg: &BigKernelConfig,
+    io: Option<&PassIo>,
+    aux: &mut StagedAux,
+    logged: bool,
+    parallel: bool,
+    ag_pool: &GpuPool,
+    comp_pool: &GpuPool,
+    sync_costs: &sync::SyncCosts,
+    metrics: &mut MetricsRegistry,
+) -> [SimTime; 6] {
+    let tpb = launch.threads_per_block;
+    let rec = kernel.record_size();
+    let mut row = [SimTime::ZERO; 6];
+    let mut costs = ChunkCosts::new();
+    let h2d_before = metrics.get("pcie.h2d_bytes");
+    let d2h_before = metrics.get("pcie.d2h_bytes");
+
+    // Pair each working block with its persistent slot.
+    let mut cells: Vec<WaveCell<'_>> = Vec::with_capacity(blocks.len());
+    for (i, slot) in slots.iter_mut().enumerate().take(blocks.len()) {
+        let b = blocks[i];
+        let slices: Vec<Range<u64>> = (0..tpb)
+            .map(|t| {
+                let lane_range = &ranges[(b * tpb + t) as usize];
+                chunk_slice(lane_range, chunk, num_chunks, rec)
+            })
+            .collect();
+        if slices.iter().all(|s| s.is_empty()) {
+            continue;
+        }
+        cells.push(WaveCell {
+            block: b,
+            slices,
+            slot,
+            pure: None,
+            staged: None,
+            data_buf: None,
+            write_buf: None,
+            computed: None,
+        });
+    }
+
+    if cells.is_empty() {
+        return row;
+    }
+
+    if !logged {
+        // Sequential-capability kernels: legacy fused per-block loop
+        // in block order (both parallel_blocks settings).
+        for cell in cells.iter_mut() {
+            if cfg.transfer_all {
+                run_block_sequential_staged(
+                    machine,
+                    kernel,
+                    streams,
+                    &aux.table,
+                    &cell.slices,
+                    cell.block,
+                    tpb,
+                    launch,
+                    cell.slot,
+                    &mut costs,
+                    metrics,
+                );
+            } else {
+                run_block_sequential(
+                    machine,
+                    kernel,
+                    streams,
+                    &cell.slices,
+                    cell.block,
+                    tpb,
+                    launch,
+                    cfg,
+                    io,
+                    cell.slot,
+                    &mut costs,
+                    metrics,
+                );
+            }
+        }
+    } else if cfg.transfer_all {
+        run_chunk_staged_logged(
+            machine, kernel, streams, &aux.table, &mut cells, parallel, tpb, launch, &mut costs,
+            metrics,
+        );
+    } else {
+        run_chunk_assembled_logged(
+            machine, kernel, streams, &mut cells, parallel, tpb, launch, cfg, io, &mut costs,
+            metrics,
+        );
+    }
+
+    // Stage 1: addr-gen pool roofline + zero-copy address stores.
+    if !cfg.transfer_all {
+        let mut terms = ag_pool.stage_terms(&costs.ag);
+        terms.bound(
+            "pcie-zerocopy",
+            machine.link.zero_copy_write_time(costs.addr_bytes),
+        );
+        if let Some(b) = terms.dominant() {
+            metrics.incr(bound_counter("addr-gen", b.label));
+        }
+        row[0] = terms.duration() + sync_costs.addr_gen;
+    }
+    // Stage 2: block assembly threads run in parallel on the host.
+    let asm_threads = (blocks.len() as u32).min(machine.cpu.hw_threads).max(1);
+    let asm_terms = cpu::cpu_stage_terms(&machine.cpu, &costs.asm, asm_threads);
+    if let Some(b) = asm_terms.dominant() {
+        metrics.incr(bound_counter("assemble", b.label));
+    }
+    row[1] = asm_terms.duration() + sync_costs.assembly;
+    // Stage 3: DMA (already summed per block, one engine). Bound
+    // classification: fixed per-transfer setup + flag costs vs the
+    // bandwidth share. The first chunk that does any work also pays the
+    // up-front aux-stream staging transfer.
+    aux.dirty |= costs.aux_dirty;
+    costs.xfer += std::mem::replace(&mut aux.pending_xfer, SimTime::ZERO);
+    row[2] = costs.xfer;
+    if costs.xfer > SimTime::ZERO {
+        let fixed = SimTime::from_secs(
+            machine.link.flag_latency.secs() * costs.h2d_flags as f64
+                + machine.link.latency.secs() * costs.h2d_lats as f64,
+        );
+        let bw = costs.xfer.saturating_sub(fixed);
+        let label = if bw >= fixed {
+            "dma-bandwidth"
+        } else {
+            "dma-latency"
+        };
+        metrics.incr(bound_counter("transfer", label));
+    }
+    // Stage 4: compute pool.
+    let comp_terms = comp_pool.stage_terms(&costs.comp);
+    if let Some(b) = comp_terms.dominant() {
+        metrics.incr(bound_counter("compute", b.label));
+    }
+    row[3] = comp_terms.duration() + sync_costs.compute;
+    metrics.add("gpu.comp_issue_slots", costs.comp.issue_slots);
+    metrics.add("gpu.comp_mem_bytes_moved", costs.comp.mem_bytes_moved);
+    metrics.add("gpu.comp_mem_bytes_useful", costs.comp.mem_bytes_useful);
+    metrics.add("gpu.comp_atomics", costs.comp.atomic_ops);
+    metrics.add("gpu.comp_hot_atomic_chain", costs.comp.hot_atomic_max());
+    // Stage 5: write-back DMA (one transfer per chunk).
+    if costs.wb_bytes > 0 {
+        row[4] = machine
+            .link
+            .dma_time_with_flag(DmaDirection::DeviceToHost, costs.wb_bytes);
+        let fixed = machine.link.latency + machine.link.flag_latency;
+        let bw = row[4].saturating_sub(fixed);
+        let label = if bw >= fixed {
+            "dma-bandwidth"
+        } else {
+            "dma-latency"
+        };
+        metrics.incr(bound_counter("wb-xfer", label));
+    }
+    // Stage 6: write-back apply.
+    let wb_terms = cpu::cpu_stage_terms(&machine.cpu, &costs.wb, asm_threads);
+    if costs.wb_bytes > 0 {
+        if let Some(b) = wb_terms.dominant() {
+            metrics.incr(bound_counter("wb-apply", b.label));
+        }
+    }
+    row[5] = wb_terms.duration();
+
+    // Per-chunk transfer-volume histograms (delta of the byte
+    // counters the block stages just folded in).
+    let h2d = metrics.get("pcie.h2d_bytes") - h2d_before;
+    let d2h = metrics.get("pcie.d2h_bytes") - d2h_before;
+    metrics.observe("hist.chunk.h2d_bytes", h2d);
+    metrics.observe("hist.chunk.d2h_bytes", d2h);
+
+    row
 }
 
 /// Run `kernel` over `streams` with the BigKernel pipeline.
@@ -292,6 +516,22 @@ pub fn run_bigkernel(
         .map(|_| BlockSlot::new())
         .collect();
 
+    // Overlap-only with secondary streams: stage each whole aux stream to a
+    // device buffer up front (see [`StagedAux`]).
+    let mut aux = StagedAux::empty();
+    if cfg.transfer_all && streams.len() > 1 {
+        for s in &streams[1..] {
+            let buf = machine.gmem.alloc(s.len().max(1));
+            let src = machine.hmem.read(s.region, 0, s.len() as usize).to_vec();
+            machine.gmem.dma_in(buf, 0, &src);
+            metrics.add("pcie.h2d_bytes", s.len());
+            aux.pending_xfer += machine
+                .link
+                .dma_time_with_flag(DmaDirection::HostToDevice, s.len());
+            aux.table.push((s.id, buf));
+        }
+    }
+
     let mut seen_fault_level = 0usize;
     for wave in 0..waves {
         // Wave-boundary chunk-size re-plan: buffers swap between windows,
@@ -312,178 +552,26 @@ pub fn run_bigkernel(
         let mut durations: Vec<Vec<SimTime>> = Vec::with_capacity(num_chunks);
 
         for chunk in 0..num_chunks {
-            let mut row = [SimTime::ZERO; 6];
-            let mut costs = ChunkCosts::new();
-            let h2d_before = metrics.get("pcie.h2d_bytes");
-            let d2h_before = metrics.get("pcie.d2h_bytes");
-
-            // Pair each working block with its persistent slot.
-            let mut cells: Vec<WaveCell<'_>> = Vec::with_capacity(blocks.len());
-            for (i, slot) in slots.iter_mut().enumerate().take(blocks.len()) {
-                let b = blocks[i];
-                let slices: Vec<Range<u64>> = (0..tpb)
-                    .map(|t| {
-                        let lane_range = &ranges[(b * tpb + t) as usize];
-                        chunk_slice(lane_range, chunk, num_chunks, rec)
-                    })
-                    .collect();
-                if slices.iter().all(|s| s.is_empty()) {
-                    continue;
-                }
-                cells.push(WaveCell {
-                    block: b,
-                    slices,
-                    slot,
-                    pure: None,
-                    staged: None,
-                    data_buf: None,
-                    write_buf: None,
-                    computed: None,
-                });
-            }
-
-            if cells.is_empty() {
-                durations.push(row.to_vec());
-                continue;
-            }
-
-            if !logged {
-                // Sequential-capability kernels: legacy fused per-block loop
-                // in block order (both parallel_blocks settings).
-                for cell in cells.iter_mut() {
-                    if cfg.transfer_all {
-                        run_block_sequential_staged(
-                            machine,
-                            kernel,
-                            streams,
-                            &cell.slices,
-                            cell.block,
-                            tpb,
-                            launch,
-                            cell.slot,
-                            &mut costs,
-                            &mut metrics,
-                        );
-                    } else {
-                        run_block_sequential(
-                            machine,
-                            kernel,
-                            streams,
-                            &cell.slices,
-                            cell.block,
-                            tpb,
-                            launch,
-                            cfg,
-                            cell.slot,
-                            &mut costs,
-                            &mut metrics,
-                        );
-                    }
-                }
-            } else if cfg.transfer_all {
-                run_chunk_staged_logged(
-                    machine,
-                    kernel,
-                    streams,
-                    &mut cells,
-                    parallel,
-                    tpb,
-                    launch,
-                    &mut costs,
-                    &mut metrics,
-                );
-            } else {
-                run_chunk_assembled_logged(
-                    machine,
-                    kernel,
-                    streams,
-                    &mut cells,
-                    parallel,
-                    tpb,
-                    launch,
-                    cfg,
-                    &mut costs,
-                    &mut metrics,
-                );
-            }
-
-            // Stage 1: addr-gen pool roofline + zero-copy address stores.
-            if !cfg.transfer_all {
-                let mut terms = ag_pool.stage_terms(&costs.ag);
-                terms.bound(
-                    "pcie-zerocopy",
-                    machine.link.zero_copy_write_time(costs.addr_bytes),
-                );
-                if let Some(b) = terms.dominant() {
-                    metrics.incr(bound_counter("addr-gen", b.label));
-                }
-                row[0] = terms.duration() + sync_costs.addr_gen;
-            }
-            // Stage 2: block assembly threads run in parallel on the host.
-            let asm_threads = (blocks.len() as u32).min(machine.cpu.hw_threads).max(1);
-            let asm_terms = cpu::cpu_stage_terms(&machine.cpu, &costs.asm, asm_threads);
-            if let Some(b) = asm_terms.dominant() {
-                metrics.incr(bound_counter("assemble", b.label));
-            }
-            row[1] = asm_terms.duration() + sync_costs.assembly;
-            // Stage 3: DMA (already summed per block, one engine). Bound
-            // classification: fixed per-transfer setup + flag costs vs the
-            // bandwidth share.
-            row[2] = costs.xfer;
-            if costs.xfer > SimTime::ZERO {
-                let fixed = SimTime::from_secs(
-                    machine.link.flag_latency.secs() * costs.h2d_flags as f64
-                        + machine.link.latency.secs() * costs.h2d_lats as f64,
-                );
-                let bw = costs.xfer.saturating_sub(fixed);
-                let label = if bw >= fixed {
-                    "dma-bandwidth"
-                } else {
-                    "dma-latency"
-                };
-                metrics.incr(bound_counter("transfer", label));
-            }
-            // Stage 4: compute pool.
-            let comp_terms = comp_pool.stage_terms(&costs.comp);
-            if let Some(b) = comp_terms.dominant() {
-                metrics.incr(bound_counter("compute", b.label));
-            }
-            row[3] = comp_terms.duration() + sync_costs.compute;
-            metrics.add("gpu.comp_issue_slots", costs.comp.issue_slots);
-            metrics.add("gpu.comp_mem_bytes_moved", costs.comp.mem_bytes_moved);
-            metrics.add("gpu.comp_mem_bytes_useful", costs.comp.mem_bytes_useful);
-            metrics.add("gpu.comp_atomics", costs.comp.atomic_ops);
-            metrics.add("gpu.comp_hot_atomic_chain", costs.comp.hot_atomic_max());
-            // Stage 5: write-back DMA (one transfer per chunk).
-            if costs.wb_bytes > 0 {
-                row[4] = machine
-                    .link
-                    .dma_time_with_flag(DmaDirection::DeviceToHost, costs.wb_bytes);
-                let fixed = machine.link.latency + machine.link.flag_latency;
-                let bw = row[4].saturating_sub(fixed);
-                let label = if bw >= fixed {
-                    "dma-bandwidth"
-                } else {
-                    "dma-latency"
-                };
-                metrics.incr(bound_counter("wb-xfer", label));
-            }
-            // Stage 6: write-back apply.
-            let wb_terms = cpu::cpu_stage_terms(&machine.cpu, &costs.wb, asm_threads);
-            if costs.wb_bytes > 0 {
-                if let Some(b) = wb_terms.dominant() {
-                    metrics.incr(bound_counter("wb-apply", b.label));
-                }
-            }
-            row[5] = wb_terms.duration();
-
-            // Per-chunk transfer-volume histograms (delta of the byte
-            // counters the block stages just folded in).
-            let h2d = metrics.get("pcie.h2d_bytes") - h2d_before;
-            let d2h = metrics.get("pcie.d2h_bytes") - d2h_before;
-            metrics.observe("hist.chunk.h2d_bytes", h2d);
-            metrics.observe("hist.chunk.d2h_bytes", d2h);
-
+            let row = simulate_chunk(
+                machine,
+                kernel,
+                streams,
+                &ranges,
+                &blocks,
+                &mut slots,
+                chunk,
+                num_chunks,
+                launch,
+                cfg,
+                None,
+                &mut aux,
+                logged,
+                parallel,
+                &ag_pool,
+                &comp_pool,
+                &sync_costs,
+                &mut metrics,
+            );
             durations.push(row.to_vec());
         }
 
@@ -566,6 +654,24 @@ pub fn run_bigkernel(
         }
     }
 
+    // Flush dirty aux streams back to host and free the staged buffers. The
+    // flush is a serial drain tail after the last chunk retires: one d2h DMA
+    // plus the host-side apply per dirty stream.
+    for (i, (id, buf)) in aux.table.iter().enumerate() {
+        let s = &streams[id.0 as usize];
+        if aux.dirty & (1u64 << (i as u64).min(63)) != 0 {
+            let bytes = machine.gmem.dma_out(*buf, 0, s.len() as usize);
+            machine.hmem.write(s.region, 0, &bytes);
+            metrics.add("pcie.d2h_bytes", s.len());
+            total += machine
+                .link
+                .dma_time_with_flag(DmaDirection::DeviceToHost, s.len());
+            let apply = CpuCost::streaming(s.len(), 2, 1);
+            total += cpu::cpu_stage_terms(&machine.cpu, &apply, 1).duration();
+        }
+        machine.gmem.free(*buf);
+    }
+
     finalize_stage_stats(&mut stage_stats, total_chunks);
     metrics.add("run.waves", waves as u64);
     if let Some(tuner) = tuner.as_ref() {
@@ -588,6 +694,323 @@ pub fn run_bigkernel(
         metrics,
         chunks: total_chunks,
     }
+}
+
+/// Run a fused multi-pass program — `kernels[p]` is pass `p` — as **one**
+/// pipeline over a single `6 × passes`-stage graph ([`fused_graph_depths`]),
+/// instead of `passes` sequential [`run_bigkernel`] invocations with a full
+/// pipeline drain between them.
+///
+/// `plan` must come from [`FusePlan::analyze`] over the kernels' access
+/// summaries: it proves which of a later pass's stream reads are covered by
+/// an earlier pass's writes. Covered streams stay device-resident between
+/// passes — their gather bytes never cross PCIe again — and scratch streams
+/// consumed only inside the fusion skip their write-back entirely. The
+/// elision is *cost-only*: every pass still executes functionally in strict
+/// program order against host memory, so outputs are bit-identical to the
+/// unfused run by construction.
+///
+/// Per wave, the runner builds `passes × num_chunks` duration rows in
+/// pass-major order, each `6 × passes` wide with pass `p`'s stage times at
+/// columns `p*6 ..= p*6+5`, and submits them to **one** executor run. The
+/// graph chains pass `p`'s addr-gen after pass `p−1`'s wb-apply per chunk
+/// while the shared hardware resources (GPU pools, assembly threads, DMA
+/// engines) pipeline across passes; zero-duration stages occupy nothing.
+/// The §IV.C reuse edges apply per pass. The §IV.D occupancy check charges
+/// the resident intermediate footprint against the buffer-set budget via
+/// [`occupancy::max_buffer_sets_resident`] and refuses
+/// ([`FuseRefusal::ResidentFootprint`]) when even depth 1 does not fit —
+/// callers fall back to the unfused per-pass loop on any refusal.
+///
+/// Passes declaring a [`barrier
+/// dependence`](crate::kernel::StreamKernel::barrier_dependence) (they read
+/// device state an earlier pass accumulates, e.g. a hash-table join) fuse
+/// only when the launch is a single co-resident wave: the per-wave
+/// pass-major functional order then acts as the global pass barrier.
+/// Multi-wave launches refuse ([`FuseRefusal::BarrierNotCoResident`]).
+pub fn run_bigkernel_fused(
+    machine: &mut Machine,
+    kernels: &[&dyn StreamKernel],
+    streams: &[StreamArray],
+    launch: LaunchConfig,
+    cfg: &BigKernelConfig,
+    plan: &FusePlan,
+) -> Result<RunResult, FuseRefusal> {
+    cfg.validate();
+    assert!(
+        !cfg.transfer_all,
+        "fused execution requires the assembled pipeline; \
+         transfer_all is the overlap-only baseline"
+    );
+    assert!(!streams.is_empty(), "need at least one mapped stream");
+    for (i, s) in streams.iter().enumerate() {
+        assert_eq!(s.id.0 as usize, i, "streams must be indexed by id");
+    }
+    let passes = kernels.len();
+    assert_eq!(
+        passes, plan.passes,
+        "fuse plan covers {} passes but {} kernels were supplied",
+        plan.passes, passes
+    );
+
+    // Identical record sizes ⇒ identical lane partitions in every pass, the
+    // property the coverage proof (and cross-wave ordering) relies on.
+    let rec = kernels[0].record_size();
+    if kernels.iter().any(|k| k.record_size() != rec) {
+        return Err(FuseRefusal::MismatchedRecordSize);
+    }
+
+    let primary = &streams[0];
+    let tpb = launch.threads_per_block;
+
+    // §IV.D occupancy: every pass runs on the same active-block front, so
+    // take the most constrained pass (fewest active blocks, lowest thread
+    // occupancy) — conservative for the schedule and exact for the memory
+    // footprint of the blocks actually in flight.
+    let mut occ = None;
+    let mut occ_factor = f64::INFINITY;
+    for k in kernels {
+        let base_res = k.resources();
+        let doubled = BlockResources {
+            threads_per_block: (base_res.threads_per_block.max(tpb)) * 2,
+            ..base_res
+        };
+        let o = occupancy::compute(machine.gpu(), &doubled, launch.num_blocks);
+        occ_factor = occ_factor.min(o.thread_occupancy(machine.gpu(), &doubled));
+        if occ
+            .as_ref()
+            .is_none_or(|prev: &bk_gpu::occupancy::Occupancy| o.active_blocks < prev.active_blocks)
+        {
+            occ = Some(o);
+        }
+    }
+    let occ = occ.expect("at least one pass");
+    let occ_factor = occ_factor.max(0.125);
+    let active_blocks = occ.active_blocks.max(1);
+
+    // Resident intermediates charge against the buffer-set budget: if not
+    // even one set fits alongside them, fusion is infeasible on this device.
+    let set_bytes = cfg.chunk_input_bytes.max(1);
+    let resident_bytes = plan.resident_bytes_per_chunk(cfg.chunk_input_bytes);
+    let feasible_sets =
+        occupancy::max_buffer_sets_resident(machine.gpu(), &occ, set_bytes, resident_bytes);
+    if feasible_sets == 0 {
+        return Err(FuseRefusal::ResidentFootprint {
+            needed: u64::from(active_blocks) * (set_bytes + resident_bytes),
+            budget: machine.gpu().mem_capacity / 2,
+        });
+    }
+
+    let ag_pool = GpuPool::new(machine.gpu().clone(), 0.5, occ_factor);
+    let comp_pool = GpuPool::new(machine.gpu().clone(), 0.5, occ_factor);
+
+    // One work partition shared by every pass.
+    let ranges = partition_ranges(primary.len(), launch.total_threads(), rec);
+    let unit = rec.unwrap_or(1);
+    let max_range = ranges.iter().map(|r| r.end - r.start).max().unwrap_or(0);
+    let lane_slice = |chunk_bytes: u64| ((chunk_bytes / tpb as u64) / unit).max(1) * unit;
+    let chunks_for = |slice: u64| (max_range.div_ceil(slice)).max(1) as usize;
+    let mut per_lane_slice = lane_slice(cfg.chunk_input_bytes);
+    let mut num_chunks = chunks_for(per_lane_slice);
+
+    let sync_costs = sync::per_chunk(machine, cfg.sync);
+    let mut metrics = MetricsRegistry::new();
+    metrics.add("launch.blocks", launch.num_blocks as u64);
+    metrics.add("launch.active_blocks", active_blocks as u64);
+    metrics.add("launch.threads", launch.total_threads() as u64);
+    metrics.add("run.chunks_per_block", num_chunks as u64);
+    metrics.add("run.devices", machine.num_gpus() as u64);
+    metrics.add("fusion.passes", passes as u64);
+    metrics.add("fusion.resident_bytes_per_chunk", resident_bytes);
+    metrics.add("fusion.scratch_bytes", plan.scratch_stream_bytes(streams));
+
+    let copy_engines = machine.gpu().copy_engines as usize;
+    let spec = fused_graph_depths(copy_engines, passes, cfg.buffer_depth, cfg.wb_depth());
+    let mut executor = Executor::new(spec, machine.num_gpus(), cfg.shard_policy);
+
+    let mut fault_ctx = cfg.faults.clone().map(|fplan| {
+        FaultContext::new_fused(
+            fplan,
+            machine.num_gpus(),
+            cfg.shard_policy,
+            copy_engines,
+            passes,
+            cfg.buffer_depth,
+            cfg.wb_depth(),
+        )
+    });
+
+    // The autotuner composes unchanged: its feasibility cap already accounts
+    // for the resident intermediates, and re-plans rebuild the *fused* graph.
+    let blame_rank = cfg
+        .autotune
+        .as_ref()
+        .is_some_and(|t| t.rank_by == RankBy::CritBlame);
+    let mut tuner = cfg.autotune.clone().map(|tcfg| {
+        Autotuner::new(
+            tcfg,
+            TunePlan {
+                data_depth: cfg.buffer_depth,
+                wb_depth: cfg.wb_depth(),
+                chunk_bytes: cfg.chunk_input_bytes,
+            },
+            feasible_sets,
+        )
+    });
+
+    let waves = launch.num_blocks.div_ceil(active_blocks);
+    // Passes that read device state accumulated by an earlier pass need a
+    // global pass barrier. The pass-major functional order below provides
+    // one per wave — all of pass p's chunks run before pass p+1's — but a
+    // second wave would count against state its own pass-0 front has not
+    // produced yet. Fusing such programs is therefore only legal when the
+    // launch is a single co-resident wave (persistent blocks).
+    if waves > 1 {
+        if let Some(pass) = kernels.iter().position(|k| k.barrier_dependence()) {
+            return Err(FuseRefusal::BarrierNotCoResident { pass, waves });
+        }
+    }
+    let mut total = SimTime::ZERO;
+    let mut stage_stats = Vec::new();
+    let mut total_chunks = 0usize;
+    let mut slots: Vec<BlockSlot> = (0..active_blocks.min(launch.num_blocks).max(1))
+        .map(|_| BlockSlot::new())
+        .collect();
+
+    let mut seen_fault_level = 0usize;
+    for wave in 0..waves {
+        if wave > 0 {
+            if let Some(tuner) = tuner.as_mut() {
+                if let Some(p) = tuner.plan_wave(num_chunks) {
+                    per_lane_slice = lane_slice(p.chunk_bytes);
+                    num_chunks = chunks_for(per_lane_slice);
+                    note_retune(&mut metrics, p, total_chunks, total, SimTime::ZERO);
+                }
+            }
+        }
+        let blocks: Vec<u32> =
+            (wave * active_blocks..((wave + 1) * active_blocks).min(launch.num_blocks)).collect();
+
+        // Pass-major rows: all of pass 0's chunks, then pass 1's, … Each row
+        // is `6 × passes` wide with only its own pass's stages non-zero; the
+        // in-order resource queues plus the per-chunk stage chain give every
+        // pass-p chunk its cross-pass ordering, while zero stages cost
+        // nothing. Functionally this wave runs pass 0 to completion before
+        // pass 1 reads its output (covered reads are lane-local, so waves
+        // never race ahead of their inputs).
+        let mut durations: Vec<Vec<SimTime>> = Vec::with_capacity(passes * num_chunks);
+        for (p, kernel) in kernels.iter().enumerate() {
+            let logged = kernel.device_effects() == DeviceEffects::Replayable;
+            let parallel = logged && cfg.parallel_blocks;
+            for chunk in 0..num_chunks {
+                // Fused execution is assembled-only (asserted above), so no
+                // aux staging table exists.
+                let mut no_aux = StagedAux::empty();
+                let stages = simulate_chunk(
+                    machine,
+                    *kernel,
+                    streams,
+                    &ranges,
+                    &blocks,
+                    &mut slots,
+                    chunk,
+                    num_chunks,
+                    launch,
+                    cfg,
+                    Some(&plan.io[p]),
+                    &mut no_aux,
+                    logged,
+                    parallel,
+                    &ag_pool,
+                    &comp_pool,
+                    &sync_costs,
+                    &mut metrics,
+                );
+                let mut row = vec![SimTime::ZERO; 6 * passes];
+                row[p * 6..p * 6 + 6].copy_from_slice(&stages);
+                durations.push(row);
+            }
+        }
+
+        match tuner.as_mut() {
+            None => {
+                let sharded = match fault_ctx.as_mut() {
+                    Some(fc) => {
+                        fc.run_wave(wave as usize, total_chunks, total, &durations, &mut metrics)
+                    }
+                    None => executor.run(&durations),
+                };
+                sharded.record(total_chunks, total, &mut metrics);
+                total += sharded.makespan();
+                sharded.accumulate(&mut stage_stats);
+                total_chunks += durations.len();
+            }
+            Some(tuner) => {
+                let mut idx = 0usize;
+                while idx < durations.len() {
+                    let win = tuner.window_len().min(durations.len() - idx);
+                    let rows = &durations[idx..idx + win];
+                    let sharded = match fault_ctx.as_mut() {
+                        Some(fc) => {
+                            fc.run_wave(wave as usize, total_chunks, total, rows, &mut metrics)
+                        }
+                        None => executor.run(rows),
+                    };
+                    sharded.record(total_chunks, total, &mut metrics);
+                    let fb = if blame_rank {
+                        WindowFeedback::from_sharded_with_blame(&sharded)
+                    } else {
+                        WindowFeedback::from_sharded(&sharded)
+                    };
+                    total += sharded.makespan();
+                    sharded.accumulate(&mut stage_stats);
+                    total_chunks += win;
+                    idx += win;
+                    metrics.incr("autotune.windows");
+                    let window_stall = fb.data_reuse_stall + fb.wb_reuse_stall;
+                    if let Some(fc) = fault_ctx.as_mut() {
+                        if fc.level() > seen_fault_level {
+                            seen_fault_level = fc.level();
+                            if let Some(p) = tuner.on_degraded(seen_fault_level) {
+                                note_retune(&mut metrics, p, total_chunks, total, window_stall);
+                            }
+                        }
+                    }
+                    if let Some(p) = tuner.observe(&fb) {
+                        note_retune(&mut metrics, p, total_chunks, total, window_stall);
+                        let spec =
+                            fused_graph_depths(copy_engines, passes, p.data_depth, p.wb_depth);
+                        match fault_ctx.as_mut() {
+                            Some(fc) => {
+                                fc.retune_current(spec);
+                            }
+                            None => {
+                                executor =
+                                    Executor::new(spec, machine.num_gpus(), cfg.shard_policy);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    finalize_stage_stats(&mut stage_stats, total_chunks);
+    metrics.add("run.waves", waves as u64);
+    if let Some(tuner) = tuner.as_ref() {
+        let p = tuner.plan();
+        metrics.add("autotune.depth", p.data_depth as u64);
+        metrics.add("autotune.buffers", p.wb_depth as u64);
+        metrics.add("autotune.chunk_bytes", p.chunk_bytes);
+    }
+
+    Ok(RunResult {
+        implementation: "bigkernel-fused",
+        total,
+        stages: stage_stats,
+        metrics,
+        chunks: total_chunks,
+    })
 }
 
 #[cfg(test)]
@@ -633,7 +1056,7 @@ mod tests {
 
     /// Reads field A (u32 at +0) of 8-byte records and writes 2*A to field
     /// B (u32 at +4) — exercises the write-back path.
-    struct ScaleKernel;
+    pub(super) struct ScaleKernel;
 
     impl StreamKernel for ScaleKernel {
         fn name(&self) -> &'static str {
@@ -658,6 +1081,83 @@ mod tests {
                 ctx.stream_write_u32(StreamId(0), off + 4, a.wrapping_mul(2));
                 off += 8;
             }
+        }
+        fn access_summary(&self) -> Option<crate::fusion::AccessSummary> {
+            Some(scale_summary())
+        }
+    }
+
+    /// Reads field B (u32 at +4) of 8-byte records and accumulates it into a
+    /// device counter — the fusable consumer of [`ScaleKernel`]'s output.
+    pub(super) struct SumBKernel {
+        pub(super) acc: bk_gpu::BufferId,
+    }
+
+    impl StreamKernel for SumBKernel {
+        fn name(&self) -> &'static str {
+            "test-sum-b"
+        }
+        fn record_size(&self) -> Option<u64> {
+            Some(8)
+        }
+        fn addresses(&self, ctx: &mut AddrGenCtx<'_>, range: Range<u64>) {
+            let mut off = range.start;
+            while off < range.end {
+                ctx.emit_read(StreamId(0), off + 4, 4);
+                off += 8;
+            }
+        }
+        fn process(&self, ctx: &mut dyn KernelCtx, range: Range<u64>) {
+            let mut sum = 0u64;
+            let mut off = range.start;
+            while off < range.end {
+                sum = sum.wrapping_add(ctx.stream_read_u32(StreamId(0), off + 4) as u64);
+                ctx.alu(1);
+                off += 8;
+            }
+            if range.start < range.end {
+                ctx.dev_atomic_add_u64(self.acc, 0, sum);
+            }
+        }
+        fn access_summary(&self) -> Option<crate::fusion::AccessSummary> {
+            Some(crate::fusion::AccessSummary {
+                reads: vec![crate::fusion::StreamAccess {
+                    stream: StreamId(0),
+                    unit: 8,
+                    stride: 8,
+                    fields: vec![crate::fusion::FieldSpan {
+                        offset: 4,
+                        width: 4,
+                    }],
+                    exact: true,
+                }],
+                writes: vec![],
+            })
+        }
+    }
+
+    pub(super) fn scale_summary() -> crate::fusion::AccessSummary {
+        crate::fusion::AccessSummary {
+            reads: vec![crate::fusion::StreamAccess {
+                stream: StreamId(0),
+                unit: 8,
+                stride: 8,
+                fields: vec![crate::fusion::FieldSpan {
+                    offset: 0,
+                    width: 4,
+                }],
+                exact: true,
+            }],
+            writes: vec![crate::fusion::StreamAccess {
+                stream: StreamId(0),
+                unit: 8,
+                stride: 8,
+                fields: vec![crate::fusion::FieldSpan {
+                    offset: 4,
+                    width: 4,
+                }],
+                exact: true,
+            }],
         }
     }
 
@@ -740,6 +1240,75 @@ mod tests {
         // It must ship the whole stream.
         assert!(r.metrics.get("pcie.h2d_bytes") >= 2048 * 8);
         assert_eq!(r.stage_busy("addr-gen"), SimTime::ZERO);
+    }
+
+    /// Per 8-byte record `i`: read stream 0 and stream 1, write their sum
+    /// back to stream 1 — exercises aux staging of secondary streams under
+    /// the overlap-only variant.
+    struct TwoStreamKernel;
+
+    impl StreamKernel for TwoStreamKernel {
+        fn name(&self) -> &'static str {
+            "test-two-stream"
+        }
+        fn record_size(&self) -> Option<u64> {
+            Some(8)
+        }
+        fn addresses(&self, ctx: &mut AddrGenCtx<'_>, range: Range<u64>) {
+            let mut off = range.start;
+            while off < range.end {
+                ctx.emit_read(StreamId(0), off, 8);
+                ctx.emit_read(StreamId(1), off, 8);
+                ctx.emit_write(StreamId(1), off, 8);
+                off += 8;
+            }
+        }
+        fn process(&self, ctx: &mut dyn KernelCtx, range: Range<u64>) {
+            let mut off = range.start;
+            while off < range.end {
+                let a = ctx.stream_read(StreamId(0), off, 8);
+                let b = ctx.stream_read(StreamId(1), off, 8);
+                ctx.alu(1);
+                ctx.stream_write(StreamId(1), off, 8, a.wrapping_add(b));
+                off += 8;
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_only_stages_secondary_streams() {
+        let n = 2048u64;
+        let mut m = Machine::test_platform();
+        let (s0, _) = fill_u64s(&mut m, n);
+        let region1 = m.hmem.alloc(n * 8);
+        for i in 0..n {
+            m.hmem.write_u64(region1, i * 8, i * 7 + 2);
+        }
+        let s1 = StreamArray::map(&m, StreamId(1), region1);
+        let cfg = BigKernelConfig {
+            chunk_input_bytes: 4096,
+            ..BigKernelConfig::overlap_only()
+        };
+        let r = run_bigkernel(
+            &mut m,
+            &TwoStreamKernel,
+            &[s0, s1],
+            LaunchConfig::new(2, 32),
+            &cfg,
+        );
+        // The dirty aux stream flushed back to host memory.
+        for i in 0..n {
+            assert_eq!(
+                m.hmem.read_u64(region1, i * 8),
+                (i * 3 + 1).wrapping_add(i * 7 + 2),
+                "record {i}"
+            );
+        }
+        // Whole-stream h2d for both streams (the primary re-ships per
+        // wave); d2h is exactly the aux flush — the primary was never
+        // written, so no staged window copied back.
+        assert!(r.metrics.get("pcie.h2d_bytes") >= 2 * n * 8);
+        assert_eq!(r.metrics.get("pcie.d2h_bytes"), n * 8);
     }
 
     #[test]
@@ -1339,6 +1908,125 @@ mod bound_counter_tests {
         assert!(wba > 0, "wb-apply chunks unclassified: {c}");
         assert!(transfer <= chunks && wbx <= chunks && wba <= chunks);
         assert_eq!(c.get("bound.other"), 0, "metrics: {c}");
+    }
+}
+
+#[cfg(test)]
+mod fused_pipeline_tests {
+    use super::tests::{ScaleKernel, SumBKernel};
+    use super::*;
+    use crate::config::BigKernelConfig;
+    use crate::fusion::{FusePlan, FuseRefusal};
+    use crate::stream::{StreamArray, StreamId};
+
+    /// Fill `n` 8-byte records and keep the region handle for post-run
+    /// byte-level comparison.
+    fn fill_records(machine: &mut Machine, n: u64) -> (StreamArray, bk_host::RegionId) {
+        let region = machine.hmem.alloc(n * 8);
+        for i in 0..n {
+            machine.hmem.write_u64(region, i * 8, i * 3 + 1);
+        }
+        (StreamArray::map(machine, StreamId(0), region), region)
+    }
+
+    fn small_cfg() -> BigKernelConfig {
+        BigKernelConfig {
+            chunk_input_bytes: 4096,
+            ..BigKernelConfig::default()
+        }
+    }
+
+    #[test]
+    fn fused_pair_bit_identical_and_cuts_h2d() {
+        let n = 4096u64;
+        let launch = LaunchConfig::new(2, 32);
+        let cfg = small_cfg();
+
+        // Unfused reference: two sequential pipeline runs.
+        let mut m1 = Machine::test_platform();
+        let (s1, region1) = fill_records(&mut m1, n);
+        let acc1 = m1.gmem.alloc(8);
+        let ra = run_bigkernel(&mut m1, &ScaleKernel, &[s1], launch, &cfg);
+        let rb = run_bigkernel(&mut m1, &SumBKernel { acc: acc1 }, &[s1], launch, &cfg);
+        let h2d_unfused = ra.metrics.get("pcie.h2d_bytes") + rb.metrics.get("pcie.h2d_bytes");
+
+        // Fused: one run over the proven plan.
+        let mut m2 = Machine::test_platform();
+        let (s2, region2) = fill_records(&mut m2, n);
+        let acc2 = m2.gmem.alloc(8);
+        let consumer = SumBKernel { acc: acc2 };
+        let plan = FusePlan::analyze(
+            &[ScaleKernel.access_summary(), consumer.access_summary()],
+            1,
+            &[],
+        )
+        .expect("scale→sum-b is a covered pair");
+        assert!(plan.io[1].resident_reads[0]);
+        let rf = run_bigkernel_fused(
+            &mut m2,
+            &[&ScaleKernel, &consumer],
+            &[s2],
+            launch,
+            &cfg,
+            &plan,
+        )
+        .expect("fused run");
+        assert_eq!(rf.implementation, "bigkernel-fused");
+
+        // Bit-identical outputs: accumulator and every stream byte.
+        assert_eq!(m2.gmem.read_u64(acc2, 0), m1.gmem.read_u64(acc1, 0));
+        for i in 0..n {
+            assert_eq!(
+                m2.hmem.read_u64(region2, i * 8),
+                m1.hmem.read_u64(region1, i * 8),
+                "record {i} diverged"
+            );
+        }
+
+        // The covered read stayed device-resident: strictly fewer PCIe
+        // h2d bytes than the two unfused runs, with the saving accounted.
+        let h2d_fused = rf.metrics.get("pcie.h2d_bytes");
+        assert!(
+            h2d_fused < h2d_unfused,
+            "fused h2d {h2d_fused} !< unfused {h2d_unfused}"
+        );
+        assert!(rf.metrics.get("fusion.h2d_saved_bytes") > 0);
+        assert_eq!(rf.metrics.get("fusion.passes"), 2);
+        // One DAG run: every chunk row carries both passes.
+        assert_eq!(rf.chunks, ra.chunks + rb.chunks);
+    }
+
+    #[test]
+    fn fused_refuses_when_resident_set_cannot_fit() {
+        let mut m = Machine::test_platform();
+        let (s, _) = fill_records(&mut m, 1024);
+        let acc = m.gmem.alloc(8);
+        let consumer = SumBKernel { acc };
+        let plan = FusePlan::analyze(
+            &[ScaleKernel.access_summary(), consumer.access_summary()],
+            1,
+            &[],
+        )
+        .unwrap();
+        // A chunk set as large as device memory leaves no room for even one
+        // buffer set next to the resident intermediate.
+        let cfg = BigKernelConfig {
+            chunk_input_bytes: m.gpu().mem_capacity,
+            ..BigKernelConfig::default()
+        };
+        let err = run_bigkernel_fused(
+            &mut m,
+            &[&ScaleKernel, &consumer],
+            &[s],
+            LaunchConfig::new(2, 32),
+            &cfg,
+            &plan,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, FuseRefusal::ResidentFootprint { .. }),
+            "{err}"
+        );
     }
 }
 

@@ -295,6 +295,7 @@ mod tests {
             .map(|sh| critpath::ShardDag::from_dag(&sh.sched, sh.device, sh.chunk_ids.clone()))
             .collect();
         vec![WaveDag {
+            pass: 0,
             time_base: SimTime::ZERO,
             shards,
         }]
@@ -395,6 +396,7 @@ mod tests {
             .map(|sh| critpath::ShardDag::from_dag(&sh.sched, sh.device, sh.chunk_ids.clone()))
             .collect();
         let waves = vec![WaveDag {
+            pass: 0,
             time_base: SimTime::ZERO,
             shards,
         }];

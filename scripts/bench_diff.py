@@ -14,6 +14,9 @@ Fields are judged by how they were produced:
   drift at all is reported.
 * **structural fields** (`chunks`, `num_blocks`, `gpus`) must match
   exactly.
+* **fusion rows** are functional/simulated end to end (which apps fused,
+  the PCIe byte counts moved, the simulated times), so every field must
+  match exactly; any difference is a regression.
 
 Only apps present in both files are compared (the intersection); apps
 appearing on one side only are reported informationally, as are
@@ -114,6 +117,22 @@ def main(argv):
             regressions.append(f"{line}  [simulated, tol {sim_tol:.0%}]")
         elif d != 0:
             notes.append(line)
+
+    base_fusion = {f["app"]: f for f in base.get("fusion", [])}
+    cur_fusion = {f["app"]: f for f in cur.get("fusion", [])}
+    for name in sorted(set(base_fusion) ^ set(cur_fusion)):
+        side = "baseline" if name in base_fusion else "current"
+        notes.append(f"fusion row {name!r} only in {side}; skipped")
+    for name in sorted(set(base_fusion) & set(cur_fusion)):
+        bf, cf = base_fusion[name], cur_fusion[name]
+        for key in sorted(set(bf) | set(cf)):
+            if key == "app":
+                continue
+            if bf.get(key) != cf.get(key):
+                regressions.append(
+                    f"fusion[{name}].{key}: exact mismatch "
+                    f"{bf.get(key)} -> {cf.get(key)}"
+                )
 
     for line in notes:
         print(f"  note: {line}")

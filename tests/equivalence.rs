@@ -104,6 +104,8 @@ fn build_instance(machine: &mut Machine, data: &[u8]) -> (Instance, bigkernel::r
                 slots: SLOTS,
             })],
             streams: vec![stream],
+            scratch_streams: Vec::new(),
+            fused: None,
             verify: Box::new(verify),
         },
         table,
