@@ -123,6 +123,15 @@ enum PassAction {
 }
 
 impl PassAction {
+    /// Counting joins against the *complete* customers table the collect
+    /// pass accumulates globally, so a kernel running this action must
+    /// declare a [`barrier_dependence`](bk_runtime::StreamKernel::barrier_dependence):
+    /// under streaming it forces pass-major order (count nothing until the
+    /// collect pass has drained every window).
+    fn needs_barrier(&self) -> bool {
+        matches!(self, PassAction::Count { .. })
+    }
+
     fn handle(&self, ctx: &mut dyn KernelCtx, card: u64, merch: u64) {
         match self {
             PassAction::Collect { customers, target } => {
@@ -218,6 +227,10 @@ impl bk_runtime::StreamKernel for ScanPassKernel {
             }
             self.action.handle(ctx, key(card_h), key(merch_h));
         }
+    }
+
+    fn barrier_dependence(&self) -> bool {
+        self.action.needs_barrier()
     }
 }
 
@@ -566,6 +579,10 @@ impl bk_runtime::StreamKernel for IndexedPassKernel {
             self.action.handle(ctx, key(card_h), key(merch_h));
             i += 1;
         }
+    }
+
+    fn barrier_dependence(&self) -> bool {
+        self.action.needs_barrier()
     }
 }
 

@@ -2,7 +2,7 @@
 //!
 //! Unlike the paper's six applications (hand-written [`StreamKernel`]s),
 //! both passes here are expressed in the `bk-kernelc` IR, so the *compiler*
-//! fuses them: [`bk_kernelc::fuse`] proves the count pass's stream-1 reads
+//! fuses them: [`fn@bk_kernelc::fuse`] proves the count pass's stream-1 reads
 //! are covered by the filter pass's stream-1 writes, lowers the
 //! intermediate stream into a device buffer, and stitches the bodies into
 //! one kernel. The harness then runs that single fused kernel

@@ -18,6 +18,9 @@
 //!
 //! [`harness`] runs any app under all five implementations (plus the Fig. 5
 //! ablation variants) on identical data and verifies functional equality.
+//! [`streaming`] feeds any app through the continuous ingestion runner and
+//! adds drifting variants of Word Count, FilterCount and K-means whose
+//! distribution or record schema shifts mid-stream (DESIGN.md §16).
 //!
 //! [`StreamKernel`]: bk_runtime::StreamKernel
 
@@ -28,9 +31,14 @@ pub mod harness;
 pub mod kmeans;
 pub mod netflix;
 pub mod opinion;
+pub mod streaming;
 pub mod util;
 pub mod wordcount;
 
 pub use harness::{
     run_all, run_implementation, AppSpec, BenchApp, HarnessConfig, Implementation, Instance,
+};
+pub use streaming::{
+    drifting_apps, run_streamed, run_streamed_at_rate, DriftingFilterCount, DriftingKMeans,
+    DriftingWordCount,
 };

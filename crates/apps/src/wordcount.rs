@@ -153,11 +153,31 @@ impl Default for WordCount {
 /// Generate Zipf-distributed text of exactly `bytes` bytes. Returns the
 /// text; reference counting runs over the same buffer.
 pub fn generate_text(bytes: u64, vocab: usize, skew: f64, seed: u64) -> Vec<u8> {
+    generate_text_sized(bytes, vocab, skew, seed, 2, MAX_WORD)
+}
+
+/// [`generate_text`] with explicit word-length bounds (`min_word..=max_word`
+/// letters, `max_word <= MAX_WORD` so the kernel's halo still covers the
+/// longest word). The streaming drift scenarios splice texts with different
+/// length regimes to shift the words-per-byte (and so atomics-per-byte)
+/// density mid-stream.
+pub fn generate_text_sized(
+    bytes: u64,
+    vocab: usize,
+    skew: f64,
+    seed: u64,
+    min_word: usize,
+    max_word: usize,
+) -> Vec<u8> {
+    assert!(
+        0 < min_word && min_word <= max_word && max_word <= MAX_WORD,
+        "word-length bounds must satisfy 0 < min <= max <= MAX_WORD"
+    );
     let mut rng = SplitMix64::new(seed);
     // Vocabulary: short lowercase words.
     let words: Vec<Vec<u8>> = (0..vocab)
         .map(|_| {
-            let len = rng.range_inclusive(2, MAX_WORD as u64) as usize;
+            let len = rng.range_inclusive(min_word as u64, max_word as u64) as usize;
             (0..len).map(|_| b'a' + rng.next_below(26) as u8).collect()
         })
         .collect();

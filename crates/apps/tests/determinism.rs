@@ -15,11 +15,15 @@ use bk_apps::kmeans::KMeans;
 use bk_apps::netflix::Netflix;
 use bk_apps::opinion::OpinionFinder;
 use bk_apps::wordcount::WordCount;
-use bk_apps::{run_implementation, BenchApp, HarnessConfig, Implementation};
+use bk_apps::{
+    run_implementation, run_streamed, run_streamed_at_rate, BenchApp, HarnessConfig, Implementation,
+};
+use bk_runtime::stream::{HiccupSource, ReplaySource};
 use bk_runtime::{
     AutotuneConfig, DeviceFailure, FaultPlan, FaultSite, FaultStage, LaunchConfig, Machine,
-    RunResult,
+    RunResult, StreamConfig, WindowPolicy,
 };
+use bk_simcore::SimTime;
 use proptest::prelude::*;
 
 /// The paper's seven application configurations, in Table I order.
@@ -673,6 +677,138 @@ fn fused_runs_verify_identically_for_every_app() {
             );
         }
     }
+}
+
+/// The streaming contract (DESIGN.md §16): cutting a stream into
+/// record-aligned windows and running each through the batch pipeline as it
+/// arrives is a *scheduling* decision — for every application and every
+/// window policy, the streamed run must verify against the pure-Rust
+/// reference (`run_streamed` panics otherwise) and leave every mapped host
+/// region bit-identical to the one-shot batch run.
+#[test]
+fn streamed_matches_batch_bit_identical_for_every_app() {
+    let bytes = 96 * 1024;
+    // Fast enough that arrival never limits the pipeline; the windows land
+    // back-to-back exactly like batch partitions.
+    let rate = 1e9;
+    for app in all_apps() {
+        let name = app.spec().name;
+        let cfg = HarnessConfig::test_small();
+        let mut batch = Machine::test_platform();
+        let instance = app.instantiate(&mut batch, bytes, 42);
+        run_implementation(&mut batch, &instance, Implementation::BigKernel, &cfg);
+        if let Err(e) = (instance.verify)(&batch) {
+            panic!("{name} failed batch verification: {e}");
+        }
+
+        for policy in [
+            WindowPolicy::ByBytes(16 * 1024),
+            WindowPolicy::ByRecords(256),
+            WindowPolicy::ByInterval(SimTime::from_secs(bytes as f64 / rate / 8.0)),
+        ] {
+            let scfg = StreamConfig {
+                policy,
+                ..StreamConfig::default()
+            };
+            let (result, streamed) =
+                run_streamed_at_rate(app.as_ref(), bytes, 42, &cfg, &scfg, rate);
+            assert!(
+                !result.windows.is_empty(),
+                "{name} under {policy:?} produced no windows"
+            );
+            if matches!(policy, WindowPolicy::ByBytes(_)) {
+                assert!(
+                    result.windows.len() > 1,
+                    "{name}: 16 KiB byte windows over 96 KiB must cut the stream"
+                );
+            }
+            // Instantiation is deterministic on identical fresh machines, so
+            // the batch instance's region ids address the streamed machine's
+            // mapped arrays too.
+            for s in &instance.streams {
+                assert_eq!(
+                    batch.hmem.bytes(s.region),
+                    streamed.hmem.bytes(s.region),
+                    "{name} under {policy:?}: mapped stream {:?} diverged from batch",
+                    s.id
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// The bounded-queue no-deadlock property under faulty ingestion:
+    /// whatever the queue bound, window shape, source rate and hiccup plan,
+    /// the streamed run *drains* — every planned window is admitted and
+    /// completed in finite simulated time, the windows tile the stream, the
+    /// recorded queue depth never exceeds the bound, and backpressure is
+    /// exactly the admission delay the recurrence charges
+    /// (`admitted - ready`). Verification still passes (`run_streamed`
+    /// panics otherwise), so hiccups delay the schedule without touching
+    /// what executes.
+    #[test]
+    fn bounded_queue_drains_under_faulty_sources(
+        bound in 1usize..=4,
+        hiccups in 0usize..=8,
+        pause_ms in 0u64..=80,
+        window_kib in 4u64..=32,
+        policy_kind in 0u8..3,
+        rate_exp in 5i32..=9,
+        seed in 0u64..1024,
+    ) {
+        let bytes = 64 * 1024;
+        let rate = 10f64.powi(rate_exp);
+        let policy = match policy_kind {
+            0 => WindowPolicy::ByBytes(window_kib * 1024),
+            1 => WindowPolicy::ByRecords(window_kib * 16),
+            // An interval that would cut the (hiccup-free) stream into a
+            // handful of windows; hiccups stretch quiet gaps the planner
+            // must jump over rather than spin in.
+            _ => WindowPolicy::ByInterval(SimTime::from_secs(
+                bytes as f64 / rate / window_kib as f64,
+            )),
+        };
+        let scfg = StreamConfig {
+            policy,
+            queue_bound: bound,
+            ..StreamConfig::default()
+        };
+        let pause = SimTime::from_secs(pause_ms as f64 / 1e3);
+        let app = WordCount::default();
+        let (result, _machine) = run_streamed(&app, bytes, 42, &cfg_small(), &scfg, &|len| {
+            Box::new(HiccupSource::new(ReplaySource::new(len, rate), hiccups, pause, seed))
+        });
+
+        prop_assert!(!result.windows.is_empty());
+        let mut pos = 0u64;
+        for w in &result.windows {
+            prop_assert_eq!(w.window.start, pos, "windows must tile the stream");
+            prop_assert!(w.window.end > w.window.start);
+            pos = w.window.end;
+            prop_assert!(w.admitted >= w.ready, "admission cannot precede arrival");
+            prop_assert!(w.completed >= w.admitted, "completion cannot precede admission");
+            prop_assert_eq!(
+                w.backpressure,
+                w.admitted.saturating_sub(w.ready),
+                "backpressure must equal the admission delay"
+            );
+            prop_assert!(w.depth <= bound, "queue depth {} exceeded bound {}", w.depth, bound);
+            prop_assert!(
+                result.total >= w.completed,
+                "a window completed after the reported total"
+            );
+        }
+        prop_assert_eq!(pos, bytes, "windows must cover the whole stream");
+    }
+}
+
+/// [`HarnessConfig::test_small`] (free fn so the proptest macro body stays
+/// terse).
+fn cfg_small() -> HarnessConfig {
+    HarnessConfig::test_small()
 }
 
 proptest! {

@@ -44,6 +44,13 @@ pub struct ExpArgs {
     /// keeps the config default (off). Refused pairs fall back to the
     /// unfused per-pass loop, so `--fuse` is always safe to pass.
     pub fuse: Option<bool>,
+    /// Streaming window policy (`--window bytes=N|records=N|interval-us=F`,
+    /// DESIGN.md §16); `None` keeps the streaming default (1 MiB windows).
+    /// Only the streaming binary consults it.
+    pub window: Option<bk_runtime::WindowPolicy>,
+    /// Streaming inter-stage queue high-watermark (`--queue-bound N`);
+    /// `None` keeps the streaming default (2 windows in flight).
+    pub queue_bound: Option<usize>,
 }
 
 impl Default for ExpArgs {
@@ -63,7 +70,49 @@ impl Default for ExpArgs {
             assembly_order: None,
             simd: None,
             fuse: None,
+            window: None,
+            queue_bound: None,
         }
+    }
+}
+
+/// Parse a `--window` spec (`bytes=N`, `records=N` or `interval-us=F`) into
+/// a [`bk_runtime::WindowPolicy`]. Errors name the binary, like the rest of
+/// the parser's diagnostics.
+fn parse_window(binary: &str, spec: &str) -> Result<bk_runtime::WindowPolicy, String> {
+    let bad = |detail: String| format!("{binary}: --window: {detail}");
+    let (kind, val) = spec.split_once('=').ok_or_else(|| {
+        bad(format!(
+            "expected bytes=N, records=N or interval-us=F, got {spec:?}"
+        ))
+    })?;
+    match kind {
+        "bytes" => {
+            let n: u64 = val.parse().map_err(|e| bad(format!("bytes: {e}")))?;
+            if n == 0 {
+                return Err(bad("window bytes must be positive".into()));
+            }
+            Ok(bk_runtime::WindowPolicy::ByBytes(n))
+        }
+        "records" => {
+            let n: u64 = val.parse().map_err(|e| bad(format!("records: {e}")))?;
+            if n == 0 {
+                return Err(bad("window records must be positive".into()));
+            }
+            Ok(bk_runtime::WindowPolicy::ByRecords(n))
+        }
+        "interval-us" => {
+            let us: f64 = val.parse().map_err(|e| bad(format!("interval-us: {e}")))?;
+            if !us.is_finite() || us <= 0.0 {
+                return Err(bad("interval must be positive and finite".into()));
+            }
+            Ok(bk_runtime::WindowPolicy::ByInterval(
+                bk_simcore::SimTime::from_micros(us),
+            ))
+        }
+        other => Err(bad(format!(
+            "unknown policy {other:?} (expected bytes, records or interval-us)"
+        ))),
     }
 }
 
@@ -73,7 +122,8 @@ impl ExpArgs {
     /// `--reuse-depth N`, `--buffers N`, `--autotune on|off`,
     /// `--autotune-rank stall|critpath`,
     /// `--assembly-order natural|cache-blocked|auto`, `--simd on|off`,
-    /// `--fuse[=on|off]` from an iterator of arguments (pass
+    /// `--fuse[=on|off]`, `--window bytes=N|records=N|interval-us=F`,
+    /// `--queue-bound N` from an iterator of arguments (pass
     /// `std::env::args().skip(1)`). Error messages attribute unknown flags
     /// to the generic name "bench"; binaries parsing real process arguments
     /// should use [`ExpArgs::from_env`], which names the binary.
@@ -196,6 +246,19 @@ impl ExpArgs {
                         other => return Err(format!("--simd: expected on|off, got {other:?}")),
                     };
                 }
+                "--window" => {
+                    let spec = value("--window")?;
+                    out.window = Some(parse_window(binary, &spec)?);
+                }
+                "--queue-bound" => {
+                    let b: usize = value("--queue-bound")?
+                        .parse()
+                        .map_err(|e| format!("{binary}: --queue-bound: {e}"))?;
+                    if b == 0 {
+                        return Err(format!("{binary}: --queue-bound must be at least 1"));
+                    }
+                    out.queue_bound = Some(b);
+                }
                 // `--fuse` takes its value with `=` (no separate word) so a
                 // bare `--fuse` reads naturally in sweep scripts.
                 "--fuse" | "--fuse=on" => out.fuse = Some(true),
@@ -213,7 +276,8 @@ impl ExpArgs {
                          [--reuse-depth N] [--buffers N] [--autotune on|off] \
                          [--autotune-rank stall|critpath] \
                          [--assembly-order natural|cache-blocked|auto] [--simd on|off] \
-                         [--fuse[=on|off]]\n\
+                         [--fuse[=on|off]] [--window bytes=N|records=N|interval-us=F] \
+                         [--queue-bound N]\n\
                          fault SPEC: comma-separated seed=N,rate=F,retries=N,backoff_us=F,\
                          fail=STAGE@CHUNK[xN],kill=DEV@WAVE"
                             .to_string(),
@@ -405,7 +469,38 @@ impl ExpArgs {
         if let Some(on) = self.fuse {
             parts.push(if on { "--fuse" } else { "--fuse=off" }.to_string());
         }
+        if let Some(w) = self.window {
+            parts.push(format!("--window {}", Self::window_spec(&w)));
+        }
+        if let Some(b) = self.queue_bound {
+            parts.push(format!("--queue-bound {b}"));
+        }
         parts.join(" ")
+    }
+
+    /// The command-line spelling of a window policy (inverse of the
+    /// `--window` parser; used by `flags_string` and the streaming binary's
+    /// sweep labels).
+    pub fn window_spec(policy: &bk_runtime::WindowPolicy) -> String {
+        match *policy {
+            bk_runtime::WindowPolicy::ByBytes(n) => format!("bytes={n}"),
+            bk_runtime::WindowPolicy::ByRecords(n) => format!("records={n}"),
+            bk_runtime::WindowPolicy::ByInterval(dt) => format!("interval-us={:.3}", dt.micros()),
+        }
+    }
+
+    /// Build the streaming runner's config from `--window` / `--queue-bound`
+    /// (defaults where unset). The bigkernel config's tuner settings flow to
+    /// the stream-level controller separately (see the streaming binary).
+    pub fn stream_config(&self) -> bk_runtime::StreamConfig {
+        let mut scfg = bk_runtime::StreamConfig::default();
+        if let Some(w) = self.window {
+            scfg.policy = w;
+        }
+        if let Some(b) = self.queue_bound {
+            scfg.queue_bound = b;
+        }
+        scfg
     }
 
     /// The shared `provenance` JSON object (one line, no trailing comma):
@@ -665,6 +760,62 @@ mod tests {
         assert!(parse(&["--fuse=maybe"]).is_err());
         assert_eq!(parse(&["--fuse"]).unwrap().flags_string(), "--fuse");
         assert_eq!(parse(&["--fuse=off"]).unwrap().flags_string(), "--fuse=off");
+    }
+
+    #[test]
+    fn window_flag_parses_every_policy() {
+        use bk_runtime::WindowPolicy;
+        let a = parse(&["--window", "bytes=65536"]).unwrap();
+        assert_eq!(a.window, Some(WindowPolicy::ByBytes(65536)));
+        assert_eq!(a.stream_config().policy, WindowPolicy::ByBytes(65536));
+        assert_eq!(a.flags_string(), "--window bytes=65536");
+        let b = parse(&["--window", "records=512"]).unwrap();
+        assert_eq!(b.window, Some(WindowPolicy::ByRecords(512)));
+        let c = parse(&["--window", "interval-us=250"]).unwrap();
+        match c.window {
+            Some(WindowPolicy::ByInterval(dt)) => assert!((dt.micros() - 250.0).abs() < 1e-9),
+            other => panic!("expected ByInterval, got {other:?}"),
+        }
+        // Defaults flow through when the flags are absent.
+        let d = parse(&[]).unwrap().stream_config();
+        assert_eq!(d.policy, bk_runtime::StreamConfig::default().policy);
+        assert_eq!(d.queue_bound, 2);
+    }
+
+    #[test]
+    fn window_flag_malformed_values_name_the_binary() {
+        let err = ExpArgs::parse_named(
+            "streaming",
+            ["--window".to_string(), "bytes=lots".to_string()].into_iter(),
+        )
+        .unwrap_err();
+        assert!(err.starts_with("streaming: --window"), "{err}");
+        let err = ExpArgs::parse_named(
+            "streaming",
+            ["--window".to_string(), "seconds=5".to_string()].into_iter(),
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown policy"), "{err}");
+        assert!(parse(&["--window", "bytes=0"]).is_err());
+        assert!(parse(&["--window", "interval-us=-1"]).is_err());
+        assert!(parse(&["--window", "noequals"]).is_err());
+        assert!(parse(&["--window"]).is_err());
+    }
+
+    #[test]
+    fn queue_bound_flag() {
+        let a = parse(&["--queue-bound", "4"]).unwrap();
+        assert_eq!(a.queue_bound, Some(4));
+        assert_eq!(a.stream_config().queue_bound, 4);
+        assert_eq!(a.flags_string(), "--queue-bound 4");
+        let err = ExpArgs::parse_named(
+            "streaming",
+            ["--queue-bound".to_string(), "two".to_string()].into_iter(),
+        )
+        .unwrap_err();
+        assert!(err.starts_with("streaming: --queue-bound"), "{err}");
+        assert!(parse(&["--queue-bound", "0"]).is_err());
+        assert!(parse(&["--queue-bound"]).is_err());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | `chaos` | fault-rate sweep + device-kill failover → `BENCH_chaos.json` |
 //! | `autotune` | static reuse-depth sweep vs the adaptive occupancy autotuner → `BENCH_autotune.json` |
 //! | `bottleneck` | critical-path blame report + what-if predictions validated against re-runs |
+//! | `streaming` | continuous-ingestion window/queue sweep over the drifting apps → `BENCH_streaming.json` |
 //!
 //! All binaries accept `--bytes N` / `--mib N` (per-app input size, default
 //! 32 MiB), `--seed S`, `--app SUBSTR`, `--threads N`, `--machine NAME`
@@ -65,6 +66,11 @@ pub fn short_name(name: &str) -> &'static str {
         // Not a Table I app: the IR-fusion showcase scenario (DESIGN.md
         // §15), used by the perf snapshot's fusion sweep.
         "FilterCount" => "FiltCnt",
+        // Streaming drift scenarios (DESIGN.md §16), used by the streaming
+        // sweep only.
+        "Word Count (drifting)" => "WordCnt~",
+        "FilterCount (drifting)" => "FiltCnt~",
+        "K-means (drifting)" => "KMeans~",
         other => {
             debug_assert!(false, "unknown app {other}");
             "?"

@@ -9,7 +9,7 @@ use bk_runtime::{DevBufId, KernelCtx, StreamKernel};
 use std::ops::Range;
 
 /// An IR kernel compiled for BigKernel execution: the `addresses()` half is
-/// *derived* by [`slice_addresses`], not hand-written — running it under
+/// *derived* by [`slice_addresses`](crate::slice::slice_addresses), not hand-written — running it under
 /// `BigKernelConfig::verify_reads` machine-checks the transformation.
 pub struct IrKernel {
     full: KernelIr,

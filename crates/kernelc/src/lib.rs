@@ -23,7 +23,7 @@
 //!   simplification);
 //! * [`pass`] — the chained-pass driver: compilation is an explicit,
 //!   logged sequence of named IR→IR passes;
-//! * [`fuse`] — mega-kernel fusion: proves (record-periodic dependence
+//! * [`fn@fuse`] — mega-kernel fusion: proves (record-periodic dependence
 //!   analysis) that one pass's stream reads are covered by the previous
 //!   pass's writes, then stitches both into a single kernel whose
 //!   intermediate lives in a device buffer and never crosses PCIe —

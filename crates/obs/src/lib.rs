@@ -44,4 +44,4 @@ pub use metrics::{Histogram, MetricsRegistry};
 pub use stall::{
     record_schedule, record_schedule_mapped, reuse_wait_hist, stall_counter, StallCause,
 };
-pub use trace::{SpanRecord, FAULT_MARKER_STAGE, RETUNE_MARKER_STAGE};
+pub use trace::{SpanRecord, FAULT_MARKER_STAGE, REDETECT_MARKER_STAGE, RETUNE_MARKER_STAGE};

@@ -34,6 +34,13 @@ pub enum StallCause {
     /// durations before scheduling, not attributed by the scheduler; the
     /// fault context records them directly.
     Fault,
+    /// Streaming ingestion blocked on the bounded inter-stage queue's
+    /// high-watermark: a window's bytes had fully arrived but the pipeline
+    /// still held `queue_bound` unretired windows, so admission waited for
+    /// the oldest to drain (`bk_runtime::stream`). Like [`Fault`](Self::Fault)
+    /// this is never produced by [`StallCause::from_kind`] — the streaming
+    /// runner attributes it directly on the `ingest` stage.
+    Backpressure,
     /// A resource outside the known vocabulary (kept visible, never silent).
     Other,
 }
@@ -48,6 +55,7 @@ impl StallCause {
             StallCause::GpuQueue => "gpu-queue",
             StallCause::Serial => "serial",
             StallCause::Fault => "fault",
+            StallCause::Backpressure => "backpressure",
             StallCause::Other => "other",
         }
     }
@@ -93,6 +101,7 @@ macro_rules! stall_arms {
             "gpu-queue" => Some(concat!("stall.", $stage, ".gpu-queue")),
             "serial" => Some(concat!("stall.", $stage, ".serial")),
             "fault" => Some(concat!("stall.", $stage, ".fault")),
+            "backpressure" => Some(concat!("stall.", $stage, ".backpressure")),
             "other" => Some(concat!("stall.", $stage, ".other")),
             _ => None,
         }
@@ -111,6 +120,7 @@ pub fn stall_counter(stage: &str, cause: &str) -> Option<&'static str> {
         "wb-xfer" => stall_arms!("wb-xfer", cause),
         "wb-apply" => stall_arms!("wb-apply", cause),
         "stage-pin" => stall_arms!("stage-pin", cause),
+        "ingest" => stall_arms!("ingest", cause),
         _ => None,
     }
 }
@@ -133,7 +143,8 @@ fn span_hist(stage: &str) -> Option<&'static str> {
         "compute",
         "wb-xfer",
         "wb-apply",
-        "stage-pin"
+        "stage-pin",
+        "ingest"
     )
 }
 
@@ -161,7 +172,7 @@ pub fn reuse_wait_hist(stage: &str) -> Option<&'static str> {
     )
 }
 
-/// Walk one computed wave [`Schedule`] and record, for every non-empty slot:
+/// Walk one computed wave `Schedule` and record, for every non-empty slot:
 ///
 /// * a [`SpanRecord`] on the slot's resource track (only collected while a
 ///   [`trace::start`] guard is live — see the crate docs),
@@ -338,6 +349,10 @@ mod tests {
         assert_eq!(
             stall_counter("compute", StallCause::Fault.label()),
             Some("stall.compute.fault")
+        );
+        assert_eq!(
+            stall_counter("ingest", StallCause::Backpressure.label()),
+            Some("stall.ingest.backpressure")
         );
         assert_eq!(stall_counter("unknown-stage", "serial"), None);
         assert_eq!(stall_counter("compute", "unknown-cause"), None);

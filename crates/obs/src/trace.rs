@@ -29,6 +29,15 @@ use bk_simcore::SimTime;
 /// resource's track.
 pub const FAULT_MARKER_STAGE: &str = "fault";
 
+/// Stage label marking a span as a streaming re-detection point: the
+/// per-window §IV.A access-pattern fingerprint drifted past the configured
+/// threshold, so `OnlineDetect` re-classified the stream and the persistent
+/// autotuner re-opened its search (`bk_runtime::stream`). `dur` is zero,
+/// `start` is the admission time of the window that drifted, `chunk` is that
+/// window's index, and `stall` is `None`. Rendered as Perfetto instant
+/// events on the `"ingest"` track.
+pub const REDETECT_MARKER_STAGE: &str = "redetect";
+
 /// Stage label marking a span as an autotuner re-plan point: `dur` is zero,
 /// `start` is the simulated time the new plan took effect (a window
 /// boundary), `chunk` is the first chunk scheduled under the new plan, and
@@ -58,17 +67,21 @@ pub struct SpanRecord {
 #[cfg(feature = "trace")]
 mod imp {
     use super::SpanRecord;
-    use std::cell::RefCell;
+    use bk_simcore::SimTime;
+    use std::cell::{Cell, RefCell};
 
     thread_local! {
         static SINK: RefCell<Option<Vec<SpanRecord>>> = RefCell::new(None);
+        static OFFSET: Cell<SimTime> = const { Cell::new(SimTime::ZERO) };
     }
 
     pub fn start() {
         SINK.with(|s| *s.borrow_mut() = Some(Vec::new()));
+        OFFSET.with(|o| o.set(SimTime::ZERO));
     }
 
     pub fn finish() -> Vec<SpanRecord> {
+        OFFSET.with(|o| o.set(SimTime::ZERO));
         SINK.with(|s| s.borrow_mut().take()).unwrap_or_default()
     }
 
@@ -76,9 +89,16 @@ mod imp {
     pub fn record(span: &SpanRecord) {
         SINK.with(|s| {
             if let Some(v) = s.borrow_mut().as_mut() {
-                v.push(*span);
+                let mut placed = *span;
+                placed.start += OFFSET.with(|o| o.get());
+                v.push(placed);
             }
         });
+    }
+
+    #[inline]
+    pub fn set_time_offset(offset: SimTime) {
+        OFFSET.with(|o| o.set(offset));
     }
 
     #[inline]
@@ -134,6 +154,23 @@ pub fn record(span: &SpanRecord) {
     let _ = span;
 }
 
+/// Shift the `start` of every span recorded *after* this call by `offset`
+/// (on the current thread, until changed or a new guard [`start`]s).
+///
+/// Batch runners place spans on their own zero-based time axis; the
+/// streaming runner (`bk_runtime::stream`) sets the offset to each window's
+/// pipeline start time before invoking the batch runner, so all windows of a
+/// streamed run land on one absolute stream timeline in the exported trace.
+/// Purely observational: without an active guard (or the `trace` feature)
+/// this is a no-op and no simulated result can depend on it.
+#[inline]
+pub fn set_time_offset(offset: SimTime) {
+    #[cfg(feature = "trace")]
+    imp::set_time_offset(offset);
+    #[cfg(not(feature = "trace"))]
+    let _ = offset;
+}
+
 /// Is span collection active on this thread?
 #[inline]
 pub fn enabled() -> bool {
@@ -185,6 +222,26 @@ mod tests {
         record(&span(2)); // dropped, no guard
         let spans = start().finish();
         assert!(spans.is_empty());
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn time_offset_shifts_spans_until_reset() {
+        let g = start();
+        record(&span(0)); // starts at 0 µs
+        set_time_offset(SimTime::from_micros(100.0));
+        record(&span(1)); // starts at 1 µs + 100 µs offset
+        set_time_offset(SimTime::ZERO);
+        record(&span(2));
+        let spans = g.finish();
+        assert!((spans[0].start.micros() - 0.0).abs() < 1e-9);
+        assert!((spans[1].start.micros() - 101.0).abs() < 1e-9);
+        assert!((spans[2].start.micros() - 2.0).abs() < 1e-9);
+        // A fresh guard resets any lingering offset.
+        set_time_offset(SimTime::from_micros(7.0));
+        let g = start();
+        record(&span(0));
+        assert!((g.finish()[0].start.micros() - 0.0).abs() < 1e-9);
     }
 
     #[cfg(feature = "trace")]

@@ -364,6 +364,23 @@ impl Autotuner {
         Some(self.plan)
     }
 
+    /// Distribution-drift hook for the streaming runner
+    /// (`crate::stream`): the per-window §IV.A access-pattern fingerprint
+    /// changed beyond the configured threshold, so plans tuned for the old
+    /// distribution may no longer fit. A converged controller re-opens its
+    /// search (narrowing the scheduling window back to the configured
+    /// interval); a warming-up or already-searching one is unaffected. The
+    /// current plan is kept — re-detection questions the plan's *fitness*,
+    /// not its legality — and a frozen controller (serial degradation)
+    /// stays frozen. Returns whether the search was re-opened.
+    pub fn on_drift(&mut self) -> bool {
+        if self.frozen || self.state != TunerState::Converged {
+            return false;
+        }
+        self.state = TunerState::Searching;
+        true
+    }
+
     /// Fault-degradation hook: the fault layer swapped the active graph.
     /// Level 1 (double-buffered fallback) adopts that graph's depth-1 edges
     /// as the current plan and resumes searching *from the degraded graph* —
@@ -526,6 +543,22 @@ mod tests {
         assert_eq!(a.state(), TunerState::Searching);
         // The controller now retunes the *degraded* graph upward again.
         assert_eq!(a.observe(&stalled(0.9, 0.0)).unwrap().data_depth, 2);
+    }
+
+    #[test]
+    fn drift_reopens_a_converged_search_only() {
+        let mut a = tuner(32);
+        assert!(!a.on_drift(), "warmup is unaffected");
+        a.observe(&stalled(0.9, 0.0)); // warmup → searching
+        assert!(!a.on_drift(), "searching is unaffected");
+        a.observe(&stalled(0.0, 0.0)); // quiet → converged
+        assert_eq!(a.state(), TunerState::Converged);
+        assert!(a.on_drift(), "converged re-opens");
+        assert_eq!(a.state(), TunerState::Searching);
+        assert_eq!(a.window_len(), AutotuneConfig::default().interval);
+        // Frozen controllers (serial degradation) ignore drift.
+        a.on_degraded(2);
+        assert!(!a.on_drift());
     }
 
     #[test]

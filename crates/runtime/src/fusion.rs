@@ -7,7 +7,7 @@
 //! bytes straight back onto the device. The fusion planner proves, from
 //! per-kernel [`AccessSummary`]s, when pass *b*'s stream reads are fully
 //! covered by pass *a*'s device-buffer writes — in which case the runtime
-//! runs every pass through **one** multi-stage [`GraphSpec`]
+//! runs every pass through **one** multi-stage [`GraphSpec`](crate::graph::GraphSpec)
 //! ([`crate::graph::fused_graph_depths`]) and keeps the intermediate
 //! device-resident: the covered reads skip their host-to-device transfer and
 //! scratch intermediates skip their device-to-host write-back entirely.

@@ -87,8 +87,11 @@ pub use fusion::{AccessSummary, FieldSpan, FusePlan, FuseRefusal, PassIo, Stream
 pub use graph::{Executor, GraphSpec, ResourceId, ResourceKind, ShardPolicy};
 pub use kernel::{DevBufId, DeviceEffects, KernelCtx, LaunchConfig, StreamKernel, ValueExt};
 pub use machine::Machine;
-pub use pipeline::{run_bigkernel, run_bigkernel_fused};
+pub use pipeline::{run_bigkernel, run_bigkernel_fused, run_bigkernel_window};
 pub use pool::{AddrGenScratch, StreamPool};
 pub use result::{RunResult, StageStat};
-pub use stream::{StreamArray, StreamId};
+pub use stream::{
+    run_bigkernel_streamed, HiccupSource, ReplaySource, Source, StreamArray, StreamConfig,
+    StreamId, StreamResult, WindowPolicy, WindowReport,
+};
 pub use whatif::{Perturbation, Prediction, Scenario};

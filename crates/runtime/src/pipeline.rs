@@ -21,7 +21,7 @@
 //! 6. **wb-apply** (CPU): scatter the values into the mapped host array.
 //!
 //! This module is a thin *configuration* layer: the per-block functional
-//! simulation and cost accounting live in [`crate::exec`], and scheduling is
+//! simulation and cost accounting live in `crate::exec`, and scheduling is
 //! delegated to the declarative stage graph in [`crate::graph`] — the stages
 //! above, their hardware resources, the dependency edges and the §IV.C
 //! `addr-gen(n) waits for compute(n − depth)` buffer-reuse rule are expressed
@@ -396,6 +396,33 @@ pub fn run_bigkernel(
     launch: LaunchConfig,
     cfg: &BigKernelConfig,
 ) -> RunResult {
+    let window = 0..streams.first().map_or(0, |s| s.len());
+    run_bigkernel_window(machine, kernel, streams, launch, cfg, window)
+}
+
+/// [`run_bigkernel`] restricted to one *window* of the primary stream: the
+/// absolute byte range `window` of `streams[0]` is partitioned across the
+/// launch's lanes exactly as a whole-stream run partitions `0..len`, and
+/// everything downstream (chunking, scheduling, §IV.A recognition, fault and
+/// autotune handling) operates on those absolute ranges unchanged.
+///
+/// This is the batch building block of the streaming runner
+/// ([`crate::stream::run_bigkernel_streamed`]): a stream of windows is a
+/// sequence of these calls, and because every record of `streams[0]` is
+/// processed exactly once by whichever window covers it, the concatenation
+/// is functionally identical to one whole-stream run (the determinism suite
+/// pins this per app). `window` must lie inside the primary stream and, for
+/// fixed-record kernels, start on a record boundary. Kernels that scan past
+/// their range end ([`StreamKernel::halo_bytes`]) keep doing so across the
+/// window end — halos are bounded by the *stream* length, never the window.
+pub fn run_bigkernel_window(
+    machine: &mut Machine,
+    kernel: &dyn StreamKernel,
+    streams: &[StreamArray],
+    launch: LaunchConfig,
+    cfg: &BigKernelConfig,
+    window: Range<u64>,
+) -> RunResult {
     cfg.validate();
     assert!(!streams.is_empty(), "need at least one mapped stream");
     for (i, s) in streams.iter().enumerate() {
@@ -405,6 +432,20 @@ pub fn run_bigkernel(
     let rec = kernel.record_size();
     let primary = &streams[0];
     let tpb = launch.threads_per_block;
+
+    assert!(
+        window.start <= window.end && window.end <= primary.len(),
+        "window {window:?} outside primary stream (len {})",
+        primary.len()
+    );
+    if let Some(unit) = rec {
+        assert_eq!(
+            window.start % unit,
+            0,
+            "window start {} must be record-aligned (record size {unit})",
+            window.start
+        );
+    }
 
     // §IV.D: occupancy with the doubled thread count (addr-gen + compute).
     let base_res = kernel.resources();
@@ -428,8 +469,14 @@ pub fn run_bigkernel(
     let ag_pool = GpuPool::new(machine.gpu().clone(), pool_fraction, occ_factor);
     let comp_pool = GpuPool::new(machine.gpu().clone(), pool_fraction, occ_factor);
 
-    // Work partition over the whole stream.
-    let ranges = partition_ranges(primary.len(), launch.total_threads(), rec);
+    // Work partition over the window (the whole stream in batch mode),
+    // offset back to absolute stream positions: kernels, chunk slicing and
+    // the FIFO cross-check all speak absolute offsets into `streams[0]`.
+    let ranges: Vec<Range<u64>> =
+        partition_ranges(window.end - window.start, launch.total_threads(), rec)
+            .into_iter()
+            .map(|r| r.start + window.start..r.end + window.start)
+            .collect();
 
     // Chunking: each block consumes ~chunk_input_bytes of input per chunk.
     // Mutable because the autotuner may re-plan the chunk size at a wave

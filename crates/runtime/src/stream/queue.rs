@@ -1,0 +1,189 @@
+//! The bounded inter-stage queue between ingestion and the pipeline.
+//!
+//! Ingestion hands completed windows to the pipeline through a queue with a
+//! hard bound of `bound` windows in flight (admitted but not yet fully
+//! retired by the six-stage pipeline). When the bound is reached the
+//! **high-watermark backpressure** rule applies: the source may have fully
+//! delivered a window's bytes, but its *admission* waits until the oldest
+//! in-flight window retires — the stall the streaming runner attributes as
+//! `stall.ingest.backpressure`
+//! ([`StallCause::Backpressure`](bk_obs::StallCause)).
+//!
+//! The timing recurrence, per window `w` (all simulated time):
+//!
+//! ```text
+//! admitted(w)  = max(ready(w), completed(w − bound))
+//! started(w)   = max(admitted(w), completed(w − 1))
+//! completed(w) = started(w) + makespan(w)
+//! backpressure(w) = admitted(w) − ready(w)
+//! ```
+//!
+//! `ready(w)` is when the window's bytes (plus halo) have arrived;
+//! `makespan(w)` is the window's measured pipeline time. Every quantity is
+//! a finite maximum of finite earlier quantities, so **admission can never
+//! deadlock**: by induction `completed(w)` is finite for every `w` whenever
+//! every `ready(w)` is (sources always deliver — hiccups delay, they do not
+//! drop). The determinism suite pins this under randomized hiccupy sources
+//! and queue bounds.
+
+use bk_simcore::SimTime;
+
+/// What admitting one window through the queue decided.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Admission {
+    /// When the window was admitted into the pipeline's inlet queue.
+    pub admitted: SimTime,
+    /// When the pipeline started executing it (after the previous window).
+    pub started: SimTime,
+    /// When the pipeline fully retired it.
+    pub completed: SimTime,
+    /// Admission delay charged to the high-watermark (zero when the queue
+    /// had room the moment the window's bytes arrived).
+    pub backpressure: SimTime,
+    /// Windows in flight (including this one) right after admission —
+    /// never exceeds the queue bound.
+    pub depth: usize,
+}
+
+/// Timing state of the bounded inter-stage queue (see the module docs).
+#[derive(Clone, Debug)]
+pub struct BoundedQueue {
+    bound: usize,
+    admitted: Vec<SimTime>,
+    completed: Vec<SimTime>,
+}
+
+impl BoundedQueue {
+    /// An empty queue admitting at most `bound >= 1` windows in flight.
+    pub fn new(bound: usize) -> Self {
+        assert!(bound >= 1, "queue bound must be at least 1");
+        BoundedQueue {
+            bound,
+            admitted: Vec::new(),
+            completed: Vec::new(),
+        }
+    }
+
+    /// The configured high-watermark.
+    pub fn bound(&self) -> usize {
+        self.bound
+    }
+
+    /// Windows pushed so far.
+    pub fn windows(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// When window `w` retired (must have been pushed).
+    pub fn completed(&self, w: usize) -> SimTime {
+        self.completed[w]
+    }
+
+    /// Admit the next window: its bytes are fully arrived at `ready` and it
+    /// will occupy the pipeline for `makespan`. Returns the resolved
+    /// admission/start/retire times and the backpressure charge.
+    pub fn push(&mut self, ready: SimTime, makespan: SimTime) -> Admission {
+        let w = self.completed.len();
+        let oldest_free = if w >= self.bound {
+            self.completed[w - self.bound]
+        } else {
+            SimTime::ZERO
+        };
+        let admitted = ready.max(oldest_free);
+        let prev_done = if w > 0 {
+            self.completed[w - 1]
+        } else {
+            SimTime::ZERO
+        };
+        let started = admitted.max(prev_done);
+        let completed = started + makespan;
+        // In flight at admission: earlier windows not yet retired, plus
+        // this one. `completed` is non-decreasing, so a partition point
+        // counts the retired prefix.
+        let retired = self.completed.partition_point(|&c| c <= admitted);
+        let depth = w - retired + 1;
+        debug_assert!(depth <= self.bound, "high-watermark violated");
+        self.admitted.push(admitted);
+        self.completed.push(completed);
+        Admission {
+            admitted,
+            started,
+            completed,
+            backpressure: admitted.saturating_sub(ready),
+            depth,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn unbounded_by_arrival_when_pipeline_keeps_up() {
+        // Fast pipeline, slow source: no backpressure, depth stays 1.
+        let mut q = BoundedQueue::new(2);
+        for w in 0..4 {
+            let a = q.push(t(w as f64), t(0.1));
+            assert!(a.backpressure.is_zero());
+            assert_eq!(a.depth, 1);
+            assert_eq!(a.started, t(w as f64));
+        }
+    }
+
+    #[test]
+    fn high_watermark_delays_admission() {
+        // Source delivers instantly, pipeline takes 1 s per window, bound 2:
+        // window w admits when window w-2 retires.
+        let mut q = BoundedQueue::new(2);
+        let a0 = q.push(t(0.0), t(1.0));
+        let a1 = q.push(t(0.0), t(1.0));
+        let a2 = q.push(t(0.0), t(1.0));
+        let a3 = q.push(t(0.0), t(1.0));
+        assert_eq!(a0.completed, t(1.0));
+        assert!(a1.backpressure.is_zero(), "still under the bound");
+        assert_eq!(a2.admitted, t(1.0), "waits for window 0 to retire");
+        assert_eq!(a2.backpressure, t(1.0));
+        assert_eq!(a3.admitted, t(2.0));
+        assert_eq!(a3.completed, t(4.0));
+        assert!(
+            [a0, a1, a2, a3].iter().all(|a| a.depth <= 2),
+            "depth bounded"
+        );
+    }
+
+    #[test]
+    fn bound_one_serializes_ingestion_and_pipeline() {
+        let mut q = BoundedQueue::new(1);
+        let a0 = q.push(t(0.0), t(1.0));
+        let a1 = q.push(t(0.5), t(1.0));
+        assert_eq!(a1.admitted, a0.completed, "one window in flight at most");
+        assert_eq!(a1.backpressure, t(0.5));
+        assert_eq!(a1.depth, 1);
+    }
+
+    #[test]
+    fn completion_times_are_monotone() {
+        let mut q = BoundedQueue::new(3);
+        let readies = [0.0, 0.2, 0.1, 5.0, 5.1];
+        let spans = [1.0, 0.1, 2.0, 0.5, 0.5];
+        let mut prev = SimTime::ZERO;
+        for (&r, &m) in readies.iter().zip(&spans) {
+            let a = q.push(t(r), t(m));
+            assert!(a.completed >= prev);
+            assert!(a.started >= a.admitted);
+            prev = a.completed;
+        }
+        assert_eq!(q.windows(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_bound_rejected() {
+        BoundedQueue::new(0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Input sources: *when* the stream's bytes arrive in simulated time.
+//!
+//! The simulator pre-materializes the input data (an app's `instantiate`
+//! writes the whole mapped region up front, exactly as in batch mode); a
+//! [`Source`] describes its **arrival curve** — by which simulated time the
+//! first `b` bytes of the primary stream have landed in host memory. The
+//! streaming runner admits a window only once its bytes (plus any scan-past
+//! halo) have arrived, so the curve is what couples ingestion to the
+//! pipeline and what the bounded queue pushes back against.
+//!
+//! Sources are *replayable*: the curve is a pure function of the source's
+//! parameters, so re-running a streamed workload reproduces the identical
+//! admission schedule — the precondition for the streamed ≡ batch
+//! bit-identity contract.
+
+use bk_simcore::{SimTime, SplitMix64};
+
+/// An arrival curve over the primary stream's bytes.
+///
+/// Implementations must be **monotone**: `arrival(a) <= arrival(b)` for
+/// `a <= b`, with `arrival(0) == SimTime::ZERO` by convention. The curve is
+/// consulted for byte counts up to [`len`](Source::len) (window ends plus
+/// halo, clamped to the stream).
+pub trait Source {
+    /// Total bytes this source yields — must equal the mapped primary
+    /// stream's length.
+    fn len(&self) -> u64;
+
+    /// Whether the source yields no bytes at all.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Simulated time by which the first `bytes` bytes have arrived.
+    fn arrival(&self, bytes: u64) -> SimTime;
+}
+
+/// A constant-rate replayable source: bytes arrive at `bytes_per_sec`,
+/// starting at time zero. The canonical source for the streamed ≡ batch
+/// determinism tests (replaying a recorded feed at its capture rate).
+#[derive(Clone, Copy, Debug)]
+pub struct ReplaySource {
+    len: u64,
+    bytes_per_sec: f64,
+}
+
+impl ReplaySource {
+    /// A source feeding `len` bytes at `bytes_per_sec`.
+    pub fn new(len: u64, bytes_per_sec: f64) -> Self {
+        assert!(
+            bytes_per_sec.is_finite() && bytes_per_sec > 0.0,
+            "arrival rate must be positive and finite"
+        );
+        ReplaySource { len, bytes_per_sec }
+    }
+}
+
+impl Source for ReplaySource {
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn arrival(&self, bytes: u64) -> SimTime {
+        SimTime::from_secs(bytes.min(self.len) as f64 / self.bytes_per_sec)
+    }
+}
+
+/// A source with deterministic, seeded ingestion *hiccups*: the inner curve
+/// plus a fixed pause at each of `count` byte positions drawn from the
+/// seed. Models a flaky feed (network stall, upstream GC pause) for the
+/// fault story — every byte after a hiccup position arrives `pause` later,
+/// so the curve stays monotone and the stream always **drains**: total
+/// delay is bounded by `count * pause`, and the bounded-queue recurrence
+/// admits every window in finite simulated time (the no-deadlock property
+/// the determinism suite exercises under random hiccup plans).
+#[derive(Clone, Debug)]
+pub struct HiccupSource<S> {
+    inner: S,
+    pause: SimTime,
+    /// Hiccup byte positions, sorted ascending.
+    at: Vec<u64>,
+}
+
+impl<S: Source> HiccupSource<S> {
+    /// Wrap `inner` with `count` hiccups of `pause` each, at byte positions
+    /// drawn deterministically from `seed`.
+    pub fn new(inner: S, count: usize, pause: SimTime, seed: u64) -> Self {
+        let len = inner.len();
+        let mut rng = SplitMix64::new(seed);
+        let mut at: Vec<u64> = (0..count)
+            .map(|_| if len == 0 { 0 } else { rng.next_u64() % len })
+            .collect();
+        at.sort_unstable();
+        HiccupSource { inner, pause, at }
+    }
+
+    /// Hiccups at or before the first `bytes` bytes.
+    fn hits(&self, bytes: u64) -> usize {
+        self.at.partition_point(|&p| p < bytes)
+    }
+}
+
+impl<S: Source> Source for HiccupSource<S> {
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn arrival(&self, bytes: u64) -> SimTime {
+        self.inner.arrival(bytes) + self.pause * self.hits(bytes) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_source_is_linear_and_monotone() {
+        let s = ReplaySource::new(1000, 500.0);
+        assert_eq!(s.len(), 1000);
+        assert!(!s.is_empty());
+        assert!(s.arrival(0).is_zero());
+        assert!((s.arrival(500).secs() - 1.0).abs() < 1e-12);
+        assert!((s.arrival(1000).secs() - 2.0).abs() < 1e-12);
+        // Clamped past the end.
+        assert_eq!(s.arrival(5000), s.arrival(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        ReplaySource::new(10, 0.0);
+    }
+
+    #[test]
+    fn hiccups_shift_the_tail_and_stay_monotone() {
+        let base = ReplaySource::new(1 << 20, 1e6);
+        let s = HiccupSource::new(base, 8, SimTime::from_secs(0.5), 7);
+        let mut prev = SimTime::ZERO;
+        for b in (0..=1 << 20).step_by(4096) {
+            let t = s.arrival(b);
+            assert!(t >= prev, "arrival must be monotone");
+            prev = t;
+        }
+        // All hiccups land somewhere: the full stream is delayed by the sum.
+        let full = s.arrival(1 << 20);
+        assert!((full.secs() - (base.arrival(1 << 20).secs() + 4.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hiccup_positions_are_seed_deterministic() {
+        let mk = |seed| {
+            HiccupSource::new(
+                ReplaySource::new(1 << 16, 1e6),
+                4,
+                SimTime::from_secs(0.1),
+                seed,
+            )
+        };
+        let (a, b) = (mk(3), mk(3));
+        for probe in [0u64, 1 << 10, 1 << 15, 1 << 16] {
+            assert_eq!(a.arrival(probe), b.arrival(probe));
+        }
+        // Different seeds place the hiccups differently somewhere along the
+        // stream (probe densely — coarse probes can coincide).
+        let curve = |seed: u64| {
+            let s = mk(seed);
+            (0..1u64 << 16)
+                .step_by(97)
+                .map(|b| s.arrival(b))
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(curve(3), curve(4));
+    }
+}

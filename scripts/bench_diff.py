@@ -17,6 +17,12 @@ Fields are judged by how they were produced:
 * **fusion rows** are functional/simulated end to end (which apps fused,
   the PCIe byte counts moved, the simulated times), so every field must
   match exactly; any difference is a regression.
+* **streaming runs** (two BENCH_streaming.json files, recognized by the
+  `source_rate_factor` key) are keyed by (app, window, queue_bound):
+  simulated timing fields (`sim_secs`, `sustained_bytes_per_sec`,
+  `p99_latency_us`, `backpressure_ns`) get the sim tolerance in their
+  worsening direction; counts (`windows`, `max_depth`, `redetects`,
+  `retunes`) and `verified` must match exactly.
 
 Only apps present in both files are compared (the intersection); apps
 appearing on one side only are reported informationally, as are
@@ -133,6 +139,39 @@ def main(argv):
                     f"fusion[{name}].{key}: exact mismatch "
                     f"{bf.get(key)} -> {cf.get(key)}"
                 )
+
+    def stream_runs(doc):
+        if "source_rate_factor" not in doc:
+            return {}
+        return {(r["app"], r["window"], r["queue_bound"]): r for r in doc.get("runs", [])}
+
+    base_stream, cur_stream = stream_runs(base), stream_runs(cur)
+    for key in sorted(set(base_stream) ^ set(cur_stream)):
+        side = "baseline" if key in base_stream else "current"
+        notes.append(f"streaming run {key!r} only in {side}; skipped")
+    # (field, +1 when an increase is a worsening / -1 when a decrease is)
+    STREAM_SIM = [
+        ("sim_secs", +1),
+        ("sustained_bytes_per_sec", -1),
+        ("p99_latency_us", +1),
+        ("backpressure_ns", +1),
+    ]
+    STREAM_EXACT = ["windows", "max_depth", "redetects", "retunes", "verified"]
+    for key in sorted(set(base_stream) & set(cur_stream)):
+        bs, cs = base_stream[key], cur_stream[key]
+        label = f"streaming[{key[0]},{key[1]},bound={key[2]}]"
+        for field in STREAM_EXACT:
+            if bs.get(field) != cs.get(field):
+                regressions.append(
+                    f"{label}.{field}: exact mismatch {bs.get(field)} -> {cs.get(field)}"
+                )
+        for field, worse_sign in STREAM_SIM:
+            d = rel(cs[field], bs[field])
+            line = f"{label}.{field}: {fmt_delta(cs[field], bs[field])}"
+            if d * worse_sign > sim_tol:
+                regressions.append(f"{line}  [simulated, tol {sim_tol:.0%}]")
+            elif d != 0:
+                notes.append(line)
 
     for line in notes:
         print(f"  note: {line}")
